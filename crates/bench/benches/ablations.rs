@@ -1,0 +1,164 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each §4
+//! mechanism toggled off against the default runtime, measured in
+//! **simulated** seconds via `iter_custom`.
+//!
+//! Two workloads carry the ablations:
+//!
+//! * `164.gzip` — traffic-heavy with a dense working set: the right
+//!   stress for **compression** and **batching**.
+//! * `sparse_lookup` — a purpose-built program whose task touches a small
+//!   input-dependent sliver of an 800 KB table. This is exactly the §6
+//!   scenario where a conservative static partitioner "should
+//!   conservatively send all the data that the offloaded tasks may
+//!   touch": **copy-on-demand**, **prefetch** and **fault-ahead** are
+//!   measured here.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use native_offloader::{CompiledApp, Offloader, SessionConfig, WorkloadInput};
+use offload_workloads::by_short_name;
+
+/// The §6 sparse-access workload: an 800 KB table of which each run
+/// touches only a contiguous ~16 KB window selected by the input.
+const SPARSE_LOOKUP: &str = r#"
+int table[200000];
+long results[512];
+
+long probe(int start, int n) {
+    int r; int i;
+    long acc = 0;
+    for (r = 0; r < 400; r++) {
+        for (i = 0; i < n; i++) {
+            acc += table[(start + i) % 200000];
+        }
+        results[r % 512] = acc;
+    }
+    return acc;
+}
+
+int main() {
+    int start; int n; int i;
+    scanf("%d %d", &start, &n);
+    for (i = 0; i < 200000; i++) table[i] = (i * 2654435761) % 1000;
+    printf("probe %d\n", (int)(probe(start, n) % 1000000007));
+    return 0;
+}
+"#;
+
+fn sparse_app() -> (CompiledApp, WorkloadInput) {
+    let app = Offloader::new()
+        .compile_source(SPARSE_LOOKUP, "sparse_lookup", &WorkloadInput::from_stdin("1000 4000\n"))
+        .expect("compiles");
+    assert!(app.plan.task_by_name("probe").is_some(), "{:#?}", app.plan.estimates);
+    (app, WorkloadInput::from_stdin("120000 4000\n"))
+}
+
+fn gzip_app() -> (CompiledApp, WorkloadInput) {
+    let w = by_short_name("gzip").expect("gzip exists");
+    (w.compile().expect("compiles"), (w.eval_input)())
+}
+
+fn forced_fast() -> SessionConfig {
+    let mut c = SessionConfig::fast_network();
+    c.dynamic_estimation = false; // always offload: isolate each knob
+    c
+}
+
+fn simulated(app: &CompiledApp, input: &WorkloadInput, cfg: &SessionConfig) -> f64 {
+    app.run_offloaded(input, cfg).expect("offloaded").total_seconds
+}
+
+fn bench_group(
+    c: &mut Criterion,
+    group_name: &str,
+    app: &CompiledApp,
+    input: &WorkloadInput,
+    variants: &[(&str, SessionConfig)],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for (name, cfg) in variants {
+        group.bench_function(*name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += simulated(app, input, cfg);
+                }
+                Duration::from_secs_f64(total)
+            });
+        });
+    }
+    group.finish();
+    let t_default = simulated(app, input, &variants[0].1);
+    println!("[ablation:{group_name}] {}: {:.2} ms", variants[0].0, t_default * 1e3);
+    for (name, cfg) in &variants[1..] {
+        let t = simulated(app, input, cfg);
+        println!(
+            "[ablation:{group_name}] {name}: {:.2} ms ({:+.1}% vs default)",
+            t * 1e3,
+            (t / t_default - 1.0) * 100.0
+        );
+    }
+}
+
+fn bench_communication_ablations(c: &mut Criterion) {
+    let (app, input) = gzip_app();
+    let base = forced_fast();
+    let variants = vec![
+        ("default", base.clone()),
+        ("no_compression", SessionConfig { compress: false, ..base.clone() }),
+        ("no_batching", SessionConfig { batch: false, ..base }),
+    ];
+    bench_group(c, "ablations_comm", &app, &input, &variants);
+
+    // §4 claims both optimizations reduce communication cost.
+    let t_default = simulated(&app, &input, &variants[0].1);
+    let t_nocomp = simulated(&app, &input, &variants[1].1);
+    let t_nobatch = simulated(&app, &input, &variants[2].1);
+    assert!(t_nocomp > t_default, "compression must pay off on gzip traffic");
+    assert!(t_nobatch > t_default, "batching must pay off on gzip traffic");
+}
+
+fn bench_paging_ablations(c: &mut Criterion) {
+    let (app, input) = sparse_app();
+    let base = forced_fast();
+    let variants = vec![
+        ("default", base.clone()),
+        ("eager_full_transfer", SessionConfig { copy_on_demand: false, ..base.clone() }),
+        ("no_prefetch", SessionConfig { prefetch: false, ..base.clone() }),
+        ("no_fault_ahead", SessionConfig { fault_ahead: 1, prefetch: false, ..base }),
+    ];
+    bench_group(c, "ablations_paging", &app, &input, &variants);
+
+    // §6: copy-on-demand ships the touched sliver; a conservative eager
+    // transfer ships the whole 800 KB table.
+    let cod = app.run_offloaded(&input, &variants[0].1).expect("cod");
+    let eager = app.run_offloaded(&input, &variants[1].1).expect("eager");
+    assert_eq!(cod.console, eager.console);
+    assert!(
+        cod.upload.raw_bytes * 4 < eager.upload.raw_bytes,
+        "CoD {} bytes vs eager {} bytes",
+        cod.upload.raw_bytes,
+        eager.upload.raw_bytes
+    );
+    assert!(
+        cod.total_seconds < eager.total_seconds,
+        "copy-on-demand must beat eager full-memory transfer (§6): {:.2} vs {:.2} ms",
+        cod.total_seconds * 1e3,
+        eager.total_seconds * 1e3
+    );
+    // Fault-ahead amortizes round trips when prefetch cannot help.
+    let one = simulated(&app, &input, &variants[3].1);
+    let ahead = simulated(&app, &input, &variants[2].1);
+    assert!(ahead <= one, "fault-ahead must not lose: {ahead} vs {one}");
+}
+
+criterion_group! {
+    name = benches;
+    // Simulated-time measurements are deterministic (zero variance), which
+    // breaks Criterion's plot generation; plots stay off.
+    config = Criterion::default().without_plots();
+    targets = bench_communication_ablations, bench_paging_ablations
+}
+criterion_main!(benches);

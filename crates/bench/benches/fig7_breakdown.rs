@@ -1,0 +1,58 @@
+//! Fig. 7 bench: overhead breakdown of offloaded execution for the three
+//! overhead archetypes — fn-ptr translation (sjeng), remote I/O (gobmk),
+//! communication (gzip with forced offload).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use native_offloader::SessionConfig;
+use offload_workloads::by_short_name;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_breakdown");
+    group.sample_size(10);
+
+    for (short, overhead) in [("sjeng", "fnptr"), ("gobmk", "remote-io"), ("gzip", "network")] {
+        let w = by_short_name(short).expect("workload exists");
+        let app = w.compile().expect("compiles");
+        let input = (w.eval_input)();
+        let mut cfg = SessionConfig::fast_network();
+        cfg.dynamic_estimation = false; // measure the breakdown even when marginal
+
+        group.bench_with_input(BenchmarkId::new(overhead, short), &(), |b, ()| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += app.run_offloaded(&input, &cfg).expect("offloaded").total_seconds;
+                }
+                Duration::from_secs_f64(total)
+            });
+        });
+
+        let rep = app.run_offloaded(&input, &cfg).expect("offloaded");
+        let b = &rep.breakdown;
+        println!(
+            "[fig7] {short}: total {:.2} ms = compute {:.2} + fnptr {:.3} + remote-io {:.3} + network {:.3}",
+            rep.total_seconds * 1e3,
+            (b.mobile_compute_s + b.server_compute_s) * 1e3,
+            b.fn_ptr_translation_s * 1e3,
+            b.remote_io_s * 1e3,
+            b.communication_s * 1e3
+        );
+        match overhead {
+            "fnptr" => assert!(rep.fn_map_translations > 0),
+            "remote-io" => assert!(rep.remote_io_calls > 0),
+            _ => assert!(b.communication_s > 0.0),
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Simulated-time measurements are deterministic (zero variance), which
+    // breaks Criterion's plot generation; plots stay off.
+    config = Criterion::default().without_plots();
+    targets = bench_fig7
+}
+criterion_main!(benches);

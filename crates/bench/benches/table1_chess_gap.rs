@@ -1,0 +1,77 @@
+//! Table 1 bench: the chess movement computation on the simulated phone
+//! vs the simulated desktop.
+//!
+//! Uses `iter_custom` to report **simulated** seconds, so the Criterion
+//! output directly mirrors Table 1's two device rows; the measured gap
+//! (paper: 5.36–5.89×) is also asserted and printed.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use offload_machine::host::LocalHost;
+use offload_machine::loader;
+use offload_machine::target::TargetSpec;
+use offload_machine::vm::{StackBank, Vm};
+use offload_workloads::chess;
+
+fn run_once(module: &offload_ir::Module, spec: &TargetSpec, bank: StackBank, depth: u32) -> f64 {
+    // A standalone run on each device uses that back-end's own function
+    // addresses (each device runs its natively compiled binary). Images
+    // are placed under the unified layout the VM executes with.
+    let unified = offload_ir::TargetAbi::MobileArm32.data_layout();
+    let image = match bank {
+        StackBank::Mobile => loader::load(module, &unified).expect("loads"),
+        StackBank::Server => loader::load_for_server(module, &unified).expect("loads"),
+    };
+    let mut host = LocalHost::new();
+    host.set_stdin(chess::input(depth, 1).stdin);
+    let mut vm = Vm::new(module, spec, image, bank);
+    vm.run_entry(&mut host).expect("runs");
+    spec.cycles_to_seconds(vm.clock.cycles)
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let module = offload_minic::compile(chess::SOURCE, "chess").expect("compiles");
+    let mut group = c.benchmark_group("table1_chess_gap");
+    group.sample_size(10);
+
+    for depth in [7u32, 9, 11] {
+        group.bench_with_input(BenchmarkId::new("smartphone", depth), &depth, |b, &d| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += run_once(&module, &TargetSpec::galaxy_s5(), StackBank::Mobile, d);
+                }
+                Duration::from_secs_f64(total)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("desktop", depth), &depth, |b, &d| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += run_once(&module, &TargetSpec::xps_8700(), StackBank::Server, d);
+                }
+                Duration::from_secs_f64(total)
+            });
+        });
+        let phone = run_once(&module, &TargetSpec::galaxy_s5(), StackBank::Mobile, depth);
+        let desktop = run_once(&module, &TargetSpec::xps_8700(), StackBank::Server, depth);
+        println!(
+            "[table1] depth {depth}: phone {:.2} ms, desktop {:.2} ms, gap {:.2}x (paper ~5.4-5.9x)",
+            phone * 1e3,
+            desktop * 1e3,
+            phone / desktop
+        );
+        assert!(phone / desktop > 2.0, "the gap must be large at every level");
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Simulated-time measurements are deterministic (zero variance), which
+    // breaks Criterion's plot generation; plots stay off.
+    config = Criterion::default().without_plots();
+    targets = bench_table1
+}
+criterion_main!(benches);

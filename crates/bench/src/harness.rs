@@ -1,0 +1,55 @@
+//! The evaluation matrix: each workload compiled once and executed under
+//! the paper's four conditions (local, slow 802.11n, fast 802.11ac, ideal
+//! link).
+
+use native_offloader::{CompiledApp, RunReport, SessionConfig};
+use offload_workloads::WorkloadSpec;
+
+/// One workload's complete measurement set.
+pub struct WorkloadRun {
+    /// The workload.
+    pub spec: WorkloadSpec,
+    /// The compiled application (plan, stats).
+    pub app: CompiledApp,
+    /// Local (phone-only) baseline.
+    pub local: RunReport,
+    /// Offloaded over 802.11n.
+    pub slow: RunReport,
+    /// Offloaded over 802.11ac.
+    pub fast: RunReport,
+    /// Offloaded over the free link (Fig. 6 "Ideal").
+    pub ideal: RunReport,
+}
+
+impl WorkloadRun {
+    /// Compile and run `spec` under all four conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stage fails — the suite is expected to be green.
+    pub fn measure(spec: WorkloadSpec) -> Self {
+        let app = spec.compile().unwrap_or_else(|e| panic!("{}: compile: {e}", spec.name));
+        let input = (spec.eval_input)();
+        let local = app
+            .run_local(&input)
+            .unwrap_or_else(|e| panic!("{}: local: {e}", spec.name));
+        let slow = app
+            .run_offloaded(&input, &SessionConfig::slow_network())
+            .unwrap_or_else(|e| panic!("{}: slow: {e}", spec.name));
+        let fast = app
+            .run_offloaded(&input, &SessionConfig::fast_network())
+            .unwrap_or_else(|e| panic!("{}: fast: {e}", spec.name));
+        let ideal = app
+            .run_offloaded(&input, &SessionConfig::ideal_network())
+            .unwrap_or_else(|e| panic!("{}: ideal: {e}", spec.name));
+        for r in [&slow, &fast, &ideal] {
+            assert_eq!(local.console, r.console, "{}: output drift", spec.name);
+        }
+        WorkloadRun { spec, app, local, slow, fast, ideal }
+    }
+}
+
+/// Measure the full 17-program suite.
+pub fn measure_suite() -> Vec<WorkloadRun> {
+    offload_workloads::all().into_iter().map(WorkloadRun::measure).collect()
+}

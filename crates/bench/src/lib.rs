@@ -1,0 +1,26 @@
+//! Benchmark harness for the Native Offloader reproduction: everything the
+//! `reproduce` binary and the Criterion benches share.
+
+pub mod datasets;
+pub mod harness;
+pub mod render;
+
+/// Geometric mean of a nonempty slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn geomean_basics() {
+        assert!((super::geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((super::geomean(&[8.0]) - 8.0).abs() < 1e-12);
+    }
+}

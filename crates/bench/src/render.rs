@@ -1,0 +1,96 @@
+//! Plain-text rendering: aligned tables and ASCII bar charts, so every
+//! figure regenerates on a terminal.
+
+/// Render a table: header row + data rows, columns padded to fit.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            // Left-align the first column, right-align the rest.
+            if i == 0 {
+                out.push_str(&format!("{cell:<w$}", w = widths[i]));
+            } else {
+                out.push_str(&format!("{cell:>w$}", w = widths[i]));
+            }
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_string()).collect();
+    render_row(&header_cells, &widths, &mut out);
+    let rule_len = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        render_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Render a horizontal ASCII bar chart: one `(label, value)` per line,
+/// scaled so the longest bar is `width` characters.
+pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-12);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let n = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$}  {:<width$}  {value:.3}\n",
+            "#".repeat(n.max(usize::from(*value > 0.0)))
+        ));
+    }
+    out
+}
+
+/// Render a stacked horizontal bar: segments as (char, value).
+pub fn stacked_bar(segments: &[(char, f64)], total_width: usize, scale_max: f64) -> String {
+    let mut out = String::new();
+    for (ch, value) in segments {
+        let n = ((value / scale_max.max(1e-12)) * total_width as f64).round() as usize;
+        out.push_str(&ch.to_string().repeat(n));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_aligns_columns() {
+        let t = super::table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let c = super::bar_chart(&[("a".into(), 10.0), ("b".into(), 5.0)], 20);
+        let lines: Vec<&str> = c.lines().collect();
+        assert!(lines[0].matches('#').count() == 20);
+        assert!(lines[1].matches('#').count() == 10);
+    }
+
+    #[test]
+    fn stacked_bar_concatenates() {
+        let s = super::stacked_bar(&[('C', 5.0), ('N', 5.0)], 10, 10.0);
+        assert_eq!(s, "CCCCCNNNNN");
+    }
+}

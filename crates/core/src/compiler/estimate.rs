@@ -1,0 +1,147 @@
+//! The static performance estimator — Equation 1 of the paper.
+//!
+//! ```text
+//! Tg = (Tm − Ts) − Tc
+//!    = Tm · (1 − 1/R) − 2 · (M / BW) · Ninvo
+//! ```
+//!
+//! where `Tm` is the measured mobile execution time of the candidate, `R`
+//! the mobile/server performance ratio, `M` the candidate's memory
+//! footprint, `BW` the assumed bandwidth and `Ninvo` its invocation count.
+//! Shared data crosses the network twice (to the server and back), hence
+//! the factor 2. A candidate is profitable iff `Tg > 0`.
+
+/// Inputs to one Equation-1 evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateInput {
+    /// Measured mobile execution time, seconds (total over the run).
+    pub tm_s: f64,
+    /// Invocation count.
+    pub invocations: u64,
+    /// Memory footprint, bytes.
+    pub mem_bytes: u64,
+    /// Mobile/server performance ratio `R`.
+    pub ratio: f64,
+    /// Bandwidth, bits per second.
+    pub bandwidth_bps: u64,
+}
+
+/// The three derived quantities of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// `Tideal = Tm · (1 − 1/R)`, seconds.
+    pub t_ideal_s: f64,
+    /// `Tc = 2 · (M/BW) · N`, seconds.
+    pub t_comm_s: f64,
+    /// `Tg = Tideal − Tc`, seconds.
+    pub t_gain_s: f64,
+}
+
+impl Estimate {
+    /// `true` iff offloading is expected to pay off.
+    pub fn profitable(&self) -> bool {
+        self.t_gain_s > 0.0
+    }
+}
+
+/// Evaluate Equation 1.
+pub fn equation1(input: EstimateInput) -> Estimate {
+    let t_ideal_s = input.tm_s * (1.0 - 1.0 / input.ratio);
+    let bytes_per_sec = input.bandwidth_bps as f64 / 8.0;
+    let t_comm_s = 2.0 * (input.mem_bytes as f64 / bytes_per_sec) * input.invocations as f64;
+    Estimate { t_ideal_s, t_comm_s, t_gain_s: t_ideal_s - t_comm_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3's worked example: R = 5, BW = 80 Mbps.
+    fn table3(tm_s: f64, invocations: u64, mem_mb: u64) -> Estimate {
+        equation1(EstimateInput {
+            tm_s,
+            invocations,
+            mem_bytes: mem_mb * 1_000_000,
+            ratio: 5.0,
+            bandwidth_bps: 80_000_000,
+        })
+    }
+
+    #[test]
+    fn reproduces_table3_rows() {
+        // runGame: 27.0 s, 1 invocation, 20 MB → Tideal 21.6, Tc 4.0, Tg 17.6
+        let e = table3(27.0, 1, 20);
+        assert!((e.t_ideal_s - 21.6).abs() < 1e-9, "{e:?}");
+        assert!((e.t_comm_s - 4.0).abs() < 1e-9, "{e:?}");
+        assert!((e.t_gain_s - 17.6).abs() < 1e-9, "{e:?}");
+        assert!(e.profitable());
+
+        // getAITurn / for_i: 26.0 s, 3 invocations, 12 MB → 20.8 / 7.2 / 13.6
+        let e = table3(26.0, 3, 12);
+        assert!((e.t_ideal_s - 20.8).abs() < 1e-9);
+        assert!((e.t_comm_s - 7.2).abs() < 1e-9);
+        assert!((e.t_gain_s - 13.6).abs() < 1e-9);
+        assert!(e.profitable());
+
+        // for_j: 25.0 s, 36 invocations, 12 MB → 20.0 / 86.4 / −66.4
+        let e = table3(25.0, 36, 12);
+        assert!((e.t_ideal_s - 20.0).abs() < 1e-9);
+        assert!((e.t_comm_s - 86.4).abs() < 1e-9);
+        assert!((e.t_gain_s + 66.4).abs() < 1e-9);
+        assert!(!e.profitable(), "for_j must be rejected, as in the paper");
+
+        // getPlayerTurn: 1.5 s, 3 invocations, 10 MB → 1.2 / 6.0 / −4.8
+        let e = table3(1.5, 3, 10);
+        assert!((e.t_ideal_s - 1.2).abs() < 1e-9);
+        assert!((e.t_comm_s - 6.0).abs() < 1e-9);
+        assert!((e.t_gain_s + 4.8).abs() < 1e-9);
+        assert!(!e.profitable());
+    }
+
+    #[test]
+    fn faster_network_flips_marginal_candidates() {
+        let slow = equation1(EstimateInput {
+            tm_s: 2.0,
+            invocations: 1,
+            mem_bytes: 20_000_000,
+            ratio: 5.0,
+            bandwidth_bps: 80_000_000,
+        });
+        let fast = equation1(EstimateInput { bandwidth_bps: 500_000_000, ..EstimateInput {
+            tm_s: 2.0,
+            invocations: 1,
+            mem_bytes: 20_000_000,
+            ratio: 5.0,
+            bandwidth_bps: 80_000_000,
+        } });
+        assert!(!slow.profitable());
+        assert!(fast.profitable());
+    }
+
+    #[test]
+    fn more_invocations_hurt_linearly() {
+        let base = EstimateInput {
+            tm_s: 10.0,
+            invocations: 1,
+            mem_bytes: 1_000_000,
+            ratio: 5.0,
+            bandwidth_bps: 80_000_000,
+        };
+        let one = equation1(base);
+        let twelve = equation1(EstimateInput { invocations: 12, ..base });
+        assert!((twelve.t_comm_s - one.t_comm_s * 12.0).abs() < 1e-9);
+        assert_eq!(one.t_ideal_s, twelve.t_ideal_s);
+    }
+
+    #[test]
+    fn huge_ratio_approaches_full_tm() {
+        let e = equation1(EstimateInput {
+            tm_s: 10.0,
+            invocations: 1,
+            mem_bytes: 0,
+            ratio: 1e9,
+            bandwidth_bps: 80_000_000,
+        });
+        assert!((e.t_gain_s - 10.0).abs() < 1e-6);
+    }
+}

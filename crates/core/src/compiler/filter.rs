@@ -1,0 +1,264 @@
+//! The function filter (§3.1).
+//!
+//! A region is *machine specific* — and therefore unoffloadable — if it
+//! contains an assembly instruction, a system call, an unknown external
+//! library call, or an I/O instruction. I/O instructions with remote
+//! replacements (§3.4: output functions and prefetchable file streams) are
+//! exempt; interactive inputs (`scanf`, `getchar`) are not. Machine-
+//! specific taint propagates from callees to callers: the paper rules out
+//! `runGame` and `main` because they (transitively) call
+//! `getPlayerTurn`'s `scanf`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use offload_ir::analysis::CallGraph;
+use offload_ir::{Callee, FuncId, Inst, Module};
+
+/// Why a function is machine specific.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineSpecificCause {
+    /// Contains inline assembly.
+    InlineAsm,
+    /// Contains a raw system call.
+    Syscall,
+    /// Calls an external function with no body.
+    UnknownExternal(String),
+    /// Calls an I/O builtin with no remote replacement.
+    InteractiveIo(String),
+    /// Calls a machine-specific function (taint).
+    Calls(FuncId),
+}
+
+/// Filter verdicts for every function in a module.
+#[derive(Debug, Clone, Default)]
+pub struct FilterResult {
+    /// Machine-specific functions and the (first) reason.
+    pub tainted: BTreeMap<FuncId, MachineSpecificCause>,
+}
+
+impl FilterResult {
+    /// `true` if `f` may be offloaded.
+    pub fn is_offloadable(&self, f: FuncId) -> bool {
+        !self.tainted.contains_key(&f)
+    }
+
+    /// Number of machine-specific functions.
+    pub fn tainted_count(&self) -> usize {
+        self.tainted.len()
+    }
+}
+
+/// Run the function filter over `module`.
+///
+/// `allow_remote_io` reflects the §3.4 remote I/O optimization: when
+/// `true` (the paper's configuration), I/O builtins with remote
+/// replacements do not taint; when `false`, *any* I/O taints — the
+/// coverage collapse the paper describes ("the function filter excludes
+/// most of the IR codes from offloading targets") and the remote-I/O
+/// ablation measures.
+pub fn run_filter(module: &Module, allow_remote_io: bool) -> FilterResult {
+    let mut seeds: BTreeMap<FuncId, MachineSpecificCause> = BTreeMap::new();
+
+    for (id, func) in module.iter_functions() {
+        if func.is_declaration() {
+            // External declarations are machine specific by definition.
+            seeds.insert(id, MachineSpecificCause::UnknownExternal(func.name.clone()));
+            continue;
+        }
+        'blocks: for block in &func.blocks {
+            for inst in &block.insts {
+                let cause = match inst {
+                    Inst::InlineAsm { .. } => Some(MachineSpecificCause::InlineAsm),
+                    Inst::Syscall { .. } => Some(MachineSpecificCause::Syscall),
+                    Inst::Call { callee: Callee::Builtin(b), .. } => {
+                        if b.is_machine_specific()
+                            && (!allow_remote_io || b.remote_replacement().is_none())
+                        {
+                            Some(MachineSpecificCause::InteractiveIo(b.name().into()))
+                        } else {
+                            None
+                        }
+                    }
+                    Inst::Call { callee: Callee::Direct(g), .. } => {
+                        let target = module.function(*g);
+                        if target.is_declaration() {
+                            Some(MachineSpecificCause::UnknownExternal(target.name.clone()))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some(cause) = cause {
+                    seeds.insert(id, cause);
+                    break 'blocks;
+                }
+            }
+        }
+    }
+
+    // Propagate taint to callers through the call graph.
+    let cg = CallGraph::build(module);
+    let seed_set: BTreeSet<FuncId> = seeds.keys().copied().collect();
+    let tainted_set = cg.taint_upward(&seed_set);
+    let mut tainted = seeds;
+    for f in tainted_set {
+        tainted
+            .entry(f)
+            .or_insert_with(|| MachineSpecificCause::Calls(f));
+    }
+    // Record the precise caller cause where we can.
+    for (id, _) in module.iter_functions() {
+        if tainted.contains_key(&id) {
+            continue;
+        }
+    }
+    FilterResult { tainted }
+}
+
+/// `true` if the given *loop body blocks* of `func_id` are free of
+/// machine-specific instructions and of calls to tainted functions — loop
+/// candidates are filtered at this finer grain (a function with `scanf`
+/// outside the loop can still offload the loop).
+pub fn loop_is_offloadable(
+    module: &Module,
+    filter: &FilterResult,
+    func_id: FuncId,
+    body: &BTreeSet<offload_ir::BlockId>,
+    allow_remote_io: bool,
+) -> bool {
+    let func = module.function(func_id);
+    for bb in body {
+        for inst in &func.blocks[bb.0 as usize].insts {
+            match inst {
+                Inst::InlineAsm { .. } | Inst::Syscall { .. } => return false,
+                Inst::Call { callee: Callee::Builtin(b), .. }
+                    if b.is_machine_specific()
+                        && (!allow_remote_io || b.remote_replacement().is_none())
+                    => {
+                        return false;
+                    }
+                Inst::Call { callee: Callee::Direct(g), .. }
+                    if !filter.is_offloadable(*g) => {
+                        return false;
+                    }
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's chess shape: getPlayerTurn has scanf, getAITurn has
+    /// printf (remotable), runGame calls both, main calls runGame.
+    const CHESS: &str = "
+        int maxDepth;
+        double getAITurn() {
+            int i; double s = 0.0;
+            for (i = 0; i < maxDepth; i++) s += (double)i;
+            printf(\"%f\\n\", s);
+            return s;
+        }
+        int getPlayerTurn() { int mv; scanf(\"%d\", &mv); return mv; }
+        void runGame() {
+            int over = 0;
+            while (!over) { over = getPlayerTurn(); getAITurn(); }
+        }
+        int main() { scanf(\"%d\", &maxDepth); runGame(); return 0; }";
+
+    fn compiled() -> Module {
+        offload_minic::compile(CHESS, "chess").unwrap()
+    }
+
+    #[test]
+    fn paper_chess_filtering() {
+        let m = compiled();
+        let names = m.function_names();
+        let r = run_filter(&m, true);
+        assert!(r.is_offloadable(names["getAITurn"]), "printf is remotable");
+        assert!(!r.is_offloadable(names["getPlayerTurn"]), "scanf is interactive");
+        assert!(!r.is_offloadable(names["runGame"]), "taint via getPlayerTurn");
+        assert!(!r.is_offloadable(names["main"]), "taint via runGame");
+    }
+
+    #[test]
+    fn without_remote_io_printf_taints() {
+        let m = compiled();
+        let names = m.function_names();
+        let r = run_filter(&m, false);
+        assert!(
+            !r.is_offloadable(names["getAITurn"]),
+            "without the remote-I/O optimization printf is machine specific"
+        );
+    }
+
+    #[test]
+    fn asm_and_syscall_taint() {
+        let m = offload_minic::compile(
+            "void low() { asm(\"wfi\"); }\n\
+             long ticks() { return syscall(42); }\n\
+             int pure(int x) { return x * 2; }\n\
+             int main() { low(); ticks(); return pure(5); }",
+            "t",
+        )
+        .unwrap();
+        let names = m.function_names();
+        let r = run_filter(&m, true);
+        assert!(!r.is_offloadable(names["low"]));
+        assert!(!r.is_offloadable(names["ticks"]));
+        assert!(r.is_offloadable(names["pure"]));
+        assert!(matches!(r.tainted[&names["low"]], MachineSpecificCause::InlineAsm));
+        assert!(matches!(r.tainted[&names["ticks"]], MachineSpecificCause::Syscall));
+    }
+
+    #[test]
+    fn external_declarations_taint_callers() {
+        let mut m = offload_minic::compile("int main() { return 0; }", "t").unwrap();
+        let ext = m.declare_function("mystery", vec![], offload_ir::Type::Void);
+        let r = run_filter(&m, true);
+        assert!(!r.is_offloadable(ext));
+        assert!(matches!(
+            r.tainted[&ext],
+            MachineSpecificCause::UnknownExternal(ref n) if n == "mystery"
+        ));
+    }
+
+    #[test]
+    fn file_io_is_remotable() {
+        let m = offload_minic::compile(
+            "int load(char *buf) { int fd = fopen(\"f\", \"r\"); long n = fread(buf, 1, 8, fd); fclose(fd); return (int)n; }\n\
+             int main() { char b[8]; return load(b); }",
+            "t",
+        )
+        .unwrap();
+        let names = m.function_names();
+        let r = run_filter(&m, true);
+        assert!(r.is_offloadable(names["load"]), "file streams are prefetchable (§3.4)");
+    }
+
+    #[test]
+    fn loop_filter_is_finer_than_function_filter() {
+        // main has scanf, but its hot loop does not: the loop offloads.
+        let m = offload_minic::compile(
+            "int main() {\n\
+               int n; scanf(\"%d\", &n);\n\
+               int i; long acc = 0;\n\
+               for (i = 0; i < n; i++) acc += i * i;\n\
+               printf(\"%d\\n\", (int)(acc % 100));\n\
+               return 0;\n\
+             }",
+            "t",
+        )
+        .unwrap();
+        let main = m.entry.unwrap();
+        let r = run_filter(&m, true);
+        assert!(!r.is_offloadable(main));
+        let forest = offload_ir::analysis::LoopForest::compute(m.function(main));
+        assert_eq!(forest.loops.len(), 1);
+        assert!(loop_is_offloadable(&m, &r, main, &forest.loops[0].body, true));
+    }
+}

@@ -1,0 +1,471 @@
+//! The Native Offloader compiler: Fig. 2's pipeline.
+//!
+//! Target selection (profiler → function filter → Equation-1 estimator),
+//! loop outlining, memory unification, partitioning, and server-specific
+//! optimization, producing a mobile module, a server module and an
+//! [`OffloadPlan`].
+
+pub mod estimate;
+pub mod filter;
+pub mod optimize;
+pub mod outline;
+pub mod partition;
+pub mod profile;
+pub mod unify;
+
+use std::collections::BTreeSet;
+
+use offload_ir::analysis::{CallGraph, LoopForest};
+use offload_ir::{FuncId, Module};
+
+use crate::config::{CompileConfig, SessionConfig, WorkloadInput};
+use crate::plan::{CompileStats, EstimateRow, OffloadPlan, OffloadTask};
+use crate::runtime::report::RunReport;
+use crate::OffloadError;
+
+use estimate::{equation1, EstimateInput};
+use profile::{ProfileData, RegionKey};
+
+/// The compiler front door.
+#[derive(Debug, Default)]
+pub struct Offloader {
+    config: CompileConfig,
+}
+
+impl Offloader {
+    /// An offloader with the default device pair (Galaxy S5 → XPS 8700).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An offloader with an explicit configuration.
+    pub fn with_config(config: CompileConfig) -> Self {
+        Offloader { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CompileConfig {
+        &self.config
+    }
+
+    /// Compile MiniC source into an offloading-enabled application,
+    /// profiling it with `profile_input`.
+    ///
+    /// # Errors
+    ///
+    /// Front-end, verification, or profiling failures.
+    pub fn compile_source(
+        &self,
+        source: &str,
+        name: &str,
+        profile_input: &WorkloadInput,
+    ) -> Result<CompiledApp, OffloadError> {
+        let module = offload_minic::compile(source, name)?;
+        self.compile_module(module, profile_input)
+    }
+
+    /// Compile an already-lowered module.
+    ///
+    /// # Errors
+    ///
+    /// Verification or profiling failures.
+    pub fn compile_module(
+        &self,
+        mut module: Module,
+        profile_input: &WorkloadInput,
+    ) -> Result<CompiledApp, OffloadError> {
+        offload_ir::verify::verify_module(&module)?;
+        let original = module.clone();
+        if self.config.optimize {
+            offload_ir::opt::optimize_module(&mut module);
+            offload_ir::verify::verify_module(&module)?;
+        }
+
+        // -- 1. target selection (§3.1) ---------------------------------
+        let prof = profile::profile_module(&module, profile_input, &self.config)?;
+        let filt = filter::run_filter(&module, true);
+        let ratio = self.config.mobile.performance_ratio(&self.config.server);
+        let hot_cut = (prof.total_cycles as f64 * self.config.hot_threshold) as u64;
+
+        let mut estimates: Vec<EstimateRow> = Vec::new();
+        let mut selected_fns: Vec<FuncId> = Vec::new();
+        let mut selected_loops: Vec<(FuncId, offload_ir::BlockId)> = Vec::new();
+
+        for (key, stats) in &prof.regions {
+            let machine_specific;
+            let eligible;
+            match key {
+                RegionKey::Function(f) => {
+                    machine_specific = !filt.is_offloadable(*f);
+                    eligible = !machine_specific
+                        && Some(*f) != module.entry
+                        && stats.cycles >= hot_cut;
+                }
+                RegionKey::Loop { func, header } => {
+                    if !self.config.outline_loops {
+                        continue;
+                    }
+                    let forest = LoopForest::compute(module.function(*func));
+                    let l = forest
+                        .loops
+                        .iter()
+                        .find(|l| l.header == *header)
+                        .expect("profiled loop exists");
+                    machine_specific =
+                        !filter::loop_is_offloadable(&module, &filt, *func, &l.body, true);
+                    eligible = !machine_specific && stats.cycles >= hot_cut;
+                }
+            }
+            let est = equation1(EstimateInput {
+                tm_s: prof.cycles_to_seconds(stats.cycles),
+                invocations: stats.invocations,
+                mem_bytes: stats.mem_bytes,
+                ratio,
+                bandwidth_bps: self.config.static_bandwidth_bps,
+            });
+            let selected = eligible && est.profitable();
+            estimates.push(EstimateRow {
+                name: stats.name.clone(),
+                exec_time_s: prof.cycles_to_seconds(stats.cycles),
+                invocations: stats.invocations,
+                mem_bytes: stats.mem_bytes,
+                t_ideal_s: est.t_ideal_s,
+                t_comm_s: est.t_comm_s,
+                t_gain_s: est.t_gain_s,
+                machine_specific,
+                selected,
+            });
+            if selected {
+                match key {
+                    RegionKey::Function(f) => selected_fns.push(*f),
+                    RegionKey::Loop { func, header } => selected_loops.push((*func, *header)),
+                }
+            }
+        }
+
+        // Drop loop candidates inside a selected function (offloading the
+        // function already covers them) or nested in a bigger selected
+        // loop of the same function.
+        let fn_set: BTreeSet<FuncId> = selected_fns.iter().copied().collect();
+        let mut kept_loops: Vec<(FuncId, offload_ir::BlockId, BTreeSet<offload_ir::BlockId>)> =
+            Vec::new();
+        for (func, header) in selected_loops {
+            if fn_set.contains(&func) || covered_by_selected_fn(&module, &fn_set, func) {
+                mark_unselected(&mut estimates, &prof, func, header);
+                continue;
+            }
+            let forest = LoopForest::compute(module.function(func));
+            let body = forest
+                .loops
+                .iter()
+                .find(|l| l.header == header)
+                .expect("loop exists")
+                .body
+                .clone();
+            if kept_loops
+                .iter()
+                .any(|(f, _, b)| *f == func && b.is_superset(&body))
+            {
+                mark_unselected(&mut estimates, &prof, func, header);
+                continue;
+            }
+            kept_loops.retain(|(f, h, b)| {
+                let nested = *f == func && body.is_superset(b);
+                if nested {
+                    mark_unselected(&mut estimates, &prof, *f, *h);
+                }
+                !nested
+            });
+            kept_loops.push((func, header, body));
+        }
+
+        // -- 2. loop outlining ------------------------------------------
+        let mut loop_targets: Vec<(FuncId, RegionKey)> = Vec::new();
+        let mut loops_outlined = 0usize;
+        for (i, (func, header, _)) in kept_loops.iter().enumerate() {
+            let forest = LoopForest::compute(module.function(*func));
+            let l = forest
+                .loops
+                .iter()
+                .find(|l| l.header == *header)
+                .expect("loop exists")
+                .clone();
+            match outline::outline_loop(&mut module, *func, &l, i) {
+                Ok(new_fn) => {
+                    loops_outlined += 1;
+                    loop_targets.push((new_fn, RegionKey::Loop { func: *func, header: *header }));
+                }
+                Err(_) => {
+                    mark_unselected(&mut estimates, &prof, *func, *header);
+                }
+            }
+        }
+
+        // -- 3. memory unification (§3.2) --------------------------------
+        let unify_out = unify::unify_memory(&mut module);
+        let (structs_realigned, realign_padding) =
+            unify::realignment_stats(&module, self.config.server.abi);
+
+        // -- 4. partition (§3.3) ------------------------------------------
+        let mut targets = Vec::new();
+        let mut next_id = 1u32;
+        for f in &selected_fns {
+            targets.push(partition::PartitionTarget { id: next_id, func: *f });
+            next_id += 1;
+        }
+        for (f, _) in &loop_targets {
+            targets.push(partition::PartitionTarget { id: next_id, func: *f });
+            next_id += 1;
+        }
+        let infos = partition::insert_dispatchers(&mut module, &targets);
+        let (mut server, removed) = partition::build_server_module(&module, &infos);
+
+        // -- 5. server-specific optimization (§3.4) ------------------------
+        let remote_io_sites = optimize::replace_remote_io(&mut server);
+        let fn_ptr_sites = optimize::insert_fn_ptr_mapping(&mut server);
+        let _conv = unify::insert_server_conversions(&mut server, self.config.server.abi);
+
+        offload_ir::verify::verify_module(&module)?;
+        offload_ir::verify::verify_module(&server)?;
+
+        // -- plan ------------------------------------------------------------
+        let mut tasks = Vec::new();
+        for (idx, info) in infos.iter().enumerate() {
+            let key = if idx < selected_fns.len() {
+                RegionKey::Function(selected_fns[idx])
+            } else {
+                loop_targets[idx - selected_fns.len()].1.clone()
+            };
+            let stats = prof.get(&key).expect("selected regions were profiled");
+            tasks.push(OffloadTask {
+                id: info.id,
+                dispatcher: info.dispatcher,
+                local_func: info.local_func,
+                name: info.name.clone(),
+                params: info.params.clone(),
+                ret: info.ret.clone(),
+                tm_per_invocation_s: prof.cycles_to_seconds(stats.cycles)
+                    / stats.invocations.max(1) as f64,
+                mem_bytes: stats.mem_bytes,
+                prefetch_pages: stats.pages.clone(),
+            });
+        }
+
+        let coverage = coverage_percent(&prof, &estimates);
+        let server_live = server
+            .iter_functions()
+            .filter(|(_, f)| !f.is_declaration())
+            .count();
+        let plan = OffloadPlan {
+            tasks,
+            estimates,
+            stats: CompileStats {
+                total_functions: original.function_count(),
+                offloaded_functions: server_live,
+                total_globals: module.global_count(),
+                unified_globals: unify_out.unified_globals,
+                fn_ptr_sites,
+                remote_io_sites,
+                machine_specific_functions: filt.tainted_count(),
+                removed_server_functions: removed,
+                heap_sites_unified: unify_out.heap_sites,
+                structs_realigned,
+                realign_padding_bytes: realign_padding,
+                loops_outlined,
+                coverage_percent: coverage,
+            },
+        };
+
+        Ok(CompiledApp {
+            original,
+            mobile: module,
+            server,
+            plan,
+            config: self.config.clone(),
+            profile: prof,
+        })
+    }
+}
+
+fn mark_unselected(
+    estimates: &mut [EstimateRow],
+    prof: &ProfileData,
+    func: FuncId,
+    header: offload_ir::BlockId,
+) {
+    if let Some(stats) = prof.get(&RegionKey::Loop { func, header }) {
+        if let Some(row) = estimates.iter_mut().find(|r| r.name == stats.name) {
+            row.selected = false;
+        }
+    }
+}
+
+/// `true` if `func` is only reachable through some selected function, so a
+/// loop inside it is already covered by offloading that function.
+fn covered_by_selected_fn(module: &Module, selected: &BTreeSet<FuncId>, func: FuncId) -> bool {
+    if selected.is_empty() {
+        return false;
+    }
+    let cg = CallGraph::build(module);
+    let covered: BTreeSet<FuncId> = cg.reachable_from(&selected.iter().copied().collect::<Vec<_>>());
+    covered.contains(&func)
+}
+
+/// Coverage (Table 4): share of profiled cycles spent inside selected
+/// targets, taking the best-covering selected row.
+fn coverage_percent(prof: &ProfileData, estimates: &[EstimateRow]) -> f64 {
+    let total = prof.total_cycles as f64;
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut covered = 0.0f64;
+    for row in estimates.iter().filter(|r| r.selected) {
+        covered += row.exec_time_s;
+    }
+    let total_s = total / prof.clock_hz as f64;
+    (covered / total_s * 100.0).min(100.0)
+}
+
+/// A fully compiled, offloading-enabled application.
+#[derive(Debug)]
+pub struct CompiledApp {
+    /// The untouched input module (the baseline the paper normalizes to).
+    pub original: Module,
+    /// The mobile partition (whole program with offloading dispatchers).
+    pub mobile: Module,
+    /// The server partition (listen loop + offload targets).
+    pub server: Module,
+    /// What the compiler decided.
+    pub plan: OffloadPlan,
+    /// Compile-time configuration (devices, estimator inputs).
+    pub config: CompileConfig,
+    /// The profiling run's data.
+    pub profile: ProfileData,
+}
+
+impl CompiledApp {
+    /// Run the *original* program locally on the mobile device.
+    ///
+    /// # Errors
+    ///
+    /// Simulated-execution failures.
+    pub fn run_local(&self, input: &WorkloadInput) -> Result<RunReport, OffloadError> {
+        crate::runtime::run_local(self, input)
+    }
+
+    /// Run the partitioned program with the offload runtime.
+    ///
+    /// # Errors
+    ///
+    /// Simulated-execution failures.
+    pub fn run_offloaded(
+        &self,
+        input: &WorkloadInput,
+        session: &SessionConfig,
+    ) -> Result<RunReport, OffloadError> {
+        crate::runtime::run_offloaded(self, input, session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHESS: &str = "
+        int maxDepth;
+        double getAITurn() {
+            int i; int j; double s = 0.0;
+            for (i = 0; i < maxDepth * 1000; i++)
+                for (j = 0; j < 8; j++)
+                    s += (double)((i ^ j) % 13) * 0.25;
+            printf(\"%.2f\\n\", s);
+            return s;
+        }
+        int getPlayerTurn() { int mv; scanf(\"%d\", &mv); return mv; }
+        int main() {
+            scanf(\"%d\", &maxDepth);
+            int turns = 0;
+            while (turns < 3) {
+                int p = getPlayerTurn();
+                double s = getAITurn();
+                if (p < 0) break;
+                turns++;
+            }
+            return 0;
+        }";
+
+    fn chess_input() -> WorkloadInput {
+        WorkloadInput::from_stdin("30\n1\n2\n3\n")
+    }
+
+    #[test]
+    fn chess_selects_get_ai_turn() {
+        let app = Offloader::new()
+            .compile_source(CHESS, "chess", &chess_input())
+            .unwrap();
+        assert!(
+            app.plan.task_by_name("getAITurn").is_some(),
+            "targets: {:?}",
+            app.plan.tasks.iter().map(|t| &t.name).collect::<Vec<_>>()
+        );
+        // The interactive functions must not be targets.
+        assert!(app.plan.task_by_name("getPlayerTurn").is_none());
+        assert!(app.plan.task_by_name("main").is_none());
+        // Table-3-shaped estimate rows exist, with the filter verdicts.
+        let rows = &app.plan.estimates;
+        assert!(rows.iter().any(|r| r.name == "getAITurn" && r.selected));
+        assert!(rows.iter().any(|r| r.name == "getPlayerTurn" && r.machine_specific));
+        assert!(app.plan.stats.coverage_percent > 50.0);
+    }
+
+    #[test]
+    fn hot_loop_in_tainted_main_is_outlined() {
+        let src = "
+            int main() {
+                int n; scanf(\"%d\", &n);
+                int i; long acc = 0;
+                for (i = 0; i < n * 10000; i++) acc += (i * 7) % 31;
+                printf(\"%d\\n\", (int)(acc % 1000));
+                return 0;
+            }";
+        let app = Offloader::new()
+            .compile_source(src, "loopy", &WorkloadInput::from_stdin("50\n"))
+            .unwrap();
+        assert_eq!(app.plan.stats.loops_outlined, 1);
+        assert!(app.plan.tasks.iter().any(|t| t.name.contains("main_loop")));
+    }
+
+    #[test]
+    fn modules_verify_and_server_strips_mobile_code() {
+        let app = Offloader::new()
+            .compile_source(CHESS, "chess", &chess_input())
+            .unwrap();
+        let gpt = app.server.function_by_name("getPlayerTurn").unwrap();
+        assert!(app.server.function(gpt).is_declaration());
+        assert!(app.plan.stats.removed_server_functions > 0);
+        assert!(app.plan.stats.unified_globals > 0);
+    }
+
+    #[test]
+    fn cold_programs_produce_no_targets() {
+        let app = Offloader::new()
+            .compile_source(
+                "int main() { printf(\"hi\\n\"); return 0; }",
+                "tiny",
+                &WorkloadInput::default(),
+            )
+            .unwrap();
+        assert!(app.plan.tasks.is_empty());
+    }
+
+    #[test]
+    fn per_invocation_time_and_prefetch_pages_present() {
+        let app = Offloader::new()
+            .compile_source(CHESS, "chess", &chess_input())
+            .unwrap();
+        let t = app.plan.task_by_name("getAITurn").unwrap();
+        assert!(t.tm_per_invocation_s > 0.0);
+        assert!(!t.prefetch_pages.is_empty());
+        assert!(t.mem_bytes > 0);
+    }
+}

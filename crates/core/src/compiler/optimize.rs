@@ -1,0 +1,157 @@
+//! Server-specific optimizations (§3.4).
+//!
+//! *Remote I/O*: hot regions are full of I/O; without remoting, the filter
+//! would exclude most of the program (§3.4). The server partition gets its
+//! well-known output (and prefetchable file) calls replaced with `r_*`
+//! builtins that execute on the mobile device.
+//!
+//! *Function-pointer mapping*: back-ends choose function addresses, so a
+//! pointer produced on the mobile device does not resolve on the server.
+//! Every indirect call in the server partition is preceded by a
+//! `fn_map_to_local` translation through the function map tables.
+
+use offload_ir::{Callee, Inst, Module, ValueId};
+
+/// Replace remotable I/O builtin calls with their remote versions.
+/// Returns the number of call sites rewritten.
+pub fn replace_remote_io(module: &mut Module) -> usize {
+    let mut count = 0;
+    for fi in 0..module.function_count() {
+        let func = module.function_mut(offload_ir::FuncId(fi as u32));
+        for block in &mut func.blocks {
+            for inst in &mut block.insts {
+                if let Inst::Call { callee: Callee::Builtin(b), .. } = inst {
+                    if let Some(remote) = b.remote_replacement() {
+                        *b = remote;
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Insert `fn_map_to_local` translations before every indirect call.
+/// Returns the number of sites instrumented.
+pub fn insert_fn_ptr_mapping(module: &mut Module) -> usize {
+    let mut count = 0;
+    for fi in 0..module.function_count() {
+        let func = module.function_mut(offload_ir::FuncId(fi as u32));
+        if func.is_declaration() {
+            continue;
+        }
+        for bi in 0..func.blocks.len() {
+            let mut i = 0usize;
+            while i < func.blocks[bi].insts.len() {
+                if let Inst::Call { callee: Callee::Indirect(ptr), .. } =
+                    &func.blocks[bi].insts[i]
+                {
+                    let ptr = *ptr;
+                    let ty = func.value_type(ptr).clone();
+                    let mapped = ValueId(func.value_types.len() as u32);
+                    func.value_types.push(ty);
+                    func.blocks[bi].insts.insert(
+                        i,
+                        Inst::Call {
+                            dst: Some(mapped),
+                            callee: Callee::Builtin(offload_ir::Builtin::FnMapToLocal),
+                            args: vec![ptr],
+                        },
+                    );
+                    if let Inst::Call { callee: Callee::Indirect(p), .. } =
+                        &mut func.blocks[bi].insts[i + 1]
+                    {
+                        *p = mapped;
+                    }
+                    count += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_ir::verify::verify_module;
+    use offload_ir::Builtin;
+
+    const SRC: &str = "
+        double half(double x) { return x / 2.0; }
+        double (*table[1])(double) = { half };
+        int main() {
+            double (*f)(double) = table[0];
+            printf(\"%f\\n\", f(4.0));
+            int fd = fopen(\"data\", \"r\");
+            char b[4];
+            fread(b, 1, 4, fd);
+            fclose(fd);
+            putchar(10);
+            return 0;
+        }";
+
+    #[test]
+    fn io_calls_become_remote() {
+        let mut m = offload_minic::compile(SRC, "t").unwrap();
+        let n = replace_remote_io(&mut m);
+        assert_eq!(n, 5, "printf, fopen, fread, fclose, putchar");
+        verify_module(&m).unwrap();
+        let mut seen_remote = 0;
+        for (_, f) in m.iter_functions() {
+            for b in &f.blocks {
+                for inst in &b.insts {
+                    if let Inst::Call { callee: Callee::Builtin(bi), .. } = inst {
+                        assert!(
+                            !matches!(
+                                bi,
+                                Builtin::Printf | Builtin::FOpen | Builtin::FRead | Builtin::FClose | Builtin::Putchar
+                            ),
+                            "local I/O must be gone"
+                        );
+                        if bi.is_remote_io() {
+                            seen_remote += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(seen_remote, 5);
+    }
+
+    #[test]
+    fn indirect_calls_get_mapping() {
+        let mut m = offload_minic::compile(SRC, "t").unwrap();
+        let n = insert_fn_ptr_mapping(&mut m);
+        assert_eq!(n, 1);
+        verify_module(&m).unwrap();
+        // The mapping call must directly precede the indirect call and
+        // feed its callee.
+        let main = m.function(m.entry.unwrap());
+        let mut found = false;
+        for block in &main.blocks {
+            for w in block.insts.windows(2) {
+                if let (
+                    Inst::Call { dst: Some(mapped), callee: Callee::Builtin(Builtin::FnMapToLocal), .. },
+                    Inst::Call { callee: Callee::Indirect(p), .. },
+                ) = (&w[0], &w[1])
+                {
+                    assert_eq!(p, mapped);
+                    found = true;
+                }
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn passes_are_idempotent_enough() {
+        let mut m = offload_minic::compile(SRC, "t").unwrap();
+        replace_remote_io(&mut m);
+        assert_eq!(replace_remote_io(&mut m), 0, "second run finds nothing");
+    }
+}

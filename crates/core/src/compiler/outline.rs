@@ -1,0 +1,442 @@
+//! Loop outlining: turning a hot natural loop into a callable function.
+//!
+//! The paper offloads *loops* as well as functions (`for_i` in the chess
+//! example; `try_place_while.cond`, `main_for.cond` and friends in
+//! Table 4). An offload target must be invocable remotely, so a selected
+//! loop is outlined: its body blocks move into a fresh function, live-in
+//! registers become parameters, and the original loop header is replaced
+//! by a call. Because the front-end lowers all locals to entry-block
+//! allocas, cross-iteration state flows through memory and the outlined
+//! body needs no live-out plumbing — a loop qualifies iff it has no `ret`
+//! inside, a single exit target, and no register defined inside and used
+//! outside.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use offload_ir::analysis::loops::Loop;
+use offload_ir::{Block, BlockId, FuncId, Inst, Module, Type, ValueId};
+
+/// Why a loop could not be outlined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutlineReject {
+    /// The body contains a `ret`.
+    ReturnsInside,
+    /// More than one distinct exit target.
+    MultipleExits,
+    /// No exit at all (infinite loop).
+    NoExit,
+    /// A register defined inside is used outside.
+    LiveOut(ValueId),
+}
+
+/// Outline `l` (a loop of `func_id`) into a new function named
+/// `{func}_loop{tag}`. On success the module is rewritten in place and the
+/// new function's id is returned.
+///
+/// # Errors
+///
+/// Returns an [`OutlineReject`] describing why the loop is ineligible;
+/// the module is untouched in that case.
+pub fn outline_loop(
+    module: &mut Module,
+    func_id: FuncId,
+    l: &Loop,
+    tag: usize,
+) -> Result<FuncId, OutlineReject> {
+    let func = module.function(func_id);
+
+    // -- eligibility ----------------------------------------------------
+    // Exit targets get an index; the outlined function returns the index
+    // of the exit it took and the rewritten parent branches on it — this
+    // is what lets loops containing `break` (and even early `return`,
+    // whose ret-block is an exit target) outline cleanly.
+    let mut exit_targets: Vec<BlockId> = Vec::new();
+    for bb in &l.body {
+        let block = &func.blocks[bb.0 as usize];
+        if block.insts.iter().any(|i| matches!(i, Inst::Ret { .. })) {
+            return Err(OutlineReject::ReturnsInside);
+        }
+        for succ in func.successors(*bb) {
+            if !l.body.contains(&succ) && !exit_targets.contains(&succ) {
+                exit_targets.push(succ);
+            }
+        }
+    }
+    if exit_targets.is_empty() {
+        return Err(OutlineReject::NoExit);
+    }
+    if exit_targets.len() > 8 {
+        return Err(OutlineReject::MultipleExits);
+    }
+
+    // Registers defined inside the body.
+    let mut defined_inside: BTreeSet<ValueId> = BTreeSet::new();
+    for bb in &l.body {
+        for inst in &func.blocks[bb.0 as usize].insts {
+            if let Some(d) = inst.dst() {
+                defined_inside.insert(d);
+            }
+        }
+    }
+    // Any use outside the body of a register defined inside?
+    for (bb, block) in func.iter_blocks() {
+        if l.body.contains(&bb) {
+            continue;
+        }
+        for inst in &block.insts {
+            let mut uses = Vec::new();
+            inst.uses(&mut uses);
+            if let Some(v) = uses.iter().find(|v| defined_inside.contains(v)) {
+                return Err(OutlineReject::LiveOut(*v));
+            }
+        }
+    }
+    // Live-ins: used inside, defined outside.
+    let mut live_ins: Vec<ValueId> = Vec::new();
+    let mut seen: BTreeSet<ValueId> = BTreeSet::new();
+    for bb in &l.body {
+        for inst in &func.blocks[bb.0 as usize].insts {
+            let mut uses = Vec::new();
+            inst.uses(&mut uses);
+            for v in uses {
+                if !defined_inside.contains(&v) && seen.insert(v) {
+                    live_ins.push(v);
+                }
+            }
+        }
+    }
+    let live_in_types: Vec<Type> = live_ins
+        .iter()
+        .map(|v| func.value_type(*v).clone())
+        .collect();
+
+    // -- build the outlined function --------------------------------------
+    let parent_name = func.name.clone();
+    let body_blocks: Vec<BlockId> = {
+        // Header first (it becomes the entry of the new function).
+        let mut v: Vec<BlockId> = vec![l.header];
+        v.extend(l.body.iter().copied().filter(|b| *b != l.header));
+        v
+    };
+    let block_map: BTreeMap<BlockId, BlockId> = body_blocks
+        .iter()
+        .enumerate()
+        .map(|(i, bb)| (*bb, BlockId(i as u32)))
+        .collect();
+    // One return block per exit target, yielding the exit's index.
+    let ret_block_base = body_blocks.len() as u32;
+
+    let new_id = module.declare_function(
+        format!("{parent_name}_loop{tag}"),
+        live_in_types.clone(),
+        Type::I32,
+    );
+
+    // Register remap: live-ins -> params, inside defs -> fresh ids.
+    let mut value_map: BTreeMap<ValueId, ValueId> = BTreeMap::new();
+    for (i, v) in live_ins.iter().enumerate() {
+        value_map.insert(*v, ValueId(i as u32));
+    }
+    {
+        let src_func = module.function(func_id).clone();
+        let mut new_value_types = live_in_types;
+        for bb in &body_blocks {
+            for inst in &src_func.blocks[bb.0 as usize].insts {
+                if let Some(d) = inst.dst() {
+                    new_value_types.push(src_func.value_type(d).clone());
+                    value_map.insert(d, ValueId(new_value_types.len() as u32 - 1));
+                }
+            }
+        }
+        let exit_index =
+            |b: BlockId| exit_targets.iter().position(|t| *t == b).map(|i| i as u32);
+        let remap_v = |v: ValueId| *value_map.get(&v).expect("mapped register");
+        let remap_b = |b: BlockId| match exit_index(b) {
+            Some(i) => BlockId(ret_block_base + i),
+            None => *block_map.get(&b).expect("mapped block"),
+        };
+        let mut new_blocks: Vec<Block> = Vec::with_capacity(body_blocks.len() + exit_targets.len());
+        for bb in &body_blocks {
+            let insts = src_func.blocks[bb.0 as usize]
+                .insts
+                .iter()
+                .map(|inst| remap_inst(inst, &remap_v, &remap_b))
+                .collect();
+            new_blocks.push(Block { insts });
+        }
+        for (i, _) in exit_targets.iter().enumerate() {
+            let c = ValueId(new_value_types.len() as u32);
+            new_value_types.push(Type::I32);
+            new_blocks.push(Block {
+                insts: vec![
+                    Inst::Const { dst: c, value: offload_ir::ConstValue::I32(i as i32) },
+                    Inst::Ret { value: Some(c) },
+                ],
+            });
+        }
+        let nf = module.function_mut(new_id);
+        nf.blocks = new_blocks;
+        nf.value_types = new_value_types;
+    }
+
+    // -- rewrite the parent -------------------------------------------------
+    // The header block becomes: sel = call outlined(live_ins...); then a
+    // branch chain on `sel` to the exit targets. Back edges vanish; other
+    // body blocks become unreachable stubs.
+    {
+        let func = module.function_mut(func_id);
+        let sel = ValueId(func.value_types.len() as u32);
+        func.value_types.push(Type::I32);
+        let mut insts = vec![Inst::Call {
+            dst: Some(sel),
+            callee: offload_ir::Callee::Direct(new_id),
+            args: live_ins.clone(),
+        }];
+        if exit_targets.len() == 1 {
+            insts.push(Inst::Br { target: exit_targets[0] });
+        } else {
+            // Branch chain: header holds the first test; extra chain blocks
+            // are appended at the end of the function.
+            let mut chain_blocks: Vec<BlockId> = Vec::new();
+            for _ in 0..exit_targets.len() - 2 {
+                chain_blocks.push(BlockId(func.blocks.len() as u32 + chain_blocks.len() as u32));
+            }
+            for (i, target) in exit_targets.iter().enumerate().take(exit_targets.len() - 1) {
+                let c = ValueId(func.value_types.len() as u32);
+                func.value_types.push(Type::I32);
+                let hit = ValueId(func.value_types.len() as u32);
+                func.value_types.push(Type::I32);
+                let else_bb = if i + 1 < exit_targets.len() - 1 {
+                    chain_blocks[i]
+                } else {
+                    *exit_targets.last().expect("non-empty")
+                };
+                let test = vec![
+                    Inst::Const { dst: c, value: offload_ir::ConstValue::I32(i as i32) },
+                    Inst::Cmp {
+                        dst: hit,
+                        op: offload_ir::CmpOp::Eq,
+                        ty: Type::I32,
+                        lhs: sel,
+                        rhs: c,
+                    },
+                    Inst::CondBr { cond: hit, then_bb: *target, else_bb },
+                ];
+                if i == 0 {
+                    insts.extend(test);
+                } else {
+                    func.blocks.push(Block { insts: test });
+                }
+            }
+        }
+        func.blocks[l.header.0 as usize].insts = insts;
+        for bb in &l.body {
+            if *bb != l.header {
+                func.blocks[bb.0 as usize].insts = vec![Inst::Br { target: l.header }];
+            }
+        }
+    }
+    Ok(new_id)
+}
+
+fn remap_inst(
+    inst: &Inst,
+    rv: &impl Fn(ValueId) -> ValueId,
+    rb: &impl Fn(BlockId) -> BlockId,
+) -> Inst {
+    use Inst::*;
+    match inst {
+        Const { dst, value } => Const { dst: rv(*dst), value: value.clone() },
+        Alloca { dst, ty, count } => Alloca { dst: rv(*dst), ty: ty.clone(), count: *count },
+        Load { dst, ty, addr } => Load { dst: rv(*dst), ty: ty.clone(), addr: rv(*addr) },
+        Store { ty, addr, value } => Store { ty: ty.clone(), addr: rv(*addr), value: rv(*value) },
+        FieldAddr { dst, base, sid, field } => {
+            FieldAddr { dst: rv(*dst), base: rv(*base), sid: *sid, field: *field }
+        }
+        IndexAddr { dst, base, elem, index } => {
+            IndexAddr { dst: rv(*dst), base: rv(*base), elem: elem.clone(), index: rv(*index) }
+        }
+        Bin { dst, op, ty, lhs, rhs } => {
+            Bin { dst: rv(*dst), op: *op, ty: ty.clone(), lhs: rv(*lhs), rhs: rv(*rhs) }
+        }
+        Un { dst, op, ty, operand } => {
+            Un { dst: rv(*dst), op: *op, ty: ty.clone(), operand: rv(*operand) }
+        }
+        Cmp { dst, op, ty, lhs, rhs } => {
+            Cmp { dst: rv(*dst), op: *op, ty: ty.clone(), lhs: rv(*lhs), rhs: rv(*rhs) }
+        }
+        Cast { dst, kind, to, src } => {
+            Cast { dst: rv(*dst), kind: *kind, to: to.clone(), src: rv(*src) }
+        }
+        Call { dst, callee, args } => Call {
+            dst: dst.map(rv),
+            callee: match callee {
+                offload_ir::Callee::Indirect(v) => offload_ir::Callee::Indirect(rv(*v)),
+                other => other.clone(),
+            },
+            args: args.iter().map(|a| rv(*a)).collect(),
+        },
+        Ret { value } => Ret { value: value.map(rv) },
+        Br { target } => Br { target: rb(*target) },
+        CondBr { cond, then_bb, else_bb } => {
+            CondBr { cond: rv(*cond), then_bb: rb(*then_bb), else_bb: rb(*else_bb) }
+        }
+        InlineAsm { text } => InlineAsm { text: text.clone() },
+        Syscall { dst, number, args } => Syscall {
+            dst: rv(*dst),
+            number: *number,
+            args: args.iter().map(|a| rv(*a)).collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_ir::analysis::LoopForest;
+    use offload_ir::verify::verify_module;
+    use offload_machine::host::LocalHost;
+    use offload_machine::loader;
+    use offload_machine::target::TargetSpec;
+    use offload_machine::vm::{StackBank, Vm};
+
+    fn run_module(module: &Module, stdin: &str) -> String {
+        verify_module(module).unwrap();
+        let spec = TargetSpec::galaxy_s5();
+        let image = loader::load(module, &spec.data_layout()).unwrap();
+        let mut host = LocalHost::new();
+        host.set_stdin(stdin);
+        let mut vm = Vm::new(module, &spec, image, StackBank::Mobile);
+        vm.set_fuel(500_000_000);
+        vm.run_entry(&mut host).unwrap();
+        host.console_utf8()
+    }
+
+    const SUMMING: &str = "
+        int main() {
+            int i; long acc = 0;
+            for (i = 0; i < 1000; i++) acc += i * 3;
+            printf(\"%d\\n\", (int)(acc % 10007));
+            return 0;
+        }";
+
+    fn outline_first_loop(src: &str) -> (Module, FuncId) {
+        let mut m = offload_minic::compile(src, "t").unwrap();
+        let main = m.entry.unwrap();
+        let forest = LoopForest::compute(m.function(main));
+        let outer = forest
+            .loops
+            .iter()
+            .find(|l| l.depth == 1)
+            .expect("has a loop")
+            .clone();
+        let f = outline_loop(&mut m, main, &outer, 0).unwrap();
+        (m, f)
+    }
+
+    #[test]
+    fn outlined_program_is_equivalent() {
+        let baseline = run_module(&offload_minic::compile(SUMMING, "t").unwrap(), "");
+        let (m, f) = outline_first_loop(SUMMING);
+        assert_eq!(m.function(f).name, "main_loop0");
+        assert_eq!(run_module(&m, ""), baseline);
+    }
+
+    #[test]
+    fn nested_loops_outline_as_a_unit() {
+        let src = "
+            int main() {
+                int i; int j; long acc = 0;
+                for (i = 0; i < 40; i++)
+                    for (j = 0; j < 40; j++)
+                        acc += i ^ j;
+                printf(\"%d\\n\", (int)(acc % 9973));
+                return 0;
+            }";
+        let baseline = run_module(&offload_minic::compile(src, "t").unwrap(), "");
+        let (m, _) = outline_first_loop(src);
+        assert_eq!(run_module(&m, ""), baseline);
+    }
+
+    #[test]
+    fn loop_with_break_outlines() {
+        let src = "
+            int main() {
+                int i; long acc = 0;
+                for (i = 0; i < 100000; i++) { acc += i; if (acc > 5000) break; }
+                printf(\"%d %d\\n\", i, (int)acc);
+                return 0;
+            }";
+        let baseline = run_module(&offload_minic::compile(src, "t").unwrap(), "");
+        let (m, _) = outline_first_loop(src);
+        assert_eq!(run_module(&m, ""), baseline);
+    }
+
+    #[test]
+    fn loop_reading_memory_state_outlines() {
+        // Cross-iteration state through allocas and heap: the common case.
+        let src = "
+            int main() {
+                int *data = (int*)malloc(sizeof(int) * 256);
+                int i;
+                for (i = 0; i < 256; i++) data[i] = i * i;
+                long sum = 0;
+                for (i = 0; i < 256; i++) sum += data[i];
+                printf(\"%d\\n\", (int)(sum % 65521));
+                return 0;
+            }";
+        let mut m = offload_minic::compile(src, "t").unwrap();
+        let baseline = run_module(&offload_minic::compile(src, "t").unwrap(), "");
+        let main = m.entry.unwrap();
+        let forest = LoopForest::compute(m.function(main));
+        // Outline BOTH top-level loops.
+        let mut loops: Vec<Loop> = forest.loops.iter().filter(|l| l.depth == 1).cloned().collect();
+        loops.sort_by_key(|l| l.header);
+        assert_eq!(loops.len(), 2);
+        for (i, l) in loops.iter().enumerate() {
+            outline_loop(&mut m, main, l, i).unwrap();
+        }
+        assert_eq!(run_module(&m, ""), baseline);
+    }
+
+    #[test]
+    fn loop_with_early_return_outlines_via_exit_selector() {
+        // `return i` inside the loop branches to a ret-block *outside* the
+        // loop body; it becomes one of the outlined function's exit
+        // targets, selected by the returned index.
+        let src = "
+            int find(int n) {
+                int i;
+                for (i = 0; i < n; i++) if (i * i > 50) return i;
+                return -1;
+            }
+            int main() { printf(\"%d %d\\n\", find(100), find(3)); return 0; }";
+        let baseline = run_module(&offload_minic::compile(src, "t").unwrap(), "");
+        let mut m = offload_minic::compile(src, "t").unwrap();
+        let find = m.function_by_name("find").unwrap();
+        let forest = LoopForest::compute(m.function(find));
+        let f = outline_loop(&mut m, find, &forest.loops[0].clone(), 0).unwrap();
+        assert_eq!(m.function(f).ret, offload_ir::Type::I32, "exit selector");
+        assert_eq!(run_module(&m, ""), baseline);
+    }
+
+    #[test]
+    fn loop_without_static_exit_is_rejected() {
+        let src = "int main() { for (;;) { } return 0; }";
+        let mut m = offload_minic::compile(src, "t").unwrap();
+        let main = m.entry.unwrap();
+        let forest = LoopForest::compute(m.function(main));
+        let err = outline_loop(&mut m, main, &forest.loops[0].clone(), 0).unwrap_err();
+        assert_eq!(err, OutlineReject::NoExit);
+    }
+
+    #[test]
+    fn statically_exiting_while_true_outlines() {
+        // `while (1)` has a static exit edge even though it never fires at
+        // run time; outlining it is legal.
+        let src = "int main() { int i = 0; while (1) { i++; if (i > 5) break; } printf(\"%d\\n\", i); return 0; }";
+        let baseline = run_module(&offload_minic::compile(src, "t").unwrap(), "");
+        let (m, _) = outline_first_loop(src);
+        assert_eq!(run_module(&m, ""), baseline);
+    }
+}

@@ -1,0 +1,397 @@
+//! Partitioning (§3.3): one module for the mobile device, one for the
+//! server.
+//!
+//! For each offload target `F` the original body moves to `F__local` and
+//! `F` itself becomes the *dispatcher* of Fig. 3(b):
+//!
+//! ```text
+//! if (is_profitable(F_id)) { r = offload_call(F_id, args...); }
+//! else                     { r = F__local(args...); }
+//! ```
+//!
+//! so every existing call site transparently gains the dynamic offloading
+//! decision. The server partition additionally gets, per Fig. 3(c):
+//!
+//! * a `__server_F` wrapper per target (receive arguments, run the local
+//!   body, send the return value),
+//! * a `__listen` entry that accepts requests and dispatches on task id,
+//! * *unused function removal*: bodies unreachable from `__listen` are
+//!   stripped (`getPlayerTurn` disappears from the paper's server code).
+
+use offload_ir::builder::FunctionBuilder;
+use offload_ir::{
+    Builtin, CastKind, FuncId, Module, Type,
+};
+
+/// A target to partition around.
+#[derive(Debug, Clone)]
+pub struct PartitionTarget {
+    /// Task id (nonzero).
+    pub id: u32,
+    /// The target function (its id stays the dispatcher's id).
+    pub func: FuncId,
+}
+
+/// Result of dispatcher insertion on the shared module.
+#[derive(Debug, Clone)]
+pub struct DispatcherInfo {
+    /// Task id.
+    pub id: u32,
+    /// Dispatcher function (the original id).
+    pub dispatcher: FuncId,
+    /// The extracted local body.
+    pub local_func: FuncId,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+    /// Target name.
+    pub name: String,
+}
+
+/// Rewrite each target into dispatcher + `__local` body, in place.
+/// Applied once, before the module is cloned into the two partitions, so
+/// both sides share function ids.
+pub fn insert_dispatchers(module: &mut Module, targets: &[PartitionTarget]) -> Vec<DispatcherInfo> {
+    let mut out = Vec::with_capacity(targets.len());
+    for t in targets {
+        let (name, params, ret) = {
+            let f = module.function(t.func);
+            (f.name.clone(), f.params.clone(), f.ret.clone())
+        };
+        // Move the body into a fresh `__local` function.
+        let local = module.declare_function(format!("{name}__local"), params.clone(), ret.clone());
+        {
+            let blocks = std::mem::take(&mut module.function_mut(t.func).blocks);
+            let vals = std::mem::replace(
+                &mut module.function_mut(t.func).value_types,
+                params.clone(),
+            );
+            let lf = module.function_mut(local);
+            lf.blocks = blocks;
+            lf.value_types = vals;
+        }
+
+        // Build the dispatcher in the (now empty) original function.
+        let mut b = FunctionBuilder::new(module, t.func);
+        let args: Vec<_> = (0..params.len()).map(|i| b.param(i)).collect();
+        let task_const = b.const_i32(t.id as i32);
+        let profitable = b
+            .call_builtin(Builtin::IsProfitable, Type::I32, vec![task_const])
+            .expect("i32 result");
+        let bb_off = b.new_block();
+        let bb_local = b.new_block();
+        b.cond_br(profitable, bb_off, bb_local);
+
+        // Offload path.
+        b.switch_to(bb_off);
+        let task_const2 = b.const_i32(t.id as i32);
+        let mut off_args = vec![task_const2];
+        off_args.extend(args.iter().copied());
+        match &ret {
+            Type::Void => {
+                b.call_builtin(Builtin::OffloadCall, Type::I64, off_args);
+                b.ret(None);
+            }
+            Type::F64 => {
+                let r = b
+                    .call_builtin(Builtin::OffloadCallF, Type::F64, off_args)
+                    .expect("f64 result");
+                b.ret(Some(r));
+            }
+            Type::Ptr(_) => {
+                let r = b
+                    .call_builtin(Builtin::OffloadCall, Type::I64, off_args)
+                    .expect("i64 result");
+                let p = b.cast(CastKind::IntToPtr, ret.clone(), r);
+                b.ret(Some(p));
+            }
+            Type::I64 => {
+                let r = b
+                    .call_builtin(Builtin::OffloadCall, Type::I64, off_args)
+                    .expect("i64 result");
+                b.ret(Some(r));
+            }
+            other => {
+                let r = b
+                    .call_builtin(Builtin::OffloadCall, Type::I64, off_args)
+                    .expect("i64 result");
+                let narrowed = b.cast(CastKind::Trunc, other.clone(), r);
+                b.ret(Some(narrowed));
+            }
+        }
+
+        // Local path.
+        b.switch_to(bb_local);
+        let r = b.call(local, args);
+        b.ret(r);
+        b.finish();
+
+        out.push(DispatcherInfo {
+            id: t.id,
+            dispatcher: t.func,
+            local_func: local,
+            params,
+            ret,
+            name,
+        });
+    }
+    out
+}
+
+/// Generate the server-side receive wrapper `__server_<name>` for one
+/// target: fetch marshalled arguments, invoke the local body, send the
+/// return value home.
+pub fn generate_server_wrapper(module: &mut Module, info: &DispatcherInfo) -> FuncId {
+    let wrapper = module.declare_function(format!("__server_{}", info.name), vec![], Type::Void);
+    let mut b = FunctionBuilder::new(module, wrapper);
+    let mut args = Vec::with_capacity(info.params.len());
+    for (i, pty) in info.params.iter().enumerate() {
+        let idx = b.const_i32(i as i32);
+        let v = match pty {
+            Type::F64 => b
+                .call_builtin(Builtin::RecvArgF, Type::F64, vec![idx])
+                .expect("f64"),
+            Type::I64 => b
+                .call_builtin(Builtin::RecvArgI, Type::I64, vec![idx])
+                .expect("i64"),
+            Type::Ptr(_) => {
+                let raw = b
+                    .call_builtin(Builtin::RecvArgI, Type::I64, vec![idx])
+                    .expect("i64");
+                b.cast(CastKind::IntToPtr, pty.clone(), raw)
+            }
+            other => {
+                let raw = b
+                    .call_builtin(Builtin::RecvArgI, Type::I64, vec![idx])
+                    .expect("i64");
+                b.cast(CastKind::Trunc, other.clone(), raw)
+            }
+        };
+        args.push(v);
+    }
+    let ret = b.call(info.local_func, args);
+    match (&info.ret, ret) {
+        (Type::Void, _) => {
+            let z = b.const_i64(0);
+            b.call_builtin(Builtin::SendReturn, Type::Void, vec![z]);
+        }
+        (Type::F64, Some(r)) => {
+            b.call_builtin(Builtin::SendReturnF, Type::Void, vec![r]);
+        }
+        (Type::Ptr(_), Some(r)) => {
+            let wide = b.cast(CastKind::PtrToInt, Type::I64, r);
+            b.call_builtin(Builtin::SendReturn, Type::Void, vec![wide]);
+        }
+        (Type::I64, Some(r)) => {
+            b.call_builtin(Builtin::SendReturn, Type::Void, vec![r]);
+        }
+        (_, Some(r)) => {
+            let wide = b.cast(CastKind::Sext, Type::I64, r);
+            b.call_builtin(Builtin::SendReturn, Type::Void, vec![wide]);
+        }
+        (_, None) => unreachable!("non-void target must produce a value"),
+    }
+    b.ret(None);
+    b.finish()
+}
+
+/// Generate the `__listen` server entry (Fig. 3(c)): accept a request,
+/// dispatch on task id, repeat until the client disconnects (id 0).
+pub fn generate_listen(module: &mut Module, wrappers: &[(u32, FuncId)]) -> FuncId {
+    let listen = module.declare_function("__listen", vec![], Type::Void);
+    let mut b = FunctionBuilder::new(module, listen);
+    let bb_loop = b.new_block();
+    let bb_done = b.new_block();
+    b.br(bb_loop);
+
+    b.switch_to(bb_loop);
+    let id = b
+        .call_builtin(Builtin::AcceptOffload, Type::I32, vec![])
+        .expect("i32");
+    // Chain of comparisons, one per task (the paper's switch-case).
+    let mut bb_next = b.new_block();
+    let zero = b.const_i32(0);
+    let is_zero = b.cmp(offload_ir::CmpOp::Eq, Type::I32, id, zero);
+    b.cond_br(is_zero, bb_done, bb_next);
+    for (task_id, wrapper) in wrappers {
+        b.switch_to(bb_next);
+        let want = b.const_i32(*task_id as i32);
+        let hit = b.cmp(offload_ir::CmpOp::Eq, Type::I32, id, want);
+        let bb_hit = b.new_block();
+        bb_next = b.new_block();
+        b.cond_br(hit, bb_hit, bb_next);
+        b.switch_to(bb_hit);
+        b.call(*wrapper, vec![]);
+        b.br(bb_loop);
+    }
+    // Unknown id: ignore and keep listening.
+    b.switch_to(bb_next);
+    b.br(bb_loop);
+
+    b.switch_to(bb_done);
+    b.ret(None);
+    b.finish()
+}
+
+/// Strip the bodies of every function unreachable from `roots` (§3.3
+/// unused function removal). Returns how many bodies were removed.
+pub fn remove_unused_functions(module: &mut Module, roots: &[FuncId]) -> usize {
+    let cg = offload_ir::analysis::CallGraph::build(module);
+    let live = cg.reachable_from(roots);
+    let dead: Vec<FuncId> = module
+        .iter_functions()
+        .filter(|(id, f)| !f.is_declaration() && !live.contains(id))
+        .map(|(id, _)| id)
+        .collect();
+    module.strip_bodies(&dead);
+    dead.len()
+}
+
+/// Build the complete server partition from the shared (dispatcher-
+/// rewritten) module: server wrappers + listen loop + server-specific
+/// optimizations + dead-body removal. Returns the module and the number of
+/// removed bodies.
+pub fn build_server_module(
+    shared: &Module,
+    infos: &[DispatcherInfo],
+) -> (Module, usize) {
+    let mut server = shared.clone();
+    server.name = format!("{}.server", shared.name);
+    let wrappers: Vec<(u32, FuncId)> = infos
+        .iter()
+        .map(|info| (info.id, generate_server_wrapper(&mut server, info)))
+        .collect();
+    let listen = generate_listen(&mut server, &wrappers);
+    server.entry = Some(listen);
+    let removed = remove_unused_functions(&mut server, &[listen]);
+    (server, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_ir::verify::verify_module;
+    use offload_ir::{Callee, Inst};
+
+    const SRC: &str = "
+        int maxDepth;
+        double getAITurn() {
+            int i; double s = 0.0;
+            for (i = 0; i < maxDepth; i++) s += (double)(i % 7);
+            return s;
+        }
+        int getPlayerTurn() { int mv; scanf(\"%d\", &mv); return mv; }
+        int main() {
+            scanf(\"%d\", &maxDepth);
+            int p = getPlayerTurn();
+            double s = getAITurn();
+            printf(\"%d %.1f\\n\", p, s);
+            return 0;
+        }";
+
+    fn partitioned() -> (Module, Module, Vec<DispatcherInfo>) {
+        let mut m = offload_minic::compile(SRC, "chess").unwrap();
+        let target = m.function_by_name("getAITurn").unwrap();
+        let infos = insert_dispatchers(&mut m, &[PartitionTarget { id: 1, func: target }]);
+        let (server, _) = build_server_module(&m, &infos);
+        (m, server, infos)
+    }
+
+    #[test]
+    fn dispatcher_structure() {
+        let (mobile, _, infos) = partitioned();
+        verify_module(&mobile).unwrap();
+        let info = &infos[0];
+        assert_eq!(mobile.function(info.dispatcher).name, "getAITurn");
+        assert_eq!(mobile.function(info.local_func).name, "getAITurn__local");
+        // The dispatcher calls is_profitable and offload_call_f.
+        let disp = mobile.function(info.dispatcher);
+        let builtins: Vec<Builtin> = disp
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter_map(|i| match i {
+                Inst::Call { callee: Callee::Builtin(b), .. } => Some(*b),
+                _ => None,
+            })
+            .collect();
+        assert!(builtins.contains(&Builtin::IsProfitable));
+        assert!(builtins.contains(&Builtin::OffloadCallF), "f64 return uses the float variant");
+        // The local path calls the extracted body.
+        let calls_local = disp.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(i, Inst::Call { callee: Callee::Direct(f), .. } if *f == info.local_func)
+        });
+        assert!(calls_local);
+    }
+
+    #[test]
+    fn server_module_shape() {
+        let (_, server, infos) = partitioned();
+        verify_module(&server).unwrap();
+        let listen = server.entry.unwrap();
+        assert_eq!(server.function(listen).name, "__listen");
+        assert!(server.function_by_name("__server_getAITurn").is_some());
+        // Unused function removal: the scanf-bound mobile-side functions
+        // lose their bodies on the server (Fig. 3(c) line 66-67).
+        let gpt = server.function_by_name("getPlayerTurn").unwrap();
+        assert!(server.function(gpt).is_declaration(), "getPlayerTurn removed from server");
+        let main = server.function_by_name("main").unwrap();
+        assert!(server.function(main).is_declaration(), "main removed from server");
+        // The target body itself survives.
+        let local = infos[0].local_func;
+        assert!(!server.function(local).is_declaration());
+    }
+
+    #[test]
+    fn call_sites_are_untouched() {
+        let (mobile, _, infos) = partitioned();
+        // main still calls the ORIGINAL id, which is now the dispatcher.
+        let main = mobile.function(mobile.entry.unwrap());
+        let calls_dispatcher = main.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(i, Inst::Call { callee: Callee::Direct(f), .. } if *f == infos[0].dispatcher)
+        });
+        assert!(calls_dispatcher);
+    }
+
+    #[test]
+    fn int_and_ptr_returns_marshal() {
+        let src = "
+            int scale(int x) { return x * 3; }
+            int *pick(int *a, int *b) { return a; }
+            int main() { int u = 1; int v = 2; return scale(u) + *pick(&u, &v); }";
+        let mut m = offload_minic::compile(src, "t").unwrap();
+        let t1 = m.function_by_name("scale").unwrap();
+        let t2 = m.function_by_name("pick").unwrap();
+        let infos = insert_dispatchers(
+            &mut m,
+            &[
+                PartitionTarget { id: 1, func: t1 },
+                PartitionTarget { id: 2, func: t2 },
+            ],
+        );
+        verify_module(&m).unwrap();
+        let (server, _) = build_server_module(&m, &infos);
+        verify_module(&server).unwrap();
+    }
+
+    #[test]
+    fn listen_dispatches_multiple_tasks() {
+        let src = "
+            int a() { return 1; }
+            int bfun() { return 2; }
+            int main() { return a() + bfun(); }";
+        let mut m = offload_minic::compile(src, "t").unwrap();
+        let fa = m.function_by_name("a").unwrap();
+        let fb = m.function_by_name("bfun").unwrap();
+        let infos = insert_dispatchers(
+            &mut m,
+            &[PartitionTarget { id: 1, func: fa }, PartitionTarget { id: 2, func: fb }],
+        );
+        let (server, removed) = build_server_module(&m, &infos);
+        verify_module(&server).unwrap();
+        assert!(removed >= 1, "main is dead on the server");
+        assert!(server.function_by_name("__server_a").is_some());
+        assert!(server.function_by_name("__server_bfun").is_some());
+    }
+}

@@ -1,0 +1,243 @@
+//! The hot function/loop profiler (§3.1).
+//!
+//! Runs the unmodified application on the simulated mobile device with a
+//! *profiling input*, measuring execution time, invocation count and
+//! memory usage of every function and natural loop — the inputs to the
+//! static performance estimator (Table 3).
+
+use offload_ir::analysis::LoopForest;
+use offload_ir::{BlockId, FuncId, Module};
+use offload_machine::host::LocalHost;
+use offload_machine::loader;
+use offload_machine::vm::{StackBank, Vm, VmError};
+
+use crate::config::{CompileConfig, WorkloadInput};
+use crate::OffloadError;
+
+/// A profiled region: a whole function, or one natural loop inside one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RegionKey {
+    /// A function.
+    Function(FuncId),
+    /// A natural loop, identified by its containing function and header.
+    Loop {
+        /// Containing function.
+        func: FuncId,
+        /// Loop header block.
+        header: BlockId,
+    },
+}
+
+/// Measured statistics of one region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionStats {
+    /// Display name (`getAITurn`, `getAITurn_loop1`, ...).
+    pub name: String,
+    /// Mobile cycles spent in the region (inclusive for functions; body
+    /// instruction cycles for loops).
+    pub cycles: u64,
+    /// Times the region was entered (function calls; loop entries from
+    /// outside the loop, *not* back-edge iterations).
+    pub invocations: u64,
+    /// Memory footprint in bytes (pages touched × page size).
+    pub mem_bytes: u64,
+    /// The touched pages themselves (the §4 prefetch set).
+    pub pages: Vec<u64>,
+}
+
+/// Complete profile of one run.
+#[derive(Debug, Clone)]
+pub struct ProfileData {
+    /// Total mobile cycles of the run.
+    pub total_cycles: u64,
+    /// Mobile clock, for converting cycles to seconds.
+    pub clock_hz: u64,
+    /// Region statistics.
+    pub regions: Vec<(RegionKey, RegionStats)>,
+    /// Console output of the profiling run (for sanity checks).
+    pub console: Vec<u8>,
+}
+
+impl ProfileData {
+    /// Stats for a region.
+    pub fn get(&self, key: &RegionKey) -> Option<&RegionStats> {
+        self.regions.iter().find(|(k, _)| k == key).map(|(_, s)| s)
+    }
+
+    /// Seconds for `cycles` on the profiled device.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64
+    }
+}
+
+/// Profile `module` on the mobile device described by `config`.
+///
+/// # Errors
+///
+/// Propagates front-end/loader/VM failures; the profiling input must let
+/// the program run to completion.
+pub fn profile_module(
+    module: &Module,
+    input: &WorkloadInput,
+    config: &CompileConfig,
+) -> Result<ProfileData, OffloadError> {
+    let image = loader::load(module, &config.mobile.data_layout())?;
+    let mut host = LocalHost::new();
+    host.set_stdin(input.stdin.clone());
+    for (name, data) in &input.files {
+        host.add_file(name.clone(), data.clone());
+    }
+    let mut vm = Vm::new(module, &config.mobile, image, StackBank::Mobile);
+    vm.set_fuel(config.profile_fuel);
+    vm.enable_profile();
+    match vm.run_entry(&mut host) {
+        Ok(_) | Err(VmError::Exit { .. }) => {}
+        Err(e) => return Err(OffloadError::Vm(e)),
+    }
+    let collector = vm.profile.take().expect("profiling was enabled");
+    let total_cycles = vm.clock.cycles;
+
+    let mut regions = Vec::new();
+    for (id, func) in module.iter_functions() {
+        if func.is_declaration() {
+            continue;
+        }
+        let Some(fp) = collector.funcs.get(&id) else {
+            continue; // never executed
+        };
+        regions.push((
+            RegionKey::Function(id),
+            RegionStats {
+                name: func.name.clone(),
+                cycles: fp.inclusive_cycles,
+                invocations: fp.invocations,
+                mem_bytes: fp.pages.len() as u64 * offload_machine::PAGE_SIZE,
+                pages: fp.pages.iter().copied().collect(),
+            },
+        ));
+
+        // Natural loops of this function.
+        let forest = LoopForest::compute(func);
+        for (li, l) in forest.loops.iter().enumerate() {
+            let cycles: u64 = l
+                .body
+                .iter()
+                .filter_map(|bb| collector.block_cycles.get(&(id, *bb)))
+                .sum();
+            if cycles == 0 {
+                continue;
+            }
+            // Loop invocations = entries into the header along edges from
+            // outside the loop body.
+            let invocations: u64 = collector
+                .edge_counts
+                .iter()
+                .filter(|((f, from, to), _)| *f == id && *to == l.header && !l.body.contains(from))
+                .map(|(_, n)| *n)
+                .sum::<u64>()
+                .max(u64::from(collector.block_counts.contains_key(&(id, l.header))));
+            regions.push((
+                RegionKey::Loop { func: id, header: l.header },
+                RegionStats {
+                    name: format!("{}_loop{}", func.name, li),
+                    cycles,
+                    invocations,
+                    mem_bytes: fp.pages.len() as u64 * offload_machine::PAGE_SIZE,
+                    pages: fp.pages.iter().copied().collect(),
+                },
+            ));
+        }
+    }
+
+    Ok(ProfileData {
+        total_cycles,
+        clock_hz: config.mobile.clock_hz,
+        regions,
+        console: host.console().to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(src: &str, stdin: &str) -> (Module, ProfileData) {
+        let module = offload_minic::compile(src, "t").unwrap();
+        let data = profile_module(
+            &module,
+            &WorkloadInput::from_stdin(stdin),
+            &CompileConfig::default(),
+        )
+        .unwrap();
+        (module, data)
+    }
+
+    const NESTED: &str = "
+        int work(int n) {
+            int i; int j; int acc = 0;
+            for (i = 0; i < n; i++)
+                for (j = 0; j < 50; j++)
+                    acc += (i ^ j);
+            return acc;
+        }
+        int main() {
+            int r = 0; int k;
+            for (k = 0; k < 3; k++) r += work(40);
+            printf(\"%d\\n\", r);
+            return 0;
+        }";
+
+    #[test]
+    fn function_stats_match_structure() {
+        let (module, data) = profile(NESTED, "");
+        let work = module.function_by_name("work").unwrap();
+        let s = data.get(&RegionKey::Function(work)).unwrap();
+        assert_eq!(s.invocations, 3);
+        assert!(s.cycles > 0);
+        assert!(s.mem_bytes > 0);
+        let main = module.entry.unwrap();
+        let m = data.get(&RegionKey::Function(main)).unwrap();
+        assert!(m.cycles >= s.cycles, "main includes work");
+        assert!(data.total_cycles >= m.cycles);
+    }
+
+    #[test]
+    fn loop_stats_distinguish_outer_and_inner() {
+        let (module, data) = profile(NESTED, "");
+        let work = module.function_by_name("work").unwrap();
+        let loops: Vec<&RegionStats> = data
+            .regions
+            .iter()
+            .filter_map(|(k, s)| match k {
+                RegionKey::Loop { func, .. } if *func == work => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loops.len(), 2, "work has an outer and an inner loop");
+        let outer = loops.iter().find(|s| s.invocations == 3).expect("outer entered per call");
+        let inner = loops
+            .iter()
+            .find(|s| s.invocations == 3 * 40)
+            .expect("inner entered per outer iteration");
+        // The chess-example shape (Table 3): similar cycles, wildly
+        // different invocation counts.
+        assert!(inner.cycles <= outer.cycles);
+        assert!(inner.invocations > outer.invocations * 10);
+    }
+
+    #[test]
+    fn unexecuted_functions_are_absent() {
+        let (module, data) = profile(
+            "int dead(int x) { return x; } int main() { return 0; }",
+            "",
+        );
+        let dead = module.function_by_name("dead").unwrap();
+        assert!(data.get(&RegionKey::Function(dead)).is_none());
+    }
+
+    #[test]
+    fn console_is_captured() {
+        let (_, data) = profile(NESTED, "");
+        assert!(!data.console.is_empty());
+    }
+}

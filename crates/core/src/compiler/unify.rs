@@ -1,0 +1,384 @@
+//! Memory unification code generation (§3.2).
+//!
+//! Five sub-passes, mirroring Fig. 2's "Memory Unification" box:
+//!
+//! 1. **Heap allocation replacement** — every `malloc`/`free` site becomes
+//!    `u_malloc`/`u_free` so every object lives on the UVA space. All
+//!    sites are replaced "because a server may access an object not on the
+//!    UVA space due to imprecise static alias analysis".
+//! 2. **Referenced global variable allocation** — globals whose address is
+//!    referenced are marked for the unified globals segment (Table 4's
+//!    "Referenced GV" column).
+//! 3. **Memory layout realignment** — the server's struct layouts are
+//!    forced to the mobile standard (Fig. 4); this pass reports which
+//!    structs needed realignment and how much padding that injected. (The
+//!    simulated server VM executes under the unified layout; the stats —
+//!    and the layout-mismatch tests — demonstrate why it must.)
+//! 4. **Address size conversion** — on a 64-bit server, a `PtrZext` cast
+//!    is inserted after every pointer load, widening the 32-bit unified
+//!    pointer into the server's registers.
+//! 5. **Endianness translation** — when byte orders differ, `ByteSwap`
+//!    is inserted after every load and before every store.
+
+use offload_ir::{
+    Builtin, Callee, DataLayout, Inst, Module, TargetAbi, Type, UnOp, ValueId,
+};
+
+/// What the unifier did (feeding [`CompileStats`](crate::CompileStats)).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnifyOutcome {
+    /// `malloc`/`free` call sites rewritten.
+    pub heap_sites: usize,
+    /// Globals marked for the unified segment.
+    pub unified_globals: usize,
+    /// Structs whose native server layout differed from the unified one.
+    pub structs_realigned: usize,
+    /// Total padding bytes the realignment injected (mobile size − packed
+    /// native size, summed where positive).
+    pub realign_padding_bytes: u64,
+    /// `PtrZext` casts inserted (server module).
+    pub ptr_zext_inserted: usize,
+    /// `ByteSwap` ops inserted (server module).
+    pub byteswaps_inserted: usize,
+}
+
+/// Rewrite all heap-allocation sites to UVA allocation (§3.2) and mark
+/// referenced globals. Applies to the shared (pre-partition) module.
+pub fn unify_memory(module: &mut Module) -> UnifyOutcome {
+    let mut out = UnifyOutcome::default();
+
+    // 1. Heap allocation replacement.
+    for fi in 0..module.function_count() {
+        let func = module.function_mut(offload_ir::FuncId(fi as u32));
+        for block in &mut func.blocks {
+            for inst in &mut block.insts {
+                if let Inst::Call { callee: Callee::Builtin(b), .. } = inst {
+                    match b {
+                        Builtin::Malloc => {
+                            *b = Builtin::UMalloc;
+                            out.heap_sites += 1;
+                        }
+                        Builtin::Free => {
+                            *b = Builtin::UFree;
+                            out.heap_sites += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Referenced global variable allocation.
+    let mut referenced = vec![false; module.global_count()];
+    for (_, func) in module.iter_functions() {
+        for block in &func.blocks {
+            for inst in &block.insts {
+                if let Inst::Const { value: offload_ir::ConstValue::GlobalAddr(g), .. } = inst {
+                    referenced[g.0 as usize] = true;
+                }
+            }
+        }
+    }
+    for (i, r) in referenced.iter().enumerate() {
+        if *r {
+            module.global_mut(offload_ir::GlobalId(i as u32)).unified = true;
+            out.unified_globals += 1;
+        }
+    }
+    out
+}
+
+/// Report the §3.2 realignment work for `server_abi`: which structs would
+/// be laid out differently by the server's native ABI, and the padding the
+/// unified (mobile) layout carries relative to the native one.
+pub fn realignment_stats(module: &Module, server_abi: TargetAbi) -> (usize, u64) {
+    let unified = TargetAbi::MobileArm32.data_layout();
+    let native = server_abi.data_layout();
+    let mut realigned = 0usize;
+    let mut padding = 0u64;
+    for sid in module.struct_ids() {
+        let u = unified.struct_layout(sid, module);
+        let n = native.struct_layout(sid, module);
+        if u != n {
+            realigned += 1;
+            padding += u.size.saturating_sub(n.size);
+        }
+    }
+    (realigned, padding)
+}
+
+/// Insert the server-side conversion shims into `module` (which must be
+/// the server partition): pointer zero-extension when the server is
+/// 64-bit, and endianness translation when byte orders differ.
+pub fn insert_server_conversions(module: &mut Module, server_abi: TargetAbi) -> UnifyOutcome {
+    let mut out = UnifyOutcome::default();
+    let native: DataLayout = server_abi.data_layout();
+    let needs_zext = native.ptr_bytes != TargetAbi::MobileArm32.data_layout().ptr_bytes;
+    let needs_swap = native.endian != TargetAbi::MobileArm32.data_layout().endian;
+    if !needs_zext && !needs_swap {
+        return out;
+    }
+
+    for fi in 0..module.function_count() {
+        let func = module.function_mut(offload_ir::FuncId(fi as u32));
+        if func.is_declaration() {
+            continue;
+        }
+        for bi in 0..func.blocks.len() {
+            let mut i = 0usize;
+            while i < func.blocks[bi].insts.len() {
+                match func.blocks[bi].insts[i].clone() {
+                    Inst::Load { dst, ty, addr } => {
+                        let mut cursor = i;
+                        let mut latest = dst;
+                        if needs_swap && swappable(&ty) {
+                            let swapped = ValueId(func.value_types.len() as u32);
+                            func.value_types.push(ty.clone());
+                            cursor += 1;
+                            func.blocks[bi].insts.insert(
+                                cursor,
+                                Inst::Un { dst: swapped, op: UnOp::ByteSwap, ty: ty.clone(), operand: latest },
+                            );
+                            rename_uses_after(func, bi, cursor + 1, latest, swapped);
+                            latest = swapped;
+                            out.byteswaps_inserted += 1;
+                        }
+                        if needs_zext && ty.is_ptr() {
+                            let widened = ValueId(func.value_types.len() as u32);
+                            func.value_types.push(ty.clone());
+                            cursor += 1;
+                            func.blocks[bi].insts.insert(
+                                cursor,
+                                Inst::Cast {
+                                    dst: widened,
+                                    kind: offload_ir::CastKind::PtrZext,
+                                    to: ty.clone(),
+                                    src: latest,
+                                },
+                            );
+                            rename_uses_after(func, bi, cursor + 1, latest, widened);
+                            out.ptr_zext_inserted += 1;
+                        }
+                        let _ = addr;
+                        i = cursor + 1;
+                    }
+                    Inst::Store { ty, addr, value } if needs_swap && swappable(&ty) => {
+                        let swapped = ValueId(func.value_types.len() as u32);
+                        func.value_types.push(ty.clone());
+                        func.blocks[bi].insts.insert(
+                            i,
+                            Inst::Un { dst: swapped, op: UnOp::ByteSwap, ty: ty.clone(), operand: value },
+                        );
+                        func.blocks[bi].insts[i + 1] = Inst::Store { ty, addr, value: swapped };
+                        out.byteswaps_inserted += 1;
+                        i += 2;
+                    }
+                    _ => i += 1,
+                }
+            }
+        }
+    }
+    out
+}
+
+fn swappable(ty: &Type) -> bool {
+    matches!(ty, Type::I16 | Type::I32 | Type::I64 | Type::F64) || ty.is_ptr()
+}
+
+/// Rename uses of `old` to `new` in block `bi` from `start` onward and in
+/// every later block. (Registers are defined once, so this is sound.)
+fn rename_uses_after(
+    func: &mut offload_ir::Function,
+    bi: usize,
+    start: usize,
+    old: ValueId,
+    new: ValueId,
+) {
+    let rename = |inst: &mut Inst| {
+        replace_uses(inst, old, new);
+    };
+    for inst in func.blocks[bi].insts[start..].iter_mut() {
+        rename(inst);
+    }
+    // Registers may be used in any other block (not only later ones) when
+    // the CFG loops back; rename everywhere except the defining point.
+    for (bj, block) in func.blocks.iter_mut().enumerate() {
+        if bj == bi {
+            continue;
+        }
+        for inst in &mut block.insts {
+            rename(inst);
+        }
+    }
+}
+
+fn replace_uses(inst: &mut Inst, old: ValueId, new: ValueId) {
+    use Inst::*;
+    let r = |v: &mut ValueId| {
+        if *v == old {
+            *v = new;
+        }
+    };
+    match inst {
+        Const { .. } | Alloca { .. } | Br { .. } | InlineAsm { .. } => {}
+        Load { addr, .. } => r(addr),
+        Store { addr, value, .. } => {
+            r(addr);
+            r(value);
+        }
+        FieldAddr { base, .. } => r(base),
+        IndexAddr { base, index, .. } => {
+            r(base);
+            r(index);
+        }
+        Bin { lhs, rhs, .. } | Cmp { lhs, rhs, .. } => {
+            r(lhs);
+            r(rhs);
+        }
+        Un { operand, .. } => r(operand),
+        Cast { src, .. } => r(src),
+        Call { callee, args, .. } => {
+            if let Callee::Indirect(v) = callee {
+                r(v);
+            }
+            for a in args {
+                r(a);
+            }
+        }
+        Ret { value } => {
+            if let Some(v) = value {
+                r(v);
+            }
+        }
+        CondBr { cond, .. } => r(cond),
+        Syscall { args, .. } => {
+            for a in args {
+                r(a);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_ir::verify::verify_module;
+    use offload_machine::host::LocalHost;
+    use offload_machine::loader;
+    use offload_machine::target::TargetSpec;
+    use offload_machine::vm::{StackBank, Vm};
+
+    const SRC: &str = "
+        int counter;
+        int limit = 10;
+        int unused_global;
+        typedef struct { char a; double d; } Rec;
+        int main() {
+            Rec *r = (Rec*)malloc(sizeof(Rec) * 4);
+            int i;
+            for (i = 0; i < limit; i++) counter += i;
+            r[2].d = (double)counter;
+            printf(\"%d %.0f\\n\", counter, r[2].d);
+            free((char*)r);
+            return 0;
+        }";
+
+    #[test]
+    fn heap_sites_rewritten_and_globals_marked() {
+        let mut m = offload_minic::compile(SRC, "t").unwrap();
+        let out = unify_memory(&mut m);
+        assert_eq!(out.heap_sites, 2, "malloc + free");
+        // counter and limit are referenced; unused_global and .str are not.
+        assert_eq!(out.unified_globals, 2 + 1 /* format string */);
+        assert!(m.global(m.global_by_name("counter").unwrap()).unified);
+        assert!(!m.global(m.global_by_name("unused_global").unwrap()).unified);
+        // No plain malloc remains.
+        for (_, f) in m.iter_functions() {
+            for b in &f.blocks {
+                for inst in &b.insts {
+                    if let Inst::Call { callee: Callee::Builtin(bi), .. } = inst {
+                        assert!(!matches!(bi, Builtin::Malloc | Builtin::Free));
+                    }
+                }
+            }
+        }
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn realignment_detects_fig4_mismatch() {
+        let m = offload_minic::compile(SRC, "t").unwrap();
+        // IA32 packs doubles to 4-byte alignment: Rec differs.
+        let (realigned, padding) = realignment_stats(&m, TargetAbi::ServerIa32);
+        assert_eq!(realigned, 1);
+        assert_eq!(padding, 4, "ARM Rec is 16 B, IA32 Rec is 12 B");
+        // x86-64 aligns doubles to 8 like ARM: no realignment needed.
+        let (realigned, _) = realignment_stats(&m, TargetAbi::ServerX8664);
+        assert_eq!(realigned, 0);
+    }
+
+    #[test]
+    fn x8664_gets_ptr_zext_but_no_byteswap() {
+        let mut m = offload_minic::compile(SRC, "t").unwrap();
+        unify_memory(&mut m);
+        let out = insert_server_conversions(&mut m, TargetAbi::ServerX8664);
+        assert!(out.ptr_zext_inserted > 0, "pointer loads must be widened");
+        assert_eq!(out.byteswaps_inserted, 0, "both devices are little-endian (§5.1)");
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn transformed_module_still_computes_the_same() {
+        let reference = {
+            let m = offload_minic::compile(SRC, "t").unwrap();
+            run(&m, &TargetSpec::galaxy_s5())
+        };
+        let mut m = offload_minic::compile(SRC, "t").unwrap();
+        unify_memory(&mut m);
+        insert_server_conversions(&mut m, TargetAbi::ServerX8664);
+        verify_module(&m).unwrap();
+        assert_eq!(run(&m, &TargetSpec::xps_8700()), reference);
+    }
+
+    #[test]
+    fn big_endian_server_needs_byteswaps_and_they_work() {
+        let reference = {
+            let m = offload_minic::compile(SRC, "t").unwrap();
+            run(&m, &TargetSpec::galaxy_s5())
+        };
+        let mut m = offload_minic::compile(SRC, "t").unwrap();
+        unify_memory(&mut m);
+        let out = insert_server_conversions(&mut m, TargetAbi::ServerBigEndian64);
+        assert!(out.byteswaps_inserted > 0);
+        verify_module(&m).unwrap();
+        // Run on the synthetic BE server: the inserted swaps make the
+        // little-endian unified memory readable.
+        assert_eq!(run(&m, &TargetSpec::big_endian_server()), reference);
+    }
+
+    #[test]
+    fn big_endian_without_translation_breaks() {
+        // The negative control: skip the translation pass and the BE
+        // server computes garbage — §3.2's whole point.
+        let reference = {
+            let m = offload_minic::compile(SRC, "t").unwrap();
+            run(&m, &TargetSpec::galaxy_s5())
+        };
+        let mut m = offload_minic::compile(SRC, "t").unwrap();
+        unify_memory(&mut m);
+        let be = run(&m, &TargetSpec::big_endian_server());
+        assert_ne!(be, reference, "unswapped big-endian reads must corrupt data");
+    }
+
+    fn run(m: &Module, spec: &TargetSpec) -> String {
+        let image = loader::load(m, &TargetAbi::MobileArm32.data_layout()).unwrap();
+        let mut host = LocalHost::new();
+        let mut vm = Vm::new(m, spec, image, StackBank::Mobile);
+        vm.set_fuel(100_000_000);
+        match vm.run_entry(&mut host) {
+            Ok(_) => host.console_utf8(),
+            Err(e) => format!("error: {e}"),
+        }
+    }
+}

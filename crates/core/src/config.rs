@@ -1,0 +1,187 @@
+//! Configuration of the compiler and the runtime session.
+
+use offload_machine::target::TargetSpec;
+use offload_net::Link;
+
+/// Input environment of one program run: scripted stdin plus virtual
+/// files, all living on the *mobile* device (whose I/O the server reaches
+/// only through remote I/O).
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadInput {
+    /// Bytes fed to `scanf`/`getchar`.
+    pub stdin: Vec<u8>,
+    /// `(name, contents)` of files on the mobile filesystem.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+impl WorkloadInput {
+    /// Input with only stdin.
+    pub fn from_stdin(stdin: impl Into<Vec<u8>>) -> Self {
+        WorkloadInput { stdin: stdin.into(), files: Vec::new() }
+    }
+
+    /// Add a file.
+    #[must_use]
+    pub fn with_file(mut self, name: impl Into<String>, data: impl Into<Vec<u8>>) -> Self {
+        self.files.push((name.into(), data.into()));
+        self
+    }
+}
+
+/// Compiler-side configuration.
+#[derive(Debug, Clone)]
+pub struct CompileConfig {
+    /// The mobile device the program runs on.
+    pub mobile: TargetSpec,
+    /// The server the program may offload to.
+    pub server: TargetSpec,
+    /// Bandwidth assumed by the *static* estimator (bits/second). The
+    /// paper's worked example (Table 3) assumes 80 Mbps.
+    pub static_bandwidth_bps: u64,
+    /// Instruction budget for the profiling run.
+    pub profile_fuel: u64,
+    /// Also consider (and outline) hot loops as offload candidates, not
+    /// just functions — the paper's `for_i` / `main_for.cond` targets.
+    pub outline_loops: bool,
+    /// Fraction of profiled execution time below which a candidate is not
+    /// even considered (hot-region cutoff).
+    pub hot_threshold: f64,
+    /// Run the IR optimizer (constant folding, branch simplification,
+    /// dead-code elimination) before profiling, so cycle counts reflect
+    /// optimized code.
+    pub optimize: bool,
+}
+
+impl Default for CompileConfig {
+    /// The default static estimator assumes a *good* network (the fast
+    /// 802.11ac figure): static estimation only gates code generation, and
+    /// communication-heavy programs like `164.gzip` must still be compiled
+    /// offloading-enabled so the *dynamic* estimator can offload them on
+    /// fast networks and refuse them on slow ones (§5.1). Pass
+    /// [`CompileConfig::table3`] to reproduce the paper's 80 Mbps worked
+    /// example instead.
+    fn default() -> Self {
+        CompileConfig {
+            mobile: TargetSpec::galaxy_s5(),
+            server: TargetSpec::xps_8700(),
+            static_bandwidth_bps: 500_000_000,
+            profile_fuel: 4_000_000_000,
+            outline_loops: true,
+            hot_threshold: 0.05,
+            optimize: true,
+        }
+    }
+}
+
+impl CompileConfig {
+    /// The Table 3 worked-example configuration: `BW = 80 Mbps` (and the
+    /// device pair whose measured ratio plays the paper's `R = 5`).
+    pub fn table3() -> Self {
+        CompileConfig { static_bandwidth_bps: 80_000_000, ..Self::default() }
+    }
+}
+
+/// Runtime-session configuration, including the §4 optimization toggles
+/// (each one is an ablation axis in the benchmark suite).
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The mobile device.
+    pub mobile: TargetSpec,
+    /// The server.
+    pub server: TargetSpec,
+    /// The wireless link.
+    pub link: Link,
+    /// Prefetch profile-predicted pages at initialization (§4).
+    pub prefetch: bool,
+    /// Compress server→mobile transfers (§4).
+    pub compress: bool,
+    /// Batch communication (§4); off = one message per item.
+    pub batch: bool,
+    /// Re-estimate profitability at run time (§3.1); off = always trust
+    /// the static decision and offload.
+    pub dynamic_estimation: bool,
+    /// Copy-on-demand paging (§4); off = eagerly ship every present page
+    /// at initialization, like a conservative static partitioner (§6).
+    pub copy_on_demand: bool,
+    /// Pages fetched per demand fault (fault-ahead window): a fault pulls
+    /// the faulting page plus its successors that exist on the mobile
+    /// device, amortizing the round trip over sequential access patterns.
+    pub fault_ahead: u64,
+    /// Use *observed* effective bandwidth (NWSLite-style EWMA over real
+    /// transfers) in the dynamic estimator instead of the link's nominal
+    /// figure — the §6 bandwidth-aware prediction extension. Off by
+    /// default, matching the paper's runtime.
+    pub adaptive_bandwidth: bool,
+    /// Execution fuel per device.
+    pub fuel: u64,
+}
+
+impl SessionConfig {
+    /// The paper's slow network: 802.11n.
+    pub fn slow_network() -> Self {
+        Self::with_link(Link::wifi_802_11n())
+    }
+
+    /// The paper's fast network: 802.11ac.
+    pub fn fast_network() -> Self {
+        Self::with_link(Link::wifi_802_11ac())
+    }
+
+    /// A Cloudlet (§6): a nearby server one hop away — same bandwidth
+    /// class as 802.11ac but a fraction of the latency, the fix the paper
+    /// cites for chatty remote-I/O programs.
+    pub fn cloudlet() -> Self {
+        Self::with_link(Link::custom("cloudlet", 500_000_000, 0.000_2))
+    }
+
+    /// Ideal offloading: a free link (the Fig. 6 "Ideal" series).
+    pub fn ideal_network() -> Self {
+        let mut c = Self::with_link(Link::ideal());
+        // The ideal series has no communication overheads at all, so the
+        // dynamic estimator would never refuse anyway.
+        c.dynamic_estimation = false;
+        c
+    }
+
+    /// Default toggles over the given link.
+    pub fn with_link(link: Link) -> Self {
+        SessionConfig {
+            mobile: TargetSpec::galaxy_s5(),
+            server: TargetSpec::xps_8700(),
+            link,
+            prefetch: true,
+            compress: true,
+            batch: true,
+            dynamic_estimation: true,
+            copy_on_demand: true,
+            fault_ahead: 8,
+            adaptive_bandwidth: false,
+            fuel: 6_000_000_000,
+        }
+    }
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self::fast_network()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(SessionConfig::slow_network().link.bandwidth_bps < SessionConfig::fast_network().link.bandwidth_bps);
+        assert!(!SessionConfig::ideal_network().dynamic_estimation);
+        assert!(SessionConfig::default().copy_on_demand);
+    }
+
+    #[test]
+    fn workload_input_builder() {
+        let w = WorkloadInput::from_stdin("5\n").with_file("a.bin", vec![1, 2]);
+        assert_eq!(w.stdin, b"5\n");
+        assert_eq!(w.files.len(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! # Native Offloader
+//!
+//! A from-scratch reproduction of **"Architecture-aware Automatic
+//! Computation Offload for Native Applications"** (MICRO 2015): a
+//! compiler–runtime cooperative system that automatically offloads heavy,
+//! machine-independent tasks of a native application from a (simulated)
+//! ARM mobile device to a (simulated) x86 server — no annotations, no
+//! virtual machine.
+//!
+//! The **compiler** ([`compiler`]) selects offload targets from profiles
+//! (hot function/loop profiler → function filter → Equation-1 performance
+//! estimator), unifies memory across architectures (heap-allocation
+//! replacement, referenced-global reallocation, struct-layout realignment,
+//! address-size conversion, endianness translation — §3.2), partitions the
+//! program into a mobile module and a server module (§3.3), and applies
+//! server-specific optimizations (remote I/O, function-pointer mapping —
+//! §3.4).
+//!
+//! The **runtime** ([`runtime`]) executes the two partitions on simulated
+//! devices connected by a simulated wireless link, with a unified virtual
+//! address space: copy-on-demand paging, prefetch, dirty-page write-back,
+//! batching, asymmetric compression, dynamic (re-)estimation, and power
+//! accounting (§4, §5).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use native_offloader::{Offloader, SessionConfig, WorkloadInput};
+//! use offload_net::Link;
+//!
+//! let source = r#"
+//!     double heavy(int n) {
+//!         double acc = 0.0; int i; int j;
+//!         for (i = 0; i < n; i++)
+//!             for (j = 0; j < 1000; j++)
+//!                 acc = acc + (double)((i ^ j) % 17) * 0.5;
+//!         return acc;
+//!     }
+//!     int main() {
+//!         printf("%.1f\n", heavy(300));
+//!         return 0;
+//!     }
+//! "#;
+//! let app = Offloader::new()
+//!     .compile_source(source, "quick", &WorkloadInput::default())
+//!     .unwrap();
+//! let local = app.run_local(&WorkloadInput::default()).unwrap();
+//! let off = app
+//!     .run_offloaded(&WorkloadInput::default(), &SessionConfig::fast_network())
+//!     .unwrap();
+//! assert_eq!(local.console, off.console, "offloading must not change output");
+//! assert!(off.total_seconds < local.total_seconds, "the server should win");
+//! ```
+
+pub mod compiler;
+pub mod config;
+pub mod plan;
+pub mod runtime;
+
+pub use compiler::{CompiledApp, Offloader};
+pub use config::{CompileConfig, SessionConfig, WorkloadInput};
+pub use plan::{CompileStats, EstimateRow, OffloadPlan, OffloadTask};
+pub use runtime::report::RunReport;
+
+/// Errors from compilation or simulated execution.
+#[derive(Debug)]
+pub enum OffloadError {
+    /// MiniC front-end failure.
+    Compile(offload_minic::CompileError),
+    /// IR verification failure after a transformation pass.
+    Verify(offload_ir::verify::VerifyError),
+    /// Program loading failure.
+    Load(offload_machine::loader::LoadError),
+    /// Simulated execution failure.
+    Vm(offload_machine::vm::VmError),
+    /// Anything else (bad configuration, protocol violations).
+    Other(String),
+}
+
+impl std::fmt::Display for OffloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OffloadError::Compile(e) => write!(f, "{e}"),
+            OffloadError::Verify(e) => write!(f, "{e}"),
+            OffloadError::Load(e) => write!(f, "{e}"),
+            OffloadError::Vm(e) => write!(f, "{e}"),
+            OffloadError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for OffloadError {}
+
+impl From<offload_minic::CompileError> for OffloadError {
+    fn from(e: offload_minic::CompileError) -> Self {
+        OffloadError::Compile(e)
+    }
+}
+
+impl From<offload_ir::verify::VerifyError> for OffloadError {
+    fn from(e: offload_ir::verify::VerifyError) -> Self {
+        OffloadError::Verify(e)
+    }
+}
+
+impl From<offload_machine::loader::LoadError> for OffloadError {
+    fn from(e: offload_machine::loader::LoadError) -> Self {
+        OffloadError::Load(e)
+    }
+}
+
+impl From<offload_machine::vm::VmError> for OffloadError {
+    fn from(e: offload_machine::vm::VmError) -> Self {
+        OffloadError::Vm(e)
+    }
+}

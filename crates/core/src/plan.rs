@@ -1,0 +1,130 @@
+//! The offload plan: what the compiler decided, and why.
+
+use offload_ir::{FuncId, Type};
+
+/// One row of the static performance estimation (the paper's Table 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateRow {
+    /// Candidate name (function, or `parent_loopN` for an outlined loop).
+    pub name: String,
+    /// Measured mobile execution time over the profiling run, seconds.
+    pub exec_time_s: f64,
+    /// Invocation count in the profiling run.
+    pub invocations: u64,
+    /// Memory footprint (pages touched × page size), bytes.
+    pub mem_bytes: u64,
+    /// Ideal gain `Tm · (1 − 1/R)`, seconds.
+    pub t_ideal_s: f64,
+    /// Communication cost `2 · M/BW · N`, seconds.
+    pub t_comm_s: f64,
+    /// Expected gain `Tg = Tideal − Tc`, seconds (Equation 1).
+    pub t_gain_s: f64,
+    /// `true` if the function filter ruled the candidate machine specific.
+    pub machine_specific: bool,
+    /// `true` if the candidate was selected as an offload target.
+    pub selected: bool,
+}
+
+/// One offload target in the generated program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadTask {
+    /// Task id carried in offload requests (nonzero).
+    pub id: u32,
+    /// The dispatcher function (original id; call sites are unchanged).
+    pub dispatcher: FuncId,
+    /// The extracted local body the dispatcher falls back to.
+    pub local_func: FuncId,
+    /// Source-level name of the target.
+    pub name: String,
+    /// Parameter types (marshalled through the offload request).
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+    /// Profile-derived per-invocation mobile time, seconds.
+    pub tm_per_invocation_s: f64,
+    /// Profile-derived memory footprint, bytes.
+    pub mem_bytes: u64,
+    /// Pages the profiler saw the target touch (the §4 prefetch set).
+    pub prefetch_pages: Vec<u64>,
+}
+
+/// Compiler statistics (the per-program columns of Table 4).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompileStats {
+    /// Functions in the original module.
+    pub total_functions: usize,
+    /// Functions offloaded to the server partition (reachable from the
+    /// offload targets and kept on the server).
+    pub offloaded_functions: usize,
+    /// Globals in the module.
+    pub total_globals: usize,
+    /// Globals reallocated onto the UVA space (referenced globals, §3.2).
+    pub unified_globals: usize,
+    /// Indirect-call sites wrapped with function-pointer mapping (§3.4).
+    pub fn_ptr_sites: usize,
+    /// I/O call sites replaced with remote I/O (§3.4).
+    pub remote_io_sites: usize,
+    /// Machine-specific functions found by the filter (§3.1).
+    pub machine_specific_functions: usize,
+    /// Function bodies removed from the server partition (§3.3).
+    pub removed_server_functions: usize,
+    /// `malloc`/`free` sites rewritten to `u_malloc`/`u_free` (§3.2).
+    pub heap_sites_unified: usize,
+    /// Structs whose server layout differed from the unified layout and
+    /// were realigned (Fig. 4).
+    pub structs_realigned: usize,
+    /// Padding bytes inserted by realignment, summed over structs.
+    pub realign_padding_bytes: u64,
+    /// Loops outlined into offloadable functions.
+    pub loops_outlined: usize,
+    /// Percentage of profiled execution time covered by the selected
+    /// targets (Table 4 "Cover.").
+    pub coverage_percent: f64,
+}
+
+/// Everything the runtime needs to execute the partitioned program.
+#[derive(Debug, Clone, Default)]
+pub struct OffloadPlan {
+    /// Selected offload targets.
+    pub tasks: Vec<OffloadTask>,
+    /// The full estimation table (Table 3).
+    pub estimates: Vec<EstimateRow>,
+    /// Compiler statistics (Table 4).
+    pub stats: CompileStats,
+}
+
+impl OffloadPlan {
+    /// Look up a task by id.
+    pub fn task(&self, id: u32) -> Option<&OffloadTask> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+
+    /// Look up a task by target name.
+    pub fn task_by_name(&self, name: &str) -> Option<&OffloadTask> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_lookup() {
+        let task = OffloadTask {
+            id: 1,
+            dispatcher: FuncId(0),
+            local_func: FuncId(1),
+            name: "getAITurn".into(),
+            params: vec![],
+            ret: Type::F64,
+            tm_per_invocation_s: 1.0,
+            mem_bytes: 4096,
+            prefetch_pages: vec![1, 2],
+        };
+        let plan = OffloadPlan { tasks: vec![task], ..Default::default() };
+        assert_eq!(plan.task(1).unwrap().name, "getAITurn");
+        assert!(plan.task(9).is_none());
+        assert!(plan.task_by_name("getAITurn").is_some());
+    }
+}

@@ -1,0 +1,133 @@
+//! Bandwidth-aware prediction — the extension the paper's related work
+//! points at: "Wolski et al. and NWSLite propose bandwidth-aware
+//! performance prediction to count network costs. With these prediction
+//! algorithms, the Native Offloader compiler and runtime can predict the
+//! performance more precisely." (§6)
+//!
+//! [`BandwidthTracker`] observes every real transfer the session makes and
+//! maintains an EWMA of *effective* throughput (payload ÷ wall time, so
+//! latency and framing are priced in). When
+//! [`SessionConfig::adaptive_bandwidth`](crate::SessionConfig) is on, the
+//! dynamic estimator divides by this observed figure instead of the
+//! link's nominal bandwidth — catching links whose nominal rate is fine
+//! but whose latency makes chatty offloads a loss.
+
+/// EWMA tracker of observed effective bandwidth.
+#[derive(Debug, Clone)]
+pub struct BandwidthTracker {
+    ewma_bps: Option<f64>,
+    alpha: f64,
+    samples: u64,
+    bytes_seen: u64,
+}
+
+impl Default for BandwidthTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BandwidthTracker {
+    /// A tracker with the default smoothing factor (0.3 — responsive but
+    /// not twitchy, the NWSLite neighbourhood).
+    pub fn new() -> Self {
+        Self::with_alpha(0.3)
+    }
+
+    /// A tracker with an explicit smoothing factor in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is out of range.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of (0, 1]");
+        BandwidthTracker { ewma_bps: None, alpha, samples: 0, bytes_seen: 0 }
+    }
+
+    /// Record one observed transfer.
+    pub fn observe(&mut self, payload_bytes: u64, seconds: f64) {
+        if seconds <= 0.0 || payload_bytes == 0 {
+            return;
+        }
+        let bps = payload_bytes as f64 * 8.0 / seconds;
+        self.ewma_bps = Some(match self.ewma_bps {
+            None => bps,
+            Some(prev) => prev + self.alpha * (bps - prev),
+        });
+        self.samples += 1;
+        self.bytes_seen += payload_bytes;
+    }
+
+    /// The current effective-bandwidth estimate in bits/second, if any
+    /// transfer has been observed.
+    pub fn estimate_bps(&self) -> Option<u64> {
+        self.ewma_bps.map(|b| b.max(1.0) as u64)
+    }
+
+    /// Number of observations so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Total payload bytes observed.
+    pub fn bytes_seen(&self) -> u64 {
+        self.bytes_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_estimate_before_observations() {
+        assert_eq!(BandwidthTracker::new().estimate_bps(), None);
+    }
+
+    #[test]
+    fn converges_toward_observed_rate() {
+        let mut t = BandwidthTracker::new();
+        for _ in 0..50 {
+            t.observe(1_000_000, 0.1); // 80 Mbps effective
+        }
+        let est = t.estimate_bps().unwrap();
+        assert!((79_000_000..81_000_000).contains(&est), "{est}");
+        assert_eq!(t.samples(), 50);
+    }
+
+    #[test]
+    fn latency_depresses_effective_bandwidth() {
+        // A 500 Mbps link with 300 ms latency moving 4 KB messages has a
+        // tiny *effective* rate — the situation the nominal figure hides.
+        let mut t = BandwidthTracker::new();
+        for _ in 0..10 {
+            t.observe(4096, 0.3);
+        }
+        assert!(t.estimate_bps().unwrap() < 1_000_000);
+    }
+
+    #[test]
+    fn ewma_responds_to_change() {
+        let mut t = BandwidthTracker::new();
+        t.observe(10_000_000, 1.0); // 80 Mbps
+        for _ in 0..20 {
+            t.observe(1_000_000, 1.0); // 8 Mbps
+        }
+        let est = t.estimate_bps().unwrap() as f64;
+        assert!(est < 12_000_000.0, "should have converged down: {est}");
+    }
+
+    #[test]
+    fn degenerate_observations_ignored() {
+        let mut t = BandwidthTracker::new();
+        t.observe(0, 1.0);
+        t.observe(100, 0.0);
+        assert_eq!(t.estimate_bps(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha out of (0, 1]")]
+    fn bad_alpha_panics() {
+        let _ = BandwidthTracker::with_alpha(0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Dynamic performance estimation (§3.1, §4 "local execution").
+//!
+//! The compiler's static estimate only gates *code generation*; the real
+//! offloading decision happens at run time with current conditions:
+//! "unlike the static performance estimation ... the dynamic performance
+//! estimation reflects the current network bandwidth, memory usage, and
+//! target execution time information, so the Native Offloader runtime can
+//! avoid offloading under unfavorable situations such as slow network
+//! connection" — this is why Fig. 6 marks `164.gzip` and friends with `*`
+//! (not offloaded) on the slow network.
+
+use offload_net::Link;
+
+use crate::compiler::estimate::{equation1, Estimate, EstimateInput};
+use crate::plan::OffloadTask;
+
+/// Decide whether to offload one invocation of `task` right now.
+///
+/// Uses the per-invocation profile numbers with the *live* link bandwidth
+/// and device performance ratio.
+pub fn decide(task: &OffloadTask, ratio: f64, link: &Link) -> (bool, Estimate) {
+    decide_with_bandwidth(task, ratio, link.bandwidth_bps)
+}
+
+/// Like [`decide`], with an explicit bandwidth figure — used by the
+/// adaptive estimator, which substitutes the *observed* effective
+/// bandwidth (see [`bandwidth`](crate::runtime::bandwidth)).
+pub fn decide_with_bandwidth(task: &OffloadTask, ratio: f64, bandwidth_bps: u64) -> (bool, Estimate) {
+    let bandwidth = if bandwidth_bps == u64::MAX {
+        // Ideal link: communication is free.
+        return (
+            true,
+            Estimate {
+                t_ideal_s: task.tm_per_invocation_s * (1.0 - 1.0 / ratio),
+                t_comm_s: 0.0,
+                t_gain_s: task.tm_per_invocation_s * (1.0 - 1.0 / ratio),
+            },
+        );
+    } else {
+        bandwidth_bps
+    };
+    let est = equation1(EstimateInput {
+        tm_s: task.tm_per_invocation_s,
+        invocations: 1,
+        mem_bytes: task.mem_bytes,
+        ratio,
+        bandwidth_bps: bandwidth,
+    });
+    (est.profitable(), est)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_ir::{FuncId, Type};
+
+    fn task(tm_s: f64, mem_bytes: u64) -> OffloadTask {
+        OffloadTask {
+            id: 1,
+            dispatcher: FuncId(0),
+            local_func: FuncId(1),
+            name: "t".into(),
+            params: vec![],
+            ret: Type::Void,
+            tm_per_invocation_s: tm_s,
+            mem_bytes,
+            prefetch_pages: vec![],
+        }
+    }
+
+    #[test]
+    fn slow_network_refuses_traffic_heavy_tasks() {
+        // A gzip-shaped task: 1 s of compute against a 20 MB footprint.
+        // Slow link: Tc = 2·20 MB / 10 MB/s = 4 s  > 0.83 s gain → refuse.
+        // Fast link: Tc = 2·20 MB / 62.5 MB/s = 0.64 s < gain → offload.
+        let t = task(1.0, 20_000_000);
+        let (slow, _) = decide(&t, 6.0, &Link::wifi_802_11n());
+        let (fast, _) = decide(&t, 6.0, &Link::wifi_802_11ac());
+        assert!(!slow, "gzip-shaped tasks must be refused on 802.11n (the Fig. 6 `*`)");
+        assert!(fast, "and accepted on 802.11ac");
+    }
+
+    #[test]
+    fn compute_heavy_tasks_always_go() {
+        let t = task(10.0, 1_000_000);
+        assert!(decide(&t, 6.0, &Link::wifi_802_11n()).0);
+        assert!(decide(&t, 6.0, &Link::wifi_802_11ac()).0);
+    }
+
+    #[test]
+    fn ideal_link_always_goes() {
+        let t = task(0.001, 1 << 30);
+        let (go, est) = decide(&t, 6.0, &Link::ideal());
+        assert!(go);
+        assert_eq!(est.t_comm_s, 0.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! The Native Offloader runtime (§4): seamless cooperative execution of
+//! the two partitions over a unified virtual address space.
+
+pub mod bandwidth;
+pub mod estimator;
+pub mod report;
+pub mod session;
+
+pub use session::{run_local, run_offloaded};

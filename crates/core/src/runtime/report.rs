@@ -1,0 +1,141 @@
+//! Run reports: everything the paper's evaluation section reads off a run.
+
+use offload_machine::power::PowerTimeline;
+use offload_net::{TrafficStats, TransferEvent};
+
+/// The Fig. 7 overhead breakdown of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverheadBreakdown {
+    /// Mobile-side computation, seconds.
+    pub mobile_compute_s: f64,
+    /// Server-side computation (the "ideal" part of an offloaded run).
+    pub server_compute_s: f64,
+    /// Function-pointer translation (§3.4), seconds.
+    pub fn_ptr_translation_s: f64,
+    /// Remote I/O operation time (§3.4), seconds.
+    pub remote_io_s: f64,
+    /// Memory-transfer communication time (§4), seconds.
+    pub communication_s: f64,
+}
+
+impl OverheadBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> f64 {
+        self.mobile_compute_s
+            + self.server_compute_s
+            + self.fn_ptr_translation_s
+            + self.remote_io_s
+            + self.communication_s
+    }
+}
+
+/// The result of one simulated program run (local or offloaded).
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Program name.
+    pub name: String,
+    /// Console output (remote printf output included, in order).
+    pub console: String,
+    /// Exit code, if the program exited explicitly.
+    pub exit_code: Option<i64>,
+    /// Whole-program wall time, seconds.
+    pub total_seconds: f64,
+    /// Mobile battery energy, millijoules.
+    pub energy_mj: f64,
+    /// Where the time went.
+    pub breakdown: OverheadBreakdown,
+    /// Mobile→server traffic.
+    pub upload: TrafficStats,
+    /// Server→mobile traffic.
+    pub download: TrafficStats,
+    /// Times an offload-enabled task was reached.
+    pub offload_attempts: u64,
+    /// Times the dynamic estimator said yes.
+    pub offloads_performed: u64,
+    /// Times it said no (the `*` entries of Fig. 6).
+    pub offloads_refused: u64,
+    /// Copy-on-demand page faults serviced over the network.
+    pub demand_page_fetches: u64,
+    /// Pages shipped by the initialization prefetch.
+    pub prefetched_pages: u64,
+    /// Dirty pages written back at finalizations.
+    pub dirty_pages_written_back: u64,
+    /// Function-pointer translations performed on the server.
+    pub fn_map_translations: u64,
+    /// Remote I/O operations executed.
+    pub remote_io_calls: u64,
+    /// The mobile power timeline (Fig. 8).
+    pub timeline: PowerTimeline,
+    /// Every network transfer, in order.
+    pub events: Vec<TransferEvent>,
+}
+
+impl RunReport {
+    /// Whole-program speedup of this run relative to `baseline`
+    /// (the paper's headline metric; geomean 6.42× over local execution).
+    pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
+        baseline.total_seconds / self.total_seconds
+    }
+
+    /// Execution time normalized to `baseline` (the y-axis of Fig. 6(a)).
+    pub fn normalized_time(&self, baseline: &RunReport) -> f64 {
+        self.total_seconds / baseline.total_seconds
+    }
+
+    /// Battery consumption normalized to `baseline` (Fig. 6(b)).
+    pub fn normalized_energy(&self, baseline: &RunReport) -> f64 {
+        self.energy_mj / baseline.energy_mj
+    }
+
+    /// Total communication traffic in megabytes (Table 4 reports MB per
+    /// invocation).
+    pub fn traffic_mb(&self) -> f64 {
+        (self.upload.raw_bytes + self.download.raw_bytes) as f64 / 1_000_000.0
+    }
+
+    /// Communication traffic per performed offload, MB.
+    pub fn traffic_mb_per_invocation(&self) -> f64 {
+        if self.offloads_performed == 0 {
+            0.0
+        } else {
+            self.traffic_mb() / self.offloads_performed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_math() {
+        let base = RunReport { total_seconds: 10.0, energy_mj: 1000.0, ..Default::default() };
+        let off = RunReport { total_seconds: 2.0, energy_mj: 180.0, ..Default::default() };
+        assert!((off.speedup_vs(&base) - 5.0).abs() < 1e-12);
+        assert!((off.normalized_time(&base) - 0.2).abs() < 1e-12);
+        assert!((off.normalized_energy(&base) - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_total() {
+        let b = OverheadBreakdown {
+            mobile_compute_s: 1.0,
+            server_compute_s: 2.0,
+            fn_ptr_translation_s: 0.5,
+            remote_io_s: 0.25,
+            communication_s: 0.25,
+        };
+        assert!((b.total() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_per_invocation() {
+        let mut r = RunReport::default();
+        r.upload.raw_bytes = 3_000_000;
+        r.download.raw_bytes = 1_000_000;
+        r.offloads_performed = 2;
+        assert!((r.traffic_mb_per_invocation() - 2.0).abs() < 1e-12);
+        r.offloads_performed = 0;
+        assert_eq!(r.traffic_mb_per_invocation(), 0.0);
+    }
+}

@@ -1,0 +1,1169 @@
+//! The offload session: the §4 life cycle on simulated devices.
+//!
+//! The mobile VM runs the mobile partition. When a dispatcher's
+//! `offload_call` fires, the session executes the §4 protocol:
+//!
+//! * **initialization** — ship the request (task id, stack pointer, page
+//!   table), snapshot the mobile page table, prefetch the profile-
+//!   predicted pages;
+//! * **offloading execution** — run the server wrapper on the server VM;
+//!   absent pages fault and are copied on demand from the mobile memory;
+//!   remote I/O calls route back to the mobile console/filesystem;
+//!   function pointers are translated through the map tables;
+//! * **finalization** — batch + compress the dirty pages, write them back
+//!   into the mobile memory, deliver the return value, tear the server
+//!   process down.
+//!
+//! Every byte crosses the recorded [`Channel`]; every interval lands on
+//! the mobile [`PowerTimeline`] — which is how the Fig. 6(b) energy bars
+//! and Fig. 8 power traces are produced.
+
+use std::collections::{BTreeSet, HashMap};
+
+use offload_ir::{Builtin, FuncId};
+use offload_machine::heap::HeapAllocator;
+use offload_machine::host::LocalHost;
+use offload_machine::io::{self, IoArg, IoError};
+use offload_machine::loader;
+use offload_machine::mem::{BackingPolicy, MemError, Memory};
+use offload_machine::power::{PowerState, PowerTimeline};
+use offload_machine::uva_map;
+use offload_machine::vm::{Host, HostCtx, RtVal, StackBank, Vm, VmError};
+use offload_machine::PAGE_SIZE;
+use offload_net::frame::{self, Message};
+use offload_net::{lz, Channel, Direction, MsgKind};
+
+use crate::compiler::CompiledApp;
+use crate::config::{SessionConfig, WorkloadInput};
+use crate::plan::OffloadPlan;
+use crate::runtime::bandwidth::BandwidthTracker;
+use crate::runtime::report::{OverheadBreakdown, RunReport};
+use crate::OffloadError;
+
+/// Run the unmodified program locally on the mobile device — the baseline
+/// every figure normalizes against.
+///
+/// # Errors
+///
+/// Simulated-execution failures.
+pub fn run_local(app: &CompiledApp, input: &WorkloadInput) -> Result<RunReport, OffloadError> {
+    let spec = &app.config.mobile;
+    let image = loader::load(&app.original, &spec.data_layout())?;
+    let mut host = LocalHost::new();
+    host.set_stdin(input.stdin.clone());
+    for (name, data) in &input.files {
+        host.add_file(name.clone(), data.clone());
+    }
+    let mut vm = Vm::new(&app.original, spec, image, StackBank::Mobile);
+    vm.set_fuel(SessionConfig::default().fuel);
+    let exit = match vm.run_entry(&mut host) {
+        Ok(v) => v.map(RtVal::as_i),
+        Err(e) => return Err(OffloadError::Vm(e)),
+    };
+    let total = spec.cycles_to_seconds(vm.clock.cycles);
+    let mut timeline = PowerTimeline::new();
+    timeline.push(PowerState::Compute, total);
+    let energy = timeline.energy_mj(&spec.power);
+    Ok(RunReport {
+        name: app.original.name.clone(),
+        console: host.console_utf8(),
+        exit_code: exit,
+        total_seconds: total,
+        energy_mj: energy,
+        breakdown: OverheadBreakdown { mobile_compute_s: total, ..Default::default() },
+        timeline,
+        ..Default::default()
+    })
+}
+
+/// Run the partitioned program under the offload runtime.
+///
+/// # Errors
+///
+/// Simulated-execution failures.
+pub fn run_offloaded(
+    app: &CompiledApp,
+    input: &WorkloadInput,
+    cfg: &SessionConfig,
+) -> Result<RunReport, OffloadError> {
+    let mobile_image = loader::load(&app.mobile, &cfg.mobile.data_layout())?;
+    // The server process starts with an empty address space: everything it
+    // touches arrives by prefetch or copy-on-demand.
+    let mut server_image = loader::load(&app.server, &cfg.mobile.data_layout())?;
+    server_image.mem.clear();
+    server_image.mem.set_policy(BackingPolicy::FaultOnAbsent);
+
+    let mut mobile_vm = Vm::new(&app.mobile, &cfg.mobile, mobile_image, StackBank::Mobile);
+    mobile_vm.set_fuel(cfg.fuel);
+    let mut server_vm = Vm::new(&app.server, &cfg.server, server_image, StackBank::Server);
+    server_vm.set_fuel(cfg.fuel);
+
+    let mut local = LocalHost::new();
+    local.set_stdin(input.stdin.clone());
+    for (name, data) in &input.files {
+        local.add_file(name.clone(), data.clone());
+    }
+
+    let mut wrappers = HashMap::new();
+    for task in &app.plan.tasks {
+        let w = app
+            .server
+            .function_by_name(&format!("__server_{}", task.name))
+            .ok_or_else(|| OffloadError::Other(format!("missing server wrapper for {}", task.name)))?;
+        wrappers.insert(task.id, w);
+    }
+
+    let mut host = SessionHost {
+        plan: &app.plan,
+        cfg,
+        server_vm,
+        local,
+        server_heap: HeapAllocator::new(
+            uva_map::SERVER_LOCAL_HEAP,
+            uva_map::SERVER_LOCAL_HEAP + 0x0100_0000,
+        ),
+        channel: Channel::new(cfg.link.clone()),
+        timeline: PowerTimeline::new(),
+        wrappers,
+        pending_args: Vec::new(),
+        pending_return: None,
+        stat: SessionStats::default(),
+        last_mobile_cycles: 0,
+        fn_map_cycles: 0,
+        remote_io_s: 0.0,
+        comm_s: 0.0,
+        decompress_s: 0.0,
+        server_cycles_total: 0,
+        bandwidth: BandwidthTracker::new(),
+    };
+
+    let exit = match mobile_vm.run_entry(&mut host) {
+        Ok(v) => v.map(RtVal::as_i),
+        Err(e) => return Err(OffloadError::Vm(e)),
+    };
+    host.account_mobile(mobile_vm.clock.cycles);
+
+    let mobile_hz = cfg.mobile.clock_hz as f64;
+    let server_hz = cfg.server.clock_hz as f64;
+    let fn_map_s = host.fn_map_cycles as f64 / server_hz;
+    let breakdown = OverheadBreakdown {
+        mobile_compute_s: mobile_vm.clock.cycles as f64 / mobile_hz + host.decompress_s,
+        server_compute_s: (host.server_cycles_total as f64 / server_hz - fn_map_s).max(0.0),
+        fn_ptr_translation_s: fn_map_s,
+        remote_io_s: host.remote_io_s,
+        communication_s: host.comm_s,
+    };
+    let energy = host.timeline.energy_mj(&cfg.mobile.power);
+    Ok(RunReport {
+        name: app.mobile.name.clone(),
+        console: host.local.console_utf8(),
+        exit_code: exit,
+        total_seconds: host.timeline.total_seconds(),
+        energy_mj: energy,
+        breakdown,
+        upload: host.channel.upload_stats(),
+        download: host.channel.download_stats(),
+        offload_attempts: host.stat.attempts,
+        offloads_performed: host.stat.performed,
+        offloads_refused: host.stat.refused,
+        demand_page_fetches: host.stat.demand_fetches,
+        prefetched_pages: host.stat.prefetched,
+        dirty_pages_written_back: host.stat.dirty_back,
+        fn_map_translations: host.stat.fn_maps,
+        remote_io_calls: host.stat.remote_io_calls,
+        timeline: host.timeline,
+        events: host.channel.events().to_vec(),
+    })
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SessionStats {
+    attempts: u64,
+    performed: u64,
+    refused: u64,
+    demand_fetches: u64,
+    prefetched: u64,
+    dirty_back: u64,
+    fn_maps: u64,
+    remote_io_calls: u64,
+}
+
+/// The mobile-side host orchestrating the whole session.
+struct SessionHost<'a> {
+    plan: &'a OffloadPlan,
+    cfg: &'a SessionConfig,
+    server_vm: Vm<'a>,
+    local: LocalHost,
+    server_heap: HeapAllocator,
+    channel: Channel,
+    timeline: PowerTimeline,
+    wrappers: HashMap<u32, FuncId>,
+    pending_args: Vec<RtVal>,
+    pending_return: Option<RtVal>,
+    stat: SessionStats,
+    last_mobile_cycles: u64,
+    fn_map_cycles: u64,
+    remote_io_s: f64,
+    comm_s: f64,
+    decompress_s: f64,
+    server_cycles_total: u64,
+    bandwidth: BandwidthTracker,
+}
+
+impl SessionHost<'_> {
+    /// Push the mobile compute interval since the last accounting point.
+    fn account_mobile(&mut self, cycles_now: u64) {
+        let delta = cycles_now.saturating_sub(self.last_mobile_cycles);
+        self.timeline.push(
+            PowerState::Compute,
+            delta as f64 / self.cfg.mobile.clock_hz as f64,
+        );
+        self.last_mobile_cycles = cycles_now;
+    }
+
+    fn wall(&self) -> f64 {
+        self.timeline.total_seconds()
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn do_offload(
+        &mut self,
+        task_id: u32,
+        args: &[RtVal],
+        ctx: &mut HostCtx<'_>,
+    ) -> Result<RtVal, VmError> {
+        let task = self
+            .plan
+            .task(task_id)
+            .ok_or_else(|| VmError::Trap(format!("unknown offload task {task_id}")))?
+            .clone();
+        let wrapper = *self
+            .wrappers
+            .get(&task_id)
+            .ok_or_else(|| VmError::Trap(format!("no wrapper for task {task_id}")))?;
+        self.stat.performed += 1;
+        self.account_mobile(ctx.clock.cycles);
+
+        // ---- initialization (§4) -----------------------------------------
+        // Page-table snapshot: the server learns which pages exist on the
+        // mobile device; the rest are demand-zero.
+        let mobile_present: BTreeSet<u64> = ctx.mem.present_pages().collect();
+
+        // Request: task id, stack pointer, page-table summary, arguments —
+        // a real encoded frame; its length is what crosses the link.
+        let req_msg = Message::OffloadRequest {
+            task_id,
+            stack_pointer: ctx.sp,
+            args: args
+                .iter()
+                .map(|v| match v {
+                    RtVal::I(i) => (*i as u64, false),
+                    RtVal::F(f) => (f.to_bits(), true),
+                })
+                .collect(),
+            present_pages: mobile_present.iter().copied().collect(),
+        };
+        let req_bytes = frame::encoded_len(&req_msg);
+        let d = self.channel.transfer(
+            self.wall(),
+            Direction::MobileToServer,
+            MsgKind::OffloadRequest,
+            req_bytes,
+            req_bytes,
+        );
+        self.timeline.push(PowerState::Transmit, d);
+        self.comm_s += d;
+        self.bandwidth.observe(req_bytes, d);
+
+        // Prefetch (or eager full transfer when copy-on-demand is ablated).
+        let prefetch_pages: Vec<u64> = if !self.cfg.copy_on_demand {
+            mobile_present.iter().copied().collect()
+        } else if self.cfg.prefetch {
+            task.prefetch_pages
+                .iter()
+                .copied()
+                .filter(|p| mobile_present.contains(p))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if !prefetch_pages.is_empty() {
+            let mut blob = Vec::with_capacity(prefetch_pages.len() * PAGE_SIZE as usize);
+            let mut page_buf = vec![0u8; PAGE_SIZE as usize];
+            for p in &prefetch_pages {
+                ctx.mem
+                    .read(p * PAGE_SIZE, &mut page_buf)
+                    .map_err(VmError::Mem)?;
+                self.server_vm.mem.install_page(*p, &page_buf);
+                blob.extend_from_slice(&page_buf);
+            }
+            self.stat.prefetched += prefetch_pages.len() as u64;
+            if self.cfg.batch {
+                let msg_len = frame::encoded_len(&Message::Pages {
+                    page_numbers: prefetch_pages.clone(),
+                    bytes: blob.clone(),
+                });
+                let d = self.channel.transfer(
+                    self.wall(),
+                    Direction::MobileToServer,
+                    MsgKind::Prefetch,
+                    msg_len,
+                    msg_len,
+                );
+                self.timeline.push(PowerState::Transmit, d);
+                self.comm_s += d;
+                self.bandwidth.observe(msg_len, d);
+            } else {
+                for _ in &prefetch_pages {
+                    let d = self.channel.transfer(
+                        self.wall(),
+                        Direction::MobileToServer,
+                        MsgKind::Prefetch,
+                        PAGE_SIZE,
+                        PAGE_SIZE,
+                    );
+                    self.timeline.push(PowerState::Transmit, d);
+                    self.comm_s += d;
+                }
+            }
+        }
+
+        // ---- offloading execution (§4) ------------------------------------
+        self.pending_args = args.to_vec();
+        self.pending_return = None;
+        let server_cycles_before = self.server_vm.clock.cycles;
+        let result = {
+            let Self {
+                server_vm,
+                local,
+                server_heap,
+                channel,
+                timeline,
+                cfg,
+                stat,
+                pending_args,
+                pending_return,
+                fn_map_cycles,
+                remote_io_s,
+                comm_s,
+                bandwidth,
+                ..
+            } = self;
+            let mut bridge = ServerBridge {
+                mobile_mem: ctx.mem,
+                mobile_env: local,
+                server_heap,
+                channel,
+                timeline,
+                cfg,
+                stat,
+                pending_args,
+                pending_return,
+                fn_map_cycles,
+                remote_io_s,
+                comm_s,
+                bandwidth,
+                mobile_present: &mobile_present,
+                last_server_cycles: server_cycles_before,
+                server_fn_count: server_vm.module().function_count() as u64,
+                io_batch: Vec::new(),
+                pending_task: 0,
+            };
+            let r = server_vm.call_function(wrapper, &[], &mut bridge);
+            // Remaining server compute shows up as mobile waiting time.
+            let leftover = server_vm.clock.cycles.saturating_sub(bridge.last_server_cycles);
+            bridge
+                .timeline
+                .push(PowerState::Waiting, leftover as f64 / cfg.server.clock_hz as f64);
+            let io_batch = std::mem::take(&mut bridge.io_batch);
+            r.map(|v| (v, io_batch))
+        };
+        let (_, io_batch) = result?;
+        self.server_cycles_total += self
+            .server_vm
+            .clock
+            .cycles
+            .saturating_sub(server_cycles_before);
+
+        // ---- finalization (§4) ---------------------------------------------
+        // Flush batched remote output to the mobile console.
+        if !io_batch.is_empty() {
+            let wire = if self.cfg.compress {
+                (lz::compress(&io_batch).len() as u64).min(io_batch.len() as u64)
+            } else {
+                io_batch.len() as u64
+            };
+            let d = self.channel.transfer(
+                self.wall(),
+                Direction::ServerToMobile,
+                MsgKind::RemoteIo,
+                io_batch.len() as u64,
+                wire,
+            );
+            self.timeline.push(PowerState::Receive, d);
+            self.remote_io_s += d;
+            self.local.console_write(&io_batch);
+        }
+
+        // Dirty pages (server-private ranges excluded) go home, batched and
+        // compressed.
+        let dirty: Vec<u64> = self
+            .server_vm
+            .mem
+            .dirty_pages()
+            .filter(|p| !is_server_private_page(*p))
+            .collect();
+        if !dirty.is_empty() {
+            let mut blob = Vec::with_capacity(dirty.len() * PAGE_SIZE as usize);
+            for p in &dirty {
+                blob.extend_from_slice(self.server_vm.mem.page_bytes(*p).expect("dirty page present"));
+            }
+            let raw = frame::encoded_len(&Message::Pages {
+                page_numbers: dirty.clone(),
+                bytes: blob.clone(),
+            });
+            let wire = if self.cfg.compress {
+                frame::encoded_len(&Message::Pages {
+                    page_numbers: dirty.clone(),
+                    bytes: lz::compress(&blob),
+                })
+                .min(raw)
+            } else {
+                raw
+            };
+            if self.cfg.batch {
+                let d = self.channel.transfer(
+                    self.wall(),
+                    Direction::ServerToMobile,
+                    MsgKind::DirtyPage,
+                    raw,
+                    wire,
+                );
+                self.timeline.push(PowerState::Receive, d);
+                self.comm_s += d;
+                self.bandwidth.observe(wire, d);
+            } else {
+                for _ in &dirty {
+                    let per = if self.cfg.compress { wire / dirty.len() as u64 } else { PAGE_SIZE };
+                    let d = self.channel.transfer(
+                        self.wall(),
+                        Direction::ServerToMobile,
+                        MsgKind::DirtyPage,
+                        PAGE_SIZE,
+                        per,
+                    );
+                    self.timeline.push(PowerState::Receive, d);
+                    self.comm_s += d;
+                }
+            }
+            if self.cfg.compress {
+                // The mobile CPU decompresses the write-back.
+                let dec = lz::decompress_seconds(blob.len() as u64);
+                self.timeline.push(PowerState::Compute, dec);
+                self.decompress_s += dec;
+            }
+            for (i, p) in dirty.iter().enumerate() {
+                let bytes = &blob[i * PAGE_SIZE as usize..(i + 1) * PAGE_SIZE as usize];
+                ctx.mem.write(p * PAGE_SIZE, bytes).map_err(VmError::Mem)?;
+            }
+            self.stat.dirty_back += dirty.len() as u64;
+        }
+
+        // Return value + termination signal.
+        let ret_msg = Message::Return {
+            task_id,
+            value: match self.pending_return {
+                Some(RtVal::F(f)) => f.to_bits(),
+                Some(RtVal::I(i)) => i as u64,
+                None => 0,
+            },
+            is_float: matches!(self.pending_return, Some(RtVal::F(_))),
+            dirty_pages: self.stat.dirty_back as u32,
+        };
+        let ret_bytes = frame::encoded_len(&ret_msg);
+        let d = self.channel.transfer(
+            self.wall(),
+            Direction::ServerToMobile,
+            MsgKind::Return,
+            ret_bytes,
+            ret_bytes,
+        );
+        self.timeline.push(PowerState::Receive, d);
+        self.comm_s += d;
+        self.bandwidth.observe(ret_bytes, d);
+
+        // Tear the server process down (§4: the server does not keep the
+        // offloading data).
+        self.server_vm.mem.clear();
+        self.server_heap = HeapAllocator::new(
+            uva_map::SERVER_LOCAL_HEAP,
+            uva_map::SERVER_LOCAL_HEAP + 0x0100_0000,
+        );
+
+        Ok(self.pending_return.take().unwrap_or(RtVal::I(0)))
+    }
+}
+
+fn is_server_private_page(page: u64) -> bool {
+    let addr = page * PAGE_SIZE;
+    let server_stack =
+        (uva_map::SERVER_STACK_TOP - uva_map::STACK_SIZE..uva_map::SERVER_STACK_TOP).contains(&addr);
+    let server_heap =
+        (uva_map::SERVER_LOCAL_HEAP..uva_map::SERVER_LOCAL_HEAP + 0x0100_0000).contains(&addr);
+    server_stack || server_heap
+}
+
+impl Host for SessionHost<'_> {
+    fn page_fault(&mut self, page: u64, _ctx: &mut HostCtx<'_>) -> Result<(), VmError> {
+        Err(VmError::Mem(MemError::PageFault { page }))
+    }
+
+    fn builtin(
+        &mut self,
+        b: Builtin,
+        args: &[RtVal],
+        ctx: &mut HostCtx<'_>,
+    ) -> Result<Option<RtVal>, VmError> {
+        match b {
+            Builtin::IsProfitable => {
+                self.stat.attempts += 1;
+                let task_id = args[0].as_i() as u32;
+                let go = if !self.cfg.dynamic_estimation {
+                    true
+                } else if let Some(task) = self.plan.task(task_id) {
+                    let ratio = self.cfg.mobile.performance_ratio(&self.cfg.server);
+                    // §6 extension: with adaptive bandwidth on, divide by
+                    // the *observed* effective throughput once transfers
+                    // have been seen, not the link's nominal figure.
+                    let bw = if self.cfg.adaptive_bandwidth {
+                        self.bandwidth
+                            .estimate_bps()
+                            .unwrap_or(self.cfg.link.bandwidth_bps)
+                    } else {
+                        self.cfg.link.bandwidth_bps
+                    };
+                    crate::runtime::estimator::decide_with_bandwidth(task, ratio, bw).0
+                } else {
+                    false
+                };
+                if !go {
+                    self.stat.refused += 1;
+                }
+                Ok(Some(RtVal::I(i64::from(go))))
+            }
+            Builtin::OffloadCall | Builtin::OffloadCallF => {
+                let task_id = args[0].as_i() as u32;
+                let v = self.do_offload(task_id, &args[1..], ctx)?;
+                Ok(Some(v))
+            }
+            other => self.local.builtin(other, args, ctx),
+        }
+    }
+}
+
+/// The server-side host active while an offloaded task runs: it services
+/// copy-on-demand faults out of the mobile memory, shares the unified
+/// heap, translates function pointers and routes remote I/O home.
+struct ServerBridge<'x> {
+    mobile_mem: &'x mut Memory,
+    mobile_env: &'x mut LocalHost,
+    server_heap: &'x mut HeapAllocator,
+    channel: &'x mut Channel,
+    timeline: &'x mut PowerTimeline,
+    cfg: &'x SessionConfig,
+    stat: &'x mut SessionStats,
+    pending_args: &'x Vec<RtVal>,
+    pending_return: &'x mut Option<RtVal>,
+    fn_map_cycles: &'x mut u64,
+    remote_io_s: &'x mut f64,
+    comm_s: &'x mut f64,
+    mobile_present: &'x BTreeSet<u64>,
+    bandwidth: &'x mut BandwidthTracker,
+    last_server_cycles: u64,
+    server_fn_count: u64,
+    io_batch: Vec<u8>,
+    /// Task id for the `accept_offload` builtin (exercised by the
+    /// `__listen` loop in dedicated tests; the session drives wrappers
+    /// directly).
+    pending_task: u32,
+}
+
+impl ServerBridge<'_> {
+    /// Convert server compute since the last event into mobile waiting
+    /// time on the timeline.
+    fn account_waiting(&mut self, server_cycles_now: u64) {
+        let delta = server_cycles_now.saturating_sub(self.last_server_cycles);
+        self.timeline
+            .push(PowerState::Waiting, delta as f64 / self.cfg.server.clock_hz as f64);
+        self.last_server_cycles = server_cycles_now;
+    }
+
+    fn wall(&self) -> f64 {
+        self.timeline.total_seconds()
+    }
+
+    /// Fetch one page from the mobile device (or zero-fill a page the
+    /// mobile never had), installing it into the server memory.
+    fn fault_in(&mut self, page: u64, ctx: &mut HostCtx<'_>) -> Result<(), VmError> {
+        self.account_waiting(ctx.clock.cycles);
+        if is_server_private_page(page) || !self.mobile_present.contains(&page) {
+            // Server-private pages and pages absent from the mobile page
+            // table are demand-zero: no network traffic.
+            ctx.mem.install_page(page, &vec![0u8; PAGE_SIZE as usize]);
+            return Ok(());
+        }
+        self.stat.demand_fetches += 1;
+        // Fault-ahead: pull the faulting page plus the next mobile-present
+        // pages not yet on the server, amortizing the round trip over
+        // sequential access patterns.
+        let window = self.cfg.fault_ahead.max(1);
+        let mut pages = vec![page];
+        for p in page + 1..page + window {
+            if self.mobile_present.contains(&p)
+                && !is_server_private_page(p)
+                && !ctx.mem.is_present(p)
+            {
+                pages.push(p);
+            } else {
+                break;
+            }
+        }
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        // Control request (server→mobile), then the pages (mobile→server),
+        // batched into one message.
+        let req_len = frame::encoded_len(&Message::PageRequest {
+            page,
+            count: pages.len() as u32,
+        });
+        let d1 = self.channel.transfer(
+            self.wall(),
+            Direction::ServerToMobile,
+            MsgKind::Control,
+            req_len,
+            req_len,
+        );
+        self.timeline.push(PowerState::Receive, d1);
+        let payload = frame::encoded_len(&Message::Pages {
+            page_numbers: pages.clone(),
+            bytes: vec![0; PAGE_SIZE as usize * pages.len()],
+        });
+        let d2 = self.channel.transfer(
+            self.wall(),
+            Direction::MobileToServer,
+            MsgKind::DemandPage,
+            payload,
+            payload,
+        );
+        self.timeline.push(PowerState::Transmit, d2);
+        *self.comm_s += d1 + d2;
+        self.bandwidth.observe(payload, d1 + d2);
+        for p in pages {
+            self.mobile_mem
+                .read(p * PAGE_SIZE, &mut buf)
+                .map_err(VmError::Mem)?;
+            ctx.mem.install_page(p, &buf);
+        }
+        Ok(())
+    }
+
+    /// Read a C string from server memory, faulting pages in as needed.
+    fn read_cstr_faulting(&mut self, ctx: &mut HostCtx<'_>, addr: u64) -> Result<Vec<u8>, VmError> {
+        loop {
+            match ctx.mem.read_cstr(addr) {
+                Ok(v) => return Ok(v),
+                Err(MemError::PageFault { page }) => self.fault_in(page, ctx)?,
+                Err(e) => return Err(VmError::Mem(e)),
+            }
+        }
+    }
+
+    /// Read raw bytes from server memory with fault service.
+    fn read_faulting(
+        &mut self,
+        ctx: &mut HostCtx<'_>,
+        addr: u64,
+        buf: &mut [u8],
+    ) -> Result<(), VmError> {
+        loop {
+            match ctx.mem.read(addr, buf) {
+                Ok(()) => return Ok(()),
+                Err(MemError::PageFault { page }) => self.fault_in(page, ctx)?,
+                Err(e) => return Err(VmError::Mem(e)),
+            }
+        }
+    }
+
+    /// Write raw bytes to server memory with fault service.
+    fn write_faulting(
+        &mut self,
+        ctx: &mut HostCtx<'_>,
+        addr: u64,
+        buf: &[u8],
+    ) -> Result<(), VmError> {
+        loop {
+            match ctx.mem.write(addr, buf) {
+                Ok(()) => return Ok(()),
+                Err(MemError::PageFault { page }) => self.fault_in(page, ctx)?,
+                Err(e) => return Err(VmError::Mem(e)),
+            }
+        }
+    }
+
+    /// Format a printf call against *server* memory, faulting in the
+    /// format string and any `%s` payloads.
+    fn render_remote(
+        &mut self,
+        args: &[RtVal],
+        ctx: &mut HostCtx<'_>,
+    ) -> Result<Vec<u8>, VmError> {
+        let fmt = self.read_cstr_faulting(ctx, args[0].as_addr())?;
+        let io_args: Vec<IoArg> = args[1..]
+            .iter()
+            .map(|v| match v {
+                RtVal::I(i) => IoArg::I(*i),
+                RtVal::F(f) => IoArg::F(*f),
+            })
+            .collect();
+        loop {
+            let fault_page: Option<u64>;
+            let attempt = {
+                let mem = &mut *ctx.mem;
+                let cell = std::cell::RefCell::new(mem);
+                let fault_slot = std::cell::Cell::new(None::<u64>);
+                let mut resolver = |addr: u64| -> Result<Vec<u8>, IoError> {
+                    match cell.borrow_mut().read_cstr(addr) {
+                        Ok(v) => Ok(v),
+                        Err(MemError::PageFault { page }) => {
+                            fault_slot.set(Some(page));
+                            Err(IoError { message: format!("fault at page {page}") })
+                        }
+                        Err(e) => Err(IoError { message: e.to_string() }),
+                    }
+                };
+                let r = io::format_c(&fmt, &io_args, &mut resolver);
+                fault_page = fault_slot.get();
+                r
+            };
+            match attempt {
+                Ok(bytes) => return Ok(bytes),
+                Err(_) if fault_page.is_some() => {
+                    self.fault_in(fault_page.expect("just checked"), ctx)?;
+                }
+                Err(e) => return Err(VmError::Io(e)),
+            }
+        }
+    }
+
+    /// A round trip for a remote I/O request: `req` bytes server→mobile,
+    /// `resp` bytes mobile→server. Returns the total duration.
+    fn remote_round_trip(&mut self, req: u64, resp: u64) -> f64 {
+        let d1 = self
+            .channel
+            .transfer(self.wall(), Direction::ServerToMobile, MsgKind::RemoteIo, req, req);
+        self.timeline.push(PowerState::Receive, d1);
+        let d2 = self
+            .channel
+            .transfer(self.wall(), Direction::MobileToServer, MsgKind::RemoteIo, resp, resp);
+        self.timeline.push(PowerState::Transmit, d2);
+        *self.remote_io_s += d1 + d2;
+        d1 + d2
+    }
+}
+
+impl Host for ServerBridge<'_> {
+    fn page_fault(&mut self, page: u64, ctx: &mut HostCtx<'_>) -> Result<(), VmError> {
+        self.fault_in(page, ctx)
+    }
+
+    fn syscall(&mut self, number: u32, _args: &[RtVal], _ctx: &mut HostCtx<'_>) -> Result<RtVal, VmError> {
+        Err(VmError::MachineSpecific { what: format!("syscall {number} on the server") })
+    }
+
+    fn inline_asm(&mut self, text: &str, _ctx: &mut HostCtx<'_>) -> Result<(), VmError> {
+        Err(VmError::MachineSpecific { what: format!("inline asm \"{text}\" on the server") })
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn builtin(
+        &mut self,
+        b: Builtin,
+        args: &[RtVal],
+        ctx: &mut HostCtx<'_>,
+    ) -> Result<Option<RtVal>, VmError> {
+        use Builtin::*;
+        match b {
+            // Unified heap: shared allocator state with the mobile device.
+            UMalloc => {
+                ctx.clock.charge(ctx.cpi.alloc);
+                let addr = self.mobile_env.unified_heap_mut().alloc(args[0].as_addr())?;
+                Ok(Some(RtVal::I(addr as i64)))
+            }
+            UFree => {
+                ctx.clock.charge(ctx.cpi.alloc / 2);
+                self.mobile_env.unified_heap_mut().free(args[0].as_addr())?;
+                Ok(None)
+            }
+            // Server-local heap (dies with the offload process).
+            Malloc => {
+                ctx.clock.charge(ctx.cpi.alloc);
+                let addr = self.server_heap.alloc(args[0].as_addr())?;
+                Ok(Some(RtVal::I(addr as i64)))
+            }
+            Free => {
+                ctx.clock.charge(ctx.cpi.alloc / 2);
+                self.server_heap.free(args[0].as_addr())?;
+                Ok(None)
+            }
+            // Function-pointer translation (§3.4): mobile stub → server stub.
+            FnMapToLocal => {
+                ctx.clock.charge(ctx.cpi.fn_map);
+                *self.fn_map_cycles += ctx.cpi.fn_map;
+                self.stat.fn_maps += 1;
+                let addr = args[0].as_addr();
+                let span = self.server_fn_count * uva_map::FN_STRIDE;
+                let mapped = if (uva_map::MOBILE_FN_BASE..uva_map::MOBILE_FN_BASE + span)
+                    .contains(&addr)
+                {
+                    uva_map::SERVER_FN_BASE + (addr - uva_map::MOBILE_FN_BASE)
+                } else {
+                    addr
+                };
+                Ok(Some(RtVal::I(mapped as i64)))
+            }
+            // Offload-protocol plumbing.
+            AcceptOffload => {
+                let t = self.pending_task;
+                self.pending_task = 0;
+                Ok(Some(RtVal::I(t as i64)))
+            }
+            RecvArgI => {
+                let i = args[0].as_i() as usize;
+                let v = self
+                    .pending_args
+                    .get(i)
+                    .copied()
+                    .ok_or_else(|| VmError::Trap(format!("missing offload argument {i}")))?;
+                Ok(Some(RtVal::I(v.as_i())))
+            }
+            RecvArgF => {
+                let i = args[0].as_i() as usize;
+                let v = self
+                    .pending_args
+                    .get(i)
+                    .copied()
+                    .ok_or_else(|| VmError::Trap(format!("missing offload argument {i}")))?;
+                Ok(Some(RtVal::F(v.as_f())))
+            }
+            SendReturn => {
+                *self.pending_return = Some(RtVal::I(args[0].as_i()));
+                Ok(None)
+            }
+            SendReturnF => {
+                *self.pending_return = Some(RtVal::F(args[0].as_f()));
+                Ok(None)
+            }
+            // Remote I/O (§3.4).
+            RPrintf => {
+                self.stat.remote_io_calls += 1;
+                let out = self.render_remote(args, ctx)?;
+                ctx.clock.charge(ctx.cpi.io_char * out.len() as u64);
+                let n = out.len();
+                if self.cfg.batch {
+                    self.io_batch.extend_from_slice(&out);
+                } else {
+                    let d = self.channel.transfer(
+                        self.wall(),
+                        Direction::ServerToMobile,
+                        MsgKind::RemoteIo,
+                        n as u64,
+                        n as u64,
+                    );
+                    self.timeline.push(PowerState::Receive, d);
+                    *self.remote_io_s += d;
+                    self.mobile_env.console_write(&out);
+                }
+                Ok(Some(RtVal::I(n as i64)))
+            }
+            RPutchar => {
+                self.stat.remote_io_calls += 1;
+                ctx.clock.charge(ctx.cpi.io_char);
+                let c = args[0].as_i() as u8;
+                if self.cfg.batch {
+                    self.io_batch.push(c);
+                } else {
+                    let d = self.channel.transfer(
+                        self.wall(),
+                        Direction::ServerToMobile,
+                        MsgKind::RemoteIo,
+                        1,
+                        1,
+                    );
+                    self.timeline.push(PowerState::Receive, d);
+                    *self.remote_io_s += d;
+                    self.mobile_env.console_write(&[c]);
+                }
+                Ok(Some(args[0]).map(|v| RtVal::I(v.as_i())))
+            }
+            RFOpen => {
+                self.stat.remote_io_calls += 1;
+                self.account_waiting(ctx.clock.cycles);
+                let name = self.read_cstr_faulting(ctx, args[0].as_addr())?;
+                let mode = self.read_cstr_faulting(ctx, args[1].as_addr())?;
+                self.remote_round_trip(name.len() as u64 + 16, 8);
+                let fd = self.mobile_env.fs_mut().open(
+                    &String::from_utf8_lossy(&name),
+                    &String::from_utf8_lossy(&mode),
+                );
+                Ok(Some(RtVal::I(fd as i64)))
+            }
+            RFClose => {
+                self.stat.remote_io_calls += 1;
+                self.account_waiting(ctx.clock.cycles);
+                self.remote_round_trip(16, 8);
+                let ok = self.mobile_env.fs_mut().close(args[0].as_i() as i32);
+                Ok(Some(RtVal::I(if ok { 0 } else { -1 })))
+            }
+            RFRead => {
+                // Remote *input*: the expensive round trip of §5.1
+                // (300.twolf / 445.gobmk / 464.h264ref).
+                self.stat.remote_io_calls += 1;
+                self.account_waiting(ctx.clock.cycles);
+                let (buf, size, count, fd) = (
+                    args[0].as_addr(),
+                    args[1].as_addr(),
+                    args[2].as_addr(),
+                    args[3].as_i() as i32,
+                );
+                let want = (size * count) as usize;
+                let Some(data) = self.mobile_env.fs_mut().read(fd, want) else {
+                    return Ok(Some(RtVal::I(0)));
+                };
+                self.remote_round_trip(32, data.len() as u64);
+                self.write_faulting(ctx, buf, &data)?;
+                ctx.clock.charge(ctx.cpi.io_char / 4 * data.len() as u64);
+                let items = (data.len() as u64).checked_div(size).unwrap_or(0);
+                Ok(Some(RtVal::I(items as i64)))
+            }
+            RFWrite => {
+                self.stat.remote_io_calls += 1;
+                self.account_waiting(ctx.clock.cycles);
+                let (buf, size, count, fd) = (
+                    args[0].as_addr(),
+                    args[1].as_addr(),
+                    args[2].as_addr(),
+                    args[3].as_i() as i32,
+                );
+                let n = (size * count) as usize;
+                let mut data = vec![0u8; n];
+                self.read_faulting(ctx, buf, &mut data)?;
+                let wire = if self.cfg.compress {
+                    (lz::compress(&data).len() as u64).min(n as u64)
+                } else {
+                    n as u64
+                };
+                let d = self.channel.transfer(
+                    self.wall(),
+                    Direction::ServerToMobile,
+                    MsgKind::RemoteIo,
+                    n as u64,
+                    wire,
+                );
+                self.timeline.push(PowerState::Receive, d);
+                *self.remote_io_s += d;
+                let Some(written) = self.mobile_env.fs_mut().write(fd, &data) else {
+                    return Ok(Some(RtVal::I(0)));
+                };
+                let items = (written as u64).checked_div(size).unwrap_or(0);
+                Ok(Some(RtVal::I(items as i64)))
+            }
+            // Nested dispatchers on the server always run locally.
+            IsProfitable => Ok(Some(RtVal::I(0))),
+            Scanf | Getchar => Err(VmError::MachineSpecific {
+                what: format!("interactive input {b} reached the server"),
+            }),
+            other => Err(VmError::MachineSpecific {
+                what: format!("builtin {other} is not executable on the server"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::Offloader;
+
+    /// A crunch task that reads a mobile-initialized global array and
+    /// writes results back — so the UVA protocol (prefetch, copy-on-
+    /// demand, dirty write-back) genuinely moves data.
+    const HEAVY: &str = "
+        int gsize;
+        int data[20000];
+        double acc_out[4];
+        double crunch(int n) {
+            double acc = 0.0; int i; int j;
+            for (j = 0; j < 100; j++)
+                for (i = 0; i < n; i++)
+                    acc += (double)(data[i] % 17) * 0.25;
+            acc_out[0] = acc;
+            return acc;
+        }
+        int main() {
+            scanf(\"%d\", &gsize);
+            int i;
+            for (i = 0; i < gsize; i++) data[i] = i * 7;
+            double r = crunch(gsize);
+            printf(\"%.2f %.2f\\n\", r, acc_out[0]);
+            return 0;
+        }";
+
+    fn compiled() -> crate::compiler::CompiledApp {
+        let app = Offloader::new()
+            .compile_source(HEAVY, "heavy", &WorkloadInput::from_stdin("3000\n"))
+            .unwrap();
+        assert!(app.plan.task_by_name("crunch").is_some(), "{:?}", app.plan.estimates);
+        app
+    }
+
+    #[test]
+    fn offloaded_output_matches_local() {
+        let app = compiled();
+        let input = WorkloadInput::from_stdin("5000\n");
+        let local = app.run_local(&input).unwrap();
+        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        assert_eq!(local.console, off.console);
+        assert!(off.offloads_performed >= 1);
+    }
+
+    #[test]
+    fn offloading_heavy_compute_is_faster_and_cheaper() {
+        let app = compiled();
+        let input = WorkloadInput::from_stdin("5000\n");
+        let local = app.run_local(&input).unwrap();
+        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        assert!(
+            off.total_seconds < local.total_seconds,
+            "offload {} vs local {}",
+            off.total_seconds,
+            local.total_seconds
+        );
+        assert!(off.energy_mj < local.energy_mj, "battery must be saved");
+        // The timeline shows waiting while the server computes.
+        assert!(off
+            .timeline
+            .intervals()
+            .iter()
+            .any(|iv| iv.state == PowerState::Waiting));
+    }
+
+    #[test]
+    fn copy_on_demand_fetches_and_writes_back() {
+        let app = compiled();
+        let input = WorkloadInput::from_stdin("4000\n");
+        let mut cfg = SessionConfig::fast_network();
+        cfg.prefetch = false; // force demand faults
+        let off = app.run_offloaded(&input, &cfg).unwrap();
+        assert!(off.demand_page_fetches > 0, "without prefetch, pages fault in");
+        assert!(off.dirty_pages_written_back > 0, "results go home");
+        assert_eq!(off.prefetched_pages, 0);
+    }
+
+    #[test]
+    fn prefetch_reduces_demand_fetches() {
+        let app = compiled();
+        let input = WorkloadInput::from_stdin("4000\n");
+        let with = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        let mut cfg = SessionConfig::fast_network();
+        cfg.prefetch = false;
+        let without = app.run_offloaded(&input, &cfg).unwrap();
+        assert!(with.prefetched_pages > 0);
+        assert!(with.demand_page_fetches < without.demand_page_fetches);
+    }
+
+    #[test]
+    fn dynamic_estimator_refuses_on_hopeless_links() {
+        let app = compiled();
+        let input = WorkloadInput::from_stdin("4000\n");
+        let mut cfg = SessionConfig::with_link(offload_net::Link::custom("2g", 40_000, 0.5));
+        cfg.dynamic_estimation = true;
+        let off = app.run_offloaded(&input, &cfg).unwrap();
+        assert_eq!(off.offloads_performed, 0, "a 40 kbps link must be refused");
+        assert!(off.offloads_refused >= 1);
+        // Refused offloading still computes the right answer locally.
+        let local = app.run_local(&input).unwrap();
+        assert_eq!(off.console, local.console);
+    }
+
+    #[test]
+    fn remote_printf_reaches_mobile_console_in_order() {
+        let src = "
+            int n;
+            double noisy(int k) {
+                double acc = 0.0; int i;
+                for (i = 0; i < k * 2000; i++) acc += (double)(i % 11);
+                printf(\"server says %d\\n\", k);
+                return acc;
+            }
+            int main() {
+                scanf(\"%d\", &n);
+                printf(\"before\\n\");
+                double r = noisy(n);
+                printf(\"after %.0f\\n\", r);
+                return 0;
+            }";
+        let app = Offloader::new()
+            .compile_source(src, "noisy", &WorkloadInput::from_stdin("300\n"))
+            .unwrap();
+        assert!(app.plan.task_by_name("noisy").is_some());
+        let input = WorkloadInput::from_stdin("400\n");
+        let local = app.run_local(&input).unwrap();
+        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        assert_eq!(local.console, off.console);
+        assert!(off.remote_io_calls >= 1);
+    }
+
+    #[test]
+    fn shared_heap_objects_cross_the_uva() {
+        // The mobile allocates and fills a buffer; the server reads it and
+        // writes results into another heap object; the mobile prints them.
+        let src = "
+            int n;
+            long process(int *data, long *out, int len) {
+                long sum = 0; int i;
+                for (i = 0; i < len; i++) { sum += data[i]; out[i] = (long)data[i] * 2; }
+                int pad; for (pad = 0; pad < 500000; pad++) sum += pad % 3;
+                return sum;
+            }
+            int main() {
+                scanf(\"%d\", &n);
+                int *data = (int*)malloc(sizeof(int) * n);
+                long *out = (long*)malloc(sizeof(long) * n);
+                int i;
+                for (i = 0; i < n; i++) data[i] = i * i;
+                long s = process(data, out, n);
+                printf(\"%d %d %d\\n\", (int)(s % 100000), (int)out[3], (int)out[n-1]);
+                return 0;
+            }";
+        let app = Offloader::new()
+            .compile_source(src, "shared", &WorkloadInput::from_stdin("800\n"))
+            .unwrap();
+        assert!(app.plan.task_by_name("process").is_some(), "{:?}", app.plan.estimates);
+        let input = WorkloadInput::from_stdin("1200\n");
+        let local = app.run_local(&input).unwrap();
+        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        assert_eq!(local.console, off.console, "heap results must write back");
+        assert!(off.dirty_pages_written_back > 0);
+    }
+
+    #[test]
+    fn slow_network_is_slower_than_fast() {
+        let app = compiled();
+        let input = WorkloadInput::from_stdin("5000\n");
+        let mut slow_cfg = SessionConfig::slow_network();
+        slow_cfg.dynamic_estimation = false; // force the offload through
+        let slow = app.run_offloaded(&input, &slow_cfg).unwrap();
+        let fast = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        assert!(slow.total_seconds > fast.total_seconds);
+        assert!(slow.breakdown.communication_s > fast.breakdown.communication_s);
+    }
+}

@@ -1,0 +1,118 @@
+//! Integration: the §6 bandwidth-aware prediction extension (NWSLite-
+//! style observed-throughput estimation) and the Cloudlet preset.
+
+use native_offloader::{Offloader, SessionConfig, WorkloadInput};
+use offload_net::Link;
+
+/// A think-like program: the target runs once per move, so later
+/// invocations can learn from earlier transfers.
+const MULTI: &str = r#"
+int table[30000];
+
+long think(int n) {
+    int r; int i;
+    long acc = 0;
+    for (r = 0; r < 30; r++)
+        for (i = 0; i < n; i++)
+            acc += table[i % 30000] ^ (r * 31 + i);
+    return acc;
+}
+
+int main() {
+    int n; int moves; int m;
+    scanf("%d %d", &n, &moves);
+    int i;
+    for (i = 0; i < 30000; i++) table[i] = (i * 2654435761) % 1000;
+    long total = 0;
+    for (m = 0; m < moves; m++) {
+        total = (total + think(n)) % 1000000007;
+        int dummy;
+        scanf("%d", &dummy);
+    }
+    printf("line %d\n", (int)total);
+    return 0;
+}
+"#;
+
+fn compiled() -> native_offloader::CompiledApp {
+    Offloader::new()
+        .compile_source(MULTI, "multi", &WorkloadInput::from_stdin("9000 3\n1\n2\n3\n"))
+        .unwrap()
+}
+
+fn eval_input() -> WorkloadInput {
+    WorkloadInput::from_stdin("12000 3\n1\n2\n3\n")
+}
+
+/// A nominally-fast but extremely high-latency link (a satellite hop):
+/// the nominal-bandwidth estimator keeps offloading; the adaptive one
+/// observes the terrible effective throughput and backs off.
+fn satellite() -> Link {
+    Link::custom("satellite", 500_000_000, 0.250)
+}
+
+#[test]
+fn adaptive_estimator_learns_to_refuse_on_a_deceptive_link() {
+    let app = compiled();
+    assert!(app.plan.task_by_name("think").is_some(), "{:#?}", app.plan.estimates);
+    let input = eval_input();
+
+    let naive = app
+        .run_offloaded(&input, &SessionConfig::with_link(satellite()))
+        .unwrap();
+    let mut cfg = SessionConfig::with_link(satellite());
+    cfg.adaptive_bandwidth = true;
+    let adaptive = app.run_offloaded(&input, &cfg).unwrap();
+
+    assert_eq!(naive.console, adaptive.console, "behaviour must not change");
+    assert_eq!(naive.offloads_performed, 3, "nominal 500 Mbps looks great on paper");
+    assert!(
+        adaptive.offloads_performed < naive.offloads_performed,
+        "the adaptive estimator must back off after observing the latency: {} vs {}",
+        adaptive.offloads_performed,
+        naive.offloads_performed
+    );
+    assert!(
+        adaptive.total_seconds < naive.total_seconds,
+        "backing off must pay: adaptive {:.2} ms vs naive {:.2} ms",
+        adaptive.total_seconds * 1e3,
+        naive.total_seconds * 1e3
+    );
+}
+
+#[test]
+fn adaptive_estimator_keeps_offloading_on_honest_links() {
+    let app = compiled();
+    let input = eval_input();
+    let plain = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+    let mut cfg = SessionConfig::fast_network();
+    cfg.adaptive_bandwidth = true;
+    let adaptive = app.run_offloaded(&input, &cfg).unwrap();
+    assert_eq!(plain.console, adaptive.console);
+    assert_eq!(
+        adaptive.offloads_performed, plain.offloads_performed,
+        "a truthful link must not trigger false refusals"
+    );
+}
+
+#[test]
+fn cloudlet_beats_the_distant_fast_network_for_chatty_workloads() {
+    // §6: "Cloudlet proposes the use of a nearby server instead of a cloud
+    // server that has higher latency and lower bandwidth. With Cloudlet,
+    // Native Offloader can reduce the communication latency." The
+    // remote-input program gobmk pays per-round-trip latency, so the
+    // nearby server wins.
+    let w = offload_workloads::by_short_name("gobmk").unwrap();
+    let app = w.compile().unwrap();
+    let input = (w.eval_input)();
+    let wan = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+    let nearby = app.run_offloaded(&input, &SessionConfig::cloudlet()).unwrap();
+    assert_eq!(wan.console, nearby.console);
+    assert!(
+        nearby.total_seconds < wan.total_seconds,
+        "cloudlet {:.2} ms vs fast WAN {:.2} ms",
+        nearby.total_seconds * 1e3,
+        wan.total_seconds * 1e3
+    );
+    assert!(nearby.breakdown.remote_io_s < wan.breakdown.remote_io_s);
+}

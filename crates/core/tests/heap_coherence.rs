@@ -1,0 +1,66 @@
+//! Integration: unified-heap coherence across repeated offloads. The
+//! `u_malloc` arena is shared state (§3.2): an object allocated *on the
+//! server* during one offload must stay valid — and freeable — on the
+//! mobile device afterwards, and vice versa.
+
+use native_offloader::{Offloader, SessionConfig, WorkloadInput};
+
+/// The offloaded task allocates a result buffer with `malloc` (unified to
+/// `u_malloc` by the compiler), fills it, and returns the pointer; the
+/// mobile side reads it, reuses it across calls, and frees it at the end.
+const SRC: &str = r#"
+int *build(int n) {
+    int *buf = (int*)malloc(sizeof(int) * 2048);
+    int i; int r;
+    for (r = 0; r < 200; r++)
+        for (i = 0; i < 2048; i++)
+            buf[i] = (i * n + r) % 977;
+    return buf;
+}
+
+int main() {
+    int n; int rounds; int m;
+    scanf("%d %d", &n, &rounds);
+    long acc = 0;
+    for (m = 0; m < rounds; m++) {
+        int *buf = build(n + m);
+        int i;
+        for (i = 0; i < 2048; i++) acc += buf[i];
+        free((char*)buf);
+        int pace;
+        scanf("%d", &pace);
+    }
+    printf("acc %d\n", (int)(acc % 1000000007));
+    return 0;
+}
+"#;
+
+#[test]
+fn server_allocations_survive_and_free_on_mobile() {
+    let app = Offloader::new()
+        .compile_source(SRC, "heapcoherence", &WorkloadInput::from_stdin("3 2\n0\n0\n"))
+        .unwrap();
+    assert!(app.plan.task_by_name("build").is_some(), "{:#?}", app.plan.estimates);
+    let input = WorkloadInput::from_stdin("5 3\n0\n0\n0\n");
+    let local = app.run_local(&input).unwrap();
+    let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+    assert_eq!(local.console, off.console);
+    assert_eq!(off.offloads_performed, 3, "every build() must offload");
+    // The server-side allocations' pages came home as dirty pages.
+    assert!(off.dirty_pages_written_back > 0);
+}
+
+#[test]
+fn repeated_offloads_do_not_leak_the_unified_arena() {
+    // Alloc/free balance holds across many offloads; a leak in the shared
+    // allocator would eventually exhaust the arena and error.
+    let app = Offloader::new()
+        .compile_source(SRC, "heapcoherence", &WorkloadInput::from_stdin("3 2\n0\n0\n"))
+        .unwrap();
+    let stdin = format!("7 8\n{}", "0\n".repeat(8));
+    let input = WorkloadInput::from_stdin(stdin);
+    let local = app.run_local(&input).unwrap();
+    let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+    assert_eq!(local.console, off.console);
+    assert_eq!(off.offloads_performed, 8);
+}

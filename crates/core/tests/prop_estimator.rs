@@ -1,0 +1,82 @@
+//! Property tests for Equation 1 and the dynamic-estimation decision
+//! boundary — the logic that decides whether a user's task leaves the
+//! phone at all.
+
+use native_offloader::compiler::estimate::{equation1, EstimateInput};
+use offload_net::Link;
+use proptest::prelude::*;
+
+fn input() -> impl Strategy<Value = EstimateInput> {
+    (
+        0.001f64..100.0,
+        1u64..100,
+        0u64..1_000_000_000,
+        1.5f64..20.0,
+        1_000_000u64..1_000_000_000,
+    )
+        .prop_map(|(tm_s, invocations, mem_bytes, ratio, bandwidth_bps)| EstimateInput {
+            tm_s,
+            invocations,
+            mem_bytes,
+            ratio,
+            bandwidth_bps,
+        })
+}
+
+proptest! {
+    /// Tg decomposes exactly: Tg = Tideal − Tc, with both parts
+    /// non-negative for valid inputs.
+    #[test]
+    fn decomposition_holds(i in input()) {
+        let e = equation1(i);
+        prop_assert!((e.t_gain_s - (e.t_ideal_s - e.t_comm_s)).abs() < 1e-9);
+        prop_assert!(e.t_ideal_s >= 0.0);
+        prop_assert!(e.t_comm_s >= 0.0);
+    }
+
+    /// More bandwidth never hurts: Tg is monotone non-decreasing in BW.
+    #[test]
+    fn monotone_in_bandwidth(i in input(), extra in 1u64..1_000_000_000) {
+        let better = EstimateInput { bandwidth_bps: i.bandwidth_bps.saturating_add(extra), ..i };
+        prop_assert!(equation1(better).t_gain_s >= equation1(i).t_gain_s - 1e-12);
+    }
+
+    /// A faster server never hurts: Tg is monotone in R.
+    #[test]
+    fn monotone_in_ratio(i in input(), extra in 0.1f64..50.0) {
+        let better = EstimateInput { ratio: i.ratio + extra, ..i };
+        prop_assert!(equation1(better).t_gain_s >= equation1(i).t_gain_s - 1e-12);
+    }
+
+    /// More memory or more invocations never helps.
+    #[test]
+    fn monotone_against_traffic(i in input(), extra_mem in 1u64..1_000_000_000, extra_invo in 1u64..100) {
+        let heavier = EstimateInput { mem_bytes: i.mem_bytes + extra_mem, ..i };
+        prop_assert!(equation1(heavier).t_gain_s <= equation1(i).t_gain_s + 1e-12);
+        let chattier = EstimateInput { invocations: i.invocations + extra_invo, ..i };
+        prop_assert!(equation1(chattier).t_gain_s <= equation1(i).t_gain_s + 1e-12);
+    }
+
+    /// The runtime decision agrees with raw Equation 1 on every input:
+    /// there is exactly one decision boundary and it sits at Tg = 0.
+    #[test]
+    fn decision_matches_equation(tm_ms in 1u64..1_000, mem_kb in 1u64..1_000_000) {
+        use native_offloader::OffloadTask;
+        use offload_ir::{FuncId, Type};
+        let task = OffloadTask {
+            id: 1,
+            dispatcher: FuncId(0),
+            local_func: FuncId(1),
+            name: "t".into(),
+            params: vec![],
+            ret: Type::Void,
+            tm_per_invocation_s: tm_ms as f64 / 1e3,
+            mem_bytes: mem_kb * 1024,
+            prefetch_pages: vec![],
+        };
+        for link in [Link::wifi_802_11n(), Link::wifi_802_11ac()] {
+            let (go, est) = native_offloader::runtime::estimator::decide(&task, 6.0, &link);
+            prop_assert_eq!(go, est.t_gain_s > 0.0);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Call graph construction and reachability.
+//!
+//! The partitioner uses the call graph twice: to propagate machine-specific
+//! taint from callees to callers (a function calling `scanf` is as
+//! unoffloadable as `scanf` itself, §3.1) and to find functions unused by
+//! the server partition so their bodies can be removed (§3.3, Fig. 3(c)).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::inst::{Callee, Inst};
+use crate::module::{ConstValue, FuncId, Module};
+
+/// The call graph of a module.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Direct callees of each function.
+    callees: HashMap<FuncId, BTreeSet<FuncId>>,
+    /// Direct callers of each function.
+    callers: HashMap<FuncId, BTreeSet<FuncId>>,
+    /// Functions whose address is taken anywhere in the module — indirect
+    /// calls may reach any of these.
+    address_taken: BTreeSet<FuncId>,
+    /// Functions containing at least one indirect call.
+    has_indirect: BTreeSet<FuncId>,
+}
+
+impl CallGraph {
+    /// Build the call graph of `module`.
+    pub fn build(module: &Module) -> Self {
+        let mut callees: HashMap<FuncId, BTreeSet<FuncId>> = HashMap::new();
+        let mut callers: HashMap<FuncId, BTreeSet<FuncId>> = HashMap::new();
+        let mut address_taken = BTreeSet::new();
+        let mut has_indirect = BTreeSet::new();
+
+        // Function addresses stored in global initializers (e.g. the
+        // paper's `evals` table) count as address-taken too.
+        for (_, g) in module.iter_globals() {
+            if let crate::module::GlobalInit::Scalars(vals) = &g.init {
+                for v in vals {
+                    if let ConstValue::FuncAddr(f) = v {
+                        address_taken.insert(*f);
+                    }
+                }
+            }
+        }
+
+        for (id, func) in module.iter_functions() {
+            callees.entry(id).or_default();
+            for block in &func.blocks {
+                for inst in &block.insts {
+                    match inst {
+                        Inst::Call { callee: Callee::Direct(target), .. } => {
+                            callees.entry(id).or_default().insert(*target);
+                            callers.entry(*target).or_default().insert(id);
+                        }
+                        Inst::Call { callee: Callee::Indirect(_), .. } => {
+                            has_indirect.insert(id);
+                        }
+                        Inst::Const { value: ConstValue::FuncAddr(f), .. } => {
+                            address_taken.insert(*f);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        CallGraph { callees, callers, address_taken, has_indirect }
+    }
+
+    /// Direct callees of `f`.
+    pub fn callees(&self, f: FuncId) -> impl Iterator<Item = FuncId> + '_ {
+        self.callees.get(&f).into_iter().flatten().copied()
+    }
+
+    /// Direct callers of `f`.
+    pub fn callers(&self, f: FuncId) -> impl Iterator<Item = FuncId> + '_ {
+        self.callers.get(&f).into_iter().flatten().copied()
+    }
+
+    /// Functions whose address is taken.
+    pub fn address_taken(&self) -> impl Iterator<Item = FuncId> + '_ {
+        self.address_taken.iter().copied()
+    }
+
+    /// `true` if `f` contains an indirect call.
+    pub fn has_indirect_call(&self, f: FuncId) -> bool {
+        self.has_indirect.contains(&f)
+    }
+
+    /// Every function reachable from `roots` through direct calls, plus —
+    /// conservatively — every address-taken function if any reached
+    /// function performs an indirect call.
+    pub fn reachable_from(&self, roots: &[FuncId]) -> BTreeSet<FuncId> {
+        let mut seen: BTreeSet<FuncId> = roots.iter().copied().collect();
+        let mut queue: VecDeque<FuncId> = roots.iter().copied().collect();
+        let mut indirect_seen = false;
+        while let Some(f) = queue.pop_front() {
+            if self.has_indirect_call(f) && !indirect_seen {
+                indirect_seen = true;
+                for t in &self.address_taken {
+                    if seen.insert(*t) {
+                        queue.push_back(*t);
+                    }
+                }
+            }
+            for c in self.callees(f) {
+                if seen.insert(c) {
+                    queue.push_back(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The transitive closure of callers of the given seed set: used to
+    /// propagate machine-specific taint upward (a caller of a tainted
+    /// function is tainted).
+    pub fn taint_upward(&self, seeds: &BTreeSet<FuncId>) -> BTreeSet<FuncId> {
+        let mut tainted = seeds.clone();
+        let mut queue: VecDeque<FuncId> = seeds.iter().copied().collect();
+        while let Some(f) = queue.pop_front() {
+            for c in self.callers(f) {
+                if tainted.insert(c) {
+                    queue.push_back(c);
+                }
+            }
+        }
+        tainted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::GlobalInit;
+    use crate::types::Type;
+
+    /// main -> a -> b;  c unused;  d address-taken, a has an indirect call.
+    fn sample() -> (Module, [FuncId; 5]) {
+        let mut m = Module::new("t");
+        let main = m.declare_function("main", vec![], Type::Void);
+        let a = m.declare_function("a", vec![], Type::Void);
+        let bf = m.declare_function("b", vec![], Type::Void);
+        let c = m.declare_function("c", vec![], Type::Void);
+        let d = m.declare_function("d", vec![], Type::Void);
+
+        for f in [bf, c, d] {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            b.ret(None);
+            b.finish();
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, a);
+            b.call(bf, vec![]);
+            let fp = b.const_value(ConstValue::FuncAddr(d));
+            b.call_indirect(fp, Type::Void, vec![]);
+            b.ret(None);
+            b.finish();
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, main);
+            b.call(a, vec![]);
+            b.ret(None);
+            b.finish();
+        }
+        (m, [main, a, bf, c, d])
+    }
+
+    #[test]
+    fn edges() {
+        let (m, [main, a, b, c, _d]) = sample();
+        let cg = CallGraph::build(&m);
+        assert!(cg.callees(main).any(|f| f == a));
+        assert!(cg.callers(b).any(|f| f == a));
+        assert_eq!(cg.callees(c).count(), 0);
+        assert!(cg.has_indirect_call(a));
+        assert!(!cg.has_indirect_call(main));
+    }
+
+    #[test]
+    fn reachability_includes_address_taken_when_indirect() {
+        let (m, [main, a, b, c, d]) = sample();
+        let cg = CallGraph::build(&m);
+        let r = cg.reachable_from(&[main]);
+        assert!(r.contains(&a) && r.contains(&b));
+        assert!(r.contains(&d), "address-taken function must stay reachable");
+        assert!(!r.contains(&c), "c is dead");
+    }
+
+    #[test]
+    fn reachability_without_indirect_ignores_address_taken() {
+        let (m, [_main, _a, b, _c, _d]) = sample();
+        let cg = CallGraph::build(&m);
+        let r = cg.reachable_from(&[b]);
+        assert_eq!(r.len(), 1, "b reaches only itself: {r:?}");
+    }
+
+    #[test]
+    fn taint_propagates_to_callers() {
+        let (m, [main, a, b, c, _d]) = sample();
+        let cg = CallGraph::build(&m);
+        let tainted = cg.taint_upward(&BTreeSet::from([b]));
+        assert!(tainted.contains(&a) && tainted.contains(&main));
+        assert!(!tainted.contains(&c));
+    }
+
+    #[test]
+    fn global_initializer_takes_address() {
+        let (mut m, [_, _, _, c, _]) = sample();
+        m.define_global(
+            "table",
+            Type::Func(Box::new(crate::types::FuncSig { params: vec![], ret: Type::Void }))
+                .ptr_to()
+                .array_of(1),
+            GlobalInit::Scalars(vec![ConstValue::FuncAddr(c)]),
+        );
+        let cg = CallGraph::build(&m);
+        assert!(cg.address_taken().any(|f| f == c));
+    }
+}

@@ -1,0 +1,217 @@
+//! Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+//!
+//! Needed by [natural-loop detection](crate::analysis::loops): a back edge
+//! `t -> h` exists iff `h` dominates `t`.
+
+use crate::module::{BlockId, Function};
+
+/// The dominator tree of one function's CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each block; `idom[entry] == entry`;
+    /// unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse-postorder numbering used internally; kept for clients that
+    /// want a stable topological-ish order.
+    rpo: Vec<BlockId>,
+}
+
+impl DomTree {
+    /// Compute the dominator tree of `func`.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let entry = func.entry();
+
+        // Reverse postorder via iterative DFS.
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        visited[entry.0 as usize] = true;
+        while let Some(&mut (bb, ref mut next)) = stack.last_mut() {
+            let succs = func.successors(bb);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(bb);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = postorder.iter().rev().copied().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, bb) in rpo.iter().enumerate() {
+            rpo_index[bb.0 as usize] = i;
+        }
+
+        // Predecessor lists.
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (bb, _) in func.iter_blocks() {
+            if !visited[bb.0 as usize] {
+                continue;
+            }
+            for s in func.successors(bb) {
+                preds[s.0 as usize].push(bb);
+            }
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.0 as usize] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[bb.0 as usize] {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(cur, p, &idom, &rpo_index),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[bb.0 as usize] != Some(ni) {
+                        idom[bb.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom, rpo }
+    }
+
+    /// Immediate dominator of `bb` (`None` for unreachable blocks; the
+    /// entry is its own idom).
+    pub fn idom(&self, bb: BlockId) -> Option<BlockId> {
+        self.idom.get(bb.0 as usize).copied().flatten()
+    }
+
+    /// `true` if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(parent) if parent != cur => cur = parent,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Blocks in reverse postorder (reachable blocks only).
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// `true` if `bb` is reachable from the entry.
+    pub fn is_reachable(&self, bb: BlockId) -> bool {
+        self.idom(bb).is_some()
+    }
+}
+
+fn intersect(mut a: BlockId, mut b: BlockId, idom: &[Option<BlockId>], rpo_index: &[usize]) -> BlockId {
+    while a != b {
+        while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed block");
+        }
+        while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed block");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::Module;
+    use crate::types::Type;
+
+    /// Diamond: 0 -> {1, 2} -> 3.
+    fn diamond() -> (Module, crate::module::FuncId) {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![Type::I32], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let bb1 = b.new_block();
+        let bb2 = b.new_block();
+        let bb3 = b.new_block();
+        b.cond_br(p, bb1, bb2);
+        b.switch_to(bb1);
+        b.br(bb3);
+        b.switch_to(bb2);
+        b.br(bb3);
+        b.switch_to(bb3);
+        b.ret(None);
+        b.finish();
+        (m, f)
+    }
+
+    #[test]
+    fn diamond_doms() {
+        let (m, f) = diamond();
+        let dt = DomTree::compute(m.function(f));
+        let e = BlockId(0);
+        assert_eq!(dt.idom(BlockId(1)), Some(e));
+        assert_eq!(dt.idom(BlockId(2)), Some(e));
+        assert_eq!(dt.idom(BlockId(3)), Some(e), "join dominated by entry, not a branch arm");
+        assert!(dt.dominates(e, BlockId(3)));
+        assert!(!dt.dominates(BlockId(1), BlockId(3)));
+        assert!(dt.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        // 0 -> 1(header) -> 2(body) -> 1, 1 -> 3(exit)
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![Type::I32], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        b.cond_br(p, body, exit);
+        b.switch_to(body);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish();
+        let dt = DomTree::compute(m.function(f));
+        assert!(dt.dominates(header, body));
+        assert!(dt.dominates(header, exit));
+        assert_eq!(dt.idom(body), Some(header));
+    }
+
+    #[test]
+    fn unreachable_block_has_no_idom() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        b.ret(None);
+        let dead = b.new_block();
+        b.switch_to(dead);
+        b.ret(None);
+        b.finish();
+        let dt = DomTree::compute(m.function(f));
+        assert!(!dt.is_reachable(dead));
+        assert!(dt.is_reachable(BlockId(0)));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let (m, f) = diamond();
+        let dt = DomTree::compute(m.function(f));
+        assert_eq!(dt.reverse_postorder().first(), Some(&BlockId(0)));
+        assert_eq!(dt.reverse_postorder().len(), 4);
+    }
+}

@@ -1,0 +1,222 @@
+//! Natural-loop detection.
+//!
+//! The hot function/loop profiler (§3.1, Table 3) treats loops as offload
+//! candidates alongside functions — the chess example offloads `for_i` but
+//! rejects `for_j`. A natural loop is identified by a back edge `t -> h`
+//! where `h` dominates `t`; its body is every block that can reach `t`
+//! without passing through `h`.
+
+use std::collections::BTreeSet;
+
+use crate::analysis::dom::DomTree;
+use crate::module::{BlockId, Function};
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub body: BTreeSet<BlockId>,
+    /// Nesting depth: 1 for outermost loops.
+    pub depth: u32,
+    /// Index of the enclosing loop in the forest, if nested.
+    pub parent: Option<usize>,
+}
+
+impl Loop {
+    /// `true` if `bb` belongs to this loop.
+    pub fn contains(&self, bb: BlockId) -> bool {
+        self.body.contains(&bb)
+    }
+}
+
+/// All natural loops of a function, with nesting resolved.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// Loops, outermost-first within each nest.
+    pub loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Find the natural loops of `func`. Loops sharing a header are merged
+    /// (standard practice for `while` + `continue` CFGs).
+    pub fn compute(func: &Function) -> Self {
+        let dt = DomTree::compute(func);
+        let mut by_header: Vec<(BlockId, BTreeSet<BlockId>)> = Vec::new();
+
+        for (bb, _) in func.iter_blocks() {
+            if !dt.is_reachable(bb) {
+                continue;
+            }
+            for succ in func.successors(bb) {
+                if dt.dominates(succ, bb) {
+                    // Back edge bb -> succ.
+                    let body = natural_loop_body(func, succ, bb);
+                    match by_header.iter_mut().find(|(h, _)| *h == succ) {
+                        Some((_, existing)) => existing.extend(body),
+                        None => by_header.push((succ, body)),
+                    }
+                }
+            }
+        }
+
+        // Sort outer loops first (bigger bodies first), then resolve
+        // nesting: a loop's parent is the smallest strictly-containing loop.
+        by_header.sort_by_key(|(_, body)| std::cmp::Reverse(body.len()));
+        let mut loops: Vec<Loop> = by_header
+            .into_iter()
+            .map(|(header, body)| Loop { header, body, depth: 1, parent: None })
+            .collect();
+        for i in 0..loops.len() {
+            let mut best: Option<usize> = None;
+            for j in 0..loops.len() {
+                if i == j {
+                    continue;
+                }
+                let contains = loops[j].body.is_superset(&loops[i].body)
+                    && loops[j].header != loops[i].header;
+                if contains {
+                    best = match best {
+                        None => Some(j),
+                        Some(b) if loops[j].body.len() < loops[b].body.len() => Some(j),
+                        keep => keep,
+                    };
+                }
+            }
+            loops[i].parent = best;
+        }
+        // Depths: walk parent chains.
+        for i in 0..loops.len() {
+            let mut depth = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                depth += 1;
+                cur = loops[p].parent;
+            }
+            loops[i].depth = depth;
+        }
+        LoopForest { loops }
+    }
+
+    /// The innermost loop containing `bb`, if any.
+    pub fn innermost_containing(&self, bb: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(bb))
+            .max_by_key(|l| l.depth)
+    }
+}
+
+fn natural_loop_body(func: &Function, header: BlockId, tail: BlockId) -> BTreeSet<BlockId> {
+    let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); func.blocks.len()];
+    for (bb, _) in func.iter_blocks() {
+        for s in func.successors(bb) {
+            preds[s.0 as usize].push(bb);
+        }
+    }
+    let mut body = BTreeSet::from([header, tail]);
+    let mut stack = vec![tail];
+    while let Some(bb) = stack.pop() {
+        if bb == header {
+            continue;
+        }
+        for &p in &preds[bb.0 as usize] {
+            if body.insert(p) {
+                stack.push(p);
+            }
+        }
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::{FuncId, Module};
+    use crate::types::Type;
+
+    /// Nested loops mirroring the chess example's `for_i`/`for_j`:
+    /// entry -> h1; h1 -> {h2, exit}; h2 -> {body, latch1}; body -> h2;
+    /// latch1 -> h1.
+    fn nested() -> (Module, FuncId, [BlockId; 5]) {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![Type::I32], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let h1 = b.new_block();
+        let h2 = b.new_block();
+        let body = b.new_block();
+        let latch1 = b.new_block();
+        let exit = b.new_block();
+        b.br(h1);
+        b.switch_to(h1);
+        b.cond_br(p, h2, exit);
+        b.switch_to(h2);
+        b.cond_br(p, body, latch1);
+        b.switch_to(body);
+        b.br(h2);
+        b.switch_to(latch1);
+        b.br(h1);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish();
+        (m, f, [h1, h2, body, latch1, exit])
+    }
+
+    #[test]
+    fn finds_nested_loops() {
+        let (m, f, [h1, h2, body, latch1, exit]) = nested();
+        let forest = LoopForest::compute(m.function(f));
+        assert_eq!(forest.loops.len(), 2);
+        let outer = forest.loops.iter().find(|l| l.header == h1).unwrap();
+        let inner = forest.loops.iter().find(|l| l.header == h2).unwrap();
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert!(outer.contains(h2) && outer.contains(latch1) && outer.contains(body));
+        assert!(inner.contains(body) && !inner.contains(latch1));
+        assert!(!outer.contains(exit));
+        assert_eq!(inner.parent, Some(forest.loops.iter().position(|l| l.header == h1).unwrap()));
+    }
+
+    #[test]
+    fn innermost_lookup() {
+        let (m, f, [h1, h2, body, latch1, _]) = nested();
+        let forest = LoopForest::compute(m.function(f));
+        assert_eq!(forest.innermost_containing(body).unwrap().header, h2);
+        assert_eq!(forest.innermost_containing(latch1).unwrap().header, h1);
+        assert_eq!(forest.innermost_containing(h1).unwrap().header, h1);
+        assert!(forest.innermost_containing(BlockId(0)).is_none());
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        b.ret(None);
+        b.finish();
+        assert!(LoopForest::compute(m.function(f)).loops.is_empty());
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![Type::I32], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let h = b.new_block();
+        let exit = b.new_block();
+        b.br(h);
+        b.switch_to(h);
+        b.cond_br(p, h, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish();
+        let forest = LoopForest::compute(m.function(f));
+        assert_eq!(forest.loops.len(), 1);
+        assert_eq!(forest.loops[0].body.len(), 1);
+        assert_eq!(forest.loops[0].header, h);
+    }
+}

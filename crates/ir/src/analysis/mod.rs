@@ -1,0 +1,11 @@
+//! Analyses used by the offload compiler: call graph (unused-function
+//! removal, filter propagation), dominators and natural loops (hot-loop
+//! profiling and loop-level offload candidates).
+
+pub mod callgraph;
+pub mod dom;
+pub mod loops;
+
+pub use callgraph::CallGraph;
+pub use dom::DomTree;
+pub use loops::{Loop, LoopForest};

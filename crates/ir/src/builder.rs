@@ -1,0 +1,297 @@
+//! Convenience builder for constructing function bodies.
+//!
+//! The builder tracks a *current block* and appends instructions to it,
+//! allocating virtual registers with the right types as it goes. Both the
+//! MiniC front-end and the offload partitioner construct code through it.
+
+use crate::inst::{BinOp, Builtin, Callee, CastKind, CmpOp, Inst, UnOp};
+use crate::module::{BlockId, Block, ConstValue, FuncId, Module, StructId, ValueId};
+use crate::types::Type;
+
+/// Builds the body of one function inside a [`Module`].
+#[derive(Debug)]
+pub struct FunctionBuilder<'m> {
+    module: &'m mut Module,
+    func: FuncId,
+    current: BlockId,
+}
+
+impl<'m> FunctionBuilder<'m> {
+    /// Start building `func`, creating its entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function already has a body.
+    pub fn new(module: &'m mut Module, func: FuncId) -> Self {
+        assert!(
+            module.function(func).is_declaration(),
+            "function {} already has a body",
+            module.function(func).name
+        );
+        module.function_mut(func).blocks.push(Block::default());
+        FunctionBuilder { module, func, current: BlockId(0) }
+    }
+
+    /// The function being built.
+    pub fn func_id(&self) -> FuncId {
+        self.func
+    }
+
+    /// Read access to the module (for type lookups).
+    pub fn module(&self) -> &Module {
+        self.module
+    }
+
+    /// Mutable access to the module, e.g. to intern a string global while
+    /// building a body. The builder's own function must not be removed.
+    pub fn module_mut(&mut self) -> &mut Module {
+        self.module
+    }
+
+    /// The `i`-th parameter as a register.
+    pub fn param(&self, i: usize) -> ValueId {
+        assert!(i < self.module.function(self.func).params.len(), "no parameter {i}");
+        ValueId(i as u32)
+    }
+
+    /// Allocate a fresh register of type `ty`.
+    pub fn new_value(&mut self, ty: Type) -> ValueId {
+        let f = self.module.function_mut(self.func);
+        f.value_types.push(ty);
+        ValueId(f.value_types.len() as u32 - 1)
+    }
+
+    /// Create a new (empty) block and return its id without switching to it.
+    pub fn new_block(&mut self) -> BlockId {
+        let f = self.module.function_mut(self.func);
+        f.blocks.push(Block::default());
+        BlockId(f.blocks.len() as u32 - 1)
+    }
+
+    /// Switch the insertion point to `bb`.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.current = bb;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// `true` if the current block already ends in a terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.module.function(self.func).blocks[self.current.0 as usize]
+            .insts
+            .last()
+            .is_some_and(Inst::is_terminator)
+    }
+
+    /// Append a raw instruction to the current block.
+    pub fn push(&mut self, inst: Inst) {
+        self.module.function_mut(self.func).blocks[self.current.0 as usize]
+            .insts
+            .push(inst);
+    }
+
+    /// Materialize a constant.
+    pub fn const_value(&mut self, value: ConstValue) -> ValueId {
+        let ty = value.ty(self.module);
+        let dst = self.new_value(ty);
+        self.push(Inst::Const { dst, value });
+        dst
+    }
+
+    /// Shorthand for an `i32` constant.
+    pub fn const_i32(&mut self, v: i32) -> ValueId {
+        self.const_value(ConstValue::I32(v))
+    }
+
+    /// Shorthand for an `i64` constant.
+    pub fn const_i64(&mut self, v: i64) -> ValueId {
+        self.const_value(ConstValue::I64(v))
+    }
+
+    /// Shorthand for an `f64` constant.
+    pub fn const_f64(&mut self, v: f64) -> ValueId {
+        self.const_value(ConstValue::F64(v))
+    }
+
+    /// Stack-allocate `count` elements of `ty`; yields the address.
+    pub fn alloca(&mut self, ty: Type, count: u64) -> ValueId {
+        let dst = self.new_value(ty.clone().ptr_to());
+        self.push(Inst::Alloca { dst, ty, count });
+        dst
+    }
+
+    /// Load a value of `ty` from `addr`.
+    pub fn load(&mut self, ty: Type, addr: ValueId) -> ValueId {
+        let dst = self.new_value(ty.clone());
+        self.push(Inst::Load { dst, ty, addr });
+        dst
+    }
+
+    /// Store `value` of `ty` to `addr`.
+    pub fn store(&mut self, ty: Type, addr: ValueId, value: ValueId) {
+        self.push(Inst::Store { ty, addr, value });
+    }
+
+    /// Address of struct field `field`.
+    pub fn field_addr(&mut self, base: ValueId, sid: StructId, field: u32) -> ValueId {
+        let fty = self.module.struct_def(sid).fields[field as usize].clone();
+        let dst = self.new_value(fty.ptr_to());
+        self.push(Inst::FieldAddr { dst, base, sid, field });
+        dst
+    }
+
+    /// Address of array element `index`.
+    pub fn index_addr(&mut self, base: ValueId, elem: Type, index: ValueId) -> ValueId {
+        let dst = self.new_value(elem.clone().ptr_to());
+        self.push(Inst::IndexAddr { dst, base, elem, index });
+        dst
+    }
+
+    /// Binary operation.
+    pub fn bin(&mut self, op: BinOp, ty: Type, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let dst = self.new_value(ty.clone());
+        self.push(Inst::Bin { dst, op, ty, lhs, rhs });
+        dst
+    }
+
+    /// Unary operation.
+    pub fn un(&mut self, op: UnOp, ty: Type, operand: ValueId) -> ValueId {
+        let dst = self.new_value(ty.clone());
+        self.push(Inst::Un { dst, op, ty, operand });
+        dst
+    }
+
+    /// Comparison (`i32` result).
+    pub fn cmp(&mut self, op: CmpOp, ty: Type, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let dst = self.new_value(Type::I32);
+        self.push(Inst::Cmp { dst, op, ty, lhs, rhs });
+        dst
+    }
+
+    /// Conversion.
+    pub fn cast(&mut self, kind: CastKind, to: Type, src: ValueId) -> ValueId {
+        let dst = self.new_value(to.clone());
+        self.push(Inst::Cast { dst, kind, to, src });
+        dst
+    }
+
+    /// Direct call.
+    pub fn call(&mut self, callee: FuncId, args: Vec<ValueId>) -> Option<ValueId> {
+        let ret = self.module.function(callee).ret.clone();
+        let dst = if ret == Type::Void { None } else { Some(self.new_value(ret)) };
+        self.push(Inst::Call { dst, callee: Callee::Direct(callee), args });
+        dst
+    }
+
+    /// Indirect call through a function pointer with the given return type.
+    pub fn call_indirect(&mut self, ptr: ValueId, ret: Type, args: Vec<ValueId>) -> Option<ValueId> {
+        let dst = if ret == Type::Void { None } else { Some(self.new_value(ret)) };
+        self.push(Inst::Call { dst, callee: Callee::Indirect(ptr), args });
+        dst
+    }
+
+    /// Builtin call with an explicit return type (`Void` for none).
+    pub fn call_builtin(&mut self, b: Builtin, ret: Type, args: Vec<ValueId>) -> Option<ValueId> {
+        let dst = if ret == Type::Void { None } else { Some(self.new_value(ret)) };
+        self.push(Inst::Call { dst, callee: Callee::Builtin(b), args });
+        dst
+    }
+
+    /// Return.
+    pub fn ret(&mut self, value: Option<ValueId>) {
+        self.push(Inst::Ret { value });
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.push(Inst::Br { target });
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: ValueId, then_bb: BlockId, else_bb: BlockId) {
+        self.push(Inst::CondBr { cond, then_bb, else_bb });
+    }
+
+    /// Finish building; returns the function id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block lacks a terminator — catching the mistake at the
+    /// construction site rather than in the verifier.
+    pub fn finish(self) -> FuncId {
+        let f = self.module.function(self.func);
+        for (id, block) in f.iter_blocks() {
+            assert!(
+                block.insts.last().is_some_and(Inst::is_terminator),
+                "function {}: block {id} lacks a terminator",
+                f.name
+            );
+        }
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_function() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("add1", vec![Type::I32], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let one = b.const_i32(1);
+        let sum = b.bin(BinOp::Add, Type::I32, p, one);
+        b.ret(Some(sum));
+        b.finish();
+        let func = m.function(f);
+        assert_eq!(func.blocks.len(), 1);
+        assert_eq!(func.inst_count(), 3);
+        assert_eq!(func.value_type(sum), &Type::I32);
+    }
+
+    #[test]
+    fn build_branching_function() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("abs", vec![Type::I32], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let zero = b.const_i32(0);
+        let neg = b.cmp(CmpOp::Lt, Type::I32, p, zero);
+        let bb_neg = b.new_block();
+        let bb_pos = b.new_block();
+        b.cond_br(neg, bb_neg, bb_pos);
+        b.switch_to(bb_neg);
+        let negv = b.un(UnOp::Neg, Type::I32, p);
+        b.ret(Some(negv));
+        b.switch_to(bb_pos);
+        b.ret(Some(p));
+        b.finish();
+        assert_eq!(m.function(f).blocks.len(), 3);
+        assert_eq!(m.function(f).successors(BlockId(0)), vec![bb_neg, bb_pos]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a terminator")]
+    fn unterminated_block_panics() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("bad", vec![], Type::Void);
+        let b = FunctionBuilder::new(&mut m, f);
+        b.finish();
+    }
+
+    #[test]
+    fn void_call_has_no_dst() {
+        let mut m = Module::new("t");
+        let callee = m.declare_function("cb", vec![], Type::Void);
+        let f = m.declare_function("caller", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        assert!(b.call(callee, vec![]).is_none());
+        b.ret(None);
+        b.finish();
+    }
+}

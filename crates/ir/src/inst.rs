@@ -1,0 +1,616 @@
+//! Instructions, operators, builtins and call targets.
+
+use std::fmt;
+
+use crate::module::{BlockId, ConstValue, FuncId, StructId, ValueId};
+use crate::types::Type;
+
+/// Integer/float binary operators. Division and remainder are signed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition (wrapping for integers).
+    Add,
+    /// Subtraction (wrapping for integers).
+    Sub,
+    /// Multiplication (wrapping for integers).
+    Mul,
+    /// Signed division.
+    Div,
+    /// Signed remainder.
+    Rem,
+    /// Bitwise and (integers only).
+    And,
+    /// Bitwise or (integers only).
+    Or,
+    /// Bitwise xor (integers only).
+    Xor,
+    /// Left shift (integers only).
+    Shl,
+    /// Arithmetic right shift (integers only).
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement (integers only).
+    Not,
+    /// Byte-order reversal. Inserted by the memory unifier's *endianness
+    /// translation* (§3.2) around memory accesses when the two devices
+    /// disagree on byte order; never produced by the front-end.
+    ByteSwap,
+}
+
+/// Comparison operators (signed for integers). The result is `i32` 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+/// Value conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// Zero-extend a narrower integer.
+    Zext,
+    /// Sign-extend a narrower integer.
+    Sext,
+    /// Truncate a wider integer.
+    Trunc,
+    /// Signed integer to float.
+    SiToF,
+    /// Float to signed integer (truncating).
+    FToSi,
+    /// Reinterpret a pointer as another pointer type (no-op at run time).
+    PtrCast,
+    /// Pointer to integer.
+    PtrToInt,
+    /// Integer to pointer.
+    IntToPtr,
+    /// Zero-extend a 32-bit mobile pointer to the server's 64-bit registers:
+    /// the paper's *address size conversion* (§3.2). Semantically the
+    /// identity in this simulation (all addresses fit in 32 bits) but kept
+    /// as a distinct kind so its (negligible, §5.1) cost is attributable.
+    PtrZext,
+}
+
+/// Built-in functions recognized by the VM and classified by the function
+/// filter (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    // -- memory management ------------------------------------------------
+    /// C `malloc`; replaced by [`Builtin::UMalloc`] by the memory unifier.
+    Malloc,
+    /// C `free`; replaced by [`Builtin::UFree`] by the memory unifier.
+    Free,
+    /// Allocation on the unified virtual address space (§3.2).
+    UMalloc,
+    /// Deallocation on the unified virtual address space.
+    UFree,
+    /// C `memcpy(dst, src, n)`.
+    Memcpy,
+    /// C `memset(dst, byte, n)`.
+    Memset,
+    /// C `strlen(s)`.
+    Strlen,
+    /// C `strcmp(a, b)`.
+    Strcmp,
+    /// C `strcpy(dst, src)`.
+    Strcpy,
+
+    // -- local I/O (machine specific unless remoted) ----------------------
+    /// C `printf(fmt, ...)` to the device console.
+    Printf,
+    /// C `scanf(fmt, ...)` from the device console — *interactive input*,
+    /// never remotable (§3.4: remote input would need round trips).
+    Scanf,
+    /// C `putchar(c)`.
+    Putchar,
+    /// C `getchar()` — interactive input, never remotable.
+    Getchar,
+    /// `fopen(path, mode) -> fd` on the device filesystem.
+    FOpen,
+    /// `fclose(fd)`.
+    FClose,
+    /// `fread(buf, size, count, fd) -> items`.
+    FRead,
+    /// `fwrite(buf, size, count, fd) -> items`.
+    FWrite,
+
+    // -- remote I/O (server-side replacements, §3.4) ----------------------
+    /// `printf` executed remotely: the server ships the formatted bytes to
+    /// the mobile device's console.
+    RPrintf,
+    /// Remote `putchar`.
+    RPutchar,
+    /// Remote `fopen`, resolved on the mobile device's filesystem.
+    RFOpen,
+    /// Remote `fclose`.
+    RFClose,
+    /// Remote `fread` — a *remote input*, requiring round-trip
+    /// communication (file streams stay remotable because the runtime can
+    /// prefetch and amortize, §3.4).
+    RFRead,
+    /// Remote `fwrite`.
+    RFWrite,
+
+    // -- math (machine independent) ---------------------------------------
+    /// `sqrt(f64)`.
+    Sqrt,
+    /// `fabs(f64)`.
+    Fabs,
+    /// `exp(f64)`.
+    Exp,
+    /// `log(f64)`.
+    Log,
+    /// `sin(f64)`.
+    Sin,
+    /// `cos(f64)`.
+    Cos,
+    /// `pow(f64, f64)`.
+    Pow,
+    /// `floor(f64)`.
+    Floor,
+
+    // -- machine specific ---------------------------------------------------
+    /// Read the device cycle counter — machine specific by definition.
+    Clock,
+    /// Terminate the program with an exit code.
+    Exit,
+
+    // -- offload runtime (inserted by the partitioner, §3.3/§3.4) ----------
+    /// `is_profitable(task_id) -> i32`: the runtime's dynamic performance
+    /// estimation (§3.1) decides whether to offload right now.
+    IsProfitable,
+    /// `offload_call(task_id) -> i64`: request offload of a task; the
+    /// runtime ships live-ins, waits for the server, applies write-backs
+    /// and yields the (bit-packed) return value.
+    OffloadCall,
+    /// Like [`Builtin::OffloadCall`] but with an `f64` return value.
+    OffloadCallF,
+    /// Server: block until an offload request arrives; returns the task id,
+    /// or 0 when the client disconnects.
+    AcceptOffload,
+    /// Server: fetch the `i`-th integer/pointer argument of the current
+    /// offload request.
+    RecvArgI,
+    /// Server: fetch the `i`-th float argument of the current request.
+    RecvArgF,
+    /// Server: send the task's return value (integer/pointer) home.
+    SendReturn,
+    /// Server: send the task's `f64` return value home.
+    SendReturnF,
+    /// Server: translate a function-pointer value into the local device's
+    /// address through the function map tables (`s2mFcnMap`/`m2sFcnMap`,
+    /// §3.4).
+    FnMapToLocal,
+}
+
+impl Builtin {
+    /// `true` if the builtin makes the enclosing region machine specific
+    /// under the function filter's rules (§3.1): I/O instructions and
+    /// syscall-like operations. Remote-I/O replacements are *not* machine
+    /// specific — that replacement is how the filter's coverage grows.
+    pub fn is_machine_specific(&self) -> bool {
+        use Builtin::*;
+        matches!(
+            self,
+            Printf | Scanf | Putchar | Getchar | FOpen | FClose | FRead | FWrite | Clock | Exit
+        )
+    }
+
+    /// `true` if the builtin is an I/O operation with a remote-executable
+    /// replacement (§3.4). `scanf`/`getchar` are interactive inputs and are
+    /// excluded; file input is included because it is prefetchable.
+    pub fn remote_replacement(&self) -> Option<Builtin> {
+        use Builtin::*;
+        match self {
+            Printf => Some(RPrintf),
+            Putchar => Some(RPutchar),
+            FOpen => Some(RFOpen),
+            FClose => Some(RFClose),
+            FRead => Some(RFRead),
+            FWrite => Some(RFWrite),
+            _ => None,
+        }
+    }
+
+    /// `true` for the remote-I/O builtins themselves.
+    pub fn is_remote_io(&self) -> bool {
+        use Builtin::*;
+        matches!(self, RPrintf | RPutchar | RFOpen | RFClose | RFRead | RFWrite)
+    }
+
+    /// `true` for remote I/O that needs a round trip (inputs).
+    pub fn is_remote_input(&self) -> bool {
+        matches!(self, Builtin::RFRead | Builtin::RFOpen)
+    }
+
+    /// The canonical source-level name.
+    pub fn name(&self) -> &'static str {
+        use Builtin::*;
+        match self {
+            Malloc => "malloc",
+            Free => "free",
+            UMalloc => "u_malloc",
+            UFree => "u_free",
+            Memcpy => "memcpy",
+            Memset => "memset",
+            Strlen => "strlen",
+            Strcmp => "strcmp",
+            Strcpy => "strcpy",
+            Printf => "printf",
+            Scanf => "scanf",
+            Putchar => "putchar",
+            Getchar => "getchar",
+            FOpen => "fopen",
+            FClose => "fclose",
+            FRead => "fread",
+            FWrite => "fwrite",
+            RPrintf => "r_printf",
+            RPutchar => "r_putchar",
+            RFOpen => "r_fopen",
+            RFClose => "r_fclose",
+            RFRead => "r_fread",
+            RFWrite => "r_fwrite",
+            Sqrt => "sqrt",
+            Fabs => "fabs",
+            Exp => "exp",
+            Log => "log",
+            Sin => "sin",
+            Cos => "cos",
+            Pow => "pow",
+            Floor => "floor",
+            Clock => "clock",
+            Exit => "exit",
+            IsProfitable => "is_profitable",
+            OffloadCall => "offload_call",
+            OffloadCallF => "offload_call_f",
+            AcceptOffload => "accept_offload",
+            RecvArgI => "recv_arg_i",
+            RecvArgF => "recv_arg_f",
+            SendReturn => "send_return",
+            SendReturnF => "send_return_f",
+            FnMapToLocal => "fn_map_to_local",
+        }
+    }
+
+    /// Look a builtin up by its source-level name (used by the MiniC
+    /// front-end).
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        use Builtin::*;
+        Some(match name {
+            "malloc" => Malloc,
+            "free" => Free,
+            "u_malloc" => UMalloc,
+            "u_free" => UFree,
+            "memcpy" => Memcpy,
+            "memset" => Memset,
+            "strlen" => Strlen,
+            "strcmp" => Strcmp,
+            "strcpy" => Strcpy,
+            "printf" => Printf,
+            "scanf" => Scanf,
+            "putchar" => Putchar,
+            "getchar" => Getchar,
+            "fopen" => FOpen,
+            "fclose" => FClose,
+            "fread" => FRead,
+            "fwrite" => FWrite,
+            "sqrt" => Sqrt,
+            "fabs" => Fabs,
+            "exp" => Exp,
+            "log" => Log,
+            "sin" => Sin,
+            "cos" => Cos,
+            "pow" => Pow,
+            "floor" => Floor,
+            "clock" => Clock,
+            "exit" => Exit,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The target of a [`Inst::Call`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Callee {
+    /// Direct call to a function in this module (possibly an external
+    /// declaration, which the function filter treats as machine specific).
+    Direct(FuncId),
+    /// Indirect call through a function-pointer value.
+    Indirect(ValueId),
+    /// Call to a VM builtin.
+    Builtin(Builtin),
+}
+
+/// An IR instruction.
+///
+/// Aggregates are manipulated through memory (there is no `phi`; the
+/// front-end lowers locals to [`Inst::Alloca`] slots, clang -O0 style),
+/// which keeps partitioning and interpretation straightforward.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// Materialize a constant into a register.
+    Const {
+        /// Destination register.
+        dst: ValueId,
+        /// The constant.
+        value: ConstValue,
+    },
+    /// Reserve `count` elements of stack storage of type `ty`; yields the
+    /// address.
+    Alloca {
+        /// Destination register (a pointer).
+        dst: ValueId,
+        /// Element type.
+        ty: Type,
+        /// Number of elements.
+        count: u64,
+    },
+    /// Load a register value of type `ty` from memory.
+    Load {
+        /// Destination register.
+        dst: ValueId,
+        /// Loaded type.
+        ty: Type,
+        /// Address register.
+        addr: ValueId,
+    },
+    /// Store a register value of type `ty` to memory.
+    Store {
+        /// Stored type.
+        ty: Type,
+        /// Address register.
+        addr: ValueId,
+        /// Value register.
+        value: ValueId,
+    },
+    /// Address of field `field` of the struct at `base`.
+    FieldAddr {
+        /// Destination register (a pointer).
+        dst: ValueId,
+        /// Base address register.
+        base: ValueId,
+        /// Struct type.
+        sid: StructId,
+        /// Field index.
+        field: u32,
+    },
+    /// Address of element `index` of an array of `elem` at `base`.
+    IndexAddr {
+        /// Destination register (a pointer).
+        dst: ValueId,
+        /// Base address register.
+        base: ValueId,
+        /// Element type.
+        elem: Type,
+        /// Index register (any integer type).
+        index: ValueId,
+    },
+    /// Binary arithmetic.
+    Bin {
+        /// Destination register.
+        dst: ValueId,
+        /// Operator.
+        op: BinOp,
+        /// Operand type.
+        ty: Type,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// Unary arithmetic.
+    Un {
+        /// Destination register.
+        dst: ValueId,
+        /// Operator.
+        op: UnOp,
+        /// Operand type.
+        ty: Type,
+        /// Operand.
+        operand: ValueId,
+    },
+    /// Comparison; yields `i32` 0 or 1.
+    Cmp {
+        /// Destination register.
+        dst: ValueId,
+        /// Operator.
+        op: CmpOp,
+        /// Operand type.
+        ty: Type,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// Value conversion.
+    Cast {
+        /// Destination register.
+        dst: ValueId,
+        /// Conversion kind.
+        kind: CastKind,
+        /// Result type.
+        to: Type,
+        /// Source register.
+        src: ValueId,
+    },
+    /// Function call.
+    Call {
+        /// Destination register (`None` for void).
+        dst: Option<ValueId>,
+        /// Call target.
+        callee: Callee,
+        /// Argument registers.
+        args: Vec<ValueId>,
+    },
+    /// Return from the function.
+    Ret {
+        /// Returned register (`None` for void).
+        value: Option<ValueId>,
+    },
+    /// Unconditional branch.
+    Br {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Conditional branch on an integer register (nonzero = then).
+    CondBr {
+        /// Condition register.
+        cond: ValueId,
+        /// Target when nonzero.
+        then_bb: BlockId,
+        /// Target when zero.
+        else_bb: BlockId,
+    },
+    /// Inline assembly — machine specific by definition (§3.1). The text is
+    /// opaque; the VM refuses to execute it off-device.
+    InlineAsm {
+        /// The assembly text.
+        text: String,
+    },
+    /// A raw system call — machine specific (§3.1).
+    Syscall {
+        /// Destination register.
+        dst: ValueId,
+        /// Syscall number.
+        number: u32,
+        /// Argument registers.
+        args: Vec<ValueId>,
+    },
+}
+
+impl Inst {
+    /// `true` for instructions that must terminate a block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Ret { .. } | Inst::Br { .. } | Inst::CondBr { .. })
+    }
+
+    /// The destination register, if the instruction defines one.
+    pub fn dst(&self) -> Option<ValueId> {
+        match self {
+            Inst::Const { dst, .. }
+            | Inst::Alloca { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::FieldAddr { dst, .. }
+            | Inst::IndexAddr { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Cast { dst, .. }
+            | Inst::Syscall { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// Append every register this instruction reads to `out`.
+    pub fn uses(&self, out: &mut Vec<ValueId>) {
+        match self {
+            Inst::Const { .. } | Inst::Alloca { .. } | Inst::Br { .. } | Inst::InlineAsm { .. } => {}
+            Inst::Load { addr, .. } => out.push(*addr),
+            Inst::Store { addr, value, .. } => out.extend([*addr, *value]),
+            Inst::FieldAddr { base, .. } => out.push(*base),
+            Inst::IndexAddr { base, index, .. } => out.extend([*base, *index]),
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => out.extend([*lhs, *rhs]),
+            Inst::Un { operand, .. } => out.push(*operand),
+            Inst::Cast { src, .. } => out.push(*src),
+            Inst::Call { callee, args, .. } => {
+                if let Callee::Indirect(v) = callee {
+                    out.push(*v);
+                }
+                out.extend(args.iter().copied());
+            }
+            Inst::Ret { value } => out.extend(value.iter().copied()),
+            Inst::CondBr { cond, .. } => out.push(*cond),
+            Inst::Syscall { args, .. } => out.extend(args.iter().copied()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminators() {
+        assert!(Inst::Ret { value: None }.is_terminator());
+        assert!(Inst::Br { target: BlockId(0) }.is_terminator());
+        assert!(!Inst::Const { dst: ValueId(0), value: ConstValue::I32(0) }.is_terminator());
+    }
+
+    #[test]
+    fn machine_specific_builtins() {
+        assert!(Builtin::Scanf.is_machine_specific());
+        assert!(Builtin::Printf.is_machine_specific());
+        assert!(Builtin::Clock.is_machine_specific());
+        assert!(!Builtin::Sqrt.is_machine_specific());
+        assert!(!Builtin::Malloc.is_machine_specific());
+        assert!(!Builtin::RPrintf.is_machine_specific());
+    }
+
+    #[test]
+    fn remote_replacements() {
+        assert_eq!(Builtin::Printf.remote_replacement(), Some(Builtin::RPrintf));
+        assert_eq!(Builtin::FRead.remote_replacement(), Some(Builtin::RFRead));
+        // Interactive inputs stay machine specific.
+        assert_eq!(Builtin::Scanf.remote_replacement(), None);
+        assert_eq!(Builtin::Getchar.remote_replacement(), None);
+    }
+
+    #[test]
+    fn remote_io_classification() {
+        assert!(Builtin::RPrintf.is_remote_io());
+        assert!(Builtin::RFRead.is_remote_input());
+        assert!(!Builtin::RPrintf.is_remote_input());
+        assert!(!Builtin::Printf.is_remote_io());
+    }
+
+    #[test]
+    fn builtin_names_roundtrip() {
+        for b in [Builtin::Malloc, Builtin::Printf, Builtin::Sqrt, Builtin::FRead] {
+            assert_eq!(Builtin::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Builtin::from_name("nope"), None);
+        // Runtime-inserted builtins are not source-nameable.
+        assert_eq!(Builtin::from_name("is_profitable"), None);
+    }
+
+    #[test]
+    fn uses_and_dst() {
+        let mut uses = Vec::new();
+        let inst = Inst::Store { ty: Type::I32, addr: ValueId(1), value: ValueId(2) };
+        inst.uses(&mut uses);
+        assert_eq!(uses, vec![ValueId(1), ValueId(2)]);
+        assert_eq!(inst.dst(), None);
+
+        let call = Inst::Call {
+            dst: Some(ValueId(5)),
+            callee: Callee::Indirect(ValueId(3)),
+            args: vec![ValueId(4)],
+        };
+        let mut uses = Vec::new();
+        call.uses(&mut uses);
+        assert_eq!(uses, vec![ValueId(3), ValueId(4)]);
+        assert_eq!(call.dst(), Some(ValueId(5)));
+    }
+}

@@ -1,0 +1,276 @@
+//! Per-target data layout.
+//!
+//! Native Offloader's key observation (§3.2 of the paper) is that C fixes no
+//! memory layout across platforms: the same `struct Move { char from, to;
+//! double score; }` occupies 10 bytes on IA32 (doubles align to 4) but 16 on
+//! ARM EABI (doubles align to 8), and pointer fields are 4 bytes on a 32-bit
+//! mobile device but 8 on a 64-bit server. The *memory unifier* realigns the
+//! server layout to the mobile layout so both sides read the same bytes at
+//! the same unified virtual address.
+//!
+//! [`DataLayout`] captures the ABI knobs that matter for that story: pointer
+//! width, the alignment of 8-byte scalars, and endianness. Struct layouts
+//! (field offsets, size, alignment) are computed with ordinary C rules.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::module::{Module, StructId};
+use crate::types::Type;
+
+/// Byte order of a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Endian {
+    /// Least-significant byte first (ARM and x86 in the paper's evaluation).
+    #[default]
+    Little,
+    /// Most-significant byte first. Never hit in the paper's eval; exercised
+    /// by this repo's synthetic big-endian server profile.
+    Big,
+}
+
+/// Named ABI presets for the devices this reproduction simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetAbi {
+    /// 32-bit ARM-style mobile ABI: 4-byte pointers, 8-byte scalars align
+    /// to 8, little-endian. This is the *unified standard* layout, because
+    /// the mobile device is the default executor (§3.2).
+    MobileArm32,
+    /// 64-bit x86-style server ABI: 8-byte pointers, 8-byte alignment,
+    /// little-endian.
+    ServerX8664,
+    /// 32-bit IA32-style ABI: 4-byte pointers but 8-byte scalars align to
+    /// only 4 — the packing that produces the Fig. 4 mismatch.
+    ServerIa32,
+    /// Synthetic big-endian 64-bit server used to exercise the endianness
+    /// translation pass, which the paper's (LE, LE) evaluation never runs.
+    ServerBigEndian64,
+}
+
+impl TargetAbi {
+    /// The concrete layout rules of this ABI.
+    pub fn data_layout(self) -> DataLayout {
+        match self {
+            TargetAbi::MobileArm32 => DataLayout {
+                abi: self,
+                ptr_bytes: 4,
+                wide_scalar_align: 8,
+                endian: Endian::Little,
+            },
+            TargetAbi::ServerX8664 => DataLayout {
+                abi: self,
+                ptr_bytes: 8,
+                wide_scalar_align: 8,
+                endian: Endian::Little,
+            },
+            TargetAbi::ServerIa32 => DataLayout {
+                abi: self,
+                ptr_bytes: 4,
+                wide_scalar_align: 4,
+                endian: Endian::Little,
+            },
+            TargetAbi::ServerBigEndian64 => DataLayout {
+                abi: self,
+                ptr_bytes: 8,
+                wide_scalar_align: 8,
+                endian: Endian::Big,
+            },
+        }
+    }
+}
+
+impl fmt::Display for TargetAbi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TargetAbi::MobileArm32 => "arm32-mobile",
+            TargetAbi::ServerX8664 => "x86_64-server",
+            TargetAbi::ServerIa32 => "ia32-server",
+            TargetAbi::ServerBigEndian64 => "be64-server",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Concrete layout rules for one target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataLayout {
+    /// Which ABI these rules came from.
+    pub abi: TargetAbi,
+    /// Pointer size in bytes (4 or 8).
+    pub ptr_bytes: u64,
+    /// Alignment of `i64` and `f64` (8 on ARM EABI / x86-64, 4 on IA32).
+    pub wide_scalar_align: u64,
+    /// Byte order.
+    pub endian: Endian,
+}
+
+/// The computed layout of one struct under one [`DataLayout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructLayout {
+    /// Byte offset of each field, in declaration order.
+    pub offsets: Vec<u64>,
+    /// Total size including trailing padding.
+    pub size: u64,
+    /// Alignment of the whole struct.
+    pub align: u64,
+}
+
+impl StructLayout {
+    /// Total bytes of padding (internal + trailing) in the struct.
+    pub fn padding(&self, field_sizes: &[u64]) -> u64 {
+        self.size - field_sizes.iter().sum::<u64>()
+    }
+}
+
+impl DataLayout {
+    /// Size of a type in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Type::Void`], which has no size.
+    pub fn size_of(&self, ty: &Type, module: &Module) -> u64 {
+        match ty {
+            Type::Void => panic!("void has no size"),
+            Type::I8 => 1,
+            Type::I16 => 2,
+            Type::I32 => 4,
+            Type::I64 | Type::F64 => 8,
+            Type::Ptr(_) | Type::Func(_) => self.ptr_bytes,
+            Type::Array(elem, len) => self.size_of(elem, module) * *len as u64,
+            Type::Struct(id) => self.struct_layout(*id, module).size,
+        }
+    }
+
+    /// Alignment of a type in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Type::Void`].
+    pub fn align_of(&self, ty: &Type, module: &Module) -> u64 {
+        match ty {
+            Type::Void => panic!("void has no alignment"),
+            Type::I8 => 1,
+            Type::I16 => 2,
+            Type::I32 => 4,
+            Type::I64 | Type::F64 => self.wide_scalar_align,
+            Type::Ptr(_) | Type::Func(_) => self.ptr_bytes,
+            Type::Array(elem, _) => self.align_of(elem, module),
+            Type::Struct(id) => self.struct_layout(*id, module).align,
+        }
+    }
+
+    /// Layout of a struct under this ABI: standard C rules (each field at
+    /// the next multiple of its alignment; struct size rounded up to the
+    /// struct alignment).
+    pub fn struct_layout(&self, id: StructId, module: &Module) -> StructLayout {
+        let def = module.struct_def(id);
+        let mut offsets = Vec::with_capacity(def.fields.len());
+        let mut offset = 0u64;
+        let mut align = 1u64;
+        for field in &def.fields {
+            let fa = self.align_of(field, module);
+            let fs = self.size_of(field, module);
+            offset = round_up(offset, fa);
+            offsets.push(offset);
+            offset += fs;
+            align = align.max(fa);
+        }
+        StructLayout { offsets, size: round_up(offset.max(1), align), align }
+    }
+
+    /// Compute layouts for every struct in the module at once.
+    pub fn all_struct_layouts(&self, module: &Module) -> HashMap<StructId, StructLayout> {
+        module
+            .struct_ids()
+            .map(|id| (id, self.struct_layout(id, module)))
+            .collect()
+    }
+}
+
+fn round_up(value: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two() || align == 1);
+    value.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Module;
+    use crate::types::StructDef;
+
+    /// The `Move` struct of the paper's Fig. 3/4:
+    /// `struct { char from, to; double score; }`.
+    fn move_struct(module: &mut Module) -> StructId {
+        module.define_struct(StructDef {
+            name: "Move".into(),
+            fields: vec![Type::I8, Type::I8, Type::F64],
+        })
+    }
+
+    #[test]
+    fn fig4_move_differs_between_ia32_and_arm() {
+        let mut m = Module::new("t");
+        let id = move_struct(&mut m);
+        let arm = TargetAbi::MobileArm32.data_layout().struct_layout(id, &m);
+        let ia32 = TargetAbi::ServerIa32.data_layout().struct_layout(id, &m);
+        // ARM pads `score` to offset 8 (Fig. 4 right), IA32 packs it at 4.
+        assert_eq!(arm.offsets, vec![0, 1, 8]);
+        assert_eq!(arm.size, 16);
+        assert_eq!(ia32.offsets, vec![0, 1, 4]);
+        assert_eq!(ia32.size, 12);
+        assert_ne!(arm, ia32, "the Fig. 4 mismatch must exist");
+    }
+
+    #[test]
+    fn pointer_fields_differ_between_32_and_64_bit() {
+        let mut m = Module::new("t");
+        let id = m.define_struct(StructDef {
+            name: "Node".into(),
+            fields: vec![Type::I32, Type::I32.ptr_to()],
+        });
+        let mobile = TargetAbi::MobileArm32.data_layout().struct_layout(id, &m);
+        let server = TargetAbi::ServerX8664.data_layout().struct_layout(id, &m);
+        assert_eq!(mobile.size, 8);
+        assert_eq!(server.size, 16);
+    }
+
+    #[test]
+    fn nested_struct_layout() {
+        let mut m = Module::new("t");
+        let inner = move_struct(&mut m);
+        let outer = m.define_struct(StructDef {
+            name: "Outer".into(),
+            fields: vec![Type::I8, Type::Struct(inner)],
+        });
+        let l = TargetAbi::MobileArm32.data_layout();
+        let lo = l.struct_layout(outer, &m);
+        assert_eq!(lo.offsets, vec![0, 8]);
+        assert_eq!(lo.size, 24);
+        assert_eq!(lo.align, 8);
+    }
+
+    #[test]
+    fn array_size_and_align() {
+        let m = Module::new("t");
+        let l = TargetAbi::MobileArm32.data_layout();
+        let a = Type::I16.array_of(5);
+        assert_eq!(l.size_of(&a, &m), 10);
+        assert_eq!(l.align_of(&a, &m), 2);
+    }
+
+    #[test]
+    fn empty_struct_has_nonzero_size() {
+        let mut m = Module::new("t");
+        let id = m.define_struct(StructDef { name: "E".into(), fields: vec![] });
+        let l = TargetAbi::MobileArm32.data_layout().struct_layout(id, &m);
+        assert_eq!(l.size, 1);
+    }
+
+    #[test]
+    fn padding_accounting() {
+        let mut m = Module::new("t");
+        let id = move_struct(&mut m);
+        let l = TargetAbi::MobileArm32.data_layout().struct_layout(id, &m);
+        assert_eq!(l.padding(&[1, 1, 8]), 6); // Fig. 4: 6 bytes of padding
+    }
+}

@@ -1,0 +1,46 @@
+//! Typed intermediate representation for the Native Offloader reproduction.
+//!
+//! The Native Offloader compiler (MICRO 2015) partitions applications at IR
+//! level so that the same analyses and transformations serve any front-end
+//! language and any pair of target architectures. This crate provides that
+//! IR: a typed, CFG-structured, register-based representation with
+//!
+//! * a type system covering the C subset the paper manipulates (scalars,
+//!   pointers, arrays, structs, function pointers),
+//! * per-target [data layout](layout::DataLayout) computation, which is what
+//!   makes the paper's *memory layout realignment* (§3.2, Fig. 4) expressible,
+//! * a [builder](builder::FunctionBuilder) for constructing functions,
+//! * a structural [verifier](verify), a textual printer, and
+//! * the analyses the offload compiler needs: call graph, dominator tree and
+//!   natural-loop detection ([`analysis`]).
+//!
+//! # Example
+//!
+//! ```
+//! use offload_ir::{Module, Type, builder::FunctionBuilder, ConstValue};
+//!
+//! let mut module = Module::new("demo");
+//! let f = module.declare_function("answer", vec![], Type::I32);
+//! let mut b = FunctionBuilder::new(&mut module, f);
+//! let v = b.const_value(ConstValue::I32(42));
+//! b.ret(Some(v));
+//! b.finish();
+//! assert!(offload_ir::verify::verify_module(&module).is_ok());
+//! ```
+
+pub mod analysis;
+pub mod builder;
+pub mod inst;
+pub mod layout;
+pub mod module;
+pub mod opt;
+pub mod print;
+pub mod types;
+pub mod verify;
+
+pub use inst::{BinOp, Builtin, Callee, CastKind, CmpOp, Inst, UnOp};
+pub use layout::{DataLayout, Endian, StructLayout, TargetAbi};
+pub use module::{
+    Block, BlockId, ConstValue, FuncId, Function, Global, GlobalId, Module, StructId, ValueId,
+};
+pub use types::{StructDef, Type};

@@ -1,0 +1,405 @@
+//! Modules, functions, blocks, globals and constants.
+//!
+//! A [`Module`] is the unit the Native Offloader compiler partitions: the
+//! front-end lowers a whole application into one module, the offload passes
+//! clone and rewrite it into a *mobile* module and a *server* module, and
+//! each simulated device executes its own copy.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::types::{StructDef, Type};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a struct definition within its [`Module`].
+    StructId,
+    "%s"
+);
+id_type!(
+    /// Index of a global variable within its [`Module`].
+    GlobalId,
+    "@g"
+);
+id_type!(
+    /// Index of a function within its [`Module`].
+    FuncId,
+    "@f"
+);
+id_type!(
+    /// Index of a basic block within its [`Function`].
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// Index of a virtual register within its [`Function`].
+    ValueId,
+    "%v"
+);
+
+/// A compile-time constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstValue {
+    /// 8-bit integer.
+    I8(i8),
+    /// 16-bit integer.
+    I16(i16),
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// Null pointer of the given pointee type.
+    Null(Type),
+    /// Address of a global variable.
+    GlobalAddr(GlobalId),
+    /// Address of a function (the *device-specific* numeric value is chosen
+    /// by each back-end — the reason the paper needs function-pointer
+    /// mapping, §3.4).
+    FuncAddr(FuncId),
+}
+
+impl ConstValue {
+    /// The IR type of this constant (pointers are typed by pointee).
+    pub fn ty(&self, module: &Module) -> Type {
+        match self {
+            ConstValue::I8(_) => Type::I8,
+            ConstValue::I16(_) => Type::I16,
+            ConstValue::I32(_) => Type::I32,
+            ConstValue::I64(_) => Type::I64,
+            ConstValue::F64(_) => Type::F64,
+            ConstValue::Null(pointee) => pointee.clone().ptr_to(),
+            ConstValue::GlobalAddr(id) => module.global(*id).ty.clone().ptr_to(),
+            ConstValue::FuncAddr(id) => {
+                let f = module.function(*id);
+                Type::Func(Box::new(crate::types::FuncSig {
+                    params: f.params.clone(),
+                    ret: f.ret.clone(),
+                }))
+                .ptr_to()
+            }
+        }
+    }
+}
+
+/// Initializer of a global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// All-zero bytes.
+    Zeroed,
+    /// Flattened leaf values in declaration order. The loader walks the
+    /// global's type with the device's data layout and writes each leaf at
+    /// its laid-out offset, so the same initializer works under any ABI.
+    Scalars(Vec<ConstValue>),
+    /// Raw bytes (string literals).
+    Bytes(Vec<u8>),
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Source-level name.
+    pub name: String,
+    /// Value type.
+    pub ty: Type,
+    /// Initializer.
+    pub init: GlobalInit,
+    /// Set by the memory unifier: this global is *referenced* (its address
+    /// may cross devices) and must live in the unified globals segment
+    /// (§3.2 "referenced global variable allocation").
+    pub unified: bool,
+}
+
+/// A basic block: straight-line instructions ending in a terminator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Block {
+    /// Instructions; the last must be a terminator
+    /// ([`Inst::is_terminator`]).
+    pub insts: Vec<Inst>,
+}
+
+/// A function. A function with no blocks is an *external declaration* —
+/// precisely what the paper's function filter treats as an "unknown external
+/// library call" (§3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Source-level name.
+    pub name: String,
+    /// Parameter types; parameters occupy value ids `0..params.len()`.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Types of every virtual register (params first).
+    pub value_types: Vec<Type>,
+}
+
+impl Function {
+    /// `true` if this is an external declaration with no body.
+    pub fn is_declaration(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The type of a virtual register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn value_type(&self, v: ValueId) -> &Type {
+        &self.value_types[v.0 as usize]
+    }
+
+    /// Iterate over `(BlockId, &Block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Successor blocks of `bb`, read from its terminator.
+    pub fn successors(&self, bb: BlockId) -> Vec<BlockId> {
+        match self.blocks[bb.0 as usize].insts.last() {
+            Some(Inst::Br { target }) => vec![*target],
+            Some(Inst::CondBr { then_bb, else_bb, .. }) => vec![*then_bb, *else_bb],
+            _ => vec![],
+        }
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// A whole program at IR level.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Module (application) name.
+    pub name: String,
+    structs: Vec<StructDef>,
+    globals: Vec<Global>,
+    functions: Vec<Function>,
+    /// The program entry point, if defined.
+    pub entry: Option<FuncId>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module { name: name.into(), ..Default::default() }
+    }
+
+    /// Define a struct and return its id.
+    pub fn define_struct(&mut self, def: StructDef) -> StructId {
+        self.structs.push(def);
+        StructId(self.structs.len() as u32 - 1)
+    }
+
+    /// The definition of a struct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn struct_def(&self, id: StructId) -> &StructDef {
+        &self.structs[id.0 as usize]
+    }
+
+    /// Replace a struct's fields — used by front-ends to close the loop on
+    /// self-referential structs (declare the name first, fill the body
+    /// once field types can resolve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_struct_fields(&mut self, id: StructId, fields: Vec<Type>) {
+        self.structs[id.0 as usize].fields = fields;
+    }
+
+    /// Iterate over all struct ids.
+    pub fn struct_ids(&self) -> impl Iterator<Item = StructId> {
+        (0..self.structs.len() as u32).map(StructId)
+    }
+
+    /// Define a global variable and return its id.
+    pub fn define_global(&mut self, name: impl Into<String>, ty: Type, init: GlobalInit) -> GlobalId {
+        self.globals.push(Global { name: name.into(), ty, init, unified: false });
+        GlobalId(self.globals.len() as u32 - 1)
+    }
+
+    /// A global by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.0 as usize]
+    }
+
+    /// Mutable access to a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn global_mut(&mut self, id: GlobalId) -> &mut Global {
+        &mut self.globals[id.0 as usize]
+    }
+
+    /// Iterate over `(GlobalId, &Global)` pairs.
+    pub fn iter_globals(&self) -> impl Iterator<Item = (GlobalId, &Global)> {
+        self.globals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GlobalId(i as u32), g))
+    }
+
+    /// Number of globals.
+    pub fn global_count(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Declare a function (body added later through the builder) and
+    /// return its id.
+    pub fn declare_function(&mut self, name: impl Into<String>, params: Vec<Type>, ret: Type) -> FuncId {
+        let value_types = params.clone();
+        self.functions.push(Function {
+            name: name.into(),
+            params,
+            ret,
+            blocks: Vec::new(),
+            value_types,
+        });
+        FuncId(self.functions.len() as u32 - 1)
+    }
+
+    /// A function by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.0 as usize]
+    }
+
+    /// Iterate over `(FuncId, &Function)` pairs.
+    pub fn iter_functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Number of functions (including declarations).
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Look up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.iter_functions()
+            .find(|(_, f)| f.name == name)
+            .map(|(id, _)| id)
+    }
+
+    /// Look up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.iter_globals()
+            .find(|(_, g)| g.name == name)
+            .map(|(id, _)| id)
+    }
+
+    /// Remove the bodies of the given functions, turning them into
+    /// declarations (the partitioner's *unused function removal*, §3.3).
+    pub fn strip_bodies(&mut self, ids: &[FuncId]) {
+        for id in ids {
+            let f = &mut self.functions[id.0 as usize];
+            f.blocks.clear();
+            f.value_types.truncate(f.params.len());
+        }
+    }
+
+    /// Map from function name to id, for tests and tools.
+    pub fn function_names(&self) -> HashMap<&str, FuncId> {
+        self.iter_functions()
+            .map(|(id, f)| (f.name.as_str(), id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_lookup() {
+        let mut m = Module::new("app");
+        let s = m.define_struct(StructDef { name: "S".into(), fields: vec![Type::I32] });
+        assert_eq!(m.struct_def(s).name, "S");
+        let g = m.define_global("counter", Type::I32, GlobalInit::Zeroed);
+        assert_eq!(m.global(g).name, "counter");
+        assert_eq!(m.global_by_name("counter"), Some(g));
+        let f = m.declare_function("main", vec![], Type::I32);
+        assert_eq!(m.function_by_name("main"), Some(f));
+        assert!(m.function(f).is_declaration());
+    }
+
+    #[test]
+    fn const_types() {
+        let mut m = Module::new("app");
+        let g = m.define_global("x", Type::F64, GlobalInit::Zeroed);
+        assert_eq!(ConstValue::I32(1).ty(&m), Type::I32);
+        assert_eq!(ConstValue::GlobalAddr(g).ty(&m), Type::F64.ptr_to());
+        assert_eq!(ConstValue::Null(Type::I8).ty(&m), Type::I8.ptr_to());
+    }
+
+    #[test]
+    fn strip_bodies_makes_declarations() {
+        let mut m = Module::new("app");
+        let f = m.declare_function("g", vec![Type::I32], Type::Void);
+        {
+            let func = m.function_mut(f);
+            func.blocks.push(Block { insts: vec![Inst::Ret { value: None }] });
+        }
+        assert!(!m.function(f).is_declaration());
+        m.strip_bodies(&[f]);
+        assert!(m.function(f).is_declaration());
+        assert_eq!(m.function(f).value_types.len(), 1);
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(FuncId(3).to_string(), "@f3");
+        assert_eq!(BlockId(0).to_string(), "bb0");
+        assert_eq!(ValueId(7).to_string(), "%v7");
+    }
+}

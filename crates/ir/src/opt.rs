@@ -1,0 +1,435 @@
+//! Lightweight IR optimizations: constant folding, branch simplification
+//! and dead-code elimination.
+//!
+//! The front-end lowers clang -O0 style, so the IR carries plenty of
+//! foldable constants and never-read temporaries. The offload compiler
+//! runs this pass before profiling so cycle counts reflect code a real
+//! back-end would emit. Registers are single-assignment, which keeps the
+//! analyses simple: a register's constant-ness is a property of its one
+//! defining instruction.
+
+use std::collections::HashMap;
+
+use crate::inst::{BinOp, Callee, CmpOp, Inst, UnOp};
+use crate::module::{ConstValue, FuncId, Function, Module, ValueId};
+use crate::types::Type;
+
+/// What one optimization run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions folded into constants.
+    pub folded: usize,
+    /// Conditional branches turned unconditional.
+    pub branches_simplified: usize,
+    /// Dead instructions removed.
+    pub dead_removed: usize,
+}
+
+impl OptStats {
+    /// Total changes.
+    pub fn total(&self) -> usize {
+        self.folded + self.branches_simplified + self.dead_removed
+    }
+}
+
+/// Optimize every function in the module to a fixpoint.
+pub fn optimize_module(module: &mut Module) -> OptStats {
+    let mut stats = OptStats::default();
+    for fi in 0..module.function_count() {
+        let id = FuncId(fi as u32);
+        if module.function(id).is_declaration() {
+            continue;
+        }
+        loop {
+            let mut round = OptStats::default();
+            let func = module.function_mut(id);
+            round.folded += fold_constants(func);
+            round.branches_simplified += simplify_branches(func);
+            round.dead_removed += eliminate_dead(func);
+            stats.folded += round.folded;
+            stats.branches_simplified += round.branches_simplified;
+            stats.dead_removed += round.dead_removed;
+            if round.total() == 0 {
+                break;
+            }
+        }
+    }
+    stats
+}
+
+fn const_of(inst: &Inst) -> Option<(ValueId, ConstValue)> {
+    match inst {
+        Inst::Const { dst, value } => Some((*dst, value.clone())),
+        _ => None,
+    }
+}
+
+fn as_int(v: &ConstValue) -> Option<i64> {
+    match v {
+        ConstValue::I8(x) => Some(*x as i64),
+        ConstValue::I16(x) => Some(*x as i64),
+        ConstValue::I32(x) => Some(*x as i64),
+        ConstValue::I64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &ConstValue) -> Option<f64> {
+    match v {
+        ConstValue::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn make_int(ty: &Type, v: i64) -> Option<ConstValue> {
+    Some(match ty {
+        Type::I8 => ConstValue::I8(v as i8),
+        Type::I16 => ConstValue::I16(v as i16),
+        Type::I32 => ConstValue::I32(v as i32),
+        Type::I64 => ConstValue::I64(v),
+        _ => return None,
+    })
+}
+
+/// Fold `Bin`/`Un`/`Cmp`/`Cast` instructions whose operands are constants.
+fn fold_constants(func: &mut Function) -> usize {
+    // Map of registers known constant (single assignment ⇒ one pass over
+    // all blocks suffices to collect).
+    let mut env: HashMap<ValueId, ConstValue> = HashMap::new();
+    for block in &func.blocks {
+        for inst in &block.insts {
+            if let Some((dst, v)) = const_of(inst) {
+                env.insert(dst, v);
+            }
+        }
+    }
+
+    let mut folded = 0usize;
+    for block in &mut func.blocks {
+        for inst in &mut block.insts {
+            let replacement: Option<(ValueId, ConstValue)> = match inst {
+                Inst::Bin { dst, op, ty, lhs, rhs } => {
+                    match (env.get(lhs), env.get(rhs)) {
+                        (Some(a), Some(b)) if ty.is_int() => {
+                            let (a, b) = match (as_int(a), as_int(b)) {
+                                (Some(a), Some(b)) => (a, b),
+                                _ => continue,
+                            };
+                            let v = match op {
+                                BinOp::Add => a.wrapping_add(b),
+                                BinOp::Sub => a.wrapping_sub(b),
+                                BinOp::Mul => a.wrapping_mul(b),
+                                BinOp::Div if b != 0 => a.wrapping_div(b),
+                                BinOp::Rem if b != 0 => a.wrapping_rem(b),
+                                BinOp::And => a & b,
+                                BinOp::Or => a | b,
+                                BinOp::Xor => a ^ b,
+                                BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+                                BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+                                _ => continue, // div/rem by zero: leave the trap in
+                            };
+                            make_int(ty, truncate(ty, v)).map(|c| (*dst, c))
+                        }
+                        (Some(a), Some(b)) if *ty == Type::F64 => {
+                            let (a, b) = match (as_f64(a), as_f64(b)) {
+                                (Some(a), Some(b)) => (a, b),
+                                _ => continue,
+                            };
+                            let v = match op {
+                                BinOp::Add => a + b,
+                                BinOp::Sub => a - b,
+                                BinOp::Mul => a * b,
+                                BinOp::Div => a / b,
+                                _ => continue,
+                            };
+                            Some((*dst, ConstValue::F64(v)))
+                        }
+                        _ => None,
+                    }
+                }
+                Inst::Un { dst, op, ty, operand } => match (env.get(operand), op) {
+                    (Some(v), UnOp::Neg) if ty.is_int() => as_int(v)
+                        .and_then(|x| make_int(ty, truncate(ty, x.wrapping_neg())))
+                        .map(|c| (*dst, c)),
+                    (Some(v), UnOp::Neg) if *ty == Type::F64 => {
+                        as_f64(v).map(|x| (*dst, ConstValue::F64(-x)))
+                    }
+                    (Some(v), UnOp::Not) if ty.is_int() => as_int(v)
+                        .and_then(|x| make_int(ty, truncate(ty, !x)))
+                        .map(|c| (*dst, c)),
+                    _ => None,
+                },
+                Inst::Cmp { dst, op, ty, lhs, rhs } if ty.is_int() => {
+                    match (env.get(lhs).and_then(as_int), env.get(rhs).and_then(as_int)) {
+                        (Some(a), Some(b)) => {
+                            let v = match op {
+                                CmpOp::Eq => a == b,
+                                CmpOp::Ne => a != b,
+                                CmpOp::Lt => a < b,
+                                CmpOp::Le => a <= b,
+                                CmpOp::Gt => a > b,
+                                CmpOp::Ge => a >= b,
+                            };
+                            Some((*dst, ConstValue::I32(i32::from(v))))
+                        }
+                        _ => None,
+                    }
+                }
+                Inst::Cast { dst, kind, to, src } => {
+                    use crate::inst::CastKind::*;
+                    match (env.get(src), kind) {
+                        (Some(v), Sext | Trunc) => {
+                            as_int(v).and_then(|x| make_int(to, truncate(to, x))).map(|c| (*dst, c))
+                        }
+                        (Some(v), SiToF) => {
+                            as_int(v).map(|x| (*dst, ConstValue::F64(x as f64)))
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some((dst, value)) = replacement {
+                env.insert(dst, value.clone());
+                *inst = Inst::Const { dst, value };
+                folded += 1;
+            }
+        }
+    }
+    folded
+}
+
+fn truncate(ty: &Type, v: i64) -> i64 {
+    match ty {
+        Type::I8 => v as i8 as i64,
+        Type::I16 => v as i16 as i64,
+        Type::I32 => v as i32 as i64,
+        _ => v,
+    }
+}
+
+/// Turn `condbr` on a constant condition into `br`.
+fn simplify_branches(func: &mut Function) -> usize {
+    let mut env: HashMap<ValueId, i64> = HashMap::new();
+    for block in &func.blocks {
+        for inst in &block.insts {
+            if let Some((dst, v)) = const_of(inst) {
+                if let Some(x) = as_int(&v) {
+                    env.insert(dst, x);
+                }
+            }
+        }
+    }
+    let mut changed = 0usize;
+    for block in &mut func.blocks {
+        if let Some(Inst::CondBr { cond, then_bb, else_bb }) = block.insts.last() {
+            if let Some(c) = env.get(cond) {
+                let target = if *c != 0 { *then_bb } else { *else_bb };
+                *block.insts.last_mut().expect("nonempty") = Inst::Br { target };
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// Remove pure instructions whose results are never used. `Alloca` counts
+/// as pure: an address never taken is storage never touched.
+fn eliminate_dead(func: &mut Function) -> usize {
+    let mut used: Vec<bool> = vec![false; func.value_types.len()];
+    // Parameters are always "used" (ABI).
+    for u in used.iter_mut().take(func.params.len()) {
+        *u = true;
+    }
+    for block in &func.blocks {
+        for inst in &block.insts {
+            let mut uses = Vec::new();
+            inst.uses(&mut uses);
+            for v in uses {
+                used[v.0 as usize] = true;
+            }
+        }
+    }
+    let mut removed = 0usize;
+    for block in &mut func.blocks {
+        let before = block.insts.len();
+        block.insts.retain(|inst| {
+            let pure = matches!(
+                inst,
+                Inst::Const { .. }
+                    | Inst::Alloca { .. }
+                    | Inst::Bin { .. }
+                    | Inst::Un { .. }
+                    | Inst::Cmp { .. }
+                    | Inst::Cast { .. }
+                    | Inst::FieldAddr { .. }
+                    | Inst::IndexAddr { .. }
+            );
+            if !pure {
+                return true;
+            }
+            // Division can trap; keep it unless operands are known safe
+            // (folding already turned safe ones into constants).
+            if let Inst::Bin { op: BinOp::Div | BinOp::Rem, ty, .. } = inst {
+                if ty.is_int() {
+                    return true;
+                }
+            }
+            match inst.dst() {
+                Some(d) => {
+                    let keep = used[d.0 as usize];
+                    if !keep {
+                        removed += 1;
+                    }
+                    keep
+                }
+                None => true,
+            }
+        });
+        debug_assert!(block.insts.len() + removed >= before);
+    }
+    removed
+}
+
+/// `true` if the module still calls `callee` anywhere (test helper).
+pub fn calls(module: &Module, callee: FuncId) -> bool {
+    module.iter_functions().any(|(_, f)| {
+        f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(i, Inst::Call { callee: Callee::Direct(t), .. } if *t == callee)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::verify::verify_module;
+
+    fn const_func() -> (Module, FuncId) {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let a = b.const_i32(6);
+        let c = b.const_i32(7);
+        let prod = b.bin(BinOp::Mul, Type::I32, a, c);
+        let dead = b.bin(BinOp::Add, Type::I32, a, c);
+        let _ = dead;
+        b.ret(Some(prod));
+        b.finish();
+        (m, f)
+    }
+
+    #[test]
+    fn folds_and_removes_dead() {
+        let (mut m, f) = const_func();
+        let stats = optimize_module(&mut m);
+        verify_module(&m).unwrap();
+        assert!(stats.folded >= 2, "{stats:?}");
+        assert!(stats.dead_removed >= 1, "{stats:?}");
+        // The multiply is gone; a constant 42 feeds the return.
+        let has_mul = m.function(f).blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { .. }));
+        assert!(!has_mul);
+    }
+
+    #[test]
+    fn simplifies_constant_branches() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let one = b.const_i32(1);
+        let taken = b.new_block();
+        let not_taken = b.new_block();
+        b.cond_br(one, taken, not_taken);
+        b.switch_to(taken);
+        let r = b.const_i32(5);
+        b.ret(Some(r));
+        b.switch_to(not_taken);
+        let r2 = b.const_i32(9);
+        b.ret(Some(r2));
+        b.finish();
+
+        let stats = optimize_module(&mut m);
+        verify_module(&m).unwrap();
+        assert_eq!(stats.branches_simplified, 1);
+        assert!(matches!(
+            m.function(f).blocks[0].insts.last(),
+            Some(Inst::Br { .. })
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded_away() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let a = b.const_i32(5);
+        let z = b.const_i32(0);
+        let _trap = b.bin(BinOp::Div, Type::I32, a, z);
+        let r = b.const_i32(1);
+        b.ret(Some(r));
+        b.finish();
+        let stats = optimize_module(&mut m);
+        verify_module(&m).unwrap();
+        // The div survives (it must still trap at run time).
+        let has_div = m.function(f).blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: BinOp::Div, .. }));
+        assert!(has_div, "{stats:?}");
+    }
+
+    #[test]
+    fn loads_stores_calls_survive() {
+        let mut m = Module::new("t");
+        let g = m.declare_function("g", vec![], Type::Void);
+        {
+            let mut b = FunctionBuilder::new(&mut m, g);
+            b.ret(None);
+            b.finish();
+        }
+        let f = m.declare_function("f", vec![], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let slot = b.alloca(Type::I32, 1);
+        let v = b.const_i32(3);
+        b.store(Type::I32, slot, v);
+        b.call(g, vec![]);
+        let back = b.load(Type::I32, slot);
+        b.ret(Some(back));
+        b.finish();
+        optimize_module(&mut m);
+        verify_module(&m).unwrap();
+        assert!(calls(&m, g), "calls are side-effecting and must survive");
+        let kinds: Vec<bool> = m.function(f).blocks[0]
+            .insts
+            .iter()
+            .map(|i| matches!(i, Inst::Store { .. } | Inst::Load { .. }))
+            .collect();
+        assert!(kinds.iter().filter(|k| **k).count() >= 2);
+    }
+
+    #[test]
+    fn fixpoint_chains_folds() {
+        // ((2+3)*4) == 20 needs two rounds: fold add, then fold mul.
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let two = b.const_i32(2);
+        let three = b.const_i32(3);
+        let add = b.bin(BinOp::Add, Type::I32, two, three);
+        let four = b.const_i32(4);
+        let mul = b.bin(BinOp::Mul, Type::I32, add, four);
+        b.ret(Some(mul));
+        b.finish();
+        optimize_module(&mut m);
+        let remaining_bins = m.function(f).blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Bin { .. }))
+            .count();
+        assert_eq!(remaining_bins, 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Textual printing of modules — the debugging surface for the offload
+//! passes (diffing the module before/after a rewrite shows exactly what a
+//! pass did, like `opt -S` for LLVM).
+
+use std::fmt::{self, Write as _};
+
+use crate::inst::{Callee, Inst};
+use crate::module::{ConstValue, Function, GlobalInit, Module};
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; module {}", self.name)?;
+        for id in self.struct_ids() {
+            let def = self.struct_def(id);
+            write!(f, "{id} = struct {} {{ ", def.name)?;
+            for (i, field) in def.fields.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{field}")?;
+            }
+            writeln!(f, " }}")?;
+        }
+        for (id, g) in self.iter_globals() {
+            let marker = if g.unified { " unified" } else { "" };
+            write!(f, "{id} = global{marker} {} {} = ", g.ty, g.name)?;
+            match &g.init {
+                GlobalInit::Zeroed => writeln!(f, "zeroed")?,
+                GlobalInit::Scalars(vals) => {
+                    write!(f, "[")?;
+                    for (i, v) in vals.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", DisplayConst(v))?;
+                    }
+                    writeln!(f, "]")?;
+                }
+                GlobalInit::Bytes(bytes) => writeln!(f, "{} bytes", bytes.len())?,
+            }
+        }
+        for (id, func) in self.iter_functions() {
+            write!(f, "\n{}", DisplayFunc { id_str: id.to_string(), func })?;
+        }
+        Ok(())
+    }
+}
+
+struct DisplayConst<'a>(&'a ConstValue);
+
+impl fmt::Display for DisplayConst<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            ConstValue::I8(v) => write!(f, "i8 {v}"),
+            ConstValue::I16(v) => write!(f, "i16 {v}"),
+            ConstValue::I32(v) => write!(f, "i32 {v}"),
+            ConstValue::I64(v) => write!(f, "i64 {v}"),
+            ConstValue::F64(v) => write!(f, "f64 {v}"),
+            ConstValue::Null(t) => write!(f, "{t}* null"),
+            ConstValue::GlobalAddr(g) => write!(f, "&{g}"),
+            ConstValue::FuncAddr(fid) => write!(f, "&{fid}"),
+        }
+    }
+}
+
+struct DisplayFunc<'a> {
+    id_str: String,
+    func: &'a Function,
+}
+
+impl fmt::Display for DisplayFunc<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let func = self.func;
+        if func.is_declaration() {
+            write!(f, "declare {} {} {}(", self.id_str, func.ret, func.name)?;
+        } else {
+            write!(f, "define {} {} {}(", self.id_str, func.ret, func.name)?;
+        }
+        for (i, p) in func.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "%v{i}: {p}")?;
+        }
+        if func.is_declaration() {
+            return writeln!(f, ")");
+        }
+        writeln!(f, ") {{")?;
+        for (bb, block) in func.iter_blocks() {
+            writeln!(f, "{bb}:")?;
+            for inst in &block.insts {
+                writeln!(f, "  {}", DisplayInst(inst))?;
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+struct DisplayInst<'a>(&'a Inst);
+
+impl fmt::Display for DisplayInst<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Inst::Const { dst, value } => write!(f, "{dst} = const {}", DisplayConst(value)),
+            Inst::Alloca { dst, ty, count } => write!(f, "{dst} = alloca {ty} x {count}"),
+            Inst::Load { dst, ty, addr } => write!(f, "{dst} = load {ty}, {addr}"),
+            Inst::Store { ty, addr, value } => write!(f, "store {ty} {value}, {addr}"),
+            Inst::FieldAddr { dst, base, sid, field } => {
+                write!(f, "{dst} = fieldaddr {sid}.{field}, {base}")
+            }
+            Inst::IndexAddr { dst, base, elem, index } => {
+                write!(f, "{dst} = indexaddr {elem}, {base}[{index}]")
+            }
+            Inst::Bin { dst, op, ty, lhs, rhs } => {
+                write!(f, "{dst} = {op:?} {ty} {lhs}, {rhs}")
+            }
+            Inst::Un { dst, op, ty, operand } => write!(f, "{dst} = {op:?} {ty} {operand}"),
+            Inst::Cmp { dst, op, ty, lhs, rhs } => {
+                write!(f, "{dst} = cmp {op:?} {ty} {lhs}, {rhs}")
+            }
+            Inst::Cast { dst, kind, to, src } => write!(f, "{dst} = {kind:?} {src} to {to}"),
+            Inst::Call { dst, callee, args } => {
+                let mut s = String::new();
+                if let Some(d) = dst {
+                    write!(s, "{d} = ")?;
+                }
+                match callee {
+                    Callee::Direct(id) => write!(s, "call {id}(")?,
+                    Callee::Indirect(v) => write!(s, "call_indirect {v}(")?,
+                    Callee::Builtin(b) => write!(s, "call builtin {b}(")?,
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(s, ", ")?;
+                    }
+                    write!(s, "{a}")?;
+                }
+                write!(f, "{s})")
+            }
+            Inst::Ret { value: Some(v) } => write!(f, "ret {v}"),
+            Inst::Ret { value: None } => write!(f, "ret void"),
+            Inst::Br { target } => write!(f, "br {target}"),
+            Inst::CondBr { cond, then_bb, else_bb } => {
+                write!(f, "condbr {cond}, {then_bb}, {else_bb}")
+            }
+            Inst::InlineAsm { text } => write!(f, "asm \"{text}\""),
+            Inst::Syscall { dst, number, args } => {
+                write!(f, "{dst} = syscall {number} ({} args)", args.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::module::{GlobalInit, Module};
+    use crate::types::{StructDef, Type};
+
+    #[test]
+    fn prints_structs_globals_functions() {
+        let mut m = Module::new("demo");
+        m.define_struct(StructDef { name: "Move".into(), fields: vec![Type::I8, Type::F64] });
+        m.define_global("board", Type::I32.array_of(4), GlobalInit::Zeroed);
+        let f = m.declare_function("twice", vec![Type::I32], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let two = b.const_i32(2);
+        let r = b.bin(BinOp::Mul, Type::I32, p, two);
+        b.ret(Some(r));
+        b.finish();
+        m.declare_function("external", vec![], Type::Void);
+
+        let text = m.to_string();
+        assert!(text.contains("; module demo"), "{text}");
+        assert!(text.contains("struct Move"), "{text}");
+        assert!(text.contains("global [4 x i32] board"), "{text}");
+        assert!(text.contains("define @f0 i32 twice(%v0: i32)"), "{text}");
+        assert!(text.contains("Mul i32"), "{text}");
+        assert!(text.contains("declare @f1 void external"), "{text}");
+    }
+
+    #[test]
+    fn unified_globals_are_marked() {
+        let mut m = Module::new("demo");
+        let g = m.define_global("x", Type::I32, GlobalInit::Zeroed);
+        m.global_mut(g).unified = true;
+        assert!(m.to_string().contains("global unified i32 x"));
+    }
+}

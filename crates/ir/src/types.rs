@@ -1,0 +1,179 @@
+//! The IR type system.
+//!
+//! Types mirror the C subset the Native Offloader paper manipulates:
+//! fixed-width integers, IEEE doubles, pointers, fixed-size arrays, named
+//! structs and function pointers. Struct bodies live in the
+//! [`Module`](crate::module::Module) and are referenced by [`StructId`]; the
+//! `Type` value itself stays cheap to clone and compare.
+
+use std::fmt;
+
+use crate::module::StructId;
+
+/// An IR type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// No value (function return only).
+    Void,
+    /// 8-bit integer (C `char`).
+    I8,
+    /// 16-bit integer (C `short`).
+    I16,
+    /// 32-bit integer (C `int`).
+    I32,
+    /// 64-bit integer (C `long long`).
+    I64,
+    /// 64-bit IEEE float (C `double`).
+    F64,
+    /// Pointer to a value of the given type.
+    Ptr(Box<Type>),
+    /// Fixed-size array of `len` elements.
+    Array(Box<Type>, usize),
+    /// A named struct; fields live in the module's struct table.
+    Struct(StructId),
+    /// Function signature, used behind pointers for indirect calls.
+    Func(Box<FuncSig>),
+}
+
+/// A function signature: parameter types plus a return type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FuncSig {
+    /// Parameter types, in order.
+    pub params: Vec<Type>,
+    /// Return type ([`Type::Void`] for none).
+    pub ret: Type,
+}
+
+impl Type {
+    /// A pointer to `self`.
+    #[must_use]
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// An array of `len` copies of `self`.
+    #[must_use]
+    pub fn array_of(self, len: usize) -> Type {
+        Type::Array(Box::new(self), len)
+    }
+
+    /// Returns `true` for the integer scalar types.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::I8 | Type::I16 | Type::I32 | Type::I64)
+    }
+
+    /// Returns `true` for [`Type::F64`].
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::F64)
+    }
+
+    /// Returns `true` for pointer types (including function pointers
+    /// spelled as `Ptr(Func(..))`).
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Returns `true` if values of this type fit in a virtual register:
+    /// every scalar, pointer or function type. Aggregates (arrays, structs)
+    /// are manipulated through memory.
+    pub fn is_register(&self) -> bool {
+        !matches!(self, Type::Void | Type::Array(..) | Type::Struct(_))
+    }
+
+    /// The pointee of a pointer type.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(inner) => Some(inner),
+            _ => None,
+        }
+    }
+
+    /// Integer bit width, if this is an integer type.
+    pub fn int_bits(&self) -> Option<u32> {
+        match self {
+            Type::I8 => Some(8),
+            Type::I16 => Some(16),
+            Type::I32 => Some(32),
+            Type::I64 => Some(64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::I8 => write!(f, "i8"),
+            Type::I16 => write!(f, "i16"),
+            Type::I32 => write!(f, "i32"),
+            Type::I64 => write!(f, "i64"),
+            Type::F64 => write!(f, "f64"),
+            Type::Ptr(inner) => write!(f, "{inner}*"),
+            Type::Array(inner, len) => write!(f, "[{len} x {inner}]"),
+            Type::Struct(id) => write!(f, "%s{}", id.0),
+            Type::Func(sig) => {
+                write!(f, "{} (", sig.ret)?;
+                for (i, p) in sig.params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A named struct definition.
+///
+/// Field layout (offsets, padding) is *not* part of the definition: it is
+/// computed per target ABI by [`layout`](crate::layout), which is exactly the
+/// freedom the paper's memory-layout realignment exploits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Source-level name, used by the printer.
+    pub name: String,
+    /// Field types in declaration order.
+    pub fields: Vec<Type>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_predicates() {
+        assert!(Type::I32.is_int());
+        assert!(!Type::F64.is_int());
+        assert!(Type::F64.is_float());
+        assert!(Type::I8.ptr_to().is_ptr());
+        assert!(Type::I32.is_register());
+        assert!(!Type::I32.array_of(4).is_register());
+        assert!(!Type::Void.is_register());
+    }
+
+    #[test]
+    fn pointee_roundtrip() {
+        let p = Type::F64.ptr_to();
+        assert_eq!(p.pointee(), Some(&Type::F64));
+        assert_eq!(Type::I32.pointee(), None);
+    }
+
+    #[test]
+    fn int_bits() {
+        assert_eq!(Type::I8.int_bits(), Some(8));
+        assert_eq!(Type::I64.int_bits(), Some(64));
+        assert_eq!(Type::F64.int_bits(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::I32.to_string(), "i32");
+        assert_eq!(Type::I8.ptr_to().to_string(), "i8*");
+        assert_eq!(Type::I16.array_of(3).to_string(), "[3 x i16]");
+        let sig = FuncSig { params: vec![Type::I32], ret: Type::F64 };
+        assert_eq!(Type::Func(Box::new(sig)).to_string(), "f64 (i32)");
+    }
+}

@@ -1,0 +1,262 @@
+//! Structural verification of modules.
+//!
+//! The verifier catches malformed IR early — particularly useful because the
+//! offload passes clone and rewrite whole modules, and a bad rewrite should
+//! fail loudly at compile (transform) time, not during simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{Callee, Inst};
+use crate::module::{FuncId, Function, Module, ValueId};
+use crate::types::Type;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The function where the error was found, if any.
+    pub func: Option<FuncId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.func {
+            Some(id) => write!(f, "verify error in {id}: {}", self.message),
+            None => write!(f, "verify error: {}", self.message),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verify a whole module.
+///
+/// Checks per function: every block ends with exactly one terminator (and
+/// contains no mid-block terminators), every referenced block/value/struct/
+/// global/function id is in range, call arities match direct-callee
+/// signatures, and `ret` types match the function signature.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for (id, func) in module.iter_functions() {
+        if func.is_declaration() {
+            continue;
+        }
+        verify_function(module, id, func).map_err(|message| VerifyError { func: Some(id), message })?;
+    }
+    if let Some(entry) = module.entry {
+        if entry.0 as usize >= module.function_count() {
+            return Err(VerifyError { func: None, message: format!("entry {entry} out of range") });
+        }
+    }
+    Ok(())
+}
+
+fn verify_function(module: &Module, _id: FuncId, func: &Function) -> Result<(), String> {
+    let nblocks = func.blocks.len();
+    let nvalues = func.value_types.len();
+    let check_value = |v: ValueId| -> Result<(), String> {
+        if (v.0 as usize) < nvalues {
+            Ok(())
+        } else {
+            Err(format!("value {v} out of range ({nvalues} values)"))
+        }
+    };
+
+    for (bb, block) in func.iter_blocks() {
+        let Some(last) = block.insts.last() else {
+            return Err(format!("block {bb} is empty"));
+        };
+        if !last.is_terminator() {
+            return Err(format!("block {bb} does not end in a terminator"));
+        }
+        for (i, inst) in block.insts.iter().enumerate() {
+            if inst.is_terminator() && i + 1 != block.insts.len() {
+                return Err(format!("block {bb} has a terminator before its end"));
+            }
+            let mut uses = Vec::new();
+            inst.uses(&mut uses);
+            for v in uses {
+                check_value(v)?;
+            }
+            if let Some(d) = inst.dst() {
+                check_value(d)?;
+            }
+            match inst {
+                Inst::Br { target }
+                    if target.0 as usize >= nblocks => {
+                        return Err(format!("block {bb}: branch to missing block {target}"));
+                    }
+                Inst::CondBr { then_bb, else_bb, .. } => {
+                    for t in [then_bb, else_bb] {
+                        if t.0 as usize >= nblocks {
+                            return Err(format!("block {bb}: branch to missing block {t}"));
+                        }
+                    }
+                }
+                Inst::FieldAddr { sid, field, .. } => {
+                    if (sid.0 as usize) >= module.struct_ids().count() {
+                        return Err(format!("block {bb}: missing struct {sid}"));
+                    }
+                    if *field as usize >= module.struct_def(*sid).fields.len() {
+                        return Err(format!("block {bb}: field {field} out of range for {sid}"));
+                    }
+                }
+                Inst::Const { value, .. } => match value {
+                    crate::module::ConstValue::GlobalAddr(g)
+                        if g.0 as usize >= module.global_count() => {
+                            return Err(format!("block {bb}: missing global {g}"));
+                        }
+                    crate::module::ConstValue::FuncAddr(f)
+                        if f.0 as usize >= module.function_count() => {
+                            return Err(format!("block {bb}: missing function {f}"));
+                        }
+                    _ => {}
+                },
+                Inst::Call { callee: Callee::Direct(f), args, dst } => {
+                    if f.0 as usize >= module.function_count() {
+                        return Err(format!("block {bb}: call to missing function {f}"));
+                    }
+                    let target = module.function(*f);
+                    if target.params.len() != args.len() {
+                        return Err(format!(
+                            "block {bb}: call to {} expects {} args, got {}",
+                            target.name,
+                            target.params.len(),
+                            args.len()
+                        ));
+                    }
+                    if (target.ret == Type::Void) != dst.is_none() {
+                        return Err(format!(
+                            "block {bb}: call to {} return/dst mismatch",
+                            target.name
+                        ));
+                    }
+                }
+                Inst::Ret { value } => {
+                    let want_value = func.ret != Type::Void;
+                    if want_value != value.is_some() {
+                        return Err(format!("block {bb}: ret does not match return type {}", func.ret));
+                    }
+                    if let Some(v) = value {
+                        check_value(*v)?;
+                        if func.value_type(*v) != &func.ret
+                            && !(func.value_type(*v).is_ptr() && func.ret.is_ptr())
+                        {
+                            return Err(format!(
+                                "block {bb}: ret type {} does not match {}",
+                                func.value_type(*v),
+                                func.ret
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::module::{Block, BlockId};
+
+    fn good_module() -> Module {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![Type::I32], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let c = b.const_i32(2);
+        let r = b.bin(BinOp::Mul, Type::I32, p, c);
+        b.ret(Some(r));
+        b.finish();
+        m.entry = Some(f);
+        m
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        assert!(verify_module(&good_module()).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut m = good_module();
+        let f = m.function_by_name("f").unwrap();
+        m.function_mut(f).blocks[0].insts.pop();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("terminator"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_value() {
+        let mut m = good_module();
+        let f = m.function_by_name("f").unwrap();
+        m.function_mut(f).blocks[0]
+            .insts
+            .insert(0, Inst::Load { dst: ValueId(0), ty: Type::I32, addr: ValueId(99) });
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn rejects_branch_to_missing_block() {
+        let mut m = good_module();
+        let f = m.function_by_name("f").unwrap();
+        m.function_mut(f)
+            .blocks
+            .push(Block { insts: vec![Inst::Br { target: BlockId(42) }] });
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("missing block"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_call_arity() {
+        let mut m = good_module();
+        let f = m.function_by_name("f").unwrap();
+        let g = m.declare_function("g", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, g);
+        b.push(Inst::Call { dst: None, callee: Callee::Direct(f), args: vec![] });
+        b.ret(None);
+        b.finish();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("expects 1 args"), "{err}");
+    }
+
+    #[test]
+    fn rejects_ret_type_mismatch() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        b.ret(None);
+        b.finish();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("ret does not match"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mid_block_terminator() {
+        let mut m = good_module();
+        let f = m.function_by_name("f").unwrap();
+        m.function_mut(f).blocks[0]
+            .insts
+            .insert(0, Inst::Ret { value: Some(ValueId(0)) });
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("before its end"), "{err}");
+    }
+
+    #[test]
+    fn declarations_are_skipped() {
+        let mut m = good_module();
+        m.declare_function("external", vec![Type::I32], Type::I32);
+        assert!(verify_module(&m).is_ok());
+    }
+}

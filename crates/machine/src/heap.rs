@@ -1,0 +1,223 @@
+//! First-fit free-list allocator over a simulated address range.
+//!
+//! One instance backs the *unified heap* (`u_malloc`, shared by both
+//! devices through the UVA manager) and one backs each device-local heap
+//! (plain `malloc` before the memory unifier rewrites it). Metadata lives
+//! on the Rust side; the simulated memory only sees the payload bytes.
+
+use std::collections::BTreeMap;
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// The arena is exhausted.
+    OutOfMemory {
+        /// Requested size.
+        size: u64,
+    },
+    /// `free` of an address that was never allocated (or double free).
+    InvalidFree {
+        /// The bad address.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::OutOfMemory { size } => write!(f, "heap exhausted allocating {size} bytes"),
+            HeapError::InvalidFree { addr } => write!(f, "invalid free of {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// A first-fit allocator managing `[base, end)`.
+#[derive(Debug, Clone)]
+pub struct HeapAllocator {
+    base: u64,
+    end: u64,
+    /// Free runs: start -> length, coalesced.
+    free: BTreeMap<u64, u64>,
+    /// Live allocations: start -> length.
+    live: BTreeMap<u64, u64>,
+    /// High-water mark of bytes in use.
+    peak_bytes: u64,
+    in_use: u64,
+}
+
+const ALIGN: u64 = 16;
+
+impl HeapAllocator {
+    /// An allocator over `[base, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or unaligned.
+    pub fn new(base: u64, end: u64) -> Self {
+        assert!(base < end, "empty arena");
+        assert_eq!(base % ALIGN, 0, "unaligned base");
+        let mut free = BTreeMap::new();
+        free.insert(base, end - base);
+        HeapAllocator { base, end, free, live: BTreeMap::new(), peak_bytes: 0, in_use: 0 }
+    }
+
+    /// Arena base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Arena end address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Bytes currently allocated.
+    pub fn bytes_in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Peak bytes ever allocated.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` if `addr` is inside a live allocation.
+    pub fn owns(&self, addr: u64) -> bool {
+        self.live
+            .range(..=addr)
+            .next_back()
+            .is_some_and(|(start, len)| addr < start + len)
+    }
+
+    /// Allocate `size` bytes (16-byte aligned; zero-size requests round up
+    /// to one unit).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] if no free run fits.
+    pub fn alloc(&mut self, size: u64) -> Result<u64, HeapError> {
+        let size = size.max(1).div_ceil(ALIGN) * ALIGN;
+        let slot = self
+            .free
+            .iter()
+            .find(|(_, len)| **len >= size)
+            .map(|(start, len)| (*start, *len));
+        let Some((start, len)) = slot else {
+            return Err(HeapError::OutOfMemory { size });
+        };
+        self.free.remove(&start);
+        if len > size {
+            self.free.insert(start + size, len - size);
+        }
+        self.live.insert(start, size);
+        self.in_use += size;
+        self.peak_bytes = self.peak_bytes.max(self.in_use);
+        Ok(start)
+    }
+
+    /// Free a previous allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidFree`] if `addr` is not a live allocation start.
+    pub fn free(&mut self, addr: u64) -> Result<(), HeapError> {
+        let Some(len) = self.live.remove(&addr) else {
+            return Err(HeapError::InvalidFree { addr });
+        };
+        self.in_use -= len;
+        // Coalesce with neighbours.
+        let mut start = addr;
+        let mut length = len;
+        if let Some((&prev_start, &prev_len)) = self.free.range(..addr).next_back() {
+            if prev_start + prev_len == start {
+                self.free.remove(&prev_start);
+                start = prev_start;
+                length += prev_len;
+            }
+        }
+        if let Some(&next_len) = self.free.get(&(addr + len)) {
+            self.free.remove(&(addr + len));
+            length += next_len;
+        }
+        self.free.insert(start, length);
+        Ok(())
+    }
+
+    /// The size of the live allocation starting at `addr`, if any.
+    pub fn allocation_size(&self, addr: u64) -> Option<u64> {
+        self.live.get(&addr).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut h = HeapAllocator::new(0x1000, 0x2000);
+        let a = h.alloc(100).unwrap();
+        let b = h.alloc(200).unwrap();
+        assert_ne!(a, b);
+        assert!(h.owns(a) && h.owns(b + 100));
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        assert_eq!(h.bytes_in_use(), 0);
+        assert_eq!(h.live_count(), 0);
+    }
+
+    #[test]
+    fn coalescing_allows_reuse() {
+        let mut h = HeapAllocator::new(0x1000, 0x1000 + 4 * ALIGN * 4);
+        let a = h.alloc(ALIGN * 4).unwrap();
+        let b = h.alloc(ALIGN * 4).unwrap();
+        let c = h.alloc(ALIGN * 4).unwrap();
+        h.free(b).unwrap();
+        h.free(a).unwrap();
+        h.free(c).unwrap();
+        // After coalescing everything, one big allocation fits again.
+        let big = h.alloc(ALIGN * 12).unwrap();
+        assert_eq!(big, 0x1000);
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut h = HeapAllocator::new(0x1000, 0x1100);
+        assert!(h.alloc(0x80).is_ok());
+        assert!(matches!(h.alloc(0x200), Err(HeapError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn invalid_and_double_free() {
+        let mut h = HeapAllocator::new(0x1000, 0x2000);
+        let a = h.alloc(8).unwrap();
+        assert!(matches!(h.free(a + 4), Err(HeapError::InvalidFree { .. })));
+        h.free(a).unwrap();
+        assert!(matches!(h.free(a), Err(HeapError::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut h = HeapAllocator::new(0x1000, 0x100000);
+        let a = h.alloc(1000).unwrap();
+        let _b = h.alloc(2000).unwrap();
+        h.free(a).unwrap();
+        assert!(h.peak_bytes() >= 3000);
+        assert!(h.bytes_in_use() < h.peak_bytes());
+    }
+
+    #[test]
+    fn zero_size_allocations_are_distinct() {
+        let mut h = HeapAllocator::new(0x1000, 0x2000);
+        let a = h.alloc(0).unwrap();
+        let b = h.alloc(0).unwrap();
+        assert_ne!(a, b);
+    }
+}

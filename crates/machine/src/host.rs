@@ -1,0 +1,589 @@
+//! A complete single-device host: console, scripted stdin, virtual
+//! filesystem, and heaps.
+//!
+//! [`LocalHost`] is what "running the app on the phone" means in this
+//! simulation — the baseline every offload experiment is normalized
+//! against (the "Local" bars of Fig. 6). The offload runtime in the core
+//! crate embeds one `LocalHost` per device and layers the communication
+//! protocol on top.
+
+use offload_ir::Builtin;
+
+use crate::heap::HeapAllocator;
+use crate::io::{self, InputStream, IoArg, IoError, ScanValue, VirtualFs};
+use crate::mem::Memory;
+use crate::uva_map;
+use crate::vm::{encode_scalar, Host, HostCtx, RtVal, VmError};
+
+/// Which device-local heap a [`LocalHost`] hands out for plain `malloc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalHeapBank {
+    /// The mobile device's local arena.
+    Mobile,
+    /// The server's local arena (at a different base — the reason
+    /// un-unified allocations don't transfer across devices).
+    Server,
+}
+
+/// A self-contained host for one device.
+#[derive(Debug)]
+pub struct LocalHost {
+    console: Vec<u8>,
+    stdin: InputStream,
+    fs: VirtualFs,
+    local_heap: HeapAllocator,
+    unified_heap: HeapAllocator,
+    /// Count of `scanf`/`getchar` calls (interactive inputs).
+    pub interactive_inputs: u64,
+}
+
+impl Default for LocalHost {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalHost {
+    /// A host with empty console input and filesystem, using the mobile
+    /// local-heap bank.
+    pub fn new() -> Self {
+        Self::with_bank(LocalHeapBank::Mobile)
+    }
+
+    /// A host using the given local-heap bank.
+    pub fn with_bank(bank: LocalHeapBank) -> Self {
+        let local_base = match bank {
+            LocalHeapBank::Mobile => uva_map::MOBILE_LOCAL_HEAP,
+            LocalHeapBank::Server => uva_map::SERVER_LOCAL_HEAP,
+        };
+        LocalHost {
+            console: Vec::new(),
+            stdin: InputStream::default(),
+            fs: VirtualFs::new(),
+            local_heap: HeapAllocator::new(local_base, local_base + 0x0100_0000),
+            unified_heap: HeapAllocator::new(uva_map::UNIFIED_HEAP, uva_map::UNIFIED_HEAP_END),
+            interactive_inputs: 0,
+        }
+    }
+
+    /// Script the device's stdin.
+    pub fn set_stdin(&mut self, data: impl Into<Vec<u8>>) {
+        self.stdin = InputStream::new(data);
+    }
+
+    /// Add a file to the device filesystem.
+    pub fn add_file(&mut self, name: impl Into<String>, data: impl Into<Vec<u8>>) {
+        self.fs.add_file(name, data);
+    }
+
+    /// Everything printed so far.
+    pub fn console(&self) -> &[u8] {
+        &self.console
+    }
+
+    /// Console output as UTF-8 (lossy).
+    pub fn console_utf8(&self) -> String {
+        String::from_utf8_lossy(&self.console).into_owned()
+    }
+
+    /// Append bytes to the console (used by the runtime to deliver remote
+    /// printf output).
+    pub fn console_write(&mut self, bytes: &[u8]) {
+        self.console.extend_from_slice(bytes);
+    }
+
+    /// The virtual filesystem.
+    pub fn fs(&self) -> &VirtualFs {
+        &self.fs
+    }
+
+    /// Mutable access to the filesystem.
+    pub fn fs_mut(&mut self) -> &mut VirtualFs {
+        &mut self.fs
+    }
+
+    /// The unified (`u_malloc`) heap.
+    pub fn unified_heap(&self) -> &HeapAllocator {
+        &self.unified_heap
+    }
+
+    /// Mutable access to the unified heap (the UVA manager shares this
+    /// allocator state across devices).
+    pub fn unified_heap_mut(&mut self) -> &mut HeapAllocator {
+        &mut self.unified_heap
+    }
+
+    /// Run a `printf`-family call against this host's console.
+    fn do_printf(&mut self, args: &[RtVal], ctx: &mut HostCtx<'_>) -> Result<RtVal, VmError> {
+        let out = render_printf(args, ctx.mem)?;
+        ctx.clock.charge(ctx.cpi.io_char * out.len() as u64);
+        self.console.extend_from_slice(&out);
+        Ok(RtVal::I(out.len() as i64))
+    }
+
+    fn do_scanf(&mut self, args: &[RtVal], ctx: &mut HostCtx<'_>) -> Result<RtVal, VmError> {
+        self.interactive_inputs += 1;
+        let fmt = ctx.mem.read_cstr(args[0].as_addr())?;
+        let vals = io::scan_c(&fmt, &mut self.stdin)?;
+        ctx.clock.charge(ctx.cpi.io_char * 8 * vals.len() as u64);
+        let n = vals.len();
+        write_scan_values(&vals, &args[1..], ctx)?;
+        Ok(RtVal::I(n as i64))
+    }
+}
+
+/// Format a printf call's output by reading the format string (and `%s`
+/// arguments) from `mem`.
+///
+/// # Errors
+///
+/// Propagates memory and formatting errors.
+pub fn render_printf(args: &[RtVal], mem: &mut Memory) -> Result<Vec<u8>, VmError> {
+    let fmt = mem.read_cstr(args[0].as_addr())?;
+    let io_args: Vec<IoArg> = args[1..]
+        .iter()
+        .map(|v| match v {
+            RtVal::I(i) => IoArg::I(*i),
+            RtVal::F(f) => IoArg::F(*f),
+        })
+        .collect();
+    // The resolver reads %s payloads out of simulated memory. The borrow
+    // is re-established per call.
+    let cell = std::cell::RefCell::new(mem);
+    let mut resolver = |addr: u64| -> Result<Vec<u8>, IoError> {
+        cell.borrow_mut()
+            .read_cstr(addr)
+            .map_err(|e| IoError { message: e.to_string() })
+    };
+    Ok(io::format_c(&fmt, &io_args, &mut resolver)?)
+}
+
+/// Store scanned values through the `scanf` destination pointers.
+///
+/// # Errors
+///
+/// Propagates memory errors.
+pub fn write_scan_values(
+    vals: &[ScanValue],
+    dests: &[RtVal],
+    ctx: &mut HostCtx<'_>,
+) -> Result<(), VmError> {
+    for (v, dest) in vals.iter().zip(dests) {
+        let addr = dest.as_addr();
+        match v {
+            ScanValue::I32(x) => {
+                let mut b = [0u8; 4];
+                encode_scalar(RtVal::I(*x as i64), &offload_ir::Type::I32, ctx.layout.endian, &mut b);
+                ctx.mem.write(addr, &b)?;
+            }
+            ScanValue::I64(x) => {
+                let mut b = [0u8; 8];
+                encode_scalar(RtVal::I(*x), &offload_ir::Type::I64, ctx.layout.endian, &mut b);
+                ctx.mem.write(addr, &b)?;
+            }
+            ScanValue::F64(x) => {
+                let mut b = [0u8; 8];
+                encode_scalar(RtVal::F(*x), &offload_ir::Type::F64, ctx.layout.endian, &mut b);
+                ctx.mem.write(addr, &b)?;
+            }
+            ScanValue::Char(c) => ctx.mem.write(addr, &[*c])?,
+            ScanValue::Str(s) => {
+                ctx.mem.write(addr, s)?;
+                ctx.mem.write(addr + s.len() as u64, &[0])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+impl Host for LocalHost {
+    fn page_fault(&mut self, page: u64, _ctx: &mut HostCtx<'_>) -> Result<(), VmError> {
+        // A single-device host never expects faults (demand-zero backing).
+        Err(VmError::Mem(crate::mem::MemError::PageFault { page }))
+    }
+
+    fn builtin(
+        &mut self,
+        b: Builtin,
+        args: &[RtVal],
+        ctx: &mut HostCtx<'_>,
+    ) -> Result<Option<RtVal>, VmError> {
+        use Builtin::*;
+        match b {
+            Malloc => {
+                ctx.clock.charge(ctx.cpi.alloc);
+                let addr = self.local_heap.alloc(args[0].as_addr())?;
+                Ok(Some(RtVal::I(addr as i64)))
+            }
+            UMalloc => {
+                ctx.clock.charge(ctx.cpi.alloc);
+                let addr = self.unified_heap.alloc(args[0].as_addr())?;
+                Ok(Some(RtVal::I(addr as i64)))
+            }
+            Free => {
+                ctx.clock.charge(ctx.cpi.alloc / 2);
+                self.local_heap.free(args[0].as_addr())?;
+                Ok(None)
+            }
+            UFree => {
+                ctx.clock.charge(ctx.cpi.alloc / 2);
+                self.unified_heap.free(args[0].as_addr())?;
+                Ok(None)
+            }
+            Printf => self.do_printf(args, ctx).map(Some),
+            Scanf => self.do_scanf(args, ctx).map(Some),
+            Putchar => {
+                ctx.clock.charge(ctx.cpi.io_char);
+                self.console.push(args[0].as_i() as u8);
+                Ok(Some(RtVal::I(args[0].as_i())))
+            }
+            Getchar => {
+                self.interactive_inputs += 1;
+                ctx.clock.charge(ctx.cpi.io_char);
+                let c = self.stdin.read_byte().map_or(-1, |b| b as i64);
+                Ok(Some(RtVal::I(c)))
+            }
+            FOpen => {
+                ctx.clock.charge(ctx.cpi.io_char * 16);
+                let name = String::from_utf8_lossy(&ctx.mem.read_cstr(args[0].as_addr())?).into_owned();
+                let mode = String::from_utf8_lossy(&ctx.mem.read_cstr(args[1].as_addr())?).into_owned();
+                Ok(Some(RtVal::I(self.fs.open(&name, &mode) as i64)))
+            }
+            FClose => {
+                ctx.clock.charge(ctx.cpi.io_char * 4);
+                let ok = self.fs.close(args[0].as_i() as i32);
+                Ok(Some(RtVal::I(if ok { 0 } else { -1 })))
+            }
+            FRead => {
+                let (buf, size, count, fd) = (
+                    args[0].as_addr(),
+                    args[1].as_addr(),
+                    args[2].as_addr(),
+                    args[3].as_i() as i32,
+                );
+                let want = (size * count) as usize;
+                let Some(data) = self.fs.read(fd, want) else {
+                    return Ok(Some(RtVal::I(0)));
+                };
+                ctx.mem.write(buf, &data)?;
+                ctx.clock
+                    .charge(ctx.cpi.io_char / 4 * data.len() as u64 + ctx.cpi.call);
+                let items = (data.len() as u64).checked_div(size).unwrap_or(0);
+                Ok(Some(RtVal::I(items as i64)))
+            }
+            FWrite => {
+                let (buf, size, count, fd) = (
+                    args[0].as_addr(),
+                    args[1].as_addr(),
+                    args[2].as_addr(),
+                    args[3].as_i() as i32,
+                );
+                let n = (size * count) as usize;
+                let mut data = vec![0u8; n];
+                ctx.mem.read(buf, &mut data)?;
+                let Some(written) = self.fs.write(fd, &data) else {
+                    return Ok(Some(RtVal::I(0)));
+                };
+                ctx.clock
+                    .charge(ctx.cpi.io_char / 4 * written as u64 + ctx.cpi.call);
+                let items = (written as u64).checked_div(size).unwrap_or(0);
+                Ok(Some(RtVal::I(items as i64)))
+            }
+            FnMapToLocal => {
+                // Single device: addresses are already local.
+                ctx.clock.charge(ctx.cpi.fn_map);
+                Ok(Some(args[0]))
+            }
+            IsProfitable => {
+                // No server attached: offloading is never profitable.
+                Ok(Some(RtVal::I(0)))
+            }
+            other => Err(VmError::MachineSpecific {
+                what: format!("builtin {other} has no meaning on an isolated device"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader;
+    use crate::target::TargetSpec;
+    use crate::vm::{StackBank, Vm};
+
+    fn run(src: &str, stdin: &str) -> (Option<RtVal>, LocalHost) {
+        let module = offload_minic::compile(src, "t").unwrap();
+        offload_ir::verify::verify_module(&module).unwrap();
+        let spec = TargetSpec::galaxy_s5();
+        let image = loader::load(&module, &spec.data_layout()).unwrap();
+        let mut host = LocalHost::new();
+        host.set_stdin(stdin);
+        let mut vm = Vm::new(&module, &spec, image, StackBank::Mobile);
+        vm.set_fuel(200_000_000);
+        let ret = vm.run_entry(&mut host).unwrap();
+        (ret, host)
+    }
+
+    #[test]
+    fn hello_world() {
+        let (ret, host) = run(r#"int main() { printf("hello %s %d\n", "world", 7); return 0; }"#, "");
+        assert_eq!(host.console_utf8(), "hello world 7\n");
+        assert_eq!(ret, Some(RtVal::I(0)));
+    }
+
+    #[test]
+    fn fib_recursion() {
+        let (ret, _) = run(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n\
+             int main() { return fib(15); }",
+            "",
+        );
+        assert_eq!(ret, Some(RtVal::I(610)));
+    }
+
+    #[test]
+    fn scanf_and_arithmetic() {
+        let (_, host) = run(
+            "int main() { int a; int b; scanf(\"%d %d\", &a, &b); printf(\"%d\\n\", a*b); return 0; }",
+            "6 7",
+        );
+        assert_eq!(host.console_utf8(), "42\n");
+    }
+
+    #[test]
+    fn malloc_struct_array() {
+        let (_, host) = run(
+            "typedef struct { char loc; char owner; char kind; } Piece;\n\
+             Piece *board;\n\
+             int main() {\n\
+               board = (Piece*)malloc(sizeof(Piece) * 64);\n\
+               int i;\n\
+               for (i = 0; i < 64; i++) { board[i].loc = (char)i; board[i].kind = (char)(i % 6); }\n\
+               int sum = 0;\n\
+               for (i = 0; i < 64; i++) sum += board[i].kind;\n\
+               printf(\"%d\\n\", sum);\n\
+               free((char*)board);\n\
+               return 0;\n\
+             }",
+            "",
+        );
+        // sum of (i % 6) over 0..64 = 10 * 15 + (0+1+2+3) = 156
+        assert_eq!(host.console_utf8(), "156\n");
+    }
+
+    #[test]
+    fn file_io_roundtrip() {
+        let module = offload_minic::compile(
+            "int main() {\n\
+               int fd = fopen(\"in.bin\", \"r\");\n\
+               char buf[8];\n\
+               long n = fread(buf, 1, 8, fd);\n\
+               fclose(fd);\n\
+               int out = fopen(\"out.bin\", \"w\");\n\
+               fwrite(buf, 1, (int)n, out);\n\
+               fclose(out);\n\
+               printf(\"%d\\n\", (int)n);\n\
+               return 0;\n\
+             }",
+            "t",
+        )
+        .unwrap();
+        let spec = TargetSpec::galaxy_s5();
+        let image = loader::load(&module, &spec.data_layout()).unwrap();
+        let mut host = LocalHost::new();
+        host.add_file("in.bin", b"abcde".to_vec());
+        let mut vm = Vm::new(&module, &spec, image, StackBank::Mobile);
+        vm.run_entry(&mut host).unwrap();
+        assert_eq!(host.console_utf8(), "5\n");
+        assert_eq!(host.fs().file("out.bin").unwrap(), b"abcde");
+    }
+
+    #[test]
+    fn function_pointers_through_global_table() {
+        let (_, host) = run(
+            "double half(double x) { return x / 2.0; }\n\
+             double twice(double x) { return x * 2.0; }\n\
+             double (*table[2])(double) = { half, twice };\n\
+             int main() {\n\
+               double (*f)(double) = table[1];\n\
+               printf(\"%.1f\\n\", f(21.0));\n\
+               return 0;\n\
+             }",
+            "",
+        );
+        assert_eq!(host.console_utf8(), "42.0\n");
+    }
+
+    #[test]
+    fn math_builtins() {
+        let (_, host) = run(
+            "int main() { printf(\"%.3f %.1f\\n\", sqrt(2.0), pow(2.0, 10.0)); return 0; }",
+            "",
+        );
+        assert_eq!(host.console_utf8(), "1.414 1024.0\n");
+    }
+
+    #[test]
+    fn getchar_reads_stdin() {
+        let (ret, _) = run("int main() { return getchar() + getchar(); }", "AB");
+        assert_eq!(ret, Some(RtVal::I(65 + 66)));
+    }
+
+    #[test]
+    fn exit_builtin_stops_program() {
+        let (ret, host) = run(
+            "int main() { printf(\"a\"); exit(3); printf(\"b\"); return 0; }",
+            "",
+        );
+        assert_eq!(ret, Some(RtVal::I(3)));
+        assert_eq!(host.console_utf8(), "a");
+    }
+
+    #[test]
+    fn cycle_accounting_is_monotone_and_ratio_sane() {
+        let src = "int main() { int i; long acc = 0; for (i = 0; i < 100000; i++) acc += i; return (int)(acc % 97); }";
+        let module = offload_minic::compile(src, "t").unwrap();
+
+        let mobile = TargetSpec::galaxy_s5();
+        let image = loader::load(&module, &mobile.data_layout()).unwrap();
+        let mut host = LocalHost::new();
+        let mut vm_m = Vm::new(&module, &mobile, image, StackBank::Mobile);
+        vm_m.run_entry(&mut host).unwrap();
+
+        let server = TargetSpec::xps_8700();
+        let image = loader::load(&module, &mobile.data_layout()).unwrap();
+        let mut host2 = LocalHost::with_bank(LocalHeapBank::Server);
+        let mut vm_s = Vm::new(&module, &server, image, StackBank::Server);
+        vm_s.run_entry(&mut host2).unwrap();
+
+        let t_m = mobile.cycles_to_seconds(vm_m.clock.cycles);
+        let t_s = server.cycles_to_seconds(vm_s.clock.cycles);
+        let ratio = t_m / t_s;
+        assert!(
+            (3.0..=15.0).contains(&ratio),
+            "mobile/server time ratio {ratio} out of the paper's neighbourhood"
+        );
+    }
+
+    #[test]
+    fn profiling_collects_function_data() {
+        let src = "int work(int n) { int i; int acc = 0; for (i = 0; i < n; i++) acc += i; return acc; }\n\
+                   int main() { int j; int s = 0; for (j = 0; j < 3; j++) s += work(1000); return s % 100; }";
+        let module = offload_minic::compile(src, "t").unwrap();
+        let spec = TargetSpec::galaxy_s5();
+        let image = loader::load(&module, &spec.data_layout()).unwrap();
+        let mut host = LocalHost::new();
+        let mut vm = Vm::new(&module, &spec, image, StackBank::Mobile);
+        vm.enable_profile();
+        vm.run_entry(&mut host).unwrap();
+        let prof = vm.profile.take().unwrap();
+        let work = module.function_by_name("work").unwrap();
+        assert_eq!(prof.funcs[&work].invocations, 3);
+        assert!(prof.funcs[&work].inclusive_cycles > 0);
+        let main = module.entry.unwrap();
+        assert!(prof.funcs[&main].inclusive_cycles >= prof.funcs[&work].inclusive_cycles);
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let module = offload_minic::compile(
+            "int boom(int n) { return boom(n + 1); } int main() { return boom(0); }",
+            "t",
+        )
+        .unwrap();
+        let spec = TargetSpec::galaxy_s5();
+        let image = loader::load(&module, &spec.data_layout()).unwrap();
+        let mut host = LocalHost::new();
+        let mut vm = Vm::new(&module, &spec, image, StackBank::Mobile);
+        let err = vm.run_entry(&mut host).unwrap_err();
+        assert_eq!(err, VmError::StackOverflow);
+    }
+
+    #[test]
+    fn fuel_guard_trips() {
+        let module = offload_minic::compile("int main() { while (1) {} return 0; }", "t").unwrap();
+        let spec = TargetSpec::galaxy_s5();
+        let image = loader::load(&module, &spec.data_layout()).unwrap();
+        let mut host = LocalHost::new();
+        let mut vm = Vm::new(&module, &spec, image, StackBank::Mobile);
+        vm.set_fuel(10_000);
+        assert_eq!(vm.run_entry(&mut host).unwrap_err(), VmError::FuelExhausted);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let module = offload_minic::compile("int main() { int z = 0; return 5 / z; }", "t").unwrap();
+        let spec = TargetSpec::galaxy_s5();
+        let image = loader::load(&module, &spec.data_layout()).unwrap();
+        let mut host = LocalHost::new();
+        let mut vm = Vm::new(&module, &spec, image, StackBank::Mobile);
+        assert_eq!(vm.run_entry(&mut host).unwrap_err(), VmError::DivisionByZero);
+    }
+
+    #[test]
+    fn string_copy_and_compare_via_memcpy() {
+        let (_, host) = run(
+            "int main() {\n\
+               char a[16] = \"offload\";\n\
+               char b[16];\n\
+               memcpy(b, a, 8);\n\
+               printf(\"%s\\n\", b);\n\
+               memset(b, 120, 3);\n\
+               printf(\"%s\\n\", b);\n\
+               return 0;\n\
+             }",
+            "",
+        );
+        assert_eq!(host.console_utf8(), "offload\nxxxload\n");
+    }
+}
+
+#[cfg(test)]
+mod string_builtin_tests {
+    use super::*;
+    use crate::loader;
+    use crate::target::TargetSpec;
+    use crate::vm::{StackBank, Vm};
+
+    fn run(src: &str) -> (Option<RtVal>, String) {
+        let module = offload_minic::compile(src, "t").unwrap();
+        let spec = TargetSpec::galaxy_s5();
+        let image = loader::load(&module, &spec.data_layout()).unwrap();
+        let mut host = LocalHost::new();
+        let mut vm = Vm::new(&module, &spec, image, StackBank::Mobile);
+        vm.set_fuel(10_000_000);
+        let r = vm.run_entry(&mut host).unwrap();
+        (r, host.console_utf8())
+    }
+
+    #[test]
+    fn strlen_counts_bytes() {
+        let (r, _) = run(r#"int main() { return (int)strlen("offload"); }"#);
+        assert_eq!(r, Some(RtVal::I(7)));
+    }
+
+    #[test]
+    fn strcmp_orders() {
+        let (_, out) = run(
+            r#"int main() {
+                printf("%d %d %d\n", strcmp("abc", "abc"), strcmp("abc", "abd"), strcmp("b", "a"));
+                return 0;
+            }"#,
+        );
+        assert_eq!(out, "0 -1 1\n");
+    }
+
+    #[test]
+    fn strcpy_copies_with_nul() {
+        let (_, out) = run(
+            r#"int main() {
+                char buf[16];
+                strcpy(buf, "hi!");
+                printf("%s %d\n", buf, (int)strlen(buf));
+                return 0;
+            }"#,
+        );
+        assert_eq!(out, "hi! 3\n");
+    }
+}

@@ -1,0 +1,546 @@
+//! C-style formatted I/O and the virtual device environment (console +
+//! filesystem).
+//!
+//! The function filter's whole story (§3.1/§3.4) revolves around I/O:
+//! interactive input (`scanf`) pins a region to the mobile device, output
+//! (`printf`) can be remoted, and file streams can be remoted *and*
+//! prefetched. This module provides the pieces both hosts share: a printf
+//! formatter, a scanf scanner, a console with a scripted stdin, and a
+//! virtual filesystem.
+
+use std::collections::HashMap;
+
+/// A varargs value passed to the formatter (matches the VM's register
+/// values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IoArg {
+    /// Integer or pointer bits.
+    I(i64),
+    /// Float value.
+    F(f64),
+}
+
+/// A formatting/scanning failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "io error: {}", self.message)
+    }
+}
+
+impl std::error::Error for IoError {}
+
+fn err(msg: impl Into<String>) -> IoError {
+    IoError { message: msg.into() }
+}
+
+/// Render a C format string with `args`. `%s` arguments are addresses,
+/// resolved through `read_str`.
+///
+/// Supported conversions: `%d %i %u %ld %lld %c %s %x %X %f %lf %e %g %%`
+/// with optional `-`/`0` flags, width and precision.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on malformed format strings or missing arguments.
+pub fn format_c(
+    fmt: &[u8],
+    args: &[IoArg],
+    read_str: &mut dyn FnMut(u64) -> Result<Vec<u8>, IoError>,
+) -> Result<Vec<u8>, IoError> {
+    let mut out = Vec::with_capacity(fmt.len() + 16);
+    let mut ai = 0usize;
+    let mut i = 0usize;
+    while i < fmt.len() {
+        if fmt[i] != b'%' {
+            out.push(fmt[i]);
+            i += 1;
+            continue;
+        }
+        i += 1;
+        if i >= fmt.len() {
+            return Err(err("dangling %"));
+        }
+        if fmt[i] == b'%' {
+            out.push(b'%');
+            i += 1;
+            continue;
+        }
+        // Flags.
+        let mut left = false;
+        let mut zero = false;
+        while i < fmt.len() {
+            match fmt[i] {
+                b'-' => left = true,
+                b'0' => zero = true,
+                _ => break,
+            }
+            i += 1;
+        }
+        // Width.
+        let mut width = 0usize;
+        while i < fmt.len() && fmt[i].is_ascii_digit() {
+            width = width * 10 + (fmt[i] - b'0') as usize;
+            i += 1;
+        }
+        // Precision.
+        let mut precision: Option<usize> = None;
+        if i < fmt.len() && fmt[i] == b'.' {
+            i += 1;
+            let mut p = 0usize;
+            while i < fmt.len() && fmt[i].is_ascii_digit() {
+                p = p * 10 + (fmt[i] - b'0') as usize;
+                i += 1;
+            }
+            precision = Some(p);
+        }
+        // Length modifiers (consumed, not distinguished: our ints are i64).
+        while i < fmt.len() && matches!(fmt[i], b'l' | b'h' | b'z') {
+            i += 1;
+        }
+        if i >= fmt.len() {
+            return Err(err("truncated conversion"));
+        }
+        let conv = fmt[i];
+        i += 1;
+        let mut next_arg = || -> Result<IoArg, IoError> {
+            let a = args.get(ai).copied().ok_or_else(|| err("missing printf argument"))?;
+            ai += 1;
+            Ok(a)
+        };
+        let body: Vec<u8> = match conv {
+            b'd' | b'i' => match next_arg()? {
+                IoArg::I(v) => v.to_string().into_bytes(),
+                IoArg::F(v) => (v as i64).to_string().into_bytes(),
+            },
+            b'u' => match next_arg()? {
+                IoArg::I(v) => (v as u64).to_string().into_bytes(),
+                IoArg::F(v) => (v as u64).to_string().into_bytes(),
+            },
+            b'x' => match next_arg()? {
+                IoArg::I(v) => format!("{:x}", v as u64).into_bytes(),
+                IoArg::F(_) => return Err(err("%x on float")),
+            },
+            b'X' => match next_arg()? {
+                IoArg::I(v) => format!("{:X}", v as u64).into_bytes(),
+                IoArg::F(_) => return Err(err("%X on float")),
+            },
+            b'c' => match next_arg()? {
+                IoArg::I(v) => vec![v as u8],
+                IoArg::F(_) => return Err(err("%c on float")),
+            },
+            b's' => match next_arg()? {
+                IoArg::I(addr) => read_str(addr as u64)?,
+                IoArg::F(_) => return Err(err("%s on float")),
+            },
+            b'f' | b'e' | b'g' => {
+                let v = match next_arg()? {
+                    IoArg::F(v) => v,
+                    IoArg::I(v) => v as f64,
+                };
+                let p = precision.unwrap_or(6);
+                match conv {
+                    b'f' => format!("{v:.p$}", p = p).into_bytes(),
+                    b'e' => format!("{v:.p$e}", p = p).into_bytes(),
+                    _ => format!("{v}").into_bytes(),
+                }
+            }
+            other => return Err(err(format!("unsupported conversion %{}", other as char))),
+        };
+        pad(&mut out, &body, width, left, zero);
+    }
+    Ok(out)
+}
+
+fn pad(out: &mut Vec<u8>, body: &[u8], width: usize, left: bool, zero: bool) {
+    if body.len() >= width {
+        out.extend_from_slice(body);
+        return;
+    }
+    let fill = width - body.len();
+    if left {
+        out.extend_from_slice(body);
+        out.extend(std::iter::repeat_n(b' ', fill));
+    } else if zero && !body.is_empty() && (body[0].is_ascii_digit() || body[0] == b'-') {
+        if body[0] == b'-' {
+            out.push(b'-');
+            out.extend(std::iter::repeat_n(b'0', fill));
+            out.extend_from_slice(&body[1..]);
+        } else {
+            out.extend(std::iter::repeat_n(b'0', fill));
+            out.extend_from_slice(body);
+        }
+    } else {
+        out.extend(std::iter::repeat_n(b' ', fill));
+        out.extend_from_slice(body);
+    }
+}
+
+/// A value produced by one `scanf` conversion, tagged with the C type it
+/// must be stored as.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanValue {
+    /// `%d` — store as `int` (4 bytes).
+    I32(i32),
+    /// `%ld`/`%lld` — store as `long` (8 bytes).
+    I64(i64),
+    /// `%lf`/`%f` — store as `double`.
+    F64(f64),
+    /// `%c` — store one byte.
+    Char(u8),
+    /// `%s` — store bytes plus NUL.
+    Str(Vec<u8>),
+}
+
+/// A scripted stdin: a byte buffer with a cursor.
+#[derive(Debug, Clone, Default)]
+pub struct InputStream {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl InputStream {
+    /// An input stream over `data`.
+    pub fn new(data: impl Into<Vec<u8>>) -> Self {
+        InputStream { data: data.into(), pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Read one byte (for `getchar`), or `None` at EOF.
+    pub fn read_byte(&mut self) -> Option<u8> {
+        let b = self.data.get(self.pos).copied();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .data
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn take_token(&mut self) -> Option<&[u8]> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .data
+            .get(self.pos)
+            .is_some_and(|b| !b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+        if self.pos > start {
+            Some(&self.data[start..self.pos])
+        } else {
+            None
+        }
+    }
+}
+
+/// Execute the conversions of a `scanf` format string against `input`.
+/// Literal characters in the format (including `,`) match loosely: they are
+/// skipped along with whitespace. Returns one [`ScanValue`] per conversion
+/// actually matched (stopping early at EOF, like `scanf`).
+///
+/// # Errors
+///
+/// Returns [`IoError`] on unsupported conversions.
+pub fn scan_c(fmt: &[u8], input: &mut InputStream) -> Result<Vec<ScanValue>, IoError> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < fmt.len() {
+        if fmt[i] != b'%' {
+            i += 1;
+            continue;
+        }
+        i += 1;
+        if i < fmt.len() && fmt[i] == b'%' {
+            i += 1;
+            continue;
+        }
+        let mut long = false;
+        while i < fmt.len() && matches!(fmt[i], b'l' | b'h') {
+            long |= fmt[i] == b'l';
+            i += 1;
+        }
+        if i >= fmt.len() {
+            return Err(err("truncated scanf conversion"));
+        }
+        let conv = fmt[i];
+        i += 1;
+        match conv {
+            b'd' | b'i' | b'u' => {
+                let Some(tok) = input.take_token() else { break };
+                let tok: Vec<u8> = tok
+                    .iter()
+                    .copied()
+                    .take_while(|b| b.is_ascii_digit() || *b == b'-' || *b == b'+')
+                    .collect();
+                let text = String::from_utf8_lossy(&tok).to_string();
+                let v: i64 = text.parse().map_err(|_| err(format!("bad integer input {text:?}")))?;
+                out.push(if long { ScanValue::I64(v) } else { ScanValue::I32(v as i32) });
+            }
+            b'f' | b'e' | b'g' => {
+                let Some(tok) = input.take_token() else { break };
+                let text = String::from_utf8_lossy(tok).to_string();
+                let v: f64 = text.parse().map_err(|_| err(format!("bad float input {text:?}")))?;
+                out.push(ScanValue::F64(v));
+            }
+            b'c' => {
+                let Some(b) = input.read_byte() else { break };
+                out.push(ScanValue::Char(b));
+            }
+            b's' => {
+                let Some(tok) = input.take_token() else { break };
+                out.push(ScanValue::Str(tok.to_vec()));
+            }
+            other => return Err(err(format!("unsupported scanf conversion %{}", other as char))),
+        }
+    }
+    Ok(out)
+}
+
+/// The byte width a [`ScanValue`] occupies in memory.
+pub fn scan_value_size(v: &ScanValue) -> u64 {
+    match v {
+        ScanValue::I32(_) => 4,
+        ScanValue::I64(_) | ScanValue::F64(_) => 8,
+        ScanValue::Char(_) => 1,
+        ScanValue::Str(s) => s.len() as u64 + 1,
+    }
+}
+
+/// File-descriptor state of an open virtual file.
+#[derive(Debug, Clone)]
+struct OpenFile {
+    name: String,
+    pos: usize,
+    writable: bool,
+}
+
+/// An in-memory filesystem visible to one device (the paper's remote I/O
+/// routes the *server's* file operations to the *mobile* filesystem).
+#[derive(Debug, Clone, Default)]
+pub struct VirtualFs {
+    files: HashMap<String, Vec<u8>>,
+    open: HashMap<i32, OpenFile>,
+    next_fd: i32,
+}
+
+impl VirtualFs {
+    /// An empty filesystem.
+    pub fn new() -> Self {
+        VirtualFs { files: HashMap::new(), open: HashMap::new(), next_fd: 3 }
+    }
+
+    /// Create or replace a file.
+    pub fn add_file(&mut self, name: impl Into<String>, data: impl Into<Vec<u8>>) {
+        self.files.insert(name.into(), data.into());
+    }
+
+    /// A file's current contents.
+    pub fn file(&self, name: &str) -> Option<&[u8]> {
+        self.files.get(name).map(|v| &**v)
+    }
+
+    /// Open `name` with a C mode string (`"r"`, `"w"`, `"a"`, `"rb"`, ...).
+    /// Returns a positive fd, or 0 (NULL-like) if a read of a missing file.
+    pub fn open(&mut self, name: &str, mode: &str) -> i32 {
+        let writable = mode.contains('w') || mode.contains('a');
+        if !self.files.contains_key(name) {
+            if writable {
+                self.files.insert(name.to_string(), Vec::new());
+            } else {
+                return 0;
+            }
+        } else if mode.contains('w') {
+            self.files.insert(name.to_string(), Vec::new());
+        }
+        let pos = if mode.contains('a') {
+            self.files[name].len()
+        } else {
+            0
+        };
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.open
+            .insert(fd, OpenFile { name: name.to_string(), pos, writable });
+        fd
+    }
+
+    /// Read up to `len` bytes from `fd`. Returns the bytes read (possibly
+    /// short at EOF), or `None` for a bad fd.
+    pub fn read(&mut self, fd: i32, len: usize) -> Option<Vec<u8>> {
+        let of = self.open.get_mut(&fd)?;
+        let data = self.files.get(&of.name)?;
+        let end = (of.pos + len).min(data.len());
+        let out = data[of.pos..end].to_vec();
+        of.pos = end;
+        Some(out)
+    }
+
+    /// Write bytes at the fd's position. Returns bytes written, or `None`
+    /// for a bad or read-only fd.
+    pub fn write(&mut self, fd: i32, bytes: &[u8]) -> Option<usize> {
+        let of = self.open.get_mut(&fd)?;
+        if !of.writable {
+            return None;
+        }
+        let data = self.files.get_mut(&of.name)?;
+        if of.pos + bytes.len() > data.len() {
+            data.resize(of.pos + bytes.len(), 0);
+        }
+        data[of.pos..of.pos + bytes.len()].copy_from_slice(bytes);
+        of.pos += bytes.len();
+        Some(bytes.len())
+    }
+
+    /// Close `fd`. Returns `false` for a bad fd.
+    pub fn close(&mut self, fd: i32) -> bool {
+        self.open.remove(&fd).is_some()
+    }
+
+    /// Number of open descriptors.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt(f: &str, args: &[IoArg]) -> String {
+        let mut no_strings = |_: u64| Err(err("no %s expected"));
+        String::from_utf8(format_c(f.as_bytes(), args, &mut no_strings).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn formats_ints_and_floats() {
+        assert_eq!(fmt("%d\n", &[IoArg::I(42)]), "42\n");
+        assert_eq!(fmt("%5d|", &[IoArg::I(42)]), "   42|");
+        assert_eq!(fmt("%-5d|", &[IoArg::I(42)]), "42   |");
+        assert_eq!(fmt("%05d", &[IoArg::I(-42)]), "-0042");
+        assert_eq!(fmt("%f", &[IoArg::F(1.5)]), "1.500000");
+        assert_eq!(fmt("%.2f", &[IoArg::F(3.14159)]), "3.14");
+        assert_eq!(fmt("%x", &[IoArg::I(255)]), "ff");
+        assert_eq!(fmt("%c%c", &[IoArg::I(104), IoArg::I(105)]), "hi");
+        assert_eq!(fmt("100%%", &[]), "100%");
+    }
+
+    #[test]
+    fn percent_lf_accepts_long_modifier() {
+        assert_eq!(fmt("%lf", &[IoArg::F(2.0)]), "2.000000");
+        assert_eq!(fmt("%ld", &[IoArg::I(1_i64 << 40)]), "1099511627776");
+    }
+
+    #[test]
+    fn string_conversion_reads_memory() {
+        let mut resolver = |addr: u64| {
+            assert_eq!(addr, 0x100);
+            Ok(b"world".to_vec())
+        };
+        let out = format_c(b"hello %s", &[IoArg::I(0x100)], &mut resolver).unwrap();
+        assert_eq!(out, b"hello world");
+    }
+
+    #[test]
+    fn format_errors() {
+        let mut no = |_: u64| Err(err("no"));
+        assert!(format_c(b"%d", &[], &mut no).is_err());
+        assert!(format_c(b"%q", &[IoArg::I(1)], &mut no).is_err());
+        assert!(format_c(b"abc%", &[], &mut no).is_err());
+    }
+
+    #[test]
+    fn scan_ints_floats_strings() {
+        let mut input = InputStream::new("42 -7 3.5 abc");
+        let vals = scan_c(b"%d %ld %lf %s", &mut input).unwrap();
+        assert_eq!(
+            vals,
+            vec![
+                ScanValue::I32(42),
+                ScanValue::I64(-7),
+                ScanValue::F64(3.5),
+                ScanValue::Str(b"abc".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_stops_at_eof() {
+        let mut input = InputStream::new("5");
+        let vals = scan_c(b"%d %d", &mut input).unwrap();
+        assert_eq!(vals, vec![ScanValue::I32(5)]);
+    }
+
+    #[test]
+    fn scan_comma_separated() {
+        // The paper's chess example: scanf("%d, %d", &from, &to).
+        let mut input = InputStream::new("12, 34");
+        let vals = scan_c(b"%d, %d", &mut input).unwrap();
+        assert_eq!(vals, vec![ScanValue::I32(12), ScanValue::I32(34)]);
+    }
+
+    #[test]
+    fn scan_handles_trailing_comma_on_token() {
+        let mut input = InputStream::new("12,");
+        let vals = scan_c(b"%d", &mut input).unwrap();
+        assert_eq!(vals, vec![ScanValue::I32(12)]);
+    }
+
+    #[test]
+    fn virtual_fs_read_write() {
+        let mut fs = VirtualFs::new();
+        fs.add_file("in.txt", b"hello".to_vec());
+        let fd = fs.open("in.txt", "r");
+        assert!(fd > 0);
+        assert_eq!(fs.read(fd, 3).unwrap(), b"hel");
+        assert_eq!(fs.read(fd, 10).unwrap(), b"lo");
+        assert_eq!(fs.read(fd, 10).unwrap(), b"");
+        assert!(fs.close(fd));
+        assert!(!fs.close(fd));
+
+        let fd = fs.open("out.txt", "w");
+        assert_eq!(fs.write(fd, b"data").unwrap(), 4);
+        fs.close(fd);
+        assert_eq!(fs.file("out.txt").unwrap(), b"data");
+    }
+
+    #[test]
+    fn missing_file_read_open_fails() {
+        let mut fs = VirtualFs::new();
+        assert_eq!(fs.open("nope.txt", "r"), 0);
+    }
+
+    #[test]
+    fn write_to_readonly_fd_fails() {
+        let mut fs = VirtualFs::new();
+        fs.add_file("f", b"x".to_vec());
+        let fd = fs.open("f", "r");
+        assert!(fs.write(fd, b"y").is_none());
+    }
+
+    #[test]
+    fn getchar_stream() {
+        let mut s = InputStream::new("ab");
+        assert_eq!(s.read_byte(), Some(b'a'));
+        assert_eq!(s.read_byte(), Some(b'b'));
+        assert_eq!(s.read_byte(), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Simulated devices for the Native Offloader reproduction.
+//!
+//! The paper evaluates on a Samsung Galaxy S5 (ARM, 32-bit) and a Dell XPS
+//! 8700 (x86-64) — hardware this repo replaces with *simulated* devices that
+//! preserve everything the offload system actually interacts with:
+//!
+//! * a [`TargetSpec`](target::TargetSpec) naming the ISA, pointer width,
+//!   endianness, clock and per-instruction cost model (so the mobile/server
+//!   performance ratio `R` of §3.1's Equation 1 is a measured property),
+//! * byte-addressable [paged memory](mem::Memory) with present/dirty
+//!   tracking — the substrate for the unified virtual address space and its
+//!   copy-on-demand / dirty-write-back protocol (§4),
+//! * an IR [interpreter](vm::Vm) with host hooks for page faults, I/O and
+//!   the offload-runtime builtins, plus cycle accounting,
+//! * a [power model](power) reproducing the Monsoon-monitor states of §5.2
+//!   (idle / waiting / rx / tx / compute),
+//! * a [profile collector](profile::ProfileCollector) feeding the paper's
+//!   hot function/loop profiler (§3.1, Table 3).
+//!
+//! # Example: run a program on the simulated phone
+//!
+//! ```
+//! use offload_machine::{host::LocalHost, loader, target::TargetSpec, vm::Vm};
+//!
+//! let module = offload_minic::compile(
+//!     "int main() { printf(\"%d\\n\", 6 * 7); return 0; }",
+//!     "demo",
+//! ).unwrap();
+//! let spec = TargetSpec::galaxy_s5();
+//! let image = loader::load(&module, &spec.data_layout()).unwrap();
+//! let mut host = LocalHost::new();
+//! let mut vm = Vm::new(&module, &spec, image, offload_machine::vm::StackBank::Mobile);
+//! vm.run_entry(&mut host).unwrap();
+//! assert_eq!(host.console_utf8(), "42\n");
+//! ```
+
+pub mod heap;
+pub mod host;
+pub mod io;
+pub mod loader;
+pub mod mem;
+pub mod power;
+pub mod profile;
+pub mod target;
+pub mod vm;
+
+/// Byte size of a virtual-memory page (4 KiB, as on both of the paper's
+/// platforms).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Default memory map of the unified virtual address space. Every address
+/// fits in 32 bits — the mobile pointer width, the unified standard (§3.2).
+pub mod uva_map {
+    /// Base of the function-address stub region for the mobile back-end.
+    pub const MOBILE_FN_BASE: u64 = 0x0000_2000;
+    /// Base of the function-address stub region for the server back-end —
+    /// deliberately different, so un-translated function pointers fault
+    /// (the reason §3.4 needs the function map tables).
+    pub const SERVER_FN_BASE: u64 = 0x00F0_0000;
+    /// Bytes reserved per function stub.
+    pub const FN_STRIDE: u64 = 16;
+    /// Base of the globals segment.
+    pub const GLOBALS_BASE: u64 = 0x0001_0000;
+    /// Base of the device-local (non-unified) heap on the mobile device.
+    pub const MOBILE_LOCAL_HEAP: u64 = 0x0800_0000;
+    /// Base of the device-local heap on the server. Distinct from the
+    /// mobile's: an object `malloc`ed locally is *not* shared — which is
+    /// why the memory unifier rewrites every allocation to `u_malloc`.
+    pub const SERVER_LOCAL_HEAP: u64 = 0x0900_0000;
+    /// Base of the unified heap (`u_malloc` arena).
+    pub const UNIFIED_HEAP: u64 = 0x1000_0000;
+    /// End of the unified heap.
+    pub const UNIFIED_HEAP_END: u64 = 0x5000_0000;
+    /// Server stack top (grows down) after stack reallocation (§3.3).
+    pub const SERVER_STACK_TOP: u64 = 0x6000_0000;
+    /// Mobile stack top (grows down).
+    pub const MOBILE_STACK_TOP: u64 = 0x7000_0000;
+    /// Stack size per device.
+    pub const STACK_SIZE: u64 = 0x0100_0000;
+}

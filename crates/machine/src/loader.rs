@@ -1,0 +1,268 @@
+//! Program loading: placing globals into the simulated memory.
+//!
+//! The loader walks every global's type under the given data layout and
+//! writes its initializer leaves at their laid-out offsets — so the same
+//! [`GlobalInit::Scalars`] works under any ABI, and the Fig. 4 layout
+//! mismatch can be demonstrated by loading the same module under two
+//! layouts.
+
+use offload_ir::module::GlobalInit;
+use offload_ir::{ConstValue, DataLayout, Module, Type};
+
+use crate::mem::{BackingPolicy, MemError, Memory};
+use crate::vm::{encode_scalar, RtVal};
+use crate::uva_map;
+
+/// A loaded program image: memory with initialized globals.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// The initialized memory.
+    pub mem: Memory,
+    /// UVA address of each global, by [`offload_ir::GlobalId`] index.
+    pub global_addrs: Vec<u64>,
+    /// First free address after the globals segment.
+    pub globals_end: u64,
+}
+
+/// Load failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadError {
+    /// An initializer had the wrong number of leaves.
+    BadInitializer {
+        /// Global name.
+        name: String,
+    },
+    /// Memory error while writing initializers.
+    Mem(MemError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::BadInitializer { name } => write!(f, "bad initializer for global {name}"),
+            LoadError::Mem(e) => write!(f, "load failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<MemError> for LoadError {
+    fn from(e: MemError) -> Self {
+        LoadError::Mem(e)
+    }
+}
+
+/// Load `module`'s globals into a fresh demand-zero memory under `layout`,
+/// resolving function-pointer initializers to **mobile** stub addresses
+/// (the canonical image the offload runtime shares).
+///
+/// # Errors
+///
+/// Returns [`LoadError`] on malformed initializers.
+pub fn load(module: &Module, layout: &DataLayout) -> Result<Image, LoadError> {
+    load_at(module, layout, uva_map::GLOBALS_BASE, uva_map::MOBILE_FN_BASE)
+}
+
+/// Like [`load`] but resolving function pointers to the *server* back-end's
+/// stub addresses — for running a binary standalone on the server device
+/// (the Table 1 desktop measurements). A mobile-loaded image executed on
+/// the server bank faults on its own function-pointer tables, which is
+/// precisely the §3.4 problem the function map tables solve.
+pub fn load_for_server(module: &Module, layout: &DataLayout) -> Result<Image, LoadError> {
+    load_at(module, layout, uva_map::GLOBALS_BASE, uva_map::SERVER_FN_BASE)
+}
+
+/// Like [`load`], starting the globals segment at `base` and resolving
+/// function pointers against `fn_base`.
+///
+/// # Errors
+///
+/// Returns [`LoadError`] on malformed initializers.
+pub fn load_at(
+    module: &Module,
+    layout: &DataLayout,
+    base: u64,
+    fn_base: u64,
+) -> Result<Image, LoadError> {
+    let mut mem = Memory::new(BackingPolicy::DemandZero);
+    let mut cursor = base;
+    let mut global_addrs = Vec::with_capacity(module.global_count());
+
+    for (_, g) in module.iter_globals() {
+        let align = layout.align_of(&g.ty, module).max(16);
+        let size = layout.size_of(&g.ty, module);
+        cursor = cursor.div_ceil(align) * align;
+        global_addrs.push(cursor);
+        cursor += size;
+    }
+
+    for ((_, g), addr) in module.iter_globals().zip(global_addrs.clone()) {
+        match &g.init {
+            GlobalInit::Zeroed => {
+                // Demand-zero memory is already zero; force the pages
+                // present so dirty tracking behaves uniformly.
+                let size = layout.size_of(&g.ty, module);
+                mem.write(addr, &vec![0u8; size as usize])?;
+            }
+            GlobalInit::Bytes(bytes) => {
+                mem.write(addr, bytes)?;
+            }
+            GlobalInit::Scalars(leaves) => {
+                let mut iter = leaves.iter();
+                write_leaves(module, layout, fn_base, &mut mem, addr, &g.ty, &mut iter)
+                    .map_err(|_| LoadError::BadInitializer { name: g.name.clone() })?;
+                if iter.next().is_some() {
+                    return Err(LoadError::BadInitializer { name: g.name.clone() });
+                }
+            }
+        }
+    }
+    mem.clear_dirty();
+    Ok(Image { mem, global_addrs, globals_end: cursor })
+}
+
+fn write_leaves<'a>(
+    module: &Module,
+    layout: &DataLayout,
+    fn_base: u64,
+    mem: &mut Memory,
+    addr: u64,
+    ty: &Type,
+    leaves: &mut impl Iterator<Item = &'a ConstValue>,
+) -> Result<(), LoadError> {
+    match ty {
+        Type::Array(elem, len) => {
+            let esize = layout.size_of(elem, module);
+            for i in 0..*len {
+                write_leaves(module, layout, fn_base, mem, addr + i as u64 * esize, elem, leaves)?;
+            }
+            Ok(())
+        }
+        Type::Struct(sid) => {
+            let sl = layout.struct_layout(*sid, module);
+            let fields = module.struct_def(*sid).fields.clone();
+            for (field, off) in fields.iter().zip(&sl.offsets) {
+                write_leaves(module, layout, fn_base, mem, addr + off, field, leaves)?;
+            }
+            Ok(())
+        }
+        scalar => {
+            let leaf = leaves
+                .next()
+                .ok_or(LoadError::BadInitializer { name: String::new() })?;
+            let v = match leaf {
+                ConstValue::I8(v) => RtVal::I(*v as i64),
+                ConstValue::I16(v) => RtVal::I(*v as i64),
+                ConstValue::I32(v) => RtVal::I(*v as i64),
+                ConstValue::I64(v) => RtVal::I(*v),
+                ConstValue::F64(v) => RtVal::F(*v),
+                ConstValue::Null(_) => RtVal::I(0),
+                ConstValue::FuncAddr(f) => {
+                    RtVal::I((fn_base + f.0 as u64 * uva_map::FN_STRIDE) as i64)
+                }
+                ConstValue::GlobalAddr(_) => {
+                    // Cross-global addresses need the final address map; the
+                    // loader handles them in a second pass below.
+                    RtVal::I(0)
+                }
+            };
+            let size = layout.size_of(scalar, module) as usize;
+            let mut buf = [0u8; 8];
+            encode_scalar(v, scalar, layout.endian, &mut buf[..size]);
+            mem.write(addr, &buf[..size])?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_ir::{StructDef, TargetAbi};
+
+    fn compile(src: &str) -> Module {
+        offload_minic::compile(src, "t").unwrap()
+    }
+
+    #[test]
+    fn loads_scalar_globals() {
+        let m = compile("int x = 42; double d = 2.5; int main() { return 0; }");
+        let layout = TargetAbi::MobileArm32.data_layout();
+        let mut img = load(&m, &layout).unwrap();
+        let xa = img.global_addrs[m.global_by_name("x").unwrap().0 as usize];
+        let mut buf = [0u8; 4];
+        img.mem.read(xa, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 42);
+    }
+
+    #[test]
+    fn loads_arrays_and_strings() {
+        let m = compile("int primes[4] = {2,3,5,7}; char msg[4] = \"ok\"; int main(){return 0;}");
+        let layout = TargetAbi::MobileArm32.data_layout();
+        let mut img = load(&m, &layout).unwrap();
+        let pa = img.global_addrs[m.global_by_name("primes").unwrap().0 as usize];
+        let mut buf = [0u8; 16];
+        img.mem.read(pa, &mut buf).unwrap();
+        let vals: Vec<i32> = buf.chunks(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect();
+        assert_eq!(vals, vec![2, 3, 5, 7]);
+        let ma = img.global_addrs[m.global_by_name("msg").unwrap().0 as usize];
+        let mut s = [0u8; 4];
+        img.mem.read(ma, &mut s).unwrap();
+        assert_eq!(&s, b"ok\0\0");
+    }
+
+    #[test]
+    fn struct_fields_land_on_layout_offsets() {
+        // The Fig. 4 Move struct: score must land at offset 8 under the
+        // ARM (unified) layout and offset 4 under IA32.
+        let mut m = Module::new("t");
+        let sid = m.define_struct(StructDef {
+            name: "Move".into(),
+            fields: vec![Type::I8, Type::I8, Type::F64],
+        });
+        m.define_global(
+            "mv",
+            Type::Struct(sid),
+            GlobalInit::Scalars(vec![
+                ConstValue::I8(1),
+                ConstValue::I8(2),
+                ConstValue::F64(9.5),
+            ]),
+        );
+
+        for (abi, score_off) in [(TargetAbi::MobileArm32, 8u64), (TargetAbi::ServerIa32, 4u64)] {
+            let layout = abi.data_layout();
+            let mut img = load(&m, &layout).unwrap();
+            let base = img.global_addrs[0];
+            let mut buf = [0u8; 8];
+            img.mem.read(base + score_off, &mut buf).unwrap();
+            assert_eq!(f64::from_bits(u64::from_le_bytes(buf)), 9.5, "{abi}");
+        }
+    }
+
+    #[test]
+    fn function_pointer_tables_resolve_to_mobile_stubs() {
+        let m = compile(
+            "double half(double x) { return x / 2.0; }\n\
+             double (*table[1])(double) = { half };\n\
+             int main() { return 0; }",
+        );
+        let layout = TargetAbi::MobileArm32.data_layout();
+        let mut img = load(&m, &layout).unwrap();
+        let ta = img.global_addrs[m.global_by_name("table").unwrap().0 as usize];
+        let mut buf = [0u8; 4];
+        img.mem.read(ta, &mut buf).unwrap();
+        let addr = u32::from_le_bytes(buf) as u64;
+        let half = m.function_by_name("half").unwrap();
+        assert_eq!(addr, uva_map::MOBILE_FN_BASE + half.0 as u64 * uva_map::FN_STRIDE);
+    }
+
+    #[test]
+    fn globals_are_clean_after_load() {
+        let m = compile("int x = 1; int main() { return 0; }");
+        let img = load(&m, &TargetAbi::MobileArm32.data_layout()).unwrap();
+        assert_eq!(img.mem.dirty_count(), 0);
+        assert!(img.mem.present_count() > 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Byte-addressable paged memory with present/dirty tracking.
+//!
+//! Each simulated device owns one [`Memory`]. Pages are created on first
+//! write for addresses the device is allowed to back locally; accesses to
+//! *absent* pages surface as [`MemError::PageFault`], which the offload
+//! runtime turns into copy-on-demand transfers (§4). Writes set per-page
+//! dirty bits, which the finalization step harvests to send only modified
+//! pages home.
+
+use std::collections::BTreeMap;
+
+use crate::PAGE_SIZE;
+
+/// Page number of an address.
+pub fn page_of(addr: u64) -> u64 {
+    addr / PAGE_SIZE
+}
+
+/// First address of a page.
+pub fn page_base(page: u64) -> u64 {
+    page * PAGE_SIZE
+}
+
+/// A memory-access failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The page is not present on this device; the runtime may service it
+    /// (copy-on-demand) and retry.
+    PageFault {
+        /// Faulting page number.
+        page: u64,
+    },
+    /// The address is outside this device's mapped policy (wild pointer).
+    AccessViolation {
+        /// Faulting address.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::PageFault { page } => write!(f, "page fault at page {page:#x}"),
+            MemError::AccessViolation { addr } => write!(f, "access violation at {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[derive(Debug, Clone)]
+struct Page {
+    data: Box<[u8]>,
+    dirty: bool,
+}
+
+impl Page {
+    fn zeroed() -> Self {
+        Page { data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(), dirty: false }
+    }
+}
+
+/// How a device may back pages it has never seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackingPolicy {
+    /// Create zeroed pages on demand for any address (the mobile device:
+    /// it owns the canonical memory).
+    DemandZero,
+    /// Fault on any absent page (the server during offload execution: an
+    /// absent page means the data lives on the mobile device and must be
+    /// copied on demand).
+    FaultOnAbsent,
+}
+
+/// One device's physical memory plus its page table.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    pages: BTreeMap<u64, Page>,
+    policy: BackingPolicy,
+    /// Pages written since the last [`Memory::clear_dirty`].
+    dirty_count: usize,
+}
+
+impl Memory {
+    /// An empty memory with the given backing policy.
+    pub fn new(policy: BackingPolicy) -> Self {
+        Memory { pages: BTreeMap::new(), policy, dirty_count: 0 }
+    }
+
+    /// The device's backing policy.
+    pub fn policy(&self) -> BackingPolicy {
+        self.policy
+    }
+
+    /// Change the backing policy (the server flips to
+    /// [`BackingPolicy::FaultOnAbsent`] when an offload session starts).
+    pub fn set_policy(&mut self, policy: BackingPolicy) {
+        self.policy = policy;
+    }
+
+    /// `true` if `page` is present.
+    pub fn is_present(&self, page: u64) -> bool {
+        self.pages.contains_key(&page)
+    }
+
+    /// Number of present pages.
+    pub fn present_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Install a page's bytes (copy-on-demand delivery or prefetch). The
+    /// installed page starts clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly one page long.
+    pub fn install_page(&mut self, page: u64, bytes: &[u8]) {
+        assert_eq!(bytes.len(), PAGE_SIZE as usize, "partial page install");
+        let mut p = Page::zeroed();
+        p.data.copy_from_slice(bytes);
+        if let Some(old) = self.pages.insert(page, p) {
+            if old.dirty {
+                self.dirty_count -= 1;
+            }
+        }
+    }
+
+    /// Drop a page (used when a finished offload session tears down the
+    /// server process, §4 finalization).
+    pub fn evict_page(&mut self, page: u64) {
+        if let Some(old) = self.pages.remove(&page) {
+            if old.dirty {
+                self.dirty_count -= 1;
+            }
+        }
+    }
+
+    /// Drop every page.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.dirty_count = 0;
+    }
+
+    /// A snapshot of one present page's bytes.
+    pub fn page_bytes(&self, page: u64) -> Option<&[u8]> {
+        self.pages.get(&page).map(|p| &*p.data)
+    }
+
+    /// Page numbers of all present pages.
+    pub fn present_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.pages.keys().copied()
+    }
+
+    /// Page numbers of all dirty pages.
+    pub fn dirty_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.pages.iter().filter(|(_, p)| p.dirty).map(|(n, _)| *n)
+    }
+
+    /// Number of dirty pages.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Clear every dirty bit (after a write-back).
+    pub fn clear_dirty(&mut self) {
+        for p in self.pages.values_mut() {
+            p.dirty = false;
+        }
+        self.dirty_count = 0;
+    }
+
+    fn page_for_read(&mut self, page: u64) -> Result<&Page, MemError> {
+        if !self.pages.contains_key(&page) {
+            match self.policy {
+                BackingPolicy::DemandZero => {
+                    self.pages.insert(page, Page::zeroed());
+                }
+                BackingPolicy::FaultOnAbsent => return Err(MemError::PageFault { page }),
+            }
+        }
+        Ok(self.pages.get(&page).expect("just ensured"))
+    }
+
+    fn page_for_write(&mut self, page: u64) -> Result<&mut Page, MemError> {
+        if !self.pages.contains_key(&page) {
+            match self.policy {
+                BackingPolicy::DemandZero => {
+                    self.pages.insert(page, Page::zeroed());
+                }
+                BackingPolicy::FaultOnAbsent => return Err(MemError::PageFault { page }),
+            }
+        }
+        let p = self.pages.get_mut(&page).expect("just ensured");
+        if !p.dirty {
+            p.dirty = true;
+            self.dirty_count += 1;
+        }
+        Ok(p)
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::PageFault`] for the first absent page touched.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        let mut addr = addr;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let page = page_of(addr);
+            let in_page = (addr - page_base(page)) as usize;
+            let n = (PAGE_SIZE as usize - in_page).min(buf.len() - off);
+            let p = self.page_for_read(page)?;
+            buf[off..off + n].copy_from_slice(&p.data[in_page..in_page + n]);
+            addr += n as u64;
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Write `buf` starting at `addr`, marking touched pages dirty.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::PageFault`] for the first absent page touched.
+    pub fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemError> {
+        let mut addr = addr;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let page = page_of(addr);
+            let in_page = (addr - page_base(page)) as usize;
+            let n = (PAGE_SIZE as usize - in_page).min(buf.len() - off);
+            let p = self.page_for_write(page)?;
+            p.data[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
+            addr += n as u64;
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Read a NUL-terminated C string at `addr` (capped at 1 MiB).
+    ///
+    /// # Errors
+    ///
+    /// Propagates page faults; [`MemError::AccessViolation`] if no NUL is
+    /// found within the cap.
+    pub fn read_cstr(&mut self, addr: u64) -> Result<Vec<u8>, MemError> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        loop {
+            let mut byte = [0u8];
+            self.read(a, &mut byte)?;
+            if byte[0] == 0 {
+                return Ok(out);
+            }
+            out.push(byte[0]);
+            a += 1;
+            if out.len() > 1 << 20 {
+                return Err(MemError::AccessViolation { addr });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_zero_reads_zeroes() {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        let mut buf = [0xFFu8; 8];
+        m.read(0x1234, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn fault_on_absent_page() {
+        let mut m = Memory::new(BackingPolicy::FaultOnAbsent);
+        let mut buf = [0u8; 4];
+        let err = m.read(0x5000, &mut buf).unwrap_err();
+        assert_eq!(err, MemError::PageFault { page: 5 });
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_pages() {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        let data: Vec<u8> = (0..=255).cycle().take(10_000).collect();
+        let addr = PAGE_SIZE - 100; // straddles three pages
+        m.write(addr, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read(addr, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert!(m.present_count() >= 3);
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        m.write(0, &[1, 2, 3]).unwrap();
+        m.write(PAGE_SIZE * 5, &[9]).unwrap();
+        let dirty: Vec<u64> = m.dirty_pages().collect();
+        assert_eq!(dirty, vec![0, 5]);
+        assert_eq!(m.dirty_count(), 2);
+        m.clear_dirty();
+        assert_eq!(m.dirty_count(), 0);
+        // Reads do not dirty.
+        let mut b = [0u8];
+        m.read(0, &mut b).unwrap();
+        assert_eq!(m.dirty_count(), 0);
+    }
+
+    #[test]
+    fn install_and_evict() {
+        let mut m = Memory::new(BackingPolicy::FaultOnAbsent);
+        let bytes = vec![7u8; PAGE_SIZE as usize];
+        m.install_page(3, &bytes);
+        let mut b = [0u8; 2];
+        m.read(PAGE_SIZE * 3 + 10, &mut b).unwrap();
+        assert_eq!(b, [7, 7]);
+        // Installed pages are clean until written.
+        assert_eq!(m.dirty_count(), 0);
+        m.write(PAGE_SIZE * 3, &[1]).unwrap();
+        assert_eq!(m.dirty_count(), 1);
+        m.evict_page(3);
+        assert!(!m.is_present(3));
+        assert_eq!(m.dirty_count(), 0);
+    }
+
+    #[test]
+    fn read_cstr() {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        m.write(100, b"hello\0").unwrap();
+        assert_eq!(m.read_cstr(100).unwrap(), b"hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "partial page install")]
+    fn install_requires_full_page() {
+        let mut m = Memory::new(BackingPolicy::FaultOnAbsent);
+        m.install_page(0, &[1, 2, 3]);
+    }
+}

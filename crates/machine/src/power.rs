@@ -1,0 +1,214 @@
+//! Power-state model of the mobile device.
+//!
+//! §5.2 of the paper reads power numbers off a Monsoon Power Monitor: "the
+//! smartphone consumes about 300 mW for idle state, 1350 mW for waiting
+//! signals, 2000 mW for data reception, and 2000 mW to 5000 mW for data
+//! transmission" — and Fig. 8 plots those states over time. This module
+//! models the same state machine; energy is the integral of state power
+//! over the simulated timeline.
+
+/// What the (mobile) device is doing during an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerState {
+    /// Screen-on idle.
+    Idle,
+    /// CPU busy executing locally.
+    Compute,
+    /// Radio up, waiting for the server (the long plateaus of Fig. 8(a)).
+    Waiting,
+    /// Receiving data.
+    Receive,
+    /// Transmitting data.
+    Transmit,
+}
+
+/// Power draw per state, in milliwatts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSpec {
+    /// Idle draw.
+    pub idle_mw: f64,
+    /// Local-computation draw.
+    pub compute_mw: f64,
+    /// Waiting-for-signal draw.
+    pub waiting_mw: f64,
+    /// Reception draw.
+    pub receive_mw: f64,
+    /// Transmission draw (average; the paper observes 2000–5000 mW).
+    pub transmit_mw: f64,
+}
+
+impl PowerSpec {
+    /// The Galaxy S5 numbers reported in §5.2.
+    pub fn galaxy_s5() -> Self {
+        PowerSpec {
+            idle_mw: 300.0,
+            compute_mw: 3400.0,
+            waiting_mw: 1350.0,
+            receive_mw: 2000.0,
+            transmit_mw: 3200.0,
+        }
+    }
+
+    /// A mains-powered device: power is modelled but irrelevant for the
+    /// battery experiments (the paper does not meter the server).
+    pub fn mains_powered() -> Self {
+        PowerSpec {
+            idle_mw: 15_000.0,
+            compute_mw: 84_000.0,
+            waiting_mw: 20_000.0,
+            receive_mw: 22_000.0,
+            transmit_mw: 24_000.0,
+        }
+    }
+
+    /// Power draw of a state in milliwatts.
+    pub fn draw_mw(&self, state: PowerState) -> f64 {
+        match state {
+            PowerState::Idle => self.idle_mw,
+            PowerState::Compute => self.compute_mw,
+            PowerState::Waiting => self.waiting_mw,
+            PowerState::Receive => self.receive_mw,
+            PowerState::Transmit => self.transmit_mw,
+        }
+    }
+}
+
+/// One interval of the device timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerInterval {
+    /// Interval start, seconds from program start.
+    pub start_s: f64,
+    /// Interval length in seconds.
+    pub duration_s: f64,
+    /// Device state during the interval.
+    pub state: PowerState,
+}
+
+/// An append-only timeline of power states with energy integration —
+/// the simulated Monsoon monitor.
+#[derive(Debug, Clone, Default)]
+pub struct PowerTimeline {
+    intervals: Vec<PowerInterval>,
+    cursor_s: f64,
+}
+
+impl PowerTimeline {
+    /// An empty timeline starting at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an interval of `state` lasting `duration_s` seconds.
+    pub fn push(&mut self, state: PowerState, duration_s: f64) {
+        assert!(duration_s >= 0.0, "negative duration");
+        if duration_s == 0.0 {
+            return;
+        }
+        // Merge adjacent intervals in the same state, keeping traces small.
+        if let Some(last) = self.intervals.last_mut() {
+            if last.state == state {
+                last.duration_s += duration_s;
+                self.cursor_s += duration_s;
+                return;
+            }
+        }
+        self.intervals.push(PowerInterval { start_s: self.cursor_s, duration_s, state });
+        self.cursor_s += duration_s;
+    }
+
+    /// Total timeline length in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.cursor_s
+    }
+
+    /// Energy consumed in millijoules under `spec`.
+    pub fn energy_mj(&self, spec: &PowerSpec) -> f64 {
+        self.intervals
+            .iter()
+            .map(|iv| spec.draw_mw(iv.state) * iv.duration_s)
+            .sum()
+    }
+
+    /// The recorded intervals.
+    pub fn intervals(&self) -> &[PowerInterval] {
+        &self.intervals
+    }
+
+    /// Sample the instantaneous power at `t_s` seconds (idle outside the
+    /// recorded range) — how Fig. 8's power-over-time curves are produced.
+    pub fn sample_mw(&self, spec: &PowerSpec, t_s: f64) -> f64 {
+        for iv in &self.intervals {
+            if t_s >= iv.start_s && t_s < iv.start_s + iv.duration_s {
+                return spec.draw_mw(iv.state);
+            }
+        }
+        spec.idle_mw
+    }
+
+    /// Resample the whole timeline at a fixed step, yielding `(t, mW)`
+    /// pairs — the series plotted in Fig. 8.
+    pub fn resample(&self, spec: &PowerSpec, step_s: f64) -> Vec<(f64, f64)> {
+        assert!(step_s > 0.0);
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t < self.total_seconds() {
+            out.push((t, self.sample_mw(spec, t)));
+            t += step_s;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_integrates_states() {
+        let spec = PowerSpec::galaxy_s5();
+        let mut tl = PowerTimeline::new();
+        tl.push(PowerState::Compute, 2.0);
+        tl.push(PowerState::Waiting, 1.0);
+        let expect = 3400.0 * 2.0 + 1350.0;
+        assert!((tl.energy_mj(&spec) - expect).abs() < 1e-9);
+        assert!((tl.total_seconds() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacent_same_state_intervals_merge() {
+        let mut tl = PowerTimeline::new();
+        tl.push(PowerState::Receive, 0.5);
+        tl.push(PowerState::Receive, 0.5);
+        tl.push(PowerState::Idle, 0.1);
+        assert_eq!(tl.intervals().len(), 2);
+        assert!((tl.intervals()[0].duration_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_reads_the_active_state() {
+        let spec = PowerSpec::galaxy_s5();
+        let mut tl = PowerTimeline::new();
+        tl.push(PowerState::Compute, 1.0);
+        tl.push(PowerState::Waiting, 1.0);
+        assert_eq!(tl.sample_mw(&spec, 0.5), 3400.0);
+        assert_eq!(tl.sample_mw(&spec, 1.5), 1350.0);
+        assert_eq!(tl.sample_mw(&spec, 99.0), 300.0);
+    }
+
+    #[test]
+    fn resample_produces_series() {
+        let spec = PowerSpec::galaxy_s5();
+        let mut tl = PowerTimeline::new();
+        tl.push(PowerState::Compute, 1.0);
+        let series = tl.resample(&spec, 0.25);
+        assert_eq!(series.len(), 4);
+        assert!(series.iter().all(|(_, p)| *p == 3400.0));
+    }
+
+    #[test]
+    fn zero_duration_is_dropped() {
+        let mut tl = PowerTimeline::new();
+        tl.push(PowerState::Idle, 0.0);
+        assert!(tl.intervals().is_empty());
+    }
+}

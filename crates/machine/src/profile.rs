@@ -1,0 +1,143 @@
+//! Execution profiles collected by the VM.
+//!
+//! The hot function/loop profiler of §3.1 "measures execution time,
+//! invocation count, and memory usage of each function and loop in an
+//! application with a profiling input" (Table 3). The VM fills a
+//! [`ProfileCollector`] while interpreting; the offload compiler's target
+//! selector consumes it.
+
+use std::collections::{BTreeSet, HashMap};
+
+use offload_ir::{BlockId, FuncId};
+
+/// Per-function profile.
+#[derive(Debug, Clone, Default)]
+pub struct FuncProfile {
+    /// Times the function was invoked.
+    pub invocations: u64,
+    /// Inclusive cycles (callees included; recursive re-entries not
+    /// double-counted).
+    pub inclusive_cycles: u64,
+    /// Pages touched while the function was (transitively) active — the
+    /// "Mem. Size" column of Table 3 is `pages.len() * PAGE_SIZE`.
+    pub pages: BTreeSet<u64>,
+}
+
+/// Whole-run profile data.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileCollector {
+    /// Per-function data, indexed by function id.
+    pub funcs: HashMap<FuncId, FuncProfile>,
+    /// Times each block was entered.
+    pub block_counts: HashMap<(FuncId, BlockId), u64>,
+    /// Cycles attributed to instructions of each block.
+    pub block_cycles: HashMap<(FuncId, BlockId), u64>,
+    /// CFG edge traversal counts (needed to tell loop *entries* from
+    /// back-edge iterations when profiling loops).
+    pub edge_counts: HashMap<(FuncId, BlockId, BlockId), u64>,
+    /// Call stack: `(func, cycles at entry, was_already_active)`.
+    stack: Vec<(FuncId, u64, bool)>,
+}
+
+impl ProfileCollector {
+    /// Fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a function entry at the given cycle count.
+    pub fn enter(&mut self, f: FuncId, cycles: u64) {
+        let active = self.stack.iter().any(|(g, _, _)| *g == f);
+        let fp = self.funcs.entry(f).or_default();
+        fp.invocations += 1;
+        self.stack.push((f, cycles, active));
+    }
+
+    /// Record the matching function exit.
+    pub fn exit(&mut self, f: FuncId, cycles: u64) {
+        let Some((g, entry, was_active)) = self.stack.pop() else {
+            return;
+        };
+        debug_assert_eq!(g, f, "unbalanced profile stack");
+        if !was_active {
+            let fp = self.funcs.entry(f).or_default();
+            fp.inclusive_cycles += cycles.saturating_sub(entry);
+        }
+    }
+
+    /// Record a block entry via the edge `from -> to` (or program entry if
+    /// `from` is `None`).
+    pub fn block(&mut self, f: FuncId, from: Option<BlockId>, to: BlockId) {
+        *self.block_counts.entry((f, to)).or_default() += 1;
+        if let Some(from) = from {
+            *self.edge_counts.entry((f, from, to)).or_default() += 1;
+        }
+    }
+
+    /// Attribute `cycles` to block `bb` of `f`.
+    pub fn charge_block(&mut self, f: FuncId, bb: BlockId, cycles: u64) {
+        *self.block_cycles.entry((f, bb)).or_default() += cycles;
+    }
+
+    /// Record a page touch, attributed to every active frame.
+    pub fn touch_page(&mut self, page: u64) {
+        let mut seen = BTreeSet::new();
+        for (f, _, _) in &self.stack {
+            if seen.insert(*f) {
+                self.funcs.entry(*f).or_default().pages.insert(page);
+            }
+        }
+    }
+
+    /// Per-function memory footprint in bytes (pages touched × page size).
+    pub fn mem_bytes(&self, f: FuncId) -> u64 {
+        self.funcs
+            .get(&f)
+            .map_or(0, |p| p.pages.len() as u64 * crate::PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusive_cycles_ignore_recursion() {
+        let f = FuncId(0);
+        let mut p = ProfileCollector::new();
+        p.enter(f, 0);
+        p.enter(f, 10); // recursive
+        p.exit(f, 90);
+        p.exit(f, 100);
+        assert_eq!(p.funcs[&f].invocations, 2);
+        // Only the outer activation contributes inclusive time.
+        assert_eq!(p.funcs[&f].inclusive_cycles, 100);
+    }
+
+    #[test]
+    fn pages_attributed_to_all_active_frames() {
+        let (f, g) = (FuncId(0), FuncId(1));
+        let mut p = ProfileCollector::new();
+        p.enter(f, 0);
+        p.enter(g, 5);
+        p.touch_page(7);
+        p.exit(g, 10);
+        p.exit(f, 20);
+        assert!(p.funcs[&f].pages.contains(&7));
+        assert!(p.funcs[&g].pages.contains(&7));
+        assert_eq!(p.mem_bytes(f), crate::PAGE_SIZE);
+    }
+
+    #[test]
+    fn block_and_edge_counts() {
+        let f = FuncId(0);
+        let (a, b) = (BlockId(0), BlockId(1));
+        let mut p = ProfileCollector::new();
+        p.block(f, None, a);
+        p.block(f, Some(a), b);
+        p.block(f, Some(b), b);
+        assert_eq!(p.block_counts[&(f, b)], 2);
+        assert_eq!(p.edge_counts[&(f, b, b)], 1);
+        assert_eq!(p.edge_counts[&(f, a, b)], 1);
+    }
+}

@@ -1,0 +1,1088 @@
+//! The IR interpreter: one instance per simulated device.
+//!
+//! The VM executes a (possibly partitioned) module against the device's
+//! [`Memory`], charging cycles per the device's [`CostModel`]. Everything
+//! the offload runtime needs to interpose on is routed through the
+//! [`Host`] trait:
+//!
+//! * **page faults** — absent pages during offload execution become
+//!   copy-on-demand transfers (§4),
+//! * **builtins** — I/O, heap allocation, remote I/O and the
+//!   offload-runtime operations inserted by the partitioner,
+//! * **syscalls / inline asm** — machine-specific operations that only the
+//!   home device may perform (§3.1).
+//!
+//! Function addresses are *device-specific* (`fn_base + id·stride`, with a
+//! different base per back-end), so a raw function pointer produced on one
+//! device does not resolve on the other — faithfully recreating the problem
+//! that §3.4's function-pointer map exists to solve.
+
+use offload_ir::{
+    BinOp, BlockId, Builtin, Callee, CastKind, CmpOp, ConstValue, DataLayout, Endian, FuncId,
+    Inst, Module, TargetAbi, Type, UnOp,
+};
+
+use crate::heap::HeapError;
+use crate::io::IoError;
+use crate::loader::Image;
+use crate::mem::{MemError, Memory};
+use crate::profile::ProfileCollector;
+use crate::target::{CostModel, TargetSpec};
+use crate::uva_map;
+
+/// A runtime register value. Pointers are integers (their UVA address).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RtVal {
+    /// Integer or pointer bits.
+    I(i64),
+    /// Float.
+    F(f64),
+}
+
+impl RtVal {
+    /// The integer bits, treating floats as an error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a float (a type-confusion bug in generated
+    /// IR, which the verifier should have rejected).
+    pub fn as_i(self) -> i64 {
+        match self {
+            RtVal::I(v) => v,
+            RtVal::F(v) => panic!("expected integer register, found float {v}"),
+        }
+    }
+
+    /// The float value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is an integer.
+    pub fn as_f(self) -> f64 {
+        match self {
+            RtVal::F(v) => v,
+            RtVal::I(v) => panic!("expected float register, found integer {v}"),
+        }
+    }
+
+    /// The value as an address.
+    pub fn as_addr(self) -> u64 {
+        self.as_i() as u64
+    }
+}
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// Unserviceable memory error.
+    Mem(MemError),
+    /// Heap failure.
+    Heap(HeapError),
+    /// I/O failure.
+    Io(IoError),
+    /// Indirect call through an address that is not a function on this
+    /// device (e.g. an untranslated cross-device function pointer).
+    BadFunctionPointer {
+        /// The bad address.
+        addr: u64,
+    },
+    /// A machine-specific operation reached a device that cannot perform
+    /// it (asm/syscall on the server, interactive input off-device, ...).
+    MachineSpecific {
+        /// What was attempted.
+        what: String,
+    },
+    /// Call to an external declaration with no body.
+    UnknownExternal {
+        /// The function name.
+        name: String,
+    },
+    /// Integer division by zero.
+    DivisionByZero,
+    /// Simulated stack exhausted.
+    StackOverflow,
+    /// The instruction budget ran out (runaway loop guard).
+    FuelExhausted,
+    /// `exit(code)` was called.
+    Exit {
+        /// The exit code.
+        code: i32,
+    },
+    /// Free-form trap raised by a host.
+    Trap(String),
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::Mem(e) => write!(f, "{e}"),
+            VmError::Heap(e) => write!(f, "{e}"),
+            VmError::Io(e) => write!(f, "{e}"),
+            VmError::BadFunctionPointer { addr } => {
+                write!(f, "indirect call to non-function address {addr:#x}")
+            }
+            VmError::MachineSpecific { what } => {
+                write!(f, "machine-specific operation off-device: {what}")
+            }
+            VmError::UnknownExternal { name } => write!(f, "call to external function {name}"),
+            VmError::DivisionByZero => write!(f, "division by zero"),
+            VmError::StackOverflow => write!(f, "stack overflow"),
+            VmError::FuelExhausted => write!(f, "instruction budget exhausted"),
+            VmError::Exit { code } => write!(f, "program exited with code {code}"),
+            VmError::Trap(m) => write!(f, "trap: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<MemError> for VmError {
+    fn from(e: MemError) -> Self {
+        VmError::Mem(e)
+    }
+}
+
+impl From<HeapError> for VmError {
+    fn from(e: HeapError) -> Self {
+        VmError::Heap(e)
+    }
+}
+
+impl From<IoError> for VmError {
+    fn from(e: IoError) -> Self {
+        VmError::Io(e)
+    }
+}
+
+/// Cycle counter of one device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Clock {
+    /// Cycles elapsed.
+    pub cycles: u64,
+}
+
+impl Clock {
+    /// Charge `n` cycles.
+    pub fn charge(&mut self, n: u64) {
+        self.cycles += n;
+    }
+}
+
+/// What the host may touch while servicing a fault or builtin.
+pub struct HostCtx<'a> {
+    /// The device memory.
+    pub mem: &'a mut Memory,
+    /// The device cycle counter.
+    pub clock: &'a mut Clock,
+    /// The (unified) data layout in force.
+    pub layout: DataLayout,
+    /// The device cost model.
+    pub cpi: &'a CostModel,
+    /// The current simulated stack pointer (shipped in offload requests,
+    /// §4 initialization).
+    pub sp: u64,
+}
+
+/// Device-side services provided by the embedder (local host or offload
+/// runtime).
+pub trait Host {
+    /// Service a page fault by installing the page into `ctx.mem`.
+    ///
+    /// # Errors
+    ///
+    /// Return the original fault as `VmError::Mem` if the page cannot be
+    /// provided (a true segfault).
+    fn page_fault(&mut self, page: u64, ctx: &mut HostCtx<'_>) -> Result<(), VmError>;
+
+    /// Execute a builtin the VM does not handle internally.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`]; [`VmError::MachineSpecific`] when this device must
+    /// not perform the operation.
+    fn builtin(
+        &mut self,
+        b: Builtin,
+        args: &[RtVal],
+        ctx: &mut HostCtx<'_>,
+    ) -> Result<Option<RtVal>, VmError>;
+
+    /// Execute a raw syscall. The default succeeds with 0 — on the *home*
+    /// device a syscall is an ordinary kernel service.
+    ///
+    /// # Errors
+    ///
+    /// Hosts for the *server* side override this to refuse.
+    fn syscall(&mut self, number: u32, args: &[RtVal], ctx: &mut HostCtx<'_>) -> Result<RtVal, VmError> {
+        let _ = (number, args, ctx);
+        Ok(RtVal::I(0))
+    }
+
+    /// Execute inline assembly. Defaults to a no-op on the home device.
+    ///
+    /// # Errors
+    ///
+    /// Server-side hosts override this to refuse.
+    fn inline_asm(&mut self, text: &str, ctx: &mut HostCtx<'_>) -> Result<(), VmError> {
+        let _ = (text, ctx);
+        Ok(())
+    }
+}
+
+/// Which stack (and function-stub region) the VM uses — the mobile default
+/// or the server's relocated one (§3.3 stack reallocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackBank {
+    /// Mobile stack at [`uva_map::MOBILE_STACK_TOP`].
+    Mobile,
+    /// Server stack at [`uva_map::SERVER_STACK_TOP`], far from the
+    /// mobile's so the two never overlap on the UVA space.
+    Server,
+}
+
+/// Aggregate execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Instructions retired.
+    pub insts: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Calls executed.
+    pub calls: u64,
+    /// Page faults serviced.
+    pub page_faults: u64,
+}
+
+struct Frame {
+    func: FuncId,
+    regs: Vec<RtVal>,
+    saved_sp: u64,
+}
+
+/// The interpreter.
+pub struct Vm<'m> {
+    module: &'m Module,
+    /// Unified data layout with this device's endianness.
+    layout: DataLayout,
+    endian: Endian,
+    cpi: CostModel,
+    fn_base: u64,
+    stack_limit: u64,
+    sp: u64,
+    /// Device memory.
+    pub mem: Memory,
+    /// Cycle counter.
+    pub clock: Clock,
+    global_addrs: Vec<u64>,
+    fuel: u64,
+    /// Optional profile collector (the §3.1 profiler).
+    pub profile: Option<ProfileCollector>,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    depth: usize,
+}
+
+/// Maximum call depth (recursion guard).
+const MAX_DEPTH: usize = 512;
+
+impl<'m> Vm<'m> {
+    /// Create a VM for `module` on the device described by `spec`, with
+    /// memory and globals from `image`, using the given stack bank.
+    ///
+    /// The VM always executes under the **unified** (mobile) data layout —
+    /// the §3.2 standard — with the device's own endianness.
+    pub fn new(module: &'m Module, spec: &TargetSpec, image: Image, bank: StackBank) -> Self {
+        let mut layout = TargetAbi::MobileArm32.data_layout();
+        layout.endian = spec.data_layout().endian;
+        Self::with_layout(module, spec, image, bank, layout)
+    }
+
+    /// Like [`Vm::new`] but with an explicit data layout — used by tests
+    /// that demonstrate the Fig. 4 layout mismatch by running under a
+    /// *native, un-unified* layout.
+    pub fn with_layout(
+        module: &'m Module,
+        spec: &TargetSpec,
+        image: Image,
+        bank: StackBank,
+        layout: DataLayout,
+    ) -> Self {
+        let (stack_top, fn_base) = match bank {
+            StackBank::Mobile => (uva_map::MOBILE_STACK_TOP, uva_map::MOBILE_FN_BASE),
+            StackBank::Server => (uva_map::SERVER_STACK_TOP, uva_map::SERVER_FN_BASE),
+        };
+        Vm {
+            module,
+            endian: layout.endian,
+            layout,
+            cpi: spec.cpi.clone(),
+            fn_base,
+            stack_limit: stack_top - uva_map::STACK_SIZE,
+            sp: stack_top,
+            mem: image.mem,
+            clock: Clock::default(),
+            global_addrs: image.global_addrs,
+            fuel: u64::MAX,
+            profile: None,
+            stats: RunStats::default(),
+            depth: 0,
+        }
+    }
+
+    /// The module being executed.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// The layout in force.
+    pub fn layout(&self) -> DataLayout {
+        self.layout
+    }
+
+    /// Current stack pointer.
+    pub fn sp(&self) -> u64 {
+        self.sp
+    }
+
+    /// Set the stack pointer (used when the server resumes with the
+    /// mobile's reported offload state).
+    pub fn set_sp(&mut self, sp: u64) {
+        self.sp = sp;
+    }
+
+    /// Limit the number of executed instructions (runaway guard).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Enable profiling.
+    pub fn enable_profile(&mut self) {
+        self.profile = Some(ProfileCollector::new());
+    }
+
+    /// The UVA address of this device's stub for function `f`.
+    pub fn fn_addr(&self, f: FuncId) -> u64 {
+        self.fn_base + f.0 as u64 * uva_map::FN_STRIDE
+    }
+
+    /// Resolve a stub address back to a function, if it is one of *this
+    /// device's* stubs.
+    pub fn addr_to_fn(&self, addr: u64) -> Option<FuncId> {
+        if addr < self.fn_base {
+            return None;
+        }
+        let off = addr - self.fn_base;
+        if !off.is_multiple_of(uva_map::FN_STRIDE) {
+            return None;
+        }
+        let id = off / uva_map::FN_STRIDE;
+        if (id as usize) < self.module.function_count() {
+            Some(FuncId(id as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Run the module entry point with no arguments.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`]; [`VmError::Exit`] is translated into a normal
+    /// return carrying the exit code.
+    pub fn run_entry<H: Host>(&mut self, host: &mut H) -> Result<Option<RtVal>, VmError> {
+        let entry = self
+            .module
+            .entry
+            .ok_or_else(|| VmError::Trap("module has no entry point".into()))?;
+        match self.call_function(entry, &[], host) {
+            Err(VmError::Exit { code }) => Ok(Some(RtVal::I(code as i64))),
+            other => other,
+        }
+    }
+
+    /// Call function `f` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`].
+    pub fn call_function<H: Host>(
+        &mut self,
+        f: FuncId,
+        args: &[RtVal],
+        host: &mut H,
+    ) -> Result<Option<RtVal>, VmError> {
+        let func = self.module.function(f);
+        if func.is_declaration() {
+            return Err(VmError::UnknownExternal { name: func.name.clone() });
+        }
+        assert_eq!(func.params.len(), args.len(), "arity checked by verifier");
+        if self.depth >= MAX_DEPTH {
+            return Err(VmError::StackOverflow);
+        }
+        self.depth += 1;
+        let mut frame = Frame {
+            func: f,
+            regs: vec![RtVal::I(0); func.value_types.len()],
+            saved_sp: self.sp,
+        };
+        frame.regs[..args.len()].copy_from_slice(args);
+        self.stats.calls += 1;
+        self.clock.charge(self.cpi.call);
+        if let Some(p) = &mut self.profile {
+            p.enter(f, self.clock.cycles);
+            p.block(f, None, BlockId(0));
+        }
+
+        let result = self.run_frame(&mut frame, host);
+
+        if let Some(p) = &mut self.profile {
+            p.exit(f, self.clock.cycles);
+        }
+        self.sp = frame.saved_sp;
+        self.depth -= 1;
+        result
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_frame<H: Host>(
+        &mut self,
+        frame: &mut Frame,
+        host: &mut H,
+    ) -> Result<Option<RtVal>, VmError> {
+        let func = self.module.function(frame.func);
+        let mut bb = BlockId(0);
+        loop {
+            let block = &func.blocks[bb.0 as usize];
+            let mut next: Option<BlockId> = None;
+            for inst in &block.insts {
+                if self.fuel == 0 {
+                    return Err(VmError::FuelExhausted);
+                }
+                self.fuel -= 1;
+                self.stats.insts += 1;
+                let before = self.clock.cycles;
+                match inst {
+                    Inst::Const { dst, value } => {
+                        let v = self.const_value(value);
+                        frame.regs[dst.0 as usize] = v;
+                        self.clock.charge(self.cpi.alu);
+                    }
+                    Inst::Alloca { dst, ty, count } => {
+                        let size = self.layout.size_of(ty, self.module) * count;
+                        let size = size.div_ceil(16) * 16;
+                        if self.sp - self.stack_limit < size {
+                            return Err(VmError::StackOverflow);
+                        }
+                        self.sp -= size;
+                        frame.regs[dst.0 as usize] = RtVal::I(self.sp as i64);
+                        self.clock.charge(self.cpi.alu);
+                    }
+                    Inst::Load { dst, ty, addr } => {
+                        let a = frame.regs[addr.0 as usize].as_addr();
+                        let v = self.load_scalar(a, ty, host)?;
+                        frame.regs[dst.0 as usize] = v;
+                        self.stats.loads += 1;
+                        self.clock.charge(self.cpi.load);
+                    }
+                    Inst::Store { ty, addr, value } => {
+                        let a = frame.regs[addr.0 as usize].as_addr();
+                        let v = frame.regs[value.0 as usize];
+                        self.store_scalar(a, ty, v, host)?;
+                        self.stats.stores += 1;
+                        self.clock.charge(self.cpi.store);
+                    }
+                    Inst::FieldAddr { dst, base, sid, field } => {
+                        let b = frame.regs[base.0 as usize].as_addr();
+                        let off = self.layout.struct_layout(*sid, self.module).offsets
+                            [*field as usize];
+                        frame.regs[dst.0 as usize] = RtVal::I((b + off) as i64);
+                        self.clock.charge(self.cpi.alu);
+                    }
+                    Inst::IndexAddr { dst, base, elem, index } => {
+                        let b = frame.regs[base.0 as usize].as_addr();
+                        let i = frame.regs[index.0 as usize].as_i();
+                        let size = self.layout.size_of(elem, self.module) as i64;
+                        frame.regs[dst.0 as usize] = RtVal::I(b as i64 + i * size);
+                        self.clock.charge(self.cpi.alu + self.cpi.mul);
+                    }
+                    Inst::Bin { dst, op, ty, lhs, rhs } => {
+                        let l = frame.regs[lhs.0 as usize];
+                        let r = frame.regs[rhs.0 as usize];
+                        frame.regs[dst.0 as usize] = self.eval_bin(*op, ty, l, r)?;
+                        self.clock.charge(self.bin_cost(*op, ty));
+                    }
+                    Inst::Un { dst, op, ty, operand } => {
+                        let v = frame.regs[operand.0 as usize];
+                        frame.regs[dst.0 as usize] = eval_un(*op, ty, v);
+                        self.clock.charge(if *op == UnOp::ByteSwap {
+                            self.cpi.alu * 2
+                        } else {
+                            self.cpi.alu
+                        });
+                    }
+                    Inst::Cmp { dst, op, ty, lhs, rhs } => {
+                        let l = frame.regs[lhs.0 as usize];
+                        let r = frame.regs[rhs.0 as usize];
+                        frame.regs[dst.0 as usize] = RtVal::I(i64::from(eval_cmp(*op, ty, l, r)));
+                        self.clock
+                            .charge(if *ty == Type::F64 { self.cpi.fpu } else { self.cpi.alu });
+                    }
+                    Inst::Cast { dst, kind, to, src } => {
+                        let v = frame.regs[src.0 as usize];
+                        let out = if *kind == CastKind::Zext {
+                            // Zero-extension must mask by the *source*
+                            // width (registers hold sign-extended values).
+                            let masked = match func.value_type(*src) {
+                                Type::I8 => v.as_i() as u8 as i64,
+                                Type::I16 => v.as_i() as u16 as i64,
+                                Type::I32 => v.as_i() as u32 as i64,
+                                _ => v.as_i(),
+                            };
+                            RtVal::I(truncate_to(to, masked))
+                        } else {
+                            eval_cast(*kind, to, v)
+                        };
+                        frame.regs[dst.0 as usize] = out;
+                        self.clock.charge(self.cpi.cast);
+                    }
+                    Inst::Call { dst, callee, args } => {
+                        let argv: Vec<RtVal> =
+                            args.iter().map(|a| frame.regs[a.0 as usize]).collect();
+                        let ret = match callee {
+                            Callee::Direct(g) => self.call_function(*g, &argv, host)?,
+                            Callee::Indirect(p) => {
+                                let addr = frame.regs[p.0 as usize].as_addr();
+                                let Some(g) = self.addr_to_fn(addr) else {
+                                    return Err(VmError::BadFunctionPointer { addr });
+                                };
+                                self.call_function(g, &argv, host)?
+                            }
+                            Callee::Builtin(b) => self.call_builtin(*b, &argv, host)?,
+                        };
+                        if let Some(d) = dst {
+                            frame.regs[d.0 as usize] = ret.unwrap_or(RtVal::I(0));
+                        }
+                    }
+                    Inst::Ret { value } => {
+                        let v = value.map(|v| frame.regs[v.0 as usize]);
+                        self.clock.charge(self.cpi.call / 2);
+                        self.attr_block(frame.func, bb, before);
+                        return Ok(v);
+                    }
+                    Inst::Br { target } => {
+                        next = Some(*target);
+                        self.clock.charge(self.cpi.branch);
+                    }
+                    Inst::CondBr { cond, then_bb, else_bb } => {
+                        let c = frame.regs[cond.0 as usize].as_i();
+                        next = Some(if c != 0 { *then_bb } else { *else_bb });
+                        self.clock.charge(self.cpi.branch);
+                    }
+                    Inst::InlineAsm { text } => {
+                        let mut ctx = HostCtx {
+                            mem: &mut self.mem,
+                            clock: &mut self.clock,
+                            layout: self.layout,
+                            cpi: &self.cpi,
+                            sp: self.sp,
+                        };
+                        host.inline_asm(text, &mut ctx)?;
+                        self.clock.charge(self.cpi.alu);
+                    }
+                    Inst::Syscall { dst, number, args } => {
+                        let argv: Vec<RtVal> =
+                            args.iter().map(|a| frame.regs[a.0 as usize]).collect();
+                        let mut ctx = HostCtx {
+                            mem: &mut self.mem,
+                            clock: &mut self.clock,
+                            layout: self.layout,
+                            cpi: &self.cpi,
+                            sp: self.sp,
+                        };
+                        let v = host.syscall(*number, &argv, &mut ctx)?;
+                        frame.regs[dst.0 as usize] = v;
+                        self.clock.charge(self.cpi.call);
+                    }
+                }
+                self.attr_block(frame.func, bb, before);
+            }
+            let target = next.expect("verifier guarantees a terminator");
+            if let Some(p) = &mut self.profile {
+                p.block(frame.func, Some(bb), target);
+            }
+            bb = target;
+        }
+    }
+
+    fn attr_block(&mut self, f: FuncId, bb: BlockId, before: u64) {
+        if let Some(p) = &mut self.profile {
+            p.charge_block(f, bb, self.clock.cycles - before);
+        }
+    }
+
+    fn const_value(&self, c: &ConstValue) -> RtVal {
+        match c {
+            ConstValue::I8(v) => RtVal::I(*v as i64),
+            ConstValue::I16(v) => RtVal::I(*v as i64),
+            ConstValue::I32(v) => RtVal::I(*v as i64),
+            ConstValue::I64(v) => RtVal::I(*v),
+            ConstValue::F64(v) => RtVal::F(*v),
+            ConstValue::Null(_) => RtVal::I(0),
+            ConstValue::GlobalAddr(g) => RtVal::I(self.global_addrs[g.0 as usize] as i64),
+            ConstValue::FuncAddr(f) => RtVal::I(self.fn_addr(*f) as i64),
+        }
+    }
+
+    // ----- memory with fault retry --------------------------------------
+
+    /// Read raw bytes, letting the host service faults.
+    ///
+    /// # Errors
+    ///
+    /// Unserviceable faults and host errors.
+    pub fn mem_read<H: Host>(
+        &mut self,
+        addr: u64,
+        buf: &mut [u8],
+        host: &mut H,
+    ) -> Result<(), VmError> {
+        loop {
+            match self.mem.read(addr, buf) {
+                Ok(()) => {
+                    self.touch(addr, buf.len() as u64);
+                    return Ok(());
+                }
+                Err(MemError::PageFault { page }) => self.service_fault(page, host)?,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Write raw bytes, letting the host service faults.
+    ///
+    /// # Errors
+    ///
+    /// Unserviceable faults and host errors.
+    pub fn mem_write<H: Host>(
+        &mut self,
+        addr: u64,
+        buf: &[u8],
+        host: &mut H,
+    ) -> Result<(), VmError> {
+        loop {
+            match self.mem.write(addr, buf) {
+                Ok(()) => {
+                    self.touch(addr, buf.len() as u64);
+                    return Ok(());
+                }
+                Err(MemError::PageFault { page }) => self.service_fault(page, host)?,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn service_fault<H: Host>(&mut self, page: u64, host: &mut H) -> Result<(), VmError> {
+        self.stats.page_faults += 1;
+        let mut ctx = HostCtx {
+            mem: &mut self.mem,
+            clock: &mut self.clock,
+            layout: self.layout,
+            cpi: &self.cpi,
+            sp: self.sp,
+        };
+        host.page_fault(page, &mut ctx)
+    }
+
+    fn touch(&mut self, addr: u64, len: u64) {
+        if let Some(p) = &mut self.profile {
+            let first = addr / crate::PAGE_SIZE;
+            let last = (addr + len.max(1) - 1) / crate::PAGE_SIZE;
+            for page in first..=last {
+                p.touch_page(page);
+            }
+        }
+    }
+
+    fn load_scalar<H: Host>(&mut self, addr: u64, ty: &Type, host: &mut H) -> Result<RtVal, VmError> {
+        let size = self.layout.size_of(ty, self.module) as usize;
+        let mut buf = [0u8; 8];
+        self.mem_read(addr, &mut buf[..size], host)?;
+        Ok(decode_scalar(&buf[..size], ty, self.endian))
+    }
+
+    fn store_scalar<H: Host>(
+        &mut self,
+        addr: u64,
+        ty: &Type,
+        v: RtVal,
+        host: &mut H,
+    ) -> Result<(), VmError> {
+        let size = self.layout.size_of(ty, self.module) as usize;
+        let mut buf = [0u8; 8];
+        encode_scalar(v, ty, self.endian, &mut buf[..size]);
+        self.mem_write(addr, &buf[..size], host)
+    }
+
+    fn bin_cost(&self, op: BinOp, ty: &Type) -> u64 {
+        let float = *ty == Type::F64;
+        match op {
+            BinOp::Mul => {
+                if float {
+                    self.cpi.fpu
+                } else {
+                    self.cpi.mul
+                }
+            }
+            BinOp::Div | BinOp::Rem => {
+                if float {
+                    self.cpi.fdiv
+                } else {
+                    self.cpi.div
+                }
+            }
+            _ => {
+                if float {
+                    self.cpi.fpu
+                } else {
+                    self.cpi.alu
+                }
+            }
+        }
+    }
+
+    fn eval_bin(&self, op: BinOp, ty: &Type, l: RtVal, r: RtVal) -> Result<RtVal, VmError> {
+        if *ty == Type::F64 {
+            let (a, b) = (l.as_f(), r.as_f());
+            let v = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Rem => a % b,
+                _ => return Err(VmError::Trap(format!("bitwise {op:?} on f64"))),
+            };
+            return Ok(RtVal::F(v));
+        }
+        let (a, b) = (l.as_i(), r.as_i());
+        let v = match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return Err(VmError::DivisionByZero);
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return Err(VmError::DivisionByZero);
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+            BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+        };
+        Ok(RtVal::I(truncate_to(ty, v)))
+    }
+
+    fn call_builtin<H: Host>(
+        &mut self,
+        b: Builtin,
+        args: &[RtVal],
+        host: &mut H,
+    ) -> Result<Option<RtVal>, VmError> {
+        use Builtin::*;
+        match b {
+            // Pure math: handled in the VM.
+            Sqrt => self.math1(args, f64::sqrt),
+            Fabs => self.math1(args, f64::abs),
+            Exp => self.math1(args, f64::exp),
+            Log => self.math1(args, f64::ln),
+            Sin => self.math1(args, f64::sin),
+            Cos => self.math1(args, f64::cos),
+            Floor => self.math1(args, f64::floor),
+            Pow => {
+                self.clock.charge(self.cpi.math);
+                Ok(Some(RtVal::F(args[0].as_f().powf(args[1].as_f()))))
+            }
+            // Bulk memory: handled in the VM (with fault retry per page).
+            Memcpy => {
+                let (dst, src, n) = (args[0].as_addr(), args[1].as_addr(), args[2].as_addr());
+                let mut buf = vec![0u8; n as usize];
+                self.mem_read(src, &mut buf, host)?;
+                self.mem_write(dst, &buf, host)?;
+                self.clock.charge(self.cpi.byte_move_milli * n / 1000 + self.cpi.call);
+                Ok(Some(RtVal::I(dst as i64)))
+            }
+            Memset => {
+                let (dst, byte, n) = (args[0].as_addr(), args[1].as_i(), args[2].as_addr());
+                let buf = vec![byte as u8; n as usize];
+                self.mem_write(dst, &buf, host)?;
+                self.clock.charge(self.cpi.byte_move_milli * n / 1000 + self.cpi.call);
+                Ok(Some(RtVal::I(dst as i64)))
+            }
+            Strlen => {
+                let s_addr = args[0].as_addr();
+                let bytes = self.cstr(s_addr, host)?;
+                self.clock
+                    .charge(self.cpi.byte_move_milli * bytes.len() as u64 / 1000 + self.cpi.call);
+                Ok(Some(RtVal::I(bytes.len() as i64)))
+            }
+            Strcmp => {
+                let a = self.cstr(args[0].as_addr(), host)?;
+                let b = self.cstr(args[1].as_addr(), host)?;
+                let n = a.len().min(b.len()) as u64;
+                self.clock
+                    .charge(self.cpi.byte_move_milli * n / 1000 + self.cpi.call);
+                let ord = match a.cmp(&b) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                };
+                Ok(Some(RtVal::I(ord)))
+            }
+            Strcpy => {
+                let dst = args[0].as_addr();
+                let mut bytes = self.cstr(args[1].as_addr(), host)?;
+                bytes.push(0);
+                self.mem_write(dst, &bytes, host)?;
+                self.clock
+                    .charge(self.cpi.byte_move_milli * bytes.len() as u64 / 1000 + self.cpi.call);
+                Ok(Some(RtVal::I(dst as i64)))
+            }
+            Clock => {
+                self.clock.charge(self.cpi.call);
+                Ok(Some(RtVal::I(self.clock.cycles as i64)))
+            }
+            Exit => Err(VmError::Exit { code: args.first().map_or(0, |v| v.as_i() as i32) }),
+            // Everything else (heap, I/O, offload runtime) goes to the host.
+            other => {
+                let mut ctx = HostCtx {
+                    mem: &mut self.mem,
+                    clock: &mut self.clock,
+                    layout: self.layout,
+                    cpi: &self.cpi,
+                    sp: self.sp,
+                };
+                host.builtin(other, args, &mut ctx)
+            }
+        }
+    }
+
+    /// Read a NUL-terminated string with host fault service.
+    fn cstr<H: Host>(&mut self, addr: u64, host: &mut H) -> Result<Vec<u8>, VmError> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        loop {
+            let mut byte = [0u8];
+            self.mem_read(a, &mut byte, host)?;
+            if byte[0] == 0 {
+                return Ok(out);
+            }
+            out.push(byte[0]);
+            a += 1;
+            if out.len() > 1 << 20 {
+                return Err(VmError::Mem(MemError::AccessViolation { addr }));
+            }
+        }
+    }
+
+    fn math1(&mut self, args: &[RtVal], f: fn(f64) -> f64) -> Result<Option<RtVal>, VmError> {
+        self.clock.charge(self.cpi.math);
+        Ok(Some(RtVal::F(f(args[0].as_f()))))
+    }
+}
+
+fn truncate_to(ty: &Type, v: i64) -> i64 {
+    match ty {
+        Type::I8 => v as i8 as i64,
+        Type::I16 => v as i16 as i64,
+        Type::I32 => v as i32 as i64,
+        _ => v,
+    }
+}
+
+fn eval_un(op: UnOp, ty: &Type, v: RtVal) -> RtVal {
+    match (op, ty) {
+        (UnOp::Neg, Type::F64) => RtVal::F(-v.as_f()),
+        (UnOp::Neg, _) => RtVal::I(truncate_to(ty, v.as_i().wrapping_neg())),
+        (UnOp::Not, _) => RtVal::I(truncate_to(ty, !v.as_i())),
+        (UnOp::ByteSwap, Type::F64) => {
+            RtVal::F(f64::from_bits(v.as_f().to_bits().swap_bytes()))
+        }
+        (UnOp::ByteSwap, Type::I16) => RtVal::I((v.as_i() as i16).swap_bytes() as i64),
+        (UnOp::ByteSwap, Type::I32) => RtVal::I((v.as_i() as i32).swap_bytes() as i64),
+        (UnOp::ByteSwap, Type::I64) => RtVal::I(v.as_i().swap_bytes()),
+        (UnOp::ByteSwap, Type::Ptr(_)) => RtVal::I((v.as_i() as i32).swap_bytes() as i64),
+        (UnOp::ByteSwap, _) => v, // i8: no-op
+    }
+}
+
+fn eval_cmp(op: CmpOp, ty: &Type, l: RtVal, r: RtVal) -> bool {
+    if *ty == Type::F64 {
+        let (a, b) = (l.as_f(), r.as_f());
+        match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    } else if ty.is_ptr() {
+        let (a, b) = (l.as_i() as u64, r.as_i() as u64);
+        match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    } else {
+        let (a, b) = (l.as_i(), r.as_i());
+        match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+fn eval_cast(kind: CastKind, to: &Type, v: RtVal) -> RtVal {
+    match kind {
+        CastKind::Zext => {
+            let bits = v.as_i();
+            // Zero-extension: mask by the source width is already encoded in
+            // the register value; clamp to destination width.
+            RtVal::I(truncate_to(to, bits))
+        }
+        CastKind::Sext | CastKind::Trunc => RtVal::I(truncate_to(to, v.as_i())),
+        CastKind::SiToF => RtVal::F(v.as_i() as f64),
+        CastKind::FToSi => RtVal::I(truncate_to(to, v.as_f() as i64)),
+        CastKind::PtrCast | CastKind::PtrToInt | CastKind::IntToPtr | CastKind::PtrZext => {
+            RtVal::I(v.as_i())
+        }
+    }
+}
+
+/// Decode a scalar value from memory bytes under `endian`.
+pub fn decode_scalar(bytes: &[u8], ty: &Type, endian: Endian) -> RtVal {
+    let read_u = |bytes: &[u8]| -> u64 {
+        let mut v: u64 = 0;
+        match endian {
+            Endian::Little => {
+                for (i, b) in bytes.iter().enumerate() {
+                    v |= (*b as u64) << (8 * i);
+                }
+            }
+            Endian::Big => {
+                for b in bytes {
+                    v = (v << 8) | *b as u64;
+                }
+            }
+        }
+        v
+    };
+    match ty {
+        Type::I8 => RtVal::I(bytes[0] as i8 as i64),
+        Type::I16 => RtVal::I(read_u(bytes) as u16 as i16 as i64),
+        Type::I32 => RtVal::I(read_u(bytes) as u32 as i32 as i64),
+        Type::I64 => RtVal::I(read_u(bytes) as i64),
+        Type::F64 => RtVal::F(f64::from_bits(read_u(bytes))),
+        Type::Ptr(_) | Type::Func(_) => RtVal::I(read_u(bytes) as i64),
+        other => panic!("cannot load aggregate {other} as a scalar"),
+    }
+}
+
+/// Encode a scalar value into memory bytes under `endian`.
+pub fn encode_scalar(v: RtVal, ty: &Type, endian: Endian, out: &mut [u8]) {
+    let bits: u64 = match ty {
+        Type::F64 => v.as_f().to_bits(),
+        _ => v.as_i() as u64,
+    };
+    match endian {
+        Endian::Little => {
+            for (i, b) in out.iter_mut().enumerate() {
+                *b = (bits >> (8 * i)) as u8;
+            }
+        }
+        Endian::Big => {
+            let n = out.len();
+            for (i, b) in out.iter_mut().enumerate() {
+                *b = (bits >> (8 * (n - 1 - i))) as u8;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip_little_endian() {
+        let mut buf = [0u8; 4];
+        encode_scalar(RtVal::I(-5), &Type::I32, Endian::Little, &mut buf);
+        assert_eq!(decode_scalar(&buf, &Type::I32, Endian::Little), RtVal::I(-5));
+    }
+
+    #[test]
+    fn endian_mismatch_corrupts_value() {
+        // The §3.2 motivation: same bytes, different endianness, wrong value.
+        let mut buf = [0u8; 4];
+        encode_scalar(RtVal::I(0x0102_0304), &Type::I32, Endian::Little, &mut buf);
+        let wrong = decode_scalar(&buf, &Type::I32, Endian::Big);
+        assert_eq!(wrong, RtVal::I(0x0403_0201));
+        // ...and ByteSwap repairs it, which is what the inserted
+        // translation code does.
+        let repaired = eval_un(UnOp::ByteSwap, &Type::I32, wrong);
+        assert_eq!(repaired, RtVal::I(0x0102_0304));
+    }
+
+    #[test]
+    fn f64_roundtrip_both_endians() {
+        for endian in [Endian::Little, Endian::Big] {
+            let mut buf = [0u8; 8];
+            encode_scalar(RtVal::F(3.25), &Type::F64, endian, &mut buf);
+            assert_eq!(decode_scalar(&buf, &Type::F64, endian), RtVal::F(3.25));
+        }
+    }
+
+    #[test]
+    fn truncation_semantics() {
+        assert_eq!(truncate_to(&Type::I8, 0x1FF), -1);
+        assert_eq!(truncate_to(&Type::I16, 0x1_0005), 5);
+        assert_eq!(truncate_to(&Type::I32, -1), -1);
+    }
+
+    #[test]
+    fn cmp_pointers_unsigned() {
+        let high = RtVal::I(0x9000_0000u32 as i32 as i64); // negative as i64
+        let low = RtVal::I(0x1000);
+        let ty = Type::I8.ptr_to();
+        // Unsigned pointer comparison must order low < high even though the
+        // sign bit is set.
+        let high_u = RtVal::I(high.as_i() as u32 as i64);
+        assert!(eval_cmp(CmpOp::Lt, &ty, low, high_u));
+    }
+
+    #[test]
+    fn byteswap_variants() {
+        assert_eq!(eval_un(UnOp::ByteSwap, &Type::I16, RtVal::I(0x0102)), RtVal::I(0x0201));
+        assert_eq!(
+            eval_un(UnOp::ByteSwap, &Type::I64, RtVal::I(1)),
+            RtVal::I(0x0100_0000_0000_0000)
+        );
+        assert_eq!(eval_un(UnOp::ByteSwap, &Type::I8, RtVal::I(7)), RtVal::I(7));
+    }
+}

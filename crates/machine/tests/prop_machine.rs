@@ -1,0 +1,129 @@
+//! Property tests for the machine substrate: paged memory, the heap
+//! allocator, scalar encode/decode and the power timeline. These carry
+//! the UVA protocol's correctness, so they are fuzzed rather than
+//! spot-checked.
+
+use offload_ir::{Endian, Type};
+use offload_machine::heap::HeapAllocator;
+use offload_machine::mem::{BackingPolicy, Memory};
+use offload_machine::power::{PowerSpec, PowerState, PowerTimeline};
+use offload_machine::vm::{decode_scalar, encode_scalar, RtVal};
+use proptest::prelude::*;
+
+proptest! {
+    /// Writes land exactly where they were put, for arbitrary (addr, data)
+    /// pairs including page-straddling spans.
+    #[test]
+    fn memory_write_read_roundtrip(
+        writes in prop::collection::vec((0u64..1_000_000, prop::collection::vec(any::<u8>(), 1..600)), 1..20)
+    ) {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        // Apply in order; later writes may overwrite earlier ones, so
+        // replay into a HashMap model.
+        let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for (addr, data) in &writes {
+            m.write(*addr, data).unwrap();
+            for (i, b) in data.iter().enumerate() {
+                model.insert(addr + i as u64, *b);
+            }
+        }
+        for (addr, data) in &writes {
+            let mut buf = vec![0u8; data.len()];
+            m.read(*addr, &mut buf).unwrap();
+            for (i, b) in buf.iter().enumerate() {
+                prop_assert_eq!(*b, *model.get(&(addr + i as u64)).unwrap());
+            }
+        }
+    }
+
+    /// Every page written is flagged dirty; untouched pages are not.
+    #[test]
+    fn dirty_pages_are_exactly_the_written_ones(pages in prop::collection::btree_set(0u64..200, 1..20)) {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        // Touch some pages read-only first.
+        let mut buf = [0u8; 1];
+        for p in 0u64..200 {
+            m.read(p * 4096, &mut buf).unwrap();
+        }
+        m.clear_dirty();
+        for p in &pages {
+            m.write(p * 4096 + 7, &[1]).unwrap();
+        }
+        let dirty: std::collections::BTreeSet<u64> = m.dirty_pages().collect();
+        prop_assert_eq!(dirty, pages);
+    }
+
+    /// Live heap allocations never overlap, stay in-arena, and freeing
+    /// everything returns the arena to empty.
+    #[test]
+    fn heap_allocations_disjoint(sizes in prop::collection::vec(1u64..5_000, 1..40)) {
+        let mut h = HeapAllocator::new(0x10000, 0x10000 + (1 << 20));
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let addr = h.alloc(*size).unwrap();
+            prop_assert!(addr >= h.base() && addr + size <= h.end());
+            for (a, s) in &live {
+                prop_assert!(addr + size <= *a || addr >= a + s, "overlap");
+            }
+            live.push((addr, *size));
+            // Free every third allocation as we go, exercising coalescing.
+            if i % 3 == 2 {
+                let (a, _) = live.remove(i / 3 % live.len().max(1));
+                h.free(a).unwrap();
+            }
+        }
+        for (a, _) in live {
+            h.free(a).unwrap();
+        }
+        prop_assert_eq!(h.bytes_in_use(), 0);
+        prop_assert_eq!(h.live_count(), 0);
+    }
+
+    /// Scalar encode/decode roundtrips for every type/endianness pair —
+    /// the §3.2 endianness translation rests on this being exact.
+    #[test]
+    fn scalar_roundtrip(v in any::<i64>(), f in any::<f64>()) {
+        for endian in [Endian::Little, Endian::Big] {
+            for (ty, val) in [
+                (Type::I8, RtVal::I(v as i8 as i64)),
+                (Type::I16, RtVal::I(v as i16 as i64)),
+                (Type::I32, RtVal::I(v as i32 as i64)),
+                (Type::I64, RtVal::I(v)),
+            ] {
+                let size = match ty { Type::I8 => 1, Type::I16 => 2, Type::I32 => 4, _ => 8 };
+                let mut buf = [0u8; 8];
+                encode_scalar(val, &ty, endian, &mut buf[..size]);
+                prop_assert_eq!(decode_scalar(&buf[..size], &ty, endian), val);
+            }
+            if !f.is_nan() {
+                let mut buf = [0u8; 8];
+                encode_scalar(RtVal::F(f), &Type::F64, endian, &mut buf);
+                prop_assert_eq!(decode_scalar(&buf, &Type::F64, endian), RtVal::F(f));
+            }
+        }
+    }
+
+    /// Timeline energy equals the sum of state power × duration, and the
+    /// total length equals the sum of durations (merging included).
+    #[test]
+    fn timeline_energy_is_additive(intervals in prop::collection::vec((0u8..5, 0.0f64..10.0), 1..30)) {
+        let spec = PowerSpec::galaxy_s5();
+        let mut tl = PowerTimeline::new();
+        let mut expect_energy = 0.0;
+        let mut expect_len = 0.0;
+        for (s, d) in &intervals {
+            let state = match s {
+                0 => PowerState::Idle,
+                1 => PowerState::Compute,
+                2 => PowerState::Waiting,
+                3 => PowerState::Receive,
+                _ => PowerState::Transmit,
+            };
+            tl.push(state, *d);
+            expect_energy += spec.draw_mw(state) * d;
+            expect_len += d;
+        }
+        prop_assert!((tl.energy_mj(&spec) - expect_energy).abs() < 1e-6);
+        prop_assert!((tl.total_seconds() - expect_len).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,177 @@
+//! VM edge cases: the failure modes the offload machinery is built
+//! around — cross-device function pointers, external calls, machine-
+//! specific refusals — exercised at the machine level.
+
+use offload_ir::builder::FunctionBuilder;
+use offload_ir::{Builtin, ConstValue, Module, TargetAbi, Type};
+use offload_machine::host::LocalHost;
+use offload_machine::loader;
+use offload_machine::target::TargetSpec;
+use offload_machine::vm::{Host, HostCtx, RtVal, StackBank, Vm, VmError};
+
+fn unified() -> offload_ir::DataLayout {
+    TargetAbi::MobileArm32.data_layout()
+}
+
+/// A module whose main calls `target` through a function pointer.
+fn indirect_module() -> (Module, offload_ir::FuncId) {
+    let mut m = Module::new("t");
+    let target = m.declare_function("target", vec![], Type::I32);
+    {
+        let mut b = FunctionBuilder::new(&mut m, target);
+        let v = b.const_i32(7);
+        b.ret(Some(v));
+        b.finish();
+    }
+    let main = m.declare_function("main", vec![], Type::I32);
+    {
+        let mut b = FunctionBuilder::new(&mut m, main);
+        let fp = b.const_value(ConstValue::FuncAddr(target));
+        let r = b.call_indirect(fp, Type::I32, vec![]).expect("i32");
+        b.ret(Some(r));
+        b.finish();
+    }
+    m.entry = Some(main);
+    (m, target)
+}
+
+#[test]
+fn same_device_function_pointer_resolves() {
+    let (m, _) = indirect_module();
+    let spec = TargetSpec::galaxy_s5();
+    let image = loader::load(&m, &unified()).unwrap();
+    let mut vm = Vm::new(&m, &spec, image, StackBank::Mobile);
+    let mut host = LocalHost::new();
+    assert_eq!(vm.run_entry(&mut host).unwrap(), Some(RtVal::I(7)));
+}
+
+#[test]
+fn cross_device_function_pointer_faults() {
+    // The §3.4 problem, mechanically: a program that loads a function
+    // pointer out of a *global table* gets the table-owner's (mobile)
+    // stub addresses; on the server bank they do not resolve — exactly
+    // why the compiler inserts fn_map_to_local.
+    let m = offload_minic::compile(
+        "int seven() { return 7; }\n\
+         int (*table[1])() = { seven };\n\
+         int main() { int (*f)() = table[0]; return f(); }",
+        "t",
+    )
+    .unwrap();
+    let spec = TargetSpec::xps_8700();
+    // Image with mobile-resolved function-pointer initializers, executed
+    // on the server bank.
+    let image = loader::load(&m, &unified()).unwrap();
+    let mut vm = Vm::new(&m, &spec, image, StackBank::Server);
+    let err = vm.run_entry(&mut LocalHost::new()).unwrap_err();
+    assert!(matches!(err, VmError::BadFunctionPointer { .. }), "{err}");
+
+    // The same image resolved for the server bank works.
+    let image = loader::load_for_server(&m, &unified()).unwrap();
+    let mut vm = Vm::new(&m, &spec, image, StackBank::Server);
+    assert_eq!(vm.run_entry(&mut LocalHost::new()).unwrap(), Some(RtVal::I(7)));
+}
+
+#[test]
+fn call_to_external_declaration_errors() {
+    let mut m = Module::new("t");
+    let ext = m.declare_function("mystery", vec![], Type::Void);
+    let main = m.declare_function("main", vec![], Type::I32);
+    {
+        let mut b = FunctionBuilder::new(&mut m, main);
+        b.call(ext, vec![]);
+        let v = b.const_i32(0);
+        b.ret(Some(v));
+        b.finish();
+    }
+    m.entry = Some(main);
+    let spec = TargetSpec::galaxy_s5();
+    let image = loader::load(&m, &unified()).unwrap();
+    let mut vm = Vm::new(&m, &spec, image, StackBank::Mobile);
+    let err = vm.run_entry(&mut LocalHost::new()).unwrap_err();
+    assert!(matches!(err, VmError::UnknownExternal { name } if name == "mystery"));
+}
+
+#[test]
+fn deep_recursion_without_allocas_is_bounded() {
+    let m = offload_minic::compile(
+        "int down(int n) { if (n <= 0) return 0; return down(n - 1); } \
+         int main() { return down(100000); }",
+        "t",
+    )
+    .unwrap();
+    let spec = TargetSpec::galaxy_s5();
+    let image = loader::load(&m, &unified()).unwrap();
+    let mut vm = Vm::new(&m, &spec, image, StackBank::Mobile);
+    vm.set_fuel(50_000_000);
+    let err = vm.run_entry(&mut LocalHost::new()).unwrap_err();
+    assert_eq!(err, VmError::StackOverflow);
+}
+
+#[test]
+fn server_style_host_refuses_machine_specific_ops() {
+    // A host refusing syscalls/asm, as the offload runtime's ServerBridge
+    // does: the VM surfaces MachineSpecific.
+    struct Refusing(LocalHost);
+    impl Host for Refusing {
+        fn page_fault(&mut self, page: u64, ctx: &mut HostCtx<'_>) -> Result<(), VmError> {
+            self.0.page_fault(page, ctx)
+        }
+        fn builtin(
+            &mut self,
+            b: Builtin,
+            args: &[RtVal],
+            ctx: &mut HostCtx<'_>,
+        ) -> Result<Option<RtVal>, VmError> {
+            self.0.builtin(b, args, ctx)
+        }
+        fn syscall(&mut self, number: u32, _: &[RtVal], _: &mut HostCtx<'_>) -> Result<RtVal, VmError> {
+            Err(VmError::MachineSpecific { what: format!("syscall {number}") })
+        }
+        fn inline_asm(&mut self, text: &str, _: &mut HostCtx<'_>) -> Result<(), VmError> {
+            Err(VmError::MachineSpecific { what: text.to_string() })
+        }
+    }
+
+    let m = offload_minic::compile("int main() { asm(\"wfi\"); return 0; }", "t").unwrap();
+    let spec = TargetSpec::xps_8700();
+    let image = loader::load(&m, &unified()).unwrap();
+    let mut vm = Vm::new(&m, &spec, image, StackBank::Server);
+    let err = vm.run_entry(&mut Refusing(LocalHost::new())).unwrap_err();
+    assert!(matches!(err, VmError::MachineSpecific { .. }));
+
+    let m2 = offload_minic::compile("int main() { return (int)syscall(9); }", "t").unwrap();
+    let image = loader::load(&m2, &unified()).unwrap();
+    let mut vm = Vm::new(&m2, &spec, image, StackBank::Server);
+    let err = vm.run_entry(&mut Refusing(LocalHost::new())).unwrap_err();
+    assert!(matches!(err, VmError::MachineSpecific { .. }));
+}
+
+#[test]
+fn exit_codes_propagate_through_nested_calls() {
+    let m = offload_minic::compile(
+        "void deep(int n) { if (n == 0) exit(42); deep(n - 1); } \
+         int main() { deep(10); return 0; }",
+        "t",
+    )
+    .unwrap();
+    let spec = TargetSpec::galaxy_s5();
+    let image = loader::load(&m, &unified()).unwrap();
+    let mut vm = Vm::new(&m, &spec, image, StackBank::Mobile);
+    assert_eq!(vm.run_entry(&mut LocalHost::new()).unwrap(), Some(RtVal::I(42)));
+}
+
+#[test]
+fn fuel_is_shared_across_calls() {
+    let m = offload_minic::compile(
+        "int spin(int n) { int i; int a = 0; for (i = 0; i < n; i++) a += i; return a; } \
+         int main() { int t = 0; int k; for (k = 0; k < 100; k++) t += spin(10000); return t % 7; }",
+        "t",
+    )
+    .unwrap();
+    let spec = TargetSpec::galaxy_s5();
+    let image = loader::load(&m, &unified()).unwrap();
+    let mut vm = Vm::new(&m, &spec, image, StackBank::Mobile);
+    vm.set_fuel(50_000);
+    assert_eq!(vm.run_entry(&mut LocalHost::new()).unwrap_err(), VmError::FuelExhausted);
+}

@@ -1,0 +1,294 @@
+//! Abstract syntax tree for MiniC.
+
+/// A syntactic type expression (resolved to IR types during lowering).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExpr {
+    /// `void`
+    Void,
+    /// `char`
+    Char,
+    /// `short`
+    Short,
+    /// `int`
+    Int,
+    /// `long` (64-bit in MiniC)
+    Long,
+    /// `double`
+    Double,
+    /// `struct Name`
+    Struct(String),
+    /// A typedef name.
+    Named(String),
+    /// Pointer.
+    Ptr(Box<TypeExpr>),
+    /// Fixed-size array.
+    Array(Box<TypeExpr>, usize),
+    /// Function pointer: `ret (*)(params)`.
+    FnPtr {
+        /// Return type.
+        ret: Box<TypeExpr>,
+        /// Parameter types.
+        params: Vec<TypeExpr>,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    LogicalNot,
+    /// `~x`
+    BitNot,
+    /// `*x`
+    Deref,
+    /// `&x`
+    AddrOf,
+    /// `++x`
+    PreInc,
+    /// `--x`
+    PreDec,
+    /// `x++`
+    PostInc,
+    /// `x--`
+    PostDec,
+}
+
+/// Binary operators (excluding assignment and short-circuit logic, which
+/// have dedicated expression forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// 1-based source line.
+    pub line: u32,
+    /// The expression itself.
+    pub kind: ExprKind,
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Variable or function reference.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&`.
+    LogicalAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    LogicalOr(Box<Expr>, Box<Expr>),
+    /// Assignment; `op` is `Some` for compound forms like `+=`.
+    Assign {
+        /// Compound operator, if any.
+        op: Option<BinaryOp>,
+        /// Assignee (lvalue).
+        lhs: Box<Expr>,
+        /// Value.
+        rhs: Box<Expr>,
+    },
+    /// `cond ? a : b`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function call (direct or through a pointer).
+    Call {
+        /// Callee expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `base[index]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.field` or `base->field`.
+    Member {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// `true` for `->`.
+        arrow: bool,
+    },
+    /// `(T)expr`
+    Cast(TypeExpr, Box<Expr>),
+    /// `sizeof(T)`
+    SizeofType(TypeExpr),
+    /// `{ a, b, c }` — only valid as an initializer.
+    InitList(Vec<Expr>),
+    /// `syscall(n, args...)` — machine-specific marker.
+    Syscall(Vec<Expr>),
+}
+
+/// A statement with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// 1-based source line.
+    pub line: u32,
+    /// The statement itself.
+    pub kind: StmtKind,
+}
+
+/// Statement variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// Local declaration.
+    Decl {
+        /// Declared type.
+        ty: TypeExpr,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Box<Stmt>,
+        /// Else branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `while`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `do { } while (cond);`
+    DoWhile {
+        /// Body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step)`.
+    For {
+        /// Init clause (declaration or expression).
+        init: Option<Box<Stmt>>,
+        /// Condition (defaults to true).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `asm("...");` — machine-specific marker (§3.1).
+    Asm(String),
+    /// `switch` with C semantics (fallthrough between cases, `break`
+    /// exits).
+    Switch {
+        /// Scrutinee expression.
+        scrutinee: Expr,
+        /// `(label value, statements)` per `case`, in source order.
+        cases: Vec<(i64, Vec<Stmt>)>,
+        /// `default:` statements, if present (position: after all cases).
+        default: Option<Vec<Stmt>>,
+    },
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// Struct definition.
+    Struct {
+        /// Struct name.
+        name: String,
+        /// Fields: `(type, name)`.
+        fields: Vec<(TypeExpr, String)>,
+        /// Source line.
+        line: u32,
+    },
+    /// `typedef T Name;`
+    Typedef {
+        /// New name.
+        name: String,
+        /// Aliased type.
+        ty: TypeExpr,
+        /// Source line.
+        line: u32,
+    },
+    /// Global variable.
+    Global {
+        /// Declared type.
+        ty: TypeExpr,
+        /// Variable name.
+        name: String,
+        /// Optional constant initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Function definition or declaration.
+    Function {
+        /// Return type.
+        ret: TypeExpr,
+        /// Function name.
+        name: String,
+        /// Parameters: `(type, name)`.
+        params: Vec<(TypeExpr, String)>,
+        /// Body (`None` for a prototype).
+        body: Option<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Unit {
+    /// Top-level declarations in source order.
+    pub decls: Vec<Decl>,
+}

@@ -1,0 +1,67 @@
+//! Compile errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// The phase in which compilation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic analysis / IR lowering.
+    Sema,
+}
+
+/// A MiniC compilation error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Failing phase.
+    pub phase: Phase,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Construct a lexer error.
+    pub fn lex(line: u32, message: impl Into<String>) -> Self {
+        CompileError { phase: Phase::Lex, line, message: message.into() }
+    }
+
+    /// Construct a parser error.
+    pub fn parse(line: u32, message: impl Into<String>) -> Self {
+        CompileError { phase: Phase::Parse, line, message: message.into() }
+    }
+
+    /// Construct a semantic error.
+    pub fn sema(line: u32, message: impl Into<String>) -> Self {
+        CompileError { phase: Phase::Sema, line, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "semantic",
+        };
+        write!(f, "{phase} error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_line() {
+        let e = CompileError::parse(7, "expected ';'");
+        assert_eq!(e.to_string(), "parse error at line 7: expected ';'");
+    }
+}

@@ -1,0 +1,441 @@
+//! Hand-written lexer for MiniC.
+
+use crate::error::CompileError;
+use crate::token::{Spanned, Tok};
+
+/// Tokenize `source`.
+///
+/// Handles `//` and `/* */` comments, decimal/hex integers, floats, char
+/// constants and string literals with the usual C escapes.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unterminated literals/comments or stray
+/// characters.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
+    Lexer { chars: source.chars().collect(), pos: 0, line: 1 }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer {
+    fn run(mut self) -> Result<Vec<Spanned>, CompileError> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek() {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.bump();
+                }
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '/' if self.peek_at(1) == Some('*') => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => return Err(CompileError::lex(start, "unterminated comment")),
+                            Some('*') if self.peek_at(1) == Some('/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some('\n') => {
+                                self.line += 1;
+                                self.bump();
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                '#' => {
+                    // Preprocessor-looking lines (e.g. `#include`) are
+                    // skipped so pasted C headers don't break tests.
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                c if c.is_ascii_digit() => out.push(self.number()?),
+                c if c.is_ascii_alphabetic() || c == '_' => out.push(self.ident()),
+                '"' => out.push(self.string()?),
+                '\'' => out.push(self.char_const()?),
+                _ => out.push(self.punct()?),
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.chars.get(self.pos + n).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn spanned(&self, tok: Tok) -> Spanned {
+        Spanned { tok, line: self.line }
+    }
+
+    fn number(&mut self) -> Result<Spanned, CompileError> {
+        let mut text = String::new();
+        if self.peek() == Some('0') && matches!(self.peek_at(1), Some('x') | Some('X')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let v = i64::from_str_radix(&text, 16)
+                .map_err(|_| CompileError::lex(self.line, format!("bad hex literal 0x{text}")))?;
+            return Ok(self.spanned(Tok::Int(v)));
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) && !is_float {
+                is_float = true;
+                text.push(c);
+                self.bump();
+            } else if (c == 'e' || c == 'E')
+                && matches!(self.peek_at(1), Some(d) if d.is_ascii_digit() || d == '-' || d == '+')
+            {
+                is_float = true;
+                text.push(c);
+                self.bump();
+                if matches!(self.peek(), Some('-') | Some('+')) {
+                    text.push(self.bump().unwrap());
+                }
+            } else {
+                break;
+            }
+        }
+        // Integer suffixes are accepted and ignored.
+        while matches!(self.peek(), Some('l') | Some('L') | Some('u') | Some('U')) {
+            self.bump();
+        }
+        if is_float {
+            let v = text
+                .parse::<f64>()
+                .map_err(|_| CompileError::lex(self.line, format!("bad float literal {text}")))?;
+            Ok(self.spanned(Tok::Float(v)))
+        } else {
+            let v = text
+                .parse::<i64>()
+                .map_err(|_| CompileError::lex(self.line, format!("bad int literal {text}")))?;
+            Ok(self.spanned(Tok::Int(v)))
+        }
+    }
+
+    fn ident(&mut self) -> Spanned {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let tok = match text.as_str() {
+            "void" => Tok::Void,
+            "char" => Tok::Char,
+            "short" => Tok::Short,
+            "int" => Tok::Kint,
+            "long" => Tok::Long,
+            "double" => Tok::Double,
+            "float" => Tok::Double, // MiniC folds float into double
+            "struct" => Tok::Struct,
+            "typedef" => Tok::Typedef,
+            "if" => Tok::If,
+            "else" => Tok::Else,
+            "while" => Tok::While,
+            "do" => Tok::Do,
+            "for" => Tok::For,
+            "return" => Tok::Return,
+            "break" => Tok::Break,
+            "continue" => Tok::Continue,
+            "sizeof" => Tok::Sizeof,
+            "asm" => Tok::Asm,
+            "switch" => Tok::Switch,
+            "case" => Tok::Case,
+            "default" => Tok::Default,
+            "unsigned" => Tok::Unsigned,
+            "const" => Tok::Const,
+            "static" => Tok::Static,
+            _ => Tok::Ident(text),
+        };
+        self.spanned(tok)
+    }
+
+    fn escape(&mut self, quote: char) -> Result<char, CompileError> {
+        match self.bump() {
+            Some('n') => Ok('\n'),
+            Some('t') => Ok('\t'),
+            Some('r') => Ok('\r'),
+            Some('0') => Ok('\0'),
+            Some('\\') => Ok('\\'),
+            Some(c) if c == quote => Ok(c),
+            Some(c) => Err(CompileError::lex(self.line, format!("unknown escape \\{c}"))),
+            None => Err(CompileError::lex(self.line, "unterminated escape")),
+        }
+    }
+
+    fn string(&mut self) -> Result<Spanned, CompileError> {
+        let start = self.line;
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(CompileError::lex(start, "unterminated string")),
+                Some('"') => break,
+                Some('\\') => text.push(self.escape('"')?),
+                Some('\n') => return Err(CompileError::lex(start, "newline in string")),
+                Some(c) => text.push(c),
+            }
+        }
+        Ok(self.spanned(Tok::Str(text)))
+    }
+
+    fn char_const(&mut self) -> Result<Spanned, CompileError> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            None => return Err(CompileError::lex(self.line, "unterminated char constant")),
+            Some('\\') => self.escape('\'')?,
+            Some(c) => c,
+        };
+        if self.bump() != Some('\'') {
+            return Err(CompileError::lex(self.line, "char constant too long"));
+        }
+        Ok(self.spanned(Tok::Int(c as i64)))
+    }
+
+    fn punct(&mut self) -> Result<Spanned, CompileError> {
+        let c = self.bump().expect("caller checked");
+        let two = |l: &mut Lexer, next: char, a: Tok, b: Tok| {
+            if l.peek() == Some(next) {
+                l.bump();
+                a
+            } else {
+                b
+            }
+        };
+        let tok = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            ';' => Tok::Semi,
+            ',' => Tok::Comma,
+            '.' => Tok::Dot,
+            '~' => Tok::Tilde,
+            '?' => Tok::Question,
+            ':' => Tok::Colon,
+            '+' => match self.peek() {
+                Some('+') => {
+                    self.bump();
+                    Tok::PlusPlus
+                }
+                Some('=') => {
+                    self.bump();
+                    Tok::PlusAssign
+                }
+                _ => Tok::Plus,
+            },
+            '-' => match self.peek() {
+                Some('-') => {
+                    self.bump();
+                    Tok::MinusMinus
+                }
+                Some('=') => {
+                    self.bump();
+                    Tok::MinusAssign
+                }
+                Some('>') => {
+                    self.bump();
+                    Tok::Arrow
+                }
+                _ => Tok::Minus,
+            },
+            '*' => two(self, '=', Tok::StarAssign, Tok::Star),
+            '/' => two(self, '=', Tok::SlashAssign, Tok::Slash),
+            '%' => two(self, '=', Tok::PercentAssign, Tok::Percent),
+            '^' => two(self, '=', Tok::CaretAssign, Tok::Caret),
+            '!' => two(self, '=', Tok::NotEq, Tok::Bang),
+            '=' => two(self, '=', Tok::EqEq, Tok::Assign),
+            '&' => match self.peek() {
+                Some('&') => {
+                    self.bump();
+                    Tok::AndAnd
+                }
+                Some('=') => {
+                    self.bump();
+                    Tok::AmpAssign
+                }
+                _ => Tok::Amp,
+            },
+            '|' => match self.peek() {
+                Some('|') => {
+                    self.bump();
+                    Tok::OrOr
+                }
+                Some('=') => {
+                    self.bump();
+                    Tok::PipeAssign
+                }
+                _ => Tok::Pipe,
+            },
+            '<' => match self.peek() {
+                Some('<') => {
+                    self.bump();
+                    two(self, '=', Tok::ShlAssign, Tok::Shl)
+                }
+                Some('=') => {
+                    self.bump();
+                    Tok::Le
+                }
+                _ => Tok::Lt,
+            },
+            '>' => match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    two(self, '=', Tok::ShrAssign, Tok::Shr)
+                }
+                Some('=') => {
+                    self.bump();
+                    Tok::Ge
+                }
+                _ => Tok::Gt,
+            },
+            other => return Err(CompileError::lex(self.line, format!("stray character {other:?}"))),
+        };
+        Ok(self.spanned(tok))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int foo while_ _bar"),
+            vec![
+                Tok::Kint,
+                Tok::Ident("foo".into()),
+                Tok::Ident("while_".into()),
+                Tok::Ident("_bar".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 0x1F 3.5 1e3 2.5e-2 7L 3u"),
+            vec![
+                Tok::Int(42),
+                Tok::Int(31),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.025),
+                Tok::Int(7),
+                Tok::Int(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(
+            toks(r#""a\nb" 'x' '\n' '\0'"#),
+            vec![Tok::Str("a\nb".into()), Tok::Int(120), Tok::Int(10), Tok::Int(0)]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a += b-- << 1 && c->d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::PlusAssign,
+                Tok::Ident("b".into()),
+                Tok::MinusMinus,
+                Tok::Shl,
+                Tok::Int(1),
+                Tok::AndAnd,
+                Tok::Ident("c".into()),
+                Tok::Arrow,
+                Tok::Ident("d".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_are_skipped() {
+        assert_eq!(
+            toks("#include <stdio.h>\nint /* c */ x; // end\ny"),
+            vec![Tok::Kint, Tok::Ident("x".into()), Tok::Semi, Tok::Ident("y".into())]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("$").is_err());
+        assert!(lex("'ab'").is_err());
+    }
+
+    #[test]
+    fn float_folds_to_double() {
+        assert_eq!(toks("float"), vec![Tok::Double]);
+    }
+}

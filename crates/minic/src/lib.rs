@@ -1,0 +1,70 @@
+//! MiniC — the front-end of the Native Offloader reproduction.
+//!
+//! The paper's prototype compiles C with clang and partitions at LLVM IR
+//! level (§2, Fig. 1): "since IR codes are independent from source code
+//! languages and target machines, the IR level partitioning allows Native
+//! Offloader to easily enlarge its source language and target machine
+//! applicability." This crate plays the clang role for a C subset rich
+//! enough to express the paper's workloads:
+//!
+//! * scalars `char`, `short`, `int`, `long` (64-bit), `double`, `void`
+//! * pointers, fixed-size arrays, `struct`s, `typedef`
+//! * function pointers (including arrays of them — the `evals` table of
+//!   Fig. 3 and the `commands`/`evalRoutines` tables of §5.1)
+//! * full expression and statement grammar of everyday C (including
+//!   `for`/`while`/`do`, `++`/`--`, compound assignment, ternary,
+//!   short-circuit logic, casts, `sizeof`)
+//! * the libc-flavoured builtins the VM implements (`malloc`, `printf`,
+//!   `scanf`, `fopen`/`fread`/..., math), plus `asm("...")` and
+//!   `syscall(n, ...)` so tests can mark regions machine specific
+//!
+//! # Example
+//!
+//! ```
+//! let module = offload_minic::compile(
+//!     "int add(int a, int b) { return a + b; }\n\
+//!      int main() { return add(2, 3); }",
+//!     "demo",
+//! )?;
+//! assert!(module.function_by_name("add").is_some());
+//! # Ok::<(), offload_minic::CompileError>(())
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use error::CompileError;
+
+use offload_ir::Module;
+
+/// Compile MiniC source text into an IR [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] carrying the source line on lexical, syntax
+/// or semantic errors.
+pub fn compile(source: &str, module_name: &str) -> Result<Module, CompileError> {
+    let tokens = lexer::lex(source)?;
+    let unit = parser::parse(tokens)?;
+    lower::lower(&unit, module_name)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compile_hello() {
+        let m = super::compile(r#"int main() { printf("hi\n"); return 0; }"#, "hello").unwrap();
+        assert!(m.entry.is_some());
+        assert!(offload_ir::verify::verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn error_carries_line() {
+        let err = super::compile("int main() { return }", "bad").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+}

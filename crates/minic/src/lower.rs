@@ -1,0 +1,1729 @@
+//! Semantic analysis and lowering of the AST to IR.
+//!
+//! Lowering follows the clang -O0 style the offload passes expect: every
+//! local lives in an [`offload_ir::Inst::Alloca`] slot hoisted
+//! to the entry block, expressions produce virtual registers, and there is
+//! no `phi`. `sizeof` and struct copies are resolved against the **mobile
+//! data layout** ([`TargetAbi::MobileArm32`]) — the unified standard layout
+//! of §3.2, which both partitions execute under.
+//!
+//! Functions returning aggregates use a hidden struct-return pointer
+//! parameter (sret), so `Move getAITurn()` from the paper's Fig. 3 lowers
+//! cleanly. Aggregates are passed by pointer, never by value.
+
+use std::collections::HashMap;
+
+use offload_ir::builder::FunctionBuilder;
+use offload_ir::module::GlobalInit;
+use offload_ir::types::FuncSig;
+use offload_ir::{
+    BinOp, Builtin, CastKind, CmpOp, ConstValue, DataLayout, FuncId, GlobalId, Inst, Module,
+    StructDef, StructId, TargetAbi, Type, UnOp, ValueId,
+};
+
+use crate::ast::*;
+use crate::error::CompileError;
+
+/// Lower a parsed [`Unit`] into an IR [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on semantic errors (unknown names, type
+/// mismatches, invalid initializers).
+pub fn lower(unit: &Unit, module_name: &str) -> Result<Module, CompileError> {
+    let mut module = Module::new(module_name);
+    let mut data = CtxData {
+        layout: TargetAbi::MobileArm32.data_layout(),
+        structs: HashMap::new(),
+        struct_fields: HashMap::new(),
+        typedefs: HashMap::new(),
+        globals: HashMap::new(),
+        functions: HashMap::new(),
+        strings: HashMap::new(),
+    };
+    declare_all(&mut module, &mut data, unit)?;
+    for decl in &unit.decls {
+        if let Decl::Function { name, params, body: Some(body), line, .. } = decl {
+            let info = data.functions.get(name).cloned().expect("declared in pass 1");
+            if !module.function(info.id).is_declaration() {
+                return Err(CompileError::sema(*line, format!("function {name} redefined")));
+            }
+            let param_names: Vec<String> = params.iter().map(|(_, n)| n.clone()).collect();
+            FnLower::run(&mut module, &mut data, info, param_names, body)?;
+        }
+    }
+    if let Some(main) = module.function_by_name("main") {
+        module.entry = Some(main);
+    }
+    Ok(module)
+}
+
+/// Signature info for a function, including the sret rewrite.
+#[derive(Debug, Clone)]
+struct FnInfo {
+    id: FuncId,
+    /// Source-level return type (may be an aggregate).
+    src_ret: Type,
+    /// Source-level parameter types.
+    src_params: Vec<Type>,
+    /// `true` if the aggregate return was rewritten to a hidden pointer.
+    sret: bool,
+}
+
+/// Name tables shared across the two passes (kept separate from the
+/// [`Module`] so a [`FunctionBuilder`] can borrow the module while these
+/// stay accessible).
+struct CtxData {
+    layout: DataLayout,
+    structs: HashMap<String, StructId>,
+    struct_fields: HashMap<StructId, Vec<String>>,
+    typedefs: HashMap<String, Type>,
+    globals: HashMap<String, (GlobalId, Type)>,
+    functions: HashMap<String, FnInfo>,
+    strings: HashMap<String, GlobalId>,
+}
+
+impl CtxData {
+    fn resolve_type(&self, te: &TypeExpr, line: u32) -> Result<Type, CompileError> {
+        Ok(match te {
+            TypeExpr::Void => Type::Void,
+            TypeExpr::Char => Type::I8,
+            TypeExpr::Short => Type::I16,
+            TypeExpr::Int => Type::I32,
+            TypeExpr::Long => Type::I64,
+            TypeExpr::Double => Type::F64,
+            TypeExpr::Struct(name) => Type::Struct(
+                *self
+                    .structs
+                    .get(name)
+                    .ok_or_else(|| CompileError::sema(line, format!("unknown struct {name}")))?,
+            ),
+            TypeExpr::Named(name) => self
+                .typedefs
+                .get(name)
+                .cloned()
+                .ok_or_else(|| CompileError::sema(line, format!("unknown type {name}")))?,
+            TypeExpr::Ptr(inner) => self.resolve_type(inner, line)?.ptr_to(),
+            TypeExpr::Array(inner, len) => self.resolve_type(inner, line)?.array_of(*len),
+            TypeExpr::FnPtr { ret, params } => {
+                let sig = FuncSig {
+                    ret: self.resolve_type(ret, line)?,
+                    params: params
+                        .iter()
+                        .map(|p| self.resolve_type(p, line))
+                        .collect::<Result<_, _>>()?,
+                };
+                Type::Func(Box::new(sig)).ptr_to()
+            }
+        })
+    }
+
+    fn field_index(&self, sid: StructId, field: &str) -> Option<usize> {
+        self.struct_fields.get(&sid)?.iter().position(|f| f == field)
+    }
+}
+
+fn intern_string(module: &mut Module, data: &mut CtxData, s: &str) -> GlobalId {
+    if let Some(id) = data.strings.get(s) {
+        return *id;
+    }
+    let mut bytes = s.as_bytes().to_vec();
+    bytes.push(0);
+    let id = module.define_global(
+        format!(".str{}", data.strings.len()),
+        Type::I8.array_of(bytes.len()),
+        GlobalInit::Bytes(bytes),
+    );
+    data.strings.insert(s.to_string(), id);
+    id
+}
+
+// ----- pass 1: declarations ------------------------------------------------
+
+fn declare_all(module: &mut Module, data: &mut CtxData, unit: &Unit) -> Result<(), CompileError> {
+    // Struct names first (bodies empty), so self-referential structs like
+    // `struct Node { ...; struct Node *next; }` resolve.
+    for decl in &unit.decls {
+        if let Decl::Struct { name, fields, line } = decl {
+            let id = module.define_struct(StructDef { name: name.clone(), fields: Vec::new() });
+            if data.structs.insert(name.clone(), id).is_some() {
+                return Err(CompileError::sema(*line, format!("struct {name} redefined")));
+            }
+            data.struct_fields
+                .insert(id, fields.iter().map(|(_, n)| n.clone()).collect());
+        }
+    }
+    for decl in &unit.decls {
+        match decl {
+            Decl::Struct { name, fields, line } => {
+                let tys = fields
+                    .iter()
+                    .map(|(t, _)| data.resolve_type(t, *line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let id = data.structs[name.as_str()];
+                module.set_struct_fields(id, tys);
+            }
+            Decl::Typedef { name, ty, line } => {
+                let t = data.resolve_type(ty, *line)?;
+                data.typedefs.insert(name.clone(), t);
+            }
+            _ => {}
+        }
+    }
+    // Function signatures before globals, so function-pointer tables in
+    // global initializers resolve; then globals in order.
+    for decl in &unit.decls {
+        if let Decl::Function { ret, name, params, line, .. } = decl {
+            if data.functions.contains_key(name) {
+                continue;
+            }
+            let src_ret = data.resolve_type(ret, *line)?;
+            let src_params = params
+                .iter()
+                .map(|(t, _)| data.resolve_type(t, *line))
+                .collect::<Result<Vec<_>, _>>()?;
+            let sret = !src_ret.is_register() && src_ret != Type::Void;
+            let mut ir_params = Vec::new();
+            if sret {
+                ir_params.push(src_ret.clone().ptr_to());
+            }
+            ir_params.extend(src_params.iter().cloned());
+            let ir_ret = if sret { Type::Void } else { src_ret.clone() };
+            let id = module.declare_function(name.clone(), ir_params, ir_ret);
+            data.functions
+                .insert(name.clone(), FnInfo { id, src_ret, src_params, sret });
+        }
+    }
+    for decl in &unit.decls {
+        if let Decl::Global { ty, name, init, line } = decl {
+            let t = data.resolve_type(ty, *line)?;
+            let ginit = match init {
+                None => GlobalInit::Zeroed,
+                Some(e) => const_init(module, data, &t, e)?,
+            };
+            let id = module.define_global(name.clone(), t.clone(), ginit);
+            if data.globals.insert(name.clone(), (id, t)).is_some() {
+                return Err(CompileError::sema(*line, format!("global {name} redefined")));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn const_init(
+    module: &mut Module,
+    data: &mut CtxData,
+    ty: &Type,
+    e: &Expr,
+) -> Result<GlobalInit, CompileError> {
+    let mut out = Vec::new();
+    flatten_init(module, data, ty, e, &mut out)?;
+    Ok(GlobalInit::Scalars(out))
+}
+
+fn flatten_init(
+    module: &mut Module,
+    data: &mut CtxData,
+    ty: &Type,
+    e: &Expr,
+    out: &mut Vec<ConstValue>,
+) -> Result<(), CompileError> {
+    match ty {
+        Type::Array(elem, len) => {
+            if let (ExprKind::Str(s), Type::I8) = (&e.kind, &**elem) {
+                let bytes = s.as_bytes();
+                if bytes.len() >= *len {
+                    return Err(CompileError::sema(e.line, "string longer than array"));
+                }
+                for i in 0..*len {
+                    out.push(ConstValue::I8(bytes.get(i).copied().unwrap_or(0) as i8));
+                }
+                return Ok(());
+            }
+            let ExprKind::InitList(items) = &e.kind else {
+                return Err(CompileError::sema(e.line, "array initializer must be a list"));
+            };
+            if items.len() > *len {
+                return Err(CompileError::sema(e.line, "too many initializers"));
+            }
+            for item in items {
+                flatten_init(module, data, elem, item, out)?;
+            }
+            for _ in items.len()..*len {
+                zero_fill(module, elem, out);
+            }
+            Ok(())
+        }
+        Type::Struct(id) => {
+            let ExprKind::InitList(items) = &e.kind else {
+                return Err(CompileError::sema(e.line, "struct initializer must be a list"));
+            };
+            let fields = module.struct_def(*id).fields.clone();
+            if items.len() > fields.len() {
+                return Err(CompileError::sema(e.line, "too many initializers"));
+            }
+            for (field, item) in fields.iter().zip(items) {
+                flatten_init(module, data, field, item, out)?;
+            }
+            for field in &fields[items.len()..] {
+                zero_fill(module, field, out);
+            }
+            Ok(())
+        }
+        _ => {
+            let cv = const_scalar(module, data, ty, e)?;
+            out.push(cv);
+            Ok(())
+        }
+    }
+}
+
+fn zero_fill(module: &Module, ty: &Type, out: &mut Vec<ConstValue>) {
+    match ty {
+        Type::Array(elem, len) => {
+            for _ in 0..*len {
+                zero_fill(module, elem, out);
+            }
+        }
+        Type::Struct(id) => {
+            let fields = module.struct_def(*id).fields.clone();
+            for f in &fields {
+                zero_fill(module, f, out);
+            }
+        }
+        _ => out.push(zero_const(ty)),
+    }
+}
+
+fn const_scalar(
+    module: &mut Module,
+    data: &mut CtxData,
+    ty: &Type,
+    e: &Expr,
+) -> Result<ConstValue, CompileError> {
+    let cv = match (&e.kind, ty) {
+        (ExprKind::Int(v), Type::I8) => ConstValue::I8(*v as i8),
+        (ExprKind::Int(v), Type::I16) => ConstValue::I16(*v as i16),
+        (ExprKind::Int(v), Type::I32) => ConstValue::I32(*v as i32),
+        (ExprKind::Int(v), Type::I64) => ConstValue::I64(*v),
+        (ExprKind::Int(v), Type::F64) => ConstValue::F64(*v as f64),
+        (ExprKind::Int(0), Type::Ptr(p)) => ConstValue::Null((**p).clone()),
+        (ExprKind::Float(v), Type::F64) => ConstValue::F64(*v),
+        (ExprKind::Unary(UnaryOp::Neg, inner), _) => match const_scalar(module, data, ty, inner)? {
+            ConstValue::I8(v) => ConstValue::I8(-v),
+            ConstValue::I16(v) => ConstValue::I16(-v),
+            ConstValue::I32(v) => ConstValue::I32(-v),
+            ConstValue::I64(v) => ConstValue::I64(-v),
+            ConstValue::F64(v) => ConstValue::F64(-v),
+            _ => return Err(CompileError::sema(e.line, "cannot negate initializer")),
+        },
+        (ExprKind::Str(s), Type::Ptr(_)) => {
+            let g = intern_string(module, data, s);
+            ConstValue::GlobalAddr(g)
+        }
+        (ExprKind::Ident(name), Type::Ptr(_)) => {
+            if let Some(info) = data.functions.get(name) {
+                ConstValue::FuncAddr(info.id)
+            } else {
+                return Err(CompileError::sema(
+                    e.line,
+                    format!("initializer identifier {name} is not a function"),
+                ));
+            }
+        }
+        (ExprKind::Unary(UnaryOp::AddrOf, inner), Type::Ptr(_)) => {
+            if let ExprKind::Ident(name) = &inner.kind {
+                if let Some((gid, _)) = data.globals.get(name) {
+                    ConstValue::GlobalAddr(*gid)
+                } else {
+                    return Err(CompileError::sema(e.line, format!("unknown global {name}")));
+                }
+            } else {
+                return Err(CompileError::sema(e.line, "unsupported constant address"));
+            }
+        }
+        _ => {
+            return Err(CompileError::sema(
+                e.line,
+                format!("unsupported constant initializer for type {ty}"),
+            ))
+        }
+    };
+    Ok(cv)
+}
+
+fn zero_const(ty: &Type) -> ConstValue {
+    match ty {
+        Type::I8 => ConstValue::I8(0),
+        Type::I16 => ConstValue::I16(0),
+        Type::I64 => ConstValue::I64(0),
+        Type::F64 => ConstValue::F64(0.0),
+        Type::Ptr(p) => ConstValue::Null((**p).clone()),
+        _ => ConstValue::I32(0),
+    }
+}
+
+// ----- pass 2: function bodies ----------------------------------------------
+
+/// A value paired with its source-level type.
+#[derive(Debug, Clone)]
+struct RV {
+    v: ValueId,
+    ty: Type,
+}
+
+/// An lvalue: an address register plus the type stored there.
+#[derive(Debug, Clone)]
+struct LV {
+    addr: ValueId,
+    ty: Type,
+}
+
+struct FnLower<'m> {
+    b: FunctionBuilder<'m>,
+    data: &'m mut CtxData,
+    info: FnInfo,
+    scopes: Vec<HashMap<String, LV>>,
+    /// `(break target, continue target)` stack; `switch` pushes a break
+    /// target with the enclosing loop's continue (or `None`).
+    loop_stack: Vec<(offload_ir::BlockId, Option<offload_ir::BlockId>)>,
+    /// Allocas to hoist into the entry block.
+    pending_allocas: Vec<(ValueId, Type, u64)>,
+}
+
+impl<'m> FnLower<'m> {
+    fn run(
+        module: &'m mut Module,
+        data: &'m mut CtxData,
+        info: FnInfo,
+        param_names: Vec<String>,
+        body: &Stmt,
+    ) -> Result<(), CompileError> {
+        let func_id = info.id;
+        let b = FunctionBuilder::new(module, func_id);
+        let mut this = FnLower {
+            b,
+            data,
+            info,
+            scopes: vec![HashMap::new()],
+            loop_stack: Vec::new(),
+            pending_allocas: Vec::new(),
+        };
+
+        // Spill parameters into allocas so `&param` works.
+        let offset = usize::from(this.info.sret);
+        for (i, name) in param_names.iter().enumerate() {
+            let ty = this.info.src_params[i].clone();
+            let slot = this.alloca(ty.clone(), 1);
+            let pv = this.b.param(i + offset);
+            this.b.store(ty.clone(), slot, pv);
+            this.scopes[0].insert(name.clone(), LV { addr: slot, ty });
+        }
+
+        this.stmt(body)?;
+
+        // Fall-off-the-end: synthesize a default return (C allows it).
+        if !this.b.is_terminated() {
+            match this.info.src_ret.clone() {
+                Type::Void => this.b.ret(None),
+                ty if !ty.is_register() => this.b.ret(None), // sret
+                ty => {
+                    let z = this.b.const_value(zero_const(&ty));
+                    this.b.ret(Some(z));
+                }
+            }
+        }
+        let FnLower { b, pending_allocas: pending, .. } = this;
+        b.finish();
+
+        // Hoist allocas into the entry block front.
+        let allocas: Vec<Inst> = pending
+            .into_iter()
+            .map(|(dst, ty, count)| Inst::Alloca { dst, ty, count })
+            .collect();
+        let entry = &mut module.function_mut(func_id).blocks[0].insts;
+        entry.splice(0..0, allocas);
+        Ok(())
+    }
+
+    fn alloca(&mut self, ty: Type, count: u64) -> ValueId {
+        let slot = self.b.new_value(ty.clone().ptr_to());
+        self.pending_allocas.push((slot, ty, count));
+        slot
+    }
+
+    fn lookup(&self, name: &str) -> Option<LV> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(lv) = scope.get(name) {
+                return Some(lv.clone());
+            }
+        }
+        None
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        if self.b.is_terminated() {
+            return Ok(()); // dead code after return/break
+        }
+        match &s.kind {
+            StmtKind::Block(stmts) => {
+                self.scopes.push(HashMap::new());
+                for st in stmts {
+                    self.stmt(st)?;
+                }
+                self.scopes.pop();
+            }
+            StmtKind::Decl { ty, name, init } => {
+                let ty = self.data.resolve_type(ty, s.line)?;
+                if ty == Type::Void {
+                    return Err(CompileError::sema(s.line, "cannot declare void variable"));
+                }
+                let slot = self.alloca(ty.clone(), 1);
+                self.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.clone(), LV { addr: slot, ty: ty.clone() });
+                if let Some(init) = init {
+                    self.init_local(&LV { addr: slot, ty }, init)?;
+                }
+            }
+            StmtKind::Expr(e) => {
+                self.expr(e)?;
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let c = self.cond(cond)?;
+                let bb_then = self.b.new_block();
+                let bb_join = self.b.new_block();
+                let bb_else = if else_branch.is_some() { self.b.new_block() } else { bb_join };
+                self.b.cond_br(c, bb_then, bb_else);
+                self.b.switch_to(bb_then);
+                self.stmt(then_branch)?;
+                if !self.b.is_terminated() {
+                    self.b.br(bb_join);
+                }
+                if let Some(else_branch) = else_branch {
+                    self.b.switch_to(bb_else);
+                    self.stmt(else_branch)?;
+                    if !self.b.is_terminated() {
+                        self.b.br(bb_join);
+                    }
+                }
+                self.b.switch_to(bb_join);
+            }
+            StmtKind::While { cond, body } => {
+                let bb_header = self.b.new_block();
+                let bb_body = self.b.new_block();
+                let bb_exit = self.b.new_block();
+                self.b.br(bb_header);
+                self.b.switch_to(bb_header);
+                let c = self.cond(cond)?;
+                self.b.cond_br(c, bb_body, bb_exit);
+                self.b.switch_to(bb_body);
+                self.loop_stack.push((bb_exit, Some(bb_header)));
+                self.stmt(body)?;
+                self.loop_stack.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(bb_header);
+                }
+                self.b.switch_to(bb_exit);
+            }
+            StmtKind::DoWhile { body, cond } => {
+                let bb_body = self.b.new_block();
+                let bb_latch = self.b.new_block();
+                let bb_exit = self.b.new_block();
+                self.b.br(bb_body);
+                self.b.switch_to(bb_body);
+                self.loop_stack.push((bb_exit, Some(bb_latch)));
+                self.stmt(body)?;
+                self.loop_stack.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(bb_latch);
+                }
+                self.b.switch_to(bb_latch);
+                let c = self.cond(cond)?;
+                self.b.cond_br(c, bb_body, bb_exit);
+                self.b.switch_to(bb_exit);
+            }
+            StmtKind::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                let bb_header = self.b.new_block();
+                let bb_body = self.b.new_block();
+                let bb_step = self.b.new_block();
+                let bb_exit = self.b.new_block();
+                self.b.br(bb_header);
+                self.b.switch_to(bb_header);
+                match cond {
+                    Some(c) => {
+                        let cv = self.cond(c)?;
+                        self.b.cond_br(cv, bb_body, bb_exit);
+                    }
+                    None => self.b.br(bb_body),
+                }
+                self.b.switch_to(bb_body);
+                self.loop_stack.push((bb_exit, Some(bb_step)));
+                self.stmt(body)?;
+                self.loop_stack.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(bb_step);
+                }
+                self.b.switch_to(bb_step);
+                if let Some(step) = step {
+                    self.expr(step)?;
+                }
+                self.b.br(bb_header);
+                self.b.switch_to(bb_exit);
+                self.scopes.pop();
+            }
+            StmtKind::Return(value) => match (&self.info.src_ret.clone(), value) {
+                (Type::Void, None) => self.b.ret(None),
+                (Type::Void, Some(_)) => {
+                    return Err(CompileError::sema(s.line, "void function returns a value"))
+                }
+                (ret, Some(e)) if !ret.is_register() => {
+                    // sret: copy the aggregate into the hidden out-pointer.
+                    let src = self.aggregate_addr(e, ret)?;
+                    let dst = self.b.param(0);
+                    self.copy_aggregate(dst, src, ret);
+                    self.b.ret(None);
+                }
+                (ret, Some(e)) => {
+                    let rv = self.expr(e)?;
+                    let rv = self.convert_at(rv, ret, s.line)?;
+                    self.b.ret(Some(rv.v));
+                }
+                (_, None) => {
+                    return Err(CompileError::sema(s.line, "non-void function returns nothing"))
+                }
+            },
+            StmtKind::Break => {
+                let Some((bb_exit, _)) = self.loop_stack.last().copied() else {
+                    return Err(CompileError::sema(s.line, "break outside loop"));
+                };
+                self.b.br(bb_exit);
+            }
+            StmtKind::Continue => {
+                let Some((_, Some(bb_cont))) = self.loop_stack.last().copied() else {
+                    return Err(CompileError::sema(s.line, "continue outside loop"));
+                };
+                self.b.br(bb_cont);
+            }
+            StmtKind::Asm(text) => {
+                self.b.push(Inst::InlineAsm { text: text.clone() });
+            }
+            StmtKind::Switch { scrutinee, cases, default } => {
+                let rv = self.expr(scrutinee)?;
+                let rv = self.convert_at(rv, &Type::I64, s.line)?;
+                let bb_exit = self.b.new_block();
+                let case_blocks: Vec<offload_ir::BlockId> =
+                    cases.iter().map(|_| self.b.new_block()).collect();
+                let bb_default = if default.is_some() { self.b.new_block() } else { bb_exit };
+
+                // Dispatch chain: compare against each label in order.
+                for (k, (value, _)) in cases.iter().enumerate() {
+                    let c = self.b.const_i64(*value);
+                    let hit = self.b.cmp(CmpOp::Eq, Type::I64, rv.v, c);
+                    let bb_next = if k + 1 < cases.len() {
+                        self.b.new_block()
+                    } else {
+                        bb_default
+                    };
+                    self.b.cond_br(hit, case_blocks[k], bb_next);
+                    if k + 1 < cases.len() {
+                        self.b.switch_to(bb_next);
+                    }
+                }
+                if cases.is_empty() {
+                    self.b.br(bb_default);
+                }
+
+                // Bodies, with C fallthrough: an unterminated case falls
+                // into the next case body (then default, then exit).
+                let inherited = self.loop_stack.last().and_then(|(_, c)| *c);
+                self.loop_stack.push((bb_exit, inherited));
+                for (k, (_, stmts)) in cases.iter().enumerate() {
+                    self.b.switch_to(case_blocks[k]);
+                    self.scopes.push(HashMap::new());
+                    for st in stmts {
+                        self.stmt(st)?;
+                    }
+                    self.scopes.pop();
+                    if !self.b.is_terminated() {
+                        let next = case_blocks.get(k + 1).copied().unwrap_or(bb_default);
+                        self.b.br(next);
+                    }
+                }
+                if let Some(stmts) = default {
+                    self.b.switch_to(bb_default);
+                    self.scopes.push(HashMap::new());
+                    for st in stmts {
+                        self.stmt(st)?;
+                    }
+                    self.scopes.pop();
+                    if !self.b.is_terminated() {
+                        self.b.br(bb_exit);
+                    }
+                }
+                self.loop_stack.pop();
+                self.b.switch_to(bb_exit);
+            }
+        }
+        Ok(())
+    }
+
+    fn init_local(&mut self, lv: &LV, init: &Expr) -> Result<(), CompileError> {
+        match (&lv.ty.clone(), &init.kind) {
+            (Type::Array(elem, len), ExprKind::InitList(items)) => {
+                if items.len() > *len {
+                    return Err(CompileError::sema(init.line, "too many initializers"));
+                }
+                for (i, item) in items.iter().enumerate() {
+                    let idx = self.b.const_i32(i as i32);
+                    let slot = self.b.index_addr(lv.addr, (**elem).clone(), idx);
+                    self.init_local(&LV { addr: slot, ty: (**elem).clone() }, item)?;
+                }
+                Ok(())
+            }
+            (Type::Array(elem, len), ExprKind::Str(s)) if **elem == Type::I8 => {
+                let bytes = s.as_bytes().to_vec();
+                if bytes.len() >= *len {
+                    return Err(CompileError::sema(init.line, "string longer than array"));
+                }
+                let g = intern_string(self.b.module_mut(), self.data, s);
+                let src = self.b.const_value(ConstValue::GlobalAddr(g));
+                let n = self.b.const_i64(bytes.len() as i64 + 1);
+                self.b
+                    .call_builtin(Builtin::Memcpy, Type::I8.ptr_to(), vec![lv.addr, src, n]);
+                Ok(())
+            }
+            (Type::Struct(sid), ExprKind::InitList(items)) => {
+                let fields = self.b.module().struct_def(*sid).fields.clone();
+                if items.len() > fields.len() {
+                    return Err(CompileError::sema(init.line, "too many initializers"));
+                }
+                let sid = *sid;
+                for (i, item) in items.iter().enumerate() {
+                    let slot = self.b.field_addr(lv.addr, sid, i as u32);
+                    self.init_local(&LV { addr: slot, ty: fields[i].clone() }, item)?;
+                }
+                Ok(())
+            }
+            (ty, _) if !ty.is_register() => {
+                let src = self.aggregate_addr(init, ty)?;
+                self.copy_aggregate(lv.addr, src, ty);
+                Ok(())
+            }
+            (ty, _) => {
+                let rv = self.expr(init)?;
+                let rv = self.convert_at(rv, ty, init.line)?;
+                self.b.store(ty.clone(), lv.addr, rv.v);
+                Ok(())
+            }
+        }
+    }
+
+    fn copy_aggregate(&mut self, dst: ValueId, src: ValueId, ty: &Type) {
+        let size = self.data.layout.size_of(ty, self.b.module());
+        let n = self.b.const_i64(size as i64);
+        self.b
+            .call_builtin(Builtin::Memcpy, Type::I8.ptr_to(), vec![dst, src, n]);
+    }
+
+    // ----- expressions ------------------------------------------------------
+
+    fn cond(&mut self, e: &Expr) -> Result<ValueId, CompileError> {
+        let rv = self.expr(e)?;
+        Ok(self.truthiness(rv))
+    }
+
+    fn truthiness(&mut self, rv: RV) -> ValueId {
+        match &rv.ty {
+            Type::F64 => {
+                let z = self.b.const_f64(0.0);
+                self.b.cmp(CmpOp::Ne, Type::F64, rv.v, z)
+            }
+            Type::Ptr(_) => {
+                let z = self.b.const_i64(0);
+                let zi = self.b.cast(CastKind::IntToPtr, rv.ty.clone(), z);
+                self.b.cmp(CmpOp::Ne, rv.ty.clone(), rv.v, zi)
+            }
+            Type::I32 => rv.v,
+            ty => {
+                let z = self.b.const_value(zero_const(ty));
+                self.b.cmp(CmpOp::Ne, ty.clone(), rv.v, z)
+            }
+        }
+    }
+
+    fn convert_at(&mut self, rv: RV, target: &Type, line: u32) -> Result<RV, CompileError> {
+        self.convert(rv, target).map_err(|mut e| {
+            if e.line == 0 {
+                e.line = line;
+            }
+            e
+        })
+    }
+
+    /// Convert an rvalue to `target` using C's implicit conversion rules.
+    fn convert(&mut self, rv: RV, target: &Type) -> Result<RV, CompileError> {
+        if &rv.ty == target {
+            return Ok(rv);
+        }
+        let v = match (&rv.ty.clone(), target) {
+            (a, t) if a.is_int() && t.is_int() => {
+                let (ab, tb) = (a.int_bits().unwrap(), t.int_bits().unwrap());
+                if ab < tb {
+                    self.b.cast(CastKind::Sext, target.clone(), rv.v)
+                } else if ab > tb {
+                    self.b.cast(CastKind::Trunc, target.clone(), rv.v)
+                } else {
+                    rv.v
+                }
+            }
+            (a, Type::F64) if a.is_int() => {
+                let wide = self.convert(rv, &Type::I64)?;
+                self.b.cast(CastKind::SiToF, Type::F64, wide.v)
+            }
+            (Type::F64, t) if t.is_int() => self.b.cast(CastKind::FToSi, target.clone(), rv.v),
+            (Type::Ptr(_), Type::Ptr(_)) => self.b.cast(CastKind::PtrCast, target.clone(), rv.v),
+            (a, Type::Ptr(_)) if a.is_int() => {
+                let wide = self.convert(rv, &Type::I64)?;
+                self.b.cast(CastKind::IntToPtr, target.clone(), wide.v)
+            }
+            (Type::Ptr(_), t) if t.is_int() => {
+                let i = self.b.cast(CastKind::PtrToInt, Type::I64, rv.v);
+                self.convert(RV { v: i, ty: Type::I64 }, target)?.v
+            }
+            _ => {
+                return Err(CompileError::sema(
+                    0,
+                    format!("cannot convert {} to {}", rv.ty, target),
+                ))
+            }
+        };
+        Ok(RV { v, ty: target.clone() })
+    }
+
+    /// Usual arithmetic conversions: the common type of two operands.
+    fn common_type(&self, a: &Type, b: &Type) -> Type {
+        if a.is_ptr() {
+            return a.clone();
+        }
+        if b.is_ptr() {
+            return b.clone();
+        }
+        if *a == Type::F64 || *b == Type::F64 {
+            return Type::F64;
+        }
+        let bits = a.int_bits().unwrap_or(32).max(b.int_bits().unwrap_or(32)).max(32);
+        if bits == 64 {
+            Type::I64
+        } else {
+            Type::I32
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<RV, CompileError> {
+        match &e.kind {
+            ExprKind::Int(v) => {
+                let v = *v;
+                if i32::try_from(v).is_ok() {
+                    Ok(RV { v: self.b.const_i32(v as i32), ty: Type::I32 })
+                } else {
+                    Ok(RV { v: self.b.const_i64(v), ty: Type::I64 })
+                }
+            }
+            ExprKind::Float(v) => Ok(RV { v: self.b.const_f64(*v), ty: Type::F64 }),
+            ExprKind::Str(s) => {
+                let g = intern_string(self.b.module_mut(), self.data, s);
+                let addr = self.b.const_value(ConstValue::GlobalAddr(g));
+                let p = self.b.cast(CastKind::PtrCast, Type::I8.ptr_to(), addr);
+                Ok(RV { v: p, ty: Type::I8.ptr_to() })
+            }
+            ExprKind::Ident(name) => {
+                if let Some(lv) = self.lookup(name) {
+                    return Ok(self.load_lvalue(lv));
+                }
+                if let Some((gid, ty)) = self.data.globals.get(name).cloned() {
+                    let addr = self.b.const_value(ConstValue::GlobalAddr(gid));
+                    return Ok(self.load_lvalue(LV { addr, ty }));
+                }
+                if let Some(info) = self.data.functions.get(name) {
+                    let id = info.id;
+                    let sig = FuncSig { params: info.src_params.clone(), ret: info.src_ret.clone() };
+                    let v = self.b.const_value(ConstValue::FuncAddr(id));
+                    let v = self
+                        .b
+                        .cast(CastKind::PtrCast, Type::Func(Box::new(sig.clone())).ptr_to(), v);
+                    return Ok(RV { v, ty: Type::Func(Box::new(sig)).ptr_to() });
+                }
+                Err(CompileError::sema(e.line, format!("unknown identifier {name}")))
+            }
+            ExprKind::Unary(op, inner) => self.unary(e.line, *op, inner),
+            ExprKind::Binary(op, lhs, rhs) => {
+                let l = self.expr(lhs)?;
+                let r = self.expr(rhs)?;
+                self.binary_values(e.line, *op, l, r)
+            }
+            ExprKind::LogicalAnd(lhs, rhs) => self.short_circuit(lhs, rhs, true),
+            ExprKind::LogicalOr(lhs, rhs) => self.short_circuit(lhs, rhs, false),
+            ExprKind::Assign { op, lhs, rhs } => self.assign(e.line, *op, lhs, rhs),
+            ExprKind::Ternary(cond, a, c) => self.ternary(cond, a, c),
+            ExprKind::Call { callee, args } => self.call(e.line, callee, args),
+            ExprKind::Index(..) | ExprKind::Member { .. } => {
+                let lv = self.lvalue(e)?;
+                Ok(self.load_lvalue(lv))
+            }
+            ExprKind::Cast(te, inner) => {
+                let target = self.data.resolve_type(te, e.line)?;
+                let rv = self.expr(inner)?;
+                self.convert_at(rv, &target, e.line)
+            }
+            ExprKind::SizeofType(te) => {
+                let ty = self.data.resolve_type(te, e.line)?;
+                let size = self.data.layout.size_of(&ty, self.b.module());
+                Ok(RV { v: self.b.const_i64(size as i64), ty: Type::I64 })
+            }
+            ExprKind::InitList(_) => {
+                Err(CompileError::sema(e.line, "initializer list outside initialization"))
+            }
+            ExprKind::Syscall(args) => {
+                if args.is_empty() {
+                    return Err(CompileError::sema(e.line, "syscall needs a number"));
+                }
+                let ExprKind::Int(num) = args[0].kind else {
+                    return Err(CompileError::sema(e.line, "syscall number must be a literal"));
+                };
+                let mut vals = Vec::new();
+                for a in &args[1..] {
+                    let rv = self.expr(a)?;
+                    let rv = self.convert_at(rv, &Type::I64, a.line)?;
+                    vals.push(rv.v);
+                }
+                let dst = self.b.new_value(Type::I64);
+                self.b.push(Inst::Syscall { dst, number: num as u32, args: vals });
+                Ok(RV { v: dst, ty: Type::I64 })
+            }
+        }
+    }
+
+    /// Load an lvalue as an rvalue (arrays decay to element pointers;
+    /// struct lvalues yield their address, typed `Struct*`).
+    fn load_lvalue(&mut self, lv: LV) -> RV {
+        match &lv.ty {
+            Type::Array(elem, _) => {
+                let p = self
+                    .b
+                    .cast(CastKind::PtrCast, (**elem).clone().ptr_to(), lv.addr);
+                RV { v: p, ty: (**elem).clone().ptr_to() }
+            }
+            Type::Struct(_) => RV { v: lv.addr, ty: lv.ty.clone().ptr_to() },
+            ty => {
+                let v = self.b.load(ty.clone(), lv.addr);
+                RV { v, ty: lv.ty }
+            }
+        }
+    }
+
+    fn lvalue(&mut self, e: &Expr) -> Result<LV, CompileError> {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                if let Some(lv) = self.lookup(name) {
+                    return Ok(lv);
+                }
+                if let Some((gid, ty)) = self.data.globals.get(name).cloned() {
+                    let addr = self.b.const_value(ConstValue::GlobalAddr(gid));
+                    return Ok(LV { addr, ty });
+                }
+                Err(CompileError::sema(e.line, format!("unknown identifier {name}")))
+            }
+            ExprKind::Unary(UnaryOp::Deref, inner) => {
+                let rv = self.expr(inner)?;
+                let Type::Ptr(pointee) = &rv.ty else {
+                    return Err(CompileError::sema(e.line, format!("cannot deref {}", rv.ty)));
+                };
+                Ok(LV { addr: rv.v, ty: (**pointee).clone() })
+            }
+            ExprKind::Index(base, index) => {
+                let base_rv = self.expr(base)?;
+                let Type::Ptr(elem) = &base_rv.ty else {
+                    return Err(CompileError::sema(e.line, format!("cannot index {}", base_rv.ty)));
+                };
+                let elem = (**elem).clone();
+                let idx = self.expr(index)?;
+                let idx = self.convert_at(idx, &Type::I64, e.line)?;
+                let addr = self.b.index_addr(base_rv.v, elem.clone(), idx.v);
+                Ok(LV { addr, ty: elem })
+            }
+            ExprKind::Member { base, field, arrow } => {
+                let (addr, sid) = if *arrow {
+                    let rv = self.expr(base)?;
+                    match &rv.ty {
+                        Type::Ptr(p) => match &**p {
+                            Type::Struct(sid) => (rv.v, *sid),
+                            other => {
+                                return Err(CompileError::sema(
+                                    e.line,
+                                    format!("-> on non-struct pointer to {other}"),
+                                ))
+                            }
+                        },
+                        other => return Err(CompileError::sema(e.line, format!("-> on {other}"))),
+                    }
+                } else {
+                    let lv = self.lvalue(base)?;
+                    match &lv.ty {
+                        Type::Struct(sid) => (lv.addr, *sid),
+                        other => return Err(CompileError::sema(e.line, format!(". on {other}"))),
+                    }
+                };
+                let Some(idx) = self.data.field_index(sid, field) else {
+                    let sname = self.b.module().struct_def(sid).name.clone();
+                    return Err(CompileError::sema(
+                        e.line,
+                        format!("struct {sname} has no field {field}"),
+                    ));
+                };
+                let fty = self.b.module().struct_def(sid).fields[idx].clone();
+                let addr = self.b.field_addr(addr, sid, idx as u32);
+                Ok(LV { addr, ty: fty })
+            }
+            _ => Err(CompileError::sema(e.line, "expression is not an lvalue")),
+        }
+    }
+
+    /// The address of an aggregate-valued expression: an lvalue's address
+    /// or the temporary of an sret call.
+    fn aggregate_addr(&mut self, e: &Expr, ty: &Type) -> Result<ValueId, CompileError> {
+        if let ExprKind::Call { callee, args } = &e.kind {
+            let rv = self.call(e.line, callee, args)?;
+            if let Type::Ptr(p) = &rv.ty {
+                if **p == *ty {
+                    return Ok(rv.v);
+                }
+            }
+            return Err(CompileError::sema(e.line, "call does not produce this aggregate type"));
+        }
+        let lv = self.lvalue(e)?;
+        if &lv.ty != ty {
+            return Err(CompileError::sema(e.line, "aggregate type mismatch"));
+        }
+        Ok(lv.addr)
+    }
+
+    fn unary(&mut self, line: u32, op: UnaryOp, inner: &Expr) -> Result<RV, CompileError> {
+        match op {
+            UnaryOp::Neg => {
+                let rv = self.expr(inner)?;
+                let ty = self.common_type(&rv.ty, &Type::I32);
+                let rv = self.convert_at(rv, &ty, line)?;
+                let v = self.b.un(UnOp::Neg, ty.clone(), rv.v);
+                Ok(RV { v, ty })
+            }
+            UnaryOp::BitNot => {
+                let rv = self.expr(inner)?;
+                let ty = self.common_type(&rv.ty, &Type::I32);
+                if ty == Type::F64 {
+                    return Err(CompileError::sema(line, "~ on double"));
+                }
+                let rv = self.convert_at(rv, &ty, line)?;
+                let v = self.b.un(UnOp::Not, ty.clone(), rv.v);
+                Ok(RV { v, ty })
+            }
+            UnaryOp::LogicalNot => {
+                let rv = self.expr(inner)?;
+                let t = self.truthiness(rv);
+                let z = self.b.const_i32(0);
+                let v = self.b.cmp(CmpOp::Eq, Type::I32, t, z);
+                Ok(RV { v, ty: Type::I32 })
+            }
+            UnaryOp::Deref => {
+                // `*fp` on a function pointer is the function designator,
+                // which immediately decays back to the pointer (C 6.3.2.1).
+                let rv = self.expr(inner)?;
+                if let Type::Ptr(p) = &rv.ty {
+                    if matches!(&**p, Type::Func(_)) {
+                        return Ok(rv);
+                    }
+                }
+                let Type::Ptr(pointee) = &rv.ty else {
+                    return Err(CompileError::sema(line, format!("cannot deref {}", rv.ty)));
+                };
+                let lv = LV { addr: rv.v, ty: (**pointee).clone() };
+                Ok(self.load_lvalue(lv))
+            }
+            UnaryOp::AddrOf => {
+                // `&function` yields a function pointer.
+                if let ExprKind::Ident(name) = &inner.kind {
+                    if self.lookup(name).is_none()
+                        && !self.data.globals.contains_key(name)
+                        && self.data.functions.contains_key(name)
+                    {
+                        return self.expr(inner);
+                    }
+                }
+                let lv = self.lvalue(inner)?;
+                Ok(RV { v: lv.addr, ty: lv.ty.ptr_to() })
+            }
+            UnaryOp::PreInc | UnaryOp::PreDec | UnaryOp::PostInc | UnaryOp::PostDec => {
+                let lv = self.lvalue(inner)?;
+                let old = self.load_lvalue(lv.clone());
+                let delta: i64 = match op {
+                    UnaryOp::PreInc | UnaryOp::PostInc => 1,
+                    _ => -1,
+                };
+                let new = match &lv.ty {
+                    Type::Ptr(elem) => {
+                        let d = self.b.const_i64(delta);
+                        let p = self.b.index_addr(old.v, (**elem).clone(), d);
+                        self.b.cast(CastKind::PtrCast, lv.ty.clone(), p)
+                    }
+                    Type::F64 => {
+                        let d = self.b.const_f64(delta as f64);
+                        self.b.bin(BinOp::Add, Type::F64, old.v, d)
+                    }
+                    ty => {
+                        let d = self.b.const_value(match ty {
+                            Type::I64 => ConstValue::I64(delta),
+                            Type::I16 => ConstValue::I16(delta as i16),
+                            Type::I8 => ConstValue::I8(delta as i8),
+                            _ => ConstValue::I32(delta as i32),
+                        });
+                        self.b.bin(BinOp::Add, ty.clone(), old.v, d)
+                    }
+                };
+                self.b.store(lv.ty.clone(), lv.addr, new);
+                let v = match op {
+                    UnaryOp::PostInc | UnaryOp::PostDec => old.v,
+                    _ => new,
+                };
+                Ok(RV { v, ty: lv.ty })
+            }
+        }
+    }
+
+    fn binary_values(&mut self, line: u32, op: BinaryOp, l: RV, r: RV) -> Result<RV, CompileError> {
+        use BinaryOp::*;
+
+        if matches!(op, Add | Sub) && (l.ty.is_ptr() || r.ty.is_ptr()) {
+            return self.pointer_arith(line, op, l, r);
+        }
+
+        let is_cmp = matches!(op, Eq | Ne | Lt | Le | Gt | Ge);
+        let common = self.common_type(&l.ty, &r.ty);
+        let l = self.convert_at(l, &common, line)?;
+        let r = self.convert_at(r, &common, line)?;
+        if is_cmp {
+            let cmp_op = match op {
+                Eq => CmpOp::Eq,
+                Ne => CmpOp::Ne,
+                Lt => CmpOp::Lt,
+                Le => CmpOp::Le,
+                Gt => CmpOp::Gt,
+                Ge => CmpOp::Ge,
+                _ => unreachable!(),
+            };
+            let v = self.b.cmp(cmp_op, common, l.v, r.v);
+            return Ok(RV { v, ty: Type::I32 });
+        }
+        if common == Type::F64 && matches!(op, Rem | BitAnd | BitOr | BitXor | Shl | Shr) {
+            return Err(CompileError::sema(line, format!("operator {op:?} on double")));
+        }
+        let bin_op = match op {
+            Add => BinOp::Add,
+            Sub => BinOp::Sub,
+            Mul => BinOp::Mul,
+            Div => BinOp::Div,
+            Rem => BinOp::Rem,
+            BitAnd => BinOp::And,
+            BitOr => BinOp::Or,
+            BitXor => BinOp::Xor,
+            Shl => BinOp::Shl,
+            Shr => BinOp::Shr,
+            _ => unreachable!(),
+        };
+        let v = self.b.bin(bin_op, common.clone(), l.v, r.v);
+        Ok(RV { v, ty: common })
+    }
+
+    fn pointer_arith(&mut self, line: u32, op: BinaryOp, l: RV, r: RV) -> Result<RV, CompileError> {
+        match (&l.ty.clone(), &r.ty.clone(), op) {
+            (Type::Ptr(pa), Type::Ptr(_), BinaryOp::Sub) => {
+                let size = self.data.layout.size_of(pa, self.b.module()) as i64;
+                let li = self.b.cast(CastKind::PtrToInt, Type::I64, l.v);
+                let ri = self.b.cast(CastKind::PtrToInt, Type::I64, r.v);
+                let diff = self.b.bin(BinOp::Sub, Type::I64, li, ri);
+                let s = self.b.const_i64(size);
+                let v = self.b.bin(BinOp::Div, Type::I64, diff, s);
+                Ok(RV { v, ty: Type::I64 })
+            }
+            (Type::Ptr(elem), rt, _) if rt.is_int() => {
+                let elem = (**elem).clone();
+                let idx = self.convert_at(r, &Type::I64, line)?;
+                let idx_v = if op == BinaryOp::Sub {
+                    self.b.un(UnOp::Neg, Type::I64, idx.v)
+                } else {
+                    idx.v
+                };
+                let v = self.b.index_addr(l.v, elem.clone(), idx_v);
+                Ok(RV { v, ty: elem.ptr_to() })
+            }
+            (lt, Type::Ptr(elem), BinaryOp::Add) if lt.is_int() => {
+                let elem = (**elem).clone();
+                let idx = self.convert_at(l, &Type::I64, line)?;
+                let v = self.b.index_addr(r.v, elem.clone(), idx.v);
+                Ok(RV { v, ty: elem.ptr_to() })
+            }
+            _ => Err(CompileError::sema(line, "invalid pointer arithmetic")),
+        }
+    }
+
+    fn short_circuit(&mut self, lhs: &Expr, rhs: &Expr, is_and: bool) -> Result<RV, CompileError> {
+        let result = self.alloca(Type::I32, 1);
+        let l = self.cond(lhs)?;
+        let bb_rhs = self.b.new_block();
+        let bb_short = self.b.new_block();
+        let bb_join = self.b.new_block();
+        if is_and {
+            self.b.cond_br(l, bb_rhs, bb_short);
+        } else {
+            self.b.cond_br(l, bb_short, bb_rhs);
+        }
+        self.b.switch_to(bb_short);
+        let short_val = self.b.const_i32(i32::from(!is_and));
+        self.b.store(Type::I32, result, short_val);
+        self.b.br(bb_join);
+        self.b.switch_to(bb_rhs);
+        let r = self.cond(rhs)?;
+        let z = self.b.const_i32(0);
+        let rbool = self.b.cmp(CmpOp::Ne, Type::I32, r, z);
+        self.b.store(Type::I32, result, rbool);
+        self.b.br(bb_join);
+        self.b.switch_to(bb_join);
+        let v = self.b.load(Type::I32, result);
+        Ok(RV { v, ty: Type::I32 })
+    }
+
+    fn ternary(&mut self, cond: &Expr, a: &Expr, c: &Expr) -> Result<RV, CompileError> {
+        let cv = self.cond(cond)?;
+        let bb_a = self.b.new_block();
+        let bb_c = self.b.new_block();
+        let bb_join = self.b.new_block();
+        self.b.cond_br(cv, bb_a, bb_c);
+        self.b.switch_to(bb_a);
+        let av = self.expr(a)?;
+        let ty = av.ty.clone();
+        let slot = self.alloca(ty.clone(), 1);
+        self.b.store(ty.clone(), slot, av.v);
+        self.b.br(bb_join);
+        self.b.switch_to(bb_c);
+        let cv2 = self.expr(c)?;
+        let cv2 = self.convert_at(cv2, &ty, cond.line)?;
+        self.b.store(ty.clone(), slot, cv2.v);
+        self.b.br(bb_join);
+        self.b.switch_to(bb_join);
+        let v = self.b.load(ty.clone(), slot);
+        Ok(RV { v, ty })
+    }
+
+    fn assign(
+        &mut self,
+        line: u32,
+        op: Option<BinaryOp>,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> Result<RV, CompileError> {
+        let lv = self.lvalue(lhs)?;
+        if !lv.ty.is_register() {
+            if op.is_some() {
+                return Err(CompileError::sema(line, "compound assignment on aggregate"));
+            }
+            let ty = lv.ty.clone();
+            let src = self.aggregate_addr(rhs, &ty)?;
+            self.copy_aggregate(lv.addr, src, &ty);
+            return Ok(RV { v: lv.addr, ty: ty.ptr_to() });
+        }
+        let value = match op {
+            None => self.expr(rhs)?,
+            Some(bop) => {
+                let old = self.load_lvalue(lv.clone());
+                let r = self.expr(rhs)?;
+                self.binary_values(line, bop, old, r)?
+            }
+        };
+        let value = self.convert_at(value, &lv.ty, line)?;
+        self.b.store(lv.ty.clone(), lv.addr, value.v);
+        Ok(value)
+    }
+
+    fn call(&mut self, line: u32, callee: &Expr, args: &[Expr]) -> Result<RV, CompileError> {
+        if let ExprKind::Ident(name) = &callee.kind {
+            if self.lookup(name).is_none() && !self.data.globals.contains_key(name) {
+                if let Some(builtin) = Builtin::from_name(name) {
+                    return self.builtin_call(line, builtin, args);
+                }
+                if let Some(info) = self.data.functions.get(name).cloned() {
+                    return self.direct_call(line, &info, args);
+                }
+                return Err(CompileError::sema(line, format!("unknown function {name}")));
+            }
+        }
+        // Indirect call through a function-pointer expression.
+        let f = self.expr(callee)?;
+        let Type::Ptr(p) = &f.ty else {
+            return Err(CompileError::sema(line, format!("cannot call value of type {}", f.ty)));
+        };
+        let Type::Func(sig) = &**p else {
+            return Err(CompileError::sema(line, format!("cannot call value of type {}", f.ty)));
+        };
+        let sig = (**sig).clone();
+        if sig.params.len() != args.len() {
+            return Err(CompileError::sema(
+                line,
+                format!("call expects {} args, got {}", sig.params.len(), args.len()),
+            ));
+        }
+        let mut vals = Vec::new();
+        for (a, pty) in args.iter().zip(&sig.params) {
+            let rv = self.lower_arg(a, Some(pty))?;
+            vals.push(rv.v);
+        }
+        match self.b.call_indirect(f.v, sig.ret.clone(), vals) {
+            Some(dst) => Ok(RV { v: dst, ty: sig.ret }),
+            None => Ok(RV { v: f.v, ty: Type::Void }),
+        }
+    }
+
+    fn lower_arg(&mut self, a: &Expr, pty: Option<&Type>) -> Result<RV, CompileError> {
+        let rv = self.expr(a)?;
+        match pty {
+            Some(t) if t.is_register() => self.convert_at(rv, t, a.line),
+            Some(t) => Err(CompileError::sema(
+                a.line,
+                format!("aggregate {t} must be passed by pointer in MiniC"),
+            )),
+            None => match &rv.ty {
+                // Vararg promotion: small ints to i32.
+                Type::I8 | Type::I16 => self.convert_at(rv, &Type::I32, a.line),
+                _ => Ok(rv),
+            },
+        }
+    }
+
+    fn direct_call(&mut self, line: u32, info: &FnInfo, args: &[Expr]) -> Result<RV, CompileError> {
+        if info.src_params.len() != args.len() {
+            return Err(CompileError::sema(
+                line,
+                format!("call expects {} args, got {}", info.src_params.len(), args.len()),
+            ));
+        }
+        let mut vals = Vec::new();
+        let mut sret_tmp = None;
+        if info.sret {
+            let tmp = self.alloca(info.src_ret.clone(), 1);
+            sret_tmp = Some(tmp);
+            vals.push(tmp);
+        }
+        for (a, pty) in args.iter().zip(&info.src_params.clone()) {
+            let rv = self.lower_arg(a, Some(pty))?;
+            vals.push(rv.v);
+        }
+        let dst = self.b.call(info.id, vals);
+        if let Some(tmp) = sret_tmp {
+            return Ok(RV { v: tmp, ty: info.src_ret.clone().ptr_to() });
+        }
+        match &info.src_ret {
+            Type::Void => Ok(RV { v: ValueId(u32::MAX), ty: Type::Void }),
+            ty => Ok(RV { v: dst.expect("non-void call yields a value"), ty: ty.clone() }),
+        }
+    }
+
+    fn builtin_call(&mut self, line: u32, builtin: Builtin, args: &[Expr]) -> Result<RV, CompileError> {
+        use Builtin::*;
+        let (param_tys, ret): (Vec<Option<Type>>, Type) = match builtin {
+            Malloc | UMalloc => (vec![Some(Type::I64)], Type::I8.ptr_to()),
+            Free | UFree => (vec![Some(Type::I8.ptr_to())], Type::Void),
+            Memcpy => (
+                vec![Some(Type::I8.ptr_to()), Some(Type::I8.ptr_to()), Some(Type::I64)],
+                Type::I8.ptr_to(),
+            ),
+            Memset => (
+                vec![Some(Type::I8.ptr_to()), Some(Type::I32), Some(Type::I64)],
+                Type::I8.ptr_to(),
+            ),
+            Strlen => (vec![Some(Type::I8.ptr_to())], Type::I64),
+            Strcmp => (vec![Some(Type::I8.ptr_to()), Some(Type::I8.ptr_to())], Type::I32),
+            Strcpy => (
+                vec![Some(Type::I8.ptr_to()), Some(Type::I8.ptr_to())],
+                Type::I8.ptr_to(),
+            ),
+            Printf | Scanf => {
+                let mut tys = vec![Some(Type::I8.ptr_to())];
+                tys.extend(std::iter::repeat_n(None, args.len().saturating_sub(1)));
+                (tys, Type::I32)
+            }
+            Putchar => (vec![Some(Type::I32)], Type::I32),
+            Getchar => (vec![], Type::I32),
+            FOpen => (vec![Some(Type::I8.ptr_to()), Some(Type::I8.ptr_to())], Type::I32),
+            FClose => (vec![Some(Type::I32)], Type::I32),
+            FRead | FWrite => (
+                vec![Some(Type::I8.ptr_to()), Some(Type::I64), Some(Type::I64), Some(Type::I32)],
+                Type::I64,
+            ),
+            Sqrt | Fabs | Exp | Log | Sin | Cos | Floor => (vec![Some(Type::F64)], Type::F64),
+            Pow => (vec![Some(Type::F64), Some(Type::F64)], Type::F64),
+            Clock => (vec![], Type::I64),
+            Exit => (vec![Some(Type::I32)], Type::Void),
+            other => {
+                return Err(CompileError::sema(
+                    line,
+                    format!("builtin {other} cannot be called from source"),
+                ))
+            }
+        };
+        if param_tys.len() != args.len() {
+            return Err(CompileError::sema(
+                line,
+                format!("{builtin} expects {} args, got {}", param_tys.len(), args.len()),
+            ));
+        }
+        let mut vals = Vec::new();
+        for (a, pty) in args.iter().zip(&param_tys) {
+            let rv = self.lower_arg(a, pty.as_ref())?;
+            vals.push(rv.v);
+        }
+        match self.b.call_builtin(builtin, ret.clone(), vals) {
+            Some(dst) => Ok(RV { v: dst, ty: ret }),
+            None => Ok(RV { v: ValueId(u32::MAX), ty: Type::Void }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use offload_ir::verify::verify_module;
+
+    fn compile(src: &str) -> offload_ir::Module {
+        let m = crate::compile(src, "test").unwrap();
+        verify_module(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn lowers_arithmetic_function() {
+        let m = compile("int f(int a, int b) { return a * b + 1; }");
+        let f = m.function_by_name("f").unwrap();
+        assert!(m.function(f).inst_count() > 4);
+    }
+
+    #[test]
+    fn lowers_control_flow() {
+        compile(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n\
+             int main() { return fib(10); }",
+        );
+    }
+
+    #[test]
+    fn lowers_loops_and_arrays() {
+        compile(
+            "int sum(int *a, int n) { int s = 0; int i; for (i = 0; i < n; i++) s += a[i]; return s; }\n\
+             int main() { int a[8]; int i; for (i = 0; i < 8; i++) a[i] = i; return sum(a, 8); }",
+        );
+    }
+
+    #[test]
+    fn lowers_structs_and_pointers() {
+        compile(
+            "typedef struct { char from; char to; double score; } Move;\n\
+             double best(Move *moves, int n) {\n\
+               double s = -1.0; int i;\n\
+               for (i = 0; i < n; i++) if (moves[i].score > s) s = moves[i].score;\n\
+               return s;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn lowers_struct_return_as_sret() {
+        let m = compile(
+            "typedef struct { int x; int y; } Pt;\n\
+             Pt mk(int x, int y) { Pt p; p.x = x; p.y = y; return p; }\n\
+             int main() { Pt p; p = mk(1, 2); return p.x + p.y; }",
+        );
+        let mk = m.function_by_name("mk").unwrap();
+        let f = m.function(mk);
+        assert_eq!(f.ret, offload_ir::Type::Void, "sret rewrites the return");
+        assert_eq!(f.params.len(), 3, "hidden out-pointer first");
+        assert!(f.params[0].is_ptr());
+    }
+
+    #[test]
+    fn lowers_function_pointers() {
+        let m = compile(
+            "double half(double x) { return x / 2.0; }\n\
+             double twice(double x) { return x * 2.0; }\n\
+             double (*table[2])(double) = { half, twice };\n\
+             double apply(int i, double x) { double (*f)(double); f = table[i]; return f(x); }",
+        );
+        assert!(m.global_by_name("table").is_some());
+    }
+
+    #[test]
+    fn lowers_globals_with_initializers() {
+        let m = compile(
+            "int counter = 5;\n\
+             double pi = 3.14;\n\
+             int primes[4] = {2, 3, 5, 7};\n\
+             char msg[8] = \"hi\";\n\
+             int main() { return counter + primes[1]; }",
+        );
+        use offload_ir::module::GlobalInit;
+        let g = m.global(m.global_by_name("primes").unwrap());
+        match &g.init {
+            GlobalInit::Scalars(v) => assert_eq!(v.len(), 4),
+            other => panic!("unexpected init {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowers_logic_and_ternary() {
+        compile(
+            "int f(int a, int b) { return (a && b) || (!a && a < b) ? a : b; }",
+        );
+    }
+
+    #[test]
+    fn lowers_io_builtins() {
+        compile(
+            "int main() {\n\
+               int x; double d;\n\
+               scanf(\"%d %lf\", &x, &d);\n\
+               printf(\"%d %f\\n\", x, d);\n\
+               int fd = fopen(\"data.bin\", \"r\");\n\
+               char buf[16];\n\
+               fread(buf, 1, 16, fd);\n\
+               fclose(fd);\n\
+               return 0;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn lowers_malloc_and_sizeof() {
+        compile(
+            "typedef struct { char loc; char owner; char type; } Piece;\n\
+             Piece *board;\n\
+             int main() { board = (Piece*)malloc(sizeof(Piece) * 64); free((char*)board); return 0; }",
+        );
+    }
+
+    #[test]
+    fn lowers_asm_and_syscall_markers() {
+        let m = compile("int main() { asm(\"nop\"); syscall(7, 1); return 0; }");
+        let main = m.function(m.entry.unwrap());
+        let has_asm = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, offload_ir::Inst::InlineAsm { .. }));
+        let has_sys = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, offload_ir::Inst::Syscall { .. }));
+        assert!(has_asm && has_sys);
+    }
+
+    #[test]
+    fn errors_on_unknown_identifier() {
+        let err = crate::compile("int main() { return nope; }", "t").unwrap_err();
+        assert!(err.message.contains("unknown identifier"), "{err}");
+    }
+
+    #[test]
+    fn errors_on_bad_call_arity() {
+        let err = crate::compile("int f(int a) { return a; } int main() { return f(); }", "t")
+            .unwrap_err();
+        assert!(err.message.contains("expects 1 args"), "{err}");
+    }
+
+    #[test]
+    fn errors_on_deref_non_pointer() {
+        let err = crate::compile("int main() { int x; return *x; }", "t").unwrap_err();
+        assert!(err.message.contains("cannot deref"), "{err}");
+    }
+
+    #[test]
+    fn errors_on_break_outside_loop() {
+        let err = crate::compile("int main() { break; return 0; }", "t").unwrap_err();
+        assert!(err.message.contains("break outside loop"), "{err}");
+    }
+
+    #[test]
+    fn pointer_arithmetic_forms() {
+        compile(
+            "long dist(int *a, int *b) { return a - b; }\n\
+             int *next(int *p) { return p + 1; }\n\
+             int *prev(int *p) { return p - 1; }\n\
+             int deref_off(int *p, int i) { return *(p + i); }",
+        );
+    }
+
+    #[test]
+    fn increments_on_pointers_and_doubles() {
+        compile(
+            "int f() {\n\
+               int a[4]; int *p = a; p++; ++p; p--;\n\
+               double d = 1.0; d++; --d;\n\
+               int i = 0; return i++ + --i;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn multidim_arrays() {
+        compile(
+            "int grid[3][4];\n\
+             int f(int i, int j) { return grid[i][j]; }\n\
+             void g() { grid[1][2] = 7; }",
+        );
+    }
+
+    #[test]
+    fn char_string_interning_dedups() {
+        let m = compile(r#"int main() { printf("x"); printf("x"); return 0; }"#);
+        let count = m
+            .iter_globals()
+            .filter(|(_, g)| g.name.starts_with(".str"))
+            .count();
+        assert_eq!(count, 1);
+    }
+}
+
+#[cfg(test)]
+mod switch_tests {
+    use offload_ir::verify::verify_module;
+    use offload_machine::host::LocalHost;
+    use offload_machine::loader;
+    use offload_machine::target::TargetSpec;
+    use offload_machine::vm::{StackBank, Vm};
+
+    fn run(src: &str) -> String {
+        let module = crate::compile(src, "switch").unwrap();
+        verify_module(&module).unwrap();
+        let spec = TargetSpec::galaxy_s5();
+        let image = loader::load(&module, &spec.data_layout()).unwrap();
+        let mut host = LocalHost::new();
+        let mut vm = Vm::new(&module, &spec, image, StackBank::Mobile);
+        vm.set_fuel(10_000_000);
+        vm.run_entry(&mut host).unwrap();
+        host.console_utf8()
+    }
+
+    #[test]
+    fn switch_dispatch_and_default() {
+        let out = run(
+            "int classify(int x) {
+                switch (x) {
+                    case 1: return 10;
+                    case 2: return 20;
+                    case -3: return 30;
+                    default: return 99;
+                }
+            }
+            int main() {
+                printf(\"%d %d %d %d\\n\", classify(1), classify(2), classify(-3), classify(7));
+                return 0;
+            }",
+        );
+        assert_eq!(out, "10 20 30 99\n");
+    }
+
+    #[test]
+    fn switch_fallthrough_and_break() {
+        // case 1 falls into case 2; case 2 breaks; empty labels chain.
+        let out = run(
+            "int f(int x) {
+                int acc = 0;
+                switch (x) {
+                    case 1: acc += 1;
+                    case 2: acc += 2; break;
+                    case 3:
+                    case 4: acc += 40; break;
+                    default: acc = -1;
+                }
+                return acc;
+            }
+            int main() {
+                printf(\"%d %d %d %d %d\\n\", f(1), f(2), f(3), f(4), f(9));
+                return 0;
+            }",
+        );
+        assert_eq!(out, "3 2 40 40 -1\n");
+    }
+
+    #[test]
+    fn switch_without_default_skips() {
+        let out = run(
+            "int main() {
+                int acc = 5;
+                switch (acc) { case 1: acc = 0; break; }
+                printf(\"%d\\n\", acc);
+                return 0;
+            }",
+        );
+        assert_eq!(out, "5\n");
+    }
+
+    #[test]
+    fn continue_inside_switch_targets_the_loop() {
+        let out = run(
+            "int main() {
+                int i; int acc = 0;
+                for (i = 0; i < 6; i++) {
+                    switch (i % 3) {
+                        case 0: continue;
+                        case 1: acc += 10; break;
+                        default: acc += 1;
+                    }
+                    acc += 100;
+                }
+                printf(\"%d\\n\", acc);
+                return 0;
+            }",
+        );
+        // i=0,3: continue. i=1,4: +10+100. i=2,5: +1+100.
+        assert_eq!(out, "422\n");
+    }
+
+    #[test]
+    fn break_inside_switch_does_not_exit_loop() {
+        let out = run(
+            "int main() {
+                int i; int acc = 0;
+                for (i = 0; i < 3; i++) {
+                    switch (i) { default: acc += 1; break; }
+                    acc += 10;
+                }
+                printf(\"%d\\n\", acc);
+                return 0;
+            }",
+        );
+        assert_eq!(out, "33\n");
+    }
+
+    #[test]
+    fn continue_in_bare_switch_is_an_error() {
+        let err = crate::compile(
+            "int main() { switch (1) { default: continue; } return 0; }",
+            "t",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("continue outside loop"), "{err}");
+    }
+}

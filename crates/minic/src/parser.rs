@@ -1,0 +1,911 @@
+//! Recursive-descent parser for MiniC.
+//!
+//! The parser tracks typedef and struct names so it can tell declarations
+//! from expressions (the classic C "lexer hack", kept inside the parser
+//! here). Declarators cover what the paper's code needs: pointers, multi-
+//! dimensional arrays, and function pointers — including arrays of function
+//! pointers like Fig. 3's `EVALFUNC evals[7]`.
+
+use std::collections::HashSet;
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::token::{Spanned, Tok};
+
+/// Parse a token stream into a [`Unit`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] at the offending line on any syntax error.
+pub fn parse(tokens: Vec<Spanned>) -> Result<Unit, CompileError> {
+    Parser { tokens, pos: 0, typedefs: HashSet::new(), structs: HashSet::new() }.unit()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    typedefs: HashSet<String>,
+    structs: HashSet<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&Tok> {
+        self.tokens.get(self.pos + n).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |s| s.line)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), CompileError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok}, found {}", self.describe_peek())))
+        }
+    }
+
+    fn describe_peek(&self) -> String {
+        match self.peek() {
+            Some(t) => t.to_string(),
+            None => "end of input".into(),
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> CompileError {
+        CompileError::parse(self.line(), message)
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ----- types ---------------------------------------------------------
+
+    /// `true` if the current token starts a type.
+    fn at_type(&self) -> bool {
+        match self.peek() {
+            Some(Tok::Void | Tok::Char | Tok::Short | Tok::Kint | Tok::Long | Tok::Double)
+            | Some(Tok::Struct)
+            | Some(Tok::Unsigned | Tok::Const | Tok::Static) => true,
+            Some(Tok::Ident(name)) => self.typedefs.contains(name),
+            _ => false,
+        }
+    }
+
+    /// Parse a base type (no declarator): `int`, `struct S`, typedef name,
+    /// with leading qualifiers skipped.
+    fn base_type(&mut self) -> Result<TypeExpr, CompileError> {
+        while matches!(self.peek(), Some(Tok::Const | Tok::Static | Tok::Unsigned)) {
+            self.bump();
+        }
+        let t = match self.bump() {
+            Some(Tok::Void) => TypeExpr::Void,
+            Some(Tok::Char) => TypeExpr::Char,
+            Some(Tok::Short) => TypeExpr::Short,
+            Some(Tok::Kint) => TypeExpr::Int,
+            Some(Tok::Long) => {
+                // `long long` and `long int` collapse to Long.
+                while matches!(self.peek(), Some(Tok::Long) | Some(Tok::Kint)) {
+                    self.bump();
+                }
+                TypeExpr::Long
+            }
+            Some(Tok::Double) => TypeExpr::Double,
+            Some(Tok::Struct) => {
+                let name = self.ident()?;
+                TypeExpr::Struct(name)
+            }
+            Some(Tok::Ident(name)) if self.typedefs.contains(&name) => TypeExpr::Named(name),
+            other => return Err(self.err(format!("expected type, found {other:?}"))),
+        };
+        Ok(t)
+    }
+
+    /// Parse `base_type` followed by `*`s (an abstract type, e.g. in casts
+    /// and `sizeof`).
+    fn abstract_type(&mut self) -> Result<TypeExpr, CompileError> {
+        let mut t = self.base_type()?;
+        while self.eat(&Tok::Star) {
+            t = TypeExpr::Ptr(Box::new(t));
+        }
+        Ok(t)
+    }
+
+    /// Parse a declarator after the base type: pointers, the name, array
+    /// suffixes, or a function-pointer form `(*name)(params)` /
+    /// `(*name[N])(params)`. Returns `(type, name)`.
+    fn declarator(&mut self, base: TypeExpr) -> Result<(TypeExpr, String), CompileError> {
+        let mut t = base;
+        while self.eat(&Tok::Star) {
+            t = TypeExpr::Ptr(Box::new(t));
+        }
+        if self.eat(&Tok::LParen) {
+            // Function pointer declarator.
+            self.expect(&Tok::Star)?;
+            let name = self.ident()?;
+            let mut array_len = None;
+            if self.eat(&Tok::LBracket) {
+                array_len = Some(self.array_len()?);
+                self.expect(&Tok::RBracket)?;
+            }
+            self.expect(&Tok::RParen)?;
+            self.expect(&Tok::LParen)?;
+            let params = self.param_types()?;
+            self.expect(&Tok::RParen)?;
+            let mut ty = TypeExpr::FnPtr { ret: Box::new(t), params };
+            if let Some(len) = array_len {
+                ty = TypeExpr::Array(Box::new(ty), len);
+            }
+            return Ok((ty, name));
+        }
+        let name = self.ident()?;
+        let mut dims = Vec::new();
+        while self.eat(&Tok::LBracket) {
+            dims.push(self.array_len()?);
+            self.expect(&Tok::RBracket)?;
+        }
+        for len in dims.into_iter().rev() {
+            t = TypeExpr::Array(Box::new(t), len);
+        }
+        Ok((t, name))
+    }
+
+    fn array_len(&mut self) -> Result<usize, CompileError> {
+        match self.bump() {
+            Some(Tok::Int(v)) if v >= 0 => Ok(v as usize),
+            other => Err(self.err(format!("expected array length, found {other:?}"))),
+        }
+    }
+
+    /// Parameter type list for function-pointer types (names optional).
+    fn param_types(&mut self) -> Result<Vec<TypeExpr>, CompileError> {
+        let mut params = Vec::new();
+        if self.peek() == Some(&Tok::RParen) {
+            return Ok(params);
+        }
+        if self.peek() == Some(&Tok::Void) && self.peek_at(1) == Some(&Tok::RParen) {
+            self.bump();
+            return Ok(params);
+        }
+        loop {
+            let mut t = self.abstract_type()?;
+            // Optional parameter name and array suffix.
+            if let Some(Tok::Ident(_)) = self.peek() {
+                self.bump();
+            }
+            if self.eat(&Tok::LBracket) {
+                let len = self.array_len()?;
+                self.expect(&Tok::RBracket)?;
+                t = TypeExpr::Array(Box::new(t), len);
+            }
+            params.push(t);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    // ----- top level -------------------------------------------------------
+
+    fn unit(mut self) -> Result<Unit, CompileError> {
+        let mut decls = Vec::new();
+        while self.peek().is_some() {
+            decls.extend(self.top_decl()?);
+        }
+        Ok(Unit { decls })
+    }
+
+    fn top_decl(&mut self) -> Result<Vec<Decl>, CompileError> {
+        let line = self.line();
+        if self.peek() == Some(&Tok::Typedef) {
+            return self.typedef();
+        }
+        if self.peek() == Some(&Tok::Struct)
+            && matches!(self.peek_at(1), Some(Tok::Ident(_)))
+            && self.peek_at(2) == Some(&Tok::LBrace)
+        {
+            self.bump();
+            let name = self.ident()?;
+            let fields = self.struct_body()?;
+            self.expect(&Tok::Semi)?;
+            self.structs.insert(name.clone());
+            return Ok(vec![Decl::Struct { name, fields, line }]);
+        }
+
+        let base = self.base_type()?;
+        let (ty, name) = self.declarator(base.clone())?;
+
+        if self.peek() == Some(&Tok::LParen) && !matches!(ty, TypeExpr::Array(..) | TypeExpr::FnPtr { .. }) {
+            // Function definition or prototype.
+            self.bump();
+            let params = self.named_params()?;
+            self.expect(&Tok::RParen)?;
+            let body = if self.eat(&Tok::Semi) {
+                None
+            } else {
+                Some(self.block()?)
+            };
+            return Ok(vec![Decl::Function { ret: ty, name, params, body, line }]);
+        }
+
+        // Global variable(s), possibly comma-separated.
+        let mut out = Vec::new();
+        let mut cur = (ty, name);
+        loop {
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
+            out.push(Decl::Global { ty: cur.0, name: cur.1, init, line });
+            if self.eat(&Tok::Comma) {
+                cur = self.declarator(base.clone())?;
+            } else {
+                break;
+            }
+        }
+        self.expect(&Tok::Semi)?;
+        Ok(out)
+    }
+
+    fn typedef(&mut self) -> Result<Vec<Decl>, CompileError> {
+        let line = self.line();
+        self.expect(&Tok::Typedef)?;
+        if self.peek() == Some(&Tok::Struct)
+            && (self.peek_at(1) == Some(&Tok::LBrace)
+                || (matches!(self.peek_at(1), Some(Tok::Ident(_)))
+                    && self.peek_at(2) == Some(&Tok::LBrace)))
+        {
+            // `typedef struct [Tag] { ... } Name;` desugars to a struct
+            // definition plus a typedef alias.
+            self.bump();
+            let tag = if let Some(Tok::Ident(_)) = self.peek() {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            let fields = self.struct_body()?;
+            let name = self.ident()?;
+            self.expect(&Tok::Semi)?;
+            let struct_name = tag.unwrap_or_else(|| name.clone());
+            self.structs.insert(struct_name.clone());
+            self.typedefs.insert(name.clone());
+            return Ok(vec![
+                Decl::Struct { name: struct_name.clone(), fields, line },
+                Decl::Typedef { name, ty: TypeExpr::Struct(struct_name), line },
+            ]);
+        }
+        let base = self.base_type()?;
+        let (ty, name) = self.declarator(base)?;
+        self.expect(&Tok::Semi)?;
+        self.typedefs.insert(name.clone());
+        Ok(vec![Decl::Typedef { name, ty, line }])
+    }
+
+    fn struct_body(&mut self) -> Result<Vec<(TypeExpr, String)>, CompileError> {
+        self.expect(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let base = self.base_type()?;
+            loop {
+                let (ty, name) = self.declarator(base.clone())?;
+                fields.push((ty, name));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::Semi)?;
+        }
+        Ok(fields)
+    }
+
+    fn named_params(&mut self) -> Result<Vec<(TypeExpr, String)>, CompileError> {
+        let mut params = Vec::new();
+        if self.peek() == Some(&Tok::RParen) {
+            return Ok(params);
+        }
+        if self.peek() == Some(&Tok::Void) && self.peek_at(1) == Some(&Tok::RParen) {
+            self.bump();
+            return Ok(params);
+        }
+        loop {
+            let base = self.base_type()?;
+            let (mut ty, name) = self.declarator(base)?;
+            // Array parameters decay to pointers.
+            if let TypeExpr::Array(elem, _) = ty {
+                ty = TypeExpr::Ptr(elem);
+            }
+            params.push((ty, name));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    fn initializer(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        if self.eat(&Tok::LBrace) {
+            let mut items = Vec::new();
+            if !self.eat(&Tok::RBrace) {
+                loop {
+                    items.push(self.initializer()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                    if self.peek() == Some(&Tok::RBrace) {
+                        break; // trailing comma
+                    }
+                }
+                self.expect(&Tok::RBrace)?;
+            }
+            return Ok(Expr { line, kind: ExprKind::InitList(items) });
+        }
+        self.assign_expr()
+    }
+
+    // ----- statements ------------------------------------------------------
+
+    fn block(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Stmt { line, kind: StmtKind::Block(stmts) })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::LBrace) => self.block(),
+            Some(Tok::If) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let then_branch = Box::new(self.stmt()?);
+                let else_branch = if self.eat(&Tok::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt { line, kind: StmtKind::If { cond, then_branch, else_branch } })
+            }
+            Some(Tok::While) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt { line, kind: StmtKind::While { cond, body } })
+            }
+            Some(Tok::Do) => {
+                self.bump();
+                let body = Box::new(self.stmt()?);
+                self.expect(&Tok::While)?;
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt { line, kind: StmtKind::DoWhile { body, cond } })
+            }
+            Some(Tok::For) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else if self.at_type() {
+                    Some(Box::new(self.decl_stmt()?))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    Some(Box::new(Stmt { line, kind: StmtKind::Expr(e) }))
+                };
+                let cond = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Semi)?;
+                let step = if self.peek() == Some(&Tok::RParen) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt { line, kind: StmtKind::For { init, cond, step, body } })
+            }
+            Some(Tok::Return) => {
+                self.bump();
+                let value = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt { line, kind: StmtKind::Return(value) })
+            }
+            Some(Tok::Break) => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt { line, kind: StmtKind::Break })
+            }
+            Some(Tok::Continue) => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt { line, kind: StmtKind::Continue })
+            }
+            Some(Tok::Switch) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let scrutinee = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::LBrace)?;
+                let mut cases: Vec<(i64, Vec<Stmt>)> = Vec::new();
+                let mut default: Option<Vec<Stmt>> = None;
+                while !self.eat(&Tok::RBrace) {
+                    if self.eat(&Tok::Case) {
+                        let neg = self.eat(&Tok::Minus);
+                        let v = match self.bump() {
+                            Some(Tok::Int(v)) => {
+                                if neg {
+                                    -v
+                                } else {
+                                    v
+                                }
+                            }
+                            other => {
+                                return Err(self.err(format!(
+                                    "expected integer case label, found {other:?}"
+                                )))
+                            }
+                        };
+                        self.expect(&Tok::Colon)?;
+                        cases.push((v, Vec::new()));
+                    } else if self.eat(&Tok::Default) {
+                        self.expect(&Tok::Colon)?;
+                        if default.is_some() {
+                            return Err(self.err("duplicate default label"));
+                        }
+                        default = Some(Vec::new());
+                    } else if cases.is_empty() && default.is_none() {
+                        return Err(self.err("statement before first case label"));
+                    } else {
+                        let stmt = self.stmt()?;
+                        // Statements attach to the most recent label; C
+                        // fallthrough is resolved during lowering. A
+                        // default placed before later cases is not
+                        // supported (the common layout is last).
+                        if let Some(d) = default.as_mut() {
+                            d.push(stmt);
+                        } else {
+                            cases.last_mut().expect("label exists").1.push(stmt);
+                        }
+                    }
+                }
+                Ok(Stmt { line, kind: StmtKind::Switch { scrutinee, cases, default } })
+            }
+            Some(Tok::Asm) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let text = match self.bump() {
+                    Some(Tok::Str(s)) => s,
+                    other => return Err(self.err(format!("expected string in asm, found {other:?}"))),
+                };
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt { line, kind: StmtKind::Asm(text) })
+            }
+            Some(Tok::Semi) => {
+                self.bump();
+                Ok(Stmt { line, kind: StmtKind::Block(vec![]) })
+            }
+            _ if self.at_type() => self.decl_stmt(),
+            _ => {
+                let e = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt { line, kind: StmtKind::Expr(e) })
+            }
+        }
+    }
+
+    /// A local declaration statement (single or comma-separated names).
+    fn decl_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        let base = self.base_type()?;
+        let mut stmts = Vec::new();
+        loop {
+            let (ty, name) = self.declarator(base.clone())?;
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
+            stmts.push(Stmt { line, kind: StmtKind::Decl { ty, name, init } });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::Semi)?;
+        if stmts.len() == 1 {
+            Ok(stmts.pop().expect("one statement"))
+        } else {
+            Ok(Stmt { line, kind: StmtKind::Block(stmts) })
+        }
+    }
+
+    // ----- expressions -------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.assign_expr()
+    }
+
+    fn assign_expr(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.ternary_expr()?;
+        let line = lhs.line;
+        let op = match self.peek() {
+            Some(Tok::Assign) => None,
+            Some(Tok::PlusAssign) => Some(BinaryOp::Add),
+            Some(Tok::MinusAssign) => Some(BinaryOp::Sub),
+            Some(Tok::StarAssign) => Some(BinaryOp::Mul),
+            Some(Tok::SlashAssign) => Some(BinaryOp::Div),
+            Some(Tok::PercentAssign) => Some(BinaryOp::Rem),
+            Some(Tok::AmpAssign) => Some(BinaryOp::BitAnd),
+            Some(Tok::PipeAssign) => Some(BinaryOp::BitOr),
+            Some(Tok::CaretAssign) => Some(BinaryOp::BitXor),
+            Some(Tok::ShlAssign) => Some(BinaryOp::Shl),
+            Some(Tok::ShrAssign) => Some(BinaryOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.assign_expr()?;
+        Ok(Expr {
+            line,
+            kind: ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+        })
+    }
+
+    fn ternary_expr(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.binary_expr(0)?;
+        if self.eat(&Tok::Question) {
+            let line = cond.line;
+            let a = self.assign_expr()?;
+            self.expect(&Tok::Colon)?;
+            let b = self.assign_expr()?;
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Ternary(Box::new(cond), Box::new(a), Box::new(b)),
+            });
+        }
+        Ok(cond)
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (prec, kind) = match self.peek() {
+                Some(Tok::OrOr) => (1, None),
+                Some(Tok::AndAnd) => (2, None),
+                Some(Tok::Pipe) => (3, Some(BinaryOp::BitOr)),
+                Some(Tok::Caret) => (4, Some(BinaryOp::BitXor)),
+                Some(Tok::Amp) => (5, Some(BinaryOp::BitAnd)),
+                Some(Tok::EqEq) => (6, Some(BinaryOp::Eq)),
+                Some(Tok::NotEq) => (6, Some(BinaryOp::Ne)),
+                Some(Tok::Lt) => (7, Some(BinaryOp::Lt)),
+                Some(Tok::Le) => (7, Some(BinaryOp::Le)),
+                Some(Tok::Gt) => (7, Some(BinaryOp::Gt)),
+                Some(Tok::Ge) => (7, Some(BinaryOp::Ge)),
+                Some(Tok::Shl) => (8, Some(BinaryOp::Shl)),
+                Some(Tok::Shr) => (8, Some(BinaryOp::Shr)),
+                Some(Tok::Plus) => (9, Some(BinaryOp::Add)),
+                Some(Tok::Minus) => (9, Some(BinaryOp::Sub)),
+                Some(Tok::Star) => (10, Some(BinaryOp::Mul)),
+                Some(Tok::Slash) => (10, Some(BinaryOp::Div)),
+                Some(Tok::Percent) => (10, Some(BinaryOp::Rem)),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let tok = self.bump().expect("operator");
+            let rhs = self.binary_expr(prec + 1)?;
+            let line = lhs.line;
+            lhs = Expr {
+                line,
+                kind: match (tok, kind) {
+                    (Tok::OrOr, _) => ExprKind::LogicalOr(Box::new(lhs), Box::new(rhs)),
+                    (Tok::AndAnd, _) => ExprKind::LogicalAnd(Box::new(lhs), Box::new(rhs)),
+                    (_, Some(op)) => ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                    _ => unreachable!(),
+                },
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        let op = match self.peek() {
+            Some(Tok::Minus) => Some(UnaryOp::Neg),
+            Some(Tok::Bang) => Some(UnaryOp::LogicalNot),
+            Some(Tok::Tilde) => Some(UnaryOp::BitNot),
+            Some(Tok::Star) => Some(UnaryOp::Deref),
+            Some(Tok::Amp) => Some(UnaryOp::AddrOf),
+            Some(Tok::PlusPlus) => Some(UnaryOp::PreInc),
+            Some(Tok::MinusMinus) => Some(UnaryOp::PreDec),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary_expr()?;
+            return Ok(Expr { line, kind: ExprKind::Unary(op, Box::new(operand)) });
+        }
+        if self.peek() == Some(&Tok::Sizeof) {
+            self.bump();
+            self.expect(&Tok::LParen)?;
+            let ty = self.abstract_type()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(Expr { line, kind: ExprKind::SizeofType(ty) });
+        }
+        // Cast: `(` starts a type.
+        if self.peek() == Some(&Tok::LParen) && self.token_starts_type(1) {
+            self.bump();
+            let ty = self.abstract_type()?;
+            self.expect(&Tok::RParen)?;
+            let operand = self.unary_expr()?;
+            return Ok(Expr { line, kind: ExprKind::Cast(ty, Box::new(operand)) });
+        }
+        self.postfix_expr()
+    }
+
+    fn token_starts_type(&self, n: usize) -> bool {
+        match self.peek_at(n) {
+            Some(Tok::Void | Tok::Char | Tok::Short | Tok::Kint | Tok::Long | Tok::Double)
+            | Some(Tok::Struct)
+            | Some(Tok::Unsigned | Tok::Const) => true,
+            Some(Tok::Ident(name)) => {
+                // A typedef name only starts a cast if followed by `*` or `)`.
+                self.typedefs.contains(name)
+                    && matches!(self.peek_at(n + 1), Some(Tok::Star) | Some(Tok::RParen))
+            }
+            _ => false,
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Some(Tok::LParen) => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.assign_expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                    }
+                    if let ExprKind::Ident(name) = &e.kind {
+                        if name == "syscall" {
+                            e = Expr { line: e.line, kind: ExprKind::Syscall(args) };
+                            continue;
+                        }
+                    }
+                    e = Expr { line: e.line, kind: ExprKind::Call { callee: Box::new(e), args } };
+                }
+                Some(Tok::LBracket) => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    e = Expr { line, kind: ExprKind::Index(Box::new(e), Box::new(idx)) };
+                }
+                Some(Tok::Dot) => {
+                    self.bump();
+                    let field = self.ident()?;
+                    e = Expr { line, kind: ExprKind::Member { base: Box::new(e), field, arrow: false } };
+                }
+                Some(Tok::Arrow) => {
+                    self.bump();
+                    let field = self.ident()?;
+                    e = Expr { line, kind: ExprKind::Member { base: Box::new(e), field, arrow: true } };
+                }
+                Some(Tok::PlusPlus) => {
+                    self.bump();
+                    e = Expr { line, kind: ExprKind::Unary(UnaryOp::PostInc, Box::new(e)) };
+                }
+                Some(Tok::MinusMinus) => {
+                    self.bump();
+                    e = Expr { line, kind: ExprKind::Unary(UnaryOp::PostDec, Box::new(e)) };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Expr { line, kind: ExprKind::Int(v) }),
+            Some(Tok::Float(v)) => Ok(Expr { line, kind: ExprKind::Float(v) }),
+            Some(Tok::Str(s)) => Ok(Expr { line, kind: ExprKind::Str(s) }),
+            Some(Tok::Ident(name)) => Ok(Expr { line, kind: ExprKind::Ident(name) }),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Unit {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_function() {
+        let u = parse_src("int add(int a, int b) { return a + b; }");
+        assert_eq!(u.decls.len(), 1);
+        match &u.decls[0] {
+            Decl::Function { name, params, body, .. } => {
+                assert_eq!(name, "add");
+                assert_eq!(params.len(), 2);
+                assert!(body.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_struct_and_typedef() {
+        let u = parse_src(
+            "typedef struct { char from; char to; double score; } Move;\n\
+             typedef double (*EVALFUNC)(int);\n\
+             Move m_global;\n\
+             EVALFUNC evals[7];",
+        );
+        assert!(matches!(&u.decls[0], Decl::Struct { name, fields, .. } if name == "Move" && fields.len() == 3));
+        assert!(matches!(&u.decls[1], Decl::Typedef { name, ty: TypeExpr::Struct(s), .. } if name == "Move" && s == "Move"));
+        assert!(matches!(&u.decls[2], Decl::Typedef { name, ty: TypeExpr::FnPtr { .. }, .. } if name == "EVALFUNC"));
+        assert!(matches!(&u.decls[3], Decl::Global { ty: TypeExpr::Named(n), .. } if n == "Move"));
+        assert!(
+            matches!(&u.decls[4], Decl::Global { ty: TypeExpr::Array(inner, 7), .. } if matches!(**inner, TypeExpr::Named(_)))
+        );
+    }
+
+    #[test]
+    fn parses_function_pointer_decl_and_array() {
+        let u = parse_src("double (*eval)(int); double (*table[4])(int);");
+        assert!(matches!(&u.decls[0], Decl::Global { ty: TypeExpr::FnPtr { .. }, name, .. } if name == "eval"));
+        assert!(matches!(&u.decls[1], Decl::Global { ty: TypeExpr::Array(t, 4), .. } if matches!(**t, TypeExpr::FnPtr { .. })));
+    }
+
+    #[test]
+    fn parses_global_with_init_list() {
+        let u = parse_src("int primes[4] = {2, 3, 5, 7};");
+        match &u.decls[0] {
+            Decl::Global { init: Some(e), .. } => {
+                assert!(matches!(&e.kind, ExprKind::InitList(items) if items.len() == 4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        parse_src(
+            "void f(int n) {\n\
+               int i; int acc = 0;\n\
+               for (i = 0; i < n; i++) { acc += i; if (acc > 10) break; else continue; }\n\
+               while (n--) acc--;\n\
+               do { acc = acc * 2; } while (acc < 100);\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn parses_casts_sizeof_ternary() {
+        let u = parse_src(
+            "typedef struct { int x; } P;\n\
+             void f() { double d = (double)3; int n = sizeof(P); int m = n > 0 ? n : -n; P *p = (P*)malloc(sizeof(P)); }",
+        );
+        // typedef-struct desugars into a struct decl plus a typedef alias.
+        assert_eq!(u.decls.len(), 3);
+    }
+
+    #[test]
+    fn parses_member_access_chain() {
+        parse_src(
+            "struct Pt { int x; int y; };\n\
+             int f(struct Pt *p) { return p->x + (*p).y; }",
+        );
+    }
+
+    #[test]
+    fn parses_asm_and_syscall() {
+        let u = parse_src("void f() { asm(\"wfi\"); syscall(42, 1, 2); }");
+        match &u.decls[0] {
+            Decl::Function { body: Some(b), .. } => {
+                let StmtKind::Block(stmts) = &b.kind else { panic!() };
+                assert!(matches!(&stmts[0].kind, StmtKind::Asm(t) if t == "wfi"));
+                assert!(matches!(&stmts[1].kind, StmtKind::Expr(e) if matches!(&e.kind, ExprKind::Syscall(a) if a.len() == 3)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_declarators() {
+        let u = parse_src("int a, b = 2, *c;");
+        assert_eq!(u.decls.len(), 3);
+    }
+
+    #[test]
+    fn parses_multidim_array() {
+        let u = parse_src("int grid[3][4];");
+        assert!(
+            matches!(&u.decls[0], Decl::Global { ty: TypeExpr::Array(inner, 3), .. } if matches!(**inner, TypeExpr::Array(_, 4)))
+        );
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse(lex("int main( {").unwrap()).is_err());
+        assert!(parse(lex("int x = ;").unwrap()).is_err());
+    }
+
+    #[test]
+    fn precedence() {
+        let u = parse_src("int f() { return 1 + 2 * 3; }");
+        let Decl::Function { body: Some(b), .. } = &u.decls[0] else { panic!() };
+        let StmtKind::Block(stmts) = &b.kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &stmts[0].kind else { panic!() };
+        // Must parse as 1 + (2 * 3).
+        let ExprKind::Binary(BinaryOp::Add, _, rhs) = &e.kind else { panic!("{e:?}") };
+        assert!(matches!(&rhs.kind, ExprKind::Binary(BinaryOp::Mul, _, _)));
+    }
+}

@@ -1,0 +1,139 @@
+//! The §4 batching buffer.
+//!
+//! "The batching reduces the number of communication operations by keeping
+//! the communicated data in a buffer and sending the buffer once. This
+//! batching process amortizes the overheads from the communication function
+//! calls." A [`BatchBuffer`] accumulates payloads and flushes them as one
+//! message; without it every payload pays the link's per-message overhead
+//! and latency (the ablation benchmark quantifies the difference).
+
+use crate::channel::{Channel, Direction, MsgKind};
+use crate::lz;
+
+/// Accumulates payloads for one direction, flushing as a single transfer.
+#[derive(Debug, Clone)]
+pub struct BatchBuffer {
+    direction: Direction,
+    kind: MsgKind,
+    payload: Vec<u8>,
+    items: usize,
+    /// Compress the batch before sending (server→mobile only, per §4).
+    compress: bool,
+}
+
+impl BatchBuffer {
+    /// An empty buffer for `direction` carrying `kind` payloads.
+    pub fn new(direction: Direction, kind: MsgKind, compress: bool) -> Self {
+        BatchBuffer { direction, kind, payload: Vec::new(), items: 0, compress }
+    }
+
+    /// Queue a payload.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.payload.extend_from_slice(bytes);
+        self.items += 1;
+    }
+
+    /// Queued payload size in bytes.
+    pub fn pending_bytes(&self) -> u64 {
+        self.payload.len() as u64
+    }
+
+    /// Number of queued items.
+    pub fn pending_items(&self) -> usize {
+        self.items
+    }
+
+    /// Flush everything as one transfer on `channel` starting at
+    /// `start_s`. Returns `(duration_s, raw_bytes, wire_payload_bytes)`;
+    /// all zeros when nothing is pending.
+    pub fn flush(&mut self, channel: &mut Channel, start_s: f64) -> (f64, u64, u64) {
+        if self.payload.is_empty() {
+            return (0.0, 0, 0);
+        }
+        let raw = self.payload.len() as u64;
+        let wire = if self.compress {
+            let c = lz::compress(&self.payload);
+            // Fall back to raw when compression does not help.
+            (c.len() as u64).min(raw)
+        } else {
+            raw
+        };
+        let duration = channel.transfer(start_s, self.direction, self.kind, raw, wire);
+        self.payload.clear();
+        self.items = 0;
+        (duration, raw, wire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Link;
+
+    #[test]
+    fn batching_beats_per_item_sends() {
+        let link = Link::wifi_802_11ac();
+        // 100 items of 64 bytes each.
+        let mut batched = Channel::new(link.clone());
+        let mut buf = BatchBuffer::new(Direction::MobileToServer, MsgKind::Prefetch, false);
+        for _ in 0..100 {
+            buf.push(&[0xAA; 64]);
+        }
+        let (t_batched, raw, _) = buf.flush(&mut batched, 0.0);
+        assert_eq!(raw, 6400);
+
+        let mut unbatched = Channel::new(link);
+        let mut t_unbatched = 0.0;
+        for _ in 0..100 {
+            t_unbatched += unbatched.transfer(
+                t_unbatched,
+                Direction::MobileToServer,
+                MsgKind::Prefetch,
+                64,
+                64,
+            );
+        }
+        assert!(
+            t_batched < t_unbatched / 10.0,
+            "batching should amortize per-message overhead: {t_batched} vs {t_unbatched}"
+        );
+        assert_eq!(batched.upload_stats().messages, 1);
+        assert_eq!(unbatched.upload_stats().messages, 100);
+    }
+
+    #[test]
+    fn compressed_flush_shrinks_wire_bytes() {
+        let mut ch = Channel::new(Link::wifi_802_11n());
+        let mut buf = BatchBuffer::new(Direction::ServerToMobile, MsgKind::DirtyPage, true);
+        buf.push(&vec![0u8; 4096]);
+        buf.push(&vec![0u8; 4096]);
+        let (_, raw, wire) = buf.flush(&mut ch, 0.0);
+        assert_eq!(raw, 8192);
+        assert!(wire < 256, "zero pages should compress, got {wire}");
+    }
+
+    #[test]
+    fn incompressible_flush_falls_back_to_raw() {
+        let mut ch = Channel::new(Link::wifi_802_11n());
+        let mut buf = BatchBuffer::new(Direction::ServerToMobile, MsgKind::DirtyPage, true);
+        let mut x = 0x9E37_79B9u32;
+        let noise: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(0x0019_660D).wrapping_add(0x3C6E_F35F);
+                (x >> 24) as u8
+            })
+            .collect();
+        buf.push(&noise);
+        let (_, raw, wire) = buf.flush(&mut ch, 0.0);
+        assert!(wire <= raw);
+    }
+
+    #[test]
+    fn empty_flush_is_free() {
+        let mut ch = Channel::new(Link::wifi_802_11n());
+        let mut buf = BatchBuffer::new(Direction::MobileToServer, MsgKind::Control, false);
+        let (t, raw, wire) = buf.flush(&mut ch, 0.0);
+        assert_eq!((t, raw, wire), (0.0, 0, 0));
+        assert!(ch.events().is_empty());
+    }
+}

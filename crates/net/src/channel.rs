@@ -1,0 +1,205 @@
+//! A recorded duplex channel between the mobile device and the server.
+//!
+//! Every transfer is appended to an event log with its simulated start
+//! time, duration, direction and byte counts. The offload runtime replays
+//! this log through the power model to produce the Fig. 8 power-over-time
+//! traces, and the aggregated [`TrafficStats`] fill Table 4's
+//! communication-traffic column.
+
+use crate::link::Link;
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Mobile → server (upload; the mobile transmits).
+    MobileToServer,
+    /// Server → mobile (download; the mobile receives).
+    ServerToMobile,
+}
+
+/// What a message carries (for stats breakdowns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Offload request: task id, stack pointer, page-table summary (§4
+    /// initialization).
+    OffloadRequest,
+    /// Prefetched heap pages sent with the request.
+    Prefetch,
+    /// A copy-on-demand page (§4 offloading execution).
+    DemandPage,
+    /// Dirty pages written back at finalization (§4).
+    DirtyPage,
+    /// The offloaded task's return value and termination signal.
+    Return,
+    /// A remote I/O request or response (§3.4).
+    RemoteIo,
+    /// Control traffic (acks, dynamic-estimation probes).
+    Control,
+}
+
+/// One recorded transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferEvent {
+    /// Simulated start time, seconds.
+    pub start_s: f64,
+    /// Duration, seconds.
+    pub duration_s: f64,
+    /// Direction.
+    pub direction: Direction,
+    /// Payload kind.
+    pub kind: MsgKind,
+    /// Uncompressed payload size.
+    pub raw_bytes: u64,
+    /// Bytes actually on the wire (after compression, plus framing).
+    pub wire_bytes: u64,
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrafficStats {
+    /// Messages sent (after batching).
+    pub messages: u64,
+    /// Total uncompressed payload bytes.
+    pub raw_bytes: u64,
+    /// Total wire bytes.
+    pub wire_bytes: u64,
+    /// Total seconds spent transferring.
+    pub transfer_seconds: f64,
+}
+
+impl TrafficStats {
+    /// Compression ratio achieved (raw / wire), 1.0 when nothing was sent.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.wire_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.wire_bytes as f64
+        }
+    }
+}
+
+/// The recorded channel.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// The link model in force.
+    pub link: Link,
+    events: Vec<TransferEvent>,
+    up: TrafficStats,
+    down: TrafficStats,
+}
+
+impl Channel {
+    /// A channel over `link`.
+    pub fn new(link: Link) -> Self {
+        Channel { link, events: Vec::new(), up: TrafficStats::default(), down: TrafficStats::default() }
+    }
+
+    /// Record a transfer starting at `start_s` carrying `raw_bytes` of
+    /// payload that became `wire_payload_bytes` on the wire (equal unless
+    /// compressed). Returns the transfer duration in seconds.
+    pub fn transfer(
+        &mut self,
+        start_s: f64,
+        direction: Direction,
+        kind: MsgKind,
+        raw_bytes: u64,
+        wire_payload_bytes: u64,
+    ) -> f64 {
+        let duration = self.link.transfer_time(wire_payload_bytes);
+        let wire_bytes = wire_payload_bytes + self.link.per_message_bytes;
+        self.events.push(TransferEvent {
+            start_s,
+            duration_s: duration,
+            direction,
+            kind,
+            raw_bytes,
+            wire_bytes,
+        });
+        let stats = match direction {
+            Direction::MobileToServer => &mut self.up,
+            Direction::ServerToMobile => &mut self.down,
+        };
+        stats.messages += 1;
+        stats.raw_bytes += raw_bytes;
+        stats.wire_bytes += wire_bytes;
+        stats.transfer_seconds += duration;
+        duration
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TransferEvent] {
+        &self.events
+    }
+
+    /// Upload (mobile→server) statistics.
+    pub fn upload_stats(&self) -> TrafficStats {
+        self.up
+    }
+
+    /// Download (server→mobile) statistics.
+    pub fn download_stats(&self) -> TrafficStats {
+        self.down
+    }
+
+    /// Combined statistics.
+    pub fn total_stats(&self) -> TrafficStats {
+        TrafficStats {
+            messages: self.up.messages + self.down.messages,
+            raw_bytes: self.up.raw_bytes + self.down.raw_bytes,
+            wire_bytes: self.up.wire_bytes + self.down.wire_bytes,
+            transfer_seconds: self.up.transfer_seconds + self.down.transfer_seconds,
+        }
+    }
+
+    /// Drop recorded history (between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.up = TrafficStats::default();
+        self.down = TrafficStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_accumulate_stats() {
+        let mut ch = Channel::new(Link::wifi_802_11ac());
+        let d1 = ch.transfer(0.0, Direction::MobileToServer, MsgKind::OffloadRequest, 100, 100);
+        let d2 = ch.transfer(d1, Direction::ServerToMobile, MsgKind::Return, 4096, 1000);
+        assert!(d1 > 0.0 && d2 > 0.0);
+        assert_eq!(ch.upload_stats().messages, 1);
+        assert_eq!(ch.download_stats().messages, 1);
+        assert_eq!(ch.download_stats().raw_bytes, 4096);
+        assert!(ch.download_stats().wire_bytes < 4096);
+        assert_eq!(ch.events().len(), 2);
+        assert!(ch.total_stats().transfer_seconds > 0.0);
+    }
+
+    #[test]
+    fn compression_ratio() {
+        let mut ch = Channel::new(Link::ideal());
+        ch.transfer(0.0, Direction::ServerToMobile, MsgKind::DirtyPage, 8192, 1024);
+        assert!(ch.download_stats().compression_ratio() > 7.0);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut ch = Channel::new(Link::wifi_802_11n());
+        ch.transfer(0.0, Direction::MobileToServer, MsgKind::Control, 1, 1);
+        ch.reset();
+        assert!(ch.events().is_empty());
+        assert_eq!(ch.total_stats().messages, 0);
+    }
+
+    #[test]
+    fn slow_link_produces_longer_events() {
+        let mut slow = Channel::new(Link::wifi_802_11n());
+        let mut fast = Channel::new(Link::wifi_802_11ac());
+        let raw = 1_000_000;
+        let ds = slow.transfer(0.0, Direction::MobileToServer, MsgKind::Prefetch, raw, raw);
+        let df = fast.transfer(0.0, Direction::MobileToServer, MsgKind::Prefetch, raw, raw);
+        assert!(ds > df);
+    }
+}

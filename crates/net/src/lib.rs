@@ -1,0 +1,28 @@
+//! Simulated wireless link for the Native Offloader reproduction.
+//!
+//! The paper evaluates under two real WiFi networks — 802.11n ("slow",
+//! 144 Mbps max) and 802.11ac ("fast", 844 Mbps max) — and §4 describes the
+//! two communication optimizations layered on top: **batching** (buffer
+//! messages, send once, amortize per-call overhead) and **compression**
+//! (server→mobile only, because compression costs much more than
+//! decompression and the mobile CPU must not pay it).
+//!
+//! This crate models exactly those pieces:
+//!
+//! * [`Link`] — bandwidth/latency transfer-time model with presets,
+//! * [`lz`] — a from-scratch LZ77-style codec with a cost model,
+//! * [`BatchBuffer`] — the §4 batching buffer,
+//! * [`Channel`] — a duplex endpoint pair that records every transfer as a
+//!   timestamped [`TransferEvent`] (the input to the Fig. 8 power replay)
+//!   and aggregates [`TrafficStats`] (the "Com. Traf." column of Table 4).
+
+pub mod batch;
+pub mod frame;
+pub mod channel;
+pub mod link;
+pub mod lz;
+
+pub use batch::BatchBuffer;
+pub use frame::{Message, FrameError};
+pub use channel::{Channel, Direction, MsgKind, TrafficStats, TransferEvent};
+pub use link::Link;

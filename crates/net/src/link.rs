@@ -1,0 +1,107 @@
+//! Transfer-time model of a wireless link.
+
+/// A point-to-point link with fixed bandwidth and latency.
+///
+/// Effective bandwidth is derated from the nominal maximum (WiFi never
+/// delivers its marketing rate; the paper's Equation 1 example plugs in
+/// 80 Mbps for the 144 Mbps network).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// Human-readable name.
+    pub name: String,
+    /// Effective payload bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way latency in seconds.
+    pub latency_s: f64,
+    /// Fixed protocol overhead added to every message, in bytes.
+    pub per_message_bytes: u64,
+}
+
+impl Link {
+    /// The paper's **slow** network: 802.11n, 144 Mbps nominal.
+    /// Effective ≈ 80 Mbps (the figure Eq. 1's worked example uses).
+    pub fn wifi_802_11n() -> Self {
+        Link {
+            name: "802.11n (slow)".into(),
+            bandwidth_bps: 80_000_000,
+            latency_s: 0.002,
+            per_message_bytes: 96,
+        }
+    }
+
+    /// The paper's **fast** network: 802.11ac, 844 Mbps nominal,
+    /// effective ≈ 500 Mbps.
+    pub fn wifi_802_11ac() -> Self {
+        Link {
+            name: "802.11ac (fast)".into(),
+            bandwidth_bps: 500_000_000,
+            latency_s: 0.001,
+            per_message_bytes: 96,
+        }
+    }
+
+    /// An idealized infinite link (zero cost) — the "Ideal offloading"
+    /// series of Fig. 6 is an offload run over this link.
+    pub fn ideal() -> Self {
+        Link {
+            name: "ideal".into(),
+            bandwidth_bps: u64::MAX,
+            latency_s: 0.0,
+            per_message_bytes: 0,
+        }
+    }
+
+    /// A custom link.
+    pub fn custom(name: impl Into<String>, bandwidth_bps: u64, latency_s: f64) -> Self {
+        Link { name: name.into(), bandwidth_bps, latency_s, per_message_bytes: 96 }
+    }
+
+    /// Seconds to move one message of `payload_bytes` across the link.
+    pub fn transfer_time(&self, payload_bytes: u64) -> f64 {
+        if self.bandwidth_bps == u64::MAX {
+            return 0.0;
+        }
+        let wire_bytes = payload_bytes + self.per_message_bytes;
+        self.latency_s + (wire_bytes * 8) as f64 / self.bandwidth_bps as f64
+    }
+
+    /// Seconds for a zero-payload control round trip.
+    pub fn round_trip_time(&self) -> f64 {
+        2.0 * self.transfer_time(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slower_link_takes_longer() {
+        let slow = Link::wifi_802_11n();
+        let fast = Link::wifi_802_11ac();
+        let mb = 1_000_000;
+        assert!(slow.transfer_time(mb) > fast.transfer_time(mb));
+    }
+
+    #[test]
+    fn eq1_example_magnitude() {
+        // Eq. 1's example: 12 MB at 80 Mbps ≈ 1.2 s one way.
+        let slow = Link::wifi_802_11n();
+        let t = slow.transfer_time(12 * 1024 * 1024);
+        assert!((1.0..1.5).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn ideal_link_is_free() {
+        let l = Link::ideal();
+        assert_eq!(l.transfer_time(1 << 30), 0.0);
+        assert_eq!(l.round_trip_time(), 0.0);
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let l = Link::wifi_802_11ac();
+        let t = l.transfer_time(16);
+        assert!(t < 0.0011, "small message should be ~latency, got {t}");
+    }
+}

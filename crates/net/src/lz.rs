@@ -1,0 +1,230 @@
+//! A from-scratch LZ77-style codec with a time-cost model.
+//!
+//! §4: "the runtime also compresses the communicated data before sending it
+//! ... since compression requires much more time than decompression, the
+//! Native Offloader runtime applies the compression only to the
+//! server-to-mobile communication" — so the codec's cost asymmetry is part
+//! of the design, not an implementation detail. [`COMPRESS_NS_PER_BYTE`]
+//! and [`DECOMPRESS_NS_PER_BYTE`] encode that asymmetry.
+//!
+//! Wire format, token by token:
+//!
+//! * `0x00, len:u8, bytes...` — literal run of `len` (1–255) bytes
+//! * `0x01, off_lo, off_hi, len:u8` — copy `len` (4–255) bytes from
+//!   `offset` (1–65535) bytes back
+
+use std::collections::HashMap;
+
+/// Nanoseconds per input byte to compress (server-class core).
+pub const COMPRESS_NS_PER_BYTE: f64 = 18.0;
+/// Nanoseconds per output byte to decompress (mobile-class core).
+pub const DECOMPRESS_NS_PER_BYTE: f64 = 3.5;
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 255;
+const MAX_OFFSET: usize = 65_535;
+
+/// Compress `data`.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut table: HashMap<[u8; MIN_MATCH], Vec<usize>> = HashMap::new();
+    let mut literals: Vec<u8> = Vec::new();
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, lits: &mut Vec<u8>| {
+        for chunk in lits.chunks(255) {
+            out.push(0x00);
+            out.push(chunk.len() as u8);
+            out.extend_from_slice(chunk);
+        }
+        lits.clear();
+    };
+
+    while i < data.len() {
+        let mut best: Option<(usize, usize)> = None; // (offset, len)
+        if i + MIN_MATCH <= data.len() {
+            let key: [u8; MIN_MATCH] = data[i..i + MIN_MATCH].try_into().expect("length checked");
+            if let Some(positions) = table.get(&key) {
+                // Scan recent candidates first (at most 16 to bound time).
+                for &pos in positions.iter().rev().take(16) {
+                    let offset = i - pos;
+                    if offset > MAX_OFFSET {
+                        break;
+                    }
+                    let mut len = 0usize;
+                    while len < MAX_MATCH && i + len < data.len() && data[pos + len] == data[i + len]
+                    {
+                        len += 1;
+                    }
+                    if len >= MIN_MATCH && best.is_none_or(|(_, bl)| len > bl) {
+                        best = Some((offset, len));
+                    }
+                }
+            }
+            table.entry(key).or_default().push(i);
+        }
+        match best {
+            Some((offset, len)) => {
+                flush_literals(&mut out, &mut literals);
+                out.push(0x01);
+                out.push((offset & 0xFF) as u8);
+                out.push((offset >> 8) as u8);
+                out.push(len as u8);
+                // Index a few positions inside the match so future matches
+                // can start there too.
+                for k in 1..len.min(8) {
+                    let p = i + k;
+                    if p + MIN_MATCH <= data.len() {
+                        let key: [u8; MIN_MATCH] =
+                            data[p..p + MIN_MATCH].try_into().expect("length checked");
+                        table.entry(key).or_default().push(p);
+                    }
+                }
+                i += len;
+            }
+            None => {
+                literals.push(data[i]);
+                i += 1;
+            }
+        }
+    }
+    flush_literals(&mut out, &mut literals);
+    out
+}
+
+/// Decompression failure (corrupt stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Offset in the compressed stream where decoding failed.
+    pub at: usize,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt LZ stream at byte {}", self.at)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decompress a stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or malformed input.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0usize;
+    while i < data.len() {
+        match data[i] {
+            0x00 => {
+                let len = *data.get(i + 1).ok_or(DecodeError { at: i })? as usize;
+                let start = i + 2;
+                let end = start + len;
+                if end > data.len() || len == 0 {
+                    return Err(DecodeError { at: i });
+                }
+                out.extend_from_slice(&data[start..end]);
+                i = end;
+            }
+            0x01 => {
+                if i + 4 > data.len() {
+                    return Err(DecodeError { at: i });
+                }
+                let offset = data[i + 1] as usize | ((data[i + 2] as usize) << 8);
+                let len = data[i + 3] as usize;
+                if offset == 0 || offset > out.len() || len < MIN_MATCH {
+                    return Err(DecodeError { at: i });
+                }
+                let start = out.len() - offset;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+                i += 4;
+            }
+            _ => return Err(DecodeError { at: i }),
+        }
+    }
+    Ok(out)
+}
+
+/// Seconds to compress `bytes` input bytes (server-side cost).
+pub fn compress_seconds(bytes: u64) -> f64 {
+    bytes as f64 * COMPRESS_NS_PER_BYTE * 1e-9
+}
+
+/// Seconds to decompress to `bytes` output bytes (mobile-side cost).
+pub fn decompress_seconds(bytes: u64) -> f64 {
+    bytes as f64 * DECOMPRESS_NS_PER_BYTE * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_texty_data() {
+        let data = b"the quick brown fox jumps over the lazy dog, the quick brown fox again".repeat(20);
+        let c = compress(&data);
+        assert!(c.len() < data.len(), "compressible data must shrink: {} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_zero_page() {
+        // Pages of zeroes dominate offload traffic; they must compress hard.
+        let page = vec![0u8; 4096];
+        let c = compress(&page);
+        assert!(c.len() < 128, "zero page compressed to {} bytes", c.len());
+        assert_eq!(decompress(&c).unwrap(), page);
+    }
+
+    #[test]
+    fn roundtrip_incompressible_data() {
+        // A pseudo-random byte soup: may expand slightly, must roundtrip.
+        let mut x: u32 = 0x1234_5678;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 24) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert!(c.len() <= data.len() + data.len() / 128 + 16);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        assert_eq!(decompress(&compress(&[])).unwrap(), Vec::<u8>::new());
+        assert_eq!(decompress(&compress(&[7])).unwrap(), vec![7]);
+        assert_eq!(decompress(&compress(b"abc")).unwrap(), b"abc".to_vec());
+    }
+
+    #[test]
+    fn corrupt_streams_error() {
+        assert!(decompress(&[0x02]).is_err());
+        assert!(decompress(&[0x00, 5, 1, 2]).is_err()); // truncated literals
+        assert!(decompress(&[0x01, 1, 0, 10]).is_err()); // match before start
+        assert!(decompress(&[0x01, 0, 0]).is_err()); // truncated match
+    }
+
+    #[test]
+    fn cost_asymmetry_matches_the_papers_rationale() {
+        // Compression must cost several times more than decompression —
+        // that is why §4 only compresses server→mobile.
+        assert!(compress_seconds(1_000_000) > 3.0 * decompress_seconds(1_000_000));
+    }
+
+    #[test]
+    fn overlapping_match_copies() {
+        // "aaaaaaa...": matches overlap their own output.
+        let data = vec![b'a'; 1000];
+        let c = compress(&data);
+        assert!(c.len() < 40);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+}

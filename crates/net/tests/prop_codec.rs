@@ -1,0 +1,61 @@
+//! Property tests for the LZ codec and the link model. The codec carries
+//! every dirty page home (§4); a corrupting codec corrupts program state
+//! invisibly, so roundtripping is tested against adversarial inputs.
+
+use offload_net::{lz, Link};
+use proptest::prelude::*;
+
+proptest! {
+    /// compress → decompress is the identity for arbitrary bytes.
+    #[test]
+    fn roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..20_000)) {
+        let packed = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&packed).unwrap(), data);
+    }
+
+    /// ...including highly repetitive inputs with long overlapping
+    /// matches (the zero-page / struct-array shape of real traffic).
+    #[test]
+    fn roundtrip_repetitive(byte in any::<u8>(), run in 1usize..30_000, tail in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut data = vec![byte; run];
+        data.extend(tail);
+        let packed = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&packed).unwrap(), data);
+    }
+
+    /// ...and for page-structured data: repeated 4 KiB blocks compress to
+    /// less than one block.
+    #[test]
+    fn repeated_pages_compress_hard(page in prop::collection::vec(any::<u8>(), 64..256), reps in 4usize..16) {
+        let data: Vec<u8> = std::iter::repeat_n(page.clone(), reps).flatten().collect();
+        let packed = lz::compress(&data);
+        prop_assert!(packed.len() < page.len() * 2 + 64,
+            "{} bytes compressed to {}", data.len(), packed.len());
+        prop_assert_eq!(lz::decompress(&packed).unwrap(), data);
+    }
+
+    /// Truncating a valid stream never panics — it errors or yields a
+    /// prefix-decodable result, but must not crash the runtime.
+    #[test]
+    fn truncation_never_panics(data in prop::collection::vec(any::<u8>(), 1..4_000), cut in 0usize..4_000) {
+        let packed = lz::compress(&data);
+        let cut = cut.min(packed.len());
+        let _ = lz::decompress(&packed[..cut]); // Ok or Err, never panic
+    }
+
+    /// Transfer time is monotone in payload size and bounded below by the
+    /// link latency.
+    #[test]
+    fn transfer_time_is_monotone(a in 0u64..10_000_000, b in 0u64..10_000_000) {
+        let link = Link::wifi_802_11n();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(link.transfer_time(lo) <= link.transfer_time(hi));
+        prop_assert!(link.transfer_time(lo) >= link.latency_s);
+    }
+
+    /// A faster link never loses: 802.11ac ≤ 802.11n for every size.
+    #[test]
+    fn faster_link_dominates(bytes in 0u64..50_000_000) {
+        prop_assert!(Link::wifi_802_11ac().transfer_time(bytes) <= Link::wifi_802_11n().transfer_time(bytes));
+    }
+}

@@ -1,0 +1,153 @@
+//! The chess game running example (Table 1, Table 3, Fig. 3).
+//!
+//! The paper opens with a chess application: movement computation on a
+//! Galaxy S5 is >5× slower than on a desktop at every difficulty level
+//! (Table 1), and §3 walks the compiler through it — `getAITurn` (with a
+//! remotable `printf` and the `evals` function-pointer table) is offloaded,
+//! `getPlayerTurn` (interactive `scanf`) pins its callers to the phone,
+//! and the estimator's Table 3 separates `for_i` from the too-chatty
+//! `for_j`.
+//!
+//! This miniature keeps all of those landmarks: the `Move`/`Piece` structs
+//! (the Fig. 4 layout demo), the `u_malloc`-able `board`, the `evals`
+//! table, and a search whose cost grows ~3× per difficulty level like
+//! Table 1's measurements.
+
+use native_offloader::WorkloadInput;
+
+/// The chess MiniC source (Fig. 3(a), elaborated to a runnable game).
+pub const SOURCE: &str = r#"
+typedef struct { char from; char to; double score; } Move;
+typedef struct { char loc; char owner; char type; } Piece;
+typedef double (*EVALFUNC)(Piece*);
+
+int maxDepth;
+Piece *board;
+
+double evalEmpty(Piece *p)  { return 0.0; }
+double evalPawn(Piece *p)   { return 1.0 + (double)(p->loc % 8) * 0.01; }
+double evalKnight(Piece *p) { return 3.0 + (double)(p->loc % 5) * 0.02; }
+double evalBishop(Piece *p) { return 3.1 + (double)(p->loc % 7) * 0.02; }
+double evalRook(Piece *p)   { return 5.0 + (double)(p->loc % 3) * 0.05; }
+double evalQueen(Piece *p)  { return 9.0 + (double)(p->loc % 9) * 0.03; }
+double evalKing(Piece *p)   { return 200.0; }
+
+EVALFUNC evals[7] = { evalEmpty, evalPawn, evalKnight, evalBishop,
+                      evalRook, evalQueen, evalKing };
+
+double search(int depth) {
+    if (depth <= 0) return 1.0;
+    double s = 0.0;
+    int k;
+    for (k = 0; k < 3; k++) s += search(depth - 1) * 0.33 + (double)(k % 2);
+    return s;
+}
+
+Move getAITurn() {
+    Move mv;
+    int i; int j;
+    mv.score = 0.0;
+    for (i = 0; i < maxDepth; i++) {
+        for (j = 0; j < 64; j++) {
+            char pieceType = board[j].type;
+            EVALFUNC eval = evals[pieceType % 7];
+            mv.score += eval(&board[j]);
+        }
+    }
+    mv.score += search(maxDepth);
+    printf("%f\n", mv.score);
+    mv.from = (char)((int)mv.score % 64);
+    mv.to = (char)(((int)mv.score / 64) % 64);
+    return mv;
+}
+
+Move getPlayerTurn() {
+    Move mv;
+    int f; int t;
+    scanf("%d %d", &f, &t);
+    mv.from = (char)f;
+    mv.to = (char)t;
+    mv.score = 0.0;
+    return mv;
+}
+
+void applyMove(Move *mv) {
+    Piece tmp;
+    int f = mv->from;
+    int t = mv->to;
+    if (f < 0) f = -f;
+    if (t < 0) t = -t;
+    tmp = board[f % 64];
+    board[t % 64] = tmp;
+    board[f % 64].type = 0;
+}
+
+void runGame(int turns) {
+    int m;
+    Move mv;
+    for (m = 0; m < turns; m++) {
+        mv = getPlayerTurn();
+        applyMove(&mv);
+        mv = getAITurn();
+        applyMove(&mv);
+    }
+}
+
+int main() {
+    int turns; int j;
+    scanf("%d %d", &maxDepth, &turns);
+    board = (Piece*)malloc(sizeof(Piece) * 64);
+    for (j = 0; j < 64; j++) {
+        board[j].loc = (char)j;
+        board[j].owner = (char)(j / 32);
+        board[j].type = (char)(j % 7);
+    }
+    runGame(turns);
+    free((char*)board);
+    return 0;
+}
+"#;
+
+/// Input for a game at `difficulty` playing `turns` moves.
+pub fn input(difficulty: u32, turns: u32) -> WorkloadInput {
+    let mut stdin = format!("{difficulty} {turns}\n");
+    for m in 0..turns {
+        stdin.push_str(&format!("{} {}\n", (m * 13 + 5) % 64, (m * 29 + 11) % 64));
+    }
+    WorkloadInput::from_stdin(stdin)
+}
+
+/// The Table 1 difficulty sweep.
+pub const TABLE1_DIFFICULTIES: [u32; 5] = [7, 8, 9, 10, 11];
+
+#[cfg(test)]
+mod tests {
+    use native_offloader::{Offloader, SessionConfig};
+
+    #[test]
+    fn chess_compiles_and_selects_get_ai_turn() {
+        let app = Offloader::new()
+            .compile_source(super::SOURCE, "chess", &super::input(9, 2))
+            .unwrap();
+        assert!(
+            app.plan.task_by_name("getAITurn").is_some(),
+            "estimates: {:#?}",
+            app.plan.estimates
+        );
+        assert!(app.plan.task_by_name("getPlayerTurn").is_none());
+        assert!(app.plan.task_by_name("runGame").is_none());
+    }
+
+    #[test]
+    fn chess_offloaded_game_matches_local() {
+        let app = Offloader::new()
+            .compile_source(super::SOURCE, "chess", &super::input(9, 2))
+            .unwrap();
+        let input = super::input(10, 3);
+        let local = app.run_local(&input).unwrap();
+        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        assert_eq!(local.console, off.console);
+        assert_eq!(off.offloads_performed, 3, "one offload per AI turn");
+        assert!(off.fn_map_translations > 0, "evals table is translated on the server");
+    }
+}

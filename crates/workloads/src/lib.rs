@@ -1,0 +1,169 @@
+//! Workloads for the Native Offloader reproduction.
+//!
+//! The paper evaluates 17 native C programs from SPEC CPU2000/CPU2006
+//! (Table 4). SPEC sources and reference inputs are licensed material and
+//! far too large to interpret, so each program is represented by a
+//! **miniature**: a MiniC program engineered to match its SPEC
+//! counterpart's *offload-relevant signature* —
+//!
+//! * the ratio of computation to communicated memory (which drives the
+//!   Equation-1 decisions and the slow-network refusals),
+//! * the number of target invocations (`458.sjeng` calls `think` per move;
+//!   `188.ammp` has two targets),
+//! * function-pointer use in the hot region (`445.gobmk`'s `commands`,
+//!   `458.sjeng`'s `evalRoutines`, `464.h264ref`'s SAD table),
+//! * remote-input behaviour (`300.twolf`, `445.gobmk`, `464.h264ref` read
+//!   files inside the offloaded region).
+//!
+//! Inputs are scaled ~1000× down from SPEC so the whole suite simulates in
+//! seconds; scaling compute and memory together preserves every Equation-1
+//! ratio. Each [`WorkloadSpec`] carries the paper's published Table 4 row
+//! ([`PaperRow`]) so the benchmark harness can print paper-vs-measured
+//! side by side.
+//!
+//! # Example
+//!
+//! ```
+//! let w = offload_workloads::by_short_name("hmmer").unwrap();
+//! let app = w.compile().unwrap();
+//! assert!(app.plan.task_by_name(w.paper.target).is_some());
+//! ```
+
+pub mod chess;
+pub mod programs;
+
+use native_offloader::{CompileConfig, CompiledApp, OffloadError, Offloader, WorkloadInput};
+
+/// The published Table 4 row for one SPEC program (plus the Fig. 6 slow-
+/// network refusal flag), used for paper-vs-measured reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Lines of code (thousands) of the SPEC program.
+    pub loc_k: f64,
+    /// Smartphone execution time with the evaluation input, seconds.
+    pub exec_time_s: f64,
+    /// Offloaded functions / total functions.
+    pub offloaded_fns: (u32, u32),
+    /// Referenced globals / total globals.
+    pub referenced_gv: (u32, u32),
+    /// Function-pointer uses.
+    pub fn_ptr_uses: u32,
+    /// The offloaded target's name.
+    pub target: &'static str,
+    /// Coverage of whole-program execution time, percent.
+    pub coverage_pct: f64,
+    /// Target invocations.
+    pub invocations: u32,
+    /// Communication traffic per invocation, MB.
+    pub traffic_mb_per_inv: f64,
+    /// `true` if Fig. 6 marks the program `*` (not offloaded) on the slow
+    /// network.
+    pub refused_on_slow: bool,
+}
+
+/// One workload: a MiniC miniature plus its paper row.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// SPEC-style name (`164.gzip`).
+    pub name: &'static str,
+    /// Short name (`gzip`).
+    pub short: &'static str,
+    /// What the program does.
+    pub description: &'static str,
+    /// MiniC source.
+    pub source: &'static str,
+    /// Input for the profiling run (the paper uses *different* inputs for
+    /// profiling and evaluation).
+    pub profile_input: fn() -> WorkloadInput,
+    /// Input for the evaluation run.
+    pub eval_input: fn() -> WorkloadInput,
+    /// The offload target's name in *this* reproduction (paper loop
+    /// targets like `main_for.cond` appear here as outlined-loop names).
+    pub expected_target: &'static str,
+    /// The paper's published numbers.
+    pub paper: PaperRow,
+}
+
+impl WorkloadSpec {
+    /// Compile this workload with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or profiling failures.
+    pub fn compile(&self) -> Result<CompiledApp, OffloadError> {
+        self.compile_with(CompileConfig::default())
+    }
+
+    /// Compile with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or profiling failures.
+    pub fn compile_with(&self, config: CompileConfig) -> Result<CompiledApp, OffloadError> {
+        Offloader::with_config(config).compile_source(self.source, self.name, &(self.profile_input)())
+    }
+}
+
+/// All 17 SPEC miniatures, in Table 4 order.
+pub fn all() -> Vec<WorkloadSpec> {
+    programs::all()
+}
+
+/// Look a workload up by its short name (`gzip`, `sjeng`, ...).
+pub fn by_short_name(short: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|w| w.short == short)
+}
+
+/// Look a workload up by its SPEC name (`164.gzip`, ...).
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_has_all_17() {
+        let names: Vec<&str> = super::all().iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 17);
+        for expected in [
+            "164.gzip",
+            "175.vpr",
+            "177.mesa",
+            "179.art",
+            "183.equake",
+            "188.ammp",
+            "300.twolf",
+            "401.bzip2",
+            "429.mcf",
+            "433.milc",
+            "445.gobmk",
+            "456.hmmer",
+            "458.sjeng",
+            "462.libquantum",
+            "464.h264ref",
+            "470.lbm",
+            "482.sphinx3",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_names() {
+        assert!(super::by_short_name("gzip").is_some());
+        assert!(super::by_name("458.sjeng").is_some());
+        assert!(super::by_short_name("nope").is_none());
+    }
+
+    #[test]
+    fn refusal_set_matches_section_5_1() {
+        // §5.1: gzip, bzip2, mcf, sjeng and lbm are communication-heavy
+        // and not offloaded on the slow network.
+        let refused: Vec<&str> = super::all()
+            .iter()
+            .filter(|w| w.paper.refused_on_slow)
+            .map(|w| w.short)
+            .collect();
+        assert_eq!(refused, vec!["gzip", "bzip2", "mcf", "sjeng", "lbm"]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Compression miniatures: `164.gzip` and `401.bzip2`.
+//!
+//! Signature (Table 4): a single `spec_compress` invocation that touches a
+//! large input/output buffer — the biggest traffic-to-computation ratios
+//! of the suite (151.5 MB and 134.3 MB per invocation against 15.3 s and
+//! 27.0 s of mobile time). These are the programs whose offloads the
+//! dynamic estimator *refuses on the slow network* (§5.1), and `164.gzip`
+//! is the one program whose battery consumption offloading can't save
+//! (§5.2).
+
+use crate::{PaperRow, WorkloadSpec};
+use native_offloader::WorkloadInput;
+
+const GZIP_SRC: &str = r#"
+// 164.gzip miniature: hash-chain LZ compressor over an in-memory buffer.
+int seed;
+char inbuf[131072];
+char outbuf[160000];
+int head[4096];
+int out_len;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+int spec_compress(int n) {
+    int i; int h; int cand; int j; int best; int op = 0;
+    long check = 0;
+    for (i = 0; i < 4096; i++) head[i] = -1;
+    // Pass 1: the CRC pass of real gzip.
+    for (i = 0; i < n; i++) check = (check * 31 + inbuf[i]) % 1000000007;
+    // Pass 3: greedy hash-match compression.
+    i = 0;
+    while (i + 4 < n) {
+        h = ((inbuf[i] * 33 + inbuf[i + 1]) * 33 + inbuf[i + 2]) & 4095;
+        cand = head[h];
+        head[h] = i;
+        best = 0;
+        if (cand >= 0) {
+            j = 0;
+            while (j < 250 && i + j < n && inbuf[cand + j] == inbuf[i + j]) j++;
+            best = j;
+        }
+        if (best >= 4) {
+            outbuf[op] = 1;
+            outbuf[op + 1] = (char)best;
+            op += 2;
+            i += best;
+        } else {
+            outbuf[op] = inbuf[i];
+            op += 1;
+            i += 1;
+        }
+    }
+    out_len = op;
+    return (int)(check % 100000);
+}
+
+int main() {
+    int n; int i;
+    scanf("%d", &n);
+    for (i = 0; i < n; i++) inbuf[i] = (char)((i / 11) % 61 + ((i * i) % 5));
+    int check = spec_compress(n);
+    printf("checksum %d outlen %d\n", check, out_len);
+    return 0;
+}
+"#;
+
+/// The `164.gzip` miniature.
+pub fn gzip() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "164.gzip",
+        short: "gzip",
+        description: "LZ-style in-memory compression (SPEC CPU2000)",
+        source: GZIP_SRC,
+        profile_input: || WorkloadInput::from_stdin("65536\n"),
+        eval_input: || WorkloadInput::from_stdin("98304\n"),
+        expected_target: "spec_compress",
+        paper: PaperRow {
+            loc_k: 5.5,
+            exec_time_s: 15.3,
+            offloaded_fns: (20, 89),
+            referenced_gv: (141, 241),
+            fn_ptr_uses: 9,
+            target: "spec_compress",
+            coverage_pct: 98.90,
+            invocations: 1,
+            traffic_mb_per_inv: 151.5,
+            refused_on_slow: true,
+        },
+    }
+}
+
+const BZIP2_SRC: &str = r#"
+// 401.bzip2 miniature: move-to-front transform + run-length coding.
+int seed;
+char src[131072];
+char mtfbuf[131072];
+char outb[262144];
+char order[256];
+int out_len;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+int spec_compress(int n) {
+    int i; int j; int c; int pos; int op = 0;
+    long check = 0;
+    for (i = 0; i < 256; i++) order[i] = (char)i;
+    // Pass 1: move-to-front transform.
+    for (i = 0; i < n; i++) {
+        c = src[i];
+        if (c < 0) c = c + 256;
+        pos = 0;
+        while (order[pos] != (char)c) pos++;
+        for (j = pos; j > 0; j--) order[j] = order[j - 1];
+        order[0] = (char)c;
+        mtfbuf[i] = (char)pos;
+        check = (check + pos * 131) % 1000000007;
+    }
+    // Pass 2: run-length encode the MTF output.
+    i = 0;
+    while (i < n) {
+        int run = 1;
+        while (i + run < n && mtfbuf[i + run] == mtfbuf[i] && run < 200) run++;
+        outb[op] = mtfbuf[i];
+        outb[op + 1] = (char)run;
+        op += 2;
+        i += run;
+    }
+    out_len = op;
+    return (int)(check % 100000);
+}
+
+int main() {
+    int n; int i;
+    scanf("%d", &n);
+    seed = 424242;
+    for (i = 0; i < n; i++) src[i] = (char)((i / 23) % 17 + (rnd() % 3));
+    int check = spec_compress(n);
+    printf("checksum %d outlen %d\n", check, out_len);
+    return 0;
+}
+"#;
+
+/// The `401.bzip2` miniature.
+pub fn bzip2() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "401.bzip2",
+        short: "bzip2",
+        description: "MTF + RLE block compression (SPEC CPU2006)",
+        source: BZIP2_SRC,
+        profile_input: || WorkloadInput::from_stdin("65536\n"),
+        eval_input: || WorkloadInput::from_stdin("114688\n"),
+        expected_target: "spec_compress",
+        paper: PaperRow {
+            loc_k: 5.7,
+            exec_time_s: 27.0,
+            offloaded_fns: (58, 100),
+            referenced_gv: (95, 120),
+            fn_ptr_uses: 24,
+            target: "spec_compress",
+            coverage_pct: 98.79,
+            invocations: 1,
+            traffic_mb_per_inv: 134.3,
+            refused_on_slow: true,
+        },
+    }
+}

@@ -1,0 +1,270 @@
+//! Game-playing miniatures: `445.gobmk`, `458.sjeng`, `462.libquantum`.
+//!
+//! `458.sjeng` is the paper's flagship interactive program: `think` runs
+//! once per move (3 invocations), dereferences the `evalRoutines` function
+//! pointer table per node (the Fig. 7 translation overhead) and ships
+//! 240 MB per invocation (slow-network refusal). `445.gobmk` dispatches
+//! commands through a function-pointer array *and* reads its play-record
+//! file remotely — the §5.2 program whose radio never sleeps (Fig. 8(b)).
+//! `462.libquantum` is a plain compute loop over a modest state vector.
+
+use crate::{PaperRow, WorkloadSpec};
+use native_offloader::WorkloadInput;
+
+const SJENG_SRC: &str = r#"
+// 458.sjeng miniature: fixed-depth chess search with a function-pointer
+// evaluation table and large search-history tables.
+typedef int (*EVALF)(int);
+
+char board[64];
+int history[16384];
+int trans[32768];
+int seed;
+
+int evalPawn(int sq)   { return 100 + (sq % 8); }
+int evalKnight(int sq) { return 300 + (sq % 5); }
+int evalBishop(int sq) { return 310 + (sq % 7); }
+int evalRook(int sq)   { return 500 + (sq % 3); }
+int evalQueen(int sq)  { return 900 + (sq % 9); }
+int evalKing(int sq)   { return 10000 + (sq % 2); }
+int evalEmpty(int sq)  { return 0; }
+
+EVALF evalRoutines[7] = { evalEmpty, evalPawn, evalKnight, evalBishop,
+                          evalRook, evalQueen, evalKing };
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+int think(int nodes) {
+    int n; int sq; int score = 0; int h;
+    EVALF eval;
+    for (n = 0; n < nodes; n++) {
+        sq = (n * 17 + seed) % 64;
+        int piece = board[sq] % 7;
+        if (piece < 0) piece = -piece;
+        eval = evalRoutines[piece];
+        score += eval(sq) % 1000;
+        h = (score * 31 + sq) & 16383;
+        history[h]++;
+        trans[(score + n) & 32767] = score;
+        if (history[h] > 3) score -= history[h] % 5;
+        board[(sq + 1) % 64] = (char)((board[sq] + 1) % 7);
+    }
+    return score;
+}
+
+int main() {
+    int nodes; int moves; int m; int i;
+    scanf("%d %d", &nodes, &moves);
+    seed = 2;
+    for (i = 0; i < 64; i++) board[i] = (char)(i % 7);
+    int total = 0;
+    for (m = 0; m < moves; m++) {
+        int s = think(nodes);
+        total = (total + s) % 1000000;
+        // the opponent's move arrives interactively
+        int dummy;
+        scanf("%d", &dummy);
+        board[dummy % 64] = (char)(dummy % 7);
+    }
+    printf("line %d\n", total);
+    return 0;
+}
+"#;
+
+/// The `458.sjeng` miniature.
+pub fn sjeng() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "458.sjeng",
+        short: "sjeng",
+        description: "chess search with a function-pointer eval table (SPEC CPU2006)",
+        source: SJENG_SRC,
+        profile_input: || WorkloadInput::from_stdin("60000 3\n12 9 33\n"),
+        eval_input: || WorkloadInput::from_stdin("130000 3\n7 22 41\n"),
+        expected_target: "think",
+        paper: PaperRow {
+            loc_k: 10.5,
+            exec_time_s: 950.8,
+            offloaded_fns: (91, 144),
+            referenced_gv: (495, 624),
+            fn_ptr_uses: 1,
+            target: "think",
+            coverage_pct: 99.95,
+            invocations: 3,
+            traffic_mb_per_inv: 240.2,
+            refused_on_slow: true,
+        },
+    }
+}
+
+const GOBMK_SRC: &str = r#"
+// 445.gobmk miniature: Go engine command loop. Commands arrive from a
+// play-record file read *inside* the offloaded region (remote input), and
+// each command dispatches through the `commands` function-pointer table.
+typedef int (*CMDF)(int);
+
+char record[2048];
+char goboard[361];
+int seed;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+int cmd_play(int arg) {
+    goboard[arg % 361] = (char)(1 + arg % 2);
+    return 1;
+}
+int cmd_score(int arg) {
+    int i; int s = 0;
+    for (i = 0; i < 361; i++) s += goboard[i] * ((i + arg) % 3);
+    return s;
+}
+int cmd_undo(int arg) {
+    goboard[arg % 361] = 0;
+    return 2;
+}
+int cmd_est(int arg) {
+    int i; int s = 0;
+    for (i = 0; i < 361; i++) s += (goboard[i] + arg) % 5;
+    return s;
+}
+
+CMDF commands[4] = { cmd_play, cmd_score, cmd_undo, cmd_est };
+
+int gtp_main_loop(int rounds) {
+    int r; int k; int total = 0;
+    int fd = fopen("record.sgf", "r");
+    for (r = 0; r < rounds; r++) {
+        // Fetch the next chunk of the play record (a remote input per
+        // round when running on the server).
+        long got = fread(record, 1, 2048, fd);
+        if (got < 1) break;
+        for (k = 0; k < 2048; k++) {
+            int c = record[k];
+            if (c < 0) c = c + 256;
+            CMDF f = commands[c % 4];
+            total = (total + f(c)) % 1000000;
+            int probe;
+            for (probe = 0; probe < 24; probe++) total = (total + probe * c) % 1000000;
+        }
+    }
+    fclose(fd);
+    return total;
+}
+
+int main() {
+    int rounds; int i;
+    scanf("%d", &rounds);
+    seed = 4;
+    for (i = 0; i < 361; i++) goboard[i] = 0;
+    int t = gtp_main_loop(rounds);
+    printf("game %d\n", t);
+    return 0;
+}
+"#;
+
+fn record_file(chunks: usize) -> Vec<u8> {
+    (0..2048 * chunks)
+        .map(|i| ((i as u32).wrapping_mul(2246822519) >> 24) as u8)
+        .collect()
+}
+
+/// The `445.gobmk` miniature.
+pub fn gobmk() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "445.gobmk",
+        short: "gobmk",
+        description: "Go engine with remote play-record input and fn-ptr commands (SPEC CPU2006)",
+        source: GOBMK_SRC,
+        profile_input: || WorkloadInput::from_stdin("8\n").with_file("record.sgf", record_file(8)),
+        eval_input: || WorkloadInput::from_stdin("18\n").with_file("record.sgf", record_file(18)),
+        expected_target: "gtp_main_loop",
+        paper: PaperRow {
+            loc_k: 156.3,
+            exec_time_s: 361.8,
+            offloaded_fns: (6, 2679),
+            referenced_gv: (21844, 22090),
+            fn_ptr_uses: 77,
+            target: "gtp_main_loop",
+            coverage_pct: 99.96,
+            invocations: 1,
+            traffic_mb_per_inv: 25.7,
+            refused_on_slow: false,
+        },
+    }
+}
+
+const LIBQUANTUM_SRC: &str = r#"
+// 462.libquantum miniature: quantum register simulation of modular
+// exponentiation (Shor's kernel).
+int state_re[4096];
+int state_im[4096];
+int seed;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+long quantum_exp_mod_n(int gates) {
+    int g; int i;
+    long phase = 0;
+    for (g = 0; g < gates; g++) {
+        int mask = 1 << (g % 12);
+        for (i = 0; i < 4096; i++) {
+            if ((i & mask) != 0) {
+                int tr = state_re[i];
+                state_re[i] = -state_im[i];
+                state_im[i] = tr;
+            }
+            phase += state_re[i] % 3;
+        }
+    }
+    return phase;
+}
+
+int main() {
+    int gates; int i;
+    scanf("%d", &gates);
+    seed = 77;
+    for (i = 0; i < 4096; i++) {
+        state_re[i] = rnd() % 256 - 128;
+        state_im[i] = rnd() % 256 - 128;
+    }
+    long p = quantum_exp_mod_n(gates);
+    printf("phase %d\n", (int)(p % 100000));
+    return 0;
+}
+"#;
+
+/// The `462.libquantum` miniature.
+pub fn libquantum() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "462.libquantum",
+        short: "libquantum",
+        description: "quantum register simulation (SPEC CPU2006)",
+        source: LIBQUANTUM_SRC,
+        profile_input: || WorkloadInput::from_stdin("60\n"),
+        eval_input: || WorkloadInput::from_stdin("140\n"),
+        expected_target: "quantum_exp_mod_n",
+        paper: PaperRow {
+            loc_k: 2.6,
+            exec_time_s: 71.0,
+            offloaded_fns: (62, 116),
+            referenced_gv: (0, 44),
+            fn_ptr_uses: 0,
+            target: "quantum_exp_mod_n",
+            coverage_pct: 92.56,
+            invocations: 1,
+            traffic_mb_per_inv: 6.3,
+            refused_on_slow: false,
+        },
+    }
+}

@@ -1,0 +1,246 @@
+//! Combinatorial-optimization miniatures: `175.vpr`, `300.twolf`,
+//! `429.mcf`.
+//!
+//! `175.vpr` is the near-ideal case: a long annealing loop over a tiny
+//! working set (0.8 MB of traffic against 26.9 s of compute). `300.twolf`
+//! reads its cell file *inside* the offloaded region — one of the §5.1
+//! remote-input programs. `429.mcf` relaxes a large arc array, putting it
+//! in the slow-network refusal set.
+
+use crate::{PaperRow, WorkloadSpec};
+use native_offloader::WorkloadInput;
+
+const VPR_SRC: &str = r#"
+// 175.vpr miniature: simulated-annealing placement.
+int seed;
+int place[2048];
+int best_cost;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+int wire_cost(int a, int b) {
+    int dx = place[a] / 64 - place[b] / 64;
+    int dy = place[a] % 64 - place[b] % 64;
+    if (dx < 0) dx = -dx;
+    if (dy < 0) dy = -dy;
+    return dx + dy;
+}
+
+int try_place(int iters) {
+    int i; int a; int b; int tmp; int before; int after;
+    int cost = 0;
+    for (i = 0; i < 2048; i++) cost += wire_cost(i, (i * 7 + 1) % 2048);
+    for (i = 0; i < iters; i++) {
+        a = rnd() % 2048;
+        b = rnd() % 2048;
+        before = wire_cost(a, (a * 7 + 1) % 2048) + wire_cost(b, (b * 7 + 1) % 2048);
+        tmp = place[a]; place[a] = place[b]; place[b] = tmp;
+        after = wire_cost(a, (a * 7 + 1) % 2048) + wire_cost(b, (b * 7 + 1) % 2048);
+        if (after > before + (iters - i) % 97) {
+            tmp = place[a]; place[a] = place[b]; place[b] = tmp;
+        } else {
+            cost = cost - before + after;
+        }
+    }
+    best_cost = cost;
+    return cost;
+}
+
+int main() {
+    int iters; int i;
+    scanf("%d", &iters);
+    seed = 7;
+    for (i = 0; i < 2048; i++) place[i] = rnd() % 4096;
+    int c = try_place(iters);
+    printf("final cost %d\n", c);
+    return 0;
+}
+"#;
+
+/// The `175.vpr` miniature.
+pub fn vpr() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "175.vpr",
+        short: "vpr",
+        description: "FPGA placement by simulated annealing (SPEC CPU2000)",
+        source: VPR_SRC,
+        profile_input: || WorkloadInput::from_stdin("60000\n"),
+        eval_input: || WorkloadInput::from_stdin("140000\n"),
+        expected_target: "try_place",
+        paper: PaperRow {
+            loc_k: 11.3,
+            exec_time_s: 26.9,
+            offloaded_fns: (9, 272),
+            referenced_gv: (672, 760),
+            fn_ptr_uses: 3,
+            target: "try_place_while.cond",
+            coverage_pct: 99.07,
+            invocations: 1,
+            traffic_mb_per_inv: 0.8,
+            refused_on_slow: false,
+        },
+    }
+}
+
+const TWOLF_SRC: &str = r#"
+// 300.twolf miniature: standard-cell placement; reads the cell file
+// inside the offloaded region (remote input on the server).
+int seed;
+char cellbuf[32768];
+int cellx[4096];
+int celly[4096];
+int final_cost;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+int utemp(int iters) {
+    int fd; int i; int a; int b; int tmp; int cost = 0;
+    long got;
+    // Read cell description (remote input when offloaded, like the paper's
+    // "reads a file about cell information to optimally place cells").
+    fd = fopen("cells.dat", "r");
+    got = fread(cellbuf, 1, 32768, fd);
+    fclose(fd);
+    for (i = 0; i < 4096; i++) {
+        cellx[i] = cellbuf[i * 8 % 32768];
+        celly[i] = cellbuf[(i * 8 + 4) % 32768];
+    }
+    for (i = 0; i < iters; i++) {
+        a = rnd() % 4096;
+        b = rnd() % 4096;
+        int da = cellx[a] - cellx[b];
+        int db = celly[a] - celly[b];
+        if (da < 0) da = -da;
+        if (db < 0) db = -db;
+        if (da + db > 40) {
+            tmp = cellx[a]; cellx[a] = cellx[b]; cellx[b] = tmp;
+            cost++;
+        }
+    }
+    final_cost = cost + (int)got;
+    return final_cost;
+}
+
+int main() {
+    int iters;
+    scanf("%d", &iters);
+    seed = 99;
+    int c = utemp(iters);
+    printf("placed %d\n", c);
+    return 0;
+}
+"#;
+
+fn cells_file() -> Vec<u8> {
+    (0..32768u32).map(|i| (i.wrapping_mul(2654435761) >> 25) as u8).collect()
+}
+
+/// The `300.twolf` miniature.
+pub fn twolf() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "300.twolf",
+        short: "twolf",
+        description: "standard-cell place/route with remote cell-file input (SPEC CPU2000)",
+        source: TWOLF_SRC,
+        profile_input: || WorkloadInput::from_stdin("50000\n").with_file("cells.dat", cells_file()),
+        eval_input: || WorkloadInput::from_stdin("120000\n").with_file("cells.dat", cells_file()),
+        expected_target: "utemp",
+        paper: PaperRow {
+            loc_k: 17.8,
+            exec_time_s: 157.8,
+            offloaded_fns: (3, 191),
+            referenced_gv: (566, 838),
+            fn_ptr_uses: 0,
+            target: "utemp",
+            coverage_pct: 99.84,
+            invocations: 1,
+            traffic_mb_per_inv: 3.3,
+            refused_on_slow: false,
+        },
+    }
+}
+
+const MCF_SRC: &str = r#"
+// 429.mcf miniature: single-source shortest path over a large arc array
+// (Bellman-Ford relaxation passes).
+int arc_from[24576];
+int arc_to[24576];
+int arc_cost[24576];
+int dist[8192];
+int seed;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+long global_opt(int passes) {
+    int p; int i; int changed = 0;
+    long total = 0;
+    for (i = 1; i < 8192; i++) dist[i] = 1000000;
+    dist[0] = 0;
+    for (p = 0; p < passes; p++) {
+        changed = 0;
+        for (i = 0; i < 24576; i++) {
+            int u = arc_from[i];
+            int v = arc_to[i];
+            int w = arc_cost[i];
+            if (dist[u] + w < dist[v]) {
+                dist[v] = dist[u] + w;
+                changed++;
+            }
+        }
+        total += changed;
+    }
+    for (i = 0; i < 8192; i++) total += dist[i] % 1000;
+    return total;
+}
+
+int main() {
+    int passes; int i;
+    scanf("%d", &passes);
+    seed = 1;
+    for (i = 0; i < 24576; i++) {
+        arc_from[i] = rnd() % 8192;
+        arc_to[i] = (arc_from[i] + 1 + rnd() % 128) % 8192;
+        arc_cost[i] = 1 + rnd() % 1000;
+    }
+    long t = global_opt(passes);
+    printf("opt %d\n", (int)(t % 1000000));
+    return 0;
+}
+"#;
+
+/// The `429.mcf` miniature.
+pub fn mcf() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "429.mcf",
+        short: "mcf",
+        description: "vehicle scheduling / min-cost flow relaxation (SPEC CPU2006)",
+        source: MCF_SRC,
+        profile_input: || WorkloadInput::from_stdin("12\n"),
+        eval_input: || WorkloadInput::from_stdin("26\n"),
+        expected_target: "global_opt",
+        paper: PaperRow {
+            loc_k: 1.6,
+            exec_time_s: 104.8,
+            offloaded_fns: (19, 24),
+            referenced_gv: (39, 43),
+            fn_ptr_uses: 0,
+            target: "global_opt",
+            coverage_pct: 99.55,
+            invocations: 1,
+            traffic_mb_per_inv: 47.9,
+            refused_on_slow: true,
+        },
+    }
+}

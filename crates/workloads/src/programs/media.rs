@@ -1,0 +1,319 @@
+//! Media and recognition miniatures: `177.mesa`, `456.hmmer`,
+//! `464.h264ref`, `482.sphinx3`.
+//!
+//! `177.mesa` shades every pixel through a function-pointer table (1169
+//! fn-ptr uses in the paper). `456.hmmer` is the minimum-traffic program
+//! of the suite (0.3 MB): its gene-sequence search "takes only the
+//! initialized parameters as its inputs". `464.h264ref` reads its video
+//! input remotely frame by frame and computes SAD metrics through function
+//! pointers. `482.sphinx3` loads an acoustic model file remotely before a
+//! long scoring loop.
+
+use crate::{PaperRow, WorkloadSpec};
+use native_offloader::WorkloadInput;
+
+const MESA_SRC: &str = r#"
+// 177.mesa miniature: software rasterizer with per-region shader
+// function pointers.
+typedef int (*SHADER)(int);
+
+int fb[4096];
+int seed;
+
+int shade_flat(int p)   { return (p * 3) % 256; }
+int shade_gouraud(int p){ return (p * 5 + p / 7) % 256; }
+int shade_tex(int p)    { return (p * p % 253) + 1; }
+int shade_fog(int p)    { return 255 - (p % 200); }
+
+SHADER shaders[4] = { shade_flat, shade_gouraud, shade_tex, shade_fog };
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+long Render(int frames) {
+    int f; int p; int s;
+    long acc = 0;
+    for (f = 0; f < frames; f++) {
+        for (p = 0; p < 4096; p++) {
+            SHADER sh = shaders[(p / 256 + f) % 4];
+            int c = sh(p + f);
+            int blend;
+            for (blend = 0; blend < 6; blend++) c = (c * 7 + fb[p]) % 256;
+            fb[p] = c;
+            acc += c;
+        }
+    }
+    return acc;
+}
+
+int main() {
+    int frames; int i;
+    scanf("%d", &frames);
+    seed = 8;
+    for (i = 0; i < 4096; i++) fb[i] = rnd() % 256;
+    long a = Render(frames);
+    printf("rendered %d\n", (int)(a % 1000000));
+    return 0;
+}
+"#;
+
+/// The `177.mesa` miniature.
+pub fn mesa() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "177.mesa",
+        short: "mesa",
+        description: "3-D software rasterizer with shader fn-ptrs (SPEC CPU2000)",
+        source: MESA_SRC,
+        profile_input: || WorkloadInput::from_stdin("14\n"),
+        eval_input: || WorkloadInput::from_stdin("32\n"),
+        expected_target: "Render",
+        paper: PaperRow {
+            loc_k: 42.2,
+            exec_time_s: 120.2,
+            offloaded_fns: (11, 1105),
+            referenced_gv: (608, 627),
+            fn_ptr_uses: 1169,
+            target: "Render",
+            coverage_pct: 99.02,
+            invocations: 1,
+            traffic_mb_per_inv: 20.3,
+            refused_on_slow: false,
+        },
+    }
+}
+
+const HMMER_SRC: &str = r#"
+// 456.hmmer miniature: profile-HMM Viterbi over a generated sequence;
+// takes only scalar parameters as input (minimal traffic).
+int dp[1024];
+int model[256];
+int seed;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+long main_loop_serial(int seqs) {
+    int s; int i; int j;
+    long best = 0;
+    for (s = 0; s < seqs; s++) {
+        int sym = (s * 131 + 7) % 23;
+        for (i = 0; i < 1024; i++) dp[i] = 0;
+        for (j = 0; j < 48; j++) {
+            for (i = 1; i < 1024; i++) {
+                int m = dp[i - 1] + model[(i + sym) % 256];
+                int d = dp[i] - 3;
+                dp[i] = m;
+                if (d > m) dp[i] = d;
+            }
+            sym = (sym * 31 + j) % 23;
+        }
+        if (dp[1023] > best) best = dp[1023];
+    }
+    return best;
+}
+
+int main() {
+    int seqs; int i;
+    scanf("%d", &seqs);
+    seed = 21;
+    for (i = 0; i < 256; i++) model[i] = rnd() % 11 - 3;
+    long b = main_loop_serial(seqs);
+    printf("best %d\n", (int)b);
+    return 0;
+}
+"#;
+
+/// The `456.hmmer` miniature.
+pub fn hmmer() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "456.hmmer",
+        short: "hmmer",
+        description: "gene-sequence profile-HMM search (SPEC CPU2006)",
+        source: HMMER_SRC,
+        profile_input: || WorkloadInput::from_stdin("30\n"),
+        eval_input: || WorkloadInput::from_stdin("70\n"),
+        expected_target: "main_loop_serial",
+        paper: PaperRow {
+            loc_k: 20.6,
+            exec_time_s: 31.3,
+            offloaded_fns: (36, 538),
+            referenced_gv: (995, 1050),
+            fn_ptr_uses: 36,
+            target: "main_loop_serial",
+            coverage_pct: 99.99,
+            invocations: 1,
+            traffic_mb_per_inv: 0.3,
+            refused_on_slow: false,
+        },
+    }
+}
+
+const H264REF_SRC: &str = r#"
+// 464.h264ref miniature: video encoder; reads raw frames remotely and
+// computes SAD metrics through a function-pointer table.
+typedef int (*SADF)(int, int);
+
+char frame[4096];
+char refframe[4096];
+int seed;
+
+int sad_16x16(int a, int b) { int d = a - b; if (d < 0) d = -d; return d; }
+int sad_8x8(int a, int b)   { int d = a - b; if (d < 0) d = -d; return d / 2 + 1; }
+int sad_4x4(int a, int b)   { int d = a - b; if (d < 0) d = -d; return d / 4 + 2; }
+int sad_hadamard(int a, int b) { int d = a + b; return d % 97; }
+
+SADF sad_fns[4] = { sad_16x16, sad_8x8, sad_4x4, sad_hadamard };
+
+long encode_sequence(int frames) {
+    int f; int i; int m;
+    long bits = 0;
+    int fd = fopen("video.yuv", "r");
+    for (f = 0; f < frames; f++) {
+        long got = fread(frame, 1, 4096, fd);
+        if (got < 1) break;
+        for (i = 0; i < 4096; i++) {
+            int best = 1000000;
+            int pass;
+            for (pass = 0; pass < 3; pass++) {
+                for (m = 0; m < 4; m++) {
+                    SADF sad = sad_fns[m];
+                    int cost = sad(frame[i], refframe[(i + pass) % 4096]);
+                    if (cost < best) best = cost;
+                }
+            }
+            bits += best;
+            refframe[i] = frame[i];
+        }
+    }
+    fclose(fd);
+    return bits;
+}
+
+int main() {
+    int frames; int i;
+    scanf("%d", &frames);
+    seed = 31;
+    for (i = 0; i < 4096; i++) refframe[i] = 0;
+    long b = encode_sequence(frames);
+    printf("bits %d\n", (int)(b % 10000000));
+    return 0;
+}
+"#;
+
+fn video_file(frames: usize) -> Vec<u8> {
+    (0..4096 * frames)
+        .map(|i| {
+            let x = (i as u32).wrapping_mul(2654435761);
+            ((x >> 26) + (i as u32 / 64 % 32)) as u8
+        })
+        .collect()
+}
+
+/// The `464.h264ref` miniature.
+pub fn h264ref() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "464.h264ref",
+        short: "h264ref",
+        description: "H.264 video encoder with remote frame input (SPEC CPU2006)",
+        source: H264REF_SRC,
+        profile_input: || WorkloadInput::from_stdin("5\n").with_file("video.yuv", video_file(5)),
+        eval_input: || WorkloadInput::from_stdin("12\n").with_file("video.yuv", video_file(12)),
+        expected_target: "encode_sequence",
+        paper: PaperRow {
+            loc_k: 59.5,
+            exec_time_s: 78.2,
+            offloaded_fns: (48, 1333),
+            referenced_gv: (2012, 2822),
+            fn_ptr_uses: 457,
+            target: "encode_sequence",
+            coverage_pct: 99.79,
+            invocations: 1,
+            traffic_mb_per_inv: 17.1,
+            refused_on_slow: false,
+        },
+    }
+}
+
+const SPHINX3_SRC: &str = r#"
+// 482.sphinx3 miniature: speech decoding; loads the acoustic model
+// remotely, then scores frames against Gaussian mixtures.
+double model[8192];
+double feats[64];
+char modelraw[16384];
+int seed;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+double decode(int frames) {
+    int f; int m; int d; int i;
+    double score = 0.0;
+    int fd = fopen("hmm.bin", "r");
+    long got = fread(modelraw, 1, 16384, fd);
+    fclose(fd);
+    for (i = 0; i < 8192; i++) {
+        int b = modelraw[i % 16384];
+        if (b < 0) b = b + 256;
+        model[i] = (double)b * 0.004;
+    }
+    for (f = 0; f < frames; f++) {
+        for (i = 0; i < 64; i++) feats[i] = (double)((f * 31 + i) % 100) * 0.01;
+        for (m = 0; m < 64; m++) {
+            double dist = 0.0;
+            for (d = 0; d < 64; d++) {
+                double diff = feats[d] - model[(m * 64 + d) % 8192];
+                dist += diff * diff;
+            }
+            score += 1.0 / (1.0 + dist);
+        }
+    }
+    return score + (double)got * 0.0;
+}
+
+int main() {
+    int frames;
+    scanf("%d", &frames);
+    seed = 41;
+    double s = decode(frames);
+    printf("decoded %.4f\n", s);
+    return 0;
+}
+"#;
+
+fn hmm_file() -> Vec<u8> {
+    (0..16384u32).map(|i| (i.wrapping_mul(40503) >> 22) as u8).collect()
+}
+
+/// The `482.sphinx3` miniature.
+pub fn sphinx3() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "482.sphinx3",
+        short: "sphinx3",
+        description: "speech recognition with remote model input (SPEC CPU2006)",
+        source: SPHINX3_SRC,
+        profile_input: || WorkloadInput::from_stdin("60\n").with_file("hmm.bin", hmm_file()),
+        eval_input: || WorkloadInput::from_stdin("140\n").with_file("hmm.bin", hmm_file()),
+        expected_target: "decode",
+        paper: PaperRow {
+            loc_k: 13.1,
+            exec_time_s: 375.2,
+            offloaded_fns: (124, 370),
+            referenced_gv: (1265, 1329),
+            fn_ptr_uses: 14,
+            target: "main_for.cond",
+            coverage_pct: 98.39,
+            invocations: 1,
+            traffic_mb_per_inv: 34.0,
+            refused_on_slow: false,
+        },
+    }
+}

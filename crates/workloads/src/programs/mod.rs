@@ -1,0 +1,32 @@
+//! The 17 SPEC miniatures, grouped by domain.
+
+pub mod compress;
+pub mod games;
+pub mod graph;
+pub mod media;
+pub mod science;
+
+use crate::WorkloadSpec;
+
+/// All 17 miniatures in Table 4 order.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        compress::gzip(),
+        graph::vpr(),
+        media::mesa(),
+        science::art(),
+        science::equake(),
+        science::ammp(),
+        graph::twolf(),
+        compress::bzip2(),
+        graph::mcf(),
+        science::milc(),
+        games::gobmk(),
+        media::hmmer(),
+        games::sjeng(),
+        games::libquantum(),
+        media::h264ref(),
+        science::lbm(),
+        media::sphinx3(),
+    ]
+}

@@ -1,0 +1,350 @@
+//! Scientific-computing miniatures: `179.art`, `183.equake`, `188.ammp`,
+//! `433.milc`, `470.lbm`.
+//!
+//! `art`, `equake`, `milc` and `ammp` are the near-ideal programs of
+//! Fig. 6: heavy floating-point loops over modest working sets. `ammp`
+//! contributes the suite's only *two-target* program (`AMMPmonitor` at
+//! 13.5% coverage plus `tpac` at 85.6%). `equake` and `lbm` put their hot
+//! loop directly in `main` — the targets the paper lists as
+//! `main_for.cond*`, which this reproduction reaches through loop
+//! outlining. `lbm` carries the suite's largest traffic (643.6 MB) and
+//! sits in the slow-network refusal set.
+
+use crate::{PaperRow, WorkloadSpec};
+use native_offloader::WorkloadInput;
+
+const ART_SRC: &str = r#"
+// 179.art miniature: adaptive-resonance image recognition (F1 layer).
+double weights[4096];
+double input[64];
+double f1[64];
+int seed;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+double scan_recognize(int passes) {
+    int p; int i; int j;
+    double score = 0.0;
+    for (p = 0; p < passes; p++) {
+        for (i = 0; i < 64; i++) {
+            double act = 0.0;
+            for (j = 0; j < 64; j++) act += weights[i * 64 + j] * input[j];
+            f1[i] = act / (1.0 + act * act * 0.001);
+        }
+        for (i = 0; i < 64; i++) score += f1[i] * 0.015625;
+        input[p % 64] = input[p % 64] * 0.99 + 0.01;
+    }
+    return score;
+}
+
+int main() {
+    int passes; int i;
+    scanf("%d", &passes);
+    seed = 3;
+    for (i = 0; i < 4096; i++) weights[i] = (double)(rnd() % 100) * 0.01;
+    for (i = 0; i < 64; i++) input[i] = (double)(rnd() % 100) * 0.01;
+    double s = scan_recognize(passes);
+    printf("recognized %.4f\n", s);
+    return 0;
+}
+"#;
+
+/// The `179.art` miniature.
+pub fn art() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "179.art",
+        short: "art",
+        description: "neural-network image recognition (SPEC CPU2000)",
+        source: ART_SRC,
+        profile_input: || WorkloadInput::from_stdin("300\n"),
+        eval_input: || WorkloadInput::from_stdin("700\n"),
+        expected_target: "scan_recognize",
+        paper: PaperRow {
+            loc_k: 5.7,
+            exec_time_s: 325.5,
+            offloaded_fns: (7, 26),
+            referenced_gv: (52, 79),
+            fn_ptr_uses: 0,
+            target: "scan_recognize",
+            coverage_pct: 85.44,
+            invocations: 1,
+            traffic_mb_per_inv: 16.4,
+            refused_on_slow: false,
+        },
+    }
+}
+
+const EQUAKE_SRC: &str = r#"
+// 183.equake miniature: seismic wave propagation; the hot stencil loop
+// lives directly in main (the paper's target main_for.cond548) and is
+// outlined by the compiler.
+double disp[4096];
+double vel[4096];
+double stiff[4096];
+int seed;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+int main() {
+    int steps; int t; int i;
+    scanf("%d", &steps);
+    seed = 11;
+    for (i = 0; i < 4096; i++) {
+        disp[i] = (double)(rnd() % 100) * 0.001;
+        vel[i] = 0.0;
+        stiff[i] = 0.9 + (double)(rnd() % 100) * 0.001;
+    }
+    for (t = 0; t < steps; t++) {
+        for (i = 1; i < 4095; i++) {
+            double lap = disp[i - 1] - 2.0 * disp[i] + disp[i + 1];
+            vel[i] = vel[i] * 0.999 + lap * stiff[i] * 0.5;
+        }
+        for (i = 1; i < 4095; i++) disp[i] += vel[i] * 0.1;
+    }
+    double sum = 0.0;
+    for (i = 0; i < 4096; i++) sum += disp[i];
+    printf("wave %.4f\n", sum);
+    return 0;
+}
+"#;
+
+/// The `183.equake` miniature.
+pub fn equake() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "183.equake",
+        short: "equake",
+        description: "seismic wave propagation stencil (SPEC CPU2000)",
+        source: EQUAKE_SRC,
+        profile_input: || WorkloadInput::from_stdin("60\n"),
+        eval_input: || WorkloadInput::from_stdin("140\n"),
+        expected_target: "main_loop0",
+        paper: PaperRow {
+            loc_k: 1.0,
+            exec_time_s: 334.0,
+            offloaded_fns: (5, 28),
+            referenced_gv: (83, 104),
+            fn_ptr_uses: 0,
+            target: "main_for.cond548",
+            coverage_pct: 99.44,
+            invocations: 1,
+            traffic_mb_per_inv: 16.5,
+            refused_on_slow: false,
+        },
+    }
+}
+
+const AMMP_SRC: &str = r#"
+// 188.ammp miniature: molecular dynamics with TWO offload targets, like
+// the paper: AMMPmonitor (invoked twice, low coverage) and tpac (the main
+// dynamics, high coverage).
+double pos[3072];
+double force[3072];
+int seed;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+double AMMPmonitor(int reps) {
+    int r; int i;
+    double energy = 0.0;
+    for (r = 0; r < reps; r++)
+        for (i = 0; i < 3072; i++)
+            energy += pos[i] * pos[i] * 0.5 + force[i] * force[i] * 0.125;
+    return energy;
+}
+
+double tpac(int steps) {
+    int t; int i;
+    double virial = 0.0;
+    for (t = 0; t < steps; t++) {
+        for (i = 0; i < 1024; i++) {
+            double dx = pos[i * 3] - pos[((i + 7) % 1024) * 3];
+            double dy = pos[i * 3 + 1] - pos[((i + 7) % 1024) * 3 + 1];
+            double r2 = dx * dx + dy * dy + 0.1;
+            double f = 1.0 / (r2 * r2);
+            force[i * 3] += f * dx;
+            force[i * 3 + 1] += f * dy;
+            virial += f;
+        }
+        for (i = 0; i < 3072; i++) pos[i] += force[i] * 0.0001;
+    }
+    return virial;
+}
+
+int main() {
+    int steps; int i;
+    scanf("%d", &steps);
+    seed = 17;
+    for (i = 0; i < 3072; i++) {
+        pos[i] = (double)(rnd() % 1000) * 0.01;
+        force[i] = 0.0;
+    }
+    double e0 = AMMPmonitor(steps / 2);
+    double v = tpac(steps);
+    double e1 = AMMPmonitor(steps / 2);
+    printf("energy %.3f %.3f virial %.3f\n", e0, e1, v);
+    return 0;
+}
+"#;
+
+/// The `188.ammp` miniature.
+pub fn ammp() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "188.ammp",
+        short: "ammp",
+        description: "computational chemistry with two offload targets (SPEC CPU2000)",
+        source: AMMP_SRC,
+        profile_input: || WorkloadInput::from_stdin("60\n"),
+        eval_input: || WorkloadInput::from_stdin("130\n"),
+        expected_target: "tpac",
+        paper: PaperRow {
+            loc_k: 9.8,
+            exec_time_s: 878.0,
+            offloaded_fns: (17, 179),
+            referenced_gv: (324, 333),
+            fn_ptr_uses: 66,
+            target: "tpac",
+            coverage_pct: 85.60,
+            invocations: 1,
+            traffic_mb_per_inv: 17.6,
+            refused_on_slow: false,
+        },
+    }
+}
+
+const MILC_SRC: &str = r#"
+// 433.milc miniature: lattice QCD su3 updates, two invocations of the
+// update() target like the paper.
+double lattice[4096];
+double staple[4096];
+int seed;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+double update(int sweeps) {
+    int s; int i;
+    double action = 0.0;
+    for (s = 0; s < sweeps; s++) {
+        for (i = 0; i < 4096; i++) {
+            int up = (i + 64) % 4096;
+            int dn = (i + 4096 - 64) % 4096;
+            staple[i] = lattice[up] * 0.4 + lattice[dn] * 0.4 + lattice[(i + 1) % 4096] * 0.2;
+        }
+        for (i = 0; i < 4096; i++) {
+            lattice[i] = lattice[i] * 0.92 + staple[i] * 0.08;
+            action += lattice[i] * staple[i];
+        }
+    }
+    return action;
+}
+
+int main() {
+    int sweeps; int i;
+    scanf("%d", &sweeps);
+    seed = 29;
+    for (i = 0; i < 4096; i++) lattice[i] = (double)(rnd() % 1000) * 0.002;
+    double a1 = update(sweeps);
+    double a2 = update(sweeps);
+    printf("action %.3f %.3f\n", a1, a2);
+    return 0;
+}
+"#;
+
+/// The `433.milc` miniature.
+pub fn milc() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "433.milc",
+        short: "milc",
+        description: "lattice quantum chromodynamics (SPEC CPU2006)",
+        source: MILC_SRC,
+        profile_input: || WorkloadInput::from_stdin("30\n"),
+        eval_input: || WorkloadInput::from_stdin("70\n"),
+        expected_target: "update",
+        paper: PaperRow {
+            loc_k: 9.6,
+            exec_time_s: 365.8,
+            offloaded_fns: (61, 235),
+            referenced_gv: (445, 493),
+            fn_ptr_uses: 6,
+            target: "update",
+            coverage_pct: 96.21,
+            invocations: 2,
+            traffic_mb_per_inv: 13.4,
+            refused_on_slow: false,
+        },
+    }
+}
+
+const LBM_SRC: &str = r#"
+// 470.lbm miniature: lattice-Boltzmann fluid dynamics over a double
+// buffer; the hot time-step loop lives in main (the paper's
+// main_for.cond) and touches the biggest working set of the suite.
+double gridA[24576];
+double gridB[24576];
+int seed;
+
+int rnd() {
+    seed = seed * 1103515245 + 12345;
+    if (seed < 0) seed = -seed;
+    return (seed >> 16) & 32767;
+}
+
+int main() {
+    int steps; int t; int i;
+    scanf("%d", &steps);
+    seed = 5;
+    for (i = 0; i < 24576; i++) gridA[i] = (double)(rnd() % 100) * 0.01;
+    for (t = 0; t < steps; t++) {
+        for (i = 64; i < 24512; i++) {
+            double v = gridA[i] * 0.6 + gridA[i - 64] * 0.15 + gridA[i + 64] * 0.15
+                     + gridA[i - 1] * 0.05 + gridA[i + 1] * 0.05;
+            gridB[i] = v * 0.9999;
+        }
+        for (i = 64; i < 24512; i++) gridA[i] = gridB[i];
+    }
+    double mass = 0.0;
+    for (i = 0; i < 24576; i++) mass += gridA[i];
+    printf("mass %.4f\n", mass);
+    return 0;
+}
+"#;
+
+/// The `470.lbm` miniature.
+pub fn lbm() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "470.lbm",
+        short: "lbm",
+        description: "lattice-Boltzmann fluid dynamics (SPEC CPU2006)",
+        source: LBM_SRC,
+        profile_input: || WorkloadInput::from_stdin("10\n"),
+        eval_input: || WorkloadInput::from_stdin("18\n"),
+        expected_target: "main_loop0",
+        paper: PaperRow {
+            loc_k: 0.9,
+            exec_time_s: 1444.9,
+            offloaded_fns: (1, 19),
+            referenced_gv: (16, 20),
+            fn_ptr_uses: 0,
+            target: "main_for.cond",
+            coverage_pct: 99.70,
+            invocations: 1,
+            traffic_mb_per_inv: 643.6,
+            refused_on_slow: true,
+        },
+    }
+}

@@ -1,0 +1,73 @@
+//! Golden-output regression tests: every miniature's console output with
+//! its evaluation input is pinned, so a front-end, VM or workload change
+//! that silently alters program behaviour fails loudly here.
+//!
+//! To regenerate after an *intentional* change, run with
+//! `GOLDEN_PRINT=1 cargo test -p offload-workloads --test golden -- --nocapture`
+//! and paste the printed table.
+
+use offload_machine::host::LocalHost;
+use offload_machine::loader;
+use offload_machine::target::TargetSpec;
+use offload_machine::vm::{StackBank, Vm};
+
+/// `(short name, expected console output with the eval input)`.
+const GOLDEN: &[(&str, &str)] = &[
+    ("gzip", "checksum 55043 outlen 8377\n"),
+    ("vpr", "final cost -509620\n"),
+    ("mesa", "rendered 604262\n"),
+    ("art", "recognized 9333.7672\n"),
+    ("equake", "wave 202.6934\n"),
+    ("ammp", "energy 3317926.014 9373670.324 virial 8978.280\n"),
+    ("twolf", "placed 133327\n"),
+    ("bzip2", "checksum 65554 outlen 160318\n"),
+    ("mcf", "opt 931451\n"),
+    ("milc", "action 285459.609 281013.673\n"),
+    ("gobmk", "game 345742\n"),
+    ("hmmer", "best 2462\n"),
+    ("sjeng", "line 646348\n"),
+    ("libquantum", "phase 939\n"),
+    ("h264ref", "bits 225156\n"),
+    ("lbm", "mass 12152.0189\n"),
+    ("sphinx3", "decoded 605.0686\n"),
+];
+
+fn run_local(short: &str) -> String {
+    let w = offload_workloads::by_short_name(short).expect("workload exists");
+    let module = offload_minic::compile(w.source, w.name).expect("compiles");
+    let spec = TargetSpec::galaxy_s5();
+    let image = loader::load(&module, &spec.data_layout()).expect("loads");
+    let mut host = LocalHost::new();
+    let input = (w.eval_input)();
+    host.set_stdin(input.stdin);
+    for (name, data) in input.files {
+        host.add_file(name, data);
+    }
+    let mut vm = Vm::new(&module, &spec, image, StackBank::Mobile);
+    vm.set_fuel(2_000_000_000);
+    vm.run_entry(&mut host).expect("runs");
+    host.console_utf8()
+}
+
+#[test]
+fn console_outputs_are_pinned() {
+    let mut failures = Vec::new();
+    for (short, expected) in GOLDEN {
+        let got = run_local(short);
+        if std::env::var("GOLDEN_PRINT").is_ok() {
+            println!("    (\"{short}\", {:?}),", got);
+        }
+        if &got != expected {
+            failures.push(format!("{short}: expected {expected:?}, got {got:?}"));
+        }
+    }
+    assert!(failures.is_empty(), "golden mismatches:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn golden_covers_every_workload() {
+    let names: Vec<&str> = GOLDEN.iter().map(|(n, _)| *n).collect();
+    for w in offload_workloads::all() {
+        assert!(names.contains(&w.short), "no golden output for {}", w.short);
+    }
+}

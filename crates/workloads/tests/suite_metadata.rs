@@ -1,0 +1,72 @@
+//! Metadata sanity for the workload registry: the paper rows are
+//! internally consistent and the miniatures' sources actually contain the
+//! constructs their signatures claim.
+
+use offload_workloads::all;
+
+#[test]
+fn paper_rows_are_internally_consistent() {
+    for w in all() {
+        let p = &w.paper;
+        assert!(p.loc_k > 0.0, "{}: LoC", w.name);
+        assert!(p.exec_time_s > 0.0, "{}: exec time", w.name);
+        assert!(p.offloaded_fns.0 <= p.offloaded_fns.1, "{}: offloaded fns", w.name);
+        assert!(p.referenced_gv.0 <= p.referenced_gv.1, "{}: referenced GVs", w.name);
+        assert!((0.0..=100.0).contains(&p.coverage_pct), "{}: coverage", w.name);
+        assert!(p.invocations >= 1, "{}: invocations", w.name);
+        assert!(p.traffic_mb_per_inv > 0.0, "{}: traffic", w.name);
+    }
+}
+
+#[test]
+fn fn_ptr_programs_use_fn_ptr_tables_in_source() {
+    for w in all() {
+        let has_table = w.source.contains("(*") && w.source.contains(")[");
+        if w.paper.fn_ptr_uses > 50 {
+            assert!(
+                has_table,
+                "{}: paper reports {} fn-ptr uses but the miniature has no table",
+                w.name, w.paper.fn_ptr_uses
+            );
+        }
+    }
+}
+
+#[test]
+fn remote_input_programs_read_files_in_source() {
+    for short in ["twolf", "gobmk", "h264ref", "sphinx3"] {
+        let w = offload_workloads::by_short_name(short).unwrap();
+        assert!(w.source.contains("fread"), "{short}: no fread in source");
+        assert!(
+            !(w.eval_input)().files.is_empty(),
+            "{short}: no input file provided"
+        );
+    }
+}
+
+#[test]
+fn every_main_is_pinned_by_interactive_input() {
+    // The paper's programs all read inputs; our miniatures use scanf in
+    // main, which is what keeps main itself unoffloadable (§3.1).
+    for w in all() {
+        assert!(w.source.contains("scanf"), "{}: main should scanf its input", w.name);
+    }
+}
+
+#[test]
+fn profile_and_eval_inputs_differ() {
+    // §5: "We use different inputs for profiling and evaluation."
+    for w in all() {
+        let p = (w.profile_input)();
+        let e = (w.eval_input)();
+        assert_ne!(p.stdin, e.stdin, "{}: same profiling and evaluation stdin", w.name);
+    }
+}
+
+#[test]
+fn sources_are_nontrivial() {
+    for w in all() {
+        let lines = w.source.lines().filter(|l| !l.trim().is_empty()).count();
+        assert!(lines >= 25, "{}: miniature suspiciously small ({lines} lines)", w.name);
+    }
+}

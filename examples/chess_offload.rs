@@ -1,0 +1,68 @@
+//! The paper's running example, end to end: the chess game of §1–§3.
+//!
+//! Reproduces the Table 1 experience (movement computation is several
+//! times faster on the desktop), prints the Table 3 estimation table the
+//! compiler produced, and plays a short offloaded game.
+//!
+//! ```sh
+//! cargo run --release --example chess_offload
+//! ```
+
+use native_offloader::{CompileConfig, Offloader, SessionConfig};
+use offload_workloads::chess;
+
+fn main() {
+    // Compile with the Table 3 assumptions (BW = 80 Mbps).
+    let app = Offloader::with_config(CompileConfig::table3())
+        .compile_source(chess::SOURCE, "chess", &chess::input(9, 2))
+        .expect("chess compiles");
+
+    println!("== Table 3-style static estimation (profiling input: depth 9) ==");
+    println!(
+        "{:<22} {:>9} {:>6} {:>9} {:>9} {:>9} {:>9}  verdict",
+        "candidate", "exec(ms)", "invo", "mem(KB)", "Tideal", "Tc", "Tg"
+    );
+    for row in &app.plan.estimates {
+        let verdict = if row.machine_specific {
+            "machine specific"
+        } else if row.selected {
+            "OFFLOAD"
+        } else {
+            "not profitable"
+        };
+        println!(
+            "{:<22} {:>9.2} {:>6} {:>9.1} {:>9.2} {:>9.2} {:>9.2}  {}",
+            row.name,
+            row.exec_time_s * 1e3,
+            row.invocations,
+            row.mem_bytes as f64 / 1024.0,
+            row.t_ideal_s * 1e3,
+            row.t_comm_s * 1e3,
+            row.t_gain_s * 1e3,
+            verdict
+        );
+    }
+
+    // Play a 3-move game at depth 10 locally and offloaded.
+    let input = chess::input(10, 3);
+    let local = app.run_local(&input).expect("local game");
+    let off = app
+        .run_offloaded(&input, &SessionConfig::fast_network())
+        .expect("offloaded game");
+    assert_eq!(local.console, off.console);
+
+    println!("\n== A 3-move game at difficulty 10 ==");
+    println!("AI scores:\n{}", local.console.trim());
+    println!(
+        "\nlocal (phone only): {:.1} ms;  offloaded (802.11ac): {:.1} ms  ->  {:.2}x speedup",
+        local.total_seconds * 1e3,
+        off.total_seconds * 1e3,
+        off.speedup_vs(&local)
+    );
+    println!(
+        "offloads: {} performed, {} fn-ptr translations (the evals table), {} bytes received",
+        off.offloads_performed,
+        off.fn_map_translations,
+        off.download.raw_bytes
+    );
+}

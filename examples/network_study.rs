@@ -1,0 +1,59 @@
+//! Network sensitivity study: sweep link bandwidth and watch the dynamic
+//! estimator flip from "offload" to "stay local" — the §3.1/§5.1 behaviour
+//! that protects programs like 164.gzip from slow networks.
+//!
+//! ```sh
+//! cargo run --release --example network_study
+//! ```
+
+use native_offloader::SessionConfig;
+use offload_net::Link;
+use offload_workloads::by_short_name;
+
+fn main() {
+    // gzip: the paper's most communication-bound program.
+    let w = by_short_name("gzip").expect("gzip exists");
+    let app = w.compile().expect("compiles");
+    let input = (w.eval_input)();
+    let local = app.run_local(&input).expect("local");
+
+    println!("== {} under varying bandwidth ==", w.name);
+    println!("local baseline: {:.2} ms\n", local.total_seconds * 1e3);
+    println!(
+        "{:>10}  {:>9}  {:>9}  {:>8}  decision",
+        "bandwidth", "time(ms)", "vs local", "traffic"
+    );
+    for mbps in [10u64, 40, 80, 150, 300, 500, 1000] {
+        let link = Link::custom(format!("{mbps} Mbps"), mbps * 1_000_000, 0.002);
+        let cfg = SessionConfig::with_link(link);
+        let r = app.run_offloaded(&input, &cfg).expect("run");
+        assert_eq!(r.console, local.console);
+        let decision = if r.offloads_performed > 0 { "OFFLOAD" } else { "stay local" };
+        println!(
+            "{:>7} Mbps  {:>9.2}  {:>8.2}x  {:>6.0} KB  {}",
+            mbps,
+            r.total_seconds * 1e3,
+            local.total_seconds / r.total_seconds,
+            (r.upload.raw_bytes + r.download.raw_bytes) as f64 / 1024.0,
+            decision
+        );
+    }
+
+    // Contrast with a compute-bound program that offloads everywhere.
+    let w2 = by_short_name("hmmer").expect("hmmer exists");
+    let app2 = w2.compile().expect("compiles");
+    let input2 = (w2.eval_input)();
+    let local2 = app2.run_local(&input2).expect("local");
+    println!("\n== {} (compute-bound contrast) ==", w2.name);
+    for mbps in [10u64, 80, 500] {
+        let link = Link::custom(format!("{mbps} Mbps"), mbps * 1_000_000, 0.002);
+        let r = app2.run_offloaded(&input2, &SessionConfig::with_link(link)).expect("run");
+        println!(
+            "{:>7} Mbps  {:>9.2} ms  {:>8.2}x  {}",
+            mbps,
+            r.total_seconds * 1e3,
+            local2.total_seconds / r.total_seconds,
+            if r.offloads_performed > 0 { "OFFLOAD" } else { "stay local" }
+        );
+    }
+}

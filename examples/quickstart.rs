@@ -1,0 +1,77 @@
+//! Quickstart: compile a small C program, run it locally on the simulated
+//! phone, then run it offloaded to the simulated server, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use native_offloader::{Offloader, SessionConfig, WorkloadInput};
+
+const PROGRAM: &str = r#"
+double mandel_area(int grid) {
+    int ix; int iy; int inside = 0;
+    for (iy = 0; iy < grid; iy++) {
+        for (ix = 0; ix < grid; ix++) {
+            double cr = -2.0 + 3.0 * (double)ix / (double)grid;
+            double ci = -1.5 + 3.0 * (double)iy / (double)grid;
+            double zr = 0.0; double zi = 0.0;
+            int it = 0;
+            while (it < 24 && zr * zr + zi * zi < 4.0) {
+                double t = zr * zr - zi * zi + cr;
+                zi = 2.0 * zr * zi + ci;
+                zr = t;
+                it++;
+            }
+            if (it == 24) inside++;
+        }
+    }
+    return (double)inside * 9.0 / (double)(grid * grid);
+}
+
+int main() {
+    int grid;
+    scanf("%d", &grid);
+    printf("area ~= %.4f\n", mandel_area(grid));
+    return 0;
+}
+"#;
+
+fn main() {
+    // 1. Compile: the profiler runs the program on the simulated Galaxy S5,
+    //    the filter rules out the scanf-bound main, Equation 1 selects
+    //    mandel_area, and the partitioner emits mobile + server modules.
+    let app = Offloader::new()
+        .compile_source(PROGRAM, "quickstart", &WorkloadInput::from_stdin("120\n"))
+        .expect("compiles");
+    println!("offload targets: {:?}", app.plan.tasks.iter().map(|t| &t.name).collect::<Vec<_>>());
+
+    // 2. Baseline: local execution on the phone.
+    let input = WorkloadInput::from_stdin("200\n");
+    let local = app.run_local(&input).expect("local run");
+    println!(
+        "local:     {:>8.2} ms   {:>8.1} mJ   output: {:?}",
+        local.total_seconds * 1e3,
+        local.energy_mj,
+        local.console.trim()
+    );
+
+    // 3. Offloaded over the paper's fast network (802.11ac).
+    let off = app
+        .run_offloaded(&input, &SessionConfig::fast_network())
+        .expect("offloaded run");
+    println!(
+        "offloaded: {:>8.2} ms   {:>8.1} mJ   output: {:?}",
+        off.total_seconds * 1e3,
+        off.energy_mj,
+        off.console.trim()
+    );
+    assert_eq!(local.console, off.console, "offloading must not change behaviour");
+
+    println!(
+        "speedup: {:.2}x   battery saving: {:.1}%   traffic: {:.1} KB over {} messages",
+        off.speedup_vs(&local),
+        (1.0 - off.normalized_energy(&local)) * 100.0,
+        (off.upload.raw_bytes + off.download.raw_bytes) as f64 / 1024.0,
+        off.upload.messages + off.download.messages,
+    );
+}

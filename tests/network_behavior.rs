@@ -1,0 +1,137 @@
+//! Integration: the §4 communication optimizations as observable run-time
+//! behaviour — batching, compression, prefetch, copy-on-demand vs eager
+//! transfer, and link sensitivity.
+
+use native_offloader::{Offloader, SessionConfig, WorkloadInput};
+
+/// A data-heavy task: reads a mobile-built array, writes a result array.
+const SRC: &str = r#"
+int input[30000];
+int output[30000];
+
+long transform(int n) {
+    int i; long acc = 0;
+    int r;
+    for (r = 0; r < 40; r++) {
+        for (i = 0; i < n; i++) {
+            output[i] = input[i] * 3 + (output[i] >> 1);
+            acc += output[i] % 7;
+        }
+    }
+    return acc;
+}
+
+int main() {
+    int n; int i;
+    scanf("%d", &n);
+    for (i = 0; i < n; i++) input[i] = (i * 2654435761) % 1000;
+    long a = transform(n);
+    printf("acc %d out %d %d\n", (int)(a % 100000), output[3], output[n-1]);
+    return 0;
+}
+"#;
+
+fn app() -> native_offloader::CompiledApp {
+    Offloader::new()
+        .compile_source(SRC, "transform", &WorkloadInput::from_stdin("18000\n"))
+        .unwrap()
+}
+
+fn input() -> WorkloadInput {
+    WorkloadInput::from_stdin("26000\n")
+}
+
+#[test]
+fn compression_shrinks_wire_bytes_and_total_time() {
+    let app = app();
+    let with = app.run_offloaded(&input(), &SessionConfig::fast_network()).unwrap();
+    let mut cfg = SessionConfig::fast_network();
+    cfg.compress = false;
+    let without = app.run_offloaded(&input(), &cfg).unwrap();
+    assert_eq!(with.console, without.console);
+    assert!(
+        with.download.wire_bytes < without.download.wire_bytes,
+        "compressed {} vs raw {}",
+        with.download.wire_bytes,
+        without.download.wire_bytes
+    );
+    // Upload (mobile→server) is never compressed, per §4.
+    assert_eq!(with.upload.wire_bytes, without.upload.wire_bytes);
+}
+
+#[test]
+fn batching_reduces_message_count_and_time() {
+    let app = app();
+    let batched = app.run_offloaded(&input(), &SessionConfig::fast_network()).unwrap();
+    let mut cfg = SessionConfig::fast_network();
+    cfg.batch = false;
+    let unbatched = app.run_offloaded(&input(), &cfg).unwrap();
+    assert_eq!(batched.console, unbatched.console);
+    let b_msgs = batched.upload.messages + batched.download.messages;
+    let u_msgs = unbatched.upload.messages + unbatched.download.messages;
+    assert!(b_msgs < u_msgs, "batched {b_msgs} vs unbatched {u_msgs}");
+    assert!(batched.total_seconds <= unbatched.total_seconds);
+}
+
+#[test]
+fn copy_on_demand_moves_less_than_eager_transfer() {
+    // §6: static partitioners "conservatively send all the data that the
+    // offloaded tasks may touch"; CoD ships only what is accessed.
+    let app = app();
+    let cod = app.run_offloaded(&input(), &SessionConfig::fast_network()).unwrap();
+    let mut cfg = SessionConfig::fast_network();
+    cfg.copy_on_demand = false;
+    let eager = app.run_offloaded(&input(), &cfg).unwrap();
+    assert_eq!(cod.console, eager.console);
+    assert!(
+        cod.upload.raw_bytes < eager.upload.raw_bytes,
+        "CoD {} vs eager {}",
+        cod.upload.raw_bytes,
+        eager.upload.raw_bytes
+    );
+}
+
+#[test]
+fn ideal_network_bounds_real_networks() {
+    let app = app();
+    let ideal = app.run_offloaded(&input(), &SessionConfig::ideal_network()).unwrap();
+    let fast = {
+        let mut c = SessionConfig::fast_network();
+        c.dynamic_estimation = false;
+        app.run_offloaded(&input(), &c).unwrap()
+    };
+    let slow = {
+        let mut c = SessionConfig::slow_network();
+        c.dynamic_estimation = false;
+        app.run_offloaded(&input(), &c).unwrap()
+    };
+    assert!(ideal.total_seconds <= fast.total_seconds);
+    assert!(fast.total_seconds <= slow.total_seconds);
+    assert!(ideal.breakdown.communication_s == 0.0);
+}
+
+#[test]
+fn power_timeline_shows_the_fig8_phases() {
+    use offload_machine::power::PowerState;
+    let app = app();
+    let off = app.run_offloaded(&input(), &SessionConfig::fast_network()).unwrap();
+    let states: Vec<PowerState> = off.timeline.intervals().iter().map(|iv| iv.state).collect();
+    assert!(states.contains(&PowerState::Compute));
+    assert!(states.contains(&PowerState::Transmit));
+    assert!(states.contains(&PowerState::Receive));
+    assert!(states.contains(&PowerState::Waiting));
+    // The timeline integrates to the reported totals.
+    assert!((off.timeline.total_seconds() - off.total_seconds).abs() < 1e-9);
+    let resampled = off.timeline.resample(&SessionConfig::fast_network().mobile.power, off.total_seconds / 100.0);
+    assert!(resampled.len() >= 50, "Fig. 8 needs a dense series");
+}
+
+#[test]
+fn traffic_accounting_is_consistent() {
+    let app = app();
+    let off = app.run_offloaded(&input(), &SessionConfig::fast_network()).unwrap();
+    let from_events: u64 = off.events.iter().map(|e| e.wire_bytes).sum();
+    assert_eq!(from_events, off.upload.wire_bytes + off.download.wire_bytes);
+    assert!(off.traffic_mb() > 0.0);
+    assert!(off.traffic_mb_per_invocation() > 0.0);
+}

@@ -1,0 +1,171 @@
+//! Integration: unified-virtual-address semantics across architectures —
+//! the §3.2 story. Layout realignment (Fig. 4), endianness translation,
+//! address-size conversion, unified heap sharing.
+
+use native_offloader::{CompileConfig, Offloader, SessionConfig, WorkloadInput};
+use offload_machine::target::TargetSpec;
+
+/// A program whose hot task walks a pointer-linked structure built on the
+/// mobile side: only works offloaded because every object is on the UVA
+/// space (u_malloc) and pages copy on demand.
+const LINKED: &str = r#"
+typedef struct Node { int value; struct Node *next; } Node;
+Node *head;
+int nnodes;
+
+long walk(int reps) {
+    int r;
+    long sum = 0;
+    for (r = 0; r < reps; r++) {
+        Node *p = head;
+        while (p) {
+            sum += p->value;
+            p = p->next;
+        }
+    }
+    return sum;
+}
+
+int main() {
+    int reps; int i;
+    scanf("%d %d", &nnodes, &reps);
+    head = 0;
+    for (i = 0; i < nnodes; i++) {
+        Node *n = (Node*)malloc(sizeof(Node));
+        n->value = i * 3 + 1;
+        n->next = head;
+        head = n;
+    }
+    long s = walk(reps);
+    printf("sum %d\n", (int)(s % 1000000007));
+    return 0;
+}
+"#;
+
+fn linked_input() -> WorkloadInput {
+    WorkloadInput::from_stdin("2000 220\n")
+}
+
+#[test]
+fn pointer_chasing_works_across_the_uva() {
+    // The server dereferences mobile-built 32-bit pointers through the
+    // unified layout + PtrZext conversions; copy-on-demand pulls the
+    // list's heap pages over.
+    let app = Offloader::new()
+        .compile_source(LINKED, "linked", &WorkloadInput::from_stdin("1500 120\n"))
+        .unwrap();
+    assert!(app.plan.task_by_name("walk").is_some(), "{:#?}", app.plan.estimates);
+    let local = app.run_local(&linked_input()).unwrap();
+    let off = app.run_offloaded(&linked_input(), &SessionConfig::fast_network()).unwrap();
+    assert_eq!(local.console, off.console);
+    assert!(off.demand_page_fetches + off.prefetched_pages > 5, "list pages must travel");
+}
+
+#[test]
+fn heap_sites_were_unified_for_the_linked_list() {
+    let app = Offloader::new()
+        .compile_source(LINKED, "linked", &WorkloadInput::from_stdin("800 60\n"))
+        .unwrap();
+    assert!(app.plan.stats.heap_sites_unified >= 1, "malloc became u_malloc");
+    // The server partition sees u_malloc, not malloc.
+    let server_text = app.server.to_string();
+    assert!(!server_text.contains(" builtin malloc("), "{server_text}");
+}
+
+#[test]
+fn offload_to_big_endian_server_works_via_translation() {
+    // The paper's eval never hits the endianness path (both devices are
+    // little-endian, §5.1); this synthetic big-endian server exercises it
+    // end to end: the compiler inserts ByteSwap shims, and the offloaded
+    // run still matches local output.
+    let config = CompileConfig {
+        server: TargetSpec::big_endian_server(),
+        ..CompileConfig::default()
+    };
+    let app = Offloader::with_config(config)
+        .compile_source(LINKED, "linked-be", &WorkloadInput::from_stdin("1500 120\n"))
+        .unwrap();
+    let mut session = SessionConfig::fast_network();
+    session.server = TargetSpec::big_endian_server();
+    let local = app.run_local(&linked_input()).unwrap();
+    let off = app.run_offloaded(&linked_input(), &session).unwrap();
+    assert_eq!(local.console, off.console, "byte-swapped reads must agree");
+    assert!(off.offloads_performed > 0);
+}
+
+#[test]
+fn big_endian_server_without_translation_breaks() {
+    // Negative control: compile for a little-endian server (no swaps) but
+    // run the server VM big-endian. The result must differ — proving the
+    // translation pass is load-bearing, not decorative.
+    let app = Offloader::new()
+        .compile_source(LINKED, "linked-wrong", &WorkloadInput::from_stdin("1500 120\n"))
+        .unwrap();
+    let mut session = SessionConfig::fast_network();
+    session.server = TargetSpec::big_endian_server();
+    let local = app.run_local(&linked_input()).unwrap();
+    // The run either produces wrong output or crashes on a garbage
+    // pointer — both demonstrate the §3.2 failure mode.
+    if let Ok(off) = app.run_offloaded(&linked_input(), &session) {
+        assert_ne!(local.console, off.console, "unswapped BE reads must corrupt");
+    }
+}
+
+#[test]
+fn sret_aggregates_round_trip_through_offload() {
+    // A struct-returning target (like Fig. 3's getAITurn): the hidden sret
+    // pointer targets the mobile stack; the server's writes come home via
+    // dirty-page write-back.
+    let src = r#"
+        typedef struct { int lo; int hi; double mean; } Stats;
+        int data[8192];
+        Stats summarize(int n) {
+            Stats s;
+            int i; long total = 0;
+            s.lo = 1000000; s.hi = -1000000;
+            for (i = 0; i < n; i++) {
+                int v = data[i % 8192] + (i % 13);
+                if (v < s.lo) s.lo = v;
+                if (v > s.hi) s.hi = v;
+                total += v;
+            }
+            s.mean = (double)total / (double)n;
+            return s;
+        }
+        int main() {
+            int n; int i;
+            scanf("%d", &n);
+            for (i = 0; i < 8192; i++) data[i] = (i * 37) % 1000;
+            Stats s;
+            s = summarize(n);
+            printf("%d %d %.3f\n", s.lo, s.hi, s.mean);
+            return 0;
+        }
+    "#;
+    let app = Offloader::new()
+        .compile_source(src, "sret", &WorkloadInput::from_stdin("400000\n"))
+        .unwrap();
+    assert!(app.plan.task_by_name("summarize").is_some(), "{:#?}", app.plan.estimates);
+    let input = WorkloadInput::from_stdin("800000\n");
+    let local = app.run_local(&input).unwrap();
+    let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+    assert_eq!(local.console, off.console);
+    assert!(off.dirty_pages_written_back > 0, "the sret page must come home");
+}
+
+#[test]
+fn server_stack_is_relocated_away_from_mobile_stack() {
+    // §3.3 stack reallocation: server-private pages (its stack) must never
+    // be written back into mobile memory.
+    use offload_machine::uva_map;
+    const { assert!(uva_map::SERVER_STACK_TOP < uva_map::MOBILE_STACK_TOP - uva_map::STACK_SIZE) };
+    let app = Offloader::new()
+        .compile_source(LINKED, "linked", &WorkloadInput::from_stdin("1000 100\n"))
+        .unwrap();
+    let off = app.run_offloaded(&linked_input(), &SessionConfig::fast_network()).unwrap();
+    // No event ships a server-stack page to the mobile device: the dirty
+    // write-back count excludes server-private ranges by construction, and
+    // the run stays correct (checked elsewhere); here we sanity-check the
+    // counters exist and the run offloaded.
+    assert!(off.offloads_performed > 0);
+}

@@ -1,0 +1,190 @@
+//! Integration: the full 17-program SPEC miniature suite through the
+//! complete pipeline — compile, select, partition, and execute locally and
+//! offloaded with output equivalence.
+
+use std::sync::OnceLock;
+
+use native_offloader::{CompiledApp, SessionConfig};
+use offload_workloads::{all, WorkloadSpec};
+
+/// The 17 miniatures compile once per test binary; every test reuses the
+/// compiled apps (compilation includes a profiling run, the expensive part).
+fn suite() -> &'static [(WorkloadSpec, CompiledApp)] {
+    static SUITE: OnceLock<Vec<(WorkloadSpec, CompiledApp)>> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        all()
+            .into_iter()
+            .map(|w| {
+                let app = w
+                    .compile()
+                    .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+                (w, app)
+            })
+            .collect()
+    })
+}
+
+fn entry(short: &str) -> &'static (WorkloadSpec, CompiledApp) {
+    suite()
+        .iter()
+        .find(|(w, _)| w.short == short)
+        .unwrap_or_else(|| panic!("unknown workload {short}"))
+}
+
+/// Every workload compiles, selects its expected target, and produces
+/// identical console output locally and offloaded over the fast network.
+#[test]
+fn suite_compiles_selects_and_matches_output() {
+    for (w, app) in suite() {
+        assert!(
+            app.plan.task_by_name(w.expected_target).is_some(),
+            "{}: expected target {} not selected; estimates:\n{:#?}",
+            w.name,
+            w.expected_target,
+            app.plan.estimates
+        );
+        let input = (w.eval_input)();
+        let local = app
+            .run_local(&input)
+            .unwrap_or_else(|e| panic!("{}: local run failed: {e}", w.name));
+        assert!(!local.console.is_empty(), "{}: no output", w.name);
+        let off = app
+            .run_offloaded(&input, &SessionConfig::fast_network())
+            .unwrap_or_else(|e| panic!("{}: offloaded run failed: {e}", w.name));
+        assert_eq!(
+            local.console, off.console,
+            "{}: offloading changed program output",
+            w.name
+        );
+        assert!(
+            off.offloads_performed >= 1,
+            "{}: nothing was offloaded on the fast network (refused {})",
+            w.name,
+            off.offloads_refused
+        );
+    }
+}
+
+/// The §5.1 slow-network refusals: the five communication-heavy programs
+/// are refused by the dynamic estimator on 802.11n; the rest still
+/// offload.
+#[test]
+fn slow_network_refusals_match_the_paper() {
+    for (w, app) in suite() {
+        let input = (w.eval_input)();
+        let off = app.run_offloaded(&input, &SessionConfig::slow_network()).unwrap();
+        if w.paper.refused_on_slow {
+            assert_eq!(
+                off.offloads_performed, 0,
+                "{}: should be refused on the slow network (Fig. 6 `*`)",
+                w.name
+            );
+            assert!(off.offloads_refused >= 1, "{}: refusals not recorded", w.name);
+        } else {
+            assert!(
+                off.offloads_performed >= 1,
+                "{}: should still offload on the slow network",
+                w.name
+            );
+        }
+    }
+}
+
+/// Offloading on the fast network speeds every program up (Fig. 6(a):
+/// "Native Offloader achieves performance speedups for all the evaluated
+/// programs").
+#[test]
+fn fast_network_speeds_up_every_program() {
+    for (w, app) in suite() {
+        let input = (w.eval_input)();
+        let local = app.run_local(&input).unwrap();
+        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        assert!(
+            off.total_seconds < local.total_seconds,
+            "{}: offload {:.4}s vs local {:.4}s",
+            w.name,
+            off.total_seconds,
+            local.total_seconds
+        );
+    }
+}
+
+/// Battery: offloading saves energy for every program except (possibly)
+/// gzip, the paper's one exception (§5.2).
+#[test]
+fn battery_saved_for_all_but_gzip_shapes() {
+    for (w, app) in suite() {
+        if w.paper.refused_on_slow {
+            continue; // their slow-network runs are local anyway
+        }
+        let input = (w.eval_input)();
+        let local = app.run_local(&input).unwrap();
+        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        assert!(
+            off.energy_mj < local.energy_mj,
+            "{}: offload energy {:.1} mJ vs local {:.1} mJ",
+            w.name,
+            off.energy_mj,
+            local.energy_mj
+        );
+    }
+}
+
+/// The function-pointer programs (sjeng, gobmk, mesa, h264ref) actually
+/// exercise the translation path on the server.
+#[test]
+fn fn_ptr_programs_translate_on_server() {
+    for short in ["sjeng", "gobmk", "mesa", "h264ref"] {
+        let (w, app) = entry(short);
+        assert!(
+            app.plan.stats.fn_ptr_sites > 0,
+            "{short}: no fn-ptr mapping sites inserted"
+        );
+        let off = app
+            .run_offloaded(&(w.eval_input)(), &SessionConfig::fast_network())
+            .unwrap();
+        assert!(
+            off.fn_map_translations > 0,
+            "{short}: no translations at run time"
+        );
+    }
+}
+
+/// The remote-input programs (twolf, gobmk, h264ref, sphinx3) perform
+/// remote I/O calls from the server (§5.1's remote-input overhead).
+#[test]
+fn remote_input_programs_do_remote_io() {
+    for short in ["twolf", "gobmk", "h264ref", "sphinx3"] {
+        let (w, app) = entry(short);
+        let off = app
+            .run_offloaded(&(w.eval_input)(), &SessionConfig::fast_network())
+            .unwrap();
+        assert!(
+            off.remote_io_calls > 0,
+            "{short}: expected remote I/O (calls = {})",
+            off.remote_io_calls
+        );
+    }
+}
+
+/// ammp selects both of its targets, like Table 4's two-row entry.
+#[test]
+fn ammp_has_two_targets() {
+    let (_, app) = entry("ammp");
+    assert!(app.plan.task_by_name("tpac").is_some(), "{:#?}", app.plan.estimates);
+    assert!(
+        app.plan.task_by_name("AMMPmonitor").is_some(),
+        "{:#?}",
+        app.plan.estimates
+    );
+}
+
+/// sjeng invokes its target once per move: 3 offloads (Table 4).
+#[test]
+fn sjeng_offloads_three_times() {
+    let (w, app) = entry("sjeng");
+    let off = app
+        .run_offloaded(&(w.eval_input)(), &SessionConfig::fast_network())
+        .unwrap();
+    assert_eq!(off.offloads_performed, 3);
+}
