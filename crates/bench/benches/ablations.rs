@@ -1,6 +1,6 @@
 //! Ablation benches for the design choices DESIGN.md calls out: each §4
 //! mechanism toggled off against the default runtime, measured in
-//! **simulated** seconds via `iter_custom`.
+//! **simulated** seconds.
 //!
 //! Two workloads carry the ablations:
 //!
@@ -13,10 +13,8 @@
 //!   touch": **copy-on-demand**, **prefetch** and **fault-ahead** are
 //!   measured here.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use native_offloader::{CompiledApp, Offloader, SessionConfig, WorkloadInput};
+use offload_bench::micro;
 use offload_workloads::by_short_name;
 
 /// The §6 sparse-access workload: an 800 KB table of which each run
@@ -48,9 +46,17 @@ int main() {
 
 fn sparse_app() -> (CompiledApp, WorkloadInput) {
     let app = Offloader::new()
-        .compile_source(SPARSE_LOOKUP, "sparse_lookup", &WorkloadInput::from_stdin("1000 4000\n"))
+        .compile_source(
+            SPARSE_LOOKUP,
+            "sparse_lookup",
+            &WorkloadInput::from_stdin("1000 4000\n"),
+        )
         .expect("compiles");
-    assert!(app.plan.task_by_name("probe").is_some(), "{:#?}", app.plan.estimates);
+    assert!(
+        app.plan.task_by_name("probe").is_some(),
+        "{:#?}",
+        app.plan.estimates
+    );
     (app, WorkloadInput::from_stdin("120000 4000\n"))
 }
 
@@ -66,32 +72,28 @@ fn forced_fast() -> SessionConfig {
 }
 
 fn simulated(app: &CompiledApp, input: &WorkloadInput, cfg: &SessionConfig) -> f64 {
-    app.run_offloaded(input, cfg).expect("offloaded").total_seconds
+    app.run_offloaded(input, cfg)
+        .expect("offloaded")
+        .total_seconds
 }
 
 fn bench_group(
-    c: &mut Criterion,
     group_name: &str,
     app: &CompiledApp,
     input: &WorkloadInput,
     variants: &[(&str, SessionConfig)],
 ) {
-    let mut group = c.benchmark_group(group_name);
-    group.sample_size(10);
     for (name, cfg) in variants {
-        group.bench_function(*name, |b| {
-            b.iter_custom(|iters| {
-                let mut total = 0.0;
-                for _ in 0..iters {
-                    total += simulated(app, input, cfg);
-                }
-                Duration::from_secs_f64(total)
-            });
+        micro::simulated(&format!("{group_name}/{name}"), 3, || {
+            simulated(app, input, cfg)
         });
     }
-    group.finish();
     let t_default = simulated(app, input, &variants[0].1);
-    println!("[ablation:{group_name}] {}: {:.2} ms", variants[0].0, t_default * 1e3);
+    println!(
+        "[ablation:{group_name}] {}: {:.2} ms",
+        variants[0].0,
+        t_default * 1e3
+    );
     for (name, cfg) in &variants[1..] {
         let t = simulated(app, input, cfg);
         println!(
@@ -102,34 +104,71 @@ fn bench_group(
     }
 }
 
-fn bench_communication_ablations(c: &mut Criterion) {
+fn bench_communication_ablations() {
     let (app, input) = gzip_app();
     let base = forced_fast();
     let variants = vec![
         ("default", base.clone()),
-        ("no_compression", SessionConfig { compress: false, ..base.clone() }),
-        ("no_batching", SessionConfig { batch: false, ..base }),
+        (
+            "no_compression",
+            SessionConfig {
+                compress: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_batching",
+            SessionConfig {
+                batch: false,
+                ..base
+            },
+        ),
     ];
-    bench_group(c, "ablations_comm", &app, &input, &variants);
+    bench_group("ablations_comm", &app, &input, &variants);
 
     // §4 claims both optimizations reduce communication cost.
     let t_default = simulated(&app, &input, &variants[0].1);
     let t_nocomp = simulated(&app, &input, &variants[1].1);
     let t_nobatch = simulated(&app, &input, &variants[2].1);
-    assert!(t_nocomp > t_default, "compression must pay off on gzip traffic");
-    assert!(t_nobatch > t_default, "batching must pay off on gzip traffic");
+    assert!(
+        t_nocomp > t_default,
+        "compression must pay off on gzip traffic"
+    );
+    assert!(
+        t_nobatch > t_default,
+        "batching must pay off on gzip traffic"
+    );
 }
 
-fn bench_paging_ablations(c: &mut Criterion) {
+fn bench_paging_ablations() {
     let (app, input) = sparse_app();
     let base = forced_fast();
     let variants = vec![
         ("default", base.clone()),
-        ("eager_full_transfer", SessionConfig { copy_on_demand: false, ..base.clone() }),
-        ("no_prefetch", SessionConfig { prefetch: false, ..base.clone() }),
-        ("no_fault_ahead", SessionConfig { fault_ahead: 1, prefetch: false, ..base }),
+        (
+            "eager_full_transfer",
+            SessionConfig {
+                copy_on_demand: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_prefetch",
+            SessionConfig {
+                prefetch: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_fault_ahead",
+            SessionConfig {
+                fault_ahead: 1,
+                prefetch: false,
+                ..base
+            },
+        ),
     ];
-    bench_group(c, "ablations_paging", &app, &input, &variants);
+    bench_group("ablations_paging", &app, &input, &variants);
 
     // §6: copy-on-demand ships the touched sliver; a conservative eager
     // transfer ships the whole 800 KB table.
@@ -154,11 +193,7 @@ fn bench_paging_ablations(c: &mut Criterion) {
     assert!(ahead <= one, "fault-ahead must not lose: {ahead} vs {one}");
 }
 
-criterion_group! {
-    name = benches;
-    // Simulated-time measurements are deterministic (zero variance), which
-    // breaks Criterion's plot generation; plots stay off.
-    config = Criterion::default().without_plots();
-    targets = bench_communication_ablations, bench_paging_ablations
+fn main() {
+    bench_communication_ablations();
+    bench_paging_ablations();
 }
-criterion_main!(benches);

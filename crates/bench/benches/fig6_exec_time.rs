@@ -1,55 +1,40 @@
-//! Fig. 6 bench: local vs offloaded execution time (simulated seconds via
-//! `iter_custom`) for representative workloads from each Fig. 6 class —
-//! near-ideal (hmmer), interactive multi-invocation (sjeng), and
+//! Fig. 6 bench: local vs offloaded execution time (simulated seconds)
+//! for representative workloads from each Fig. 6 class — near-ideal
+//! (hmmer), interactive multi-invocation (sjeng), and
 //! communication-bound (gzip).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use native_offloader::SessionConfig;
+use offload_bench::micro;
 use offload_workloads::by_short_name;
 
-fn bench_fig6(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_exec_time");
-    group.sample_size(10);
-
+fn main() {
     for short in ["hmmer", "sjeng", "gzip"] {
         let w = by_short_name(short).expect("workload exists");
         let app = w.compile().expect("compiles");
         let input = (w.eval_input)();
 
-        group.bench_with_input(BenchmarkId::new("local", short), &(), |b, ()| {
-            b.iter_custom(|iters| {
-                let mut total = 0.0;
-                for _ in 0..iters {
-                    total += app.run_local(&input).expect("local").total_seconds;
-                }
-                Duration::from_secs_f64(total)
-            });
+        micro::simulated(&format!("fig6_exec_time/local/{short}"), 3, || {
+            app.run_local(&input).expect("local").total_seconds
         });
         for (net, cfg) in [
             ("slow", SessionConfig::slow_network()),
             ("fast", SessionConfig::fast_network()),
             ("ideal", SessionConfig::ideal_network()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(net, short),
-                &cfg,
-                |b, cfg| {
-                    b.iter_custom(|iters| {
-                        let mut total = 0.0;
-                        for _ in 0..iters {
-                            total += app.run_offloaded(&input, cfg).expect("offloaded").total_seconds;
-                        }
-                        Duration::from_secs_f64(total)
-                    });
-                },
-            );
+            micro::simulated(&format!("fig6_exec_time/{net}/{short}"), 3, || {
+                app.run_offloaded(&input, &cfg)
+                    .expect("offloaded")
+                    .total_seconds
+            });
         }
 
         let local = app.run_local(&input).expect("local");
-        let fast = app.run_offloaded(&input, &SessionConfig::fast_network()).expect("fast");
-        let slow = app.run_offloaded(&input, &SessionConfig::slow_network()).expect("slow");
+        let fast = app
+            .run_offloaded(&input, &SessionConfig::fast_network())
+            .expect("fast");
+        let slow = app
+            .run_offloaded(&input, &SessionConfig::slow_network())
+            .expect("slow");
         println!(
             "[fig6a] {short}: local {:.1} ms, slow {:.3} (off {}), fast {:.3} (off {})",
             local.total_seconds * 1e3,
@@ -64,14 +49,4 @@ fn bench_fig6(c: &mut Criterion) {
             fast.normalized_energy(&local),
         );
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Simulated-time measurements are deterministic (zero variance), which
-    // breaks Criterion's plot generation; plots stay off.
-    config = Criterion::default().without_plots();
-    targets = bench_fig6
-}
-criterion_main!(benches);

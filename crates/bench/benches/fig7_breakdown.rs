@@ -2,31 +2,26 @@
 //! overhead archetypes — fn-ptr translation (sjeng), remote I/O (gobmk),
 //! communication (gzip with forced offload).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use native_offloader::SessionConfig;
+use offload_bench::micro;
 use offload_workloads::by_short_name;
 
-fn bench_fig7(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_breakdown");
-    group.sample_size(10);
-
-    for (short, overhead) in [("sjeng", "fnptr"), ("gobmk", "remote-io"), ("gzip", "network")] {
+fn main() {
+    for (short, overhead) in [
+        ("sjeng", "fnptr"),
+        ("gobmk", "remote-io"),
+        ("gzip", "network"),
+    ] {
         let w = by_short_name(short).expect("workload exists");
         let app = w.compile().expect("compiles");
         let input = (w.eval_input)();
         let mut cfg = SessionConfig::fast_network();
         cfg.dynamic_estimation = false; // measure the breakdown even when marginal
 
-        group.bench_with_input(BenchmarkId::new(overhead, short), &(), |b, ()| {
-            b.iter_custom(|iters| {
-                let mut total = 0.0;
-                for _ in 0..iters {
-                    total += app.run_offloaded(&input, &cfg).expect("offloaded").total_seconds;
-                }
-                Duration::from_secs_f64(total)
-            });
+        micro::simulated(&format!("fig7_breakdown/{overhead}/{short}"), 3, || {
+            app.run_offloaded(&input, &cfg)
+                .expect("offloaded")
+                .total_seconds
         });
 
         let rep = app.run_offloaded(&input, &cfg).expect("offloaded");
@@ -45,14 +40,4 @@ fn bench_fig7(c: &mut Criterion) {
             _ => assert!(b.communication_s > 0.0),
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Simulated-time measurements are deterministic (zero variance), which
-    // breaks Criterion's plot generation; plots stay off.
-    config = Criterion::default().without_plots();
-    targets = bench_fig7
-}
-criterion_main!(benches);

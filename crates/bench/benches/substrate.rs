@@ -3,7 +3,7 @@
 //! MiniC front-end. These measure *wall-clock* performance of the
 //! simulator (unlike the figure benches, which report simulated time).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use offload_bench::micro;
 use offload_machine::host::LocalHost;
 use offload_machine::loader;
 use offload_machine::mem::{BackingPolicy, Memory};
@@ -18,24 +18,23 @@ const HOT_LOOP: &str = "
         return (int)(acc % 97);
     }";
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
     let module = offload_minic::compile(HOT_LOOP, "hot").expect("compiles");
     let spec = TargetSpec::xps_8700();
-    let mut group = c.benchmark_group("substrate/interpreter");
     // ~1.4M instructions per run.
-    group.throughput(Throughput::Elements(1_400_000));
-    group.bench_function("hot_loop", |b| {
-        b.iter(|| {
-            let image = loader::load(&module, &spec.data_layout()).expect("loads");
-            let mut host = LocalHost::new();
-            let mut vm = Vm::new(&module, &spec, image, StackBank::Mobile);
-            vm.run_entry(&mut host).expect("runs")
-        });
+    let stats = micro::wall("substrate/interpreter/hot_loop", 5, || {
+        let image = loader::load(&module, &spec.data_layout()).expect("loads");
+        let mut host = LocalHost::new();
+        let mut vm = Vm::new(&module, &spec, image, StackBank::Mobile);
+        vm.run_entry(&mut host).expect("runs")
     });
-    group.finish();
+    println!(
+        "substrate/interpreter/hot_loop               {:.1} M inst/s",
+        1_400_000.0 / stats.mean_s / 1e6
+    );
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec() {
     let compressible: Vec<u8> = (0..262_144u32).map(|i| ((i / 13) % 40) as u8).collect();
     let mut x = 0x2545_F491u32;
     let noise: Vec<u8> = (0..262_144)
@@ -46,55 +45,45 @@ fn bench_codec(c: &mut Criterion) {
             (x >> 24) as u8
         })
         .collect();
-    let mut group = c.benchmark_group("substrate/lz");
-    group.throughput(Throughput::Bytes(262_144));
-    group.bench_function("compress_compressible", |b| {
-        b.iter(|| lz::compress(&compressible));
+    micro::wall_bytes("substrate/lz/compress_compressible", 5, 262_144, || {
+        lz::compress(&compressible)
     });
-    group.bench_function("compress_noise", |b| {
-        b.iter(|| lz::compress(&noise));
+    micro::wall_bytes("substrate/lz/compress_noise", 5, 262_144, || {
+        lz::compress(&noise)
     });
     let packed = lz::compress(&compressible);
-    group.bench_function("decompress", |b| {
-        b.iter(|| lz::decompress(&packed).expect("roundtrips"));
+    micro::wall_bytes("substrate/lz/decompress", 5, 262_144, || {
+        lz::decompress(&packed).expect("roundtrips")
     });
-    group.finish();
 }
 
-fn bench_memory(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate/memory");
-    group.throughput(Throughput::Bytes(1 << 20));
-    group.bench_function("write_read_1mb", |b| {
-        b.iter(|| {
-            let mut m = Memory::new(BackingPolicy::DemandZero);
-            let chunk = [0xA5u8; 4096];
-            for page in 0..256u64 {
-                m.write(page * 4096, &chunk).expect("writes");
-            }
-            let mut buf = [0u8; 4096];
-            for page in 0..256u64 {
-                m.read(page * 4096, &mut buf).expect("reads");
-            }
-            m.dirty_count()
-        });
+fn bench_memory() {
+    micro::wall_bytes("substrate/memory/write_read_1mb", 5, 1 << 20, || {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        let chunk = [0xA5u8; 4096];
+        for page in 0..256u64 {
+            m.write(page * 4096, &chunk).expect("writes");
+        }
+        let mut buf = [0u8; 4096];
+        for page in 0..256u64 {
+            m.read(page * 4096, &mut buf).expect("reads");
+        }
+        m.dirty_count()
     });
-    group.finish();
 }
 
-fn bench_frontend(c: &mut Criterion) {
-    let source = offload_workloads::by_short_name("sjeng").expect("exists").source;
-    let mut group = c.benchmark_group("substrate/minic");
-    group.bench_function("compile_sjeng_miniature", |b| {
-        b.iter(|| offload_minic::compile(source, "sjeng").expect("compiles"));
+fn bench_frontend() {
+    let source = offload_workloads::by_short_name("sjeng")
+        .expect("exists")
+        .source;
+    micro::wall("substrate/minic/compile_sjeng_miniature", 5, || {
+        offload_minic::compile(source, "sjeng").expect("compiles")
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    // Simulated-time measurements are deterministic (zero variance), which
-    // breaks Criterion's plot generation; plots stay off.
-    config = Criterion::default().without_plots();
-    targets = bench_interpreter, bench_codec, bench_memory, bench_frontend
+fn main() {
+    bench_interpreter();
+    bench_codec();
+    bench_memory();
+    bench_frontend();
 }
-criterion_main!(benches);

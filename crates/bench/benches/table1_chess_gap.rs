@@ -1,13 +1,11 @@
 //! Table 1 bench: the chess movement computation on the simulated phone
 //! vs the simulated desktop.
 //!
-//! Uses `iter_custom` to report **simulated** seconds, so the Criterion
-//! output directly mirrors Table 1's two device rows; the measured gap
-//! (paper: 5.36–5.89×) is also asserted and printed.
+//! Reports **simulated** seconds, so the output directly mirrors Table
+//! 1's two device rows; the measured gap (paper: 5.36–5.89×) is also
+//! asserted and printed.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use offload_bench::micro;
 use offload_machine::host::LocalHost;
 use offload_machine::loader;
 use offload_machine::target::TargetSpec;
@@ -30,29 +28,15 @@ fn run_once(module: &offload_ir::Module, spec: &TargetSpec, bank: StackBank, dep
     spec.cycles_to_seconds(vm.clock.cycles)
 }
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     let module = offload_minic::compile(chess::SOURCE, "chess").expect("compiles");
-    let mut group = c.benchmark_group("table1_chess_gap");
-    group.sample_size(10);
 
     for depth in [7u32, 9, 11] {
-        group.bench_with_input(BenchmarkId::new("smartphone", depth), &depth, |b, &d| {
-            b.iter_custom(|iters| {
-                let mut total = 0.0;
-                for _ in 0..iters {
-                    total += run_once(&module, &TargetSpec::galaxy_s5(), StackBank::Mobile, d);
-                }
-                Duration::from_secs_f64(total)
-            });
+        micro::simulated(&format!("table1_chess_gap/smartphone/{depth}"), 3, || {
+            run_once(&module, &TargetSpec::galaxy_s5(), StackBank::Mobile, depth)
         });
-        group.bench_with_input(BenchmarkId::new("desktop", depth), &depth, |b, &d| {
-            b.iter_custom(|iters| {
-                let mut total = 0.0;
-                for _ in 0..iters {
-                    total += run_once(&module, &TargetSpec::xps_8700(), StackBank::Server, d);
-                }
-                Duration::from_secs_f64(total)
-            });
+        micro::simulated(&format!("table1_chess_gap/desktop/{depth}"), 3, || {
+            run_once(&module, &TargetSpec::xps_8700(), StackBank::Server, depth)
         });
         let phone = run_once(&module, &TargetSpec::galaxy_s5(), StackBank::Mobile, depth);
         let desktop = run_once(&module, &TargetSpec::xps_8700(), StackBank::Server, depth);
@@ -62,16 +46,9 @@ fn bench_table1(c: &mut Criterion) {
             desktop * 1e3,
             phone / desktop
         );
-        assert!(phone / desktop > 2.0, "the gap must be large at every level");
+        assert!(
+            phone / desktop > 2.0,
+            "the gap must be large at every level"
+        );
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Simulated-time measurements are deterministic (zero variance), which
-    // breaks Criterion's plot generation; plots stay off.
-    config = Criterion::default().without_plots();
-    targets = bench_table1
-}
-criterion_main!(benches);

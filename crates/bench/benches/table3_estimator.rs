@@ -1,52 +1,47 @@
 //! Table 3 bench: the static estimator (Equation 1) and the whole target-
 //! selection pipeline on the chess example.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
 use native_offloader::compiler::estimate::{equation1, EstimateInput};
 use native_offloader::{CompileConfig, Offloader};
+use offload_bench::micro;
 use offload_workloads::chess;
 
-fn bench_equation1(c: &mut Criterion) {
+fn bench_equation1() {
     // The pure Eq. 1 math, with the Table 3 example rows.
-    c.bench_function("table3/equation1", |b| {
-        b.iter(|| {
-            let rows = [
-                (27.0, 1u64, 20u64),
-                (26.0, 3, 12),
-                (26.0, 3, 12),
-                (25.0, 36, 12),
-                (1.5, 3, 10),
-            ];
-            let mut gains = 0.0;
-            for (tm, n, mb) in rows {
-                let e = equation1(EstimateInput {
-                    tm_s: tm,
-                    invocations: n,
-                    mem_bytes: mb * 1_000_000,
-                    ratio: 5.0,
-                    bandwidth_bps: 80_000_000,
-                });
-                gains += e.t_gain_s;
-            }
-            criterion::black_box(gains)
-        });
+    micro::wall("table3/equation1", 5, || {
+        let rows = [
+            (27.0, 1u64, 20u64),
+            (26.0, 3, 12),
+            (26.0, 3, 12),
+            (25.0, 36, 12),
+            (1.5, 3, 10),
+        ];
+        let mut gains = 0.0;
+        for (tm, n, mb) in rows {
+            let e = equation1(EstimateInput {
+                tm_s: tm,
+                invocations: n,
+                mem_bytes: mb * 1_000_000,
+                ratio: 5.0,
+                bandwidth_bps: 80_000_000,
+            });
+            gains += e.t_gain_s;
+        }
+        black_box(gains)
     });
 }
 
-fn bench_selection_pipeline(c: &mut Criterion) {
+fn bench_selection_pipeline() {
     // Full compile (profile -> filter -> estimate -> partition) of the
     // chess example — the compile-time cost of Native Offloader itself.
-    let mut group = c.benchmark_group("table3/selection_pipeline");
-    group.sample_size(10);
-    group.bench_function("compile_chess", |b| {
-        b.iter(|| {
-            let app = Offloader::with_config(CompileConfig::table3())
-                .compile_source(chess::SOURCE, "chess", &chess::input(8, 1))
-                .expect("compiles");
-            criterion::black_box(app.plan.tasks.len())
-        });
+    micro::wall("table3/selection_pipeline/compile_chess", 3, || {
+        let app = Offloader::with_config(CompileConfig::table3())
+            .compile_source(chess::SOURCE, "chess", &chess::input(8, 1))
+            .expect("compiles");
+        black_box(app.plan.tasks.len())
     });
-    group.finish();
 
     // Print the generated Table 3 for the bench log.
     let app = Offloader::with_config(CompileConfig::table3())
@@ -60,16 +55,18 @@ fn bench_selection_pipeline(c: &mut Criterion) {
             row.invocations,
             row.mem_bytes as f64 / 1024.0,
             row.t_gain_s * 1e3,
-            if row.selected { "SELECTED" } else if row.machine_specific { "filtered" } else { "rejected" }
+            if row.selected {
+                "SELECTED"
+            } else if row.machine_specific {
+                "filtered"
+            } else {
+                "rejected"
+            }
         );
     }
 }
 
-criterion_group! {
-    name = benches;
-    // Simulated-time measurements are deterministic (zero variance), which
-    // breaks Criterion's plot generation; plots stay off.
-    config = Criterion::default().without_plots();
-    targets = bench_equation1, bench_selection_pipeline
+fn main() {
+    bench_equation1();
+    bench_selection_pipeline();
 }
-criterion_main!(benches);

@@ -4,7 +4,11 @@
 //! cargo run --release -p offload-bench --bin reproduce -- all
 //! cargo run --release -p offload-bench --bin reproduce -- table1
 //! cargo run --release -p offload-bench --bin reproduce -- fig6a fig6b
+//! cargo run --release -p offload-bench --bin reproduce -- trace gzip --format jsonl
 //! ```
+//!
+//! `--quiet` suppresses progress chatter on stderr (figure output on
+//! stdout is unaffected).
 //!
 //! Absolute numbers live on a simulated substrate and will not equal the
 //! paper's testbed; the *shapes* (who wins, by what factor, which programs
@@ -16,16 +20,30 @@ use offload_bench::harness::{measure_suite, WorkloadRun};
 use offload_bench::{datasets, geomean, render};
 use offload_machine::power::PowerState;
 use offload_machine::target::TargetSpec;
+use offload_obs::log::Logger;
 use offload_workloads::chess;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
+    args.retain(|a| a != "--quiet" && a != "-q");
+    let log = if quiet {
+        Logger::quiet()
+    } else {
+        Logger::default()
+    };
+
+    if let Some(pos) = args.iter().position(|a| a == "trace") {
+        trace(&args[pos + 1..], &log);
+        return;
+    }
+
     let wants = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
 
     let mut suite: Option<Vec<WorkloadRun>> = None;
     let suite_ref = |suite: &mut Option<Vec<WorkloadRun>>| {
         if suite.is_none() {
-            eprintln!("[measuring the 17-program suite: local/slow/fast/ideal ...]");
+            log.info("[measuring the 17-program suite: local/slow/fast/ideal ...]");
             *suite = Some(measure_suite());
         }
     };
@@ -65,6 +83,94 @@ fn main() {
         suite_ref(&mut suite);
         calibrate(suite.as_ref().expect("measured"));
     }
+}
+
+/// `trace <program> [--format jsonl|tree|timeline] [--net slow|fast|ideal]`:
+/// compile and run one workload with the [`offload_obs::TraceCollector`]
+/// attached, then export the event stream. `jsonl` is Chrome
+/// `trace_event` format (load in `chrome://tracing` / Perfetto); `tree`
+/// and `timeline` are human renderings. The offload is forced (dynamic
+/// estimation off) so the trace always shows a full session.
+fn trace(rest: &[String], log: &Logger) {
+    use offload_obs::export::{chrome_trace_jsonl, render_timeline, render_tree};
+    use offload_obs::TraceCollector;
+
+    let mut program: Option<&str> = None;
+    let mut format = "jsonl";
+    let mut net = "fast";
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--format" if i + 1 < rest.len() => {
+                format = &rest[i + 1];
+                i += 2;
+            }
+            "--net" if i + 1 < rest.len() => {
+                net = &rest[i + 1];
+                i += 2;
+            }
+            arg if !arg.starts_with('-') && program.is_none() => {
+                program = Some(arg);
+                i += 1;
+            }
+            arg => {
+                eprintln!("trace: unexpected argument `{arg}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(short) = program else {
+        eprintln!("usage: reproduce trace <program> [--format jsonl|tree|timeline] [--net slow|fast|ideal]");
+        std::process::exit(2);
+    };
+    let Some(w) = offload_workloads::by_short_name(short) else {
+        let known: Vec<&str> = offload_workloads::all().iter().map(|w| w.short).collect();
+        eprintln!(
+            "trace: unknown program `{short}` (one of: {})",
+            known.join(", ")
+        );
+        std::process::exit(2);
+    };
+    let mut cfg = match net {
+        "slow" => SessionConfig::slow_network(),
+        "fast" => SessionConfig::fast_network(),
+        "ideal" => SessionConfig::ideal_network(),
+        other => {
+            eprintln!("trace: unknown network `{other}` (slow, fast or ideal)");
+            std::process::exit(2);
+        }
+    };
+    cfg.dynamic_estimation = false; // always show a full offload session
+
+    log.info(&format!(
+        "[tracing {}: compile + offloaded run on the {net} network]",
+        w.name
+    ));
+    let mut obs = TraceCollector::new();
+    let app = Offloader::new()
+        .compile_source_traced(w.source, w.name, &(w.profile_input)(), &mut obs)
+        .expect("compiles");
+    let rep = app
+        .run_offloaded_traced(&(w.eval_input)(), &cfg, &mut obs)
+        .expect("runs");
+    let records = obs.records();
+    match format {
+        "jsonl" => print!("{}", chrome_trace_jsonl(&records)),
+        "tree" => print!("{}", render_tree(&records)),
+        "timeline" => print!("{}", render_timeline(&records, 100)),
+        other => {
+            eprintln!("trace: unknown format `{other}` (jsonl, tree or timeline)");
+            std::process::exit(2);
+        }
+    }
+    log.info(&format!(
+        "[{} events ({} dropped); simulated total {:.2} ms, {} offloads, {} demand faults]",
+        records.len(),
+        obs.dropped(),
+        rep.total_seconds * 1e3,
+        rep.offloads_performed,
+        rep.demand_page_fetches,
+    ));
 }
 
 /// Table 1: chess movement computation time, phone vs desktop, by
@@ -112,7 +218,10 @@ fn table1() {
     }
     println!(
         "{}",
-        render::table(&["difficulty", "desktop (ms)", "smartphone (ms)", "gap"], &rows)
+        render::table(
+            &["difficulty", "desktop (ms)", "smartphone (ms)", "gap"],
+            &rows
+        )
     );
     println!("(paper measures 0.06–11.4 s desktop, 0.34–66 s phone, gap 5.36–5.89x)");
 }
@@ -136,14 +245,23 @@ fn table2() {
                 r.c_loc.to_string(),
                 r.total_loc.to_string(),
                 format!("{ratio:.2}%"),
-                r.native_time_pct.map_or("N/A".into(), |p| format!("{p:.2}%")),
+                r.native_time_pct
+                    .map_or("N/A".into(), |p| format!("{p:.2}%")),
             ]
         })
         .collect();
     println!(
         "{}",
         render::table(
-            &["app", "version", "description", "C/C++ LoC", "total LoC", "ratio", "exec time"],
+            &[
+                "app",
+                "version",
+                "description",
+                "C/C++ LoC",
+                "total LoC",
+                "ratio",
+                "exec time"
+            ],
             &rows
         )
     );
@@ -185,7 +303,16 @@ fn table3() {
     println!(
         "{}",
         render::table(
-            &["candidate", "exec (ms)", "invo", "mem (KB)", "Tideal (ms)", "Tc (ms)", "Tg (ms)", "verdict"],
+            &[
+                "candidate",
+                "exec (ms)",
+                "invo",
+                "mem (KB)",
+                "Tideal (ms)",
+                "Tc (ms)",
+                "Tg (ms)",
+                "verdict"
+            ],
             &rows
         )
     );
@@ -211,7 +338,10 @@ fn table4(suite: &[WorkloadRun]) {
                 format!("{:.1}%", s.coverage_percent),
                 run.fast.offloads_performed.to_string(),
                 format!("{:.1}", run.fast.traffic_mb_per_invocation() * 1e3),
-                format!("{}|{:.0}s|{}inv|{:.0}MB", p.target, p.exec_time_s, p.invocations, p.traffic_mb_per_inv),
+                format!(
+                    "{}|{:.0}s|{}inv|{:.0}MB",
+                    p.target, p.exec_time_s, p.invocations, p.traffic_mb_per_inv
+                ),
             ]
         })
         .collect();
@@ -254,7 +384,14 @@ fn table5() {
     println!(
         "{}",
         render::table(
-            &["system", "fully automatic", "decision", "requires VM", "language", "complexity"],
+            &[
+                "system",
+                "fully automatic",
+                "decision",
+                "requires VM",
+                "language",
+                "complexity"
+            ],
             &rows
         )
     );
@@ -275,7 +412,11 @@ fn fig6a(suite: &[WorkloadRun]) {
         fast_norm.push(fnorm);
         ideal_norm.push(inorm);
         let star = |r: &native_offloader::RunReport| {
-            if r.offloads_performed == 0 { "*" } else { "" }
+            if r.offloads_performed == 0 {
+                "*"
+            } else {
+                ""
+            }
         };
         rows.push(vec![
             run.spec.name.to_string(),
@@ -294,7 +435,16 @@ fn fig6a(suite: &[WorkloadRun]) {
     ]);
     println!(
         "{}",
-        render::table(&["program", "slow (11n)", "fast (11ac)", "ideal", "fast speedup"], &rows)
+        render::table(
+            &[
+                "program",
+                "slow (11n)",
+                "fast (11ac)",
+                "ideal",
+                "fast speedup"
+            ],
+            &rows
+        )
     );
     println!(
         "(paper: geomean time reduction 82.0% slow / 84.4% fast; whole-program speedup 6.42x)"
@@ -327,7 +477,10 @@ fn fig6b(suite: &[WorkloadRun]) {
     ]);
     println!(
         "{}",
-        render::table(&["program", "slow (11n)", "fast (11ac)", "fast saving"], &rows)
+        render::table(
+            &["program", "slow (11n)", "fast (11ac)", "fast saving"],
+            &rows
+        )
     );
     println!("(paper: geomean battery saving 77.2% slow / 82.0% fast; gzip saves nothing)");
 }
@@ -336,17 +489,31 @@ fn fig6b(suite: &[WorkloadRun]) {
 /// paper's figure, the offload is *forced* (dynamic estimation off) so
 /// the refused programs' communication costs become visible.
 fn fig7(suite: &[WorkloadRun]) {
-    println!("\n=== Fig. 7: breakdown of offloaded execution (s = slow, f = fast; offload forced) ===");
-    println!("segments: C compute (server+mobile)  P fn-ptr translation  R remote I/O  N network\n");
-    let mut forced: Vec<(String, native_offloader::RunReport, native_offloader::RunReport)> = Vec::new();
+    println!(
+        "\n=== Fig. 7: breakdown of offloaded execution (s = slow, f = fast; offload forced) ==="
+    );
+    println!(
+        "segments: C compute (server+mobile)  P fn-ptr translation  R remote I/O  N network\n"
+    );
+    let mut forced: Vec<(
+        String,
+        native_offloader::RunReport,
+        native_offloader::RunReport,
+    )> = Vec::new();
     for run in suite {
         let input = (run.spec.eval_input)();
         let mut slow_cfg = SessionConfig::slow_network();
         slow_cfg.dynamic_estimation = false;
         let mut fast_cfg = SessionConfig::fast_network();
         fast_cfg.dynamic_estimation = false;
-        let slow = run.app.run_offloaded(&input, &slow_cfg).expect("forced slow");
-        let fast = run.app.run_offloaded(&input, &fast_cfg).expect("forced fast");
+        let slow = run
+            .app
+            .run_offloaded(&input, &slow_cfg)
+            .expect("forced slow");
+        let fast = run
+            .app
+            .run_offloaded(&input, &fast_cfg)
+            .expect("forced fast");
         forced.push((run.spec.name.to_string(), slow, fast));
     }
     let scale = forced
@@ -381,7 +548,15 @@ fn fig7(suite: &[WorkloadRun]) {
     println!(
         "{}",
         render::table(
-            &["program/net", "total(ms)", "compute", "fnptr", "rem I/O", "network", "profile"],
+            &[
+                "program/net",
+                "total(ms)",
+                "compute",
+                "fnptr",
+                "rem I/O",
+                "network",
+                "profile"
+            ],
             &rows
         )
     );
@@ -393,16 +568,31 @@ fn fig7(suite: &[WorkloadRun]) {
 fn fig8() {
     println!("\n=== Fig. 8: mobile power over time ===");
     for (short, cfg, label) in [
-        ("sjeng", SessionConfig::fast_network(), "458.sjeng, fast network"),
-        ("gobmk", SessionConfig::fast_network(), "445.gobmk, fast network"),
-        ("gobmk", SessionConfig::slow_network(), "445.gobmk, slow network"),
+        (
+            "sjeng",
+            SessionConfig::fast_network(),
+            "458.sjeng, fast network",
+        ),
+        (
+            "gobmk",
+            SessionConfig::fast_network(),
+            "445.gobmk, fast network",
+        ),
+        (
+            "gobmk",
+            SessionConfig::slow_network(),
+            "445.gobmk, slow network",
+        ),
     ] {
         let w = offload_workloads::by_short_name(short).expect("workload exists");
         let app = w.compile().expect("compiles");
         let mut cfg = cfg;
         cfg.dynamic_estimation = false; // trace the offload even if marginal
         let rep = app.run_offloaded(&(w.eval_input)(), &cfg).expect("runs");
-        println!("\n--- {label} (total {:.1} ms) ---", rep.total_seconds * 1e3);
+        println!(
+            "\n--- {label} (total {:.1} ms) ---",
+            rep.total_seconds * 1e3
+        );
         let spec = TargetSpec::galaxy_s5();
         let samples = rep.timeline.resample(&spec.power, rep.total_seconds / 72.0);
         // Render as one row per power level, Fig. 8 style.
@@ -462,7 +652,12 @@ fn calibrate(suite: &[WorkloadRun]) {
                 format!("{}", run.slow.offloads_performed),
                 format!("{}", run.slow.offloads_refused),
                 format!("{}", run.fast.offloads_performed),
-                format!("{:.1}/{:.1}/{:.1}", run.local.total_seconds * 1e3, run.slow.total_seconds * 1e3, run.fast.total_seconds * 1e3),
+                format!(
+                    "{:.1}/{:.1}/{:.1}",
+                    run.local.total_seconds * 1e3,
+                    run.slow.total_seconds * 1e3,
+                    run.fast.total_seconds * 1e3
+                ),
                 format!("{}", run.fast.demand_page_fetches),
             ]);
         }
@@ -470,7 +665,17 @@ fn calibrate(suite: &[WorkloadRun]) {
     println!(
         "{}",
         render::table(
-            &["task", "tm/inv(ms)", "M(KB)", "M/Tm MB/s", "slow off", "slow ref", "fast off", "t l/s/f ms", "faults"],
+            &[
+                "task",
+                "tm/inv(ms)",
+                "M(KB)",
+                "M/Tm MB/s",
+                "slow off",
+                "slow ref",
+                "fast off",
+                "t l/s/f ms",
+                "faults"
+            ],
             &rows
         )
     );

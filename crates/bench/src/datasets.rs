@@ -22,26 +22,166 @@ pub struct AppSurveyRow {
 
 /// Table 2 as published.
 pub const TABLE2: &[AppSurveyRow] = &[
-    AppSurveyRow { app: "AdAway", version: "3.0.2", description: "AD blocker", c_loc: 132_882, total_loc: 310_321, native_time_pct: Some(21.54) },
-    AppSurveyRow { app: "Orbot", version: "14.1.4-noPIE", description: "Tor client", c_loc: 675_851, total_loc: 969_243, native_time_pct: Some(61.98) },
-    AppSurveyRow { app: "Firefox", version: "40.0", description: "Web browser", c_loc: 8_094_678, total_loc: 15_509_820, native_time_pct: Some(88.27) },
-    AppSurveyRow { app: "VLC Player", version: "1.5.1.1", description: "Media player", c_loc: 3_584_526, total_loc: 6_433_726, native_time_pct: Some(92.34) },
-    AppSurveyRow { app: "Open Camera", version: "1.2", description: "Camera", c_loc: 0, total_loc: 10_336, native_time_pct: None },
-    AppSurveyRow { app: "osmAnd", version: "2.1.1", description: "Map/Navigation", c_loc: 53_695, total_loc: 450_573, native_time_pct: Some(23.86) },
-    AppSurveyRow { app: "Syncthing", version: "0.5.0-beta5", description: "File synchronizer", c_loc: 0, total_loc: 59_461, native_time_pct: None },
-    AppSurveyRow { app: "AFWall+", version: "1.3.4.1", description: "Network traffic controller", c_loc: 1_514, total_loc: 59_741, native_time_pct: Some(0.30) },
-    AppSurveyRow { app: "2048", version: "1.95", description: "Puzzle game", c_loc: 0, total_loc: 2_232, native_time_pct: None },
-    AppSurveyRow { app: "K-9 Mail", version: "4.804", description: "Email client", c_loc: 0, total_loc: 96_588, native_time_pct: None },
-    AppSurveyRow { app: "PDF Reader", version: "0.4.0", description: "PDF viewer", c_loc: 334_489, total_loc: 594_434, native_time_pct: Some(28.30) },
-    AppSurveyRow { app: "ownCloud", version: "1.5.8", description: "File synchronizer", c_loc: 0, total_loc: 77_141, native_time_pct: None },
-    AppSurveyRow { app: "DAVdroid", version: "0.6.2", description: "Private data synchronizer", c_loc: 0, total_loc: 7_435, native_time_pct: None },
-    AppSurveyRow { app: "Barcode Scanner", version: "4.7.0", description: "2D/QR code scanner", c_loc: 0, total_loc: 50_201, native_time_pct: None },
-    AppSurveyRow { app: "SatStat", version: "2", description: "Sensor status monitor", c_loc: 0, total_loc: 7_480, native_time_pct: None },
-    AppSurveyRow { app: "Cool Reader", version: "3.1.2-72", description: "Ebook reader", c_loc: 491_556, total_loc: 681_001, native_time_pct: Some(97.73) },
-    AppSurveyRow { app: "OS Monitor", version: "3.4.1.0", description: "OS monitor", c_loc: 5_902, total_loc: 74_513, native_time_pct: Some(4.38) },
-    AppSurveyRow { app: "Orweb", version: "0.6.1", description: "Web browser", c_loc: 0, total_loc: 14_124, native_time_pct: None },
-    AppSurveyRow { app: "PPSSPP", version: "1.0.1.0", description: "PSP emulator", c_loc: 1_304_973, total_loc: 1_438_322, native_time_pct: Some(97.68) },
-    AppSurveyRow { app: "Adblock Plus", version: "1.1.3", description: "AD blocker", c_loc: 2_102, total_loc: 63_779, native_time_pct: Some(22.83) },
+    AppSurveyRow {
+        app: "AdAway",
+        version: "3.0.2",
+        description: "AD blocker",
+        c_loc: 132_882,
+        total_loc: 310_321,
+        native_time_pct: Some(21.54),
+    },
+    AppSurveyRow {
+        app: "Orbot",
+        version: "14.1.4-noPIE",
+        description: "Tor client",
+        c_loc: 675_851,
+        total_loc: 969_243,
+        native_time_pct: Some(61.98),
+    },
+    AppSurveyRow {
+        app: "Firefox",
+        version: "40.0",
+        description: "Web browser",
+        c_loc: 8_094_678,
+        total_loc: 15_509_820,
+        native_time_pct: Some(88.27),
+    },
+    AppSurveyRow {
+        app: "VLC Player",
+        version: "1.5.1.1",
+        description: "Media player",
+        c_loc: 3_584_526,
+        total_loc: 6_433_726,
+        native_time_pct: Some(92.34),
+    },
+    AppSurveyRow {
+        app: "Open Camera",
+        version: "1.2",
+        description: "Camera",
+        c_loc: 0,
+        total_loc: 10_336,
+        native_time_pct: None,
+    },
+    AppSurveyRow {
+        app: "osmAnd",
+        version: "2.1.1",
+        description: "Map/Navigation",
+        c_loc: 53_695,
+        total_loc: 450_573,
+        native_time_pct: Some(23.86),
+    },
+    AppSurveyRow {
+        app: "Syncthing",
+        version: "0.5.0-beta5",
+        description: "File synchronizer",
+        c_loc: 0,
+        total_loc: 59_461,
+        native_time_pct: None,
+    },
+    AppSurveyRow {
+        app: "AFWall+",
+        version: "1.3.4.1",
+        description: "Network traffic controller",
+        c_loc: 1_514,
+        total_loc: 59_741,
+        native_time_pct: Some(0.30),
+    },
+    AppSurveyRow {
+        app: "2048",
+        version: "1.95",
+        description: "Puzzle game",
+        c_loc: 0,
+        total_loc: 2_232,
+        native_time_pct: None,
+    },
+    AppSurveyRow {
+        app: "K-9 Mail",
+        version: "4.804",
+        description: "Email client",
+        c_loc: 0,
+        total_loc: 96_588,
+        native_time_pct: None,
+    },
+    AppSurveyRow {
+        app: "PDF Reader",
+        version: "0.4.0",
+        description: "PDF viewer",
+        c_loc: 334_489,
+        total_loc: 594_434,
+        native_time_pct: Some(28.30),
+    },
+    AppSurveyRow {
+        app: "ownCloud",
+        version: "1.5.8",
+        description: "File synchronizer",
+        c_loc: 0,
+        total_loc: 77_141,
+        native_time_pct: None,
+    },
+    AppSurveyRow {
+        app: "DAVdroid",
+        version: "0.6.2",
+        description: "Private data synchronizer",
+        c_loc: 0,
+        total_loc: 7_435,
+        native_time_pct: None,
+    },
+    AppSurveyRow {
+        app: "Barcode Scanner",
+        version: "4.7.0",
+        description: "2D/QR code scanner",
+        c_loc: 0,
+        total_loc: 50_201,
+        native_time_pct: None,
+    },
+    AppSurveyRow {
+        app: "SatStat",
+        version: "2",
+        description: "Sensor status monitor",
+        c_loc: 0,
+        total_loc: 7_480,
+        native_time_pct: None,
+    },
+    AppSurveyRow {
+        app: "Cool Reader",
+        version: "3.1.2-72",
+        description: "Ebook reader",
+        c_loc: 491_556,
+        total_loc: 681_001,
+        native_time_pct: Some(97.73),
+    },
+    AppSurveyRow {
+        app: "OS Monitor",
+        version: "3.4.1.0",
+        description: "OS monitor",
+        c_loc: 5_902,
+        total_loc: 74_513,
+        native_time_pct: Some(4.38),
+    },
+    AppSurveyRow {
+        app: "Orweb",
+        version: "0.6.1",
+        description: "Web browser",
+        c_loc: 0,
+        total_loc: 14_124,
+        native_time_pct: None,
+    },
+    AppSurveyRow {
+        app: "PPSSPP",
+        version: "1.0.1.0",
+        description: "PSP emulator",
+        c_loc: 1_304_973,
+        total_loc: 1_438_322,
+        native_time_pct: Some(97.68),
+    },
+    AppSurveyRow {
+        app: "Adblock Plus",
+        version: "1.1.3",
+        description: "AD blocker",
+        c_loc: 2_102,
+        total_loc: 63_779,
+        native_time_pct: Some(22.83),
+    },
 ];
 
 /// One row of Table 5: qualitative comparison of offloading systems.
@@ -63,20 +203,118 @@ pub struct SystemRow {
 
 /// Table 5 as published.
 pub const TABLE5: &[SystemRow] = &[
-    SystemRow { system: "Cuckoo", fully_automatic: "No (Manual)", decision: "Static", requires_vm: true, language: "Java", complexity: "Complex" },
-    SystemRow { system: "Li et al.", fully_automatic: "No (Manual)", decision: "Static", requires_vm: false, language: "C", complexity: "Simple" },
-    SystemRow { system: "Roam", fully_automatic: "No (Manual)", decision: "Dynamic", requires_vm: true, language: "Java", complexity: "Complex" },
-    SystemRow { system: "MAUI", fully_automatic: "No (Annotation)", decision: "Dynamic", requires_vm: true, language: "C#", complexity: "Complex" },
-    SystemRow { system: "ThinkAir", fully_automatic: "No (Annotation)", decision: "Dynamic", requires_vm: true, language: "Java", complexity: "Complex" },
-    SystemRow { system: "Wang and Li", fully_automatic: "No (Annotation)", decision: "Dynamic", requires_vm: false, language: "C", complexity: "Simple" },
-    SystemRow { system: "DiET", fully_automatic: "Yes", decision: "Static", requires_vm: true, language: "Java", complexity: "Simple" },
-    SystemRow { system: "Chen et al.", fully_automatic: "Yes", decision: "Dynamic", requires_vm: true, language: "Java", complexity: "Simple" },
-    SystemRow { system: "HELVM", fully_automatic: "Yes", decision: "Dynamic", requires_vm: true, language: "Java", complexity: "Simple" },
-    SystemRow { system: "OLIE", fully_automatic: "Yes", decision: "Dynamic", requires_vm: true, language: "Java", complexity: "Complex" },
-    SystemRow { system: "CloneCloud", fully_automatic: "Yes", decision: "Dynamic", requires_vm: true, language: "Java", complexity: "Complex" },
-    SystemRow { system: "COMET", fully_automatic: "Yes", decision: "Dynamic", requires_vm: true, language: "Java", complexity: "Complex" },
-    SystemRow { system: "CMcloud", fully_automatic: "Yes", decision: "Dynamic", requires_vm: true, language: "Java", complexity: "Complex" },
-    SystemRow { system: "Native Offloader [this repro]", fully_automatic: "Yes", decision: "Dynamic", requires_vm: false, language: "C", complexity: "Complex" },
+    SystemRow {
+        system: "Cuckoo",
+        fully_automatic: "No (Manual)",
+        decision: "Static",
+        requires_vm: true,
+        language: "Java",
+        complexity: "Complex",
+    },
+    SystemRow {
+        system: "Li et al.",
+        fully_automatic: "No (Manual)",
+        decision: "Static",
+        requires_vm: false,
+        language: "C",
+        complexity: "Simple",
+    },
+    SystemRow {
+        system: "Roam",
+        fully_automatic: "No (Manual)",
+        decision: "Dynamic",
+        requires_vm: true,
+        language: "Java",
+        complexity: "Complex",
+    },
+    SystemRow {
+        system: "MAUI",
+        fully_automatic: "No (Annotation)",
+        decision: "Dynamic",
+        requires_vm: true,
+        language: "C#",
+        complexity: "Complex",
+    },
+    SystemRow {
+        system: "ThinkAir",
+        fully_automatic: "No (Annotation)",
+        decision: "Dynamic",
+        requires_vm: true,
+        language: "Java",
+        complexity: "Complex",
+    },
+    SystemRow {
+        system: "Wang and Li",
+        fully_automatic: "No (Annotation)",
+        decision: "Dynamic",
+        requires_vm: false,
+        language: "C",
+        complexity: "Simple",
+    },
+    SystemRow {
+        system: "DiET",
+        fully_automatic: "Yes",
+        decision: "Static",
+        requires_vm: true,
+        language: "Java",
+        complexity: "Simple",
+    },
+    SystemRow {
+        system: "Chen et al.",
+        fully_automatic: "Yes",
+        decision: "Dynamic",
+        requires_vm: true,
+        language: "Java",
+        complexity: "Simple",
+    },
+    SystemRow {
+        system: "HELVM",
+        fully_automatic: "Yes",
+        decision: "Dynamic",
+        requires_vm: true,
+        language: "Java",
+        complexity: "Simple",
+    },
+    SystemRow {
+        system: "OLIE",
+        fully_automatic: "Yes",
+        decision: "Dynamic",
+        requires_vm: true,
+        language: "Java",
+        complexity: "Complex",
+    },
+    SystemRow {
+        system: "CloneCloud",
+        fully_automatic: "Yes",
+        decision: "Dynamic",
+        requires_vm: true,
+        language: "Java",
+        complexity: "Complex",
+    },
+    SystemRow {
+        system: "COMET",
+        fully_automatic: "Yes",
+        decision: "Dynamic",
+        requires_vm: true,
+        language: "Java",
+        complexity: "Complex",
+    },
+    SystemRow {
+        system: "CMcloud",
+        fully_automatic: "Yes",
+        decision: "Dynamic",
+        requires_vm: true,
+        language: "Java",
+        complexity: "Complex",
+    },
+    SystemRow {
+        system: "Native Offloader [this repro]",
+        fully_automatic: "Yes",
+        decision: "Dynamic",
+        requires_vm: false,
+        language: "C",
+        complexity: "Complex",
+    },
 ];
 
 #[cfg(test)]

@@ -28,7 +28,9 @@ impl WorkloadRun {
     ///
     /// Panics if any stage fails — the suite is expected to be green.
     pub fn measure(spec: WorkloadSpec) -> Self {
-        let app = spec.compile().unwrap_or_else(|e| panic!("{}: compile: {e}", spec.name));
+        let app = spec
+            .compile()
+            .unwrap_or_else(|e| panic!("{}: compile: {e}", spec.name));
         let input = (spec.eval_input)();
         let local = app
             .run_local(&input)
@@ -45,11 +47,21 @@ impl WorkloadRun {
         for r in [&slow, &fast, &ideal] {
             assert_eq!(local.console, r.console, "{}: output drift", spec.name);
         }
-        WorkloadRun { spec, app, local, slow, fast, ideal }
+        WorkloadRun {
+            spec,
+            app,
+            local,
+            slow,
+            fast,
+            ideal,
+        }
     }
 }
 
 /// Measure the full 17-program suite.
 pub fn measure_suite() -> Vec<WorkloadRun> {
-    offload_workloads::all().into_iter().map(WorkloadRun::measure).collect()
+    offload_workloads::all()
+        .into_iter()
+        .map(WorkloadRun::measure)
+        .collect()
 }

@@ -3,6 +3,7 @@
 
 pub mod datasets;
 pub mod harness;
+pub mod micro;
 pub mod render;
 
 /// Geometric mean of a nonempty slice.

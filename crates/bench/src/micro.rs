@@ -1,0 +1,168 @@
+//! A tiny self-contained micro-benchmark harness (`std::time::Instant`
+//! only — no external crates, usable offline).
+//!
+//! Two measurement modes, mirroring how the bench targets use it:
+//!
+//! * [`wall`] times the closure on the host clock — for substrate
+//!   benchmarks (interpreter throughput, codec speed) where host
+//!   performance is the quantity of interest;
+//! * [`simulated`] lets the closure *return* its own measurement — for
+//!   figure benchmarks that report deterministic **simulated** seconds.
+//!
+//! Results print as one aligned line each via [`Stats::report`].
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Benchmark label.
+    pub label: String,
+    /// Samples taken.
+    pub samples: usize,
+    /// Closure invocations per sample.
+    pub iters_per_sample: u64,
+    /// Mean seconds per invocation.
+    pub mean_s: f64,
+    /// Fastest sample, seconds per invocation.
+    pub min_s: f64,
+    /// Slowest sample, seconds per invocation.
+    pub max_s: f64,
+    /// Bytes processed per invocation (enables a MB/s column).
+    pub throughput_bytes: Option<u64>,
+}
+
+impl Stats {
+    fn from_times(label: &str, per_iter: &[f64], iters: u64) -> Stats {
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        Stats {
+            label: label.to_string(),
+            samples: per_iter.len(),
+            iters_per_sample: iters,
+            mean_s: mean,
+            min_s: min,
+            max_s: max,
+            throughput_bytes: None,
+        }
+    }
+
+    /// Attach a per-invocation byte count so the report shows MB/s.
+    #[must_use]
+    pub fn with_throughput(mut self, bytes: u64) -> Stats {
+        self.throughput_bytes = Some(bytes);
+        self
+    }
+
+    /// Print one aligned result line to stdout.
+    pub fn report(&self) {
+        let scaled = |s: f64| -> String {
+            if s >= 1.0 {
+                format!("{s:9.3} s ")
+            } else if s >= 1e-3 {
+                format!("{:9.3} ms", s * 1e3)
+            } else {
+                format!("{:9.3} µs", s * 1e6)
+            }
+        };
+        let tp = match self.throughput_bytes {
+            Some(b) if self.mean_s > 0.0 => {
+                format!("  {:8.1} MB/s", b as f64 / self.mean_s / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{:<44} mean {} (min {}, max {}, {}x{}){tp}",
+            self.label,
+            scaled(self.mean_s),
+            scaled(self.min_s),
+            scaled(self.max_s),
+            self.samples,
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn wall_quiet<R>(label: &str, samples: usize, mut f: impl FnMut() -> R) -> Stats {
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.02 / once).ceil() as u64).clamp(1, 10_000);
+    let mut per_iter = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        per_iter.push(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    Stats::from_times(label, &per_iter, iters)
+}
+
+/// Wall-clock benchmark: calibrates an iteration count so each sample
+/// runs ≥ ~20 ms, then takes `samples` samples and reports seconds per
+/// invocation.
+pub fn wall<R>(label: &str, samples: usize, f: impl FnMut() -> R) -> Stats {
+    let stats = wall_quiet(label, samples, f);
+    stats.report();
+    stats
+}
+
+/// Like [`wall`], with a per-invocation byte count so the report line
+/// carries a MB/s column.
+pub fn wall_bytes<R>(label: &str, samples: usize, bytes: u64, f: impl FnMut() -> R) -> Stats {
+    let stats = wall_quiet(label, samples, f).with_throughput(bytes);
+    stats.report();
+    stats
+}
+
+/// Simulated-time benchmark: the closure returns its own measurement
+/// (e.g. simulated seconds from a [`native_offloader::RunReport`]).
+/// Deterministic by construction, so a couple of samples suffice — the
+/// min/max spread doubles as a determinism check.
+pub fn simulated(label: &str, samples: usize, mut f: impl FnMut() -> f64) -> Stats {
+    let per_iter: Vec<f64> = (0..samples.max(1)).map(|_| f()).collect();
+    let stats = Stats::from_times(label, &per_iter, 1);
+    stats.report();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_measures_something() {
+        let s = wall("spin", 3, || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(s.mean_s > 0.0);
+        assert!(s.min_s <= s.mean_s && s.mean_s <= s.max_s + 1e-12);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn simulated_passes_values_through() {
+        let mut v = 0.0;
+        let s = simulated("fake", 4, || {
+            v += 1.0;
+            v
+        });
+        assert_eq!(s.samples, 4);
+        assert!((s.mean_s - 2.5).abs() < 1e-12);
+        assert_eq!(s.min_s, 1.0);
+        assert_eq!(s.max_s, 4.0);
+    }
+
+    #[test]
+    fn throughput_column_is_attached() {
+        let s = wall_bytes("noop", 1, 1_000_000, || 1);
+        assert_eq!(s.throughput_bytes, Some(1_000_000));
+    }
+}

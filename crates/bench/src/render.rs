@@ -39,7 +39,11 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
 /// Render a horizontal ASCII bar chart: one `(label, value)` per line,
 /// scaled so the longest bar is `width` characters.
 pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
-    let max = items.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-12);
+    let max = items
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
     let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, value) in items {

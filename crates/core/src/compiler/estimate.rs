@@ -49,7 +49,11 @@ pub fn equation1(input: EstimateInput) -> Estimate {
     let t_ideal_s = input.tm_s * (1.0 - 1.0 / input.ratio);
     let bytes_per_sec = input.bandwidth_bps as f64 / 8.0;
     let t_comm_s = 2.0 * (input.mem_bytes as f64 / bytes_per_sec) * input.invocations as f64;
-    Estimate { t_ideal_s, t_comm_s, t_gain_s: t_ideal_s - t_comm_s }
+    Estimate {
+        t_ideal_s,
+        t_comm_s,
+        t_gain_s: t_ideal_s - t_comm_s,
+    }
 }
 
 #[cfg(test)]
@@ -107,13 +111,16 @@ mod tests {
             ratio: 5.0,
             bandwidth_bps: 80_000_000,
         });
-        let fast = equation1(EstimateInput { bandwidth_bps: 500_000_000, ..EstimateInput {
-            tm_s: 2.0,
-            invocations: 1,
-            mem_bytes: 20_000_000,
-            ratio: 5.0,
-            bandwidth_bps: 80_000_000,
-        } });
+        let fast = equation1(EstimateInput {
+            bandwidth_bps: 500_000_000,
+            ..EstimateInput {
+                tm_s: 2.0,
+                invocations: 1,
+                mem_bytes: 20_000_000,
+                ratio: 5.0,
+                bandwidth_bps: 80_000_000,
+            }
+        });
         assert!(!slow.profitable());
         assert!(fast.profitable());
     }
@@ -128,7 +135,10 @@ mod tests {
             bandwidth_bps: 80_000_000,
         };
         let one = equation1(base);
-        let twelve = equation1(EstimateInput { invocations: 12, ..base });
+        let twelve = equation1(EstimateInput {
+            invocations: 12,
+            ..base
+        });
         assert!((twelve.t_comm_s - one.t_comm_s * 12.0).abs() < 1e-9);
         assert_eq!(one.t_ideal_s, twelve.t_ideal_s);
     }

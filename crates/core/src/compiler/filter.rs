@@ -70,7 +70,10 @@ pub fn run_filter(module: &Module, allow_remote_io: bool) -> FilterResult {
                 let cause = match inst {
                     Inst::InlineAsm { .. } => Some(MachineSpecificCause::InlineAsm),
                     Inst::Syscall { .. } => Some(MachineSpecificCause::Syscall),
-                    Inst::Call { callee: Callee::Builtin(b), .. } => {
+                    Inst::Call {
+                        callee: Callee::Builtin(b),
+                        ..
+                    } => {
                         if b.is_machine_specific()
                             && (!allow_remote_io || b.remote_replacement().is_none())
                         {
@@ -79,7 +82,10 @@ pub fn run_filter(module: &Module, allow_remote_io: bool) -> FilterResult {
                             None
                         }
                     }
-                    Inst::Call { callee: Callee::Direct(g), .. } => {
+                    Inst::Call {
+                        callee: Callee::Direct(g),
+                        ..
+                    } => {
                         let target = module.function(*g);
                         if target.is_declaration() {
                             Some(MachineSpecificCause::UnknownExternal(target.name.clone()))
@@ -132,16 +138,20 @@ pub fn loop_is_offloadable(
         for inst in &func.blocks[bb.0 as usize].insts {
             match inst {
                 Inst::InlineAsm { .. } | Inst::Syscall { .. } => return false,
-                Inst::Call { callee: Callee::Builtin(b), .. }
-                    if b.is_machine_specific()
-                        && (!allow_remote_io || b.remote_replacement().is_none())
-                    => {
-                        return false;
-                    }
-                Inst::Call { callee: Callee::Direct(g), .. }
-                    if !filter.is_offloadable(*g) => {
-                        return false;
-                    }
+                Inst::Call {
+                    callee: Callee::Builtin(b),
+                    ..
+                } if b.is_machine_specific()
+                    && (!allow_remote_io || b.remote_replacement().is_none()) =>
+                {
+                    return false;
+                }
+                Inst::Call {
+                    callee: Callee::Direct(g),
+                    ..
+                } if !filter.is_offloadable(*g) => {
+                    return false;
+                }
                 _ => {}
             }
         }
@@ -180,8 +190,14 @@ mod tests {
         let names = m.function_names();
         let r = run_filter(&m, true);
         assert!(r.is_offloadable(names["getAITurn"]), "printf is remotable");
-        assert!(!r.is_offloadable(names["getPlayerTurn"]), "scanf is interactive");
-        assert!(!r.is_offloadable(names["runGame"]), "taint via getPlayerTurn");
+        assert!(
+            !r.is_offloadable(names["getPlayerTurn"]),
+            "scanf is interactive"
+        );
+        assert!(
+            !r.is_offloadable(names["runGame"]),
+            "taint via getPlayerTurn"
+        );
         assert!(!r.is_offloadable(names["main"]), "taint via runGame");
     }
 
@@ -211,8 +227,14 @@ mod tests {
         assert!(!r.is_offloadable(names["low"]));
         assert!(!r.is_offloadable(names["ticks"]));
         assert!(r.is_offloadable(names["pure"]));
-        assert!(matches!(r.tainted[&names["low"]], MachineSpecificCause::InlineAsm));
-        assert!(matches!(r.tainted[&names["ticks"]], MachineSpecificCause::Syscall));
+        assert!(matches!(
+            r.tainted[&names["low"]],
+            MachineSpecificCause::InlineAsm
+        ));
+        assert!(matches!(
+            r.tainted[&names["ticks"]],
+            MachineSpecificCause::Syscall
+        ));
     }
 
     #[test]
@@ -237,7 +259,10 @@ mod tests {
         .unwrap();
         let names = m.function_names();
         let r = run_filter(&m, true);
-        assert!(r.is_offloadable(names["load"]), "file streams are prefetchable (§3.4)");
+        assert!(
+            r.is_offloadable(names["load"]),
+            "file streams are prefetchable (§3.4)"
+        );
     }
 
     #[test]
@@ -259,6 +284,12 @@ mod tests {
         assert!(!r.is_offloadable(main));
         let forest = offload_ir::analysis::LoopForest::compute(m.function(main));
         assert_eq!(forest.loops.len(), 1);
-        assert!(loop_is_offloadable(&m, &r, main, &forest.loops[0].body, true));
+        assert!(loop_is_offloadable(
+            &m,
+            &r,
+            main,
+            &forest.loops[0].body,
+            true
+        ));
     }
 }

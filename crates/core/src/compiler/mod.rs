@@ -17,6 +17,7 @@ use std::collections::BTreeSet;
 
 use offload_ir::analysis::{CallGraph, LoopForest};
 use offload_ir::{FuncId, Module};
+use offload_obs::{Collector, CompileClock, CompilePhase, EventKind, NoopCollector, Span};
 
 use crate::config::{CompileConfig, SessionConfig, WorkloadInput};
 use crate::plan::{CompileStats, EstimateRow, OffloadPlan, OffloadTask};
@@ -64,6 +65,23 @@ impl Offloader {
         self.compile_module(module, profile_input)
     }
 
+    /// Like [`compile_source`](Self::compile_source), emitting a
+    /// Begin/End span per Fig. 2 pipeline phase into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Front-end, verification, or profiling failures.
+    pub fn compile_source_traced(
+        &self,
+        source: &str,
+        name: &str,
+        profile_input: &WorkloadInput,
+        obs: &mut dyn Collector,
+    ) -> Result<CompiledApp, OffloadError> {
+        let module = offload_minic::compile(source, name)?;
+        self.compile_module_traced(module, profile_input, obs)
+    }
+
     /// Compile an already-lowered module.
     ///
     /// # Errors
@@ -71,9 +89,28 @@ impl Offloader {
     /// Verification or profiling failures.
     pub fn compile_module(
         &self,
-        mut module: Module,
+        module: Module,
         profile_input: &WorkloadInput,
     ) -> Result<CompiledApp, OffloadError> {
+        self.compile_module_traced(module, profile_input, &mut NoopCollector)
+    }
+
+    /// Compile an already-lowered module, emitting a Begin/End span per
+    /// Fig. 2 pipeline phase (profile, filter, estimate — which includes
+    /// loop outlining — unify, partition, optimize) into `obs`. Phases
+    /// have no simulated time; spans are stamped with an ordinal
+    /// [`CompileClock`], one micro-tick per event.
+    ///
+    /// # Errors
+    ///
+    /// Verification or profiling failures.
+    pub fn compile_module_traced(
+        &self,
+        mut module: Module,
+        profile_input: &WorkloadInput,
+        obs: &mut dyn Collector,
+    ) -> Result<CompiledApp, OffloadError> {
+        let mut clk = CompileClock::new();
         offload_ir::verify::verify_module(&module)?;
         let original = module.clone();
         if self.config.optimize {
@@ -82,8 +119,28 @@ impl Offloader {
         }
 
         // -- 1. target selection (§3.1) ---------------------------------
+        obs.record(
+            clk.next(),
+            EventKind::Begin(Span::Compile(CompilePhase::Profile)),
+        );
         let prof = profile::profile_module(&module, profile_input, &self.config)?;
+        obs.record(
+            clk.next(),
+            EventKind::End(Span::Compile(CompilePhase::Profile)),
+        );
+        obs.record(
+            clk.next(),
+            EventKind::Begin(Span::Compile(CompilePhase::Filter)),
+        );
         let filt = filter::run_filter(&module, true);
+        obs.record(
+            clk.next(),
+            EventKind::End(Span::Compile(CompilePhase::Filter)),
+        );
+        obs.record(
+            clk.next(),
+            EventKind::Begin(Span::Compile(CompilePhase::Estimate)),
+        );
         let ratio = self.config.mobile.performance_ratio(&self.config.server);
         let hot_cut = (prof.total_cycles as f64 * self.config.hot_threshold) as u64;
 
@@ -97,9 +154,8 @@ impl Offloader {
             match key {
                 RegionKey::Function(f) => {
                     machine_specific = !filt.is_offloadable(*f);
-                    eligible = !machine_specific
-                        && Some(*f) != module.entry
-                        && stats.cycles >= hot_cut;
+                    eligible =
+                        !machine_specific && Some(*f) != module.entry && stats.cycles >= hot_cut;
                 }
                 RegionKey::Loop { func, header } => {
                     if !self.config.outline_loops {
@@ -193,7 +249,13 @@ impl Offloader {
             match outline::outline_loop(&mut module, *func, &l, i) {
                 Ok(new_fn) => {
                     loops_outlined += 1;
-                    loop_targets.push((new_fn, RegionKey::Loop { func: *func, header: *header }));
+                    loop_targets.push((
+                        new_fn,
+                        RegionKey::Loop {
+                            func: *func,
+                            header: *header,
+                        },
+                    ));
                 }
                 Err(_) => {
                     mark_unselected(&mut estimates, &prof, *func, *header);
@@ -201,32 +263,67 @@ impl Offloader {
             }
         }
 
+        obs.record(
+            clk.next(),
+            EventKind::End(Span::Compile(CompilePhase::Estimate)),
+        );
+
         // -- 3. memory unification (§3.2) --------------------------------
+        obs.record(
+            clk.next(),
+            EventKind::Begin(Span::Compile(CompilePhase::Unify)),
+        );
         let unify_out = unify::unify_memory(&mut module);
         let (structs_realigned, realign_padding) =
             unify::realignment_stats(&module, self.config.server.abi);
+        obs.record(
+            clk.next(),
+            EventKind::End(Span::Compile(CompilePhase::Unify)),
+        );
 
         // -- 4. partition (§3.3) ------------------------------------------
+        obs.record(
+            clk.next(),
+            EventKind::Begin(Span::Compile(CompilePhase::Partition)),
+        );
         let mut targets = Vec::new();
         let mut next_id = 1u32;
         for f in &selected_fns {
-            targets.push(partition::PartitionTarget { id: next_id, func: *f });
+            targets.push(partition::PartitionTarget {
+                id: next_id,
+                func: *f,
+            });
             next_id += 1;
         }
         for (f, _) in &loop_targets {
-            targets.push(partition::PartitionTarget { id: next_id, func: *f });
+            targets.push(partition::PartitionTarget {
+                id: next_id,
+                func: *f,
+            });
             next_id += 1;
         }
         let infos = partition::insert_dispatchers(&mut module, &targets);
         let (mut server, removed) = partition::build_server_module(&module, &infos);
+        obs.record(
+            clk.next(),
+            EventKind::End(Span::Compile(CompilePhase::Partition)),
+        );
 
         // -- 5. server-specific optimization (§3.4) ------------------------
+        obs.record(
+            clk.next(),
+            EventKind::Begin(Span::Compile(CompilePhase::Optimize)),
+        );
         let remote_io_sites = optimize::replace_remote_io(&mut server);
         let fn_ptr_sites = optimize::insert_fn_ptr_mapping(&mut server);
         let _conv = unify::insert_server_conversions(&mut server, self.config.server.abi);
 
         offload_ir::verify::verify_module(&module)?;
         offload_ir::verify::verify_module(&server)?;
+        obs.record(
+            clk.next(),
+            EventKind::End(Span::Compile(CompilePhase::Optimize)),
+        );
 
         // -- plan ------------------------------------------------------------
         let mut tasks = Vec::new();
@@ -307,7 +404,8 @@ fn covered_by_selected_fn(module: &Module, selected: &BTreeSet<FuncId>, func: Fu
         return false;
     }
     let cg = CallGraph::build(module);
-    let covered: BTreeSet<FuncId> = cg.reachable_from(&selected.iter().copied().collect::<Vec<_>>());
+    let covered: BTreeSet<FuncId> =
+        cg.reachable_from(&selected.iter().copied().collect::<Vec<_>>());
     covered.contains(&func)
 }
 
@@ -365,6 +463,21 @@ impl CompiledApp {
     ) -> Result<RunReport, OffloadError> {
         crate::runtime::run_offloaded(self, input, session)
     }
+
+    /// Run the partitioned program with the offload runtime, streaming
+    /// session events into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Simulated-execution failures.
+    pub fn run_offloaded_traced(
+        &self,
+        input: &WorkloadInput,
+        session: &SessionConfig,
+        obs: &mut dyn Collector,
+    ) -> Result<RunReport, OffloadError> {
+        crate::runtime::run_offloaded_traced(self, input, session, obs)
+    }
 }
 
 #[cfg(test)]
@@ -414,7 +527,9 @@ mod tests {
         // Table-3-shaped estimate rows exist, with the filter verdicts.
         let rows = &app.plan.estimates;
         assert!(rows.iter().any(|r| r.name == "getAITurn" && r.selected));
-        assert!(rows.iter().any(|r| r.name == "getPlayerTurn" && r.machine_specific));
+        assert!(rows
+            .iter()
+            .any(|r| r.name == "getPlayerTurn" && r.machine_specific));
         assert!(app.plan.stats.coverage_percent > 50.0);
     }
 
@@ -456,6 +571,29 @@ mod tests {
             )
             .unwrap();
         assert!(app.plan.tasks.is_empty());
+    }
+
+    #[test]
+    fn traced_compile_emits_balanced_phase_spans() {
+        let mut obs = offload_obs::TraceCollector::new();
+        let app = Offloader::new()
+            .compile_source_traced(CHESS, "chess", &chess_input(), &mut obs)
+            .unwrap();
+        assert!(app.plan.task_by_name("getAITurn").is_some());
+        let recs = obs.records();
+        for phase in CompilePhase::ALL {
+            let begins = recs
+                .iter()
+                .filter(|r| r.kind == EventKind::Begin(Span::Compile(phase)))
+                .count();
+            let ends = recs
+                .iter()
+                .filter(|r| r.kind == EventKind::End(Span::Compile(phase)))
+                .count();
+            assert_eq!((begins, ends), (1, 1), "phase {}", phase.name());
+        }
+        // Ordinal timestamps strictly increase along the compile lane.
+        assert!(recs.windows(2).all(|w| w[0].ts_s < w[1].ts_s));
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub fn replace_remote_io(module: &mut Module) -> usize {
         let func = module.function_mut(offload_ir::FuncId(fi as u32));
         for block in &mut func.blocks {
             for inst in &mut block.insts {
-                if let Inst::Call { callee: Callee::Builtin(b), .. } = inst {
+                if let Inst::Call {
+                    callee: Callee::Builtin(b),
+                    ..
+                } = inst
+                {
                     if let Some(remote) = b.remote_replacement() {
                         *b = remote;
                         count += 1;
@@ -44,8 +48,10 @@ pub fn insert_fn_ptr_mapping(module: &mut Module) -> usize {
         for bi in 0..func.blocks.len() {
             let mut i = 0usize;
             while i < func.blocks[bi].insts.len() {
-                if let Inst::Call { callee: Callee::Indirect(ptr), .. } =
-                    &func.blocks[bi].insts[i]
+                if let Inst::Call {
+                    callee: Callee::Indirect(ptr),
+                    ..
+                } = &func.blocks[bi].insts[i]
                 {
                     let ptr = *ptr;
                     let ty = func.value_type(ptr).clone();
@@ -59,8 +65,10 @@ pub fn insert_fn_ptr_mapping(module: &mut Module) -> usize {
                             args: vec![ptr],
                         },
                     );
-                    if let Inst::Call { callee: Callee::Indirect(p), .. } =
-                        &mut func.blocks[bi].insts[i + 1]
+                    if let Inst::Call {
+                        callee: Callee::Indirect(p),
+                        ..
+                    } = &mut func.blocks[bi].insts[i + 1]
                     {
                         *p = mapped;
                     }
@@ -105,11 +113,19 @@ mod tests {
         for (_, f) in m.iter_functions() {
             for b in &f.blocks {
                 for inst in &b.insts {
-                    if let Inst::Call { callee: Callee::Builtin(bi), .. } = inst {
+                    if let Inst::Call {
+                        callee: Callee::Builtin(bi),
+                        ..
+                    } = inst
+                    {
                         assert!(
                             !matches!(
                                 bi,
-                                Builtin::Printf | Builtin::FOpen | Builtin::FRead | Builtin::FClose | Builtin::Putchar
+                                Builtin::Printf
+                                    | Builtin::FOpen
+                                    | Builtin::FRead
+                                    | Builtin::FClose
+                                    | Builtin::Putchar
                             ),
                             "local I/O must be gone"
                         );
@@ -136,8 +152,15 @@ mod tests {
         for block in &main.blocks {
             for w in block.insts.windows(2) {
                 if let (
-                    Inst::Call { dst: Some(mapped), callee: Callee::Builtin(Builtin::FnMapToLocal), .. },
-                    Inst::Call { callee: Callee::Indirect(p), .. },
+                    Inst::Call {
+                        dst: Some(mapped),
+                        callee: Callee::Builtin(Builtin::FnMapToLocal),
+                        ..
+                    },
+                    Inst::Call {
+                        callee: Callee::Indirect(p),
+                        ..
+                    },
                 ) = (&w[0], &w[1])
                 {
                     assert_eq!(p, mapped);

@@ -148,8 +148,7 @@ pub fn outline_loop(
                 }
             }
         }
-        let exit_index =
-            |b: BlockId| exit_targets.iter().position(|t| *t == b).map(|i| i as u32);
+        let exit_index = |b: BlockId| exit_targets.iter().position(|t| *t == b).map(|i| i as u32);
         let remap_v = |v: ValueId| *value_map.get(&v).expect("mapped register");
         let remap_b = |b: BlockId| match exit_index(b) {
             Some(i) => BlockId(ret_block_base + i),
@@ -169,7 +168,10 @@ pub fn outline_loop(
             new_value_types.push(Type::I32);
             new_blocks.push(Block {
                 insts: vec![
-                    Inst::Const { dst: c, value: offload_ir::ConstValue::I32(i as i32) },
+                    Inst::Const {
+                        dst: c,
+                        value: offload_ir::ConstValue::I32(i as i32),
+                    },
                     Inst::Ret { value: Some(c) },
                 ],
             });
@@ -193,13 +195,17 @@ pub fn outline_loop(
             args: live_ins.clone(),
         }];
         if exit_targets.len() == 1 {
-            insts.push(Inst::Br { target: exit_targets[0] });
+            insts.push(Inst::Br {
+                target: exit_targets[0],
+            });
         } else {
             // Branch chain: header holds the first test; extra chain blocks
             // are appended at the end of the function.
             let mut chain_blocks: Vec<BlockId> = Vec::new();
             for _ in 0..exit_targets.len() - 2 {
-                chain_blocks.push(BlockId(func.blocks.len() as u32 + chain_blocks.len() as u32));
+                chain_blocks.push(BlockId(
+                    func.blocks.len() as u32 + chain_blocks.len() as u32,
+                ));
             }
             for (i, target) in exit_targets.iter().enumerate().take(exit_targets.len() - 1) {
                 let c = ValueId(func.value_types.len() as u32);
@@ -212,7 +218,10 @@ pub fn outline_loop(
                     *exit_targets.last().expect("non-empty")
                 };
                 let test = vec![
-                    Inst::Const { dst: c, value: offload_ir::ConstValue::I32(i as i32) },
+                    Inst::Const {
+                        dst: c,
+                        value: offload_ir::ConstValue::I32(i as i32),
+                    },
                     Inst::Cmp {
                         dst: hit,
                         op: offload_ir::CmpOp::Eq,
@@ -220,7 +229,11 @@ pub fn outline_loop(
                         lhs: sel,
                         rhs: c,
                     },
-                    Inst::CondBr { cond: hit, then_bb: *target, else_bb },
+                    Inst::CondBr {
+                        cond: hit,
+                        then_bb: *target,
+                        else_bb,
+                    },
                 ];
                 if i == 0 {
                     insts.extend(test);
@@ -246,28 +259,90 @@ fn remap_inst(
 ) -> Inst {
     use Inst::*;
     match inst {
-        Const { dst, value } => Const { dst: rv(*dst), value: value.clone() },
-        Alloca { dst, ty, count } => Alloca { dst: rv(*dst), ty: ty.clone(), count: *count },
-        Load { dst, ty, addr } => Load { dst: rv(*dst), ty: ty.clone(), addr: rv(*addr) },
-        Store { ty, addr, value } => Store { ty: ty.clone(), addr: rv(*addr), value: rv(*value) },
-        FieldAddr { dst, base, sid, field } => {
-            FieldAddr { dst: rv(*dst), base: rv(*base), sid: *sid, field: *field }
-        }
-        IndexAddr { dst, base, elem, index } => {
-            IndexAddr { dst: rv(*dst), base: rv(*base), elem: elem.clone(), index: rv(*index) }
-        }
-        Bin { dst, op, ty, lhs, rhs } => {
-            Bin { dst: rv(*dst), op: *op, ty: ty.clone(), lhs: rv(*lhs), rhs: rv(*rhs) }
-        }
-        Un { dst, op, ty, operand } => {
-            Un { dst: rv(*dst), op: *op, ty: ty.clone(), operand: rv(*operand) }
-        }
-        Cmp { dst, op, ty, lhs, rhs } => {
-            Cmp { dst: rv(*dst), op: *op, ty: ty.clone(), lhs: rv(*lhs), rhs: rv(*rhs) }
-        }
-        Cast { dst, kind, to, src } => {
-            Cast { dst: rv(*dst), kind: *kind, to: to.clone(), src: rv(*src) }
-        }
+        Const { dst, value } => Const {
+            dst: rv(*dst),
+            value: value.clone(),
+        },
+        Alloca { dst, ty, count } => Alloca {
+            dst: rv(*dst),
+            ty: ty.clone(),
+            count: *count,
+        },
+        Load { dst, ty, addr } => Load {
+            dst: rv(*dst),
+            ty: ty.clone(),
+            addr: rv(*addr),
+        },
+        Store { ty, addr, value } => Store {
+            ty: ty.clone(),
+            addr: rv(*addr),
+            value: rv(*value),
+        },
+        FieldAddr {
+            dst,
+            base,
+            sid,
+            field,
+        } => FieldAddr {
+            dst: rv(*dst),
+            base: rv(*base),
+            sid: *sid,
+            field: *field,
+        },
+        IndexAddr {
+            dst,
+            base,
+            elem,
+            index,
+        } => IndexAddr {
+            dst: rv(*dst),
+            base: rv(*base),
+            elem: elem.clone(),
+            index: rv(*index),
+        },
+        Bin {
+            dst,
+            op,
+            ty,
+            lhs,
+            rhs,
+        } => Bin {
+            dst: rv(*dst),
+            op: *op,
+            ty: ty.clone(),
+            lhs: rv(*lhs),
+            rhs: rv(*rhs),
+        },
+        Un {
+            dst,
+            op,
+            ty,
+            operand,
+        } => Un {
+            dst: rv(*dst),
+            op: *op,
+            ty: ty.clone(),
+            operand: rv(*operand),
+        },
+        Cmp {
+            dst,
+            op,
+            ty,
+            lhs,
+            rhs,
+        } => Cmp {
+            dst: rv(*dst),
+            op: *op,
+            ty: ty.clone(),
+            lhs: rv(*lhs),
+            rhs: rv(*rhs),
+        },
+        Cast { dst, kind, to, src } => Cast {
+            dst: rv(*dst),
+            kind: *kind,
+            to: to.clone(),
+            src: rv(*src),
+        },
         Call { dst, callee, args } => Call {
             dst: dst.map(rv),
             callee: match callee {
@@ -276,11 +351,21 @@ fn remap_inst(
             },
             args: args.iter().map(|a| rv(*a)).collect(),
         },
-        Ret { value } => Ret { value: value.map(rv) },
-        Br { target } => Br { target: rb(*target) },
-        CondBr { cond, then_bb, else_bb } => {
-            CondBr { cond: rv(*cond), then_bb: rb(*then_bb), else_bb: rb(*else_bb) }
-        }
+        Ret { value } => Ret {
+            value: value.map(rv),
+        },
+        Br { target } => Br {
+            target: rb(*target),
+        },
+        CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => CondBr {
+            cond: rv(*cond),
+            then_bb: rb(*then_bb),
+            else_bb: rb(*else_bb),
+        },
         InlineAsm { text } => InlineAsm { text: text.clone() },
         Syscall { dst, number, args } => Syscall {
             dst: rv(*dst),
@@ -390,7 +475,12 @@ mod tests {
         let main = m.entry.unwrap();
         let forest = LoopForest::compute(m.function(main));
         // Outline BOTH top-level loops.
-        let mut loops: Vec<Loop> = forest.loops.iter().filter(|l| l.depth == 1).cloned().collect();
+        let mut loops: Vec<Loop> = forest
+            .loops
+            .iter()
+            .filter(|l| l.depth == 1)
+            .cloned()
+            .collect();
         loops.sort_by_key(|l| l.header);
         assert_eq!(loops.len(), 2);
         for (i, l) in loops.iter().enumerate() {

@@ -19,9 +19,7 @@
 //!   stripped (`getPlayerTurn` disappears from the paper's server code).
 
 use offload_ir::builder::FunctionBuilder;
-use offload_ir::{
-    Builtin, CastKind, FuncId, Module, Type,
-};
+use offload_ir::{Builtin, CastKind, FuncId, Module, Type};
 
 /// A target to partition around.
 #[derive(Debug, Clone)]
@@ -63,10 +61,8 @@ pub fn insert_dispatchers(module: &mut Module, targets: &[PartitionTarget]) -> V
         let local = module.declare_function(format!("{name}__local"), params.clone(), ret.clone());
         {
             let blocks = std::mem::take(&mut module.function_mut(t.func).blocks);
-            let vals = std::mem::replace(
-                &mut module.function_mut(t.func).value_types,
-                params.clone(),
-            );
+            let vals =
+                std::mem::replace(&mut module.function_mut(t.func).value_types, params.clone());
             let lf = module.function_mut(local);
             lf.blocks = blocks;
             lf.value_types = vals;
@@ -252,10 +248,7 @@ pub fn remove_unused_functions(module: &mut Module, roots: &[FuncId]) -> usize {
 /// rewritten) module: server wrappers + listen loop + server-specific
 /// optimizations + dead-body removal. Returns the module and the number of
 /// removed bodies.
-pub fn build_server_module(
-    shared: &Module,
-    infos: &[DispatcherInfo],
-) -> (Module, usize) {
+pub fn build_server_module(shared: &Module, infos: &[DispatcherInfo]) -> (Module, usize) {
     let mut server = shared.clone();
     server.name = format!("{}.server", shared.name);
     let wrappers: Vec<(u32, FuncId)> = infos
@@ -293,7 +286,13 @@ mod tests {
     fn partitioned() -> (Module, Module, Vec<DispatcherInfo>) {
         let mut m = offload_minic::compile(SRC, "chess").unwrap();
         let target = m.function_by_name("getAITurn").unwrap();
-        let infos = insert_dispatchers(&mut m, &[PartitionTarget { id: 1, func: target }]);
+        let infos = insert_dispatchers(
+            &mut m,
+            &[PartitionTarget {
+                id: 1,
+                func: target,
+            }],
+        );
         let (server, _) = build_server_module(&m, &infos);
         (m, server, infos)
     }
@@ -312,16 +311,22 @@ mod tests {
             .iter()
             .flat_map(|b| &b.insts)
             .filter_map(|i| match i {
-                Inst::Call { callee: Callee::Builtin(b), .. } => Some(*b),
+                Inst::Call {
+                    callee: Callee::Builtin(b),
+                    ..
+                } => Some(*b),
                 _ => None,
             })
             .collect();
         assert!(builtins.contains(&Builtin::IsProfitable));
-        assert!(builtins.contains(&Builtin::OffloadCallF), "f64 return uses the float variant");
+        assert!(
+            builtins.contains(&Builtin::OffloadCallF),
+            "f64 return uses the float variant"
+        );
         // The local path calls the extracted body.
-        let calls_local = disp.blocks.iter().flat_map(|b| &b.insts).any(|i| {
-            matches!(i, Inst::Call { callee: Callee::Direct(f), .. } if *f == info.local_func)
-        });
+        let calls_local = disp.blocks.iter().flat_map(|b| &b.insts).any(
+            |i| matches!(i, Inst::Call { callee: Callee::Direct(f), .. } if *f == info.local_func),
+        );
         assert!(calls_local);
     }
 
@@ -335,9 +340,15 @@ mod tests {
         // Unused function removal: the scanf-bound mobile-side functions
         // lose their bodies on the server (Fig. 3(c) line 66-67).
         let gpt = server.function_by_name("getPlayerTurn").unwrap();
-        assert!(server.function(gpt).is_declaration(), "getPlayerTurn removed from server");
+        assert!(
+            server.function(gpt).is_declaration(),
+            "getPlayerTurn removed from server"
+        );
         let main = server.function_by_name("main").unwrap();
-        assert!(server.function(main).is_declaration(), "main removed from server");
+        assert!(
+            server.function(main).is_declaration(),
+            "main removed from server"
+        );
         // The target body itself survives.
         let local = infos[0].local_func;
         assert!(!server.function(local).is_declaration());
@@ -386,7 +397,10 @@ mod tests {
         let fb = m.function_by_name("bfun").unwrap();
         let infos = insert_dispatchers(
             &mut m,
-            &[PartitionTarget { id: 1, func: fa }, PartitionTarget { id: 2, func: fb }],
+            &[
+                PartitionTarget { id: 1, func: fa },
+                PartitionTarget { id: 2, func: fb },
+            ],
         );
         let (server, removed) = build_server_module(&m, &infos);
         verify_module(&server).unwrap();

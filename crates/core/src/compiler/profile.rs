@@ -135,9 +135,14 @@ pub fn profile_module(
                 .filter(|((f, from, to), _)| *f == id && *to == l.header && !l.body.contains(from))
                 .map(|(_, n)| *n)
                 .sum::<u64>()
-                .max(u64::from(collector.block_counts.contains_key(&(id, l.header))));
+                .max(u64::from(
+                    collector.block_counts.contains_key(&(id, l.header)),
+                ));
             regions.push((
-                RegionKey::Loop { func: id, header: l.header },
+                RegionKey::Loop {
+                    func: id,
+                    header: l.header,
+                },
                 RegionStats {
                     name: format!("{}_loop{}", func.name, li),
                     cycles,
@@ -214,7 +219,10 @@ mod tests {
             })
             .collect();
         assert_eq!(loops.len(), 2, "work has an outer and an inner loop");
-        let outer = loops.iter().find(|s| s.invocations == 3).expect("outer entered per call");
+        let outer = loops
+            .iter()
+            .find(|s| s.invocations == 3)
+            .expect("outer entered per call");
         let inner = loops
             .iter()
             .find(|s| s.invocations == 3 * 40)
@@ -227,10 +235,7 @@ mod tests {
 
     #[test]
     fn unexecuted_functions_are_absent() {
-        let (module, data) = profile(
-            "int dead(int x) { return x; } int main() { return 0; }",
-            "",
-        );
+        let (module, data) = profile("int dead(int x) { return x; } int main() { return 0; }", "");
         let dead = module.function_by_name("dead").unwrap();
         assert!(data.get(&RegionKey::Function(dead)).is_none());
     }

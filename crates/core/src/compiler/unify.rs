@@ -20,9 +20,7 @@
 //! 5. **Endianness translation** — when byte orders differ, `ByteSwap`
 //!    is inserted after every load and before every store.
 
-use offload_ir::{
-    Builtin, Callee, DataLayout, Inst, Module, TargetAbi, Type, UnOp, ValueId,
-};
+use offload_ir::{Builtin, Callee, DataLayout, Inst, Module, TargetAbi, Type, UnOp, ValueId};
 
 /// What the unifier did (feeding [`CompileStats`](crate::CompileStats)).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -52,7 +50,11 @@ pub fn unify_memory(module: &mut Module) -> UnifyOutcome {
         let func = module.function_mut(offload_ir::FuncId(fi as u32));
         for block in &mut func.blocks {
             for inst in &mut block.insts {
-                if let Inst::Call { callee: Callee::Builtin(b), .. } = inst {
+                if let Inst::Call {
+                    callee: Callee::Builtin(b),
+                    ..
+                } = inst
+                {
                     match b {
                         Builtin::Malloc => {
                             *b = Builtin::UMalloc;
@@ -74,7 +76,11 @@ pub fn unify_memory(module: &mut Module) -> UnifyOutcome {
     for (_, func) in module.iter_functions() {
         for block in &func.blocks {
             for inst in &block.insts {
-                if let Inst::Const { value: offload_ir::ConstValue::GlobalAddr(g), .. } = inst {
+                if let Inst::Const {
+                    value: offload_ir::ConstValue::GlobalAddr(g),
+                    ..
+                } = inst
+                {
                     referenced[g.0 as usize] = true;
                 }
             }
@@ -138,7 +144,12 @@ pub fn insert_server_conversions(module: &mut Module, server_abi: TargetAbi) -> 
                             cursor += 1;
                             func.blocks[bi].insts.insert(
                                 cursor,
-                                Inst::Un { dst: swapped, op: UnOp::ByteSwap, ty: ty.clone(), operand: latest },
+                                Inst::Un {
+                                    dst: swapped,
+                                    op: UnOp::ByteSwap,
+                                    ty: ty.clone(),
+                                    operand: latest,
+                                },
                             );
                             rename_uses_after(func, bi, cursor + 1, latest, swapped);
                             latest = swapped;
@@ -168,9 +179,18 @@ pub fn insert_server_conversions(module: &mut Module, server_abi: TargetAbi) -> 
                         func.value_types.push(ty.clone());
                         func.blocks[bi].insts.insert(
                             i,
-                            Inst::Un { dst: swapped, op: UnOp::ByteSwap, ty: ty.clone(), operand: value },
+                            Inst::Un {
+                                dst: swapped,
+                                op: UnOp::ByteSwap,
+                                ty: ty.clone(),
+                                operand: value,
+                            },
                         );
-                        func.blocks[bi].insts[i + 1] = Inst::Store { ty, addr, value: swapped };
+                        func.blocks[bi].insts[i + 1] = Inst::Store {
+                            ty,
+                            addr,
+                            value: swapped,
+                        };
                         out.byteswaps_inserted += 1;
                         i += 2;
                     }
@@ -297,7 +317,11 @@ mod tests {
         for (_, f) in m.iter_functions() {
             for b in &f.blocks {
                 for inst in &b.insts {
-                    if let Inst::Call { callee: Callee::Builtin(bi), .. } = inst {
+                    if let Inst::Call {
+                        callee: Callee::Builtin(bi),
+                        ..
+                    } = inst
+                    {
                         assert!(!matches!(bi, Builtin::Malloc | Builtin::Free));
                     }
                 }
@@ -324,7 +348,10 @@ mod tests {
         unify_memory(&mut m);
         let out = insert_server_conversions(&mut m, TargetAbi::ServerX8664);
         assert!(out.ptr_zext_inserted > 0, "pointer loads must be widened");
-        assert_eq!(out.byteswaps_inserted, 0, "both devices are little-endian (§5.1)");
+        assert_eq!(
+            out.byteswaps_inserted, 0,
+            "both devices are little-endian (§5.1)"
+        );
         verify_module(&m).unwrap();
     }
 
@@ -368,7 +395,10 @@ mod tests {
         let mut m = offload_minic::compile(SRC, "t").unwrap();
         unify_memory(&mut m);
         let be = run(&m, &TargetSpec::big_endian_server());
-        assert_ne!(be, reference, "unswapped big-endian reads must corrupt data");
+        assert_ne!(
+            be, reference,
+            "unswapped big-endian reads must corrupt data"
+        );
     }
 
     fn run(m: &Module, spec: &TargetSpec) -> String {

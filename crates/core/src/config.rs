@@ -17,7 +17,10 @@ pub struct WorkloadInput {
 impl WorkloadInput {
     /// Input with only stdin.
     pub fn from_stdin(stdin: impl Into<Vec<u8>>) -> Self {
-        WorkloadInput { stdin: stdin.into(), files: Vec::new() }
+        WorkloadInput {
+            stdin: stdin.into(),
+            files: Vec::new(),
+        }
     }
 
     /// Add a file.
@@ -77,7 +80,10 @@ impl CompileConfig {
     /// The Table 3 worked-example configuration: `BW = 80 Mbps` (and the
     /// device pair whose measured ratio plays the paper's `R = 5`).
     pub fn table3() -> Self {
-        CompileConfig { static_bandwidth_bps: 80_000_000, ..Self::default() }
+        CompileConfig {
+            static_bandwidth_bps: 80_000_000,
+            ..Self::default()
+        }
     }
 }
 
@@ -173,7 +179,10 @@ mod tests {
 
     #[test]
     fn presets() {
-        assert!(SessionConfig::slow_network().link.bandwidth_bps < SessionConfig::fast_network().link.bandwidth_bps);
+        assert!(
+            SessionConfig::slow_network().link.bandwidth_bps
+                < SessionConfig::fast_network().link.bandwidth_bps
+        );
         assert!(!SessionConfig::ideal_network().dynamic_estimation);
         assert!(SessionConfig::default().copy_on_demand);
     }

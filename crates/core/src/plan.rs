@@ -122,7 +122,10 @@ mod tests {
             mem_bytes: 4096,
             prefetch_pages: vec![1, 2],
         };
-        let plan = OffloadPlan { tasks: vec![task], ..Default::default() };
+        let plan = OffloadPlan {
+            tasks: vec![task],
+            ..Default::default()
+        };
         assert_eq!(plan.task(1).unwrap().name, "getAITurn");
         assert!(plan.task(9).is_none());
         assert!(plan.task_by_name("getAITurn").is_some());

@@ -41,7 +41,12 @@ impl BandwidthTracker {
     /// Panics if `alpha` is out of range.
     pub fn with_alpha(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of (0, 1]");
-        BandwidthTracker { ewma_bps: None, alpha, samples: 0, bytes_seen: 0 }
+        BandwidthTracker {
+            ewma_bps: None,
+            alpha,
+            samples: 0,
+            bytes_seen: 0,
+        }
     }
 
     /// Record one observed transfer.

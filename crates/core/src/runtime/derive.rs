@@ -1,0 +1,300 @@
+//! Derive the evaluation artifacts from the observability event stream.
+//!
+//! The session accounts the Fig. 7 breakdown, the Fig. 8 power timeline
+//! and the `RunReport` counters *while it runs*; every accumulation site
+//! also emits exactly one typed event carrying the identical value. This
+//! module replays those events with the same arithmetic in the same
+//! order, so the derived artifacts are **bit-identical** to the legacy
+//! ones — which is what [`check_reconciliation`] asserts, both in the
+//! reconciliation tests and (in debug builds) after every traced run.
+//!
+//! The invariants this encodes:
+//!
+//! * cycle counts are `u64` sums of per-interval deltas — exact;
+//! * per-lane seconds (`communication_s`, `remote_io_s`,
+//!   `decompress`) are f64 sums of per-event durations, added one at a
+//!   time in stream order — the session accumulates them the same way;
+//! * the power timeline replays through [`PowerTimeline::push`] with the
+//!   recorded durations, reproducing `total_seconds` and `energy_mj`
+//!   to the last bit.
+
+use offload_machine::power::{PowerState, PowerTimeline};
+use offload_obs::{EventKind, PowerLane, Record, Span};
+
+use crate::config::SessionConfig;
+use crate::runtime::report::{OverheadBreakdown, RunReport};
+
+/// Map an obs power lane back onto the machine power state.
+fn lane_state(lane: PowerLane) -> PowerState {
+    match lane {
+        PowerLane::Idle => PowerState::Idle,
+        PowerLane::Compute => PowerState::Compute,
+        PowerLane::Waiting => PowerState::Waiting,
+        PowerLane::Receive => PowerState::Receive,
+        PowerLane::Transmit => PowerState::Transmit,
+    }
+}
+
+/// Everything [`derive_run`] reconstructs from an event stream.
+#[derive(Debug, Clone, Default)]
+pub struct DerivedRun {
+    /// The Fig. 7 breakdown, rebuilt from cycle/frame/compression events.
+    pub breakdown: OverheadBreakdown,
+    /// The Fig. 8 power timeline, replayed from `Power` events.
+    pub timeline: PowerTimeline,
+    /// Wall clock of the replayed timeline.
+    pub total_seconds: f64,
+    /// Energy of the replayed timeline under the mobile power spec.
+    pub energy_mj: f64,
+    /// Times a dispatcher consulted the estimator.
+    pub offload_attempts: u64,
+    /// Offload spans actually opened.
+    pub offloads_performed: u64,
+    /// Estimator refusals.
+    pub offloads_refused: u64,
+    /// Copy-on-demand faults serviced over the network.
+    pub demand_page_fetches: u64,
+    /// Pages shipped by initialization prefetch.
+    pub prefetched_pages: u64,
+    /// Dirty pages written back at finalization.
+    pub dirty_pages_written_back: u64,
+    /// Function-pointer translations.
+    pub fn_map_translations: u64,
+    /// Remote I/O operations.
+    pub remote_io_calls: u64,
+}
+
+/// Rebuild the run artifacts from `records` under `cfg`'s machine specs.
+#[allow(clippy::cast_precision_loss)]
+pub fn derive_run(records: &[Record], cfg: &SessionConfig) -> DerivedRun {
+    let mut d = DerivedRun::default();
+    let mut mobile_cycles: u64 = 0;
+    let mut server_cycles: u64 = 0;
+    let mut fn_map_cycles: u64 = 0;
+    let mut comm_s = 0.0f64;
+    let mut remote_io_s = 0.0f64;
+    let mut decompress_s = 0.0f64;
+
+    for rec in records {
+        match rec.kind {
+            EventKind::MobileCompute { cycles } => mobile_cycles += cycles,
+            EventKind::ServerCompute { cycles } => server_cycles += cycles,
+            EventKind::FnPtrTranslate { cycles } => {
+                fn_map_cycles += cycles;
+                d.fn_map_translations += 1;
+            }
+            EventKind::Frame {
+                duration_s, lane, ..
+            } => match lane {
+                offload_obs::CostLane::Comm => comm_s += duration_s,
+                offload_obs::CostLane::RemoteIo => remote_io_s += duration_s,
+            },
+            EventKind::Compression {
+                decompress_s: dec, ..
+            } => decompress_s += dec,
+            EventKind::Power { state, duration_s } => {
+                d.timeline.push(lane_state(state), duration_s);
+            }
+            EventKind::OffloadDecision { accepted, .. } => {
+                d.offload_attempts += 1;
+                if !accepted {
+                    d.offloads_refused += 1;
+                }
+            }
+            EventKind::Begin(Span::Offload { .. }) => d.offloads_performed += 1,
+            EventKind::DemandFault { .. } => d.demand_page_fetches += 1,
+            EventKind::PrefetchBatch { pages, .. } => d.prefetched_pages += pages,
+            EventKind::DirtyWriteBack { pages, .. } => d.dirty_pages_written_back += pages,
+            EventKind::RemoteIo { .. } => d.remote_io_calls += 1,
+            EventKind::Begin(_) | EventKind::End(_) | EventKind::BatchFlush { .. } => {}
+        }
+    }
+
+    // The exact expression shapes of `run_offloaded_traced`'s epilogue —
+    // do not "simplify"; bit-identity depends on them.
+    let mobile_hz = cfg.mobile.clock_hz as f64;
+    let server_hz = cfg.server.clock_hz as f64;
+    let fn_map_s = fn_map_cycles as f64 / server_hz;
+    d.breakdown = OverheadBreakdown {
+        mobile_compute_s: mobile_cycles as f64 / mobile_hz + decompress_s,
+        server_compute_s: (server_cycles as f64 / server_hz - fn_map_s).max(0.0),
+        fn_ptr_translation_s: fn_map_s,
+        remote_io_s,
+        communication_s: comm_s,
+    };
+    d.total_seconds = d.timeline.total_seconds();
+    d.energy_mj = d.timeline.energy_mj(&cfg.mobile.power);
+    d
+}
+
+/// Assert that a derived run and a session-produced report agree — the
+/// f64 lanes bit-for-bit, the counters exactly.
+///
+/// # Errors
+///
+/// Returns a description of the first disagreement.
+pub fn check_reconciliation(
+    records: &[Record],
+    report: &RunReport,
+    cfg: &SessionConfig,
+) -> Result<(), String> {
+    let d = derive_run(records, cfg);
+    let bits = |name: &str, derived: f64, legacy: f64| -> Result<(), String> {
+        if derived.to_bits() == legacy.to_bits() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{name}: derived {derived:.17e} != report {legacy:.17e}"
+            ))
+        }
+    };
+    bits(
+        "mobile_compute_s",
+        d.breakdown.mobile_compute_s,
+        report.breakdown.mobile_compute_s,
+    )?;
+    bits(
+        "server_compute_s",
+        d.breakdown.server_compute_s,
+        report.breakdown.server_compute_s,
+    )?;
+    bits(
+        "fn_ptr_translation_s",
+        d.breakdown.fn_ptr_translation_s,
+        report.breakdown.fn_ptr_translation_s,
+    )?;
+    bits(
+        "remote_io_s",
+        d.breakdown.remote_io_s,
+        report.breakdown.remote_io_s,
+    )?;
+    bits(
+        "communication_s",
+        d.breakdown.communication_s,
+        report.breakdown.communication_s,
+    )?;
+    bits("total_seconds", d.total_seconds, report.total_seconds)?;
+    bits("energy_mj", d.energy_mj, report.energy_mj)?;
+    let count = |name: &str, derived: u64, legacy: u64| -> Result<(), String> {
+        if derived == legacy {
+            Ok(())
+        } else {
+            Err(format!("{name}: derived {derived} != report {legacy}"))
+        }
+    };
+    count(
+        "offload_attempts",
+        d.offload_attempts,
+        report.offload_attempts,
+    )?;
+    count(
+        "offloads_performed",
+        d.offloads_performed,
+        report.offloads_performed,
+    )?;
+    count(
+        "offloads_refused",
+        d.offloads_refused,
+        report.offloads_refused,
+    )?;
+    count(
+        "demand_page_fetches",
+        d.demand_page_fetches,
+        report.demand_page_fetches,
+    )?;
+    count(
+        "prefetched_pages",
+        d.prefetched_pages,
+        report.prefetched_pages,
+    )?;
+    count(
+        "dirty_pages_written_back",
+        d.dirty_pages_written_back,
+        report.dirty_pages_written_back,
+    )?;
+    count(
+        "fn_map_translations",
+        d.fn_map_translations,
+        report.fn_map_translations,
+    )?;
+    count("remote_io_calls", d.remote_io_calls, report.remote_io_calls)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_obs::{CostLane, Dir, FrameKind};
+
+    #[test]
+    fn empty_stream_derives_empty_run() {
+        let d = derive_run(&[], &SessionConfig::fast_network());
+        assert_eq!(d.total_seconds, 0.0);
+        assert_eq!(d.offload_attempts, 0);
+        assert_eq!(d.breakdown.total(), 0.0);
+    }
+
+    #[test]
+    fn synthetic_stream_reconstructs_lanes() {
+        let cfg = SessionConfig::fast_network();
+        let recs = vec![
+            Record {
+                ts_s: 0.0,
+                kind: EventKind::MobileCompute { cycles: 1_000_000 },
+            },
+            Record {
+                ts_s: 0.0,
+                kind: EventKind::Power {
+                    state: PowerLane::Compute,
+                    duration_s: 0.5,
+                },
+            },
+            Record {
+                ts_s: 0.5,
+                kind: EventKind::Frame {
+                    kind: FrameKind::OffloadRequest,
+                    dir: Dir::Up,
+                    raw_bytes: 100,
+                    wire_bytes: 100,
+                    duration_s: 0.25,
+                    lane: CostLane::Comm,
+                },
+            },
+            Record {
+                ts_s: 0.5,
+                kind: EventKind::Power {
+                    state: PowerLane::Transmit,
+                    duration_s: 0.25,
+                },
+            },
+            Record {
+                ts_s: 0.75,
+                kind: EventKind::ServerCompute { cycles: 3_000_000 },
+            },
+            Record {
+                ts_s: 0.75,
+                kind: EventKind::FnPtrTranslate { cycles: 1000 },
+            },
+        ];
+        let d = derive_run(&recs, &cfg);
+        assert!((d.breakdown.communication_s - 0.25).abs() < 1e-15);
+        assert!((d.total_seconds - 0.75).abs() < 1e-15);
+        assert_eq!(d.fn_map_translations, 1);
+        let expect_fnmap = 1000.0 / cfg.server.clock_hz as f64;
+        assert!((d.breakdown.fn_ptr_translation_s - expect_fnmap).abs() < 1e-18);
+    }
+
+    #[test]
+    fn reconciliation_flags_mismatches() {
+        let cfg = SessionConfig::fast_network();
+        // energy_mj: an empty timeline sums to IEEE's additive identity
+        // -0.0 (both in the session and here), not the default +0.0.
+        let report = RunReport {
+            offload_attempts: 2,
+            energy_mj: -0.0,
+            ..Default::default()
+        };
+        let err = check_reconciliation(&[], &report, &cfg).unwrap_err();
+        assert!(err.contains("offload_attempts"), "{err}");
+    }
+}

@@ -25,7 +25,11 @@ pub fn decide(task: &OffloadTask, ratio: f64, link: &Link) -> (bool, Estimate) {
 /// Like [`decide`], with an explicit bandwidth figure — used by the
 /// adaptive estimator, which substitutes the *observed* effective
 /// bandwidth (see [`bandwidth`](crate::runtime::bandwidth)).
-pub fn decide_with_bandwidth(task: &OffloadTask, ratio: f64, bandwidth_bps: u64) -> (bool, Estimate) {
+pub fn decide_with_bandwidth(
+    task: &OffloadTask,
+    ratio: f64,
+    bandwidth_bps: u64,
+) -> (bool, Estimate) {
     let bandwidth = if bandwidth_bps == u64::MAX {
         // Ideal link: communication is free.
         return (
@@ -76,7 +80,10 @@ mod tests {
         let t = task(1.0, 20_000_000);
         let (slow, _) = decide(&t, 6.0, &Link::wifi_802_11n());
         let (fast, _) = decide(&t, 6.0, &Link::wifi_802_11ac());
-        assert!(!slow, "gzip-shaped tasks must be refused on 802.11n (the Fig. 6 `*`)");
+        assert!(
+            !slow,
+            "gzip-shaped tasks must be refused on 802.11n (the Fig. 6 `*`)"
+        );
         assert!(fast, "and accepted on 802.11ac");
     }
 

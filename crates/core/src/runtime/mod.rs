@@ -2,8 +2,9 @@
 //! the two partitions over a unified virtual address space.
 
 pub mod bandwidth;
+pub mod derive;
 pub mod estimator;
 pub mod report;
 pub mod session;
 
-pub use session::{run_local, run_offloaded};
+pub use session::{run_local, run_offloaded, run_offloaded_traced};

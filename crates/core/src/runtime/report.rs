@@ -2,6 +2,23 @@
 
 use offload_machine::power::PowerTimeline;
 use offload_net::{TrafficStats, TransferEvent};
+use offload_obs::MetricsSnapshot;
+
+/// Numerator over denominator, guarded against a zero denominator.
+///
+/// A degenerate baseline (zero simulated seconds or millijoules — e.g. an
+/// empty program) must not poison downstream geomeans with `inf`/`NaN`:
+/// `0/0` reports `1.0` ("no change") and `x/0` saturates to [`f64::MAX`]
+/// instead of infinity.
+fn safe_ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else if num == 0.0 {
+        1.0
+    } else {
+        f64::MAX
+    }
+}
 
 /// The Fig. 7 overhead breakdown of one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -68,29 +85,42 @@ pub struct RunReport {
     pub timeline: PowerTimeline,
     /// Every network transfer, in order.
     pub events: Vec<TransferEvent>,
+    /// Observability metrics captured during the run (empty on the
+    /// default no-op collector path).
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunReport {
     /// Whole-program speedup of this run relative to `baseline`
     /// (the paper's headline metric; geomean 6.42× over local execution).
+    /// Guarded against a zero-time run: never returns `inf`/`NaN`.
     pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
-        baseline.total_seconds / self.total_seconds
+        safe_ratio(baseline.total_seconds, self.total_seconds)
     }
 
     /// Execution time normalized to `baseline` (the y-axis of Fig. 6(a)).
+    /// Guarded against a zero-time baseline: never returns `inf`/`NaN`.
     pub fn normalized_time(&self, baseline: &RunReport) -> f64 {
-        self.total_seconds / baseline.total_seconds
+        safe_ratio(self.total_seconds, baseline.total_seconds)
     }
 
     /// Battery consumption normalized to `baseline` (Fig. 6(b)).
+    /// Guarded against a zero-energy baseline: never returns `inf`/`NaN`.
     pub fn normalized_energy(&self, baseline: &RunReport) -> f64 {
-        self.energy_mj / baseline.energy_mj
+        safe_ratio(self.energy_mj, baseline.energy_mj)
     }
 
-    /// Total communication traffic in megabytes (Table 4 reports MB per
-    /// invocation).
+    /// Total communication traffic in megabytes of *payload* (Table 4
+    /// reports MB per invocation).
     pub fn traffic_mb(&self) -> f64 {
         (self.upload.raw_bytes + self.download.raw_bytes) as f64 / 1_000_000.0
+    }
+
+    /// Traffic actually on the wire, megabytes — post-compression payload
+    /// plus per-message framing. Compare with [`traffic_mb`](Self::traffic_mb)
+    /// to see what batching + compression saved.
+    pub fn traffic_wire_mb(&self) -> f64 {
+        (self.upload.wire_bytes + self.download.wire_bytes) as f64 / 1_000_000.0
     }
 
     /// Communication traffic per performed offload, MB.
@@ -109,11 +139,44 @@ mod tests {
 
     #[test]
     fn normalization_math() {
-        let base = RunReport { total_seconds: 10.0, energy_mj: 1000.0, ..Default::default() };
-        let off = RunReport { total_seconds: 2.0, energy_mj: 180.0, ..Default::default() };
+        let base = RunReport {
+            total_seconds: 10.0,
+            energy_mj: 1000.0,
+            ..Default::default()
+        };
+        let off = RunReport {
+            total_seconds: 2.0,
+            energy_mj: 180.0,
+            ..Default::default()
+        };
         assert!((off.speedup_vs(&base) - 5.0).abs() < 1e-12);
         assert!((off.normalized_time(&base) - 0.2).abs() < 1e-12);
         assert!((off.normalized_energy(&base) - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_is_guarded() {
+        let zero = RunReport::default();
+        let run = RunReport {
+            total_seconds: 2.0,
+            energy_mj: 180.0,
+            ..Default::default()
+        };
+        // 0/0 → "no change"; x/0 saturates finitely. Nothing is inf/NaN.
+        assert_eq!(zero.normalized_time(&zero), 1.0);
+        assert_eq!(zero.normalized_energy(&zero), 1.0);
+        assert_eq!(zero.speedup_vs(&zero), 1.0);
+        assert_eq!(run.normalized_time(&zero), f64::MAX);
+        assert_eq!(run.normalized_energy(&zero), f64::MAX);
+        assert_eq!(zero.speedup_vs(&run), f64::MAX); // finished in 0 s
+        for v in [
+            run.normalized_time(&zero),
+            zero.normalized_time(&run),
+            run.speedup_vs(&zero),
+            zero.speedup_vs(&run),
+        ] {
+            assert!(v.is_finite(), "{v} must be finite");
+        }
     }
 
     #[test]
@@ -137,5 +200,16 @@ mod tests {
         assert!((r.traffic_mb_per_invocation() - 2.0).abs() < 1e-12);
         r.offloads_performed = 0;
         assert_eq!(r.traffic_mb_per_invocation(), 0.0);
+    }
+
+    #[test]
+    fn wire_traffic_reads_wire_bytes() {
+        let mut r = RunReport::default();
+        r.upload.raw_bytes = 2_000_000;
+        r.upload.wire_bytes = 500_000;
+        r.download.raw_bytes = 1_000_000;
+        r.download.wire_bytes = 250_000;
+        assert!((r.traffic_mb() - 3.0).abs() < 1e-12);
+        assert!((r.traffic_wire_mb() - 0.75).abs() < 1e-12);
     }
 }

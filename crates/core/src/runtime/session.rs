@@ -17,6 +17,14 @@
 //! Every byte crosses the recorded [`Channel`]; every interval lands on
 //! the mobile [`PowerTimeline`] — which is how the Fig. 6(b) energy bars
 //! and Fig. 8 power traces are produced.
+//!
+//! Every operation also flows through an [`offload_obs::Collector`]: the
+//! default [`NoopCollector`] path costs nothing, while a
+//! [`offload_obs::TraceCollector`] records the full typed event stream —
+//! from which [`derive`](crate::runtime::derive) reconstructs the
+//! [`OverheadBreakdown`], the power timeline and every `RunReport`
+//! counter *bit for bit* (the accounting below and the derivation sum
+//! the same f64 values in the same order).
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -32,6 +40,7 @@ use offload_machine::vm::{Host, HostCtx, RtVal, StackBank, Vm, VmError};
 use offload_machine::PAGE_SIZE;
 use offload_net::frame::{self, Message};
 use offload_net::{lz, Channel, Direction, MsgKind};
+use offload_obs::{Collector, CostLane, EventKind, NoopCollector, RemoteOp, Span as ObsSpan};
 
 use crate::compiler::CompiledApp;
 use crate::config::{SessionConfig, WorkloadInput};
@@ -70,13 +79,17 @@ pub fn run_local(app: &CompiledApp, input: &WorkloadInput) -> Result<RunReport, 
         exit_code: exit,
         total_seconds: total,
         energy_mj: energy,
-        breakdown: OverheadBreakdown { mobile_compute_s: total, ..Default::default() },
+        breakdown: OverheadBreakdown {
+            mobile_compute_s: total,
+            ..Default::default()
+        },
         timeline,
         ..Default::default()
     })
 }
 
-/// Run the partitioned program under the offload runtime.
+/// Run the partitioned program under the offload runtime with the no-op
+/// collector (the default, allocation-free path).
 ///
 /// # Errors
 ///
@@ -85,6 +98,23 @@ pub fn run_offloaded(
     app: &CompiledApp,
     input: &WorkloadInput,
     cfg: &SessionConfig,
+) -> Result<RunReport, OffloadError> {
+    run_offloaded_traced(app, input, cfg, &mut NoopCollector)
+}
+
+/// Run the partitioned program under the offload runtime, streaming every
+/// session event into `obs`. With a recording collector the returned
+/// report also carries a [`offload_obs::MetricsSnapshot`].
+///
+/// # Errors
+///
+/// Simulated-execution failures.
+#[allow(clippy::too_many_lines)]
+pub fn run_offloaded_traced(
+    app: &CompiledApp,
+    input: &WorkloadInput,
+    cfg: &SessionConfig,
+    obs: &mut dyn Collector,
 ) -> Result<RunReport, OffloadError> {
     let mobile_image = loader::load(&app.mobile, &cfg.mobile.data_layout())?;
     // The server process starts with an empty address space: everything it
@@ -109,13 +139,16 @@ pub fn run_offloaded(
         let w = app
             .server
             .function_by_name(&format!("__server_{}", task.name))
-            .ok_or_else(|| OffloadError::Other(format!("missing server wrapper for {}", task.name)))?;
+            .ok_or_else(|| {
+                OffloadError::Other(format!("missing server wrapper for {}", task.name))
+            })?;
         wrappers.insert(task.id, w);
     }
 
     let mut host = SessionHost {
         plan: &app.plan,
         cfg,
+        obs,
         server_vm,
         local,
         server_heap: HeapAllocator::new(
@@ -154,7 +187,7 @@ pub fn run_offloaded(
         communication_s: host.comm_s,
     };
     let energy = host.timeline.energy_mj(&cfg.mobile.power);
-    Ok(RunReport {
+    let report = RunReport {
         name: app.mobile.name.clone(),
         console: host.local.console_utf8(),
         exit_code: exit,
@@ -173,7 +206,26 @@ pub fn run_offloaded(
         remote_io_calls: host.stat.remote_io_calls,
         timeline: host.timeline,
         events: host.channel.events().to_vec(),
-    })
+        metrics: obs.metrics_snapshot(),
+    };
+
+    // The Fig. 7 decomposition must account for the whole wall clock: the
+    // breakdown lanes and the power timeline are two views of one stream.
+    debug_assert!(
+        (report.breakdown.total() - report.total_seconds).abs()
+            <= 1e-9 * report.total_seconds.max(1e-9),
+        "breakdown {} != wall {}",
+        report.breakdown.total(),
+        report.total_seconds
+    );
+    #[cfg(debug_assertions)]
+    if obs.enabled() && obs.dropped_records() == 0 {
+        if let Err(e) = crate::runtime::derive::check_reconciliation(&obs.recorded(), &report, cfg)
+        {
+            debug_assert!(false, "trace/report reconciliation failed: {e}");
+        }
+    }
+    Ok(report)
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -192,6 +244,7 @@ struct SessionStats {
 struct SessionHost<'a> {
     plan: &'a OffloadPlan,
     cfg: &'a SessionConfig,
+    obs: &'a mut dyn Collector,
     server_vm: Vm<'a>,
     local: LocalHost,
     server_heap: HeapAllocator,
@@ -214,7 +267,12 @@ impl SessionHost<'_> {
     /// Push the mobile compute interval since the last accounting point.
     fn account_mobile(&mut self, cycles_now: u64) {
         let delta = cycles_now.saturating_sub(self.last_mobile_cycles);
-        self.timeline.push(
+        if delta > 0 {
+            self.obs
+                .record(self.wall(), EventKind::MobileCompute { cycles: delta });
+        }
+        self.timeline.push_traced(
+            &mut *self.obs,
             PowerState::Compute,
             delta as f64 / self.cfg.mobile.clock_hz as f64,
         );
@@ -223,6 +281,30 @@ impl SessionHost<'_> {
 
     fn wall(&self) -> f64 {
         self.timeline.total_seconds()
+    }
+
+    /// One frame across the link: records the transfer (and its obs
+    /// event), advances the power timeline, and charges the duration to
+    /// the given Fig. 7 cost lane. Returns the transfer duration.
+    fn send(
+        &mut self,
+        dir: Direction,
+        kind: MsgKind,
+        raw: u64,
+        wire: u64,
+        lane: CostLane,
+        power: PowerState,
+    ) -> f64 {
+        let start = self.timeline.total_seconds();
+        let d = self
+            .channel
+            .transfer_traced(&mut *self.obs, start, dir, kind, raw, wire, lane);
+        self.timeline.push_traced(&mut *self.obs, power, d);
+        match lane {
+            CostLane::Comm => self.comm_s += d,
+            CostLane::RemoteIo => self.remote_io_s += d,
+        }
+        d
     }
 
     #[allow(clippy::too_many_lines)]
@@ -243,6 +325,10 @@ impl SessionHost<'_> {
             .ok_or_else(|| VmError::Trap(format!("no wrapper for task {task_id}")))?;
         self.stat.performed += 1;
         self.account_mobile(ctx.clock.cycles);
+        self.obs.record(
+            self.wall(),
+            EventKind::Begin(ObsSpan::Offload { task: task_id }),
+        );
 
         // ---- initialization (§4) -----------------------------------------
         // Page-table snapshot: the server learns which pages exist on the
@@ -264,15 +350,14 @@ impl SessionHost<'_> {
             present_pages: mobile_present.iter().copied().collect(),
         };
         let req_bytes = frame::encoded_len(&req_msg);
-        let d = self.channel.transfer(
-            self.wall(),
+        let d = self.send(
             Direction::MobileToServer,
             MsgKind::OffloadRequest,
             req_bytes,
             req_bytes,
+            CostLane::Comm,
+            PowerState::Transmit,
         );
-        self.timeline.push(PowerState::Transmit, d);
-        self.comm_s += d;
         self.bandwidth.observe(req_bytes, d);
 
         // Prefetch (or eager full transfer when copy-on-demand is ablated).
@@ -298,32 +383,37 @@ impl SessionHost<'_> {
                 blob.extend_from_slice(&page_buf);
             }
             self.stat.prefetched += prefetch_pages.len() as u64;
+            self.obs.record(
+                self.wall(),
+                EventKind::PrefetchBatch {
+                    pages: prefetch_pages.len() as u64,
+                    bytes: blob.len() as u64,
+                },
+            );
             if self.cfg.batch {
                 let msg_len = frame::encoded_len(&Message::Pages {
                     page_numbers: prefetch_pages.clone(),
                     bytes: blob.clone(),
                 });
-                let d = self.channel.transfer(
-                    self.wall(),
+                let d = self.send(
                     Direction::MobileToServer,
                     MsgKind::Prefetch,
                     msg_len,
                     msg_len,
+                    CostLane::Comm,
+                    PowerState::Transmit,
                 );
-                self.timeline.push(PowerState::Transmit, d);
-                self.comm_s += d;
                 self.bandwidth.observe(msg_len, d);
             } else {
                 for _ in &prefetch_pages {
-                    let d = self.channel.transfer(
-                        self.wall(),
+                    self.send(
                         Direction::MobileToServer,
                         MsgKind::Prefetch,
                         PAGE_SIZE,
                         PAGE_SIZE,
+                        CostLane::Comm,
+                        PowerState::Transmit,
                     );
-                    self.timeline.push(PowerState::Transmit, d);
-                    self.comm_s += d;
                 }
             }
         }
@@ -334,6 +424,7 @@ impl SessionHost<'_> {
         let server_cycles_before = self.server_vm.clock.cycles;
         let result = {
             let Self {
+                obs,
                 server_vm,
                 local,
                 server_heap,
@@ -350,6 +441,7 @@ impl SessionHost<'_> {
                 ..
             } = self;
             let mut bridge = ServerBridge {
+                obs: &mut **obs,
                 mobile_mem: ctx.mem,
                 mobile_env: local,
                 server_heap,
@@ -369,21 +461,43 @@ impl SessionHost<'_> {
                 io_batch: Vec::new(),
                 pending_task: 0,
             };
+            bridge.obs.record(
+                bridge.timeline.total_seconds(),
+                EventKind::Begin(ObsSpan::ServerExec { task: task_id }),
+            );
             let r = server_vm.call_function(wrapper, &[], &mut bridge);
             // Remaining server compute shows up as mobile waiting time.
-            let leftover = server_vm.clock.cycles.saturating_sub(bridge.last_server_cycles);
-            bridge
-                .timeline
-                .push(PowerState::Waiting, leftover as f64 / cfg.server.clock_hz as f64);
+            let leftover = server_vm
+                .clock
+                .cycles
+                .saturating_sub(bridge.last_server_cycles);
+            bridge.timeline.push_traced(
+                &mut *bridge.obs,
+                PowerState::Waiting,
+                leftover as f64 / cfg.server.clock_hz as f64,
+            );
+            bridge.obs.record(
+                bridge.timeline.total_seconds(),
+                EventKind::End(ObsSpan::ServerExec { task: task_id }),
+            );
             let io_batch = std::mem::take(&mut bridge.io_batch);
             r.map(|v| (v, io_batch))
         };
         let (_, io_batch) = result?;
-        self.server_cycles_total += self
+        let server_delta = self
             .server_vm
             .clock
             .cycles
             .saturating_sub(server_cycles_before);
+        self.server_cycles_total += server_delta;
+        if server_delta > 0 {
+            self.obs.record(
+                self.wall(),
+                EventKind::ServerCompute {
+                    cycles: server_delta,
+                },
+            );
+        }
 
         // ---- finalization (§4) ---------------------------------------------
         // Flush batched remote output to the mobile console.
@@ -393,15 +507,30 @@ impl SessionHost<'_> {
             } else {
                 io_batch.len() as u64
             };
-            let d = self.channel.transfer(
+            if self.cfg.compress {
+                self.obs.record(
+                    self.wall(),
+                    EventKind::Compression {
+                        raw_bytes: io_batch.len() as u64,
+                        wire_bytes: wire,
+                        decompress_s: 0.0,
+                    },
+                );
+            }
+            self.obs.record(
                 self.wall(),
+                EventKind::BatchFlush {
+                    bytes: io_batch.len() as u64,
+                },
+            );
+            self.send(
                 Direction::ServerToMobile,
                 MsgKind::RemoteIo,
                 io_batch.len() as u64,
                 wire,
+                CostLane::RemoteIo,
+                PowerState::Receive,
             );
-            self.timeline.push(PowerState::Receive, d);
-            self.remote_io_s += d;
             self.local.console_write(&io_batch);
         }
 
@@ -416,7 +545,12 @@ impl SessionHost<'_> {
         if !dirty.is_empty() {
             let mut blob = Vec::with_capacity(dirty.len() * PAGE_SIZE as usize);
             for p in &dirty {
-                blob.extend_from_slice(self.server_vm.mem.page_bytes(*p).expect("dirty page present"));
+                blob.extend_from_slice(
+                    self.server_vm
+                        .mem
+                        .page_bytes(*p)
+                        .expect("dirty page present"),
+                );
             }
             let raw = frame::encoded_len(&Message::Pages {
                 page_numbers: dirty.clone(),
@@ -432,34 +566,45 @@ impl SessionHost<'_> {
                 raw
             };
             if self.cfg.batch {
-                let d = self.channel.transfer(
-                    self.wall(),
+                let d = self.send(
                     Direction::ServerToMobile,
                     MsgKind::DirtyPage,
                     raw,
                     wire,
+                    CostLane::Comm,
+                    PowerState::Receive,
                 );
-                self.timeline.push(PowerState::Receive, d);
-                self.comm_s += d;
                 self.bandwidth.observe(wire, d);
             } else {
                 for _ in &dirty {
-                    let per = if self.cfg.compress { wire / dirty.len() as u64 } else { PAGE_SIZE };
-                    let d = self.channel.transfer(
-                        self.wall(),
+                    let per = if self.cfg.compress {
+                        wire / dirty.len() as u64
+                    } else {
+                        PAGE_SIZE
+                    };
+                    self.send(
                         Direction::ServerToMobile,
                         MsgKind::DirtyPage,
                         PAGE_SIZE,
                         per,
+                        CostLane::Comm,
+                        PowerState::Receive,
                     );
-                    self.timeline.push(PowerState::Receive, d);
-                    self.comm_s += d;
                 }
             }
             if self.cfg.compress {
                 // The mobile CPU decompresses the write-back.
                 let dec = lz::decompress_seconds(blob.len() as u64);
-                self.timeline.push(PowerState::Compute, dec);
+                self.obs.record(
+                    self.wall(),
+                    EventKind::Compression {
+                        raw_bytes: raw,
+                        wire_bytes: wire,
+                        decompress_s: dec,
+                    },
+                );
+                self.timeline
+                    .push_traced(&mut *self.obs, PowerState::Compute, dec);
                 self.decompress_s += dec;
             }
             for (i, p) in dirty.iter().enumerate() {
@@ -467,6 +612,14 @@ impl SessionHost<'_> {
                 ctx.mem.write(p * PAGE_SIZE, bytes).map_err(VmError::Mem)?;
             }
             self.stat.dirty_back += dirty.len() as u64;
+            self.obs.record(
+                self.wall(),
+                EventKind::DirtyWriteBack {
+                    pages: dirty.len() as u64,
+                    raw_bytes: raw,
+                    wire_bytes: wire,
+                },
+            );
         }
 
         // Return value + termination signal.
@@ -481,15 +634,14 @@ impl SessionHost<'_> {
             dirty_pages: self.stat.dirty_back as u32,
         };
         let ret_bytes = frame::encoded_len(&ret_msg);
-        let d = self.channel.transfer(
-            self.wall(),
+        let d = self.send(
             Direction::ServerToMobile,
             MsgKind::Return,
             ret_bytes,
             ret_bytes,
+            CostLane::Comm,
+            PowerState::Receive,
         );
-        self.timeline.push(PowerState::Receive, d);
-        self.comm_s += d;
         self.bandwidth.observe(ret_bytes, d);
 
         // Tear the server process down (§4: the server does not keep the
@@ -499,6 +651,10 @@ impl SessionHost<'_> {
             uva_map::SERVER_LOCAL_HEAP,
             uva_map::SERVER_LOCAL_HEAP + 0x0100_0000,
         );
+        self.obs.record(
+            self.wall(),
+            EventKind::End(ObsSpan::Offload { task: task_id }),
+        );
 
         Ok(self.pending_return.take().unwrap_or(RtVal::I(0)))
     }
@@ -506,8 +662,8 @@ impl SessionHost<'_> {
 
 fn is_server_private_page(page: u64) -> bool {
     let addr = page * PAGE_SIZE;
-    let server_stack =
-        (uva_map::SERVER_STACK_TOP - uva_map::STACK_SIZE..uva_map::SERVER_STACK_TOP).contains(&addr);
+    let server_stack = (uva_map::SERVER_STACK_TOP - uva_map::STACK_SIZE..uva_map::SERVER_STACK_TOP)
+        .contains(&addr);
     let server_heap =
         (uva_map::SERVER_LOCAL_HEAP..uva_map::SERVER_LOCAL_HEAP + 0x0100_0000).contains(&addr);
     server_stack || server_heap
@@ -528,8 +684,9 @@ impl Host for SessionHost<'_> {
             Builtin::IsProfitable => {
                 self.stat.attempts += 1;
                 let task_id = args[0].as_i() as u32;
-                let go = if !self.cfg.dynamic_estimation {
-                    true
+                let (go, t_gain_s, t_comm_s, bandwidth_bps) = if !self.cfg.dynamic_estimation {
+                    // Estimation ablated: every dispatch goes through.
+                    (true, 0.0, 0.0, 0)
                 } else if let Some(task) = self.plan.task(task_id) {
                     let ratio = self.cfg.mobile.performance_ratio(&self.cfg.server);
                     // §6 extension: with adaptive bandwidth on, divide by
@@ -542,10 +699,22 @@ impl Host for SessionHost<'_> {
                     } else {
                         self.cfg.link.bandwidth_bps
                     };
-                    crate::runtime::estimator::decide_with_bandwidth(task, ratio, bw).0
+                    let (go, est) =
+                        crate::runtime::estimator::decide_with_bandwidth(task, ratio, bw);
+                    (go, est.t_gain_s, est.t_comm_s, bw)
                 } else {
-                    false
+                    (false, 0.0, 0.0, 0)
                 };
+                self.obs.record(
+                    self.timeline.total_seconds(),
+                    EventKind::OffloadDecision {
+                        task: task_id,
+                        accepted: go,
+                        t_gain_s,
+                        t_comm_s,
+                        bandwidth_bps,
+                    },
+                );
                 if !go {
                     self.stat.refused += 1;
                 }
@@ -565,6 +734,7 @@ impl Host for SessionHost<'_> {
 /// copy-on-demand faults out of the mobile memory, shares the unified
 /// heap, translates function pointers and routes remote I/O home.
 struct ServerBridge<'x> {
+    obs: &'x mut dyn Collector,
     mobile_mem: &'x mut Memory,
     mobile_env: &'x mut LocalHost,
     server_heap: &'x mut HeapAllocator,
@@ -593,13 +763,38 @@ impl ServerBridge<'_> {
     /// time on the timeline.
     fn account_waiting(&mut self, server_cycles_now: u64) {
         let delta = server_cycles_now.saturating_sub(self.last_server_cycles);
-        self.timeline
-            .push(PowerState::Waiting, delta as f64 / self.cfg.server.clock_hz as f64);
+        self.timeline.push_traced(
+            &mut *self.obs,
+            PowerState::Waiting,
+            delta as f64 / self.cfg.server.clock_hz as f64,
+        );
         self.last_server_cycles = server_cycles_now;
     }
 
     fn wall(&self) -> f64 {
         self.timeline.total_seconds()
+    }
+
+    /// One frame across the link (see [`SessionHost::send`]).
+    fn send(
+        &mut self,
+        dir: Direction,
+        kind: MsgKind,
+        raw: u64,
+        wire: u64,
+        lane: CostLane,
+        power: PowerState,
+    ) -> f64 {
+        let start = self.timeline.total_seconds();
+        let d = self
+            .channel
+            .transfer_traced(&mut *self.obs, start, dir, kind, raw, wire, lane);
+        self.timeline.push_traced(&mut *self.obs, power, d);
+        match lane {
+            CostLane::Comm => *self.comm_s += d,
+            CostLane::RemoteIo => *self.remote_io_s += d,
+        }
+        d
     }
 
     /// Fetch one page from the mobile device (or zero-fill a page the
@@ -635,28 +830,36 @@ impl ServerBridge<'_> {
             page,
             count: pages.len() as u32,
         });
-        let d1 = self.channel.transfer(
-            self.wall(),
+        let d1 = self.send(
             Direction::ServerToMobile,
             MsgKind::Control,
             req_len,
             req_len,
+            CostLane::Comm,
+            PowerState::Receive,
         );
-        self.timeline.push(PowerState::Receive, d1);
         let payload = frame::encoded_len(&Message::Pages {
             page_numbers: pages.clone(),
             bytes: vec![0; PAGE_SIZE as usize * pages.len()],
         });
-        let d2 = self.channel.transfer(
-            self.wall(),
+        let d2 = self.send(
             Direction::MobileToServer,
             MsgKind::DemandPage,
             payload,
             payload,
+            CostLane::Comm,
+            PowerState::Transmit,
         );
-        self.timeline.push(PowerState::Transmit, d2);
-        *self.comm_s += d1 + d2;
         self.bandwidth.observe(payload, d1 + d2);
+        self.obs.record(
+            self.wall(),
+            EventKind::DemandFault {
+                page,
+                pages: pages.len() as u32,
+                window: window as u32,
+                duration_s: d1 + d2,
+            },
+        );
         for p in pages {
             self.mobile_mem
                 .read(p * PAGE_SIZE, &mut buf)
@@ -711,11 +914,7 @@ impl ServerBridge<'_> {
 
     /// Format a printf call against *server* memory, faulting in the
     /// format string and any `%s` payloads.
-    fn render_remote(
-        &mut self,
-        args: &[RtVal],
-        ctx: &mut HostCtx<'_>,
-    ) -> Result<Vec<u8>, VmError> {
+    fn render_remote(&mut self, args: &[RtVal], ctx: &mut HostCtx<'_>) -> Result<Vec<u8>, VmError> {
         let fmt = self.read_cstr_faulting(ctx, args[0].as_addr())?;
         let io_args: Vec<IoArg> = args[1..]
             .iter()
@@ -735,9 +934,13 @@ impl ServerBridge<'_> {
                         Ok(v) => Ok(v),
                         Err(MemError::PageFault { page }) => {
                             fault_slot.set(Some(page));
-                            Err(IoError { message: format!("fault at page {page}") })
+                            Err(IoError {
+                                message: format!("fault at page {page}"),
+                            })
                         }
-                        Err(e) => Err(IoError { message: e.to_string() }),
+                        Err(e) => Err(IoError {
+                            message: e.to_string(),
+                        }),
                     }
                 };
                 let r = io::format_c(&fmt, &io_args, &mut resolver);
@@ -757,16 +960,30 @@ impl ServerBridge<'_> {
     /// A round trip for a remote I/O request: `req` bytes server→mobile,
     /// `resp` bytes mobile→server. Returns the total duration.
     fn remote_round_trip(&mut self, req: u64, resp: u64) -> f64 {
-        let d1 = self
-            .channel
-            .transfer(self.wall(), Direction::ServerToMobile, MsgKind::RemoteIo, req, req);
-        self.timeline.push(PowerState::Receive, d1);
-        let d2 = self
-            .channel
-            .transfer(self.wall(), Direction::MobileToServer, MsgKind::RemoteIo, resp, resp);
-        self.timeline.push(PowerState::Transmit, d2);
-        *self.remote_io_s += d1 + d2;
+        let d1 = self.send(
+            Direction::ServerToMobile,
+            MsgKind::RemoteIo,
+            req,
+            req,
+            CostLane::RemoteIo,
+            PowerState::Receive,
+        );
+        let d2 = self.send(
+            Direction::MobileToServer,
+            MsgKind::RemoteIo,
+            resp,
+            resp,
+            CostLane::RemoteIo,
+            PowerState::Transmit,
+        );
         d1 + d2
+    }
+
+    /// Count one remote I/O operation and emit its event.
+    fn note_remote_io(&mut self, op: RemoteOp, bytes: u64) {
+        self.stat.remote_io_calls += 1;
+        self.obs
+            .record(self.wall(), EventKind::RemoteIo { op, bytes });
     }
 }
 
@@ -775,12 +992,21 @@ impl Host for ServerBridge<'_> {
         self.fault_in(page, ctx)
     }
 
-    fn syscall(&mut self, number: u32, _args: &[RtVal], _ctx: &mut HostCtx<'_>) -> Result<RtVal, VmError> {
-        Err(VmError::MachineSpecific { what: format!("syscall {number} on the server") })
+    fn syscall(
+        &mut self,
+        number: u32,
+        _args: &[RtVal],
+        _ctx: &mut HostCtx<'_>,
+    ) -> Result<RtVal, VmError> {
+        Err(VmError::MachineSpecific {
+            what: format!("syscall {number} on the server"),
+        })
     }
 
     fn inline_asm(&mut self, text: &str, _ctx: &mut HostCtx<'_>) -> Result<(), VmError> {
-        Err(VmError::MachineSpecific { what: format!("inline asm \"{text}\" on the server") })
+        Err(VmError::MachineSpecific {
+            what: format!("inline asm \"{text}\" on the server"),
+        })
     }
 
     #[allow(clippy::too_many_lines)]
@@ -795,7 +1021,10 @@ impl Host for ServerBridge<'_> {
             // Unified heap: shared allocator state with the mobile device.
             UMalloc => {
                 ctx.clock.charge(ctx.cpi.alloc);
-                let addr = self.mobile_env.unified_heap_mut().alloc(args[0].as_addr())?;
+                let addr = self
+                    .mobile_env
+                    .unified_heap_mut()
+                    .alloc(args[0].as_addr())?;
                 Ok(Some(RtVal::I(addr as i64)))
             }
             UFree => {
@@ -819,15 +1048,20 @@ impl Host for ServerBridge<'_> {
                 ctx.clock.charge(ctx.cpi.fn_map);
                 *self.fn_map_cycles += ctx.cpi.fn_map;
                 self.stat.fn_maps += 1;
+                self.obs.record(
+                    self.wall(),
+                    EventKind::FnPtrTranslate {
+                        cycles: ctx.cpi.fn_map,
+                    },
+                );
                 let addr = args[0].as_addr();
                 let span = self.server_fn_count * uva_map::FN_STRIDE;
-                let mapped = if (uva_map::MOBILE_FN_BASE..uva_map::MOBILE_FN_BASE + span)
-                    .contains(&addr)
-                {
-                    uva_map::SERVER_FN_BASE + (addr - uva_map::MOBILE_FN_BASE)
-                } else {
-                    addr
-                };
+                let mapped =
+                    if (uva_map::MOBILE_FN_BASE..uva_map::MOBILE_FN_BASE + span).contains(&addr) {
+                        uva_map::SERVER_FN_BASE + (addr - uva_map::MOBILE_FN_BASE)
+                    } else {
+                        addr
+                    };
                 Ok(Some(RtVal::I(mapped as i64)))
             }
             // Offload-protocol plumbing.
@@ -864,51 +1098,49 @@ impl Host for ServerBridge<'_> {
             }
             // Remote I/O (§3.4).
             RPrintf => {
-                self.stat.remote_io_calls += 1;
                 let out = self.render_remote(args, ctx)?;
                 ctx.clock.charge(ctx.cpi.io_char * out.len() as u64);
                 let n = out.len();
+                self.note_remote_io(RemoteOp::Printf, n as u64);
                 if self.cfg.batch {
                     self.io_batch.extend_from_slice(&out);
                 } else {
-                    let d = self.channel.transfer(
-                        self.wall(),
+                    self.send(
                         Direction::ServerToMobile,
                         MsgKind::RemoteIo,
                         n as u64,
                         n as u64,
+                        CostLane::RemoteIo,
+                        PowerState::Receive,
                     );
-                    self.timeline.push(PowerState::Receive, d);
-                    *self.remote_io_s += d;
                     self.mobile_env.console_write(&out);
                 }
                 Ok(Some(RtVal::I(n as i64)))
             }
             RPutchar => {
-                self.stat.remote_io_calls += 1;
                 ctx.clock.charge(ctx.cpi.io_char);
+                self.note_remote_io(RemoteOp::Putchar, 1);
                 let c = args[0].as_i() as u8;
                 if self.cfg.batch {
                     self.io_batch.push(c);
                 } else {
-                    let d = self.channel.transfer(
-                        self.wall(),
+                    self.send(
                         Direction::ServerToMobile,
                         MsgKind::RemoteIo,
                         1,
                         1,
+                        CostLane::RemoteIo,
+                        PowerState::Receive,
                     );
-                    self.timeline.push(PowerState::Receive, d);
-                    *self.remote_io_s += d;
                     self.mobile_env.console_write(&[c]);
                 }
                 Ok(Some(args[0]).map(|v| RtVal::I(v.as_i())))
             }
             RFOpen => {
-                self.stat.remote_io_calls += 1;
                 self.account_waiting(ctx.clock.cycles);
                 let name = self.read_cstr_faulting(ctx, args[0].as_addr())?;
                 let mode = self.read_cstr_faulting(ctx, args[1].as_addr())?;
+                self.note_remote_io(RemoteOp::FOpen, name.len() as u64 + 24);
                 self.remote_round_trip(name.len() as u64 + 16, 8);
                 let fd = self.mobile_env.fs_mut().open(
                     &String::from_utf8_lossy(&name),
@@ -917,8 +1149,8 @@ impl Host for ServerBridge<'_> {
                 Ok(Some(RtVal::I(fd as i64)))
             }
             RFClose => {
-                self.stat.remote_io_calls += 1;
                 self.account_waiting(ctx.clock.cycles);
+                self.note_remote_io(RemoteOp::FClose, 24);
                 self.remote_round_trip(16, 8);
                 let ok = self.mobile_env.fs_mut().close(args[0].as_i() as i32);
                 Ok(Some(RtVal::I(if ok { 0 } else { -1 })))
@@ -926,7 +1158,6 @@ impl Host for ServerBridge<'_> {
             RFRead => {
                 // Remote *input*: the expensive round trip of §5.1
                 // (300.twolf / 445.gobmk / 464.h264ref).
-                self.stat.remote_io_calls += 1;
                 self.account_waiting(ctx.clock.cycles);
                 let (buf, size, count, fd) = (
                     args[0].as_addr(),
@@ -936,8 +1167,10 @@ impl Host for ServerBridge<'_> {
                 );
                 let want = (size * count) as usize;
                 let Some(data) = self.mobile_env.fs_mut().read(fd, want) else {
+                    self.note_remote_io(RemoteOp::FRead, 32);
                     return Ok(Some(RtVal::I(0)));
                 };
+                self.note_remote_io(RemoteOp::FRead, 32 + data.len() as u64);
                 self.remote_round_trip(32, data.len() as u64);
                 self.write_faulting(ctx, buf, &data)?;
                 ctx.clock.charge(ctx.cpi.io_char / 4 * data.len() as u64);
@@ -945,7 +1178,6 @@ impl Host for ServerBridge<'_> {
                 Ok(Some(RtVal::I(items as i64)))
             }
             RFWrite => {
-                self.stat.remote_io_calls += 1;
                 self.account_waiting(ctx.clock.cycles);
                 let (buf, size, count, fd) = (
                     args[0].as_addr(),
@@ -961,15 +1193,25 @@ impl Host for ServerBridge<'_> {
                 } else {
                     n as u64
                 };
-                let d = self.channel.transfer(
-                    self.wall(),
+                if self.cfg.compress {
+                    self.obs.record(
+                        self.wall(),
+                        EventKind::Compression {
+                            raw_bytes: n as u64,
+                            wire_bytes: wire,
+                            decompress_s: 0.0,
+                        },
+                    );
+                }
+                self.note_remote_io(RemoteOp::FWrite, n as u64);
+                self.send(
                     Direction::ServerToMobile,
                     MsgKind::RemoteIo,
                     n as u64,
                     wire,
+                    CostLane::RemoteIo,
+                    PowerState::Receive,
                 );
-                self.timeline.push(PowerState::Receive, d);
-                *self.remote_io_s += d;
                 let Some(written) = self.mobile_env.fs_mut().write(fd, &data) else {
                     return Ok(Some(RtVal::I(0)));
                 };
@@ -992,6 +1234,7 @@ impl Host for ServerBridge<'_> {
 mod tests {
     use super::*;
     use crate::compiler::Offloader;
+    use offload_obs::TraceCollector;
 
     /// A crunch task that reads a mobile-initialized global array and
     /// writes results back — so the UVA protocol (prefetch, copy-on-
@@ -1021,7 +1264,11 @@ mod tests {
         let app = Offloader::new()
             .compile_source(HEAVY, "heavy", &WorkloadInput::from_stdin("3000\n"))
             .unwrap();
-        assert!(app.plan.task_by_name("crunch").is_some(), "{:?}", app.plan.estimates);
+        assert!(
+            app.plan.task_by_name("crunch").is_some(),
+            "{:?}",
+            app.plan.estimates
+        );
         app
     }
 
@@ -1030,7 +1277,9 @@ mod tests {
         let app = compiled();
         let input = WorkloadInput::from_stdin("5000\n");
         let local = app.run_local(&input).unwrap();
-        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        let off = app
+            .run_offloaded(&input, &SessionConfig::fast_network())
+            .unwrap();
         assert_eq!(local.console, off.console);
         assert!(off.offloads_performed >= 1);
     }
@@ -1040,7 +1289,9 @@ mod tests {
         let app = compiled();
         let input = WorkloadInput::from_stdin("5000\n");
         let local = app.run_local(&input).unwrap();
-        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        let off = app
+            .run_offloaded(&input, &SessionConfig::fast_network())
+            .unwrap();
         assert!(
             off.total_seconds < local.total_seconds,
             "offload {} vs local {}",
@@ -1063,7 +1314,10 @@ mod tests {
         let mut cfg = SessionConfig::fast_network();
         cfg.prefetch = false; // force demand faults
         let off = app.run_offloaded(&input, &cfg).unwrap();
-        assert!(off.demand_page_fetches > 0, "without prefetch, pages fault in");
+        assert!(
+            off.demand_page_fetches > 0,
+            "without prefetch, pages fault in"
+        );
         assert!(off.dirty_pages_written_back > 0, "results go home");
         assert_eq!(off.prefetched_pages, 0);
     }
@@ -1072,7 +1326,9 @@ mod tests {
     fn prefetch_reduces_demand_fetches() {
         let app = compiled();
         let input = WorkloadInput::from_stdin("4000\n");
-        let with = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        let with = app
+            .run_offloaded(&input, &SessionConfig::fast_network())
+            .unwrap();
         let mut cfg = SessionConfig::fast_network();
         cfg.prefetch = false;
         let without = app.run_offloaded(&input, &cfg).unwrap();
@@ -1117,7 +1373,9 @@ mod tests {
         assert!(app.plan.task_by_name("noisy").is_some());
         let input = WorkloadInput::from_stdin("400\n");
         let local = app.run_local(&input).unwrap();
-        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        let off = app
+            .run_offloaded(&input, &SessionConfig::fast_network())
+            .unwrap();
         assert_eq!(local.console, off.console);
         assert!(off.remote_io_calls >= 1);
     }
@@ -1147,10 +1405,16 @@ mod tests {
         let app = Offloader::new()
             .compile_source(src, "shared", &WorkloadInput::from_stdin("800\n"))
             .unwrap();
-        assert!(app.plan.task_by_name("process").is_some(), "{:?}", app.plan.estimates);
+        assert!(
+            app.plan.task_by_name("process").is_some(),
+            "{:?}",
+            app.plan.estimates
+        );
         let input = WorkloadInput::from_stdin("1200\n");
         let local = app.run_local(&input).unwrap();
-        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        let off = app
+            .run_offloaded(&input, &SessionConfig::fast_network())
+            .unwrap();
         assert_eq!(local.console, off.console, "heap results must write back");
         assert!(off.dirty_pages_written_back > 0);
     }
@@ -1162,8 +1426,41 @@ mod tests {
         let mut slow_cfg = SessionConfig::slow_network();
         slow_cfg.dynamic_estimation = false; // force the offload through
         let slow = app.run_offloaded(&input, &slow_cfg).unwrap();
-        let fast = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        let fast = app
+            .run_offloaded(&input, &SessionConfig::fast_network())
+            .unwrap();
         assert!(slow.total_seconds > fast.total_seconds);
         assert!(slow.breakdown.communication_s > fast.breakdown.communication_s);
+    }
+
+    #[test]
+    fn traced_run_equals_untraced_run() {
+        // Instrumentation must be a pure observer: a traced run and the
+        // default no-op run produce identical reports.
+        let app = compiled();
+        let input = WorkloadInput::from_stdin("4000\n");
+        let plain = app
+            .run_offloaded(&input, &SessionConfig::fast_network())
+            .unwrap();
+        let mut obs = TraceCollector::new();
+        let traced = crate::runtime::run_offloaded_traced(
+            &app,
+            &input,
+            &SessionConfig::fast_network(),
+            &mut obs,
+        )
+        .unwrap();
+        assert_eq!(plain.console, traced.console);
+        assert_eq!(
+            plain.total_seconds.to_bits(),
+            traced.total_seconds.to_bits()
+        );
+        assert_eq!(plain.breakdown, traced.breakdown);
+        assert!(!obs.is_empty(), "tracing recorded events");
+        assert!(
+            !traced.metrics.is_empty(),
+            "metrics snapshot rides on the report"
+        );
+        assert!(plain.metrics.is_empty(), "noop path keeps the report lean");
     }
 }

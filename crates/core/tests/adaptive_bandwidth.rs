@@ -36,7 +36,11 @@ int main() {
 
 fn compiled() -> native_offloader::CompiledApp {
     Offloader::new()
-        .compile_source(MULTI, "multi", &WorkloadInput::from_stdin("9000 3\n1\n2\n3\n"))
+        .compile_source(
+            MULTI,
+            "multi",
+            &WorkloadInput::from_stdin("9000 3\n1\n2\n3\n"),
+        )
         .unwrap()
 }
 
@@ -54,7 +58,11 @@ fn satellite() -> Link {
 #[test]
 fn adaptive_estimator_learns_to_refuse_on_a_deceptive_link() {
     let app = compiled();
-    assert!(app.plan.task_by_name("think").is_some(), "{:#?}", app.plan.estimates);
+    assert!(
+        app.plan.task_by_name("think").is_some(),
+        "{:#?}",
+        app.plan.estimates
+    );
     let input = eval_input();
 
     let naive = app
@@ -65,7 +73,10 @@ fn adaptive_estimator_learns_to_refuse_on_a_deceptive_link() {
     let adaptive = app.run_offloaded(&input, &cfg).unwrap();
 
     assert_eq!(naive.console, adaptive.console, "behaviour must not change");
-    assert_eq!(naive.offloads_performed, 3, "nominal 500 Mbps looks great on paper");
+    assert_eq!(
+        naive.offloads_performed, 3,
+        "nominal 500 Mbps looks great on paper"
+    );
     assert!(
         adaptive.offloads_performed < naive.offloads_performed,
         "the adaptive estimator must back off after observing the latency: {} vs {}",
@@ -84,7 +95,9 @@ fn adaptive_estimator_learns_to_refuse_on_a_deceptive_link() {
 fn adaptive_estimator_keeps_offloading_on_honest_links() {
     let app = compiled();
     let input = eval_input();
-    let plain = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+    let plain = app
+        .run_offloaded(&input, &SessionConfig::fast_network())
+        .unwrap();
     let mut cfg = SessionConfig::fast_network();
     cfg.adaptive_bandwidth = true;
     let adaptive = app.run_offloaded(&input, &cfg).unwrap();
@@ -105,8 +118,12 @@ fn cloudlet_beats_the_distant_fast_network_for_chatty_workloads() {
     let w = offload_workloads::by_short_name("gobmk").unwrap();
     let app = w.compile().unwrap();
     let input = (w.eval_input)();
-    let wan = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
-    let nearby = app.run_offloaded(&input, &SessionConfig::cloudlet()).unwrap();
+    let wan = app
+        .run_offloaded(&input, &SessionConfig::fast_network())
+        .unwrap();
+    let nearby = app
+        .run_offloaded(&input, &SessionConfig::cloudlet())
+        .unwrap();
     assert_eq!(wan.console, nearby.console);
     assert!(
         nearby.total_seconds < wan.total_seconds,

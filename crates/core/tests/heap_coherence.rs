@@ -38,12 +38,22 @@ int main() {
 #[test]
 fn server_allocations_survive_and_free_on_mobile() {
     let app = Offloader::new()
-        .compile_source(SRC, "heapcoherence", &WorkloadInput::from_stdin("3 2\n0\n0\n"))
+        .compile_source(
+            SRC,
+            "heapcoherence",
+            &WorkloadInput::from_stdin("3 2\n0\n0\n"),
+        )
         .unwrap();
-    assert!(app.plan.task_by_name("build").is_some(), "{:#?}", app.plan.estimates);
+    assert!(
+        app.plan.task_by_name("build").is_some(),
+        "{:#?}",
+        app.plan.estimates
+    );
     let input = WorkloadInput::from_stdin("5 3\n0\n0\n0\n");
     let local = app.run_local(&input).unwrap();
-    let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+    let off = app
+        .run_offloaded(&input, &SessionConfig::fast_network())
+        .unwrap();
     assert_eq!(local.console, off.console);
     assert_eq!(off.offloads_performed, 3, "every build() must offload");
     // The server-side allocations' pages came home as dirty pages.
@@ -55,12 +65,18 @@ fn repeated_offloads_do_not_leak_the_unified_arena() {
     // Alloc/free balance holds across many offloads; a leak in the shared
     // allocator would eventually exhaust the arena and error.
     let app = Offloader::new()
-        .compile_source(SRC, "heapcoherence", &WorkloadInput::from_stdin("3 2\n0\n0\n"))
+        .compile_source(
+            SRC,
+            "heapcoherence",
+            &WorkloadInput::from_stdin("3 2\n0\n0\n"),
+        )
         .unwrap();
     let stdin = format!("7 8\n{}", "0\n".repeat(8));
     let input = WorkloadInput::from_stdin(stdin);
     let local = app.run_local(&input).unwrap();
-    let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+    let off = app
+        .run_offloaded(&input, &SessionConfig::fast_network())
+        .unwrap();
     assert_eq!(local.console, off.console);
     assert_eq!(off.offloads_performed, 8);
 }

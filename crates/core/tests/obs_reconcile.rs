@@ -1,0 +1,96 @@
+//! Trace/report reconciliation on real miniatures: everything the
+//! `RunReport` counts must be re-derivable from the observability event
+//! stream — same counters exactly, same Fig. 7 lanes bit-for-bit.
+//!
+//! One compute-heavy program (456.hmmer) and one traffic-heavy program
+//! (164.gzip) carry the check; the offload is forced (dynamic estimation
+//! off) so both exercise the full session life-cycle: prefetch, demand
+//! faults, remote I/O, fn-ptr translation, dirty write-back.
+
+use native_offloader::runtime::derive::{check_reconciliation, derive_run};
+use native_offloader::SessionConfig;
+use offload_obs::TraceCollector;
+use offload_workloads::by_short_name;
+
+fn traced_forced_run(short: &str) -> (TraceCollector, native_offloader::RunReport, SessionConfig) {
+    let w = by_short_name(short).expect("workload exists");
+    let app = w.compile().expect("compiles");
+    let mut cfg = SessionConfig::fast_network();
+    cfg.dynamic_estimation = false; // force the full offload session
+    let mut obs = TraceCollector::new();
+    let rep = app
+        .run_offloaded_traced(&(w.eval_input)(), &cfg, &mut obs)
+        .expect("runs");
+    assert_eq!(obs.dropped(), 0, "ring must hold the whole run");
+    (obs, rep, cfg)
+}
+
+fn assert_counts_match(short: &str) {
+    let (obs, rep, cfg) = traced_forced_run(short);
+    let d = derive_run(&obs.records(), &cfg);
+
+    // The event-derived counters equal the legacy RunReport counters.
+    assert_eq!(
+        d.demand_page_fetches, rep.demand_page_fetches,
+        "{short}: demand faults"
+    );
+    assert_eq!(
+        d.dirty_pages_written_back, rep.dirty_pages_written_back,
+        "{short}: dirty write-back"
+    );
+    assert_eq!(
+        d.fn_map_translations, rep.fn_map_translations,
+        "{short}: fn-ptr translations"
+    );
+    assert_eq!(
+        d.remote_io_calls, rep.remote_io_calls,
+        "{short}: remote I/O"
+    );
+    assert_eq!(
+        d.offloads_performed, rep.offloads_performed,
+        "{short}: offloads"
+    );
+    assert_eq!(
+        d.prefetched_pages, rep.prefetched_pages,
+        "{short}: prefetched pages"
+    );
+
+    // The Fig. 7 lanes account for the whole run.
+    let total = rep.breakdown.total();
+    assert!(
+        (total - rep.total_seconds).abs() <= 1e-9 * rep.total_seconds.max(1e-9),
+        "{short}: breakdown {total} vs total {t}",
+        t = rep.total_seconds
+    );
+
+    // And the full bit-identity check passes.
+    check_reconciliation(&obs.records(), &rep, &cfg).expect("bit-identical derivation");
+}
+
+#[test]
+fn compute_heavy_miniature_reconciles() {
+    assert_counts_match("hmmer");
+}
+
+#[test]
+fn traffic_heavy_miniature_reconciles() {
+    assert_counts_match("gzip");
+}
+
+/// The session forcibly offloads nothing when the estimator refuses; the
+/// trace still reconciles (decision events with `accepted: false`, no
+/// offload spans).
+#[test]
+fn refused_run_reconciles_too() {
+    let w = by_short_name("gzip").expect("workload exists");
+    let app = w.compile().expect("compiles");
+    let cfg = SessionConfig::slow_network(); // gzip is refused on slow
+    let mut obs = TraceCollector::new();
+    let rep = app
+        .run_offloaded_traced(&(w.eval_input)(), &cfg, &mut obs)
+        .expect("runs");
+    assert_eq!(obs.dropped(), 0);
+    let d = derive_run(&obs.records(), &cfg);
+    assert_eq!(d.offloads_refused, rep.offloads_refused);
+    check_reconciliation(&obs.records(), &rep, &cfg).expect("bit-identical derivation");
+}

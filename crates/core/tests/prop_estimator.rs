@@ -1,68 +1,100 @@
-//! Property tests for Equation 1 and the dynamic-estimation decision
+//! Fuzz tests for Equation 1 and the dynamic-estimation decision
 //! boundary — the logic that decides whether a user's task leaves the
-//! phone at all.
+//! phone at all. Inputs come from the workspace's deterministic
+//! splitmix64 stream ([`offload_workloads::rng`]): identical cases every
+//! run, failures reproduce by rerunning the test.
 
 use native_offloader::compiler::estimate::{equation1, EstimateInput};
 use offload_net::Link;
-use proptest::prelude::*;
+use offload_workloads::rng::SplitMix64;
 
-fn input() -> impl Strategy<Value = EstimateInput> {
-    (
-        0.001f64..100.0,
-        1u64..100,
-        0u64..1_000_000_000,
-        1.5f64..20.0,
-        1_000_000u64..1_000_000_000,
-    )
-        .prop_map(|(tm_s, invocations, mem_bytes, ratio, bandwidth_bps)| EstimateInput {
-            tm_s,
-            invocations,
-            mem_bytes,
-            ratio,
-            bandwidth_bps,
-        })
+/// A random valid estimator input (same ranges as the original
+/// proptest strategy).
+fn gen_input(rng: &mut SplitMix64) -> EstimateInput {
+    EstimateInput {
+        tm_s: 0.001 + rng.unit_f64() * (100.0 - 0.001),
+        invocations: rng.range(1, 100),
+        mem_bytes: rng.below(1_000_000_000),
+        ratio: 1.5 + rng.unit_f64() * 18.5,
+        bandwidth_bps: rng.range(1_000_000, 1_000_000_000),
+    }
 }
 
-proptest! {
-    /// Tg decomposes exactly: Tg = Tideal − Tc, with both parts
-    /// non-negative for valid inputs.
-    #[test]
-    fn decomposition_holds(i in input()) {
+/// Tg decomposes exactly: Tg = Tideal − Tc, with both parts non-negative
+/// for valid inputs.
+#[test]
+fn decomposition_holds() {
+    let mut rng = SplitMix64::new(0xDEC0);
+    for _ in 0..256 {
+        let i = gen_input(&mut rng);
         let e = equation1(i);
-        prop_assert!((e.t_gain_s - (e.t_ideal_s - e.t_comm_s)).abs() < 1e-9);
-        prop_assert!(e.t_ideal_s >= 0.0);
-        prop_assert!(e.t_comm_s >= 0.0);
+        assert!((e.t_gain_s - (e.t_ideal_s - e.t_comm_s)).abs() < 1e-9);
+        assert!(e.t_ideal_s >= 0.0);
+        assert!(e.t_comm_s >= 0.0);
     }
+}
 
-    /// More bandwidth never hurts: Tg is monotone non-decreasing in BW.
-    #[test]
-    fn monotone_in_bandwidth(i in input(), extra in 1u64..1_000_000_000) {
-        let better = EstimateInput { bandwidth_bps: i.bandwidth_bps.saturating_add(extra), ..i };
-        prop_assert!(equation1(better).t_gain_s >= equation1(i).t_gain_s - 1e-12);
+/// More bandwidth never hurts: Tg is monotone non-decreasing in BW.
+#[test]
+fn monotone_in_bandwidth() {
+    let mut rng = SplitMix64::new(0xBA2D);
+    for _ in 0..256 {
+        let i = gen_input(&mut rng);
+        let extra = rng.range(1, 1_000_000_000);
+        let better = EstimateInput {
+            bandwidth_bps: i.bandwidth_bps.saturating_add(extra),
+            ..i
+        };
+        assert!(equation1(better).t_gain_s >= equation1(i).t_gain_s - 1e-12);
     }
+}
 
-    /// A faster server never hurts: Tg is monotone in R.
-    #[test]
-    fn monotone_in_ratio(i in input(), extra in 0.1f64..50.0) {
-        let better = EstimateInput { ratio: i.ratio + extra, ..i };
-        prop_assert!(equation1(better).t_gain_s >= equation1(i).t_gain_s - 1e-12);
+/// A faster server never hurts: Tg is monotone in R.
+#[test]
+fn monotone_in_ratio() {
+    let mut rng = SplitMix64::new(0x4A71);
+    for _ in 0..256 {
+        let i = gen_input(&mut rng);
+        let extra = 0.1 + rng.unit_f64() * 49.9;
+        let better = EstimateInput {
+            ratio: i.ratio + extra,
+            ..i
+        };
+        assert!(equation1(better).t_gain_s >= equation1(i).t_gain_s - 1e-12);
     }
+}
 
-    /// More memory or more invocations never helps.
-    #[test]
-    fn monotone_against_traffic(i in input(), extra_mem in 1u64..1_000_000_000, extra_invo in 1u64..100) {
-        let heavier = EstimateInput { mem_bytes: i.mem_bytes + extra_mem, ..i };
-        prop_assert!(equation1(heavier).t_gain_s <= equation1(i).t_gain_s + 1e-12);
-        let chattier = EstimateInput { invocations: i.invocations + extra_invo, ..i };
-        prop_assert!(equation1(chattier).t_gain_s <= equation1(i).t_gain_s + 1e-12);
+/// More memory or more invocations never helps.
+#[test]
+fn monotone_against_traffic() {
+    let mut rng = SplitMix64::new(0x72AF);
+    for _ in 0..256 {
+        let i = gen_input(&mut rng);
+        let extra_mem = rng.range(1, 1_000_000_000);
+        let extra_invo = rng.range(1, 100);
+        let heavier = EstimateInput {
+            mem_bytes: i.mem_bytes + extra_mem,
+            ..i
+        };
+        assert!(equation1(heavier).t_gain_s <= equation1(i).t_gain_s + 1e-12);
+        let chattier = EstimateInput {
+            invocations: i.invocations + extra_invo,
+            ..i
+        };
+        assert!(equation1(chattier).t_gain_s <= equation1(i).t_gain_s + 1e-12);
     }
+}
 
-    /// The runtime decision agrees with raw Equation 1 on every input:
-    /// there is exactly one decision boundary and it sits at Tg = 0.
-    #[test]
-    fn decision_matches_equation(tm_ms in 1u64..1_000, mem_kb in 1u64..1_000_000) {
-        use native_offloader::OffloadTask;
-        use offload_ir::{FuncId, Type};
+/// The runtime decision agrees with raw Equation 1 on every input: there
+/// is exactly one decision boundary and it sits at Tg = 0.
+#[test]
+fn decision_matches_equation() {
+    use native_offloader::OffloadTask;
+    use offload_ir::{FuncId, Type};
+    let mut rng = SplitMix64::new(0xDEC1DE);
+    for _ in 0..256 {
+        let tm_ms = rng.range(1, 1_000);
+        let mem_kb = rng.range(1, 1_000_000);
         let task = OffloadTask {
             id: 1,
             dispatcher: FuncId(0),
@@ -76,7 +108,7 @@ proptest! {
         };
         for link in [Link::wifi_802_11n(), Link::wifi_802_11ac()] {
             let (go, est) = native_offloader::runtime::estimator::decide(&task, 6.0, &link);
-            prop_assert_eq!(go, est.t_gain_s > 0.0);
+            assert_eq!(go, est.t_gain_s > 0.0);
         }
     }
 }

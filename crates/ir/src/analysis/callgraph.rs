@@ -49,14 +49,23 @@ impl CallGraph {
             for block in &func.blocks {
                 for inst in &block.insts {
                     match inst {
-                        Inst::Call { callee: Callee::Direct(target), .. } => {
+                        Inst::Call {
+                            callee: Callee::Direct(target),
+                            ..
+                        } => {
                             callees.entry(id).or_default().insert(*target);
                             callers.entry(*target).or_default().insert(id);
                         }
-                        Inst::Call { callee: Callee::Indirect(_), .. } => {
+                        Inst::Call {
+                            callee: Callee::Indirect(_),
+                            ..
+                        } => {
                             has_indirect.insert(id);
                         }
-                        Inst::Const { value: ConstValue::FuncAddr(f), .. } => {
+                        Inst::Const {
+                            value: ConstValue::FuncAddr(f),
+                            ..
+                        } => {
                             address_taken.insert(*f);
                         }
                         _ => {}
@@ -64,7 +73,12 @@ impl CallGraph {
                 }
             }
         }
-        CallGraph { callees, callers, address_taken, has_indirect }
+        CallGraph {
+            callees,
+            callers,
+            address_taken,
+            has_indirect,
+        }
     }
 
     /// Direct callees of `f`.
@@ -210,9 +224,12 @@ mod tests {
         let (mut m, [_, _, _, c, _]) = sample();
         m.define_global(
             "table",
-            Type::Func(Box::new(crate::types::FuncSig { params: vec![], ret: Type::Void }))
-                .ptr_to()
-                .array_of(1),
+            Type::Func(Box::new(crate::types::FuncSig {
+                params: vec![],
+                ret: Type::Void,
+            }))
+            .ptr_to()
+            .array_of(1),
             GlobalInit::Scalars(vec![ConstValue::FuncAddr(c)]),
         );
         let cg = CallGraph::build(&m);

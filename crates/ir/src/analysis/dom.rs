@@ -116,7 +116,12 @@ impl DomTree {
     }
 }
 
-fn intersect(mut a: BlockId, mut b: BlockId, idom: &[Option<BlockId>], rpo_index: &[usize]) -> BlockId {
+fn intersect(
+    mut a: BlockId,
+    mut b: BlockId,
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+) -> BlockId {
     while a != b {
         while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
             a = idom[a.0 as usize].expect("processed block");
@@ -162,7 +167,11 @@ mod tests {
         let e = BlockId(0);
         assert_eq!(dt.idom(BlockId(1)), Some(e));
         assert_eq!(dt.idom(BlockId(2)), Some(e));
-        assert_eq!(dt.idom(BlockId(3)), Some(e), "join dominated by entry, not a branch arm");
+        assert_eq!(
+            dt.idom(BlockId(3)),
+            Some(e),
+            "join dominated by entry, not a branch arm"
+        );
         assert!(dt.dominates(e, BlockId(3)));
         assert!(!dt.dominates(BlockId(1), BlockId(3)));
         assert!(dt.dominates(BlockId(3), BlockId(3)));

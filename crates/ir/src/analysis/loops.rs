@@ -66,7 +66,12 @@ impl LoopForest {
         by_header.sort_by_key(|(_, body)| std::cmp::Reverse(body.len()));
         let mut loops: Vec<Loop> = by_header
             .into_iter()
-            .map(|(header, body)| Loop { header, body, depth: 1, parent: None })
+            .map(|(header, body)| Loop {
+                header,
+                body,
+                depth: 1,
+                parent: None,
+            })
             .collect();
         for i in 0..loops.len() {
             let mut best: Option<usize> = None;
@@ -74,8 +79,8 @@ impl LoopForest {
                 if i == j {
                     continue;
                 }
-                let contains = loops[j].body.is_superset(&loops[i].body)
-                    && loops[j].header != loops[i].header;
+                let contains =
+                    loops[j].body.is_superset(&loops[i].body) && loops[j].header != loops[i].header;
                 if contains {
                     best = match best {
                         None => Some(j),
@@ -177,7 +182,10 @@ mod tests {
         assert!(outer.contains(h2) && outer.contains(latch1) && outer.contains(body));
         assert!(inner.contains(body) && !inner.contains(latch1));
         assert!(!outer.contains(exit));
-        assert_eq!(inner.parent, Some(forest.loops.iter().position(|l| l.header == h1).unwrap()));
+        assert_eq!(
+            inner.parent,
+            Some(forest.loops.iter().position(|l| l.header == h1).unwrap())
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! MiniC front-end and the offload partitioner construct code through it.
 
 use crate::inst::{BinOp, Builtin, Callee, CastKind, CmpOp, Inst, UnOp};
-use crate::module::{BlockId, Block, ConstValue, FuncId, Module, StructId, ValueId};
+use crate::module::{Block, BlockId, ConstValue, FuncId, Module, StructId, ValueId};
 use crate::types::Type;
 
 /// Builds the body of one function inside a [`Module`].
@@ -29,7 +29,11 @@ impl<'m> FunctionBuilder<'m> {
             module.function(func).name
         );
         module.function_mut(func).blocks.push(Block::default());
-        FunctionBuilder { module, func, current: BlockId(0) }
+        FunctionBuilder {
+            module,
+            func,
+            current: BlockId(0),
+        }
     }
 
     /// The function being built.
@@ -50,7 +54,10 @@ impl<'m> FunctionBuilder<'m> {
 
     /// The `i`-th parameter as a register.
     pub fn param(&self, i: usize) -> ValueId {
-        assert!(i < self.module.function(self.func).params.len(), "no parameter {i}");
+        assert!(
+            i < self.module.function(self.func).params.len(),
+            "no parameter {i}"
+        );
         ValueId(i as u32)
     }
 
@@ -139,35 +146,62 @@ impl<'m> FunctionBuilder<'m> {
     pub fn field_addr(&mut self, base: ValueId, sid: StructId, field: u32) -> ValueId {
         let fty = self.module.struct_def(sid).fields[field as usize].clone();
         let dst = self.new_value(fty.ptr_to());
-        self.push(Inst::FieldAddr { dst, base, sid, field });
+        self.push(Inst::FieldAddr {
+            dst,
+            base,
+            sid,
+            field,
+        });
         dst
     }
 
     /// Address of array element `index`.
     pub fn index_addr(&mut self, base: ValueId, elem: Type, index: ValueId) -> ValueId {
         let dst = self.new_value(elem.clone().ptr_to());
-        self.push(Inst::IndexAddr { dst, base, elem, index });
+        self.push(Inst::IndexAddr {
+            dst,
+            base,
+            elem,
+            index,
+        });
         dst
     }
 
     /// Binary operation.
     pub fn bin(&mut self, op: BinOp, ty: Type, lhs: ValueId, rhs: ValueId) -> ValueId {
         let dst = self.new_value(ty.clone());
-        self.push(Inst::Bin { dst, op, ty, lhs, rhs });
+        self.push(Inst::Bin {
+            dst,
+            op,
+            ty,
+            lhs,
+            rhs,
+        });
         dst
     }
 
     /// Unary operation.
     pub fn un(&mut self, op: UnOp, ty: Type, operand: ValueId) -> ValueId {
         let dst = self.new_value(ty.clone());
-        self.push(Inst::Un { dst, op, ty, operand });
+        self.push(Inst::Un {
+            dst,
+            op,
+            ty,
+            operand,
+        });
         dst
     }
 
     /// Comparison (`i32` result).
     pub fn cmp(&mut self, op: CmpOp, ty: Type, lhs: ValueId, rhs: ValueId) -> ValueId {
         let dst = self.new_value(Type::I32);
-        self.push(Inst::Cmp { dst, op, ty, lhs, rhs });
+        self.push(Inst::Cmp {
+            dst,
+            op,
+            ty,
+            lhs,
+            rhs,
+        });
         dst
     }
 
@@ -181,22 +215,51 @@ impl<'m> FunctionBuilder<'m> {
     /// Direct call.
     pub fn call(&mut self, callee: FuncId, args: Vec<ValueId>) -> Option<ValueId> {
         let ret = self.module.function(callee).ret.clone();
-        let dst = if ret == Type::Void { None } else { Some(self.new_value(ret)) };
-        self.push(Inst::Call { dst, callee: Callee::Direct(callee), args });
+        let dst = if ret == Type::Void {
+            None
+        } else {
+            Some(self.new_value(ret))
+        };
+        self.push(Inst::Call {
+            dst,
+            callee: Callee::Direct(callee),
+            args,
+        });
         dst
     }
 
     /// Indirect call through a function pointer with the given return type.
-    pub fn call_indirect(&mut self, ptr: ValueId, ret: Type, args: Vec<ValueId>) -> Option<ValueId> {
-        let dst = if ret == Type::Void { None } else { Some(self.new_value(ret)) };
-        self.push(Inst::Call { dst, callee: Callee::Indirect(ptr), args });
+    pub fn call_indirect(
+        &mut self,
+        ptr: ValueId,
+        ret: Type,
+        args: Vec<ValueId>,
+    ) -> Option<ValueId> {
+        let dst = if ret == Type::Void {
+            None
+        } else {
+            Some(self.new_value(ret))
+        };
+        self.push(Inst::Call {
+            dst,
+            callee: Callee::Indirect(ptr),
+            args,
+        });
         dst
     }
 
     /// Builtin call with an explicit return type (`Void` for none).
     pub fn call_builtin(&mut self, b: Builtin, ret: Type, args: Vec<ValueId>) -> Option<ValueId> {
-        let dst = if ret == Type::Void { None } else { Some(self.new_value(ret)) };
-        self.push(Inst::Call { dst, callee: Callee::Builtin(b), args });
+        let dst = if ret == Type::Void {
+            None
+        } else {
+            Some(self.new_value(ret))
+        };
+        self.push(Inst::Call {
+            dst,
+            callee: Callee::Builtin(b),
+            args,
+        });
         dst
     }
 
@@ -212,7 +275,11 @@ impl<'m> FunctionBuilder<'m> {
 
     /// Conditional branch.
     pub fn cond_br(&mut self, cond: ValueId, then_bb: BlockId, else_bb: BlockId) {
-        self.push(Inst::CondBr { cond, then_bb, else_bb });
+        self.push(Inst::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        });
     }
 
     /// Finish building; returns the function id.

@@ -230,7 +230,10 @@ impl Builtin {
     /// `true` for the remote-I/O builtins themselves.
     pub fn is_remote_io(&self) -> bool {
         use Builtin::*;
-        matches!(self, RPrintf | RPutchar | RFOpen | RFClose | RFRead | RFWrite)
+        matches!(
+            self,
+            RPrintf | RPutchar | RFOpen | RFClose | RFRead | RFWrite
+        )
     }
 
     /// `true` for remote I/O that needs a round trip (inputs).
@@ -502,7 +505,10 @@ pub enum Inst {
 impl Inst {
     /// `true` for instructions that must terminate a block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Ret { .. } | Inst::Br { .. } | Inst::CondBr { .. })
+        matches!(
+            self,
+            Inst::Ret { .. } | Inst::Br { .. } | Inst::CondBr { .. }
+        )
     }
 
     /// The destination register, if the instruction defines one.
@@ -526,7 +532,8 @@ impl Inst {
     /// Append every register this instruction reads to `out`.
     pub fn uses(&self, out: &mut Vec<ValueId>) {
         match self {
-            Inst::Const { .. } | Inst::Alloca { .. } | Inst::Br { .. } | Inst::InlineAsm { .. } => {}
+            Inst::Const { .. } | Inst::Alloca { .. } | Inst::Br { .. } | Inst::InlineAsm { .. } => {
+            }
             Inst::Load { addr, .. } => out.push(*addr),
             Inst::Store { addr, value, .. } => out.extend([*addr, *value]),
             Inst::FieldAddr { base, .. } => out.push(*base),
@@ -555,7 +562,11 @@ mod tests {
     fn terminators() {
         assert!(Inst::Ret { value: None }.is_terminator());
         assert!(Inst::Br { target: BlockId(0) }.is_terminator());
-        assert!(!Inst::Const { dst: ValueId(0), value: ConstValue::I32(0) }.is_terminator());
+        assert!(!Inst::Const {
+            dst: ValueId(0),
+            value: ConstValue::I32(0)
+        }
+        .is_terminator());
     }
 
     #[test]
@@ -587,7 +598,12 @@ mod tests {
 
     #[test]
     fn builtin_names_roundtrip() {
-        for b in [Builtin::Malloc, Builtin::Printf, Builtin::Sqrt, Builtin::FRead] {
+        for b in [
+            Builtin::Malloc,
+            Builtin::Printf,
+            Builtin::Sqrt,
+            Builtin::FRead,
+        ] {
             assert_eq!(Builtin::from_name(b.name()), Some(b));
         }
         assert_eq!(Builtin::from_name("nope"), None);
@@ -598,7 +614,11 @@ mod tests {
     #[test]
     fn uses_and_dst() {
         let mut uses = Vec::new();
-        let inst = Inst::Store { ty: Type::I32, addr: ValueId(1), value: ValueId(2) };
+        let inst = Inst::Store {
+            ty: Type::I32,
+            addr: ValueId(1),
+            value: ValueId(2),
+        };
         inst.uses(&mut uses);
         assert_eq!(uses, vec![ValueId(1), ValueId(2)]);
         assert_eq!(inst.dst(), None);

@@ -175,7 +175,11 @@ impl DataLayout {
             offset += fs;
             align = align.max(fa);
         }
-        StructLayout { offsets, size: round_up(offset.max(1), align), align }
+        StructLayout {
+            offsets,
+            size: round_up(offset.max(1), align),
+            align,
+        }
     }
 
     /// Compute layouts for every struct in the module at once.
@@ -261,7 +265,10 @@ mod tests {
     #[test]
     fn empty_struct_has_nonzero_size() {
         let mut m = Module::new("t");
-        let id = m.define_struct(StructDef { name: "E".into(), fields: vec![] });
+        let id = m.define_struct(StructDef {
+            name: "E".into(),
+            fields: vec![],
+        });
         let l = TargetAbi::MobileArm32.data_layout().struct_layout(id, &m);
         assert_eq!(l.size, 1);
     }

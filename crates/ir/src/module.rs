@@ -182,7 +182,9 @@ impl Function {
     pub fn successors(&self, bb: BlockId) -> Vec<BlockId> {
         match self.blocks[bb.0 as usize].insts.last() {
             Some(Inst::Br { target }) => vec![*target],
-            Some(Inst::CondBr { then_bb, else_bb, .. }) => vec![*then_bb, *else_bb],
+            Some(Inst::CondBr {
+                then_bb, else_bb, ..
+            }) => vec![*then_bb, *else_bb],
             _ => vec![],
         }
     }
@@ -208,7 +210,10 @@ pub struct Module {
 impl Module {
     /// Create an empty module.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), ..Default::default() }
+        Module {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Define a struct and return its id.
@@ -243,8 +248,18 @@ impl Module {
     }
 
     /// Define a global variable and return its id.
-    pub fn define_global(&mut self, name: impl Into<String>, ty: Type, init: GlobalInit) -> GlobalId {
-        self.globals.push(Global { name: name.into(), ty, init, unified: false });
+    pub fn define_global(
+        &mut self,
+        name: impl Into<String>,
+        ty: Type,
+        init: GlobalInit,
+    ) -> GlobalId {
+        self.globals.push(Global {
+            name: name.into(),
+            ty,
+            init,
+            unified: false,
+        });
         GlobalId(self.globals.len() as u32 - 1)
     }
 
@@ -281,7 +296,12 @@ impl Module {
 
     /// Declare a function (body added later through the builder) and
     /// return its id.
-    pub fn declare_function(&mut self, name: impl Into<String>, params: Vec<Type>, ret: Type) -> FuncId {
+    pub fn declare_function(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<Type>,
+        ret: Type,
+    ) -> FuncId {
         let value_types = params.clone();
         self.functions.push(Function {
             name: name.into(),
@@ -363,7 +383,10 @@ mod tests {
     #[test]
     fn define_and_lookup() {
         let mut m = Module::new("app");
-        let s = m.define_struct(StructDef { name: "S".into(), fields: vec![Type::I32] });
+        let s = m.define_struct(StructDef {
+            name: "S".into(),
+            fields: vec![Type::I32],
+        });
         assert_eq!(m.struct_def(s).name, "S");
         let g = m.define_global("counter", Type::I32, GlobalInit::Zeroed);
         assert_eq!(m.global(g).name, "counter");
@@ -388,7 +411,9 @@ mod tests {
         let f = m.declare_function("g", vec![Type::I32], Type::Void);
         {
             let func = m.function_mut(f);
-            func.blocks.push(Block { insts: vec![Inst::Ret { value: None }] });
+            func.blocks.push(Block {
+                insts: vec![Inst::Ret { value: None }],
+            });
         }
         assert!(!m.function(f).is_declaration());
         m.strip_bodies(&[f]);

@@ -108,7 +108,13 @@ fn fold_constants(func: &mut Function) -> usize {
     for block in &mut func.blocks {
         for inst in &mut block.insts {
             let replacement: Option<(ValueId, ConstValue)> = match inst {
-                Inst::Bin { dst, op, ty, lhs, rhs } => {
+                Inst::Bin {
+                    dst,
+                    op,
+                    ty,
+                    lhs,
+                    rhs,
+                } => {
                     match (env.get(lhs), env.get(rhs)) {
                         (Some(a), Some(b)) if ty.is_int() => {
                             let (a, b) = match (as_int(a), as_int(b)) {
@@ -147,7 +153,12 @@ fn fold_constants(func: &mut Function) -> usize {
                         _ => None,
                     }
                 }
-                Inst::Un { dst, op, ty, operand } => match (env.get(operand), op) {
+                Inst::Un {
+                    dst,
+                    op,
+                    ty,
+                    operand,
+                } => match (env.get(operand), op) {
                     (Some(v), UnOp::Neg) if ty.is_int() => as_int(v)
                         .and_then(|x| make_int(ty, truncate(ty, x.wrapping_neg())))
                         .map(|c| (*dst, c)),
@@ -159,7 +170,13 @@ fn fold_constants(func: &mut Function) -> usize {
                         .map(|c| (*dst, c)),
                     _ => None,
                 },
-                Inst::Cmp { dst, op, ty, lhs, rhs } if ty.is_int() => {
+                Inst::Cmp {
+                    dst,
+                    op,
+                    ty,
+                    lhs,
+                    rhs,
+                } if ty.is_int() => {
                     match (env.get(lhs).and_then(as_int), env.get(rhs).and_then(as_int)) {
                         (Some(a), Some(b)) => {
                             let v = match op {
@@ -178,12 +195,10 @@ fn fold_constants(func: &mut Function) -> usize {
                 Inst::Cast { dst, kind, to, src } => {
                     use crate::inst::CastKind::*;
                     match (env.get(src), kind) {
-                        (Some(v), Sext | Trunc) => {
-                            as_int(v).and_then(|x| make_int(to, truncate(to, x))).map(|c| (*dst, c))
-                        }
-                        (Some(v), SiToF) => {
-                            as_int(v).map(|x| (*dst, ConstValue::F64(x as f64)))
-                        }
+                        (Some(v), Sext | Trunc) => as_int(v)
+                            .and_then(|x| make_int(to, truncate(to, x)))
+                            .map(|c| (*dst, c)),
+                        (Some(v), SiToF) => as_int(v).map(|x| (*dst, ConstValue::F64(x as f64))),
                         _ => None,
                     }
                 }
@@ -222,7 +237,12 @@ fn simplify_branches(func: &mut Function) -> usize {
     }
     let mut changed = 0usize;
     for block in &mut func.blocks {
-        if let Some(Inst::CondBr { cond, then_bb, else_bb }) = block.insts.last() {
+        if let Some(Inst::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        }) = block.insts.last()
+        {
             if let Some(c) = env.get(cond) {
                 let target = if *c != 0 { *then_bb } else { *else_bb };
                 *block.insts.last_mut().expect("nonempty") = Inst::Br { target };
@@ -270,7 +290,12 @@ fn eliminate_dead(func: &mut Function) -> usize {
             }
             // Division can trap; keep it unless operands are known safe
             // (folding already turned safe ones into constants).
-            if let Inst::Bin { op: BinOp::Div | BinOp::Rem, ty, .. } = inst {
+            if let Inst::Bin {
+                op: BinOp::Div | BinOp::Rem,
+                ty,
+                ..
+            } = inst
+            {
                 if ty.is_int() {
                     return true;
                 }
@@ -294,9 +319,10 @@ fn eliminate_dead(func: &mut Function) -> usize {
 /// `true` if the module still calls `callee` anywhere (test helper).
 pub fn calls(module: &Module, callee: FuncId) -> bool {
     module.iter_functions().any(|(_, f)| {
-        f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
-            matches!(i, Inst::Call { callee: Callee::Direct(t), .. } if *t == callee)
-        })
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Call { callee: Callee::Direct(t), .. } if *t == callee))
     })
 }
 

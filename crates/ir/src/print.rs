@@ -40,7 +40,14 @@ impl fmt::Display for Module {
             }
         }
         for (id, func) in self.iter_functions() {
-            write!(f, "\n{}", DisplayFunc { id_str: id.to_string(), func })?;
+            write!(
+                f,
+                "\n{}",
+                DisplayFunc {
+                    id_str: id.to_string(),
+                    func
+                }
+            )?;
         }
         Ok(())
     }
@@ -105,17 +112,44 @@ impl fmt::Display for DisplayInst<'_> {
             Inst::Alloca { dst, ty, count } => write!(f, "{dst} = alloca {ty} x {count}"),
             Inst::Load { dst, ty, addr } => write!(f, "{dst} = load {ty}, {addr}"),
             Inst::Store { ty, addr, value } => write!(f, "store {ty} {value}, {addr}"),
-            Inst::FieldAddr { dst, base, sid, field } => {
+            Inst::FieldAddr {
+                dst,
+                base,
+                sid,
+                field,
+            } => {
                 write!(f, "{dst} = fieldaddr {sid}.{field}, {base}")
             }
-            Inst::IndexAddr { dst, base, elem, index } => {
+            Inst::IndexAddr {
+                dst,
+                base,
+                elem,
+                index,
+            } => {
                 write!(f, "{dst} = indexaddr {elem}, {base}[{index}]")
             }
-            Inst::Bin { dst, op, ty, lhs, rhs } => {
+            Inst::Bin {
+                dst,
+                op,
+                ty,
+                lhs,
+                rhs,
+            } => {
                 write!(f, "{dst} = {op:?} {ty} {lhs}, {rhs}")
             }
-            Inst::Un { dst, op, ty, operand } => write!(f, "{dst} = {op:?} {ty} {operand}"),
-            Inst::Cmp { dst, op, ty, lhs, rhs } => {
+            Inst::Un {
+                dst,
+                op,
+                ty,
+                operand,
+            } => write!(f, "{dst} = {op:?} {ty} {operand}"),
+            Inst::Cmp {
+                dst,
+                op,
+                ty,
+                lhs,
+                rhs,
+            } => {
                 write!(f, "{dst} = cmp {op:?} {ty} {lhs}, {rhs}")
             }
             Inst::Cast { dst, kind, to, src } => write!(f, "{dst} = {kind:?} {src} to {to}"),
@@ -140,7 +174,11 @@ impl fmt::Display for DisplayInst<'_> {
             Inst::Ret { value: Some(v) } => write!(f, "ret {v}"),
             Inst::Ret { value: None } => write!(f, "ret void"),
             Inst::Br { target } => write!(f, "br {target}"),
-            Inst::CondBr { cond, then_bb, else_bb } => {
+            Inst::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 write!(f, "condbr {cond}, {then_bb}, {else_bb}")
             }
             Inst::InlineAsm { text } => write!(f, "asm \"{text}\""),
@@ -161,7 +199,10 @@ mod tests {
     #[test]
     fn prints_structs_globals_functions() {
         let mut m = Module::new("demo");
-        m.define_struct(StructDef { name: "Move".into(), fields: vec![Type::I8, Type::F64] });
+        m.define_struct(StructDef {
+            name: "Move".into(),
+            fields: vec![Type::I8, Type::F64],
+        });
         m.define_global("board", Type::I32.array_of(4), GlobalInit::Zeroed);
         let f = m.declare_function("twice", vec![Type::I32], Type::I32);
         let mut b = FunctionBuilder::new(&mut m, f);

@@ -173,7 +173,10 @@ mod tests {
         assert_eq!(Type::I32.to_string(), "i32");
         assert_eq!(Type::I8.ptr_to().to_string(), "i8*");
         assert_eq!(Type::I16.array_of(3).to_string(), "[3 x i16]");
-        let sig = FuncSig { params: vec![Type::I32], ret: Type::F64 };
+        let sig = FuncSig {
+            params: vec![Type::I32],
+            ret: Type::F64,
+        };
         assert_eq!(Type::Func(Box::new(sig)).to_string(), "f64 (i32)");
     }
 }

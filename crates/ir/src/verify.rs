@@ -46,11 +46,17 @@ pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
         if func.is_declaration() {
             continue;
         }
-        verify_function(module, id, func).map_err(|message| VerifyError { func: Some(id), message })?;
+        verify_function(module, id, func).map_err(|message| VerifyError {
+            func: Some(id),
+            message,
+        })?;
     }
     if let Some(entry) = module.entry {
         if entry.0 as usize >= module.function_count() {
-            return Err(VerifyError { func: None, message: format!("entry {entry} out of range") });
+            return Err(VerifyError {
+                func: None,
+                message: format!("entry {entry} out of range"),
+            });
         }
     }
     Ok(())
@@ -87,11 +93,12 @@ fn verify_function(module: &Module, _id: FuncId, func: &Function) -> Result<(), 
                 check_value(d)?;
             }
             match inst {
-                Inst::Br { target }
-                    if target.0 as usize >= nblocks => {
-                        return Err(format!("block {bb}: branch to missing block {target}"));
-                    }
-                Inst::CondBr { then_bb, else_bb, .. } => {
+                Inst::Br { target } if target.0 as usize >= nblocks => {
+                    return Err(format!("block {bb}: branch to missing block {target}"));
+                }
+                Inst::CondBr {
+                    then_bb, else_bb, ..
+                } => {
                     for t in [then_bb, else_bb] {
                         if t.0 as usize >= nblocks {
                             return Err(format!("block {bb}: branch to missing block {t}"));
@@ -108,16 +115,22 @@ fn verify_function(module: &Module, _id: FuncId, func: &Function) -> Result<(), 
                 }
                 Inst::Const { value, .. } => match value {
                     crate::module::ConstValue::GlobalAddr(g)
-                        if g.0 as usize >= module.global_count() => {
-                            return Err(format!("block {bb}: missing global {g}"));
-                        }
+                        if g.0 as usize >= module.global_count() =>
+                    {
+                        return Err(format!("block {bb}: missing global {g}"));
+                    }
                     crate::module::ConstValue::FuncAddr(f)
-                        if f.0 as usize >= module.function_count() => {
-                            return Err(format!("block {bb}: missing function {f}"));
-                        }
+                        if f.0 as usize >= module.function_count() =>
+                    {
+                        return Err(format!("block {bb}: missing function {f}"));
+                    }
                     _ => {}
                 },
-                Inst::Call { callee: Callee::Direct(f), args, dst } => {
+                Inst::Call {
+                    callee: Callee::Direct(f),
+                    args,
+                    dst,
+                } => {
                     if f.0 as usize >= module.function_count() {
                         return Err(format!("block {bb}: call to missing function {f}"));
                     }
@@ -140,7 +153,10 @@ fn verify_function(module: &Module, _id: FuncId, func: &Function) -> Result<(), 
                 Inst::Ret { value } => {
                     let want_value = func.ret != Type::Void;
                     if want_value != value.is_some() {
-                        return Err(format!("block {bb}: ret does not match return type {}", func.ret));
+                        return Err(format!(
+                            "block {bb}: ret does not match return type {}",
+                            func.ret
+                        ));
                     }
                     if let Some(v) = value {
                         check_value(*v)?;
@@ -200,9 +216,14 @@ mod tests {
     fn rejects_out_of_range_value() {
         let mut m = good_module();
         let f = m.function_by_name("f").unwrap();
-        m.function_mut(f).blocks[0]
-            .insts
-            .insert(0, Inst::Load { dst: ValueId(0), ty: Type::I32, addr: ValueId(99) });
+        m.function_mut(f).blocks[0].insts.insert(
+            0,
+            Inst::Load {
+                dst: ValueId(0),
+                ty: Type::I32,
+                addr: ValueId(99),
+            },
+        );
         let err = verify_module(&m).unwrap_err();
         assert!(err.message.contains("out of range"), "{err}");
     }
@@ -211,9 +232,11 @@ mod tests {
     fn rejects_branch_to_missing_block() {
         let mut m = good_module();
         let f = m.function_by_name("f").unwrap();
-        m.function_mut(f)
-            .blocks
-            .push(Block { insts: vec![Inst::Br { target: BlockId(42) }] });
+        m.function_mut(f).blocks.push(Block {
+            insts: vec![Inst::Br {
+                target: BlockId(42),
+            }],
+        });
         let err = verify_module(&m).unwrap_err();
         assert!(err.message.contains("missing block"), "{err}");
     }
@@ -224,7 +247,11 @@ mod tests {
         let f = m.function_by_name("f").unwrap();
         let g = m.declare_function("g", vec![], Type::Void);
         let mut b = FunctionBuilder::new(&mut m, g);
-        b.push(Inst::Call { dst: None, callee: Callee::Direct(f), args: vec![] });
+        b.push(Inst::Call {
+            dst: None,
+            callee: Callee::Direct(f),
+            args: vec![],
+        });
         b.ret(None);
         b.finish();
         let err = verify_module(&m).unwrap_err();
@@ -246,9 +273,12 @@ mod tests {
     fn rejects_mid_block_terminator() {
         let mut m = good_module();
         let f = m.function_by_name("f").unwrap();
-        m.function_mut(f).blocks[0]
-            .insts
-            .insert(0, Inst::Ret { value: Some(ValueId(0)) });
+        m.function_mut(f).blocks[0].insts.insert(
+            0,
+            Inst::Ret {
+                value: Some(ValueId(0)),
+            },
+        );
         let err = verify_module(&m).unwrap_err();
         assert!(err.message.contains("before its end"), "{err}");
     }

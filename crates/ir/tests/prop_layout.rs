@@ -1,100 +1,164 @@
-//! Property tests for the data-layout engine — the foundation the §3.2
+//! Fuzz tests for the data-layout engine — the foundation the §3.2
 //! memory unification stands on. A wrong layout silently corrupts every
-//! cross-device struct access, so these invariants get the proptest
-//! treatment.
+//! cross-device struct access, so these invariants are fuzzed over a
+//! fixed-seed splitmix64 stream: identical cases every run, failures
+//! reproduce by rerunning the test.
 
 use offload_ir::{Module, StructDef, TargetAbi, Type};
-use proptest::prelude::*;
+
+/// Minimal splitmix64 — the canonical copy lives in
+/// `offload_workloads::rng`, which this leaf crate cannot depend on.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A random scalar type (no pointers).
+fn scalar_type(rng: &mut Rng) -> Type {
+    match rng.below(5) {
+        0 => Type::I8,
+        1 => Type::I16,
+        2 => Type::I32,
+        3 => Type::I64,
+        _ => Type::F64,
+    }
+}
 
 /// A random scalar/pointer/array field type.
-fn field_type() -> impl Strategy<Value = Type> {
-    let scalar = prop_oneof![
-        Just(Type::I8),
-        Just(Type::I16),
-        Just(Type::I32),
-        Just(Type::I64),
-        Just(Type::F64),
-        Just(Type::I32.ptr_to()),
-        Just(Type::F64.ptr_to()),
-    ];
-    scalar.prop_flat_map(|t| {
-        prop_oneof![
-            3 => Just(t.clone()),
-            1 => (1usize..5).prop_map(move |n| t.clone().array_of(n)),
-        ]
-    })
+fn field_type(rng: &mut Rng) -> Type {
+    let base = match rng.below(7) {
+        0 => Type::I8,
+        1 => Type::I16,
+        2 => Type::I32,
+        3 => Type::I64,
+        4 => Type::F64,
+        5 => Type::I32.ptr_to(),
+        _ => Type::F64.ptr_to(),
+    };
+    // 1-in-4 chance of wrapping in a short array, like the original
+    // weighted strategy.
+    if rng.below(4) == 0 {
+        base.array_of(1 + rng.below(4) as usize)
+    } else {
+        base
+    }
 }
 
-fn abi() -> impl Strategy<Value = TargetAbi> {
-    prop_oneof![
-        Just(TargetAbi::MobileArm32),
-        Just(TargetAbi::ServerX8664),
-        Just(TargetAbi::ServerIa32),
-        Just(TargetAbi::ServerBigEndian64),
-    ]
+fn random_abi(rng: &mut Rng) -> TargetAbi {
+    match rng.below(4) {
+        0 => TargetAbi::MobileArm32,
+        1 => TargetAbi::ServerX8664,
+        2 => TargetAbi::ServerIa32,
+        _ => TargetAbi::ServerBigEndian64,
+    }
 }
 
-proptest! {
-    /// Field offsets are monotone, aligned, non-overlapping, and the
-    /// struct size covers the last field and is a multiple of the struct
-    /// alignment — C layout rules, under every ABI.
-    #[test]
-    fn struct_layout_is_well_formed(fields in prop::collection::vec(field_type(), 1..10), abi in abi()) {
+/// Field offsets are monotone, aligned, non-overlapping, and the struct
+/// size covers the last field and is a multiple of the struct alignment —
+/// C layout rules, under every ABI.
+#[test]
+fn struct_layout_is_well_formed() {
+    let mut rng = Rng(0x001A_1007);
+    for _ in 0..128 {
+        let fields: Vec<Type> = (0..1 + rng.below(9))
+            .map(|_| field_type(&mut rng))
+            .collect();
+        let abi = random_abi(&mut rng);
         let mut m = Module::new("prop");
-        let sid = m.define_struct(StructDef { name: "S".into(), fields: fields.clone() });
+        let sid = m.define_struct(StructDef {
+            name: "S".into(),
+            fields: fields.clone(),
+        });
         let layout = abi.data_layout();
         let sl = layout.struct_layout(sid, &m);
 
-        prop_assert_eq!(sl.offsets.len(), fields.len());
+        assert_eq!(sl.offsets.len(), fields.len());
         let mut prev_end = 0u64;
         for (field, off) in fields.iter().zip(&sl.offsets) {
             let fa = layout.align_of(field, &m);
             let fs = layout.size_of(field, &m);
-            prop_assert_eq!(off % fa, 0, "field at {} misaligned (align {})", off, fa);
-            prop_assert!(*off >= prev_end, "fields overlap");
+            assert_eq!(off % fa, 0, "field at {off} misaligned (align {fa})");
+            assert!(*off >= prev_end, "fields overlap");
             prev_end = off + fs;
         }
-        prop_assert!(sl.size >= prev_end, "size must cover the last field");
-        prop_assert_eq!(sl.size % sl.align, 0, "size must be a multiple of alignment");
+        assert!(sl.size >= prev_end, "size must cover the last field");
+        assert_eq!(
+            sl.size % sl.align,
+            0,
+            "size must be a multiple of alignment"
+        );
         let max_field_align = fields.iter().map(|f| layout.align_of(f, &m)).max().unwrap();
-        prop_assert_eq!(sl.align, max_field_align);
+        assert_eq!(sl.align, max_field_align);
     }
+}
 
-    /// The unified (mobile) size of any struct is at least its packed
-    /// IA32 size: realignment only ever *adds* padding (Fig. 4).
-    #[test]
-    fn realignment_only_adds_padding(fields in prop::collection::vec(field_type(), 1..10)) {
+/// The unified (mobile) size of any struct is at least its packed IA32
+/// size: realignment only ever *adds* padding (Fig. 4).
+#[test]
+fn realignment_only_adds_padding() {
+    let mut rng = Rng(0x009A_DD17);
+    for _ in 0..128 {
+        let fields: Vec<Type> = (0..1 + rng.below(9))
+            .map(|_| field_type(&mut rng))
+            .collect();
         let mut m = Module::new("prop");
-        let sid = m.define_struct(StructDef { name: "S".into(), fields });
+        let sid = m.define_struct(StructDef {
+            name: "S".into(),
+            fields,
+        });
         let arm = TargetAbi::MobileArm32.data_layout().struct_layout(sid, &m);
         let ia32 = TargetAbi::ServerIa32.data_layout().struct_layout(sid, &m);
-        prop_assert!(arm.size >= ia32.size);
+        assert!(arm.size >= ia32.size);
     }
+}
 
-    /// Pointer-free structs lay out identically on ARM32 and x86-64 (both
-    /// align wide scalars to 8) — which is why the paper's eval only hits
-    /// realignment through pointer-bearing and packed cases.
-    #[test]
-    fn ptr_free_structs_agree_between_arm_and_x8664(
-        fields in prop::collection::vec(
-            prop_oneof![Just(Type::I8), Just(Type::I16), Just(Type::I32), Just(Type::I64), Just(Type::F64)],
-            1..10
-        )
-    ) {
+/// Pointer-free structs lay out identically on ARM32 and x86-64 (both
+/// align wide scalars to 8) — which is why the paper's eval only hits
+/// realignment through pointer-bearing and packed cases.
+#[test]
+fn ptr_free_structs_agree_between_arm_and_x8664() {
+    let mut rng = Rng(0xA9_2EE);
+    for _ in 0..128 {
+        let fields: Vec<Type> = (0..1 + rng.below(9))
+            .map(|_| scalar_type(&mut rng))
+            .collect();
         let mut m = Module::new("prop");
-        let sid = m.define_struct(StructDef { name: "S".into(), fields });
+        let sid = m.define_struct(StructDef {
+            name: "S".into(),
+            fields,
+        });
         let arm = TargetAbi::MobileArm32.data_layout().struct_layout(sid, &m);
         let x64 = TargetAbi::ServerX8664.data_layout().struct_layout(sid, &m);
-        prop_assert_eq!(arm, x64);
+        assert_eq!(arm, x64);
     }
+}
 
-    /// Array size is exactly `len * size(elem)` under every ABI.
-    #[test]
-    fn array_sizes_multiply(elem in field_type(), len in 1usize..20, abi in abi()) {
+/// Array size is exactly `len * size(elem)` under every ABI.
+#[test]
+fn array_sizes_multiply() {
+    let mut rng = Rng(0x00A4_4A75);
+    for _ in 0..128 {
+        let elem = field_type(&mut rng);
+        let len = 1 + rng.below(19) as usize;
+        let abi = random_abi(&mut rng);
         let m = Module::new("prop");
         let layout = abi.data_layout();
         let arr = elem.clone().array_of(len);
-        prop_assert_eq!(layout.size_of(&arr, &m), layout.size_of(&elem, &m) * len as u64);
-        prop_assert_eq!(layout.align_of(&arr, &m), layout.align_of(&elem, &m));
+        assert_eq!(
+            layout.size_of(&arr, &m),
+            layout.size_of(&elem, &m) * len as u64
+        );
+        assert_eq!(layout.align_of(&arr, &m), layout.align_of(&elem, &m));
     }
 }

@@ -60,7 +60,14 @@ impl HeapAllocator {
         assert_eq!(base % ALIGN, 0, "unaligned base");
         let mut free = BTreeMap::new();
         free.insert(base, end - base);
-        HeapAllocator { base, end, free, live: BTreeMap::new(), peak_bytes: 0, in_use: 0 }
+        HeapAllocator {
+            base,
+            end,
+            free,
+            live: BTreeMap::new(),
+            peak_bytes: 0,
+            in_use: 0,
+        }
     }
 
     /// Arena base address.

@@ -151,9 +151,9 @@ pub fn render_printf(args: &[RtVal], mem: &mut Memory) -> Result<Vec<u8>, VmErro
     // is re-established per call.
     let cell = std::cell::RefCell::new(mem);
     let mut resolver = |addr: u64| -> Result<Vec<u8>, IoError> {
-        cell.borrow_mut()
-            .read_cstr(addr)
-            .map_err(|e| IoError { message: e.to_string() })
+        cell.borrow_mut().read_cstr(addr).map_err(|e| IoError {
+            message: e.to_string(),
+        })
     };
     Ok(io::format_c(&fmt, &io_args, &mut resolver)?)
 }
@@ -173,17 +173,32 @@ pub fn write_scan_values(
         match v {
             ScanValue::I32(x) => {
                 let mut b = [0u8; 4];
-                encode_scalar(RtVal::I(*x as i64), &offload_ir::Type::I32, ctx.layout.endian, &mut b);
+                encode_scalar(
+                    RtVal::I(*x as i64),
+                    &offload_ir::Type::I32,
+                    ctx.layout.endian,
+                    &mut b,
+                );
                 ctx.mem.write(addr, &b)?;
             }
             ScanValue::I64(x) => {
                 let mut b = [0u8; 8];
-                encode_scalar(RtVal::I(*x), &offload_ir::Type::I64, ctx.layout.endian, &mut b);
+                encode_scalar(
+                    RtVal::I(*x),
+                    &offload_ir::Type::I64,
+                    ctx.layout.endian,
+                    &mut b,
+                );
                 ctx.mem.write(addr, &b)?;
             }
             ScanValue::F64(x) => {
                 let mut b = [0u8; 8];
-                encode_scalar(RtVal::F(*x), &offload_ir::Type::F64, ctx.layout.endian, &mut b);
+                encode_scalar(
+                    RtVal::F(*x),
+                    &offload_ir::Type::F64,
+                    ctx.layout.endian,
+                    &mut b,
+                );
                 ctx.mem.write(addr, &b)?;
             }
             ScanValue::Char(c) => ctx.mem.write(addr, &[*c])?,
@@ -245,8 +260,10 @@ impl Host for LocalHost {
             }
             FOpen => {
                 ctx.clock.charge(ctx.cpi.io_char * 16);
-                let name = String::from_utf8_lossy(&ctx.mem.read_cstr(args[0].as_addr())?).into_owned();
-                let mode = String::from_utf8_lossy(&ctx.mem.read_cstr(args[1].as_addr())?).into_owned();
+                let name =
+                    String::from_utf8_lossy(&ctx.mem.read_cstr(args[0].as_addr())?).into_owned();
+                let mode =
+                    String::from_utf8_lossy(&ctx.mem.read_cstr(args[1].as_addr())?).into_owned();
                 Ok(Some(RtVal::I(self.fs.open(&name, &mode) as i64)))
             }
             FClose => {
@@ -327,7 +344,10 @@ mod tests {
 
     #[test]
     fn hello_world() {
-        let (ret, host) = run(r#"int main() { printf("hello %s %d\n", "world", 7); return 0; }"#, "");
+        let (ret, host) = run(
+            r#"int main() { printf("hello %s %d\n", "world", 7); return 0; }"#,
+            "",
+        );
         assert_eq!(host.console_utf8(), "hello world 7\n");
         assert_eq!(ret, Some(RtVal::I(0)));
     }
@@ -513,12 +533,16 @@ mod tests {
 
     #[test]
     fn division_by_zero_traps() {
-        let module = offload_minic::compile("int main() { int z = 0; return 5 / z; }", "t").unwrap();
+        let module =
+            offload_minic::compile("int main() { int z = 0; return 5 / z; }", "t").unwrap();
         let spec = TargetSpec::galaxy_s5();
         let image = loader::load(&module, &spec.data_layout()).unwrap();
         let mut host = LocalHost::new();
         let mut vm = Vm::new(&module, &spec, image, StackBank::Mobile);
-        assert_eq!(vm.run_entry(&mut host).unwrap_err(), VmError::DivisionByZero);
+        assert_eq!(
+            vm.run_entry(&mut host).unwrap_err(),
+            VmError::DivisionByZero
+        );
     }
 
     #[test]
@@ -565,25 +589,21 @@ mod string_builtin_tests {
 
     #[test]
     fn strcmp_orders() {
-        let (_, out) = run(
-            r#"int main() {
+        let (_, out) = run(r#"int main() {
                 printf("%d %d %d\n", strcmp("abc", "abc"), strcmp("abc", "abd"), strcmp("b", "a"));
                 return 0;
-            }"#,
-        );
+            }"#);
         assert_eq!(out, "0 -1 1\n");
     }
 
     #[test]
     fn strcpy_copies_with_nul() {
-        let (_, out) = run(
-            r#"int main() {
+        let (_, out) = run(r#"int main() {
                 char buf[16];
                 strcpy(buf, "hi!");
                 printf("%s %d\n", buf, (int)strlen(buf));
                 return 0;
-            }"#,
-        );
+            }"#);
         assert_eq!(out, "hi! 3\n");
     }
 }

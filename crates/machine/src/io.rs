@@ -36,7 +36,9 @@ impl std::fmt::Display for IoError {
 impl std::error::Error for IoError {}
 
 fn err(msg: impl Into<String>) -> IoError {
-    IoError { message: msg.into() }
+    IoError {
+        message: msg.into(),
+    }
 }
 
 /// Render a C format string with `args`. `%s` arguments are addresses,
@@ -109,7 +111,10 @@ pub fn format_c(
         let conv = fmt[i];
         i += 1;
         let mut next_arg = || -> Result<IoArg, IoError> {
-            let a = args.get(ai).copied().ok_or_else(|| err("missing printf argument"))?;
+            let a = args
+                .get(ai)
+                .copied()
+                .ok_or_else(|| err("missing printf argument"))?;
             ai += 1;
             Ok(a)
         };
@@ -207,7 +212,10 @@ pub struct InputStream {
 impl InputStream {
     /// An input stream over `data`.
     pub fn new(data: impl Into<Vec<u8>>) -> Self {
-        InputStream { data: data.into(), pos: 0 }
+        InputStream {
+            data: data.into(),
+            pos: 0,
+        }
     }
 
     /// Bytes remaining.
@@ -292,13 +300,21 @@ pub fn scan_c(fmt: &[u8], input: &mut InputStream) -> Result<Vec<ScanValue>, IoE
                     .take_while(|b| b.is_ascii_digit() || *b == b'-' || *b == b'+')
                     .collect();
                 let text = String::from_utf8_lossy(&tok).to_string();
-                let v: i64 = text.parse().map_err(|_| err(format!("bad integer input {text:?}")))?;
-                out.push(if long { ScanValue::I64(v) } else { ScanValue::I32(v as i32) });
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| err(format!("bad integer input {text:?}")))?;
+                out.push(if long {
+                    ScanValue::I64(v)
+                } else {
+                    ScanValue::I32(v as i32)
+                });
             }
             b'f' | b'e' | b'g' => {
                 let Some(tok) = input.take_token() else { break };
                 let text = String::from_utf8_lossy(tok).to_string();
-                let v: f64 = text.parse().map_err(|_| err(format!("bad float input {text:?}")))?;
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| err(format!("bad float input {text:?}")))?;
                 out.push(ScanValue::F64(v));
             }
             b'c' => {
@@ -309,7 +325,12 @@ pub fn scan_c(fmt: &[u8], input: &mut InputStream) -> Result<Vec<ScanValue>, IoE
                 let Some(tok) = input.take_token() else { break };
                 out.push(ScanValue::Str(tok.to_vec()));
             }
-            other => return Err(err(format!("unsupported scanf conversion %{}", other as char))),
+            other => {
+                return Err(err(format!(
+                    "unsupported scanf conversion %{}",
+                    other as char
+                )))
+            }
         }
     }
     Ok(out)
@@ -345,7 +366,11 @@ pub struct VirtualFs {
 impl VirtualFs {
     /// An empty filesystem.
     pub fn new() -> Self {
-        VirtualFs { files: HashMap::new(), open: HashMap::new(), next_fd: 3 }
+        VirtualFs {
+            files: HashMap::new(),
+            open: HashMap::new(),
+            next_fd: 3,
+        }
     }
 
     /// Create or replace a file.
@@ -378,8 +403,14 @@ impl VirtualFs {
         };
         let fd = self.next_fd;
         self.next_fd += 1;
-        self.open
-            .insert(fd, OpenFile { name: name.to_string(), pos, writable });
+        self.open.insert(
+            fd,
+            OpenFile {
+                name: name.to_string(),
+                pos,
+                writable,
+            },
+        );
         fd
     }
 
@@ -437,7 +468,7 @@ mod tests {
         assert_eq!(fmt("%-5d|", &[IoArg::I(42)]), "42   |");
         assert_eq!(fmt("%05d", &[IoArg::I(-42)]), "-0042");
         assert_eq!(fmt("%f", &[IoArg::F(1.5)]), "1.500000");
-        assert_eq!(fmt("%.2f", &[IoArg::F(3.14159)]), "3.14");
+        assert_eq!(fmt("%.2f", &[IoArg::F(3.18659)]), "3.19");
         assert_eq!(fmt("%x", &[IoArg::I(255)]), "ff");
         assert_eq!(fmt("%c%c", &[IoArg::I(104), IoArg::I(105)]), "hi");
         assert_eq!(fmt("100%%", &[]), "100%");

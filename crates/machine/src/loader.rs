@@ -10,8 +10,8 @@ use offload_ir::module::GlobalInit;
 use offload_ir::{ConstValue, DataLayout, Module, Type};
 
 use crate::mem::{BackingPolicy, MemError, Memory};
-use crate::vm::{encode_scalar, RtVal};
 use crate::uva_map;
+use crate::vm::{encode_scalar, RtVal};
 
 /// A loaded program image: memory with initialized globals.
 #[derive(Debug, Clone)]
@@ -61,7 +61,12 @@ impl From<MemError> for LoadError {
 ///
 /// Returns [`LoadError`] on malformed initializers.
 pub fn load(module: &Module, layout: &DataLayout) -> Result<Image, LoadError> {
-    load_at(module, layout, uva_map::GLOBALS_BASE, uva_map::MOBILE_FN_BASE)
+    load_at(
+        module,
+        layout,
+        uva_map::GLOBALS_BASE,
+        uva_map::MOBILE_FN_BASE,
+    )
 }
 
 /// Like [`load`] but resolving function pointers to the *server* back-end's
@@ -70,7 +75,12 @@ pub fn load(module: &Module, layout: &DataLayout) -> Result<Image, LoadError> {
 /// the server bank faults on its own function-pointer tables, which is
 /// precisely the §3.4 problem the function map tables solve.
 pub fn load_for_server(module: &Module, layout: &DataLayout) -> Result<Image, LoadError> {
-    load_at(module, layout, uva_map::GLOBALS_BASE, uva_map::SERVER_FN_BASE)
+    load_at(
+        module,
+        layout,
+        uva_map::GLOBALS_BASE,
+        uva_map::SERVER_FN_BASE,
+    )
 }
 
 /// Like [`load`], starting the globals segment at `base` and resolving
@@ -110,16 +120,25 @@ pub fn load_at(
             }
             GlobalInit::Scalars(leaves) => {
                 let mut iter = leaves.iter();
-                write_leaves(module, layout, fn_base, &mut mem, addr, &g.ty, &mut iter)
-                    .map_err(|_| LoadError::BadInitializer { name: g.name.clone() })?;
+                write_leaves(module, layout, fn_base, &mut mem, addr, &g.ty, &mut iter).map_err(
+                    |_| LoadError::BadInitializer {
+                        name: g.name.clone(),
+                    },
+                )?;
                 if iter.next().is_some() {
-                    return Err(LoadError::BadInitializer { name: g.name.clone() });
+                    return Err(LoadError::BadInitializer {
+                        name: g.name.clone(),
+                    });
                 }
             }
         }
     }
     mem.clear_dirty();
-    Ok(Image { mem, global_addrs, globals_end: cursor })
+    Ok(Image {
+        mem,
+        global_addrs,
+        globals_end: cursor,
+    })
 }
 
 fn write_leaves<'a>(
@@ -135,7 +154,15 @@ fn write_leaves<'a>(
         Type::Array(elem, len) => {
             let esize = layout.size_of(elem, module);
             for i in 0..*len {
-                write_leaves(module, layout, fn_base, mem, addr + i as u64 * esize, elem, leaves)?;
+                write_leaves(
+                    module,
+                    layout,
+                    fn_base,
+                    mem,
+                    addr + i as u64 * esize,
+                    elem,
+                    leaves,
+                )?;
             }
             Ok(())
         }
@@ -148,9 +175,9 @@ fn write_leaves<'a>(
             Ok(())
         }
         scalar => {
-            let leaf = leaves
-                .next()
-                .ok_or(LoadError::BadInitializer { name: String::new() })?;
+            let leaf = leaves.next().ok_or(LoadError::BadInitializer {
+                name: String::new(),
+            })?;
             let v = match leaf {
                 ConstValue::I8(v) => RtVal::I(*v as i64),
                 ConstValue::I16(v) => RtVal::I(*v as i64),
@@ -204,7 +231,10 @@ mod tests {
         let pa = img.global_addrs[m.global_by_name("primes").unwrap().0 as usize];
         let mut buf = [0u8; 16];
         img.mem.read(pa, &mut buf).unwrap();
-        let vals: Vec<i32> = buf.chunks(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect();
+        let vals: Vec<i32> = buf
+            .chunks(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
         assert_eq!(vals, vec![2, 3, 5, 7]);
         let ma = img.global_addrs[m.global_by_name("msg").unwrap().0 as usize];
         let mut s = [0u8; 4];
@@ -231,7 +261,10 @@ mod tests {
             ]),
         );
 
-        for (abi, score_off) in [(TargetAbi::MobileArm32, 8u64), (TargetAbi::ServerIa32, 4u64)] {
+        for (abi, score_off) in [
+            (TargetAbi::MobileArm32, 8u64),
+            (TargetAbi::ServerIa32, 4u64),
+        ] {
             let layout = abi.data_layout();
             let mut img = load(&m, &layout).unwrap();
             let base = img.global_addrs[0];
@@ -255,7 +288,10 @@ mod tests {
         img.mem.read(ta, &mut buf).unwrap();
         let addr = u32::from_le_bytes(buf) as u64;
         let half = m.function_by_name("half").unwrap();
-        assert_eq!(addr, uva_map::MOBILE_FN_BASE + half.0 as u64 * uva_map::FN_STRIDE);
+        assert_eq!(
+            addr,
+            uva_map::MOBILE_FN_BASE + half.0 as u64 * uva_map::FN_STRIDE
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ struct Page {
 
 impl Page {
     fn zeroed() -> Self {
-        Page { data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(), dirty: false }
+        Page {
+            data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+            dirty: false,
+        }
     }
 }
 
@@ -84,7 +87,11 @@ pub struct Memory {
 impl Memory {
     /// An empty memory with the given backing policy.
     pub fn new(policy: BackingPolicy) -> Self {
-        Memory { pages: BTreeMap::new(), policy, dirty_count: 0 }
+        Memory {
+            pages: BTreeMap::new(),
+            policy,
+            dirty_count: 0,
+        }
     }
 
     /// The device's backing policy.

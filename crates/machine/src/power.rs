@@ -7,6 +7,8 @@
 //! models the same state machine; energy is the integral of state power
 //! over the simulated timeline.
 
+use offload_obs::{Collector, EventKind, PowerLane};
+
 /// What the (mobile) device is doing during an interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PowerState {
@@ -20,6 +22,19 @@ pub enum PowerState {
     Receive,
     /// Transmitting data.
     Transmit,
+}
+
+impl PowerState {
+    /// The obs-crate mirror of this state.
+    pub fn lane(self) -> PowerLane {
+        match self {
+            PowerState::Idle => PowerLane::Idle,
+            PowerState::Compute => PowerLane::Compute,
+            PowerState::Waiting => PowerLane::Waiting,
+            PowerState::Receive => PowerLane::Receive,
+            PowerState::Transmit => PowerLane::Transmit,
+        }
+    }
 }
 
 /// Power draw per state, in milliwatts.
@@ -112,8 +127,30 @@ impl PowerTimeline {
                 return;
             }
         }
-        self.intervals.push(PowerInterval { start_s: self.cursor_s, duration_s, state });
+        self.intervals.push(PowerInterval {
+            start_s: self.cursor_s,
+            duration_s,
+            state,
+        });
         self.cursor_s += duration_s;
+    }
+
+    /// Like [`push`](PowerTimeline::push), additionally emitting the
+    /// state transition to an observability collector, stamped with the
+    /// timeline cursor at the moment the interval starts. Replaying the
+    /// emitted events through `push` reconstructs this timeline exactly
+    /// (same f64 durations in the same order).
+    pub fn push_traced(&mut self, obs: &mut dyn Collector, state: PowerState, duration_s: f64) {
+        if duration_s > 0.0 {
+            obs.record(
+                self.cursor_s,
+                EventKind::Power {
+                    state: state.lane(),
+                    duration_s,
+                },
+            );
+        }
+        self.push(state, duration_s);
     }
 
     /// Total timeline length in seconds.
@@ -210,5 +247,35 @@ mod tests {
         let mut tl = PowerTimeline::new();
         tl.push(PowerState::Idle, 0.0);
         assert!(tl.intervals().is_empty());
+    }
+
+    #[test]
+    fn traced_push_replays_to_identical_timeline() {
+        let mut obs = offload_obs::TraceCollector::new();
+        let mut tl = PowerTimeline::new();
+        tl.push_traced(&mut obs, PowerState::Compute, 0.1);
+        tl.push_traced(&mut obs, PowerState::Waiting, 0.05);
+        tl.push_traced(&mut obs, PowerState::Waiting, 0.0); // dropped, no event
+        tl.push_traced(&mut obs, PowerState::Receive, 0.3);
+        let recs = obs.records();
+        assert_eq!(recs.len(), 3);
+        let mut replay = PowerTimeline::new();
+        for r in recs {
+            if let EventKind::Power { state, duration_s } = r.kind {
+                let st = match state {
+                    PowerLane::Idle => PowerState::Idle,
+                    PowerLane::Compute => PowerState::Compute,
+                    PowerLane::Waiting => PowerState::Waiting,
+                    PowerLane::Receive => PowerState::Receive,
+                    PowerLane::Transmit => PowerState::Transmit,
+                };
+                replay.push(st, duration_s);
+            }
+        }
+        assert_eq!(replay.intervals(), tl.intervals());
+        assert_eq!(
+            replay.total_seconds().to_bits(),
+            tl.total_seconds().to_bits()
+        );
     }
 }

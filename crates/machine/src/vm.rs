@@ -18,8 +18,8 @@
 //! that §3.4's function-pointer map exists to solve.
 
 use offload_ir::{
-    BinOp, BlockId, Builtin, Callee, CastKind, CmpOp, ConstValue, DataLayout, Endian, FuncId,
-    Inst, Module, TargetAbi, Type, UnOp,
+    BinOp, BlockId, Builtin, Callee, CastKind, CmpOp, ConstValue, DataLayout, Endian, FuncId, Inst,
+    Module, TargetAbi, Type, UnOp,
 };
 
 use crate::heap::HeapError;
@@ -213,7 +213,12 @@ pub trait Host {
     /// # Errors
     ///
     /// Hosts for the *server* side override this to refuse.
-    fn syscall(&mut self, number: u32, args: &[RtVal], ctx: &mut HostCtx<'_>) -> Result<RtVal, VmError> {
+    fn syscall(
+        &mut self,
+        number: u32,
+        args: &[RtVal],
+        ctx: &mut HostCtx<'_>,
+    ) -> Result<RtVal, VmError> {
         let _ = (number, args, ctx);
         Ok(RtVal::I(0))
     }
@@ -415,7 +420,9 @@ impl<'m> Vm<'m> {
     ) -> Result<Option<RtVal>, VmError> {
         let func = self.module.function(f);
         if func.is_declaration() {
-            return Err(VmError::UnknownExternal { name: func.name.clone() });
+            return Err(VmError::UnknownExternal {
+                name: func.name.clone(),
+            });
         }
         assert_eq!(func.params.len(), args.len(), "arity checked by verifier");
         if self.depth >= MAX_DEPTH {
@@ -493,27 +500,48 @@ impl<'m> Vm<'m> {
                         self.stats.stores += 1;
                         self.clock.charge(self.cpi.store);
                     }
-                    Inst::FieldAddr { dst, base, sid, field } => {
+                    Inst::FieldAddr {
+                        dst,
+                        base,
+                        sid,
+                        field,
+                    } => {
                         let b = frame.regs[base.0 as usize].as_addr();
-                        let off = self.layout.struct_layout(*sid, self.module).offsets
-                            [*field as usize];
+                        let off =
+                            self.layout.struct_layout(*sid, self.module).offsets[*field as usize];
                         frame.regs[dst.0 as usize] = RtVal::I((b + off) as i64);
                         self.clock.charge(self.cpi.alu);
                     }
-                    Inst::IndexAddr { dst, base, elem, index } => {
+                    Inst::IndexAddr {
+                        dst,
+                        base,
+                        elem,
+                        index,
+                    } => {
                         let b = frame.regs[base.0 as usize].as_addr();
                         let i = frame.regs[index.0 as usize].as_i();
                         let size = self.layout.size_of(elem, self.module) as i64;
                         frame.regs[dst.0 as usize] = RtVal::I(b as i64 + i * size);
                         self.clock.charge(self.cpi.alu + self.cpi.mul);
                     }
-                    Inst::Bin { dst, op, ty, lhs, rhs } => {
+                    Inst::Bin {
+                        dst,
+                        op,
+                        ty,
+                        lhs,
+                        rhs,
+                    } => {
                         let l = frame.regs[lhs.0 as usize];
                         let r = frame.regs[rhs.0 as usize];
                         frame.regs[dst.0 as usize] = self.eval_bin(*op, ty, l, r)?;
                         self.clock.charge(self.bin_cost(*op, ty));
                     }
-                    Inst::Un { dst, op, ty, operand } => {
+                    Inst::Un {
+                        dst,
+                        op,
+                        ty,
+                        operand,
+                    } => {
                         let v = frame.regs[operand.0 as usize];
                         frame.regs[dst.0 as usize] = eval_un(*op, ty, v);
                         self.clock.charge(if *op == UnOp::ByteSwap {
@@ -522,12 +550,21 @@ impl<'m> Vm<'m> {
                             self.cpi.alu
                         });
                     }
-                    Inst::Cmp { dst, op, ty, lhs, rhs } => {
+                    Inst::Cmp {
+                        dst,
+                        op,
+                        ty,
+                        lhs,
+                        rhs,
+                    } => {
                         let l = frame.regs[lhs.0 as usize];
                         let r = frame.regs[rhs.0 as usize];
                         frame.regs[dst.0 as usize] = RtVal::I(i64::from(eval_cmp(*op, ty, l, r)));
-                        self.clock
-                            .charge(if *ty == Type::F64 { self.cpi.fpu } else { self.cpi.alu });
+                        self.clock.charge(if *ty == Type::F64 {
+                            self.cpi.fpu
+                        } else {
+                            self.cpi.alu
+                        });
                     }
                     Inst::Cast { dst, kind, to, src } => {
                         let v = frame.regs[src.0 as usize];
@@ -575,7 +612,11 @@ impl<'m> Vm<'m> {
                         next = Some(*target);
                         self.clock.charge(self.cpi.branch);
                     }
-                    Inst::CondBr { cond, then_bb, else_bb } => {
+                    Inst::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
                         let c = frame.regs[cond.0 as usize].as_i();
                         next = Some(if c != 0 { *then_bb } else { *else_bb });
                         self.clock.charge(self.cpi.branch);
@@ -705,7 +746,12 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn load_scalar<H: Host>(&mut self, addr: u64, ty: &Type, host: &mut H) -> Result<RtVal, VmError> {
+    fn load_scalar<H: Host>(
+        &mut self,
+        addr: u64,
+        ty: &Type,
+        host: &mut H,
+    ) -> Result<RtVal, VmError> {
         let size = self.layout.size_of(ty, self.module) as usize;
         let mut buf = [0u8; 8];
         self.mem_read(addr, &mut buf[..size], host)?;
@@ -817,14 +863,16 @@ impl<'m> Vm<'m> {
                 let mut buf = vec![0u8; n as usize];
                 self.mem_read(src, &mut buf, host)?;
                 self.mem_write(dst, &buf, host)?;
-                self.clock.charge(self.cpi.byte_move_milli * n / 1000 + self.cpi.call);
+                self.clock
+                    .charge(self.cpi.byte_move_milli * n / 1000 + self.cpi.call);
                 Ok(Some(RtVal::I(dst as i64)))
             }
             Memset => {
                 let (dst, byte, n) = (args[0].as_addr(), args[1].as_i(), args[2].as_addr());
                 let buf = vec![byte as u8; n as usize];
                 self.mem_write(dst, &buf, host)?;
-                self.clock.charge(self.cpi.byte_move_milli * n / 1000 + self.cpi.call);
+                self.clock
+                    .charge(self.cpi.byte_move_milli * n / 1000 + self.cpi.call);
                 Ok(Some(RtVal::I(dst as i64)))
             }
             Strlen => {
@@ -860,7 +908,9 @@ impl<'m> Vm<'m> {
                 self.clock.charge(self.cpi.call);
                 Ok(Some(RtVal::I(self.clock.cycles as i64)))
             }
-            Exit => Err(VmError::Exit { code: args.first().map_or(0, |v| v.as_i() as i32) }),
+            Exit => Err(VmError::Exit {
+                code: args.first().map_or(0, |v| v.as_i() as i32),
+            }),
             // Everything else (heap, I/O, offload runtime) goes to the host.
             other => {
                 let mut ctx = HostCtx {
@@ -913,9 +963,7 @@ fn eval_un(op: UnOp, ty: &Type, v: RtVal) -> RtVal {
         (UnOp::Neg, Type::F64) => RtVal::F(-v.as_f()),
         (UnOp::Neg, _) => RtVal::I(truncate_to(ty, v.as_i().wrapping_neg())),
         (UnOp::Not, _) => RtVal::I(truncate_to(ty, !v.as_i())),
-        (UnOp::ByteSwap, Type::F64) => {
-            RtVal::F(f64::from_bits(v.as_f().to_bits().swap_bytes()))
-        }
+        (UnOp::ByteSwap, Type::F64) => RtVal::F(f64::from_bits(v.as_f().to_bits().swap_bytes())),
         (UnOp::ByteSwap, Type::I16) => RtVal::I((v.as_i() as i16).swap_bytes() as i64),
         (UnOp::ByteSwap, Type::I32) => RtVal::I((v.as_i() as i32).swap_bytes() as i64),
         (UnOp::ByteSwap, Type::I64) => RtVal::I(v.as_i().swap_bytes()),
@@ -1033,7 +1081,10 @@ mod tests {
     fn scalar_roundtrip_little_endian() {
         let mut buf = [0u8; 4];
         encode_scalar(RtVal::I(-5), &Type::I32, Endian::Little, &mut buf);
-        assert_eq!(decode_scalar(&buf, &Type::I32, Endian::Little), RtVal::I(-5));
+        assert_eq!(
+            decode_scalar(&buf, &Type::I32, Endian::Little),
+            RtVal::I(-5)
+        );
     }
 
     #[test]
@@ -1078,7 +1129,10 @@ mod tests {
 
     #[test]
     fn byteswap_variants() {
-        assert_eq!(eval_un(UnOp::ByteSwap, &Type::I16, RtVal::I(0x0102)), RtVal::I(0x0201));
+        assert_eq!(
+            eval_un(UnOp::ByteSwap, &Type::I16, RtVal::I(0x0102)),
+            RtVal::I(0x0201)
+        );
         assert_eq!(
             eval_un(UnOp::ByteSwap, &Type::I64, RtVal::I(1)),
             RtVal::I(0x0100_0000_0000_0000)

@@ -1,26 +1,59 @@
-//! Property tests for the machine substrate: paged memory, the heap
+//! Fuzz tests for the machine substrate: paged memory, the heap
 //! allocator, scalar encode/decode and the power timeline. These carry
 //! the UVA protocol's correctness, so they are fuzzed rather than
-//! spot-checked.
+//! spot-checked — against a fixed-seed splitmix64 stream, so every run
+//! exercises identical cases and failures reproduce deterministically.
 
 use offload_ir::{Endian, Type};
 use offload_machine::heap::HeapAllocator;
 use offload_machine::mem::{BackingPolicy, Memory};
 use offload_machine::power::{PowerSpec, PowerState, PowerTimeline};
 use offload_machine::vm::{decode_scalar, encode_scalar, RtVal};
-use proptest::prelude::*;
 
-proptest! {
-    /// Writes land exactly where they were put, for arbitrary (addr, data)
-    /// pairs including page-straddling spans.
-    #[test]
-    fn memory_write_read_roundtrip(
-        writes in prop::collection::vec((0u64..1_000_000, prop::collection::vec(any::<u8>(), 1..600)), 1..20)
-    ) {
+/// Minimal splitmix64 — the canonical copy lives in
+/// `offload_workloads::rng`, which this leaf crate cannot depend on.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Writes land exactly where they were put, for arbitrary (addr, data)
+/// pairs including page-straddling spans.
+#[test]
+fn memory_write_read_roundtrip() {
+    let mut rng = Rng(0x3E3);
+    for _ in 0..24 {
         let mut m = Memory::new(BackingPolicy::DemandZero);
         // Apply in order; later writes may overwrite earlier ones, so
         // replay into a HashMap model.
         let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        let writes: Vec<(u64, Vec<u8>)> = (0..1 + rng.below(19))
+            .map(|_| {
+                let addr = rng.below(1_000_000);
+                let len = 1 + rng.below(599) as usize;
+                let data = rng.bytes(len);
+                (addr, data)
+            })
+            .collect();
         for (addr, data) in &writes {
             m.write(*addr, data).unwrap();
             for (i, b) in data.iter().enumerate() {
@@ -31,14 +64,19 @@ proptest! {
             let mut buf = vec![0u8; data.len()];
             m.read(*addr, &mut buf).unwrap();
             for (i, b) in buf.iter().enumerate() {
-                prop_assert_eq!(*b, *model.get(&(addr + i as u64)).unwrap());
+                assert_eq!(*b, *model.get(&(addr + i as u64)).unwrap());
             }
         }
     }
+}
 
-    /// Every page written is flagged dirty; untouched pages are not.
-    #[test]
-    fn dirty_pages_are_exactly_the_written_ones(pages in prop::collection::btree_set(0u64..200, 1..20)) {
+/// Every page written is flagged dirty; untouched pages are not.
+#[test]
+fn dirty_pages_are_exactly_the_written_ones() {
+    let mut rng = Rng(0xD127);
+    for _ in 0..24 {
+        let pages: std::collections::BTreeSet<u64> =
+            (0..1 + rng.below(19)).map(|_| rng.below(200)).collect();
         let mut m = Memory::new(BackingPolicy::DemandZero);
         // Touch some pages read-only first.
         let mut buf = [0u8; 1];
@@ -50,20 +88,26 @@ proptest! {
             m.write(p * 4096 + 7, &[1]).unwrap();
         }
         let dirty: std::collections::BTreeSet<u64> = m.dirty_pages().collect();
-        prop_assert_eq!(dirty, pages);
+        assert_eq!(dirty, pages);
     }
+}
 
-    /// Live heap allocations never overlap, stay in-arena, and freeing
-    /// everything returns the arena to empty.
-    #[test]
-    fn heap_allocations_disjoint(sizes in prop::collection::vec(1u64..5_000, 1..40)) {
+/// Live heap allocations never overlap, stay in-arena, and freeing
+/// everything returns the arena to empty.
+#[test]
+fn heap_allocations_disjoint() {
+    let mut rng = Rng(0x8EA9);
+    for _ in 0..24 {
+        let sizes: Vec<u64> = (0..1 + rng.below(39))
+            .map(|_| 1 + rng.below(4_999))
+            .collect();
         let mut h = HeapAllocator::new(0x10000, 0x10000 + (1 << 20));
         let mut live: Vec<(u64, u64)> = Vec::new();
         for (i, size) in sizes.iter().enumerate() {
             let addr = h.alloc(*size).unwrap();
-            prop_assert!(addr >= h.base() && addr + size <= h.end());
+            assert!(addr >= h.base() && addr + size <= h.end());
             for (a, s) in &live {
-                prop_assert!(addr + size <= *a || addr >= a + s, "overlap");
+                assert!(addr + size <= *a || addr >= a + s, "overlap");
             }
             live.push((addr, *size));
             // Free every third allocation as we go, exercising coalescing.
@@ -75,14 +119,19 @@ proptest! {
         for (a, _) in live {
             h.free(a).unwrap();
         }
-        prop_assert_eq!(h.bytes_in_use(), 0);
-        prop_assert_eq!(h.live_count(), 0);
+        assert_eq!(h.bytes_in_use(), 0);
+        assert_eq!(h.live_count(), 0);
     }
+}
 
-    /// Scalar encode/decode roundtrips for every type/endianness pair —
-    /// the §3.2 endianness translation rests on this being exact.
-    #[test]
-    fn scalar_roundtrip(v in any::<i64>(), f in any::<f64>()) {
+/// Scalar encode/decode roundtrips for every type/endianness pair — the
+/// §3.2 endianness translation rests on this being exact.
+#[test]
+fn scalar_roundtrip() {
+    let mut rng = Rng(0x5CA1A7);
+    for _ in 0..256 {
+        let v = rng.next() as i64;
+        let f = f64::from_bits(rng.next());
         for endian in [Endian::Little, Endian::Big] {
             for (ty, val) in [
                 (Type::I8, RtVal::I(v as i8 as i64)),
@@ -90,40 +139,49 @@ proptest! {
                 (Type::I32, RtVal::I(v as i32 as i64)),
                 (Type::I64, RtVal::I(v)),
             ] {
-                let size = match ty { Type::I8 => 1, Type::I16 => 2, Type::I32 => 4, _ => 8 };
+                let size = match ty {
+                    Type::I8 => 1,
+                    Type::I16 => 2,
+                    Type::I32 => 4,
+                    _ => 8,
+                };
                 let mut buf = [0u8; 8];
                 encode_scalar(val, &ty, endian, &mut buf[..size]);
-                prop_assert_eq!(decode_scalar(&buf[..size], &ty, endian), val);
+                assert_eq!(decode_scalar(&buf[..size], &ty, endian), val);
             }
             if !f.is_nan() {
                 let mut buf = [0u8; 8];
                 encode_scalar(RtVal::F(f), &Type::F64, endian, &mut buf);
-                prop_assert_eq!(decode_scalar(&buf, &Type::F64, endian), RtVal::F(f));
+                assert_eq!(decode_scalar(&buf, &Type::F64, endian), RtVal::F(f));
             }
         }
     }
+}
 
-    /// Timeline energy equals the sum of state power × duration, and the
-    /// total length equals the sum of durations (merging included).
-    #[test]
-    fn timeline_energy_is_additive(intervals in prop::collection::vec((0u8..5, 0.0f64..10.0), 1..30)) {
+/// Timeline energy equals the sum of state power × duration, and the
+/// total length equals the sum of durations (merging included).
+#[test]
+fn timeline_energy_is_additive() {
+    let mut rng = Rng(0xE4E9);
+    for _ in 0..48 {
         let spec = PowerSpec::galaxy_s5();
         let mut tl = PowerTimeline::new();
         let mut expect_energy = 0.0;
         let mut expect_len = 0.0;
-        for (s, d) in &intervals {
-            let state = match s {
+        for _ in 0..1 + rng.below(29) {
+            let state = match rng.below(5) {
                 0 => PowerState::Idle,
                 1 => PowerState::Compute,
                 2 => PowerState::Waiting,
                 3 => PowerState::Receive,
                 _ => PowerState::Transmit,
             };
-            tl.push(state, *d);
+            let d = rng.unit_f64() * 10.0;
+            tl.push(state, d);
             expect_energy += spec.draw_mw(state) * d;
             expect_len += d;
         }
-        prop_assert!((tl.energy_mj(&spec) - expect_energy).abs() < 1e-6);
-        prop_assert!((tl.total_seconds() - expect_len).abs() < 1e-9);
+        assert!((tl.energy_mj(&spec) - expect_energy).abs() < 1e-6);
+        assert!((tl.total_seconds() - expect_len).abs() < 1e-9);
     }
 }

@@ -69,7 +69,10 @@ fn cross_device_function_pointer_faults() {
     // The same image resolved for the server bank works.
     let image = loader::load_for_server(&m, &unified()).unwrap();
     let mut vm = Vm::new(&m, &spec, image, StackBank::Server);
-    assert_eq!(vm.run_entry(&mut LocalHost::new()).unwrap(), Some(RtVal::I(7)));
+    assert_eq!(
+        vm.run_entry(&mut LocalHost::new()).unwrap(),
+        Some(RtVal::I(7))
+    );
 }
 
 #[test]
@@ -125,11 +128,20 @@ fn server_style_host_refuses_machine_specific_ops() {
         ) -> Result<Option<RtVal>, VmError> {
             self.0.builtin(b, args, ctx)
         }
-        fn syscall(&mut self, number: u32, _: &[RtVal], _: &mut HostCtx<'_>) -> Result<RtVal, VmError> {
-            Err(VmError::MachineSpecific { what: format!("syscall {number}") })
+        fn syscall(
+            &mut self,
+            number: u32,
+            _: &[RtVal],
+            _: &mut HostCtx<'_>,
+        ) -> Result<RtVal, VmError> {
+            Err(VmError::MachineSpecific {
+                what: format!("syscall {number}"),
+            })
         }
         fn inline_asm(&mut self, text: &str, _: &mut HostCtx<'_>) -> Result<(), VmError> {
-            Err(VmError::MachineSpecific { what: text.to_string() })
+            Err(VmError::MachineSpecific {
+                what: text.to_string(),
+            })
         }
     }
 
@@ -158,7 +170,10 @@ fn exit_codes_propagate_through_nested_calls() {
     let spec = TargetSpec::galaxy_s5();
     let image = loader::load(&m, &unified()).unwrap();
     let mut vm = Vm::new(&m, &spec, image, StackBank::Mobile);
-    assert_eq!(vm.run_entry(&mut LocalHost::new()).unwrap(), Some(RtVal::I(42)));
+    assert_eq!(
+        vm.run_entry(&mut LocalHost::new()).unwrap(),
+        Some(RtVal::I(42))
+    );
 }
 
 #[test]
@@ -173,5 +188,8 @@ fn fuel_is_shared_across_calls() {
     let image = loader::load(&m, &unified()).unwrap();
     let mut vm = Vm::new(&m, &spec, image, StackBank::Mobile);
     vm.set_fuel(50_000);
-    assert_eq!(vm.run_entry(&mut LocalHost::new()).unwrap_err(), VmError::FuelExhausted);
+    assert_eq!(
+        vm.run_entry(&mut LocalHost::new()).unwrap_err(),
+        VmError::FuelExhausted
+    );
 }

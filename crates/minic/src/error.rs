@@ -28,17 +28,29 @@ pub struct CompileError {
 impl CompileError {
     /// Construct a lexer error.
     pub fn lex(line: u32, message: impl Into<String>) -> Self {
-        CompileError { phase: Phase::Lex, line, message: message.into() }
+        CompileError {
+            phase: Phase::Lex,
+            line,
+            message: message.into(),
+        }
     }
 
     /// Construct a parser error.
     pub fn parse(line: u32, message: impl Into<String>) -> Self {
-        CompileError { phase: Phase::Parse, line, message: message.into() }
+        CompileError {
+            phase: Phase::Parse,
+            line,
+            message: message.into(),
+        }
     }
 
     /// Construct a semantic error.
     pub fn sema(line: u32, message: impl Into<String>) -> Self {
-        CompileError { phase: Phase::Sema, line, message: message.into() }
+        CompileError {
+            phase: Phase::Sema,
+            line,
+            message: message.into(),
+        }
     }
 }
 

@@ -13,7 +13,12 @@ use crate::token::{Spanned, Tok};
 /// Returns a [`CompileError`] on unterminated literals/comments or stray
 /// characters.
 pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
-    Lexer { chars: source.chars().collect(), pos: 0, line: 1 }.run()
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
 }
 
 struct Lexer {
@@ -99,7 +104,10 @@ impl Lexer {
     }
 
     fn spanned(&self, tok: Tok) -> Spanned {
-        Spanned { tok, line: self.line }
+        Spanned {
+            tok,
+            line: self.line,
+        }
     }
 
     fn number(&mut self) -> Result<Spanned, CompileError> {
@@ -207,7 +215,10 @@ impl Lexer {
             Some('0') => Ok('\0'),
             Some('\\') => Ok('\\'),
             Some(c) if c == quote => Ok(c),
-            Some(c) => Err(CompileError::lex(self.line, format!("unknown escape \\{c}"))),
+            Some(c) => Err(CompileError::lex(
+                self.line,
+                format!("unknown escape \\{c}"),
+            )),
             None => Err(CompileError::lex(self.line, "unterminated escape")),
         }
     }
@@ -340,7 +351,12 @@ impl Lexer {
                 }
                 _ => Tok::Gt,
             },
-            other => return Err(CompileError::lex(self.line, format!("stray character {other:?}"))),
+            other => {
+                return Err(CompileError::lex(
+                    self.line,
+                    format!("stray character {other:?}"),
+                ))
+            }
         };
         Ok(self.spanned(tok))
     }
@@ -387,7 +403,12 @@ mod tests {
     fn strings_and_chars() {
         assert_eq!(
             toks(r#""a\nb" 'x' '\n' '\0'"#),
-            vec![Tok::Str("a\nb".into()), Tok::Int(120), Tok::Int(10), Tok::Int(0)]
+            vec![
+                Tok::Str("a\nb".into()),
+                Tok::Int(120),
+                Tok::Int(10),
+                Tok::Int(0)
+            ]
         );
     }
 
@@ -414,7 +435,12 @@ mod tests {
     fn comments_and_preprocessor_are_skipped() {
         assert_eq!(
             toks("#include <stdio.h>\nint /* c */ x; // end\ny"),
-            vec![Tok::Kint, Tok::Ident("x".into()), Tok::Semi, Tok::Ident("y".into())]
+            vec![
+                Tok::Kint,
+                Tok::Ident("x".into()),
+                Tok::Semi,
+                Tok::Ident("y".into())
+            ]
         );
     }
 

@@ -43,10 +43,24 @@ pub fn lower(unit: &Unit, module_name: &str) -> Result<Module, CompileError> {
     };
     declare_all(&mut module, &mut data, unit)?;
     for decl in &unit.decls {
-        if let Decl::Function { name, params, body: Some(body), line, .. } = decl {
-            let info = data.functions.get(name).cloned().expect("declared in pass 1");
+        if let Decl::Function {
+            name,
+            params,
+            body: Some(body),
+            line,
+            ..
+        } = decl
+        {
+            let info = data
+                .functions
+                .get(name)
+                .cloned()
+                .expect("declared in pass 1");
             if !module.function(info.id).is_declaration() {
-                return Err(CompileError::sema(*line, format!("function {name} redefined")));
+                return Err(CompileError::sema(
+                    *line,
+                    format!("function {name} redefined"),
+                ));
             }
             let param_names: Vec<String> = params.iter().map(|(_, n)| n.clone()).collect();
             FnLower::run(&mut module, &mut data, info, param_names, body)?;
@@ -119,7 +133,10 @@ impl CtxData {
     }
 
     fn field_index(&self, sid: StructId, field: &str) -> Option<usize> {
-        self.struct_fields.get(&sid)?.iter().position(|f| f == field)
+        self.struct_fields
+            .get(&sid)?
+            .iter()
+            .position(|f| f == field)
     }
 }
 
@@ -145,9 +162,15 @@ fn declare_all(module: &mut Module, data: &mut CtxData, unit: &Unit) -> Result<(
     // `struct Node { ...; struct Node *next; }` resolve.
     for decl in &unit.decls {
         if let Decl::Struct { name, fields, line } = decl {
-            let id = module.define_struct(StructDef { name: name.clone(), fields: Vec::new() });
+            let id = module.define_struct(StructDef {
+                name: name.clone(),
+                fields: Vec::new(),
+            });
             if data.structs.insert(name.clone(), id).is_some() {
-                return Err(CompileError::sema(*line, format!("struct {name} redefined")));
+                return Err(CompileError::sema(
+                    *line,
+                    format!("struct {name} redefined"),
+                ));
             }
             data.struct_fields
                 .insert(id, fields.iter().map(|(_, n)| n.clone()).collect());
@@ -173,7 +196,14 @@ fn declare_all(module: &mut Module, data: &mut CtxData, unit: &Unit) -> Result<(
     // Function signatures before globals, so function-pointer tables in
     // global initializers resolve; then globals in order.
     for decl in &unit.decls {
-        if let Decl::Function { ret, name, params, line, .. } = decl {
+        if let Decl::Function {
+            ret,
+            name,
+            params,
+            line,
+            ..
+        } = decl
+        {
             if data.functions.contains_key(name) {
                 continue;
             }
@@ -190,12 +220,25 @@ fn declare_all(module: &mut Module, data: &mut CtxData, unit: &Unit) -> Result<(
             ir_params.extend(src_params.iter().cloned());
             let ir_ret = if sret { Type::Void } else { src_ret.clone() };
             let id = module.declare_function(name.clone(), ir_params, ir_ret);
-            data.functions
-                .insert(name.clone(), FnInfo { id, src_ret, src_params, sret });
+            data.functions.insert(
+                name.clone(),
+                FnInfo {
+                    id,
+                    src_ret,
+                    src_params,
+                    sret,
+                },
+            );
         }
     }
     for decl in &unit.decls {
-        if let Decl::Global { ty, name, init, line } = decl {
+        if let Decl::Global {
+            ty,
+            name,
+            init,
+            line,
+        } = decl
+        {
             let t = data.resolve_type(ty, *line)?;
             let ginit = match init {
                 None => GlobalInit::Zeroed,
@@ -203,7 +246,10 @@ fn declare_all(module: &mut Module, data: &mut CtxData, unit: &Unit) -> Result<(
             };
             let id = module.define_global(name.clone(), t.clone(), ginit);
             if data.globals.insert(name.clone(), (id, t)).is_some() {
-                return Err(CompileError::sema(*line, format!("global {name} redefined")));
+                return Err(CompileError::sema(
+                    *line,
+                    format!("global {name} redefined"),
+                ));
             }
         }
     }
@@ -241,7 +287,10 @@ fn flatten_init(
                 return Ok(());
             }
             let ExprKind::InitList(items) = &e.kind else {
-                return Err(CompileError::sema(e.line, "array initializer must be a list"));
+                return Err(CompileError::sema(
+                    e.line,
+                    "array initializer must be a list",
+                ));
             };
             if items.len() > *len {
                 return Err(CompileError::sema(e.line, "too many initializers"));
@@ -256,7 +305,10 @@ fn flatten_init(
         }
         Type::Struct(id) => {
             let ExprKind::InitList(items) = &e.kind else {
-                return Err(CompileError::sema(e.line, "struct initializer must be a list"));
+                return Err(CompileError::sema(
+                    e.line,
+                    "struct initializer must be a list",
+                ));
             };
             let fields = module.struct_def(*id).fields.clone();
             if items.len() > fields.len() {
@@ -433,7 +485,11 @@ impl<'m> FnLower<'m> {
                 }
             }
         }
-        let FnLower { b, pending_allocas: pending, .. } = this;
+        let FnLower {
+            b,
+            pending_allocas: pending,
+            ..
+        } = this;
         b.finish();
 
         // Hoist allocas into the entry block front.
@@ -481,10 +537,13 @@ impl<'m> FnLower<'m> {
                     return Err(CompileError::sema(s.line, "cannot declare void variable"));
                 }
                 let slot = self.alloca(ty.clone(), 1);
-                self.scopes
-                    .last_mut()
-                    .expect("scope")
-                    .insert(name.clone(), LV { addr: slot, ty: ty.clone() });
+                self.scopes.last_mut().expect("scope").insert(
+                    name.clone(),
+                    LV {
+                        addr: slot,
+                        ty: ty.clone(),
+                    },
+                );
                 if let Some(init) = init {
                     self.init_local(&LV { addr: slot, ty }, init)?;
                 }
@@ -492,11 +551,19 @@ impl<'m> FnLower<'m> {
             StmtKind::Expr(e) => {
                 self.expr(e)?;
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = self.cond(cond)?;
                 let bb_then = self.b.new_block();
                 let bb_join = self.b.new_block();
-                let bb_else = if else_branch.is_some() { self.b.new_block() } else { bb_join };
+                let bb_else = if else_branch.is_some() {
+                    self.b.new_block()
+                } else {
+                    bb_join
+                };
                 self.b.cond_br(c, bb_then, bb_else);
                 self.b.switch_to(bb_then);
                 self.stmt(then_branch)?;
@@ -546,7 +613,12 @@ impl<'m> FnLower<'m> {
                 self.b.cond_br(c, bb_body, bb_exit);
                 self.b.switch_to(bb_exit);
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(init) = init {
                     self.stmt(init)?;
@@ -597,7 +669,10 @@ impl<'m> FnLower<'m> {
                     self.b.ret(Some(rv.v));
                 }
                 (_, None) => {
-                    return Err(CompileError::sema(s.line, "non-void function returns nothing"))
+                    return Err(CompileError::sema(
+                        s.line,
+                        "non-void function returns nothing",
+                    ))
                 }
             },
             StmtKind::Break => {
@@ -615,13 +690,21 @@ impl<'m> FnLower<'m> {
             StmtKind::Asm(text) => {
                 self.b.push(Inst::InlineAsm { text: text.clone() });
             }
-            StmtKind::Switch { scrutinee, cases, default } => {
+            StmtKind::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
                 let rv = self.expr(scrutinee)?;
                 let rv = self.convert_at(rv, &Type::I64, s.line)?;
                 let bb_exit = self.b.new_block();
                 let case_blocks: Vec<offload_ir::BlockId> =
                     cases.iter().map(|_| self.b.new_block()).collect();
-                let bb_default = if default.is_some() { self.b.new_block() } else { bb_exit };
+                let bb_default = if default.is_some() {
+                    self.b.new_block()
+                } else {
+                    bb_exit
+                };
 
                 // Dispatch chain: compare against each label in order.
                 for (k, (value, _)) in cases.iter().enumerate() {
@@ -684,7 +767,13 @@ impl<'m> FnLower<'m> {
                 for (i, item) in items.iter().enumerate() {
                     let idx = self.b.const_i32(i as i32);
                     let slot = self.b.index_addr(lv.addr, (**elem).clone(), idx);
-                    self.init_local(&LV { addr: slot, ty: (**elem).clone() }, item)?;
+                    self.init_local(
+                        &LV {
+                            addr: slot,
+                            ty: (**elem).clone(),
+                        },
+                        item,
+                    )?;
                 }
                 Ok(())
             }
@@ -708,7 +797,13 @@ impl<'m> FnLower<'m> {
                 let sid = *sid;
                 for (i, item) in items.iter().enumerate() {
                     let slot = self.b.field_addr(lv.addr, sid, i as u32);
-                    self.init_local(&LV { addr: slot, ty: fields[i].clone() }, item)?;
+                    self.init_local(
+                        &LV {
+                            addr: slot,
+                            ty: fields[i].clone(),
+                        },
+                        item,
+                    )?;
                 }
                 Ok(())
             }
@@ -796,7 +891,14 @@ impl<'m> FnLower<'m> {
             }
             (Type::Ptr(_), t) if t.is_int() => {
                 let i = self.b.cast(CastKind::PtrToInt, Type::I64, rv.v);
-                self.convert(RV { v: i, ty: Type::I64 }, target)?.v
+                self.convert(
+                    RV {
+                        v: i,
+                        ty: Type::I64,
+                    },
+                    target,
+                )?
+                .v
             }
             _ => {
                 return Err(CompileError::sema(
@@ -805,7 +907,10 @@ impl<'m> FnLower<'m> {
                 ))
             }
         };
-        Ok(RV { v, ty: target.clone() })
+        Ok(RV {
+            v,
+            ty: target.clone(),
+        })
     }
 
     /// Usual arithmetic conversions: the common type of two operands.
@@ -819,7 +924,11 @@ impl<'m> FnLower<'m> {
         if *a == Type::F64 || *b == Type::F64 {
             return Type::F64;
         }
-        let bits = a.int_bits().unwrap_or(32).max(b.int_bits().unwrap_or(32)).max(32);
+        let bits = a
+            .int_bits()
+            .unwrap_or(32)
+            .max(b.int_bits().unwrap_or(32))
+            .max(32);
         if bits == 64 {
             Type::I64
         } else {
@@ -832,17 +941,29 @@ impl<'m> FnLower<'m> {
             ExprKind::Int(v) => {
                 let v = *v;
                 if i32::try_from(v).is_ok() {
-                    Ok(RV { v: self.b.const_i32(v as i32), ty: Type::I32 })
+                    Ok(RV {
+                        v: self.b.const_i32(v as i32),
+                        ty: Type::I32,
+                    })
                 } else {
-                    Ok(RV { v: self.b.const_i64(v), ty: Type::I64 })
+                    Ok(RV {
+                        v: self.b.const_i64(v),
+                        ty: Type::I64,
+                    })
                 }
             }
-            ExprKind::Float(v) => Ok(RV { v: self.b.const_f64(*v), ty: Type::F64 }),
+            ExprKind::Float(v) => Ok(RV {
+                v: self.b.const_f64(*v),
+                ty: Type::F64,
+            }),
             ExprKind::Str(s) => {
                 let g = intern_string(self.b.module_mut(), self.data, s);
                 let addr = self.b.const_value(ConstValue::GlobalAddr(g));
                 let p = self.b.cast(CastKind::PtrCast, Type::I8.ptr_to(), addr);
-                Ok(RV { v: p, ty: Type::I8.ptr_to() })
+                Ok(RV {
+                    v: p,
+                    ty: Type::I8.ptr_to(),
+                })
             }
             ExprKind::Ident(name) => {
                 if let Some(lv) = self.lookup(name) {
@@ -854,14 +975,25 @@ impl<'m> FnLower<'m> {
                 }
                 if let Some(info) = self.data.functions.get(name) {
                     let id = info.id;
-                    let sig = FuncSig { params: info.src_params.clone(), ret: info.src_ret.clone() };
+                    let sig = FuncSig {
+                        params: info.src_params.clone(),
+                        ret: info.src_ret.clone(),
+                    };
                     let v = self.b.const_value(ConstValue::FuncAddr(id));
-                    let v = self
-                        .b
-                        .cast(CastKind::PtrCast, Type::Func(Box::new(sig.clone())).ptr_to(), v);
-                    return Ok(RV { v, ty: Type::Func(Box::new(sig)).ptr_to() });
+                    let v = self.b.cast(
+                        CastKind::PtrCast,
+                        Type::Func(Box::new(sig.clone())).ptr_to(),
+                        v,
+                    );
+                    return Ok(RV {
+                        v,
+                        ty: Type::Func(Box::new(sig)).ptr_to(),
+                    });
                 }
-                Err(CompileError::sema(e.line, format!("unknown identifier {name}")))
+                Err(CompileError::sema(
+                    e.line,
+                    format!("unknown identifier {name}"),
+                ))
             }
             ExprKind::Unary(op, inner) => self.unary(e.line, *op, inner),
             ExprKind::Binary(op, lhs, rhs) => {
@@ -886,17 +1018,24 @@ impl<'m> FnLower<'m> {
             ExprKind::SizeofType(te) => {
                 let ty = self.data.resolve_type(te, e.line)?;
                 let size = self.data.layout.size_of(&ty, self.b.module());
-                Ok(RV { v: self.b.const_i64(size as i64), ty: Type::I64 })
+                Ok(RV {
+                    v: self.b.const_i64(size as i64),
+                    ty: Type::I64,
+                })
             }
-            ExprKind::InitList(_) => {
-                Err(CompileError::sema(e.line, "initializer list outside initialization"))
-            }
+            ExprKind::InitList(_) => Err(CompileError::sema(
+                e.line,
+                "initializer list outside initialization",
+            )),
             ExprKind::Syscall(args) => {
                 if args.is_empty() {
                     return Err(CompileError::sema(e.line, "syscall needs a number"));
                 }
                 let ExprKind::Int(num) = args[0].kind else {
-                    return Err(CompileError::sema(e.line, "syscall number must be a literal"));
+                    return Err(CompileError::sema(
+                        e.line,
+                        "syscall number must be a literal",
+                    ));
                 };
                 let mut vals = Vec::new();
                 for a in &args[1..] {
@@ -905,8 +1044,15 @@ impl<'m> FnLower<'m> {
                     vals.push(rv.v);
                 }
                 let dst = self.b.new_value(Type::I64);
-                self.b.push(Inst::Syscall { dst, number: num as u32, args: vals });
-                Ok(RV { v: dst, ty: Type::I64 })
+                self.b.push(Inst::Syscall {
+                    dst,
+                    number: num as u32,
+                    args: vals,
+                });
+                Ok(RV {
+                    v: dst,
+                    ty: Type::I64,
+                })
             }
         }
     }
@@ -919,9 +1065,15 @@ impl<'m> FnLower<'m> {
                 let p = self
                     .b
                     .cast(CastKind::PtrCast, (**elem).clone().ptr_to(), lv.addr);
-                RV { v: p, ty: (**elem).clone().ptr_to() }
+                RV {
+                    v: p,
+                    ty: (**elem).clone().ptr_to(),
+                }
             }
-            Type::Struct(_) => RV { v: lv.addr, ty: lv.ty.clone().ptr_to() },
+            Type::Struct(_) => RV {
+                v: lv.addr,
+                ty: lv.ty.clone().ptr_to(),
+            },
             ty => {
                 let v = self.b.load(ty.clone(), lv.addr);
                 RV { v, ty: lv.ty }
@@ -939,19 +1091,31 @@ impl<'m> FnLower<'m> {
                     let addr = self.b.const_value(ConstValue::GlobalAddr(gid));
                     return Ok(LV { addr, ty });
                 }
-                Err(CompileError::sema(e.line, format!("unknown identifier {name}")))
+                Err(CompileError::sema(
+                    e.line,
+                    format!("unknown identifier {name}"),
+                ))
             }
             ExprKind::Unary(UnaryOp::Deref, inner) => {
                 let rv = self.expr(inner)?;
                 let Type::Ptr(pointee) = &rv.ty else {
-                    return Err(CompileError::sema(e.line, format!("cannot deref {}", rv.ty)));
+                    return Err(CompileError::sema(
+                        e.line,
+                        format!("cannot deref {}", rv.ty),
+                    ));
                 };
-                Ok(LV { addr: rv.v, ty: (**pointee).clone() })
+                Ok(LV {
+                    addr: rv.v,
+                    ty: (**pointee).clone(),
+                })
             }
             ExprKind::Index(base, index) => {
                 let base_rv = self.expr(base)?;
                 let Type::Ptr(elem) = &base_rv.ty else {
-                    return Err(CompileError::sema(e.line, format!("cannot index {}", base_rv.ty)));
+                    return Err(CompileError::sema(
+                        e.line,
+                        format!("cannot index {}", base_rv.ty),
+                    ));
                 };
                 let elem = (**elem).clone();
                 let idx = self.expr(index)?;
@@ -1006,7 +1170,10 @@ impl<'m> FnLower<'m> {
                     return Ok(rv.v);
                 }
             }
-            return Err(CompileError::sema(e.line, "call does not produce this aggregate type"));
+            return Err(CompileError::sema(
+                e.line,
+                "call does not produce this aggregate type",
+            ));
         }
         let lv = self.lvalue(e)?;
         if &lv.ty != ty {
@@ -1053,7 +1220,10 @@ impl<'m> FnLower<'m> {
                 let Type::Ptr(pointee) = &rv.ty else {
                     return Err(CompileError::sema(line, format!("cannot deref {}", rv.ty)));
                 };
-                let lv = LV { addr: rv.v, ty: (**pointee).clone() };
+                let lv = LV {
+                    addr: rv.v,
+                    ty: (**pointee).clone(),
+                };
                 Ok(self.load_lvalue(lv))
             }
             UnaryOp::AddrOf => {
@@ -1067,7 +1237,10 @@ impl<'m> FnLower<'m> {
                     }
                 }
                 let lv = self.lvalue(inner)?;
-                Ok(RV { v: lv.addr, ty: lv.ty.ptr_to() })
+                Ok(RV {
+                    v: lv.addr,
+                    ty: lv.ty.ptr_to(),
+                })
             }
             UnaryOp::PreInc | UnaryOp::PreDec | UnaryOp::PostInc | UnaryOp::PostDec => {
                 let lv = self.lvalue(inner)?;
@@ -1131,7 +1304,10 @@ impl<'m> FnLower<'m> {
             return Ok(RV { v, ty: Type::I32 });
         }
         if common == Type::F64 && matches!(op, Rem | BitAnd | BitOr | BitXor | Shl | Shr) {
-            return Err(CompileError::sema(line, format!("operator {op:?} on double")));
+            return Err(CompileError::sema(
+                line,
+                format!("operator {op:?} on double"),
+            ));
         }
         let bin_op = match op {
             Add => BinOp::Add,
@@ -1170,13 +1346,19 @@ impl<'m> FnLower<'m> {
                     idx.v
                 };
                 let v = self.b.index_addr(l.v, elem.clone(), idx_v);
-                Ok(RV { v, ty: elem.ptr_to() })
+                Ok(RV {
+                    v,
+                    ty: elem.ptr_to(),
+                })
             }
             (lt, Type::Ptr(elem), BinaryOp::Add) if lt.is_int() => {
                 let elem = (**elem).clone();
                 let idx = self.convert_at(l, &Type::I64, line)?;
                 let v = self.b.index_addr(r.v, elem.clone(), idx.v);
-                Ok(RV { v, ty: elem.ptr_to() })
+                Ok(RV {
+                    v,
+                    ty: elem.ptr_to(),
+                })
             }
             _ => Err(CompileError::sema(line, "invalid pointer arithmetic")),
         }
@@ -1245,7 +1427,10 @@ impl<'m> FnLower<'m> {
             let ty = lv.ty.clone();
             let src = self.aggregate_addr(rhs, &ty)?;
             self.copy_aggregate(lv.addr, src, &ty);
-            return Ok(RV { v: lv.addr, ty: ty.ptr_to() });
+            return Ok(RV {
+                v: lv.addr,
+                ty: ty.ptr_to(),
+            });
         }
         let value = match op {
             None => self.expr(rhs)?,
@@ -1275,10 +1460,16 @@ impl<'m> FnLower<'m> {
         // Indirect call through a function-pointer expression.
         let f = self.expr(callee)?;
         let Type::Ptr(p) = &f.ty else {
-            return Err(CompileError::sema(line, format!("cannot call value of type {}", f.ty)));
+            return Err(CompileError::sema(
+                line,
+                format!("cannot call value of type {}", f.ty),
+            ));
         };
         let Type::Func(sig) = &**p else {
-            return Err(CompileError::sema(line, format!("cannot call value of type {}", f.ty)));
+            return Err(CompileError::sema(
+                line,
+                format!("cannot call value of type {}", f.ty),
+            ));
         };
         let sig = (**sig).clone();
         if sig.params.len() != args.len() {
@@ -1293,8 +1484,14 @@ impl<'m> FnLower<'m> {
             vals.push(rv.v);
         }
         match self.b.call_indirect(f.v, sig.ret.clone(), vals) {
-            Some(dst) => Ok(RV { v: dst, ty: sig.ret }),
-            None => Ok(RV { v: f.v, ty: Type::Void }),
+            Some(dst) => Ok(RV {
+                v: dst,
+                ty: sig.ret,
+            }),
+            None => Ok(RV {
+                v: f.v,
+                ty: Type::Void,
+            }),
         }
     }
 
@@ -1318,7 +1515,11 @@ impl<'m> FnLower<'m> {
         if info.src_params.len() != args.len() {
             return Err(CompileError::sema(
                 line,
-                format!("call expects {} args, got {}", info.src_params.len(), args.len()),
+                format!(
+                    "call expects {} args, got {}",
+                    info.src_params.len(),
+                    args.len()
+                ),
             ));
         }
         let mut vals = Vec::new();
@@ -1334,21 +1535,39 @@ impl<'m> FnLower<'m> {
         }
         let dst = self.b.call(info.id, vals);
         if let Some(tmp) = sret_tmp {
-            return Ok(RV { v: tmp, ty: info.src_ret.clone().ptr_to() });
+            return Ok(RV {
+                v: tmp,
+                ty: info.src_ret.clone().ptr_to(),
+            });
         }
         match &info.src_ret {
-            Type::Void => Ok(RV { v: ValueId(u32::MAX), ty: Type::Void }),
-            ty => Ok(RV { v: dst.expect("non-void call yields a value"), ty: ty.clone() }),
+            Type::Void => Ok(RV {
+                v: ValueId(u32::MAX),
+                ty: Type::Void,
+            }),
+            ty => Ok(RV {
+                v: dst.expect("non-void call yields a value"),
+                ty: ty.clone(),
+            }),
         }
     }
 
-    fn builtin_call(&mut self, line: u32, builtin: Builtin, args: &[Expr]) -> Result<RV, CompileError> {
+    fn builtin_call(
+        &mut self,
+        line: u32,
+        builtin: Builtin,
+        args: &[Expr],
+    ) -> Result<RV, CompileError> {
         use Builtin::*;
         let (param_tys, ret): (Vec<Option<Type>>, Type) = match builtin {
             Malloc | UMalloc => (vec![Some(Type::I64)], Type::I8.ptr_to()),
             Free | UFree => (vec![Some(Type::I8.ptr_to())], Type::Void),
             Memcpy => (
-                vec![Some(Type::I8.ptr_to()), Some(Type::I8.ptr_to()), Some(Type::I64)],
+                vec![
+                    Some(Type::I8.ptr_to()),
+                    Some(Type::I8.ptr_to()),
+                    Some(Type::I64),
+                ],
                 Type::I8.ptr_to(),
             ),
             Memset => (
@@ -1356,7 +1575,10 @@ impl<'m> FnLower<'m> {
                 Type::I8.ptr_to(),
             ),
             Strlen => (vec![Some(Type::I8.ptr_to())], Type::I64),
-            Strcmp => (vec![Some(Type::I8.ptr_to()), Some(Type::I8.ptr_to())], Type::I32),
+            Strcmp => (
+                vec![Some(Type::I8.ptr_to()), Some(Type::I8.ptr_to())],
+                Type::I32,
+            ),
             Strcpy => (
                 vec![Some(Type::I8.ptr_to()), Some(Type::I8.ptr_to())],
                 Type::I8.ptr_to(),
@@ -1368,10 +1590,18 @@ impl<'m> FnLower<'m> {
             }
             Putchar => (vec![Some(Type::I32)], Type::I32),
             Getchar => (vec![], Type::I32),
-            FOpen => (vec![Some(Type::I8.ptr_to()), Some(Type::I8.ptr_to())], Type::I32),
+            FOpen => (
+                vec![Some(Type::I8.ptr_to()), Some(Type::I8.ptr_to())],
+                Type::I32,
+            ),
             FClose => (vec![Some(Type::I32)], Type::I32),
             FRead | FWrite => (
-                vec![Some(Type::I8.ptr_to()), Some(Type::I64), Some(Type::I64), Some(Type::I32)],
+                vec![
+                    Some(Type::I8.ptr_to()),
+                    Some(Type::I64),
+                    Some(Type::I64),
+                    Some(Type::I32),
+                ],
                 Type::I64,
             ),
             Sqrt | Fabs | Exp | Log | Sin | Cos | Floor => (vec![Some(Type::F64)], Type::F64),
@@ -1388,7 +1618,11 @@ impl<'m> FnLower<'m> {
         if param_tys.len() != args.len() {
             return Err(CompileError::sema(
                 line,
-                format!("{builtin} expects {} args, got {}", param_tys.len(), args.len()),
+                format!(
+                    "{builtin} expects {} args, got {}",
+                    param_tys.len(),
+                    args.len()
+                ),
             ));
         }
         let mut vals = Vec::new();
@@ -1398,7 +1632,10 @@ impl<'m> FnLower<'m> {
         }
         match self.b.call_builtin(builtin, ret.clone(), vals) {
             Some(dst) => Ok(RV { v: dst, ty: ret }),
-            None => Ok(RV { v: ValueId(u32::MAX), ty: Type::Void }),
+            None => Ok(RV {
+                v: ValueId(u32::MAX),
+                ty: Type::Void,
+            }),
         }
     }
 }
@@ -1492,9 +1729,7 @@ mod tests {
 
     #[test]
     fn lowers_logic_and_ternary() {
-        compile(
-            "int f(int a, int b) { return (a && b) || (!a && a < b) ? a : b; }",
-        );
+        compile("int f(int a, int b) { return (a && b) || (!a && a < b) ? a : b; }");
     }
 
     #[test]
@@ -1627,8 +1862,7 @@ mod switch_tests {
 
     #[test]
     fn switch_dispatch_and_default() {
-        let out = run(
-            "int classify(int x) {
+        let out = run("int classify(int x) {
                 switch (x) {
                     case 1: return 10;
                     case 2: return 20;
@@ -1639,16 +1873,14 @@ mod switch_tests {
             int main() {
                 printf(\"%d %d %d %d\\n\", classify(1), classify(2), classify(-3), classify(7));
                 return 0;
-            }",
-        );
+            }");
         assert_eq!(out, "10 20 30 99\n");
     }
 
     #[test]
     fn switch_fallthrough_and_break() {
         // case 1 falls into case 2; case 2 breaks; empty labels chain.
-        let out = run(
-            "int f(int x) {
+        let out = run("int f(int x) {
                 int acc = 0;
                 switch (x) {
                     case 1: acc += 1;
@@ -1662,28 +1894,24 @@ mod switch_tests {
             int main() {
                 printf(\"%d %d %d %d %d\\n\", f(1), f(2), f(3), f(4), f(9));
                 return 0;
-            }",
-        );
+            }");
         assert_eq!(out, "3 2 40 40 -1\n");
     }
 
     #[test]
     fn switch_without_default_skips() {
-        let out = run(
-            "int main() {
+        let out = run("int main() {
                 int acc = 5;
                 switch (acc) { case 1: acc = 0; break; }
                 printf(\"%d\\n\", acc);
                 return 0;
-            }",
-        );
+            }");
         assert_eq!(out, "5\n");
     }
 
     #[test]
     fn continue_inside_switch_targets_the_loop() {
-        let out = run(
-            "int main() {
+        let out = run("int main() {
                 int i; int acc = 0;
                 for (i = 0; i < 6; i++) {
                     switch (i % 3) {
@@ -1695,16 +1923,14 @@ mod switch_tests {
                 }
                 printf(\"%d\\n\", acc);
                 return 0;
-            }",
-        );
+            }");
         // i=0,3: continue. i=1,4: +10+100. i=2,5: +1+100.
         assert_eq!(out, "422\n");
     }
 
     #[test]
     fn break_inside_switch_does_not_exit_loop() {
-        let out = run(
-            "int main() {
+        let out = run("int main() {
                 int i; int acc = 0;
                 for (i = 0; i < 3; i++) {
                     switch (i) { default: acc += 1; break; }
@@ -1712,8 +1938,7 @@ mod switch_tests {
                 }
                 printf(\"%d\\n\", acc);
                 return 0;
-            }",
-        );
+            }");
         assert_eq!(out, "33\n");
     }
 

@@ -18,7 +18,13 @@ use crate::token::{Spanned, Tok};
 ///
 /// Returns a [`CompileError`] at the offending line on any syntax error.
 pub fn parse(tokens: Vec<Spanned>) -> Result<Unit, CompileError> {
-    Parser { tokens, pos: 0, typedefs: HashSet::new(), structs: HashSet::new() }.unit()
+    Parser {
+        tokens,
+        pos: 0,
+        typedefs: HashSet::new(),
+        structs: HashSet::new(),
+    }
+    .unit()
 }
 
 struct Parser {
@@ -157,7 +163,10 @@ impl Parser {
             self.expect(&Tok::LParen)?;
             let params = self.param_types()?;
             self.expect(&Tok::RParen)?;
-            let mut ty = TypeExpr::FnPtr { ret: Box::new(t), params };
+            let mut ty = TypeExpr::FnPtr {
+                ret: Box::new(t),
+                params,
+            };
             if let Some(len) = array_len {
                 ty = TypeExpr::Array(Box::new(ty), len);
             }
@@ -241,7 +250,9 @@ impl Parser {
         let base = self.base_type()?;
         let (ty, name) = self.declarator(base.clone())?;
 
-        if self.peek() == Some(&Tok::LParen) && !matches!(ty, TypeExpr::Array(..) | TypeExpr::FnPtr { .. }) {
+        if self.peek() == Some(&Tok::LParen)
+            && !matches!(ty, TypeExpr::Array(..) | TypeExpr::FnPtr { .. })
+        {
             // Function definition or prototype.
             self.bump();
             let params = self.named_params()?;
@@ -251,7 +262,13 @@ impl Parser {
             } else {
                 Some(self.block()?)
             };
-            return Ok(vec![Decl::Function { ret: ty, name, params, body, line }]);
+            return Ok(vec![Decl::Function {
+                ret: ty,
+                name,
+                params,
+                body,
+                line,
+            }]);
         }
 
         // Global variable(s), possibly comma-separated.
@@ -263,7 +280,12 @@ impl Parser {
             } else {
                 None
             };
-            out.push(Decl::Global { ty: cur.0, name: cur.1, init, line });
+            out.push(Decl::Global {
+                ty: cur.0,
+                name: cur.1,
+                init,
+                line,
+            });
             if self.eat(&Tok::Comma) {
                 cur = self.declarator(base.clone())?;
             } else {
@@ -297,8 +319,16 @@ impl Parser {
             self.structs.insert(struct_name.clone());
             self.typedefs.insert(name.clone());
             return Ok(vec![
-                Decl::Struct { name: struct_name.clone(), fields, line },
-                Decl::Typedef { name, ty: TypeExpr::Struct(struct_name), line },
+                Decl::Struct {
+                    name: struct_name.clone(),
+                    fields,
+                    line,
+                },
+                Decl::Typedef {
+                    name,
+                    ty: TypeExpr::Struct(struct_name),
+                    line,
+                },
             ]);
         }
         let base = self.base_type()?;
@@ -365,7 +395,10 @@ impl Parser {
                 }
                 self.expect(&Tok::RBrace)?;
             }
-            return Ok(Expr { line, kind: ExprKind::InitList(items) });
+            return Ok(Expr {
+                line,
+                kind: ExprKind::InitList(items),
+            });
         }
         self.assign_expr()
     }
@@ -382,7 +415,10 @@ impl Parser {
             }
             stmts.push(self.stmt()?);
         }
-        Ok(Stmt { line, kind: StmtKind::Block(stmts) })
+        Ok(Stmt {
+            line,
+            kind: StmtKind::Block(stmts),
+        })
     }
 
     fn stmt(&mut self) -> Result<Stmt, CompileError> {
@@ -400,7 +436,14 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Stmt { line, kind: StmtKind::If { cond, then_branch, else_branch } })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    },
+                })
             }
             Some(Tok::While) => {
                 self.bump();
@@ -408,7 +451,10 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&Tok::RParen)?;
                 let body = Box::new(self.stmt()?);
-                Ok(Stmt { line, kind: StmtKind::While { cond, body } })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::While { cond, body },
+                })
             }
             Some(Tok::Do) => {
                 self.bump();
@@ -418,7 +464,10 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&Tok::RParen)?;
                 self.expect(&Tok::Semi)?;
-                Ok(Stmt { line, kind: StmtKind::DoWhile { body, cond } })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::DoWhile { body, cond },
+                })
             }
             Some(Tok::For) => {
                 self.bump();
@@ -430,7 +479,10 @@ impl Parser {
                 } else {
                     let e = self.expr()?;
                     self.expect(&Tok::Semi)?;
-                    Some(Box::new(Stmt { line, kind: StmtKind::Expr(e) }))
+                    Some(Box::new(Stmt {
+                        line,
+                        kind: StmtKind::Expr(e),
+                    }))
                 };
                 let cond = if self.peek() == Some(&Tok::Semi) {
                     None
@@ -445,7 +497,15 @@ impl Parser {
                 };
                 self.expect(&Tok::RParen)?;
                 let body = Box::new(self.stmt()?);
-                Ok(Stmt { line, kind: StmtKind::For { init, cond, step, body } })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    },
+                })
             }
             Some(Tok::Return) => {
                 self.bump();
@@ -455,17 +515,26 @@ impl Parser {
                     Some(self.expr()?)
                 };
                 self.expect(&Tok::Semi)?;
-                Ok(Stmt { line, kind: StmtKind::Return(value) })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Return(value),
+                })
             }
             Some(Tok::Break) => {
                 self.bump();
                 self.expect(&Tok::Semi)?;
-                Ok(Stmt { line, kind: StmtKind::Break })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Break,
+                })
             }
             Some(Tok::Continue) => {
                 self.bump();
                 self.expect(&Tok::Semi)?;
-                Ok(Stmt { line, kind: StmtKind::Continue })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Continue,
+                })
             }
             Some(Tok::Switch) => {
                 self.bump();
@@ -487,9 +556,8 @@ impl Parser {
                                 }
                             }
                             other => {
-                                return Err(self.err(format!(
-                                    "expected integer case label, found {other:?}"
-                                )))
+                                return Err(self
+                                    .err(format!("expected integer case label, found {other:?}")))
                             }
                         };
                         self.expect(&Tok::Colon)?;
@@ -515,28 +583,46 @@ impl Parser {
                         }
                     }
                 }
-                Ok(Stmt { line, kind: StmtKind::Switch { scrutinee, cases, default } })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Switch {
+                        scrutinee,
+                        cases,
+                        default,
+                    },
+                })
             }
             Some(Tok::Asm) => {
                 self.bump();
                 self.expect(&Tok::LParen)?;
                 let text = match self.bump() {
                     Some(Tok::Str(s)) => s,
-                    other => return Err(self.err(format!("expected string in asm, found {other:?}"))),
+                    other => {
+                        return Err(self.err(format!("expected string in asm, found {other:?}")))
+                    }
                 };
                 self.expect(&Tok::RParen)?;
                 self.expect(&Tok::Semi)?;
-                Ok(Stmt { line, kind: StmtKind::Asm(text) })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Asm(text),
+                })
             }
             Some(Tok::Semi) => {
                 self.bump();
-                Ok(Stmt { line, kind: StmtKind::Block(vec![]) })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Block(vec![]),
+                })
             }
             _ if self.at_type() => self.decl_stmt(),
             _ => {
                 let e = self.expr()?;
                 self.expect(&Tok::Semi)?;
-                Ok(Stmt { line, kind: StmtKind::Expr(e) })
+                Ok(Stmt {
+                    line,
+                    kind: StmtKind::Expr(e),
+                })
             }
         }
     }
@@ -553,7 +639,10 @@ impl Parser {
             } else {
                 None
             };
-            stmts.push(Stmt { line, kind: StmtKind::Decl { ty, name, init } });
+            stmts.push(Stmt {
+                line,
+                kind: StmtKind::Decl { ty, name, init },
+            });
             if !self.eat(&Tok::Comma) {
                 break;
             }
@@ -562,7 +651,10 @@ impl Parser {
         if stmts.len() == 1 {
             Ok(stmts.pop().expect("one statement"))
         } else {
-            Ok(Stmt { line, kind: StmtKind::Block(stmts) })
+            Ok(Stmt {
+                line,
+                kind: StmtKind::Block(stmts),
+            })
         }
     }
 
@@ -593,7 +685,11 @@ impl Parser {
         let rhs = self.assign_expr()?;
         Ok(Expr {
             line,
-            kind: ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+            kind: ExprKind::Assign {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
         })
     }
 
@@ -671,14 +767,20 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let operand = self.unary_expr()?;
-            return Ok(Expr { line, kind: ExprKind::Unary(op, Box::new(operand)) });
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Unary(op, Box::new(operand)),
+            });
         }
         if self.peek() == Some(&Tok::Sizeof) {
             self.bump();
             self.expect(&Tok::LParen)?;
             let ty = self.abstract_type()?;
             self.expect(&Tok::RParen)?;
-            return Ok(Expr { line, kind: ExprKind::SizeofType(ty) });
+            return Ok(Expr {
+                line,
+                kind: ExprKind::SizeofType(ty),
+            });
         }
         // Cast: `(` starts a type.
         if self.peek() == Some(&Tok::LParen) && self.token_starts_type(1) {
@@ -686,7 +788,10 @@ impl Parser {
             let ty = self.abstract_type()?;
             self.expect(&Tok::RParen)?;
             let operand = self.unary_expr()?;
-            return Ok(Expr { line, kind: ExprKind::Cast(ty, Box::new(operand)) });
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Cast(ty, Box::new(operand)),
+            });
         }
         self.postfix_expr()
     }
@@ -724,35 +829,67 @@ impl Parser {
                     }
                     if let ExprKind::Ident(name) = &e.kind {
                         if name == "syscall" {
-                            e = Expr { line: e.line, kind: ExprKind::Syscall(args) };
+                            e = Expr {
+                                line: e.line,
+                                kind: ExprKind::Syscall(args),
+                            };
                             continue;
                         }
                     }
-                    e = Expr { line: e.line, kind: ExprKind::Call { callee: Box::new(e), args } };
+                    e = Expr {
+                        line: e.line,
+                        kind: ExprKind::Call {
+                            callee: Box::new(e),
+                            args,
+                        },
+                    };
                 }
                 Some(Tok::LBracket) => {
                     self.bump();
                     let idx = self.expr()?;
                     self.expect(&Tok::RBracket)?;
-                    e = Expr { line, kind: ExprKind::Index(Box::new(e), Box::new(idx)) };
+                    e = Expr {
+                        line,
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                    };
                 }
                 Some(Tok::Dot) => {
                     self.bump();
                     let field = self.ident()?;
-                    e = Expr { line, kind: ExprKind::Member { base: Box::new(e), field, arrow: false } };
+                    e = Expr {
+                        line,
+                        kind: ExprKind::Member {
+                            base: Box::new(e),
+                            field,
+                            arrow: false,
+                        },
+                    };
                 }
                 Some(Tok::Arrow) => {
                     self.bump();
                     let field = self.ident()?;
-                    e = Expr { line, kind: ExprKind::Member { base: Box::new(e), field, arrow: true } };
+                    e = Expr {
+                        line,
+                        kind: ExprKind::Member {
+                            base: Box::new(e),
+                            field,
+                            arrow: true,
+                        },
+                    };
                 }
                 Some(Tok::PlusPlus) => {
                     self.bump();
-                    e = Expr { line, kind: ExprKind::Unary(UnaryOp::PostInc, Box::new(e)) };
+                    e = Expr {
+                        line,
+                        kind: ExprKind::Unary(UnaryOp::PostInc, Box::new(e)),
+                    };
                 }
                 Some(Tok::MinusMinus) => {
                     self.bump();
-                    e = Expr { line, kind: ExprKind::Unary(UnaryOp::PostDec, Box::new(e)) };
+                    e = Expr {
+                        line,
+                        kind: ExprKind::Unary(UnaryOp::PostDec, Box::new(e)),
+                    };
                 }
                 _ => break,
             }
@@ -763,10 +900,22 @@ impl Parser {
     fn primary_expr(&mut self) -> Result<Expr, CompileError> {
         let line = self.line();
         match self.bump() {
-            Some(Tok::Int(v)) => Ok(Expr { line, kind: ExprKind::Int(v) }),
-            Some(Tok::Float(v)) => Ok(Expr { line, kind: ExprKind::Float(v) }),
-            Some(Tok::Str(s)) => Ok(Expr { line, kind: ExprKind::Str(s) }),
-            Some(Tok::Ident(name)) => Ok(Expr { line, kind: ExprKind::Ident(name) }),
+            Some(Tok::Int(v)) => Ok(Expr {
+                line,
+                kind: ExprKind::Int(v),
+            }),
+            Some(Tok::Float(v)) => Ok(Expr {
+                line,
+                kind: ExprKind::Float(v),
+            }),
+            Some(Tok::Str(s)) => Ok(Expr {
+                line,
+                kind: ExprKind::Str(s),
+            }),
+            Some(Tok::Ident(name)) => Ok(Expr {
+                line,
+                kind: ExprKind::Ident(name),
+            }),
             Some(Tok::LParen) => {
                 let e = self.expr()?;
                 self.expect(&Tok::RParen)?;
@@ -791,7 +940,9 @@ mod tests {
         let u = parse_src("int add(int a, int b) { return a + b; }");
         assert_eq!(u.decls.len(), 1);
         match &u.decls[0] {
-            Decl::Function { name, params, body, .. } => {
+            Decl::Function {
+                name, params, body, ..
+            } => {
                 assert_eq!(name, "add");
                 assert_eq!(params.len(), 2);
                 assert!(body.is_some());
@@ -808,9 +959,15 @@ mod tests {
              Move m_global;\n\
              EVALFUNC evals[7];",
         );
-        assert!(matches!(&u.decls[0], Decl::Struct { name, fields, .. } if name == "Move" && fields.len() == 3));
-        assert!(matches!(&u.decls[1], Decl::Typedef { name, ty: TypeExpr::Struct(s), .. } if name == "Move" && s == "Move"));
-        assert!(matches!(&u.decls[2], Decl::Typedef { name, ty: TypeExpr::FnPtr { .. }, .. } if name == "EVALFUNC"));
+        assert!(
+            matches!(&u.decls[0], Decl::Struct { name, fields, .. } if name == "Move" && fields.len() == 3)
+        );
+        assert!(
+            matches!(&u.decls[1], Decl::Typedef { name, ty: TypeExpr::Struct(s), .. } if name == "Move" && s == "Move")
+        );
+        assert!(
+            matches!(&u.decls[2], Decl::Typedef { name, ty: TypeExpr::FnPtr { .. }, .. } if name == "EVALFUNC")
+        );
         assert!(matches!(&u.decls[3], Decl::Global { ty: TypeExpr::Named(n), .. } if n == "Move"));
         assert!(
             matches!(&u.decls[4], Decl::Global { ty: TypeExpr::Array(inner, 7), .. } if matches!(**inner, TypeExpr::Named(_)))
@@ -820,8 +977,12 @@ mod tests {
     #[test]
     fn parses_function_pointer_decl_and_array() {
         let u = parse_src("double (*eval)(int); double (*table[4])(int);");
-        assert!(matches!(&u.decls[0], Decl::Global { ty: TypeExpr::FnPtr { .. }, name, .. } if name == "eval"));
-        assert!(matches!(&u.decls[1], Decl::Global { ty: TypeExpr::Array(t, 4), .. } if matches!(**t, TypeExpr::FnPtr { .. })));
+        assert!(
+            matches!(&u.decls[0], Decl::Global { ty: TypeExpr::FnPtr { .. }, name, .. } if name == "eval")
+        );
+        assert!(
+            matches!(&u.decls[1], Decl::Global { ty: TypeExpr::Array(t, 4), .. } if matches!(**t, TypeExpr::FnPtr { .. }))
+        );
     }
 
     #[test]
@@ -870,9 +1031,13 @@ mod tests {
         let u = parse_src("void f() { asm(\"wfi\"); syscall(42, 1, 2); }");
         match &u.decls[0] {
             Decl::Function { body: Some(b), .. } => {
-                let StmtKind::Block(stmts) = &b.kind else { panic!() };
+                let StmtKind::Block(stmts) = &b.kind else {
+                    panic!()
+                };
                 assert!(matches!(&stmts[0].kind, StmtKind::Asm(t) if t == "wfi"));
-                assert!(matches!(&stmts[1].kind, StmtKind::Expr(e) if matches!(&e.kind, ExprKind::Syscall(a) if a.len() == 3)));
+                assert!(
+                    matches!(&stmts[1].kind, StmtKind::Expr(e) if matches!(&e.kind, ExprKind::Syscall(a) if a.len() == 3))
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -901,11 +1066,19 @@ mod tests {
     #[test]
     fn precedence() {
         let u = parse_src("int f() { return 1 + 2 * 3; }");
-        let Decl::Function { body: Some(b), .. } = &u.decls[0] else { panic!() };
-        let StmtKind::Block(stmts) = &b.kind else { panic!() };
-        let StmtKind::Return(Some(e)) = &stmts[0].kind else { panic!() };
+        let Decl::Function { body: Some(b), .. } = &u.decls[0] else {
+            panic!()
+        };
+        let StmtKind::Block(stmts) = &b.kind else {
+            panic!()
+        };
+        let StmtKind::Return(Some(e)) = &stmts[0].kind else {
+            panic!()
+        };
         // Must parse as 1 + (2 * 3).
-        let ExprKind::Binary(BinaryOp::Add, _, rhs) = &e.kind else { panic!("{e:?}") };
+        let ExprKind::Binary(BinaryOp::Add, _, rhs) = &e.kind else {
+            panic!("{e:?}")
+        };
         assert!(matches!(&rhs.kind, ExprKind::Binary(BinaryOp::Mul, _, _)));
     }
 }

@@ -1,9 +1,26 @@
-//! Property tests for the MiniC front-end: generated programs always
-//! lex, parse, lower and verify — and constant-expression programs
-//! evaluate correctly end to end (differential testing against a Rust
-//! model of the same arithmetic).
+//! Fuzz tests for the MiniC front-end: generated programs always lex,
+//! parse, lower and verify — and constant-expression programs evaluate
+//! correctly end to end (differential testing against a Rust model of
+//! the same arithmetic). Cases come from a fixed-seed splitmix64 stream,
+//! so every run fuzzes identical programs and failures reproduce.
 
-use proptest::prelude::*;
+/// Minimal splitmix64 — the canonical copy lives in
+/// `offload_workloads::rng`, which this leaf crate cannot depend on.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+}
 
 /// A tiny expression AST we can render to MiniC *and* evaluate in Rust.
 #[derive(Debug, Clone)]
@@ -15,16 +32,27 @@ enum E {
     Neg(Box<E>),
 }
 
-fn expr() -> impl Strategy<Value = E> {
-    let leaf = (-1000i32..1000).prop_map(E::Lit);
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| E::Neg(Box::new(a))),
-        ]
-    })
+/// A random expression tree of bounded depth (mirrors the original
+/// recursive strategy: depth ≤ 4, literals in -1000..1000).
+fn gen_expr(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.below(3) == 0 {
+        return E::Lit(rng.below(2000) as i32 - 1000);
+    }
+    match rng.below(4) {
+        0 => E::Add(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        1 => E::Sub(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        2 => E::Mul(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        _ => E::Neg(Box::new(gen_expr(rng, depth - 1))),
+    }
 }
 
 fn render(e: &E) -> String {
@@ -54,7 +82,12 @@ fn eval(e: &E) -> i32 {
 }
 
 fn run_main(src: &str) -> i64 {
-    use offload_machine::{host::LocalHost, loader, target::TargetSpec, vm::{StackBank, Vm}};
+    use offload_machine::{
+        host::LocalHost,
+        loader,
+        target::TargetSpec,
+        vm::{StackBank, Vm},
+    };
     let module = offload_minic::compile(src, "prop").expect("compiles");
     offload_ir::verify::verify_module(&module).expect("verifies");
     let spec = TargetSpec::xps_8700();
@@ -62,23 +95,36 @@ fn run_main(src: &str) -> i64 {
     let mut host = LocalHost::new();
     let mut vm = Vm::new(&module, &spec, image, StackBank::Mobile);
     vm.set_fuel(10_000_000);
-    vm.run_entry(&mut host).expect("runs").expect("returns").as_i()
+    vm.run_entry(&mut host)
+        .expect("runs")
+        .expect("returns")
+        .as_i()
 }
 
-proptest! {
-    /// Differential test: MiniC arithmetic matches Rust's wrapping i32
-    /// arithmetic for arbitrary expression trees.
-    #[test]
-    fn expression_evaluation_matches_rust(e in expr()) {
+/// Differential test: MiniC arithmetic matches Rust's wrapping i32
+/// arithmetic for arbitrary expression trees.
+#[test]
+fn expression_evaluation_matches_rust() {
+    let mut rng = Rng(0xE49);
+    for _ in 0..48 {
+        let e = gen_expr(&mut rng, 4);
         let expected = eval(&e);
-        let src = format!("int main() {{ long v = (long)({}); return (int)(v & 255); }}", render(&e));
+        let src = format!(
+            "int main() {{ long v = (long)({}); return (int)(v & 255); }}",
+            render(&e)
+        );
         let got = run_main(&src);
-        prop_assert_eq!(got, (expected as i64 & 255) as i32 as i64);
+        assert_eq!(got, (expected as i64 & 255) as i32 as i64, "expr {e:?}");
     }
+}
 
-    /// Random for-loop sums match the closed-form model.
-    #[test]
-    fn loop_sums_match(n in 0i32..500, step in 1i32..7) {
+/// Random for-loop sums match the closed-form model.
+#[test]
+fn loop_sums_match() {
+    let mut rng = Rng(0x0001_0095);
+    for _ in 0..32 {
+        let n = rng.below(500) as i32;
+        let step = 1 + rng.below(6) as i32;
         let src = format!(
             "int main() {{ int i; long acc = 0; for (i = 0; i < {n}; i += {step}) acc += i; return (int)(acc % 8191); }}"
         );
@@ -88,24 +134,42 @@ proptest! {
             expect += i as i64;
             i += step;
         }
-        prop_assert_eq!(run_main(&src), expect % 8191);
+        assert_eq!(run_main(&src), expect % 8191);
     }
+}
 
-    /// Generated identifier soup never crashes the lexer/parser: they
-    /// either parse or return a clean error (no panics).
-    #[test]
-    fn lexer_parser_total(garbage in "[a-z0-9+*/(){};= <>!&|,-]{0,200}") {
+/// Generated character soup never crashes the lexer/parser: they either
+/// parse or return a clean error (no panics).
+#[test]
+fn lexer_parser_total() {
+    const ALPHABET: &[u8] = b"abcxyz0189+*/(){};= <>!&|,-";
+    let mut rng = Rng(0x50_0b);
+    for _ in 0..128 {
+        let len = rng.below(200) as usize;
+        let garbage: String = (0..len)
+            .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize] as char)
+            .collect();
         if let Ok(tokens) = offload_minic::lexer::lex(&garbage) {
             let _ = offload_minic::parser::parse(tokens); // Ok or Err, no panic
         }
     }
+}
 
-    /// Struct field access roundtrips through memory for random field
-    /// counts and values.
-    #[test]
-    fn struct_fields_roundtrip(vals in prop::collection::vec(-10_000i32..10_000, 1..8)) {
+/// Struct field access roundtrips through memory for random field counts
+/// and values.
+#[test]
+fn struct_fields_roundtrip() {
+    let mut rng = Rng(0x57_40C7);
+    for _ in 0..24 {
+        let vals: Vec<i32> = (0..1 + rng.below(7))
+            .map(|_| rng.below(20_000) as i32 - 10_000)
+            .collect();
         let fields: Vec<String> = (0..vals.len()).map(|i| format!("int f{i};")).collect();
-        let sets: Vec<String> = vals.iter().enumerate().map(|(i, v)| format!("s.f{i} = {v};")).collect();
+        let sets: Vec<String> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("s.f{i} = {v};"))
+            .collect();
         let sum: Vec<String> = (0..vals.len()).map(|i| format!("s.f{i}")).collect();
         let src = format!(
             "typedef struct {{ {} }} S;\n int main() {{ S s; {} long t = (long)({}); return (int)(t % 100003); }}",
@@ -115,6 +179,6 @@ proptest! {
         );
         let expect: i64 = vals.iter().map(|v| *v as i64).sum();
         // C's % truncates toward zero, exactly like Rust's.
-        prop_assert_eq!(run_main(&src), expect % 100003);
+        assert_eq!(run_main(&src), expect % 100003);
     }
 }

@@ -24,7 +24,13 @@ pub struct BatchBuffer {
 impl BatchBuffer {
     /// An empty buffer for `direction` carrying `kind` payloads.
     pub fn new(direction: Direction, kind: MsgKind, compress: bool) -> Self {
-        BatchBuffer { direction, kind, payload: Vec::new(), items: 0, compress }
+        BatchBuffer {
+            direction,
+            kind,
+            payload: Vec::new(),
+            items: 0,
+            compress,
+        }
     }
 
     /// Queue a payload.

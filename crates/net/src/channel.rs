@@ -6,6 +6,8 @@
 //! traces, and the aggregated [`TrafficStats`] fill Table 4's
 //! communication-traffic column.
 
+use offload_obs::{Collector, CostLane, EventKind};
+
 use crate::link::Link;
 
 /// Transfer direction.
@@ -15,6 +17,16 @@ pub enum Direction {
     MobileToServer,
     /// Server → mobile (download; the mobile receives).
     ServerToMobile,
+}
+
+impl Direction {
+    /// The obs-crate mirror of this direction.
+    pub fn obs_dir(self) -> offload_obs::Dir {
+        match self {
+            Direction::MobileToServer => offload_obs::Dir::Up,
+            Direction::ServerToMobile => offload_obs::Dir::Down,
+        }
+    }
 }
 
 /// What a message carries (for stats breakdowns).
@@ -35,6 +47,21 @@ pub enum MsgKind {
     RemoteIo,
     /// Control traffic (acks, dynamic-estimation probes).
     Control,
+}
+
+impl MsgKind {
+    /// The obs-crate mirror of this payload kind.
+    pub fn frame_kind(self) -> offload_obs::FrameKind {
+        match self {
+            MsgKind::OffloadRequest => offload_obs::FrameKind::OffloadRequest,
+            MsgKind::Prefetch => offload_obs::FrameKind::Prefetch,
+            MsgKind::DemandPage => offload_obs::FrameKind::DemandPage,
+            MsgKind::DirtyPage => offload_obs::FrameKind::DirtyPage,
+            MsgKind::Return => offload_obs::FrameKind::Return,
+            MsgKind::RemoteIo => offload_obs::FrameKind::RemoteIo,
+            MsgKind::Control => offload_obs::FrameKind::Control,
+        }
+    }
 }
 
 /// One recorded transfer.
@@ -91,7 +118,12 @@ pub struct Channel {
 impl Channel {
     /// A channel over `link`.
     pub fn new(link: Link) -> Self {
-        Channel { link, events: Vec::new(), up: TrafficStats::default(), down: TrafficStats::default() }
+        Channel {
+            link,
+            events: Vec::new(),
+            up: TrafficStats::default(),
+            down: TrafficStats::default(),
+        }
     }
 
     /// Record a transfer starting at `start_s` carrying `raw_bytes` of
@@ -123,6 +155,36 @@ impl Channel {
         stats.raw_bytes += raw_bytes;
         stats.wire_bytes += wire_bytes;
         stats.transfer_seconds += duration;
+        duration
+    }
+
+    /// Like [`transfer`](Channel::transfer), additionally feeding the
+    /// frame to an observability collector under the given Fig. 7 cost
+    /// lane. This is the instrumented path the offload session uses; the
+    /// plain `transfer` stays for untraced callers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_traced(
+        &mut self,
+        obs: &mut dyn Collector,
+        start_s: f64,
+        direction: Direction,
+        kind: MsgKind,
+        raw_bytes: u64,
+        wire_payload_bytes: u64,
+        lane: CostLane,
+    ) -> f64 {
+        let duration = self.transfer(start_s, direction, kind, raw_bytes, wire_payload_bytes);
+        obs.record(
+            start_s,
+            EventKind::Frame {
+                kind: kind.frame_kind(),
+                dir: direction.obs_dir(),
+                raw_bytes,
+                wire_bytes: wire_payload_bytes,
+                duration_s: duration,
+                lane,
+            },
+        );
         duration
     }
 
@@ -166,7 +228,13 @@ mod tests {
     #[test]
     fn transfers_accumulate_stats() {
         let mut ch = Channel::new(Link::wifi_802_11ac());
-        let d1 = ch.transfer(0.0, Direction::MobileToServer, MsgKind::OffloadRequest, 100, 100);
+        let d1 = ch.transfer(
+            0.0,
+            Direction::MobileToServer,
+            MsgKind::OffloadRequest,
+            100,
+            100,
+        );
         let d2 = ch.transfer(d1, Direction::ServerToMobile, MsgKind::Return, 4096, 1000);
         assert!(d1 > 0.0 && d2 > 0.0);
         assert_eq!(ch.upload_stats().messages, 1);
@@ -180,7 +248,13 @@ mod tests {
     #[test]
     fn compression_ratio() {
         let mut ch = Channel::new(Link::ideal());
-        ch.transfer(0.0, Direction::ServerToMobile, MsgKind::DirtyPage, 8192, 1024);
+        ch.transfer(
+            0.0,
+            Direction::ServerToMobile,
+            MsgKind::DirtyPage,
+            8192,
+            1024,
+        );
         assert!(ch.download_stats().compression_ratio() > 7.0);
     }
 

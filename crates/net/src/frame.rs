@@ -166,13 +166,19 @@ impl Reader<'_> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, FrameError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
     fn u32(&mut self) -> Result<u32, FrameError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn u64(&mut self) -> Result<u64, FrameError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn varint(&mut self) -> Result<u64, FrameError> {
         let mut v = 0u64;
@@ -198,7 +204,12 @@ impl Reader<'_> {
 fn encode_payload(msg: &Message) -> Vec<u8> {
     let mut w = Writer(Vec::new());
     match msg {
-        Message::OffloadRequest { task_id, stack_pointer, args, present_pages } => {
+        Message::OffloadRequest {
+            task_id,
+            stack_pointer,
+            args,
+            present_pages,
+        } => {
             w.u32(*task_id);
             w.u64(*stack_pointer);
             w.u32(args.len() as u32);
@@ -214,7 +225,10 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
                 prev = *p;
             }
         }
-        Message::Pages { page_numbers, bytes } => {
+        Message::Pages {
+            page_numbers,
+            bytes,
+        } => {
             w.u32(page_numbers.len() as u32);
             let mut prev = 0u64;
             for p in page_numbers {
@@ -223,7 +237,12 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             }
             w.bytes(bytes);
         }
-        Message::Return { task_id, value, is_float, dirty_pages } => {
+        Message::Return {
+            task_id,
+            value,
+            is_float,
+            dirty_pages,
+        } => {
             w.u32(*task_id);
             w.u64(*value);
             w.u8(u8::from(*is_float));
@@ -293,7 +312,12 @@ pub fn decode(frame: &[u8]) -> Result<(Message, u32), FrameError> {
                 prev = prev.wrapping_add(p.varint()?);
                 present_pages.push(prev);
             }
-            Message::OffloadRequest { task_id, stack_pointer, args, present_pages }
+            Message::OffloadRequest {
+                task_id,
+                stack_pointer,
+                args,
+                present_pages,
+            }
         }
         2 => {
             let n = p.u32()? as usize;
@@ -304,7 +328,10 @@ pub fn decode(frame: &[u8]) -> Result<(Message, u32), FrameError> {
                 page_numbers.push(prev);
             }
             let bytes = p.bytes()?;
-            Message::Pages { page_numbers, bytes }
+            Message::Pages {
+                page_numbers,
+                bytes,
+            }
         }
         3 => Message::Return {
             task_id: p.u32()?,
@@ -312,8 +339,14 @@ pub fn decode(frame: &[u8]) -> Result<(Message, u32), FrameError> {
             is_float: p.u8()? != 0,
             dirty_pages: p.u32()?,
         },
-        4 => Message::RemoteIo { op: p.u8()?, data: p.bytes()? },
-        5 => Message::PageRequest { page: p.u64()?, count: p.u32()? },
+        4 => Message::RemoteIo {
+            op: p.u8()?,
+            data: p.bytes()?,
+        },
+        5 => Message::PageRequest {
+            page: p.u64()?,
+            count: p.u32()?,
+        },
         other => return Err(err(format!("unknown message kind {other}"))),
     };
     Ok((msg, seq))
@@ -349,9 +382,20 @@ mod tests {
             page_numbers: vec![5, 6, 9],
             bytes: vec![0xAB; 3 * 4096],
         });
-        roundtrip(Message::Return { task_id: 1, value: 99, is_float: false, dirty_pages: 12 });
-        roundtrip(Message::RemoteIo { op: b'p', data: b"score 3.14\n".to_vec() });
-        roundtrip(Message::PageRequest { page: 0x10_000, count: 8 });
+        roundtrip(Message::Return {
+            task_id: 1,
+            value: 99,
+            is_float: false,
+            dirty_pages: 12,
+        });
+        roundtrip(Message::RemoteIo {
+            op: b'p',
+            data: b"score 3.14\n".to_vec(),
+        });
+        roundtrip(Message::PageRequest {
+            page: 0x10_000,
+            count: 8,
+        });
     }
 
     #[test]
@@ -364,7 +408,15 @@ mod tests {
 
     #[test]
     fn truncation_is_detected() {
-        let frame = encode(&Message::Return { task_id: 1, value: 2, is_float: false, dirty_pages: 0 }, 0);
+        let frame = encode(
+            &Message::Return {
+                task_id: 1,
+                value: 2,
+                is_float: false,
+                dirty_pages: 0,
+            },
+            0,
+        );
         for cut in 0..frame.len() {
             assert!(decode(&frame[..cut]).is_err(), "cut at {cut}");
         }

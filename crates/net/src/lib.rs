@@ -17,12 +17,12 @@
 //!   and aggregates [`TrafficStats`] (the "Com. Traf." column of Table 4).
 
 pub mod batch;
-pub mod frame;
 pub mod channel;
+pub mod frame;
 pub mod link;
 pub mod lz;
 
 pub use batch::BatchBuffer;
-pub use frame::{Message, FrameError};
 pub use channel::{Channel, Direction, MsgKind, TrafficStats, TransferEvent};
+pub use frame::{FrameError, Message};
 pub use link::Link;

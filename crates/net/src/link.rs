@@ -53,7 +53,12 @@ impl Link {
 
     /// A custom link.
     pub fn custom(name: impl Into<String>, bandwidth_bps: u64, latency_s: f64) -> Self {
-        Link { name: name.into(), bandwidth_bps, latency_s, per_message_bytes: 96 }
+        Link {
+            name: name.into(),
+            bandwidth_bps,
+            latency_s,
+            per_message_bytes: 96,
+        }
     }
 
     /// Seconds to move one message of `payload_bytes` across the link.

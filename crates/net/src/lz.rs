@@ -52,7 +52,9 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
                         break;
                     }
                     let mut len = 0usize;
-                    while len < MAX_MATCH && i + len < data.len() && data[pos + len] == data[i + len]
+                    while len < MAX_MATCH
+                        && i + len < data.len()
+                        && data[pos + len] == data[i + len]
                     {
                         len += 1;
                     }
@@ -165,9 +167,15 @@ mod tests {
 
     #[test]
     fn roundtrip_texty_data() {
-        let data = b"the quick brown fox jumps over the lazy dog, the quick brown fox again".repeat(20);
+        let data =
+            b"the quick brown fox jumps over the lazy dog, the quick brown fox again".repeat(20);
         let c = compress(&data);
-        assert!(c.len() < data.len(), "compressible data must shrink: {} vs {}", c.len(), data.len());
+        assert!(
+            c.len() < data.len(),
+            "compressible data must shrink: {} vs {}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 

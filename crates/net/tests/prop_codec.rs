@@ -1,61 +1,121 @@
-//! Property tests for the LZ codec and the link model. The codec carries
+//! Fuzz tests for the LZ codec and the link model. The codec carries
 //! every dirty page home (§4); a corrupting codec corrupts program state
 //! invisibly, so roundtripping is tested against adversarial inputs.
+//!
+//! The inputs are drawn from a fixed-seed splitmix64 stream (no external
+//! crates, no OS entropy), so every run — any machine, any day — fuzzes
+//! the exact same cases and failures reproduce by rerunning the test.
 
 use offload_net::{lz, Link};
-use proptest::prelude::*;
 
-proptest! {
-    /// compress → decompress is the identity for arbitrary bytes.
-    #[test]
-    fn roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..20_000)) {
-        let packed = lz::compress(&data);
-        prop_assert_eq!(lz::decompress(&packed).unwrap(), data);
+/// Minimal splitmix64 — the canonical copy lives in
+/// `offload_workloads::rng`, which this leaf crate cannot depend on.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
-    /// ...including highly repetitive inputs with long overlapping
-    /// matches (the zero-page / struct-array shape of real traffic).
-    #[test]
-    fn roundtrip_repetitive(byte in any::<u8>(), run in 1usize..30_000, tail in prop::collection::vec(any::<u8>(), 0..64)) {
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
+/// compress → decompress is the identity for arbitrary bytes.
+#[test]
+fn roundtrip_arbitrary() {
+    let mut rng = Rng(0xC0DE_C0DE);
+    for _ in 0..48 {
+        let len = rng.below(20_000) as usize;
+        let data = rng.bytes(len);
+        let packed = lz::compress(&data);
+        assert_eq!(lz::decompress(&packed).unwrap(), data);
+    }
+}
+
+/// ...including highly repetitive inputs with long overlapping matches
+/// (the zero-page / struct-array shape of real traffic).
+#[test]
+fn roundtrip_repetitive() {
+    let mut rng = Rng(0xFACE_FEED);
+    for _ in 0..48 {
+        let byte = rng.next() as u8;
+        let run = 1 + rng.below(30_000) as usize;
         let mut data = vec![byte; run];
-        data.extend(tail);
+        let tail = rng.below(64) as usize;
+        data.extend(rng.bytes(tail));
         let packed = lz::compress(&data);
-        prop_assert_eq!(lz::decompress(&packed).unwrap(), data);
+        assert_eq!(lz::decompress(&packed).unwrap(), data);
     }
+}
 
-    /// ...and for page-structured data: repeated 4 KiB blocks compress to
-    /// less than one block.
-    #[test]
-    fn repeated_pages_compress_hard(page in prop::collection::vec(any::<u8>(), 64..256), reps in 4usize..16) {
+/// ...and for page-structured data: repeated blocks compress to roughly
+/// one block.
+#[test]
+fn repeated_pages_compress_hard() {
+    let mut rng = Rng(0x0009_A9E5);
+    for _ in 0..32 {
+        let page_len = 64 + rng.below(192) as usize;
+        let page = rng.bytes(page_len);
+        let reps = 4 + rng.below(12) as usize;
         let data: Vec<u8> = std::iter::repeat_n(page.clone(), reps).flatten().collect();
         let packed = lz::compress(&data);
-        prop_assert!(packed.len() < page.len() * 2 + 64,
-            "{} bytes compressed to {}", data.len(), packed.len());
-        prop_assert_eq!(lz::decompress(&packed).unwrap(), data);
+        assert!(
+            packed.len() < page.len() * 2 + 64,
+            "{} bytes compressed to {}",
+            data.len(),
+            packed.len()
+        );
+        assert_eq!(lz::decompress(&packed).unwrap(), data);
     }
+}
 
-    /// Truncating a valid stream never panics — it errors or yields a
-    /// prefix-decodable result, but must not crash the runtime.
-    #[test]
-    fn truncation_never_panics(data in prop::collection::vec(any::<u8>(), 1..4_000), cut in 0usize..4_000) {
+/// Truncating a valid stream never panics — it errors or yields a
+/// prefix-decodable result, but must not crash the runtime.
+#[test]
+fn truncation_never_panics() {
+    let mut rng = Rng(0x7121C);
+    for _ in 0..64 {
+        let len = 1 + rng.below(4_000) as usize;
+        let data = rng.bytes(len);
         let packed = lz::compress(&data);
-        let cut = cut.min(packed.len());
+        let cut = (rng.below(4_000) as usize).min(packed.len());
         let _ = lz::decompress(&packed[..cut]); // Ok or Err, never panic
     }
+}
 
-    /// Transfer time is monotone in payload size and bounded below by the
-    /// link latency.
-    #[test]
-    fn transfer_time_is_monotone(a in 0u64..10_000_000, b in 0u64..10_000_000) {
-        let link = Link::wifi_802_11n();
+/// Transfer time is monotone in payload size and bounded below by the
+/// link latency.
+#[test]
+fn transfer_time_is_monotone() {
+    let mut rng = Rng(0x11A7E);
+    let link = Link::wifi_802_11n();
+    for _ in 0..256 {
+        let a = rng.below(10_000_000);
+        let b = rng.below(10_000_000);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(link.transfer_time(lo) <= link.transfer_time(hi));
-        prop_assert!(link.transfer_time(lo) >= link.latency_s);
+        assert!(link.transfer_time(lo) <= link.transfer_time(hi));
+        assert!(link.transfer_time(lo) >= link.latency_s);
     }
+}
 
-    /// A faster link never loses: 802.11ac ≤ 802.11n for every size.
-    #[test]
-    fn faster_link_dominates(bytes in 0u64..50_000_000) {
-        prop_assert!(Link::wifi_802_11ac().transfer_time(bytes) <= Link::wifi_802_11n().transfer_time(bytes));
+/// A faster link never loses: 802.11ac ≤ 802.11n for every size.
+#[test]
+fn faster_link_dominates() {
+    let mut rng = Rng(0xD011A5);
+    for _ in 0..256 {
+        let bytes = rng.below(50_000_000);
+        assert!(
+            Link::wifi_802_11ac().transfer_time(bytes) <= Link::wifi_802_11n().transfer_time(bytes)
+        );
     }
 }

@@ -1,0 +1,364 @@
+//! Collectors: where events go.
+//!
+//! The stack is instrumented against the [`Collector`] trait. The default
+//! [`NoopCollector`] compiles to nothing on the hot path (events are
+//! `Copy`, construction is free, `enabled()` lets call sites skip any
+//! preparatory work), so untraced runs — the benches, the figure
+//! reproductions — pay nothing. The [`TraceCollector`] keeps a bounded
+//! ring of records plus a [`MetricsRegistry`] it updates as events flow.
+
+use crate::event::{EventKind, Record};
+use crate::metrics::{exp_buckets, MetricsRegistry, MetricsSnapshot};
+
+/// Sink for typed events.
+pub trait Collector {
+    /// `true` if records are actually kept. Call sites may use this to
+    /// skip work that only feeds the collector (they must not skip
+    /// accounting the run itself depends on).
+    fn enabled(&self) -> bool;
+
+    /// Record one event at `ts_s`.
+    fn record(&mut self, ts_s: f64, kind: EventKind);
+
+    /// Snapshot of the metrics accumulated so far (empty for sinks that
+    /// keep none). Lets instrumented APIs surface metrics on their
+    /// reports without downcasting.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// The recorded events in arrival order (empty for discarding sinks).
+    fn recorded(&self) -> Vec<Record> {
+        Vec::new()
+    }
+
+    /// Records lost to ring overflow (0 for unbounded or discarding
+    /// sinks). Derivations must not trust a truncated stream.
+    fn dropped_records(&self) -> u64 {
+        0
+    }
+}
+
+/// The default sink: discards everything, allocation-free.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopCollector;
+
+impl Collector for NoopCollector {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record(&mut self, _ts_s: f64, _kind: EventKind) {}
+}
+
+/// Default ring capacity: enough for the full 17-program suite with
+/// room to spare, small enough to stay cache-friendly.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 18;
+
+/// A recording collector: a bounded ring of [`Record`]s plus live
+/// metrics. When the ring fills, the *oldest* records are dropped and
+/// [`dropped`](TraceCollector::dropped) counts them — derived artifacts
+/// check this before trusting the stream.
+#[derive(Debug, Clone)]
+pub struct TraceCollector {
+    ring: Vec<Record>,
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+    metrics: MetricsRegistry,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCollector {
+    /// A collector with the default ring capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A collector keeping at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        TraceCollector {
+            ring: Vec::new(),
+            head: 0,
+            capacity,
+            dropped: 0,
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Records in arrival order (oldest first).
+    pub fn records(&self) -> Vec<Record> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.head..]);
+        out.extend_from_slice(&self.ring[..self.head]);
+        out
+    }
+
+    /// How many records were evicted by ring overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Freeze the metrics into an owned snapshot.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Drop all records and metrics (between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.head = 0;
+        self.dropped = 0;
+        self.metrics = MetricsRegistry::new();
+    }
+
+    fn update_metrics(&mut self, kind: &EventKind) {
+        use EventKind::*;
+        let m = &mut self.metrics;
+        match kind {
+            MobileCompute { cycles } => m.count("mobile_cycles", *cycles),
+            ServerCompute { cycles } => m.count("server_cycles", *cycles),
+            Frame {
+                raw_bytes,
+                wire_bytes,
+                duration_s,
+                ..
+            } => {
+                m.count("frames", 1);
+                m.count("frame_raw_bytes", *raw_bytes);
+                m.count("frame_wire_bytes", *wire_bytes);
+                m.observe(
+                    "frame_wire_bytes_dist",
+                    &exp_buckets(64.0, 4.0, 10),
+                    *wire_bytes as f64,
+                );
+                m.observe("frame_seconds", &exp_buckets(1e-6, 10.0, 8), *duration_s);
+            }
+            OffloadDecision { accepted, .. } => {
+                m.count("offload_attempts", 1);
+                m.count(
+                    if *accepted {
+                        "offload_accepts"
+                    } else {
+                        "offload_refusals"
+                    },
+                    1,
+                );
+            }
+            DemandFault {
+                pages, duration_s, ..
+            } => {
+                m.count("demand_faults", 1);
+                m.count("demand_fault_pages", u64::from(*pages));
+                m.observe("fault_latency_s", &exp_buckets(1e-6, 10.0, 8), *duration_s);
+                m.observe(
+                    "fault_ahead_pages",
+                    &exp_buckets(1.0, 2.0, 8),
+                    f64::from(*pages),
+                );
+            }
+            PrefetchBatch { pages, .. } => m.count("prefetched_pages", *pages),
+            DirtyWriteBack {
+                pages, raw_bytes, ..
+            } => {
+                m.count("dirty_pages_written_back", *pages);
+                m.observe(
+                    "writeback_bytes",
+                    &exp_buckets(4096.0, 4.0, 10),
+                    *raw_bytes as f64,
+                );
+            }
+            BatchFlush { bytes } => {
+                m.count("batch_flushes", 1);
+                m.observe("batch_bytes", &exp_buckets(16.0, 4.0, 10), *bytes as f64);
+            }
+            Compression {
+                raw_bytes,
+                wire_bytes,
+                ..
+            } => {
+                m.count("compressions", 1);
+                if *wire_bytes > 0 {
+                    m.observe(
+                        "compression_ratio",
+                        &[1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 25.0, 100.0],
+                        *raw_bytes as f64 / *wire_bytes as f64,
+                    );
+                }
+            }
+            RemoteIo { bytes, .. } => {
+                m.count("remote_io_calls", 1);
+                m.count("remote_io_bytes", *bytes);
+            }
+            FnPtrTranslate { .. } => m.count("fn_map_translations", 1),
+            Power { .. } | Begin(_) | End(_) => {}
+        }
+    }
+}
+
+impl Collector for TraceCollector {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    fn recorded(&self) -> Vec<Record> {
+        self.records()
+    }
+
+    fn dropped_records(&self) -> u64 {
+        self.dropped
+    }
+
+    fn record(&mut self, ts_s: f64, kind: EventKind) {
+        self.update_metrics(&kind);
+        let rec = Record { ts_s, kind };
+        if self.ring.len() < self.capacity {
+            self.ring.push(rec);
+        } else {
+            self.ring[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Ordinal clock for the compiler lane: phases have no simulated time, so
+/// each event gets the next micro-tick (1 tick = 1 µs in trace exports,
+/// which keeps Chrome's viewer rendering spans in pipeline order).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileClock {
+    tick: u64,
+}
+
+impl CompileClock {
+    /// A clock at tick zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next timestamp, in "seconds" (micro-ticks × 1e-6).
+    /// Not an `Iterator`: it never ends and yields plain `f64`s.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> f64 {
+        let t = self.tick;
+        self.tick += 1;
+        t as f64 * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CompilePhase, Span};
+
+    #[test]
+    fn noop_records_nothing_and_reports_disabled() {
+        let mut c = NoopCollector;
+        assert!(!c.enabled());
+        c.record(0.0, EventKind::MobileCompute { cycles: 1 });
+    }
+
+    #[test]
+    fn trace_collector_keeps_order() {
+        let mut c = TraceCollector::new();
+        for i in 0..5u64 {
+            c.record(i as f64, EventKind::MobileCompute { cycles: i });
+        }
+        let recs = c.records();
+        assert_eq!(recs.len(), 5);
+        assert!(recs.windows(2).all(|w| w[0].ts_s <= w[1].ts_s));
+        assert_eq!(c.dropped(), 0);
+        assert_eq!(c.metrics().counter("mobile_cycles"), 10);
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest() {
+        let mut c = TraceCollector::with_capacity(3);
+        for i in 0..5u64 {
+            c.record(i as f64, EventKind::ServerCompute { cycles: i });
+        }
+        let recs = c.records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(c.dropped(), 2);
+        assert_eq!(recs[0].ts_s, 2.0);
+        assert_eq!(recs[2].ts_s, 4.0);
+        // Metrics still saw every event.
+        assert_eq!(c.metrics().counter("server_cycles"), 10);
+    }
+
+    #[test]
+    fn metrics_follow_events() {
+        let mut c = TraceCollector::new();
+        c.record(
+            0.0,
+            EventKind::DemandFault {
+                page: 7,
+                pages: 4,
+                window: 8,
+                duration_s: 0.001,
+            },
+        );
+        c.record(
+            0.1,
+            EventKind::DirtyWriteBack {
+                pages: 3,
+                raw_bytes: 12288,
+                wire_bytes: 900,
+            },
+        );
+        c.record(0.2, EventKind::Begin(Span::Compile(CompilePhase::Profile)));
+        assert_eq!(c.metrics().counter("demand_faults"), 1);
+        assert_eq!(c.metrics().counter("dirty_pages_written_back"), 3);
+        let h = c.metrics().histogram("fault_latency_s").unwrap();
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn compile_clock_ticks_monotonically() {
+        let mut clk = CompileClock::new();
+        let a = clk.next();
+        let b = clk.next();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = TraceCollector::with_capacity(2);
+        c.record(0.0, EventKind::MobileCompute { cycles: 5 });
+        c.reset();
+        assert!(c.is_empty());
+        assert_eq!(c.metrics().counter("mobile_cycles"), 0);
+    }
+}

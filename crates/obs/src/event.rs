@@ -1,0 +1,315 @@
+//! The typed event vocabulary of the offload stack.
+//!
+//! Every compiler phase and runtime operation is described by one
+//! [`EventKind`] variant. Events are deliberately *flat and `Copy`*: no
+//! strings, no heap — constructing one costs nothing, which is what keeps
+//! the [`NoopCollector`](crate::NoopCollector) path allocation-free.
+//!
+//! Two timestamp lanes exist:
+//!
+//! * **compiler lane** — phases have no simulated clock, so compile spans
+//!   are stamped with an ordinal sequence (see
+//!   [`CompileClock`](crate::CompileClock));
+//! * **runtime lane** — runtime events carry the *simulated* wall clock of
+//!   the mobile power timeline, in seconds.
+
+/// A compiler pipeline phase (Fig. 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompilePhase {
+    /// Hot-region profiling (§3.1).
+    Profile,
+    /// Machine-specific function filtering (§3.1).
+    Filter,
+    /// Equation-1 static estimation (§3.1).
+    Estimate,
+    /// Memory unification (§3.2).
+    Unify,
+    /// Mobile/server partitioning (§3.3).
+    Partition,
+    /// Server-specific optimization (§3.4).
+    Optimize,
+}
+
+impl CompilePhase {
+    /// Stable lowercase name (used for metrics keys and trace names).
+    pub fn name(self) -> &'static str {
+        match self {
+            CompilePhase::Profile => "profile",
+            CompilePhase::Filter => "filter",
+            CompilePhase::Estimate => "estimate",
+            CompilePhase::Unify => "unify",
+            CompilePhase::Partition => "partition",
+            CompilePhase::Optimize => "optimize",
+        }
+    }
+
+    /// All phases in pipeline order.
+    pub const ALL: [CompilePhase; 6] = [
+        CompilePhase::Profile,
+        CompilePhase::Filter,
+        CompilePhase::Estimate,
+        CompilePhase::Unify,
+        CompilePhase::Partition,
+        CompilePhase::Optimize,
+    ];
+}
+
+/// A span (begin/end pair) in the trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Span {
+    /// One compiler phase.
+    Compile(CompilePhase),
+    /// One offload invocation (§4 life cycle), by task id.
+    Offload {
+        /// The plan's task id.
+        task: u32,
+    },
+    /// Server-side execution of the offloaded task.
+    ServerExec {
+        /// The plan's task id.
+        task: u32,
+    },
+}
+
+impl Span {
+    /// Trace-event name for this span.
+    pub fn name(self) -> &'static str {
+        match self {
+            Span::Compile(p) => p.name(),
+            Span::Offload { .. } => "offload",
+            Span::ServerExec { .. } => "server_exec",
+        }
+    }
+}
+
+/// Transfer direction, mirrored from the net crate (obs sits below it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Mobile → server (the mobile transmits).
+    Up,
+    /// Server → mobile (the mobile receives).
+    Down,
+}
+
+/// Which Fig. 7 cost lane a network frame is accounted under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostLane {
+    /// Memory-transfer communication time (§4).
+    Comm,
+    /// Remote I/O operation time (§3.4).
+    RemoteIo,
+}
+
+/// The mobile power state, mirrored from the machine crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerLane {
+    /// Screen-on idle.
+    Idle,
+    /// CPU busy computing locally.
+    Compute,
+    /// Radio up, waiting for the server.
+    Waiting,
+    /// Receiving data.
+    Receive,
+    /// Transmitting data.
+    Transmit,
+}
+
+impl PowerLane {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PowerLane::Idle => "idle",
+            PowerLane::Compute => "compute",
+            PowerLane::Waiting => "waiting",
+            PowerLane::Receive => "receive",
+            PowerLane::Transmit => "transmit",
+        }
+    }
+}
+
+/// A remote I/O operation kind (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RemoteOp {
+    /// `printf` routed home.
+    Printf,
+    /// `putchar` routed home.
+    Putchar,
+    /// `fopen` on the mobile filesystem.
+    FOpen,
+    /// `fclose`.
+    FClose,
+    /// `fread` (the expensive remote-input round trip of §5.1).
+    FRead,
+    /// `fwrite`.
+    FWrite,
+}
+
+impl RemoteOp {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RemoteOp::Printf => "printf",
+            RemoteOp::Putchar => "putchar",
+            RemoteOp::FOpen => "fopen",
+            RemoteOp::FClose => "fclose",
+            RemoteOp::FRead => "fread",
+            RemoteOp::FWrite => "fwrite",
+        }
+    }
+}
+
+/// What kind of payload a frame carried (mirrors `offload_net::MsgKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Offload request (§4 initialization).
+    OffloadRequest,
+    /// Prefetched pages sent with the request.
+    Prefetch,
+    /// A copy-on-demand page (§4).
+    DemandPage,
+    /// Dirty pages written back at finalization.
+    DirtyPage,
+    /// Return value + termination signal.
+    Return,
+    /// A remote I/O request or response.
+    RemoteIo,
+    /// Control traffic.
+    Control,
+}
+
+impl FrameKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameKind::OffloadRequest => "offload_request",
+            FrameKind::Prefetch => "prefetch",
+            FrameKind::DemandPage => "demand_page",
+            FrameKind::DirtyPage => "dirty_page",
+            FrameKind::Return => "return",
+            FrameKind::RemoteIo => "remote_io",
+            FrameKind::Control => "control",
+        }
+    }
+}
+
+/// One typed event. All variants are `Copy`; payloads are raw numbers in
+/// the units the session accounts with (u64 cycles, f64 seconds), so a
+/// consumer can reproduce the session's arithmetic *bit for bit* (see
+/// `native_offloader::runtime::derive`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A span opens.
+    Begin(Span),
+    /// The innermost open span of this kind closes.
+    End(Span),
+    /// Mobile CPU executed `cycles` since the last accounting point.
+    MobileCompute {
+        /// Cycle delta on the mobile clock.
+        cycles: u64,
+    },
+    /// The mobile waited while the server executed `cycles`.
+    ServerCompute {
+        /// Cycle delta on the server clock.
+        cycles: u64,
+    },
+    /// One frame crossed the link.
+    Frame {
+        /// Payload kind.
+        kind: FrameKind,
+        /// Direction.
+        dir: Dir,
+        /// Uncompressed payload bytes.
+        raw_bytes: u64,
+        /// Wire bytes (after compression, before framing overhead).
+        wire_bytes: u64,
+        /// Transfer duration, simulated seconds.
+        duration_s: f64,
+        /// Which Fig. 7 lane this frame's time is charged to.
+        lane: CostLane,
+    },
+    /// The runtime estimator evaluated a dispatch site.
+    OffloadDecision {
+        /// Task id.
+        task: u32,
+        /// `true` if the estimator said go.
+        accepted: bool,
+        /// Estimated gain, seconds (`Tg` of Equation 1).
+        t_gain_s: f64,
+        /// Estimated communication time, seconds.
+        t_comm_s: f64,
+        /// Bandwidth figure used, bits/second.
+        bandwidth_bps: u64,
+    },
+    /// A copy-on-demand fault was serviced over the network.
+    DemandFault {
+        /// Faulting page number.
+        page: u64,
+        /// Pages pulled including the fault-ahead window.
+        pages: u32,
+        /// Configured fault-ahead window size.
+        window: u32,
+        /// Round-trip duration, seconds.
+        duration_s: f64,
+    },
+    /// Initialization prefetch shipped pages to the server.
+    PrefetchBatch {
+        /// Pages shipped.
+        pages: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Finalization wrote dirty pages back to the mobile memory.
+    DirtyWriteBack {
+        /// Pages written back.
+        pages: u64,
+        /// Uncompressed bytes.
+        raw_bytes: u64,
+        /// Wire bytes after compression.
+        wire_bytes: u64,
+    },
+    /// Batched remote console output was flushed home.
+    BatchFlush {
+        /// Batched bytes.
+        bytes: u64,
+    },
+    /// A payload was (de)compressed.
+    Compression {
+        /// Input bytes.
+        raw_bytes: u64,
+        /// Output bytes.
+        wire_bytes: u64,
+        /// Mobile CPU seconds spent decompressing (0 for compression,
+        /// which the server pays for).
+        decompress_s: f64,
+    },
+    /// A remote I/O operation executed on the server, routed home.
+    RemoteIo {
+        /// The operation.
+        op: RemoteOp,
+        /// Payload bytes moved (request + response).
+        bytes: u64,
+    },
+    /// A function pointer was translated through the map tables (§3.4).
+    FnPtrTranslate {
+        /// Server cycles charged for the table walk.
+        cycles: u64,
+    },
+    /// The mobile power state machine advanced.
+    Power {
+        /// State during the interval.
+        state: PowerLane,
+        /// Interval length, simulated seconds.
+        duration_s: f64,
+    },
+}
+
+/// An event with its timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Record {
+    /// Timestamp: simulated seconds on the runtime lane, ordinal
+    /// micro-ticks on the compiler lane.
+    pub ts_s: f64,
+    /// The event.
+    pub kind: EventKind,
+}

@@ -1,0 +1,333 @@
+//! Trace exporters: Chrome `trace_event` JSONL and human renderers.
+//!
+//! The JSONL form writes one trace-event object per line — load it in
+//! `chrome://tracing` / Perfetto (both accept newline-delimited event
+//! streams) or post-process it with standard line tools. The compiler
+//! lane is `tid 0`, the runtime (simulated-clock) lane is `tid 1`;
+//! timestamps are microseconds.
+
+use crate::event::{Dir, EventKind, Record, Span};
+
+/// Escape a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float for JSON (finite; no exponent surprises for Chrome).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn tid(kind: &EventKind) -> u32 {
+    match kind {
+        EventKind::Begin(Span::Compile(_)) | EventKind::End(Span::Compile(_)) => 0,
+        _ => 1,
+    }
+}
+
+/// `(name, phase, args-json)` for one event.
+fn describe(kind: &EventKind) -> (String, char, String) {
+    use EventKind::*;
+    match kind {
+        Begin(s) => (span_name(s), 'B', span_args(s)),
+        End(s) => (span_name(s), 'E', span_args(s)),
+        MobileCompute { cycles } => {
+            ("mobile_compute".into(), 'i', format!("{{\"cycles\":{cycles}}}"))
+        }
+        ServerCompute { cycles } => {
+            ("server_compute".into(), 'i', format!("{{\"cycles\":{cycles}}}"))
+        }
+        Frame { kind, dir, raw_bytes, wire_bytes, duration_s, lane } => (
+            format!("frame:{}", kind.name()),
+            'i',
+            format!(
+                "{{\"dir\":\"{}\",\"raw_bytes\":{raw_bytes},\"wire_bytes\":{wire_bytes},\"duration_s\":{},\"lane\":\"{}\"}}",
+                match dir {
+                    Dir::Up => "up",
+                    Dir::Down => "down",
+                },
+                num(*duration_s),
+                match lane {
+                    crate::event::CostLane::Comm => "comm",
+                    crate::event::CostLane::RemoteIo => "remote_io",
+                }
+            ),
+        ),
+        OffloadDecision { task, accepted, t_gain_s, t_comm_s, bandwidth_bps } => (
+            "offload_decision".into(),
+            'i',
+            format!(
+                "{{\"task\":{task},\"accepted\":{accepted},\"t_gain_s\":{},\"t_comm_s\":{},\"bandwidth_bps\":{bandwidth_bps}}}",
+                num(*t_gain_s),
+                num(*t_comm_s)
+            ),
+        ),
+        DemandFault { page, pages, window, duration_s } => (
+            "demand_fault".into(),
+            'i',
+            format!(
+                "{{\"page\":{page},\"pages\":{pages},\"window\":{window},\"duration_s\":{}}}",
+                num(*duration_s)
+            ),
+        ),
+        PrefetchBatch { pages, bytes } => (
+            "prefetch".into(),
+            'i',
+            format!("{{\"pages\":{pages},\"bytes\":{bytes}}}"),
+        ),
+        DirtyWriteBack { pages, raw_bytes, wire_bytes } => (
+            "dirty_writeback".into(),
+            'i',
+            format!("{{\"pages\":{pages},\"raw_bytes\":{raw_bytes},\"wire_bytes\":{wire_bytes}}}"),
+        ),
+        BatchFlush { bytes } => ("batch_flush".into(), 'i', format!("{{\"bytes\":{bytes}}}")),
+        Compression { raw_bytes, wire_bytes, decompress_s } => (
+            "compression".into(),
+            'i',
+            format!(
+                "{{\"raw_bytes\":{raw_bytes},\"wire_bytes\":{wire_bytes},\"decompress_s\":{}}}",
+                num(*decompress_s)
+            ),
+        ),
+        RemoteIo { op, bytes } => (
+            format!("remote_io:{}", op.name()),
+            'i',
+            format!("{{\"bytes\":{bytes}}}"),
+        ),
+        FnPtrTranslate { cycles } => {
+            ("fn_ptr_translate".into(), 'i', format!("{{\"cycles\":{cycles}}}"))
+        }
+        Power { state, duration_s } => (
+            format!("power:{}", state.name()),
+            'i',
+            format!("{{\"duration_s\":{}}}", num(*duration_s)),
+        ),
+    }
+}
+
+fn span_name(s: &Span) -> String {
+    match s {
+        Span::Compile(p) => format!("compile:{}", p.name()),
+        Span::Offload { task } => format!("offload:task{task}"),
+        Span::ServerExec { task } => format!("server_exec:task{task}"),
+    }
+}
+
+fn span_args(s: &Span) -> String {
+    match s {
+        Span::Compile(_) => "{}".to_string(),
+        Span::Offload { task } | Span::ServerExec { task } => format!("{{\"task\":{task}}}"),
+    }
+}
+
+/// Render the records as Chrome `trace_event` JSONL: one event object per
+/// line. Span records become `B`/`E` pairs; everything else an instant.
+pub fn chrome_trace_jsonl(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let (name, ph, args) = describe(&r.kind);
+        let ts_us = r.ts_s * 1e6;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"offload\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{args}}}\n",
+            esc(&name),
+            num(ts_us),
+            tid(&r.kind),
+        ));
+    }
+    out
+}
+
+/// Render the records as an indented tree: spans nest, instants are
+/// leaves. Durations come from matching `End` records.
+pub fn render_tree(records: &[Record]) -> String {
+    let mut out = String::new();
+    let mut depth: usize = 0;
+    for (i, r) in records.iter().enumerate() {
+        match &r.kind {
+            EventKind::Begin(s) => {
+                let dur = records[i + 1..]
+                    .iter()
+                    .find(|r2| matches!(&r2.kind, EventKind::End(s2) if s2 == s))
+                    .map(|r2| r2.ts_s - r.ts_s);
+                out.push_str(&"  ".repeat(depth));
+                match dur {
+                    Some(d) => out.push_str(&format!("▶ {} [{:.3} ms]\n", span_name(s), d * 1e3)),
+                    None => out.push_str(&format!("▶ {} [unclosed]\n", span_name(s))),
+                }
+                depth += 1;
+            }
+            EventKind::End(_) => depth = depth.saturating_sub(1),
+            kind => {
+                let (name, _, args) = describe(kind);
+                out.push_str(&"  ".repeat(depth));
+                out.push_str(&format!("· {:>10.3} ms  {name} {args}\n", r.ts_s * 1e3));
+            }
+        }
+    }
+    out
+}
+
+/// Render an ASCII timeline of the runtime lane: one row per activity
+/// class, `width` columns spanning the full simulated duration.
+pub fn render_timeline(records: &[Record], width: usize) -> String {
+    let width = width.max(16);
+    let runtime: Vec<&Record> = records.iter().filter(|r| tid(&r.kind) == 1).collect();
+    let end = runtime.iter().map(|r| r.ts_s).fold(0.0f64, f64::max);
+    if end <= 0.0 {
+        return "timeline: no runtime events\n".to_string();
+    }
+    let col = |t: f64| ((t / end) * (width - 1) as f64) as usize;
+    type RowFilter<'a> = (&'a str, Box<dyn Fn(&EventKind) -> bool>);
+    let rows: [RowFilter; 5] = [
+        (
+            "offload ",
+            Box::new(|k| matches!(k, EventKind::Begin(Span::Offload { .. }))),
+        ),
+        (
+            "faults  ",
+            Box::new(|k| matches!(k, EventKind::DemandFault { .. })),
+        ),
+        (
+            "frames  ",
+            Box::new(|k| matches!(k, EventKind::Frame { .. })),
+        ),
+        (
+            "rem I/O ",
+            Box::new(|k| matches!(k, EventKind::RemoteIo { .. })),
+        ),
+        (
+            "power   ",
+            Box::new(|k| matches!(k, EventKind::Power { .. })),
+        ),
+    ];
+    let mut out = format!(
+        "timeline [0 .. {:.3} ms] ({} events)\n",
+        end * 1e3,
+        runtime.len()
+    );
+    for (label, pred) in rows {
+        let mut row = vec![' '; width];
+        for r in &runtime {
+            if pred(&r.kind) {
+                row[col(r.ts_s)] = '#';
+            }
+        }
+        out.push_str(label);
+        out.push('|');
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CompilePhase, CostLane, FrameKind, PowerLane};
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record {
+                ts_s: 0.0,
+                kind: EventKind::Begin(Span::Compile(CompilePhase::Profile)),
+            },
+            Record {
+                ts_s: 1e-6,
+                kind: EventKind::End(Span::Compile(CompilePhase::Profile)),
+            },
+            Record {
+                ts_s: 0.001,
+                kind: EventKind::Begin(Span::Offload { task: 1 }),
+            },
+            Record {
+                ts_s: 0.002,
+                kind: EventKind::Frame {
+                    kind: FrameKind::OffloadRequest,
+                    dir: Dir::Up,
+                    raw_bytes: 128,
+                    wire_bytes: 128,
+                    duration_s: 0.0005,
+                    lane: CostLane::Comm,
+                },
+            },
+            Record {
+                ts_s: 0.003,
+                kind: EventKind::Power {
+                    state: PowerLane::Waiting,
+                    duration_s: 0.01,
+                },
+            },
+            Record {
+                ts_s: 0.02,
+                kind: EventKind::End(Span::Offload { task: 1 }),
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line_with_required_keys() {
+        let txt = chrome_trace_jsonl(&sample());
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            for key in [
+                "\"name\":",
+                "\"ph\":",
+                "\"ts\":",
+                "\"pid\":",
+                "\"tid\":",
+                "\"args\":",
+            ] {
+                assert!(line.contains(key), "{line} missing {key}");
+            }
+        }
+        assert!(lines[0].contains("\"ph\":\"B\""));
+        assert!(lines[1].contains("\"ph\":\"E\""));
+        assert!(lines[0].contains("\"tid\":0"), "compile lane is tid 0");
+        assert!(lines[3].contains("\"tid\":1"), "runtime lane is tid 1");
+    }
+
+    #[test]
+    fn tree_nests_spans() {
+        let txt = render_tree(&sample());
+        assert!(txt.contains("▶ compile:profile"));
+        assert!(txt.contains("▶ offload:task1"));
+        // The frame instant is indented under the offload span.
+        let frame_line = txt.lines().find(|l| l.contains("frame:")).unwrap();
+        assert!(frame_line.starts_with("  "), "{frame_line}");
+    }
+
+    #[test]
+    fn timeline_renders_rows() {
+        let txt = render_timeline(&sample(), 40);
+        assert!(txt.contains("offload "));
+        assert!(txt.contains('#'));
+    }
+
+    #[test]
+    fn empty_timeline_is_graceful() {
+        assert!(render_timeline(&[], 40).contains("no runtime events"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(esc("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

@@ -1,0 +1,35 @@
+//! # offload-obs
+//!
+//! Structured tracing and metrics for the Native Offloader stack — the
+//! observability substrate the paper's whole evaluation (Fig. 6–8,
+//! Table 4) is read off.
+//!
+//! * [`event`] — the typed event vocabulary: compiler phase spans,
+//!   offload life-cycle spans, demand faults, prefetch, write-back,
+//!   compression, remote I/O, function-pointer translation, frame tx/rx,
+//!   power-state transitions. All events are `Copy` and numeric.
+//! * [`collector`] — the [`Collector`] trait with an allocation-free
+//!   [`NoopCollector`] (the default: untraced runs pay nothing) and a
+//!   ring-buffered [`TraceCollector`] that also maintains metrics.
+//! * [`metrics`] — counters and fixed-bucket histograms
+//!   ([`MetricsRegistry`] / [`MetricsSnapshot`]).
+//! * [`export`] — Chrome `trace_event` JSONL plus human `--tree` /
+//!   `--timeline` renderers.
+//! * [`log`] — a tiny leveled stderr logger for the CLI tools.
+//!
+//! This crate has **zero dependencies** and sits below every other crate
+//! in the workspace: `net` and `machine` emit into a `&mut dyn
+//! Collector`, `core` threads one through the compiler and the offload
+//! session, and `bench` exports what was recorded.
+
+pub mod collector;
+pub mod event;
+pub mod export;
+pub mod log;
+pub mod metrics;
+
+pub use collector::{Collector, CompileClock, NoopCollector, TraceCollector};
+pub use event::{
+    CompilePhase, CostLane, Dir, EventKind, FrameKind, PowerLane, Record, RemoteOp, Span,
+};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};

@@ -1,0 +1,204 @@
+//! A small metrics registry: named counters and fixed-bucket histograms.
+//!
+//! The registry is updated by the [`TraceCollector`](crate::TraceCollector)
+//! as events arrive, and a [`MetricsSnapshot`] rides on `RunReport` so the
+//! evaluation harness can read distributions (fault latency, batch sizes,
+//! compression ratios) instead of just totals.
+
+use std::collections::BTreeMap;
+
+/// A histogram over fixed bucket upper bounds (the last bucket is
+/// `+inf`). Observations also keep sum/min/max for summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets, ascending.
+    pub bounds: Vec<f64>,
+    /// `bounds.len() + 1` bucket counts (last bucket is overflow).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observed value (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending finite bucket bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Exponential bucket bounds: `first, first*factor, ...` (`n` bounds).
+pub fn exp_buckets(first: f64, factor: f64, n: usize) -> Vec<f64> {
+    assert!(first > 0.0 && factor > 1.0 && n > 0);
+    let mut v = Vec::with_capacity(n);
+    let mut b = first;
+    for _ in 0..n {
+        v.push(b);
+        b *= factor;
+    }
+    v
+}
+
+/// The live registry: insertion is keyed by `&'static str` names so the
+/// hot path never allocates a key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (creating it at zero).
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Record `value` into histogram `name`, creating it with `bounds` on
+    /// first use.
+    pub fn observe(&mut self, name: &'static str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Freeze into an owned snapshot (string keys, safe to ship around).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// An owned, frozen view of a [`MetricsRegistry`] — what `RunReport`
+/// carries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram name → frozen histogram.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// `true` when nothing was recorded (the no-op collector path).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![1, 1, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.mean() - 138.875).abs() < 1e-9);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 500.0);
+    }
+
+    #[test]
+    fn boundary_value_lands_in_lower_bucket() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.0);
+        assert_eq!(h.counts, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn registry_counts_and_snapshots() {
+        let mut r = MetricsRegistry::new();
+        r.count("faults", 2);
+        r.count("faults", 3);
+        r.observe("latency", &[0.001, 0.01], 0.005);
+        assert_eq!(r.counter("faults"), 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("faults"), 5);
+        assert_eq!(snap.histogram("latency").unwrap().count, 1);
+        assert!(!snap.is_empty());
+        assert!(MetricsSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn exp_buckets_grow() {
+        let b = exp_buckets(1e-6, 10.0, 4);
+        assert_eq!(b.len(), 4);
+        assert!((b[3] - 1e-3).abs() < 1e-12);
+    }
+}

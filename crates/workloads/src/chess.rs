@@ -145,9 +145,14 @@ mod tests {
             .unwrap();
         let input = super::input(10, 3);
         let local = app.run_local(&input).unwrap();
-        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        let off = app
+            .run_offloaded(&input, &SessionConfig::fast_network())
+            .unwrap();
         assert_eq!(local.console, off.console);
         assert_eq!(off.offloads_performed, 3, "one offload per AI turn");
-        assert!(off.fn_map_translations > 0, "evals table is translated on the server");
+        assert!(
+            off.fn_map_translations > 0,
+            "evals table is translated on the server"
+        );
     }
 }

@@ -31,6 +31,7 @@
 
 pub mod chess;
 pub mod programs;
+pub mod rng;
 
 use native_offloader::{CompileConfig, CompiledApp, OffloadError, Offloader, WorkloadInput};
 
@@ -100,7 +101,11 @@ impl WorkloadSpec {
     ///
     /// Compilation or profiling failures.
     pub fn compile_with(&self, config: CompileConfig) -> Result<CompiledApp, OffloadError> {
-        Offloader::with_config(config).compile_source(self.source, self.name, &(self.profile_input)())
+        Offloader::with_config(config).compile_source(
+            self.source,
+            self.name,
+            &(self.profile_input)(),
+        )
     }
 }
 

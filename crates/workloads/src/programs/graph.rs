@@ -140,7 +140,9 @@ int main() {
 "#;
 
 fn cells_file() -> Vec<u8> {
-    (0..32768u32).map(|i| (i.wrapping_mul(2654435761) >> 25) as u8).collect()
+    (0..32768u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 25) as u8)
+        .collect()
 }
 
 /// The `300.twolf` miniature.

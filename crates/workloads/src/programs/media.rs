@@ -290,7 +290,9 @@ int main() {
 "#;
 
 fn hmm_file() -> Vec<u8> {
-    (0..16384u32).map(|i| (i.wrapping_mul(40503) >> 22) as u8).collect()
+    (0..16384u32)
+        .map(|i| (i.wrapping_mul(40503) >> 22) as u8)
+        .collect()
 }
 
 /// The `482.sphinx3` miniature.

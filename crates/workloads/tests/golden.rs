@@ -61,7 +61,11 @@ fn console_outputs_are_pinned() {
             failures.push(format!("{short}: expected {expected:?}, got {got:?}"));
         }
     }
-    assert!(failures.is_empty(), "golden mismatches:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "golden mismatches:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]

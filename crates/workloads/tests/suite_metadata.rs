@@ -10,9 +10,21 @@ fn paper_rows_are_internally_consistent() {
         let p = &w.paper;
         assert!(p.loc_k > 0.0, "{}: LoC", w.name);
         assert!(p.exec_time_s > 0.0, "{}: exec time", w.name);
-        assert!(p.offloaded_fns.0 <= p.offloaded_fns.1, "{}: offloaded fns", w.name);
-        assert!(p.referenced_gv.0 <= p.referenced_gv.1, "{}: referenced GVs", w.name);
-        assert!((0.0..=100.0).contains(&p.coverage_pct), "{}: coverage", w.name);
+        assert!(
+            p.offloaded_fns.0 <= p.offloaded_fns.1,
+            "{}: offloaded fns",
+            w.name
+        );
+        assert!(
+            p.referenced_gv.0 <= p.referenced_gv.1,
+            "{}: referenced GVs",
+            w.name
+        );
+        assert!(
+            (0.0..=100.0).contains(&p.coverage_pct),
+            "{}: coverage",
+            w.name
+        );
         assert!(p.invocations >= 1, "{}: invocations", w.name);
         assert!(p.traffic_mb_per_inv > 0.0, "{}: traffic", w.name);
     }
@@ -49,7 +61,11 @@ fn every_main_is_pinned_by_interactive_input() {
     // The paper's programs all read inputs; our miniatures use scanf in
     // main, which is what keeps main itself unoffloadable (§3.1).
     for w in all() {
-        assert!(w.source.contains("scanf"), "{}: main should scanf its input", w.name);
+        assert!(
+            w.source.contains("scanf"),
+            "{}: main should scanf its input",
+            w.name
+        );
     }
 }
 
@@ -59,7 +75,11 @@ fn profile_and_eval_inputs_differ() {
     for w in all() {
         let p = (w.profile_input)();
         let e = (w.eval_input)();
-        assert_ne!(p.stdin, e.stdin, "{}: same profiling and evaluation stdin", w.name);
+        assert_ne!(
+            p.stdin, e.stdin,
+            "{}: same profiling and evaluation stdin",
+            w.name
+        );
     }
 }
 
@@ -67,6 +87,10 @@ fn profile_and_eval_inputs_differ() {
 fn sources_are_nontrivial() {
     for w in all() {
         let lines = w.source.lines().filter(|l| !l.trim().is_empty()).count();
-        assert!(lines >= 25, "{}: miniature suspiciously small ({lines} lines)", w.name);
+        assert!(
+            lines >= 25,
+            "{}: miniature suspiciously small ({lines} lines)",
+            w.name
+        );
     }
 }

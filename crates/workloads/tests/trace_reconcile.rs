@@ -1,0 +1,39 @@
+//! Suite-wide trace reconciliation: for all 17 miniatures, the Fig. 7
+//! breakdown and every `RunReport` counter derived from the observability
+//! event stream are **byte-identical** to the values the session
+//! accounted while running — on both networks, with the offload forced
+//! (dynamic estimation off) exactly like the paper's Fig. 7 runs.
+
+use native_offloader::runtime::derive::check_reconciliation;
+use native_offloader::SessionConfig;
+use offload_obs::TraceCollector;
+
+fn forced(mut cfg: SessionConfig) -> SessionConfig {
+    cfg.dynamic_estimation = false;
+    cfg
+}
+
+#[test]
+fn fig7_breakdowns_derive_byte_identical_from_traces() {
+    for w in offload_workloads::all() {
+        let app = w.compile().expect("compiles");
+        let input = (w.eval_input)();
+        for (net, cfg) in [
+            ("slow", forced(SessionConfig::slow_network())),
+            ("fast", forced(SessionConfig::fast_network())),
+        ] {
+            let mut obs = TraceCollector::with_capacity(1 << 20);
+            let rep = app
+                .run_offloaded_traced(&input, &cfg, &mut obs)
+                .expect("runs");
+            assert_eq!(
+                obs.dropped(),
+                0,
+                "{}/{net}: ring must hold the whole run",
+                w.name
+            );
+            check_reconciliation(&obs.records(), &rep, &cfg)
+                .unwrap_or_else(|e| panic!("{}/{net}: {e}", w.name));
+        }
+    }
+}

@@ -61,8 +61,6 @@ fn main() {
     );
     println!(
         "offloads: {} performed, {} fn-ptr translations (the evals table), {} bytes received",
-        off.offloads_performed,
-        off.fn_map_translations,
-        off.download.raw_bytes
+        off.offloads_performed, off.fn_map_translations, off.download.raw_bytes
     );
 }

@@ -45,9 +45,7 @@ int main() {
 "#;
 
 fn photo() -> Vec<u8> {
-    (0..16384u32)
-        .map(|i| ((i * 7) % 251) as u8)
-        .collect()
+    (0..16384u32).map(|i| ((i * 7) % 251) as u8).collect()
 }
 
 fn main() {
@@ -57,15 +55,25 @@ fn main() {
         .expect("compiles");
 
     println!("== compiler decisions ==");
-    println!("targets:          {:?}", app.plan.tasks.iter().map(|t| &t.name).collect::<Vec<_>>());
+    println!(
+        "targets:          {:?}",
+        app.plan.tasks.iter().map(|t| &t.name).collect::<Vec<_>>()
+    );
     println!("remote I/O sites: {}", app.plan.stats.remote_io_sites);
-    println!("unified globals:  {}/{}", app.plan.stats.unified_globals, app.plan.stats.total_globals);
+    println!(
+        "unified globals:  {}/{}",
+        app.plan.stats.unified_globals, app.plan.stats.total_globals
+    );
     println!("coverage:         {:.1}%", app.plan.stats.coverage_percent);
 
     let input = WorkloadInput::from_stdin("90\n").with_file("photo.raw", photo());
     let local = app.run_local(&input).expect("local");
     println!("\n== runs ==");
-    println!("local:        {:>8.2} ms  {:>8.1} mJ", local.total_seconds * 1e3, local.energy_mj);
+    println!(
+        "local:        {:>8.2} ms  {:>8.1} mJ",
+        local.total_seconds * 1e3,
+        local.energy_mj
+    );
 
     for (label, cfg) in [
         ("slow 802.11n", SessionConfig::slow_network()),

@@ -28,7 +28,11 @@ fn main() {
         let cfg = SessionConfig::with_link(link);
         let r = app.run_offloaded(&input, &cfg).expect("run");
         assert_eq!(r.console, local.console);
-        let decision = if r.offloads_performed > 0 { "OFFLOAD" } else { "stay local" };
+        let decision = if r.offloads_performed > 0 {
+            "OFFLOAD"
+        } else {
+            "stay local"
+        };
         println!(
             "{:>7} Mbps  {:>9.2}  {:>8.2}x  {:>6.0} KB  {}",
             mbps,
@@ -47,13 +51,19 @@ fn main() {
     println!("\n== {} (compute-bound contrast) ==", w2.name);
     for mbps in [10u64, 80, 500] {
         let link = Link::custom(format!("{mbps} Mbps"), mbps * 1_000_000, 0.002);
-        let r = app2.run_offloaded(&input2, &SessionConfig::with_link(link)).expect("run");
+        let r = app2
+            .run_offloaded(&input2, &SessionConfig::with_link(link))
+            .expect("run");
         println!(
             "{:>7} Mbps  {:>9.2} ms  {:>8.2}x  {}",
             mbps,
             r.total_seconds * 1e3,
             local2.total_seconds / r.total_seconds,
-            if r.offloads_performed > 0 { "OFFLOAD" } else { "stay local" }
+            if r.offloads_performed > 0 {
+                "OFFLOAD"
+            } else {
+                "stay local"
+            }
         );
     }
 }

@@ -1,0 +1,76 @@
+//! Trace an offloaded run end to end: attach a [`TraceCollector`], watch
+//! the compiler phases and the §4 session life-cycle as typed events,
+//! then render the trace three ways — span tree, ASCII timeline, and a
+//! metrics digest. Export the same stream as Chrome `trace_event` JSONL
+//! with `reproduce trace <program> --format jsonl`.
+//!
+//! ```sh
+//! cargo run --release --example offload_trace
+//! ```
+
+use native_offloader::{Offloader, SessionConfig};
+use offload_obs::export::{render_timeline, render_tree};
+use offload_obs::TraceCollector;
+use offload_workloads::by_short_name;
+
+fn main() {
+    let w = by_short_name("sjeng").expect("sjeng exists");
+    // sjeng translates a fn-ptr per search node — hundreds of thousands
+    // of events, more than the default ring; size it to keep them all.
+    let mut obs = TraceCollector::with_capacity(1 << 20);
+
+    // One collector spans both halves: compiler phases land on the
+    // ordinal compile clock, runtime events on the simulated clock.
+    let app = Offloader::new()
+        .compile_source_traced(w.source, w.name, &(w.profile_input)(), &mut obs)
+        .expect("compiles");
+    let mut cfg = SessionConfig::fast_network();
+    cfg.dynamic_estimation = false; // always show a full offload session
+    let rep = app
+        .run_offloaded_traced(&(w.eval_input)(), &cfg, &mut obs)
+        .expect("runs");
+
+    let records = obs.records();
+    println!(
+        "== {} traced: {} events, {} dropped ==\n",
+        w.name,
+        records.len(),
+        obs.dropped()
+    );
+
+    // The span tree nests compiler phases and offload sessions; cap the
+    // instants shown so the shape stays readable.
+    let tree = render_tree(&records);
+    let mut shown = 0;
+    for line in tree.lines() {
+        let is_span = line.trim_start().starts_with('▶');
+        if is_span || shown < 30 {
+            println!("{line}");
+            if !is_span {
+                shown += 1;
+            }
+        }
+    }
+    println!("  ... (instants truncated; `reproduce trace sjeng --format tree` for all)\n");
+
+    println!("{}", render_timeline(&records, 96));
+
+    // The metrics registry accumulates counters and histograms as events
+    // flow; the same snapshot rides on `rep.metrics`.
+    println!("counters:");
+    let snap = &rep.metrics;
+    for (name, value) in &snap.counters {
+        println!("  {name:<28} {value}");
+    }
+    println!("\nhistograms:");
+    for (name, h) in &snap.histograms {
+        println!("  {name:<28} n={} mean={:.3}", h.count, h.mean());
+    }
+
+    println!(
+        "\nsimulated total {:.2} ms, energy {:.1} mJ; breakdown total {:.2} ms (reconciles)",
+        rep.total_seconds * 1e3,
+        rep.energy_mj,
+        rep.breakdown.total() * 1e3
+    );
+}

@@ -43,7 +43,10 @@ fn main() {
     let app = Offloader::new()
         .compile_source(PROGRAM, "quickstart", &WorkloadInput::from_stdin("120\n"))
         .expect("compiles");
-    println!("offload targets: {:?}", app.plan.tasks.iter().map(|t| &t.name).collect::<Vec<_>>());
+    println!(
+        "offload targets: {:?}",
+        app.plan.tasks.iter().map(|t| &t.name).collect::<Vec<_>>()
+    );
 
     // 2. Baseline: local execution on the phone.
     let input = WorkloadInput::from_stdin("200\n");
@@ -65,7 +68,10 @@ fn main() {
         off.energy_mj,
         off.console.trim()
     );
-    assert_eq!(local.console, off.console, "offloading must not change behaviour");
+    assert_eq!(
+        local.console, off.console,
+        "offloading must not change behaviour"
+    );
 
     println!(
         "speedup: {:.2}x   battery saving: {:.1}%   traffic: {:.1} KB over {} messages",

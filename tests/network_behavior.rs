@@ -44,7 +44,9 @@ fn input() -> WorkloadInput {
 #[test]
 fn compression_shrinks_wire_bytes_and_total_time() {
     let app = app();
-    let with = app.run_offloaded(&input(), &SessionConfig::fast_network()).unwrap();
+    let with = app
+        .run_offloaded(&input(), &SessionConfig::fast_network())
+        .unwrap();
     let mut cfg = SessionConfig::fast_network();
     cfg.compress = false;
     let without = app.run_offloaded(&input(), &cfg).unwrap();
@@ -62,7 +64,9 @@ fn compression_shrinks_wire_bytes_and_total_time() {
 #[test]
 fn batching_reduces_message_count_and_time() {
     let app = app();
-    let batched = app.run_offloaded(&input(), &SessionConfig::fast_network()).unwrap();
+    let batched = app
+        .run_offloaded(&input(), &SessionConfig::fast_network())
+        .unwrap();
     let mut cfg = SessionConfig::fast_network();
     cfg.batch = false;
     let unbatched = app.run_offloaded(&input(), &cfg).unwrap();
@@ -78,7 +82,9 @@ fn copy_on_demand_moves_less_than_eager_transfer() {
     // §6: static partitioners "conservatively send all the data that the
     // offloaded tasks may touch"; CoD ships only what is accessed.
     let app = app();
-    let cod = app.run_offloaded(&input(), &SessionConfig::fast_network()).unwrap();
+    let cod = app
+        .run_offloaded(&input(), &SessionConfig::fast_network())
+        .unwrap();
     let mut cfg = SessionConfig::fast_network();
     cfg.copy_on_demand = false;
     let eager = app.run_offloaded(&input(), &cfg).unwrap();
@@ -94,7 +100,9 @@ fn copy_on_demand_moves_less_than_eager_transfer() {
 #[test]
 fn ideal_network_bounds_real_networks() {
     let app = app();
-    let ideal = app.run_offloaded(&input(), &SessionConfig::ideal_network()).unwrap();
+    let ideal = app
+        .run_offloaded(&input(), &SessionConfig::ideal_network())
+        .unwrap();
     let fast = {
         let mut c = SessionConfig::fast_network();
         c.dynamic_estimation = false;
@@ -114,7 +122,9 @@ fn ideal_network_bounds_real_networks() {
 fn power_timeline_shows_the_fig8_phases() {
     use offload_machine::power::PowerState;
     let app = app();
-    let off = app.run_offloaded(&input(), &SessionConfig::fast_network()).unwrap();
+    let off = app
+        .run_offloaded(&input(), &SessionConfig::fast_network())
+        .unwrap();
     let states: Vec<PowerState> = off.timeline.intervals().iter().map(|iv| iv.state).collect();
     assert!(states.contains(&PowerState::Compute));
     assert!(states.contains(&PowerState::Transmit));
@@ -122,14 +132,19 @@ fn power_timeline_shows_the_fig8_phases() {
     assert!(states.contains(&PowerState::Waiting));
     // The timeline integrates to the reported totals.
     assert!((off.timeline.total_seconds() - off.total_seconds).abs() < 1e-9);
-    let resampled = off.timeline.resample(&SessionConfig::fast_network().mobile.power, off.total_seconds / 100.0);
+    let resampled = off.timeline.resample(
+        &SessionConfig::fast_network().mobile.power,
+        off.total_seconds / 100.0,
+    );
     assert!(resampled.len() >= 50, "Fig. 8 needs a dense series");
 }
 
 #[test]
 fn traffic_accounting_is_consistent() {
     let app = app();
-    let off = app.run_offloaded(&input(), &SessionConfig::fast_network()).unwrap();
+    let off = app
+        .run_offloaded(&input(), &SessionConfig::fast_network())
+        .unwrap();
     let from_events: u64 = off.events.iter().map(|e| e.wire_bytes).sum();
     assert_eq!(from_events, off.upload.wire_bytes + off.download.wire_bytes);
     assert!(off.traffic_mb() > 0.0);

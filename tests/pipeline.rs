@@ -17,15 +17,24 @@ fn estimate_table_has_the_table3_shape() {
     // three Eq. 1 columns; interactive functions are marked filtered.
     let app = compile_chess();
     let rows = &app.plan.estimates;
-    let ai = rows.iter().find(|r| r.name == "getAITurn").expect("getAITurn row");
+    let ai = rows
+        .iter()
+        .find(|r| r.name == "getAITurn")
+        .expect("getAITurn row");
     assert!(ai.selected && !ai.machine_specific);
     assert!(ai.t_ideal_s > 0.0 && ai.t_comm_s >= 0.0);
     assert!((ai.t_gain_s - (ai.t_ideal_s - ai.t_comm_s)).abs() < 1e-12);
 
-    let player = rows.iter().find(|r| r.name == "getPlayerTurn").expect("getPlayerTurn row");
+    let player = rows
+        .iter()
+        .find(|r| r.name == "getPlayerTurn")
+        .expect("getPlayerTurn row");
     assert!(player.machine_specific && !player.selected);
 
-    let run_game = rows.iter().find(|r| r.name == "runGame").expect("runGame row");
+    let run_game = rows
+        .iter()
+        .find(|r| r.name == "runGame")
+        .expect("runGame row");
     assert!(run_game.machine_specific, "taint through getPlayerTurn");
 }
 
@@ -48,7 +57,10 @@ fn partition_matches_fig3() {
     // Function-pointer mapping (§3.4) guards the evals dispatch.
     assert!(server_text.contains("fn_map_to_local"));
     let gpt = app.server.function_by_name("getPlayerTurn").unwrap();
-    assert!(app.server.function(gpt).is_declaration(), "unused function removal");
+    assert!(
+        app.server.function(gpt).is_declaration(),
+        "unused function removal"
+    );
 }
 
 #[test]
@@ -61,7 +73,10 @@ fn compile_stats_cover_table4_columns() {
     assert!(s.heap_sites_unified >= 2, "malloc + free of the board");
     assert!(s.fn_ptr_sites >= 1, "the evals dispatch");
     assert!(s.remote_io_sites >= 1, "the score printf");
-    assert!(s.removed_server_functions >= 2, "main/getPlayerTurn/runGame bodies");
+    assert!(
+        s.removed_server_functions >= 2,
+        "main/getPlayerTurn/runGame bodies"
+    );
     assert!(s.coverage_percent > 30.0);
     // Fig. 4: Move (char,char,double) needs realignment against IA32-style
     // packing; the default x86-64 server aligns doubles like ARM, so the
@@ -122,9 +137,7 @@ fn listen_loop_executes_on_a_scripted_server() {
             ctx: &mut HostCtx<'_>,
         ) -> Result<Option<RtVal>, VmError> {
             match b {
-                Builtin::AcceptOffload => {
-                    Ok(Some(RtVal::I(self.queue.pop().map_or(0, i64::from))))
-                }
+                Builtin::AcceptOffload => Ok(Some(RtVal::I(self.queue.pop().map_or(0, i64::from)))),
                 Builtin::RecvArgI | Builtin::RecvArgF => Ok(Some(RtVal::I(0))),
                 Builtin::SendReturn | Builtin::SendReturnF => {
                     self.returns.push(args[0]);
@@ -142,7 +155,11 @@ fn listen_loop_executes_on_a_scripted_server() {
         int work() { int i; int acc = 0; for (i = 0; i < 500000; i++) acc += i % 7; return acc; }
         int main() { int n; scanf(\"%d\", &n); printf(\"%d\\n\", work()); return 0; }";
     let app = Offloader::new()
-        .compile_source(src, "listen-demo", &native_offloader::WorkloadInput::from_stdin("1\n"))
+        .compile_source(
+            src,
+            "listen-demo",
+            &native_offloader::WorkloadInput::from_stdin("1\n"),
+        )
         .unwrap();
     let task = app.plan.task_by_name("work").expect("work selected");
 
@@ -156,6 +173,10 @@ fn listen_loop_executes_on_a_scripted_server() {
     };
     let listen = app.server.entry.unwrap();
     vm.call_function(listen, &[], &mut host).unwrap();
-    assert_eq!(host.returns.len(), 1, "one request processed, then clean exit");
+    assert_eq!(
+        host.returns.len(),
+        1,
+        "one request processed, then clean exit"
+    );
     assert!(host.returns[0].as_i() > 0);
 }

@@ -54,11 +54,20 @@ fn pointer_chasing_works_across_the_uva() {
     let app = Offloader::new()
         .compile_source(LINKED, "linked", &WorkloadInput::from_stdin("1500 120\n"))
         .unwrap();
-    assert!(app.plan.task_by_name("walk").is_some(), "{:#?}", app.plan.estimates);
+    assert!(
+        app.plan.task_by_name("walk").is_some(),
+        "{:#?}",
+        app.plan.estimates
+    );
     let local = app.run_local(&linked_input()).unwrap();
-    let off = app.run_offloaded(&linked_input(), &SessionConfig::fast_network()).unwrap();
+    let off = app
+        .run_offloaded(&linked_input(), &SessionConfig::fast_network())
+        .unwrap();
     assert_eq!(local.console, off.console);
-    assert!(off.demand_page_fetches + off.prefetched_pages > 5, "list pages must travel");
+    assert!(
+        off.demand_page_fetches + off.prefetched_pages > 5,
+        "list pages must travel"
+    );
 }
 
 #[test]
@@ -66,7 +75,10 @@ fn heap_sites_were_unified_for_the_linked_list() {
     let app = Offloader::new()
         .compile_source(LINKED, "linked", &WorkloadInput::from_stdin("800 60\n"))
         .unwrap();
-    assert!(app.plan.stats.heap_sites_unified >= 1, "malloc became u_malloc");
+    assert!(
+        app.plan.stats.heap_sites_unified >= 1,
+        "malloc became u_malloc"
+    );
     // The server partition sees u_malloc, not malloc.
     let server_text = app.server.to_string();
     assert!(!server_text.contains(" builtin malloc("), "{server_text}");
@@ -83,7 +95,11 @@ fn offload_to_big_endian_server_works_via_translation() {
         ..CompileConfig::default()
     };
     let app = Offloader::with_config(config)
-        .compile_source(LINKED, "linked-be", &WorkloadInput::from_stdin("1500 120\n"))
+        .compile_source(
+            LINKED,
+            "linked-be",
+            &WorkloadInput::from_stdin("1500 120\n"),
+        )
         .unwrap();
     let mut session = SessionConfig::fast_network();
     session.server = TargetSpec::big_endian_server();
@@ -99,7 +115,11 @@ fn big_endian_server_without_translation_breaks() {
     // run the server VM big-endian. The result must differ — proving the
     // translation pass is load-bearing, not decorative.
     let app = Offloader::new()
-        .compile_source(LINKED, "linked-wrong", &WorkloadInput::from_stdin("1500 120\n"))
+        .compile_source(
+            LINKED,
+            "linked-wrong",
+            &WorkloadInput::from_stdin("1500 120\n"),
+        )
         .unwrap();
     let mut session = SessionConfig::fast_network();
     session.server = TargetSpec::big_endian_server();
@@ -107,7 +127,10 @@ fn big_endian_server_without_translation_breaks() {
     // The run either produces wrong output or crashes on a garbage
     // pointer — both demonstrate the §3.2 failure mode.
     if let Ok(off) = app.run_offloaded(&linked_input(), &session) {
-        assert_ne!(local.console, off.console, "unswapped BE reads must corrupt");
+        assert_ne!(
+            local.console, off.console,
+            "unswapped BE reads must corrupt"
+        );
     }
 }
 
@@ -145,12 +168,21 @@ fn sret_aggregates_round_trip_through_offload() {
     let app = Offloader::new()
         .compile_source(src, "sret", &WorkloadInput::from_stdin("400000\n"))
         .unwrap();
-    assert!(app.plan.task_by_name("summarize").is_some(), "{:#?}", app.plan.estimates);
+    assert!(
+        app.plan.task_by_name("summarize").is_some(),
+        "{:#?}",
+        app.plan.estimates
+    );
     let input = WorkloadInput::from_stdin("800000\n");
     let local = app.run_local(&input).unwrap();
-    let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+    let off = app
+        .run_offloaded(&input, &SessionConfig::fast_network())
+        .unwrap();
     assert_eq!(local.console, off.console);
-    assert!(off.dirty_pages_written_back > 0, "the sret page must come home");
+    assert!(
+        off.dirty_pages_written_back > 0,
+        "the sret page must come home"
+    );
 }
 
 #[test]
@@ -162,7 +194,9 @@ fn server_stack_is_relocated_away_from_mobile_stack() {
     let app = Offloader::new()
         .compile_source(LINKED, "linked", &WorkloadInput::from_stdin("1000 100\n"))
         .unwrap();
-    let off = app.run_offloaded(&linked_input(), &SessionConfig::fast_network()).unwrap();
+    let off = app
+        .run_offloaded(&linked_input(), &SessionConfig::fast_network())
+        .unwrap();
     // No event ships a server-stack page to the mobile device: the dirty
     // write-back count excludes server-private ranges by construction, and
     // the run stays correct (checked elsewhere); here we sanity-check the

@@ -72,14 +72,20 @@ fn suite_compiles_selects_and_matches_output() {
 fn slow_network_refusals_match_the_paper() {
     for (w, app) in suite() {
         let input = (w.eval_input)();
-        let off = app.run_offloaded(&input, &SessionConfig::slow_network()).unwrap();
+        let off = app
+            .run_offloaded(&input, &SessionConfig::slow_network())
+            .unwrap();
         if w.paper.refused_on_slow {
             assert_eq!(
                 off.offloads_performed, 0,
                 "{}: should be refused on the slow network (Fig. 6 `*`)",
                 w.name
             );
-            assert!(off.offloads_refused >= 1, "{}: refusals not recorded", w.name);
+            assert!(
+                off.offloads_refused >= 1,
+                "{}: refusals not recorded",
+                w.name
+            );
         } else {
             assert!(
                 off.offloads_performed >= 1,
@@ -98,7 +104,9 @@ fn fast_network_speeds_up_every_program() {
     for (w, app) in suite() {
         let input = (w.eval_input)();
         let local = app.run_local(&input).unwrap();
-        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        let off = app
+            .run_offloaded(&input, &SessionConfig::fast_network())
+            .unwrap();
         assert!(
             off.total_seconds < local.total_seconds,
             "{}: offload {:.4}s vs local {:.4}s",
@@ -119,7 +127,9 @@ fn battery_saved_for_all_but_gzip_shapes() {
         }
         let input = (w.eval_input)();
         let local = app.run_local(&input).unwrap();
-        let off = app.run_offloaded(&input, &SessionConfig::fast_network()).unwrap();
+        let off = app
+            .run_offloaded(&input, &SessionConfig::fast_network())
+            .unwrap();
         assert!(
             off.energy_mj < local.energy_mj,
             "{}: offload energy {:.1} mJ vs local {:.1} mJ",
@@ -171,7 +181,11 @@ fn remote_input_programs_do_remote_io() {
 #[test]
 fn ammp_has_two_targets() {
     let (_, app) = entry("ammp");
-    assert!(app.plan.task_by_name("tpac").is_some(), "{:#?}", app.plan.estimates);
+    assert!(
+        app.plan.task_by_name("tpac").is_some(),
+        "{:#?}",
+        app.plan.estimates
+    );
     assert!(
         app.plan.task_by_name("AMMPmonitor").is_some(),
         "{:#?}",
