@@ -37,6 +37,10 @@ fn main() {
         trace(&args[pos + 1..], &log);
         return;
     }
+    if let Some(pos) = args.iter().position(|a| a == "analyze") {
+        analyze(&args[pos + 1..], &log);
+        return;
+    }
 
     let wants = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
 
@@ -171,6 +175,72 @@ fn trace(rest: &[String], log: &Logger) {
         rep.offloads_performed,
         rep.demand_page_fetches,
     ));
+}
+
+/// `analyze <program|all> [--no-remote-io]`: run the static-analysis
+/// layer — points-to, portability lints, function filter — and print
+/// per-function offloadability verdicts with reason chains plus every
+/// `OFFxxx` diagnostic, rustc-style. `chess` analyzes the paper's running
+/// example; `all` sweeps the 17-program suite. Exits nonzero if any
+/// program raises an error-severity diagnostic (the CI smoke gate).
+fn analyze(rest: &[String], log: &Logger) {
+    let mut program: Option<&str> = None;
+    let mut allow_remote_io = true;
+    for arg in rest {
+        match arg.as_str() {
+            "--no-remote-io" => allow_remote_io = false,
+            a if !a.starts_with('-') && program.is_none() => program = Some(a),
+            a => {
+                eprintln!("analyze: unexpected argument `{a}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(which) = program else {
+        eprintln!("usage: reproduce analyze <program|chess|all> [--no-remote-io]");
+        std::process::exit(2);
+    };
+
+    let mut sources: Vec<(&str, &str)> = Vec::new();
+    if which == "chess" || which == "all" {
+        sources.push(("chess", chess::SOURCE));
+    }
+    if which == "all" {
+        for w in offload_workloads::all() {
+            sources.push((w.name, w.source));
+        }
+    } else if which != "chess" {
+        let Some(w) = offload_workloads::by_short_name(which) else {
+            let known: Vec<&str> = offload_workloads::all().iter().map(|w| w.short).collect();
+            eprintln!(
+                "analyze: unknown program `{which}` (chess, all, or one of: {})",
+                known.join(", ")
+            );
+            std::process::exit(2);
+        };
+        sources.push((w.name, w.source));
+    }
+
+    let mut errors = 0usize;
+    for (name, source) in sources {
+        log.info(&format!("[analyzing {name}]"));
+        let report = match native_offloader::analyze_source(source, name, allow_remote_io) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("analyze: {name}: {e}");
+                std::process::exit(1);
+            }
+        };
+        print!("{}", report.render());
+        println!();
+        if report.has_errors() {
+            errors += 1;
+        }
+    }
+    if errors > 0 {
+        eprintln!("analyze: {errors} program(s) raised error-severity diagnostics");
+        std::process::exit(1);
+    }
 }
 
 /// Table 1: chess movement computation time, phone vs desktop, by

@@ -1,0 +1,310 @@
+//! The `reproduce analyze` entry point: run the static-analysis layer —
+//! points-to, portability lints, function filter — over a program and
+//! report per-function offloadability verdicts with reason chains, plus
+//! every diagnostic the analyses raised, rendered rustc-style with stable
+//! `OFFxxx` codes.
+//!
+//! This is the §3.1/§3.2 target-selection story made inspectable: the same
+//! analyses the compile pipeline consumes, surfaced as a report instead of
+//! silently feeding the estimator.
+
+use offload_ir::analysis::pointsto::PointsTo;
+use offload_ir::analysis::run_lints;
+use offload_ir::diag::{Code, Diagnostic, DiagnosticBag, Severity};
+use offload_ir::layout::WIDEST_TARGET_ADDR_BITS;
+use offload_ir::{FuncId, Module};
+
+use super::filter::{self, FilterResult, MachineSpecificCause};
+use crate::OffloadError;
+
+/// The analysis verdict for one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionVerdict {
+    /// The function.
+    pub func: FuncId,
+    /// Its source-level name.
+    pub name: String,
+    /// `true` if the filter lets it offload.
+    pub offloadable: bool,
+    /// The diagnostic code of the taint cause, when machine specific.
+    pub code: Option<Code>,
+    /// Human-readable cause, when machine specific.
+    pub reason: Option<String>,
+    /// Function names the taint propagated through, from this function to
+    /// the primal cause. Empty when offloadable.
+    pub chain: Vec<String>,
+}
+
+/// Everything `reproduce analyze` reports for one program.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The program (module) name.
+    pub program: String,
+    /// Per-function verdicts, in function-id order.
+    pub verdicts: Vec<FunctionVerdict>,
+    /// Filter causes + portability lints, as coded diagnostics.
+    pub diagnostics: DiagnosticBag,
+    /// Indirect call sites whose target set was bounded.
+    pub indirect_bounded: usize,
+    /// Indirect call sites with unbounded (or empty) target sets.
+    pub indirect_unbounded: usize,
+    /// Fixpoint rounds the points-to solver took.
+    pub pointsto_rounds: u32,
+    /// Function names by id, for rendering diagnostics.
+    names: Vec<String>,
+}
+
+impl AnalysisReport {
+    /// Number of offloadable functions.
+    pub fn offloadable_count(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.offloadable).count()
+    }
+
+    /// Number of machine-specific functions.
+    pub fn machine_specific_count(&self) -> usize {
+        self.verdicts.len() - self.offloadable_count()
+    }
+
+    /// `true` if any error-severity diagnostic was raised (CI gates on
+    /// this).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.has_errors()
+    }
+
+    /// Render the full report: verdict lines, then diagnostics.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "offload analysis for `{}`: {} functions, {} offloadable, {} machine specific\n",
+            self.program,
+            self.verdicts.len(),
+            self.offloadable_count(),
+            self.machine_specific_count(),
+        );
+        out.push_str(&format!(
+            "indirect calls: {} bounded, {} unbounded ({} points-to rounds)\n\n",
+            self.indirect_bounded, self.indirect_unbounded, self.pointsto_rounds
+        ));
+        for v in &self.verdicts {
+            if v.offloadable {
+                out.push_str(&format!("  {}: offloadable\n", v.name));
+            } else {
+                let code = v.code.map(|c| format!(" [{c}]")).unwrap_or_default();
+                out.push_str(&format!(
+                    "  {}: machine specific{code} — {}\n",
+                    v.name,
+                    v.reason.as_deref().unwrap_or("unknown cause"),
+                ));
+                if v.chain.len() > 1 {
+                    out.push_str(&format!("      chain: {}\n", v.chain.join(" -> ")));
+                }
+            }
+        }
+        if !self.diagnostics.is_empty() {
+            out.push('\n');
+            let program = self.program.clone();
+            let names = self.names.clone();
+            out.push_str(&self.diagnostics.render(&move |f: FuncId| {
+                format!(
+                    "{}::{}",
+                    program,
+                    names
+                        .get(f.0 as usize)
+                        .cloned()
+                        .unwrap_or_else(|| f.to_string())
+                )
+            }));
+        }
+        let (e, w, i) = (
+            self.diagnostics.count(Severity::Error),
+            self.diagnostics.count(Severity::Warning),
+            self.diagnostics.count(Severity::Info),
+        );
+        out.push_str(&format!(
+            "\n{} diagnostics: {e} errors, {w} warnings, {i} infos\n",
+            self.diagnostics.len()
+        ));
+        out
+    }
+}
+
+/// Run the full static-analysis layer over `module`.
+pub fn analyze_module(module: &Module, allow_remote_io: bool) -> AnalysisReport {
+    let pt = PointsTo::analyze(module);
+    let filt = filter::run_filter_with(module, allow_remote_io, &pt);
+
+    let mut diagnostics: DiagnosticBag = filt
+        .tainted
+        .iter()
+        .map(|(f, cause)| cause_diagnostic(module, &filt, *f, cause))
+        .collect();
+    diagnostics.extend(run_lints(module, &pt, WIDEST_TARGET_ADDR_BITS));
+
+    let names: Vec<String> = module
+        .iter_functions()
+        .map(|(_, f)| f.name.clone())
+        .collect();
+    let verdicts = module
+        .iter_functions()
+        .map(|(f, func)| {
+            let cause = filt.cause(f);
+            FunctionVerdict {
+                func: f,
+                name: func.name.clone(),
+                offloadable: cause.is_none(),
+                code: cause.map(cause_code),
+                reason: cause.map(|c| cause_text(module, c)),
+                chain: filt
+                    .reason_chain(f)
+                    .into_iter()
+                    .map(|g| module.function(g).name.clone())
+                    .collect(),
+            }
+        })
+        .collect();
+
+    let (indirect_bounded, indirect_unbounded) = filt.indirect_counts();
+    AnalysisReport {
+        program: module.name.clone(),
+        verdicts,
+        diagnostics,
+        indirect_bounded,
+        indirect_unbounded,
+        pointsto_rounds: pt.rounds(),
+        names,
+    }
+}
+
+/// Compile MiniC source and analyze it.
+///
+/// # Errors
+///
+/// Front-end failures.
+pub fn analyze_source(
+    source: &str,
+    name: &str,
+    allow_remote_io: bool,
+) -> Result<AnalysisReport, OffloadError> {
+    let module = offload_minic::compile(source, name)?;
+    Ok(analyze_module(&module, allow_remote_io))
+}
+
+/// The stable diagnostic code for a filter cause.
+pub fn cause_code(cause: &MachineSpecificCause) -> Code {
+    match cause {
+        MachineSpecificCause::InlineAsm => Code::InlineAsm,
+        MachineSpecificCause::Syscall => Code::Syscall,
+        MachineSpecificCause::UnknownExternal(_) => Code::UnknownExternal,
+        MachineSpecificCause::InteractiveIo(_) => Code::InteractiveIo,
+        MachineSpecificCause::Calls(_) => Code::TaintedCallee,
+        MachineSpecificCause::CallsViaPointer(_) => Code::IndirectTainted,
+        MachineSpecificCause::IndirectUnbounded => Code::IndirectUnbounded,
+    }
+}
+
+fn cause_text(module: &Module, cause: &MachineSpecificCause) -> String {
+    match cause {
+        MachineSpecificCause::InlineAsm => "contains inline assembly".into(),
+        MachineSpecificCause::Syscall => "contains a raw system call".into(),
+        MachineSpecificCause::UnknownExternal(n) => {
+            format!("calls unknown external function `{n}`")
+        }
+        MachineSpecificCause::InteractiveIo(n) => {
+            format!("interactive I/O `{n}` has no remote replacement")
+        }
+        MachineSpecificCause::Calls(g) => {
+            format!("calls machine-specific `{}`", module.function(*g).name)
+        }
+        MachineSpecificCause::CallsViaPointer(g) => format!(
+            "indirect call may reach machine-specific `{}`",
+            module.function(*g).name
+        ),
+        MachineSpecificCause::IndirectUnbounded => "indirect call with unbounded target set".into(),
+    }
+}
+
+fn cause_diagnostic(
+    module: &Module,
+    filt: &FilterResult,
+    f: FuncId,
+    cause: &MachineSpecificCause,
+) -> Diagnostic {
+    let mut d = Diagnostic::new(cause_code(cause), cause_text(module, cause)).in_func(f);
+    if let Some(site) = filt.sites.get(&f) {
+        d = d.at(site.block, site.inst);
+    }
+    let chain = filt.reason_chain(f);
+    if chain.len() > 1 {
+        let names: Vec<String> = chain
+            .iter()
+            .map(|g| module.function(*g).name.clone())
+            .collect();
+        d = d.note(format!("taint chain: {}", names.join(" -> ")));
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHESS: &str = "
+        int maxDepth;
+        double getAITurn() {
+            int i; double s = 0.0;
+            for (i = 0; i < maxDepth; i++) s += (double)i;
+            printf(\"%f\\n\", s);
+            return s;
+        }
+        int getPlayerTurn() { int mv; scanf(\"%d\", &mv); return mv; }
+        void runGame() {
+            int over = 0;
+            while (!over) { over = getPlayerTurn(); getAITurn(); }
+        }
+        int main() { scanf(\"%d\", &maxDepth); runGame(); return 0; }";
+
+    #[test]
+    fn report_has_verdicts_and_codes() {
+        let r = analyze_source(CHESS, "chess", true).unwrap();
+        assert_eq!(r.verdicts.len(), 4);
+        assert_eq!(r.offloadable_count(), 1);
+        assert_eq!(r.machine_specific_count(), 3);
+        let run_game = r.verdicts.iter().find(|v| v.name == "runGame").unwrap();
+        assert_eq!(run_game.code, Some(Code::TaintedCallee));
+        assert_eq!(run_game.chain, vec!["runGame", "getPlayerTurn"]);
+        assert!(!r.has_errors(), "chess is portable: no error diagnostics");
+    }
+
+    #[test]
+    fn render_shows_reason_chains_and_off_codes() {
+        let r = analyze_source(CHESS, "chess", true).unwrap();
+        let text = r.render();
+        assert!(text.contains("getAITurn: offloadable"), "{text}");
+        assert!(
+            text.contains("runGame: machine specific [OFF005]"),
+            "{text}"
+        );
+        assert!(text.contains("chain: runGame -> getPlayerTurn"), "{text}");
+        assert!(text.contains("info[OFF004]"), "{text}");
+        assert!(text.contains("chess::getPlayerTurn"), "{text}");
+    }
+
+    #[test]
+    fn ptrtoint_narrowing_is_an_error() {
+        // Hand-build the hazard: minic always widens ptrtoint to i64, so
+        // construct the narrow cast directly.
+        use offload_ir::builder::FunctionBuilder;
+        use offload_ir::{CastKind, Type};
+        let mut m = Module::new("hazard");
+        let f = m.declare_function("trunc_ptr", vec![Type::I32.ptr_to()], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let narrow = b.cast(CastKind::PtrToInt, Type::I32, p);
+        b.ret(Some(narrow));
+        b.finish();
+        let r = analyze_module(&m, true);
+        assert!(r.has_errors());
+        let text = r.render();
+        assert!(text.contains("error[OFF010]"), "{text}");
+        assert!(text.contains("hazard::trunc_ptr"), "{text}");
+    }
+}

@@ -1,4 +1,4 @@
-//! The function filter (§3.1).
+//! The function filter (§3.1), rewired on top of the static analyses.
 //!
 //! A region is *machine specific* — and therefore unoffloadable — if it
 //! contains an assembly instruction, a system call, an unknown external
@@ -8,11 +8,24 @@
 //! specific taint propagates from callees to callers: the paper rules out
 //! `runGame` and `main` because they (transitively) call
 //! `getPlayerTurn`'s `scanf`.
+//!
+//! Indirect calls are resolved through the Andersen-style points-to
+//! analysis ([`PointsTo`]): a call through a pointer whose target set is
+//! *bounded* taints only if one of the possible targets is tainted, and an
+//! *unbounded* pointer (provenance lost, externally fabricated) taints
+//! unconditionally — the filter is sound for function pointers without
+//! giving up on them wholesale.
+//!
+//! Every taint verdict records the instruction that caused it and, for
+//! call-propagated taint, which callee it came through, so
+//! [`FilterResult::reason_chain`] can explain a verdict the way the
+//! `reproduce analyze` subcommand prints it.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use offload_ir::analysis::CallGraph;
-use offload_ir::{Callee, FuncId, Inst, Module};
+use offload_ir::analysis::pointsto::{CallSite, CallTargets, PointsTo};
+use offload_ir::diag::Site;
+use offload_ir::{BlockId, Callee, FuncId, Inst, Module};
 
 /// Why a function is machine specific.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,12 +34,29 @@ pub enum MachineSpecificCause {
     InlineAsm,
     /// Contains a raw system call.
     Syscall,
-    /// Calls an external function with no body.
+    /// Calls (or is) an external function with no body.
     UnknownExternal(String),
     /// Calls an I/O builtin with no remote replacement.
     InteractiveIo(String),
-    /// Calls a machine-specific function (taint).
+    /// Directly calls the named machine-specific function (taint).
     Calls(FuncId),
+    /// Makes an indirect call whose bounded target set contains the named
+    /// machine-specific function.
+    CallsViaPointer(FuncId),
+    /// Makes an indirect call whose target set the points-to analysis
+    /// could not bound.
+    IndirectUnbounded,
+}
+
+impl MachineSpecificCause {
+    /// The tainted callee this cause propagates from, if it is a
+    /// call-propagation cause.
+    pub fn via_callee(&self) -> Option<FuncId> {
+        match self {
+            MachineSpecificCause::Calls(f) | MachineSpecificCause::CallsViaPointer(f) => Some(*f),
+            _ => None,
+        }
+    }
 }
 
 /// Filter verdicts for every function in a module.
@@ -34,6 +64,11 @@ pub enum MachineSpecificCause {
 pub struct FilterResult {
     /// Machine-specific functions and the (first) reason.
     pub tainted: BTreeMap<FuncId, MachineSpecificCause>,
+    /// The instruction that produced each function's taint (absent for
+    /// external declarations, which have no body to point into).
+    pub sites: BTreeMap<FuncId, Site>,
+    /// Every indirect call site with its points-to resolution.
+    pub indirect: BTreeMap<CallSite, CallTargets>,
 }
 
 impl FilterResult {
@@ -46,9 +81,52 @@ impl FilterResult {
     pub fn tainted_count(&self) -> usize {
         self.tainted.len()
     }
+
+    /// Why `f` is tainted, if it is.
+    pub fn cause(&self, f: FuncId) -> Option<&MachineSpecificCause> {
+        self.tainted.get(&f)
+    }
+
+    /// The chain of functions `f`'s taint propagated through, starting at
+    /// `f` and ending at the function with the primal (non-call) cause.
+    /// Empty if `f` is offloadable.
+    pub fn reason_chain(&self, f: FuncId) -> Vec<FuncId> {
+        let mut chain = Vec::new();
+        let mut seen = BTreeSet::new();
+        let mut cur = f;
+        while let Some(cause) = self.tainted.get(&cur) {
+            if !seen.insert(cur) {
+                break; // defensive: cause links should not cycle
+            }
+            chain.push(cur);
+            match cause.via_callee() {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        chain
+    }
+
+    /// Resolution of the indirect call at (`func`, `block`, `inst`), if
+    /// that site exists.
+    pub fn indirect_targets(
+        &self,
+        func: FuncId,
+        block: BlockId,
+        inst: u32,
+    ) -> Option<&CallTargets> {
+        self.indirect.get(&CallSite { func, block, inst })
+    }
+
+    /// How many indirect sites resolved to bounded / unbounded sets.
+    pub fn indirect_counts(&self) -> (usize, usize) {
+        let bounded = self.indirect.values().filter(|t| t.is_bounded()).count();
+        (bounded, self.indirect.len() - bounded)
+    }
 }
 
-/// Run the function filter over `module`.
+/// Run the function filter over `module`, computing the points-to
+/// analysis internally.
 ///
 /// `allow_remote_io` reflects the §3.4 remote I/O optimization: when
 /// `true` (the paper's configuration), I/O builtins with remote
@@ -57,69 +135,115 @@ impl FilterResult {
 /// most of the IR codes from offloading targets") and the remote-I/O
 /// ablation measures.
 pub fn run_filter(module: &Module, allow_remote_io: bool) -> FilterResult {
-    let mut seeds: BTreeMap<FuncId, MachineSpecificCause> = BTreeMap::new();
+    let pt = PointsTo::analyze(module);
+    run_filter_with(module, allow_remote_io, &pt)
+}
 
+/// Run the function filter against an already-computed [`PointsTo`]
+/// result (the compile pipeline computes it once in its analysis phase).
+pub fn run_filter_with(module: &Module, allow_remote_io: bool, pt: &PointsTo) -> FilterResult {
+    let mut tainted: BTreeMap<FuncId, MachineSpecificCause> = BTreeMap::new();
+    let mut sites: BTreeMap<FuncId, Site> = BTreeMap::new();
+
+    // External declarations are machine specific by definition.
     for (id, func) in module.iter_functions() {
         if func.is_declaration() {
-            // External declarations are machine specific by definition.
-            seeds.insert(id, MachineSpecificCause::UnknownExternal(func.name.clone()));
-            continue;
+            tainted.insert(id, MachineSpecificCause::UnknownExternal(func.name.clone()));
         }
-        'blocks: for block in &func.blocks {
-            for inst in &block.insts {
-                let cause = match inst {
-                    Inst::InlineAsm { .. } => Some(MachineSpecificCause::InlineAsm),
-                    Inst::Syscall { .. } => Some(MachineSpecificCause::Syscall),
-                    Inst::Call {
-                        callee: Callee::Builtin(b),
-                        ..
-                    } => {
-                        if b.is_machine_specific()
-                            && (!allow_remote_io || b.remote_replacement().is_none())
-                        {
-                            Some(MachineSpecificCause::InteractiveIo(b.name().into()))
-                        } else {
-                            None
+    }
+
+    // One monotone pass to fixpoint: a function's first (in instruction
+    // order) disqualifying instruction becomes its recorded cause. Call
+    // causes name the offending callee, so verdicts form reason chains.
+    loop {
+        let mut changed = false;
+        for (id, func) in module.iter_functions() {
+            if tainted.contains_key(&id) {
+                continue;
+            }
+            'body: for (bid, block) in func.iter_blocks() {
+                for (i, inst) in block.insts.iter().enumerate() {
+                    let cause = match inst {
+                        Inst::InlineAsm { .. } => Some(MachineSpecificCause::InlineAsm),
+                        Inst::Syscall { .. } => Some(MachineSpecificCause::Syscall),
+                        Inst::Call {
+                            callee: Callee::Builtin(b),
+                            ..
+                        } => {
+                            if b.is_machine_specific()
+                                && (!allow_remote_io || b.remote_replacement().is_none())
+                            {
+                                Some(MachineSpecificCause::InteractiveIo(b.name().into()))
+                            } else {
+                                None
+                            }
                         }
-                    }
-                    Inst::Call {
-                        callee: Callee::Direct(g),
-                        ..
-                    } => {
-                        let target = module.function(*g);
-                        if target.is_declaration() {
-                            Some(MachineSpecificCause::UnknownExternal(target.name.clone()))
-                        } else {
-                            None
+                        Inst::Call {
+                            callee: Callee::Direct(g),
+                            ..
+                        } => {
+                            if module.function(*g).is_declaration() {
+                                Some(MachineSpecificCause::UnknownExternal(
+                                    module.function(*g).name.clone(),
+                                ))
+                            } else if tainted.contains_key(g) {
+                                Some(MachineSpecificCause::Calls(*g))
+                            } else {
+                                None
+                            }
                         }
+                        Inst::Call {
+                            callee: Callee::Indirect(_),
+                            ..
+                        } => {
+                            let site = CallSite {
+                                func: id,
+                                block: bid,
+                                inst: i as u32,
+                            };
+                            match pt.indirect_targets(site) {
+                                Some(CallTargets::Bounded(targets)) if !targets.is_empty() => {
+                                    targets
+                                        .iter()
+                                        .find(|t| tainted.contains_key(t))
+                                        .map(|t| MachineSpecificCause::CallsViaPointer(*t))
+                                }
+                                // Unbounded, empty (a pointer that never
+                                // holds a real function — fabricated from
+                                // an integer), or unanalyzed because the
+                                // module mutated after analysis: stay
+                                // conservative in all three cases.
+                                _ => Some(MachineSpecificCause::IndirectUnbounded),
+                            }
+                        }
+                        _ => None,
+                    };
+                    if let Some(cause) = cause {
+                        tainted.insert(id, cause);
+                        sites.insert(
+                            id,
+                            Site {
+                                block: bid,
+                                inst: i as u32,
+                            },
+                        );
+                        changed = true;
+                        break 'body;
                     }
-                    _ => None,
-                };
-                if let Some(cause) = cause {
-                    seeds.insert(id, cause);
-                    break 'blocks;
                 }
             }
         }
-    }
-
-    // Propagate taint to callers through the call graph.
-    let cg = CallGraph::build(module);
-    let seed_set: BTreeSet<FuncId> = seeds.keys().copied().collect();
-    let tainted_set = cg.taint_upward(&seed_set);
-    let mut tainted = seeds;
-    for f in tainted_set {
-        tainted
-            .entry(f)
-            .or_insert_with(|| MachineSpecificCause::Calls(f));
-    }
-    // Record the precise caller cause where we can.
-    for (id, _) in module.iter_functions() {
-        if tainted.contains_key(&id) {
-            continue;
+        if !changed {
+            break;
         }
     }
-    FilterResult { tainted }
+
+    let indirect = pt.indirect_sites().map(|(s, t)| (s, t.clone())).collect();
+    FilterResult {
+        tainted,
+        sites,
+        indirect,
+    }
 }
 
 /// `true` if the given *loop body blocks* of `func_id` are free of
@@ -135,7 +259,7 @@ pub fn loop_is_offloadable(
 ) -> bool {
     let func = module.function(func_id);
     for bb in body {
-        for inst in &func.blocks[bb.0 as usize].insts {
+        for (i, inst) in func.blocks[bb.0 as usize].insts.iter().enumerate() {
             match inst {
                 Inst::InlineAsm { .. } | Inst::Syscall { .. } => return false,
                 Inst::Call {
@@ -152,6 +276,17 @@ pub fn loop_is_offloadable(
                 } if !filter.is_offloadable(*g) => {
                     return false;
                 }
+                Inst::Call {
+                    callee: Callee::Indirect(_),
+                    ..
+                } => match filter.indirect_targets(func_id, *bb, i as u32) {
+                    Some(CallTargets::Bounded(targets)) if !targets.is_empty() => {
+                        if targets.iter().any(|t| !filter.is_offloadable(*t)) {
+                            return false;
+                        }
+                    }
+                    _ => return false,
+                },
                 _ => {}
             }
         }
@@ -199,6 +334,36 @@ mod tests {
             "taint via getPlayerTurn"
         );
         assert!(!r.is_offloadable(names["main"]), "taint via runGame");
+    }
+
+    #[test]
+    fn taint_cause_names_the_offending_callee() {
+        let m = compiled();
+        let names = m.function_names();
+        let r = run_filter(&m, true);
+        // runGame's cause is the callee that tainted it, not runGame
+        // itself (the bug this rewrite fixed).
+        assert_eq!(
+            r.cause(names["runGame"]),
+            Some(&MachineSpecificCause::Calls(names["getPlayerTurn"]))
+        );
+        assert!(r.sites.contains_key(&names["runGame"]));
+    }
+
+    #[test]
+    fn reason_chain_walks_to_the_primal_cause() {
+        let m = compiled();
+        let names = m.function_names();
+        let r = run_filter(&m, true);
+        // main taints through scanf directly (first instruction), so its
+        // chain is just [main]; runGame's chain ends at getPlayerTurn.
+        let chain = r.reason_chain(names["runGame"]);
+        assert_eq!(chain, vec![names["runGame"], names["getPlayerTurn"]]);
+        assert!(matches!(
+            r.cause(names["getPlayerTurn"]),
+            Some(MachineSpecificCause::InteractiveIo(n)) if n == "scanf"
+        ));
+        assert!(r.reason_chain(names["getAITurn"]).is_empty());
     }
 
     #[test]
@@ -266,6 +431,86 @@ mod tests {
     }
 
     #[test]
+    fn indirect_call_to_clean_targets_stays_offloadable() {
+        let m = offload_minic::compile(
+            "typedef double (*FN)(double);\n\
+             double half(double x) { return x / 2.0; }\n\
+             double twice(double x) { return x * 2.0; }\n\
+             FN table[2] = { half, twice };\n\
+             double apply(int which, double x) {\n\
+               FN f = table[which];\n\
+               return f(x);\n\
+             }\n\
+             int main() { int w; scanf(\"%d\", &w); printf(\"%f\\n\", apply(w, 3.0)); return 0; }",
+            "t",
+        )
+        .unwrap();
+        let names = m.function_names();
+        let r = run_filter(&m, true);
+        assert!(
+            r.is_offloadable(names["apply"]),
+            "both targets are clean; bounded indirect call must not taint: {:?}",
+            r.cause(names["apply"])
+        );
+        let (bounded, unbounded) = r.indirect_counts();
+        assert_eq!((bounded, unbounded), (1, 0));
+    }
+
+    #[test]
+    fn indirect_call_to_tainted_target_taints_with_callee_named() {
+        let m = offload_minic::compile(
+            "typedef double (*FN)(double);\n\
+             double half(double x) { return x / 2.0; }\n\
+             double ask(double x) { int v; scanf(\"%d\", &v); return x + (double)v; }\n\
+             FN table[2] = { half, ask };\n\
+             double apply(int which, double x) {\n\
+               FN f = table[which];\n\
+               return f(x);\n\
+             }\n\
+             int main() { int w; scanf(\"%d\", &w); printf(\"%f\\n\", apply(w, 3.0)); return 0; }",
+            "t",
+        )
+        .unwrap();
+        let names = m.function_names();
+        let r = run_filter(&m, true);
+        assert_eq!(
+            r.cause(names["apply"]),
+            Some(&MachineSpecificCause::CallsViaPointer(names["ask"])),
+            "the precise tainted callee must be named"
+        );
+        let chain = r.reason_chain(names["apply"]);
+        assert_eq!(chain, vec![names["apply"], names["ask"]]);
+    }
+
+    #[test]
+    fn unbounded_indirect_call_taints() {
+        use offload_ir::builder::FunctionBuilder;
+        use offload_ir::Type;
+        let mut m = Module::new("t");
+        let caller = m.declare_function("caller", vec![Type::I64], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, caller);
+        let p = b.param(0);
+        let fp = b.cast(
+            offload_ir::CastKind::IntToPtr,
+            Type::Func(Box::new(offload_ir::types::FuncSig {
+                params: vec![],
+                ret: Type::I32,
+            }))
+            .ptr_to(),
+            p,
+        );
+        let r = b.call_indirect(fp, Type::I32, vec![]).unwrap();
+        b.ret(Some(r));
+        b.finish();
+        let res = run_filter(&m, true);
+        assert_eq!(
+            res.cause(caller),
+            Some(&MachineSpecificCause::IndirectUnbounded),
+            "a fabricated function pointer must taint"
+        );
+    }
+
+    #[test]
     fn loop_filter_is_finer_than_function_filter() {
         // main has scanf, but its hot loop does not: the loop offloads.
         let m = offload_minic::compile(
@@ -291,5 +536,33 @@ mod tests {
             &forest.loops[0].body,
             true
         ));
+    }
+
+    #[test]
+    fn loop_with_tainted_indirect_call_does_not_offload() {
+        let m = offload_minic::compile(
+            "typedef double (*FN)(double);\n\
+             double ask(double x) { int v; scanf(\"%d\", &v); return x + (double)v; }\n\
+             FN table[1] = { ask };\n\
+             int main() {\n\
+               int n; scanf(\"%d\", &n);\n\
+               int i; double acc = 0.0;\n\
+               for (i = 0; i < n; i++) { FN f = table[i % 1]; acc += f(acc); }\n\
+               printf(\"%f\\n\", acc);\n\
+               return 0;\n\
+             }",
+            "t",
+        )
+        .unwrap();
+        let main = m.entry.unwrap();
+        let r = run_filter(&m, true);
+        let forest = offload_ir::analysis::LoopForest::compute(m.function(main));
+        assert!(!forest.loops.is_empty());
+        for l in &forest.loops {
+            assert!(
+                !loop_is_offloadable(&m, &r, main, &l.body, true),
+                "loop calling scanf through a table must not offload"
+            );
+        }
     }
 }

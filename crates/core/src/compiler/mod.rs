@@ -5,6 +5,7 @@
 //! optimization, producing a mobile module, a server module and an
 //! [`OffloadPlan`].
 
+pub mod analyze;
 pub mod estimate;
 pub mod filter;
 pub mod optimize;
@@ -15,9 +16,14 @@ pub mod unify;
 
 use std::collections::BTreeSet;
 
-use offload_ir::analysis::{CallGraph, LoopForest};
+use offload_ir::analysis::pointsto::PointsTo;
+use offload_ir::analysis::{run_lints, CallGraph, LoopForest};
+use offload_ir::diag::Severity;
+use offload_ir::layout::WIDEST_TARGET_ADDR_BITS;
 use offload_ir::{FuncId, Module};
-use offload_obs::{Collector, CompileClock, CompilePhase, EventKind, NoopCollector, Span};
+use offload_obs::{
+    Collector, CompileClock, CompilePhase, DiagLane, EventKind, NoopCollector, Span,
+};
 
 use crate::config::{CompileConfig, SessionConfig, WorkloadInput};
 use crate::plan::{CompileStats, EstimateRow, OffloadPlan, OffloadTask};
@@ -128,11 +134,52 @@ impl Offloader {
             clk.next(),
             EventKind::End(Span::Compile(CompilePhase::Profile)),
         );
+        // Static analysis: points-to (indirect-call resolution) and the
+        // portability lints. The filter consumes the points-to results.
+        obs.record(
+            clk.next(),
+            EventKind::Begin(Span::Compile(CompilePhase::Analyze)),
+        );
+        let pt = PointsTo::analyze(&module);
+        let lint_diags = run_lints(&module, &pt, WIDEST_TARGET_ADDR_BITS);
+        for d in &lint_diags {
+            obs.record(
+                clk.next(),
+                EventKind::AnalysisDiagnostic {
+                    code: d.code.number(),
+                    severity: severity_lane(d.severity),
+                },
+            );
+        }
+        obs.record(
+            clk.next(),
+            EventKind::End(Span::Compile(CompilePhase::Analyze)),
+        );
         obs.record(
             clk.next(),
             EventKind::Begin(Span::Compile(CompilePhase::Filter)),
         );
-        let filt = filter::run_filter(&module, true);
+        let filt = filter::run_filter_with(&module, true, &pt);
+        for cause in filt.tainted.values() {
+            let code = analyze::cause_code(cause);
+            obs.record(
+                clk.next(),
+                EventKind::AnalysisDiagnostic {
+                    code: code.number(),
+                    severity: severity_lane(code.default_severity()),
+                },
+            );
+        }
+        let (indirect_bounded, indirect_unbounded) = filt.indirect_counts();
+        obs.record(
+            clk.next(),
+            EventKind::AnalysisVerdicts {
+                offloadable: (module.function_count() - filt.tainted_count()) as u32,
+                machine_specific: filt.tainted_count() as u32,
+                indirect_bounded: indirect_bounded as u32,
+                indirect_unbounded: indirect_unbounded as u32,
+            },
+        );
         obs.record(
             clk.next(),
             EventKind::End(Span::Compile(CompilePhase::Filter)),
@@ -369,6 +416,16 @@ impl Offloader {
                 structs_realigned,
                 realign_padding_bytes: realign_padding,
                 loops_outlined,
+                analysis_errors: lint_diags
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .count(),
+                analysis_warnings: lint_diags
+                    .iter()
+                    .filter(|d| d.severity == Severity::Warning)
+                    .count(),
+                indirect_sites_bounded: indirect_bounded,
+                indirect_sites_unbounded: indirect_unbounded,
                 coverage_percent: coverage,
             },
         };
@@ -381,6 +438,14 @@ impl Offloader {
             config: self.config.clone(),
             profile: prof,
         })
+    }
+}
+
+fn severity_lane(s: Severity) -> DiagLane {
+    match s {
+        Severity::Error => DiagLane::Error,
+        Severity::Warning => DiagLane::Warning,
+        Severity::Info => DiagLane::Info,
     }
 }
 

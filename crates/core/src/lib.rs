@@ -57,6 +57,7 @@ pub mod config;
 pub mod plan;
 pub mod runtime;
 
+pub use compiler::analyze::{analyze_module, analyze_source, AnalysisReport, FunctionVerdict};
 pub use compiler::{CompiledApp, Offloader};
 pub use config::{CompileConfig, SessionConfig, WorkloadInput};
 pub use plan::{CompileStats, EstimateRow, OffloadPlan, OffloadTask};

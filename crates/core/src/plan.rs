@@ -77,6 +77,15 @@ pub struct CompileStats {
     pub realign_padding_bytes: u64,
     /// Loops outlined into offloadable functions.
     pub loops_outlined: usize,
+    /// Error-severity diagnostics from the static-analysis phase.
+    pub analysis_errors: usize,
+    /// Warning-severity diagnostics from the static-analysis phase.
+    pub analysis_warnings: usize,
+    /// Indirect-call sites whose target set points-to analysis bounded.
+    pub indirect_sites_bounded: usize,
+    /// Indirect-call sites with unbounded (or empty) target sets —
+    /// conservatively machine specific.
+    pub indirect_sites_unbounded: usize,
     /// Percentage of profiled execution time covered by the selected
     /// targets (Table 4 "Cover.").
     pub coverage_percent: f64,

@@ -106,7 +106,11 @@ pub fn derive_run(records: &[Record], cfg: &SessionConfig) -> DerivedRun {
             EventKind::PrefetchBatch { pages, .. } => d.prefetched_pages += pages,
             EventKind::DirtyWriteBack { pages, .. } => d.dirty_pages_written_back += pages,
             EventKind::RemoteIo { .. } => d.remote_io_calls += 1,
-            EventKind::Begin(_) | EventKind::End(_) | EventKind::BatchFlush { .. } => {}
+            EventKind::Begin(_)
+            | EventKind::End(_)
+            | EventKind::BatchFlush { .. }
+            | EventKind::AnalysisDiagnostic { .. }
+            | EventKind::AnalysisVerdicts { .. } => {}
         }
     }
 

@@ -1,0 +1,292 @@
+//! Soundness regression tests for the analysis-backed function filter.
+//!
+//! The rewritten filter resolves indirect calls through points-to analysis
+//! instead of ignoring them. That must only ever make the filter
+//! *stricter*: a fixed-seed fuzz sweep checks that every function the old
+//! syntactic filter rejected for a non-indirect reason is still rejected,
+//! plus deterministic cases for bounded-clean vs bounded-tainted indirect
+//! calls and the §3.2 `ptrtoint` round-trip hazard.
+
+use std::collections::BTreeSet;
+
+use native_offloader::compiler::filter::run_filter;
+use native_offloader::{analyze_module, analyze_source};
+use offload_ir::builder::FunctionBuilder;
+use offload_ir::diag::Code;
+use offload_ir::{Builtin, Callee, CastKind, ConstValue, FuncId, Inst, Module, Type};
+
+/// Fixed-seed splitmix64: deterministic across runs and platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random module: 3–6 functions whose bodies mix clean arithmetic,
+/// direct calls, interactive and remotable builtins, inline asm, raw
+/// syscalls, calls to an external declaration, and indirect calls through
+/// `FuncAddr` constants.
+fn random_module(rng: &mut Rng, tag: u64) -> Module {
+    let mut m = Module::new(format!("fuzz{tag}"));
+    let ext = m.declare_function("mystery_ext", vec![], Type::Void);
+    let nfuncs = 3 + rng.below(4) as usize;
+    let fids: Vec<FuncId> = (0..nfuncs)
+        .map(|i| m.declare_function(format!("f{i}"), vec![], Type::I32))
+        .collect();
+    for (i, fid) in fids.iter().enumerate() {
+        let mut b = FunctionBuilder::new(&mut m, *fid);
+        let nacts = 1 + rng.below(6);
+        for _ in 0..nacts {
+            match rng.below(8) {
+                0 | 1 => {
+                    let c = b.const_i32(rng.below(100) as i32);
+                    let d = b.const_i32(3);
+                    b.bin(offload_ir::BinOp::Add, Type::I32, c, d);
+                }
+                2 => {
+                    // Direct call to an earlier function (keeps the call
+                    // graph acyclic so both filters terminate trivially).
+                    if i > 0 {
+                        let callee = fids[rng.below(i as u64) as usize];
+                        let _ = b.call(callee, vec![]);
+                    }
+                }
+                3 => {
+                    // Interactive input: taints under both filters.
+                    let _ = b.call_builtin(Builtin::Getchar, Type::I32, vec![]);
+                }
+                4 => {
+                    // Remotable output: taints neither.
+                    let c = b.const_i32(88);
+                    let _ = b.call_builtin(Builtin::Putchar, Type::I32, vec![c]);
+                }
+                5 => {
+                    b.push(Inst::InlineAsm { text: "wfi".into() });
+                }
+                6 => {
+                    let dst = b.new_value(Type::I64);
+                    b.push(Inst::Syscall {
+                        dst,
+                        number: rng.below(300) as u32,
+                        args: vec![],
+                    });
+                }
+                _ => {
+                    if rng.below(4) == 0 {
+                        let _ = b.call(ext, vec![]);
+                    } else if i > 0 {
+                        // Indirect call the old filter ignored entirely.
+                        let target = fids[rng.below(i as u64) as usize];
+                        let fp = b.const_value(ConstValue::FuncAddr(target));
+                        let _ = b.call_indirect(fp, Type::I32, vec![]);
+                    }
+                }
+            }
+        }
+        let r = b.const_i32(0);
+        b.ret(Some(r));
+        b.finish();
+    }
+    m
+}
+
+/// The pre-rewrite filter, reimplemented verbatim as the fuzz oracle:
+/// per-function syntactic seed scan (asm, syscalls, non-remotable
+/// builtins, calls to declarations), upward taint over *direct* calls
+/// only, indirect calls ignored.
+fn old_syntactic_filter(m: &Module) -> BTreeSet<FuncId> {
+    let mut tainted = BTreeSet::new();
+    for (id, f) in m.iter_functions() {
+        if f.is_declaration() {
+            tainted.insert(id);
+            continue;
+        }
+        'body: for (_, block) in f.iter_blocks() {
+            for inst in &block.insts {
+                let bad = match inst {
+                    Inst::InlineAsm { .. } | Inst::Syscall { .. } => true,
+                    Inst::Call {
+                        callee: Callee::Builtin(b),
+                        ..
+                    } => b.is_machine_specific() && b.remote_replacement().is_none(),
+                    Inst::Call {
+                        callee: Callee::Direct(g),
+                        ..
+                    } => m.function(*g).is_declaration(),
+                    _ => false,
+                };
+                if bad {
+                    tainted.insert(id);
+                    break 'body;
+                }
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (id, f) in m.iter_functions() {
+            if tainted.contains(&id) || f.is_declaration() {
+                continue;
+            }
+            let calls_tainted = f.iter_blocks().any(|(_, block)| {
+                block.insts.iter().any(|inst| {
+                    matches!(inst,
+                        Inst::Call { callee: Callee::Direct(g), .. } if tainted.contains(g))
+                })
+            });
+            if calls_tainted {
+                tainted.insert(id);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    tainted
+}
+
+#[test]
+fn new_filter_never_admits_what_the_old_filter_rejected() {
+    let mut rng = Rng(0x00ff_10ad_5eed_2026);
+    for tag in 0..200 {
+        let m = random_module(&mut rng, tag);
+        let old = old_syntactic_filter(&m);
+        let new = run_filter(&m, true);
+        for f in &old {
+            assert!(
+                !new.is_offloadable(*f),
+                "module fuzz{tag}: `{}` was machine specific under the old \
+                 syntactic filter but the analysis-backed filter admits it",
+                m.function(*f).name
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzz_exercises_every_cause_kind() {
+    // Guard against the generator silently degenerating: across the sweep
+    // the new filter must see both clean functions and indirect calls.
+    let mut rng = Rng(0x00ff_10ad_5eed_2026);
+    let (mut clean, mut indirect) = (0usize, 0usize);
+    for tag in 0..200 {
+        let m = random_module(&mut rng, tag);
+        let r = run_filter(&m, true);
+        clean += m
+            .iter_functions()
+            .filter(|(id, f)| !f.is_declaration() && r.is_offloadable(*id))
+            .count();
+        indirect += r.indirect.len();
+    }
+    assert!(clean > 50, "generator produced almost no clean functions");
+    assert!(indirect > 50, "generator produced almost no indirect calls");
+}
+
+#[test]
+fn bounded_clean_indirect_call_is_admitted_with_verdict() {
+    let r = analyze_source(
+        "typedef int (*OP)(int);\n\
+         int inc(int x) { return x + 1; }\n\
+         int dec(int x) { return x - 1; }\n\
+         OP ops[2] = { inc, dec };\n\
+         int apply(int w, int x) { OP f = (ops)[w % 2]; return f(x); }\n\
+         int main() { int w; scanf(\"%d\", &w); printf(\"%d\\n\", apply(w, 5)); return 0; }",
+        "clean_table",
+        true,
+    )
+    .unwrap();
+    let apply = r.verdicts.iter().find(|v| v.name == "apply").unwrap();
+    assert!(
+        apply.offloadable,
+        "bounded-clean table must stay offloadable"
+    );
+    assert_eq!(r.indirect_bounded, 1);
+    assert_eq!(r.indirect_unbounded, 0);
+}
+
+#[test]
+fn bounded_tainted_indirect_call_is_rejected_with_precise_callee() {
+    let r = analyze_source(
+        "typedef int (*OP)(int);\n\
+         int inc(int x) { return x + 1; }\n\
+         int ask(int x) { int v; scanf(\"%d\", &v); return x + v; }\n\
+         OP ops[2] = { inc, ask };\n\
+         int apply(int w, int x) { OP f = (ops)[w % 2]; return f(x); }\n\
+         int main() { int w; scanf(\"%d\", &w); printf(\"%d\\n\", apply(w, 5)); return 0; }",
+        "tainted_table",
+        true,
+    )
+    .unwrap();
+    let apply = r.verdicts.iter().find(|v| v.name == "apply").unwrap();
+    assert!(!apply.offloadable);
+    assert_eq!(apply.code, Some(Code::IndirectTainted));
+    assert_eq!(
+        apply.reason.as_deref(),
+        Some("indirect call may reach machine-specific `ask`"),
+        "the offending callee must be named precisely"
+    );
+    assert_eq!(apply.chain, vec!["apply", "ask"]);
+}
+
+#[test]
+fn wide_ptrtoint_round_trip_is_clean() {
+    // ptr -> i64 -> ptr: verifies and raises no OFF010/OFF011 — i64 holds
+    // every target's addresses, and provenance survives the round-trip.
+    let mut m = Module::new("rt");
+    let f = m.declare_function("round_trip", vec![Type::I32.ptr_to()], Type::I32);
+    let mut b = FunctionBuilder::new(&mut m, f);
+    let p = b.param(0);
+    let as_int = b.cast(CastKind::PtrToInt, Type::I64, p);
+    let back = b.cast(CastKind::IntToPtr, Type::I32.ptr_to(), as_int);
+    let v = b.load(Type::I32, back);
+    b.ret(Some(v));
+    b.finish();
+    assert!(offload_ir::verify::verify_module(&m).is_ok());
+    let r = analyze_module(&m, true);
+    assert!(!r.has_errors());
+    assert!(
+        !r.diagnostics
+            .iter()
+            .any(|d| matches!(d.code, Code::PtrToIntNarrow | Code::IntToPtrNoProvenance)),
+        "a width-preserving round-trip must not be flagged"
+    );
+}
+
+#[test]
+fn narrow_ptrtoint_is_flagged_and_narrow_inttoptr_rejected() {
+    // ptr -> i32: the truncation loses the high half of a 64-bit server
+    // address. The lint flags it as an error; casting the narrow integer
+    // back to a pointer is rejected outright by the verifier.
+    let mut m = Module::new("rt");
+    let f = m.declare_function("truncating", vec![Type::I32.ptr_to()], Type::I32);
+    let mut b = FunctionBuilder::new(&mut m, f);
+    let p = b.param(0);
+    let narrow = b.cast(CastKind::PtrToInt, Type::I32, p);
+    b.ret(Some(narrow));
+    b.finish();
+    let r = analyze_module(&m, true);
+    assert!(r.has_errors());
+    assert!(r.diagnostics.iter().any(|d| d.code == Code::PtrToIntNarrow));
+
+    let g = m.declare_function("refabricating", vec![Type::I32.ptr_to()], Type::I32);
+    let mut b = FunctionBuilder::new(&mut m, g);
+    let p = b.param(0);
+    let narrow = b.cast(CastKind::PtrToInt, Type::I32, p);
+    let back = b.cast(CastKind::IntToPtr, Type::I32.ptr_to(), narrow);
+    let v = b.load(Type::I32, back);
+    b.ret(Some(v));
+    b.finish();
+    let err = offload_ir::verify::verify_module(&m).unwrap_err();
+    assert!(err.message.contains("inttoptr from i32"), "{err}");
+}

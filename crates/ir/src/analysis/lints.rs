@@ -1,0 +1,512 @@
+//! Portability and code-quality lints over the IR.
+//!
+//! The UVA lints (`OFF010`–`OFF012`) encode the §3.2 pointer-portability
+//! hazards of a 32-bit mobile ↔ 64-bit server address-space split: a
+//! pointer narrowed below the server's address size loses bits, a pointer
+//! fabricated from a device-specific integer is meaningless on the other
+//! device, and provenance laundered through opaque arithmetic defeats the
+//! translation the unified virtual address space performs. The
+//! code-quality lints (`OFF020`–`OFF022`) catch dead stores, unreachable
+//! blocks and missing returns.
+//!
+//! Lints are pure: they read the module and a [`PointsTo`] result and
+//! return [`Diagnostic`]s; policy (what fails CI, what merely prints)
+//! lives with the caller.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::analysis::pointsto::PointsTo;
+use crate::diag::{Code, Diagnostic};
+use crate::inst::{BinOp, CastKind, Inst, UnOp};
+use crate::module::{BlockId, ConstValue, FuncId, Function, Module, ValueId};
+use crate::types::Type;
+
+/// Run every lint over `module`. `server_addr_bits` is the widest target
+/// address size (64 for the paper's x86-64 servers): `PtrToInt` into
+/// anything narrower is an error.
+pub fn run_lints(module: &Module, pt: &PointsTo, server_addr_bits: u32) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (fid, func) in module.iter_functions() {
+        if func.is_declaration() {
+            continue;
+        }
+        lint_casts(module, pt, fid, func, server_addr_bits, &mut diags);
+        lint_dead_stores(fid, func, &mut diags);
+        lint_unreachable(fid, func, &mut diags);
+        lint_missing_return(fid, func, &mut diags);
+    }
+    diags
+}
+
+/// Integer constants materialized in `func`, for null-pointer detection
+/// (the front-end lowers `NULL` as `inttoptr(const 0)`).
+fn const_ints(func: &Function) -> HashMap<ValueId, i64> {
+    let mut out = HashMap::new();
+    for block in &func.blocks {
+        for inst in &block.insts {
+            if let Inst::Const { dst, value } = inst {
+                let v = match value {
+                    ConstValue::I8(v) => Some(i64::from(*v)),
+                    ConstValue::I16(v) => Some(i64::from(*v)),
+                    ConstValue::I32(v) => Some(i64::from(*v)),
+                    ConstValue::I64(v) => Some(*v),
+                    _ => None,
+                };
+                if let Some(v) = v {
+                    out.insert(*dst, v);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn lint_casts(
+    module: &Module,
+    pt: &PointsTo,
+    fid: FuncId,
+    func: &Function,
+    server_addr_bits: u32,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let consts = const_ints(func);
+    // Trace widening casts back to the underlying value, so `inttoptr
+    // (sext (const 0))` still reads as a null literal, and record which
+    // integers were produced by `ptrtoint`: a round-trip carries
+    // provenance syntactically even when the points-to set is empty (e.g.
+    // a pointer parameter of a function with no in-module callers).
+    let mut widened_from: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut from_ptrtoint: BTreeSet<ValueId> = BTreeSet::new();
+    for block in &func.blocks {
+        for inst in &block.insts {
+            match inst {
+                Inst::Cast {
+                    dst,
+                    kind: CastKind::Zext | CastKind::Sext,
+                    src,
+                    ..
+                } => {
+                    widened_from.insert(*dst, *src);
+                }
+                Inst::Cast {
+                    dst,
+                    kind: CastKind::PtrToInt,
+                    ..
+                } => {
+                    from_ptrtoint.insert(*dst);
+                }
+                _ => {}
+            }
+        }
+    }
+    let root_of = |mut v: ValueId| {
+        while let Some(&p) = widened_from.get(&v) {
+            v = p;
+        }
+        v
+    };
+
+    for (bid, block) in func.iter_blocks() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            match inst {
+                Inst::Cast {
+                    kind: CastKind::PtrToInt,
+                    to,
+                    src,
+                    ..
+                } => {
+                    if let Some(bits) = to.int_bits() {
+                        if bits < server_addr_bits {
+                            diags.push(
+                                Diagnostic::new(
+                                    Code::PtrToIntNarrow,
+                                    format!("pointer narrowed by ptrtoint to {to} ({bits} bits)"),
+                                )
+                                .in_func(fid)
+                                .at(bid, i as u32)
+                                .note(format!(
+                                    "server addresses are {server_addr_bits}-bit; the low \
+                                     {bits} bits do not survive the round trip (§3.2)"
+                                )),
+                            );
+                        }
+                    }
+                    // A pointer already laundered to `unknown` has been
+                    // reported where the laundering happened.
+                    let _ = src;
+                }
+                Inst::Cast {
+                    kind: CastKind::IntToPtr,
+                    to,
+                    src,
+                    ..
+                } => {
+                    let root = root_of(*src);
+                    let is_null = consts.get(&root) == Some(&0);
+                    let round_trip = from_ptrtoint.contains(&root);
+                    if !is_null && !round_trip && !pt.value_set(fid, *src).has_provenance() {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::IntToPtrNoProvenance,
+                                format!(
+                                    "pointer of type {to} fabricated from an integer with \
+                                     no pointer provenance"
+                                ),
+                            )
+                            .in_func(fid)
+                            .at(bid, i as u32)
+                            .note(
+                                "the numeric value of an address is device specific; a \
+                                 fabricated pointer cannot be translated by the unified \
+                                 address space (§3.2)",
+                            ),
+                        );
+                    }
+                }
+                Inst::Cast {
+                    kind: CastKind::Trunc,
+                    to,
+                    src,
+                    ..
+                } => {
+                    let narrow = to.int_bits().is_some_and(|b| b < 32);
+                    if narrow && !pt.value_set(fid, *src).locs.is_empty() {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::PtrProvenanceEscape,
+                                format!("pointer-derived value truncated to {to}"),
+                            )
+                            .in_func(fid)
+                            .at(bid, i as u32)
+                            .note("the truncated value can no longer be address-translated"),
+                        );
+                    }
+                }
+                Inst::Bin { op, lhs, rhs, .. } => {
+                    let opaque = !matches!(op, BinOp::Add | BinOp::Sub);
+                    let carries = !pt.value_set(fid, *lhs).locs.is_empty()
+                        || !pt.value_set(fid, *rhs).locs.is_empty();
+                    if opaque && carries {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::PtrProvenanceEscape,
+                                format!("pointer-derived value used in opaque `{op:?}` arithmetic"),
+                            )
+                            .in_func(fid)
+                            .at(bid, i as u32)
+                            .note(
+                                "UVA translation only sees through pointer ± offset; the \
+                                 result cannot be proven to address the same object (§3.2)",
+                            ),
+                        );
+                    }
+                }
+                Inst::Un {
+                    op: UnOp::Neg | UnOp::Not,
+                    operand,
+                    ..
+                } if !pt.value_set(fid, *operand).locs.is_empty() => {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::PtrProvenanceEscape,
+                            "pointer-derived value used in opaque unary arithmetic".to_string(),
+                        )
+                        .in_func(fid)
+                        .at(bid, i as u32),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = module;
+}
+
+fn lint_dead_stores(fid: FuncId, func: &Function, diags: &mut Vec<Diagnostic>) {
+    // A stack slot whose address is only ever used as a store target is
+    // write-only. Any other use (a load, address arithmetic, an argument)
+    // conservatively keeps it live.
+    struct SlotUse {
+        stored: bool,
+        live: bool,
+        site: (BlockId, u32),
+    }
+    let mut slots: HashMap<ValueId, SlotUse> = HashMap::new();
+    for (bid, block) in func.iter_blocks() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Inst::Alloca { dst, .. } = inst {
+                slots.insert(
+                    *dst,
+                    SlotUse {
+                        stored: false,
+                        live: false,
+                        site: (bid, i as u32),
+                    },
+                );
+            }
+        }
+    }
+    for block in &func.blocks {
+        for inst in &block.insts {
+            match inst {
+                Inst::Alloca { .. } => {}
+                Inst::Store { addr, value, .. } => {
+                    if let Some(s) = slots.get_mut(addr) {
+                        s.stored = true;
+                    }
+                    if addr != value {
+                        if let Some(s) = slots.get_mut(value) {
+                            s.live = true; // address escapes as data
+                        }
+                    }
+                }
+                other => {
+                    let mut uses = Vec::new();
+                    other.uses(&mut uses);
+                    for u in uses {
+                        if let Some(s) = slots.get_mut(&u) {
+                            s.live = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut dead: Vec<(ValueId, (BlockId, u32))> = slots
+        .into_iter()
+        .filter(|(_, s)| s.stored && !s.live)
+        .map(|(v, s)| (v, s.site))
+        .collect();
+    dead.sort();
+    for (v, (bid, i)) in dead {
+        diags.push(
+            Diagnostic::new(
+                Code::DeadStore,
+                format!("stack slot {v} is written but never read"),
+            )
+            .in_func(fid)
+            .at(bid, i),
+        );
+    }
+}
+
+fn lint_unreachable(fid: FuncId, func: &Function, diags: &mut Vec<Diagnostic>) {
+    let mut seen: BTreeSet<BlockId> = BTreeSet::from([func.entry()]);
+    let mut queue: VecDeque<BlockId> = VecDeque::from([func.entry()]);
+    while let Some(bb) = queue.pop_front() {
+        for s in func.successors(bb) {
+            if seen.insert(s) {
+                queue.push_back(s);
+            }
+        }
+    }
+    for (bid, block) in func.iter_blocks() {
+        if seen.contains(&bid) {
+            continue;
+        }
+        // Front-ends synthesize empty join/return blocks after branches
+        // that both return; only flag blocks holding real work.
+        let has_work = block
+            .insts
+            .iter()
+            .any(|i| !i.is_terminator() && !matches!(i, Inst::Const { .. }));
+        if has_work {
+            diags.push(
+                Diagnostic::new(
+                    Code::UnreachableBlock,
+                    format!("block {bid} is unreachable"),
+                )
+                .in_func(fid)
+                .at(bid, 0),
+            );
+        }
+    }
+}
+
+fn lint_missing_return(fid: FuncId, func: &Function, diags: &mut Vec<Diagnostic>) {
+    if func.ret == Type::Void {
+        return;
+    }
+    for (bid, block) in func.iter_blocks() {
+        let falls_off = match block.insts.last() {
+            None => true,
+            Some(Inst::Ret { value: None }) => true,
+            Some(last) => !last.is_terminator(),
+        };
+        if falls_off {
+            diags.push(
+                Diagnostic::new(
+                    Code::MissingReturn,
+                    format!(
+                        "function returns {} but block {bid} falls off the end without a value",
+                        func.ret
+                    ),
+                )
+                .in_func(fid)
+                .at(bid, block.insts.len().saturating_sub(1) as u32),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::Block;
+
+    fn analyzed(m: &Module) -> PointsTo {
+        PointsTo::analyze(m)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn narrow_ptrtoint_is_an_error() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let slot = b.alloca(Type::I32, 1);
+        let narrowed = b.cast(CastKind::PtrToInt, Type::I32, slot);
+        b.ret(Some(narrowed));
+        b.finish();
+        let pt = analyzed(&m);
+        let diags = run_lints(&m, &pt, 64);
+        assert!(codes(&diags).contains(&Code::PtrToIntNarrow), "{diags:?}");
+        // Under a 32-bit-only deployment the same cast would be fine.
+        let diags32 = run_lints(&m, &pt, 32);
+        assert!(!codes(&diags32).contains(&Code::PtrToIntNarrow));
+    }
+
+    #[test]
+    fn wide_ptrtoint_roundtrip_is_clean() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let slot = b.alloca(Type::I32, 1);
+        let as_int = b.cast(CastKind::PtrToInt, Type::I64, slot);
+        let back = b.cast(CastKind::IntToPtr, Type::I32.ptr_to(), as_int);
+        let v = b.load(Type::I32, back);
+        b.ret(Some(v));
+        b.finish();
+        let pt = analyzed(&m);
+        let diags = run_lints(&m, &pt, 64);
+        assert!(!codes(&diags).contains(&Code::PtrToIntNarrow), "{diags:?}");
+        assert!(
+            !codes(&diags).contains(&Code::IntToPtrNoProvenance),
+            "round-trip keeps provenance: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn inttoptr_from_plain_integer_warns_but_null_does_not() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![Type::I64], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let fabricated = b.cast(CastKind::IntToPtr, Type::I32.ptr_to(), p);
+        let zero = b.const_i64(0);
+        let null = b.cast(CastKind::IntToPtr, Type::I32.ptr_to(), zero);
+        let v = b.const_i32(1);
+        b.store(Type::I32, fabricated, v);
+        b.store(Type::I32, null, v);
+        b.ret(None);
+        b.finish();
+        let pt = analyzed(&m);
+        let diags = run_lints(&m, &pt, 64);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::IntToPtrNoProvenance)
+            .collect();
+        assert_eq!(hits.len(), 1, "only the fabricated pointer: {diags:?}");
+    }
+
+    #[test]
+    fn opaque_arithmetic_on_pointer_warns() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::I64);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let slot = b.alloca(Type::I32, 1);
+        let as_int = b.cast(CastKind::PtrToInt, Type::I64, slot);
+        let mask = b.const_i64(0xfff);
+        let masked = b.bin(BinOp::And, Type::I64, as_int, mask);
+        b.ret(Some(masked));
+        b.finish();
+        let pt = analyzed(&m);
+        let diags = run_lints(&m, &pt, 64);
+        assert!(
+            codes(&diags).contains(&Code::PtrProvenanceEscape),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dead_store_detected_and_loaded_slot_is_live() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::I32);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let dead = b.alloca(Type::I32, 1);
+        let live = b.alloca(Type::I32, 1);
+        let v = b.const_i32(7);
+        b.store(Type::I32, dead, v);
+        b.store(Type::I32, live, v);
+        let r = b.load(Type::I32, live);
+        b.ret(Some(r));
+        b.finish();
+        let pt = analyzed(&m);
+        let diags = run_lints(&m, &pt, 64);
+        let hits: Vec<_> = diags.iter().filter(|d| d.code == Code::DeadStore).collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].message.contains(&dead.to_string()));
+    }
+
+    #[test]
+    fn unreachable_block_with_work_is_flagged() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::I32);
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let v = b.const_i32(1);
+            b.ret(Some(v));
+            b.finish();
+        }
+        // Hand-append an unreachable block that does real work.
+        m.function_mut(f).value_types.push(Type::I32);
+        m.function_mut(f).value_types.push(Type::I32);
+        let v1 = ValueId(m.function(f).value_types.len() as u32 - 2);
+        let v2 = ValueId(m.function(f).value_types.len() as u32 - 1);
+        m.function_mut(f).blocks.push(Block {
+            insts: vec![
+                Inst::Const {
+                    dst: v1,
+                    value: ConstValue::I32(2),
+                },
+                Inst::Bin {
+                    dst: v2,
+                    op: BinOp::Add,
+                    ty: Type::I32,
+                    lhs: v1,
+                    rhs: v1,
+                },
+                Inst::Ret { value: Some(v2) },
+            ],
+        });
+        let pt = analyzed(&m);
+        let diags = run_lints(&m, &pt, 64);
+        assert!(codes(&diags).contains(&Code::UnreachableBlock), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_return_flagged_on_nonvoid() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::I32);
+        m.function_mut(f).blocks.push(Block {
+            insts: vec![Inst::Ret { value: None }],
+        });
+        let pt = analyzed(&m);
+        let diags = run_lints(&m, &pt, 64);
+        assert!(codes(&diags).contains(&Code::MissingReturn), "{diags:?}");
+    }
+}

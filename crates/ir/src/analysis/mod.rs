@@ -1,11 +1,17 @@
 //! Analyses used by the offload compiler: call graph (unused-function
 //! removal, filter propagation), dominators and natural loops (hot-loop
-//! profiling and loop-level offload candidates).
+//! profiling and loop-level offload candidates), Andersen-style points-to
+//! (indirect-call resolution, pointer provenance) and the portability
+//! lints built on top of it.
 
 pub mod callgraph;
 pub mod dom;
+pub mod lints;
 pub mod loops;
+pub mod pointsto;
 
 pub use callgraph::CallGraph;
 pub use dom::DomTree;
+pub use lints::run_lints;
 pub use loops::{Loop, LoopForest};
+pub use pointsto::{AbsLoc, CallSite, CallTargets, PointsTo, PtsSet};

@@ -1,0 +1,786 @@
+//! Andersen-style points-to analysis.
+//!
+//! Flow-insensitive, field-insensitive, interprocedural: every virtual
+//! register is mapped to the set of *abstract locations* it may point to
+//! (stack slots, globals, heap allocation sites, function addresses), and
+//! every abstract location to the set its contents may point to. The
+//! solver iterates the transfer rules to a fixpoint — sets only grow, so
+//! on the small modules this compiler partitions that converges in a
+//! handful of rounds.
+//!
+//! The offload compiler uses two products of the analysis:
+//!
+//! * **indirect-call resolution** — for each `Callee::Indirect` site, the
+//!   set of functions the pointer may name ([`CallTargets::Bounded`]) or
+//!   the admission that it could be anything ([`CallTargets::Unbounded`]).
+//!   This is what makes the §3.1 function filter *sound* for function
+//!   pointers without giving up on them entirely: an indirect call whose
+//!   target set is bounded and clean stays offloadable.
+//! * **provenance facts** — whether an integer value carries a pointer's
+//!   provenance, which the UVA portability lints (§3.2) use to tell a
+//!   benign `ptrtoint` round-trip from a pointer smuggled through opaque
+//!   arithmetic.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::inst::{BinOp, Builtin, Callee, CastKind, Inst, UnOp};
+use crate::module::{BlockId, ConstValue, FuncId, GlobalId, GlobalInit, Module, ValueId};
+
+/// An abstract memory location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbsLoc {
+    /// A stack slot, named by the `Alloca` destination register.
+    Stack(FuncId, ValueId),
+    /// A global variable.
+    Global(GlobalId),
+    /// A heap allocation site, named by the allocating call's destination
+    /// register (registers are single-assignment, so this is unique).
+    Heap(FuncId, ValueId),
+    /// The address of a function.
+    Func(FuncId),
+}
+
+/// What a value may point to. `unknown` is the lattice top: the value may
+/// point anywhere (externally fabricated, or provenance destroyed).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PtsSet {
+    /// Known abstract locations.
+    pub locs: BTreeSet<AbsLoc>,
+    /// `true` if the value may additionally point anywhere.
+    pub unknown: bool,
+}
+
+impl PtsSet {
+    /// The empty (bottom) set: provably points nowhere.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The top set: may point anywhere.
+    pub fn top() -> Self {
+        PtsSet {
+            locs: BTreeSet::new(),
+            unknown: true,
+        }
+    }
+
+    /// `true` if this set carries any pointer provenance at all.
+    pub fn has_provenance(&self) -> bool {
+        self.unknown || !self.locs.is_empty()
+    }
+
+    /// Merge `other` into `self`; returns `true` if `self` grew.
+    pub fn merge(&mut self, other: &PtsSet) -> bool {
+        let mut grew = false;
+        for l in &other.locs {
+            grew |= self.locs.insert(*l);
+        }
+        if other.unknown && !self.unknown {
+            self.unknown = true;
+            grew = true;
+        }
+        grew
+    }
+
+    /// The function ids among the known locations.
+    pub fn funcs(&self) -> impl Iterator<Item = FuncId> + '_ {
+        self.locs.iter().filter_map(|l| match l {
+            AbsLoc::Func(f) => Some(*f),
+            _ => None,
+        })
+    }
+}
+
+/// An instruction position within a module: function, block, index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CallSite {
+    /// Enclosing function.
+    pub func: FuncId,
+    /// Block within the function.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub inst: u32,
+}
+
+/// Resolution of an indirect call site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallTargets {
+    /// The pointer provably names one of these functions.
+    Bounded(BTreeSet<FuncId>),
+    /// The pointer may name anything — the call must be treated as
+    /// reaching every address-taken function *and* unknown code.
+    Unbounded,
+}
+
+impl CallTargets {
+    /// `true` for [`CallTargets::Bounded`].
+    pub fn is_bounded(&self) -> bool {
+        matches!(self, CallTargets::Bounded(_))
+    }
+}
+
+/// The result of the analysis.
+#[derive(Debug, Clone, Default)]
+pub struct PointsTo {
+    values: HashMap<(FuncId, ValueId), PtsSet>,
+    contents: HashMap<AbsLoc, PtsSet>,
+    ret_sets: HashMap<FuncId, PtsSet>,
+    indirect: BTreeMap<CallSite, CallTargets>,
+    /// Values stored through pointers the analysis lost track of: any
+    /// load may observe them.
+    leaked: PtsSet,
+    /// Locations handed to unknown code, whose contents are clobbered.
+    escaped: BTreeSet<AbsLoc>,
+    rounds: u32,
+}
+
+impl PointsTo {
+    /// Run the analysis over `module` to fixpoint.
+    pub fn analyze(module: &Module) -> Self {
+        let mut pt = PointsTo::default();
+        pt.seed_globals(module);
+        // Fixpoint: rerun the (monotone) transfer rules until nothing
+        // grows. Bounded by the total number of (value, loc) pairs.
+        loop {
+            pt.rounds += 1;
+            if !pt.round(module) {
+                break;
+            }
+        }
+        pt
+    }
+
+    /// What `(func, value)` may point to.
+    pub fn value_set(&self, func: FuncId, value: ValueId) -> PtsSet {
+        self.values.get(&(func, value)).cloned().unwrap_or_default()
+    }
+
+    /// What the contents of `loc` may point to.
+    pub fn contents(&self, loc: AbsLoc) -> PtsSet {
+        self.contents.get(&loc).cloned().unwrap_or_default()
+    }
+
+    /// Resolution of the indirect call at `site`, if that site exists.
+    pub fn indirect_targets(&self, site: CallSite) -> Option<&CallTargets> {
+        self.indirect.get(&site)
+    }
+
+    /// Every indirect call site with its resolution, in module order.
+    pub fn indirect_sites(&self) -> impl Iterator<Item = (CallSite, &CallTargets)> {
+        self.indirect.iter().map(|(s, t)| (*s, t))
+    }
+
+    /// Fixpoint rounds the solver took.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn seed_globals(&mut self, module: &Module) {
+        for (gid, g) in module.iter_globals() {
+            if let GlobalInit::Scalars(vals) = &g.init {
+                let cell = self.contents.entry(AbsLoc::Global(gid)).or_default();
+                for v in vals {
+                    match v {
+                        ConstValue::FuncAddr(f) => {
+                            cell.locs.insert(AbsLoc::Func(*f));
+                        }
+                        ConstValue::GlobalAddr(h) => {
+                            cell.locs.insert(AbsLoc::Global(*h));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn val(&self, f: FuncId, v: ValueId) -> PtsSet {
+        self.values.get(&(f, v)).cloned().unwrap_or_default()
+    }
+
+    fn merge_into_value(&mut self, f: FuncId, v: ValueId, set: &PtsSet) -> bool {
+        self.values.entry((f, v)).or_default().merge(set)
+    }
+
+    fn merge_into_contents(&mut self, loc: AbsLoc, set: &PtsSet) -> bool {
+        self.contents.entry(loc).or_default().merge(set)
+    }
+
+    /// Hand `set` to unknown code: its locations' contents become
+    /// unknown, transitively, and anything reachable leaks.
+    fn escape(&mut self, set: &PtsSet) -> bool {
+        let mut changed = self.leaked.merge(set);
+        let mut work: Vec<AbsLoc> = set.locs.iter().copied().collect();
+        while let Some(loc) = work.pop() {
+            if !self.escaped.insert(loc) {
+                continue;
+            }
+            changed = true;
+            let cell = self.contents.entry(loc).or_default();
+            if !cell.unknown {
+                cell.unknown = true;
+            }
+            let inner: Vec<AbsLoc> = cell.locs.iter().copied().collect();
+            changed |= self.leaked.merge(&self.contents(loc));
+            work.extend(inner);
+        }
+        changed
+    }
+
+    /// Bind arguments to a callee's parameters and its return set to the
+    /// call's destination.
+    fn bind_call(
+        &mut self,
+        module: &Module,
+        caller: FuncId,
+        target: FuncId,
+        args: &[ValueId],
+        dst: Option<ValueId>,
+    ) -> bool {
+        let mut changed = false;
+        let callee = module.function(target);
+        if callee.is_declaration() {
+            // Unknown external: arguments escape, the result could be
+            // anything (§3.1 treats the call as machine specific anyway;
+            // the points-to layer just stays sound about it).
+            for &a in args {
+                let s = self.val(caller, a);
+                changed |= self.escape(&s);
+            }
+            if let Some(d) = dst {
+                changed |= self.merge_into_value(caller, d, &PtsSet::top());
+            }
+            return changed;
+        }
+        for (i, &a) in args.iter().enumerate().take(callee.params.len()) {
+            let s = self.val(caller, a);
+            changed |= self.merge_into_value(target, ValueId(i as u32), &s);
+        }
+        if let Some(d) = dst {
+            let r = self.ret_sets.get(&target).cloned().unwrap_or_default();
+            changed |= self.merge_into_value(caller, d, &r);
+        }
+        changed
+    }
+
+    fn builtin_call(
+        &mut self,
+        f: FuncId,
+        b: Builtin,
+        args: &[ValueId],
+        dst: Option<ValueId>,
+    ) -> bool {
+        let mut changed = false;
+        match b {
+            Builtin::Malloc | Builtin::UMalloc => {
+                if let Some(d) = dst {
+                    let site = PtsSet {
+                        locs: BTreeSet::from([AbsLoc::Heap(f, d)]),
+                        unknown: false,
+                    };
+                    changed |= self.merge_into_value(f, d, &site);
+                }
+            }
+            // memcpy(dst, src, ..): whatever src's cells hold may now
+            // be held by dst's cells. Both return the dst pointer.
+            Builtin::Memcpy | Builtin::Strcpy if args.len() >= 2 => {
+                let dst_set = self.val(f, args[0]);
+                let src_set = self.val(f, args[1]);
+                let mut payload = PtsSet::empty();
+                for loc in &src_set.locs {
+                    payload.merge(&self.contents(*loc));
+                }
+                if src_set.unknown {
+                    payload.unknown = true;
+                    payload.merge(&self.leaked.clone());
+                }
+                for loc in dst_set.locs.iter().copied().collect::<Vec<_>>() {
+                    changed |= self.merge_into_contents(loc, &payload);
+                }
+                if dst_set.unknown {
+                    changed |= self.leaked.merge(&payload);
+                }
+                if let Some(d) = dst {
+                    changed |= self.merge_into_value(f, d, &dst_set);
+                }
+            }
+            Builtin::Memset => {
+                if let (Some(d), Some(&a0)) = (dst, args.first()) {
+                    let s = self.val(f, a0);
+                    changed |= self.merge_into_value(f, d, &s);
+                }
+            }
+            Builtin::FnMapToLocal => {
+                // Identity on provenance: the tables translate the
+                // numeric value, not which function it names (§3.4).
+                if let (Some(d), Some(&a0)) = (dst, args.first()) {
+                    let s = self.val(f, a0);
+                    changed |= self.merge_into_value(f, d, &s);
+                }
+            }
+            // Every other builtin returns plain data and keeps no copy of
+            // its pointer arguments.
+            _ => {}
+        }
+        changed
+    }
+
+    fn transfer(&mut self, module: &Module, f: FuncId, site: CallSite, inst: &Inst) -> bool {
+        let mut changed = false;
+        match inst {
+            Inst::Const { dst, value } => {
+                let set = match value {
+                    ConstValue::FuncAddr(t) => PtsSet {
+                        locs: BTreeSet::from([AbsLoc::Func(*t)]),
+                        unknown: false,
+                    },
+                    ConstValue::GlobalAddr(g) => PtsSet {
+                        locs: BTreeSet::from([AbsLoc::Global(*g)]),
+                        unknown: false,
+                    },
+                    _ => PtsSet::empty(),
+                };
+                if set.has_provenance() {
+                    changed |= self.merge_into_value(f, *dst, &set);
+                }
+            }
+            Inst::Alloca { dst, .. } => {
+                let set = PtsSet {
+                    locs: BTreeSet::from([AbsLoc::Stack(f, *dst)]),
+                    unknown: false,
+                };
+                changed |= self.merge_into_value(f, *dst, &set);
+            }
+            Inst::Load { dst, addr, .. } => {
+                let addr_set = self.val(f, *addr);
+                let mut loaded = PtsSet::empty();
+                for loc in &addr_set.locs {
+                    loaded.merge(&self.contents(*loc));
+                }
+                if addr_set.unknown {
+                    // The address could alias anything, including cells
+                    // written through pointers we lost track of.
+                    loaded.unknown = true;
+                }
+                // Any load may observe values stored through unknown
+                // pointers (they could have hit this cell).
+                loaded.merge(&self.leaked.clone());
+                if loaded.has_provenance() {
+                    changed |= self.merge_into_value(f, *dst, &loaded);
+                }
+            }
+            Inst::Store { addr, value, .. } => {
+                let addr_set = self.val(f, *addr);
+                let val_set = self.val(f, *value);
+                if !val_set.has_provenance() {
+                    return false;
+                }
+                for loc in addr_set.locs.iter().copied().collect::<Vec<_>>() {
+                    changed |= self.merge_into_contents(loc, &val_set);
+                }
+                if addr_set.unknown {
+                    // The store may hit any cell: remember the payload so
+                    // every load stays sound.
+                    changed |= self.leaked.merge(&val_set);
+                }
+            }
+            Inst::FieldAddr { dst, base, .. } | Inst::IndexAddr { dst, base, .. } => {
+                let s = self.val(f, *base);
+                changed |= self.merge_into_value(f, *dst, &s);
+            }
+            Inst::Cast { dst, kind, to, src } => {
+                let s = self.val(f, *src);
+                if !s.has_provenance() {
+                    return false;
+                }
+                match kind {
+                    CastKind::PtrCast
+                    | CastKind::PtrZext
+                    | CastKind::PtrToInt
+                    | CastKind::IntToPtr
+                    | CastKind::Zext
+                    | CastKind::Sext => {
+                        changed |= self.merge_into_value(f, *dst, &s);
+                    }
+                    CastKind::Trunc => {
+                        // Truncating below the 32 bits every simulated
+                        // address fits in destroys the provenance.
+                        if to.int_bits().is_some_and(|b| b >= 32) {
+                            changed |= self.merge_into_value(f, *dst, &s);
+                        } else {
+                            changed |= self.merge_into_value(f, *dst, &PtsSet::top());
+                        }
+                    }
+                    CastKind::SiToF | CastKind::FToSi => {
+                        // A pointer laundered through float arithmetic is
+                        // beyond tracking.
+                        changed |= self.merge_into_value(f, *dst, &PtsSet::top());
+                    }
+                }
+            }
+            Inst::Bin {
+                dst, op, lhs, rhs, ..
+            } => {
+                let mut s = self.val(f, *lhs);
+                s.merge(&self.val(f, *rhs));
+                if !s.has_provenance() {
+                    return false;
+                }
+                match op {
+                    // Pointer ± offset keeps pointing into the same
+                    // objects (field-insensitive).
+                    BinOp::Add | BinOp::Sub => {
+                        changed |= self.merge_into_value(f, *dst, &s);
+                    }
+                    // Anything else (masking, scaling, shifting) produces
+                    // a value we can no longer resolve.
+                    _ => {
+                        changed |= self.merge_into_value(f, *dst, &PtsSet::top());
+                    }
+                }
+            }
+            Inst::Un {
+                dst, op, operand, ..
+            } => {
+                let s = self.val(f, *operand);
+                if !s.has_provenance() {
+                    return false;
+                }
+                match op {
+                    UnOp::ByteSwap => changed |= self.merge_into_value(f, *dst, &s),
+                    UnOp::Neg | UnOp::Not => {
+                        changed |= self.merge_into_value(f, *dst, &PtsSet::top());
+                    }
+                }
+            }
+            Inst::Cmp { .. } => {}
+            Inst::Call { dst, callee, args } => match callee {
+                Callee::Direct(t) => {
+                    changed |= self.bind_call(module, f, *t, args, *dst);
+                }
+                Callee::Builtin(b) => {
+                    changed |= self.builtin_call(f, *b, args, *dst);
+                }
+                Callee::Indirect(ptr) => {
+                    let pset = self.val(f, *ptr);
+                    if pset.unknown {
+                        self.indirect.insert(site, CallTargets::Unbounded);
+                        // The call could reach anything: arguments escape
+                        // and every address-taken function may run with
+                        // arbitrary parameters.
+                        for &a in args {
+                            let s = self.val(f, a);
+                            changed |= self.escape(&s);
+                        }
+                        if let Some(d) = dst {
+                            changed |= self.merge_into_value(f, *d, &PtsSet::top());
+                        }
+                        for (tid, tf) in module.iter_functions() {
+                            if tf.is_declaration() {
+                                continue;
+                            }
+                            let taken = self
+                                .values
+                                .values()
+                                .any(|s| s.locs.contains(&AbsLoc::Func(tid)))
+                                || self
+                                    .contents
+                                    .values()
+                                    .any(|s| s.locs.contains(&AbsLoc::Func(tid)));
+                            if taken {
+                                for i in 0..tf.params.len() {
+                                    changed |= self.merge_into_value(
+                                        tid,
+                                        ValueId(i as u32),
+                                        &PtsSet::top(),
+                                    );
+                                }
+                            }
+                        }
+                    } else {
+                        let targets: BTreeSet<FuncId> = pset.funcs().collect();
+                        for &t in &targets {
+                            changed |= self.bind_call(module, f, t, args, *dst);
+                        }
+                        self.indirect.insert(site, CallTargets::Bounded(targets));
+                    }
+                }
+            },
+            Inst::Ret { value: Some(v) } => {
+                let s = self.val(f, *v);
+                if s.has_provenance() {
+                    changed |= self.ret_sets.entry(f).or_default().merge(&s);
+                }
+            }
+            Inst::Ret { value: None } | Inst::Br { .. } | Inst::CondBr { .. } => {}
+            Inst::InlineAsm { .. } => {}
+            Inst::Syscall { dst, args, .. } => {
+                // The kernel may keep the arguments and return anything.
+                for &a in args {
+                    let s = self.val(f, a);
+                    changed |= self.escape(&s);
+                }
+                changed |= self.merge_into_value(f, *dst, &PtsSet::top());
+            }
+        }
+        changed
+    }
+
+    fn round(&mut self, module: &Module) -> bool {
+        let mut changed = false;
+        for (fid, func) in module.iter_functions() {
+            for (bid, block) in func.iter_blocks() {
+                for (i, inst) in block.insts.iter().enumerate() {
+                    let site = CallSite {
+                        func: fid,
+                        block: bid,
+                        inst: i as u32,
+                    };
+                    changed |= self.transfer(module, fid, site, inst);
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::{FuncSig, Type};
+
+    fn fn_ptr_ty() -> Type {
+        Type::Func(Box::new(FuncSig {
+            params: vec![],
+            ret: Type::I32,
+        }))
+        .ptr_to()
+    }
+
+    #[test]
+    fn direct_constant_function_pointer_is_bounded() {
+        let mut m = Module::new("t");
+        let clean = m.declare_function("clean", vec![], Type::I32);
+        let caller = m.declare_function("caller", vec![], Type::I32);
+        {
+            let mut b = FunctionBuilder::new(&mut m, clean);
+            let v = b.const_i32(1);
+            b.ret(Some(v));
+            b.finish();
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, caller);
+            let fp = b.const_value(ConstValue::FuncAddr(clean));
+            let r = b.call_indirect(fp, Type::I32, vec![]).unwrap();
+            b.ret(Some(r));
+            b.finish();
+        }
+        let pt = PointsTo::analyze(&m);
+        let (site, targets) = pt.indirect_sites().next().expect("one indirect site");
+        assert_eq!(site.func, caller);
+        assert_eq!(targets, &CallTargets::Bounded(BTreeSet::from([clean])));
+    }
+
+    #[test]
+    fn pointer_through_stack_slot_resolves() {
+        let mut m = Module::new("t");
+        let a = m.declare_function("a", vec![], Type::I32);
+        let bf = m.declare_function("b", vec![], Type::I32);
+        let caller = m.declare_function("caller", vec![Type::I32], Type::I32);
+        for f in [a, bf] {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            let v = b.const_i32(0);
+            b.ret(Some(v));
+            b.finish();
+        }
+        {
+            // slot = alloca fn*; store a or b; call *load(slot)
+            let mut b = FunctionBuilder::new(&mut m, caller);
+            let slot = b.alloca(fn_ptr_ty(), 1);
+            let fa = b.const_value(ConstValue::FuncAddr(a));
+            let fb = b.const_value(ConstValue::FuncAddr(bf));
+            b.store(fn_ptr_ty(), slot, fa);
+            b.store(fn_ptr_ty(), slot, fb);
+            let fp = b.load(fn_ptr_ty(), slot);
+            let r = b.call_indirect(fp, Type::I32, vec![]).unwrap();
+            b.ret(Some(r));
+            b.finish();
+        }
+        let pt = PointsTo::analyze(&m);
+        let (_, targets) = pt.indirect_sites().next().unwrap();
+        assert_eq!(targets, &CallTargets::Bounded(BTreeSet::from([a, bf])));
+    }
+
+    #[test]
+    fn global_table_resolves_to_initializer_members() {
+        let mut m = Module::new("t");
+        let a = m.declare_function("a", vec![], Type::I32);
+        let caller = m.declare_function("caller", vec![Type::I32], Type::I32);
+        let table = m.define_global(
+            "table",
+            fn_ptr_ty().array_of(1),
+            GlobalInit::Scalars(vec![ConstValue::FuncAddr(a)]),
+        );
+        {
+            let mut b = FunctionBuilder::new(&mut m, a);
+            let v = b.const_i32(0);
+            b.ret(Some(v));
+            b.finish();
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, caller);
+            let base = b.const_value(ConstValue::GlobalAddr(table));
+            let idx = b.param(0);
+            let slot = b.index_addr(base, fn_ptr_ty(), idx);
+            let fp = b.load(fn_ptr_ty(), slot);
+            let r = b.call_indirect(fp, Type::I32, vec![]).unwrap();
+            b.ret(Some(r));
+            b.finish();
+        }
+        let pt = PointsTo::analyze(&m);
+        let (_, targets) = pt.indirect_sites().next().unwrap();
+        assert_eq!(targets, &CallTargets::Bounded(BTreeSet::from([a])));
+    }
+
+    #[test]
+    fn opaque_arithmetic_makes_target_unbounded() {
+        let mut m = Module::new("t");
+        let a = m.declare_function("a", vec![], Type::I32);
+        let caller = m.declare_function("caller", vec![], Type::I32);
+        {
+            let mut b = FunctionBuilder::new(&mut m, a);
+            let v = b.const_i32(0);
+            b.ret(Some(v));
+            b.finish();
+        }
+        {
+            // fp = inttoptr(ptrtoint(a) ^ 1): provenance laundered.
+            let mut b = FunctionBuilder::new(&mut m, caller);
+            let fa = b.const_value(ConstValue::FuncAddr(a));
+            let as_int = b.cast(CastKind::PtrToInt, Type::I64, fa);
+            let one = b.const_i64(1);
+            let munged = b.bin(BinOp::Xor, Type::I64, as_int, one);
+            let fp = b.cast(CastKind::IntToPtr, fn_ptr_ty(), munged);
+            let r = b.call_indirect(fp, Type::I32, vec![]).unwrap();
+            b.ret(Some(r));
+            b.finish();
+        }
+        let pt = PointsTo::analyze(&m);
+        let (_, targets) = pt.indirect_sites().next().unwrap();
+        assert_eq!(targets, &CallTargets::Unbounded);
+    }
+
+    #[test]
+    fn ptrtoint_inttoptr_roundtrip_keeps_provenance() {
+        let mut m = Module::new("t");
+        let a = m.declare_function("a", vec![], Type::I32);
+        let caller = m.declare_function("caller", vec![], Type::I32);
+        {
+            let mut b = FunctionBuilder::new(&mut m, a);
+            let v = b.const_i32(0);
+            b.ret(Some(v));
+            b.finish();
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, caller);
+            let fa = b.const_value(ConstValue::FuncAddr(a));
+            let as_int = b.cast(CastKind::PtrToInt, Type::I64, fa);
+            let fp = b.cast(CastKind::IntToPtr, fn_ptr_ty(), as_int);
+            let r = b.call_indirect(fp, Type::I32, vec![]).unwrap();
+            b.ret(Some(r));
+            b.finish();
+        }
+        let pt = PointsTo::analyze(&m);
+        let (_, targets) = pt.indirect_sites().next().unwrap();
+        assert_eq!(targets, &CallTargets::Bounded(BTreeSet::from([a])));
+    }
+
+    #[test]
+    fn pointer_passed_to_external_escapes() {
+        let mut m = Module::new("t");
+        let ext = m.declare_function("mystery", vec![fn_ptr_ty().ptr_to()], Type::Void);
+        let a = m.declare_function("a", vec![], Type::I32);
+        let caller = m.declare_function("caller", vec![], Type::I32);
+        {
+            let mut b = FunctionBuilder::new(&mut m, a);
+            let v = b.const_i32(0);
+            b.ret(Some(v));
+            b.finish();
+        }
+        {
+            // slot holds a; slot escapes to the external; the reloaded
+            // pointer may have been overwritten with anything.
+            let mut b = FunctionBuilder::new(&mut m, caller);
+            let slot = b.alloca(fn_ptr_ty(), 1);
+            let fa = b.const_value(ConstValue::FuncAddr(a));
+            b.store(fn_ptr_ty(), slot, fa);
+            b.call(ext, vec![slot]);
+            let fp = b.load(fn_ptr_ty(), slot);
+            let r = b.call_indirect(fp, Type::I32, vec![]).unwrap();
+            b.ret(Some(r));
+            b.finish();
+        }
+        let pt = PointsTo::analyze(&m);
+        let (_, targets) = pt.indirect_sites().next().unwrap();
+        assert_eq!(targets, &CallTargets::Unbounded);
+    }
+
+    #[test]
+    fn fn_ptr_returned_through_helper_resolves() {
+        let mut m = Module::new("t");
+        let a = m.declare_function("a", vec![], Type::I32);
+        let pick = m.declare_function("pick", vec![], fn_ptr_ty());
+        let caller = m.declare_function("caller", vec![], Type::I32);
+        {
+            let mut b = FunctionBuilder::new(&mut m, a);
+            let v = b.const_i32(0);
+            b.ret(Some(v));
+            b.finish();
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, pick);
+            let fa = b.const_value(ConstValue::FuncAddr(a));
+            b.ret(Some(fa));
+            b.finish();
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, caller);
+            let fp = b.call(pick, vec![]).unwrap();
+            let r = b.call_indirect(fp, Type::I32, vec![]).unwrap();
+            b.ret(Some(r));
+            b.finish();
+        }
+        let pt = PointsTo::analyze(&m);
+        let (_, targets) = pt.indirect_sites().next().unwrap();
+        assert_eq!(targets, &CallTargets::Bounded(BTreeSet::from([a])));
+        assert!(pt.rounds() >= 2, "return binding needs a second round");
+    }
+
+    #[test]
+    fn value_sets_track_allocas_and_heap() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::Void);
+        let (slot, heap);
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            slot = b.alloca(Type::I32, 1);
+            let n = b.const_i64(8);
+            heap = b
+                .call_builtin(Builtin::Malloc, Type::I8.ptr_to(), vec![n])
+                .unwrap();
+            b.ret(None);
+            b.finish();
+        }
+        let pt = PointsTo::analyze(&m);
+        assert_eq!(
+            pt.value_set(f, slot).locs,
+            BTreeSet::from([AbsLoc::Stack(f, slot)])
+        );
+        assert_eq!(
+            pt.value_set(f, heap).locs,
+            BTreeSet::from([AbsLoc::Heap(f, heap)])
+        );
+        assert!(!pt.value_set(f, slot).unknown);
+    }
+}

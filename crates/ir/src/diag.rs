@@ -1,0 +1,366 @@
+//! Diagnostics: stable codes, severities, notes and a rustc-style renderer.
+//!
+//! Every verdict the offload compiler reaches — "this function is machine
+//! specific", "this cast breaks the unified virtual address space" — is
+//! expressible as a [`Diagnostic`] with a stable [`Code`], so tools (and
+//! CI) can match on `OFF012` instead of message text. The codes cover the
+//! paper's §3.1 filter taxonomy (inline asm, syscalls, unknown externals,
+//! interactive I/O), the function-pointer resolution the filter needs to be
+//! sound (`OFF006`/`OFF007`), the §3.2 UVA pointer-portability hazards
+//! (`OFF010`–`OFF012`), and general code-quality lints (`OFF020`–`OFF022`).
+//!
+//! Rendering mimics rustc:
+//!
+//! ```text
+//! error[OFF010]: pointer narrowed by ptrtoint to i32
+//!   --> chess::hash bb2[5]
+//!   = note: server addresses are 64-bit; the low 32 bits do not identify a page
+//! ```
+
+use std::fmt;
+
+use crate::module::{BlockId, FuncId};
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Explanatory: context for a verdict, reason-chain links.
+    Info,
+    /// Suspicious construct; does not by itself disqualify offload.
+    Warning,
+    /// A hazard that makes the construct unsafe to offload (or the IR
+    /// outright wrong). CI fails shipped workloads on these.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name (`error` / `warning` / `info`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+/// Stable diagnostic codes. The numeric value is part of the public
+/// contract: tests and CI match on `OFF%03d` strings, so variants must
+/// never be renumbered — only appended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// `OFF001`: inline assembly — machine specific by definition (§3.1).
+    InlineAsm = 1,
+    /// `OFF002`: raw system call (§3.1).
+    Syscall = 2,
+    /// `OFF003`: call to an unknown external library function (§3.1).
+    UnknownExternal = 3,
+    /// `OFF004`: interactive I/O (`scanf`, `getchar`) or other
+    /// non-remotable builtin (§3.1, §3.4).
+    InteractiveIo = 4,
+    /// `OFF005`: direct call to a machine-specific function — taint
+    /// propagated up the call graph (§3.1).
+    TaintedCallee = 5,
+    /// `OFF006`: indirect call whose target set the points-to analysis
+    /// could not bound; conservatively machine specific.
+    IndirectUnbounded = 6,
+    /// `OFF007`: indirect call whose bounded target set contains a
+    /// machine-specific function.
+    IndirectTainted = 7,
+    /// `OFF010`: `ptrtoint` into an integer narrower than the widest
+    /// target address size — the round-trip loses address bits on the
+    /// 64-bit server (§3.2 UVA hazard).
+    PtrToIntNarrow = 10,
+    /// `OFF011`: `inttoptr` from an integer with no pointer provenance —
+    /// the numeric value is device specific, so the fabricated pointer is
+    /// meaningless on the other device (§3.2).
+    IntToPtrNoProvenance = 11,
+    /// `OFF012`: a pointer-derived integer escapes into opaque arithmetic
+    /// (multiplication, masking, narrowing) that UVA translation cannot
+    /// see through (§3.2).
+    PtrProvenanceEscape = 12,
+    /// `OFF020`: a stack slot is written but never read.
+    DeadStore = 20,
+    /// `OFF021`: a block is unreachable from the function entry.
+    UnreachableBlock = 21,
+    /// `OFF022`: a non-void function has a path that falls off the end
+    /// without returning a value.
+    MissingReturn = 22,
+}
+
+impl Code {
+    /// The numeric part of the `OFFxxx` code.
+    pub fn number(self) -> u16 {
+        self as u16
+    }
+
+    /// The default severity this code is reported at.
+    pub fn default_severity(self) -> Severity {
+        use Code::*;
+        match self {
+            // Machine-specific findings are verdict *explanations*: the
+            // program is still valid, it just cannot offload that region.
+            InlineAsm | Syscall | UnknownExternal | InteractiveIo | TaintedCallee
+            | IndirectTainted => Severity::Info,
+            IndirectUnbounded => Severity::Warning,
+            // UVA hazards: a narrowed pointer is flatly broken on the
+            // server; the other two are suspicious but often benign.
+            PtrToIntNarrow => Severity::Error,
+            IntToPtrNoProvenance | PtrProvenanceEscape => Severity::Warning,
+            DeadStore | UnreachableBlock | MissingReturn => Severity::Warning,
+        }
+    }
+
+    /// One-line description of what the code means.
+    pub fn title(self) -> &'static str {
+        use Code::*;
+        match self {
+            InlineAsm => "inline assembly is machine specific",
+            Syscall => "raw system calls are machine specific",
+            UnknownExternal => "call to unknown external function",
+            InteractiveIo => "interactive I/O cannot execute remotely",
+            TaintedCallee => "calls a machine-specific function",
+            IndirectUnbounded => "indirect call with unbounded target set",
+            IndirectTainted => "indirect call may reach a machine-specific function",
+            PtrToIntNarrow => "pointer narrowed below server address size",
+            IntToPtrNoProvenance => "pointer fabricated from non-provenance integer",
+            PtrProvenanceEscape => "pointer-derived value escapes into opaque arithmetic",
+            DeadStore => "stack slot is written but never read",
+            UnreachableBlock => "unreachable block",
+            MissingReturn => "non-void function may fall off the end",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OFF{:03}", self.number())
+    }
+}
+
+/// An instruction position: block + index within the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Site {
+    /// The block.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub inst: u32,
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.block, self.inst)
+    }
+}
+
+/// One diagnostic: a coded finding at an (optional) location, with notes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (usually [`Code::default_severity`]).
+    pub severity: Severity,
+    /// The function the finding is in, if any.
+    pub func: Option<FuncId>,
+    /// The instruction, if the finding points at one.
+    pub site: Option<Site>,
+    /// Primary message.
+    pub message: String,
+    /// Attached notes (reason-chain links, remediation hints).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at this code's default severity.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            func: None,
+            site: None,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach the enclosing function.
+    #[must_use]
+    pub fn in_func(mut self, func: FuncId) -> Self {
+        self.func = Some(func);
+        self
+    }
+
+    /// Attach the instruction site.
+    #[must_use]
+    pub fn at(mut self, block: BlockId, inst: u32) -> Self {
+        self.site = Some(Site { block, inst });
+        self
+    }
+
+    /// Attach a note.
+    #[must_use]
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Override the severity.
+    #[must_use]
+    pub fn severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Render rustc-style. `lookup` resolves a function id to a display
+    /// name (pass the module name too if you want `module::func` paths).
+    pub fn render(&self, lookup: &dyn Fn(FuncId) -> String) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n",
+            self.severity.name(),
+            self.code,
+            self.message
+        );
+        if let Some(f) = self.func {
+            out.push_str("  --> ");
+            out.push_str(&lookup(f));
+            if let Some(site) = self.site {
+                out.push_str(&format!(" {site}"));
+            }
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  = note: {note}\n"));
+        }
+        out
+    }
+}
+
+/// An ordered collection of diagnostics with severity tallies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiagnosticBag {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagnosticBag {
+    /// An empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Append every diagnostic from `other`.
+    pub fn extend(&mut self, other: impl IntoIterator<Item = Diagnostic>) {
+        self.diags.extend(other);
+    }
+
+    /// The diagnostics in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// Total diagnostics held.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// `true` if no diagnostics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Count of diagnostics at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// `true` if any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Render every diagnostic, one after another.
+    pub fn render(&self, lookup: &dyn Fn(FuncId) -> String) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.render(lookup));
+        }
+        out
+    }
+
+    /// Consume the bag, yielding the diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+}
+
+impl IntoIterator for DiagnosticBag {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.into_iter()
+    }
+}
+
+impl FromIterator<Diagnostic> for DiagnosticBag {
+    fn from_iter<I: IntoIterator<Item = Diagnostic>>(iter: I) -> Self {
+        DiagnosticBag {
+            diags: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(Code::InlineAsm.to_string(), "OFF001");
+        assert_eq!(Code::IndirectTainted.to_string(), "OFF007");
+        assert_eq!(Code::PtrToIntNarrow.to_string(), "OFF010");
+        assert_eq!(Code::MissingReturn.to_string(), "OFF022");
+    }
+
+    #[test]
+    fn default_severities() {
+        assert_eq!(Code::PtrToIntNarrow.default_severity(), Severity::Error);
+        assert_eq!(Code::DeadStore.default_severity(), Severity::Warning);
+        assert_eq!(Code::TaintedCallee.default_severity(), Severity::Info);
+    }
+
+    #[test]
+    fn renders_rustc_style() {
+        let d = Diagnostic::new(Code::PtrToIntNarrow, "pointer narrowed to i32")
+            .in_func(FuncId(2))
+            .at(BlockId(1), 4)
+            .note("server addresses are 64-bit");
+        let txt = d.render(&|f| format!("app::fn{}", f.0));
+        assert!(txt.starts_with("error[OFF010]: pointer narrowed to i32\n"));
+        assert!(txt.contains("  --> app::fn2 bb1[4]\n"));
+        assert!(txt.contains("  = note: server addresses are 64-bit\n"));
+    }
+
+    #[test]
+    fn bag_counts_by_severity() {
+        let mut bag = DiagnosticBag::new();
+        bag.push(Diagnostic::new(Code::PtrToIntNarrow, "a"));
+        bag.push(Diagnostic::new(Code::DeadStore, "b"));
+        bag.push(Diagnostic::new(Code::TaintedCallee, "c"));
+        assert_eq!(bag.len(), 3);
+        assert_eq!(bag.count(Severity::Error), 1);
+        assert_eq!(bag.count(Severity::Warning), 1);
+        assert_eq!(bag.count(Severity::Info), 1);
+        assert!(bag.has_errors());
+    }
+
+    #[test]
+    fn severity_ordering_puts_error_on_top() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+}

@@ -47,7 +47,21 @@ pub enum TargetAbi {
     ServerBigEndian64,
 }
 
+/// The widest pointer width, in bits, across every [`TargetAbi`] preset.
+/// A `ptrtoint` destination (or `inttoptr` source) narrower than this
+/// cannot round-trip an address on every device the module may run on —
+/// the §3.2 UVA hazard the verifier and `OFF010` lint guard against.
+pub const WIDEST_TARGET_ADDR_BITS: u32 = 64;
+
 impl TargetAbi {
+    /// All ABI presets.
+    pub const ALL: [TargetAbi; 4] = [
+        TargetAbi::MobileArm32,
+        TargetAbi::ServerX8664,
+        TargetAbi::ServerIa32,
+        TargetAbi::ServerBigEndian64,
+    ];
+
     /// The concrete layout rules of this ABI.
     pub fn data_layout(self) -> DataLayout {
         match self {
@@ -201,6 +215,16 @@ mod tests {
     use super::*;
     use crate::module::Module;
     use crate::types::StructDef;
+
+    #[test]
+    fn widest_addr_bits_covers_every_preset() {
+        let widest = TargetAbi::ALL
+            .iter()
+            .map(|abi| abi.data_layout().ptr_bytes * 8)
+            .max()
+            .unwrap();
+        assert_eq!(widest as u32, WIDEST_TARGET_ADDR_BITS);
+    }
 
     /// The `Move` struct of the paper's Fig. 3/4:
     /// `struct { char from, to; double score; }`.

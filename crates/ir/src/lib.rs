@@ -30,6 +30,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod diag;
 pub mod inst;
 pub mod layout;
 pub mod module;
@@ -38,6 +39,7 @@ pub mod print;
 pub mod types;
 pub mod verify;
 
+pub use diag::{Code, Diagnostic, DiagnosticBag, Severity, Site};
 pub use inst::{BinOp, Builtin, Callee, CastKind, CmpOp, Inst, UnOp};
 pub use layout::{DataLayout, Endian, StructLayout, TargetAbi};
 pub use module::{

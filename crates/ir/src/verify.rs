@@ -7,7 +7,8 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::inst::{Callee, Inst};
+use crate::inst::{Callee, CastKind, Inst};
+use crate::layout::WIDEST_TARGET_ADDR_BITS;
 use crate::module::{FuncId, Function, Module, ValueId};
 use crate::types::Type;
 
@@ -150,6 +151,23 @@ fn verify_function(module: &Module, _id: FuncId, func: &Function) -> Result<(), 
                         ));
                     }
                 }
+                Inst::Cast {
+                    kind: CastKind::IntToPtr,
+                    src,
+                    ..
+                } => {
+                    // An address that passed through an integer narrower
+                    // than the widest target's pointer has lost bits on
+                    // that target — reject the cast outright (§3.2).
+                    if let Some(bits) = func.value_type(*src).int_bits() {
+                        if bits < WIDEST_TARGET_ADDR_BITS {
+                            return Err(format!(
+                                "block {bb}: inttoptr from i{bits} is narrower than the \
+                                 widest target address size ({WIDEST_TARGET_ADDR_BITS} bits)"
+                            ));
+                        }
+                    }
+                }
                 Inst::Ret { value } => {
                     let want_value = func.ret != Type::Void;
                     if want_value != value.is_some() {
@@ -281,6 +299,43 @@ mod tests {
         );
         let err = verify_module(&m).unwrap_err();
         assert!(err.message.contains("before its end"), "{err}");
+    }
+
+    #[test]
+    fn rejects_inttoptr_from_narrow_integer() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![Type::I32], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let bad = b.cast(crate::inst::CastKind::IntToPtr, Type::I32.ptr_to(), p);
+        let v = b.const_i32(1);
+        b.push(Inst::Store {
+            ty: Type::I32,
+            addr: bad,
+            value: v,
+        });
+        b.ret(None);
+        b.finish();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("inttoptr from i32"), "{err}");
+    }
+
+    #[test]
+    fn accepts_inttoptr_from_wide_integer() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![Type::I64], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let ptr = b.cast(crate::inst::CastKind::IntToPtr, Type::I32.ptr_to(), p);
+        let v = b.const_i32(1);
+        b.push(Inst::Store {
+            ty: Type::I32,
+            addr: ptr,
+            value: v,
+        });
+        b.ret(None);
+        b.finish();
+        assert!(verify_module(&m).is_ok());
     }
 
     #[test]

@@ -218,6 +218,34 @@ impl TraceCollector {
                 m.count("remote_io_bytes", *bytes);
             }
             FnPtrTranslate { .. } => m.count("fn_map_translations", 1),
+            AnalysisDiagnostic { severity, .. } => {
+                m.count("analysis_diags", 1);
+                m.count(
+                    match severity {
+                        crate::event::DiagLane::Error => "analysis_errors",
+                        crate::event::DiagLane::Warning => "analysis_warnings",
+                        crate::event::DiagLane::Info => "analysis_infos",
+                    },
+                    1,
+                );
+            }
+            AnalysisVerdicts {
+                offloadable,
+                machine_specific,
+                indirect_bounded,
+                indirect_unbounded,
+            } => {
+                m.count("analysis_fns_offloadable", u64::from(*offloadable));
+                m.count(
+                    "analysis_fns_machine_specific",
+                    u64::from(*machine_specific),
+                );
+                m.count("analysis_indirect_bounded", u64::from(*indirect_bounded));
+                m.count(
+                    "analysis_indirect_unbounded",
+                    u64::from(*indirect_unbounded),
+                );
+            }
             Power { .. } | Begin(_) | End(_) => {}
         }
     }

@@ -18,6 +18,10 @@
 pub enum CompilePhase {
     /// Hot-region profiling (§3.1).
     Profile,
+    /// Static analysis: points-to, indirect-call resolution, and the
+    /// provenance/portability lints (the `offload-analyze` layer). Runs
+    /// before the filter, which consumes its results.
+    Analyze,
     /// Machine-specific function filtering (§3.1).
     Filter,
     /// Equation-1 static estimation (§3.1).
@@ -36,6 +40,7 @@ impl CompilePhase {
         match self {
             CompilePhase::Profile => "profile",
             CompilePhase::Filter => "filter",
+            CompilePhase::Analyze => "analyze",
             CompilePhase::Estimate => "estimate",
             CompilePhase::Unify => "unify",
             CompilePhase::Partition => "partition",
@@ -44,8 +49,9 @@ impl CompilePhase {
     }
 
     /// All phases in pipeline order.
-    pub const ALL: [CompilePhase; 6] = [
+    pub const ALL: [CompilePhase; 7] = [
         CompilePhase::Profile,
+        CompilePhase::Analyze,
         CompilePhase::Filter,
         CompilePhase::Estimate,
         CompilePhase::Unify,
@@ -124,6 +130,29 @@ impl PowerLane {
             PowerLane::Waiting => "waiting",
             PowerLane::Receive => "receive",
             PowerLane::Transmit => "transmit",
+        }
+    }
+}
+
+/// Severity lane of a static-analysis diagnostic (mirrors
+/// `offload_ir::diag::Severity`; obs sits below the ir crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagLane {
+    /// Hard portability hazard: the construct cannot offload safely.
+    Error,
+    /// Suspicious but not disqualifying.
+    Warning,
+    /// Explanatory note (reason-chain links, verdict context).
+    Info,
+}
+
+impl DiagLane {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagLane::Error => "error",
+            DiagLane::Warning => "warning",
+            DiagLane::Info => "info",
         }
     }
 }
@@ -294,6 +323,25 @@ pub enum EventKind {
     FnPtrTranslate {
         /// Server cycles charged for the table walk.
         cycles: u64,
+    },
+    /// The static analyzer emitted one diagnostic (`offload-analyze`).
+    AnalysisDiagnostic {
+        /// Stable numeric diagnostic code (`OFF%03u`, e.g. 10 = OFF010).
+        code: u16,
+        /// Severity lane.
+        severity: DiagLane,
+    },
+    /// Per-module offload verdict summary from the analysis-backed filter.
+    AnalysisVerdicts {
+        /// Functions judged offloadable.
+        offloadable: u32,
+        /// Functions rejected as machine-specific.
+        machine_specific: u32,
+        /// Indirect call sites whose target set the points-to analysis
+        /// bounded to a finite set of functions.
+        indirect_bounded: u32,
+        /// Indirect call sites with unbounded (unknown) target sets.
+        indirect_unbounded: u32,
     },
     /// The mobile power state machine advanced.
     Power {

@@ -113,6 +113,23 @@ fn describe(kind: &EventKind) -> (String, char, String) {
         FnPtrTranslate { cycles } => {
             ("fn_ptr_translate".into(), 'i', format!("{{\"cycles\":{cycles}}}"))
         }
+        AnalysisDiagnostic { code, severity } => (
+            format!("analysis_diag:{}", severity.name()),
+            'i',
+            format!("{{\"code\":\"OFF{code:03}\",\"severity\":\"{}\"}}", severity.name()),
+        ),
+        AnalysisVerdicts {
+            offloadable,
+            machine_specific,
+            indirect_bounded,
+            indirect_unbounded,
+        } => (
+            "analysis_verdicts".into(),
+            'i',
+            format!(
+                "{{\"offloadable\":{offloadable},\"machine_specific\":{machine_specific},\"indirect_bounded\":{indirect_bounded},\"indirect_unbounded\":{indirect_unbounded}}}"
+            ),
+        ),
         Power { state, duration_s } => (
             format!("power:{}", state.name()),
             'i',

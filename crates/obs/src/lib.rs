@@ -30,6 +30,6 @@ pub mod metrics;
 
 pub use collector::{Collector, CompileClock, NoopCollector, TraceCollector};
 pub use event::{
-    CompilePhase, CostLane, Dir, EventKind, FrameKind, PowerLane, Record, RemoteOp, Span,
+    CompilePhase, CostLane, DiagLane, Dir, EventKind, FrameKind, PowerLane, Record, RemoteOp, Span,
 };
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};

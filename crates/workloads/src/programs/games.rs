@@ -45,7 +45,7 @@ int think(int nodes) {
         sq = (n * 17 + seed) % 64;
         int piece = board[sq] % 7;
         if (piece < 0) piece = -piece;
-        eval = evalRoutines[piece];
+        eval = (evalRoutines)[piece];
         score += eval(sq) % 1000;
         h = (score * 31 + sq) & 16383;
         history[h]++;
@@ -148,7 +148,7 @@ int gtp_main_loop(int rounds) {
         for (k = 0; k < 2048; k++) {
             int c = record[k];
             if (c < 0) c = c + 256;
-            CMDF f = commands[c % 4];
+            CMDF f = (commands)[c % 4];
             total = (total + f(c)) % 1000000;
             int probe;
             for (probe = 0; probe < 24; probe++) total = (total + probe * c) % 1000000;

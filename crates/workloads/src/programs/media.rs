@@ -38,7 +38,7 @@ long Render(int frames) {
     long acc = 0;
     for (f = 0; f < frames; f++) {
         for (p = 0; p < 4096; p++) {
-            SHADER sh = shaders[(p / 256 + f) % 4];
+            SHADER sh = (shaders)[(p / 256 + f) % 4];
             int c = sh(p + f);
             int blend;
             for (blend = 0; blend < 6; blend++) c = (c * 7 + fb[p]) % 256;
@@ -182,7 +182,7 @@ long encode_sequence(int frames) {
             int pass;
             for (pass = 0; pass < 3; pass++) {
                 for (m = 0; m < 4; m++) {
-                    SADF sad = sad_fns[m];
+                    SADF sad = (sad_fns)[m];
                     int cost = sad(frame[i], refframe[(i + pass) % 4096]);
                     if (cost < best) best = cost;
                 }

@@ -145,9 +145,20 @@ const AMMP_SRC: &str = r#"
 // 188.ammp miniature: molecular dynamics with TWO offload targets, like
 // the paper: AMMPmonitor (invoked twice, low coverage) and tpac (the main
 // dynamics, high coverage).
+typedef double (*POT)(double);
+
 double pos[3072];
 double force[3072];
+int ptype[1024];
 int seed;
+
+// Potential kernels dispatched per atom-pair type through a function-
+// pointer table, like ammp's AMMPnote/potential vectors. The miniature's
+// input only has type-0 (pair) atoms.
+double pot_pair(double r2) { return 1.0 / (r2 * r2); }
+double pot_soft(double r2) { return 1.0 / (r2 * r2 + 0.5); }
+
+POT potentials[2] = { pot_pair, pot_soft };
 
 int rnd() {
     seed = seed * 1103515245 + 12345;
@@ -172,7 +183,8 @@ double tpac(int steps) {
             double dx = pos[i * 3] - pos[((i + 7) % 1024) * 3];
             double dy = pos[i * 3 + 1] - pos[((i + 7) % 1024) * 3 + 1];
             double r2 = dx * dx + dy * dy + 0.1;
-            double f = 1.0 / (r2 * r2);
+            POT pot = (potentials)[ptype[i]];
+            double f = pot(r2);
             force[i * 3] += f * dx;
             force[i * 3 + 1] += f * dy;
             virial += f;
