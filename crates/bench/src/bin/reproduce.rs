@@ -41,6 +41,10 @@ fn main() {
         analyze(&args[pos + 1..], &log);
         return;
     }
+    if let Some(pos) = args.iter().position(|a| a == "bench") {
+        bench(&args[pos + 1..], &log);
+        return;
+    }
 
     let wants = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
 
@@ -240,6 +244,126 @@ fn analyze(rest: &[String], log: &Logger) {
     if errors > 0 {
         eprintln!("analyze: {errors} program(s) raised error-severity diagnostics");
         std::process::exit(1);
+    }
+}
+
+/// `bench [--out FILE] [--check FILE] [--no-micro]`: the PR perf-regression
+/// harness. Sweeps the 17 miniatures plus the chess example under the four
+/// `delta_writeback` × `compress` corners (simulated wire bytes,
+/// deterministic), runs the hot-path micro benches against the preserved
+/// seed implementations, and prints one table per layer. `--out` writes the
+/// JSON artifact (`BENCH_pr3.json`); `--check` re-runs the chess workload
+/// and exits nonzero if its delta-mode wire bytes exceed the committed
+/// full-page baseline. `--no-micro` skips the wall-clock layer (CI uses
+/// this: shared runners make host timing meaningless).
+fn bench(rest: &[String], log: &Logger) {
+    use offload_bench::perf;
+
+    let mut out_path: Option<&str> = None;
+    let mut check_path: Option<&str> = None;
+    let mut with_micro = true;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" if i + 1 < rest.len() => {
+                out_path = Some(&rest[i + 1]);
+                i += 2;
+            }
+            "--check" if i + 1 < rest.len() => {
+                check_path = Some(&rest[i + 1]);
+                i += 2;
+            }
+            "--no-micro" => {
+                with_micro = false;
+                i += 1;
+            }
+            arg => {
+                eprintln!("bench: unexpected argument `{arg}`");
+                eprintln!("usage: reproduce bench [--out FILE] [--check FILE] [--no-micro]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench: cannot read committed baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        log.info(&format!("[checking delta write-back against {path}]"));
+        match perf::check_against(&committed) {
+            Ok(msg) => println!("bench check OK: {msg}"),
+            Err(msg) => {
+                eprintln!("bench check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    log.info("[sweeping delta_writeback x compress over 18 workloads ...]");
+    let rows = perf::sweep();
+    println!("## Full-page vs sub-page delta transfers (simulated wire bytes)");
+    println!();
+    println!(
+        "{:<22} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "workload",
+        "pages",
+        "up/full",
+        "up/delta",
+        "dl/full",
+        "dl/delta",
+        "dl+lz",
+        "dl+lz+d",
+        "saved%"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7.1}%",
+            r.name,
+            r.dirty_pages,
+            r.up_full,
+            r.up_delta,
+            r.full_raw,
+            r.delta_raw,
+            r.full_lz,
+            r.delta_lz,
+            r.total_saving_pct * 100.0
+        );
+    }
+    println!();
+
+    let micros = if with_micro {
+        println!("## Hot-path micro benches (host wall clock, new vs seed)");
+        println!();
+        let m = perf::micro_suite();
+        println!();
+        for b in &m {
+            println!(
+                "{:<14} {:>10.1} -> {:>8.1} {} ({:.2}x)",
+                b.name,
+                b.seed,
+                b.new,
+                b.unit,
+                b.speedup()
+            );
+        }
+        println!();
+        m
+    } else {
+        Vec::new()
+    };
+
+    if let Some(path) = out_path {
+        let json = perf::to_json(&rows, &micros);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("bench: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        log.info(&format!("[wrote {path}]"));
     }
 }
 

@@ -4,7 +4,9 @@
 pub mod datasets;
 pub mod harness;
 pub mod micro;
+pub mod perf;
 pub mod render;
+pub mod seed;
 
 /// Geometric mean of a nonempty slice.
 ///

@@ -1,0 +1,427 @@
+//! The PR-level perf-regression harness behind `reproduce bench`.
+//!
+//! Two layers of evidence, one JSON artifact (`BENCH_pr3.json`):
+//!
+//! * **Protocol sweep** — every miniature plus the paper's chess running
+//!   example runs on the forced fast network under the four
+//!   `delta_writeback` × `compress` corners. All numbers are simulated
+//!   wire bytes, so they are deterministic and CI-gateable: `--check`
+//!   re-runs the chess workload and fails if its delta-mode wire bytes
+//!   exceed the committed full-page baseline.
+//! * **Micro benches** — host wall-clock ns/op for the two reworked hot
+//!   paths (paged memory access, LZ match finder), each measured against
+//!   the preserved seed implementation in [`crate::seed`]. These are
+//!   recorded for the record but never gated (host clocks vary).
+
+use std::fmt::Write as _;
+
+use native_offloader::{CompiledApp, Offloader, RunReport, SessionConfig, WorkloadInput};
+use offload_machine::mem::{BackingPolicy, Memory};
+use offload_machine::PAGE_SIZE;
+use offload_net::lz;
+use offload_obs::TraceCollector;
+
+use crate::micro;
+use crate::seed::{seed_compress, SeedMemory};
+
+/// Simulated protocol numbers for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadBench {
+    /// Workload display name.
+    pub name: String,
+    /// Dirty pages written back over the whole run (config-invariant).
+    pub dirty_pages: u64,
+    /// Upload wire bytes with full-page transfers.
+    pub up_full: u64,
+    /// Upload wire bytes with sparse (zero-baseline delta) transfers.
+    pub up_delta: u64,
+    /// Download wire bytes, full-page mode, `compress = false`.
+    pub full_raw: u64,
+    /// Download wire bytes, full-page mode, `compress = true`.
+    pub full_lz: u64,
+    /// Download wire bytes, delta mode, `compress = false`.
+    pub delta_raw: u64,
+    /// Download wire bytes, delta mode, `compress = true`.
+    pub delta_lz: u64,
+    /// `wire_bytes_saved` metric from the traced uncompressed delta run
+    /// (write-back savings only — upload savings show in `up_delta`).
+    pub delta_bytes_saved: u64,
+    /// Total-traffic saving of delta vs full-page, uncompressed:
+    /// `1 - (up_delta + delta_raw) / (up_full + full_raw)`.
+    pub total_saving_pct: f64,
+}
+
+impl WorkloadBench {
+    /// Total uncompressed wire bytes with full-page transfers.
+    #[must_use]
+    pub fn full_total(&self) -> u64 {
+        self.up_full + self.full_raw
+    }
+
+    /// Total uncompressed wire bytes with delta transfers.
+    #[must_use]
+    pub fn delta_total(&self) -> u64 {
+        self.up_delta + self.delta_raw
+    }
+}
+
+fn forced(delta: bool, compress: bool) -> SessionConfig {
+    let mut cfg = SessionConfig::fast_network();
+    cfg.dynamic_estimation = false;
+    cfg.delta_writeback = delta;
+    cfg.compress = compress;
+    cfg
+}
+
+fn run(app: &CompiledApp, input: &WorkloadInput) -> [RunReport; 4] {
+    let corner = |delta, compress| {
+        app.run_offloaded(input, &forced(delta, compress))
+            .expect("bench run")
+    };
+    [
+        corner(false, false),
+        corner(false, true),
+        corner(true, false),
+        corner(true, true),
+    ]
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn bench_one(name: &str, app: &CompiledApp, input: &WorkloadInput) -> WorkloadBench {
+    let [full_raw, full_lz, delta_raw, delta_lz] = run(app, input);
+    let mut obs = TraceCollector::with_capacity(1 << 20);
+    let traced = app
+        .run_offloaded_traced(input, &forced(true, false), &mut obs)
+        .expect("traced bench run");
+    assert_eq!(
+        traced.download.wire_bytes, delta_raw.download.wire_bytes,
+        "{name}: traced and untraced runs diverged"
+    );
+    let full_total = full_raw.upload.wire_bytes + full_raw.download.wire_bytes;
+    let delta_total = delta_raw.upload.wire_bytes + delta_raw.download.wire_bytes;
+    let saving = if full_total > 0 {
+        1.0 - delta_total as f64 / full_total as f64
+    } else {
+        0.0
+    };
+    WorkloadBench {
+        name: name.to_string(),
+        dirty_pages: full_raw.dirty_pages_written_back,
+        up_full: full_raw.upload.wire_bytes,
+        up_delta: delta_raw.upload.wire_bytes,
+        full_raw: full_raw.download.wire_bytes,
+        full_lz: full_lz.download.wire_bytes,
+        delta_raw: delta_raw.download.wire_bytes,
+        delta_lz: delta_lz.download.wire_bytes,
+        delta_bytes_saved: obs.metrics().counter("wire_bytes_saved"),
+        total_saving_pct: saving,
+    }
+}
+
+fn chess_app() -> (CompiledApp, WorkloadInput) {
+    let input = offload_workloads::chess::input(9, 2);
+    let app = Offloader::new()
+        .compile_source(offload_workloads::chess::SOURCE, "chess", &input)
+        .expect("chess compiles");
+    (app, input)
+}
+
+/// Run the protocol sweep: the 17 miniatures plus the chess example.
+pub fn sweep() -> Vec<WorkloadBench> {
+    let mut rows = Vec::new();
+    let (app, input) = chess_app();
+    rows.push(bench_one("chess", &app, &input));
+    for w in offload_workloads::all() {
+        let app = w.compile().expect("miniature compiles");
+        let input = (w.eval_input)();
+        rows.push(bench_one(w.name, &app, &input));
+    }
+    rows
+}
+
+/// Host wall-clock results for the two reworked hot paths.
+#[derive(Debug, Clone)]
+pub struct MicroBench {
+    /// What was measured (e.g. `mem_seq`).
+    pub name: String,
+    /// Unit of the two numbers (`ns_per_op` or `ns_per_byte`).
+    pub unit: String,
+    /// Seed implementation, mean time in the stated unit.
+    pub seed: f64,
+    /// Current implementation, mean time in the stated unit.
+    pub new: f64,
+}
+
+impl MicroBench {
+    /// Speedup of the current implementation over the seed.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.new > 0.0 {
+            self.seed / self.new
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A deterministic page-like payload: interleaved text runs, counters and
+/// sparse binary — roughly what a dirty-page blob looks like on the wire.
+fn compress_corpus(len: usize) -> Vec<u8> {
+    let mut data = Vec::with_capacity(len);
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    while data.len() < len {
+        data.extend_from_slice(b"move stack frame: eval=");
+        x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        data.extend_from_slice(&x.to_le_bytes());
+        let n = data.len();
+        data.extend_from_slice(&vec![0u8; 96 + (n % 64)]);
+        data.extend_from_slice(&(n as u64).to_le_bytes());
+    }
+    data.truncate(len);
+    data
+}
+
+const MEM_OPS: u64 = 8192;
+
+fn mem_workout_new(m: &mut Memory) -> u64 {
+    let mut acc = [0u8; 8];
+    // Sequential sweep with a periodic hop: mostly same-page (TLB hits),
+    // plus enough page crossings to exercise the miss path.
+    for i in 0..MEM_OPS {
+        let addr = (i * 8) % (64 * PAGE_SIZE) + (i % 7) * PAGE_SIZE;
+        m.write(addr, &i.to_le_bytes()).expect("bench write");
+        m.read(addr, &mut acc).expect("bench read");
+    }
+    u64::from_le_bytes(acc)
+}
+
+fn mem_workout_seed(m: &mut SeedMemory) -> u64 {
+    let mut acc = [0u8; 8];
+    for i in 0..MEM_OPS {
+        let addr = (i * 8) % (64 * PAGE_SIZE) + (i % 7) * PAGE_SIZE;
+        m.write(addr, &i.to_le_bytes());
+        m.read(addr, &mut acc);
+    }
+    u64::from_le_bytes(acc)
+}
+
+/// Run the micro benches: paged-memory access and LZ compression, each
+/// new-vs-seed on identical inputs.
+#[allow(clippy::cast_precision_loss)]
+pub fn micro_suite() -> Vec<MicroBench> {
+    let samples = 7;
+    let mut out = Vec::new();
+
+    let mut new_mem = Memory::new(BackingPolicy::DemandZero);
+    let mut seed_mem = SeedMemory::new();
+    // Warm both so the measurement is page-hit steady state, not allocation.
+    mem_workout_new(&mut new_mem);
+    mem_workout_seed(&mut seed_mem);
+    let n = micro::wall("mem access (arena + 1-entry TLB)", samples, || {
+        mem_workout_new(&mut new_mem)
+    });
+    let s = micro::wall("mem access (seed BTreeMap walk)", samples, || {
+        mem_workout_seed(&mut seed_mem)
+    });
+    // Each workout is MEM_OPS write+read pairs → 2 * MEM_OPS accesses.
+    let per_op = |st: &micro::Stats| st.mean_s * 1e9 / (2.0 * MEM_OPS as f64);
+    out.push(MicroBench {
+        name: "mem_access".into(),
+        unit: "ns_per_op".into(),
+        seed: per_op(&s),
+        new: per_op(&n),
+    });
+
+    let corpus = compress_corpus(96 * 1024);
+    let bytes = corpus.len() as u64;
+    let n = micro::wall_bytes(
+        "lz compress (hash-chain, alloc-free)",
+        samples,
+        bytes,
+        || lz::compress(&corpus),
+    );
+    let s = micro::wall_bytes("lz compress (seed HashMap table)", samples, bytes, || {
+        seed_compress(&corpus)
+    });
+    assert_eq!(
+        lz::decompress(&lz::compress(&corpus)).expect("new roundtrip"),
+        lz::decompress(&seed_compress(&corpus)).expect("seed roundtrip"),
+        "seed and new compressors must encode the same bytes"
+    );
+    let per_byte = |st: &micro::Stats| st.mean_s * 1e9 / bytes as f64;
+    out.push(MicroBench {
+        name: "lz_compress".into(),
+        unit: "ns_per_byte".into(),
+        seed: per_byte(&s),
+        new: per_byte(&n),
+    });
+    out
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render the whole artifact as pretty-printed JSON (hand-rolled — the
+/// workspace is dependency-free by design).
+#[must_use]
+pub fn to_json(rows: &[WorkloadBench], micros: &[MicroBench]) -> String {
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": \"bench_pr3.v1\",\n");
+    j.push_str("  \"units\": \"wire fields are simulated bytes; micro fields are host wall-clock means\",\n");
+    j.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        j.push_str("    {\"name\": \"");
+        push_json_escaped(&mut j, &r.name);
+        let _ = write!(
+            j,
+            "\", \"dirty_pages\": {}, \"up_full\": {}, \"up_delta\": {}, \"full_raw\": {}, \"full_lz\": {}, \"delta_raw\": {}, \"delta_lz\": {}, \"full_total\": {}, \"delta_total\": {}, \"delta_bytes_saved\": {}, \"total_saving_pct\": {:.4}}}",
+            r.dirty_pages,
+            r.up_full,
+            r.up_delta,
+            r.full_raw,
+            r.full_lz,
+            r.delta_raw,
+            r.delta_lz,
+            r.full_total(),
+            r.delta_total(),
+            r.delta_bytes_saved,
+            r.total_saving_pct
+        );
+        j.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    j.push_str("  ],\n  \"micro\": [\n");
+    for (i, m) in micros.iter().enumerate() {
+        j.push_str("    {\"name\": \"");
+        push_json_escaped(&mut j, &m.name);
+        j.push_str("\", \"unit\": \"");
+        push_json_escaped(&mut j, &m.unit);
+        let _ = write!(
+            j,
+            "\", \"seed\": {:.3}, \"new\": {:.3}, \"speedup\": {:.2}}}",
+            m.seed,
+            m.new,
+            m.speedup()
+        );
+        j.push_str(if i + 1 == micros.len() { "\n" } else { ",\n" });
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+/// Pull one `"key": <integer>` out of `text` starting at `from`.
+fn scan_u64(text: &str, from: usize, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// The committed baseline numbers `--check` gates against.
+#[derive(Debug, Clone, Copy)]
+pub struct CommittedBaseline {
+    /// Chess full-page uncompressed total (up + down) wire bytes.
+    pub chess_full_total: u64,
+    /// Chess delta-mode uncompressed total (up + down) wire bytes.
+    pub chess_delta_total: u64,
+}
+
+/// Parse the committed `BENCH_pr3.json` just enough to gate on it.
+///
+/// # Errors
+///
+/// Returns a message if the chess row or its fields cannot be found.
+pub fn parse_committed(text: &str) -> Result<CommittedBaseline, String> {
+    let at = text
+        .find("\"name\": \"chess\"")
+        .ok_or("no chess row in committed bench file")?;
+    let full = scan_u64(text, at, "full_total").ok_or("chess row lacks full_total")?;
+    let delta = scan_u64(text, at, "delta_total").ok_or("chess row lacks delta_total")?;
+    Ok(CommittedBaseline {
+        chess_full_total: full,
+        chess_delta_total: delta,
+    })
+}
+
+/// The CI gate: re-run the chess workload and fail if its delta-mode wire
+/// bytes regressed past the committed full-page baseline (all simulated,
+/// so this is deterministic — no wall-clock flakiness).
+///
+/// # Errors
+///
+/// Returns a message describing the regression (or a parse failure).
+pub fn check_against(committed: &str) -> Result<String, String> {
+    let base = parse_committed(committed)?;
+    let (app, input) = chess_app();
+    let rep = app
+        .run_offloaded(&input, &forced(true, false))
+        .expect("chess bench run");
+    let now = rep.upload.wire_bytes + rep.download.wire_bytes;
+    if now > base.chess_full_total {
+        return Err(format!(
+            "chess delta-mode wire bytes {now} exceed the committed full-page baseline {} — sub-page delta transfers have regressed",
+            base.chess_full_total
+        ));
+    }
+    Ok(format!(
+        "chess delta wire bytes {now} <= committed full-page baseline {} (committed delta was {})",
+        base.chess_full_total, base.chess_delta_total
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_through_the_checker_scanner() {
+        let rows = vec![WorkloadBench {
+            name: "chess".into(),
+            dirty_pages: 7,
+            up_full: 100,
+            up_delta: 50,
+            full_raw: 2000,
+            full_lz: 900,
+            delta_raw: 300,
+            delta_lz: 250,
+            delta_bytes_saved: 1700,
+            total_saving_pct: 0.8333,
+        }];
+        let micros = vec![MicroBench {
+            name: "mem_access".into(),
+            unit: "ns_per_op".into(),
+            seed: 100.0,
+            new: 25.0,
+        }];
+        let j = to_json(&rows, &micros);
+        let base = parse_committed(&j).expect("parses");
+        assert_eq!(base.chess_full_total, 2100);
+        assert_eq!(base.chess_delta_total, 350);
+        assert!(j.contains("\"speedup\": 4.00"));
+    }
+
+    #[test]
+    fn missing_chess_row_is_an_error() {
+        assert!(parse_committed("{\"workloads\": []}").is_err());
+    }
+
+    #[test]
+    fn compress_corpus_is_deterministic_and_compressible() {
+        let a = compress_corpus(8192);
+        let b = compress_corpus(8192);
+        assert_eq!(a, b);
+        assert!(lz::compress(&a).len() < a.len());
+    }
+}

@@ -1,0 +1,162 @@
+//! Seed-generation reference implementations, preserved for the
+//! perf-regression harness.
+//!
+//! The repo's first growth ring shipped a `HashMap<[u8;4], Vec<usize>>`
+//! LZ match finder and a per-access `BTreeMap` page lookup with no TLB.
+//! Both were rewritten for speed (hash-chain finder in `offload_net::lz`,
+//! slot arena + one-entry software TLB in `offload_machine::mem`); these
+//! copies keep the old behaviour alive so `reproduce bench` can measure
+//! new-vs-seed on identical inputs instead of trusting a changelog claim.
+//! They are reference baselines — do not "optimize" them.
+
+use std::collections::{BTreeMap, HashMap};
+
+use offload_machine::PAGE_SIZE;
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 255;
+const MAX_OFFSET: usize = 65_535;
+
+/// The seed `lz::compress`: per-call `HashMap` position table, at most 16
+/// candidates scanned per position, first 8 in-match positions indexed.
+/// Emits the same wire format as [`offload_net::lz::compress`], so
+/// `offload_net::lz::decompress` round-trips its output.
+pub fn seed_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut table: HashMap<[u8; MIN_MATCH], Vec<usize>> = HashMap::new();
+    let mut literals: Vec<u8> = Vec::new();
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, lits: &mut Vec<u8>| {
+        for chunk in lits.chunks(255) {
+            out.push(0x00);
+            out.push(chunk.len() as u8);
+            out.extend_from_slice(chunk);
+        }
+        lits.clear();
+    };
+
+    while i < data.len() {
+        let mut best: Option<(usize, usize)> = None; // (offset, len)
+        if i + MIN_MATCH <= data.len() {
+            let key: [u8; MIN_MATCH] = data[i..i + MIN_MATCH].try_into().expect("length checked");
+            if let Some(positions) = table.get(&key) {
+                for &pos in positions.iter().rev().take(16) {
+                    let offset = i - pos;
+                    if offset > MAX_OFFSET {
+                        break;
+                    }
+                    let mut len = 0usize;
+                    while len < MAX_MATCH
+                        && i + len < data.len()
+                        && data[pos + len] == data[i + len]
+                    {
+                        len += 1;
+                    }
+                    if len >= MIN_MATCH && best.is_none_or(|(_, bl)| len > bl) {
+                        best = Some((offset, len));
+                    }
+                }
+            }
+            table.entry(key).or_default().push(i);
+        }
+        match best {
+            Some((offset, len)) => {
+                flush_literals(&mut out, &mut literals);
+                out.push(0x01);
+                out.push((offset & 0xFF) as u8);
+                out.push((offset >> 8) as u8);
+                out.push(len as u8);
+                for k in 1..len.min(8) {
+                    let p = i + k;
+                    if p + MIN_MATCH <= data.len() {
+                        let key: [u8; MIN_MATCH] =
+                            data[p..p + MIN_MATCH].try_into().expect("length checked");
+                        table.entry(key).or_default().push(p);
+                    }
+                }
+                i += len;
+            }
+            None => {
+                literals.push(data[i]);
+                i += 1;
+            }
+        }
+    }
+    flush_literals(&mut out, &mut literals);
+    out
+}
+
+/// The seed paged memory: one `BTreeMap` walk per access, demand-zero
+/// backing, no TLB, no frame recycling. Only the benchmark-relevant
+/// surface is kept.
+#[derive(Debug, Default)]
+pub struct SeedMemory {
+    pages: BTreeMap<u64, Box<[u8]>>,
+}
+
+impl SeedMemory {
+    /// An empty demand-zero memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut Box<[u8]> {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Read `buf.len()` bytes at `addr`, faulting pages in as zeroes.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) {
+        let mut addr = addr;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let page = addr / PAGE_SIZE;
+            let in_page = (addr % PAGE_SIZE) as usize;
+            let n = (PAGE_SIZE as usize - in_page).min(buf.len() - off);
+            let p = self.page_mut(page);
+            buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]);
+            addr += n as u64;
+            off += n;
+        }
+    }
+
+    /// Write `buf` at `addr`, creating pages on demand.
+    pub fn write(&mut self, addr: u64, buf: &[u8]) {
+        let mut addr = addr;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let page = addr / PAGE_SIZE;
+            let in_page = (addr % PAGE_SIZE) as usize;
+            let n = (PAGE_SIZE as usize - in_page).min(buf.len() - off);
+            let p = self.page_mut(page);
+            p[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
+            addr += n as u64;
+            off += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_compress_roundtrips_through_current_decoder() {
+        let data = b"seed and current share one wire format - seed and current".repeat(40);
+        let c = seed_compress(&data);
+        assert!(c.len() < data.len());
+        assert_eq!(offload_net::lz::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn seed_memory_roundtrips() {
+        let mut m = SeedMemory::new();
+        let data: Vec<u8> = (0..=255).cycle().take(9000).collect();
+        m.write(PAGE_SIZE - 50, &data);
+        let mut back = vec![0u8; data.len()];
+        m.read(PAGE_SIZE - 50, &mut back);
+        assert_eq!(back, data);
+    }
+}

@@ -118,6 +118,16 @@ pub struct SessionConfig {
     /// figure — the §6 bandwidth-aware prediction extension. Off by
     /// default, matching the paper's runtime.
     pub adaptive_bandwidth: bool,
+    /// Sub-page delta transfers. At finalization, diff each dirty page
+    /// against its pre-offload baseline and ship only the changed byte
+    /// runs; on the upload side (prefetch and demand paging), diff each
+    /// page against the implicit all-zero page a fresh server frame
+    /// starts as. Both directions fall back per page (and per message)
+    /// to full pages whenever the delta would be larger. Only takes
+    /// effect in the batched path (`batch = true`); results are always
+    /// byte-identical to full-page transfers, only the wire bytes (and
+    /// therefore communication time) change.
+    pub delta_writeback: bool,
     /// Execution fuel per device.
     pub fuel: u64,
 }
@@ -162,6 +172,7 @@ impl SessionConfig {
             copy_on_demand: true,
             fault_ahead: 8,
             adaptive_bandwidth: false,
+            delta_writeback: true,
             fuel: 6_000_000_000,
         }
     }

@@ -106,9 +106,12 @@ pub fn derive_run(records: &[Record], cfg: &SessionConfig) -> DerivedRun {
             EventKind::PrefetchBatch { pages, .. } => d.prefetched_pages += pages,
             EventKind::DirtyWriteBack { pages, .. } => d.dirty_pages_written_back += pages,
             EventKind::RemoteIo { .. } => d.remote_io_calls += 1,
+            // DeltaWriteBack is informational: the raw/wire totals and the
+            // page count still flow through Frame and DirtyWriteBack.
             EventKind::Begin(_)
             | EventKind::End(_)
             | EventKind::BatchFlush { .. }
+            | EventKind::DeltaWriteBack { .. }
             | EventKind::AnalysisDiagnostic { .. }
             | EventKind::AnalysisVerdicts { .. } => {}
         }

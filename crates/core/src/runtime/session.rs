@@ -39,7 +39,7 @@ use offload_machine::uva_map;
 use offload_machine::vm::{Host, HostCtx, RtVal, StackBank, Vm, VmError};
 use offload_machine::PAGE_SIZE;
 use offload_net::frame::{self, Message};
-use offload_net::{lz, Channel, Direction, MsgKind};
+use offload_net::{delta, lz, Channel, Direction, MsgKind};
 use offload_obs::{Collector, CostLane, EventKind, NoopCollector, RemoteOp, Span as ObsSpan};
 
 use crate::compiler::CompiledApp;
@@ -122,6 +122,11 @@ pub fn run_offloaded_traced(
     let mut server_image = loader::load(&app.server, &cfg.mobile.data_layout())?;
     server_image.mem.clear();
     server_image.mem.set_policy(BackingPolicy::FaultOnAbsent);
+    // Delta write-back diffs dirty pages against their faulted-in bytes;
+    // the flag survives the per-offload `clear()` teardown.
+    server_image
+        .mem
+        .set_track_baselines(cfg.delta_writeback && cfg.batch);
 
     let mut mobile_vm = Vm::new(&app.mobile, &cfg.mobile, mobile_image, StackBank::Mobile);
     mobile_vm.set_fuel(cfg.fuel);
@@ -379,8 +384,50 @@ impl SessionHost<'_> {
                 ctx.mem
                     .read(p * PAGE_SIZE, &mut page_buf)
                     .map_err(VmError::Mem)?;
-                self.server_vm.mem.install_page(*p, &page_buf);
                 blob.extend_from_slice(&page_buf);
+            }
+            // Sparse upload: a page the server has never seen is demand-
+            // zero, so the write-back delta codec diffs it against an
+            // implicit zero page (same per-page full fallback). One knob —
+            // `delta_writeback` — ablates sub-page transfers both ways.
+            let use_delta = self.cfg.delta_writeback && self.cfg.batch;
+            let delta_blob = use_delta.then(|| {
+                let zero = [0u8; PAGE_SIZE as usize];
+                let deltas: Vec<delta::PageDelta> = prefetch_pages
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        let cur = &blob[i * PAGE_SIZE as usize..][..PAGE_SIZE as usize];
+                        delta::page_delta(*p, Some(&zero), cur, delta::MIN_GAP)
+                    })
+                    .collect();
+                delta::encode(&deltas, PAGE_SIZE as usize)
+            });
+            if let Some(db) = &delta_blob {
+                // Install through the wire codec so the production path
+                // exercises decode on the server end too.
+                let decoded = delta::decode(db, PAGE_SIZE as usize)
+                    .expect("self-encoded prefetch delta decodes");
+                let mut page = vec![0u8; PAGE_SIZE as usize];
+                for d in &decoded {
+                    page.fill(0);
+                    delta::apply(&d.payload, &mut page)
+                        .expect("self-encoded prefetch delta applies");
+                    self.server_vm.mem.install_page(d.page, &page);
+                }
+            } else {
+                for (i, p) in prefetch_pages.iter().enumerate() {
+                    let bytes = &blob[i * PAGE_SIZE as usize..][..PAGE_SIZE as usize];
+                    self.server_vm.mem.install_page(*p, bytes);
+                }
+            }
+            #[cfg(debug_assertions)]
+            for (i, p) in prefetch_pages.iter().enumerate() {
+                debug_assert_eq!(
+                    self.server_vm.mem.page_bytes(*p).expect("just installed"),
+                    &blob[i * PAGE_SIZE as usize..][..PAGE_SIZE as usize],
+                    "prefetch install mismatch on page {p:#x}"
+                );
             }
             self.stat.prefetched += prefetch_pages.len() as u64;
             self.obs.record(
@@ -391,19 +438,26 @@ impl SessionHost<'_> {
                 },
             );
             if self.cfg.batch {
+                // `msg_len` is the logical full-page payload; the sparse
+                // encoding (when it wins) only changes the wire bytes.
                 let msg_len = frame::encoded_len(&Message::Pages {
                     page_numbers: prefetch_pages.clone(),
                     bytes: blob.clone(),
+                });
+                let wire = delta_blob.as_ref().map_or(msg_len, |db| {
+                    msg_len.min(frame::encoded_len(&Message::DeltaPages {
+                        bytes: db.clone(),
+                    }))
                 });
                 let d = self.send(
                     Direction::MobileToServer,
                     MsgKind::Prefetch,
                     msg_len,
-                    msg_len,
+                    wire,
                     CostLane::Comm,
                     PowerState::Transmit,
                 );
-                self.bandwidth.observe(msg_len, d);
+                self.bandwidth.observe(wire, d);
             } else {
                 for _ in &prefetch_pages {
                     self.send(
@@ -552,18 +606,53 @@ impl SessionHost<'_> {
                         .expect("dirty page present"),
                 );
             }
+            // `raw` is always the full-page message: the logical payload
+            // of the write-back. Delta encoding (like compression) only
+            // changes what crosses the wire.
             let raw = frame::encoded_len(&Message::Pages {
                 page_numbers: dirty.clone(),
                 bytes: blob.clone(),
             });
-            let wire = if self.cfg.compress {
-                frame::encoded_len(&Message::Pages {
+            // Sub-page delta: diff each dirty page against its faulted-in
+            // baseline, falling back per page when the diff loses.
+            let use_delta = self.cfg.delta_writeback && self.cfg.batch;
+            let delta_blob = use_delta.then(|| {
+                let deltas: Vec<delta::PageDelta> = dirty
+                    .iter()
+                    .map(|p| {
+                        let cur = self
+                            .server_vm
+                            .mem
+                            .page_bytes(*p)
+                            .expect("dirty page present");
+                        let base = self.server_vm.mem.baseline_bytes(*p);
+                        delta::page_delta(*p, base, cur, delta::MIN_GAP)
+                    })
+                    .collect();
+                delta::encode(&deltas, PAGE_SIZE as usize)
+            });
+            let delta_raw = delta_blob
+                .as_ref()
+                .map(|b| frame::encoded_len(&Message::DeltaPages { bytes: b.clone() }));
+            let wire = match (&delta_blob, delta_raw) {
+                // Delta path: best of full-page raw, plain delta, and
+                // compressed delta (the full blob is never compressed
+                // here — the delta blob is strictly cheaper to chew on).
+                (Some(db), Some(draw)) => {
+                    let mut w = draw.min(raw);
+                    if self.cfg.compress {
+                        w = w.min(frame::encoded_len(&Message::DeltaPages {
+                            bytes: lz::compress(db),
+                        }));
+                    }
+                    w
+                }
+                _ if self.cfg.compress => frame::encoded_len(&Message::Pages {
                     page_numbers: dirty.clone(),
                     bytes: lz::compress(&blob),
                 })
-                .min(raw)
-            } else {
-                raw
+                .min(raw),
+                _ => raw,
             };
             if self.cfg.batch {
                 let d = self.send(
@@ -593,12 +682,14 @@ impl SessionHost<'_> {
                 }
             }
             if self.cfg.compress {
-                // The mobile CPU decompresses the write-back.
-                let dec = lz::decompress_seconds(blob.len() as u64);
+                // The mobile CPU decompresses the write-back (in delta
+                // mode it only inflates the much smaller delta blob).
+                let dec =
+                    lz::decompress_seconds(delta_blob.as_ref().map_or(blob.len(), Vec::len) as u64);
                 self.obs.record(
                     self.wall(),
                     EventKind::Compression {
-                        raw_bytes: raw,
+                        raw_bytes: delta_raw.unwrap_or(raw),
                         wire_bytes: wire,
                         decompress_s: dec,
                     },
@@ -607,9 +698,49 @@ impl SessionHost<'_> {
                     .push_traced(&mut *self.obs, PowerState::Compute, dec);
                 self.decompress_s += dec;
             }
-            for (i, p) in dirty.iter().enumerate() {
-                let bytes = &blob[i * PAGE_SIZE as usize..(i + 1) * PAGE_SIZE as usize];
-                ctx.mem.write(p * PAGE_SIZE, bytes).map_err(VmError::Mem)?;
+            if let Some(db) = &delta_blob {
+                // Apply through the wire codec so the production path
+                // exercises decode, not just the tests.
+                let decoded =
+                    delta::decode(db, PAGE_SIZE as usize).expect("self-encoded delta blob decodes");
+                for d in &decoded {
+                    match &d.payload {
+                        delta::PagePayload::Full(bytes) => {
+                            ctx.mem
+                                .write(d.page * PAGE_SIZE, bytes)
+                                .map_err(VmError::Mem)?;
+                        }
+                        delta::PagePayload::Runs(runs) => {
+                            for r in runs {
+                                ctx.mem
+                                    .write(d.page * PAGE_SIZE + r.offset as u64, &r.bytes)
+                                    .map_err(VmError::Mem)?;
+                            }
+                        }
+                    }
+                }
+            } else {
+                for (i, p) in dirty.iter().enumerate() {
+                    let bytes = &blob[i * PAGE_SIZE as usize..(i + 1) * PAGE_SIZE as usize];
+                    ctx.mem.write(p * PAGE_SIZE, bytes).map_err(VmError::Mem)?;
+                }
+            }
+            #[cfg(debug_assertions)]
+            for p in &dirty {
+                // Delta apply must leave the mobile page byte-identical to
+                // the server page, whichever path shipped it.
+                let mut got = vec![0u8; PAGE_SIZE as usize];
+                ctx.mem
+                    .read(p * PAGE_SIZE, &mut got)
+                    .map_err(VmError::Mem)?;
+                debug_assert_eq!(
+                    got.as_slice(),
+                    self.server_vm
+                        .mem
+                        .page_bytes(*p)
+                        .expect("dirty page present"),
+                    "write-back mismatch on page {p:#x}"
+                );
             }
             self.stat.dirty_back += dirty.len() as u64;
             self.obs.record(
@@ -620,6 +751,16 @@ impl SessionHost<'_> {
                     wire_bytes: wire,
                 },
             );
+            if let Some(draw) = delta_raw {
+                self.obs.record(
+                    self.wall(),
+                    EventKind::DeltaWriteBack {
+                        pages: dirty.len() as u64,
+                        full_bytes: raw,
+                        delta_bytes: draw,
+                    },
+                );
+            }
         }
 
         // Return value + termination signal.
@@ -823,9 +964,19 @@ impl ServerBridge<'_> {
                 break;
             }
         }
-        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        let mut blob = vec![0u8; PAGE_SIZE as usize * pages.len()];
+        for (i, p) in pages.iter().enumerate() {
+            self.mobile_mem
+                .read(
+                    p * PAGE_SIZE,
+                    &mut blob[i * PAGE_SIZE as usize..][..PAGE_SIZE as usize],
+                )
+                .map_err(VmError::Mem)?;
+        }
         // Control request (server→mobile), then the pages (mobile→server),
-        // batched into one message.
+        // batched into one message. Like prefetch, the demand pages ride
+        // the sparse codec against an implicit zero baseline when the
+        // delta knob is on; `payload` stays the logical full-page size.
         let req_len = frame::encoded_len(&Message::PageRequest {
             page,
             count: pages.len() as u32,
@@ -840,17 +991,35 @@ impl ServerBridge<'_> {
         );
         let payload = frame::encoded_len(&Message::Pages {
             page_numbers: pages.clone(),
-            bytes: vec![0; PAGE_SIZE as usize * pages.len()],
+            bytes: blob.clone(),
+        });
+        let use_delta = self.cfg.delta_writeback && self.cfg.batch;
+        let delta_blob = use_delta.then(|| {
+            let zero = [0u8; PAGE_SIZE as usize];
+            let deltas: Vec<delta::PageDelta> = pages
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let cur = &blob[i * PAGE_SIZE as usize..][..PAGE_SIZE as usize];
+                    delta::page_delta(*p, Some(&zero), cur, delta::MIN_GAP)
+                })
+                .collect();
+            delta::encode(&deltas, PAGE_SIZE as usize)
+        });
+        let wire = delta_blob.as_ref().map_or(payload, |db| {
+            payload.min(frame::encoded_len(&Message::DeltaPages {
+                bytes: db.clone(),
+            }))
         });
         let d2 = self.send(
             Direction::MobileToServer,
             MsgKind::DemandPage,
             payload,
-            payload,
+            wire,
             CostLane::Comm,
             PowerState::Transmit,
         );
-        self.bandwidth.observe(payload, d1 + d2);
+        self.bandwidth.observe(wire, d1 + d2);
         self.obs.record(
             self.wall(),
             EventKind::DemandFault {
@@ -860,11 +1029,28 @@ impl ServerBridge<'_> {
                 duration_s: d1 + d2,
             },
         );
-        for p in pages {
-            self.mobile_mem
-                .read(p * PAGE_SIZE, &mut buf)
-                .map_err(VmError::Mem)?;
-            ctx.mem.install_page(p, &buf);
+        if let Some(db) = &delta_blob {
+            let decoded =
+                delta::decode(db, PAGE_SIZE as usize).expect("self-encoded demand delta decodes");
+            let mut buf = vec![0u8; PAGE_SIZE as usize];
+            for d in &decoded {
+                buf.fill(0);
+                delta::apply(&d.payload, &mut buf).expect("self-encoded demand delta applies");
+                ctx.mem.install_page(d.page, &buf);
+            }
+        } else {
+            for (i, p) in pages.iter().enumerate() {
+                ctx.mem
+                    .install_page(*p, &blob[i * PAGE_SIZE as usize..][..PAGE_SIZE as usize]);
+            }
+        }
+        #[cfg(debug_assertions)]
+        for (i, p) in pages.iter().enumerate() {
+            debug_assert_eq!(
+                ctx.mem.page_bytes(*p).expect("just installed"),
+                &blob[i * PAGE_SIZE as usize..][..PAGE_SIZE as usize],
+                "demand install mismatch on page {p:#x}"
+            );
         }
         Ok(())
     }

@@ -6,6 +6,24 @@
 //! runtime turns into copy-on-demand transfers (§4). Writes set per-page
 //! dirty bits, which the finalization step harvests to send only modified
 //! pages home.
+//!
+//! # Hot-path layout
+//!
+//! Page frames live in a slot arena (`Vec<Page>` plus a free list); the
+//! page table is a `BTreeMap<page, slot>` consulted only on a TLB miss. A
+//! one-entry software TLB caches the last translation used by `read` and
+//! `write`, so the tight interpreter loops (`Vm::mem_read`/`mem_write`,
+//! which overwhelmingly hit the same page repeatedly) skip the tree walk
+//! entirely. Evicted frames are recycled through the free list, so
+//! install/evict churn during offload sessions does not allocate.
+//!
+//! # Baseline tracking (sub-page delta write-back)
+//!
+//! With [`Memory::set_track_baselines`] enabled, the first write that
+//! dirties a page snapshots the page's pre-write bytes. Finalization can
+//! then diff each dirty page against [`Memory::baseline_bytes`] and ship
+//! only the changed byte-runs (§4: minimizing server→mobile traffic)
+//! instead of whole 4 KiB pages.
 
 use std::collections::BTreeMap;
 
@@ -52,6 +70,9 @@ impl std::error::Error for MemError {}
 struct Page {
     data: Box<[u8]>,
     dirty: bool,
+    /// Pre-write snapshot, captured when the page first goes dirty while
+    /// baseline tracking is on. Dropped by `clear_dirty`/`install_page`.
+    baseline: Option<Box<[u8]>>,
 }
 
 impl Page {
@@ -59,6 +80,7 @@ impl Page {
         Page {
             data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
             dirty: false,
+            baseline: None,
         }
     }
 }
@@ -75,22 +97,41 @@ pub enum BackingPolicy {
     FaultOnAbsent,
 }
 
+/// Sentinel slot index for an empty TLB entry.
+const TLB_EMPTY: u32 = u32::MAX;
+
 /// One device's physical memory plus its page table.
 #[derive(Debug, Clone)]
 pub struct Memory {
-    pages: BTreeMap<u64, Page>,
+    /// Page frames; slots are recycled through `free` and never move, so
+    /// a `(page, slot)` TLB entry stays valid until that page is evicted.
+    slots: Vec<Page>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// Page table: page number → slot index.
+    table: BTreeMap<u64, u32>,
+    /// Software TLB: the last page translated by `read`/`write`.
+    tlb_page: u64,
+    tlb_slot: u32,
     policy: BackingPolicy,
     /// Pages written since the last [`Memory::clear_dirty`].
     dirty_count: usize,
+    /// Snapshot pre-write bytes when a page first goes dirty.
+    track_baselines: bool,
 }
 
 impl Memory {
     /// An empty memory with the given backing policy.
     pub fn new(policy: BackingPolicy) -> Self {
         Memory {
-            pages: BTreeMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            table: BTreeMap::new(),
+            tlb_page: 0,
+            tlb_slot: TLB_EMPTY,
             policy,
             dirty_count: 0,
+            track_baselines: false,
         }
     }
 
@@ -105,62 +146,121 @@ impl Memory {
         self.policy = policy;
     }
 
+    /// Enable or disable baseline snapshots for delta write-back.
+    /// Disabling drops any snapshots already taken. The flag survives
+    /// [`Memory::clear`], so a server memory configured once stays
+    /// configured across offload sessions.
+    pub fn set_track_baselines(&mut self, on: bool) {
+        self.track_baselines = on;
+        if !on {
+            for p in &mut self.slots {
+                p.baseline = None;
+            }
+        }
+    }
+
+    /// `true` if baseline snapshots are being captured.
+    pub fn tracks_baselines(&self) -> bool {
+        self.track_baselines
+    }
+
     /// `true` if `page` is present.
     pub fn is_present(&self, page: u64) -> bool {
-        self.pages.contains_key(&page)
+        self.table.contains_key(&page)
     }
 
     /// Number of present pages.
     pub fn present_count(&self) -> usize {
-        self.pages.len()
+        self.table.len()
+    }
+
+    /// Grab a frame for a new page: recycle a freed slot (re-zeroed) or
+    /// grow the arena.
+    fn alloc_slot(&mut self) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            let p = &mut self.slots[slot as usize];
+            p.data.fill(0);
+            p.dirty = false;
+            p.baseline = None;
+            slot
+        } else {
+            self.slots.push(Page::zeroed());
+            (self.slots.len() - 1) as u32
+        }
     }
 
     /// Install a page's bytes (copy-on-demand delivery or prefetch). The
-    /// installed page starts clean.
+    /// installed page starts clean, with no baseline.
     ///
     /// # Panics
     ///
     /// Panics if `bytes` is not exactly one page long.
     pub fn install_page(&mut self, page: u64, bytes: &[u8]) {
         assert_eq!(bytes.len(), PAGE_SIZE as usize, "partial page install");
-        let mut p = Page::zeroed();
-        p.data.copy_from_slice(bytes);
-        if let Some(old) = self.pages.insert(page, p) {
-            if old.dirty {
+        if let Some(&slot) = self.table.get(&page) {
+            let p = &mut self.slots[slot as usize];
+            if p.dirty {
                 self.dirty_count -= 1;
             }
+            p.data.copy_from_slice(bytes);
+            p.dirty = false;
+            p.baseline = None;
+        } else {
+            let slot = self.alloc_slot();
+            self.slots[slot as usize].data.copy_from_slice(bytes);
+            self.table.insert(page, slot);
         }
     }
 
     /// Drop a page (used when a finished offload session tears down the
     /// server process, §4 finalization).
     pub fn evict_page(&mut self, page: u64) {
-        if let Some(old) = self.pages.remove(&page) {
-            if old.dirty {
+        if let Some(slot) = self.table.remove(&page) {
+            if self.slots[slot as usize].dirty {
                 self.dirty_count -= 1;
+            }
+            self.free.push(slot);
+            if self.tlb_slot == slot {
+                self.tlb_slot = TLB_EMPTY;
             }
         }
     }
 
-    /// Drop every page.
+    /// Drop every page (frames are kept for reuse).
     pub fn clear(&mut self) {
-        self.pages.clear();
+        let slots: Vec<u32> = self.table.values().copied().collect();
+        self.table.clear();
+        self.free.extend(slots);
         self.dirty_count = 0;
+        self.tlb_slot = TLB_EMPTY;
     }
 
     /// A snapshot of one present page's bytes.
     pub fn page_bytes(&self, page: u64) -> Option<&[u8]> {
-        self.pages.get(&page).map(|p| &*p.data)
+        self.table
+            .get(&page)
+            .map(|&slot| &*self.slots[slot as usize].data)
+    }
+
+    /// The pre-write snapshot of a dirty page (only while baseline
+    /// tracking is on; `None` for clean pages).
+    pub fn baseline_bytes(&self, page: u64) -> Option<&[u8]> {
+        self.table
+            .get(&page)
+            .and_then(|&slot| self.slots[slot as usize].baseline.as_deref())
     }
 
     /// Page numbers of all present pages.
     pub fn present_pages(&self) -> impl Iterator<Item = u64> + '_ {
-        self.pages.keys().copied()
+        self.table.keys().copied()
     }
 
     /// Page numbers of all dirty pages.
     pub fn dirty_pages(&self) -> impl Iterator<Item = u64> + '_ {
-        self.pages.iter().filter(|(_, p)| p.dirty).map(|(n, _)| *n)
+        self.table
+            .iter()
+            .filter(|(_, &slot)| self.slots[slot as usize].dirty)
+            .map(|(n, _)| *n)
     }
 
     /// Number of dirty pages.
@@ -168,39 +268,62 @@ impl Memory {
         self.dirty_count
     }
 
-    /// Clear every dirty bit (after a write-back).
+    /// Clear every dirty bit and drop baselines (after a write-back).
     pub fn clear_dirty(&mut self) {
-        for p in self.pages.values_mut() {
+        for &slot in self.table.values() {
+            let p = &mut self.slots[slot as usize];
             p.dirty = false;
+            p.baseline = None;
         }
         self.dirty_count = 0;
     }
 
-    fn page_for_read(&mut self, page: u64) -> Result<&Page, MemError> {
-        if !self.pages.contains_key(&page) {
-            match self.policy {
-                BackingPolicy::DemandZero => {
-                    self.pages.insert(page, Page::zeroed());
-                }
-                BackingPolicy::FaultOnAbsent => return Err(MemError::PageFault { page }),
-            }
+    /// Translate `page` to its slot, consulting the TLB first and filling
+    /// it on a page-table hit.
+    #[inline]
+    fn lookup(&mut self, page: u64) -> Option<u32> {
+        if self.tlb_slot != TLB_EMPTY && self.tlb_page == page {
+            return Some(self.tlb_slot);
         }
-        Ok(self.pages.get(&page).expect("just ensured"))
+        let slot = *self.table.get(&page)?;
+        self.tlb_page = page;
+        self.tlb_slot = slot;
+        Some(slot)
+    }
+
+    /// Slot for `page`, creating it under `DemandZero` or faulting.
+    #[inline]
+    fn ensure_slot(&mut self, page: u64) -> Result<u32, MemError> {
+        if let Some(slot) = self.lookup(page) {
+            return Ok(slot);
+        }
+        match self.policy {
+            BackingPolicy::DemandZero => {
+                let slot = self.alloc_slot();
+                self.table.insert(page, slot);
+                self.tlb_page = page;
+                self.tlb_slot = slot;
+                Ok(slot)
+            }
+            BackingPolicy::FaultOnAbsent => Err(MemError::PageFault { page }),
+        }
+    }
+
+    fn page_for_read(&mut self, page: u64) -> Result<&Page, MemError> {
+        let slot = self.ensure_slot(page)?;
+        Ok(&self.slots[slot as usize])
     }
 
     fn page_for_write(&mut self, page: u64) -> Result<&mut Page, MemError> {
-        if !self.pages.contains_key(&page) {
-            match self.policy {
-                BackingPolicy::DemandZero => {
-                    self.pages.insert(page, Page::zeroed());
-                }
-                BackingPolicy::FaultOnAbsent => return Err(MemError::PageFault { page }),
-            }
-        }
-        let p = self.pages.get_mut(&page).expect("just ensured");
+        let slot = self.ensure_slot(page)?;
+        let track = self.track_baselines;
+        let p = &mut self.slots[slot as usize];
         if !p.dirty {
             p.dirty = true;
             self.dirty_count += 1;
+            if track {
+                p.baseline = Some(p.data.clone());
+            }
         }
         Ok(p)
     }
@@ -346,5 +469,77 @@ mod tests {
     fn install_requires_full_page() {
         let mut m = Memory::new(BackingPolicy::FaultOnAbsent);
         m.install_page(0, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn tlb_survives_eviction_of_other_pages() {
+        // Evicting page B must not corrupt a TLB entry caching page A,
+        // and re-installing into a recycled frame must stay coherent.
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        m.write(0, &[1]).unwrap(); // page 0 cached in the TLB
+        m.write(PAGE_SIZE, &[2]).unwrap(); // page 1 now cached
+        m.evict_page(0); // frees page 0's slot
+        m.write(2 * PAGE_SIZE, &[3]).unwrap(); // may recycle that slot
+        let mut b = [0u8];
+        m.read(PAGE_SIZE, &mut b).unwrap();
+        assert_eq!(b, [2]);
+        m.read(2 * PAGE_SIZE, &mut b).unwrap();
+        assert_eq!(b, [3]);
+        // The evicted page rereads as zero (demand-zero).
+        m.read(0, &mut b).unwrap();
+        assert_eq!(b, [0]);
+    }
+
+    #[test]
+    fn recycled_frames_come_back_zeroed_and_clean() {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        m.write(0, &[0xAA; 16]).unwrap();
+        m.evict_page(0);
+        // The recycled frame backs a new page: must read as zero, clean.
+        let mut b = [0xFFu8; 16];
+        m.read(7 * PAGE_SIZE, &mut b).unwrap();
+        assert_eq!(b, [0u8; 16]);
+        assert_eq!(m.dirty_count(), 0);
+    }
+
+    #[test]
+    fn baseline_snapshots_pre_write_bytes() {
+        let mut m = Memory::new(BackingPolicy::FaultOnAbsent);
+        m.set_track_baselines(true);
+        let mut page = vec![0u8; PAGE_SIZE as usize];
+        page[100] = 42;
+        m.install_page(2, &page);
+        assert!(m.baseline_bytes(2).is_none(), "clean page has no baseline");
+        m.write(2 * PAGE_SIZE + 100, &[77]).unwrap();
+        m.write(2 * PAGE_SIZE + 200, &[88]).unwrap(); // same page, one snapshot
+        let base = m.baseline_bytes(2).expect("dirty page has a baseline");
+        assert_eq!(base[100], 42, "baseline holds pre-write bytes");
+        assert_eq!(base[200], 0);
+        let cur = m.page_bytes(2).unwrap();
+        assert_eq!((cur[100], cur[200]), (77, 88));
+        m.clear_dirty();
+        assert!(m.baseline_bytes(2).is_none(), "clear_dirty drops baselines");
+    }
+
+    #[test]
+    fn baseline_tracking_flag_survives_clear() {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        m.set_track_baselines(true);
+        m.write(0, &[1]).unwrap();
+        m.clear();
+        assert!(m.tracks_baselines());
+        m.write(0, &[2]).unwrap();
+        let base = m.baseline_bytes(0).expect("snapshot after clear");
+        assert_eq!(base[0], 0, "demand-zero page snapshots as zeroes");
+    }
+
+    #[test]
+    fn disabling_tracking_drops_baselines() {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        m.set_track_baselines(true);
+        m.write(0, &[5]).unwrap();
+        assert!(m.baseline_bytes(0).is_some());
+        m.set_track_baselines(false);
+        assert!(m.baseline_bytes(0).is_none());
     }
 }

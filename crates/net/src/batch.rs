@@ -19,10 +19,13 @@ pub struct BatchBuffer {
     items: usize,
     /// Compress the batch before sending (server→mobile only, per §4).
     compress: bool,
+    /// Auto-flush high-water mark; `None` means flush-on-demand only.
+    flush_threshold_bytes: Option<u64>,
 }
 
 impl BatchBuffer {
-    /// An empty buffer for `direction` carrying `kind` payloads.
+    /// An empty buffer for `direction` carrying `kind` payloads, flushed
+    /// only on demand (the default §4 behaviour).
     pub fn new(direction: Direction, kind: MsgKind, compress: bool) -> Self {
         BatchBuffer {
             direction,
@@ -30,13 +33,45 @@ impl BatchBuffer {
             payload: Vec::new(),
             items: 0,
             compress,
+            flush_threshold_bytes: None,
         }
+    }
+
+    /// Cap the buffer: [`BatchBuffer::push_through`] auto-flushes once the
+    /// pending payload reaches `bytes`, so a long offload with heavy
+    /// output cannot grow the batch without bound.
+    #[must_use]
+    pub fn with_flush_threshold(mut self, bytes: u64) -> Self {
+        self.flush_threshold_bytes = Some(bytes);
+        self
+    }
+
+    /// The configured auto-flush threshold, if any.
+    pub fn flush_threshold(&self) -> Option<u64> {
+        self.flush_threshold_bytes
     }
 
     /// Queue a payload.
     pub fn push(&mut self, bytes: &[u8]) {
         self.payload.extend_from_slice(bytes);
         self.items += 1;
+    }
+
+    /// Queue a payload and auto-flush on `channel` if the pending bytes
+    /// reach the configured threshold. Returns the flush result when one
+    /// happened; `None` (and identical behaviour to [`BatchBuffer::push`])
+    /// when no threshold is set or it has not been reached.
+    pub fn push_through(
+        &mut self,
+        bytes: &[u8],
+        channel: &mut Channel,
+        start_s: f64,
+    ) -> Option<(f64, u64, u64)> {
+        self.push(bytes);
+        match self.flush_threshold_bytes {
+            Some(t) if self.pending_bytes() >= t => Some(self.flush(channel, start_s)),
+            _ => None,
+        }
     }
 
     /// Queued payload size in bytes.
@@ -132,6 +167,43 @@ mod tests {
         buf.push(&noise);
         let (_, raw, wire) = buf.flush(&mut ch, 0.0);
         assert!(wire <= raw);
+    }
+
+    #[test]
+    fn threshold_auto_flushes_on_push() {
+        let mut ch = Channel::new(Link::wifi_802_11ac());
+        let mut buf = BatchBuffer::new(Direction::ServerToMobile, MsgKind::RemoteIo, false)
+            .with_flush_threshold(256);
+        assert_eq!(buf.flush_threshold(), Some(256));
+        let mut flushes = 0;
+        for _ in 0..10 {
+            if let Some((_, raw, _)) = buf.push_through(&[1u8; 100], &mut ch, 0.0) {
+                flushes += 1;
+                assert!(raw >= 256, "flushed below threshold: {raw}");
+                assert_eq!(buf.pending_bytes(), 0);
+            }
+        }
+        // 10 × 100 B against a 256 B cap: flush on every 3rd push.
+        assert_eq!(flushes, 3);
+        assert_eq!(buf.pending_bytes(), 100);
+        assert_eq!(ch.download_stats().messages, 3);
+    }
+
+    #[test]
+    fn no_threshold_never_auto_flushes() {
+        // Default mode must behave exactly like plain push: unbounded
+        // accumulation, one flush on demand.
+        let mut ch = Channel::new(Link::wifi_802_11ac());
+        let mut buf = BatchBuffer::new(Direction::MobileToServer, MsgKind::Prefetch, false);
+        for _ in 0..50 {
+            assert!(buf.push_through(&[9u8; 128], &mut ch, 0.0).is_none());
+        }
+        assert_eq!(buf.pending_bytes(), 50 * 128);
+        assert_eq!(buf.pending_items(), 50);
+        assert!(ch.events().is_empty());
+        let (_, raw, _) = buf.flush(&mut ch, 0.0);
+        assert_eq!(raw, 50 * 128);
+        assert_eq!(ch.upload_stats().messages, 1);
     }
 
     #[test]

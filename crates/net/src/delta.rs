@@ -1,0 +1,475 @@
+//! Sub-page delta records for page transfers.
+//!
+//! §4 batches and compresses the server→mobile write-back, but a dirty
+//! page still costs a full 4 KiB on the wire even when the server touched
+//! eight bytes of it. This codec diffs each page against a baseline and
+//! encodes only the *changed byte runs* — offset, length, bytes — falling
+//! back to the full page per-page whenever the runs would be larger (a
+//! page rewritten wholesale gains nothing from diffing). The session uses
+//! it in both directions: write-backs diff against the pre-offload
+//! baseline (see `Memory::baseline_bytes`), while prefetch and demand
+//! uploads diff against the implicit all-zero page a fresh server frame
+//! starts as.
+//!
+//! Blob layout (all varints LEB128, shared with the frame codec):
+//!
+//! ```text
+//! varint  page_count
+//! per page:
+//!   varint  page_number delta from the previous page (first is absolute)
+//!   u8      tag: 0 = full page, 1 = runs
+//!   full:   page_size raw bytes
+//!   runs:   varint run_count
+//!           per run: varint offset delta from end of previous run
+//!                    varint len (>= 1)
+//!                    len raw bytes
+//! ```
+//!
+//! Nearby runs separated by fewer than [`MIN_GAP`] unchanged bytes are
+//! coalesced: carrying a short stretch of unchanged bytes is cheaper
+//! than another run header.
+
+use crate::frame::{FrameError, Reader, Writer};
+
+/// Unchanged-byte gaps shorter than this are swallowed into the
+/// surrounding run (2 varint header bytes ≈ break-even at 2–3 bytes; 8
+/// also keeps run counts low on scattered scalar writes).
+pub const MIN_GAP: usize = 8;
+
+/// Decoding or application failure (corrupt delta blob).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "delta error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+fn err(m: impl Into<String>) -> DeltaError {
+    DeltaError { message: m.into() }
+}
+
+impl From<FrameError> for DeltaError {
+    fn from(e: FrameError) -> Self {
+        err(e.message)
+    }
+}
+
+/// One changed byte run within a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Run {
+    /// Byte offset within the page.
+    pub offset: usize,
+    /// The new bytes at that offset.
+    pub bytes: Vec<u8>,
+}
+
+/// How one page's new contents travel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PagePayload {
+    /// The whole page (diff would not have been smaller, or no baseline
+    /// was available).
+    Full(Vec<u8>),
+    /// Only the changed runs.
+    Runs(Vec<Run>),
+}
+
+/// One page's delta record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageDelta {
+    /// Page number.
+    pub page: u64,
+    /// The payload.
+    pub payload: PagePayload,
+}
+
+/// Changed byte runs of `cur` relative to `base`, gaps under `min_gap`
+/// coalesced. Empty when the slices are equal.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn diff(base: &[u8], cur: &[u8], min_gap: usize) -> Vec<Run> {
+    assert_eq!(base.len(), cur.len(), "diff needs equal-length slices");
+    let mut runs: Vec<Run> = Vec::new();
+    let mut i = 0usize;
+    while i < cur.len() {
+        if base[i] == cur[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut end = i + 1; // exclusive end of the run being built
+        let mut j = end;
+        // Extend across changed bytes and short unchanged gaps.
+        while j < cur.len() {
+            if base[j] != cur[j] {
+                end = j + 1;
+                j = end;
+            } else if j - end < min_gap {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        runs.push(Run {
+            offset: start,
+            bytes: cur[start..end].to_vec(),
+        });
+        i = j.max(end);
+    }
+    runs
+}
+
+/// Bytes a varint takes.
+fn varint_len(v: u64) -> usize {
+    (64 - v.max(1).leading_zeros() as usize).div_ceil(7).max(1)
+}
+
+/// Encoded size of a runs payload (tag + count + headers + bytes).
+fn runs_encoded_len(runs: &[Run]) -> usize {
+    let mut n = 1 + varint_len(runs.len() as u64);
+    let mut prev_end = 0usize;
+    for r in runs {
+        n += varint_len((r.offset - prev_end) as u64);
+        n += varint_len(r.bytes.len() as u64);
+        n += r.bytes.len();
+        prev_end = r.offset + r.bytes.len();
+    }
+    n
+}
+
+/// Build the delta record for one dirty page: diff against `base` when
+/// one exists, fall back to the full page when diffing loses (or there is
+/// nothing to diff against).
+pub fn page_delta(page: u64, base: Option<&[u8]>, cur: &[u8], min_gap: usize) -> PageDelta {
+    let payload = match base {
+        Some(b) => {
+            let runs = diff(b, cur, min_gap);
+            // tag + page bytes is what Full costs.
+            if runs_encoded_len(&runs) < 1 + cur.len() {
+                PagePayload::Runs(runs)
+            } else {
+                PagePayload::Full(cur.to_vec())
+            }
+        }
+        None => PagePayload::Full(cur.to_vec()),
+    };
+    PageDelta { page, payload }
+}
+
+/// Encode delta records into a blob. `page_size` fixes the byte length of
+/// `Full` payloads (and bounds run extents on decode).
+///
+/// # Panics
+///
+/// Panics if a `Full` payload is not exactly `page_size` bytes or a run
+/// extends past `page_size` (caller bug, not wire corruption).
+pub fn encode(deltas: &[PageDelta], page_size: usize) -> Vec<u8> {
+    let mut w = Writer(Vec::new());
+    w.varint(deltas.len() as u64);
+    let mut prev_page = 0u64;
+    for d in deltas {
+        w.varint(d.page.wrapping_sub(prev_page));
+        prev_page = d.page;
+        match &d.payload {
+            PagePayload::Full(bytes) => {
+                assert_eq!(bytes.len(), page_size, "full payload must be one page");
+                w.u8(0);
+                w.0.extend_from_slice(bytes);
+            }
+            PagePayload::Runs(runs) => {
+                w.u8(1);
+                w.varint(runs.len() as u64);
+                let mut prev_end = 0usize;
+                for r in runs {
+                    assert!(
+                        r.offset >= prev_end && r.offset + r.bytes.len() <= page_size,
+                        "runs must be sorted, disjoint and in-page"
+                    );
+                    assert!(!r.bytes.is_empty(), "empty run");
+                    w.varint((r.offset - prev_end) as u64);
+                    w.varint(r.bytes.len() as u64);
+                    w.0.extend_from_slice(&r.bytes);
+                    prev_end = r.offset + r.bytes.len();
+                }
+            }
+        }
+    }
+    w.0
+}
+
+/// Decode a blob produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`DeltaError`] on truncation, bad tags, or runs that escape
+/// the page.
+pub fn decode(blob: &[u8], page_size: usize) -> Result<Vec<PageDelta>, DeltaError> {
+    let mut r = Reader(blob, 0);
+    let count = r.varint()? as usize;
+    // Each record costs at least 3 bytes; reject absurd counts early.
+    if count > blob.len() {
+        return Err(err(format!("implausible page count {count}")));
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut prev_page = 0u64;
+    for _ in 0..count {
+        prev_page = prev_page.wrapping_add(r.varint()?);
+        let payload = match r.u8()? {
+            0 => PagePayload::Full(r.take(page_size)?.to_vec()),
+            1 => {
+                let nruns = r.varint()? as usize;
+                if nruns > page_size {
+                    return Err(err(format!("implausible run count {nruns}")));
+                }
+                let mut runs = Vec::with_capacity(nruns);
+                let mut prev_end = 0usize;
+                for _ in 0..nruns {
+                    let gap = r.varint()? as usize;
+                    let len = r.varint()? as usize;
+                    let offset = prev_end
+                        .checked_add(gap)
+                        .ok_or_else(|| err("run offset overflow"))?;
+                    let end = offset
+                        .checked_add(len)
+                        .ok_or_else(|| err("run length overflow"))?;
+                    if len == 0 || end > page_size {
+                        return Err(err(format!("run [{offset}, {end}) escapes the page")));
+                    }
+                    runs.push(Run {
+                        offset,
+                        bytes: r.take(len)?.to_vec(),
+                    });
+                    prev_end = end;
+                }
+                PagePayload::Runs(runs)
+            }
+            t => return Err(err(format!("unknown payload tag {t}"))),
+        };
+        out.push(PageDelta {
+            page: prev_page,
+            payload,
+        });
+    }
+    if r.1 != blob.len() {
+        return Err(err("trailing bytes after last record"));
+    }
+    Ok(out)
+}
+
+/// Apply one payload to a page buffer.
+///
+/// # Errors
+///
+/// Returns [`DeltaError`] if a full payload or run does not fit `page`.
+pub fn apply(payload: &PagePayload, page: &mut [u8]) -> Result<(), DeltaError> {
+    match payload {
+        PagePayload::Full(bytes) => {
+            if bytes.len() != page.len() {
+                return Err(err("full payload size mismatch"));
+            }
+            page.copy_from_slice(bytes);
+        }
+        PagePayload::Runs(runs) => {
+            for r in runs {
+                let end = r.offset + r.bytes.len();
+                if end > page.len() {
+                    return Err(err("run escapes the page"));
+                }
+                page[r.offset..end].copy_from_slice(&r.bytes);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: usize = 4096;
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn rand_page(state: &mut u64) -> Vec<u8> {
+        (0..PAGE / 8)
+            .flat_map(|_| splitmix64(state).to_le_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn diff_of_equal_slices_is_empty() {
+        let a = vec![7u8; 64];
+        assert!(diff(&a, &a, MIN_GAP).is_empty());
+    }
+
+    #[test]
+    fn diff_finds_isolated_changes() {
+        let base = vec![0u8; 64];
+        let mut cur = base.clone();
+        cur[3] = 1;
+        cur[40] = 2;
+        let runs = diff(&base, &cur, MIN_GAP);
+        assert_eq!(runs.len(), 2);
+        assert_eq!((runs[0].offset, runs[0].bytes.as_slice()), (3, &[1u8][..]));
+        assert_eq!((runs[1].offset, runs[1].bytes.as_slice()), (40, &[2u8][..]));
+    }
+
+    #[test]
+    fn diff_coalesces_short_gaps() {
+        let base = vec![0u8; 64];
+        let mut cur = base.clone();
+        cur[10] = 1;
+        cur[14] = 2; // gap of 3 < MIN_GAP: one run
+        let runs = diff(&base, &cur, MIN_GAP);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].offset, 10);
+        assert_eq!(runs[0].bytes.len(), 5);
+    }
+
+    #[test]
+    fn sparse_page_delta_is_tiny_and_roundtrips() {
+        let base = vec![0u8; PAGE];
+        let mut cur = base.clone();
+        cur[100..108].copy_from_slice(&[9; 8]);
+        let d = page_delta(7, Some(&base), &cur, MIN_GAP);
+        assert!(matches!(d.payload, PagePayload::Runs(_)));
+        let blob = encode(std::slice::from_ref(&d), PAGE);
+        assert!(blob.len() < 32, "sparse delta took {} bytes", blob.len());
+        let back = decode(&blob, PAGE).unwrap();
+        assert_eq!(back, vec![d.clone()]);
+        let mut rebuilt = base.clone();
+        apply(&back[0].payload, &mut rebuilt).unwrap();
+        assert_eq!(rebuilt, cur);
+    }
+
+    #[test]
+    fn rewritten_page_falls_back_to_full() {
+        let mut s = 1u64;
+        let base = rand_page(&mut s);
+        let cur = rand_page(&mut s);
+        let d = page_delta(0, Some(&base), &cur, MIN_GAP);
+        assert!(matches!(d.payload, PagePayload::Full(_)));
+        let blob = encode(std::slice::from_ref(&d), PAGE);
+        // Full fallback costs the page + a few header bytes, never more.
+        assert!(blob.len() <= PAGE + 8);
+    }
+
+    #[test]
+    fn missing_baseline_ships_full_page() {
+        let cur = vec![3u8; PAGE];
+        let d = page_delta(0, None, &cur, MIN_GAP);
+        assert_eq!(d.payload, PagePayload::Full(cur));
+    }
+
+    #[test]
+    fn multi_page_blob_roundtrips() {
+        let mut s = 42u64;
+        let mut deltas = Vec::new();
+        for page in [3u64, 4, 9, 1000] {
+            let base = rand_page(&mut s);
+            let mut cur = base.clone();
+            for _ in 0..(splitmix64(&mut s) % 20) {
+                let at = (splitmix64(&mut s) as usize) % PAGE;
+                cur[at] = splitmix64(&mut s) as u8;
+            }
+            deltas.push(page_delta(page, Some(&base), &cur, MIN_GAP));
+        }
+        let blob = encode(&deltas, PAGE);
+        assert_eq!(decode(&blob, PAGE).unwrap(), deltas);
+    }
+
+    #[test]
+    fn fuzz_diff_apply_is_identity() {
+        // Fixed-seed fuzz: random base, random mutation patterns (sparse
+        // pokes, dense smears, block rewrites), always apply(diff) == cur.
+        let mut s = 0xDEAD_BEEFu64;
+        for round in 0..200 {
+            let base = rand_page(&mut s);
+            let mut cur = base.clone();
+            match round % 4 {
+                0 => {
+                    for _ in 0..(splitmix64(&mut s) % 32) {
+                        let at = (splitmix64(&mut s) as usize) % PAGE;
+                        cur[at] = splitmix64(&mut s) as u8;
+                    }
+                }
+                1 => {
+                    let start = (splitmix64(&mut s) as usize) % PAGE;
+                    let len = ((splitmix64(&mut s) as usize) % 512).min(PAGE - start);
+                    for b in &mut cur[start..start + len] {
+                        *b = splitmix64(&mut s) as u8;
+                    }
+                }
+                2 => cur = rand_page(&mut s),
+                _ => {} // unchanged page
+            }
+            let d = page_delta(round as u64, Some(&base), &cur, MIN_GAP);
+            let blob = encode(std::slice::from_ref(&d), PAGE);
+            let back = decode(&blob, PAGE).unwrap();
+            assert_eq!(back.len(), 1);
+            let mut rebuilt = base.clone();
+            apply(&back[0].payload, &mut rebuilt).unwrap();
+            assert_eq!(rebuilt, cur, "round {round}");
+            // The delta encoding never beats a full page by losing.
+            assert!(blob.len() <= PAGE + 8, "round {round}: {}", blob.len());
+        }
+    }
+
+    #[test]
+    fn corrupt_blobs_error_not_panic() {
+        let base = vec![0u8; PAGE];
+        let mut cur = base.clone();
+        cur[5] = 1;
+        let d = page_delta(0, Some(&base), &cur, MIN_GAP);
+        let blob = encode(&[d], PAGE);
+        // Every truncation errors cleanly.
+        for cut in 0..blob.len() {
+            assert!(decode(&blob[..cut], PAGE).is_err(), "cut at {cut}");
+        }
+        // Bad tag.
+        let mut bad = blob.clone();
+        bad[2] = 9; // payload tag position for a single small-page record
+        assert!(decode(&bad, PAGE).is_err());
+        // A run escaping the page.
+        let escape = encode(
+            &[PageDelta {
+                page: 0,
+                payload: PagePayload::Runs(vec![Run {
+                    offset: PAGE - 2,
+                    bytes: vec![1, 2],
+                }]),
+            }],
+            PAGE,
+        );
+        // Grow the run length varint past the page edge.
+        let mut bad = escape.clone();
+        *bad.last_mut().unwrap() = 0xFF; // corrupt final byte; decode must not panic
+        let _ = decode(&bad, PAGE);
+    }
+
+    #[test]
+    fn apply_rejects_out_of_range_runs() {
+        let mut page = vec![0u8; 16];
+        let p = PagePayload::Runs(vec![Run {
+            offset: 15,
+            bytes: vec![1, 2, 3],
+        }]);
+        assert!(apply(&p, &mut page).is_err());
+        let f = PagePayload::Full(vec![0u8; 8]);
+        assert!(apply(&f, &mut page).is_err());
+    }
+}

@@ -72,6 +72,13 @@ pub enum Message {
         /// Fault-ahead window size.
         count: u32,
     },
+    /// Sub-page dirty write-back: a [`crate::delta`] blob of per-page
+    /// changed-byte runs (possibly compressed by the caller — like
+    /// [`Message::Pages`], the frame carries whatever it is given).
+    DeltaPages {
+        /// Encoded delta records (see [`crate::delta::encode`]).
+        bytes: Vec<u8>,
+    },
 }
 
 impl Message {
@@ -82,6 +89,7 @@ impl Message {
             Message::Return { .. } => 3,
             Message::RemoteIo { .. } => 4,
             Message::PageRequest { .. } => 5,
+            Message::DeltaPages { .. } => 6,
         }
     }
 }
@@ -118,10 +126,10 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-struct Writer(Vec<u8>);
+pub(crate) struct Writer(pub(crate) Vec<u8>);
 
 impl Writer {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
     fn u16(&mut self, v: u16) {
@@ -134,7 +142,7 @@ impl Writer {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
     /// LEB128-style varint (the page-table summary compresses well).
-    fn varint(&mut self, mut v: u64) {
+    pub(crate) fn varint(&mut self, mut v: u64) {
         loop {
             let byte = (v & 0x7F) as u8;
             v >>= 7;
@@ -151,10 +159,10 @@ impl Writer {
     }
 }
 
-struct Reader<'a>(&'a [u8], usize);
+pub(crate) struct Reader<'a>(pub(crate) &'a [u8], pub(crate) usize);
 
 impl Reader<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8], FrameError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&[u8], FrameError> {
         if self.1 + n > self.0.len() {
             return Err(err("truncated payload"));
         }
@@ -162,7 +170,7 @@ impl Reader<'_> {
         self.1 += n;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, FrameError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, FrameError> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, FrameError> {
@@ -180,7 +188,7 @@ impl Reader<'_> {
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
-    fn varint(&mut self) -> Result<u64, FrameError> {
+    pub(crate) fn varint(&mut self) -> Result<u64, FrameError> {
         let mut v = 0u64;
         let mut shift = 0;
         loop {
@@ -255,6 +263,9 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
         Message::PageRequest { page, count } => {
             w.u64(*page);
             w.u32(*count);
+        }
+        Message::DeltaPages { bytes } => {
+            w.bytes(bytes);
         }
     }
     w.0
@@ -347,6 +358,7 @@ pub fn decode(frame: &[u8]) -> Result<(Message, u32), FrameError> {
             page: p.u64()?,
             count: p.u32()?,
         },
+        6 => Message::DeltaPages { bytes: p.bytes()? },
         other => return Err(err(format!("unknown message kind {other}"))),
     };
     Ok((msg, seq))
@@ -396,6 +408,22 @@ mod tests {
             page: 0x10_000,
             count: 8,
         });
+        roundtrip(Message::DeltaPages {
+            bytes: vec![0x5A; 300],
+        });
+    }
+
+    #[test]
+    fn delta_pages_truncation_is_detected() {
+        let frame = encode(
+            &Message::DeltaPages {
+                bytes: vec![1, 2, 3, 4, 5],
+            },
+            9,
+        );
+        for cut in 0..frame.len() {
+            assert!(decode(&frame[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

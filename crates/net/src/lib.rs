@@ -11,6 +11,7 @@
 //!
 //! * [`Link`] — bandwidth/latency transfer-time model with presets,
 //! * [`lz`] — a from-scratch LZ77-style codec with a cost model,
+//! * [`delta`] — sub-page delta records for dirty write-back,
 //! * [`BatchBuffer`] — the §4 batching buffer,
 //! * [`Channel`] — a duplex endpoint pair that records every transfer as a
 //!   timestamped [`TransferEvent`] (the input to the Fig. 8 power replay)
@@ -18,6 +19,7 @@
 
 pub mod batch;
 pub mod channel;
+pub mod delta;
 pub mod frame;
 pub mod link;
 pub mod lz;

@@ -195,6 +195,14 @@ impl TraceCollector {
                     *raw_bytes as f64,
                 );
             }
+            DeltaWriteBack {
+                full_bytes,
+                delta_bytes,
+                ..
+            } => {
+                m.count("delta_writebacks", 1);
+                m.count("wire_bytes_saved", full_bytes.saturating_sub(*delta_bytes));
+            }
             BatchFlush { bytes } => {
                 m.count("batch_flushes", 1);
                 m.observe("batch_bytes", &exp_buckets(16.0, 4.0, 10), *bytes as f64);

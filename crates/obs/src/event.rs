@@ -297,6 +297,17 @@ pub enum EventKind {
         /// Wire bytes after compression.
         wire_bytes: u64,
     },
+    /// Finalization shipped the dirty write-back as sub-page delta runs
+    /// instead of full pages (emitted alongside [`EventKind::DirtyWriteBack`],
+    /// which keeps the page count and the final raw/wire accounting).
+    DeltaWriteBack {
+        /// Pages covered by the delta blob.
+        pages: u64,
+        /// What the full-page message would have cost, uncompressed.
+        full_bytes: u64,
+        /// The delta message's uncompressed size.
+        delta_bytes: u64,
+    },
     /// Batched remote console output was flushed home.
     BatchFlush {
         /// Batched bytes.

@@ -96,6 +96,11 @@ fn describe(kind: &EventKind) -> (String, char, String) {
             'i',
             format!("{{\"pages\":{pages},\"raw_bytes\":{raw_bytes},\"wire_bytes\":{wire_bytes}}}"),
         ),
+        DeltaWriteBack { pages, full_bytes, delta_bytes } => (
+            "delta_writeback".into(),
+            'i',
+            format!("{{\"pages\":{pages},\"full_bytes\":{full_bytes},\"delta_bytes\":{delta_bytes}}}"),
+        ),
         BatchFlush { bytes } => ("batch_flush".into(), 'i', format!("{{\"bytes\":{bytes}}}")),
         Compression { raw_bytes, wire_bytes, decompress_s } => (
             "compression".into(),

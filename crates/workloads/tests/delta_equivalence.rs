@@ -1,0 +1,157 @@
+//! Sub-page delta write-back is an *accounting* optimization: results
+//! must be byte-identical to full-page write-back. Every miniature runs
+//! under both `delta_writeback` settings with the offload forced; the
+//! console, exit code and all protocol counters must match exactly, and
+//! only the wire bytes may differ.
+//!
+//! Page-level byte identity of the final mobile memory image is asserted
+//! *inside* the session on every run of this suite: finalization
+//! re-reads each written-back mobile page and `debug_assert_eq!`s it
+//! against the server page (delta and full-page paths ship the very same
+//! server bytes), so a delta-apply divergence fails these dev-profile
+//! tests before any report comparison does.
+
+use native_offloader::SessionConfig;
+use offload_obs::{EventKind, TraceCollector};
+
+fn forced(mut cfg: SessionConfig, delta: bool, compress: bool) -> SessionConfig {
+    cfg.dynamic_estimation = false;
+    cfg.delta_writeback = delta;
+    cfg.compress = compress;
+    cfg
+}
+
+#[test]
+fn delta_writeback_is_byte_identical_across_the_suite() {
+    let mut best_saving = (0.0f64, String::new());
+    for w in offload_workloads::all() {
+        let app = w.compile().expect("compiles");
+        let input = (w.eval_input)();
+        for compress in [false, true] {
+            let full = app
+                .run_offloaded(
+                    &input,
+                    &forced(SessionConfig::fast_network(), false, compress),
+                )
+                .expect("full-page run");
+            let delta = app
+                .run_offloaded(
+                    &input,
+                    &forced(SessionConfig::fast_network(), true, compress),
+                )
+                .expect("delta run");
+
+            // Results and protocol counters must be identical; only the
+            // wire bytes (and times derived from them) may move.
+            let tag = format!("{} (compress={compress})", w.name);
+            assert_eq!(delta.console, full.console, "{tag}: console diverged");
+            assert_eq!(delta.exit_code, full.exit_code, "{tag}: exit diverged");
+            assert_eq!(
+                delta.offloads_performed, full.offloads_performed,
+                "{tag}: offload count diverged"
+            );
+            assert_eq!(
+                delta.dirty_pages_written_back, full.dirty_pages_written_back,
+                "{tag}: dirty page count diverged"
+            );
+            assert_eq!(
+                delta.demand_page_fetches, full.demand_page_fetches,
+                "{tag}: demand fetch count diverged"
+            );
+            assert_eq!(
+                delta.prefetched_pages, full.prefetched_pages,
+                "{tag}: prefetch count diverged"
+            );
+            assert_eq!(
+                delta.upload.raw_bytes, full.upload.raw_bytes,
+                "{tag}: raw (logical) upload bytes must not change"
+            );
+            assert!(
+                delta.upload.wire_bytes <= full.upload.wire_bytes,
+                "{tag}: sparse upload {} > full-page upload {} (per-message fallback broken)",
+                delta.upload.wire_bytes,
+                full.upload.wire_bytes
+            );
+            assert_eq!(
+                delta.download.raw_bytes, full.download.raw_bytes,
+                "{tag}: raw (logical) download bytes must not change"
+            );
+
+            if compress {
+                // Against compressed full pages the delta message can lose
+                // by a hair (run headers break LZ matches), never by much.
+                assert!(
+                    delta.download.wire_bytes as f64
+                        <= full.download.wire_bytes as f64 * 1.02 + 256.0,
+                    "{tag}: delta wire {} far above full-page wire {}",
+                    delta.download.wire_bytes,
+                    full.download.wire_bytes
+                );
+            } else {
+                // Uncompressed, the per-message full-page fallback makes
+                // the delta message never larger.
+                assert!(
+                    delta.download.wire_bytes <= full.download.wire_bytes,
+                    "{tag}: delta wire {} > full-page wire {}",
+                    delta.download.wire_bytes,
+                    full.download.wire_bytes
+                );
+                if full.traffic_wire_mb() > 0.0 {
+                    let saving = 1.0 - delta.traffic_wire_mb() / full.traffic_wire_mb();
+                    if saving > best_saving.0 {
+                        best_saving = (saving, w.name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    // The acceptance bar: at least one workload saves >= 30% of total
+    // wire traffic from sub-page deltas alone.
+    assert!(
+        best_saving.0 >= 0.30,
+        "no workload saved >= 30% wire traffic (best: {:.1}% on {})",
+        best_saving.0 * 100.0,
+        best_saving.1
+    );
+}
+
+#[test]
+fn wire_bytes_saved_metric_matches_the_event_stream() {
+    // The `wire_bytes_saved` counter must equal the sum over
+    // `DeltaWriteBack` events of `full - delta`, and the existing
+    // trace-derived reconciliation must still hold with delta on (the
+    // suite-wide check lives in trace_reconcile.rs; here we pin the new
+    // metric's arithmetic on one delta-heavy workload).
+    let input = offload_workloads::chess::input(9, 2);
+    let app = native_offloader::Offloader::new()
+        .compile_source(offload_workloads::chess::SOURCE, "chess", &input)
+        .expect("chess compiles");
+    let cfg = forced(SessionConfig::fast_network(), true, true);
+    let mut obs = TraceCollector::with_capacity(1 << 20);
+    let rep = app
+        .run_offloaded_traced(&input, &cfg, &mut obs)
+        .expect("runs");
+    assert_eq!(obs.dropped(), 0, "ring must hold the whole run");
+
+    let mut saved = 0u64;
+    let mut delta_events = 0u64;
+    for r in obs.records() {
+        if let EventKind::DeltaWriteBack {
+            full_bytes,
+            delta_bytes,
+            ..
+        } = r.kind
+        {
+            saved += full_bytes.saturating_sub(delta_bytes);
+            delta_events += 1;
+        }
+    }
+    assert!(delta_events > 0, "chess must exercise the delta path");
+    let m = obs.metrics();
+    assert_eq!(m.counter("delta_writebacks"), delta_events);
+    assert_eq!(m.counter("wire_bytes_saved"), saved);
+    assert!(saved > 0, "delta write-back saved nothing on chess");
+
+    native_offloader::runtime::derive::check_reconciliation(&obs.records(), &rep, &cfg)
+        .expect("trace-derived report still reconciles with delta on");
+}
