@@ -5,6 +5,7 @@
 //! cargo run --release -p offload-bench --bin reproduce -- table1
 //! cargo run --release -p offload-bench --bin reproduce -- fig6a fig6b
 //! cargo run --release -p offload-bench --bin reproduce -- trace gzip --format jsonl
+//! cargo run --release -p offload-bench --bin reproduce -- farm --workers 1,2,4,8
 //! ```
 //!
 //! `--quiet` suppresses progress chatter on stderr (figure output on
@@ -23,6 +24,45 @@ use offload_machine::target::TargetSpec;
 use offload_obs::log::Logger;
 use offload_workloads::chess;
 
+/// Every figure/table selector the default mode accepts.
+const FIGURES: &[&str] = &[
+    "all",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "calibrate",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: reproduce [--quiet] [<selector>...] | <subcommand> [args]\n\
+         \n\
+         selectors (default mode; no selector means `all`):\n\
+         {}\n\
+         \n\
+         subcommands:\n\
+         \x20 trace <program> [--format jsonl|tree|timeline] [--net slow|fast|ideal]\n\
+         \x20     export one traced offload session\n\
+         \x20 analyze <program|all> [--no-remote-io]\n\
+         \x20     static offloadability verdicts + OFFxxx diagnostics\n\
+         \x20 bench [--out FILE] [--check FILE] [--no-micro]\n\
+         \x20     protocol sweep + hot-path micro benches (BENCH_pr3.json)\n\
+         \x20 farm [--workers N[,N...]] [--repeat R] [--out FILE] [--check-serial-equivalence]\n\
+         \x20     concurrent session farm throughput sweep (BENCH_pr4.json)",
+        FIGURES
+            .iter()
+            .map(|f| format!("\x20 {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    )
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
@@ -33,6 +73,13 @@ fn main() {
         Logger::default()
     };
 
+    if args
+        .iter()
+        .any(|a| a == "help" || a == "--help" || a == "-h")
+    {
+        println!("{}", usage());
+        return;
+    }
     if let Some(pos) = args.iter().position(|a| a == "trace") {
         trace(&args[pos + 1..], &log);
         return;
@@ -44,6 +91,19 @@ fn main() {
     if let Some(pos) = args.iter().position(|a| a == "bench") {
         bench(&args[pos + 1..], &log);
         return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "farm") {
+        farm(&args[pos + 1..], &log);
+        return;
+    }
+
+    // Default mode: every remaining argument must be a known selector —
+    // a typo must fail loudly, not silently produce nothing.
+    for a in &args {
+        if !FIGURES.contains(&a.as_str()) {
+            eprintln!("reproduce: unknown argument `{a}`\n\n{}", usage());
+            std::process::exit(2);
+        }
     }
 
     let wants = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
@@ -361,6 +421,124 @@ fn bench(rest: &[String], log: &Logger) {
         let json = perf::to_json(&rows, &micros);
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("bench: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        log.info(&format!("[wrote {path}]"));
+    }
+}
+
+/// `farm [--workers N[,N...]] [--repeat R] [--out FILE]
+/// [--check-serial-equivalence]`: the concurrent session farm. Runs the
+/// 18-program suite × R repeats across each worker count, verifies every
+/// run is byte-identical to the first, and prints the simulated
+/// list-scheduled throughput per count (deterministic, gateable) plus the
+/// informational host wall clock. `--out` writes the JSON artifact
+/// (`BENCH_pr4.json`); `--check-serial-equivalence` additionally replays
+/// every job serially with a fresh collector and exits nonzero on any
+/// byte difference in reports or traces (the CI smoke gate).
+fn farm(rest: &[String], log: &Logger) {
+    use offload_bench::farm as fb;
+
+    let farm_usage = "usage: reproduce farm [--workers N[,N...]] [--repeat R] [--out FILE] [--check-serial-equivalence]";
+    let mut workers: Vec<usize> = vec![1, 2, 4, 8];
+    let mut repeat = 4usize;
+    let mut out_path: Option<&String> = None;
+    let mut check_eq = false;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--workers" if i + 1 < rest.len() => {
+                workers = rest[i + 1]
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("farm: bad worker count `{s}`\n{farm_usage}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                if workers.is_empty() || workers.contains(&0) {
+                    eprintln!("farm: worker counts must be positive\n{farm_usage}");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--repeat" if i + 1 < rest.len() => {
+                repeat = rest[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("farm: bad repeat `{}`\n{farm_usage}", rest[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--out" if i + 1 < rest.len() => {
+                out_path = Some(&rest[i + 1]);
+                i += 2;
+            }
+            "--check-serial-equivalence" => {
+                check_eq = true;
+                i += 1;
+            }
+            arg => {
+                eprintln!("farm: unexpected argument `{arg}`\n{farm_usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    log.info("[farm] compiling the 18-program suite ...");
+    let suite = fb::suite();
+    let jobs = fb::make_jobs(&suite, repeat);
+
+    if check_eq {
+        let &gate_workers = workers.iter().max().expect("non-empty");
+        log.info(&format!(
+            "[farm] serial-equivalence gate: {} jobs at {gate_workers} workers vs serial replay ...",
+            jobs.len()
+        ));
+        match native_offloader::runtime::farm::check_serial_equivalence(&jobs, gate_workers) {
+            Ok(()) => println!(
+                "farm equivalence OK: {} jobs at {gate_workers} workers byte-identical to serial",
+                jobs.len()
+            ),
+            Err(e) => {
+                eprintln!("farm equivalence FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    log.info(&format!(
+        "[farm] sweeping {} jobs over workers {:?} ...",
+        jobs.len(),
+        workers
+    ));
+    let bench = fb::run_bench(&jobs, &workers);
+    println!(
+        "## Concurrent session farm (18 workloads x {repeat} repeats = {} jobs)",
+        bench.jobs
+    );
+    println!();
+    println!(
+        "serial suite time {:.3} s simulated; makespan/speedup are deterministic list-scheduled simulated time, host_ms is wall clock (informational)",
+        bench.serial_s
+    );
+    println!();
+    println!(
+        "{:>7} {:>12} {:>14} {:>8} {:>9}",
+        "workers", "makespan_s", "sessions_per_s", "speedup", "host_ms"
+    );
+    for r in &bench.rows {
+        println!(
+            "{:>7} {:>12.3} {:>14.2} {:>7.2}x {:>9}",
+            r.workers, r.makespan_s, r.sessions_per_s, r.speedup, r.host_ms
+        );
+    }
+    println!();
+
+    if let Some(path) = out_path {
+        let json = fb::to_json(&bench);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("farm: cannot write {path}: {e}");
             std::process::exit(2);
         }
         log.info(&format!("[wrote {path}]"));

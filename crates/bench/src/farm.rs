@@ -1,0 +1,267 @@
+//! `reproduce farm` — the concurrent-session throughput benchmark
+//! behind `BENCH_pr4.json`.
+//!
+//! The farm runs the 18-program suite (17 miniatures + chess), repeated
+//! `repeat` times, across a sweep of worker counts. Two kinds of numbers
+//! come out:
+//!
+//! * **Simulated throughput** (gateable): per-session durations are the
+//!   deterministic simulated `total_seconds` of each report. Suite
+//!   makespan at N workers is computed by greedy list-scheduling those
+//!   durations in submission order onto the least-loaded worker — the
+//!   same queue discipline the real farm uses — so `speedup` and
+//!   `sessions_per_s` are bit-reproducible and CI can gate on them.
+//! * **Host wall-clock** (informational): how long each farm run took on
+//!   this machine. Never gated — host clocks vary, and a single-core
+//!   runner cannot show parallel speedup anyway.
+//!
+//! Every farm run is also checked byte-identical to the first
+//! (`reports_equal` field by field), so the benchmark doubles as an
+//! equivalence sweep.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use native_offloader::runtime::farm::{reports_equal, run_farm, FarmJob};
+use native_offloader::{CompiledApp, Offloader, SessionConfig, WorkloadInput};
+
+/// The benchmark suite: name, compiled app, evaluation input.
+#[must_use]
+pub fn suite() -> Vec<(String, CompiledApp, WorkloadInput)> {
+    let mut v = Vec::new();
+    let chess_input = offload_workloads::chess::input(9, 2);
+    let chess = Offloader::new()
+        .compile_source(offload_workloads::chess::SOURCE, "chess", &chess_input)
+        .expect("chess compiles");
+    v.push(("chess".to_string(), chess, chess_input));
+    for w in offload_workloads::all() {
+        let app = w.compile().expect("miniature compiles");
+        v.push((w.name.to_string(), app, (w.eval_input)()));
+    }
+    v
+}
+
+/// `repeat` copies of every suite entry, in round-robin submission order
+/// (pass 0 of all apps, then pass 1, ...), on the fast network.
+#[must_use]
+pub fn make_jobs<'a>(
+    suite: &'a [(String, CompiledApp, WorkloadInput)],
+    repeat: usize,
+) -> Vec<FarmJob<'a>> {
+    let mut jobs = Vec::with_capacity(suite.len() * repeat.max(1));
+    for _ in 0..repeat.max(1) {
+        for (_, app, input) in suite {
+            jobs.push(FarmJob {
+                app,
+                input: input.clone(),
+                cfg: SessionConfig::fast_network(),
+            });
+        }
+    }
+    jobs
+}
+
+/// Greedy list-scheduled makespan: place each duration, in submission
+/// order, on the currently least-loaded of `workers` workers (ties go to
+/// the lowest worker id). This models the farm's atomic job queue on
+/// simulated time and is fully deterministic.
+#[must_use]
+pub fn list_schedule_makespan(durations: &[f64], workers: usize) -> f64 {
+    let mut load = vec![0.0f64; workers.max(1)];
+    for &d in durations {
+        let mut best = 0;
+        for (i, &l) in load.iter().enumerate() {
+            if l < load[best] {
+                best = i;
+            }
+        }
+        load[best] += d;
+    }
+    load.iter().fold(0.0f64, |m, &l| m.max(l))
+}
+
+/// One worker-count row of the farm benchmark.
+#[derive(Debug, Clone)]
+pub struct FarmRow {
+    /// Worker threads.
+    pub workers: usize,
+    /// Simulated suite makespan under list scheduling, seconds.
+    pub makespan_s: f64,
+    /// Simulated suite throughput: jobs / makespan.
+    pub sessions_per_s: f64,
+    /// Simulated speedup vs the serial makespan.
+    pub speedup: f64,
+    /// Host wall-clock of the farm run, milliseconds (informational).
+    pub host_ms: u64,
+}
+
+/// The whole farm benchmark artifact.
+#[derive(Debug, Clone)]
+pub struct FarmBench {
+    /// Total jobs per run.
+    pub jobs: usize,
+    /// Serial suite time: sum of all simulated session durations.
+    pub serial_s: f64,
+    /// One row per requested worker count.
+    pub rows: Vec<FarmRow>,
+}
+
+/// Run the farm at every count in `worker_counts`, verifying each run is
+/// byte-identical to the first, and derive the simulated throughput rows.
+///
+/// # Panics
+///
+/// If a session fails or any run diverges from the first — both are
+/// correctness bugs, not benchmark noise.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn run_bench(jobs: &[FarmJob], worker_counts: &[usize]) -> FarmBench {
+    assert!(!worker_counts.is_empty(), "need at least one worker count");
+    let mut reference: Option<Vec<native_offloader::RunReport>> = None;
+    let mut rows = Vec::with_capacity(worker_counts.len());
+    let mut durations: Vec<f64> = Vec::new();
+    let mut serial_s = 0.0;
+    for &workers in worker_counts {
+        let started = Instant::now();
+        let farm = run_farm(jobs, workers).expect("farm run");
+        let host_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        match &reference {
+            None => {
+                durations = farm.reports.iter().map(|r| r.total_seconds).collect();
+                serial_s = durations.iter().sum();
+                reference = Some(farm.reports);
+            }
+            Some(want) => {
+                for (i, (a, b)) in want.iter().zip(&farm.reports).enumerate() {
+                    reports_equal(a, b)
+                        .unwrap_or_else(|e| panic!("job {i} diverged at {workers} workers: {e}"));
+                }
+            }
+        }
+        let makespan_s = list_schedule_makespan(&durations, workers);
+        rows.push(FarmRow {
+            workers,
+            makespan_s,
+            sessions_per_s: jobs.len() as f64 / makespan_s.max(f64::MIN_POSITIVE),
+            speedup: serial_s / makespan_s.max(f64::MIN_POSITIVE),
+            host_ms,
+        });
+    }
+    FarmBench {
+        jobs: jobs.len(),
+        serial_s,
+        rows,
+    }
+}
+
+/// Render the artifact as pretty-printed JSON (hand-rolled — the
+/// workspace is dependency-free by design).
+#[must_use]
+pub fn to_json(bench: &FarmBench) -> String {
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": \"bench_pr4.v1\",\n");
+    j.push_str(
+        "  \"units\": \"makespan/serial are simulated seconds (deterministic, gateable); host_ms is wall clock (informational only)\",\n",
+    );
+    let _ = write!(
+        j,
+        "  \"jobs\": {},\n  \"serial_s\": {:.6},\n  \"farm\": [\n",
+        bench.jobs, bench.serial_s
+    );
+    for (i, r) in bench.rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"workers\": {}, \"makespan_s\": {:.6}, \"sessions_per_s\": {:.2}, \"speedup\": {:.2}, \"host_ms\": {}}}",
+            r.workers, r.makespan_s, r.sessions_per_s, r.speedup, r.host_ms
+        );
+        j.push_str(if i + 1 == bench.rows.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+/// Pull one `"key": <number>` out of `text` starting at `from`.
+fn scan_f64(text: &str, from: usize, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start();
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// The committed simulated speedup at `workers` from a `bench_pr4.v1`
+/// JSON artifact.
+///
+/// # Errors
+///
+/// Returns a message if the row or its `speedup` field is missing.
+pub fn parse_committed_speedup(text: &str, workers: usize) -> Result<f64, String> {
+    let at = text
+        .find(&format!("\"workers\": {workers},"))
+        .ok_or_else(|| format!("no workers={workers} row in committed farm bench"))?;
+    scan_f64(text, at, "speedup").ok_or_else(|| format!("workers={workers} row lacks speedup"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_scheduling_is_deterministic_and_balanced() {
+        let d = [4.0, 1.0, 1.0, 1.0, 1.0];
+        assert!((list_schedule_makespan(&d, 1) - 8.0).abs() < 1e-12);
+        // Greedy: 4 goes to worker 0, the 1s fill worker 1.
+        assert!((list_schedule_makespan(&d, 2) - 4.0).abs() < 1e-12);
+        // More workers than jobs: bounded by the longest job.
+        assert!((list_schedule_makespan(&d, 16) - 4.0).abs() < 1e-12);
+        // Empty input schedules to zero.
+        assert_eq!(list_schedule_makespan(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_checker_scanner() {
+        let bench = FarmBench {
+            jobs: 72,
+            serial_s: 100.0,
+            rows: vec![
+                FarmRow {
+                    workers: 1,
+                    makespan_s: 100.0,
+                    sessions_per_s: 0.72,
+                    speedup: 1.0,
+                    host_ms: 1234,
+                },
+                FarmRow {
+                    workers: 4,
+                    makespan_s: 28.0,
+                    sessions_per_s: 2.57,
+                    speedup: 3.57,
+                    host_ms: 999,
+                },
+            ],
+        };
+        let j = to_json(&bench);
+        assert!((parse_committed_speedup(&j, 4).unwrap() - 3.57).abs() < 1e-9);
+        assert!((parse_committed_speedup(&j, 1).unwrap() - 1.0).abs() < 1e-9);
+        assert!(parse_committed_speedup(&j, 8).is_err());
+    }
+
+    /// The PR's throughput acceptance gate: the committed artifact must
+    /// show at least 2.5× simulated suite throughput at 4 workers.
+    #[test]
+    fn committed_speedup_at_four_workers_meets_the_gate() {
+        let committed = include_str!("../../../BENCH_pr4.json");
+        let speedup = parse_committed_speedup(committed, 4).expect("committed artifact parses");
+        assert!(
+            speedup >= 2.5,
+            "committed farm speedup at 4 workers is {speedup}, below the 2.5x gate"
+        );
+    }
+}

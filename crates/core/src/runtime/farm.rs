@@ -1,0 +1,276 @@
+//! The concurrent session farm: N offload sessions across a scoped
+//! worker-thread pool, byte-identical to running them serially.
+//!
+//! A farm takes a queue of [`FarmJob`]s — `(app, input, config)` triples
+//! — and drains it with `workers` threads. Each worker owns:
+//!
+//! * a [`SessionPool`] of page-frame arenas, recycled session to session
+//!   so steady-state work allocates no new frames;
+//! * a private [`TraceCollector`], moved out after every session as a
+//!   [`TraceShard`] tagged with the job's **submission index**.
+//!
+//! Determinism is by construction. Every session is a pure function of
+//! its job (the simulation has no global mutable state; the only
+//! thread-local — the LZ scratch — is proven output-invariant), so the
+//! per-job results cannot depend on which worker ran them. Gathered
+//! results are stable-sorted by job index, and shards merge through
+//! [`merge_shards`] the same way: reports, console output, wire-byte
+//! counters and traces come out identical to a serial run no matter the
+//! worker count or finish order. [`check_serial_equivalence`] verifies
+//! exactly that, field by field.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use offload_obs::{merge_shards, MergedTrace, TraceCollector, TraceShard};
+
+use crate::compiler::CompiledApp;
+use crate::config::{SessionConfig, WorkloadInput};
+use crate::runtime::report::RunReport;
+use crate::runtime::session::{run_offloaded_pooled, run_offloaded_traced, SessionPool};
+use crate::OffloadError;
+
+/// Ring capacity of each worker's collector — sized so no miniature
+/// workload drops records (reconciliation needs the complete stream).
+pub const FARM_RING_CAPACITY: usize = 1 << 20;
+
+/// One unit of farm work: run `app` on `input` under `cfg`.
+#[derive(Debug, Clone)]
+pub struct FarmJob<'a> {
+    /// The compiled two-partition application.
+    pub app: &'a CompiledApp,
+    /// Workload input (stdin + files).
+    pub input: WorkloadInput,
+    /// Session configuration (link, devices, policies).
+    pub cfg: SessionConfig,
+}
+
+/// A completed farm run: everything in job-submission order.
+#[derive(Debug)]
+pub struct FarmResult {
+    /// Per-job reports, `reports[i]` for `jobs[i]`.
+    pub reports: Vec<RunReport>,
+    /// Per-job traces merged in job-index order; `trace.shard(i)` is the
+    /// complete event stream of `jobs[i]`.
+    pub trace: MergedTrace,
+}
+
+/// Run `jobs` across `workers` threads (clamped to `1..=jobs.len()`).
+///
+/// Jobs are claimed from an atomic queue head; results and trace shards
+/// are gathered per worker and stable-sorted by job index, so the output
+/// is identical for every worker count — `run_farm(jobs, 8)` returns the
+/// same bytes as `run_farm(jobs, 1)`.
+///
+/// # Errors
+///
+/// If any session fails, the error of the **lowest-indexed** failing job
+/// is returned — deterministic even when several jobs fail at once.
+///
+/// # Panics
+///
+/// If a worker thread panics (a bug in the session engine, not a job
+/// failure — those are `Err` results).
+pub fn run_farm(jobs: &[FarmJob], workers: usize) -> Result<FarmResult, OffloadError> {
+    let workers = workers.clamp(1, jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+
+    let mut gathered: Vec<(usize, Result<RunReport, OffloadError>, TraceShard)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut pool = SessionPool::new();
+                        let mut obs = TraceCollector::with_capacity(FARM_RING_CAPACITY);
+                        let mut out = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = jobs.get(idx) else { break };
+                            let res = run_offloaded_pooled(
+                                job.app, &job.input, &job.cfg, &mut obs, &mut pool,
+                            );
+                            // Move the session's trace out (tagged by job
+                            // index) and reset the collector for the next
+                            // job, keeping the ring allocation.
+                            out.push((idx, res, obs.take_shard(idx)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("farm worker panicked"))
+                .collect()
+        });
+
+    // Submission order, independent of worker scheduling.
+    gathered.sort_by_key(|(idx, _, _)| *idx);
+
+    let mut reports = Vec::with_capacity(gathered.len());
+    let mut shards = Vec::with_capacity(gathered.len());
+    for (_, res, shard) in gathered {
+        reports.push(res?);
+        shards.push(shard);
+    }
+    Ok(FarmResult {
+        reports,
+        trace: merge_shards(shards),
+    })
+}
+
+/// `Ok(())` when `a` and `b` agree on every field, bit for bit for the
+/// f64 headline numbers; otherwise the name of the first differing field.
+///
+/// `RunReport` deliberately has no `PartialEq` (`==` on floats would
+/// accept `-0.0 == 0.0` and reject NaN); this helper is the farm's
+/// byte-identity oracle.
+///
+/// # Errors
+///
+/// The first differing field, by name.
+pub fn reports_equal(a: &RunReport, b: &RunReport) -> Result<(), String> {
+    fn bits(field: &str, x: f64, y: f64) -> Result<(), String> {
+        if x.to_bits() == y.to_bits() {
+            Ok(())
+        } else {
+            Err(format!("{field}: {x} != {y}"))
+        }
+    }
+    fn eq<T: PartialEq + std::fmt::Debug>(field: &str, x: &T, y: &T) -> Result<(), String> {
+        if x == y {
+            Ok(())
+        } else {
+            Err(format!("{field}: {x:?} != {y:?}"))
+        }
+    }
+    eq("name", &a.name, &b.name)?;
+    eq("console", &a.console, &b.console)?;
+    eq("exit_code", &a.exit_code, &b.exit_code)?;
+    bits("total_seconds", a.total_seconds, b.total_seconds)?;
+    bits("energy_mj", a.energy_mj, b.energy_mj)?;
+    bits(
+        "breakdown.mobile_compute_s",
+        a.breakdown.mobile_compute_s,
+        b.breakdown.mobile_compute_s,
+    )?;
+    bits(
+        "breakdown.server_compute_s",
+        a.breakdown.server_compute_s,
+        b.breakdown.server_compute_s,
+    )?;
+    bits(
+        "breakdown.fn_ptr_translation_s",
+        a.breakdown.fn_ptr_translation_s,
+        b.breakdown.fn_ptr_translation_s,
+    )?;
+    bits(
+        "breakdown.remote_io_s",
+        a.breakdown.remote_io_s,
+        b.breakdown.remote_io_s,
+    )?;
+    bits(
+        "breakdown.communication_s",
+        a.breakdown.communication_s,
+        b.breakdown.communication_s,
+    )?;
+    eq("upload", &a.upload, &b.upload)?;
+    eq("download", &a.download, &b.download)?;
+    eq("offload_attempts", &a.offload_attempts, &b.offload_attempts)?;
+    eq(
+        "offloads_performed",
+        &a.offloads_performed,
+        &b.offloads_performed,
+    )?;
+    eq("offloads_refused", &a.offloads_refused, &b.offloads_refused)?;
+    eq(
+        "demand_page_fetches",
+        &a.demand_page_fetches,
+        &b.demand_page_fetches,
+    )?;
+    eq("prefetched_pages", &a.prefetched_pages, &b.prefetched_pages)?;
+    eq(
+        "dirty_pages_written_back",
+        &a.dirty_pages_written_back,
+        &b.dirty_pages_written_back,
+    )?;
+    eq(
+        "fn_map_translations",
+        &a.fn_map_translations,
+        &b.fn_map_translations,
+    )?;
+    eq("remote_io_calls", &a.remote_io_calls, &b.remote_io_calls)?;
+    eq("timeline", &a.timeline.intervals(), &b.timeline.intervals())?;
+    eq("events", &a.events, &b.events)?;
+    eq("metrics", &a.metrics, &b.metrics)?;
+    Ok(())
+}
+
+/// Run `jobs` through the farm at `workers` threads AND serially (fresh
+/// collector and arenas per session), then require byte-identical
+/// reports and traces. This is the `reproduce farm
+/// --check-serial-equivalence` gate.
+///
+/// # Errors
+///
+/// The job index and first differing field when equivalence fails, or
+/// either path's session error.
+pub fn check_serial_equivalence(jobs: &[FarmJob], workers: usize) -> Result<(), String> {
+    let farm = run_farm(jobs, workers).map_err(|e| format!("farm run failed: {e}"))?;
+    for (idx, job) in jobs.iter().enumerate() {
+        let mut obs = TraceCollector::with_capacity(FARM_RING_CAPACITY);
+        let serial = run_offloaded_traced(job.app, &job.input, &job.cfg, &mut obs)
+            .map_err(|e| format!("serial job {idx} failed: {e}"))?;
+        reports_equal(&serial, &farm.reports[idx])
+            .map_err(|e| format!("job {idx} report diverged: {e}"))?;
+        let shard = farm
+            .trace
+            .shard(idx)
+            .ok_or_else(|| format!("job {idx} has no trace shard"))?;
+        if shard.records != obs.records() {
+            return Err(format!(
+                "job {idx} trace diverged: {} farm records vs {} serial",
+                shard.records.len(),
+                obs.records().len()
+            ));
+        }
+        if shard.dropped != obs.dropped() {
+            return Err(format!("job {idx} drop counts diverged"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Everything a job crosses a worker-thread boundary with (and the
+    /// gathered results crossing back) must be `Send`. A compile-time
+    /// audit: this test "runs" trivially but fails to build if any type
+    /// regresses to `!Send`.
+    #[test]
+    fn farm_crossed_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CompiledApp>();
+        assert_send::<SessionConfig>();
+        assert_send::<WorkloadInput>();
+        assert_send::<FarmJob<'static>>();
+        assert_send::<RunReport>();
+        assert_send::<SessionPool>();
+        assert_send::<TraceCollector>();
+        assert_send::<TraceShard>();
+        assert_send::<MergedTrace>();
+        assert_send::<FarmResult>();
+        assert_send::<OffloadError>();
+        assert_send::<offload_machine::mem::Memory>();
+        assert_send::<offload_net::Channel>();
+    }
+
+    #[test]
+    fn empty_farm_returns_empty_result() {
+        let farm = run_farm(&[], 4).unwrap();
+        assert!(farm.reports.is_empty());
+        assert!(farm.trace.is_empty());
+    }
+}

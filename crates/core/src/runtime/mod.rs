@@ -4,7 +4,11 @@
 pub mod bandwidth;
 pub mod derive;
 pub mod estimator;
+pub mod farm;
 pub mod report;
 pub mod session;
 
-pub use session::{run_local, run_offloaded, run_offloaded_traced};
+pub use farm::{run_farm, FarmJob, FarmResult};
+pub use session::{
+    run_local, run_offloaded, run_offloaded_pooled, run_offloaded_traced, SessionPool,
+};

@@ -109,17 +109,83 @@ pub fn run_offloaded(
 /// # Errors
 ///
 /// Simulated-execution failures.
-#[allow(clippy::too_many_lines)]
 pub fn run_offloaded_traced(
     app: &CompiledApp,
     input: &WorkloadInput,
     cfg: &SessionConfig,
     obs: &mut dyn Collector,
 ) -> Result<RunReport, OffloadError> {
-    let mobile_image = loader::load(&app.mobile, &cfg.mobile.data_layout())?;
+    run_offloaded_pooled(app, input, cfg, obs, &mut SessionPool::new())
+}
+
+/// Reusable per-worker session resources: the page-frame arenas backing
+/// the simulated mobile and server address spaces. Loading an image into
+/// a pooled [`Memory`] recycles its frames instead of growing the heap,
+/// so in steady state a worker running session after session allocates
+/// no new page frames at all ([`SessionPool::frame_allocs`] stays flat —
+/// the farm's pooled-reuse gate).
+#[derive(Debug)]
+pub struct SessionPool {
+    mobile: Memory,
+    server: Memory,
+}
+
+impl SessionPool {
+    /// An empty pool; the first session through it allocates the arenas.
+    #[must_use]
+    pub fn new() -> Self {
+        SessionPool {
+            mobile: Memory::new(BackingPolicy::DemandZero),
+            server: Memory::new(BackingPolicy::DemandZero),
+        }
+    }
+
+    /// Heap page-frame allocations across the pool's lifetime (recycled
+    /// frames do not count). Flat across two identical sessions means the
+    /// second reused every frame of the first. A failed session forfeits
+    /// its arenas, so the counter restarts from the replacement arenas.
+    #[must_use]
+    pub fn frame_allocs(&self) -> u64 {
+        self.mobile.frame_allocs() + self.server.frame_allocs()
+    }
+
+    fn take_mobile(&mut self) -> Memory {
+        std::mem::replace(&mut self.mobile, Memory::new(BackingPolicy::DemandZero))
+    }
+
+    fn take_server(&mut self) -> Memory {
+        std::mem::replace(&mut self.server, Memory::new(BackingPolicy::DemandZero))
+    }
+}
+
+impl Default for SessionPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// [`run_offloaded_traced`] borrowing its page-frame arenas from `pool`
+/// and returning them when the session completes. Byte-identical to the
+/// unpooled path — pooling only changes where the frames come from.
+///
+/// # Errors
+///
+/// Simulated-execution failures (the failed session's arenas are dropped;
+/// the pool refills with fresh ones on the next call).
+#[allow(clippy::too_many_lines)]
+pub fn run_offloaded_pooled(
+    app: &CompiledApp,
+    input: &WorkloadInput,
+    cfg: &SessionConfig,
+    obs: &mut dyn Collector,
+    pool: &mut SessionPool,
+) -> Result<RunReport, OffloadError> {
+    let mobile_image =
+        loader::load_into(&app.mobile, &cfg.mobile.data_layout(), pool.take_mobile())?;
     // The server process starts with an empty address space: everything it
     // touches arrives by prefetch or copy-on-demand.
-    let mut server_image = loader::load(&app.server, &cfg.mobile.data_layout())?;
+    let mut server_image =
+        loader::load_into(&app.server, &cfg.mobile.data_layout(), pool.take_server())?;
     server_image.mem.clear();
     server_image.mem.set_policy(BackingPolicy::FaultOnAbsent);
     // Delta write-back diffs dirty pages against their faulted-in bytes;
@@ -181,11 +247,17 @@ pub fn run_offloaded_traced(
     };
     host.account_mobile(mobile_vm.clock.cycles);
 
+    // The VMs are done; reclaim both page-frame arenas for the pool
+    // before the report is assembled.
+    let mobile_cycles = mobile_vm.clock.cycles;
+    pool.mobile = mobile_vm.into_memory();
+    pool.server = host.server_vm.into_memory();
+
     let mobile_hz = cfg.mobile.clock_hz as f64;
     let server_hz = cfg.server.clock_hz as f64;
     let fn_map_s = host.fn_map_cycles as f64 / server_hz;
     let breakdown = OverheadBreakdown {
-        mobile_compute_s: mobile_vm.clock.cycles as f64 / mobile_hz + host.decompress_s,
+        mobile_compute_s: mobile_cycles as f64 / mobile_hz + host.decompress_s,
         server_compute_s: (host.server_cycles_total as f64 / server_hz - fn_map_s).max(0.0),
         fn_ptr_translation_s: fn_map_s,
         remote_io_s: host.remote_io_s,
@@ -1617,6 +1689,87 @@ mod tests {
             .unwrap();
         assert!(slow.total_seconds > fast.total_seconds);
         assert!(slow.breakdown.communication_s > fast.breakdown.communication_s);
+    }
+
+    #[test]
+    fn pooled_sessions_reuse_page_frames_and_stay_byte_identical() {
+        let app = compiled();
+        let input = WorkloadInput::from_stdin("4000\n");
+        let cfg = SessionConfig::fast_network();
+        let baseline = app.run_offloaded(&input, &cfg).unwrap();
+
+        let mut pool = SessionPool::new();
+        let first =
+            run_offloaded_pooled(&app, &input, &cfg, &mut NoopCollector, &mut pool).unwrap();
+        let after_first = pool.frame_allocs();
+        assert!(after_first > 0, "the first session populates the arenas");
+
+        // Steady state: identical sessions through one pool recycle every
+        // frame — the heap is never asked for another page.
+        for _ in 0..3 {
+            let again =
+                run_offloaded_pooled(&app, &input, &cfg, &mut NoopCollector, &mut pool).unwrap();
+            assert_eq!(again.console, first.console);
+            assert_eq!(again.total_seconds.to_bits(), first.total_seconds.to_bits());
+            assert_eq!(again.breakdown, first.breakdown);
+        }
+        assert_eq!(
+            pool.frame_allocs(),
+            after_first,
+            "steady-state sessions must not allocate new page frames"
+        );
+
+        // Pooling is a pure resource optimization: same report as the
+        // unpooled path.
+        assert_eq!(baseline.console, first.console);
+        assert_eq!(
+            baseline.total_seconds.to_bits(),
+            first.total_seconds.to_bits()
+        );
+        assert_eq!(baseline.breakdown, first.breakdown);
+    }
+
+    #[test]
+    fn pool_survives_differently_shaped_sessions() {
+        // Alternating between two different apps through one pool must
+        // still be byte-identical to fresh-arena runs (the recycle path
+        // fully resets layout, policy and baselines).
+        let heavy = compiled();
+        let app2 = Offloader::new()
+            .compile_source(
+                "
+                int n;
+                double work(int k) {
+                    double acc = 0.0; int i;
+                    for (i = 0; i < k * 1000; i++) acc += (double)(i % 7);
+                    return acc;
+                }
+                int main() {
+                    scanf(\"%d\", &n);
+                    printf(\"%.1f\\n\", work(n));
+                    return 0;
+                }",
+                "worker2",
+                &WorkloadInput::from_stdin("400\n"),
+            )
+            .unwrap();
+        let cfg = SessionConfig::fast_network();
+        let in1 = WorkloadInput::from_stdin("3000\n");
+        let in2 = WorkloadInput::from_stdin("500\n");
+        let want1 = heavy.run_offloaded(&in1, &cfg).unwrap();
+        let want2 = app2.run_offloaded(&in2, &cfg).unwrap();
+
+        let mut pool = SessionPool::new();
+        for _ in 0..2 {
+            let got1 =
+                run_offloaded_pooled(&heavy, &in1, &cfg, &mut NoopCollector, &mut pool).unwrap();
+            let got2 =
+                run_offloaded_pooled(&app2, &in2, &cfg, &mut NoopCollector, &mut pool).unwrap();
+            assert_eq!(got1.console, want1.console);
+            assert_eq!(got1.total_seconds.to_bits(), want1.total_seconds.to_bits());
+            assert_eq!(got2.console, want2.console);
+            assert_eq!(got2.total_seconds.to_bits(), want2.total_seconds.to_bits());
+        }
     }
 
     #[test]

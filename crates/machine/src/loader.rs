@@ -95,7 +95,40 @@ pub fn load_at(
     base: u64,
     fn_base: u64,
 ) -> Result<Image, LoadError> {
-    let mut mem = Memory::new(BackingPolicy::DemandZero);
+    load_at_into(
+        module,
+        layout,
+        base,
+        fn_base,
+        Memory::new(BackingPolicy::DemandZero),
+    )
+}
+
+/// Like [`load`] but initializing into `mem`, a memory recycled from a
+/// finished session: the image is byte-identical to a fresh [`load`], but
+/// steady-state loads reuse the pooled page frames instead of allocating.
+///
+/// # Errors
+///
+/// Returns [`LoadError`] on malformed initializers.
+pub fn load_into(module: &Module, layout: &DataLayout, mem: Memory) -> Result<Image, LoadError> {
+    load_at_into(
+        module,
+        layout,
+        uva_map::GLOBALS_BASE,
+        uva_map::MOBILE_FN_BASE,
+        mem,
+    )
+}
+
+fn load_at_into(
+    module: &Module,
+    layout: &DataLayout,
+    base: u64,
+    fn_base: u64,
+    mut mem: Memory,
+) -> Result<Image, LoadError> {
+    mem.recycle(BackingPolicy::DemandZero);
     let mut cursor = base;
     let mut global_addrs = Vec::with_capacity(module.global_count());
 
@@ -291,6 +324,35 @@ mod tests {
         assert_eq!(
             addr,
             uva_map::MOBILE_FN_BASE + half.0 as u64 * uva_map::FN_STRIDE
+        );
+    }
+
+    #[test]
+    fn load_into_recycled_memory_matches_fresh_load() {
+        let m = compile("int xs[2000]; int y = 7; int main() { return 0; }");
+        let layout = TargetAbi::MobileArm32.data_layout();
+        let fresh = load(&m, &layout).unwrap();
+
+        // Dirty a memory with unrelated pages, then recycle it through the
+        // pooled entry point: the image must be byte-identical.
+        let mut used = Memory::new(BackingPolicy::DemandZero);
+        used.write(0x0DEA_D000, &[0xAA; 512]).unwrap();
+        used.write(0x1_0000, &[0x55; 4096]).unwrap();
+        let allocs_before = used.frame_allocs();
+        let pooled = load_into(&m, &layout, used).unwrap();
+
+        assert_eq!(pooled.global_addrs, fresh.global_addrs);
+        assert_eq!(pooled.globals_end, fresh.globals_end);
+        let fresh_pages: Vec<u64> = fresh.mem.present_pages().collect();
+        let pooled_pages: Vec<u64> = pooled.mem.present_pages().collect();
+        assert_eq!(fresh_pages, pooled_pages);
+        for p in fresh_pages {
+            assert_eq!(fresh.mem.page_bytes(p), pooled.mem.page_bytes(p));
+        }
+        assert_eq!(pooled.mem.dirty_count(), 0);
+        assert!(
+            pooled.mem.frame_allocs() >= allocs_before,
+            "lifetime counter survives recycling"
         );
     }
 

@@ -118,6 +118,11 @@ pub struct Memory {
     dirty_count: usize,
     /// Snapshot pre-write bytes when a page first goes dirty.
     track_baselines: bool,
+    /// Frames allocated from the heap over this memory's whole lifetime
+    /// (recycled frames do not count). The farm's pooled-reuse gate
+    /// watches this: a steady-state session on a recycled memory must
+    /// not grow it.
+    frame_allocs: u64,
 }
 
 impl Memory {
@@ -132,6 +137,7 @@ impl Memory {
             policy,
             dirty_count: 0,
             track_baselines: false,
+            frame_allocs: 0,
         }
     }
 
@@ -185,8 +191,26 @@ impl Memory {
             slot
         } else {
             self.slots.push(Page::zeroed());
+            self.frame_allocs += 1;
             (self.slots.len() - 1) as u32
         }
+    }
+
+    /// Heap frame allocations over this memory's lifetime. Frames freed by
+    /// [`Memory::evict_page`]/[`Memory::clear`] are recycled without
+    /// counting again, so a pooled memory in steady state holds this flat.
+    pub fn frame_allocs(&self) -> u64 {
+        self.frame_allocs
+    }
+
+    /// Reset this memory for reuse by a new session: drop every page
+    /// (keeping the frames for recycling), adopt `policy`, and switch
+    /// baseline tracking off. The lifetime [`Memory::frame_allocs`]
+    /// counter is preserved — that is the point of recycling.
+    pub fn recycle(&mut self, policy: BackingPolicy) {
+        self.clear();
+        self.policy = policy;
+        self.set_track_baselines(false);
     }
 
     /// Install a page's bytes (copy-on-demand delivery or prefetch). The
@@ -500,6 +524,40 @@ mod tests {
         m.read(7 * PAGE_SIZE, &mut b).unwrap();
         assert_eq!(b, [0u8; 16]);
         assert_eq!(m.dirty_count(), 0);
+    }
+
+    #[test]
+    fn recycle_reuses_frames_without_new_allocations() {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        m.write(0, &[1]).unwrap();
+        m.write(PAGE_SIZE * 3, &[2]).unwrap();
+        let allocs = m.frame_allocs();
+        assert_eq!(allocs, 2);
+        m.recycle(BackingPolicy::DemandZero);
+        assert_eq!(m.present_count(), 0);
+        // The same working set fits entirely in recycled frames.
+        m.write(0, &[3]).unwrap();
+        m.write(PAGE_SIZE * 7, &[4]).unwrap();
+        assert_eq!(m.frame_allocs(), allocs, "steady state must not allocate");
+        // Recycled pages read as fresh zeroes around the written bytes.
+        let mut b = [0xFFu8; 2];
+        m.read(0, &mut b).unwrap();
+        assert_eq!(b, [3, 0]);
+    }
+
+    #[test]
+    fn recycle_adopts_policy_and_drops_baseline_tracking() {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        m.set_track_baselines(true);
+        m.write(0, &[9]).unwrap();
+        m.recycle(BackingPolicy::FaultOnAbsent);
+        assert_eq!(m.policy(), BackingPolicy::FaultOnAbsent);
+        assert!(!m.tracks_baselines());
+        let mut b = [0u8];
+        assert_eq!(
+            m.read(0, &mut b).unwrap_err(),
+            MemError::PageFault { page: 0 }
+        );
     }
 
     #[test]

@@ -341,6 +341,12 @@ impl<'m> Vm<'m> {
         self.module
     }
 
+    /// Tear the VM down, returning its memory so a session pool can
+    /// recycle the page-frame arena for the next session.
+    pub fn into_memory(self) -> Memory {
+        self.mem
+    }
+
     /// The layout in force.
     pub fn layout(&self) -> DataLayout {
         self.layout

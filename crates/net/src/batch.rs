@@ -190,6 +190,54 @@ mod tests {
     }
 
     #[test]
+    fn threshold_boundary_one_byte_under_at_and_over() {
+        let mut ch = Channel::new(Link::wifi_802_11ac());
+        let t = 256u64;
+
+        // One byte under the threshold: no flush, payload stays queued.
+        let mut buf = BatchBuffer::new(Direction::ServerToMobile, MsgKind::RemoteIo, false)
+            .with_flush_threshold(t);
+        assert!(buf.push_through(&[1u8; 255], &mut ch, 0.0).is_none());
+        assert_eq!(buf.pending_bytes(), 255);
+        assert_eq!(ch.download_stats().messages, 0);
+
+        // The next byte lands exactly on the threshold: the flush fires
+        // and ships the whole pending payload.
+        let (_, raw, wire) = buf
+            .push_through(&[1u8; 1], &mut ch, 0.0)
+            .expect("flush exactly at the threshold");
+        assert_eq!((raw, wire), (t, t));
+        assert_eq!(buf.pending_bytes(), 0);
+        assert_eq!(ch.download_stats().messages, 1);
+
+        // A single message landing exactly at the threshold flushes.
+        let mut buf = BatchBuffer::new(Direction::ServerToMobile, MsgKind::RemoteIo, false)
+            .with_flush_threshold(t);
+        let (_, raw, _) = buf
+            .push_through(&[2u8; 256], &mut ch, 0.0)
+            .expect("single at-threshold message flushes");
+        assert_eq!(raw, t);
+        assert_eq!(buf.pending_bytes(), 0);
+
+        // A single message one byte over the threshold flushes all of it.
+        let mut buf = BatchBuffer::new(Direction::ServerToMobile, MsgKind::RemoteIo, false)
+            .with_flush_threshold(t);
+        let (_, raw, _) = buf
+            .push_through(&[3u8; 257], &mut ch, 0.0)
+            .expect("single over-threshold message flushes");
+        assert_eq!(raw, t + 1);
+        assert_eq!(buf.pending_bytes(), 0);
+
+        // A single message one byte under stays queued until demanded.
+        let mut buf = BatchBuffer::new(Direction::ServerToMobile, MsgKind::RemoteIo, false)
+            .with_flush_threshold(t);
+        assert!(buf.push_through(&[4u8; 255], &mut ch, 0.0).is_none());
+        assert_eq!(buf.pending_bytes(), t - 1);
+        let (_, raw, _) = buf.flush(&mut ch, 0.0);
+        assert_eq!(raw, t - 1);
+    }
+
+    #[test]
     fn no_threshold_never_auto_flushes() {
         // Default mode must behave exactly like plain push: unbounded
         // accumulation, one flush on demand.

@@ -66,6 +66,15 @@ impl Scratch {
     /// Start a fresh input: one increment invalidates all `head` entries.
     fn begin(&mut self) {
         self.epoch += 1;
+        // The head tag packs the epoch into the top 32 bits; at 2^32 the
+        // packed tag truncates and every entry would read as permanently
+        // stale (no match is ever found again, silently changing the
+        // output). Wrap by clearing the table and restarting at epoch 1,
+        // which is indistinguishable from a fresh scratch.
+        if self.epoch > u64::from(u32::MAX) {
+            self.head.fill(0);
+            self.epoch = 1;
+        }
     }
 
     #[inline]
@@ -362,6 +371,76 @@ mod tests {
                 assert_eq!(&decompress(&compress(input)).unwrap(), input);
             }
         }
+    }
+
+    /// A deterministic mixed corpus: text runs, counters, zero gaps.
+    fn corpus(seed: u32, len: usize) -> Vec<u8> {
+        let mut x = seed;
+        let mut data = Vec::with_capacity(len);
+        while data.len() < len {
+            data.extend_from_slice(b"session frame payload ");
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            data.extend_from_slice(&x.to_le_bytes());
+            data.extend_from_slice(&[0u8; 37]);
+        }
+        data.truncate(len);
+        data
+    }
+
+    #[test]
+    fn compression_is_byte_identical_across_threads() {
+        // Every worker thread owns its own SCRATCH; the farm's
+        // byte-identity guarantee needs the output to be a pure function
+        // of the input, independent of which thread compresses.
+        let inputs: Vec<Vec<u8>> = vec![
+            corpus(1, 20_000),
+            corpus(2, 4096),
+            vec![0u8; 8192],
+            b"abcabcabc".repeat(500),
+        ];
+        let baseline: Vec<Vec<u8>> = inputs.iter().map(|d| compress(d)).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| inputs.iter().map(|d| compress(d)).collect::<Vec<Vec<u8>>>()))
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("worker"), baseline);
+            }
+        });
+    }
+
+    #[test]
+    fn compression_is_byte_identical_after_scratch_reuse() {
+        // A pooled worker compresses many dissimilar payloads back to
+        // back on one scratch; every repeat must produce the first
+        // output, byte for byte.
+        let inputs = [corpus(7, 16_384), corpus(8, 100), vec![0xEEu8; 6000]];
+        let first: Vec<Vec<u8>> = inputs.iter().map(|d| compress(d)).collect();
+        for _ in 0..5 {
+            for (d, want) in inputs.iter().zip(&first) {
+                assert_eq!(&compress(d), want, "reused scratch changed the bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_tag_wraparound_is_byte_identical() {
+        // At epoch 2^32 the packed head tag truncates; without the wrap
+        // handling in `begin` the finder would never match again and the
+        // output would silently degrade to pure literals.
+        let data = corpus(3, 20_000);
+        let want = compress_with(&mut Scratch::new(), &data);
+        assert!(want.len() < data.len(), "corpus must actually compress");
+
+        let mut s = Scratch::new();
+        let _ = compress_with(&mut s, &data); // populate live entries
+        s.epoch = u64::from(u32::MAX); // next begin() must wrap
+        let wrapped = compress_with(&mut s, &data);
+        assert_eq!(wrapped, want, "wraparound changed the bytes");
+        assert_eq!(s.epoch, 1, "epoch restarts after the wrap");
+        // The calls after the wrap behave like any other reuse.
+        assert_eq!(compress_with(&mut s, &data), want);
+        assert_eq!(decompress(&want).unwrap(), data);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::event::{EventKind, Record};
 use crate::metrics::{exp_buckets, MetricsRegistry, MetricsSnapshot};
+use crate::shard::TraceShard;
 
 /// Sink for typed events.
 pub trait Collector {
@@ -137,6 +138,21 @@ impl TraceCollector {
         self.head = 0;
         self.dropped = 0;
         self.metrics = MetricsRegistry::new();
+    }
+
+    /// Move the collected session out as a [`TraceShard`] tagged with the
+    /// farm `job` index, leaving the collector reset for the next session.
+    /// The ring's frame allocation is retained, so a worker thread running
+    /// many sessions pays for its ring once.
+    pub fn take_shard(&mut self, job: usize) -> TraceShard {
+        let shard = TraceShard {
+            job,
+            records: self.records(),
+            metrics: self.metrics.snapshot(),
+            dropped: self.dropped,
+        };
+        self.reset();
+        shard
     }
 
     fn update_metrics(&mut self, kind: &EventKind) {
@@ -396,5 +412,32 @@ mod tests {
         c.reset();
         assert!(c.is_empty());
         assert_eq!(c.metrics().counter("mobile_cycles"), 0);
+    }
+
+    #[test]
+    fn take_shard_moves_the_session_out_and_resets() {
+        let mut c = TraceCollector::with_capacity(8);
+        c.record(0.0, EventKind::MobileCompute { cycles: 3 });
+        c.record(0.1, EventKind::ServerCompute { cycles: 4 });
+        let shard = c.take_shard(5);
+        assert_eq!(shard.job, 5);
+        assert_eq!(shard.records.len(), 2);
+        assert_eq!(shard.dropped, 0);
+        assert_eq!(shard.metrics.counter("mobile_cycles"), 3);
+        // The collector is ready for the next job, nothing carried over.
+        assert!(c.is_empty());
+        assert_eq!(c.dropped(), 0);
+        assert_eq!(c.metrics().counter("mobile_cycles"), 0);
+        let next = c.take_shard(6);
+        assert!(next.records.is_empty());
+    }
+
+    #[test]
+    fn collectors_and_shards_cross_threads() {
+        fn assert_send<T: Send>() {}
+        assert_send::<TraceCollector>();
+        assert_send::<NoopCollector>();
+        assert_send::<crate::shard::TraceShard>();
+        assert_send::<crate::shard::MergedTrace>();
     }
 }

@@ -13,6 +13,8 @@
 //!   ring-buffered [`TraceCollector`] that also maintains metrics.
 //! * [`metrics`] — counters and fixed-bucket histograms
 //!   ([`MetricsRegistry`] / [`MetricsSnapshot`]).
+//! * [`shard`] — per-job [`TraceShard`]s plus the deterministic
+//!   job-index merge the concurrent session farm relies on.
 //! * [`export`] — Chrome `trace_event` JSONL plus human `--tree` /
 //!   `--timeline` renderers.
 //! * [`log`] — a tiny leveled stderr logger for the CLI tools.
@@ -27,9 +29,11 @@ pub mod event;
 pub mod export;
 pub mod log;
 pub mod metrics;
+pub mod shard;
 
 pub use collector::{Collector, CompileClock, NoopCollector, TraceCollector};
 pub use event::{
     CompilePhase, CostLane, DiagLane, Dir, EventKind, FrameKind, PowerLane, Record, RemoteOp, Span,
 };
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use shard::{merge_shards, MergedTrace, TraceShard};

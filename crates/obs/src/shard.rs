@@ -1,0 +1,130 @@
+//! Sharded trace collection for concurrent session farms.
+//!
+//! A farm runs many offload sessions across worker threads, each worker
+//! owning a private [`TraceCollector`](crate::TraceCollector). After every
+//! session the worker moves the collector's contents out as a
+//! [`TraceShard`] tagged with the session's **job index** — the position
+//! of the job in the submitted queue, a scheduling-independent identity.
+//! [`merge_shards`] then orders the shards by that index (stable), so the
+//! merged stream is byte-identical no matter which worker ran which job
+//! or in what order they finished.
+//!
+//! Each shard is a complete, self-contained session trace: per-job
+//! reconciliation (`derive::check_reconciliation` in `native-offloader`)
+//! runs against `shard.records` exactly as it would against a serial
+//! run's collector.
+
+use crate::event::Record;
+use crate::metrics::MetricsSnapshot;
+
+/// One session's complete event stream, tagged for deterministic merge.
+#[derive(Debug, Clone)]
+pub struct TraceShard {
+    /// Index of the job in the farm's submission order.
+    pub job: usize,
+    /// The session's records, in arrival order.
+    pub records: Vec<Record>,
+    /// Metrics accumulated over the session.
+    pub metrics: MetricsSnapshot,
+    /// Records lost to ring overflow during the session.
+    pub dropped: u64,
+}
+
+/// Shards ordered by job index — the deterministic merged view of a
+/// farm's trace, independent of worker scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct MergedTrace {
+    shards: Vec<TraceShard>,
+}
+
+impl MergedTrace {
+    /// The per-job shards, ascending by job index.
+    pub fn shards(&self) -> &[TraceShard] {
+        &self.shards
+    }
+
+    /// The shard for `job`, if present.
+    pub fn shard(&self, job: usize) -> Option<&TraceShard> {
+        self.shards
+            .binary_search_by_key(&job, |s| s.job)
+            .ok()
+            .map(|i| &self.shards[i])
+    }
+
+    /// All records concatenated in job order (job boundaries preserved by
+    /// [`MergedTrace::shards`]).
+    pub fn records(&self) -> Vec<Record> {
+        let total = self.shards.iter().map(|s| s.records.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for s in &self.shards {
+            out.extend_from_slice(&s.records);
+        }
+        out
+    }
+
+    /// Total records lost to ring overflow across all shards.
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Number of shards held.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` if no shards were merged.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+}
+
+/// Merge worker-collected shards into job-index order. The sort is
+/// stable, so shards sharing an index (which a correct farm never
+/// produces) keep their arrival order rather than flapping by thread
+/// timing.
+pub fn merge_shards(mut shards: Vec<TraceShard>) -> MergedTrace {
+    shards.sort_by_key(|s| s.job);
+    MergedTrace { shards }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn shard(job: usize, cycles: u64) -> TraceShard {
+        TraceShard {
+            job,
+            records: vec![Record {
+                ts_s: 0.0,
+                kind: EventKind::MobileCompute { cycles },
+            }],
+            metrics: MetricsSnapshot::default(),
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_job_index_regardless_of_arrival() {
+        // Two workers finishing out of order must merge identically.
+        let a = merge_shards(vec![shard(2, 20), shard(0, 0), shard(1, 10)]);
+        let b = merge_shards(vec![shard(1, 10), shard(2, 20), shard(0, 0)]);
+        let jobs: Vec<usize> = a.shards().iter().map(|s| s.job).collect();
+        assert_eq!(jobs, vec![0, 1, 2]);
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.shard(1).unwrap().records, shard(1, 10).records);
+        assert!(a.shard(9).is_none());
+    }
+
+    #[test]
+    fn merged_records_concatenate_in_job_order() {
+        let m = merge_shards(vec![shard(1, 111), shard(0, 222)]);
+        let recs = m.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kind, EventKind::MobileCompute { cycles: 222 });
+        assert_eq!(recs[1].kind, EventKind::MobileCompute { cycles: 111 });
+        assert_eq!(m.dropped(), 0);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+}

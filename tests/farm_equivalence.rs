@@ -1,0 +1,103 @@
+//! Integration: the concurrent session farm is byte-identical to serial
+//! execution — same reports, console output and wire-byte counters, and
+//! the merged sharded traces reconcile — for the whole 18-program suite.
+
+use std::sync::OnceLock;
+
+use native_offloader::runtime::derive::check_reconciliation;
+use native_offloader::runtime::farm::{
+    check_serial_equivalence, reports_equal, run_farm, FarmJob, FarmResult,
+};
+use native_offloader::{CompiledApp, Offloader, SessionConfig, WorkloadInput};
+use offload_workloads::{all, chess};
+
+/// The 17 miniatures plus chess (the 18th, paper §5.2 case study),
+/// compiled once per test binary.
+fn apps() -> &'static [(String, CompiledApp, WorkloadInput)] {
+    static APPS: OnceLock<Vec<(String, CompiledApp, WorkloadInput)>> = OnceLock::new();
+    APPS.get_or_init(|| {
+        let mut v: Vec<(String, CompiledApp, WorkloadInput)> = all()
+            .into_iter()
+            .map(|w| {
+                let app = w
+                    .compile()
+                    .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+                let input = (w.eval_input)();
+                (w.name.to_string(), app, input)
+            })
+            .collect();
+        let chess_app = Offloader::new()
+            .compile_source(chess::SOURCE, "chess", &chess::input(9, 2))
+            .expect("chess compiles");
+        v.push(("chess".to_string(), chess_app, chess::input(9, 2)));
+        v
+    })
+}
+
+fn jobs() -> Vec<FarmJob<'static>> {
+    apps()
+        .iter()
+        .map(|(_, app, input)| FarmJob {
+            app,
+            input: input.clone(),
+            cfg: SessionConfig::fast_network(),
+        })
+        .collect()
+}
+
+/// One serial (reference) and one 4-worker farm over the full suite,
+/// shared across the tests below (sessions are the expensive part).
+fn farms() -> &'static (FarmResult, FarmResult) {
+    static FARMS: OnceLock<(FarmResult, FarmResult)> = OnceLock::new();
+    FARMS.get_or_init(|| {
+        let jobs = jobs();
+        let serial = run_farm(&jobs, 1).expect("serial farm");
+        let parallel = run_farm(&jobs, 4).expect("parallel farm");
+        (serial, parallel)
+    })
+}
+
+/// The core guarantee: parallel worker counts produce the same bytes as
+/// one worker, for every workload — reports field by field (f64s
+/// compared on bits) and traces record by record.
+#[test]
+fn farm_is_byte_identical_across_worker_counts() {
+    let (reference, parallel4) = farms();
+    assert_eq!(reference.reports.len(), 18, "the full suite runs");
+    let two = run_farm(&jobs(), 2).expect("2-worker farm");
+    for parallel in [parallel4, &two] {
+        for (i, (name, _, _)) in apps().iter().enumerate() {
+            reports_equal(&reference.reports[i], &parallel.reports[i])
+                .unwrap_or_else(|e| panic!("{name} diverged from serial: {e}"));
+            let a = reference.trace.shard(i).expect("reference shard");
+            let b = parallel.trace.shard(i).expect("parallel shard");
+            assert_eq!(a.records, b.records, "{name}: trace diverged");
+            assert_eq!(a.metrics, b.metrics, "{name}: metrics diverged");
+            assert_eq!((a.dropped, b.dropped), (0, 0), "{name}: ring overflowed");
+        }
+    }
+}
+
+/// The merged sharded collectors still satisfy the bit-exact trace →
+/// report reconciliation, shard by shard: sharding loses nothing.
+#[test]
+fn merged_shards_reconcile_against_reports() {
+    let (_, parallel4) = farms();
+    assert_eq!(parallel4.trace.len(), 18);
+    assert_eq!(parallel4.trace.dropped(), 0, "no shard may drop records");
+    let cfg = SessionConfig::fast_network();
+    for (i, (name, _, _)) in apps().iter().enumerate() {
+        let shard = parallel4.trace.shard(i).expect("shard");
+        check_reconciliation(&shard.records, &parallel4.reports[i], &cfg)
+            .unwrap_or_else(|e| panic!("{name}: merged-shard reconciliation failed: {e}"));
+    }
+}
+
+/// The `reproduce farm --check-serial-equivalence` gate function itself.
+#[test]
+fn serial_equivalence_gate_passes() {
+    // A slice of the suite keeps the debug-mode runtime sane; the CI gate
+    // runs the full 18 in release through the reproduce binary.
+    let jobs: Vec<FarmJob> = jobs().into_iter().take(6).collect();
+    check_serial_equivalence(&jobs, 4).expect("farm must match serial execution");
+}
