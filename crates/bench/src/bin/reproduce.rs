@@ -54,7 +54,9 @@ fn usage() -> String {
          \x20 bench [--out FILE] [--check FILE] [--no-micro]\n\
          \x20     protocol sweep + hot-path micro benches (BENCH_pr3.json)\n\
          \x20 farm [--workers N[,N...]] [--repeat R] [--out FILE] [--check-serial-equivalence]\n\
-         \x20     concurrent session farm throughput sweep (BENCH_pr4.json)",
+         \x20     concurrent session farm throughput sweep (BENCH_pr4.json)\n\
+         \x20 stream [--out FILE] [--check FILE]\n\
+         \x20     speculative page streaming: modes x links demand-stall sweep (BENCH_pr5.json)",
         FIGURES
             .iter()
             .map(|f| format!("\x20 {f}"))
@@ -94,6 +96,10 @@ fn main() {
     }
     if let Some(pos) = args.iter().position(|a| a == "farm") {
         farm(&args[pos + 1..], &log);
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "stream") {
+        stream(&args[pos + 1..], &log);
         return;
     }
 
@@ -539,6 +545,112 @@ fn farm(rest: &[String], log: &Logger) {
         let json = fb::to_json(&bench);
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("farm: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        log.info(&format!("[wrote {path}]"));
+    }
+}
+
+/// `stream [--out FILE] [--check FILE]`: the speculative page-streaming
+/// sweep. Runs all 18 workloads in a fault-heavy configuration on both
+/// paper networks under every predictor mode (`off`/`static`/`stride`/
+/// `history`), asserts results stay byte-identical, and prints the
+/// demand-stall seconds (all simulated, deterministic) plus stream
+/// hit/waste bookkeeping per mode. `--out` writes the JSON artifact
+/// (`BENCH_pr5.json`); `--check` re-runs the chess workload on the slow
+/// network and exits nonzero if its history-mode demand stall regressed
+/// past the committed baseline.
+fn stream(rest: &[String], log: &Logger) {
+    use native_offloader::StreamMode;
+    use offload_bench::stream as sb;
+
+    let stream_usage = "usage: reproduce stream [--out FILE] [--check FILE]";
+    let mut out_path: Option<&str> = None;
+    let mut check_path: Option<&str> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" if i + 1 < rest.len() => {
+                out_path = Some(&rest[i + 1]);
+                i += 2;
+            }
+            "--check" if i + 1 < rest.len() => {
+                check_path = Some(&rest[i + 1]);
+                i += 2;
+            }
+            arg => {
+                eprintln!("stream: unexpected argument `{arg}`\n{stream_usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("stream: cannot read committed baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        log.info(&format!("[checking chess demand stall against {path}]"));
+        match sb::check_against(&committed) {
+            Ok(msg) => println!("stream check OK: {msg}"),
+            Err(msg) => {
+                eprintln!("stream check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    log.info("[sweeping predictor modes x links over 18 fault-heavy workloads ...]");
+    let rows = sb::sweep();
+    println!("## Speculative page streaming (simulated demand-stall seconds)");
+    println!();
+    println!(
+        "{:<22} {:<9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7}",
+        "workload",
+        "link",
+        "off",
+        "static",
+        "stride",
+        "history",
+        "reduced",
+        "strm",
+        "hits",
+        "waste",
+        "w.wire"
+    );
+    for r in &rows {
+        let stall = |m: StreamMode| r.mode(m).map_or(0.0, |x| x.stall_s);
+        let hist = r.mode(StreamMode::History);
+        println!(
+            "{:<22} {:<9} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>6.1}% {:>7} {:>7} {:>7} {:>6.1}%",
+            r.workload,
+            r.link,
+            stall(StreamMode::Off),
+            stall(StreamMode::Static),
+            stall(StreamMode::Stride),
+            stall(StreamMode::History),
+            r.stall_reduction_pct(),
+            hist.map_or(0, |x| x.streamed),
+            hist.map_or(0, |x| x.hits),
+            hist.map_or(0, |x| x.wasted),
+            hist.map_or(0.0, |x| x.waste_wire_frac) * 100.0,
+        );
+    }
+    let (workloads, reduced) = sb::reduction_summary(&rows);
+    println!();
+    println!(
+        "{reduced}/{workloads} workloads cut demand stall by >= 25% under the history predictor (best link); max wire waste {:.1}%",
+        sb::max_waste_frac(&rows) * 100.0
+    );
+
+    if let Some(path) = out_path {
+        let json = sb::to_json(&rows);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("stream: cannot write {path}: {e}");
             std::process::exit(2);
         }
         log.info(&format!("[wrote {path}]"));

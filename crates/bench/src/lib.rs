@@ -8,6 +8,7 @@ pub mod micro;
 pub mod perf;
 pub mod render;
 pub mod seed;
+pub mod stream;
 
 /// Geometric mean of a nonempty slice.
 ///

@@ -1,0 +1,469 @@
+//! `reproduce stream` — the speculative page-streaming benchmark behind
+//! `BENCH_pr5.json`.
+//!
+//! Every suite workload runs in a **fault-heavy** configuration (offload
+//! forced, initialization prefetch off, so copy-on-demand carries the
+//! whole working set) on both paper networks, once per predictor mode.
+//! The headline metric is **demand-stall seconds**: the simulated time
+//! the server VM sat stalled on page arrivals — the sum over the trace
+//! of every `DemandFault` duration plus every `StreamHit` residual.
+//! Streaming overlaps those transfers with server compute, so the stall
+//! shrinks while program results stay byte-identical (asserted here per
+//! run and suite-wide in `tests/stream_equivalence.rs`).
+//!
+//! All numbers are deterministic simulated time, so CI gates on them:
+//! the committed artifact must show a >= 25% stall reduction under the
+//! history predictor on at least 6 of the 18 workloads, and speculative
+//! wire waste must stay <= 10% of total wire traffic on every workload.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use native_offloader::{PageHistory, RunReport, SessionConfig, StreamMode};
+use offload_net::Link;
+use offload_obs::{EventKind, Record, TraceCollector};
+
+use crate::farm::suite;
+
+/// The two paper networks the sweep covers.
+#[must_use]
+pub fn links() -> Vec<(&'static str, Link)> {
+    vec![
+        ("802.11n", Link::wifi_802_11n()),
+        ("802.11ac", Link::wifi_802_11ac()),
+    ]
+}
+
+/// Fault-heavy session config: offload forced, prefetch off, so the
+/// streaming predictor carries the working set.
+#[must_use]
+pub fn fault_heavy(
+    link: Link,
+    mode: StreamMode,
+    history: Option<Arc<PageHistory>>,
+) -> SessionConfig {
+    let mut cfg = SessionConfig::with_link(link);
+    cfg.dynamic_estimation = false;
+    cfg.prefetch = false;
+    cfg.stream_mode = mode;
+    cfg.page_history = history;
+    cfg
+}
+
+/// One (workload, link, mode) measurement.
+#[derive(Debug, Clone)]
+pub struct ModeRow {
+    /// Predictor mode.
+    pub mode: StreamMode,
+    /// Whole-run simulated seconds.
+    pub total_s: f64,
+    /// Demand-stall seconds: Σ `DemandFault.duration_s` + Σ
+    /// `StreamHit.residual_s` over the trace.
+    pub stall_s: f64,
+    /// Pages pushed speculatively.
+    pub streamed: u64,
+    /// Faults absorbed by an in-flight page.
+    pub hits: u64,
+    /// Streamed pages never touched.
+    pub wasted: u64,
+    /// Wasted wire bytes / total wire bytes (up + down).
+    pub waste_wire_frac: f64,
+}
+
+/// One workload × link: all four predictor modes.
+#[derive(Debug, Clone)]
+pub struct StreamRow {
+    /// Workload name.
+    pub workload: String,
+    /// Link name.
+    pub link: &'static str,
+    /// `off`, `static`, `stride`, `history` in that order.
+    pub modes: Vec<ModeRow>,
+}
+
+impl StreamRow {
+    /// The mode row for `mode`, if measured.
+    #[must_use]
+    pub fn mode(&self, mode: StreamMode) -> Option<&ModeRow> {
+        self.modes.iter().find(|m| m.mode == mode)
+    }
+
+    /// Percent reduction of demand-stall seconds, history vs off
+    /// (0 when the baseline had no stall).
+    #[must_use]
+    pub fn stall_reduction_pct(&self) -> f64 {
+        let (Some(off), Some(hist)) = (self.mode(StreamMode::Off), self.mode(StreamMode::History))
+        else {
+            return 0.0;
+        };
+        if off.stall_s <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - hist.stall_s / off.stall_s) * 100.0
+    }
+}
+
+/// Demand-stall seconds out of a trace: every synchronous fault's full
+/// round trip plus every stream hit's residual arrival wait.
+#[must_use]
+pub fn demand_stall_seconds(records: &[Record]) -> f64 {
+    let mut stall = 0.0;
+    for r in records {
+        match r.kind {
+            EventKind::DemandFault { duration_s, .. } => stall += duration_s,
+            EventKind::StreamHit { residual_s, .. } => stall += residual_s,
+            _ => {}
+        }
+    }
+    stall
+}
+
+/// Wasted stream wire bytes out of a trace.
+#[must_use]
+pub fn waste_wire_bytes(records: &[Record]) -> u64 {
+    records
+        .iter()
+        .map(|r| match r.kind {
+            EventKind::StreamWaste { wire_bytes, .. } => wire_bytes,
+            _ => 0,
+        })
+        .sum()
+}
+
+fn mode_row(rep: &RunReport, records: &[Record], mode: StreamMode) -> ModeRow {
+    let wire_total = rep.upload.wire_bytes + rep.download.wire_bytes;
+    let waste = waste_wire_bytes(records);
+    ModeRow {
+        mode,
+        total_s: rep.total_seconds,
+        stall_s: demand_stall_seconds(records),
+        streamed: rep.pages_streamed,
+        hits: rep.stream_hits,
+        wasted: rep.stream_wasted_pages,
+        waste_wire_frac: if wire_total == 0 {
+            0.0
+        } else {
+            waste as f64 / wire_total as f64
+        },
+    }
+}
+
+/// Sweep the whole suite over both links and all predictor modes.
+///
+/// # Panics
+///
+/// If a session fails or a streamed run's program results diverge from
+/// the synchronous baseline — correctness bugs, not benchmark noise.
+#[must_use]
+pub fn sweep() -> Vec<StreamRow> {
+    let mut rows = Vec::new();
+    for (name, app, input) in suite() {
+        for (link_name, link) in links() {
+            // The synchronous baseline doubles as the history trainer.
+            let mut obs = TraceCollector::with_capacity(1 << 20);
+            let base = app
+                .run_offloaded_traced(
+                    &input,
+                    &fault_heavy(link.clone(), StreamMode::Off, None),
+                    &mut obs,
+                )
+                .expect("synchronous run");
+            assert_eq!(obs.dropped(), 0, "{name}: trace ring too small");
+            let records = obs.records();
+            let history = Arc::new(PageHistory::from_records(&records));
+            let mut modes = vec![mode_row(&base, &records, StreamMode::Off)];
+            for mode in [StreamMode::Static, StreamMode::Stride, StreamMode::History] {
+                let mut sobs = TraceCollector::with_capacity(1 << 20);
+                let rep = app
+                    .run_offloaded_traced(
+                        &input,
+                        &fault_heavy(link.clone(), mode, Some(history.clone())),
+                        &mut sobs,
+                    )
+                    .expect("streamed run");
+                assert_eq!(
+                    rep.console,
+                    base.console,
+                    "{name} ({link_name}, {}): results diverged",
+                    mode.name()
+                );
+                assert_eq!(rep.exit_code, base.exit_code, "{name}: exit diverged");
+                modes.push(mode_row(&rep, &sobs.records(), mode));
+            }
+            rows.push(StreamRow {
+                workload: name.clone(),
+                link: link_name,
+                modes,
+            });
+        }
+    }
+    rows
+}
+
+/// Per-workload best (over links) history-mode stall reduction, and the
+/// count meeting the 25% bar.
+#[must_use]
+pub fn reduction_summary(rows: &[StreamRow]) -> (usize, usize) {
+    let mut workloads: Vec<&str> = rows.iter().map(|r| r.workload.as_str()).collect();
+    workloads.dedup();
+    let reduced = workloads
+        .iter()
+        .filter(|w| {
+            rows.iter()
+                .filter(|r| r.workload == **w)
+                .map(StreamRow::stall_reduction_pct)
+                .fold(0.0f64, f64::max)
+                >= 25.0
+        })
+        .count();
+    (workloads.len(), reduced)
+}
+
+/// The largest waste fraction anywhere in the sweep.
+#[must_use]
+pub fn max_waste_frac(rows: &[StreamRow]) -> f64 {
+    rows.iter()
+        .flat_map(|r| r.modes.iter())
+        .map(|m| m.waste_wire_frac)
+        .fold(0.0f64, f64::max)
+}
+
+/// Render the artifact as pretty-printed JSON (hand-rolled — the
+/// workspace is dependency-free by design).
+#[must_use]
+pub fn to_json(rows: &[StreamRow]) -> String {
+    let (workloads, reduced) = reduction_summary(rows);
+    let chess_slow = rows
+        .iter()
+        .find(|r| r.workload == "chess" && r.link == "802.11n");
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": \"bench_pr5.v1\",\n");
+    j.push_str(
+        "  \"units\": \"total_s/stall_s are simulated seconds (deterministic, gateable); stall_s = demand-fault round trips + stream-hit residuals\",\n",
+    );
+    j.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"workload\": \"{}\", \"link\": \"{}\", \"stall_reduction_pct\": {:.2}, \"modes\": [",
+            r.workload,
+            r.link,
+            r.stall_reduction_pct()
+        );
+        for (k, m) in r.modes.iter().enumerate() {
+            let _ = write!(
+                j,
+                "      {{\"mode\": \"{}\", \"total_s\": {:.6}, \"stall_s\": {:.6}, \"streamed\": {}, \"hits\": {}, \"wasted\": {}, \"waste_wire_frac\": {:.4}}}",
+                m.mode.name(),
+                m.total_s,
+                m.stall_s,
+                m.streamed,
+                m.hits,
+                m.wasted,
+                m.waste_wire_frac
+            );
+            j.push_str(if k + 1 == r.modes.len() { "\n" } else { ",\n" });
+        }
+        j.push_str("    ]}");
+        j.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    let (off_stall, hist_stall) = chess_slow.map_or((0.0, 0.0), |r| {
+        (
+            r.mode(StreamMode::Off).map_or(0.0, |m| m.stall_s),
+            r.mode(StreamMode::History).map_or(0.0, |m| m.stall_s),
+        )
+    });
+    let _ = write!(
+        j,
+        "  ],\n  \"summary\": {{\"workloads\": {workloads}, \"reduced_ge_25pct\": {reduced}, \"max_waste_frac\": {:.4}, \"chess_slow_stall_off_s\": {off_stall:.6}, \"chess_slow_stall_history_s\": {hist_stall:.6}}}\n}}\n",
+        max_waste_frac(rows)
+    );
+    j
+}
+
+/// Pull one `"key": <number>` out of `text` starting at `from`.
+fn scan_f64(text: &str, from: usize, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start();
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Committed summary numbers from a `bench_pr5.v1` artifact:
+/// `(reduced_ge_25pct, max_waste_frac, chess_off_stall, chess_history_stall)`.
+///
+/// # Errors
+///
+/// Returns a message naming the first missing field.
+pub fn parse_committed_summary(text: &str) -> Result<(f64, f64, f64, f64), String> {
+    let at = text
+        .find("\"summary\":")
+        .ok_or_else(|| "no summary in committed stream bench".to_string())?;
+    let get = |key: &str| {
+        scan_f64(text, at, key).ok_or_else(|| format!("summary lacks {key} in committed bench"))
+    };
+    Ok((
+        get("reduced_ge_25pct")?,
+        get("max_waste_frac")?,
+        get("chess_slow_stall_off_s")?,
+        get("chess_slow_stall_history_s")?,
+    ))
+}
+
+/// The `reproduce stream --check` gate: re-measure the chess workload on
+/// the slow network and require its demand-stall seconds to be no worse
+/// than the committed baseline (simulated time is deterministic, so a
+/// small tolerance covers only JSON rounding).
+///
+/// # Errors
+///
+/// A message describing the regression or a parse failure.
+pub fn check_against(committed: &str) -> Result<String, String> {
+    let (_, _, committed_off, committed_hist) = parse_committed_summary(committed)?;
+    let input = offload_workloads::chess::input(9, 2);
+    let app = native_offloader::Offloader::new()
+        .compile_source(offload_workloads::chess::SOURCE, "chess", &input)
+        .map_err(|e| format!("chess failed to compile: {e}"))?;
+    let mut obs = TraceCollector::with_capacity(1 << 20);
+    let base = app
+        .run_offloaded_traced(
+            &input,
+            &fault_heavy(Link::wifi_802_11n(), StreamMode::Off, None),
+            &mut obs,
+        )
+        .map_err(|e| format!("chess synchronous run failed: {e}"))?;
+    let records = obs.records();
+    let off_stall = demand_stall_seconds(&records);
+    let history = Arc::new(PageHistory::from_records(&records));
+    let mut sobs = TraceCollector::with_capacity(1 << 20);
+    let rep = app
+        .run_offloaded_traced(
+            &input,
+            &fault_heavy(Link::wifi_802_11n(), StreamMode::History, Some(history)),
+            &mut sobs,
+        )
+        .map_err(|e| format!("chess streamed run failed: {e}"))?;
+    if rep.console != base.console {
+        return Err("chess streamed results diverged from synchronous".to_string());
+    }
+    let hist_stall = demand_stall_seconds(&sobs.records());
+    let tol = |x: f64| x * 1.01 + 1e-6;
+    if hist_stall > tol(committed_hist) {
+        return Err(format!(
+            "chess history-mode demand stall regressed: {hist_stall:.6} s vs committed {committed_hist:.6} s"
+        ));
+    }
+    if off_stall > tol(committed_off) {
+        return Err(format!(
+            "chess synchronous demand stall regressed: {off_stall:.6} s vs committed {committed_off:.6} s"
+        ));
+    }
+    Ok(format!(
+        "chess 802.11n stall {off_stall:.4} s sync -> {hist_stall:.4} s history (committed {committed_off:.4} -> {committed_hist:.4})"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<StreamRow> {
+        let m = |mode: StreamMode, stall_s: f64, waste: f64| ModeRow {
+            mode,
+            total_s: stall_s * 3.0,
+            stall_s,
+            streamed: 10,
+            hits: 8,
+            wasted: 2,
+            waste_wire_frac: waste,
+        };
+        vec![
+            StreamRow {
+                workload: "chess".into(),
+                link: "802.11n",
+                modes: vec![
+                    m(StreamMode::Off, 2.0, 0.0),
+                    m(StreamMode::History, 0.5, 0.04),
+                ],
+            },
+            StreamRow {
+                workload: "chess".into(),
+                link: "802.11ac",
+                modes: vec![
+                    m(StreamMode::Off, 1.0, 0.0),
+                    m(StreamMode::History, 0.9, 0.02),
+                ],
+            },
+            StreamRow {
+                workload: "gzip".into(),
+                link: "802.11n",
+                modes: vec![
+                    m(StreamMode::Off, 1.0, 0.0),
+                    m(StreamMode::History, 0.95, 0.01),
+                ],
+            },
+            StreamRow {
+                workload: "gzip".into(),
+                link: "802.11ac",
+                modes: vec![
+                    m(StreamMode::Off, 0.0, 0.0),
+                    m(StreamMode::History, 0.0, 0.0),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn reduction_counts_workloads_not_rows() {
+        let rows = sample_rows();
+        // chess: 75% on slow -> counted; gzip: 5% best -> not counted.
+        assert_eq!(reduction_summary(&rows), (2, 1));
+        assert!((max_waste_frac(&rows) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_stall_baseline_reports_zero_reduction() {
+        let rows = sample_rows();
+        assert_eq!(rows[3].stall_reduction_pct(), 0.0);
+        assert!((rows[0].stall_reduction_pct() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_checker_scanner() {
+        let j = to_json(&sample_rows());
+        let (reduced, waste, off, hist) = parse_committed_summary(&j).expect("parses");
+        assert!((reduced - 1.0).abs() < 1e-9);
+        assert!((waste - 0.04).abs() < 1e-9);
+        assert!((off - 2.0).abs() < 1e-9);
+        assert!((hist - 0.5).abs() < 1e-9);
+        assert!(parse_committed_summary("{}").is_err());
+    }
+
+    /// The PR's streaming acceptance gates, against the committed
+    /// artifact: at least a 25% stall reduction on at least 6 of the 18
+    /// workloads under the history predictor, waste at most 10% of wire
+    /// traffic everywhere, and the chess history stall strictly below
+    /// its synchronous stall.
+    #[test]
+    fn committed_artifact_meets_the_streaming_gates() {
+        let committed = include_str!("../../../BENCH_pr5.json");
+        let (reduced, waste, off, hist) =
+            parse_committed_summary(committed).expect("committed artifact parses");
+        assert!(
+            reduced >= 6.0,
+            "only {reduced} of 18 workloads reduced stall by >= 25% (gate: 6)"
+        );
+        assert!(
+            waste <= 0.10,
+            "committed max wire waste {waste} above the 10% gate"
+        );
+        assert!(
+            hist < off,
+            "committed chess history stall {hist} not below synchronous {off}"
+        );
+    }
+}

@@ -1,7 +1,11 @@
 //! Configuration of the compiler and the runtime session.
 
+use std::sync::Arc;
+
 use offload_machine::target::TargetSpec;
 use offload_net::Link;
+
+use crate::runtime::predict::{PageHistory, StreamMode};
 
 /// Input environment of one program run: scripted stdin plus virtual
 /// files, all living on the *mobile* device (whose I/O the server reaches
@@ -128,6 +132,18 @@ pub struct SessionConfig {
     /// byte-identical to full-page transfers, only the wire bytes (and
     /// therefore communication time) change.
     pub delta_writeback: bool,
+    /// Speculative page streaming: predicted pages are pushed onto the
+    /// link *while the server VM runs*, so a fault on an in-flight page
+    /// pays only its residual arrival time instead of a full round trip.
+    /// `Off` (the default) takes the synchronous demand path untouched;
+    /// every mode produces byte-identical program results — only timing
+    /// and wire traffic change.
+    pub stream_mode: StreamMode,
+    /// Markov page-succession table for [`StreamMode::History`], seeded
+    /// from a prior session's trace (see `PageHistory::from_records`).
+    /// Shared via `Arc` so a farm can hand the same table to many
+    /// sessions. Ignored by the other modes.
+    pub page_history: Option<Arc<PageHistory>>,
     /// Execution fuel per device.
     pub fuel: u64,
 }
@@ -173,6 +189,8 @@ impl SessionConfig {
             fault_ahead: 8,
             adaptive_bandwidth: false,
             delta_writeback: true,
+            stream_mode: StreamMode::Off,
+            page_history: None,
             fuel: 6_000_000_000,
         }
     }

@@ -62,6 +62,7 @@ pub use compiler::{CompiledApp, Offloader};
 pub use config::{CompileConfig, SessionConfig, WorkloadInput};
 pub use plan::{CompileStats, EstimateRow, OffloadPlan, OffloadTask};
 pub use runtime::farm::{run_farm, FarmJob, FarmResult};
+pub use runtime::predict::{PageHistory, StreamMode};
 pub use runtime::report::RunReport;
 pub use runtime::session::SessionPool;
 

@@ -56,6 +56,14 @@ pub struct DerivedRun {
     pub demand_page_fetches: u64,
     /// Pages shipped by initialization prefetch.
     pub prefetched_pages: u64,
+    /// Pages pushed speculatively by the streaming predictor.
+    pub pages_streamed: u64,
+    /// Faults that landed on an in-flight streamed page.
+    pub stream_hits: u64,
+    /// Streamed pages never touched by the server.
+    pub stream_wasted_pages: u64,
+    /// Estimated stall seconds the stream hits avoided.
+    pub stall_s_saved: f64,
     /// Dirty pages written back at finalization.
     pub dirty_pages_written_back: u64,
     /// Function-pointer translations.
@@ -88,7 +96,22 @@ pub fn derive_run(records: &[Record], cfg: &SessionConfig) -> DerivedRun {
             } => match lane {
                 offload_obs::CostLane::Comm => comm_s += duration_s,
                 offload_obs::CostLane::RemoteIo => remote_io_s += duration_s,
+                // Streamed frames occupy the link concurrently with
+                // server compute; no stall lane is charged. The residual
+                // a fault actually waits arrives via `StreamHit`.
+                offload_obs::CostLane::Stream => {}
             },
+            EventKind::StreamHit {
+                residual_s,
+                saved_s,
+                ..
+            } => {
+                comm_s += residual_s;
+                d.stall_s_saved += saved_s;
+                d.stream_hits += 1;
+            }
+            EventKind::PrefetchPredict { .. } => d.pages_streamed += 1,
+            EventKind::StreamWaste { pages, .. } => d.stream_wasted_pages += pages,
             EventKind::Compression {
                 decompress_s: dec, ..
             } => decompress_s += dec,
@@ -182,6 +205,7 @@ pub fn check_reconciliation(
     )?;
     bits("total_seconds", d.total_seconds, report.total_seconds)?;
     bits("energy_mj", d.energy_mj, report.energy_mj)?;
+    bits("stall_s_saved", d.stall_s_saved, report.stall_s_saved)?;
     let count = |name: &str, derived: u64, legacy: u64| -> Result<(), String> {
         if derived == legacy {
             Ok(())
@@ -213,6 +237,13 @@ pub fn check_reconciliation(
         "prefetched_pages",
         d.prefetched_pages,
         report.prefetched_pages,
+    )?;
+    count("pages_streamed", d.pages_streamed, report.pages_streamed)?;
+    count("stream_hits", d.stream_hits, report.stream_hits)?;
+    count(
+        "stream_wasted_pages",
+        d.stream_wasted_pages,
+        report.stream_wasted_pages,
     )?;
     count(
         "dirty_pages_written_back",

@@ -189,6 +189,14 @@ pub fn reports_equal(a: &RunReport, b: &RunReport) -> Result<(), String> {
         &b.demand_page_fetches,
     )?;
     eq("prefetched_pages", &a.prefetched_pages, &b.prefetched_pages)?;
+    eq("pages_streamed", &a.pages_streamed, &b.pages_streamed)?;
+    eq("stream_hits", &a.stream_hits, &b.stream_hits)?;
+    eq(
+        "stream_wasted_pages",
+        &a.stream_wasted_pages,
+        &b.stream_wasted_pages,
+    )?;
+    bits("stall_s_saved", a.stall_s_saved, b.stall_s_saved)?;
     eq(
         "dirty_pages_written_back",
         &a.dirty_pages_written_back,

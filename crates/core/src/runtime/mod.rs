@@ -5,10 +5,12 @@ pub mod bandwidth;
 pub mod derive;
 pub mod estimator;
 pub mod farm;
+pub mod predict;
 pub mod report;
 pub mod session;
 
 pub use farm::{run_farm, FarmJob, FarmResult};
+pub use predict::{AdaptiveWindow, PageHistory, StreamEngine, StreamMode, StrideDetector};
 pub use session::{
     run_local, run_offloaded, run_offloaded_pooled, run_offloaded_traced, SessionPool,
 };

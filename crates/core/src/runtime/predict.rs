@@ -1,0 +1,484 @@
+//! Prediction layer for speculative page streaming.
+//!
+//! The streamer ([`offload_net::StreamWindow`]) models the link; this
+//! module decides *which* pages to push onto it, and how many. Three
+//! predictors are selectable per session (plus `off`):
+//!
+//! * **static** — the profiler's §4 prefetch set, streamed lazily instead
+//!   of shipped up front (useful when `prefetch` is disabled or the set is
+//!   too big to pay for at initialization);
+//! * **stride** — a run detector over the server VM's page-access
+//!   sequence (TLB-miss feed from `offload_machine::mem`), predicting
+//!   continuations of constant-stride scans;
+//! * **history** — a Markov page-succession table seeded from a prior
+//!   session's trace: each demand fault chains to the page that faulted
+//!   next last time.
+//!
+//! All predictors are deterministic: ties in the history table break
+//! toward the smallest page, the stride detector is a pure function of
+//! the observed sequence, and the adaptive window adjusts with integer
+//! arithmetic only.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use offload_net::StreamWindow;
+use offload_obs::{EventKind, Record, Span};
+
+/// Which predictor feeds the streamer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamMode {
+    /// No streaming: the synchronous demand path, bit-identical to the
+    /// pre-streaming runtime.
+    #[default]
+    Off,
+    /// Stream the profiler's static prefetch set.
+    Static,
+    /// Stream constant-stride continuations of the observed access run.
+    Stride,
+    /// Stream the Markov successor chain from a prior session's trace.
+    History,
+}
+
+impl StreamMode {
+    /// Stable lowercase name (CLI + bench artifact key).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamMode::Off => "off",
+            StreamMode::Static => "static",
+            StreamMode::Stride => "stride",
+            StreamMode::History => "history",
+        }
+    }
+
+    /// Parse a CLI name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(StreamMode::Off),
+            "static" => Some(StreamMode::Static),
+            "stride" => Some(StreamMode::Stride),
+            "history" => Some(StreamMode::History),
+            _ => None,
+        }
+    }
+
+    /// All modes in ablation order.
+    pub const ALL: [StreamMode; 4] = [
+        StreamMode::Off,
+        StreamMode::Static,
+        StreamMode::Stride,
+        StreamMode::History,
+    ];
+}
+
+/// Markov page-succession table: for each page, how often each other page
+/// faulted right after it.
+#[derive(Debug, Clone, Default)]
+pub struct PageHistory {
+    succ: BTreeMap<u64, BTreeMap<u64, u64>>,
+}
+
+impl PageHistory {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one observed succession.
+    pub fn observe(&mut self, prev: u64, next: u64) {
+        if prev != next {
+            *self.succ.entry(prev).or_default().entry(next).or_default() += 1;
+        }
+    }
+
+    /// Seed the table from a prior session's trace. Each
+    /// [`EventKind::DemandFault`] batch is expanded to its page run
+    /// (`page .. page+pages`) — fault-ahead batches pull sequential
+    /// successors by construction — and consecutive pages chain, across
+    /// batches too. Chains reset at each offload boundary so the last
+    /// page of one invocation does not "predict" the first of the next.
+    #[must_use]
+    pub fn from_records(records: &[Record]) -> Self {
+        let mut h = Self::new();
+        let mut prev: Option<u64> = None;
+        for rec in records {
+            match rec.kind {
+                EventKind::Begin(Span::Offload { .. }) => prev = None,
+                EventKind::DemandFault { page, pages, .. } => {
+                    for i in 0..u64::from(pages.max(1)) {
+                        let cur = page + i;
+                        if let Some(p) = prev {
+                            h.observe(p, cur);
+                        }
+                        prev = Some(cur);
+                    }
+                }
+                _ => {}
+            }
+        }
+        h
+    }
+
+    /// The most frequent successor of `page` (ties break toward the
+    /// smallest page number — deterministic).
+    #[must_use]
+    pub fn successor(&self, page: u64) -> Option<u64> {
+        let succ = self.succ.get(&page)?;
+        let mut best: Option<(u64, u64)> = None;
+        for (&next, &count) in succ {
+            match best {
+                Some((_, best_count)) if count <= best_count => {}
+                _ => best = Some((next, count)),
+            }
+        }
+        best.map(|(next, _)| next)
+    }
+
+    /// `true` if no successions were observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+}
+
+/// Constant-stride run detector over the page-access sequence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StrideDetector {
+    last: Option<u64>,
+    stride: i64,
+    run_len: u32,
+}
+
+impl StrideDetector {
+    /// Feed one accessed page.
+    pub fn observe(&mut self, page: u64) {
+        if let Some(last) = self.last {
+            if page != last {
+                let stride = page.wrapping_sub(last) as i64;
+                if stride == self.stride {
+                    self.run_len = self.run_len.saturating_add(1);
+                } else {
+                    self.stride = stride;
+                    self.run_len = 1;
+                }
+            }
+        }
+        self.last = Some(page);
+    }
+
+    /// Predicted continuation of the current run (up to `n` pages), empty
+    /// unless at least two consecutive equal strides were seen.
+    #[must_use]
+    pub fn predict(&self, n: usize) -> Vec<u64> {
+        let Some(last) = self.last else {
+            return Vec::new();
+        };
+        if self.run_len < 2 || self.stride == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut cur = last;
+        for _ in 0..n {
+            let Some(next) = cur.checked_add_signed(self.stride) else {
+                break;
+            };
+            out.push(next);
+            cur = next;
+        }
+        out
+    }
+}
+
+/// Waste-driven streaming window: widens while predictions land, narrows
+/// when streamed pages go untouched.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveWindow {
+    window: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Widest window the controller will open.
+pub const MAX_STREAM_WINDOW: u64 = 64;
+
+impl AdaptiveWindow {
+    /// A controller starting at `start` pages (clamped to `[1, 64]`).
+    #[must_use]
+    pub fn new(start: u64) -> Self {
+        AdaptiveWindow {
+            window: start.clamp(1, MAX_STREAM_WINDOW),
+            min: 1,
+            max: MAX_STREAM_WINDOW,
+        }
+    }
+
+    /// The current window, pages.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Fold in one offload's outcome: `wasted` of `streamed` pages went
+    /// untouched. Waste above 25% halves the window; below 10% doubles
+    /// it (integer arithmetic — deterministic).
+    pub fn observe_offload(&mut self, streamed: u64, wasted: u64) {
+        if streamed == 0 {
+            return;
+        }
+        if wasted * 4 > streamed {
+            self.window = (self.window / 2).max(self.min);
+        } else if wasted * 10 < streamed {
+            self.window = (self.window * 2).min(self.max);
+        }
+    }
+}
+
+/// The per-session streaming engine: predictor state, the adaptive
+/// window, and the in-flight link model, bundled so the session threads
+/// one value through its offloads.
+#[derive(Debug, Clone)]
+pub struct StreamEngine {
+    mode: StreamMode,
+    /// Waste-feedback window controller.
+    pub window: AdaptiveWindow,
+    /// Stride-run detector (fed by faults and the VM access log).
+    pub stride: StrideDetector,
+    history: Option<Arc<PageHistory>>,
+    /// Pages currently occupying the link.
+    pub in_flight: StreamWindow,
+    /// Pages streamed during the current offload (controller feedback).
+    pub streamed_this_offload: u64,
+}
+
+impl StreamEngine {
+    /// An engine in `mode`, starting the window at `fault_ahead`.
+    #[must_use]
+    pub fn new(mode: StreamMode, fault_ahead: u64, history: Option<Arc<PageHistory>>) -> Self {
+        StreamEngine {
+            mode,
+            window: AdaptiveWindow::new(fault_ahead.max(1)),
+            stride: StrideDetector::default(),
+            history,
+            in_flight: StreamWindow::new(),
+            streamed_this_offload: 0,
+        }
+    }
+
+    /// The configured mode.
+    #[must_use]
+    pub fn mode(&self) -> StreamMode {
+        self.mode
+    }
+
+    /// `true` if any predictor is active. When `false` the session takes
+    /// the synchronous path untouched (bit-identical timing).
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.mode != StreamMode::Off
+    }
+
+    /// Predicted pages to stream after a fault on `fault_page`, at most
+    /// filling the adaptive window's remaining in-flight capacity.
+    /// `static_list` is the task's profile prefetch set; `eligible`
+    /// answers whether a page can usefully ship (present on the mobile,
+    /// not server-private, absent on the server). In-flight pages and the
+    /// fault page itself are always excluded.
+    #[must_use]
+    pub fn candidates(
+        &self,
+        fault_page: u64,
+        static_list: &[u64],
+        eligible: &dyn Fn(u64) -> bool,
+    ) -> Vec<u64> {
+        let capacity = self
+            .window
+            .window()
+            .saturating_sub(self.in_flight.len() as u64) as usize;
+        if capacity == 0 {
+            return Vec::new();
+        }
+        let usable = |p: u64| p != fault_page && !self.in_flight.contains(p) && eligible(p);
+        match self.mode {
+            StreamMode::Off => Vec::new(),
+            StreamMode::Static => static_list
+                .iter()
+                .copied()
+                .filter(|&p| usable(p))
+                .take(capacity)
+                .collect(),
+            StreamMode::Stride => self
+                .stride
+                .predict(MAX_STREAM_WINDOW as usize)
+                .into_iter()
+                .filter(|&p| usable(p))
+                .take(capacity)
+                .collect(),
+            StreamMode::History => {
+                let Some(history) = &self.history else {
+                    return Vec::new();
+                };
+                let mut out = Vec::with_capacity(capacity);
+                let mut seen = std::collections::BTreeSet::new();
+                let mut cur = fault_page;
+                // Walk the successor chain; the walk budget is generous so
+                // present/in-flight links are skipped over, while `seen`
+                // guards against cycles.
+                for _ in 0..(MAX_STREAM_WINDOW as usize * 4) {
+                    let Some(next) = history.successor(cur) else {
+                        break;
+                    };
+                    if !seen.insert(next) {
+                        break;
+                    }
+                    if usable(next) {
+                        out.push(next);
+                        if out.len() == capacity {
+                            break;
+                        }
+                    }
+                    cur = next;
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(ts: f64, page: u64, pages: u32) -> Record {
+        Record {
+            ts_s: ts,
+            kind: EventKind::DemandFault {
+                page,
+                pages,
+                window: 8,
+                duration_s: 0.001,
+            },
+        }
+    }
+
+    #[test]
+    fn history_learns_batch_runs_and_cross_batch_links() {
+        let recs = vec![fault(0.0, 10, 3), fault(0.1, 20, 2)];
+        let h = PageHistory::from_records(&recs);
+        assert_eq!(h.successor(10), Some(11));
+        assert_eq!(h.successor(11), Some(12));
+        assert_eq!(h.successor(12), Some(20)); // cross-batch link
+        assert_eq!(h.successor(20), Some(21));
+        assert_eq!(h.successor(21), None);
+    }
+
+    #[test]
+    fn history_chains_reset_at_offload_boundaries() {
+        let recs = vec![
+            fault(0.0, 5, 1),
+            Record {
+                ts_s: 0.2,
+                kind: EventKind::Begin(Span::Offload { task: 1 }),
+            },
+            fault(0.3, 40, 1),
+        ];
+        let h = PageHistory::from_records(&recs);
+        assert_eq!(h.successor(5), None, "no link across offloads");
+    }
+
+    #[test]
+    fn history_ties_break_toward_the_smallest_page() {
+        let mut h = PageHistory::new();
+        h.observe(1, 9);
+        h.observe(1, 3);
+        assert_eq!(h.successor(1), Some(3));
+        h.observe(1, 9);
+        assert_eq!(h.successor(1), Some(9), "higher count wins");
+    }
+
+    #[test]
+    fn stride_detects_runs_and_ignores_noise() {
+        let mut s = StrideDetector::default();
+        s.observe(10);
+        assert!(s.predict(4).is_empty(), "one sample is no run");
+        s.observe(12);
+        assert!(s.predict(4).is_empty(), "one stride is no run");
+        s.observe(14);
+        assert_eq!(s.predict(3), vec![16, 18, 20]);
+        s.observe(99); // run broken
+        assert!(s.predict(3).is_empty());
+        // Repeated same-page accesses neither break nor extend a run.
+        s.observe(99);
+        assert!(s.predict(3).is_empty());
+    }
+
+    #[test]
+    fn stride_runs_downward_too() {
+        let mut s = StrideDetector::default();
+        for p in [100u64, 98, 96] {
+            s.observe(p);
+        }
+        assert_eq!(s.predict(2), vec![94, 92]);
+    }
+
+    #[test]
+    fn adaptive_window_reacts_to_waste() {
+        let mut w = AdaptiveWindow::new(8);
+        assert_eq!(w.window(), 8);
+        w.observe_offload(10, 0); // 0% waste: double
+        assert_eq!(w.window(), 16);
+        w.observe_offload(10, 5); // 50% waste: halve
+        assert_eq!(w.window(), 8);
+        w.observe_offload(10, 2); // 20% waste: hold
+        assert_eq!(w.window(), 8);
+        w.observe_offload(0, 0); // nothing streamed: hold
+        assert_eq!(w.window(), 8);
+        for _ in 0..10 {
+            w.observe_offload(10, 10);
+        }
+        assert_eq!(w.window(), 1, "floor");
+        for _ in 0..10 {
+            w.observe_offload(10, 0);
+        }
+        assert_eq!(w.window(), MAX_STREAM_WINDOW, "ceiling");
+    }
+
+    #[test]
+    fn engine_candidates_respect_mode_capacity_and_eligibility() {
+        let all = |_: u64| true;
+        let engine = StreamEngine::new(StreamMode::Off, 8, None);
+        assert!(engine.candidates(1, &[2, 3], &all).is_empty());
+
+        let engine = StreamEngine::new(StreamMode::Static, 2, None);
+        let c = engine.candidates(1, &[1, 4, 5, 6], &all);
+        assert_eq!(c, vec![4, 5], "fault page skipped, capacity capped");
+        let c = engine.candidates(1, &[4, 5], &|p| p != 4);
+        assert_eq!(c, vec![5], "ineligible pages skipped");
+
+        let mut engine = StreamEngine::new(StreamMode::Stride, 4, None);
+        for p in [7u64, 8, 9] {
+            engine.stride.observe(p);
+        }
+        assert_eq!(engine.candidates(9, &[], &all), vec![10, 11, 12, 13]);
+
+        let mut h = PageHistory::new();
+        h.observe(1, 2);
+        h.observe(2, 3);
+        h.observe(3, 4);
+        let engine = StreamEngine::new(StreamMode::History, 2, Some(Arc::new(h)));
+        assert_eq!(engine.candidates(1, &[], &all), vec![2, 3]);
+        // Present pages are skipped over, the chain continues past them.
+        assert_eq!(engine.candidates(1, &[], &|p| p != 2), vec![3, 4]);
+    }
+
+    #[test]
+    fn engine_capacity_shrinks_with_in_flight_pages() {
+        let link = offload_net::Link::ideal();
+        let mut engine = StreamEngine::new(StreamMode::Static, 2, None);
+        engine.in_flight.schedule(0.0, 50, 100, &link);
+        let c = engine.candidates(1, &[50, 60, 70], &|_| true);
+        assert_eq!(c, vec![60], "in-flight excluded, capacity reduced");
+    }
+}

@@ -75,6 +75,17 @@ pub struct RunReport {
     pub demand_page_fetches: u64,
     /// Pages shipped by the initialization prefetch.
     pub prefetched_pages: u64,
+    /// Pages pushed speculatively onto the link by the streaming
+    /// predictor (zero with `StreamMode::Off`).
+    pub pages_streamed: u64,
+    /// Demand faults that landed on an in-flight streamed page (paying
+    /// only the residual arrival time).
+    pub stream_hits: u64,
+    /// Streamed pages the server never touched (wire bytes wasted).
+    pub stream_wasted_pages: u64,
+    /// Estimated demand-stall seconds the stream hits avoided, vs the
+    /// synchronous round trip each would have paid.
+    pub stall_s_saved: f64,
     /// Dirty pages written back at finalizations.
     pub dirty_pages_written_back: u64,
     /// Function-pointer translations performed on the server.
@@ -121,6 +132,17 @@ impl RunReport {
     /// to see what batching + compression saved.
     pub fn traffic_wire_mb(&self) -> f64 {
         (self.upload.wire_bytes + self.download.wire_bytes) as f64 / 1_000_000.0
+    }
+
+    /// Fraction of streamed pages that were faulted while (or after)
+    /// crossing the link — the streaming predictor's accuracy. Reports
+    /// `1.0` when nothing was streamed (no predictions, no misses).
+    pub fn stream_hit_rate(&self) -> f64 {
+        if self.pages_streamed == 0 {
+            1.0
+        } else {
+            self.stream_hits as f64 / self.pages_streamed as f64
+        }
     }
 
     /// Communication traffic per performed offload, MB.
@@ -200,6 +222,15 @@ mod tests {
         assert!((r.traffic_mb_per_invocation() - 2.0).abs() < 1e-12);
         r.offloads_performed = 0;
         assert_eq!(r.traffic_mb_per_invocation(), 0.0);
+    }
+
+    #[test]
+    fn stream_hit_rate_guards_zero_streamed() {
+        let mut r = RunReport::default();
+        assert_eq!(r.stream_hit_rate(), 1.0);
+        r.pages_streamed = 8;
+        r.stream_hits = 6;
+        assert!((r.stream_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -33,19 +33,20 @@ use offload_machine::heap::HeapAllocator;
 use offload_machine::host::LocalHost;
 use offload_machine::io::{self, IoArg, IoError};
 use offload_machine::loader;
-use offload_machine::mem::{BackingPolicy, MemError, Memory};
+use offload_machine::mem::{BackingPolicy, MemError, Memory, ZERO_PAGE};
 use offload_machine::power::{PowerState, PowerTimeline};
 use offload_machine::uva_map;
 use offload_machine::vm::{Host, HostCtx, RtVal, StackBank, Vm, VmError};
 use offload_machine::PAGE_SIZE;
 use offload_net::frame::{self, Message};
-use offload_net::{delta, lz, Channel, Direction, MsgKind};
+use offload_net::{delta, lz, Channel, Direction, InFlightPage, MsgKind};
 use offload_obs::{Collector, CostLane, EventKind, NoopCollector, RemoteOp, Span as ObsSpan};
 
 use crate::compiler::CompiledApp;
 use crate::config::{SessionConfig, WorkloadInput};
 use crate::plan::OffloadPlan;
 use crate::runtime::bandwidth::BandwidthTracker;
+use crate::runtime::predict::{StreamEngine, StreamMode, StrideDetector};
 use crate::runtime::report::{OverheadBreakdown, RunReport};
 use crate::OffloadError;
 
@@ -193,6 +194,11 @@ pub fn run_offloaded_pooled(
     server_image
         .mem
         .set_track_baselines(cfg.delta_writeback && cfg.batch);
+    // The stride predictor feeds on the server VM's page-access sequence
+    // (TLB-miss log); the other modes leave the hot path untouched.
+    server_image
+        .mem
+        .set_access_log(cfg.stream_mode == StreamMode::Stride);
 
     let mut mobile_vm = Vm::new(&app.mobile, &cfg.mobile, mobile_image, StackBank::Mobile);
     mobile_vm.set_fuel(cfg.fuel);
@@ -239,6 +245,8 @@ pub fn run_offloaded_pooled(
         decompress_s: 0.0,
         server_cycles_total: 0,
         bandwidth: BandwidthTracker::new(),
+        stream: StreamEngine::new(cfg.stream_mode, cfg.fault_ahead, cfg.page_history.clone()),
+        stall_saved_s: 0.0,
     };
 
     let exit = match mobile_vm.run_entry(&mut host) {
@@ -278,6 +286,10 @@ pub fn run_offloaded_pooled(
         offloads_refused: host.stat.refused,
         demand_page_fetches: host.stat.demand_fetches,
         prefetched_pages: host.stat.prefetched,
+        pages_streamed: host.stat.streamed,
+        stream_hits: host.stat.stream_hits,
+        stream_wasted_pages: host.stat.stream_wasted,
+        stall_s_saved: host.stall_saved_s,
         dirty_pages_written_back: host.stat.dirty_back,
         fn_map_translations: host.stat.fn_maps,
         remote_io_calls: host.stat.remote_io_calls,
@@ -312,6 +324,9 @@ struct SessionStats {
     refused: u64,
     demand_fetches: u64,
     prefetched: u64,
+    streamed: u64,
+    stream_hits: u64,
+    stream_wasted: u64,
     dirty_back: u64,
     fn_maps: u64,
     remote_io_calls: u64,
@@ -338,6 +353,8 @@ struct SessionHost<'a> {
     decompress_s: f64,
     server_cycles_total: u64,
     bandwidth: BandwidthTracker,
+    stream: StreamEngine,
+    stall_saved_s: f64,
 }
 
 impl SessionHost<'_> {
@@ -380,6 +397,9 @@ impl SessionHost<'_> {
         match lane {
             CostLane::Comm => self.comm_s += d,
             CostLane::RemoteIo => self.remote_io_s += d,
+            // Streamed frames never go through send(): they occupy the
+            // link without stalling the timeline.
+            CostLane::Stream => {}
         }
         d
     }
@@ -464,13 +484,12 @@ impl SessionHost<'_> {
             // `delta_writeback` — ablates sub-page transfers both ways.
             let use_delta = self.cfg.delta_writeback && self.cfg.batch;
             let delta_blob = use_delta.then(|| {
-                let zero = [0u8; PAGE_SIZE as usize];
                 let deltas: Vec<delta::PageDelta> = prefetch_pages
                     .iter()
                     .enumerate()
                     .map(|(i, p)| {
                         let cur = &blob[i * PAGE_SIZE as usize..][..PAGE_SIZE as usize];
-                        delta::page_delta(*p, Some(&zero), cur, delta::MIN_GAP)
+                        delta::page_delta(*p, Some(&ZERO_PAGE), cur, delta::MIN_GAP)
                     })
                     .collect();
                 delta::encode(&deltas, PAGE_SIZE as usize)
@@ -547,6 +566,13 @@ impl SessionHost<'_> {
         // ---- offloading execution (§4) ------------------------------------
         self.pending_args = args.to_vec();
         self.pending_return = None;
+        if self.stream.active() {
+            // Stride runs don't survive across offload regions; the
+            // adaptive window does, and the in-flight map is drained to
+            // waste at every finalization, so it starts empty here.
+            self.stream.stride = StrideDetector::default();
+            self.stream.streamed_this_offload = 0;
+        }
         let server_cycles_before = self.server_vm.clock.cycles;
         let result = {
             let Self {
@@ -564,6 +590,8 @@ impl SessionHost<'_> {
                 remote_io_s,
                 comm_s,
                 bandwidth,
+                stream,
+                stall_saved_s,
                 ..
             } = self;
             let mut bridge = ServerBridge {
@@ -581,6 +609,9 @@ impl SessionHost<'_> {
                 remote_io_s,
                 comm_s,
                 bandwidth,
+                stream,
+                stall_saved_s,
+                stream_static: &task.prefetch_pages,
                 mobile_present: &mobile_present,
                 last_server_cycles: server_cycles_before,
                 server_fn_count: server_vm.module().function_count() as u64,
@@ -623,6 +654,26 @@ impl SessionHost<'_> {
                     cycles: server_delta,
                 },
             );
+        }
+        if self.stream.active() {
+            // Streamed pages the server never faulted on are pure waste:
+            // their wire bytes crossed the link for nothing. Feed the
+            // waste ratio back into the adaptive window.
+            let leftovers = self.stream.in_flight.drain();
+            let wasted = leftovers.len() as u64;
+            if wasted > 0 {
+                let wire: u64 = leftovers.iter().map(|(_, p)| p.wire_bytes).sum();
+                self.stat.stream_wasted += wasted;
+                self.obs.record(
+                    self.wall(),
+                    EventKind::StreamWaste {
+                        pages: wasted,
+                        wire_bytes: wire,
+                    },
+                );
+            }
+            let streamed = self.stream.streamed_this_offload;
+            self.stream.window.observe_offload(streamed, wasted);
         }
 
         // ---- finalization (§4) ---------------------------------------------
@@ -882,6 +933,33 @@ fn is_server_private_page(page: u64) -> bool {
     server_stack || server_heap
 }
 
+/// The batch one demand fault pulls: the faulting page plus the run of
+/// successors inside `window` that exist on the mobile device, are not
+/// server-private, are not already on the server, and are not `skip`ped
+/// (in flight on the stream). The run stops at the first ineligible
+/// page — fault-ahead amortizes *sequential* access, so a hole ends it.
+fn plan_fault_window(
+    page: u64,
+    window: u64,
+    mobile_present: &BTreeSet<u64>,
+    server_mem: &Memory,
+    skip: &dyn Fn(u64) -> bool,
+) -> Vec<u64> {
+    let mut pages = vec![page];
+    for p in page + 1..page + window {
+        if mobile_present.contains(&p)
+            && !is_server_private_page(p)
+            && !server_mem.is_present(p)
+            && !skip(p)
+        {
+            pages.push(p);
+        } else {
+            break;
+        }
+    }
+    pages
+}
+
 impl Host for SessionHost<'_> {
     fn page_fault(&mut self, page: u64, _ctx: &mut HostCtx<'_>) -> Result<(), VmError> {
         Err(VmError::Mem(MemError::PageFault { page }))
@@ -960,6 +1038,11 @@ struct ServerBridge<'x> {
     fn_map_cycles: &'x mut u64,
     remote_io_s: &'x mut f64,
     comm_s: &'x mut f64,
+    stream: &'x mut StreamEngine,
+    stall_saved_s: &'x mut f64,
+    /// The active task's profile-predicted page list — the `Static`
+    /// predictor's candidate stream.
+    stream_static: &'x [u64],
     mobile_present: &'x BTreeSet<u64>,
     bandwidth: &'x mut BandwidthTracker,
     last_server_cycles: u64,
@@ -1006,6 +1089,9 @@ impl ServerBridge<'_> {
         match lane {
             CostLane::Comm => *self.comm_s += d,
             CostLane::RemoteIo => *self.remote_io_s += d,
+            // Streamed frames never go through send(): they occupy the
+            // link without stalling the timeline (see `pump_stream`).
+            CostLane::Stream => {}
         }
         d
     }
@@ -1017,25 +1103,157 @@ impl ServerBridge<'_> {
         if is_server_private_page(page) || !self.mobile_present.contains(&page) {
             // Server-private pages and pages absent from the mobile page
             // table are demand-zero: no network traffic.
-            ctx.mem.install_page(page, &vec![0u8; PAGE_SIZE as usize]);
+            ctx.mem.install_page(page, &ZERO_PAGE);
             return Ok(());
         }
+        if !self.stream.active() {
+            return self.demand_fetch(page, self.cfg.fault_ahead.max(1), ctx);
+        }
+        // Streaming path: feed the stride detector the server's page-access
+        // sequence up to (and including) this fault, then either absorb the
+        // fault from an in-flight streamed page or fall back to a
+        // synchronous batch under the adaptive window.
+        for p in ctx.mem.take_access_log() {
+            self.stream.stride.observe(p);
+        }
+        self.stream.stride.observe(page);
+        if let Some(fl) = self.stream.in_flight.take(page) {
+            self.stream_hit(page, fl, ctx)?;
+        } else {
+            let window = self.stream.window.window();
+            self.demand_fetch(page, window, ctx)?;
+        }
+        self.pump_stream(page, ctx)
+    }
+
+    /// Service a fault from an in-flight streamed page: pay only the
+    /// residual arrival time instead of a full round trip, and install
+    /// the page.
+    fn stream_hit(
+        &mut self,
+        page: u64,
+        fl: InFlightPage,
+        ctx: &mut HostCtx<'_>,
+    ) -> Result<(), VmError> {
+        let now = self.timeline.total_seconds();
+        let residual = (fl.arrival_s - now).max(0.0);
+        self.timeline
+            .push_traced(&mut *self.obs, PowerState::Transmit, residual);
+        *self.comm_s += residual;
+        // What the synchronous path would have stalled for this one page:
+        // the control round trip plus the page transfer itself.
+        let req_len = frame::encoded_len(&Message::PageRequest { page, count: 1 });
+        let link = &self.channel.link;
+        let saved =
+            (link.transfer_time(req_len) + link.transfer_time(fl.wire_bytes) - residual).max(0.0);
+        *self.stall_saved_s += saved;
+        self.stat.stream_hits += 1;
+        self.obs.record(
+            self.wall(),
+            EventKind::StreamHit {
+                page,
+                residual_s: residual,
+                saved_s: saved,
+            },
+        );
+        // The mobile VM is frozen while the server runs, so reading the
+        // page now yields exactly the bytes put on the wire at schedule
+        // time — results stay byte-identical to the synchronous path.
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        self.mobile_mem
+            .read(page * PAGE_SIZE, &mut buf)
+            .map_err(VmError::Mem)?;
+        ctx.mem.install_page(page, &buf);
+        Ok(())
+    }
+
+    /// Push predicted pages onto the link while the server keeps running.
+    /// Link occupancy is modeled by the engine's [`StreamWindow`]; nothing
+    /// stalls the timeline and nothing installs into server memory until
+    /// a fault lands on an in-flight page.
+    fn pump_stream(&mut self, fault_page: u64, ctx: &mut HostCtx<'_>) -> Result<(), VmError> {
+        let candidates = {
+            let mem = &*ctx.mem;
+            let mobile_present = self.mobile_present;
+            let eligible = move |p: u64| {
+                mobile_present.contains(&p) && !is_server_private_page(p) && !mem.is_present(p)
+            };
+            self.stream
+                .candidates(fault_page, self.stream_static, &eligible)
+        };
+        if candidates.is_empty() {
+            return Ok(());
+        }
+        let use_delta = self.cfg.delta_writeback && self.cfg.batch;
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        for p in candidates {
+            self.mobile_mem
+                .read(p * PAGE_SIZE, &mut buf)
+                .map_err(VmError::Mem)?;
+            let msg = Message::StreamPage {
+                page: p,
+                bytes: std::mem::take(&mut buf),
+            };
+            let full = frame::encoded_len(&msg);
+            let Message::StreamPage { bytes, .. } = msg else {
+                unreachable!()
+            };
+            buf = bytes;
+            // Like demand pages, streamed pages ride the sparse codec
+            // against the implicit zero baseline when the delta knob is on.
+            let wire = if use_delta {
+                let d = delta::page_delta(p, Some(&ZERO_PAGE), &buf, delta::MIN_GAP);
+                let db = delta::encode(&[d], PAGE_SIZE as usize);
+                full.min(frame::encoded_len(&Message::DeltaPages { bytes: db }))
+            } else {
+                full
+            };
+            let now = self.timeline.total_seconds();
+            let _arrival = self
+                .stream
+                .in_flight
+                .schedule(now, p, wire, &self.channel.link);
+            // Occupancy-only frame: traffic stats and the trace see it,
+            // but no timeline stall and no comm_s charge (CostLane::Stream
+            // is ignored by the replay's lane sums).
+            self.channel.transfer_traced(
+                &mut *self.obs,
+                now,
+                Direction::MobileToServer,
+                MsgKind::StreamPage,
+                full,
+                wire,
+                CostLane::Stream,
+            );
+            self.stat.streamed += 1;
+            self.stream.streamed_this_offload += 1;
+            self.obs.record(
+                now,
+                EventKind::PrefetchPredict {
+                    page: p,
+                    window: self.stream.window.window() as u32,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Synchronous copy-on-demand fetch: a control round trip followed by
+    /// the faulting page plus its fault-ahead successors in one batch.
+    fn demand_fetch(
+        &mut self,
+        page: u64,
+        window: u64,
+        ctx: &mut HostCtx<'_>,
+    ) -> Result<(), VmError> {
         self.stat.demand_fetches += 1;
         // Fault-ahead: pull the faulting page plus the next mobile-present
         // pages not yet on the server, amortizing the round trip over
-        // sequential access patterns.
-        let window = self.cfg.fault_ahead.max(1);
-        let mut pages = vec![page];
-        for p in page + 1..page + window {
-            if self.mobile_present.contains(&p)
-                && !is_server_private_page(p)
-                && !ctx.mem.is_present(p)
-            {
-                pages.push(p);
-            } else {
-                break;
-            }
-        }
+        // sequential access patterns. Pages already in flight on the
+        // stream are skipped — their bytes are on the wire already.
+        let pages = plan_fault_window(page, window, self.mobile_present, ctx.mem, &|p| {
+            self.stream.in_flight.contains(p)
+        });
         let mut blob = vec![0u8; PAGE_SIZE as usize * pages.len()];
         for (i, p) in pages.iter().enumerate() {
             self.mobile_mem
@@ -1067,13 +1285,12 @@ impl ServerBridge<'_> {
         });
         let use_delta = self.cfg.delta_writeback && self.cfg.batch;
         let delta_blob = use_delta.then(|| {
-            let zero = [0u8; PAGE_SIZE as usize];
             let deltas: Vec<delta::PageDelta> = pages
                 .iter()
                 .enumerate()
                 .map(|(i, p)| {
                     let cur = &blob[i * PAGE_SIZE as usize..][..PAGE_SIZE as usize];
-                    delta::page_delta(*p, Some(&zero), cur, delta::MIN_GAP)
+                    delta::page_delta(*p, Some(&ZERO_PAGE), cur, delta::MIN_GAP)
                 })
                 .collect();
             delta::encode(&deltas, PAGE_SIZE as usize)
@@ -1528,6 +1745,95 @@ mod tests {
             app.plan.estimates
         );
         app
+    }
+
+    #[test]
+    fn fault_window_boundaries() {
+        let mut server = Memory::new(BackingPolicy::FaultOnAbsent);
+        let present: BTreeSet<u64> = (10..20).collect();
+        let none = |_: u64| false;
+        // Window 1: the faulting page only — no fault-ahead at all.
+        assert_eq!(plan_fault_window(10, 1, &present, &server, &none), vec![10]);
+        // A hole in the mobile page table ends the run.
+        assert_eq!(
+            plan_fault_window(17, 8, &present, &server, &none),
+            vec![17, 18, 19]
+        );
+        // A page already on the server ends the run, even though later
+        // pages are absent again.
+        server.install_page(12, &ZERO_PAGE);
+        assert_eq!(
+            plan_fault_window(10, 8, &present, &server, &none),
+            vec![10, 11]
+        );
+        // A skipped page (in flight on the stream) ends it the same way.
+        assert_eq!(
+            plan_fault_window(15, 8, &present, &server, &|p| p == 16),
+            vec![15]
+        );
+    }
+
+    #[test]
+    fn fault_window_stops_at_server_private_pages() {
+        let server = Memory::new(BackingPolicy::FaultOnAbsent);
+        let first_private = (uva_map::SERVER_STACK_TOP - uva_map::STACK_SIZE) / PAGE_SIZE;
+        let base = first_private - 3;
+        let present: BTreeSet<u64> = (base..first_private + 4).collect();
+        assert_eq!(
+            plan_fault_window(base, 8, &present, &server, &|_| false),
+            vec![base, base + 1, base + 2]
+        );
+    }
+
+    #[test]
+    fn streamed_sessions_match_synchronous_results() {
+        let app = compiled();
+        let input = WorkloadInput::from_stdin("4000\n");
+        let mut cfg = SessionConfig::fast_network();
+        cfg.prefetch = false; // fault-heavy regime: streaming has work to do
+        let base = app.run_offloaded(&input, &cfg).unwrap();
+        // Train the history predictor on a synchronous traced run.
+        let mut obs = TraceCollector::with_capacity(1 << 20);
+        let _ = run_offloaded_traced(&app, &input, &cfg, &mut obs).unwrap();
+        let history = std::sync::Arc::new(crate::runtime::predict::PageHistory::from_records(
+            &obs.records(),
+        ));
+        for mode in [StreamMode::Static, StreamMode::Stride, StreamMode::History] {
+            let mut scfg = cfg.clone();
+            scfg.stream_mode = mode;
+            scfg.page_history = Some(history.clone());
+            // Traced run: in debug builds this also replays the event
+            // stream and asserts bit-identical reconciliation.
+            let mut sobs = TraceCollector::with_capacity(1 << 20);
+            let run = run_offloaded_traced(&app, &input, &scfg, &mut sobs).unwrap();
+            assert_eq!(run.console, base.console, "mode {}", mode.name());
+            assert_eq!(run.exit_code, base.exit_code, "mode {}", mode.name());
+            assert_eq!(
+                run.dirty_pages_written_back,
+                base.dirty_pages_written_back,
+                "mode {}",
+                mode.name()
+            );
+            assert_eq!(
+                run.stream_hits + run.stream_wasted_pages,
+                run.pages_streamed,
+                "every streamed page is a hit or waste (mode {})",
+                mode.name()
+            );
+        }
+        // The history predictor must actually overlap transfers here.
+        let mut hcfg = cfg.clone();
+        hcfg.stream_mode = StreamMode::History;
+        hcfg.page_history = Some(history);
+        let hist = app.run_offloaded(&input, &hcfg).unwrap();
+        assert!(hist.pages_streamed > 0, "history mode streams pages");
+        assert!(hist.stream_hits > 0, "history mode lands hits");
+        assert!(
+            hist.total_seconds < base.total_seconds,
+            "overlap must shorten the run: {} vs {}",
+            hist.total_seconds,
+            base.total_seconds
+        );
     }
 
     #[test]

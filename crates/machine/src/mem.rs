@@ -29,6 +29,11 @@ use std::collections::BTreeMap;
 
 use crate::PAGE_SIZE;
 
+/// A page of zeroes with a stable address: the shared source for every
+/// demand-zero install and delta-vs-zero baseline on the fault path
+/// (hoisted out of the per-fault `vec![0u8; PAGE_SIZE]` allocations).
+pub static ZERO_PAGE: [u8; PAGE_SIZE as usize] = [0u8; PAGE_SIZE as usize];
+
 /// Page number of an address.
 pub fn page_of(addr: u64) -> u64 {
     addr / PAGE_SIZE
@@ -123,7 +128,19 @@ pub struct Memory {
     /// watches this: a steady-state session on a recycled memory must
     /// not grow it.
     frame_allocs: u64,
+    /// When on, TLB-miss page translations are appended to `access_log`
+    /// (capped) — the raw feed of the stride predictor. Off by default:
+    /// the hot path pays one branch.
+    log_accesses: bool,
+    /// Page numbers in first-translation order since the last
+    /// [`Memory::take_access_log`].
+    access_log: Vec<u64>,
 }
+
+/// Upper bound on buffered access-log entries between drains. The stride
+/// detector only needs recent history; an unbounded log would grow with
+/// the working set.
+const ACCESS_LOG_CAP: usize = 256;
 
 impl Memory {
     /// An empty memory with the given backing policy.
@@ -138,7 +155,21 @@ impl Memory {
             dirty_count: 0,
             track_baselines: false,
             frame_allocs: 0,
+            log_accesses: false,
+            access_log: Vec::new(),
         }
+    }
+
+    /// Turn the page-access log on or off. Turning it off (or on) clears
+    /// any buffered entries, so a reader starts from a clean slate.
+    pub fn set_access_log(&mut self, on: bool) {
+        self.log_accesses = on;
+        self.access_log.clear();
+    }
+
+    /// Drain the buffered access log (page numbers in TLB-miss order).
+    pub fn take_access_log(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.access_log)
     }
 
     /// The device's backing policy.
@@ -211,6 +242,7 @@ impl Memory {
         self.clear();
         self.policy = policy;
         self.set_track_baselines(false);
+        self.set_access_log(false);
     }
 
     /// Install a page's bytes (copy-on-demand delivery or prefetch). The
@@ -312,6 +344,9 @@ impl Memory {
         let slot = *self.table.get(&page)?;
         self.tlb_page = page;
         self.tlb_slot = slot;
+        if self.log_accesses && self.access_log.len() < ACCESS_LOG_CAP {
+            self.access_log.push(page);
+        }
         Some(slot)
     }
 
@@ -589,6 +624,45 @@ mod tests {
         m.write(0, &[2]).unwrap();
         let base = m.baseline_bytes(0).expect("snapshot after clear");
         assert_eq!(base[0], 0, "demand-zero page snapshots as zeroes");
+    }
+
+    #[test]
+    fn access_log_records_tlb_misses_in_order() {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        m.write(0, &[1]).unwrap(); // populate pages before logging
+        m.write(PAGE_SIZE * 2, &[2]).unwrap();
+        m.set_access_log(true);
+        let mut b = [0u8];
+        m.read(PAGE_SIZE * 2, &mut b).unwrap(); // TLB still holds page 2: hit, not logged
+        m.read(0, &mut b).unwrap();
+        m.read(1, &mut b).unwrap(); // same page: TLB hit, not logged
+        m.read(PAGE_SIZE * 2, &mut b).unwrap();
+        let log = m.take_access_log();
+        assert_eq!(log, vec![0, 2]);
+        assert!(m.take_access_log().is_empty(), "drained");
+        m.set_access_log(false);
+        m.read(0, &mut b).unwrap();
+        assert!(m.take_access_log().is_empty(), "off means off");
+    }
+
+    #[test]
+    fn access_log_is_capped() {
+        let mut m = Memory::new(BackingPolicy::DemandZero);
+        for p in 0..600u64 {
+            m.write(p * PAGE_SIZE, &[1]).unwrap();
+        }
+        m.set_access_log(true);
+        let mut b = [0u8];
+        for p in 0..600u64 {
+            m.read(p * PAGE_SIZE, &mut b).unwrap();
+        }
+        assert_eq!(m.take_access_log().len(), super::ACCESS_LOG_CAP);
+    }
+
+    #[test]
+    fn zero_page_is_a_full_page_of_zeroes() {
+        assert_eq!(ZERO_PAGE.len(), PAGE_SIZE as usize);
+        assert!(ZERO_PAGE.iter().all(|&b| b == 0));
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub enum MsgKind {
     RemoteIo,
     /// Control traffic (acks, dynamic-estimation probes).
     Control,
+    /// A speculatively streamed page (fire-and-forget, overlapped with
+    /// server compute).
+    StreamPage,
 }
 
 impl MsgKind {
@@ -60,6 +63,7 @@ impl MsgKind {
             MsgKind::Return => offload_obs::FrameKind::Return,
             MsgKind::RemoteIo => offload_obs::FrameKind::RemoteIo,
             MsgKind::Control => offload_obs::FrameKind::Control,
+            MsgKind::StreamPage => offload_obs::FrameKind::StreamPage,
         }
     }
 }

@@ -79,6 +79,16 @@ pub enum Message {
         /// Encoded delta records (see [`crate::delta::encode`]).
         bytes: Vec<u8>,
     },
+    /// One speculatively streamed page, pushed mobile→server without a
+    /// preceding [`Message::PageRequest`] round trip. Sent fire-and-forget
+    /// while the server VM runs; the page number rides along so the
+    /// receiver can install it on arrival.
+    StreamPage {
+        /// Page number.
+        page: u64,
+        /// Page bytes (possibly delta-vs-zero encoded by the caller).
+        bytes: Vec<u8>,
+    },
 }
 
 impl Message {
@@ -90,6 +100,7 @@ impl Message {
             Message::RemoteIo { .. } => 4,
             Message::PageRequest { .. } => 5,
             Message::DeltaPages { .. } => 6,
+            Message::StreamPage { .. } => 7,
         }
     }
 }
@@ -267,6 +278,10 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
         Message::DeltaPages { bytes } => {
             w.bytes(bytes);
         }
+        Message::StreamPage { page, bytes } => {
+            w.u64(*page);
+            w.bytes(bytes);
+        }
     }
     w.0
 }
@@ -359,6 +374,10 @@ pub fn decode(frame: &[u8]) -> Result<(Message, u32), FrameError> {
             count: p.u32()?,
         },
         6 => Message::DeltaPages { bytes: p.bytes()? },
+        7 => Message::StreamPage {
+            page: p.u64()?,
+            bytes: p.bytes()?,
+        },
         other => return Err(err(format!("unknown message kind {other}"))),
     };
     Ok((msg, seq))
@@ -410,6 +429,10 @@ mod tests {
         });
         roundtrip(Message::DeltaPages {
             bytes: vec![0x5A; 300],
+        });
+        roundtrip(Message::StreamPage {
+            page: 0x20_000,
+            bytes: vec![0xC3; 4096],
         });
     }
 

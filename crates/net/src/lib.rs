@@ -23,8 +23,10 @@ pub mod delta;
 pub mod frame;
 pub mod link;
 pub mod lz;
+pub mod stream;
 
 pub use batch::BatchBuffer;
 pub use channel::{Channel, Direction, MsgKind, TrafficStats, TransferEvent};
 pub use frame::{FrameError, Message};
 pub use link::Link;
+pub use stream::{InFlightPage, StreamWindow};

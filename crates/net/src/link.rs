@@ -70,6 +70,20 @@ impl Link {
         self.latency_s + (wire_bytes * 8) as f64 / self.bandwidth_bps as f64
     }
 
+    /// Seconds the sender needs to push one message of `payload_bytes`
+    /// onto the wire — the bandwidth term of [`Link::transfer_time`]
+    /// without the propagation latency. Back-to-back messages on an
+    /// established pipe are spaced by this, not by the full transfer
+    /// time: propagation of one message overlaps serialization of the
+    /// next.
+    pub fn serialization_time(&self, payload_bytes: u64) -> f64 {
+        if self.bandwidth_bps == u64::MAX {
+            return 0.0;
+        }
+        let wire_bytes = payload_bytes + self.per_message_bytes;
+        (wire_bytes * 8) as f64 / self.bandwidth_bps as f64
+    }
+
     /// Seconds for a zero-payload control round trip.
     pub fn round_trip_time(&self) -> f64 {
         2.0 * self.transfer_time(0)
@@ -108,5 +122,13 @@ mod tests {
         let l = Link::wifi_802_11ac();
         let t = l.transfer_time(16);
         assert!(t < 0.0011, "small message should be ~latency, got {t}");
+    }
+
+    #[test]
+    fn serialization_is_the_bandwidth_term_of_transfer() {
+        let l = Link::wifi_802_11n();
+        let n = 4096;
+        assert!((l.serialization_time(n) - (l.transfer_time(n) - l.latency_s)).abs() < 1e-15);
+        assert_eq!(Link::ideal().serialization_time(1 << 30), 0.0);
     }
 }

@@ -1,0 +1,207 @@
+//! In-flight transfer model for speculative page streaming.
+//!
+//! The synchronous demand path serializes every page behind a control
+//! round trip: fault → `PageRequest` → page → resume. Speculative
+//! streaming instead pushes predicted pages onto the link *while the
+//! server VM computes*. This module models exactly that overlap on
+//! simulated time:
+//!
+//! * the link is a single FIFO pipe — a streamed page starts serializing
+//!   no earlier than the previous one finished serializing
+//!   ([`StreamWindow::free_s`] tracks the sender horizon), and arrives
+//!   one propagation latency later, so back-to-back predictions pipeline
+//!   (spaced by bandwidth, paying latency once each in parallel) instead
+//!   of teleporting;
+//! * each page gets a deterministic **arrival time**; a fault at `now` on
+//!   an in-flight page pays only `max(0, arrival - now)` — the residual —
+//!   instead of a full round trip;
+//! * pages still in flight at finalization are *waste*: the bytes crossed
+//!   the wire for nothing, and the adaptive controller narrows the window
+//!   in response.
+//!
+//! The model deliberately lives in `net` next to [`Link`]: it is pure
+//! timing arithmetic over `Link::transfer_time`, with no knowledge of
+//! predictors or sessions, which keeps it unit-testable in isolation.
+
+use std::collections::BTreeMap;
+
+use crate::link::Link;
+
+/// One page currently occupying the link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InFlightPage {
+    /// Simulated time at which the page is fully received by the server.
+    pub arrival_s: f64,
+    /// Wire payload bytes the page burned (for waste accounting).
+    pub wire_bytes: u64,
+}
+
+/// The set of in-flight streamed pages plus the link-occupancy horizon.
+///
+/// Deterministic by construction: pages are keyed in a `BTreeMap`, and
+/// scheduling is pure arithmetic over the caller-supplied clock.
+#[derive(Debug, Clone, Default)]
+pub struct StreamWindow {
+    /// The simulated time at which the sender finishes serializing the
+    /// last queued page — when the pipe accepts the next one.
+    free_s: f64,
+    in_flight: BTreeMap<u64, InFlightPage>,
+}
+
+impl StreamWindow {
+    /// An empty window with the link free immediately.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `page` onto the link at simulated time `now_s`, carrying
+    /// `wire_payload_bytes`. The page starts serializing when the sender
+    /// frees up (`max(now_s, free_s)`), finishes serializing one
+    /// [`Link::serialization_time`] later, and arrives one propagation
+    /// latency after that. Returns the arrival time.
+    ///
+    /// The pipe is pipelined: `free_s` tracks the sender's serialization
+    /// horizon only, so back-to-back pages arrive one serialization time
+    /// apart — propagation of each page overlaps serialization of the
+    /// next, exactly like packets on an established connection. (The
+    /// synchronous demand path, by contrast, pays the full
+    /// request/response latency on every batch.)
+    ///
+    /// Scheduling a page that is already in flight is a caller bug.
+    pub fn schedule(&mut self, now_s: f64, page: u64, wire_payload_bytes: u64, link: &Link) -> f64 {
+        debug_assert!(
+            !self.in_flight.contains_key(&page),
+            "page {page} double-streamed"
+        );
+        let depart_s = if now_s > self.free_s {
+            now_s
+        } else {
+            self.free_s
+        };
+        let sent_s = depart_s + link.serialization_time(wire_payload_bytes);
+        let arrival_s = sent_s + link.latency_s;
+        self.free_s = sent_s;
+        self.in_flight.insert(
+            page,
+            InFlightPage {
+                arrival_s,
+                wire_bytes: wire_payload_bytes,
+            },
+        );
+        arrival_s
+    }
+
+    /// `true` if `page` is currently in flight.
+    #[must_use]
+    pub fn contains(&self, page: u64) -> bool {
+        self.in_flight.contains_key(&page)
+    }
+
+    /// Remove and return `page`'s in-flight record (on fault).
+    pub fn take(&mut self, page: u64) -> Option<InFlightPage> {
+        self.in_flight.remove(&page)
+    }
+
+    /// Residual wait a fault at `now_s` pays for `page`, if in flight:
+    /// `max(0, arrival - now)`.
+    #[must_use]
+    pub fn residual(&self, now_s: f64, page: u64) -> Option<f64> {
+        self.in_flight
+            .get(&page)
+            .map(|p| (p.arrival_s - now_s).max(0.0))
+    }
+
+    /// Drain every still-in-flight page (at finalization) in page order.
+    pub fn drain(&mut self) -> Vec<(u64, InFlightPage)> {
+        let drained: Vec<_> = std::mem::take(&mut self.in_flight).into_iter().collect();
+        drained
+    }
+
+    /// Pages currently in flight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// `true` if nothing is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// The time the link frees up for the next streamed page.
+    #[must_use]
+    pub fn free_at(&self) -> f64 {
+        self.free_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        // 8 Mbps, 1 ms latency, no per-message overhead: 1000 wire bytes
+        // take 1e-3 + 1000*8/8e6 = 2 ms.
+        Link {
+            name: "test".into(),
+            bandwidth_bps: 8_000_000,
+            latency_s: 0.001,
+            per_message_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn pages_pipeline_behind_each_other() {
+        let l = link();
+        let mut w = StreamWindow::new();
+        let a1 = w.schedule(0.0, 10, 1000, &l);
+        assert!((a1 - 0.002).abs() < 1e-12);
+        // Second page scheduled at the same instant queues behind the
+        // first's *serialization* (1 ms), then pays its own 1 ms of
+        // serialization plus the 1 ms propagation: arrives at 3 ms. The
+        // propagation of page one overlaps the serialization of page two.
+        let a2 = w.schedule(0.0, 11, 1000, &l);
+        assert!((a2 - 0.003).abs() < 1e-12);
+        assert_eq!(w.len(), 2);
+        assert!((w.free_at() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_idles_until_the_next_schedule() {
+        let l = link();
+        let mut w = StreamWindow::new();
+        w.schedule(0.0, 1, 1000, &l);
+        // Scheduled well after the first arrival: departs immediately.
+        let a = w.schedule(1.0, 2, 1000, &l);
+        assert!((a - 1.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_shrinks_to_zero_after_arrival() {
+        let l = link();
+        let mut w = StreamWindow::new();
+        w.schedule(0.0, 5, 1000, &l); // arrives at 2 ms
+        assert!((w.residual(0.0005, 5).unwrap() - 0.0015).abs() < 1e-12);
+        assert_eq!(w.residual(0.5, 5).unwrap(), 0.0);
+        assert!(w.residual(0.0, 99).is_none());
+    }
+
+    #[test]
+    fn take_removes_and_drain_empties_in_page_order() {
+        let l = link();
+        let mut w = StreamWindow::new();
+        w.schedule(0.0, 9, 100, &l);
+        w.schedule(0.0, 3, 100, &l);
+        w.schedule(0.0, 7, 100, &l);
+        let hit = w.take(3).expect("in flight");
+        assert!(hit.arrival_s > 0.0);
+        assert!(!w.contains(3));
+        let rest = w.drain();
+        assert_eq!(rest.iter().map(|(p, _)| *p).collect::<Vec<_>>(), [7, 9]);
+        assert!(w.is_empty());
+        // free_s survives a drain: the link horizon is physical.
+        assert!(w.free_at() > 0.0);
+    }
+}

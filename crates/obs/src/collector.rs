@@ -201,6 +201,15 @@ impl TraceCollector {
                 );
             }
             PrefetchBatch { pages, .. } => m.count("prefetched_pages", *pages),
+            PrefetchPredict { .. } => m.count("streamed_pages", 1),
+            StreamHit { saved_s, .. } => {
+                m.count("stream_hits", 1);
+                m.observe("stall_s_saved", &exp_buckets(1e-6, 10.0, 8), *saved_s);
+            }
+            StreamWaste { pages, wire_bytes } => {
+                m.count("stream_wasted_pages", *pages);
+                m.count("stream_waste_wire_bytes", *wire_bytes);
+            }
             DirtyWriteBack {
                 pages, raw_bytes, ..
             } => {

@@ -104,6 +104,12 @@ pub enum CostLane {
     Comm,
     /// Remote I/O operation time (§3.4).
     RemoteIo,
+    /// Speculatively streamed pages: the frame occupies the link
+    /// concurrently with server compute, so its duration is *not* charged
+    /// to any Fig. 7 stall lane. Only the residual arrival time of a
+    /// fault on an in-flight page (emitted as
+    /// [`EventKind::StreamHit`]) reaches `comm_s`.
+    Stream,
 }
 
 /// The mobile power state, mirrored from the machine crate.
@@ -205,6 +211,8 @@ pub enum FrameKind {
     RemoteIo,
     /// Control traffic.
     Control,
+    /// A speculatively streamed page (in-flight, overlapped with compute).
+    StreamPage,
 }
 
 impl FrameKind {
@@ -218,6 +226,7 @@ impl FrameKind {
             FrameKind::Return => "return",
             FrameKind::RemoteIo => "remote_io",
             FrameKind::Control => "control",
+            FrameKind::StreamPage => "stream_page",
         }
     }
 }
@@ -280,6 +289,32 @@ pub enum EventKind {
         window: u32,
         /// Round-trip duration, seconds.
         duration_s: f64,
+    },
+    /// The prediction layer scheduled a page onto the stream (the page
+    /// starts occupying the link concurrently with server compute).
+    PrefetchPredict {
+        /// Predicted page number.
+        page: u64,
+        /// Adaptive streaming window at prediction time.
+        window: u32,
+    },
+    /// A demand fault landed on an in-flight streamed page: the mobile
+    /// pays only the residual arrival time instead of a full round trip.
+    StreamHit {
+        /// Faulting page number.
+        page: u64,
+        /// Remaining transfer time the fault still had to wait, seconds.
+        residual_s: f64,
+        /// Estimated synchronous round-trip time avoided, seconds.
+        saved_s: f64,
+    },
+    /// Streamed pages the server never touched before finalization
+    /// (aggregate, emitted once per offload when non-zero).
+    StreamWaste {
+        /// Untouched streamed pages.
+        pages: u64,
+        /// Wire bytes those pages burned on the link.
+        wire_bytes: u64,
     },
     /// Initialization prefetch shipped pages to the server.
     PrefetchBatch {

@@ -66,6 +66,7 @@ fn describe(kind: &EventKind) -> (String, char, String) {
                 match lane {
                     crate::event::CostLane::Comm => "comm",
                     crate::event::CostLane::RemoteIo => "remote_io",
+                    crate::event::CostLane::Stream => "stream",
                 }
             ),
         ),
@@ -134,6 +135,25 @@ fn describe(kind: &EventKind) -> (String, char, String) {
             format!(
                 "{{\"offloadable\":{offloadable},\"machine_specific\":{machine_specific},\"indirect_bounded\":{indirect_bounded},\"indirect_unbounded\":{indirect_unbounded}}}"
             ),
+        ),
+        PrefetchPredict { page, window } => (
+            "prefetch_predict".into(),
+            'i',
+            format!("{{\"page\":{page},\"window\":{window}}}"),
+        ),
+        StreamHit { page, residual_s, saved_s } => (
+            "stream_hit".into(),
+            'i',
+            format!(
+                "{{\"page\":{page},\"residual_s\":{},\"saved_s\":{}}}",
+                num(*residual_s),
+                num(*saved_s)
+            ),
+        ),
+        StreamWaste { pages, wire_bytes } => (
+            "stream_waste".into(),
+            'i',
+            format!("{{\"pages\":{pages},\"wire_bytes\":{wire_bytes}}}"),
         ),
         Power { state, duration_s } => (
             format!("power:{}", state.name()),
