@@ -56,7 +56,10 @@ fn usage() -> String {
          \x20 farm [--workers N[,N...]] [--repeat R] [--out FILE] [--check-serial-equivalence]\n\
          \x20     concurrent session farm throughput sweep (BENCH_pr4.json)\n\
          \x20 stream [--out FILE] [--check FILE]\n\
-         \x20     speculative page streaming: modes x links demand-stall sweep (BENCH_pr5.json)",
+         \x20     speculative page streaming: modes x links demand-stall sweep (BENCH_pr5.json)\n\
+         \x20 profile <workload|all> [--net slow|fast|both] [--mode offload|stream|both]\n\
+         \x20         [--out FILE] [--check FILE] [--diff A.json B.json]\n\
+         \x20     critical-path lane attribution + occupancy/queue sparklines (BENCH_pr6.json)",
         FIGURES
             .iter()
             .map(|f| format!("\x20 {f}"))
@@ -96,6 +99,12 @@ fn main() {
     }
     if let Some(pos) = args.iter().position(|a| a == "farm") {
         farm(&args[pos + 1..], &log);
+        return;
+    }
+    // `profile` before `stream`: `profile <w> --mode stream` carries the
+    // literal token "stream", which must not hijack the dispatch.
+    if let Some(pos) = args.iter().position(|a| a == "profile") {
+        profile(&args[pos + 1..], &log);
         return;
     }
     if let Some(pos) = args.iter().position(|a| a == "stream") {
@@ -541,6 +550,24 @@ fn farm(rest: &[String], log: &Logger) {
     }
     println!();
 
+    // Per-worker utilization + job-queue depth at the widest sweep
+    // point, replaying the same deterministic list schedule the
+    // makespan rows gate on.
+    let &dash_workers = workers.iter().max().expect("non-empty");
+    if dash_workers > 1 && !bench.durations.is_empty() {
+        use offload_obs::series::{
+            job_queue_depth, list_schedule, render_dashboard, worker_utilization,
+        };
+        let spans = list_schedule(&bench.durations, dash_workers);
+        let makespan = fb::list_schedule_makespan(&bench.durations, dash_workers);
+        let dt = (makespan / 64.0).max(1e-6);
+        let mut series = worker_utilization(&spans, dash_workers, dt);
+        series.push(job_queue_depth(&spans, dt));
+        println!("worker occupancy at {dash_workers} workers (simulated, list-scheduled):");
+        print!("{}", render_dashboard(&series));
+        println!();
+    }
+
     if let Some(path) = out_path {
         let json = fb::to_json(&bench);
         if let Err(e) = std::fs::write(path, &json) {
@@ -654,6 +681,200 @@ fn stream(rest: &[String], log: &Logger) {
             std::process::exit(2);
         }
         log.info(&format!("[wrote {path}]"));
+    }
+}
+
+/// `profile <workload|all> [--net ...] [--mode ...] [--out FILE]
+/// [--check FILE] [--diff A.json B.json]`: the trace-analytics engine.
+/// For one workload, print the ranked critical-path attribution plus
+/// lane-occupancy and queue-depth sparkline dashboards per cell. For
+/// `all`, sweep the 72-cell suite into `BENCH_pr6.json` summaries.
+/// `--check` re-profiles chess on the slow link and exits nonzero on a
+/// lane or makespan regression against the committed artifact; `--diff`
+/// compares two saved artifacts with noise-tolerant thresholds.
+fn profile(rest: &[String], log: &Logger) {
+    use offload_bench::profile as pb;
+    use offload_bench::stream::links;
+    use offload_obs::profile::{
+        diff_summaries, parse_summaries, render_critical_path, render_diff, DiffTolerance,
+    };
+    use offload_obs::series::{render_dashboard, sample_lane_occupancy, sample_queue_depths};
+
+    let profile_usage = "usage: reproduce profile <workload|all> [--net slow|fast|both] \
+                         [--mode offload|stream|both] [--out FILE] [--check FILE] \
+                         [--diff A.json B.json]";
+    let mut selector: Option<&str> = None;
+    let mut net = "both";
+    let mut mode = "both";
+    let mut out_path: Option<&str> = None;
+    let mut check_path: Option<&str> = None;
+    let mut diff_paths: Option<(&str, &str)> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--net" if i + 1 < rest.len() => {
+                net = &rest[i + 1];
+                i += 2;
+            }
+            "--mode" if i + 1 < rest.len() => {
+                mode = &rest[i + 1];
+                i += 2;
+            }
+            "--out" if i + 1 < rest.len() => {
+                out_path = Some(&rest[i + 1]);
+                i += 2;
+            }
+            "--check" if i + 1 < rest.len() => {
+                check_path = Some(&rest[i + 1]);
+                i += 2;
+            }
+            "--diff" if i + 2 < rest.len() => {
+                diff_paths = Some((&rest[i + 1], &rest[i + 2]));
+                i += 3;
+            }
+            arg if !arg.starts_with('-') && selector.is_none() => {
+                selector = Some(arg);
+                i += 1;
+            }
+            arg => {
+                eprintln!("profile: unexpected argument `{arg}`\n{profile_usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !["slow", "fast", "both"].contains(&net) {
+        eprintln!("profile: unknown --net `{net}`\n{profile_usage}");
+        std::process::exit(2);
+    }
+    if !["offload", "stream", "both"].contains(&mode) {
+        eprintln!("profile: unknown --mode `{mode}`\n{profile_usage}");
+        std::process::exit(2);
+    }
+
+    let read_artifact = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("profile: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some((a, b)) = diff_paths {
+        let base = parse_summaries(&read_artifact(a));
+        let new = parse_summaries(&read_artifact(b));
+        if base.is_empty() || new.is_empty() {
+            eprintln!("profile: no bench_pr6.v1 summaries in {a} or {b}");
+            std::process::exit(2);
+        }
+        log.info(&format!(
+            "[diffing {} cells in {b} against {} cells in {a}]",
+            new.len(),
+            base.len()
+        ));
+        let regs = diff_summaries(&base, &new, DiffTolerance::default());
+        print!("{}", render_diff(&regs));
+        if !regs.is_empty() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if let Some(path) = check_path {
+        log.info(&format!("[checking chess profile against {path}]"));
+        match pb::check_against(&read_artifact(path)) {
+            Ok(msg) => println!("profile check OK: {msg}"),
+            Err(msg) => {
+                eprintln!("profile check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let wanted_links = |name: &str| net == "both" || (net == "slow") == (name == "802.11n");
+    let wanted_modes = |m: &str| mode == "both" || mode == m;
+
+    match selector.unwrap_or("all") {
+        "all" => {
+            log.info("[profiling 18 workloads x 2 links x 2 modes ...]");
+            let (summaries, cell_metrics) = pb::sweep();
+            let shown: Vec<_> = summaries
+                .iter()
+                .filter(|s| wanted_links(&s.link) && wanted_modes(&s.mode))
+                .cloned()
+                .collect();
+            println!("## Critical-path profiles (simulated seconds)");
+            println!();
+            print!("{}", pb::render_table(&shown));
+            println!();
+            let suite_sections: Vec<(&str, Vec<(String, f64)>)> = pb::MODES
+                .iter()
+                .map(|m| (*m, pb::suite_quantiles(&summaries, &cell_metrics, m)))
+                .collect();
+            for (m, qs) in &suite_sections {
+                let fmt = |k: &str| {
+                    qs.iter()
+                        .find(|(n, _)| n == k)
+                        .map_or("-".to_string(), |(_, v)| format!("{v:.4}"))
+                };
+                println!(
+                    "suite {m}: makespan p50/p90/p99 = {}/{}/{} s, fault p99 = {} s, frame p99 = {} s",
+                    fmt("makespan_p50_s"),
+                    fmt("makespan_p90_s"),
+                    fmt("makespan_p99_s"),
+                    fmt("fault_p99_s"),
+                    fmt("frame_p99_s"),
+                );
+            }
+            if let Some(path) = out_path {
+                let json = pb::to_json(&summaries, &suite_sections);
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("profile: cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                log.info(&format!("[wrote {path}]"));
+            }
+        }
+        workload => {
+            let suite = offload_bench::farm::suite();
+            let Some((name, app, input)) = suite.iter().find(|(n, _, _)| n == workload) else {
+                let known: Vec<&str> = suite.iter().map(|(n, _, _)| n.as_str()).collect();
+                eprintln!(
+                    "profile: unknown workload `{workload}` (known: {})",
+                    known.join(", ")
+                );
+                std::process::exit(2);
+            };
+            for (link_name, link) in links() {
+                if !wanted_links(link_name) {
+                    continue;
+                }
+                for m in pb::MODES {
+                    if !wanted_modes(m) {
+                        continue;
+                    }
+                    let (summary, _, records) =
+                        pb::profile_cell(name, app, input, link_name, link.clone(), m);
+                    println!("=== {name} / {link_name} / {m} ===");
+                    let cp = offload_obs::profile::critical_path(&records);
+                    print!("{}", render_critical_path(&cp));
+                    // Sparkline dashboards at ~64 bins across the run.
+                    let dt = (summary.makespan_s / 64.0).max(1e-6);
+                    let mut series = sample_lane_occupancy(&records, dt);
+                    series.extend(sample_queue_depths(&records, dt));
+                    print!("{}", render_dashboard(&series));
+                    if !summary.quantiles.is_empty() {
+                        let qs: Vec<String> = summary
+                            .quantiles
+                            .iter()
+                            .map(|(k, v)| format!("{k}={v:.6}"))
+                            .collect();
+                        println!("quantiles: {}", qs.join(" "));
+                    }
+                    println!();
+                }
+            }
+        }
     }
 }
 

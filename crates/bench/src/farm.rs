@@ -102,6 +102,9 @@ pub struct FarmBench {
     pub jobs: usize,
     /// Serial suite time: sum of all simulated session durations.
     pub serial_s: f64,
+    /// Per-job simulated durations in submission order — the input the
+    /// list scheduler (and the worker-utilization dashboard) replays.
+    pub durations: Vec<f64>,
     /// One row per requested worker count.
     pub rows: Vec<FarmRow>,
 }
@@ -150,6 +153,7 @@ pub fn run_bench(jobs: &[FarmJob], worker_counts: &[usize]) -> FarmBench {
     FarmBench {
         jobs: jobs.len(),
         serial_s,
+        durations,
         rows,
     }
 }
@@ -230,6 +234,7 @@ mod tests {
         let bench = FarmBench {
             jobs: 72,
             serial_s: 100.0,
+            durations: Vec::new(),
             rows: vec![
                 FarmRow {
                     workers: 1,

@@ -6,6 +6,7 @@ pub mod farm;
 pub mod harness;
 pub mod micro;
 pub mod perf;
+pub mod profile;
 pub mod render;
 pub mod seed;
 pub mod stream;

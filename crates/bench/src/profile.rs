@@ -1,0 +1,441 @@
+//! `reproduce profile` — the trace-analytics benchmark behind
+//! `BENCH_pr6.json`.
+//!
+//! Every suite workload runs on both paper networks in two modes —
+//! `offload` (forced offload, the Fig. 7 defaults) and `stream`
+//! (fault-heavy with the stride predictor) — with a recording collector.
+//! Each cell's trace is reduced to a
+//! [`ProfileSummary`](offload_obs::profile::ProfileSummary): the
+//! critical-path lane attribution (where every simulated second of
+//! makespan went), the remote-I/O op table, and the per-cell fault /
+//! frame latency quantiles. Suite-wide, the makespan / fault-service /
+//! frame-serialization distributions are folded into percentile rows.
+//!
+//! Everything is deterministic simulated time, so the committed artifact
+//! gates CI: `check_against` re-measures chess on the slow link and
+//! requires the makespan and every lane to be no worse than committed,
+//! and the critical path must reconcile with the reported makespan **bit
+//! for bit** (the same discipline `runtime::derive` enforces).
+//!
+//! Profiling is observe-only by construction: the sweep runs every cell
+//! a second time with the no-op collector and asserts console output and
+//! makespan bits are identical.
+
+use std::fmt::Write as _;
+
+use native_offloader::{SessionConfig, StreamMode};
+use offload_net::Link;
+use offload_obs::metrics::EXACT_SAMPLE_CAP;
+use offload_obs::profile::{critical_path, summaries_to_json, Lane, ProfileSummary};
+use offload_obs::{Histogram, MetricsSnapshot, TraceCollector};
+
+use crate::farm::suite;
+use crate::stream::{fault_heavy, links};
+
+/// The two run modes the sweep covers.
+pub const MODES: [&str; 2] = ["offload", "stream"];
+
+/// Session config for one profiled mode on `link`.
+///
+/// # Panics
+///
+/// On an unknown mode name.
+#[must_use]
+pub fn mode_config(mode: &str, link: Link) -> SessionConfig {
+    match mode {
+        "offload" => {
+            // The Fig. 7 defaults with estimation forced so every
+            // workload actually offloads (profiles of local runs would
+            // be a single compute_local bar).
+            let mut cfg = SessionConfig::with_link(link);
+            cfg.dynamic_estimation = false;
+            cfg
+        }
+        "stream" => fault_heavy(link, StreamMode::Stride, None),
+        other => panic!("unknown profile mode {other}"),
+    }
+}
+
+/// Per-cell latency quantiles read off the collector's histograms.
+#[must_use]
+pub fn cell_quantiles(metrics: &MetricsSnapshot) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (hist, label) in [("fault_latency_s", "fault"), ("frame_seconds", "frame")] {
+        let Some(h) = metrics.histogram(hist) else {
+            continue;
+        };
+        for (q, qname) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")] {
+            if let Some(v) = h.quantile(q) {
+                out.push((format!("{label}_{qname}_s"), v));
+            }
+        }
+    }
+    out
+}
+
+/// Run one (workload, link, mode) cell traced and summarize it.
+///
+/// # Panics
+///
+/// If the run fails, the trace ring drops records, the critical path
+/// does not reconcile bit-for-bit with the reported makespan, or the
+/// traced run's results diverge from an untraced run (profiling must be
+/// observe-only).
+#[must_use]
+pub fn profile_cell(
+    name: &str,
+    app: &native_offloader::CompiledApp,
+    input: &native_offloader::WorkloadInput,
+    link_name: &str,
+    link: Link,
+    mode: &str,
+) -> (
+    ProfileSummary,
+    native_offloader::RunReport,
+    Vec<offload_obs::Record>,
+) {
+    let cfg = mode_config(mode, link);
+    let mut obs = TraceCollector::with_capacity(1 << 20);
+    let rep = app
+        .run_offloaded_traced(input, &cfg, &mut obs)
+        .unwrap_or_else(|e| panic!("{name} ({link_name}, {mode}) failed: {e}"));
+    assert_eq!(obs.dropped(), 0, "{name}: trace ring too small");
+    let records = obs.records();
+    let cp = critical_path(&records);
+    assert_eq!(
+        cp.makespan_s.to_bits(),
+        rep.total_seconds.to_bits(),
+        "{name} ({link_name}, {mode}): critical path does not reconcile: \
+         attributed {} s vs reported {} s",
+        cp.makespan_s,
+        rep.total_seconds
+    );
+    // Observe-only gate: the same cell untraced must produce identical
+    // results — the collector can never feed back into the simulation.
+    let untraced = app
+        .run_offloaded(input, &cfg)
+        .unwrap_or_else(|e| panic!("{name} ({link_name}, {mode}) untraced failed: {e}"));
+    assert_eq!(
+        untraced.total_seconds.to_bits(),
+        rep.total_seconds.to_bits(),
+        "{name} ({link_name}, {mode}): tracing changed the makespan"
+    );
+    assert_eq!(
+        untraced.console, rep.console,
+        "{name} ({link_name}, {mode}): tracing changed program output"
+    );
+    let summary = ProfileSummary::from_critical_path(
+        name,
+        link_name,
+        mode,
+        &cp,
+        cell_quantiles(&rep.metrics),
+    );
+    (summary, rep, records)
+}
+
+/// Sweep the whole suite: 18 workloads × 2 links × 2 modes. Returns the
+/// per-cell summaries plus each cell's metrics snapshot (for the
+/// suite-wide distribution fold).
+#[must_use]
+pub fn sweep() -> (Vec<ProfileSummary>, Vec<(String, String, MetricsSnapshot)>) {
+    let mut out = Vec::new();
+    let mut metrics = Vec::new();
+    for (name, app, input) in suite() {
+        for (link_name, link) in links() {
+            for mode in MODES {
+                let (summary, rep, _) =
+                    profile_cell(&name, &app, &input, link_name, link.clone(), mode);
+                out.push(summary);
+                metrics.push((name.clone(), mode.to_string(), rep.metrics));
+            }
+        }
+    }
+    (out, metrics)
+}
+
+/// Fold `h` into `acc` (bucket-wise; both sides must share bounds).
+fn merge_into(acc: &mut Option<Histogram>, h: &Histogram) {
+    match acc {
+        None => *acc = Some(h.clone()),
+        Some(a) => {
+            assert_eq!(a.bounds, h.bounds, "histogram bounds diverged");
+            for (c, d) in a.counts.iter_mut().zip(&h.counts) {
+                *c += d;
+            }
+            a.count += h.count;
+            a.sum += h.sum;
+            a.min = a.min.min(h.min);
+            a.max = a.max.max(h.max);
+            for &s in &h.samples {
+                if a.samples.len() < EXACT_SAMPLE_CAP {
+                    a.samples.push(s);
+                }
+            }
+        }
+    }
+}
+
+/// Suite-wide distributions for one mode: makespan across cells plus the
+/// merged fault-service and frame-serialization histograms.
+#[must_use]
+pub fn suite_quantiles(
+    summaries: &[ProfileSummary],
+    cell_metrics: &[(String, String, MetricsSnapshot)],
+    mode: &str,
+) -> Vec<(String, f64)> {
+    let mut makespan = Histogram::new(&offload_obs::metrics::exp_buckets(1e-3, 4.0, 12));
+    for s in summaries.iter().filter(|s| s.mode == mode) {
+        makespan.observe(s.makespan_s);
+    }
+    let mut fault: Option<Histogram> = None;
+    let mut frame: Option<Histogram> = None;
+    for (_, m, metrics) in cell_metrics.iter().filter(|(_, m, _)| m == mode) {
+        debug_assert_eq!(m, mode);
+        if let Some(h) = metrics.histogram("fault_latency_s") {
+            merge_into(&mut fault, h);
+        }
+        if let Some(h) = metrics.histogram("frame_seconds") {
+            merge_into(&mut frame, h);
+        }
+    }
+    let mut out = Vec::new();
+    for (label, h) in [
+        ("makespan", Some(&makespan).filter(|h| h.count > 0)),
+        ("fault", fault.as_ref()),
+        ("frame", frame.as_ref()),
+    ] {
+        let Some(h) = h else { continue };
+        for (q, qname) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")] {
+            if let Some(v) = h.quantile(q) {
+                out.push((format!("{label}_{qname}_s"), v));
+            }
+        }
+    }
+    out
+}
+
+/// Render the full artifact: the `bench_pr6.v1` profile document with a
+/// trailing suite-quantile section per mode.
+#[must_use]
+pub fn to_json(
+    summaries: &[ProfileSummary],
+    suite_sections: &[(&str, Vec<(String, f64)>)],
+) -> String {
+    let mut j = summaries_to_json(summaries);
+    // summaries_to_json closes with "  ]\n}\n"; splice the suite section
+    // in before the final brace.
+    let trimmed = j.trim_end_matches("}\n").len();
+    j.truncate(trimmed);
+    j.push_str("  ,\"suite\": {\n");
+    for (i, (mode, qs)) in suite_sections.iter().enumerate() {
+        let _ = write!(j, "    \"{mode}\": {{");
+        for (k, (name, v)) in qs.iter().enumerate() {
+            if k > 0 {
+                j.push_str(", ");
+            }
+            let _ = write!(j, "\"{name}\": {v}");
+        }
+        j.push('}');
+        j.push_str(if i + 1 == suite_sections.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    j.push_str("  }\n}\n");
+    j
+}
+
+/// Render a human summary table: one row per cell with its makespan and
+/// dominant lane.
+#[must_use]
+pub fn render_table(summaries: &[ProfileSummary]) -> String {
+    let mut out = String::from(
+        "workload         link      mode     makespan_s   dominant lane            share\n",
+    );
+    for s in summaries {
+        let (lane, lane_s) = Lane::ALL
+            .into_iter()
+            .map(|l| (l, s.lane_s(l)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let share = if s.makespan_s > 0.0 {
+            lane_s / s.makespan_s * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:<9} {:<8} {:>10.4}   {:<16} {:>12.1}%",
+            s.workload,
+            s.link,
+            s.mode,
+            s.makespan_s,
+            lane.name(),
+            share
+        );
+    }
+    out
+}
+
+/// The `reproduce profile --check` gate: re-profile chess on the slow
+/// link in offload mode and require the makespan and every lane to be no
+/// worse than the committed artifact (plus the bit-for-bit reconcile
+/// assert inside [`profile_cell`]).
+///
+/// # Errors
+///
+/// A message describing the regression or a parse failure.
+pub fn check_against(committed: &str) -> Result<String, String> {
+    let cells = offload_obs::profile::parse_summaries(committed);
+    let base = cells
+        .iter()
+        .find(|s| s.workload == "chess" && s.link == "802.11n" && s.mode == "offload")
+        .ok_or_else(|| "committed profile lacks the chess/802.11n/offload cell".to_string())?;
+    let input = offload_workloads::chess::input(9, 2);
+    let app = native_offloader::Offloader::new()
+        .compile_source(offload_workloads::chess::SOURCE, "chess", &input)
+        .map_err(|e| format!("chess failed to compile: {e}"))?;
+    let (fresh, _, _) = profile_cell(
+        "chess",
+        &app,
+        &input,
+        "802.11n",
+        Link::wifi_802_11n(),
+        "offload",
+    );
+    let tol = |x: f64| x * 1.01 + 1e-6;
+    if fresh.makespan_s > tol(base.makespan_s) {
+        return Err(format!(
+            "chess makespan regressed: {:.6} s vs committed {:.6} s",
+            fresh.makespan_s, base.makespan_s
+        ));
+    }
+    for lane in Lane::ALL {
+        let (b, n) = (base.lane_s(lane), fresh.lane_s(lane));
+        if n > tol(b) {
+            return Err(format!(
+                "chess lane {} regressed: {n:.6} s vs committed {b:.6} s",
+                lane.name()
+            ));
+        }
+    }
+    Ok(format!(
+        "chess 802.11n offload makespan {:.4} s (committed {:.4} s), lanes within tolerance",
+        fresh.makespan_s, base.makespan_s
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_obs::metrics::exp_buckets;
+
+    #[test]
+    fn mode_configs_differ_as_documented() {
+        let off = mode_config("offload", Link::wifi_802_11n());
+        assert!(!off.dynamic_estimation);
+        assert!(off.prefetch);
+        let st = mode_config("stream", Link::wifi_802_11n());
+        assert!(!st.prefetch);
+        assert_eq!(st.stream_mode, StreamMode::Stride);
+    }
+
+    #[test]
+    fn suite_quantiles_merge_across_cells() {
+        let mk = |workload: &str, mode: &str, makespan: f64| ProfileSummary {
+            workload: workload.into(),
+            link: "802.11n".into(),
+            mode: mode.into(),
+            makespan_s: makespan,
+            lanes: [makespan, 0.0, 0.0, 0.0, 0.0, 0.0],
+            ops: vec![],
+            quantiles: vec![],
+        };
+        let summaries = vec![
+            mk("a", "offload", 0.1),
+            mk("b", "offload", 0.3),
+            mk("a", "stream", 0.2),
+        ];
+        let mut reg = offload_obs::MetricsRegistry::new();
+        reg.observe("fault_latency_s", &exp_buckets(1e-6, 10.0, 8), 1e-4);
+        reg.observe("fault_latency_s", &exp_buckets(1e-6, 10.0, 8), 3e-4);
+        let snap_a = reg.snapshot();
+        let mut reg2 = offload_obs::MetricsRegistry::new();
+        reg2.observe("fault_latency_s", &exp_buckets(1e-6, 10.0, 8), 5e-4);
+        let snap_b = reg2.snapshot();
+        let metrics = vec![
+            ("a".to_string(), "offload".to_string(), snap_a),
+            ("b".to_string(), "offload".to_string(), snap_b),
+        ];
+        let qs = suite_quantiles(&summaries, &metrics, "offload");
+        let get = |k: &str| qs.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        // Exact small-sample path: the merged fault histogram holds all
+        // three samples, so p50 is the middle one.
+        assert_eq!(get("fault_p50_s"), Some(3e-4));
+        assert_eq!(get("makespan_p50_s"), Some(0.2));
+        // Stream mode has no fault metrics here.
+        let qs_stream = suite_quantiles(&summaries, &metrics, "stream");
+        assert!(qs_stream.iter().all(|(n, _)| !n.starts_with("fault")));
+    }
+
+    #[test]
+    fn artifact_json_parses_back_and_carries_suite_section() {
+        let s = ProfileSummary {
+            workload: "chess".into(),
+            link: "802.11n".into(),
+            mode: "offload".into(),
+            makespan_s: 0.5,
+            lanes: [0.1, 0.2, 0.1, 0.05, 0.03, 0.02],
+            ops: vec![("printf".into(), 0.01)],
+            quantiles: vec![("fault_p99_s".into(), 0.001)],
+        };
+        let j = to_json(
+            std::slice::from_ref(&s),
+            &[("offload", vec![("makespan_p50_s".to_string(), 0.5)])],
+        );
+        let back = offload_obs::profile::parse_summaries(&j);
+        assert_eq!(back, vec![s]);
+        assert!(j.contains("\"suite\""));
+        assert!(j.contains("\"makespan_p50_s\": 0.5"));
+        let table = render_table(&back);
+        assert!(table.contains("chess"));
+        assert!(table.contains("compute_server"));
+    }
+
+    /// The committed artifact must parse, cover the full 72-cell sweep
+    /// (18 workloads × 2 links × 2 modes), include the gate cell, and
+    /// reconcile: each cell's lane partition must re-sum to its makespan
+    /// within float-reassociation noise.
+    #[test]
+    fn committed_artifact_covers_the_sweep_and_reconciles() {
+        let committed = include_str!("../../../BENCH_pr6.json");
+        let cells = offload_obs::profile::parse_summaries(committed);
+        assert_eq!(cells.len(), 72, "expected 18 workloads x 2 links x 2 modes");
+        assert!(cells
+            .iter()
+            .any(|s| s.workload == "chess" && s.link == "802.11n" && s.mode == "offload"));
+        for s in &cells {
+            let lane_sum: f64 = s.lanes.iter().sum();
+            let tol = s.makespan_s.abs() * 1e-9 + 1e-9;
+            assert!(
+                (lane_sum - s.makespan_s).abs() <= tol,
+                "{}/{}/{}: lanes sum {} vs makespan {}",
+                s.workload,
+                s.link,
+                s.mode,
+                lane_sum,
+                s.makespan_s
+            );
+        }
+        assert!(committed.contains("\"suite\""));
+        // A self-diff of the committed artifact is exactly empty.
+        let regs = offload_obs::profile::diff_summaries(
+            &cells,
+            &cells,
+            offload_obs::profile::DiffTolerance::default(),
+        );
+        assert!(regs.is_empty(), "{regs:?}");
+    }
+}

@@ -61,7 +61,7 @@ pub use compiler::analyze::{analyze_module, analyze_source, AnalysisReport, Func
 pub use compiler::{CompiledApp, Offloader};
 pub use config::{CompileConfig, SessionConfig, WorkloadInput};
 pub use plan::{CompileStats, EstimateRow, OffloadPlan, OffloadTask};
-pub use runtime::farm::{run_farm, FarmJob, FarmResult};
+pub use runtime::farm::{run_farm, run_farm_logged, FarmJob, FarmResult};
 pub use runtime::predict::{PageHistory, StreamMode};
 pub use runtime::report::RunReport;
 pub use runtime::session::SessionPool;

@@ -135,6 +135,7 @@ pub fn derive_run(records: &[Record], cfg: &SessionConfig) -> DerivedRun {
             | EventKind::End(_)
             | EventKind::BatchFlush { .. }
             | EventKind::DeltaWriteBack { .. }
+            | EventKind::QueueDepth { .. }
             | EventKind::AnalysisDiagnostic { .. }
             | EventKind::AnalysisVerdicts { .. } => {}
         }

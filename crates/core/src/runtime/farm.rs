@@ -21,7 +21,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use offload_obs::{merge_shards, MergedTrace, TraceCollector, TraceShard};
+use offload_obs::{merge_shards, Logger, MergedTrace, TraceCollector, TraceShard};
 
 use crate::compiler::CompiledApp;
 use crate::config::{SessionConfig, WorkloadInput};
@@ -71,14 +71,36 @@ pub struct FarmResult {
 /// If a worker thread panics (a bug in the session engine, not a job
 /// failure — those are `Err` results).
 pub fn run_farm(jobs: &[FarmJob], workers: usize) -> Result<FarmResult, OffloadError> {
+    run_farm_logged(jobs, workers, &Logger::quiet())
+}
+
+/// [`run_farm`] with per-worker progress logging: worker `w` claims and
+/// finishes jobs under a `[worker w]`-scoped copy of `log` (debug level,
+/// stderr), so interleaved chatter from a concurrent drain is
+/// attributable. Logging is observe-only — results are byte-identical to
+/// [`run_farm`], which delegates here with a quiet logger.
+///
+/// # Errors
+///
+/// Same as [`run_farm`]: the lowest-indexed failing job's error.
+///
+/// # Panics
+///
+/// Same as [`run_farm`]: if a worker thread panics.
+pub fn run_farm_logged(
+    jobs: &[FarmJob],
+    workers: usize,
+    log: &Logger,
+) -> Result<FarmResult, OffloadError> {
     let workers = workers.clamp(1, jobs.len().max(1));
     let next = AtomicUsize::new(0);
 
     let mut gathered: Vec<(usize, Result<RunReport, OffloadError>, TraceShard)> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     let next = &next;
+                    let wlog = log.scoped(&format!("worker {w}"));
                     scope.spawn(move || {
                         let mut pool = SessionPool::new();
                         let mut obs = TraceCollector::with_capacity(FARM_RING_CAPACITY);
@@ -86,9 +108,15 @@ pub fn run_farm(jobs: &[FarmJob], workers: usize) -> Result<FarmResult, OffloadE
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
                             let Some(job) = jobs.get(idx) else { break };
+                            wlog.debug(&format!("job {idx}: {}", job.app.original.name));
                             let res = run_offloaded_pooled(
                                 job.app, &job.input, &job.cfg, &mut obs, &mut pool,
                             );
+                            match &res {
+                                Ok(rep) => wlog
+                                    .debug(&format!("job {idx} done: {:.4} s", rep.total_seconds)),
+                                Err(e) => wlog.debug(&format!("job {idx} failed: {e}")),
+                            }
                             // Move the session's trace out (tagged by job
                             // index) and reset the collector for the next
                             // job, keeping the ring allocation.

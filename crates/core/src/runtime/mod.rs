@@ -9,7 +9,7 @@ pub mod predict;
 pub mod report;
 pub mod session;
 
-pub use farm::{run_farm, FarmJob, FarmResult};
+pub use farm::{run_farm, run_farm_logged, FarmJob, FarmResult};
 pub use predict::{AdaptiveWindow, PageHistory, StreamEngine, StreamMode, StrideDetector};
 pub use session::{
     run_local, run_offloaded, run_offloaded_pooled, run_offloaded_traced, SessionPool,

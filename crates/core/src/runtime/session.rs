@@ -40,7 +40,9 @@ use offload_machine::vm::{Host, HostCtx, RtVal, StackBank, Vm, VmError};
 use offload_machine::PAGE_SIZE;
 use offload_net::frame::{self, Message};
 use offload_net::{delta, lz, Channel, Direction, InFlightPage, MsgKind};
-use offload_obs::{Collector, CostLane, EventKind, NoopCollector, RemoteOp, Span as ObsSpan};
+use offload_obs::{
+    Collector, CostLane, EventKind, NoopCollector, QueueLane, RemoteOp, Span as ObsSpan,
+};
 
 use crate::compiler::CompiledApp;
 use crate::config::{SessionConfig, WorkloadInput};
@@ -674,6 +676,14 @@ impl SessionHost<'_> {
             }
             let streamed = self.stream.streamed_this_offload;
             self.stream.window.observe_offload(streamed, wasted);
+            // Observe-only: the window is empty once leftovers drain.
+            self.obs.record(
+                self.wall(),
+                EventKind::QueueDepth {
+                    queue: QueueLane::StreamWindow,
+                    depth: 0,
+                },
+            );
         }
 
         // ---- finalization (§4) ---------------------------------------------
@@ -698,6 +708,14 @@ impl SessionHost<'_> {
                 self.wall(),
                 EventKind::BatchFlush {
                     bytes: io_batch.len() as u64,
+                },
+            );
+            // Observe-only: the batch queue drains to zero at the flush.
+            self.obs.record(
+                self.wall(),
+                EventKind::QueueDepth {
+                    queue: QueueLane::IoBatch,
+                    depth: 0,
                 },
             );
             self.send(
@@ -1123,7 +1141,9 @@ impl ServerBridge<'_> {
             let window = self.stream.window.window();
             self.demand_fetch(page, window, ctx)?;
         }
-        self.pump_stream(page, ctx)
+        self.pump_stream(page, ctx)?;
+        self.note_stream_depth();
+        Ok(())
     }
 
     /// Service a fault from an in-flight streamed page: pay only the
@@ -1209,10 +1229,13 @@ impl ServerBridge<'_> {
                 full
             };
             let now = self.timeline.total_seconds();
-            let _arrival = self
-                .stream
-                .in_flight
-                .schedule(now, p, wire, &self.channel.link);
+            let _arrival = self.stream.in_flight.schedule_traced(
+                &mut *self.obs,
+                now,
+                p,
+                wire,
+                &self.channel.link,
+            );
             // Occupancy-only frame: traffic stats and the trace see it,
             // but no timeline stall and no comm_s charge (CostLane::Stream
             // is ignored by the replay's lane sums).
@@ -1460,6 +1483,33 @@ impl ServerBridge<'_> {
         self.obs
             .record(self.wall(), EventKind::RemoteIo { op, bytes });
     }
+
+    /// Emit the batch buffer's depth after a mutation (observe-only: the
+    /// sample never feeds back into accounting, so traced and untraced
+    /// runs stay byte-identical).
+    fn note_io_batch_depth(&mut self) {
+        let depth = self.io_batch.len() as u64;
+        self.obs.record(
+            self.wall(),
+            EventKind::QueueDepth {
+                queue: QueueLane::IoBatch,
+                depth,
+            },
+        );
+    }
+
+    /// Emit the stream window's in-flight occupancy (observe-only, one
+    /// sample per serviced fault).
+    fn note_stream_depth(&mut self) {
+        let depth = self.stream.in_flight.len() as u64;
+        self.obs.record(
+            self.wall(),
+            EventKind::QueueDepth {
+                queue: QueueLane::StreamWindow,
+                depth,
+            },
+        );
+    }
 }
 
 impl Host for ServerBridge<'_> {
@@ -1579,6 +1629,7 @@ impl Host for ServerBridge<'_> {
                 self.note_remote_io(RemoteOp::Printf, n as u64);
                 if self.cfg.batch {
                     self.io_batch.extend_from_slice(&out);
+                    self.note_io_batch_depth();
                 } else {
                     self.send(
                         Direction::ServerToMobile,
@@ -1598,6 +1649,7 @@ impl Host for ServerBridge<'_> {
                 let c = args[0].as_i() as u8;
                 if self.cfg.batch {
                     self.io_batch.push(c);
+                    self.note_io_batch_depth();
                 } else {
                     self.send(
                         Direction::ServerToMobile,

@@ -57,6 +57,22 @@ impl BatchBuffer {
         self.items += 1;
     }
 
+    /// [`BatchBuffer::push`] plus an observe-only
+    /// [`EventKind::QueueDepth`](offload_obs::EventKind) sample of the
+    /// pending bytes after the append — the hook the time-series
+    /// resampler reads its batch-depth curve from. Queueing behaviour is
+    /// identical to the untraced path.
+    pub fn push_traced(&mut self, obs: &mut dyn offload_obs::Collector, now_s: f64, bytes: &[u8]) {
+        self.push(bytes);
+        obs.record(
+            now_s,
+            offload_obs::EventKind::QueueDepth {
+                queue: offload_obs::QueueLane::IoBatch,
+                depth: self.pending_bytes(),
+            },
+        );
+    }
+
     /// Queue a payload and auto-flush on `channel` if the pending bytes
     /// reach the configured threshold. Returns the flush result when one
     /// happened; `None` (and identical behaviour to [`BatchBuffer::push`])
@@ -261,5 +277,31 @@ mod tests {
         let (t, raw, wire) = buf.flush(&mut ch, 0.0);
         assert_eq!((t, raw, wire), (0.0, 0, 0));
         assert!(ch.events().is_empty());
+    }
+
+    #[test]
+    fn traced_push_samples_depth_without_changing_behaviour() {
+        use offload_obs::{EventKind, QueueLane, TraceCollector};
+        let mut obs = TraceCollector::new();
+        let mut traced = BatchBuffer::new(Direction::ServerToMobile, MsgKind::RemoteIo, false);
+        let mut plain = BatchBuffer::new(Direction::ServerToMobile, MsgKind::RemoteIo, false);
+        traced.push_traced(&mut obs, 0.0, &[1u8; 10]);
+        traced.push_traced(&mut obs, 0.1, &[2u8; 5]);
+        plain.push(&[1u8; 10]);
+        plain.push(&[2u8; 5]);
+        assert_eq!(traced.pending_bytes(), plain.pending_bytes());
+        assert_eq!(traced.pending_items(), plain.pending_items());
+        let depths: Vec<u64> = obs
+            .records()
+            .iter()
+            .filter_map(|r| match r.kind {
+                EventKind::QueueDepth {
+                    queue: QueueLane::IoBatch,
+                    depth,
+                } => Some(depth),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(depths, vec![10, 15]);
     }
 }

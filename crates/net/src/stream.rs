@@ -92,6 +92,30 @@ impl StreamWindow {
         arrival_s
     }
 
+    /// [`StreamWindow::schedule`] plus an observe-only
+    /// [`EventKind::QueueDepth`](offload_obs::EventKind) sample of the
+    /// window's occupancy after the insert — the hook the time-series
+    /// resampler reads its in-flight curve from. Timing arithmetic is
+    /// identical to the untraced path.
+    pub fn schedule_traced(
+        &mut self,
+        obs: &mut dyn offload_obs::Collector,
+        now_s: f64,
+        page: u64,
+        wire_payload_bytes: u64,
+        link: &Link,
+    ) -> f64 {
+        let arrival_s = self.schedule(now_s, page, wire_payload_bytes, link);
+        obs.record(
+            now_s,
+            offload_obs::EventKind::QueueDepth {
+                queue: offload_obs::QueueLane::StreamWindow,
+                depth: self.in_flight.len() as u64,
+            },
+        );
+        arrival_s
+    }
+
     /// `true` if `page` is currently in flight.
     #[must_use]
     pub fn contains(&self, page: u64) -> bool {
@@ -203,5 +227,32 @@ mod tests {
         assert!(w.is_empty());
         // free_s survives a drain: the link horizon is physical.
         assert!(w.free_at() > 0.0);
+    }
+
+    #[test]
+    fn traced_schedule_samples_depth_with_identical_timing() {
+        use offload_obs::{EventKind, QueueLane, TraceCollector};
+        let l = link();
+        let mut obs = TraceCollector::new();
+        let mut traced = StreamWindow::new();
+        let mut plain = StreamWindow::new();
+        let t1 = traced.schedule_traced(&mut obs, 0.0, 10, 1000, &l);
+        let t2 = traced.schedule_traced(&mut obs, 0.0, 11, 1000, &l);
+        let p1 = plain.schedule(0.0, 10, 1000, &l);
+        let p2 = plain.schedule(0.0, 11, 1000, &l);
+        assert_eq!(t1.to_bits(), p1.to_bits());
+        assert_eq!(t2.to_bits(), p2.to_bits());
+        let depths: Vec<u64> = obs
+            .records()
+            .iter()
+            .filter_map(|r| match r.kind {
+                EventKind::QueueDepth {
+                    queue: QueueLane::StreamWindow,
+                    depth,
+                } => Some(depth),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(depths, vec![1, 2]);
     }
 }

@@ -279,6 +279,18 @@ impl TraceCollector {
                     u64::from(*indirect_unbounded),
                 );
             }
+            QueueDepth { queue, depth } => match queue {
+                crate::event::QueueLane::IoBatch => m.observe(
+                    "io_batch_depth_bytes",
+                    &exp_buckets(16.0, 4.0, 10),
+                    *depth as f64,
+                ),
+                crate::event::QueueLane::StreamWindow => m.observe(
+                    "stream_in_flight_pages",
+                    &exp_buckets(1.0, 2.0, 8),
+                    *depth as f64,
+                ),
+            },
             Power { .. } | Begin(_) | End(_) => {}
         }
     }

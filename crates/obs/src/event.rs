@@ -194,6 +194,28 @@ impl RemoteOp {
     }
 }
 
+/// Which runtime queue a [`EventKind::QueueDepth`] sample reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueLane {
+    /// Pending bytes in the remote-I/O batch buffer (§4 batching) — the
+    /// console output accumulated on the server awaiting the
+    /// finalization flush.
+    IoBatch,
+    /// Speculatively streamed pages currently in flight on the link
+    /// (the stream window's occupancy).
+    StreamWindow,
+}
+
+impl QueueLane {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueLane::IoBatch => "io_batch",
+            QueueLane::StreamWindow => "stream_window",
+        }
+    }
+}
+
 /// What kind of payload a frame carried (mirrors `offload_net::MsgKind`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FrameKind {
@@ -395,6 +417,17 @@ pub enum EventKind {
         state: PowerLane,
         /// Interval length, simulated seconds.
         duration_s: f64,
+    },
+    /// A runtime queue changed size (observe-only: sampled after the
+    /// mutation, it never feeds back into accounting). The time-series
+    /// resampler (`series`) turns these step samples into fixed-Δt
+    /// depth curves.
+    QueueDepth {
+        /// Which queue was sampled.
+        queue: QueueLane,
+        /// Depth after the mutation: bytes for [`QueueLane::IoBatch`],
+        /// pages for [`QueueLane::StreamWindow`].
+        depth: u64,
     },
 }
 

@@ -160,6 +160,11 @@ fn describe(kind: &EventKind) -> (String, char, String) {
             'i',
             format!("{{\"duration_s\":{}}}", num(*duration_s)),
         ),
+        QueueDepth { queue, depth } => (
+            format!("queue:{}", queue.name()),
+            'i',
+            format!("{{\"depth\":{depth}}}"),
+        ),
     }
 }
 
@@ -228,13 +233,18 @@ pub fn render_tree(records: &[Record]) -> String {
 /// Render an ASCII timeline of the runtime lane: one row per activity
 /// class, `width` columns spanning the full simulated duration.
 pub fn render_timeline(records: &[Record], width: usize) -> String {
-    let width = width.max(16);
+    // Degenerate widths still render (a width-1 strip); only zero is
+    // bumped, so callers asking for narrow timelines get what they asked
+    // for instead of a silent 16-column floor.
+    let width = width.max(1);
     let runtime: Vec<&Record> = records.iter().filter(|r| tid(&r.kind) == 1).collect();
     let end = runtime.iter().map(|r| r.ts_s).fold(0.0f64, f64::max);
     if end <= 0.0 {
         return "timeline: no runtime events\n".to_string();
     }
-    let col = |t: f64| ((t / end) * (width - 1) as f64) as usize;
+    // Clamp so events at (or, through float rounding, past) the last
+    // tick land in the final column rather than indexing out of range.
+    let col = |t: f64| (((t / end) * (width - 1) as f64) as usize).min(width - 1);
     type RowFilter<'a> = (&'a str, Box<dyn Fn(&EventKind) -> bool>);
     let rows: [RowFilter; 5] = [
         (
@@ -361,6 +371,67 @@ mod tests {
         let txt = render_timeline(&sample(), 40);
         assert!(txt.contains("offload "));
         assert!(txt.contains('#'));
+    }
+
+    #[test]
+    fn tree_golden_output() {
+        let expected = "\
+▶ compile:profile [0.001 ms]
+▶ offload:task1 [19.000 ms]
+  ·      2.000 ms  frame:offload_request {\"dir\":\"up\",\"raw_bytes\":128,\"wire_bytes\":128,\"duration_s\":0.0005,\"lane\":\"comm\"}
+  ·      3.000 ms  power:waiting {\"duration_s\":0.01}
+";
+        assert_eq!(render_tree(&sample()), expected);
+    }
+
+    #[test]
+    fn timeline_golden_output() {
+        let expected = "\
+timeline [0 .. 20.000 ms] (4 events)
+offload |#         |
+faults  |          |
+frames  |#         |
+rem I/O |          |
+power   | #        |
+";
+        assert_eq!(render_timeline(&sample(), 10), expected);
+    }
+
+    #[test]
+    fn timeline_degenerate_widths_do_not_panic() {
+        // width 0 is bumped to a 1-column strip; width 1 stays width 1.
+        for w in [0, 1] {
+            let txt = render_timeline(&sample(), w);
+            assert!(txt.contains("offload |#|"), "width {w}: {txt}");
+            assert!(txt.contains("faults  | |"), "width {w}: {txt}");
+        }
+    }
+
+    #[test]
+    fn timeline_event_at_last_tick_lands_in_final_column() {
+        let records = vec![
+            Record {
+                ts_s: 0.001,
+                kind: EventKind::DemandFault {
+                    page: 0,
+                    pages: 1,
+                    window: 1,
+                    duration_s: 0.001,
+                },
+            },
+            Record {
+                ts_s: 0.01,
+                kind: EventKind::DemandFault {
+                    page: 1,
+                    pages: 1,
+                    window: 1,
+                    duration_s: 0.001,
+                },
+            },
+        ];
+        let txt = render_timeline(&records, 3);
+        let faults = txt.lines().find(|l| l.starts_with("faults")).unwrap();
+        assert_eq!(faults, "faults  |# #|");
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //!   job-index merge the concurrent session farm relies on.
 //! * [`export`] — Chrome `trace_event` JSONL plus human `--tree` /
 //!   `--timeline` renderers.
+//! * [`profile`] — the trace analyst: critical-path lane attribution
+//!   (which lane, remote op, and page range every simulated second went
+//!   to), [`profile::ProfileSummary`] serialization, and noise-tolerant
+//!   cross-run regression diffing.
+//! * [`series`] — fixed-Δt resampling of lane occupancy and queue
+//!   depths into sparkline dashboards and Chrome counter tracks.
 //! * [`log`] — a tiny leveled stderr logger for the CLI tools.
 //!
 //! This crate has **zero dependencies** and sits below every other crate
@@ -29,11 +35,15 @@ pub mod event;
 pub mod export;
 pub mod log;
 pub mod metrics;
+pub mod profile;
+pub mod series;
 pub mod shard;
 
 pub use collector::{Collector, CompileClock, NoopCollector, TraceCollector};
 pub use event::{
-    CompilePhase, CostLane, DiagLane, Dir, EventKind, FrameKind, PowerLane, Record, RemoteOp, Span,
+    CompilePhase, CostLane, DiagLane, Dir, EventKind, FrameKind, PowerLane, QueueLane, Record,
+    RemoteOp, Span,
 };
+pub use log::{Logger, Verbosity};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use shard::{merge_shards, MergedTrace, TraceShard};

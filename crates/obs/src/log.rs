@@ -16,16 +16,21 @@ pub enum Verbosity {
     Debug,
 }
 
-/// A stderr logger with a verbosity gate.
-#[derive(Debug, Clone, Copy)]
+/// A stderr logger with a verbosity gate and an optional line prefix
+/// (used by the farm to make concurrent worker output attributable).
+#[derive(Debug, Clone)]
 pub struct Logger {
     verbosity: Verbosity,
+    prefix: String,
 }
 
 impl Logger {
     /// A logger at the given verbosity.
     pub fn new(verbosity: Verbosity) -> Self {
-        Logger { verbosity }
+        Logger {
+            verbosity,
+            prefix: String::new(),
+        }
     }
 
     /// A quiet logger (drops everything below errors).
@@ -33,22 +38,36 @@ impl Logger {
         Self::new(Verbosity::Quiet)
     }
 
+    /// A copy of this logger that prepends `[{prefix}] ` to every line —
+    /// e.g. `log.scoped("worker 3")` for per-worker farm attribution.
+    pub fn scoped(&self, prefix: &str) -> Self {
+        Logger {
+            verbosity: self.verbosity,
+            prefix: format!("[{prefix}] "),
+        }
+    }
+
     /// The active verbosity.
     pub fn verbosity(&self) -> Verbosity {
         self.verbosity
     }
 
+    /// The active line prefix (empty for an unscoped logger).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
     /// Progress message (suppressed when quiet).
     pub fn info(&self, msg: &str) {
         if self.verbosity >= Verbosity::Info {
-            let _ = writeln!(std::io::stderr(), "{msg}");
+            let _ = writeln!(std::io::stderr(), "{}{msg}", self.prefix);
         }
     }
 
     /// Diagnostic message (only at debug verbosity).
     pub fn debug(&self, msg: &str) {
         if self.verbosity >= Verbosity::Debug {
-            let _ = writeln!(std::io::stderr(), "[debug] {msg}");
+            let _ = writeln!(std::io::stderr(), "[debug] {}{msg}", self.prefix);
         }
     }
 }
@@ -71,5 +90,15 @@ mod tests {
         // Smoke: none of these panic.
         Logger::quiet().info("dropped");
         Logger::default().debug("dropped");
+    }
+
+    #[test]
+    fn scoped_logger_carries_prefix_and_verbosity() {
+        let base = Logger::new(Verbosity::Debug);
+        let w = base.scoped("worker 3");
+        assert_eq!(w.prefix(), "[worker 3] ");
+        assert_eq!(w.verbosity(), Verbosity::Debug);
+        assert_eq!(base.prefix(), "");
+        w.info("smoke");
     }
 }

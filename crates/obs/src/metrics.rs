@@ -7,6 +7,14 @@
 
 use std::collections::BTreeMap;
 
+/// How many raw observations a [`Histogram`] retains verbatim. While the
+/// count stays at or below this cap, [`Histogram::quantile`] is *exact*
+/// (sorted-sample interpolation); past it, quantiles fall back to bucket
+/// interpolation. Small enough that the per-histogram overhead is one
+/// cache line's worth of floats, large enough to cover the short
+/// distributions (per-offload flushes, write-backs) exactly.
+pub const EXACT_SAMPLE_CAP: usize = 64;
+
 /// A histogram over fixed bucket upper bounds (the last bucket is
 /// `+inf`). Observations also keep sum/min/max for summary statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +31,9 @@ pub struct Histogram {
     pub min: f64,
     /// Largest observed value (`f64::NEG_INFINITY` when empty).
     pub max: f64,
+    /// The first [`EXACT_SAMPLE_CAP`] raw observations, in arrival order
+    /// — the exact-quantile path for small samples.
+    pub samples: Vec<f64>,
 }
 
 impl Histogram {
@@ -36,6 +47,7 @@ impl Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            samples: Vec::new(),
         }
     }
 
@@ -51,6 +63,9 @@ impl Histogram {
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        if self.samples.len() < EXACT_SAMPLE_CAP {
+            self.samples.push(value);
+        }
     }
 
     /// Mean of observations (0.0 when empty).
@@ -60,6 +75,59 @@ impl Histogram {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// The `q`-quantile of the observed distribution, `q` in `[0, 1]`
+    /// (clamped). `None` when empty.
+    ///
+    /// While every observation is still retained (`count <=`
+    /// [`EXACT_SAMPLE_CAP`]) this is **exact**: linear interpolation on
+    /// the sorted samples, so `q = 0` is the minimum, `q = 1` the
+    /// maximum and `q = 0.5` the textbook median. Past the cap it
+    /// interpolates within the bucket holding the target rank, clamped
+    /// to the observed `[min, max]` (the bucketed estimate can never
+    /// leave the observed range).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if self.samples.len() as u64 == self.count {
+            let mut sorted = self.samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            let pos = q * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            return Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac);
+        }
+        // Bucketed path: find the bucket containing the target rank,
+        // interpolate linearly inside its bounds.
+        let rank = q * (self.count.saturating_sub(1)) as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let last_in_bucket = (seen + c - 1) as f64;
+            if rank <= last_in_bucket {
+                let lo = if i == 0 { self.min } else { self.bounds[i - 1] };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+                let (lo, hi) = (lo.max(self.min), hi.min(self.max));
+                let within = if c <= 1 {
+                    0.0
+                } else {
+                    (rank - seen as f64) / (c - 1) as f64
+                };
+                return Some((lo + (hi - lo) * within).clamp(self.min, self.max));
+            }
+            seen += c;
+        }
+        Some(self.max)
     }
 }
 
@@ -193,6 +261,62 @@ mod tests {
         assert_eq!(snap.histogram("latency").unwrap().count, 1);
         assert!(!snap.is_empty());
         assert!(MetricsSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn exact_quantiles_at_boundaries() {
+        let mut h = Histogram::new(&[10.0, 100.0]);
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            h.observe(v);
+        }
+        // count <= EXACT_SAMPLE_CAP, so these are exact.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        assert_eq!(h.quantile(0.5), Some(2.5));
+        // Out-of-range q clamps rather than panics.
+        assert_eq!(h.quantile(-1.0), Some(1.0));
+        assert_eq!(h.quantile(2.0), Some(4.0));
+    }
+
+    #[test]
+    fn exact_quantile_single_sample() {
+        let mut h = Histogram::new(&[10.0]);
+        h.observe(7.0);
+        assert_eq!(h.quantile(0.0), Some(7.0));
+        assert_eq!(h.quantile(0.5), Some(7.0));
+        assert_eq!(h.quantile(1.0), Some(7.0));
+    }
+
+    #[test]
+    fn bucketed_quantile_stays_in_observed_range() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        // Push past the exact-sample cap so the bucketed path runs.
+        for i in 0..(EXACT_SAMPLE_CAP as u64 + 36) {
+            h.observe(0.5 + (i % 8) as f64);
+        }
+        assert!(h.count > h.samples.len() as u64);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!(
+                v >= h.min && v <= h.max,
+                "q={q} gave {v} outside [{}, {}]",
+                h.min,
+                h.max
+            );
+        }
+        // Monotone in q.
+        let p50 = h.quantile(0.5).unwrap();
+        let p90 = h.quantile(0.9).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p90 && p90 <= p99);
+        assert_eq!(h.quantile(0.0), Some(h.min));
+        assert_eq!(h.quantile(1.0), Some(h.max));
     }
 
     #[test]

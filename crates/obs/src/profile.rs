@@ -1,0 +1,709 @@
+//! The trace analyst: critical-path extraction and cross-run diffing.
+//!
+//! A recorded session trace says *what happened*; this module says *where
+//! the time went*. [`critical_path`] walks the power-state intervals the
+//! session emitted (the same stream `derive` replays) and attributes
+//! every simulated second of makespan to exactly one of six lanes —
+//! local compute, server compute, wire upload, wire download, stall, or
+//! speculative stream — plus finer per-remote-op and per-page-range
+//! tables. [`ProfileSummary`] freezes one (workload, link, mode) cell
+//! into a serializable record, and [`diff_summaries`] compares two runs
+//! with noise-tolerant thresholds to produce a regression verdict.
+//!
+//! ## Reconciliation discipline
+//!
+//! `PowerTimeline::total_seconds()` is a *sequential* running sum: every
+//! pushed duration is added to a cursor in arrival order, and
+//! `push_traced` emits exactly the positive durations it pushes. So
+//! [`CriticalPath::makespan_s`], computed as the same sequential fold
+//! over the `Power` events in stream order, reproduces the session's
+//! reported makespan **bit for bit** — proving every interval was
+//! attributed exactly once. The per-lane sums are partitions of that
+//! fold; re-adding them cannot reproduce the identical bits (float
+//! addition is not associative), so the coverage invariant is asserted
+//! on the fold, and the lane partition on a tight relative tolerance.
+
+use crate::event::{CostLane, EventKind, PowerLane, Record};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Pages per attribution bucket in the page-range table: 16 pages
+/// (64 KiB at 4 KiB pages) — fine enough to localize a hot structure,
+/// coarse enough that the table stays readable.
+pub const PAGES_PER_RANGE: u64 = 16;
+
+/// One critical-path lane: where a simulated second was spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lane {
+    /// Mobile CPU computing locally.
+    ComputeLocal,
+    /// Waiting on the server's CPU (radio up, link quiet).
+    ComputeServer,
+    /// Mobile transmitting on the link.
+    WireUpload,
+    /// Mobile receiving from the link.
+    WireDownload,
+    /// Screen-on idle — time neither side was making progress.
+    Stall,
+    /// Residual arrival time of speculatively streamed pages (the link
+    /// was busy, but overlapped with server compute).
+    Stream,
+}
+
+impl Lane {
+    /// All lanes, in report order.
+    pub const ALL: [Lane; 6] = [
+        Lane::ComputeLocal,
+        Lane::ComputeServer,
+        Lane::WireUpload,
+        Lane::WireDownload,
+        Lane::Stall,
+        Lane::Stream,
+    ];
+
+    /// Stable lowercase name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::ComputeLocal => "compute_local",
+            Lane::ComputeServer => "compute_server",
+            Lane::WireUpload => "wire_upload",
+            Lane::WireDownload => "wire_download",
+            Lane::Stall => "stall",
+            Lane::Stream => "stream",
+        }
+    }
+
+    /// Parse a stable name back to a lane.
+    pub fn from_name(name: &str) -> Option<Lane> {
+        Lane::ALL.into_iter().find(|l| l.name() == name)
+    }
+}
+
+/// The critical-path attribution of one session trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Sequential fold of every attributed power interval — bit-identical
+    /// to the session's reported `total_seconds`.
+    pub makespan_s: f64,
+    /// Seconds per lane, indexed by [`Lane::ALL`] order. A partition of
+    /// `makespan_s` (sums back within float-reassociation noise).
+    pub lanes: [f64; 6],
+    /// Seconds of remote-I/O frame time per op name (`printf`, `fread`,
+    /// ... plus `batch_flush` for the finalization flush frame).
+    pub ops: BTreeMap<&'static str, f64>,
+    /// Fault + stream-residual service seconds per
+    /// [`PAGES_PER_RANGE`]-page range (keyed by range start page).
+    pub page_ranges: BTreeMap<u64, f64>,
+}
+
+impl CriticalPath {
+    /// Seconds attributed to `lane`.
+    pub fn lane_s(&self, lane: Lane) -> f64 {
+        self.lanes[Lane::ALL.iter().position(|l| *l == lane).unwrap()]
+    }
+
+    /// Sum of the lane partition (re-associated; approximately
+    /// `makespan_s`, not bit-identical).
+    pub fn lanes_total_s(&self) -> f64 {
+        self.lanes.iter().sum()
+    }
+}
+
+/// Walk a session trace and attribute every `Power` interval to a lane.
+///
+/// Attribution rules, in stream order:
+/// * `Power{compute}` → [`Lane::ComputeLocal`]
+/// * `Power{waiting}` → [`Lane::ComputeServer`]
+/// * `Power{receive}` → [`Lane::WireDownload`]
+/// * `Power{idle}` → [`Lane::Stall`]
+/// * `Power{transmit}` → [`Lane::WireUpload`], **except** when the
+///   immediately following event is a `StreamHit` whose `residual_s` has
+///   the same bits as this interval's duration — the session emits
+///   exactly that adjacent pair when a fault lands on an in-flight
+///   streamed page, and the wait is overlap residue, not upload
+///   ([`Lane::Stream`]).
+///
+/// The per-op table reads remote-I/O frame durations, attributed to the
+/// most recent `RemoteIo` op (or to `batch_flush` after a `BatchFlush`
+/// marker). The page-range table sums `DemandFault` service time and
+/// `StreamHit` residuals per [`PAGES_PER_RANGE`]-page bucket.
+pub fn critical_path(records: &[Record]) -> CriticalPath {
+    let mut makespan_s = 0.0f64;
+    let mut lanes = [0.0f64; 6];
+    let mut ops: BTreeMap<&'static str, f64> = BTreeMap::new();
+    let mut page_ranges: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut io_ctx: Option<&'static str> = None;
+
+    let lane_idx = |lane: Lane| Lane::ALL.iter().position(|l| *l == lane).unwrap();
+
+    for (i, r) in records.iter().enumerate() {
+        match &r.kind {
+            EventKind::Power { state, duration_s } => {
+                // Same sequential fold as PowerTimeline::total_seconds.
+                makespan_s += duration_s;
+                let lane = match state {
+                    PowerLane::Compute => Lane::ComputeLocal,
+                    PowerLane::Waiting => Lane::ComputeServer,
+                    PowerLane::Receive => Lane::WireDownload,
+                    PowerLane::Idle => Lane::Stall,
+                    PowerLane::Transmit => {
+                        let next_is_matching_hit = matches!(
+                            records.get(i + 1).map(|r2| &r2.kind),
+                            Some(EventKind::StreamHit { residual_s, .. })
+                                if residual_s.to_bits() == duration_s.to_bits()
+                        );
+                        if next_is_matching_hit {
+                            Lane::Stream
+                        } else {
+                            Lane::WireUpload
+                        }
+                    }
+                };
+                lanes[lane_idx(lane)] += duration_s;
+            }
+            EventKind::RemoteIo { op, .. } => io_ctx = Some(op.name()),
+            EventKind::BatchFlush { .. } => io_ctx = Some("batch_flush"),
+            EventKind::Frame {
+                lane: CostLane::RemoteIo,
+                duration_s,
+                ..
+            } => {
+                *ops.entry(io_ctx.unwrap_or("other")).or_insert(0.0) += duration_s;
+            }
+            EventKind::DemandFault {
+                page, duration_s, ..
+            } => {
+                *page_ranges
+                    .entry(page / PAGES_PER_RANGE * PAGES_PER_RANGE)
+                    .or_insert(0.0) += duration_s;
+            }
+            EventKind::StreamHit {
+                page, residual_s, ..
+            } => {
+                *page_ranges
+                    .entry(page / PAGES_PER_RANGE * PAGES_PER_RANGE)
+                    .or_insert(0.0) += residual_s;
+            }
+            _ => {}
+        }
+    }
+
+    CriticalPath {
+        makespan_s,
+        lanes,
+        ops,
+        page_ranges,
+    }
+}
+
+/// Render a ranked attribution table for one critical path.
+pub fn render_critical_path(cp: &CriticalPath) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "critical path ({:.6} s makespan)", cp.makespan_s);
+    let mut ranked: Vec<(Lane, f64)> = Lane::ALL.into_iter().map(|l| (l, cp.lane_s(l))).collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let total = cp.makespan_s.max(f64::MIN_POSITIVE);
+    for (lane, s) in ranked {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>12.6} s  {:>5.1}%  {}",
+            lane.name(),
+            s,
+            s / total * 100.0,
+            bar(s / total, 24)
+        );
+    }
+    if !cp.ops.is_empty() {
+        let _ = writeln!(out, "  remote I/O by op:");
+        let mut ops: Vec<(&str, f64)> = cp.ops.iter().map(|(k, v)| (*k, *v)).collect();
+        ops.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (op, s) in ops {
+            let _ = writeln!(out, "    {op:<14} {s:>12.6} s");
+        }
+    }
+    if !cp.page_ranges.is_empty() {
+        let mut ranges: Vec<(u64, f64)> = cp.page_ranges.iter().map(|(k, v)| (*k, *v)).collect();
+        ranges.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let shown = ranges.len().min(8);
+        let _ = writeln!(out, "  fault time by page range (top {shown}):");
+        for (start, s) in ranges.into_iter().take(shown) {
+            let _ = writeln!(
+                out,
+                "    pages {:>6}..{:<6} {:>12.6} s",
+                start,
+                start + PAGES_PER_RANGE - 1,
+                s
+            );
+        }
+    }
+    out
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < n { '#' } else { '.' });
+    }
+    s
+}
+
+/// A frozen, serializable profile of one (workload, link, mode) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSummary {
+    /// Workload name (e.g. `chess`).
+    pub workload: String,
+    /// Link name (e.g. `802.11n`).
+    pub link: String,
+    /// Run mode (e.g. `offload`, `stream`).
+    pub mode: String,
+    /// Reported session makespan, seconds.
+    pub makespan_s: f64,
+    /// Seconds per lane, [`Lane::ALL`] order.
+    pub lanes: [f64; 6],
+    /// Remote-I/O seconds per op name, ascending by name.
+    pub ops: Vec<(String, f64)>,
+    /// Named distribution quantiles (e.g. `fault_p99_s`), ascending by
+    /// name.
+    pub quantiles: Vec<(String, f64)>,
+}
+
+impl ProfileSummary {
+    /// Build a summary from a critical path plus identity + quantiles.
+    pub fn from_critical_path(
+        workload: &str,
+        link: &str,
+        mode: &str,
+        cp: &CriticalPath,
+        quantiles: Vec<(String, f64)>,
+    ) -> Self {
+        ProfileSummary {
+            workload: workload.to_string(),
+            link: link.to_string(),
+            mode: mode.to_string(),
+            makespan_s: cp.makespan_s,
+            lanes: cp.lanes,
+            ops: cp.ops.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+            quantiles,
+        }
+    }
+
+    /// Seconds attributed to `lane`.
+    pub fn lane_s(&self, lane: Lane) -> f64 {
+        self.lanes[Lane::ALL.iter().position(|l| *l == lane).unwrap()]
+    }
+
+    /// The `(workload, link, mode)` identity key.
+    pub fn key(&self) -> (String, String, String) {
+        (self.workload.clone(), self.link.clone(), self.mode.clone())
+    }
+}
+
+/// Serialize summaries as the `bench_pr6.v1` JSON document. Floats use
+/// Rust's shortest-roundtrip `{}` formatting, so `parse_summaries` gives
+/// back bit-identical values and a self-diff is exactly empty.
+pub fn summaries_to_json(summaries: &[ProfileSummary]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"bench_pr6.v1\",\n  \"profiles\": [\n");
+    for (i, s) in summaries.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"workload\": \"{}\",", s.workload);
+        let _ = writeln!(out, "      \"link\": \"{}\",", s.link);
+        let _ = writeln!(out, "      \"mode\": \"{}\",", s.mode);
+        let _ = writeln!(out, "      \"makespan_s\": {},", s.makespan_s);
+        out.push_str("      \"lanes\": {");
+        for (j, lane) in Lane::ALL.into_iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", lane.name(), s.lanes[j]);
+        }
+        out.push_str("},\n      \"ops\": {");
+        for (j, (op, v)) in s.ops.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{op}\": {v}");
+        }
+        out.push_str("},\n      \"quantiles\": {");
+        for (j, (q, v)) in s.quantiles.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{q}\": {v}");
+        }
+        out.push_str("}\n");
+        out.push_str(if i + 1 == summaries.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Read a `"key": "value"` string field after `from`.
+fn scan_str(text: &str, from: usize, key: &str) -> Option<(String, usize)> {
+    let pat = format!("\"{key}\": \"");
+    let start = text[from..].find(&pat)? + from + pat.len();
+    let end = text[start..].find('"')? + start;
+    Some((text[start..end].to_string(), end))
+}
+
+/// Read a `"key": <number>` field after `from`.
+fn scan_f64(text: &str, from: usize, key: &str) -> Option<(f64, usize)> {
+    let pat = format!("\"{key}\": ");
+    let start = text[from..].find(&pat)? + from + pat.len();
+    let end = start
+        + text[start..]
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(text.len() - start);
+    text[start..end].parse().ok().map(|v| (v, end))
+}
+
+/// Parse the `"name": {"k": v, ...}` object starting after `from`.
+fn scan_map(text: &str, from: usize, key: &str) -> Option<(Vec<(String, f64)>, usize)> {
+    let pat = format!("\"{key}\": {{");
+    let start = text[from..].find(&pat)? + from + pat.len();
+    let end = text[start..].find('}')? + start;
+    let body = &text[start..end];
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while let Some(q0) = body[pos..].find('"') {
+        let k0 = pos + q0 + 1;
+        let k1 = body[k0..].find('"')? + k0;
+        let name = body[k0..k1].to_string();
+        let v0 = body[k1..].find(": ")? + k1 + 2;
+        let v1 = v0
+            + body[v0..]
+                .find(|c: char| {
+                    !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+')
+                })
+                .unwrap_or(body.len() - v0);
+        out.push((name, body[v0..v1].parse().ok()?));
+        pos = v1;
+    }
+    Some((out, end))
+}
+
+/// Parse a `bench_pr6.v1` document back into summaries. Tolerant of
+/// whitespace produced by [`summaries_to_json`]; returns an empty vec on
+/// schema mismatch.
+pub fn parse_summaries(text: &str) -> Vec<ProfileSummary> {
+    let mut out = Vec::new();
+    if !text.contains("\"schema\": \"bench_pr6.v1\"") {
+        return out;
+    }
+    let mut pos = 0;
+    while let Some((workload, p)) = scan_str(text, pos, "workload") {
+        let Some((link, p)) = scan_str(text, p, "link") else {
+            break;
+        };
+        let Some((mode, p)) = scan_str(text, p, "mode") else {
+            break;
+        };
+        let Some((makespan_s, p)) = scan_f64(text, p, "makespan_s") else {
+            break;
+        };
+        let Some((lane_map, p)) = scan_map(text, p, "lanes") else {
+            break;
+        };
+        let Some((ops, p)) = scan_map(text, p, "ops") else {
+            break;
+        };
+        let Some((quantiles, p)) = scan_map(text, p, "quantiles") else {
+            break;
+        };
+        let mut lanes = [0.0f64; 6];
+        for (name, v) in &lane_map {
+            if let Some(lane) = Lane::from_name(name) {
+                lanes[Lane::ALL.iter().position(|l| l == &lane).unwrap()] = *v;
+            }
+        }
+        out.push(ProfileSummary {
+            workload,
+            link,
+            mode,
+            makespan_s,
+            lanes,
+            ops,
+            quantiles,
+        });
+        pos = p;
+    }
+    out
+}
+
+/// Noise thresholds for [`diff_summaries`]: a metric regresses only when
+/// `new > base * (1 + rel) + abs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffTolerance {
+    /// Relative slack (0.05 = 5%).
+    pub rel: f64,
+    /// Absolute slack, seconds.
+    pub abs: f64,
+}
+
+impl Default for DiffTolerance {
+    fn default() -> Self {
+        DiffTolerance {
+            rel: 0.05,
+            abs: 1e-6,
+        }
+    }
+}
+
+/// One flagged regression from a cross-run diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Workload of the regressed cell.
+    pub workload: String,
+    /// Link of the regressed cell.
+    pub link: String,
+    /// Mode of the regressed cell.
+    pub mode: String,
+    /// Which metric grew (`makespan_s`, `lane:wire_upload`,
+    /// `op:printf`, ...).
+    pub metric: String,
+    /// Baseline seconds.
+    pub base_s: f64,
+    /// New seconds.
+    pub new_s: f64,
+}
+
+impl Regression {
+    /// Relative growth, e.g. 0.12 for +12%.
+    pub fn growth(&self) -> f64 {
+        if self.base_s > 0.0 {
+            self.new_s / self.base_s - 1.0
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Diff `new` against `base`, cell by cell. Cells present in only one
+/// side are skipped (a diff judges shared coverage, not suite shape);
+/// within a shared cell the makespan, every lane, and every shared op
+/// are compared against `tol`.
+pub fn diff_summaries(
+    base: &[ProfileSummary],
+    new: &[ProfileSummary],
+    tol: DiffTolerance,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let exceeded = |b: f64, n: f64| n > b * (1.0 + tol.rel) + tol.abs;
+    for nb in new {
+        let Some(bb) = base.iter().find(|b| b.key() == nb.key()) else {
+            continue;
+        };
+        let mut push = |metric: &str, b: f64, n: f64| {
+            if exceeded(b, n) {
+                out.push(Regression {
+                    workload: nb.workload.clone(),
+                    link: nb.link.clone(),
+                    mode: nb.mode.clone(),
+                    metric: metric.to_string(),
+                    base_s: b,
+                    new_s: n,
+                });
+            }
+        };
+        push("makespan_s", bb.makespan_s, nb.makespan_s);
+        for (i, lane) in Lane::ALL.into_iter().enumerate() {
+            push(&format!("lane:{}", lane.name()), bb.lanes[i], nb.lanes[i]);
+        }
+        for (op, n) in &nb.ops {
+            if let Some((_, b)) = bb.ops.iter().find(|(bop, _)| bop == op) {
+                push(&format!("op:{op}"), *b, *n);
+            }
+        }
+    }
+    out
+}
+
+/// Render a human verdict for a diff result.
+pub fn render_diff(regressions: &[Regression]) -> String {
+    if regressions.is_empty() {
+        return "profile diff: no regressions\n".to_string();
+    }
+    let mut out = format!("profile diff: {} regression(s)\n", regressions.len());
+    let mut ranked = regressions.to_vec();
+    ranked.sort_by(|a, b| b.growth().total_cmp(&a.growth()));
+    for r in &ranked {
+        let _ = writeln!(
+            out,
+            "  {} / {} / {}: {} grew {:+.1}% ({:.6} s -> {:.6} s)",
+            r.workload,
+            r.link,
+            r.mode,
+            r.metric,
+            r.growth() * 100.0,
+            r.base_s,
+            r.new_s
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dir, FrameKind, RemoteOp};
+
+    fn power(state: PowerLane, duration_s: f64) -> Record {
+        Record {
+            ts_s: 0.0,
+            kind: EventKind::Power { state, duration_s },
+        }
+    }
+
+    #[test]
+    fn lanes_partition_the_sequential_fold() {
+        let records = vec![
+            power(PowerLane::Compute, 0.1),
+            power(PowerLane::Transmit, 0.2),
+            power(PowerLane::Waiting, 0.3),
+            power(PowerLane::Receive, 0.4),
+            power(PowerLane::Idle, 0.05),
+        ];
+        let cp = critical_path(&records);
+        let expect = records.iter().fold(0.0f64, |acc, r| match r.kind {
+            EventKind::Power { duration_s, .. } => acc + duration_s,
+            _ => acc,
+        });
+        assert_eq!(cp.makespan_s.to_bits(), expect.to_bits());
+        assert_eq!(cp.lane_s(Lane::ComputeLocal), 0.1);
+        assert_eq!(cp.lane_s(Lane::WireUpload), 0.2);
+        assert_eq!(cp.lane_s(Lane::ComputeServer), 0.3);
+        assert_eq!(cp.lane_s(Lane::WireDownload), 0.4);
+        assert_eq!(cp.lane_s(Lane::Stall), 0.05);
+        assert_eq!(cp.lane_s(Lane::Stream), 0.0);
+        assert!((cp.lanes_total_s() - cp.makespan_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transmit_followed_by_matching_stream_hit_is_stream_lane() {
+        let residual = 0.007;
+        let records = vec![
+            power(PowerLane::Transmit, 0.2),
+            power(PowerLane::Transmit, residual),
+            Record {
+                ts_s: 0.0,
+                kind: EventKind::StreamHit {
+                    page: 40,
+                    residual_s: residual,
+                    saved_s: 0.01,
+                },
+            },
+        ];
+        let cp = critical_path(&records);
+        assert_eq!(cp.lane_s(Lane::Stream), residual);
+        assert_eq!(cp.lane_s(Lane::WireUpload), 0.2);
+        // The hit's residual also shows up in the page-range table.
+        assert_eq!(cp.page_ranges[&32], residual);
+    }
+
+    #[test]
+    fn remote_io_frames_attribute_to_the_preceding_op() {
+        let records = vec![
+            Record {
+                ts_s: 0.0,
+                kind: EventKind::RemoteIo {
+                    op: RemoteOp::Printf,
+                    bytes: 12,
+                },
+            },
+            Record {
+                ts_s: 0.0,
+                kind: EventKind::Frame {
+                    kind: FrameKind::RemoteIo,
+                    dir: Dir::Down,
+                    raw_bytes: 12,
+                    wire_bytes: 12,
+                    duration_s: 0.004,
+                    lane: CostLane::RemoteIo,
+                },
+            },
+            Record {
+                ts_s: 0.0,
+                kind: EventKind::BatchFlush { bytes: 100 },
+            },
+            Record {
+                ts_s: 0.0,
+                kind: EventKind::Frame {
+                    kind: FrameKind::RemoteIo,
+                    dir: Dir::Down,
+                    raw_bytes: 100,
+                    wire_bytes: 60,
+                    duration_s: 0.009,
+                    lane: CostLane::RemoteIo,
+                },
+            },
+        ];
+        let cp = critical_path(&records);
+        assert_eq!(cp.ops["printf"], 0.004);
+        assert_eq!(cp.ops["batch_flush"], 0.009);
+        let txt = render_critical_path(&cp);
+        assert!(txt.contains("printf"));
+        assert!(txt.contains("batch_flush"));
+    }
+
+    fn sample_summary(makespan: f64, upload: f64) -> ProfileSummary {
+        ProfileSummary {
+            workload: "chess".into(),
+            link: "802.11n".into(),
+            mode: "offload".into(),
+            makespan_s: makespan,
+            lanes: [0.1, 0.2, upload, 0.05, 0.01, 0.003],
+            ops: vec![("batch_flush".into(), 0.002), ("printf".into(), 0.009)],
+            quantiles: vec![("fault_p99_s".into(), 0.0012)],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let summaries = vec![sample_summary(0.663, 0.3), {
+            let mut s = sample_summary(1.25, 0.7);
+            s.workload = "mm-int".into();
+            s.link = "802.11ac".into();
+            s
+        }];
+        let json = summaries_to_json(&summaries);
+        let back = parse_summaries(&json);
+        assert_eq!(back, summaries);
+        // Wrong schema parses to nothing.
+        assert!(parse_summaries(&json.replace("pr6", "pr9")).is_empty());
+    }
+
+    #[test]
+    fn self_diff_reports_zero_regressions() {
+        let summaries = vec![sample_summary(0.663, 0.3)];
+        let json = summaries_to_json(&summaries);
+        let back = parse_summaries(&json);
+        let regs = diff_summaries(&summaries, &back, DiffTolerance::default());
+        assert!(regs.is_empty(), "{regs:?}");
+        assert!(render_diff(&regs).contains("no regressions"));
+    }
+
+    #[test]
+    fn seeded_wire_regression_is_flagged() {
+        let base = vec![sample_summary(0.663, 0.3)];
+        let mut slower = base.clone();
+        slower[0].lanes[2] *= 1.5; // wire_upload grew 50%
+        slower[0].makespan_s += 0.15;
+        let regs = diff_summaries(&base, &slower, DiffTolerance::default());
+        assert!(
+            regs.iter().any(|r| r.metric == "lane:wire_upload"),
+            "{regs:?}"
+        );
+        assert!(regs.iter().any(|r| r.metric == "makespan_s"));
+        let verdict = render_diff(&regs);
+        assert!(verdict.contains("wire_upload"), "{verdict}");
+        // Growth under tolerance stays quiet.
+        let mut noisy = base.clone();
+        noisy[0].lanes[2] *= 1.01;
+        assert!(diff_summaries(&base, &noisy, DiffTolerance::default()).is_empty());
+    }
+}

@@ -1,0 +1,421 @@
+//! Fixed-Δt time-series resampling of a recorded trace.
+//!
+//! Traces are event streams; capacity questions ("was the link saturated
+//! in the middle third?", "how deep did the I/O batch get?") want evenly
+//! sampled curves. This module resamples three signal families onto a
+//! fixed Δt grid:
+//!
+//! * **lane occupancy** — the fraction of each bin the mobile spent in
+//!   each power lane, from `Power` interval events;
+//! * **queue depths** — sample-and-hold curves from the observe-only
+//!   `QueueDepth` events (I/O batch bytes, stream window pages);
+//! * **farm worker series** — per-worker utilization and job-queue depth
+//!   from a deterministic greedy list schedule over per-job durations
+//!   (the farm's shards are worker-anonymous by design — byte-identity
+//!   with serial replay forbids worker tags — so the worker view is
+//!   *derived*, mirroring `offload-bench`'s `list_schedule_makespan`).
+//!
+//! Output is renderable as text sparkline dashboards
+//! ([`render_dashboard`]) or Chrome `trace_event` counter tracks
+//! ([`chrome_counters`]) that sit under the span timeline in Perfetto.
+
+use crate::event::{EventKind, PowerLane, QueueLane, Record};
+use std::fmt::Write as _;
+
+/// One uniformly sampled curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Display / counter-track name.
+    pub name: String,
+    /// Sample spacing, seconds.
+    pub dt_s: f64,
+    /// One value per bin; bin `i` covers `[i*dt_s, (i+1)*dt_s)`.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Largest sampled value (0.0 for an empty series).
+    pub fn max(&self) -> f64 {
+        self.values.iter().fold(0.0f64, |a, &v| a.max(v))
+    }
+
+    /// Mean sampled value (0.0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+}
+
+/// Number of bins needed to cover `[0, end_s)` at `dt_s`.
+fn bins(end_s: f64, dt_s: f64) -> usize {
+    (end_s / dt_s).ceil().max(1.0) as usize
+}
+
+/// Resample power-lane occupancy: one series per [`PowerLane`], each
+/// value the fraction of that bin spent in the lane (0..=1). `dt_s`
+/// must be positive; the grid spans the full power timeline.
+pub fn sample_lane_occupancy(records: &[Record], dt_s: f64) -> Vec<Series> {
+    assert!(dt_s > 0.0, "dt_s must be positive");
+    let end = records
+        .iter()
+        .filter_map(|r| match r.kind {
+            EventKind::Power { duration_s, .. } => Some(r.ts_s + duration_s),
+            _ => None,
+        })
+        .fold(0.0f64, f64::max);
+    let lanes = [
+        PowerLane::Compute,
+        PowerLane::Waiting,
+        PowerLane::Transmit,
+        PowerLane::Receive,
+        PowerLane::Idle,
+    ];
+    let n = bins(end.max(dt_s), dt_s);
+    let mut out: Vec<Series> = lanes
+        .iter()
+        .map(|l| Series {
+            name: format!("occupancy:{}", l.name()),
+            dt_s,
+            values: vec![0.0; n],
+        })
+        .collect();
+    for r in records {
+        let EventKind::Power { state, duration_s } = r.kind else {
+            continue;
+        };
+        if duration_s <= 0.0 {
+            continue;
+        }
+        let idx = lanes.iter().position(|l| *l == state).unwrap();
+        let (start, stop) = (r.ts_s, r.ts_s + duration_s);
+        let first = (start / dt_s) as usize;
+        let last = ((stop / dt_s).ceil() as usize).min(n);
+        for bin in first..last {
+            let b0 = bin as f64 * dt_s;
+            let b1 = b0 + dt_s;
+            let overlap = (stop.min(b1) - start.max(b0)).max(0.0);
+            out[idx].values[bin] += overlap / dt_s;
+        }
+    }
+    out
+}
+
+/// Resample queue depths: one sample-and-hold series per [`QueueLane`]
+/// that appears in the trace. Each bin reports the depth as of the bin's
+/// end (the most recent sample at or before it).
+pub fn sample_queue_depths(records: &[Record], dt_s: f64) -> Vec<Series> {
+    assert!(dt_s > 0.0, "dt_s must be positive");
+    let samples: Vec<(f64, QueueLane, u64)> = records
+        .iter()
+        .filter_map(|r| match r.kind {
+            EventKind::QueueDepth { queue, depth } => Some((r.ts_s, queue, depth)),
+            _ => None,
+        })
+        .collect();
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let end = samples.iter().map(|s| s.0).fold(0.0f64, f64::max);
+    let n = bins(end.max(dt_s), dt_s);
+    let mut out = Vec::new();
+    for lane in [QueueLane::IoBatch, QueueLane::StreamWindow] {
+        if !samples.iter().any(|s| s.1 == lane) {
+            continue;
+        }
+        let mut values = vec![0.0; n];
+        let mut held = 0.0;
+        let mut it = samples.iter().filter(|s| s.1 == lane).peekable();
+        for (bin, v) in values.iter_mut().enumerate() {
+            let bin_end = (bin + 1) as f64 * dt_s;
+            while let Some((ts, _, depth)) = it.peek() {
+                if *ts <= bin_end {
+                    held = *depth as f64;
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            *v = held;
+        }
+        out.push(Series {
+            name: format!("queue:{}", lane.name()),
+            dt_s,
+            values,
+        });
+    }
+    out
+}
+
+/// One job's placement in the derived farm schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerSpan {
+    /// Worker index the job ran on.
+    pub worker: usize,
+    /// Job index in submission order.
+    pub job: usize,
+    /// Start time on that worker, seconds.
+    pub start_s: f64,
+    /// End time, seconds.
+    pub end_s: f64,
+}
+
+/// Greedy list schedule of per-job `durations` onto `workers` lanes:
+/// each job (in submission order) goes to the least-loaded worker, ties
+/// to the lowest index — exactly the policy `offload-bench` uses for its
+/// farm makespan model, so the derived series match its numbers.
+pub fn list_schedule(durations: &[f64], workers: usize) -> Vec<WorkerSpan> {
+    let workers = workers.max(1);
+    let mut load = vec![0.0f64; workers];
+    let mut out = Vec::with_capacity(durations.len());
+    for (job, &d) in durations.iter().enumerate() {
+        let mut best = 0;
+        for (i, &l) in load.iter().enumerate() {
+            if l < load[best] {
+                best = i;
+            }
+        }
+        out.push(WorkerSpan {
+            worker: best,
+            job,
+            start_s: load[best],
+            end_s: load[best] + d,
+        });
+        load[best] += d;
+    }
+    out
+}
+
+/// Per-worker utilization series from a derived schedule: the fraction
+/// of each bin worker `w` spent running jobs.
+pub fn worker_utilization(spans: &[WorkerSpan], workers: usize, dt_s: f64) -> Vec<Series> {
+    assert!(dt_s > 0.0, "dt_s must be positive");
+    let end = spans.iter().map(|s| s.end_s).fold(0.0f64, f64::max);
+    let n = bins(end.max(dt_s), dt_s);
+    let mut out: Vec<Series> = (0..workers.max(1))
+        .map(|w| Series {
+            name: format!("worker{w}:util"),
+            dt_s,
+            values: vec![0.0; n],
+        })
+        .collect();
+    for s in spans {
+        let first = (s.start_s / dt_s) as usize;
+        let last = ((s.end_s / dt_s).ceil() as usize).min(n);
+        for bin in first..last {
+            let b0 = bin as f64 * dt_s;
+            let b1 = b0 + dt_s;
+            let overlap = (s.end_s.min(b1) - s.start_s.max(b0)).max(0.0);
+            out[s.worker].values[bin] += overlap / dt_s;
+        }
+    }
+    out
+}
+
+/// Job-queue depth series from a derived schedule: how many submitted
+/// jobs had not yet started as of each bin's end.
+pub fn job_queue_depth(spans: &[WorkerSpan], dt_s: f64) -> Series {
+    assert!(dt_s > 0.0, "dt_s must be positive");
+    let end = spans.iter().map(|s| s.end_s).fold(0.0f64, f64::max);
+    let n = bins(end.max(dt_s), dt_s);
+    let values = (0..n)
+        .map(|bin| {
+            let bin_end = (bin + 1) as f64 * dt_s;
+            spans.iter().filter(|s| s.start_s > bin_end).count() as f64
+        })
+        .collect();
+    Series {
+        name: "farm:job_queue".to_string(),
+        dt_s,
+        values,
+    }
+}
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render values as a unicode sparkline scaled to the series max (an
+/// all-zero series renders as all-▁).
+pub fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().fold(0.0f64, |a, &v| a.max(v));
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                SPARK[0]
+            } else {
+                let t = (v.max(0.0) / max * 7.0).round() as usize;
+                SPARK[t.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Render a set of series as an aligned sparkline dashboard.
+pub fn render_dashboard(series: &[Series]) -> String {
+    if series.is_empty() {
+        return "series: nothing to sample\n".to_string();
+    }
+    let name_w = series.iter().map(|s| s.name.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for s in series {
+        let _ = writeln!(
+            out,
+            "{:<name_w$} |{}| max {:.3} mean {:.3}",
+            s.name,
+            sparkline(&s.values),
+            s.max(),
+            s.mean()
+        );
+    }
+    out
+}
+
+/// Render series as Chrome `trace_event` counter events (`ph: "C"`),
+/// one object per line — loads alongside the span JSONL in Perfetto.
+pub fn chrome_counters(series: &[Series]) -> String {
+    let mut out = String::new();
+    for s in series {
+        for (bin, v) in s.values.iter().enumerate() {
+            let ts_us = bin as f64 * s.dt_s * 1e6;
+            let _ = writeln!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"offload\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":1,\"tid\":1,\"args\":{{\"value\":{v}}}}}",
+                s.name
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power(ts_s: f64, state: PowerLane, duration_s: f64) -> Record {
+        Record {
+            ts_s,
+            kind: EventKind::Power { state, duration_s },
+        }
+    }
+
+    #[test]
+    fn occupancy_fractions_cover_the_interval() {
+        // 0..1s compute, 1..1.5s transmit, sampled at 0.5s.
+        let records = vec![
+            power(0.0, PowerLane::Compute, 1.0),
+            power(1.0, PowerLane::Transmit, 0.5),
+        ];
+        let series = sample_lane_occupancy(&records, 0.5);
+        let compute = series
+            .iter()
+            .find(|s| s.name == "occupancy:compute")
+            .unwrap();
+        assert_eq!(compute.values, vec![1.0, 1.0, 0.0]);
+        let tx = series
+            .iter()
+            .find(|s| s.name == "occupancy:transmit")
+            .unwrap();
+        assert_eq!(tx.values, vec![0.0, 0.0, 1.0]);
+        // Each bin's lane fractions sum to <= 1 (full coverage here).
+        for bin in 0..3 {
+            let total: f64 = series.iter().map(|s| s.values[bin]).sum();
+            assert!((total - 1.0).abs() < 1e-12, "bin {bin} sums {total}");
+        }
+    }
+
+    #[test]
+    fn partial_bin_overlap_is_fractional() {
+        let records = vec![power(0.25, PowerLane::Waiting, 0.5)];
+        let series = sample_lane_occupancy(&records, 0.5);
+        let w = series
+            .iter()
+            .find(|s| s.name == "occupancy:waiting")
+            .unwrap();
+        assert_eq!(w.values, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn queue_depth_holds_last_sample() {
+        let mk = |ts_s: f64, depth: u64| Record {
+            ts_s,
+            kind: EventKind::QueueDepth {
+                queue: QueueLane::IoBatch,
+                depth,
+            },
+        };
+        let records = vec![mk(0.1, 64), mk(0.9, 128), mk(2.1, 0)];
+        let series = sample_queue_depths(&records, 1.0);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].name, "queue:io_batch");
+        assert_eq!(series[0].values, vec![128.0, 128.0, 0.0]);
+        assert!(sample_queue_depths(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn list_schedule_matches_greedy_policy() {
+        // durations 3,1,1,1 on 2 workers: w0 gets job0 (0..3), w1 gets
+        // job1 (0..1), job2 (1..2), job3 (2..3). Makespan 3.
+        let spans = list_schedule(&[3.0, 1.0, 1.0, 1.0], 2);
+        assert_eq!(
+            spans[0],
+            WorkerSpan {
+                worker: 0,
+                job: 0,
+                start_s: 0.0,
+                end_s: 3.0
+            }
+        );
+        assert_eq!(spans[1].worker, 1);
+        assert_eq!(
+            spans[2],
+            WorkerSpan {
+                worker: 1,
+                job: 2,
+                start_s: 1.0,
+                end_s: 2.0
+            }
+        );
+        assert_eq!(spans[3].worker, 1);
+        let util = worker_utilization(&spans, 2, 1.0);
+        assert_eq!(util[0].values, vec![1.0, 1.0, 1.0]);
+        assert_eq!(util[1].values, vec![1.0, 1.0, 1.0]);
+        let q = job_queue_depth(&spans, 1.0);
+        // After 1s all four jobs have started except... job2 starts at
+        // 1.0 (not > 1.0), job3 at 2.0: depth(1)=1, depth(2)=0, depth(3)=0.
+        assert_eq!(q.values, vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sparkline_and_dashboard_render() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'));
+        let series = vec![Series {
+            name: "queue:io_batch".into(),
+            dt_s: 1.0,
+            values: vec![1.0, 2.0],
+        }];
+        let dash = render_dashboard(&series);
+        assert!(dash.contains("queue:io_batch"));
+        assert!(dash.contains("max 2.000"));
+        assert!(render_dashboard(&[]).contains("nothing to sample"));
+    }
+
+    #[test]
+    fn chrome_counters_are_one_object_per_line() {
+        let series = vec![Series {
+            name: "occupancy:compute".into(),
+            dt_s: 0.5,
+            values: vec![1.0, 0.25],
+        }];
+        let txt = chrome_counters(&series);
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"ph\":\"C\""));
+        assert!(lines[1].contains("\"ts\":500000"));
+        assert!(lines[1].contains("\"value\":0.25"));
+    }
+}

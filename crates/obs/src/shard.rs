@@ -127,4 +127,44 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert!(!m.is_empty());
     }
+
+    #[test]
+    fn merging_no_shards_yields_an_empty_trace() {
+        let m = merge_shards(Vec::new());
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert!(m.records().is_empty());
+        assert_eq!(m.dropped(), 0);
+        assert!(m.shard(0).is_none());
+        assert!(m.shards().is_empty());
+    }
+
+    #[test]
+    fn duplicate_job_indices_keep_arrival_order() {
+        // A correct farm never emits duplicates, but the merge must stay
+        // deterministic if one does: the sort is stable, so arrival order
+        // within the duplicate index is preserved.
+        let m = merge_shards(vec![shard(1, 111), shard(0, 0), shard(1, 222)]);
+        let seen: Vec<(usize, Record)> = m.shards().iter().map(|s| (s.job, s.records[0])).collect();
+        assert_eq!(seen[0].0, 0);
+        assert_eq!(seen[1], (1, shard(1, 111).records[0]));
+        assert_eq!(seen[2], (1, shard(1, 222).records[0]));
+        // Lookup by index finds one of the duplicates (binary search on a
+        // duplicated key); records() still carries both.
+        assert_eq!(m.shard(1).unwrap().job, 1);
+        assert_eq!(m.records().len(), 3);
+    }
+
+    #[test]
+    fn dropped_counts_aggregate_across_shards() {
+        let mut a = shard(0, 1);
+        a.dropped = 3;
+        let mut b = shard(1, 2);
+        b.dropped = 0;
+        let mut c = shard(2, 3);
+        c.dropped = 7;
+        let m = merge_shards(vec![c, a, b]);
+        assert_eq!(m.dropped(), 10);
+        assert_eq!(m.shard(2).unwrap().dropped, 7);
+    }
 }

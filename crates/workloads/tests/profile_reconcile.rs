@@ -1,0 +1,161 @@
+//! Suite-wide critical-path reconciliation: for every workload in the
+//! 18-program suite (chess + 17 miniatures), on both paper networks,
+//! the profiler's sequential lane fold reproduces the session's
+//! simulated makespan **bit for bit**, the per-lane attribution
+//! partitions it to float tolerance, and the cross-run differ flags a
+//! seeded wire regression while staying silent on a self-diff. Also
+//! checks that the logged farm path is byte-identical to the quiet one
+//! (logging is observe-only).
+
+use native_offloader::runtime::farm::{reports_equal, run_farm, run_farm_logged, FarmJob};
+use native_offloader::{Offloader, SessionConfig};
+use offload_net::Link;
+use offload_obs::profile::{critical_path, diff_summaries, DiffTolerance, Lane, ProfileSummary};
+use offload_obs::{Logger, TraceCollector, Verbosity};
+
+fn forced(mut cfg: SessionConfig) -> SessionConfig {
+    cfg.dynamic_estimation = false;
+    cfg
+}
+
+fn suite() -> Vec<(
+    String,
+    native_offloader::CompiledApp,
+    native_offloader::WorkloadInput,
+)> {
+    let mut v = Vec::new();
+    let chess_input = offload_workloads::chess::input(9, 2);
+    let chess = Offloader::new()
+        .compile_source(offload_workloads::chess::SOURCE, "chess", &chess_input)
+        .expect("chess compiles");
+    v.push(("chess".to_string(), chess, chess_input));
+    for w in offload_workloads::all() {
+        let app = w.compile().expect("miniature compiles");
+        v.push((w.name.to_string(), app, (w.eval_input)()));
+    }
+    v
+}
+
+#[test]
+fn lane_attribution_reconciles_bit_for_bit_suite_wide() {
+    for (name, app, input) in suite() {
+        for (net, cfg) in [
+            ("slow", forced(SessionConfig::slow_network())),
+            ("fast", forced(SessionConfig::fast_network())),
+        ] {
+            let mut obs = TraceCollector::with_capacity(1 << 20);
+            let rep = app
+                .run_offloaded_traced(&input, &cfg, &mut obs)
+                .expect("runs");
+            assert_eq!(obs.dropped(), 0, "{name}/{net}: ring must hold the run");
+            let cp = critical_path(&obs.records());
+            // The sequential fold over the Power stream is the same
+            // arithmetic PowerTimeline::total_seconds performs, so the
+            // makespan must come back bit-identical.
+            assert_eq!(
+                cp.makespan_s.to_bits(),
+                rep.total_seconds.to_bits(),
+                "{name}/{net}: profiler fold diverged from the timeline: {} vs {}",
+                cp.makespan_s,
+                rep.total_seconds
+            );
+            // Lanes partition the makespan; re-summing per lane is a
+            // different association order, so tolerance — but tight.
+            let lane_sum = cp.lanes_total_s();
+            assert!(
+                (lane_sum - cp.makespan_s).abs() <= cp.makespan_s.abs() * 1e-9 + 1e-9,
+                "{name}/{net}: lanes leak {} vs {}",
+                lane_sum,
+                cp.makespan_s
+            );
+            // Ops attribute within the two compute+wire+stall lanes.
+            let op_sum: f64 = cp.ops.values().sum();
+            assert!(
+                op_sum <= lane_sum + 1e-9,
+                "{name}/{net}: op attribution exceeds the lane total"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_wire_regression_is_flagged_and_self_diff_is_clean() {
+    let input = offload_workloads::chess::input(9, 2);
+    let app = Offloader::new()
+        .compile_source(offload_workloads::chess::SOURCE, "chess", &input)
+        .expect("chess compiles");
+
+    let profile_on = |link: Link| {
+        let cfg = forced(SessionConfig::with_link(link));
+        let mut obs = TraceCollector::with_capacity(1 << 20);
+        let rep = app
+            .run_offloaded_traced(&input, &cfg, &mut obs)
+            .expect("runs");
+        let cp = critical_path(&obs.records());
+        assert_eq!(cp.makespan_s.to_bits(), rep.total_seconds.to_bits());
+        ProfileSummary::from_critical_path("chess", "802.11n", "offload", &cp, Vec::new())
+    };
+
+    let base = vec![profile_on(Link::wifi_802_11n())];
+
+    // Self-diff: identical summaries must produce zero regressions.
+    assert!(
+        diff_summaries(&base, &base, DiffTolerance::default()).is_empty(),
+        "self-diff must be clean"
+    );
+
+    // Seeded regression: halve the link bandwidth and double its
+    // latency. Wire seconds grow well past the 5% noise threshold, so
+    // the differ must flag a wire lane (or the makespan, which the wire
+    // growth drags along).
+    let slow = Link::wifi_802_11n();
+    let crippled = Link {
+        name: slow.name.clone(),
+        bandwidth_bps: slow.bandwidth_bps / 2,
+        latency_s: slow.latency_s * 2.0,
+        per_message_bytes: slow.per_message_bytes,
+    };
+    let degraded = vec![profile_on(crippled)];
+    let regs = diff_summaries(&base, &degraded, DiffTolerance::default());
+    assert!(
+        !regs.is_empty(),
+        "halved bandwidth must surface as a regression"
+    );
+    assert!(
+        regs.iter().any(|r| r.metric.starts_with("lane:wire")
+            || r.metric == "makespan_s"
+            || r.metric == "lane:stall"),
+        "expected a wire/stall/makespan regression, got {:?}",
+        regs.iter().map(|r| r.metric.as_str()).collect::<Vec<_>>()
+    );
+    // And the wire lanes really did grow.
+    let wire = |s: &ProfileSummary| s.lane_s(Lane::WireUpload) + s.lane_s(Lane::WireDownload);
+    assert!(wire(&degraded[0]) > wire(&base[0]));
+}
+
+#[test]
+fn logged_farm_is_byte_identical_to_quiet_farm() {
+    let suite = suite();
+    let jobs: Vec<FarmJob> = suite
+        .iter()
+        .take(4)
+        .map(|(_, app, input)| FarmJob {
+            app,
+            input: input.clone(),
+            cfg: forced(SessionConfig::slow_network()),
+        })
+        .collect();
+    let quiet = run_farm(&jobs, 2).expect("quiet farm runs");
+    // Quiet verbosity keeps stderr clean under the test harness while
+    // still exercising the scoped-logger code path end to end.
+    let logged = run_farm_logged(&jobs, 2, &Logger::new(Verbosity::Quiet)).expect("logged farm");
+    assert_eq!(quiet.reports.len(), logged.reports.len());
+    for (i, (a, b)) in quiet.reports.iter().zip(&logged.reports).enumerate() {
+        reports_equal(a, b).unwrap_or_else(|e| panic!("job {i} diverged: {e}"));
+    }
+    for i in 0..jobs.len() {
+        let qa = quiet.trace.shard(i).expect("quiet shard");
+        let la = logged.trace.shard(i).expect("logged shard");
+        assert_eq!(qa.records, la.records, "job {i} trace diverged");
+    }
+}
