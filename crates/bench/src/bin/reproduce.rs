@@ -49,8 +49,10 @@ fn usage() -> String {
          subcommands:\n\
          \x20 trace <program> [--format jsonl|tree|timeline] [--net slow|fast|ideal]\n\
          \x20     export one traced offload session\n\
-         \x20 analyze <program|all> [--no-remote-io]\n\
+         \x20 analyze <program|all> [--no-remote-io] [--json]\n\
          \x20     static offloadability verdicts + OFFxxx diagnostics\n\
+         \x20 analyze <program|all> --footprint [--check]\n\
+         \x20     mod/ref certificates + measured wire/baseline savings\n\
          \x20 bench [--out FILE] [--check FILE] [--no-micro]\n\
          \x20     protocol sweep + hot-path micro benches (BENCH_pr3.json)\n\
          \x20 farm [--workers N[,N...]] [--repeat R] [--out FILE] [--check-serial-equivalence]\n\
@@ -256,37 +258,62 @@ fn trace(rest: &[String], log: &Logger) {
     ));
 }
 
-/// `analyze <program|all> [--no-remote-io]`: run the static-analysis
-/// layer — points-to, portability lints, function filter — and print
-/// per-function offloadability verdicts with reason chains plus every
-/// `OFFxxx` diagnostic, rustc-style. `chess` analyzes the paper's running
-/// example; `all` sweeps the 17-program suite. Exits nonzero if any
-/// program raises an error-severity diagnostic (the CI smoke gate).
+const ANALYZE_USAGE: &str =
+    "usage: reproduce analyze <program|chess|all> [--no-remote-io] [--json]\n\
+     \x20      reproduce analyze <program|chess|all> --footprint [--check]";
+
+/// `analyze <program|all> [--no-remote-io] [--json]`: run the
+/// static-analysis layer — points-to, portability lints, function filter —
+/// and print per-function offloadability verdicts with reason chains plus
+/// every `OFFxxx` diagnostic, rustc-style (`--json` for the
+/// machine-readable form). `chess` analyzes the paper's running example;
+/// `all` sweeps the 17-program suite. Exits nonzero if any program raises
+/// an error-severity diagnostic (the CI smoke gate).
+///
+/// `--footprint` instead reports the interprocedural mod/ref certificates:
+/// certified pages, proven-read-only fractions, and the measured wire and
+/// baseline-snapshot savings from a certified-vs-baseline run pair.
+/// `--check` turns the report into a gate: exit nonzero unless every
+/// certified run is oracle-clean and byte-identical to its baseline.
 fn analyze(rest: &[String], log: &Logger) {
     let mut program: Option<&str> = None;
     let mut allow_remote_io = true;
+    let mut json = false;
+    let mut footprint = false;
+    let mut check = false;
     for arg in rest {
         match arg.as_str() {
             "--no-remote-io" => allow_remote_io = false,
+            "--json" => json = true,
+            "--footprint" => footprint = true,
+            "--check" => check = true,
             a if !a.starts_with('-') && program.is_none() => program = Some(a),
             a => {
-                eprintln!("analyze: unexpected argument `{a}`");
+                eprintln!("analyze: unexpected argument `{a}`\n{ANALYZE_USAGE}");
                 std::process::exit(2);
             }
         }
     }
     let Some(which) = program else {
-        eprintln!("usage: reproduce analyze <program|chess|all> [--no-remote-io]");
+        eprintln!("{ANALYZE_USAGE}");
         std::process::exit(2);
     };
+    if check && !footprint {
+        eprintln!("analyze: `--check` requires `--footprint`\n{ANALYZE_USAGE}");
+        std::process::exit(2);
+    }
+    if json && footprint {
+        eprintln!("analyze: `--json` and `--footprint` are mutually exclusive\n{ANALYZE_USAGE}");
+        std::process::exit(2);
+    }
 
-    let mut sources: Vec<(&str, &str)> = Vec::new();
+    let mut names: Vec<&str> = Vec::new();
     if which == "chess" || which == "all" {
-        sources.push(("chess", chess::SOURCE));
+        names.push("chess");
     }
     if which == "all" {
         for w in offload_workloads::all() {
-            sources.push((w.name, w.source));
+            names.push(w.short);
         }
     } else if which != "chess" {
         let Some(w) = offload_workloads::by_short_name(which) else {
@@ -297,11 +324,22 @@ fn analyze(rest: &[String], log: &Logger) {
             );
             std::process::exit(2);
         };
-        sources.push((w.name, w.source));
+        names.push(w.short);
+    }
+
+    if footprint {
+        analyze_footprint(&names, check, log);
+        return;
     }
 
     let mut errors = 0usize;
-    for (name, source) in sources {
+    for short in names {
+        let (name, source) = if short == "chess" {
+            ("chess", chess::SOURCE)
+        } else {
+            let w = offload_workloads::by_short_name(short).expect("validated above");
+            (w.name, w.source)
+        };
         log.info(&format!("[analyzing {name}]"));
         let report = match native_offloader::analyze_source(source, name, allow_remote_io) {
             Ok(r) => r,
@@ -310,14 +348,106 @@ fn analyze(rest: &[String], log: &Logger) {
                 std::process::exit(1);
             }
         };
-        print!("{}", report.render());
-        println!();
+        if json {
+            print!("{}", report.render_json());
+        } else {
+            print!("{}", report.render());
+            println!();
+        }
         if report.has_errors() {
             errors += 1;
         }
     }
     if errors > 0 {
         eprintln!("analyze: {errors} program(s) raised error-severity diagnostics");
+        std::process::exit(1);
+    }
+}
+
+/// The `--footprint` report/gate behind [`analyze`]: compile each program,
+/// print its certificate summary, then run it offloaded twice — baseline
+/// and certificate-consuming — on the fast link with dynamic estimation
+/// off, and report the measured savings. With `check`, any oracle trap,
+/// result divergence, or upload growth is fatal.
+fn analyze_footprint(names: &[&str], check: bool, log: &Logger) {
+    println!(
+        "{:<14} {:>5} {:>7} {:>8} {:>8} {:>8} {:>9} {:>8} {:>7}",
+        "program",
+        "tasks",
+        "precise",
+        "rd_pages",
+        "wr_pages",
+        "ro_pages",
+        "ro_frac",
+        "saved_B",
+        "skipped"
+    );
+    let mut failures = 0usize;
+    let mut with_savings = 0usize;
+    for short in names {
+        let (name, source, input) = if *short == "chess" {
+            ("chess", chess::SOURCE, chess::input(9, 2))
+        } else {
+            let w = offload_workloads::by_short_name(short).expect("validated by caller");
+            (w.name, w.source, (w.eval_input)())
+        };
+        log.info(&format!("[certifying {name}]"));
+        let app = match Offloader::new().compile_source(source, name, &input) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("analyze: {name}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let certs = &app.plan.certificates;
+        let precise = certs.iter().filter(|c| c.is_precise()).count();
+        let rd: usize = certs.iter().map(|c| c.read.pages().len()).sum();
+        let wr: usize = certs.iter().map(|c| c.write.pages().len()).sum();
+        let ro: usize = certs.iter().map(|c| c.proven_readonly.len()).sum();
+        let ro_frac = if rd > 0 {
+            100.0 * ro as f64 / rd as f64
+        } else {
+            0.0
+        };
+
+        // Fault-heavy pair: force the offload, no prefetch, so the oracle
+        // sees every page crossing.
+        let mut base_cfg = SessionConfig::fast_network();
+        base_cfg.dynamic_estimation = false;
+        base_cfg.prefetch = false;
+        let mut cert_cfg = base_cfg.clone();
+        cert_cfg.certificates = true;
+        let base = app.run_offloaded(&input, &base_cfg);
+        let cert = app.run_offloaded(&input, &cert_cfg);
+        let (saved, skipped, ok) = match (&base, &cert) {
+            (Ok(b), Ok(c)) => {
+                let identical = c.console == b.console && c.exit_code == b.exit_code;
+                let saved = b.upload.wire_bytes as i64 - c.upload.wire_bytes as i64;
+                (saved, c.baseline_snapshots_skipped, identical && saved >= 0)
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("analyze: {name}: run failed: {e}");
+                (0, 0, false)
+            }
+        };
+        println!(
+            "{name:<14} {:>5} {precise:>7} {rd:>8} {wr:>8} {ro:>8} {ro_frac:>8.1}% {saved:>8} {skipped:>7}{}",
+            app.plan.tasks.len(),
+            if ok { "" } else { "  FAIL" },
+        );
+        if !ok {
+            failures += 1;
+        }
+        if saved > 0 || skipped > 0 {
+            with_savings += 1;
+        }
+    }
+    println!(
+        "\n{} program(s) with measurable certificate savings, {failures} failure(s)",
+        with_savings
+    );
+    if check && failures > 0 {
+        eprintln!("analyze: --check failed: {failures} program(s) diverged or grew");
         std::process::exit(1);
     }
 }

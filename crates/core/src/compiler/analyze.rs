@@ -125,6 +125,103 @@ impl AnalysisReport {
         ));
         out
     }
+
+    /// Render the report as one JSON object (machine-readable form of
+    /// [`render`](Self::render), for `reproduce analyze --json`).
+    pub fn render_json(&self) -> String {
+        fn esc(out: &mut String, s: &str) {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        let mut j = String::from("{\n  \"program\": ");
+        esc(&mut j, &self.program);
+        j.push_str(&format!(
+            ",\n  \"functions\": {},\n  \"offloadable\": {},\n  \"machine_specific\": {},\n  \
+             \"indirect_bounded\": {},\n  \"indirect_unbounded\": {},\n  \"pointsto_rounds\": {},\n  \
+             \"verdicts\": [",
+            self.verdicts.len(),
+            self.offloadable_count(),
+            self.machine_specific_count(),
+            self.indirect_bounded,
+            self.indirect_unbounded,
+            self.pointsto_rounds,
+        ));
+        for (i, v) in self.verdicts.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            j.push_str("\n    {\"name\": ");
+            esc(&mut j, &v.name);
+            j.push_str(&format!(", \"offloadable\": {}", v.offloadable));
+            if let Some(code) = v.code {
+                j.push_str(&format!(", \"code\": \"{code}\""));
+            }
+            if let Some(reason) = &v.reason {
+                j.push_str(", \"reason\": ");
+                esc(&mut j, reason);
+            }
+            if v.chain.len() > 1 {
+                j.push_str(", \"chain\": [");
+                for (k, link) in v.chain.iter().enumerate() {
+                    if k > 0 {
+                        j.push_str(", ");
+                    }
+                    esc(&mut j, link);
+                }
+                j.push(']');
+            }
+            j.push('}');
+        }
+        j.push_str("\n  ],\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            j.push_str(&format!(
+                "\n    {{\"severity\": \"{}\", \"code\": \"{}\", \"message\": ",
+                d.severity.name(),
+                d.code
+            ));
+            esc(&mut j, &d.message);
+            if let Some(f) = d.func {
+                j.push_str(", \"func\": ");
+                let name = self
+                    .names
+                    .get(f.0 as usize)
+                    .cloned()
+                    .unwrap_or_else(|| f.to_string());
+                esc(&mut j, &name);
+            }
+            if !d.notes.is_empty() {
+                j.push_str(", \"notes\": [");
+                for (k, n) in d.notes.iter().enumerate() {
+                    if k > 0 {
+                        j.push_str(", ");
+                    }
+                    esc(&mut j, n);
+                }
+                j.push(']');
+            }
+            j.push('}');
+        }
+        j.push_str(&format!(
+            "\n  ],\n  \"errors\": {},\n  \"warnings\": {},\n  \"infos\": {}\n}}\n",
+            self.diagnostics.count(Severity::Error),
+            self.diagnostics.count(Severity::Warning),
+            self.diagnostics.count(Severity::Info),
+        ));
+        j
+    }
 }
 
 /// Run the full static-analysis layer over `module`.
@@ -286,6 +383,28 @@ mod tests {
         assert!(text.contains("chain: runGame -> getPlayerTurn"), "{text}");
         assert!(text.contains("info[OFF004]"), "{text}");
         assert!(text.contains("chess::getPlayerTurn"), "{text}");
+    }
+
+    #[test]
+    fn json_render_carries_verdicts_and_diagnostics() {
+        let r = analyze_source(CHESS, "chess", true).unwrap();
+        let j = r.render_json();
+        assert!(j.contains("\"program\": \"chess\""), "{j}");
+        assert!(
+            j.contains("{\"name\": \"getAITurn\", \"offloadable\": true}"),
+            "{j}"
+        );
+        assert!(j.contains("\"code\": \"OFF005\""), "{j}");
+        assert!(
+            j.contains("\"chain\": [\"runGame\", \"getPlayerTurn\"]"),
+            "{j}"
+        );
+        assert!(j.contains("\"severity\": \"info\""), "{j}");
+        assert!(j.contains("\"errors\": 0"), "{j}");
+        // Every quote-bearing string is escaped: the output survives a
+        // naive brace/quote balance scan.
+        let quotes = j.matches('"').count();
+        assert_eq!(quotes % 2, 0, "unbalanced quotes in {j}");
     }
 
     #[test]

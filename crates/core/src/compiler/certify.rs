@@ -1,0 +1,192 @@
+//! Region certification: lower each offload task's interprocedural
+//! mod/ref summary to a UVA page footprint the runtime can act on.
+//!
+//! The pass runs on the *final* mobile module — after outlining,
+//! unification, partitioning and dispatcher insertion — so the global
+//! indices and layout it sees are exactly what the loader will place on
+//! the unified address space. Certificates are advisory by construction:
+//! the session only acts on a certificate when it is precise, and a
+//! dynamic oracle cross-checks every fault and dirty page against it,
+//! trapping loudly on any violation.
+
+use std::collections::BTreeSet;
+
+use offload_ir::analysis::pointsto::{AbsLoc, PointsTo, PtsSet};
+use offload_ir::analysis::{
+    escape_analysis, lower_footprint, mod_ref_summaries, proven_readonly_pages, run_region_lints,
+    CallGraph, FootprintSpace,
+};
+use offload_ir::diag::{Code, Diagnostic};
+use offload_ir::layout::DataLayout;
+use offload_ir::{FuncId, Module};
+use offload_machine::{uva_map, PAGE_SIZE};
+
+use crate::plan::{OffloadTask, RegionCertificate};
+
+/// The UVA geometry the loader actually uses, as a [`FootprintSpace`].
+/// Stack locations cover both devices' stack segments (a caller-frame
+/// address may leak into the region through a pointer argument); heap
+/// locations cover everything from the first local heap to the end of
+/// the unified heap.
+pub fn uva_footprint_space() -> FootprintSpace {
+    FootprintSpace {
+        page_size: PAGE_SIZE,
+        // `loader::load_at_into` aligns every global to at least 16
+        // bytes; `global_extents` replicates its bump allocation.
+        globals_base: uva_map::GLOBALS_BASE,
+        global_align_floor: 16,
+        stack_pages: (
+            (uva_map::SERVER_STACK_TOP - uva_map::STACK_SIZE) / PAGE_SIZE,
+            uva_map::MOBILE_STACK_TOP / PAGE_SIZE,
+        ),
+        heap_pages: (
+            uva_map::MOBILE_LOCAL_HEAP / PAGE_SIZE,
+            uva_map::UNIFIED_HEAP_END / PAGE_SIZE,
+        ),
+    }
+}
+
+/// What certification produced: one certificate per task, the region
+/// lints (OFF030–OFF033), and the solver's round count.
+pub struct CertifyOutput {
+    /// One certificate per offload task, in task order.
+    pub certificates: Vec<RegionCertificate>,
+    /// OFF030–OFF033 diagnostics.
+    pub diags: Vec<Diagnostic>,
+    /// Mod/ref solver rounds (regression guard: bounded by the SCC
+    /// budget, small in practice).
+    pub rounds: u32,
+}
+
+/// Certify every offload task of the final mobile `module`.
+pub fn certify_tasks(module: &Module, layout: &DataLayout, tasks: &[OffloadTask]) -> CertifyOutput {
+    let pt = PointsTo::analyze(module);
+    let mr = mod_ref_summaries(module, &pt);
+    let esc = escape_analysis(module, &pt);
+    let space = uva_footprint_space();
+    let cg = CallGraph::build(module);
+    let roots: Vec<FuncId> = tasks.iter().map(|t| t.local_func).collect();
+    let mut diags = run_region_lints(module, &pt, &esc, &roots);
+
+    let mut certificates: Vec<RegionCertificate> = Vec::with_capacity(tasks.len());
+    for task in tasks {
+        // Stack slots owned by functions *inside* the region live on the
+        // server's private stack while the offload runs — they never
+        // cross the wire, exactly like `is_server_private_page` at run
+        // time — so they are stripped before lowering. Slots of outside
+        // functions (a caller local passed by pointer) stay and lower
+        // coarsely to the stack segment.
+        let region = cg.reachable_from(&[task.local_func]);
+        let summary = mr.summary(task.local_func);
+        let reads = strip_region_stack(&summary.reads, &region);
+        let writes = strip_region_stack(&summary.writes, &region);
+        let read = lower_footprint(&space, module, layout, &reads);
+        let write = lower_footprint(&space, module, layout, &writes);
+        let proven_readonly = proven_readonly_pages(&space, module, layout, &write);
+        let cert = RegionCertificate {
+            task: task.id,
+            read,
+            write,
+            proven_readonly,
+        };
+        // OFF032: the certified footprint is larger than what the
+        // profiler saw the region touch — the Equation-1 estimate fed by
+        // `mem_bytes` may be optimistic for other inputs.
+        if cert.is_precise() {
+            let cert_bytes = cert.footprint_bytes(space.page_size);
+            if cert_bytes > task.mem_bytes {
+                diags.push(
+                    Diagnostic::new(
+                        Code::FootprintExceedsMemory,
+                        format!(
+                            "{}: certified footprint is {cert_bytes} B but the profile \
+                             estimated {} B",
+                            task.name, task.mem_bytes
+                        ),
+                    )
+                    .note(
+                        "the static estimator may under-price communication for \
+                         inputs that touch the full footprint",
+                    ),
+                );
+            }
+        }
+        certificates.push(cert);
+    }
+
+    // OFF033: a page one region proved read-only sits in a sibling
+    // region's precise may-write set. Per-offload the proof still holds
+    // (baselines reset between offloads), but cross-region aliasing like
+    // this usually means the regions share mutable state — flag it and
+    // drop the page so the baseline filter stays conservative.
+    for i in 0..certificates.len() {
+        let mut dropped: Vec<u64> = Vec::new();
+        for (j, other) in certificates.iter().enumerate() {
+            if i == j || other.write.unknown {
+                continue;
+            }
+            for &p in &certificates[i].proven_readonly {
+                if other.write.contains(p) && !dropped.contains(&p) {
+                    dropped.push(p);
+                }
+            }
+        }
+        if !dropped.is_empty() {
+            let name = tasks[i].name.clone();
+            diags.push(
+                Diagnostic::new(
+                    Code::ReadonlyPageDirtied,
+                    format!(
+                        "{name}: {} page(s) proven read-only here are writable by a \
+                         sibling region",
+                        dropped.len()
+                    ),
+                )
+                .note("the pages are dropped from the proven-read-only set"),
+            );
+            certificates[i]
+                .proven_readonly
+                .retain(|p| !dropped.contains(p));
+        }
+    }
+
+    CertifyOutput {
+        certificates,
+        diags,
+        rounds: mr.rounds(),
+    }
+}
+
+/// Drop stack locations owned by region members from a mod/ref set;
+/// everything else (globals, heap, outside-frame stack, unknown) is kept.
+fn strip_region_stack(set: &PtsSet, region: &BTreeSet<FuncId>) -> PtsSet {
+    let mut out = PtsSet::empty();
+    out.unknown = set.unknown;
+    for &loc in set.locs() {
+        if let AbsLoc::Stack(owner, _) = loc {
+            if region.contains(&owner) {
+                continue;
+            }
+        }
+        out.insert(loc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uva_space_matches_loader_geometry() {
+        let s = uva_footprint_space();
+        assert_eq!(s.page_size, PAGE_SIZE);
+        assert_eq!(s.globals_base, uva_map::GLOBALS_BASE);
+        // Stack range covers both stacks, heap range both heaps plus the
+        // unified heap; the two segments must not overlap.
+        assert!(s.stack_pages.0 >= s.heap_pages.1);
+        assert!(s.stack_pages.0 < s.stack_pages.1);
+        assert!(s.heap_pages.0 < s.heap_pages.1);
+        assert_eq!(s.stack_pages.1 * PAGE_SIZE, uva_map::MOBILE_STACK_TOP);
+    }
+}

@@ -6,6 +6,7 @@
 //! [`OffloadPlan`].
 
 pub mod analyze;
+pub mod certify;
 pub mod estimate;
 pub mod filter;
 pub mod optimize;
@@ -395,6 +396,29 @@ impl Offloader {
             });
         }
 
+        // -- 6. region certification ---------------------------------------
+        // Run on the final mobile module so global indices and layout
+        // match what the loader places on the UVA; the server module is
+        // loaded with the same unified layout.
+        obs.record(
+            clk.next(),
+            EventKind::Begin(Span::Compile(CompilePhase::Certify)),
+        );
+        let cert_out = certify::certify_tasks(&module, &self.config.mobile.data_layout(), &tasks);
+        for d in &cert_out.diags {
+            obs.record(
+                clk.next(),
+                EventKind::AnalysisDiagnostic {
+                    code: d.code.number(),
+                    severity: severity_lane(d.severity),
+                },
+            );
+        }
+        obs.record(
+            clk.next(),
+            EventKind::End(Span::Compile(CompilePhase::Certify)),
+        );
+
         let coverage = coverage_percent(&prof, &estimates);
         let server_live = server
             .iter_functions()
@@ -427,7 +451,15 @@ impl Offloader {
                 indirect_sites_bounded: indirect_bounded,
                 indirect_sites_unbounded: indirect_unbounded,
                 coverage_percent: coverage,
+                certified_regions: cert_out
+                    .certificates
+                    .iter()
+                    .filter(|c| c.is_precise())
+                    .count(),
+                certificate_warnings: cert_out.diags.len(),
+                modref_rounds: cert_out.rounds,
             },
+            certificates: cert_out.certificates,
         };
 
         Ok(CompiledApp {

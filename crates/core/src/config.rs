@@ -144,6 +144,16 @@ pub struct SessionConfig {
     /// Shared via `Arc` so a farm can hand the same table to many
     /// sessions. Ignored by the other modes.
     pub page_history: Option<Arc<PageHistory>>,
+    /// Consume the compiler's per-region memory-access certificates:
+    /// restrict the offload request's present-page advertisement to the
+    /// certified footprint, skip baseline snapshots outside the certified
+    /// may-write set, seed the stream predictor with the certified read
+    /// set, and fold the certified footprint into the dynamic estimator.
+    /// A dynamic oracle cross-checks every fault and dirty page against
+    /// the certificate and fails loudly on a violation. Off by default:
+    /// results are byte-identical either way, but wire traffic differs,
+    /// so established benchmark baselines stay comparable.
+    pub certificates: bool,
     /// Execution fuel per device.
     pub fuel: u64,
 }
@@ -191,6 +201,7 @@ impl SessionConfig {
             delta_writeback: true,
             stream_mode: StreamMode::Off,
             page_history: None,
+            certificates: false,
             fuel: 6_000_000_000,
         }
     }

@@ -58,9 +58,10 @@ pub mod plan;
 pub mod runtime;
 
 pub use compiler::analyze::{analyze_module, analyze_source, AnalysisReport, FunctionVerdict};
+pub use compiler::certify::{certify_tasks, uva_footprint_space, CertifyOutput};
 pub use compiler::{CompiledApp, Offloader};
 pub use config::{CompileConfig, SessionConfig, WorkloadInput};
-pub use plan::{CompileStats, EstimateRow, OffloadPlan, OffloadTask};
+pub use plan::{CompileStats, EstimateRow, OffloadPlan, OffloadTask, RegionCertificate};
 pub use runtime::farm::{run_farm, run_farm_logged, FarmJob, FarmResult};
 pub use runtime::predict::{PageHistory, StreamMode};
 pub use runtime::report::RunReport;

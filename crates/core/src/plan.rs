@@ -1,5 +1,6 @@
 //! The offload plan: what the compiler decided, and why.
 
+use offload_ir::analysis::PageFootprint;
 use offload_ir::{FuncId, Type};
 
 /// One row of the static performance estimation (the paper's Table 3).
@@ -48,6 +49,55 @@ pub struct OffloadTask {
     pub prefetch_pages: Vec<u64>,
 }
 
+/// A static memory-access certificate for one offload region, produced by
+/// the interprocedural mod/ref + page-footprint analysis and consumed by
+/// the runtime session. All page numbers are UVA page indices
+/// (`addr / PAGE_SIZE`).
+#[derive(Debug, Clone, Default)]
+pub struct RegionCertificate {
+    /// Task id this certificate covers (matches [`OffloadTask::id`]).
+    pub task: u32,
+    /// Pages the region may read (definitely_read ∪ may_read).
+    pub read: PageFootprint,
+    /// Pages the region may write.
+    pub write: PageFootprint,
+    /// Global pages proven read-only across the region: present in the
+    /// unified globals segment, never in any may-write set. The session
+    /// skips baseline snapshots and delta diffs for these.
+    pub proven_readonly: Vec<u64>,
+}
+
+impl RegionCertificate {
+    /// `true` if the region may touch `page` at all (read or write).
+    pub fn may_access(&self, page: u64) -> bool {
+        self.read.contains(page) || self.write.contains(page)
+    }
+
+    /// `true` if the region may write `page`.
+    pub fn may_write(&self, page: u64) -> bool {
+        self.write.contains(page)
+    }
+
+    /// `true` if both footprints are exact page sets (no coarse ranges,
+    /// no unknown widening) — the precondition for the runtime to act on
+    /// the certificate rather than just report it.
+    pub fn is_precise(&self) -> bool {
+        self.read.is_exact() && self.write.is_exact()
+    }
+
+    /// Bytes covered by the union of the precise read and write pages
+    /// (only meaningful when [`is_precise`](Self::is_precise)).
+    pub fn footprint_bytes(&self, page_size: u64) -> u64 {
+        let mut union: Vec<u64> = self.read.pages().to_vec();
+        for &p in self.write.pages() {
+            if !union.contains(&p) {
+                union.push(p);
+            }
+        }
+        union.len() as u64 * page_size
+    }
+}
+
 /// Compiler statistics (the per-program columns of Table 4).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CompileStats {
@@ -89,6 +139,15 @@ pub struct CompileStats {
     /// Percentage of profiled execution time covered by the selected
     /// targets (Table 4 "Cover.").
     pub coverage_percent: f64,
+    /// Offload regions whose certificate is precise (exact page sets on
+    /// both the read and write side).
+    pub certified_regions: usize,
+    /// OFF030–OFF033 diagnostics raised by the certification pass (kept
+    /// separate from `analysis_warnings`, which counts the portability
+    /// lints only).
+    pub certificate_warnings: usize,
+    /// Interprocedural mod/ref solver rounds across all SCCs.
+    pub modref_rounds: u32,
 }
 
 /// Everything the runtime needs to execute the partitioned program.
@@ -100,12 +159,20 @@ pub struct OffloadPlan {
     pub estimates: Vec<EstimateRow>,
     /// Compiler statistics (Table 4).
     pub stats: CompileStats,
+    /// Per-task memory-access certificates (empty when certification is
+    /// off or the analysis could not run).
+    pub certificates: Vec<RegionCertificate>,
 }
 
 impl OffloadPlan {
     /// Look up a task by id.
     pub fn task(&self, id: u32) -> Option<&OffloadTask> {
         self.tasks.iter().find(|t| t.id == id)
+    }
+
+    /// Look up a task's certificate by task id.
+    pub fn certificate(&self, id: u32) -> Option<&RegionCertificate> {
+        self.certificates.iter().find(|c| c.task == id)
     }
 
     /// Look up a task by target name.

@@ -70,6 +70,12 @@ pub struct DerivedRun {
     pub fn_map_translations: u64,
     /// Remote I/O operations.
     pub remote_io_calls: u64,
+    /// Faults validated by the certificate oracle.
+    pub oracle_faults_checked: u64,
+    /// Dirty pages validated by the certificate oracle.
+    pub oracle_dirty_checked: u64,
+    /// Baseline snapshots skipped under the certified write filter.
+    pub baseline_snapshots_skipped: u64,
 }
 
 /// Rebuild the run artifacts from `records` under `cfg`'s machine specs.
@@ -129,6 +135,16 @@ pub fn derive_run(records: &[Record], cfg: &SessionConfig) -> DerivedRun {
             EventKind::PrefetchBatch { pages, .. } => d.prefetched_pages += pages,
             EventKind::DirtyWriteBack { pages, .. } => d.dirty_pages_written_back += pages,
             EventKind::RemoteIo { .. } => d.remote_io_calls += 1,
+            EventKind::OracleCheck {
+                faults_checked,
+                dirty_checked,
+                baseline_skipped,
+                ..
+            } => {
+                d.oracle_faults_checked += u64::from(faults_checked);
+                d.oracle_dirty_checked += u64::from(dirty_checked);
+                d.baseline_snapshots_skipped += u64::from(baseline_skipped);
+            }
             // DeltaWriteBack is informational: the raw/wire totals and the
             // page count still flow through Frame and DirtyWriteBack.
             EventKind::Begin(_)
@@ -137,7 +153,8 @@ pub fn derive_run(records: &[Record], cfg: &SessionConfig) -> DerivedRun {
             | EventKind::DeltaWriteBack { .. }
             | EventKind::QueueDepth { .. }
             | EventKind::AnalysisDiagnostic { .. }
-            | EventKind::AnalysisVerdicts { .. } => {}
+            | EventKind::AnalysisVerdicts { .. }
+            | EventKind::Certificate { .. } => {}
         }
     }
 
@@ -257,6 +274,21 @@ pub fn check_reconciliation(
         report.fn_map_translations,
     )?;
     count("remote_io_calls", d.remote_io_calls, report.remote_io_calls)?;
+    count(
+        "oracle_faults_checked",
+        d.oracle_faults_checked,
+        report.oracle_faults_checked,
+    )?;
+    count(
+        "oracle_dirty_checked",
+        d.oracle_dirty_checked,
+        report.oracle_dirty_checked,
+    )?;
+    count(
+        "baseline_snapshots_skipped",
+        d.baseline_snapshots_skipped,
+        report.baseline_snapshots_skipped,
+    )?;
     Ok(())
 }
 

@@ -53,6 +53,31 @@ pub fn decide_with_bandwidth(
     (est.profitable(), est)
 }
 
+/// Like [`decide_with_bandwidth`], folding a certified page footprint
+/// into the wire-cost term: the region provably cannot transfer more
+/// than `cert_bytes`, so the effective memory figure is the tighter of
+/// the certificate and the profile. The certificate never *raises* the
+/// figure — the profile reflects pages actually touched, which bounds
+/// what a real invocation ships.
+pub fn decide_certified(
+    task: &OffloadTask,
+    cert_bytes: u64,
+    ratio: f64,
+    bandwidth_bps: u64,
+) -> (bool, Estimate) {
+    if bandwidth_bps == u64::MAX {
+        return decide_with_bandwidth(task, ratio, bandwidth_bps);
+    }
+    let est = equation1(EstimateInput {
+        tm_s: task.tm_per_invocation_s,
+        invocations: 1,
+        mem_bytes: cert_bytes.min(task.mem_bytes),
+        ratio,
+        bandwidth_bps,
+    });
+    (est.profitable(), est)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +117,23 @@ mod tests {
         let t = task(10.0, 1_000_000);
         assert!(decide(&t, 6.0, &Link::wifi_802_11n()).0);
         assert!(decide(&t, 6.0, &Link::wifi_802_11ac()).0);
+    }
+
+    #[test]
+    fn certified_footprint_tightens_the_wire_term() {
+        // gzip-shaped task: refused on 802.11n by the profile figure, but
+        // a small certified footprint shrinks Tc below the gain.
+        let t = task(1.0, 20_000_000);
+        let link = Link::wifi_802_11n();
+        assert!(!decide(&t, 6.0, &link).0);
+        let (go, est) = decide_certified(&t, 64 * 4096, 6.0, link.bandwidth_bps);
+        assert!(go, "certified footprint should flip the decision");
+        assert!(est.t_comm_s < est.t_ideal_s);
+        // A certificate looser than the profile changes nothing.
+        let (go2, est2) = decide_certified(&t, u64::MAX, 6.0, link.bandwidth_bps);
+        let (go3, est3) = decide_with_bandwidth(&t, 6.0, link.bandwidth_bps);
+        assert_eq!(go2, go3);
+        assert_eq!(est2.t_comm_s.to_bits(), est3.t_comm_s.to_bits());
     }
 
     #[test]

@@ -251,6 +251,14 @@ pub struct StreamEngine {
     pub in_flight: StreamWindow,
     /// Pages streamed during the current offload (controller feedback).
     pub streamed_this_offload: u64,
+    /// Certified read pages of the active region (set per offload by the
+    /// session when a precise certificate is available). `Static` and
+    /// `History` fall back to these when their primary source runs dry —
+    /// the certificate proves the region may read them, so streaming
+    /// them early can only convert future demand faults into hits.
+    /// Empty when certificates are off: candidate lists (and therefore
+    /// wire traffic and timing) are bit-identical to the uncertified run.
+    pub seed: Vec<u64>,
 }
 
 impl StreamEngine {
@@ -264,6 +272,7 @@ impl StreamEngine {
             history,
             in_flight: StreamWindow::new(),
             streamed_this_offload: 0,
+            seed: Vec::new(),
         }
     }
 
@@ -303,12 +312,25 @@ impl StreamEngine {
         let usable = |p: u64| p != fault_page && !self.in_flight.contains(p) && eligible(p);
         match self.mode {
             StreamMode::Off => Vec::new(),
-            StreamMode::Static => static_list
-                .iter()
-                .copied()
-                .filter(|&p| usable(p))
-                .take(capacity)
-                .collect(),
+            StreamMode::Static => {
+                let mut out: Vec<u64> = static_list
+                    .iter()
+                    .copied()
+                    .filter(|&p| usable(p))
+                    .take(capacity)
+                    .collect();
+                // Top up from the certified read set once the profile
+                // list is exhausted (no-op when the seed is empty).
+                for &p in &self.seed {
+                    if out.len() == capacity {
+                        break;
+                    }
+                    if usable(p) && !out.contains(&p) {
+                        out.push(p);
+                    }
+                }
+                out
+            }
             StreamMode::Stride => self
                 .stride
                 .predict(MAX_STREAM_WINDOW as usize)
@@ -340,6 +362,16 @@ impl StreamEngine {
                         }
                     }
                     cur = next;
+                }
+                // Top up from the certified read set when the Markov
+                // chain runs out of successors.
+                for &p in &self.seed {
+                    if out.len() == capacity {
+                        break;
+                    }
+                    if usable(p) && !out.contains(&p) {
+                        out.push(p);
+                    }
                 }
                 out
             }

@@ -92,6 +92,15 @@ pub struct RunReport {
     pub fn_map_translations: u64,
     /// Remote I/O operations executed.
     pub remote_io_calls: u64,
+    /// Faults the certificate oracle validated against the region's
+    /// may-access footprint (certificate runs only).
+    pub oracle_faults_checked: u64,
+    /// Dirty pages the oracle validated against the may-write footprint
+    /// at finalization (certificate runs only).
+    pub oracle_dirty_checked: u64,
+    /// Baseline snapshots (4 KiB clones) skipped because the written
+    /// page was outside the certified may-write set.
+    pub baseline_snapshots_skipped: u64,
     /// The mobile power timeline (Fig. 8).
     pub timeline: PowerTimeline,
     /// Every network transfer, in order.

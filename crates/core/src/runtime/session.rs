@@ -46,7 +46,7 @@ use offload_obs::{
 
 use crate::compiler::CompiledApp;
 use crate::config::{SessionConfig, WorkloadInput};
-use crate::plan::OffloadPlan;
+use crate::plan::{OffloadPlan, RegionCertificate};
 use crate::runtime::bandwidth::BandwidthTracker;
 use crate::runtime::predict::{StreamEngine, StreamMode, StrideDetector};
 use crate::runtime::report::{OverheadBreakdown, RunReport};
@@ -295,6 +295,9 @@ pub fn run_offloaded_pooled(
         dirty_pages_written_back: host.stat.dirty_back,
         fn_map_translations: host.stat.fn_maps,
         remote_io_calls: host.stat.remote_io_calls,
+        oracle_faults_checked: host.stat.oracle_faults,
+        oracle_dirty_checked: host.stat.oracle_dirty,
+        baseline_snapshots_skipped: host.stat.baseline_skipped,
         timeline: host.timeline,
         events: host.channel.events().to_vec(),
         metrics: obs.metrics_snapshot(),
@@ -332,6 +335,9 @@ struct SessionStats {
     dirty_back: u64,
     fn_maps: u64,
     remote_io_calls: u64,
+    oracle_faults: u64,
+    oracle_dirty: u64,
+    baseline_skipped: u64,
 }
 
 /// The mobile-side host orchestrating the whole session.
@@ -430,9 +436,58 @@ impl SessionHost<'_> {
         );
 
         // ---- initialization (§4) -----------------------------------------
+        // Resolve this region's certificate. The session only *acts* on a
+        // precise one (exact page sets, no coarse ranges): an imprecise
+        // certificate is reported and otherwise ignored, so execution is
+        // bit-identical to the uncertified path.
+        let cert: Option<RegionCertificate> = if self.cfg.certificates {
+            let c = self.plan.certificate(task_id).cloned();
+            if let Some(c) = &c {
+                self.obs.record(
+                    self.wall(),
+                    EventKind::Certificate {
+                        task: task_id,
+                        read_pages: c.read.pages().len() as u32,
+                        write_pages: c.write.pages().len() as u32,
+                        readonly_pages: c.proven_readonly.len() as u32,
+                        precise: c.is_precise(),
+                    },
+                );
+            }
+            c.filter(RegionCertificate::is_precise)
+        } else {
+            None
+        };
+        let faults_before = self.stat.oracle_faults;
+        let dirty_before = self.stat.oracle_dirty;
+
         // Page-table snapshot: the server learns which pages exist on the
-        // mobile device; the rest are demand-zero.
-        let mobile_present: BTreeSet<u64> = ctx.mem.present_pages().collect();
+        // mobile device; the rest are demand-zero. With a precise
+        // certificate the advertisement shrinks to the certified
+        // footprint — pages the region provably never touches stay off
+        // the wire (smaller request frame, tighter prefetch and
+        // fault-ahead windows). Any fault outside the footprint is a
+        // certificate violation and traps before it could zero-fill.
+        let mobile_present: BTreeSet<u64> = match &cert {
+            Some(c) => ctx
+                .mem
+                .present_pages()
+                .filter(|&p| c.may_access(p))
+                .collect(),
+            None => ctx.mem.present_pages().collect(),
+        };
+
+        // Baseline snapshots are only ever consumed when a dirty
+        // non-private page is delta-diffed at finalization; the certified
+        // may-write set bounds those, so every other first write skips
+        // the 4 KiB pre-write clone.
+        if let Some(c) = &cert {
+            if self.server_vm.mem.tracks_baselines() {
+                let filter: std::collections::BTreeSet<u64> =
+                    c.write.pages().iter().copied().collect();
+                self.server_vm.mem.set_baseline_filter(Some(filter));
+            }
+        }
 
         // Request: task id, stack pointer, page-table summary, arguments —
         // a real encoded frame; its length is what crosses the link.
@@ -574,6 +629,12 @@ impl SessionHost<'_> {
             // waste at every finalization, so it starts empty here.
             self.stream.stride = StrideDetector::default();
             self.stream.streamed_this_offload = 0;
+            // Seed the predictor with the certified read set (empty when
+            // uncertified: candidate lists stay bit-identical).
+            self.stream.seed = cert
+                .as_ref()
+                .map(|c| c.read.pages().to_vec())
+                .unwrap_or_default();
         }
         let server_cycles_before = self.server_vm.clock.cycles;
         let result = {
@@ -615,6 +676,7 @@ impl SessionHost<'_> {
                 stall_saved_s,
                 stream_static: &task.prefetch_pages,
                 mobile_present: &mobile_present,
+                certificate: cert.as_ref(),
                 last_server_cycles: server_cycles_before,
                 server_fn_count: server_vm.module().function_count() as u64,
                 io_batch: Vec::new(),
@@ -737,6 +799,20 @@ impl SessionHost<'_> {
             .dirty_pages()
             .filter(|p| !is_server_private_page(*p))
             .collect();
+        // Oracle: every observed dirty page must sit inside the certified
+        // may-write set — checked *before* the delta encode so a dirtied
+        // read-only page fails loudly instead of diffing against a
+        // baseline the filter never captured.
+        if let Some(c) = &cert {
+            for p in &dirty {
+                if !c.may_write(*p) {
+                    return Err(VmError::Trap(format!(
+                        "certificate violation: task {task_id} dirtied page {p:#x}                          outside its certified may-write set"
+                    )));
+                }
+            }
+            self.stat.oracle_dirty += dirty.len() as u64;
+        }
         if !dirty.is_empty() {
             let mut blob = Vec::with_capacity(dirty.len() * PAGE_SIZE as usize);
             for p in &dirty {
@@ -929,6 +1005,20 @@ impl SessionHost<'_> {
         // Tear the server process down (§4: the server does not keep the
         // offloading data).
         self.server_vm.mem.clear();
+        if cert.is_some() {
+            let skipped = self.server_vm.mem.baselines_skipped();
+            self.stat.baseline_skipped += skipped;
+            self.server_vm.mem.set_baseline_filter(None);
+            self.obs.record(
+                self.wall(),
+                EventKind::OracleCheck {
+                    task: task_id,
+                    faults_checked: (self.stat.oracle_faults - faults_before) as u32,
+                    dirty_checked: (self.stat.oracle_dirty - dirty_before) as u32,
+                    baseline_skipped: skipped as u32,
+                },
+            );
+        }
         self.server_heap = HeapAllocator::new(
             uva_map::SERVER_LOCAL_HEAP,
             uva_map::SERVER_LOCAL_HEAP + 0x0100_0000,
@@ -1008,8 +1098,25 @@ impl Host for SessionHost<'_> {
                     } else {
                         self.cfg.link.bandwidth_bps
                     };
-                    let (go, est) =
-                        crate::runtime::estimator::decide_with_bandwidth(task, ratio, bw);
+                    // With a precise certificate, fold the certified
+                    // footprint into the wire-cost term: the region
+                    // provably cannot ship more than it may access.
+                    let cert = self
+                        .cfg
+                        .certificates
+                        .then(|| self.plan.certificate(task_id))
+                        .flatten()
+                        .filter(|c| c.is_precise());
+                    let (go, est) = if let Some(c) = cert {
+                        crate::runtime::estimator::decide_certified(
+                            task,
+                            c.footprint_bytes(PAGE_SIZE),
+                            ratio,
+                            bw,
+                        )
+                    } else {
+                        crate::runtime::estimator::decide_with_bandwidth(task, ratio, bw)
+                    };
                     (go, est.t_gain_s, est.t_comm_s, bw)
                 } else {
                     (false, 0.0, 0.0, 0)
@@ -1062,6 +1169,10 @@ struct ServerBridge<'x> {
     /// predictor's candidate stream.
     stream_static: &'x [u64],
     mobile_present: &'x BTreeSet<u64>,
+    /// The active region's precise certificate, when the session is
+    /// acting on one — the fault oracle checks every serviced fault
+    /// against its may-access footprint.
+    certificate: Option<&'x RegionCertificate>,
     bandwidth: &'x mut BandwidthTracker,
     last_server_cycles: u64,
     server_fn_count: u64,
@@ -1118,6 +1229,21 @@ impl ServerBridge<'_> {
     /// mobile never had), installing it into the server memory.
     fn fault_in(&mut self, page: u64, ctx: &mut HostCtx<'_>) -> Result<(), VmError> {
         self.account_waiting(ctx.clock.cycles);
+        // Oracle: a fault on a shared (non-private) page outside the
+        // certified footprint means the static analysis was wrong —
+        // fail loudly before the demand-zero branch could silently hand
+        // the region a page of zeros.
+        if let Some(c) = self.certificate {
+            if !is_server_private_page(page) {
+                if !c.may_access(page) {
+                    return Err(VmError::Trap(format!(
+                        "certificate violation: task {} faulted on page {page:#x}                          outside its certified footprint",
+                        c.task
+                    )));
+                }
+                self.stat.oracle_faults += 1;
+            }
+        }
         if is_server_private_page(page) || !self.mobile_present.contains(&page) {
             // Server-private pages and pages absent from the mobile page
             // table are demand-zero: no network traffic.

@@ -235,4 +235,68 @@ mod tests {
         let cg = CallGraph::build(&m);
         assert!(cg.address_taken().any(|f| f == c));
     }
+
+    #[test]
+    fn empty_module_builds_an_empty_graph() {
+        let m = Module::new("empty");
+        let cg = CallGraph::build(&m);
+        assert_eq!(cg.address_taken().count(), 0);
+        assert!(cg.reachable_from(&[]).is_empty());
+        assert!(cg.taint_upward(&BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn self_recursive_function_is_its_own_caller_and_callee() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::Void);
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            b.call(f, vec![]);
+            b.ret(None);
+            b.finish();
+        }
+        let cg = CallGraph::build(&m);
+        assert!(cg.callees(f).any(|x| x == f));
+        assert!(cg.callers(f).any(|x| x == f));
+        // Reachability and upward taint must terminate on the cycle.
+        assert_eq!(cg.reachable_from(&[f]), BTreeSet::from([f]));
+        assert_eq!(cg.taint_upward(&BTreeSet::from([f])), BTreeSet::from([f]));
+    }
+
+    #[test]
+    fn calls_in_unreachable_blocks_still_form_edges() {
+        // The call graph is syntactic: a call sitting in a block the CFG
+        // never reaches still contributes an edge (the filter pass works
+        // on text, not on a simulated execution).
+        let mut m = Module::new("t");
+        let dead_target = m.declare_function("dead_target", vec![], Type::Void);
+        let f = m.declare_function("f", vec![], Type::Void);
+        {
+            let mut b = FunctionBuilder::new(&mut m, dead_target);
+            b.ret(None);
+            b.finish();
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut m, f);
+            b.ret(None);
+            let dead = b.new_block();
+            b.switch_to(dead);
+            b.call(dead_target, vec![]);
+            b.ret(None);
+            b.finish();
+        }
+        let cg = CallGraph::build(&m);
+        assert!(cg.callees(f).any(|x| x == dead_target));
+        assert!(cg.reachable_from(&[f]).contains(&dead_target));
+    }
+
+    #[test]
+    fn declaration_only_module_has_no_edges() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("ext", vec![], Type::Void);
+        let cg = CallGraph::build(&m);
+        assert_eq!(cg.callees(f).count(), 0);
+        assert_eq!(cg.callers(f).count(), 0);
+        assert_eq!(cg.reachable_from(&[f]), BTreeSet::from([f]));
+    }
 }

@@ -223,4 +223,64 @@ mod tests {
         assert_eq!(dt.reverse_postorder().first(), Some(&BlockId(0)));
         assert_eq!(dt.reverse_postorder().len(), 4);
     }
+
+    #[test]
+    fn single_block_function_dominates_only_itself() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        b.ret(None);
+        b.finish();
+        let dt = DomTree::compute(m.function(f));
+        let entry = BlockId(0);
+        assert_eq!(dt.idom(entry), Some(entry), "entry is its own idom");
+        assert!(dt.dominates(entry, entry), "dominance is reflexive");
+        assert!(dt.is_reachable(entry));
+        assert_eq!(dt.reverse_postorder(), &[entry]);
+    }
+
+    #[test]
+    fn self_loop_block_is_dominated_by_entry() {
+        // 0 -> 1, 1 -> {1, 2}: the self-loop must not confuse the
+        // intersection walk.
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![Type::I32], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let looping = b.new_block();
+        let exit = b.new_block();
+        b.br(looping);
+        b.switch_to(looping);
+        b.cond_br(p, looping, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish();
+        let dt = DomTree::compute(m.function(f));
+        assert_eq!(dt.idom(looping), Some(BlockId(0)));
+        assert_eq!(dt.idom(exit), Some(looping));
+        assert!(dt.dominates(BlockId(0), exit));
+    }
+
+    #[test]
+    fn unreachable_blocks_never_dominate_reachable_ones() {
+        let mut m = Module::new("t");
+        let f = m.declare_function("f", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        b.ret(None);
+        // Two dead blocks, one branching into the other: still dead.
+        let dead1 = b.new_block();
+        let dead2 = b.new_block();
+        b.switch_to(dead1);
+        b.br(dead2);
+        b.switch_to(dead2);
+        b.ret(None);
+        b.finish();
+        let dt = DomTree::compute(m.function(f));
+        assert!(!dt.is_reachable(dead1) && !dt.is_reachable(dead2));
+        assert_eq!(dt.idom(dead1), None);
+        assert_eq!(dt.idom(dead2), None);
+        assert!(!dt.dominates(dead1, BlockId(0)));
+        assert!(!dt.dominates(dead1, dead2), "dead blocks dominate nothing");
+        assert_eq!(dt.reverse_postorder(), &[BlockId(0)]);
+    }
 }

@@ -170,7 +170,7 @@ fn lint_casts(
                     ..
                 } => {
                     let narrow = to.int_bits().is_some_and(|b| b < 32);
-                    if narrow && !pt.value_set(fid, *src).locs.is_empty() {
+                    if narrow && !pt.value_set(fid, *src).locs().is_empty() {
                         diags.push(
                             Diagnostic::new(
                                 Code::PtrProvenanceEscape,
@@ -184,8 +184,8 @@ fn lint_casts(
                 }
                 Inst::Bin { op, lhs, rhs, .. } => {
                     let opaque = !matches!(op, BinOp::Add | BinOp::Sub);
-                    let carries = !pt.value_set(fid, *lhs).locs.is_empty()
-                        || !pt.value_set(fid, *rhs).locs.is_empty();
+                    let carries = !pt.value_set(fid, *lhs).locs().is_empty()
+                        || !pt.value_set(fid, *rhs).locs().is_empty();
                     if opaque && carries {
                         diags.push(
                             Diagnostic::new(
@@ -205,7 +205,7 @@ fn lint_casts(
                     op: UnOp::Neg | UnOp::Not,
                     operand,
                     ..
-                } if !pt.value_set(fid, *operand).locs.is_empty() => {
+                } if !pt.value_set(fid, *operand).locs().is_empty() => {
                     diags.push(
                         Diagnostic::new(
                             Code::PtrProvenanceEscape,

@@ -5,12 +5,18 @@
 //! lints built on top of it.
 
 pub mod callgraph;
+pub mod dataflow;
 pub mod dom;
 pub mod lints;
 pub mod loops;
 pub mod pointsto;
 
 pub use callgraph::CallGraph;
+pub use dataflow::{
+    escape_analysis, lower_footprint, mod_ref_summaries, proven_readonly_pages, region_footprint,
+    run_region_lints, EscapeInfo, FootprintSpace, ModRef, ModRefResult, PageFootprint,
+    RegionFootprint, SccOrder, Summary,
+};
 pub use dom::DomTree;
 pub use lints::run_lints;
 pub use loops::{Loop, LoopForest};

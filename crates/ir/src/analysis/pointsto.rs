@@ -42,10 +42,14 @@ pub enum AbsLoc {
 
 /// What a value may point to. `unknown` is the lattice top: the value may
 /// point anywhere (externally fabricated, or provenance destroyed).
+///
+/// Locations are kept as a **sorted, deduplicated `Vec`**: joins on the hot
+/// fixpoint path are a linear two-pointer merge (with an allocation-free
+/// subset fast path), instead of per-element tree inserts.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PtsSet {
-    /// Known abstract locations.
-    pub locs: BTreeSet<AbsLoc>,
+    /// Known abstract locations, sorted ascending, no duplicates.
+    locs: Vec<AbsLoc>,
     /// `true` if the value may additionally point anywhere.
     pub unknown: bool,
 }
@@ -59,8 +63,37 @@ impl PtsSet {
     /// The top set: may point anywhere.
     pub fn top() -> Self {
         PtsSet {
-            locs: BTreeSet::new(),
+            locs: Vec::new(),
             unknown: true,
+        }
+    }
+
+    /// The singleton set holding exactly `loc`.
+    pub fn one(loc: AbsLoc) -> Self {
+        PtsSet {
+            locs: vec![loc],
+            unknown: false,
+        }
+    }
+
+    /// The known locations, sorted ascending.
+    pub fn locs(&self) -> &[AbsLoc] {
+        &self.locs
+    }
+
+    /// `true` if `loc` is among the known locations.
+    pub fn contains(&self, loc: AbsLoc) -> bool {
+        self.locs.binary_search(&loc).is_ok()
+    }
+
+    /// Add one location; returns `true` if the set grew.
+    pub fn insert(&mut self, loc: AbsLoc) -> bool {
+        match self.locs.binary_search(&loc) {
+            Ok(_) => false,
+            Err(i) => {
+                self.locs.insert(i, loc);
+                true
+            }
         }
     }
 
@@ -72,14 +105,45 @@ impl PtsSet {
     /// Merge `other` into `self`; returns `true` if `self` grew.
     pub fn merge(&mut self, other: &PtsSet) -> bool {
         let mut grew = false;
-        for l in &other.locs {
-            grew |= self.locs.insert(*l);
-        }
         if other.unknown && !self.unknown {
             self.unknown = true;
             grew = true;
         }
-        grew
+        if other.locs.is_empty() {
+            return grew;
+        }
+        if self.locs.is_empty() {
+            self.locs = other.locs.clone();
+            return true;
+        }
+        // Allocation-free fast path: nothing new to add.
+        if sorted_subset(&other.locs, &self.locs) {
+            return grew;
+        }
+        let mut merged = Vec::with_capacity(self.locs.len() + other.locs.len());
+        let (a, b) = (&self.locs, &other.locs);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.locs = merged;
+        true
     }
 
     /// The function ids among the known locations.
@@ -89,6 +153,25 @@ impl PtsSet {
             _ => None,
         })
     }
+}
+
+/// `true` if sorted slice `needle` is a subset of sorted slice `hay`.
+fn sorted_subset(needle: &[AbsLoc], hay: &[AbsLoc]) -> bool {
+    let mut i = 0;
+    'outer: for n in needle {
+        while i < hay.len() {
+            match hay[i].cmp(n) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
 }
 
 /// An instruction position within a module: function, block, index.
@@ -175,6 +258,32 @@ impl PointsTo {
         self.rounds
     }
 
+    /// Locations handed to unknown code (their contents are clobbered).
+    pub fn escaped_locs(&self) -> impl Iterator<Item = AbsLoc> + '_ {
+        self.escaped.iter().copied()
+    }
+
+    /// Values stored through pointers the analysis lost track of: any
+    /// load may observe them, any unknown store may have written them.
+    pub fn leaked(&self) -> &PtsSet {
+        &self.leaked
+    }
+
+    /// What `f` may return (empty if it returns no provenance).
+    pub fn ret_set(&self, f: FuncId) -> PtsSet {
+        self.ret_sets.get(&f).cloned().unwrap_or_default()
+    }
+
+    /// Every `(location, contents)` pair the analysis tracked.
+    pub fn contents_iter(&self) -> impl Iterator<Item = (AbsLoc, &PtsSet)> {
+        self.contents.iter().map(|(l, s)| (*l, s))
+    }
+
+    /// Every `((func, value), points-to set)` pair the analysis tracked.
+    pub fn value_sets_iter(&self) -> impl Iterator<Item = ((FuncId, ValueId), &PtsSet)> {
+        self.values.iter().map(|(k, s)| (*k, s))
+    }
+
     fn seed_globals(&mut self, module: &Module) {
         for (gid, g) in module.iter_globals() {
             if let GlobalInit::Scalars(vals) = &g.init {
@@ -182,10 +291,10 @@ impl PointsTo {
                 for v in vals {
                     match v {
                         ConstValue::FuncAddr(f) => {
-                            cell.locs.insert(AbsLoc::Func(*f));
+                            cell.insert(AbsLoc::Func(*f));
                         }
                         ConstValue::GlobalAddr(h) => {
-                            cell.locs.insert(AbsLoc::Global(*h));
+                            cell.insert(AbsLoc::Global(*h));
                         }
                         _ => {}
                     }
@@ -210,7 +319,7 @@ impl PointsTo {
     /// unknown, transitively, and anything reachable leaks.
     fn escape(&mut self, set: &PtsSet) -> bool {
         let mut changed = self.leaked.merge(set);
-        let mut work: Vec<AbsLoc> = set.locs.iter().copied().collect();
+        let mut work: Vec<AbsLoc> = set.locs().to_vec();
         while let Some(loc) = work.pop() {
             if !self.escaped.insert(loc) {
                 continue;
@@ -220,7 +329,7 @@ impl PointsTo {
             if !cell.unknown {
                 cell.unknown = true;
             }
-            let inner: Vec<AbsLoc> = cell.locs.iter().copied().collect();
+            let inner: Vec<AbsLoc> = cell.locs().to_vec();
             changed |= self.leaked.merge(&self.contents(loc));
             work.extend(inner);
         }
@@ -274,10 +383,7 @@ impl PointsTo {
         match b {
             Builtin::Malloc | Builtin::UMalloc => {
                 if let Some(d) = dst {
-                    let site = PtsSet {
-                        locs: BTreeSet::from([AbsLoc::Heap(f, d)]),
-                        unknown: false,
-                    };
+                    let site = PtsSet::one(AbsLoc::Heap(f, d));
                     changed |= self.merge_into_value(f, d, &site);
                 }
             }
@@ -287,14 +393,14 @@ impl PointsTo {
                 let dst_set = self.val(f, args[0]);
                 let src_set = self.val(f, args[1]);
                 let mut payload = PtsSet::empty();
-                for loc in &src_set.locs {
-                    payload.merge(&self.contents(*loc));
+                for &loc in src_set.locs() {
+                    payload.merge(&self.contents(loc));
                 }
                 if src_set.unknown {
                     payload.unknown = true;
                     payload.merge(&self.leaked.clone());
                 }
-                for loc in dst_set.locs.iter().copied().collect::<Vec<_>>() {
+                for loc in dst_set.locs().to_vec() {
                     changed |= self.merge_into_contents(loc, &payload);
                 }
                 if dst_set.unknown {
@@ -330,14 +436,8 @@ impl PointsTo {
         match inst {
             Inst::Const { dst, value } => {
                 let set = match value {
-                    ConstValue::FuncAddr(t) => PtsSet {
-                        locs: BTreeSet::from([AbsLoc::Func(*t)]),
-                        unknown: false,
-                    },
-                    ConstValue::GlobalAddr(g) => PtsSet {
-                        locs: BTreeSet::from([AbsLoc::Global(*g)]),
-                        unknown: false,
-                    },
+                    ConstValue::FuncAddr(t) => PtsSet::one(AbsLoc::Func(*t)),
+                    ConstValue::GlobalAddr(g) => PtsSet::one(AbsLoc::Global(*g)),
                     _ => PtsSet::empty(),
                 };
                 if set.has_provenance() {
@@ -345,17 +445,14 @@ impl PointsTo {
                 }
             }
             Inst::Alloca { dst, .. } => {
-                let set = PtsSet {
-                    locs: BTreeSet::from([AbsLoc::Stack(f, *dst)]),
-                    unknown: false,
-                };
+                let set = PtsSet::one(AbsLoc::Stack(f, *dst));
                 changed |= self.merge_into_value(f, *dst, &set);
             }
             Inst::Load { dst, addr, .. } => {
                 let addr_set = self.val(f, *addr);
                 let mut loaded = PtsSet::empty();
-                for loc in &addr_set.locs {
-                    loaded.merge(&self.contents(*loc));
+                for &loc in addr_set.locs() {
+                    loaded.merge(&self.contents(loc));
                 }
                 if addr_set.unknown {
                     // The address could alias anything, including cells
@@ -375,7 +472,7 @@ impl PointsTo {
                 if !val_set.has_provenance() {
                     return false;
                 }
-                for loc in addr_set.locs.iter().copied().collect::<Vec<_>>() {
+                for loc in addr_set.locs().to_vec() {
                     changed |= self.merge_into_contents(loc, &val_set);
                 }
                 if addr_set.unknown {
@@ -479,14 +576,11 @@ impl PointsTo {
                             if tf.is_declaration() {
                                 continue;
                             }
-                            let taken = self
-                                .values
-                                .values()
-                                .any(|s| s.locs.contains(&AbsLoc::Func(tid)))
+                            let taken = self.values.values().any(|s| s.contains(AbsLoc::Func(tid)))
                                 || self
                                     .contents
                                     .values()
-                                    .any(|s| s.locs.contains(&AbsLoc::Func(tid)));
+                                    .any(|s| s.contains(AbsLoc::Func(tid)));
                             if taken {
                                 for i in 0..tf.params.len() {
                                     changed |= self.merge_into_value(
@@ -773,14 +867,31 @@ mod tests {
             b.finish();
         }
         let pt = PointsTo::analyze(&m);
-        assert_eq!(
-            pt.value_set(f, slot).locs,
-            BTreeSet::from([AbsLoc::Stack(f, slot)])
-        );
-        assert_eq!(
-            pt.value_set(f, heap).locs,
-            BTreeSet::from([AbsLoc::Heap(f, heap)])
-        );
+        assert_eq!(pt.value_set(f, slot).locs(), &[AbsLoc::Stack(f, slot)]);
+        assert_eq!(pt.value_set(f, heap).locs(), &[AbsLoc::Heap(f, heap)]);
         assert!(!pt.value_set(f, slot).unknown);
+    }
+
+    #[test]
+    fn ptsset_sorted_merge_matches_set_semantics() {
+        let g = |i| AbsLoc::Global(crate::module::GlobalId(i));
+        let mut a = PtsSet::empty();
+        for i in [5u32, 1, 3] {
+            assert!(a.insert(g(i)));
+        }
+        assert!(!a.insert(g(3)), "duplicate insert must not grow");
+        assert_eq!(a.locs(), &[g(1), g(3), g(5)], "locs stay sorted");
+
+        let mut b = PtsSet::empty();
+        b.insert(g(2));
+        b.insert(g(3));
+        assert!(a.merge(&b), "merge with a new element grows");
+        assert_eq!(a.locs(), &[g(1), g(2), g(3), g(5)]);
+        assert!(!a.merge(&b), "subset merge is a no-op");
+
+        assert!(a.merge(&PtsSet::top()), "unknown propagates");
+        assert!(a.unknown);
+        assert!(!a.merge(&PtsSet::top()), "top is idempotent");
+        assert!(a.contains(g(2)) && !a.contains(g(4)));
     }
 }

@@ -86,6 +86,23 @@ pub enum Code {
     /// `OFF022`: a non-void function has a path that falls off the end
     /// without returning a value.
     MissingReturn = 22,
+    /// `OFF030`: an offload region writes through a stack slot whose
+    /// address escapes its frame — the write lands on state that outlives
+    /// the region, so the footprint certificate must cover it page-coarse.
+    EscapingLocalWrite = 30,
+    /// `OFF031`: an offload region performs an indirect call whose target
+    /// set is unbounded — its may-write summary degrades to "anything",
+    /// disabling every certificate-driven runtime optimization.
+    UnboundedIndirectWrite = 31,
+    /// `OFF032`: the statically certified page footprint of a region
+    /// exceeds the memory the profiler observed it touching — the static
+    /// summary is much coarser than the dynamic behavior.
+    FootprintExceedsMemory = 32,
+    /// `OFF033`: a page one region proves read-only is in the may-write
+    /// set of a sibling region — baseline-snapshot skipping stays sound
+    /// (certificates are per-region) but the cross-region write defeats
+    /// any whole-program read-only assumption.
+    ReadonlyPageDirtied = 33,
 }
 
 impl Code {
@@ -108,6 +125,13 @@ impl Code {
             PtrToIntNarrow => Severity::Error,
             IntToPtrNoProvenance | PtrProvenanceEscape => Severity::Warning,
             DeadStore | UnreachableBlock | MissingReturn => Severity::Warning,
+            // Certificate-precision findings: the program is still correct
+            // (the dynamic oracle enforces soundness); these flag lost
+            // optimization opportunity or cross-region hazards.
+            EscapingLocalWrite
+            | UnboundedIndirectWrite
+            | FootprintExceedsMemory
+            | ReadonlyPageDirtied => Severity::Warning,
         }
     }
 
@@ -128,6 +152,10 @@ impl Code {
             DeadStore => "stack slot is written but never read",
             UnreachableBlock => "unreachable block",
             MissingReturn => "non-void function may fall off the end",
+            EscapingLocalWrite => "offload region writes an escaping stack slot",
+            UnboundedIndirectWrite => "unbounded indirect call defeats the write summary",
+            FootprintExceedsMemory => "certified footprint exceeds profiled memory",
+            ReadonlyPageDirtied => "read-only page is written by a sibling region",
         }
     }
 }
@@ -324,6 +352,8 @@ mod tests {
         assert_eq!(Code::IndirectTainted.to_string(), "OFF007");
         assert_eq!(Code::PtrToIntNarrow.to_string(), "OFF010");
         assert_eq!(Code::MissingReturn.to_string(), "OFF022");
+        assert_eq!(Code::EscapingLocalWrite.to_string(), "OFF030");
+        assert_eq!(Code::ReadonlyPageDirtied.to_string(), "OFF033");
     }
 
     #[test]

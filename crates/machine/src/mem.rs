@@ -25,7 +25,7 @@
 //! only the changed byte-runs (§4: minimizing server→mobile traffic)
 //! instead of whole 4 KiB pages.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::PAGE_SIZE;
 
@@ -123,6 +123,13 @@ pub struct Memory {
     dirty_count: usize,
     /// Snapshot pre-write bytes when a page first goes dirty.
     track_baselines: bool,
+    /// When set, only pages in this set get a baseline snapshot; writes to
+    /// pages outside it skip the 4 KiB clone (counted in
+    /// `baselines_skipped`). Sound only when the caller proves every page
+    /// whose delta will be diffed is in the set.
+    baseline_filter: Option<BTreeSet<u64>>,
+    /// Baseline clones avoided by `baseline_filter` since it was last set.
+    baselines_skipped: u64,
     /// Frames allocated from the heap over this memory's whole lifetime
     /// (recycled frames do not count). The farm's pooled-reuse gate
     /// watches this: a steady-state session on a recycled memory must
@@ -154,6 +161,8 @@ impl Memory {
             policy,
             dirty_count: 0,
             track_baselines: false,
+            baseline_filter: None,
+            baselines_skipped: 0,
             frame_allocs: 0,
             log_accesses: false,
             access_log: Vec::new(),
@@ -201,6 +210,21 @@ impl Memory {
         self.track_baselines
     }
 
+    /// Restrict baseline snapshots to `filter` (or lift the restriction
+    /// with `None`). Resets the skip counter. A certificate's may-write
+    /// set goes here: pages the static analysis proves are never diffed
+    /// back (server-private scratch, proven-readonly globals) stop paying
+    /// the pre-write clone.
+    pub fn set_baseline_filter(&mut self, filter: Option<BTreeSet<u64>>) {
+        self.baseline_filter = filter;
+        self.baselines_skipped = 0;
+    }
+
+    /// Baseline clones avoided by the filter since it was last set.
+    pub fn baselines_skipped(&self) -> u64 {
+        self.baselines_skipped
+    }
+
     /// `true` if `page` is present.
     pub fn is_present(&self, page: u64) -> bool {
         self.table.contains_key(&page)
@@ -243,6 +267,7 @@ impl Memory {
         self.policy = policy;
         self.set_track_baselines(false);
         self.set_access_log(false);
+        self.set_baseline_filter(None);
     }
 
     /// Install a page's bytes (copy-on-demand delivery or prefetch). The
@@ -375,13 +400,20 @@ impl Memory {
 
     fn page_for_write(&mut self, page: u64) -> Result<&mut Page, MemError> {
         let slot = self.ensure_slot(page)?;
-        let track = self.track_baselines;
+        let snapshot = self.track_baselines
+            && self
+                .baseline_filter
+                .as_ref()
+                .is_none_or(|f| f.contains(&page));
+        let skipped = self.track_baselines && !snapshot;
         let p = &mut self.slots[slot as usize];
         if !p.dirty {
             p.dirty = true;
             self.dirty_count += 1;
-            if track {
+            if snapshot {
                 p.baseline = Some(p.data.clone());
+            } else if skipped {
+                self.baselines_skipped += 1;
             }
         }
         Ok(p)

@@ -291,6 +291,28 @@ impl TraceCollector {
                     *depth as f64,
                 ),
             },
+            Certificate {
+                readonly_pages,
+                precise,
+                ..
+            } => {
+                m.count("certificates_active", 1);
+                m.count("certified_readonly_pages", u64::from(*readonly_pages));
+                if *precise {
+                    m.count("certificates_precise", 1);
+                }
+            }
+            OracleCheck {
+                faults_checked,
+                dirty_checked,
+                baseline_skipped,
+                ..
+            } => {
+                m.count("oracle_checks", 1);
+                m.count("oracle_faults_checked", u64::from(*faults_checked));
+                m.count("oracle_dirty_checked", u64::from(*dirty_checked));
+                m.count("baseline_snapshots_skipped", u64::from(*baseline_skipped));
+            }
             Power { .. } | Begin(_) | End(_) => {}
         }
     }

@@ -32,6 +32,10 @@ pub enum CompilePhase {
     Partition,
     /// Server-specific optimization (§3.4).
     Optimize,
+    /// Region certification: interprocedural mod/ref + page-footprint
+    /// lowering on the final mobile module, emitting the per-task
+    /// certificates the runtime session consumes.
+    Certify,
 }
 
 impl CompilePhase {
@@ -45,11 +49,12 @@ impl CompilePhase {
             CompilePhase::Unify => "unify",
             CompilePhase::Partition => "partition",
             CompilePhase::Optimize => "optimize",
+            CompilePhase::Certify => "certify",
         }
     }
 
     /// All phases in pipeline order.
-    pub const ALL: [CompilePhase; 7] = [
+    pub const ALL: [CompilePhase; 8] = [
         CompilePhase::Profile,
         CompilePhase::Analyze,
         CompilePhase::Filter,
@@ -57,6 +62,7 @@ impl CompilePhase {
         CompilePhase::Unify,
         CompilePhase::Partition,
         CompilePhase::Optimize,
+        CompilePhase::Certify,
     ];
 }
 
@@ -410,6 +416,37 @@ pub enum EventKind {
         indirect_bounded: u32,
         /// Indirect call sites with unbounded (unknown) target sets.
         indirect_unbounded: u32,
+    },
+    /// A compiler-certified page footprint was activated for an offload:
+    /// the runtime restricted its page-table snapshot (and seeded its
+    /// predictors) from the certificate.
+    Certificate {
+        /// Offload task id.
+        task: u32,
+        /// Precisely certified may-read pages (globals segment).
+        read_pages: u32,
+        /// Precisely certified may-write pages (globals segment).
+        write_pages: u32,
+        /// Globals pages proven read-only for this region.
+        readonly_pages: u32,
+        /// `true` when both footprint sides resolved to exact page lists
+        /// (no coarse segment ranges, no unknown top).
+        precise: bool,
+    },
+    /// The dynamic soundness oracle finished cross-checking one offload:
+    /// every observed fault landed inside the certified footprint and
+    /// every dirty page inside the may-write set (violations trap the run
+    /// instead of emitting this event).
+    OracleCheck {
+        /// Offload task id.
+        task: u32,
+        /// Demand faults checked against the footprint.
+        faults_checked: u32,
+        /// Dirty pages checked against the may-write set.
+        dirty_checked: u32,
+        /// Baseline snapshot clones skipped for pages the certificate
+        /// proves can never enter the write-back diff.
+        baseline_skipped: u32,
     },
     /// The mobile power state machine advanced.
     Power {

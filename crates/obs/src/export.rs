@@ -136,6 +136,31 @@ fn describe(kind: &EventKind) -> (String, char, String) {
                 "{{\"offloadable\":{offloadable},\"machine_specific\":{machine_specific},\"indirect_bounded\":{indirect_bounded},\"indirect_unbounded\":{indirect_unbounded}}}"
             ),
         ),
+        Certificate {
+            task,
+            read_pages,
+            write_pages,
+            readonly_pages,
+            precise,
+        } => (
+            "certificate".into(),
+            'i',
+            format!(
+                "{{\"task\":{task},\"read_pages\":{read_pages},\"write_pages\":{write_pages},\"readonly_pages\":{readonly_pages},\"precise\":{precise}}}"
+            ),
+        ),
+        OracleCheck {
+            task,
+            faults_checked,
+            dirty_checked,
+            baseline_skipped,
+        } => (
+            "oracle_check".into(),
+            'i',
+            format!(
+                "{{\"task\":{task},\"faults_checked\":{faults_checked},\"dirty_checked\":{dirty_checked},\"baseline_skipped\":{baseline_skipped}}}"
+            ),
+        ),
         PrefetchPredict { page, window } => (
             "prefetch_predict".into(),
             'i',

@@ -1,0 +1,230 @@
+//! The dynamic soundness oracle for region certificates.
+//!
+//! Certificates are pure metadata: consuming them (restricted present-page
+//! advertisement, baseline-snapshot skipping, predictor seeding, certified
+//! estimator footprints) must never change program results. This sweep runs
+//! all 18 miniatures (the Table 4 suite plus the chess acceptance program)
+//! over both link profiles and every stream mode, once with certificates
+//! off (the baseline) and once with them consumed, and asserts:
+//!
+//! * console output, exit codes and every result-bearing counter match;
+//! * the in-session oracle never traps — every fault and dirty page the
+//!   server produced was inside the certified footprint;
+//! * the savings are real, not vacuous: baselines are actually skipped,
+//!   faults are actually checked, and the certified present-page
+//!   advertisement shrinks upload wire bytes on most of the suite.
+
+use std::sync::Arc;
+
+use native_offloader::WorkloadInput;
+use native_offloader::{CompiledApp, Offloader, PageHistory, SessionConfig, StreamMode};
+use offload_obs::TraceCollector;
+
+/// Fault-heavy session on the given link: the offload is forced and
+/// initialization prefetch is off, so copy-on-demand carries the whole
+/// working set and the fault oracle sees every page crossing.
+fn fault_heavy(
+    slow: bool,
+    mode: StreamMode,
+    history: Option<Arc<PageHistory>>,
+    certificates: bool,
+) -> SessionConfig {
+    let mut cfg = if slow {
+        SessionConfig::slow_network()
+    } else {
+        SessionConfig::fast_network()
+    };
+    cfg.dynamic_estimation = false;
+    cfg.prefetch = false;
+    cfg.stream_mode = mode;
+    cfg.page_history = history;
+    cfg.certificates = certificates;
+    cfg
+}
+
+/// The 18-program sweep set: the suite miniatures plus the chess program.
+fn sweep_apps() -> Vec<(String, CompiledApp, WorkloadInput)> {
+    let mut apps: Vec<(String, CompiledApp, WorkloadInput)> = Vec::new();
+    for w in offload_workloads::all() {
+        let app = w.compile().expect("compiles");
+        let input = (w.eval_input)();
+        apps.push((w.name.to_string(), app, input));
+    }
+    let chess_input = offload_workloads::chess::input(9, 2);
+    let chess = Offloader::new()
+        .compile_source(offload_workloads::chess::SOURCE, "chess", &chess_input)
+        .expect("chess compiles");
+    apps.push(("chess".to_string(), chess, chess_input));
+    assert_eq!(apps.len(), 18, "the sweep must cover all 18 programs");
+    apps
+}
+
+/// Run the certified-vs-baseline comparison for one program set over the
+/// given links/modes, returning the suite-wide oracle totals.
+fn run_sweep(
+    apps: Vec<(String, CompiledApp, WorkloadInput)>,
+    links: &[bool],
+    modes: &[StreamMode],
+) -> (u64, u64, u64, usize) {
+    let mut total_baselines_skipped = 0u64;
+    let mut total_faults_checked = 0u64;
+    let mut total_dirty_checked = 0u64;
+    let mut workloads_with_savings = 0usize;
+
+    for (name, app, input) in apps {
+        // Train the history predictor once per workload on a synchronous
+        // certificate-free run; both links reuse the same table.
+        let mut obs = TraceCollector::with_capacity(1 << 20);
+        let _ = app
+            .run_offloaded_traced(
+                &input,
+                &fault_heavy(false, StreamMode::Off, None, false),
+                &mut obs,
+            )
+            .expect("training run");
+        let history = Arc::new(PageHistory::from_records(&obs.records()));
+        let mut saved_wire = false;
+
+        for &slow in links {
+            for &mode in modes {
+                let hist = (mode != StreamMode::Off).then(|| history.clone());
+                let base = app
+                    .run_offloaded(&input, &fault_heavy(slow, mode, hist.clone(), false))
+                    .expect("baseline run");
+                let cert = app
+                    .run_offloaded(&input, &fault_heavy(slow, mode, hist, true))
+                    .expect("certified run must not trap");
+                let tag = format!(
+                    "{name} (link={}, mode={})",
+                    if slow { "slow" } else { "fast" },
+                    mode.name()
+                );
+
+                // Soundness: certificates must be invisible in results.
+                assert_eq!(cert.console, base.console, "{tag}: console diverged");
+                assert_eq!(cert.exit_code, base.exit_code, "{tag}: exit diverged");
+                assert_eq!(
+                    cert.offload_attempts, base.offload_attempts,
+                    "{tag}: attempt count diverged"
+                );
+                assert_eq!(
+                    cert.offloads_performed, base.offloads_performed,
+                    "{tag}: offload count diverged"
+                );
+                assert_eq!(
+                    cert.offloads_refused, base.offloads_refused,
+                    "{tag}: refusal count diverged"
+                );
+                assert_eq!(
+                    cert.dirty_pages_written_back, base.dirty_pages_written_back,
+                    "{tag}: dirty page count diverged"
+                );
+                assert_eq!(
+                    cert.remote_io_calls, base.remote_io_calls,
+                    "{tag}: remote I/O count diverged"
+                );
+
+                // The baseline never consults the oracle.
+                assert_eq!(base.oracle_faults_checked, 0, "{tag}");
+                assert_eq!(base.oracle_dirty_checked, 0, "{tag}");
+                assert_eq!(base.baseline_snapshots_skipped, 0, "{tag}");
+
+                // With streaming off nothing speculative moves, so the
+                // certified advertisement can only shrink the upload.
+                if mode == StreamMode::Off {
+                    assert!(
+                        cert.upload.wire_bytes <= base.upload.wire_bytes,
+                        "{tag}: certified upload grew: {} vs {}",
+                        cert.upload.wire_bytes,
+                        base.upload.wire_bytes
+                    );
+                    if !slow && cert.upload.wire_bytes < base.upload.wire_bytes {
+                        saved_wire = true;
+                    }
+                }
+
+                total_baselines_skipped += cert.baseline_snapshots_skipped;
+                total_faults_checked += cert.oracle_faults_checked;
+                total_dirty_checked += cert.oracle_dirty_checked;
+            }
+        }
+        if saved_wire {
+            workloads_with_savings += 1;
+        }
+    }
+    (
+        total_baselines_skipped,
+        total_faults_checked,
+        total_dirty_checked,
+        workloads_with_savings,
+    )
+}
+
+const ALL_MODES: [StreamMode; 4] = [
+    StreamMode::Off,
+    StreamMode::Static,
+    StreamMode::Stride,
+    StreamMode::History,
+];
+
+/// The full 18 x 2 x 4 sweep — several minutes of simulated execution, so
+/// it runs in the release-mode CI pass only; debug builds get the
+/// [`certificate_smoke`] subset below.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full sweep runs in the release pass")]
+fn certificates_are_sound_across_links_and_stream_modes() {
+    let (skipped, faults, dirty, savings) = run_sweep(sweep_apps(), &[false, true], &ALL_MODES);
+
+    // The sweep must exercise the oracle, not just agree vacuously.
+    assert!(faults > 0, "the fault oracle never checked a page");
+    assert!(dirty > 0, "the dirty oracle never checked a page");
+    assert!(
+        skipped > 0,
+        "certificates never skipped a baseline snapshot"
+    );
+    assert!(
+        savings >= 6,
+        "only {savings} workloads showed wire savings (need >= 6)"
+    );
+}
+
+/// Debug-build subset: a third of the suite plus chess, fast link, the
+/// off/history extremes. Same assertions, smaller vacuity floor.
+#[test]
+fn certificate_smoke() {
+    let mut apps = sweep_apps();
+    let chess = apps.pop().expect("chess is last");
+    apps.truncate(5);
+    apps.push(chess);
+    let (skipped, faults, dirty, savings) =
+        run_sweep(apps, &[false], &[StreamMode::Off, StreamMode::History]);
+    assert!(faults > 0, "the fault oracle never checked a page");
+    assert!(dirty > 0, "the dirty oracle never checked a page");
+    assert!(
+        skipped > 0,
+        "certificates never skipped a baseline snapshot"
+    );
+    assert!(savings >= 3, "only {savings} workloads showed wire savings");
+}
+
+#[test]
+fn modref_rounds_stay_bounded_across_the_suite() {
+    // Regression guard on the interprocedural solver: the sorted/deduped
+    // points-to sets and SCC-ordered propagation keep the round count
+    // small even on the deepest call graphs (observed max: 11). A jump
+    // past the per-SCC widening budget means convergence regressed.
+    let mut max_rounds = 0u32;
+    let mut max_name = String::new();
+    for (name, app, _input) in sweep_apps() {
+        let rounds = app.plan.stats.modref_rounds;
+        assert!(rounds > 0, "{name}: solver reported zero rounds");
+        if rounds > max_rounds {
+            max_rounds = rounds;
+            max_name = name;
+        }
+    }
+    assert!(
+        max_rounds <= 64,
+        "{max_name}: mod/ref solver needed {max_rounds} rounds (budget 64)"
+    );
+}
