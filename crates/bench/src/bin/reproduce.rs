@@ -61,7 +61,9 @@ fn usage() -> String {
          \x20     speculative page streaming: modes x links demand-stall sweep (BENCH_pr5.json)\n\
          \x20 profile <workload|all> [--net slow|fast|both] [--mode offload|stream|both]\n\
          \x20         [--out FILE] [--check FILE] [--diff A.json B.json]\n\
-         \x20     critical-path lane attribution + occupancy/queue sparklines (BENCH_pr6.json)",
+         \x20     critical-path lane attribution + occupancy/queue sparklines (BENCH_pr6.json)\n\
+         \x20 evloop [--workers N] [--server-slots N] [--sessions N[,N...]] [--out FILE] [--check FILE]\n\
+         \x20     event-driven core: interleaved-session sweep vs thread-per-session (BENCH_pr8.json)",
         FIGURES
             .iter()
             .map(|f| format!("\x20 {f}"))
@@ -111,6 +113,10 @@ fn main() {
     }
     if let Some(pos) = args.iter().position(|a| a == "stream") {
         stream(&args[pos + 1..], &log);
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "evloop") {
+        evloop(&args[pos + 1..], &log);
         return;
     }
 
@@ -702,6 +708,149 @@ fn farm(rest: &[String], log: &Logger) {
         let json = fb::to_json(&bench);
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("farm: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        log.info(&format!("[wrote {path}]"));
+    }
+}
+
+/// `evloop [--workers N] [--server-slots N] [--sessions N[,N...]] [--out
+/// FILE] [--check FILE]`: the event-driven session core sweep. Compiles
+/// the 18-workload suite into per-session lane scripts, multiplexes them
+/// at each concurrency level on one event-driven worker, and races the
+/// thread-per-session baseline (same scripts, one OS thread each) up to
+/// 10k sessions. `--check` is the CI gate: byte-identity of the evloop
+/// engine vs the serial engine on the chess/802.11n cell, a 10k-session
+/// throughput floor against the committed artifact, and the
+/// zero-steady-state-allocation invariant.
+fn evloop(rest: &[String], log: &Logger) {
+    use offload_bench::evloop as eb;
+
+    let ev_usage = "usage: reproduce evloop [--workers N] [--server-slots N] [--sessions N[,N...]] [--out FILE] [--check FILE]";
+    let mut workers = 1usize;
+    let mut server_slots = 16usize;
+    let mut sweep: Vec<usize> = eb::SWEEP.to_vec();
+    let mut out_path: Option<&String> = None;
+    let mut check_path: Option<&String> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--workers" if i + 1 < rest.len() => {
+                workers = rest[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("evloop: bad worker count `{}`\n{ev_usage}", rest[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--server-slots" if i + 1 < rest.len() => {
+                server_slots = rest[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("evloop: bad slot count `{}`\n{ev_usage}", rest[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--sessions" if i + 1 < rest.len() => {
+                sweep = rest[i + 1]
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("evloop: bad session count `{s}`\n{ev_usage}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                if sweep.is_empty() || sweep.contains(&0) {
+                    eprintln!("evloop: session counts must be positive\n{ev_usage}");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--out" if i + 1 < rest.len() => {
+                out_path = Some(&rest[i + 1]);
+                i += 2;
+            }
+            "--check" if i + 1 < rest.len() => {
+                check_path = Some(&rest[i + 1]);
+                i += 2;
+            }
+            arg => {
+                eprintln!("evloop: unexpected argument `{arg}`\n{ev_usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let committed = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("evloop: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        // Gate 1: the event core must not perturb per-session results —
+        // byte-identity vs the serial engine on the chess/802.11n cell.
+        log.info("[evloop] gate 1: chess/802.11n byte-identity vs serial engine ...");
+        let chess_input = chess::input(9, 2);
+        let chess_app = Offloader::new()
+            .compile_source(chess::SOURCE, "chess", &chess_input)
+            .expect("chess compiles");
+        let job = native_offloader::runtime::farm::FarmJob {
+            app: &chess_app,
+            input: chess_input,
+            cfg: SessionConfig::slow_network(),
+        };
+        let cfg = native_offloader::runtime::evloop::EvloopConfig {
+            workers,
+            server_slots,
+        };
+        if let Err(e) = native_offloader::runtime::evloop::check_evloop_equivalence(
+            std::slice::from_ref(&job),
+            &cfg,
+        ) {
+            eprintln!("evloop equivalence FAILED: {e}");
+            std::process::exit(1);
+        }
+        println!("evloop check OK: chess/802.11n byte-identical to the serial engine");
+
+        // Gate 2: 10k-session throughput floor. Host clocks vary, so the
+        // floor is a conservative fraction of the committed rate — it
+        // catches an architecture regression (events allocating, a
+        // accidental O(n^2) queue), not machine variance.
+        log.info("[evloop] gate 2: 10k-session sessions/sec floor ...");
+        let committed_rate = eb::parse_committed_rate_at_10k(&committed).unwrap_or_else(|| {
+            eprintln!("evloop: {path} has no 10k-session sessions_per_s");
+            std::process::exit(2);
+        });
+        let bench = eb::run_bench(workers, server_slots, &[10_000]);
+        let row = &bench.rows[0];
+        let floor = committed_rate / 10.0;
+        if row.sessions_per_s < floor {
+            eprintln!(
+                "evloop check FAILED: 10k-session rate {:.1}/s below floor {floor:.1}/s (committed {committed_rate:.1}/s)",
+                row.sessions_per_s
+            );
+            std::process::exit(1);
+        }
+        // Gate 3: zero steady-state allocations per event.
+        if bench.containers_grew {
+            eprintln!("evloop check FAILED: event engine grew a pre-sized container");
+            std::process::exit(1);
+        }
+        println!(
+            "evloop check OK: 10k sessions at {:.1}/s >= floor {floor:.1}/s ({} events, zero steady-state allocations)",
+            row.sessions_per_s, row.events
+        );
+        return;
+    }
+
+    log.info(&format!(
+        "[evloop] compiling suite scripts and sweeping sessions {sweep:?} at {workers} worker(s) ..."
+    ));
+    let bench = eb::run_bench(workers, server_slots, &sweep);
+    print!("{}", eb::render_table(&bench));
+
+    if let Some(path) = out_path {
+        let json = eb::to_json(&bench);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("evloop: cannot write {path}: {e}");
             std::process::exit(2);
         }
         log.info(&format!("[wrote {path}]"));

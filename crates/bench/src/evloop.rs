@@ -1,0 +1,437 @@
+//! `reproduce evloop` — the event-driven session core benchmark behind
+//! `BENCH_pr8.json`.
+//!
+//! The question this answers: how many *concurrent offload sessions* can
+//! one worker multiplex, against the thread-per-session shape the farm
+//! used? Two engines execute the identical per-session lane scripts:
+//!
+//! * **event engine** — `runtime::evloop::multiplex`: one thread, a
+//!   slot-bounded queue of timestamped events, per-worker run queues,
+//!   shared uplink/downlink/server lanes. Deterministic,
+//!   allocation-free in steady state.
+//! * **thread-per-session baseline** — one OS thread per session,
+//!   spawned the way the farm spawns (default stacks), each walking the
+//!   same script by locking shared lane clocks — exactly the blocking
+//!   engine's architecture. Nondeterministic finish order,
+//!   kernel-scheduled.
+//!
+//! Both do the same simulation arithmetic per segment, so the measured
+//! gap is pure architecture: event dispatch vs thread context switching.
+//! **Host wall-clock rates are informational and machine-dependent; the
+//! gateable number is the committed speedup ratio** (both engines measured
+//! on the same host in the same run), plus the simulated p99 makespan,
+//! which is deterministic.
+//!
+//! Scripts are compiled once per suite entry (18 workloads, fast
+//! network) from a traced serial run, then replicated round-robin to the
+//! requested concurrency — so a 100k-session sweep costs 18 sessions of
+//! per-session simulation plus pure event-time multiplexing.
+
+use std::fmt::Write as _;
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+use native_offloader::runtime::evloop::{multiplex, EvloopConfig, SessionScript};
+use native_offloader::runtime::farm::FARM_RING_CAPACITY;
+use native_offloader::runtime::session::run_offloaded_traced;
+use offload_obs::{EngineLane, NoopCollector, TraceCollector};
+
+use crate::farm::suite;
+
+/// Concurrency levels of the sweep.
+pub const SWEEP: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// Sessions above this skip the thread-per-session baseline: the point
+/// is made at 10k, and a 100k-thread spawn is minutes of host time that
+/// would dwarf the rest of `reproduce`.
+pub const BASELINE_CAP: usize = 10_000;
+
+/// One concurrency level of the sweep.
+#[derive(Debug, Clone)]
+pub struct EvloopRow {
+    /// Concurrent sessions multiplexed.
+    pub sessions: usize,
+    /// Events the engine dispatched.
+    pub events: u64,
+    /// Host wall-clock of the event engine, milliseconds.
+    pub evloop_host_ms: f64,
+    /// Sessions per host second through the event engine.
+    pub sessions_per_s: f64,
+    /// Host wall-clock of the thread-per-session baseline, milliseconds
+    /// (`None` above [`BASELINE_CAP`]).
+    pub baseline_host_ms: Option<f64>,
+    /// Sessions per host second through the baseline.
+    pub baseline_sessions_per_s: Option<f64>,
+    /// Sessions-per-worker advantage of the event engine (same host,
+    /// same run, same scripts) — the headline, gated ≥ 50x at 10k.
+    pub speedup: Option<f64>,
+    /// Simulated completion-time p99 across the sessions, seconds.
+    pub p99_makespan_s: f64,
+    /// Simulated makespan (last session completion), seconds.
+    pub makespan_s: f64,
+    /// Simulated busy seconds on the shared uplink.
+    pub link_up_busy_s: f64,
+}
+
+/// The whole benchmark artifact.
+#[derive(Debug, Clone)]
+pub struct EvloopBench {
+    /// Worker count of the event engine (the per-worker claim ⇒ 1).
+    pub workers: usize,
+    /// Server slots shared by all sessions.
+    pub server_slots: usize,
+    /// Suite scripts: name, spine segments, detached pages.
+    pub scripts: Vec<(String, usize, usize)>,
+    /// One row per sweep level.
+    pub rows: Vec<EvloopRow>,
+    /// `true` if any event-engine run grew a pre-sized container
+    /// (the zero-steady-state-allocation invariant failed).
+    pub containers_grew: bool,
+}
+
+/// Compile the per-session lane scripts from traced serial runs of the
+/// 18-workload suite on the fast network.
+#[must_use]
+pub fn compile_scripts() -> Vec<(String, SessionScript)> {
+    use native_offloader::SessionConfig;
+    suite()
+        .iter()
+        .map(|(name, app, input)| {
+            let mut obs = TraceCollector::with_capacity(FARM_RING_CAPACITY);
+            let cfg = SessionConfig::fast_network();
+            run_offloaded_traced(app, input, &cfg, &mut obs).expect("suite session runs");
+            (name.clone(), SessionScript::from_records(&obs.records()))
+        })
+        .collect()
+}
+
+/// Walk `script_of` through the thread-per-session baseline: one OS
+/// thread per session contending on shared lane clocks under mutexes —
+/// the blocking engine's architecture at this concurrency. Returns host
+/// seconds for all sessions to finish.
+///
+/// The simulation arithmetic per segment (one lane acquire, one
+/// `max` + add) matches what the event engine does per event, so the
+/// measured difference is scheduling architecture, not work.
+///
+/// A start barrier holds every thread until all are spawned, matching
+/// the event engine's semantics (it admits every session at `t = 0`).
+/// Without it the threads drip through as the spawn loop progresses and
+/// the kernel never actually schedules the full concurrency this
+/// benchmark is about.
+#[must_use]
+pub fn run_thread_baseline(scripts: &[SessionScript], script_of: &[u32], workers: usize) -> f64 {
+    let workers = workers.max(1);
+    // Lane clocks: per-worker CPU, shared uplink/downlink/server.
+    let cpu: Vec<Mutex<f64>> = (0..workers).map(|_| Mutex::new(0.0)).collect();
+    let link_up = Mutex::new(0.0f64);
+    let link_down = Mutex::new(0.0f64);
+    let server = Mutex::new(0.0f64);
+    let all_admitted = Barrier::new(script_of.len() + 1);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(script_of.len());
+        for (s, &sc) in script_of.iter().enumerate() {
+            let script = &scripts[sc as usize];
+            let cpu = &cpu;
+            let (link_up, link_down, server) = (&link_up, &link_down, &server);
+            // Spawn exactly as the farm spawns its workers (default
+            // stacks): the baseline models the incumbent thread-per-
+            // session architecture, not a hand-tuned minimal thread.
+            let all_admitted = &all_admitted;
+            let h = std::thread::Builder::new()
+                .spawn_scoped(scope, move || {
+                    all_admitted.wait();
+                    let mut t = 0.0f64;
+                    for seg in &script.spine {
+                        let lane = match seg.lane {
+                            EngineLane::WorkerCpu => &cpu[s % workers],
+                            EngineLane::LinkUp => link_up,
+                            EngineLane::LinkDown => link_down,
+                            EngineLane::Server => server,
+                        };
+                        let mut free = lane.lock().expect("lane clock poisoned");
+                        let begin = if t > *free { t } else { *free };
+                        t = begin + seg.duration_s;
+                        *free = t;
+                    }
+                    for page in &script.pages {
+                        let mut free = link_up.lock().expect("lane clock poisoned");
+                        *free += page.duration_s;
+                    }
+                    t
+                })
+                .expect("spawn baseline session thread");
+            handles.push(h);
+        }
+        all_admitted.wait();
+        for h in handles {
+            let _ = h.join().expect("baseline session thread panicked");
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// Exact p-quantile of `values` (sorted copy, nearest-rank with linear
+/// interpolation — matches `Histogram`'s exact small-sample path).
+fn quantile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+}
+
+/// Run the sweep: event engine at every level, baseline up to
+/// [`BASELINE_CAP`] sessions.
+#[must_use]
+pub fn run_bench(workers: usize, server_slots: usize, sweep: &[usize]) -> EvloopBench {
+    let named = compile_scripts();
+    let scripts: Vec<SessionScript> = named.iter().map(|(_, s)| s.clone()).collect();
+    let cfg = EvloopConfig {
+        workers,
+        server_slots,
+    };
+    let mut rows = Vec::with_capacity(sweep.len());
+    let mut grew = false;
+    for &n in sweep {
+        let script_of: Vec<u32> = (0..n).map(|i| (i % scripts.len()) as u32).collect();
+        // Warm (and correctness) pass, then best-of-N timed passes — the
+        // minimum is the standard low-noise wall-clock estimator, and it
+        // is applied symmetrically to the engine and the baseline below
+        // (5 engine passes ~ milliseconds; 3 baseline passes ~ seconds).
+        let sched = multiplex(&scripts, &script_of, &cfg, &mut NoopCollector);
+        let mut evloop_s = f64::INFINITY;
+        let mut timed = sched;
+        for _ in 0..5 {
+            let host = Instant::now();
+            let pass = multiplex(&scripts, &script_of, &cfg, &mut NoopCollector);
+            evloop_s = evloop_s.min(host.elapsed().as_secs_f64());
+            grew |= pass.containers_grew;
+            timed = pass;
+        }
+        grew |= timed.containers_grew;
+
+        let (baseline_host_ms, baseline_sessions_per_s, speedup) = if n <= BASELINE_CAP {
+            let base_s = (0..3)
+                .map(|_| run_thread_baseline(&scripts, &script_of, workers))
+                .fold(f64::INFINITY, f64::min);
+            let base_rate = n as f64 / base_s.max(f64::MIN_POSITIVE);
+            let ev_rate = n as f64 / evloop_s.max(f64::MIN_POSITIVE);
+            (
+                Some(base_s * 1e3),
+                Some(base_rate),
+                Some(ev_rate / base_rate.max(f64::MIN_POSITIVE)),
+            )
+        } else {
+            (None, None, None)
+        };
+        rows.push(EvloopRow {
+            sessions: n,
+            events: timed.events_dispatched,
+            evloop_host_ms: evloop_s * 1e3,
+            sessions_per_s: n as f64 / evloop_s.max(f64::MIN_POSITIVE),
+            baseline_host_ms,
+            baseline_sessions_per_s,
+            speedup,
+            p99_makespan_s: quantile(&timed.completions, 0.99),
+            makespan_s: timed.makespan_s,
+            link_up_busy_s: timed.lane_busy_s[1],
+        });
+    }
+    EvloopBench {
+        workers,
+        server_slots,
+        scripts: named
+            .iter()
+            .map(|(name, s)| (name.clone(), s.spine.len(), s.pages.len()))
+            .collect(),
+        rows,
+        containers_grew: grew,
+    }
+}
+
+/// Render the artifact as pretty-printed JSON (hand-rolled — the
+/// workspace is dependency-free).
+#[must_use]
+pub fn to_json(b: &EvloopBench) -> String {
+    fn opt(v: Option<f64>, digits: usize) -> String {
+        v.map_or("null".to_string(), |x| format!("{x:.digits$}"))
+    }
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"bench_pr8.v1\",\n");
+    let _ = writeln!(s, "  \"workers\": {},", b.workers);
+    let _ = writeln!(s, "  \"server_slots\": {},", b.server_slots);
+    let _ = writeln!(s, "  \"containers_grew\": {},", b.containers_grew);
+    s.push_str("  \"scripts\": [\n");
+    for (i, (name, spine, pages)) in b.scripts.iter().enumerate() {
+        let comma = if i + 1 == b.scripts.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{name}\", \"spine_segments\": {spine}, \"stream_pages\": {pages}}}{comma}"
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in b.rows.iter().enumerate() {
+        let comma = if i + 1 == b.rows.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"sessions\": {}, \"events\": {}, \"evloop_host_ms\": {:.3}, \"sessions_per_s\": {:.1}, \"baseline_host_ms\": {}, \"baseline_sessions_per_s\": {}, \"speedup\": {}, \"p99_makespan_s\": {:.6}, \"makespan_s\": {:.6}, \"link_up_busy_s\": {:.6}}}{comma}",
+            r.sessions,
+            r.events,
+            r.evloop_host_ms,
+            r.sessions_per_s,
+            opt(r.baseline_host_ms, 3),
+            opt(r.baseline_sessions_per_s, 1),
+            opt(r.speedup, 2),
+            r.p99_makespan_s,
+            r.makespan_s,
+            r.link_up_busy_s,
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Render the human table.
+#[must_use]
+pub fn render_table(b: &EvloopBench) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Event-driven core: interleaved sessions per worker (workers={}, server_slots={})\n",
+        b.workers, b.server_slots
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>14} {:>14} {:>10} {:>16} {:>14}",
+        "sessions", "events", "evloop", "thread/sess", "speedup", "p99 makespan", "makespan"
+    );
+    for r in &b.rows {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12} {:>11.1}/s {:>11}/s {:>10} {:>14.3} s {:>12.3} s",
+            r.sessions,
+            r.events,
+            r.sessions_per_s,
+            r.baseline_sessions_per_s
+                .map_or("-".to_string(), |v| format!("{v:.1}")),
+            r.speedup.map_or("-".to_string(), |v| format!("{v:.1}x")),
+            r.p99_makespan_s,
+            r.makespan_s,
+        );
+    }
+    let total_pages: usize = b.scripts.iter().map(|(_, _, p)| *p).sum();
+    let _ = writeln!(
+        out,
+        "\nscripts: {} workloads, {} spine segments, {} stream pages; rates are host wall-clock (informational), makespans simulated (deterministic)",
+        b.scripts.len(),
+        b.scripts.iter().map(|(_, s, _)| *s).sum::<usize>(),
+        total_pages,
+    );
+    out
+}
+
+/// Pull `"speedup"` of the row with `"sessions": 10000` out of a
+/// committed `bench_pr8.v1` artifact.
+#[must_use]
+pub fn parse_committed_speedup_at_10k(json: &str) -> Option<f64> {
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.contains("\"sessions\": 10000,") {
+            continue;
+        }
+        let key = "\"speedup\": ";
+        let at = line.find(key)? + key.len();
+        let rest = &line[at..];
+        let end = rest.find([',', '}'])?;
+        return rest[..end].trim().parse().ok();
+    }
+    None
+}
+
+/// Pull `"sessions_per_s"` of the 10k row out of a committed artifact.
+#[must_use]
+pub fn parse_committed_rate_at_10k(json: &str) -> Option<f64> {
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.contains("\"sessions\": 10000,") {
+            continue;
+        }
+        let key = "\"sessions_per_s\": ";
+        let at = line.find(key)? + key.len();
+        let rest = &line[at..];
+        let end = rest.find([',', '}'])?;
+        return rest[..end].trim().parse().ok();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_endpoints() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 3.0);
+        assert_eq!(quantile(&v, 0.5), 2.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn committed_speedup_at_10k_sessions_meets_the_gate() {
+        // The committed artifact is the acceptance gate: ≥ 50x
+        // sessions-per-worker over thread-per-session at 10k concurrent
+        // sessions. Both engines were measured on the same host in the
+        // same run, so the ratio is host-independent architecture gain.
+        let json = include_str!("../../../BENCH_pr8.json");
+        let speedup =
+            parse_committed_speedup_at_10k(json).expect("BENCH_pr8.json has a 10k-session row");
+        assert!(
+            speedup >= 50.0,
+            "committed 10k-session speedup {speedup} below the 50x gate"
+        );
+    }
+
+    #[test]
+    fn committed_artifact_holds_the_zero_alloc_invariant() {
+        let json = include_str!("../../../BENCH_pr8.json");
+        assert!(
+            json.contains("\"containers_grew\": false"),
+            "committed run grew a pre-sized container in steady state"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_of_parsers() {
+        let b = EvloopBench {
+            workers: 1,
+            server_slots: 16,
+            scripts: vec![("w".into(), 3, 1)],
+            rows: vec![EvloopRow {
+                sessions: 10_000,
+                events: 123,
+                evloop_host_ms: 5.0,
+                sessions_per_s: 2_000_000.0,
+                baseline_host_ms: Some(500.0),
+                baseline_sessions_per_s: Some(20_000.0),
+                speedup: Some(100.0),
+                p99_makespan_s: 1.5,
+                makespan_s: 2.0,
+                link_up_busy_s: 0.5,
+            }],
+            containers_grew: false,
+        };
+        let json = to_json(&b);
+        assert_eq!(parse_committed_speedup_at_10k(&json), Some(100.0));
+        assert_eq!(parse_committed_rate_at_10k(&json), Some(2_000_000.0));
+    }
+}

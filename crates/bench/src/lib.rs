@@ -2,6 +2,7 @@
 //! `reproduce` binary and the Criterion benches share.
 
 pub mod datasets;
+pub mod evloop;
 pub mod farm;
 pub mod harness;
 pub mod micro;

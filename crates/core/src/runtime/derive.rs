@@ -147,6 +147,8 @@ pub fn derive_run(records: &[Record], cfg: &SessionConfig) -> DerivedRun {
             }
             // DeltaWriteBack is informational: the raw/wire totals and the
             // page count still flow through Frame and DirtyWriteBack.
+            // LaneGrant is scheduler-side (evloop) occupancy; it never
+            // appears in a per-session trace and carries no accounting.
             EventKind::Begin(_)
             | EventKind::End(_)
             | EventKind::BatchFlush { .. }
@@ -154,7 +156,8 @@ pub fn derive_run(records: &[Record], cfg: &SessionConfig) -> DerivedRun {
             | EventKind::QueueDepth { .. }
             | EventKind::AnalysisDiagnostic { .. }
             | EventKind::AnalysisVerdicts { .. }
-            | EventKind::Certificate { .. } => {}
+            | EventKind::Certificate { .. }
+            | EventKind::LaneGrant { .. } => {}
         }
     }
 

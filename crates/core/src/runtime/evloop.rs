@@ -1,0 +1,974 @@
+//! The event-driven session core: thousands of interleaved offload
+//! sessions multiplexed per worker over shared link/server resources.
+//!
+//! The blocking engine ([`session`](crate::runtime::session)) advances one
+//! session at a time: while its offload waits on the server or the radio,
+//! the worker thread is parked. The farm (PR 4) scales that shape only by
+//! OS threads, and the suite-level schedule was *derived after the fact*
+//! by a greedy list scheduler. This module replaces that with event-time
+//! multiplexing:
+//!
+//! * every session is an explicit poll-driven state machine
+//!   ([`SessionState`]) advanced by a **deterministic simulated event
+//!   queue** — a binary heap of timestamped completion events with stable
+//!   tie-breaking by session id;
+//! * [`EngineLane`] occupancy is first-class: a lane (a worker's CPU, the
+//!   shared uplink/downlink, a server slot) is busy *because an event
+//!   holds it*, and contenders wait in FIFO queues;
+//! * speculatively streamed pages are not a private window: each in-flight
+//!   page becomes its own queue event occupying the uplink
+//!   ([`PageBurst`]), overlapped with the owning session's spine;
+//! * each worker owns a run queue; a session's mobile-compute segments
+//!   execute on its home worker while its link/server segments release the
+//!   CPU for other sessions — which is what lets one worker interleave
+//!   thousands of concurrent sessions.
+//!
+//! # Two-phase execution and byte-identity
+//!
+//! Per-session *accounting* is untouched: the blocking engine remains the
+//! timing oracle, and its trace is compiled into a [`SessionScript`] — the
+//! session's deterministic sequence of lane occupancies. The event engine
+//! then executes scripts against shared lanes. Because the per-session
+//! engine still produces every `RunReport` and trace shard, serial, farm,
+//! and event-loop runs are byte-identical per session by construction
+//! ([`check_evloop_equivalence`] verifies it field by field); what the
+//! event core adds is the *shared timeline* — completions, makespan, and
+//! lane occupancy — that the list scheduler used to approximate.
+//!
+//! # Determinism rules
+//!
+//! 1. Events are ordered by `(time, id)` where time compares as the raw
+//!    bits of a non-negative `f64` (bit order = numeric order) and `id` is
+//!    the submission index (page jobs sort after all sessions).
+//! 2. Lane waiters are served FIFO; a freed lane is granted at the
+//!    *releasing* event's dispatch point, so same-timestamp releases grant
+//!    in `(time, id)` event order.
+//! 3. Admission is in submission order at `t = 0`.
+//!
+//! No other rule exists, so a permutation of submission *arrival* (the
+//! order jobs were appended before ids were assigned) cannot change the
+//! outcome — the determinism fuzz test permutes exactly that.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use offload_obs::{Collector, EngineLane, EventKind, QueueLane, Record};
+
+use crate::runtime::farm::{reports_equal, run_farm, FarmJob, FarmResult, FARM_RING_CAPACITY};
+use crate::runtime::session::run_offloaded_traced;
+use crate::OffloadError;
+
+/// The poll-driven life cycle of one multiplexed session.
+///
+/// States advance only at event dispatch; between events a session is
+/// inert data. `Running`/`PageInFlight`/`BatchFlushing`/`ServerComputing`
+/// mean the session *holds* the corresponding lane; `Admitted` and
+/// `FaultPending` mean it sits in a FIFO behind one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// In its home worker's run queue, waiting for the CPU lane.
+    Admitted,
+    /// Holding its home worker's CPU lane (mobile-side compute).
+    Running,
+    /// Waiting in a link or server FIFO for the lane to free.
+    FaultPending,
+    /// Holding the uplink: a demand page or request is crossing.
+    PageInFlight,
+    /// Holding the downlink: batched output / write-back coming home.
+    BatchFlushing,
+    /// Holding a server slot: the remote partition executes.
+    ServerComputing,
+    /// Executing its final spine segment (write-back + return).
+    Finalizing,
+    /// Completed; owns nothing and will never be scheduled again.
+    Done,
+}
+
+/// One spine segment: the session occupies `lane` for `duration_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// The lane this segment holds.
+    pub lane: EngineLane,
+    /// Occupancy, simulated seconds (≥ 0).
+    pub duration_s: f64,
+}
+
+/// One speculatively streamed page, detached from the spine: when the
+/// session *enters* spine segment `at_seg`, the page is enqueued on the
+/// uplink as its own event and crosses concurrently with the spine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageBurst {
+    /// Spine segment index whose start fires the enqueue.
+    pub at_seg: u32,
+    /// Uplink occupancy of the page frame, simulated seconds.
+    pub duration_s: f64,
+}
+
+/// A session's compiled lane-occupancy program: the deterministic output
+/// of the per-session timing engine, ready for event-time execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionScript {
+    /// Serial spine, in order. Adjacent same-lane segments are coalesced.
+    pub spine: Vec<Segment>,
+    /// Detached streamed pages, sorted by `at_seg` (derivation order).
+    pub pages: Vec<PageBurst>,
+    /// Sum of spine durations (the session's solo makespan).
+    pub total_s: f64,
+}
+
+impl SessionScript {
+    /// Compile a script from one session's trace records.
+    ///
+    /// `Power` intervals become the spine (`Compute`/`Idle` → the home
+    /// worker's CPU, `Transmit` → uplink, `Receive` → downlink, `Waiting`
+    /// → a server slot); `Frame` records on the `Stream` cost lane become
+    /// detached [`PageBurst`]s anchored at the spine position where the
+    /// blocking engine pushed them.
+    pub fn from_records(records: &[Record]) -> Self {
+        use offload_obs::{CostLane, PowerLane};
+        let mut s = SessionScript::default();
+        for rec in records {
+            match rec.kind {
+                EventKind::Power { state, duration_s } => {
+                    let lane = match state {
+                        PowerLane::Compute | PowerLane::Idle => EngineLane::WorkerCpu,
+                        PowerLane::Transmit => EngineLane::LinkUp,
+                        PowerLane::Receive => EngineLane::LinkDown,
+                        PowerLane::Waiting => EngineLane::Server,
+                    };
+                    s.total_s += duration_s;
+                    if let Some(last) = s.spine.last_mut() {
+                        if last.lane == lane {
+                            last.duration_s += duration_s;
+                            continue;
+                        }
+                    }
+                    s.spine.push(Segment { lane, duration_s });
+                }
+                EventKind::Frame {
+                    lane: CostLane::Stream,
+                    duration_s,
+                    ..
+                } => {
+                    s.pages.push(PageBurst {
+                        at_seg: s.spine.len() as u32,
+                        duration_s,
+                    });
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// The degenerate atomic script: one CPU segment for the whole run
+    /// (what the farm's thread-per-session shape amounts to).
+    pub fn atomic(total_s: f64) -> Self {
+        SessionScript {
+            spine: vec![Segment {
+                lane: EngineLane::WorkerCpu,
+                duration_s: total_s,
+            }],
+            pages: Vec::new(),
+            total_s,
+        }
+    }
+}
+
+/// Event-engine parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EvloopConfig {
+    /// Worker count: CPU lanes and run queues. Clamped to ≥ 1.
+    pub workers: usize,
+    /// Concurrent server execution slots shared by all sessions.
+    /// Clamped to ≥ 1.
+    pub server_slots: usize,
+}
+
+impl Default for EvloopConfig {
+    fn default() -> Self {
+        EvloopConfig {
+            workers: 1,
+            server_slots: 16,
+        }
+    }
+}
+
+/// The shared-timeline outcome of one multiplexed run.
+#[derive(Debug, Clone, Default)]
+pub struct EvloopSchedule {
+    /// Per-session completion time, submission order, simulated seconds.
+    pub completions: Vec<f64>,
+    /// When the last session (not counting stray page frames) finished.
+    pub makespan_s: f64,
+    /// When the last event of any kind dispatched (≥ `makespan_s`;
+    /// trailing streamed pages can still occupy the link after their
+    /// owner finalized).
+    pub horizon_s: f64,
+    /// Events dispatched, total.
+    pub events_dispatched: u64,
+    /// Peak simultaneous pending events (heap length high-water mark).
+    pub peak_pending: usize,
+    /// Busy-seconds per lane kind, [`EngineLane::ALL`] order (all worker
+    /// CPUs aggregated; server slots aggregated).
+    pub lane_busy_s: [f64; 4],
+    /// `true` if any pre-sized container grew during the run — the
+    /// steady-state zero-allocation invariant failed. Always checked by
+    /// a debug assertion too.
+    pub containers_grew: bool,
+}
+
+/// A pending completion event: entry `id` finishes its current occupancy
+/// at `at_bits`. Ordered by `(time, id)` — the tie-breaking rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Ev {
+    at_bits: u64,
+    id: u32,
+}
+
+#[inline]
+fn bits(t: f64) -> u64 {
+    debug_assert!(t >= 0.0 && t.is_finite(), "event time {t} out of domain");
+    t.to_bits()
+}
+
+#[inline]
+fn secs(b: u64) -> f64 {
+    f64::from_bits(b)
+}
+
+/// The pending-event set. Every entry holds a lane slot, so its size is
+/// bounded by the total slot count (`workers + server_slots + 2`) — at
+/// that size a sorted vec beats a binary heap's branchy sift. Events are
+/// packed `(time-bits, id)` keys (one branchless `u128` compare) kept
+/// descending, so extraction is an O(1) `pop` from the back and
+/// insertion a short binary search plus a tiny shift. Extraction order
+/// is exactly the heap's: minimum `(time-bits, id)`, and since at most
+/// one event per entry id is ever outstanding the minimum is unique, so
+/// ordering is deterministic regardless of insertion order.
+struct EvQueue {
+    /// Packed keys, sorted descending: `at_bits << 32 | id`.
+    evs: Vec<u128>,
+}
+
+impl EvQueue {
+    fn with_capacity(cap: usize) -> Self {
+        EvQueue {
+            evs: Vec::with_capacity(cap),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.evs.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.evs.len()
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Ev) {
+        let k = (u128::from(ev.at_bits) << 32) | u128::from(ev.id);
+        let i = self.evs.partition_point(|&e| e > k);
+        self.evs.insert(i, k);
+    }
+
+    #[inline]
+    fn pop_min(&mut self) -> Option<Ev> {
+        self.evs.pop().map(|k| Ev {
+            at_bits: (k >> 32) as u64,
+            id: k as u32,
+        })
+    }
+}
+
+/// A lane resource: free slots plus a FIFO wait queue. The engine keeps
+/// one per worker CPU (unit capacity; its waiters *are* that worker's
+/// run queue), then the uplink, the downlink, and the server slot pool —
+/// so request/release are a single indexed, match-free path for every
+/// lane kind.
+struct LaneRes {
+    free_slots: usize,
+    waiters: VecDeque<u32>,
+}
+
+/// Lane *kind* (index into [`EngineLane::ALL`] / `lane_busy_s`) of a
+/// lane array index: `0..w` are worker CPUs, then uplink/downlink/server.
+#[inline]
+fn kind_of(idx: usize, w: usize) -> usize {
+    if idx < w {
+        0
+    } else {
+        idx - w + 1
+    }
+}
+
+/// Lane kind → the state a session is in while *holding* that lane.
+const HOLD_STATE: [SessionState; 4] = [
+    SessionState::Running,
+    SessionState::PageInFlight,
+    SessionState::BatchFlushing,
+    SessionState::ServerComputing,
+];
+
+/// The hot per-session record: everything the dispatch loop touches on
+/// every event, packed together so one event costs one cache line of
+/// session state instead of six scattered array reads. Page details stay
+/// in the engine's cold tables — `pages_len` is here only so the
+/// zero-page common case never touches them.
+struct Sess<'a> {
+    /// The session's spine, flattened out of the script table.
+    spine: &'a [Segment],
+    /// Current spine segment index.
+    seg: u32,
+    /// Home worker (`s % workers`), precomputed — a table read beats a
+    /// division on the per-event path.
+    home: u32,
+    /// Next detached page to fire (index into the cold page table).
+    page_cursor: u32,
+    /// Total detached pages of this session.
+    pages_len: u32,
+    /// Poll-driven life-cycle state.
+    state: SessionState,
+}
+
+/// The multiplexer. All containers are sized at admission; dispatching an
+/// event allocates nothing.
+struct Engine<'a> {
+    /// Per session: the hot record (see [`Sess`]).
+    sess: Vec<Sess<'a>>,
+    /// Per session: detached pages (cold — guarded by `Sess::pages_len`).
+    pages_of: Vec<&'a [PageBurst]>,
+    n: usize,
+    /// Worker count: `lanes[0..w]` are the per-worker CPUs.
+    w: usize,
+    /// All lanes, uniformly: `w` CPUs, uplink, downlink, server pool.
+    lanes: Vec<LaneRes>,
+    /// Flattened detached pages: `page_base[s] + k` is the global id of
+    /// session `s`'s k-th page; ids start at `n`.
+    page_base: Vec<u32>,
+    page_dur: Vec<f64>,
+    heap: EvQueue,
+    sched: EvloopSchedule,
+}
+
+impl<'a> Engine<'a> {
+    fn home(&self, session: u32) -> u32 {
+        self.sess[session as usize].home
+    }
+
+    /// Array index of the lane `session`'s segment occupies. Relies on
+    /// [`EngineLane`]'s declaration order matching `EngineLane::ALL`.
+    #[inline(always)]
+    fn lane_idx(&self, lane: EngineLane, session: u32) -> usize {
+        let kind = lane as usize;
+        if kind == 0 {
+            self.sess[session as usize].home as usize
+        } else {
+            self.w + kind - 1
+        }
+    }
+
+    fn owner(&self, id: u32) -> u32 {
+        if (id as usize) < self.n {
+            id
+        } else {
+            // Binary search the page-base table: owner of page id.
+            let p = id - self.n as u32;
+            match self.page_base.binary_search(&p) {
+                Ok(mut i) => {
+                    // Equal bases mean zero-page sessions; take the last.
+                    while i + 1 < self.page_base.len() && self.page_base[i + 1] == p {
+                        i += 1;
+                    }
+                    i as u32
+                }
+                Err(i) => (i - 1) as u32,
+            }
+        }
+    }
+
+    fn push_ev(&mut self, at_bits: u64, id: u32) {
+        self.heap.push(Ev { at_bits, id });
+        self.sched.peak_pending = self.sched.peak_pending.max(self.heap.len());
+    }
+
+    /// Grant lane `idx` to entry `id` at `now`: occupy it for the
+    /// entry's current duration, emit the occupancy event, schedule
+    /// completion.
+    #[inline(always)]
+    fn grant<C: Collector>(&mut self, obs: &mut C, idx: usize, id: u32, now: f64) {
+        let kind = kind_of(idx, self.w);
+        let owner = self.owner(id);
+        let d = if (id as usize) < self.n {
+            let sess = &mut self.sess[id as usize];
+            let at = sess.seg as usize;
+            let last = at + 1 == sess.spine.len();
+            sess.state = if last {
+                SessionState::Finalizing
+            } else {
+                HOLD_STATE[kind]
+            };
+            sess.spine[at].duration_s
+        } else {
+            self.page_dur[(id - self.n as u32) as usize]
+        };
+        self.sched.lane_busy_s[kind] += d;
+        obs.record(
+            now,
+            EventKind::LaneGrant {
+                lane: EngineLane::ALL[kind],
+                worker: self.home(owner),
+                session: owner,
+                duration_s: d,
+            },
+        );
+        self.push_ev(bits(now + d), id);
+    }
+
+    /// Ask for lane `idx`. Grants immediately when a slot is free,
+    /// otherwise queues FIFO (a CPU lane's waiters are the run queue).
+    #[inline(always)]
+    fn request<C: Collector>(&mut self, obs: &mut C, idx: usize, id: u32, now: f64) {
+        if self.lanes[idx].free_slots > 0 {
+            self.lanes[idx].free_slots -= 1;
+            self.grant(obs, idx, id, now);
+        } else {
+            self.lanes[idx].waiters.push_back(id);
+            if (id as usize) < self.n {
+                self.sess[id as usize].state = if idx < self.w {
+                    SessionState::Admitted
+                } else {
+                    SessionState::FaultPending
+                };
+            }
+            if idx < self.w {
+                obs.record(
+                    now,
+                    EventKind::QueueDepth {
+                        queue: QueueLane::RunQueue,
+                        depth: self.lanes[idx].waiters.len() as u64,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Release lane `idx` and hand it to the head waiter, if any.
+    #[inline(always)]
+    fn release<C: Collector>(&mut self, obs: &mut C, idx: usize, now: f64) {
+        if let Some(next) = self.lanes[idx].waiters.pop_front() {
+            if idx < self.w {
+                obs.record(
+                    now,
+                    EventKind::QueueDepth {
+                        queue: QueueLane::RunQueue,
+                        depth: self.lanes[idx].waiters.len() as u64,
+                    },
+                );
+            }
+            self.grant(obs, idx, next, now);
+        } else {
+            self.lanes[idx].free_slots += 1;
+        }
+    }
+
+    /// Fire the detached pages anchored at the session's current segment
+    /// (or earlier — including pages anchored *after* the final segment,
+    /// fired when the spine completes).
+    fn fire_pages<C: Collector>(&mut self, obs: &mut C, session: u32, now: f64) {
+        let s = session as usize;
+        let pages = self.pages_of[s];
+        let at = self.sess[s].seg;
+        let base = self.page_base[s];
+        while (self.sess[s].page_cursor as usize) < pages.len()
+            && pages[self.sess[s].page_cursor as usize].at_seg <= at
+        {
+            let pid = self.n as u32 + base + self.sess[s].page_cursor;
+            self.sess[s].page_cursor += 1;
+            let up = self.w;
+            self.request(obs, up, pid, now);
+        }
+    }
+}
+
+/// Execute `script_of` (session → script index into `scripts`) on the
+/// shared lanes of `cfg`, emitting occupancy events to `obs`.
+///
+/// Deterministic by the three rules in the module docs; the whole run
+/// dispatches from pre-sized containers (zero steady-state allocations —
+/// [`EvloopSchedule::containers_grew`] reports a violation).
+///
+/// # Panics
+///
+/// In debug builds, if a pre-sized container grew or a session failed to
+/// reach [`SessionState::Done`].
+pub fn multiplex<C: Collector>(
+    scripts: &[SessionScript],
+    script_of: &[u32],
+    cfg: &EvloopConfig,
+    obs: &mut C,
+) -> EvloopSchedule {
+    let n = script_of.len();
+    let workers = cfg.workers.max(1);
+    let mut page_base = Vec::with_capacity(n);
+    let mut total_pages: u32 = 0;
+    for &sc in script_of {
+        page_base.push(total_pages);
+        total_pages += scripts[sc as usize].pages.len() as u32;
+    }
+    let mut page_dur = Vec::with_capacity(total_pages as usize);
+    for &sc in script_of {
+        page_dur.extend(scripts[sc as usize].pages.iter().map(|p| p.duration_s));
+    }
+    let cap = n + total_pages as usize;
+
+    let sess: Vec<Sess> = script_of
+        .iter()
+        .enumerate()
+        .map(|(s, &sc)| Sess {
+            spine: scripts[sc as usize].spine.as_slice(),
+            seg: 0,
+            home: (s % workers) as u32,
+            page_cursor: 0,
+            pages_len: scripts[sc as usize].pages.len() as u32,
+            state: SessionState::Admitted,
+        })
+        .collect();
+    let pages_of: Vec<&[PageBurst]> = script_of
+        .iter()
+        .map(|&sc| scripts[sc as usize].pages.as_slice())
+        .collect();
+    // `workers` CPU lanes (waiters = run queues), then uplink (sized for
+    // queued pages too), downlink, and the server slot pool.
+    let mut lanes: Vec<LaneRes> = (0..workers)
+        .map(|_| LaneRes {
+            free_slots: 1,
+            waiters: VecDeque::with_capacity(n.div_ceil(workers) + 1),
+        })
+        .collect();
+    lanes.push(LaneRes {
+        free_slots: 1,
+        waiters: VecDeque::with_capacity(cap),
+    });
+    lanes.push(LaneRes {
+        free_slots: 1,
+        waiters: VecDeque::with_capacity(n),
+    });
+    lanes.push(LaneRes {
+        free_slots: cfg.server_slots.max(1),
+        waiters: VecDeque::with_capacity(n),
+    });
+    let mut eng = Engine {
+        sess,
+        pages_of,
+        n,
+        w: workers,
+        lanes,
+        page_base,
+        page_dur,
+        // Bounded by total lane slots, not by session count.
+        heap: EvQueue::with_capacity(workers + cfg.server_slots.max(1) + 3),
+        sched: EvloopSchedule {
+            completions: vec![0.0; n],
+            ..Default::default()
+        },
+    };
+    let heap_cap = eng.heap.capacity();
+    let lane_caps: Vec<usize> = eng.lanes.iter().map(|l| l.waiters.capacity()).collect();
+
+    // Admission: submission order at t = 0 (determinism rule 3).
+    for s in 0..n as u32 {
+        let spine = eng.sess[s as usize].spine;
+        if spine.is_empty() {
+            eng.sess[s as usize].state = SessionState::Done;
+            continue;
+        }
+        eng.fire_pages(obs, s, 0.0);
+        let idx = eng.lane_idx(spine[0].lane, s);
+        eng.request(obs, idx, s, 0.0);
+    }
+
+    // Dispatch until quiescent. The counters live in locals so the loop
+    // does not re-read them through `eng` after every method call.
+    let mut dispatched: u64 = 0;
+    let mut horizon = 0.0f64;
+    while let Some(ev) = eng.heap.pop_min() {
+        let now = secs(ev.at_bits);
+        dispatched += 1;
+        // Pops are time-ordered, so the horizon is just the last event.
+        horizon = now;
+        let id = ev.id;
+        if (id as usize) >= n {
+            // A streamed page finished crossing: free the uplink.
+            let up = eng.w;
+            eng.release(obs, up, now);
+            continue;
+        }
+        let s = id as usize;
+        // Read the hot record once; write `seg` back once.
+        let spine = eng.sess[s].spine;
+        let at = eng.sess[s].seg as usize;
+        let fire = eng.sess[s].page_cursor < eng.sess[s].pages_len;
+        let idx = eng.lane_idx(spine[at].lane, id);
+        eng.release(obs, idx, now);
+        let at = at + 1;
+        eng.sess[s].seg = at as u32;
+        if fire {
+            eng.fire_pages(obs, id, now);
+        }
+        if at == spine.len() {
+            eng.sess[s].state = SessionState::Done;
+            eng.sched.completions[s] = now;
+            eng.sched.makespan_s = eng.sched.makespan_s.max(now);
+            continue;
+        }
+        let idx = eng.lane_idx(spine[at].lane, id);
+        eng.request(obs, idx, id, now);
+    }
+    eng.sched.events_dispatched = dispatched;
+    eng.sched.horizon_s = horizon;
+
+    let grew = eng.heap.capacity() != heap_cap
+        || eng
+            .lanes
+            .iter()
+            .zip(&lane_caps)
+            .any(|(l, &c)| l.waiters.capacity() != c);
+    eng.sched.containers_grew = grew;
+    debug_assert!(!grew, "event engine allocated in steady state");
+    debug_assert!(
+        eng.sess.iter().all(|x| x.state == SessionState::Done),
+        "session failed to reach Done"
+    );
+    eng.sched
+}
+
+/// The atomic outcome: completions plus the list-schedule makespan.
+#[derive(Debug, Clone, Default)]
+pub struct AtomicSchedule {
+    /// Per-session completion, submission order.
+    pub completions: Vec<f64>,
+    /// `max` over worker clocks — bit-identical to the greedy list
+    /// scheduler this engine replaced.
+    pub makespan_s: f64,
+}
+
+/// The event engine's *atomic mode*: every session is a single
+/// whole-duration CPU grant, all sessions are admitted at `t = 0` into
+/// one global FIFO, and a freed worker (earliest free time, ties to the
+/// lowest id) takes the head of the queue.
+///
+/// This performs the same per-worker `clock += d` additions in the same
+/// order as the greedy least-loaded list scheduler it replaces, so the
+/// makespan is **bit-identical** to the old
+/// `list_schedule_makespan(durations, workers)` — the farm bench gate
+/// (`BENCH_pr4.json`) holds across the swap.
+pub fn atomic_schedule(durations: &[f64], workers: usize) -> AtomicSchedule {
+    let workers = workers.max(1);
+    // Worker-free events, ordered by (time bits, worker id).
+    let mut free: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..workers).map(|w| Reverse((0, w))).collect();
+    let mut clock = vec![0.0f64; workers];
+    let mut completions = Vec::with_capacity(durations.len());
+    for &d in durations {
+        let Reverse((_, w)) = free.pop().expect("worker heap underflow");
+        clock[w] += d;
+        completions.push(clock[w]);
+        free.push(Reverse((bits(clock[w]), w)));
+    }
+    AtomicSchedule {
+        completions,
+        makespan_s: clock.iter().fold(0.0f64, |m, &l| m.max(l)),
+    }
+}
+
+/// [`atomic_schedule`] when only the makespan is needed.
+pub fn atomic_makespan(durations: &[f64], workers: usize) -> f64 {
+    atomic_schedule(durations, workers).makespan_s
+}
+
+/// A farm result plus the event-time schedule of the same jobs.
+#[derive(Debug)]
+pub struct EvloopResult {
+    /// Per-session reports and traces — byte-identical to
+    /// [`run_farm`](crate::runtime::farm::run_farm) and the serial engine.
+    pub farm: FarmResult,
+    /// The shared-timeline schedule of the interleaved run.
+    pub schedule: EvloopSchedule,
+    /// The compiled scripts, one per job (submission order).
+    pub scripts: Vec<SessionScript>,
+}
+
+/// Run `jobs` through the event-driven core: the per-session engine
+/// produces timing (byte-identical reports/traces), then the multiplexer
+/// interleaves all sessions over `cfg` lanes.
+///
+/// # Errors
+///
+/// Any session error, lowest submission index first (farm semantics).
+pub fn run_evloop<C: Collector>(
+    jobs: &[FarmJob],
+    farm_workers: usize,
+    cfg: &EvloopConfig,
+    obs: &mut C,
+) -> Result<EvloopResult, OffloadError> {
+    let farm = run_farm(jobs, farm_workers)?;
+    let mut scripts = Vec::with_capacity(jobs.len());
+    for idx in 0..jobs.len() {
+        let shard = farm
+            .trace
+            .shard(idx)
+            .expect("farm produced a shard per job");
+        scripts.push(SessionScript::from_records(&shard.records));
+    }
+    let script_of: Vec<u32> = (0..jobs.len() as u32).collect();
+    let schedule = multiplex(&scripts, &script_of, cfg, obs);
+    Ok(EvloopResult {
+        farm,
+        schedule,
+        scripts,
+    })
+}
+
+/// The `reproduce evloop --check` gate: run `jobs` through the event
+/// core and through the serial engine, and require byte-identical
+/// reports and traces (the evloop must not perturb per-session results),
+/// plus a completion for every session.
+///
+/// # Errors
+///
+/// The first divergence, by job index and field.
+pub fn check_evloop_equivalence(jobs: &[FarmJob], cfg: &EvloopConfig) -> Result<(), String> {
+    let mut noop = offload_obs::NoopCollector;
+    let ev = run_evloop(jobs, cfg.workers, cfg, &mut noop)
+        .map_err(|e| format!("evloop run failed: {e}"))?;
+    if ev.schedule.completions.len() != jobs.len() {
+        return Err("schedule is missing completions".into());
+    }
+    if ev.schedule.containers_grew {
+        return Err("event engine allocated in steady state".into());
+    }
+    for (idx, job) in jobs.iter().enumerate() {
+        let mut obs = offload_obs::TraceCollector::with_capacity(FARM_RING_CAPACITY);
+        let serial = run_offloaded_traced(job.app, &job.input, &job.cfg, &mut obs)
+            .map_err(|e| format!("serial job {idx} failed: {e}"))?;
+        reports_equal(&serial, &ev.farm.reports[idx])
+            .map_err(|e| format!("job {idx} report diverged: {e}"))?;
+        let shard = ev
+            .farm
+            .trace
+            .shard(idx)
+            .ok_or_else(|| format!("job {idx} has no trace shard"))?;
+        if shard.records != obs.records() {
+            return Err(format!("job {idx} trace diverged"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_obs::NoopCollector;
+
+    fn cpu(d: f64) -> Segment {
+        Segment {
+            lane: EngineLane::WorkerCpu,
+            duration_s: d,
+        }
+    }
+
+    fn seg(lane: EngineLane, d: f64) -> Segment {
+        Segment {
+            lane,
+            duration_s: d,
+        }
+    }
+
+    #[test]
+    fn atomic_matches_greedy_list_scheduler_bit_for_bit() {
+        // The exact greedy the bench used, inlined as the oracle.
+        fn greedy(durations: &[f64], workers: usize) -> f64 {
+            let mut load = vec![0.0f64; workers.max(1)];
+            for &d in durations {
+                let mut best = 0;
+                for (i, &l) in load.iter().enumerate() {
+                    if l < load[best] {
+                        best = i;
+                    }
+                }
+                load[best] += d;
+            }
+            load.iter().fold(0.0f64, |m, &l| m.max(l))
+        }
+        // Fixed-seed splitmix64 durations, including exact ties.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64
+        };
+        for n in [0usize, 1, 2, 7, 64, 257] {
+            let mut durations: Vec<f64> = (0..n).map(|_| next() * 3.0).collect();
+            // Force tie-heavy content: duplicate and quantize a slice.
+            for d in durations.iter_mut().skip(n / 2) {
+                *d = (*d * 4.0).round() / 4.0;
+            }
+            for workers in [1usize, 2, 3, 4, 8] {
+                let a = atomic_makespan(&durations, workers);
+                let b = greedy(&durations, workers);
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "n={n} workers={workers}: {a} != {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_session_multiplex_matches_solo_time() {
+        let scripts = vec![SessionScript {
+            spine: vec![
+                cpu(1.0),
+                seg(EngineLane::LinkUp, 0.5),
+                seg(EngineLane::Server, 2.0),
+                seg(EngineLane::LinkDown, 0.25),
+                cpu(0.25),
+            ],
+            pages: Vec::new(),
+            total_s: 4.0,
+        }];
+        let sched = multiplex(&scripts, &[0], &EvloopConfig::default(), &mut NoopCollector);
+        assert_eq!(sched.completions.len(), 1);
+        assert!((sched.completions[0] - 4.0).abs() < 1e-12);
+        assert_eq!(sched.makespan_s.to_bits(), sched.completions[0].to_bits());
+        assert!(!sched.containers_grew);
+    }
+
+    #[test]
+    fn two_sessions_interleave_over_the_server_wait() {
+        // Session spine: 1s CPU, 2s server, 1s CPU. With one worker the
+        // blocking shape needs 8s for two sessions; interleaving hides
+        // the second session's CPU under the first one's server wait.
+        let scripts = vec![SessionScript {
+            spine: vec![cpu(1.0), seg(EngineLane::Server, 2.0), cpu(1.0)],
+            pages: Vec::new(),
+            total_s: 4.0,
+        }];
+        let sched = multiplex(
+            &scripts,
+            &[0, 0],
+            &EvloopConfig {
+                workers: 1,
+                server_slots: 16,
+            },
+            &mut NoopCollector,
+        );
+        // t=0: s0 CPU; t=1: s0 server, s1 CPU; t=2: s1 server;
+        // t=3: s0 CPU (done 4); t=4: s1 CPU (done 5).
+        assert!((sched.completions[0] - 4.0).abs() < 1e-12);
+        assert!((sched.completions[1] - 5.0).abs() < 1e-12);
+        assert!(sched.makespan_s < 8.0 - 1e-9);
+    }
+
+    #[test]
+    fn shared_uplink_serializes_contending_sessions() {
+        let scripts = vec![SessionScript {
+            spine: vec![seg(EngineLane::LinkUp, 1.0)],
+            pages: Vec::new(),
+            total_s: 1.0,
+        }];
+        let sched = multiplex(
+            &scripts,
+            &[0, 0, 0],
+            &EvloopConfig {
+                workers: 4,
+                server_slots: 16,
+            },
+            &mut NoopCollector,
+        );
+        // Capacity-1 uplink: grants in submission order, back to back.
+        assert!((sched.completions[0] - 1.0).abs() < 1e-12);
+        assert!((sched.completions[1] - 2.0).abs() < 1e-12);
+        assert!((sched.completions[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detached_pages_occupy_the_uplink_past_finalization() {
+        let scripts = vec![SessionScript {
+            spine: vec![cpu(0.5)],
+            pages: vec![PageBurst {
+                at_seg: 0,
+                duration_s: 2.0,
+            }],
+            total_s: 0.5,
+        }];
+        let sched = multiplex(&scripts, &[0], &EvloopConfig::default(), &mut NoopCollector);
+        assert!((sched.completions[0] - 0.5).abs() < 1e-12);
+        assert!((sched.makespan_s - 0.5).abs() < 1e-12);
+        // The streamed page holds the link until t=2 — the horizon sees it.
+        assert!((sched.horizon_s - 2.0).abs() < 1e-12);
+        assert!((sched.lane_busy_s[EngineLane::LinkUp as usize] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_segments_and_empty_scripts_terminate() {
+        let scripts = vec![
+            SessionScript::default(),
+            SessionScript {
+                spine: vec![cpu(0.0), seg(EngineLane::Server, 0.0)],
+                pages: Vec::new(),
+                total_s: 0.0,
+            },
+        ];
+        let sched = multiplex(
+            &scripts,
+            &[0, 1, 0],
+            &EvloopConfig::default(),
+            &mut NoopCollector,
+        );
+        assert_eq!(sched.completions.len(), 3);
+        assert!(sched.completions.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let scripts = vec![
+            SessionScript {
+                spine: vec![
+                    cpu(0.25),
+                    seg(EngineLane::LinkUp, 0.5),
+                    seg(EngineLane::Server, 1.0),
+                    cpu(0.125),
+                ],
+                pages: vec![PageBurst {
+                    at_seg: 1,
+                    duration_s: 0.75,
+                }],
+                total_s: 1.875,
+            },
+            SessionScript {
+                spine: vec![cpu(1.0), seg(EngineLane::LinkDown, 0.5)],
+                pages: Vec::new(),
+                total_s: 1.5,
+            },
+        ];
+        let ids: Vec<u32> = (0..64).map(|i| i % 2).collect();
+        let cfg = EvloopConfig {
+            workers: 4,
+            server_slots: 2,
+        };
+        let a = multiplex(&scripts, &ids, &cfg, &mut NoopCollector);
+        let b = multiplex(&scripts, &ids, &cfg, &mut NoopCollector);
+        assert_eq!(a.completions.len(), b.completions.len());
+        for (x, y) in a.completions.iter().zip(&b.completions) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+        assert_eq!(a.events_dispatched, b.events_dispatched);
+    }
+}

@@ -4,11 +4,16 @@
 pub mod bandwidth;
 pub mod derive;
 pub mod estimator;
+pub mod evloop;
 pub mod farm;
 pub mod predict;
 pub mod report;
 pub mod session;
 
+pub use evloop::{
+    atomic_makespan, atomic_schedule, check_evloop_equivalence, multiplex, run_evloop,
+    EvloopConfig, EvloopResult, EvloopSchedule, SessionScript, SessionState,
+};
 pub use farm::{run_farm, run_farm_logged, FarmJob, FarmResult};
 pub use predict::{AdaptiveWindow, PageHistory, StreamEngine, StreamMode, StrideDetector};
 pub use session::{

@@ -637,6 +637,8 @@ impl SessionHost<'_> {
                 .unwrap_or_default();
         }
         let server_cycles_before = self.server_vm.clock.cycles;
+        #[cfg(debug_assertions)]
+        let stream_hits_before = self.stat.stream_hits;
         let result = {
             let Self {
                 obs,
@@ -722,11 +724,25 @@ impl SessionHost<'_> {
         if self.stream.active() {
             // Streamed pages the server never faulted on are pure waste:
             // their wire bytes crossed the link for nothing. Feed the
-            // waste ratio back into the adaptive window.
-            let leftovers = self.stream.in_flight.drain();
-            let wasted = leftovers.len() as u64;
+            // waste ratio back into the adaptive window. The drain clock
+            // makes the `arrival == now` race well-defined: a fault at
+            // that instant already took the page (a zero-residual hit),
+            // so nothing here is double-counted.
+            let leftovers = self.stream.in_flight.drain(self.wall());
+            let wasted = leftovers.pages();
+            #[cfg(debug_assertions)]
+            {
+                // Single-counting identity: every page streamed this
+                // offload is exactly one of {hit, drained-as-waste}.
+                let hits = self.stat.stream_hits - stream_hits_before;
+                debug_assert_eq!(
+                    hits + wasted,
+                    self.stream.streamed_this_offload,
+                    "streamed pages double- or un-counted"
+                );
+            }
             if wasted > 0 {
-                let wire: u64 = leftovers.iter().map(|(_, p)| p.wire_bytes).sum();
+                let wire: u64 = leftovers.wire_bytes();
                 self.stat.stream_wasted += wasted;
                 self.obs.record(
                     self.wall(),

@@ -136,9 +136,12 @@ pub struct Memory {
     /// not grow it.
     frame_allocs: u64,
     /// When on, TLB-miss page translations are appended to `access_log`
-    /// (capped) — the raw feed of the stride predictor. Off by default:
-    /// the hot path pays one branch.
+    /// (capped) — the raw feed of the stride predictor. Off by default.
     log_accesses: bool,
+    /// Remaining appends before the cap: `0` when logging is off *or*
+    /// the buffer is full, so the TLB-miss path pays exactly one
+    /// zero-test (no bool + length compare) when streaming is off.
+    log_budget: u32,
     /// Page numbers in first-translation order since the last
     /// [`Memory::take_access_log`].
     access_log: Vec<u64>,
@@ -165,6 +168,7 @@ impl Memory {
             baselines_skipped: 0,
             frame_allocs: 0,
             log_accesses: false,
+            log_budget: 0,
             access_log: Vec::new(),
         }
     }
@@ -173,11 +177,18 @@ impl Memory {
     /// any buffered entries, so a reader starts from a clean slate.
     pub fn set_access_log(&mut self, on: bool) {
         self.log_accesses = on;
+        self.log_budget = if on { ACCESS_LOG_CAP as u32 } else { 0 };
         self.access_log.clear();
     }
 
     /// Drain the buffered access log (page numbers in TLB-miss order).
+    /// Re-arms the cap: the next [`ACCESS_LOG_CAP`] misses buffer again.
     pub fn take_access_log(&mut self) -> Vec<u64> {
+        self.log_budget = if self.log_accesses {
+            ACCESS_LOG_CAP as u32
+        } else {
+            0
+        };
         std::mem::take(&mut self.access_log)
     }
 
@@ -369,10 +380,18 @@ impl Memory {
         let slot = *self.table.get(&page)?;
         self.tlb_page = page;
         self.tlb_slot = slot;
-        if self.log_accesses && self.access_log.len() < ACCESS_LOG_CAP {
-            self.access_log.push(page);
+        if self.log_budget != 0 {
+            self.log_access(page);
         }
         Some(slot)
+    }
+
+    /// Out-of-line slow half of the access log: only reached while the
+    /// stride predictor is consuming the feed and the buffer has room.
+    #[cold]
+    fn log_access(&mut self, page: u64) {
+        self.log_budget -= 1;
+        self.access_log.push(page);
     }
 
     /// Slot for `page`, creating it under `DemandZero` or faulting.

@@ -29,4 +29,4 @@ pub use batch::BatchBuffer;
 pub use channel::{Channel, Direction, MsgKind, TrafficStats, TransferEvent};
 pub use frame::{FrameError, Message};
 pub use link::Link;
-pub use stream::{InFlightPage, StreamWindow};
+pub use stream::{DrainOutcome, InFlightPage, StreamWindow};

@@ -36,6 +36,42 @@ pub struct InFlightPage {
     pub wire_bytes: u64,
 }
 
+/// What a finalization drain found in the window, split by whether each
+/// page had already arrived at the server when the session tore down.
+/// Page order within each half (they partition the window's key order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DrainOutcome {
+    /// Pages with `arrival_s <= now`: fully crossed the wire, yet never
+    /// faulted on — delivered waste.
+    pub delivered: Vec<(u64, InFlightPage)>,
+    /// Pages still crossing at `now`: cut off mid-flight.
+    pub undelivered: Vec<(u64, InFlightPage)>,
+}
+
+impl DrainOutcome {
+    /// Total drained pages (both halves — all waste).
+    #[must_use]
+    pub fn pages(&self) -> u64 {
+        (self.delivered.len() + self.undelivered.len()) as u64
+    }
+
+    /// Total wire bytes the drained pages burned.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        self.delivered
+            .iter()
+            .chain(&self.undelivered)
+            .map(|(_, p)| p.wire_bytes)
+            .sum()
+    }
+
+    /// `true` when nothing was drained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.delivered.is_empty() && self.undelivered.is_empty()
+    }
+}
+
 /// The set of in-flight streamed pages plus the link-occupancy horizon.
 ///
 /// Deterministic by construction: pages are keyed in a `BTreeMap`, and
@@ -136,10 +172,28 @@ impl StreamWindow {
             .map(|p| (p.arrival_s - now_s).max(0.0))
     }
 
-    /// Drain every still-in-flight page (at finalization) in page order.
-    pub fn drain(&mut self) -> Vec<(u64, InFlightPage)> {
-        let drained: Vec<_> = std::mem::take(&mut self.in_flight).into_iter().collect();
-        drained
+    /// Drain every still-in-flight page (at finalization), classified
+    /// against the finalization clock `now_s`.
+    ///
+    /// The `arrival == now` boundary is well-defined and single-counted:
+    /// a fault racing the arrival takes the page *first* ([`take`](
+    /// StreamWindow::take) via the fault path) and pays a residual of
+    /// exactly `0.0` — a hit, never drained. Only pages still in the
+    /// window reach the drain, where `arrival_s <= now_s` means
+    /// *delivered* (crossed the wire, never touched) and the rest are
+    /// cut off mid-flight. Both halves are waste — the split is
+    /// observability, not accounting — so every streamed page is counted
+    /// exactly once: `hits + drained == streamed`.
+    pub fn drain(&mut self, now_s: f64) -> DrainOutcome {
+        let mut out = DrainOutcome::default();
+        for (page, flight) in std::mem::take(&mut self.in_flight) {
+            if flight.arrival_s <= now_s {
+                out.delivered.push((page, flight));
+            } else {
+                out.undelivered.push((page, flight));
+            }
+        }
+        out
     }
 
     /// Pages currently in flight.
@@ -222,11 +276,57 @@ mod tests {
         let hit = w.take(3).expect("in flight");
         assert!(hit.arrival_s > 0.0);
         assert!(!w.contains(3));
-        let rest = w.drain();
-        assert_eq!(rest.iter().map(|(p, _)| *p).collect::<Vec<_>>(), [7, 9]);
+        // Finalize mid-flight (before anything arrived): both leftovers
+        // are undelivered, in page order.
+        let rest = w.drain(0.0);
+        assert!(rest.delivered.is_empty());
+        assert_eq!(
+            rest.undelivered.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            [7, 9]
+        );
+        assert_eq!(rest.pages(), 2);
+        assert_eq!(rest.wire_bytes(), 200);
         assert!(w.is_empty());
         // free_s survives a drain: the link horizon is physical.
         assert!(w.free_at() > 0.0);
+    }
+
+    #[test]
+    fn drain_splits_delivered_from_in_flight_at_the_boundary() {
+        let l = link();
+        let mut w = StreamWindow::new();
+        let a1 = w.schedule(0.0, 1, 1000, &l); // arrives at 2 ms
+        let a2 = w.schedule(0.0, 2, 1000, &l); // arrives at 3 ms
+                                               // Finalize exactly at page 1's arrival instant: `arrival == now`
+                                               // classifies as delivered — counted once, in the delivered half.
+        let out = w.drain(a1);
+        assert_eq!(
+            out.delivered.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            [1]
+        );
+        assert_eq!(
+            out.undelivered.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            [2]
+        );
+        // Single-counted: two streamed pages, zero hits, two waste.
+        assert_eq!(out.pages(), 2);
+        assert!(a2 > a1);
+    }
+
+    #[test]
+    fn fault_exactly_at_arrival_is_a_hit_not_waste() {
+        let l = link();
+        let mut w = StreamWindow::new();
+        let arrival = w.schedule(0.0, 5, 1000, &l);
+        // A fault racing the arrival at exactly `now == arrival` pays a
+        // residual of exactly 0.0 — and takes the page out of the window.
+        assert_eq!(w.residual(arrival, 5).unwrap().to_bits(), 0.0f64.to_bits());
+        assert!(w.take(5).is_some());
+        // The page is gone: a finalization drain at the same instant
+        // cannot count it again.
+        let out = w.drain(arrival);
+        assert!(out.is_empty());
+        assert_eq!(out.pages(), 0);
     }
 
     #[test]

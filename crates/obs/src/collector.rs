@@ -290,7 +290,27 @@ impl TraceCollector {
                     &exp_buckets(1.0, 2.0, 8),
                     *depth as f64,
                 ),
+                crate::event::QueueLane::RunQueue => m.observe(
+                    "run_queue_sessions",
+                    &exp_buckets(1.0, 4.0, 10),
+                    *depth as f64,
+                ),
             },
+            LaneGrant {
+                lane, duration_s, ..
+            } => {
+                m.count("lane_grants", 1);
+                m.observe(
+                    match lane {
+                        crate::event::EngineLane::WorkerCpu => "lane_worker_cpu_s",
+                        crate::event::EngineLane::LinkUp => "lane_link_up_s",
+                        crate::event::EngineLane::LinkDown => "lane_link_down_s",
+                        crate::event::EngineLane::Server => "lane_server_s",
+                    },
+                    &exp_buckets(1e-6, 10.0, 10),
+                    *duration_s,
+                );
+            }
             Certificate {
                 readonly_pages,
                 precise,

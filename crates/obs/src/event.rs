@@ -210,6 +210,9 @@ pub enum QueueLane {
     /// Speculatively streamed pages currently in flight on the link
     /// (the stream window's occupancy).
     StreamWindow,
+    /// Sessions runnable on a worker of the event-driven engine
+    /// (`runtime::evloop`) but not yet holding the CPU lane.
+    RunQueue,
 }
 
 impl QueueLane {
@@ -218,8 +221,44 @@ impl QueueLane {
         match self {
             QueueLane::IoBatch => "io_batch",
             QueueLane::StreamWindow => "stream_window",
+            QueueLane::RunQueue => "run_queue",
         }
     }
+}
+
+/// A shared resource lane of the event-driven engine
+/// (`runtime::evloop`). A lane is *owned* while a dispatched event holds
+/// it: occupancy is first-class state, not derived after the fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineLane {
+    /// One worker's CPU: mobile-side compute of the session it granted.
+    WorkerCpu,
+    /// The uplink (mobile → server) of the shared radio.
+    LinkUp,
+    /// The downlink (server → mobile) of the shared radio.
+    LinkDown,
+    /// A server execution slot.
+    Server,
+}
+
+impl EngineLane {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineLane::WorkerCpu => "worker_cpu",
+            EngineLane::LinkUp => "link_up",
+            EngineLane::LinkDown => "link_down",
+            EngineLane::Server => "server",
+        }
+    }
+
+    /// All lanes, in dispatch-priority order.
+    pub const ALL: [EngineLane; 4] = [
+        EngineLane::WorkerCpu,
+        EngineLane::LinkUp,
+        EngineLane::LinkDown,
+        EngineLane::Server,
+    ];
 }
 
 /// What kind of payload a frame carried (mirrors `offload_net::MsgKind`).
@@ -453,6 +492,20 @@ pub enum EventKind {
         /// State during the interval.
         state: PowerLane,
         /// Interval length, simulated seconds.
+        duration_s: f64,
+    },
+    /// The event-driven engine granted a shared resource lane to a
+    /// session at event-dispatch time (observe-only, emitted by the
+    /// scheduler — never by the per-session engine, so session traces
+    /// stay byte-identical across engines).
+    LaneGrant {
+        /// The lane now owned by the session.
+        lane: EngineLane,
+        /// Worker whose queue the session was dispatched from.
+        worker: u32,
+        /// Session id (submission index into the job list).
+        session: u32,
+        /// How long the grant holds the lane, simulated seconds.
         duration_s: f64,
     },
     /// A runtime queue changed size (observe-only: sampled after the

@@ -190,6 +190,19 @@ fn describe(kind: &EventKind) -> (String, char, String) {
             'i',
             format!("{{\"depth\":{depth}}}"),
         ),
+        LaneGrant {
+            lane,
+            worker,
+            session,
+            duration_s,
+        } => (
+            format!("lane:{}", lane.name()),
+            'i',
+            format!(
+                "{{\"worker\":{worker},\"session\":{session},\"duration_s\":{}}}",
+                num(*duration_s)
+            ),
+        ),
     }
 }
 

@@ -41,8 +41,8 @@ pub mod shard;
 
 pub use collector::{Collector, CompileClock, NoopCollector, TraceCollector};
 pub use event::{
-    CompilePhase, CostLane, DiagLane, Dir, EventKind, FrameKind, PowerLane, QueueLane, Record,
-    RemoteOp, Span,
+    CompilePhase, CostLane, DiagLane, Dir, EngineLane, EventKind, FrameKind, PowerLane, QueueLane,
+    Record, RemoteOp, Span,
 };
 pub use log::{Logger, Verbosity};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};

@@ -325,4 +325,48 @@ mod tests {
         assert_eq!(b.len(), 4);
         assert!((b[3] - 1e-3).abs() < 1e-12);
     }
+
+    #[test]
+    fn quantile_at_exactly_the_exact_sample_cap_is_exact() {
+        // 64 observations: the last count that still rides the exact
+        // sorted-sample path. Values arrive shuffled to prove sorting.
+        let mut h = Histogram::new(&[8.0, 32.0, 128.0]);
+        for i in 0..EXACT_SAMPLE_CAP as u64 {
+            h.observe(((i * 37) % 64 + 1) as f64); // permutation of 1..=64
+        }
+        assert_eq!(h.count, EXACT_SAMPLE_CAP as u64);
+        assert_eq!(h.samples.len(), EXACT_SAMPLE_CAP);
+        // Exact: q=0 min, q=1 max, median interpolates 32/33 exactly.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(64.0));
+        assert_eq!(h.quantile(0.5), Some(32.5));
+        // p25 on 64 sorted integers 1..=64: pos 15.75 → 16 + 0.75.
+        assert!((h.quantile(0.25).unwrap() - 16.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_at_cap_plus_one_crosses_to_bucket_interpolation() {
+        // 65 observations: one past the cap, so `samples` (64) no longer
+        // covers `count` and the bucketed estimator takes over.
+        let mut h = Histogram::new(&[8.0, 32.0, 128.0]);
+        for i in 0..=EXACT_SAMPLE_CAP as u64 {
+            h.observe(((i * 37) % 65 + 1) as f64); // permutation of 1..=65
+        }
+        assert_eq!(h.count, EXACT_SAMPLE_CAP as u64 + 1);
+        assert_eq!(h.samples.len(), EXACT_SAMPLE_CAP);
+        // The estimate is no longer the exact median (33.0) but must stay
+        // inside the observed range, honor the endpoints, and be monotone
+        // across the crossover.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 >= h.min && p50 <= h.max);
+        assert_eq!(h.quantile(0.0), Some(h.min));
+        assert_eq!(h.quantile(1.0), Some(h.max));
+        let p25 = h.quantile(0.25).unwrap();
+        let p75 = h.quantile(0.75).unwrap();
+        assert!(p25 <= p50 && p50 <= p75);
+        // Rank 32 (the median) is the first observation of the (32, 128]
+        // bucket — 32 values sit at or below bound 32.0 — so in-bucket
+        // interpolation at fraction 0 returns the bucket's lower edge.
+        assert_eq!(p50.to_bits(), 32.0f64.to_bits());
+    }
 }

@@ -1,0 +1,244 @@
+//! Determinism and byte-identity of the event-driven session core.
+//!
+//! The event engine multiplexes thousands of sessions over shared lanes,
+//! but per-session accounting must not notice: reports and trace shards
+//! are produced by the same per-session timing engine whether the run is
+//! serial, farmed, or event-multiplexed, and they must be byte-identical
+//! in every configuration.
+//!
+//! Two sweeps enforce that:
+//!
+//! * a fixed-seed fuzz pass permutes session *submission order* and runs
+//!   the event loop at 1, 2 and 4 workers — every job's report and trace
+//!   shard must match its serial reference record-for-record, and the
+//!   merged trace must be identical across worker counts for the same
+//!   permutation (submission order is the only ordering rule);
+//! * a full-suite byte-identity pass drives all 18 workloads over both
+//!   link profiles and every stream mode through
+//!   [`check_evloop_equivalence`], which re-runs each job serially and
+//!   compares reports field-for-field (`f64::to_bits`) and trace shards
+//!   record-for-record against the event-loop run.
+//!
+//! The full sweeps run in the release pass; debug builds run the smoke
+//! subsets below (the pattern `certificate_soundness` uses).
+
+use std::sync::Arc;
+
+use native_offloader::runtime::evloop::{check_evloop_equivalence, run_evloop, EvloopConfig};
+use native_offloader::runtime::farm::{reports_equal, FarmJob};
+use native_offloader::{CompiledApp, Offloader, PageHistory, SessionConfig, StreamMode};
+use native_offloader::{RunReport, WorkloadInput};
+use offload_obs::{NoopCollector, Record, TraceCollector};
+
+/// Ring capacity for reference traces: big enough for any suite session.
+const RING: usize = 1 << 20;
+
+/// The 18-program set: the suite miniatures plus the chess program.
+fn sweep_apps() -> Vec<(String, CompiledApp, WorkloadInput)> {
+    let mut apps: Vec<(String, CompiledApp, WorkloadInput)> = Vec::new();
+    for w in offload_workloads::all() {
+        let app = w.compile().expect("compiles");
+        apps.push((w.name.to_string(), app, (w.eval_input)()));
+    }
+    let chess_input = offload_workloads::chess::input(9, 2);
+    let chess = Offloader::new()
+        .compile_source(offload_workloads::chess::SOURCE, "chess", &chess_input)
+        .expect("chess compiles");
+    apps.push(("chess".to_string(), chess, chess_input));
+    assert_eq!(apps.len(), 18, "the sweep must cover all 18 programs");
+    apps
+}
+
+/// Fault-heavy session on the given link and stream mode — the same
+/// shape the certificate and stream equivalence sweeps use, so streaming
+/// actually exercises the multiplexer's detached-page path.
+fn fault_heavy(slow: bool, mode: StreamMode, history: Option<Arc<PageHistory>>) -> SessionConfig {
+    let mut cfg = if slow {
+        SessionConfig::slow_network()
+    } else {
+        SessionConfig::fast_network()
+    };
+    cfg.dynamic_estimation = false;
+    cfg.prefetch = false;
+    cfg.stream_mode = mode;
+    cfg.page_history = history;
+    cfg
+}
+
+/// splitmix64 — the repo's stock deterministic PRNG for tests.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic Fisher–Yates shuffle of `0..n`.
+fn permutation(n: usize, seed: &mut u64) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (splitmix64(seed) % (i as u64 + 1)) as usize;
+        p.swap(i, j);
+    }
+    p
+}
+
+/// Serial reference for each app: report plus full trace records.
+fn references(
+    apps: &[(String, CompiledApp, WorkloadInput)],
+    cfg: &SessionConfig,
+) -> Vec<(RunReport, Vec<Record>)> {
+    apps.iter()
+        .map(|(name, app, input)| {
+            let mut obs = TraceCollector::with_capacity(RING);
+            let report = app
+                .run_offloaded_traced(input, cfg, &mut obs)
+                .unwrap_or_else(|e| panic!("{name}: serial reference failed: {e}"));
+            assert_eq!(obs.dropped(), 0, "{name}: reference ring overflowed");
+            (report, obs.records())
+        })
+        .collect()
+}
+
+/// The fuzz body: for each seeded permutation of submission order, run
+/// the event loop at every worker count and assert every job's report
+/// and trace shard equals its serial reference, and that the merged
+/// trace is identical across worker counts.
+fn permuted_submissions_are_invariant(
+    apps: &[(String, CompiledApp, WorkloadInput)],
+    permutations: usize,
+    worker_counts: &[usize],
+) {
+    let cfg = fault_heavy(false, StreamMode::Off, None);
+    let refs = references(apps, &cfg);
+    let mut seed = 0x0005_17ec_100f_u64;
+    for round in 0..permutations {
+        let perm = if round == 0 {
+            (0..apps.len()).collect::<Vec<_>>()
+        } else {
+            permutation(apps.len(), &mut seed)
+        };
+        let jobs: Vec<FarmJob> = perm
+            .iter()
+            .map(|&a| FarmJob {
+                app: &apps[a].1,
+                input: apps[a].2.clone(),
+                cfg: cfg.clone(),
+            })
+            .collect();
+        let mut merged_by_workers: Vec<Vec<Record>> = Vec::new();
+        for &workers in worker_counts {
+            let evcfg = EvloopConfig {
+                workers,
+                server_slots: 16,
+            };
+            let ev = run_evloop(&jobs, workers, &evcfg, &mut NoopCollector)
+                .expect("event-loop run succeeds");
+            assert!(
+                !ev.schedule.containers_grew,
+                "round {round}, {workers} workers: engine allocated in steady state"
+            );
+            assert_eq!(ev.schedule.completions.len(), jobs.len());
+            let mut merged = Vec::new();
+            for (i, &a) in perm.iter().enumerate() {
+                let name = &apps[a].0;
+                reports_equal(&refs[a].0, &ev.farm.reports[i]).unwrap_or_else(|e| {
+                    panic!("round {round}, {workers} workers, {name}: report diverged: {e}")
+                });
+                let shard = ev.farm.trace.shard(i).expect("trace shard per job");
+                assert_eq!(
+                    shard.records, refs[a].1,
+                    "round {round}, {workers} workers, {name}: trace diverged"
+                );
+                merged.extend(shard.records.iter().cloned());
+            }
+            merged_by_workers.push(merged);
+        }
+        for pair in merged_by_workers.windows(2) {
+            assert_eq!(
+                pair[0], pair[1],
+                "round {round}: merged trace differs across worker counts"
+            );
+        }
+    }
+}
+
+/// Full fuzz sweep: all 18 programs, identity plus three seeded
+/// permutations, 1/2/4 workers.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full sweep runs in the release pass")]
+fn permuted_submission_order_is_byte_invariant() {
+    permuted_submissions_are_invariant(&sweep_apps(), 4, &[1, 2, 4]);
+}
+
+/// Debug smoke subset of the fuzz sweep: five programs, two rounds,
+/// 1 and 2 workers.
+#[test]
+fn permuted_submission_order_smoke() {
+    let apps: Vec<_> = sweep_apps().into_iter().take(5).collect();
+    permuted_submissions_are_invariant(&apps, 2, &[1, 2]);
+}
+
+/// The byte-identity body: for each link × stream mode, push all apps
+/// through [`check_evloop_equivalence`] at 4 workers (serial vs farm vs
+/// event loop, reports field-for-field and traces record-for-record).
+fn suite_is_byte_identical(apps: &[(String, CompiledApp, WorkloadInput)], slow_links: &[bool]) {
+    // Train the history predictor once per app, as the stream
+    // equivalence sweep does (the "prior session" of the Markov table).
+    let histories: Vec<Arc<PageHistory>> = apps
+        .iter()
+        .map(|(name, app, input)| {
+            let mut obs = TraceCollector::with_capacity(RING);
+            let _ = app
+                .run_offloaded_traced(input, &fault_heavy(false, StreamMode::Off, None), &mut obs)
+                .unwrap_or_else(|e| panic!("{name}: training run failed: {e}"));
+            Arc::new(PageHistory::from_records(&obs.records()))
+        })
+        .collect();
+    for &slow in slow_links {
+        for mode in [
+            StreamMode::Off,
+            StreamMode::Static,
+            StreamMode::Stride,
+            StreamMode::History,
+        ] {
+            let jobs: Vec<FarmJob> = apps
+                .iter()
+                .zip(&histories)
+                .map(|((_, app, input), history)| FarmJob {
+                    app,
+                    input: input.clone(),
+                    cfg: fault_heavy(slow, mode, Some(history.clone())),
+                })
+                .collect();
+            let evcfg = EvloopConfig {
+                workers: 4,
+                server_slots: 16,
+            };
+            check_evloop_equivalence(&jobs, &evcfg).unwrap_or_else(|e| {
+                panic!(
+                    "link={} mode={}: {e}",
+                    if slow { "802.11n" } else { "fast" },
+                    mode.name()
+                )
+            });
+        }
+    }
+}
+
+/// Full byte-identity sweep: 18 workloads × both links × all four
+/// stream modes, serial vs farm(4) vs event loop.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full sweep runs in the release pass")]
+fn suite_byte_identity_across_links_and_stream_modes() {
+    suite_is_byte_identical(&sweep_apps(), &[false, true]);
+}
+
+/// Debug smoke subset of the byte-identity sweep: four programs on the
+/// fast link only.
+#[test]
+fn suite_byte_identity_smoke() {
+    let apps: Vec<_> = sweep_apps().into_iter().take(4).collect();
+    suite_is_byte_identical(&apps, &[false]);
+}
